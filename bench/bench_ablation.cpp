@@ -1,0 +1,134 @@
+//===- bench_ablation.cpp - Design-choice ablations -----------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations for design choices DESIGN.md calls out:
+///
+///  1. Per-variable symbol capacities (the paper's future-work extension,
+///     Sec. VIII): on an fgm-style workload, the inner gradient reduction
+///     runs at a large k while the projection/momentum bookkeeping runs
+///     at a small one. Mixed-k should recover most of the accuracy of
+///     uniform-large at a fraction of its cost.
+///  2. Prioritization overhead (Sec. VI-C): identical workloads with the
+///     protected-symbol machinery on/off — the paper reports 20-30%.
+///  3. Placement x fusion interaction at fixed k (complements Table III).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/Measure.h"
+
+using namespace safegen;
+using namespace safegen::bench;
+
+namespace {
+
+/// fgm-style gradient loop where only the reduction runs at KHot.
+void mixedKWorkload(int KHot, int N, int Iters, std::mt19937_64 &Rng,
+                    double &Bits, double &Seconds) {
+  using Clock = std::chrono::steady_clock;
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  std::vector<aa::F64a> H, X, Y;
+  for (int I = 0; I < N * N; ++I)
+    H.push_back(aa::F64a::input(0.1 * U(Rng) + (I % (N + 1) == 0 ? 1.0 : 0.0)));
+  for (int I = 0; I < N; ++I) {
+    X.push_back(aa::F64a::input(U(Rng)));
+    Y.push_back(X.back());
+  }
+  auto T0 = Clock::now();
+  for (int T = 0; T < Iters; ++T) {
+    for (int I = 0; I < N; ++I) {
+      aa::F64a G = aa::F64a::exact(0.0);
+      {
+        aa::KOverrideScope Hot(KHot);
+        for (int J = 0; J < N; ++J)
+          G = G + H[I * N + J] * Y[J];
+      }
+      X[I] = Y[I] - aa::F64a(0.4) * G;
+    }
+    for (int I = 0; I < N; ++I) {
+      Y[I] = X[I] + aa::F64a(0.5) * (X[I] - Y[I]);
+    }
+  }
+  auto T1 = Clock::now();
+  Seconds = std::chrono::duration<double>(T1 - T0).count();
+  Bits = 53.0;
+  for (const aa::F64a &V : X)
+    Bits = std::min(Bits, V.certifiedBits());
+}
+
+void ablationMixedK() {
+  std::printf("# Ablation 1: per-variable k (future work, Sec. VIII)\n");
+  std::printf("variant,k_hot,k_cold,bits,seconds\n");
+  struct Case {
+    const char *Name;
+    int KHot, KCold;
+  } Cases[] = {
+      {"uniform-small", 8, 8},
+      {"mixed", 32, 8},
+      {"uniform-large", 32, 32},
+  };
+  for (const Case &C : Cases) {
+    double BitsSum = 0.0, Seconds = 0.0;
+    const int Runs = 7;
+    for (int Run = 0; Run < Runs; ++Run) {
+      fp::RoundUpwardScope Rounding;
+      aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+      Cfg.K = C.KCold;
+      aa::AffineEnvScope Env(Cfg);
+      std::mt19937_64 Rng(1000 + Run);
+      double Bits, Secs;
+      mixedKWorkload(C.KHot, 8, 20, Rng, Bits, Secs);
+      BitsSum += Bits;
+      Seconds += Secs;
+    }
+    std::printf("%s,%d,%d,%.2f,%.3e\n", C.Name, C.KHot, C.KCold,
+                BitsSum / Runs, Seconds / Runs);
+  }
+}
+
+void ablationPrioritizationOverhead() {
+  std::printf("\n# Ablation 2: prioritization overhead (paper: 20-30%%)\n");
+  std::printf("benchmark,plain_seconds,prioritized_seconds,overhead\n");
+  WorkloadParams P;
+  for (BenchId Bench :
+       {BenchId::Henon, BenchId::Sor, BenchId::Fgm, BenchId::Luf}) {
+    aa::AAConfig Plain = *aa::AAConfig::parse("f64a-dsnn");
+    Plain.K = 16;
+    aa::AAConfig Prio = *aa::AAConfig::parse("f64a-dspn");
+    Prio.K = 16;
+    Stats SPlain = measure<aa::F64a>(Bench, P, EnvSpec::affine(Plain), false,
+                                     2, 7, 0xAB1);
+    Stats SPrio = measure<aa::F64a>(Bench, P, EnvSpec::affine(Prio), true, 2,
+                                    7, 0xAB1);
+    std::printf("%s,%.3e,%.3e,%.0f%%\n", benchName(Bench),
+                SPlain.MedianSeconds, SPrio.MedianSeconds,
+                (SPrio.MedianSeconds / SPlain.MedianSeconds - 1.0) * 100.0);
+  }
+}
+
+void ablationPlacementFusion() {
+  std::printf("\n# Ablation 3: placement x fusion at k = 16 (sor)\n");
+  std::printf("config,bits,seconds\n");
+  WorkloadParams P;
+  for (const char *Name :
+       {"f64a-ssnn", "f64a-smnn", "f64a-sonn", "f64a-srnn", "f64a-dsnn",
+        "f64a-donn", "f64a-drnn"}) {
+    aa::AAConfig Cfg = *aa::AAConfig::parse(Name);
+    Cfg.K = 16;
+    Stats S = measure<aa::F64a>(BenchId::Sor, P, EnvSpec::affine(Cfg), false,
+                                5, 5, 0xAB2);
+    std::printf("%s,%.2f,%.3e\n", Name, S.MeanBits, S.MedianSeconds);
+  }
+}
+
+} // namespace
+
+int main() {
+  ablationMixedK();
+  ablationPrioritizationOverhead();
+  ablationPlacementFusion();
+  return 0;
+}

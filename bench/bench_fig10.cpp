@@ -1,0 +1,42 @@
+//===- bench_fig10.cpp - Reproduces Fig. 10: input-size scaling -----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fig. 10 of the paper: certified accuracy of f64a-dspv as the n x n
+/// input grows. The computation depth D drives the shape: sor has
+/// D = O(1) per sweep and keeps roughly constant accuracy beyond n ≈ 30,
+/// while luf has D = O(n) and decays until no bit can be certified.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/Measure.h"
+
+using namespace safegen;
+using namespace safegen::bench;
+
+int main() {
+  std::printf("# Fig. 10: f64a-dspv accuracy vs input size n\n");
+  std::printf("benchmark,n,bits\n");
+  aa::AAConfig Dspv = *aa::AAConfig::parse("f64a-dspv");
+  Dspv.K = 16;
+  constexpr int AccRuns = 5;
+
+  for (int N = 10; N <= 60; N += 10) {
+    WorkloadParams P;
+    P.SorN = N;
+    Stats S = measure<aa::F64a>(BenchId::Sor, P, EnvSpec::affine(Dspv), true,
+                                AccRuns, 1, 0xF16'10'01 + N);
+    std::printf("sor,%d,%.2f\n", N, S.MeanBits);
+  }
+  for (int N = 10; N <= 60; N += 10) {
+    WorkloadParams P;
+    P.LufN = N;
+    Stats S = measure<aa::F64a>(BenchId::Luf, P, EnvSpec::affine(Dspv), true,
+                                AccRuns, 1, 0xF16'10'02 + N);
+    std::printf("luf,%d,%.2f\n", N, S.MeanBits);
+  }
+  return 0;
+}

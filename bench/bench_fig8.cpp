@@ -1,0 +1,75 @@
+//===- bench_fig8.cpp - Reproduces Fig. 8: accuracy/runtime Pareto --------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// For each benchmark (henon, sor 10x10, fgm, luf 20x20) and each SafeGen
+/// configuration of Fig. 8 — placement s|d, fusion s|m|o|r, prioritization
+/// p|n, vectorization v|n, plus dda-dspn — sweeps the symbol budget
+/// k = 8..48 and prints certified bits vs slowdown over the unsound
+/// double kernel. The Pareto front should form toward high-bits /
+/// low-slowdown with the d*-configs and prioritized variants on it, as in
+/// the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/Measure.h"
+
+using namespace safegen;
+using namespace safegen::bench;
+
+namespace {
+
+constexpr int AccRuns = 10;
+constexpr int TimeRuns = 7;
+
+const char *Configs[] = {
+    "f64a-srnn", // random fusion baseline
+    "f64a-ssnn", // sorted + smallest
+    "f64a-smnn", // sorted + mean threshold
+    "f64a-sonn", // sorted + oldest
+    "f64a-smpn", // sorted + mean + prioritized
+    "f64a-dsnn", // direct-mapped + smallest
+    "f64a-dsnv", // + vectorized
+    "f64a-dspn", // + prioritized
+    "f64a-dspv", // + prioritized + vectorized
+    "dda-dspn",  // double-double central value
+};
+
+void sweepBenchmark(BenchId Bench, const WorkloadParams &P, uint64_t Seed) {
+  // Unsound baseline (round-to-nearest double).
+  Stats Base = measure<double>(Bench, P, EnvSpec::nearest(),
+                               /*Prioritize=*/false, 3, TimeRuns, Seed);
+  std::printf("# %s: unsound double baseline %.3e s\n", benchName(Bench),
+              Base.MedianSeconds);
+
+  for (const char *Name : Configs) {
+    aa::AAConfig Config = *aa::AAConfig::parse(Name);
+    for (int K = 8; K <= 48; K += 8) {
+      Config.K = K;
+      Stats S;
+      if (Config.Precision == aa::AffinePrecision::DD)
+        S = measure<aa::DDa>(Bench, P, EnvSpec::affine(Config),
+                             Config.Prioritize, AccRuns, TimeRuns, Seed);
+      else
+        S = measure<aa::F64a>(Bench, P, EnvSpec::affine(Config),
+                              Config.Prioritize, AccRuns, TimeRuns, Seed);
+      printRow(Bench, Name, K, S, Base.MedianSeconds);
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("# Fig. 8: certified accuracy vs slowdown, k = 8..48\n");
+  printHeader();
+  WorkloadParams P;
+  sweepBenchmark(BenchId::Henon, P, 0xF16'8'01);
+  sweepBenchmark(BenchId::Sor, P, 0xF16'8'02);
+  sweepBenchmark(BenchId::Fgm, P, 0xF16'8'03);
+  sweepBenchmark(BenchId::Luf, P, 0xF16'8'04);
+  return 0;
+}

@@ -1,0 +1,197 @@
+//===- bench_ops.cpp - Micro-benchmarks of the runtime operations ---------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-benchmarks backing the paper's "arithmetic
+/// cost" discussion (Sec. V): affine add/mul per placement policy and
+/// per k, the AVX2 kernels, the interval baselines, and the heap-backed
+/// full-AA forms. Cost should grow linearly in k, with direct-mapped
+/// below sorted and the interval ops 1-2 orders below both.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/NumTraits.h"
+#include "aa/Simd.h"
+#include "ia/PackedInterval.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace safegen;
+
+namespace {
+
+/// Builds a pair of direct-mapped or sorted variables with ~75% occupancy
+/// and ~50% shared symbols under the given config.
+std::pair<aa::AffineF64Storage, aa::AffineF64Storage>
+makePair(const aa::AAConfig &Cfg, aa::AffineContext &Ctx,
+         std::mt19937_64 &Rng) {
+  std::uniform_real_distribution<double> D(-1.0, 1.0);
+  aa::AffineF64Storage A, B;
+  aa::ops::initExact(A, D(Rng), Cfg);
+  aa::ops::initExact(B, D(Rng), Cfg);
+  if (Cfg.Placement == aa::PlacementPolicy::DirectMapped) {
+    for (int S = 0; S < Cfg.K; ++S) {
+      if (Rng() % 4 != 0) {
+        A.Ids[S] = static_cast<aa::SymbolId>(S + 1);
+        A.Coefs[S] = D(Rng) * 0x1p-20;
+      }
+      if (Rng() % 2 == 0 && A.Ids[S] != aa::InvalidSymbol) {
+        B.Ids[S] = A.Ids[S];
+        B.Coefs[S] = D(Rng) * 0x1p-20;
+      } else if (Rng() % 4 != 0) {
+        B.Ids[S] = static_cast<aa::SymbolId>(S + 1 + Cfg.K);
+        B.Coefs[S] = D(Rng) * 0x1p-20;
+      }
+    }
+  } else {
+    for (int S = 0; S < Cfg.K; ++S) {
+      A.Ids[A.N] = static_cast<aa::SymbolId>(2 * S + 1);
+      A.Coefs[A.N] = D(Rng) * 0x1p-20;
+      ++A.N;
+      B.Ids[B.N] = static_cast<aa::SymbolId>(Rng() % 2 ? 2 * S + 1 : 2 * S + 2);
+      B.Coefs[B.N] = D(Rng) * 0x1p-20;
+      ++B.N;
+    }
+    // Sorted invariant: ascending unique ids.
+    for (int S = 1; S < B.N; ++S)
+      if (B.Ids[S] <= B.Ids[S - 1])
+        B.Ids[S] = B.Ids[S - 1] + 1;
+  }
+  // Make sure ids stay in range for the id counter.
+  for (int S = 0; S < 4 * Cfg.K + 8; ++S)
+    Ctx.freshSymbol();
+  return {A, B};
+}
+
+template <bool Mul, bool Simd>
+void affineOp(benchmark::State &State) {
+  const int K = static_cast<int>(State.range(0));
+  fp::RoundUpwardScope Rounding;
+  aa::AAConfig Cfg = *aa::AAConfig::parse(Simd ? "f64a-dsnv" : "f64a-dsnn");
+  Cfg.K = K;
+  aa::AffineEnvScope Env(Cfg);
+  std::mt19937_64 Rng(42);
+  auto [A, B] = makePair(Cfg, aa::env().Context, Rng);
+  for (auto _ : State) {
+    aa::AffineF64Storage R;
+    if constexpr (Mul)
+      R = Simd ? aa::simd::mulDirectAvx2(A, B, Cfg, aa::env().Context)
+               : aa::ops::mulDirect(A, B, Cfg, aa::env().Context);
+    else
+      R = Simd ? aa::simd::addDirectAvx2(A, B, 1.0, Cfg, aa::env().Context)
+               : aa::ops::addDirect(A, B, 1.0, Cfg, aa::env().Context);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void sortedOp(benchmark::State &State) {
+  const int K = static_cast<int>(State.range(0));
+  fp::RoundUpwardScope Rounding;
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-ssnn");
+  Cfg.K = K;
+  aa::AffineEnvScope Env(Cfg);
+  std::mt19937_64 Rng(42);
+  auto [A, B] = makePair(Cfg, aa::env().Context, Rng);
+  for (auto _ : State) {
+    auto R = aa::ops::mulSorted(A, B, Cfg, aa::env().Context);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void intervalMul(benchmark::State &State) {
+  fp::RoundUpwardScope Rounding;
+  ia::Interval A(0.5, 0.75), B(-1.25, -1.0);
+  for (auto _ : State) {
+    ia::Interval R = A * B;
+    benchmark::DoNotOptimize(R);
+    benchmark::DoNotOptimize(A);
+  }
+}
+
+#if SAFEGEN_HAVE_AVX2
+void packedIntervalOps(benchmark::State &State) {
+  fp::RoundUpwardScope Rounding;
+  ia::PackedInterval A(0.5, 0.75), B(-1.25, -1.0), C(0.1, 0.2);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A); // defeat loop-invariant hoisting
+    ia::PackedInterval R = A * B + C - A;
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(packedIntervalOps)->Name("ia_muladd_packed");
+#endif
+
+void intervalDDMul(benchmark::State &State) {
+  fp::RoundUpwardScope Rounding;
+  ia::IntervalDD A(0.5), B(-1.25);
+  for (auto _ : State) {
+    ia::IntervalDD R = A * B;
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void bigMulUnbounded(benchmark::State &State) {
+  const int Terms = static_cast<int>(State.range(0));
+  fp::RoundUpwardScope Rounding;
+  aa::BigConfig Cfg;
+  aa::BigEnvScope Env(Cfg);
+  auto &Ctx = aa::bigEnv().Context;
+  aa::AffineBig A = aa::bigInput(0.5, 0x1p-53, Cfg, Ctx);
+  aa::AffineBig B = aa::bigInput(1.5, 0x1p-53, Cfg, Ctx);
+  for (int I = 0; I < Terms; ++I) {
+    A.Terms.push_back({Ctx.freshSymbol(), 0x1p-30});
+    B.Terms.push_back({Ctx.freshSymbol(), 0x1p-30});
+  }
+  std::sort(A.Terms.begin(), A.Terms.end(),
+            [](auto &X, auto &Y) { return X.Id < Y.Id; });
+  std::sort(B.Terms.begin(), B.Terms.end(),
+            [](auto &X, auto &Y) { return X.Id < Y.Id; });
+  for (auto _ : State) {
+    aa::AffineBig R = aa::bigMul(A, B, Cfg, Ctx);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void elementarySqrt(benchmark::State &State) {
+  fp::RoundUpwardScope Rounding;
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 16;
+  aa::AffineEnvScope Env(Cfg);
+  aa::F64a X = aa::F64a::input(2.0, 0.25);
+  for (auto _ : State) {
+    aa::F64a R = aa::sqrt(X);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void contextPrioritize(benchmark::State &State) {
+  fp::RoundUpwardScope Rounding;
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+  Cfg.K = 16;
+  aa::AffineEnvScope Env(Cfg);
+  aa::F64a X = aa::F64a::input(1.0);
+  for (auto _ : State) {
+    X.prioritize();
+    benchmark::ClobberMemory();
+  }
+}
+
+} // namespace
+
+BENCHMARK(affineOp<false, false>)->Name("aa_add_direct")->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK(affineOp<false, true>)->Name("aa_add_avx2")->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK(affineOp<true, false>)->Name("aa_mul_direct")->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK(affineOp<true, true>)->Name("aa_mul_avx2")->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK(sortedOp)->Name("aa_mul_sorted")->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+BENCHMARK(intervalMul)->Name("ia_mul_f64");
+BENCHMARK(intervalDDMul)->Name("ia_mul_dd");
+BENCHMARK(bigMulUnbounded)->Name("big_mul_unbounded")->Arg(16)->Arg(256)->Arg(2048);
+BENCHMARK(elementarySqrt)->Name("aa_sqrt");
+BENCHMARK(contextPrioritize)->Name("aa_prioritize");
+
+BENCHMARK_MAIN();

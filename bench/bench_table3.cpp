@@ -1,0 +1,50 @@
+//===- bench_table3.cpp - Reproduces Table III ----------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table III of the paper: at k = 40, certified accuracy of the
+/// placement/fusion combinations ss, sm, so, ds (top half) and their
+/// runtime speedup relative to ss (bottom half). The paper's headline:
+/// direct-mapped + smallest (ds) is an order of magnitude faster than
+/// sorted + smallest (ss) at only slight accuracy loss.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/Measure.h"
+
+using namespace safegen;
+using namespace safegen::bench;
+
+int main() {
+  constexpr int K = 40;
+  constexpr int AccRuns = 10;
+  constexpr int TimeRuns = 9;
+  const char *Configs[] = {"f64a-ssnn", "f64a-smnn", "f64a-sonn",
+                           "f64a-dsnn"};
+  const BenchId Benches[] = {BenchId::Henon, BenchId::Sor, BenchId::Fgm,
+                             BenchId::Luf};
+  WorkloadParams P;
+
+  std::printf("# Table III: k = %d; accuracy (bits) and speedup vs ss\n", K);
+  std::printf("benchmark,ss_bits,sm_bits,so_bits,ds_bits,"
+              "ss_speedup,sm_speedup,so_speedup,ds_speedup\n");
+  for (BenchId Bench : Benches) {
+    double Bits[4], Secs[4];
+    for (int C = 0; C < 4; ++C) {
+      aa::AAConfig Config = *aa::AAConfig::parse(Configs[C]);
+      Config.K = K;
+      Stats S = measure<aa::F64a>(Bench, P, EnvSpec::affine(Config),
+                                  /*Prioritize=*/false, AccRuns, TimeRuns,
+                                  0x7AB1E3 + C);
+      Bits[C] = S.MeanBits;
+      Secs[C] = S.MedianSeconds;
+    }
+    std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+                benchName(Bench), Bits[0], Bits[1], Bits[2], Bits[3], 1.0,
+                Secs[0] / Secs[1], Secs[0] / Secs[2], Secs[0] / Secs[3]);
+  }
+  return 0;
+}

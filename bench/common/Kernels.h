@@ -1,0 +1,143 @@
+//===- Kernels.h - The paper's benchmark kernels (Table II) ---------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// henon, sor, luf and fgm as templates over the numeric type — the same
+/// operation sequence SafeGen emits for benchmarks/%.c (the e2e tests
+/// check the generated path separately). Constants are materialized
+/// through NumTraits<T>::constant exactly where the source has literals,
+/// so inexact literals cost one fresh symbol per evaluation, as in
+/// generated code. `Prioritize` mirrors the pragmas the static analysis
+/// inserts (henon: x; sor: omega terms and the read stencil; fgm: x and
+/// y; luf: the multiplier column — where the paper found no profitable
+/// prioritization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_BENCH_KERNELS_H
+#define SAFEGEN_BENCH_KERNELS_H
+
+#include "bench/common/NumTraits.h"
+
+#include <vector>
+
+namespace safegen {
+namespace bench {
+
+/// Henon map, a = 1.05, b = 0.3 (Sec. VII).
+template <typename T>
+void henonKernel(T &X, T &Y, int Iters, bool Prioritize) {
+  using NT = NumTraits<T>;
+  for (int I = 0; I < Iters; ++I) {
+    if (Prioritize)
+      NT::prioritize(X);
+    T T0 = X * X;
+    T T1 = NT::constant(1.05) * T0;
+    T T2 = NT::constant(1.0) - T1;
+    T Xn = T2 + Y;
+    T Yn = NT::constant(0.3) * X;
+    X = Xn;
+    Y = Yn;
+  }
+}
+
+/// SciMark Jacobi successive over-relaxation on an N x N grid.
+template <typename T>
+void sorKernel(int N, double Omega, std::vector<T> &G, int Iters,
+               bool Prioritize) {
+  using NT = NumTraits<T>;
+  T OmegaT = NT::constant(Omega);
+  T OmegaOverFour = OmegaT * NT::constant(0.25);
+  T OneMinusOmega = NT::constant(1.0) - OmegaT;
+  if (Prioritize) {
+    NT::prioritize(OmegaOverFour);
+    NT::prioritize(OneMinusOmega);
+  }
+  // The high-profit reuse is the pair of omega terms, which feed every
+  // stencil update; protecting the whole grid would defeat the fusion
+  // policy's selectivity (and the analysis, which models the grid as one
+  // object, assigns it no per-element priorities).
+  auto At = [&](int I, int J) -> T & { return G[I * N + J]; };
+  for (int P = 0; P < Iters; ++P) {
+    for (int I = 1; I < N - 1; ++I) {
+      for (int J = 1; J < N - 1; ++J) {
+        At(I, J) = OmegaOverFour * (At(I - 1, J) + At(I + 1, J) +
+                                    At(I, J - 1) + At(I, J + 1)) +
+                   OneMinusOmega * At(I, J);
+      }
+    }
+  }
+}
+
+/// SciMark LU factorization (partial pivoting by midpoint magnitude).
+template <typename T>
+void lufKernel(int N, std::vector<T> &A, bool Prioritize) {
+  using NT = NumTraits<T>;
+  auto At = [&](int I, int J) -> T & { return A[I * N + J]; };
+  for (int J = 0; J < N; ++J) {
+    int P = J;
+    for (int I = J + 1; I < N; ++I)
+      if (NT::less(NT::fabsOf(At(P, J)), NT::fabsOf(At(I, J))))
+        P = I;
+    if (P != J)
+      for (int K = 0; K < N; ++K) {
+        T Tmp = At(P, K);
+        At(P, K) = At(J, K);
+        At(J, K) = Tmp;
+      }
+    if (NT::mid(At(J, J)) != 0.0) {
+      T Recp = NT::constant(1.0) / At(J, J);
+      for (int K = J + 1; K < N; ++K)
+        At(K, J) = At(K, J) * Recp;
+    }
+    for (int II = J + 1; II < N; ++II) {
+      if (Prioritize)
+        NT::prioritize(At(II, J));
+      for (int JJ = J + 1; JJ < N; ++JJ)
+        At(II, JJ) = At(II, JJ) - At(II, J) * At(J, JJ);
+    }
+  }
+}
+
+/// Projected fast gradient method for a box-constrained QP (the FiOrdOs
+/// subroutine shape; DESIGN.md §2).
+template <typename T>
+void fgmKernel(int N, const std::vector<T> &H, const std::vector<T> &F,
+               std::vector<T> &X, const std::vector<T> &Lb,
+               const std::vector<T> &Ub, double Step, double Beta, int Iters,
+               bool Prioritize) {
+  using NT = NumTraits<T>;
+  std::vector<T> Y = X;
+  std::vector<T> XPrev = X;
+  T StepT = NT::constant(Step);
+  T BetaT = NT::constant(Beta);
+  for (int It = 0; It < Iters; ++It) {
+    for (int I = 0; I < N; ++I) {
+      if (Prioritize)
+        NT::prioritize(Y[I]);
+      T Grad = F[I];
+      for (int J = 0; J < N; ++J)
+        Grad = Grad + H[I * N + J] * Y[J];
+      T Xi = Y[I] - StepT * Grad;
+      if (NT::less(Xi, Lb[I]))
+        Xi = Lb[I];
+      if (NT::less(Ub[I], Xi))
+        Xi = Ub[I];
+      X[I] = Xi;
+    }
+    for (int I = 0; I < N; ++I) {
+      if (Prioritize)
+        NT::prioritize(X[I]);
+      Y[I] = X[I] + BetaT * (X[I] - XPrev[I]);
+      XPrev[I] = X[I];
+    }
+  }
+}
+
+} // namespace bench
+} // namespace safegen
+
+#endif // SAFEGEN_BENCH_KERNELS_H

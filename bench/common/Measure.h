@@ -1,0 +1,286 @@
+//===- Measure.h - Workload generation, timing and reporting --------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement protocol of Sec. VII: inputs drawn uniformly from
+/// [0, 1] carrying one fresh symbol of 1 ulp, accuracy reported as the
+/// certified bits (Eq. (9)) of the *worst* output averaged over repeated
+/// runs, runtime as the median over repetitions, slowdown relative to the
+/// original (unsound, round-to-nearest) double kernel.
+///
+/// Timing discipline: the kernel is repeated inside one timed block until
+/// the block is long enough to dwarf the clock granularity; inputs are
+/// restored from a pristine copy before every repetition (cheap relative
+/// to any kernel) and an empty-asm barrier keeps the optimizer from
+/// eliding the unsound baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_BENCH_MEASURE_H
+#define SAFEGEN_BENCH_MEASURE_H
+
+#include "bench/common/Kernels.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <random>
+
+namespace safegen {
+namespace bench {
+
+enum class BenchId { Henon, Sor, Luf, Fgm };
+
+inline const char *benchName(BenchId B) {
+  switch (B) {
+  case BenchId::Henon:
+    return "henon";
+  case BenchId::Sor:
+    return "sor";
+  case BenchId::Luf:
+    return "luf";
+  case BenchId::Fgm:
+    return "fgm";
+  }
+  return "?";
+}
+
+struct WorkloadParams {
+  int HenonIters = 75;
+  int SorN = 10;
+  int SorIters = 25;
+  int LufN = 20;
+  /// Added to the diagonal of luf's random matrix; 0 = plain U(0,1)
+  /// entries (harder numerically, the paper's setting).
+  double LufDominance = 0.0;
+  int FgmN = 8;
+  int FgmIters = 25;
+};
+
+/// Which execution environment a run needs.
+struct EnvSpec {
+  enum class Kind {
+    Nearest, ///< the unsound original: plain FPU default
+    Upward,  ///< interval / yalaa types: upward rounding only
+    Affine,  ///< f64a/dda/f32a: SoundScope with Config
+    Big,     ///< aa::Big: upward + BigEnvScope
+  };
+  Kind K = Kind::Upward;
+  aa::AAConfig Config;
+  aa::BigConfig BigCfg;
+
+  static EnvSpec nearest() { return EnvSpec{Kind::Nearest, {}, {}}; }
+  static EnvSpec upward() { return EnvSpec{Kind::Upward, {}, {}}; }
+  static EnvSpec affine(const aa::AAConfig &C) {
+    return EnvSpec{Kind::Affine, C, {}};
+  }
+  static EnvSpec big(const aa::BigConfig &C) {
+    return EnvSpec{Kind::Big, {}, C};
+  }
+};
+
+/// RAII bundle instantiating whatever scopes the EnvSpec asks for.
+class EnvGuard {
+public:
+  explicit EnvGuard(const EnvSpec &Spec) {
+    switch (Spec.K) {
+    case EnvSpec::Kind::Nearest:
+      Nearest.emplace();
+      break;
+    case EnvSpec::Kind::Upward:
+      Upward.emplace();
+      break;
+    case EnvSpec::Kind::Affine:
+      Upward.emplace();
+      Affine.emplace(Spec.Config);
+      break;
+    case EnvSpec::Kind::Big:
+      Upward.emplace();
+      Big.emplace(Spec.BigCfg);
+      break;
+    }
+  }
+
+private:
+  std::optional<fp::RoundNearestScope> Nearest;
+  std::optional<fp::RoundUpwardScope> Upward;
+  std::optional<aa::AffineEnvScope> Affine;
+  std::optional<aa::BigEnvScope> Big;
+};
+
+/// Compiler barrier: the pointed-to data is considered used and modified.
+template <typename T> inline void doNotOptimize(T &Value) {
+  asm volatile("" : : "g"(&Value) : "memory");
+}
+
+/// One benchmark instance: inputs, a pristine copy for restoration, the
+/// kernel invocation, and the worst-output accuracy.
+template <typename T> class WorkloadInstance {
+public:
+  WorkloadInstance(BenchId Bench, const WorkloadParams &P, bool Prioritize,
+                   std::mt19937_64 &Rng)
+      : Bench(Bench), P(P), Prioritize(Prioritize) {
+    using NT = NumTraits<T>;
+    std::uniform_real_distribution<double> U(0.0, 1.0);
+    switch (Bench) {
+    case BenchId::Henon:
+      // Inputs scaled into the Henon attractor's basin so long unsound
+      // repetitions stay bounded.
+      State.push_back(NT::input(0.4 * U(Rng)));
+      State.push_back(NT::input(0.4 * U(Rng)));
+      break;
+    case BenchId::Sor:
+      for (int I = 0; I < P.SorN * P.SorN; ++I)
+        State.push_back(NT::input(U(Rng)));
+      break;
+    case BenchId::Luf:
+      for (int I = 0; I < P.LufN; ++I)
+        for (int J = 0; J < P.LufN; ++J) {
+          double V = U(Rng);
+          if (I == J)
+            V += P.LufDominance;
+          State.push_back(NT::input(V));
+        }
+      break;
+    case BenchId::Fgm: {
+      int N = P.FgmN;
+      for (int I = 0; I < N; ++I)
+        for (int J = 0; J < N; ++J) {
+          double V = 0.1 * U(Rng);
+          if (I == J)
+            V += 1.0;
+          H.push_back(NT::input(V));
+        }
+      for (int I = 0; I < N; ++I) {
+        F.push_back(NT::input(U(Rng)));
+        State.push_back(NT::input(U(Rng))); // x
+        Lb.push_back(NT::input(-2.0));
+        Ub.push_back(NT::input(2.0));
+      }
+      break;
+    }
+    }
+    Pristine = State;
+  }
+
+  void restore() { State = Pristine; }
+
+  void run() {
+    switch (Bench) {
+    case BenchId::Henon:
+      henonKernel(State[0], State[1], P.HenonIters, Prioritize);
+      break;
+    case BenchId::Sor:
+      sorKernel(P.SorN, 1.25, State, P.SorIters, Prioritize);
+      break;
+    case BenchId::Luf:
+      lufKernel(P.LufN, State, Prioritize);
+      break;
+    case BenchId::Fgm:
+      fgmKernel(P.FgmN, H, F, State, Lb, Ub, 0.5, 0.4, P.FgmIters,
+                Prioritize);
+      break;
+    }
+    doNotOptimize(State);
+  }
+
+  /// Certified bits of the worst output (interior cells only for sor).
+  double worstBits() const {
+    using NT = NumTraits<T>;
+    double Bits = 53.0;
+    if (Bench == BenchId::Sor) {
+      for (int I = 1; I < P.SorN - 1; ++I)
+        for (int J = 1; J < P.SorN - 1; ++J)
+          Bits = std::min(Bits, NT::bits(State[I * P.SorN + J]));
+      return Bits;
+    }
+    for (const T &V : State)
+      Bits = std::min(Bits, NT::bits(V));
+    return Bits;
+  }
+
+private:
+  BenchId Bench;
+  WorkloadParams P;
+  bool Prioritize;
+  std::vector<T> State;    ///< the mutated values (x/y, grid, matrix, x)
+  std::vector<T> Pristine; ///< copy for restoration between timed reps
+  std::vector<T> H, F, Lb, Ub; ///< fgm read-only inputs
+};
+
+struct Stats {
+  double MeanBits = 0.0;
+  double MedianSeconds = 0.0;
+};
+
+/// Full measurement: AccRuns independent runs (fresh environment each)
+/// for the mean worst-output bits; then TimeRuns timed blocks, each long
+/// enough (>= MinBlockSeconds) to be clock-granularity safe, with the
+/// median block average reported.
+template <typename T>
+Stats measure(BenchId Bench, const WorkloadParams &P, const EnvSpec &Env,
+              bool Prioritize, int AccRuns, int TimeRuns, uint64_t Seed,
+              double MinBlockSeconds = 2e-4) {
+  using Clock = std::chrono::steady_clock;
+  std::mt19937_64 Rng(Seed);
+  Stats S;
+  for (int Run = 0; Run < AccRuns; ++Run) {
+    EnvGuard Guard(Env);
+    WorkloadInstance<T> W(Bench, P, Prioritize, Rng);
+    W.run();
+    S.MeanBits += W.worstBits();
+  }
+  S.MeanBits /= AccRuns;
+
+  // Timing: one instance, restored before each repetition.
+  EnvGuard Guard(Env);
+  WorkloadInstance<T> W(Bench, P, Prioritize, Rng);
+  // Estimate one repetition to size the block.
+  auto E0 = Clock::now();
+  W.restore();
+  W.run();
+  auto E1 = Clock::now();
+  double Est = std::chrono::duration<double>(E1 - E0).count();
+  int InnerReps = 1;
+  if (Est < MinBlockSeconds)
+    InnerReps = static_cast<int>(
+        std::min(100000.0, MinBlockSeconds / std::max(Est, 1e-9)) + 1);
+
+  std::vector<double> Blocks;
+  for (int Block = 0; Block < TimeRuns; ++Block) {
+    auto T0 = Clock::now();
+    for (int Rep = 0; Rep < InnerReps; ++Rep) {
+      W.restore();
+      W.run();
+    }
+    auto T1 = Clock::now();
+    Blocks.push_back(std::chrono::duration<double>(T1 - T0).count() /
+                     InnerReps);
+  }
+  std::sort(Blocks.begin(), Blocks.end());
+  S.MedianSeconds = Blocks[Blocks.size() / 2];
+  return S;
+}
+
+/// CSV row printer shared by the bench binaries.
+inline void printHeader(const char *Extra = nullptr) {
+  std::printf("benchmark,series,k,bits,slowdown,seconds%s\n",
+              Extra ? Extra : "");
+}
+inline void printRow(BenchId Bench, const std::string &Series, int K,
+                     const Stats &S, double BaselineSeconds) {
+  std::printf("%s,%s,%d,%.2f,%.1f,%.3e\n", benchName(Bench), Series.c_str(),
+              K, S.MeanBits,
+              BaselineSeconds > 0 ? S.MedianSeconds / BaselineSeconds : 0.0,
+              S.MedianSeconds);
+}
+
+} // namespace bench
+} // namespace safegen
+
+#endif // SAFEGEN_BENCH_MEASURE_H

@@ -1,0 +1,346 @@
+//===- NumTraits.h - Uniform numeric-type interface for the benches -------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark kernels (henon/sor/luf/fgm) are templates over the
+/// numeric type so the very same operation sequence runs as:
+///   * plain double            — the original, unsound program,
+///   * ia::Interval/IntervalDD — what IGen generates (Fig. 9 baselines),
+///   * aa::F64a / aa::DDa      — what SafeGen generates (all Fig. 8
+///                               configurations via the ambient AffineEnv),
+///   * aa::Big                 — full AA (yalaa-aff0 semantics), frozen
+///                               (aff1) and capped (ceres-like) modes,
+///   * YalaaAff0               — a deliberately library-generic, map-based
+///                               full-AA implementation (DESIGN.md §2).
+///
+/// This trait provides the uniform construction/query/branch interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_BENCH_NUMTRAITS_H
+#define SAFEGEN_BENCH_NUMTRAITS_H
+
+#include "aa/AffineBig.h"
+#include "aa/Runtime.h"
+#include "fp/FloatOrdinal.h"
+#include "ia/Interval.h"
+#include "ia/IntervalDD.h"
+
+#include <map>
+
+namespace safegen {
+namespace bench {
+
+//===----------------------------------------------------------------------===//
+// YalaaAff0: emulation of a general-purpose full-AA library
+//===----------------------------------------------------------------------===//
+
+/// Full affine arithmetic with node-based (std::map) term storage and a
+/// fresh symbol per operation — the allocation- and traversal-heavy shape
+/// of a generic AA library such as Yalaa's aff0 type.
+class YalaaAff0 {
+public:
+  double Center = 0.0;
+  std::map<uint32_t, double> Terms;
+
+  YalaaAff0() = default;
+  explicit YalaaAff0(double C) : Center(C) {}
+
+  static uint32_t &counter() {
+    thread_local uint32_t C = 0;
+    return C;
+  }
+  static void resetSymbols() { counter() = 0; }
+
+  static YalaaAff0 input(double X) {
+    YalaaAff0 V(X);
+    V.Terms[++counter()] = fp::ulp(X);
+    return V;
+  }
+  static YalaaAff0 constant(double X) {
+    double R = std::nearbyint(X);
+    if (R == X && std::fabs(X) < 0x1p53)
+      return YalaaAff0(X);
+    return input(X);
+  }
+  static YalaaAff0 exact(double X) { return YalaaAff0(X); }
+
+  double radius() const {
+    SAFEGEN_ASSERT_ROUND_UP();
+    double Rad = 0.0;
+    for (const auto &[Id, Coef] : Terms)
+      Rad += std::fabs(Coef);
+    return Rad;
+  }
+  ia::Interval toInterval() const {
+    double Rad = radius();
+    return ia::Interval(fp::subRD(Center, Rad), fp::addRU(Center, Rad));
+  }
+  double certifiedBits() const {
+    ia::Interval I = toInterval();
+    return fp::accBits(I.Lo, I.Hi, 53);
+  }
+  double mid() const { return Center; }
+
+  friend YalaaAff0 operator+(const YalaaAff0 &A, const YalaaAff0 &B) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    YalaaAff0 R;
+    double Err = 0.0;
+    R.Center = fp::addRU(A.Center, B.Center);
+    Err = fp::addRU(Err,
+                    fp::subRU(R.Center, fp::addRD(A.Center, B.Center)));
+    R.Terms = A.Terms;
+    for (const auto &[Id, Coef] : B.Terms) {
+      auto [It, Inserted] = R.Terms.emplace(Id, Coef);
+      if (!Inserted) {
+        double C = fp::addRU(It->second, Coef);
+        Err = fp::addRU(Err, fp::subRU(C, fp::addRD(It->second, Coef)));
+        It->second = C;
+      }
+    }
+    if (Err > 0.0 || std::isnan(Err))
+      R.Terms[++counter()] = Err;
+    return R;
+  }
+  friend YalaaAff0 operator-(const YalaaAff0 &A) {
+    YalaaAff0 R = A;
+    R.Center = -R.Center;
+    for (auto &[Id, Coef] : R.Terms)
+      Coef = -Coef;
+    return R;
+  }
+  friend YalaaAff0 operator-(const YalaaAff0 &A, const YalaaAff0 &B) {
+    return A + (-B);
+  }
+  friend YalaaAff0 operator*(const YalaaAff0 &A, const YalaaAff0 &B) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    YalaaAff0 R;
+    double Err = 0.0;
+    R.Center = fp::mulRU(A.Center, B.Center);
+    Err = fp::addRU(Err,
+                    fp::subRU(R.Center, fp::mulRD(A.Center, B.Center)));
+    Err = fp::addRU(Err, fp::mulRU(A.radius(), B.radius()));
+    for (const auto &[Id, Coef] : A.Terms) {
+      double Cu = fp::mulRU(B.Center, Coef);
+      Err = fp::addRU(Err, fp::subRU(Cu, fp::mulRD(B.Center, Coef)));
+      R.Terms[Id] = Cu;
+    }
+    for (const auto &[Id, Coef] : B.Terms) {
+      double Cu = fp::mulRU(A.Center, Coef);
+      double Cd = fp::mulRD(A.Center, Coef);
+      auto [It, Inserted] = R.Terms.emplace(Id, Cu);
+      if (!Inserted) {
+        double C = fp::addRU(It->second, Cu);
+        Err = fp::addRU(Err, fp::subRU(C, fp::addRD(It->second, Cd)));
+        It->second = C;
+      } else {
+        Err = fp::addRU(Err, fp::subRU(Cu, Cd));
+      }
+    }
+    if (Err > 0.0 || std::isnan(Err))
+      R.Terms[++counter()] = Err;
+    return R;
+  }
+  friend YalaaAff0 operator/(const YalaaAff0 &A, const YalaaAff0 &B) {
+    // Min-range reciprocal, as in the affine library.
+    SAFEGEN_ASSERT_ROUND_UP();
+    ia::Interval RB = B.toInterval();
+    if (RB.isNaN() || RB.containsZero())
+      return YalaaAff0(std::numeric_limits<double>::quiet_NaN());
+    double M = std::fabs(RB.Lo) > std::fabs(RB.Hi) ? RB.Lo : RB.Hi;
+    double Alpha =
+        -fp::mulRD(fp::divRD(1.0, std::fabs(M)), fp::divRD(1.0, std::fabs(M)));
+    ia::Interval IA(Alpha);
+    ia::Interval Dl =
+        ia::div(ia::Interval(1.0), ia::Interval(RB.Lo)) - IA * ia::Interval(RB.Lo);
+    ia::Interval Du =
+        ia::div(ia::Interval(1.0), ia::Interval(RB.Hi)) - IA * ia::Interval(RB.Hi);
+    ia::Interval H = ia::hull(Dl, Du);
+    double Zeta = H.mid();
+    double Delta = std::fmax(fp::subRU(H.Hi, Zeta), fp::subRU(Zeta, H.Lo));
+    YalaaAff0 Inv;
+    double Err = Delta;
+    Inv.Center = fp::addRU(fp::mulRU(B.Center, Alpha), Zeta);
+    Err = fp::addRU(Err, fp::subRU(Inv.Center,
+                                   fp::addRD(fp::mulRD(B.Center, Alpha),
+                                             Zeta)));
+    for (const auto &[Id, Coef] : B.Terms) {
+      double Cu = fp::mulRU(Coef, Alpha);
+      Err = fp::addRU(Err, fp::subRU(Cu, fp::mulRD(Coef, Alpha)));
+      Inv.Terms[Id] = Cu;
+    }
+    if (Err > 0.0 || std::isnan(Err))
+      Inv.Terms[++counter()] = Err;
+    return A * Inv;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// NumTraits
+//===----------------------------------------------------------------------===//
+
+template <typename T> struct NumTraits;
+
+template <> struct NumTraits<double> {
+  static constexpr const char *Name = "double";
+  static double input(double X) { return X; }
+  static double constant(double X) { return X; }
+  static double exact(double X) { return X; }
+  static double bits(double) { return 53.0; }
+  static double width(double) { return 0.0; }
+  static double mid(double X) { return X; }
+  static bool less(double A, double B) { return A < B; }
+  static double fabsOf(double X) { return std::fabs(X); }
+  static void prioritize(const double &) {}
+};
+
+template <> struct NumTraits<ia::Interval> {
+  static constexpr const char *Name = "IGen-f64";
+  static ia::Interval input(double X) {
+    return ia::Interval(X - fp::ulp(X), X + fp::ulp(X));
+  }
+  static ia::Interval constant(double X) {
+    double R = std::nearbyint(X);
+    if (R == X && std::fabs(X) < 0x1p53)
+      return ia::Interval(X);
+    return ia::Interval::fromConstant(X);
+  }
+  static ia::Interval exact(double X) { return ia::Interval(X); }
+  static double bits(const ia::Interval &I) {
+    return fp::accBits(I.Lo, I.Hi, 53);
+  }
+  static double width(const ia::Interval &I) { return I.width(); }
+  static double mid(const ia::Interval &I) { return I.mid(); }
+  static bool less(const ia::Interval &A, const ia::Interval &B) {
+    return A.mid() < B.mid();
+  }
+  static ia::Interval fabsOf(const ia::Interval &I) { return ia::abs(I); }
+  static void prioritize(const ia::Interval &) {}
+};
+
+template <> struct NumTraits<ia::IntervalDD> {
+  static constexpr const char *Name = "IGen-dd";
+  static ia::IntervalDD input(double X) {
+    double U = fp::ulp(X);
+    return ia::IntervalDD(fp::DD(X, -U), fp::DD(X, U));
+  }
+  static ia::IntervalDD constant(double X) {
+    double R = std::nearbyint(X);
+    if (R == X && std::fabs(X) < 0x1p53)
+      return ia::IntervalDD(X);
+    return input(X);
+  }
+  static ia::IntervalDD exact(double X) { return ia::IntervalDD(X); }
+  static double bits(const ia::IntervalDD &I) {
+    // Certified bits in double-precision terms, allowing > 53 thanks to
+    // the dd endpoints (collapse loses that, so measure the dd width).
+    ia::Interval C = I.toInterval();
+    return fp::accBits(C.Lo, C.Hi, 53);
+  }
+  static double width(const ia::IntervalDD &I) {
+    ia::Interval C = I.toInterval();
+    return C.width();
+  }
+  static double mid(const ia::IntervalDD &I) {
+    return 0.5 * (I.Lo.toDouble() + I.Hi.toDouble());
+  }
+  static bool less(const ia::IntervalDD &A, const ia::IntervalDD &B) {
+    return mid(A) < mid(B);
+  }
+  static ia::IntervalDD fabsOf(const ia::IntervalDD &I) { return ia::abs(I); }
+  static void prioritize(const ia::IntervalDD &) {}
+};
+
+template <> struct NumTraits<aa::F64a> {
+  static constexpr const char *Name = "f64a";
+  static aa::F64a input(double X) { return aa::F64a::input(X); }
+  static aa::F64a constant(double X) { return aa::F64a(X); }
+  static aa::F64a exact(double X) { return aa::F64a::exact(X); }
+  static double bits(const aa::F64a &A) { return A.certifiedBits(53); }
+  static double width(const aa::F64a &A) { return A.toInterval().width(); }
+  static double mid(const aa::F64a &A) { return A.mid(); }
+  static bool less(const aa::F64a &A, const aa::F64a &B) {
+    return A.mid() < B.mid();
+  }
+  static aa::F64a fabsOf(const aa::F64a &A) { return aa_fabs_f64(A); }
+  static void prioritize(const aa::F64a &A) {
+    if (aa::env().Config.Prioritize)
+      A.prioritize();
+  }
+};
+
+template <> struct NumTraits<aa::DDa> {
+  static constexpr const char *Name = "dda";
+  static aa::DDa input(double X) { return aa::DDa::input(X); }
+  static aa::DDa constant(double X) { return aa::DDa(X); }
+  static aa::DDa exact(double X) { return aa::DDa::exact(X); }
+  static double bits(const aa::DDa &A) { return A.certifiedBits(53); }
+  static double width(const aa::DDa &A) { return A.toInterval().width(); }
+  static double mid(const aa::DDa &A) { return A.mid(); }
+  static bool less(const aa::DDa &A, const aa::DDa &B) {
+    return A.mid() < B.mid();
+  }
+  static aa::DDa fabsOf(const aa::DDa &A) { return aa_fabs_dd(A); }
+  static void prioritize(const aa::DDa &A) {
+    if (aa::env().Config.Prioritize)
+      A.prioritize();
+  }
+};
+
+template <> struct NumTraits<aa::Big> {
+  static constexpr const char *Name = "big";
+  static aa::Big input(double X) { return aa::Big::input(X); }
+  static aa::Big constant(double X) { return aa::Big(X); }
+  static aa::Big exact(double X) { return aa::Big::exact(X); }
+  static double bits(const aa::Big &A) { return A.certifiedBits(53); }
+  static double width(const aa::Big &A) { return A.toInterval().width(); }
+  static double mid(const aa::Big &A) { return A.mid(); }
+  static bool less(const aa::Big &A, const aa::Big &B) {
+    return A.mid() < B.mid();
+  }
+  static aa::Big fabsOf(const aa::Big &A) {
+    ia::Interval R = A.toInterval();
+    if (R.Lo >= 0.0)
+      return A;
+    if (R.Hi <= 0.0)
+      return -A;
+    aa::Big Z = aa::Big::exact(0.0);
+    // Hull via input with deviation (loses correlation; sound).
+    double Hi = std::fmax(-R.Lo, R.Hi);
+    return aa::Big::input(0.5 * Hi, 0.5 * Hi + fp::ulp(Hi));
+  }
+  static void prioritize(const aa::Big &) {}
+};
+
+template <> struct NumTraits<YalaaAff0> {
+  static constexpr const char *Name = "yalaa-aff0";
+  static YalaaAff0 input(double X) { return YalaaAff0::input(X); }
+  static YalaaAff0 constant(double X) { return YalaaAff0::constant(X); }
+  static YalaaAff0 exact(double X) { return YalaaAff0::exact(X); }
+  static double bits(const YalaaAff0 &A) { return A.certifiedBits(); }
+  static double width(const YalaaAff0 &A) { return A.toInterval().width(); }
+  static double mid(const YalaaAff0 &A) { return A.mid(); }
+  static bool less(const YalaaAff0 &A, const YalaaAff0 &B) {
+    return A.mid() < B.mid();
+  }
+  static YalaaAff0 fabsOf(const YalaaAff0 &A) {
+    ia::Interval R = A.toInterval();
+    if (R.Lo >= 0.0)
+      return A;
+    if (R.Hi <= 0.0)
+      return -A;
+    double Hi = std::fmax(-R.Lo, R.Hi);
+    YalaaAff0 V(0.5 * Hi);
+    V.Terms[++YalaaAff0::counter()] = 0.5 * Hi + fp::ulp(Hi);
+    return V;
+  }
+  static void prioritize(const YalaaAff0 &) {}
+};
+
+} // namespace bench
+} // namespace safegen
+
+#endif // SAFEGEN_BENCH_NUMTRAITS_H

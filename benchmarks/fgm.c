@@ -1,0 +1,33 @@
+/* Fast gradient method (paper Table II): a projected Nesterov-accelerated
+ * gradient loop for the box-constrained QP  min 0.5 x'Hx + f'x,
+ * lb <= x <= ub — the subroutine structure FiOrdOs autogenerates for
+ * Model Predictive Control (DESIGN.md §2 documents the substitution). */
+
+void fgm(int n, double H[8][8], double f[8], double x[8], double lb[8],
+         double ub[8], double step, double beta, int iters) {
+  double y[8];
+  double xprev[8];
+  for (int i = 0; i < n; i = i + 1) {
+    y[i] = x[i];
+    xprev[i] = x[i];
+  }
+  for (int t = 0; t < iters; t = t + 1) {
+    /* Gradient step: x = y - step * (H y + f), projected onto the box. */
+    for (int i = 0; i < n; i = i + 1) {
+      double g = f[i];
+      for (int j = 0; j < n; j = j + 1)
+        g = g + H[i][j] * y[j];
+      double xi = y[i] - step * g;
+      if (xi < lb[i])
+        xi = lb[i];
+      if (xi > ub[i])
+        xi = ub[i];
+      x[i] = xi;
+    }
+    /* Momentum: y = x + beta * (x - xprev). */
+    for (int i = 0; i < n; i = i + 1) {
+      y[i] = x[i] + beta * (x[i] - xprev[i]);
+      xprev[i] = x[i];
+    }
+  }
+}

@@ -1,0 +1,11 @@
+/* Henon map (paper Table II): x_{i+1} = 1 - a*x_i^2 + y_i, y_{i+1} = b*x_i
+ * with a = 1.05, b = 0.3 as in the evaluation (Sec. VII). */
+
+void henon(double *x, double *y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    double xn = 1.0 - 1.05 * (x[0] * x[0]) + y[0];
+    double yn = 0.3 * x[0];
+    x[0] = xn;
+    y[0] = yn;
+  }
+}

@@ -1,0 +1,37 @@
+/* LU factorization (paper Table II), transcribed from the public-domain
+ * SciMark 2.0 kernel, in-place without pivot row swaps beyond the
+ * multiplier updates (partial pivoting selects the pivot row by midpoint
+ * magnitude in the sound build; any choice is sound). */
+
+void luf(int n, double a[32][32], int pivot[32]) {
+  for (int j = 0; j < n; j = j + 1) {
+    /* Find the pivot in column j. */
+    int p = j;
+    for (int i = j + 1; i < n; i = i + 1) {
+      if (fabs(a[i][j]) > fabs(a[p][j]))
+        p = i;
+    }
+    pivot[j] = p;
+
+    /* Swap rows j and p. */
+    if (p != j) {
+      for (int k = 0; k < n; k = k + 1) {
+        double t = a[p][k];
+        a[p][k] = a[j][k];
+        a[j][k] = t;
+      }
+    }
+
+    /* Compute multipliers and eliminate. */
+    if (a[j][j] != 0.0) {
+      double recp = 1.0 / a[j][j];
+      for (int k = j + 1; k < n; k = k + 1)
+        a[k][j] = a[k][j] * recp;
+    }
+    for (int ii = j + 1; ii < n; ii = ii + 1) {
+      for (int jj = j + 1; jj < n; jj = jj + 1) {
+        a[ii][jj] = a[ii][jj] - a[ii][j] * a[j][jj];
+      }
+    }
+  }
+}

@@ -1,0 +1,18 @@
+/* Jacobi successive over-relaxation (paper Table II), transcribed from
+ * the public-domain SciMark 2.0 kernel. One relaxation sweep over an
+ * n x n grid; the driver iterates sweeps. */
+
+void sor(int n, double omega, double g[32][32], int num_iterations) {
+  double omega_over_four = omega * 0.25;
+  double one_minus_omega = 1.0 - omega;
+
+  for (int p = 0; p < num_iterations; p = p + 1) {
+    for (int i = 1; i < n - 1; i = i + 1) {
+      for (int j = 1; j < n - 1; j = j + 1) {
+        g[i][j] = omega_over_four *
+                      (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]) +
+                  one_minus_omega * g[i][j];
+      }
+    }
+  }
+}

@@ -1,0 +1,79 @@
+//===- dsp_filter.cpp - Certified precision of a DSP kernel ---------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DSP use case the paper cites ([47], [48]: choosing implementation
+/// precision for coders/filters from a static error analysis). A
+/// Goertzel-style resonator extracts one DFT bin of a signal; running it
+/// in sound affine arithmetic yields a *certified* bound on the computed
+/// magnitude, so an implementer can read off how many output bits the
+/// double-precision pipeline really delivers — per block size.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Runtime.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace safegen;
+
+namespace {
+
+/// One sound Goertzel pass over N samples for DFT bin Bin; returns the
+/// squared magnitude.
+f64a goertzel(const std::vector<f64a> &Samples, int Bin) {
+  const int N = static_cast<int>(Samples.size());
+  const double W = 2.0 * 3.141592653589793 * Bin / N;
+  f64a Coeff = aa_mul_f64(aa_exact_f64(2.0),
+                          aa_cos_f64(aa_const_f64(W)));
+  f64a S0 = aa_exact_f64(0.0);
+  f64a S1 = aa_exact_f64(0.0);
+  f64a S2 = aa_exact_f64(0.0);
+  for (int I = 0; I < N; ++I) {
+    aa_prioritize(Coeff); // reused in every step: protect its symbols
+    S0 = aa_add_f64(Samples[I],
+                    aa_sub_f64(aa_mul_f64(Coeff, S1), S2));
+    S2 = S1;
+    S1 = S0;
+  }
+  // |X|^2 = s1^2 + s2^2 - coeff*s1*s2.
+  f64a Mag = aa_sub_f64(
+      aa_add_f64(aa_mul_f64(S1, S1), aa_mul_f64(S2, S2)),
+      aa_mul_f64(Coeff, aa_mul_f64(S1, S2)));
+  return Mag;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Goertzel DFT-bin extraction, sound (f64a-dspn):\n\n");
+  std::printf("%8s %12s %14s %s\n", "N", "bin", "certified bits",
+              "magnitude enclosure");
+  for (int N : {32, 64, 128, 256, 512}) {
+    sg::SoundScope Scope("f64a-dspn", 24);
+    // A two-tone test signal with 1-ulp input uncertainty per sample.
+    std::vector<f64a> X;
+    const int Bin = N / 8;
+    for (int I = 0; I < N; ++I) {
+      double V;
+      {
+        fp::RoundNearestScope RN; // nominal signal, as the unsound
+                                  // pipeline would generate it
+        V = 0.75 * std::cos(2.0 * 3.141592653589793 * Bin * I / N) +
+            0.25 * std::sin(2.0 * 3.141592653589793 * 3 * I / N);
+      }
+      X.push_back(aa_input_f64(V));
+    }
+    f64a Mag = goertzel(X, Bin);
+    std::printf("%8d %12d %14.1f [%.12g, %.12g]\n", N, Bin,
+                aa_bits_f64(Mag), aa_lo_f64(Mag), aa_hi_f64(Mag));
+  }
+  std::printf("\nReading: with growing block size the recurrence deepens "
+              "and certified bits drop —\nexactly the trade-off a "
+              "fixed-point/float designer needs to see ([47], [48]).\n");
+  return 0;
+}

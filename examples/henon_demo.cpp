@@ -1,0 +1,104 @@
+//===- henon_demo.cpp - Chaos vs sound arithmetic -------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Henon map (paper Table II) iterated soundly: interval arithmetic
+/// loses certified bits roughly twice as fast as affine arithmetic
+/// because IA cannot cancel the correlated terms of successive iterates
+/// (the dependency problem, Sec. II). Prints certified bits per iteration
+/// for IGen-style IA, IA with double-double endpoints, and SafeGen's AA
+/// at two symbol budgets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Runtime.h"
+#include "fp/FloatOrdinal.h"
+#include "ia/IntervalDD.h"
+
+#include <cstdio>
+
+using namespace safegen;
+
+namespace {
+
+constexpr double A = 1.05, B = 0.3;
+constexpr double X0 = 0.3, Y0 = 0.2;
+
+template <typename StepFn>
+void printColumn(StepFn Step, int MaxIter, double *Out) {
+  for (int I = 1; I <= MaxIter; ++I)
+    Out[I - 1] = Step();
+}
+
+} // namespace
+
+int main() {
+  constexpr int MaxIter = 100;
+  constexpr int Stride = 10;
+  double BitsIA[MaxIter], BitsIADD[MaxIter], BitsAA8[MaxIter],
+      BitsAA32[MaxIter];
+
+  // Interval arithmetic (what IGen generates).
+  {
+    fp::RoundUpwardScope Rounding;
+    ia::Interval X(X0 - fp::ulp(X0), X0 + fp::ulp(X0));
+    ia::Interval Y(Y0 - fp::ulp(Y0), Y0 + fp::ulp(Y0));
+    printColumn(
+        [&] {
+          ia::Interval Xn = ia::Interval(1.0) -
+                            ia::Interval::fromConstant(A) * (X * X) + Y;
+          Y = ia::Interval::fromConstant(B) * X;
+          X = Xn;
+          return fp::accBits(X.Lo, X.Hi, 53);
+        },
+        MaxIter, BitsIA);
+  }
+  // IA with double-double endpoints (IGen-dd).
+  {
+    fp::RoundUpwardScope Rounding;
+    ia::IntervalDD X(fp::DD(X0, -fp::ulp(X0)), fp::DD(X0, fp::ulp(X0)));
+    ia::IntervalDD Y(fp::DD(Y0, -fp::ulp(Y0)), fp::DD(Y0, fp::ulp(Y0)));
+    ia::IntervalDD CA(A), CB(B), One(1.0);
+    printColumn(
+        [&] {
+          ia::IntervalDD Xn = One - CA * (X * X) + Y;
+          Y = CB * X;
+          X = Xn;
+          ia::Interval C = X.toInterval();
+          return fp::accBits(C.Lo, C.Hi, 53);
+        },
+        MaxIter, BitsIADD);
+  }
+  // SafeGen affine arithmetic, k = 8 and k = 32.
+  for (auto [K, Out] : {std::pair{8, BitsAA8}, std::pair{32, BitsAA32}}) {
+    sg::SoundScope Scope("f64a-dsnn", K);
+    f64a X = aa_input_f64(X0);
+    f64a Y = aa_input_f64(Y0);
+    printColumn(
+        [&] {
+          f64a Xn = aa_add_f64(
+              aa_sub_f64(aa_exact_f64(1.0),
+                         aa_mul_f64(aa_const_f64(A), aa_mul_f64(X, X))),
+              Y);
+          Y = aa_mul_f64(aa_const_f64(B), X);
+          X = Xn;
+          return aa_bits_f64(X);
+        },
+        MaxIter, Out);
+  }
+
+  std::printf("Henon map x' = 1 - %.2f x^2 + y, y' = %.2f x; inputs with "
+              "1-ulp uncertainty\n\n",
+              A, B);
+  std::printf("%6s %10s %10s %12s %12s\n", "iter", "IGen-f64", "IGen-dd",
+              "f64a (k=8)", "f64a (k=32)");
+  for (int I = Stride; I <= MaxIter; I += Stride)
+    std::printf("%6d %10.1f %10.1f %12.1f %12.1f\n", I, BitsIA[I - 1],
+                BitsIADD[I - 1], BitsAA8[I - 1], BitsAA32[I - 1]);
+  std::printf("\n(certified bits of x_i; 0 = the enclosure carries no "
+              "information)\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Build and run the SafeGen reproduction benchmarks (artifact workflow).
+
+Mirrors the paper's artifact: builds the project, runs one benchmark
+binary per table/figure, saves CSV results under results/, and (when
+matplotlib is available) renders the Fig. 8-style Pareto plots to
+results/plots/.
+
+Usage:
+    python3 scripts/run_benchmarks.py [--build-dir build] [--skip-build]
+"""
+
+import argparse
+import csv
+import io
+import os
+import subprocess
+import sys
+
+BENCHES = [
+    ("fig8", "bench_fig8"),
+    ("table3", "bench_table3"),
+    ("fig9", "bench_fig9"),
+    ("fig10", "bench_fig10"),
+    ("ablation", "bench_ablation"),
+]
+
+
+def run(cmd, **kw):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, check=True, **kw)
+
+
+def build(build_dir):
+    run(["cmake", "-B", build_dir, "-G", "Ninja"])
+    run(["cmake", "--build", build_dir])
+
+
+def run_benches(build_dir, results_dir):
+    os.makedirs(results_dir, exist_ok=True)
+    outputs = {}
+    for name, binary in BENCHES:
+        path = os.path.join(build_dir, "bench", binary)
+        if not os.path.exists(path):
+            print(f"warning: {path} missing, skipping", file=sys.stderr)
+            continue
+        out = subprocess.run([path], check=True, capture_output=True,
+                             text=True).stdout
+        csv_path = os.path.join(results_dir, f"{name}.csv")
+        with open(csv_path, "w") as f:
+            f.write(out)
+        print(f"  -> {csv_path}")
+        outputs[name] = out
+    return outputs
+
+
+def parse_series(text):
+    """Parses the benchmark,series,k,bits,slowdown,seconds rows."""
+    rows = []
+    reader = csv.reader(io.StringIO(text))
+    for row in reader:
+        if len(row) < 6 or row[0].startswith("#") or row[0] == "benchmark":
+            continue
+        try:
+            rows.append((row[0], row[1], int(row[2]), float(row[3]),
+                         float(row[4])))
+        except ValueError:
+            continue
+    return rows
+
+
+def plot_fig8(text, plot_dir):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; skipping plots", file=sys.stderr)
+        return
+    os.makedirs(plot_dir, exist_ok=True)
+    rows = parse_series(text)
+    benches = sorted({r[0] for r in rows})
+    for bench in benches:
+        fig, ax = plt.subplots(figsize=(5, 4))
+        series = sorted({r[1] for r in rows if r[0] == bench})
+        for s in series:
+            pts = [(r[4], r[3]) for r in rows if r[0] == bench and r[1] == s]
+            pts.sort()
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], "o-",
+                    label=s, markersize=3, linewidth=0.8)
+        ax.set_xscale("log")
+        ax.set_xlabel("slowdown vs unsound double")
+        ax.set_ylabel("certified bits")
+        ax.set_title(f"{bench}: accuracy vs runtime (Fig. 8)")
+        ax.legend(fontsize=6)
+        out = os.path.join(plot_dir, f"fig8_{bench}.pdf")
+        fig.tight_layout()
+        fig.savefig(out)
+        plt.close(fig)
+        print(f"  -> {out}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--results-dir", default="results")
+    ap.add_argument("--skip-build", action="store_true")
+    args = ap.parse_args()
+
+    if not args.skip_build:
+        build(args.build_dir)
+    outputs = run_benches(args.build_dir, args.results_dir)
+    if "fig8" in outputs:
+        plot_fig8(outputs["fig8"], os.path.join(args.results_dir, "plots"))
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+//===- Affine.cpp - Thread-local affine environment -----------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+
+#include <cassert>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+thread_local AffineEnv *ActiveEnv = nullptr;
+} // namespace
+
+AffineEnv &aa::env() {
+  assert(ActiveEnv && "no AffineEnvScope active on this thread");
+  return *ActiveEnv;
+}
+
+bool aa::hasEnv() { return ActiveEnv != nullptr; }
+
+AffineEnvScope::AffineEnvScope(const AAConfig &Config) : Saved(ActiveEnv) {
+  Env.Config = Config;
+  ActiveEnv = &Env;
+}
+
+AffineEnvScope::~AffineEnvScope() { ActiveEnv = Saved; }

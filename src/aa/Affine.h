@@ -1,0 +1,218 @@
+//===- Affine.h - Public affine types (f64a, dda, f32a) ---------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing affine types. SafeGen-generated code (and hand-written
+/// sound kernels) manipulate values of type `F64a`, `DDa` or `F32a`;
+/// operators dispatch into the kernels of AffineOps.h/Elementary.h using
+/// the active AffineEnv — a thread-local (configuration, context) pair
+/// installed with an AffineEnvScope, mirroring how generated code sets up
+/// one configuration per sound function.
+///
+/// Typical use:
+/// \code
+///   aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+///   Cfg.K = 16;
+///   fp::RoundUpwardScope Rounding;
+///   aa::AffineEnvScope Env(Cfg);
+///   aa::F64a X = aa::F64a::input(0.5);        // 1-ulp deviation
+///   aa::F64a Y = X * X - X;
+///   ia::Interval Range = Y.toInterval();      // sound enclosure
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_AFFINE_H
+#define SAFEGEN_AA_AFFINE_H
+
+#include "aa/AffineOps.h"
+#include "aa/Elementary.h"
+#include "fp/FloatOrdinal.h"
+
+namespace safegen {
+namespace aa {
+
+/// The (configuration, context) pair every affine operator reads.
+struct AffineEnv {
+  AAConfig Config;
+  AffineContext Context;
+};
+
+/// The active environment of this thread. Asserts if none is installed.
+AffineEnv &env();
+/// True if an environment is active on this thread.
+bool hasEnv();
+
+/// Installs \p Config (with a fresh context) as the active environment for
+/// the lifetime of the scope. Nesting restores the previous environment.
+class AffineEnvScope {
+public:
+  explicit AffineEnvScope(const AAConfig &Config);
+  ~AffineEnvScope();
+
+  AffineEnvScope(const AffineEnvScope &) = delete;
+  AffineEnvScope &operator=(const AffineEnvScope &) = delete;
+
+  AffineEnv &get() { return Env; }
+
+private:
+  AffineEnv Env;
+  AffineEnv *Saved;
+};
+
+/// Temporarily changes the symbol budget k of the active environment —
+/// the *per-variable capacity* extension the paper lists as future work
+/// (Sec. VIII): give hot low-reuse code a small k and accuracy-critical
+/// accumulations a large one. Values created under a different k are
+/// rehomed soundly when they meet (ops::rehome).
+///
+/// \code
+///   aa::AffineEnvScope Env(Cfg);           // k = 8 baseline
+///   F64a Acc = F64a::exact(0.0);
+///   {
+///     aa::KOverrideScope Wide(32);         // the reduction runs at k=32
+///     for (...) Acc = Acc + X[i] * Y[i];
+///   }                                      // back to k = 8
+/// \endcode
+class KOverrideScope {
+public:
+  explicit KOverrideScope(int K) : Saved(env().Config.K) {
+    env().Config.K = K;
+  }
+  ~KOverrideScope() { env().Config.K = Saved; }
+  KOverrideScope(const KOverrideScope &) = delete;
+  KOverrideScope &operator=(const KOverrideScope &) = delete;
+
+private:
+  int Saved;
+};
+
+/// CRTP-free thin wrapper over AffineVar<CT> adding operators bound to the
+/// active environment.
+template <typename CT> class Affine {
+public:
+  using Storage = AffineVar<CT>;
+
+  Affine() { ops::initExact(V, 0.0, env().Config); }
+  /// Implicit conversion from a literal: a *source constant*, widened by
+  /// 1 ulp per Sec. IV-B unless exactly an integer that the central type
+  /// represents exactly (2^24 for f32a, 2^53 otherwise).
+  Affine(double Constant) {
+    double R = std::nearbyint(Constant);
+    constexpr double ExactLimit =
+        CT::MantissaBits >= 53 ? 0x1p53 : 0x1p24;
+    if (R == Constant && std::fabs(Constant) < ExactLimit)
+      V = ops::makeExact<CT>(Constant, env().Config);
+    else
+      V = ops::makeConstant<CT>(Constant, env().Config, env().Context);
+  }
+  explicit Affine(const Storage &S) : V(S) {}
+
+  /// An input value carrying a fresh deviation symbol of \p Deviation
+  /// (default: 1 ulp of \p X, the paper's benchmark-input construction).
+  static Affine input(double X) {
+    return Affine(
+        ops::makeInput<CT>(X, fp::ulp(X), env().Config, env().Context));
+  }
+  static Affine input(double X, double Deviation) {
+    return Affine(
+        ops::makeInput<CT>(X, Deviation, env().Config, env().Context));
+  }
+  /// An exactly known value (no deviation).
+  static Affine exact(double X) {
+    return Affine(ops::makeExact<CT>(X, env().Config));
+  }
+  /// The tightest affine form enclosing [Lo, Hi].
+  static Affine fromInterval(double Lo, double Hi) {
+    return Affine(
+        ops::makeFromInterval<CT>(Lo, Hi, env().Config, env().Context));
+  }
+
+  const Storage &storage() const { return V; }
+  Storage &storage() { return V; }
+
+  ia::Interval toInterval() const { return ops::toInterval(V); }
+  double radius() const { return V.radius(); }
+  double mid() const { return CT::toDouble(V.Center); }
+  int32_t countSymbols() const { return V.countSymbols(); }
+  bool isNaN() const { return V.isNaN(); }
+
+  /// Certified bits of the result (Eq. (9)); P defaults to the format's
+  /// mantissa bits. The f32a type counts over the float grid (its output
+  /// format), everything else over the double grid.
+  double certifiedBits(int P = CT::MantissaBits) const {
+    double Lo, Hi;
+    V.bounds(Lo, Hi);
+    if constexpr (std::is_same_v<CT, F32Center>)
+      return fp::accBits32(Lo, Hi, P);
+    else
+      return fp::accBits(Lo, Hi, P);
+  }
+
+  /// Protects this variable's symbols from fusion (pragma lowering).
+  void prioritize() const { ops::prioritize(V, env().Context); }
+
+  friend Affine operator+(const Affine &A, const Affine &B) {
+    return Affine(ops::add(A.V, B.V, env().Config, env().Context));
+  }
+  friend Affine operator-(const Affine &A, const Affine &B) {
+    return Affine(ops::sub(A.V, B.V, env().Config, env().Context));
+  }
+  friend Affine operator*(const Affine &A, const Affine &B) {
+    return Affine(ops::mul(A.V, B.V, env().Config, env().Context));
+  }
+  friend Affine operator/(const Affine &A, const Affine &B) {
+    return Affine(ops::div(A.V, B.V, env().Config, env().Context));
+  }
+  friend Affine operator-(const Affine &A) { return Affine(ops::neg(A.V)); }
+
+  Affine &operator+=(const Affine &B) { return *this = *this + B; }
+  Affine &operator-=(const Affine &B) { return *this = *this - B; }
+  Affine &operator*=(const Affine &B) { return *this = *this * B; }
+  Affine &operator/=(const Affine &B) { return *this = *this / B; }
+
+  /// Deterministic ordering by midpoint — the sound lowering of a
+  /// branch/pivot comparison (any choice is sound; accuracy may differ).
+  friend bool midLess(const Affine &A, const Affine &B) {
+    return A.mid() < B.mid();
+  }
+  /// Midpoint of |â|, for pivot selection.
+  double midAbs() const { return std::fabs(mid()); }
+
+private:
+  Storage V;
+};
+
+/// \name Elementary functions on the wrapper types.
+/// @{
+template <typename CT> Affine<CT> sqrt(const Affine<CT> &A) {
+  return Affine<CT>(ops::sqrt(A.storage(), env().Config, env().Context));
+}
+template <typename CT> Affine<CT> exp(const Affine<CT> &A) {
+  return Affine<CT>(ops::exp(A.storage(), env().Config, env().Context));
+}
+template <typename CT> Affine<CT> log(const Affine<CT> &A) {
+  return Affine<CT>(ops::log(A.storage(), env().Config, env().Context));
+}
+template <typename CT> Affine<CT> inv(const Affine<CT> &A) {
+  return Affine<CT>(ops::inv(A.storage(), env().Config, env().Context));
+}
+template <typename CT> Affine<CT> sin(const Affine<CT> &A) {
+  return Affine<CT>(ops::sin(A.storage(), env().Config, env().Context));
+}
+template <typename CT> Affine<CT> cos(const Affine<CT> &A) {
+  return Affine<CT>(ops::cos(A.storage(), env().Config, env().Context));
+}
+/// @}
+
+using F64a = Affine<F64Center>;
+using DDa = Affine<DDCenter>;
+using F32a = Affine<F32Center>;
+
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_AFFINE_H

@@ -1,0 +1,343 @@
+//===- AffineBig.cpp ------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aa/AffineBig.h"
+#include "fp/FloatOrdinal.h"
+#include "fp/Rounding.h"
+#include "fp/Ulp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace safegen;
+using namespace safegen::aa;
+using namespace safegen::fp;
+
+double AffineBig::radius() const {
+  SAFEGEN_ASSERT_ROUND_UP();
+  double R = Dump;
+  for (const BigTerm &T : Terms)
+    R += std::fabs(T.Coef);
+  return R;
+}
+
+ia::Interval AffineBig::toInterval() const {
+  double R = radius();
+  return ia::Interval(subRD(Center, R), addRU(Center, R));
+}
+
+double AffineBig::certifiedBits(int P) const {
+  ia::Interval I = toInterval();
+  return fp::accBits(I.Lo, I.Hi, P);
+}
+
+bool AffineBig::isNaN() const {
+  if (std::isnan(Center) || std::isnan(Dump))
+    return true;
+  for (const BigTerm &T : Terms)
+    if (std::isnan(T.Coef))
+      return true;
+  return false;
+}
+
+AffineBig aa::bigExact(double X) { return AffineBig(X); }
+
+AffineBig aa::bigInput(double X, double Deviation, const BigConfig &,
+                       AffineContext &Ctx) {
+  AffineBig V(X);
+  if (Deviation != 0.0)
+    V.Terms.push_back({Ctx.freshSymbol(), Deviation});
+  return V;
+}
+
+AffineBig aa::bigConstant(double X, const BigConfig &Cfg, AffineContext &Ctx) {
+  double R = std::nearbyint(X);
+  if (R == X && std::fabs(X) < 0x1p53)
+    return bigExact(X);
+  return bigInput(X, fp::ulp(X), Cfg, Ctx);
+}
+
+AffineBig aa::bigNeg(const AffineBig &A) {
+  AffineBig Out = A;
+  Out.Center = -Out.Center;
+  for (BigTerm &T : Out.Terms)
+    T.Coef = -T.Coef;
+  return Out;
+}
+
+namespace {
+
+/// Applies the Capped-mode budget: if more than K-1 terms survive (one
+/// slot is reserved for the fresh symbol), fuses the policy-selected
+/// victims into Err. Terms stay sorted.
+void enforceCap(std::vector<BigTerm> &Terms, double &Err,
+                const BigConfig &Cfg, AffineContext &Ctx) {
+  if (Cfg.StorageMode != BigConfig::Mode::Capped)
+    return;
+  int Budget = Cfg.K - (Err > 0.0 || std::isnan(Err) ? 1 : 0);
+  if (static_cast<int>(Terms.size()) <= Budget)
+    return;
+  int NumVictims = static_cast<int>(Terms.size()) - (Cfg.K - 1);
+  // Order victim indices per policy.
+  std::vector<int> Idx(Terms.size());
+  for (size_t I = 0; I < Terms.size(); ++I)
+    Idx[I] = static_cast<int>(I);
+  switch (Cfg.Fusion) {
+  case FusionPolicy::Oldest:
+    break; // already ascending by id
+  case FusionPolicy::Smallest:
+  case FusionPolicy::MeanThreshold:
+    std::nth_element(Idx.begin(), Idx.begin() + NumVictims - 1, Idx.end(),
+                     [&](int A, int B) {
+                       return std::fabs(Terms[A].Coef) <
+                              std::fabs(Terms[B].Coef);
+                     });
+    break;
+  case FusionPolicy::Random:
+    for (int I = 0; I < NumVictims; ++I) {
+      int J = I + static_cast<int>(Ctx.nextRandom() % (Idx.size() - I));
+      std::swap(Idx[I], Idx[J]);
+    }
+    break;
+  }
+  for (int I = 0; I < NumVictims; ++I) {
+    BigTerm &T = Terms[Idx[I]];
+    Err = addRU(Err, std::fabs(T.Coef));
+    T.Id = InvalidSymbol;
+  }
+  Ctx.NumFusions += NumVictims;
+  Terms.erase(std::remove_if(Terms.begin(), Terms.end(),
+                             [](const BigTerm &T) {
+                               return T.Id == InvalidSymbol;
+                             }),
+              Terms.end());
+}
+
+/// Appends the fresh-error symbol (or dumps it, in Frozen mode).
+void emitErr(AffineBig &Out, double Err, const BigConfig &Cfg,
+             AffineContext &Ctx) {
+  if (!(Err > 0.0) && !std::isnan(Err))
+    return;
+  if (Cfg.StorageMode == BigConfig::Mode::Frozen) {
+    Out.Dump = addRU(Out.Dump, Err);
+    return;
+  }
+  Out.Terms.push_back({Ctx.freshSymbol(), Err});
+}
+
+} // namespace
+
+AffineBig aa::bigAdd(const AffineBig &A, const AffineBig &B,
+                     const BigConfig &Cfg, AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  ++Ctx.NumOps;
+  AffineBig Out;
+  double Err = 0.0;
+  Out.Center = addRU(A.Center, B.Center);
+  Err = addRU(Err, subRU(Out.Center, addRD(A.Center, B.Center)));
+  Out.Terms.reserve(A.Terms.size() + B.Terms.size() + 1);
+
+  size_t I = 0, J = 0;
+  while (I < A.Terms.size() || J < B.Terms.size()) {
+    if (J >= B.Terms.size() ||
+        (I < A.Terms.size() && A.Terms[I].Id < B.Terms[J].Id)) {
+      Out.Terms.push_back(A.Terms[I++]);
+    } else if (I >= A.Terms.size() || B.Terms[J].Id < A.Terms[I].Id) {
+      Out.Terms.push_back(B.Terms[J++]);
+    } else {
+      double C = addRU(A.Terms[I].Coef, B.Terms[J].Coef);
+      Err = addRU(Err,
+                  subRU(C, addRD(A.Terms[I].Coef, B.Terms[J].Coef)));
+      if (C != 0.0)
+        Out.Terms.push_back({A.Terms[I].Id, C});
+      ++I;
+      ++J;
+    }
+  }
+  // Independent dumps never cancel: magnitudes add (Frozen mode).
+  Out.Dump = addRU(A.Dump, B.Dump);
+  enforceCap(Out.Terms, Err, Cfg, Ctx);
+  emitErr(Out, Err, Cfg, Ctx);
+  return Out;
+}
+
+AffineBig aa::bigSub(const AffineBig &A, const AffineBig &B,
+                     const BigConfig &Cfg, AffineContext &Ctx) {
+  return bigAdd(A, bigNeg(B), Cfg, Ctx);
+}
+
+AffineBig aa::bigMul(const AffineBig &A, const AffineBig &B,
+                     const BigConfig &Cfg, AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  ++Ctx.NumOps;
+  AffineBig Out;
+  double Err = 0.0;
+  Out.Center = mulRU(A.Center, B.Center);
+  Err = addRU(Err, subRU(Out.Center, mulRD(A.Center, B.Center)));
+
+  // Quadratic overapproximation r(â)·r(b̂) over the full radii (Eq. (5));
+  // dumps are part of the radius.
+  Err = addRU(Err, mulRU(A.radius(), B.radius()));
+  // Centre x dump cross terms go to the (independent) output dump.
+  Out.Dump = addRU(mulRU(std::fabs(A.Center), B.Dump),
+                   mulRU(std::fabs(B.Center), A.Dump));
+
+  Out.Terms.reserve(A.Terms.size() + B.Terms.size() + 1);
+  size_t I = 0, J = 0;
+  while (I < A.Terms.size() || J < B.Terms.size()) {
+    if (J >= B.Terms.size() ||
+        (I < A.Terms.size() && A.Terms[I].Id < B.Terms[J].Id)) {
+      double Cu = mulRU(B.Center, A.Terms[I].Coef);
+      Err = addRU(Err, subRU(Cu, mulRD(B.Center, A.Terms[I].Coef)));
+      if (Cu != 0.0)
+        Out.Terms.push_back({A.Terms[I].Id, Cu});
+      ++I;
+    } else if (I >= A.Terms.size() || B.Terms[J].Id < A.Terms[I].Id) {
+      double Cu = mulRU(A.Center, B.Terms[J].Coef);
+      Err = addRU(Err, subRU(Cu, mulRD(A.Center, B.Terms[J].Coef)));
+      if (Cu != 0.0)
+        Out.Terms.push_back({B.Terms[J].Id, Cu});
+      ++J;
+    } else {
+      double Pu = mulRU(A.Center, B.Terms[J].Coef);
+      double Pd = mulRD(A.Center, B.Terms[J].Coef);
+      double Qu = mulRU(B.Center, A.Terms[I].Coef);
+      double Qd = mulRD(B.Center, A.Terms[I].Coef);
+      double C = addRU(Pu, Qu);
+      Err = addRU(Err, subRU(C, addRD(Pd, Qd)));
+      if (C != 0.0)
+        Out.Terms.push_back({A.Terms[I].Id, C});
+      ++I;
+      ++J;
+    }
+  }
+  enforceCap(Out.Terms, Err, Cfg, Ctx);
+  emitErr(Out, Err, Cfg, Ctx);
+  return Out;
+}
+
+/// Min-range reciprocal, mirroring ops::inv (see Elementary.h).
+AffineBig aa::bigInv(const AffineBig &A, const BigConfig &Cfg,
+                     AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  ++Ctx.NumOps;
+  ia::Interval R = A.toInterval();
+  if (R.isNaN() || R.containsZero()) {
+    AffineBig NaNV(std::numeric_limits<double>::quiet_NaN());
+    return NaNV;
+  }
+  double M = std::fabs(R.Lo) > std::fabs(R.Hi) ? R.Lo : R.Hi;
+  double Alpha =
+      -mulRD(divRD(1.0, std::fabs(M)), divRD(1.0, std::fabs(M)));
+  ia::Interval IAlpha(Alpha);
+  ia::Interval Dl = ia::div(ia::Interval(1.0), ia::Interval(R.Lo)) -
+                    IAlpha * ia::Interval(R.Lo);
+  ia::Interval Du = ia::div(ia::Interval(1.0), ia::Interval(R.Hi)) -
+                    IAlpha * ia::Interval(R.Hi);
+  ia::Interval H = ia::hull(Dl, Du);
+  double Zeta = H.mid();
+  double Delta = std::fmax(subRU(H.Hi, Zeta), subRU(Zeta, H.Lo));
+
+  AffineBig Out;
+  double Err = Delta;
+  Out.Center = mulRU(A.Center, Alpha);
+  Err = addRU(Err, subRU(Out.Center, mulRD(A.Center, Alpha)));
+  double C2 = addRU(Out.Center, Zeta);
+  Err = addRU(Err, subRU(C2, addRD(Out.Center, Zeta)));
+  Out.Center = C2;
+  Out.Terms.reserve(A.Terms.size() + 1);
+  for (const BigTerm &T : A.Terms) {
+    double Cu = mulRU(T.Coef, Alpha);
+    Err = addRU(Err, subRU(Cu, mulRD(T.Coef, Alpha)));
+    if (Cu != 0.0)
+      Out.Terms.push_back({T.Id, Cu});
+  }
+  Out.Dump = mulRU(A.Dump, std::fabs(Alpha));
+  enforceCap(Out.Terms, Err, Cfg, Ctx);
+  emitErr(Out, Err, Cfg, Ctx);
+  return Out;
+}
+
+AffineBig aa::bigDiv(const AffineBig &A, const AffineBig &B,
+                     const BigConfig &Cfg, AffineContext &Ctx) {
+  return bigMul(A, bigInv(B, Cfg, Ctx), Cfg, Ctx);
+}
+
+AffineBig aa::bigSqrt(const AffineBig &A, const BigConfig &Cfg,
+                      AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  ++Ctx.NumOps;
+  ia::Interval R = A.toInterval();
+  if (R.isNaN() || R.Lo < 0.0) {
+    return AffineBig(std::numeric_limits<double>::quiet_NaN());
+  }
+  if (R.Hi == 0.0)
+    return AffineBig(0.0);
+  double Alpha = divRD(1.0, mulRU(2.0, std::sqrt(R.Hi)));
+  ia::Interval IAlpha(Alpha);
+  ia::Interval Dl = ia::sqrt(ia::Interval(R.Lo)) - IAlpha * ia::Interval(R.Lo);
+  ia::Interval Du = ia::sqrt(ia::Interval(R.Hi)) - IAlpha * ia::Interval(R.Hi);
+  ia::Interval H = ia::hull(Dl, Du);
+  double Zeta = H.mid();
+  double Delta = std::fmax(subRU(H.Hi, Zeta), subRU(Zeta, H.Lo));
+
+  AffineBig Out;
+  double Err = Delta;
+  Out.Center = mulRU(A.Center, Alpha);
+  Err = addRU(Err, subRU(Out.Center, mulRD(A.Center, Alpha)));
+  double C2 = addRU(Out.Center, Zeta);
+  Err = addRU(Err, subRU(C2, addRD(Out.Center, Zeta)));
+  Out.Center = C2;
+  for (const BigTerm &T : A.Terms) {
+    double Cu = mulRU(T.Coef, Alpha);
+    Err = addRU(Err, subRU(Cu, mulRD(T.Coef, Alpha)));
+    if (Cu != 0.0)
+      Out.Terms.push_back({T.Id, Cu});
+  }
+  Out.Dump = mulRU(A.Dump, std::fabs(Alpha));
+  enforceCap(Out.Terms, Err, Cfg, Ctx);
+  emitErr(Out, Err, Cfg, Ctx);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// BigEnv / Big wrapper
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local BigEnv *ActiveBigEnv = nullptr;
+} // namespace
+
+BigEnv &aa::bigEnv() {
+  assert(ActiveBigEnv && "no BigEnvScope active on this thread");
+  return *ActiveBigEnv;
+}
+
+BigEnvScope::BigEnvScope(const BigConfig &Config) : Saved(ActiveBigEnv) {
+  Env.Config = Config;
+  ActiveBigEnv = &Env;
+}
+
+BigEnvScope::~BigEnvScope() { ActiveBigEnv = Saved; }
+
+Big::Big(double Constant)
+    : V(bigConstant(Constant, bigEnv().Config, bigEnv().Context)) {}
+
+Big Big::input(double X) {
+  return Big(bigInput(X, fp::ulp(X), bigEnv().Config, bigEnv().Context));
+}
+
+Big Big::input(double X, double Deviation) {
+  return Big(bigInput(X, Deviation, bigEnv().Config, bigEnv().Context));
+}
+
+double Big::midAbs() const { return std::fabs(V.Center); }
+
+Big aa::sqrt(const Big &A) {
+  return Big(bigSqrt(A.value(), bigEnv().Config, bigEnv().Context));
+}

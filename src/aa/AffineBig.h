@@ -1,0 +1,164 @@
+//===- AffineBig.h - Heap-backed affine forms -------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A heap-backed affine form with sorted symbol storage and an *unbounded*
+/// (or very large) symbol count. Three modes:
+///
+///  * Unbounded — textbook full AA: every operation creates a fresh
+///    symbol, nothing is ever fused. Emulates `yalaa-aff0` (Fig. 9) and
+///    backs the `f64a-dspv-∞` configurations (k = 800…12K) where no fusion
+///    occurs.
+///  * Frozen — no new shared symbols are ever created; all round-off and
+///    nonlinear residue accumulates in a per-variable independent "dump"
+///    deviation. Emulates `yalaa-aff1`.
+///  * Capped — at most K symbols; smallest-magnitude (or policy-selected)
+///    terms are compacted into the fresh symbol when exceeded. Emulates
+///    the Ceres AffineFloat strategy ("ceres-affine" in Fig. 9).
+///
+/// Soundness contract is identical to the inline types: upward rounding
+/// mode required, result encloses the exact real result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_AFFINEBIG_H
+#define SAFEGEN_AA_AFFINEBIG_H
+
+#include "aa/Policy.h"
+#include "aa/Symbol.h"
+#include "ia/Interval.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace safegen {
+namespace aa {
+
+/// Configuration of the heap-backed affine arithmetic.
+struct BigConfig {
+  enum class Mode { Unbounded, Frozen, Capped };
+  Mode StorageMode = Mode::Unbounded;
+  /// Symbol budget in Capped mode (>= 2).
+  int K = 32;
+  /// Victim selection in Capped mode.
+  FusionPolicy Fusion = FusionPolicy::Smallest;
+};
+
+/// One (symbol, coefficient) term.
+struct BigTerm {
+  SymbolId Id;
+  double Coef;
+};
+
+/// A heap-backed affine form. Terms are kept sorted by ascending id. Dump
+/// is the magnitude of the per-variable independent deviation (Frozen
+/// mode; 0 elsewhere).
+class AffineBig {
+public:
+  double Center = 0.0;
+  std::vector<BigTerm> Terms;
+  double Dump = 0.0;
+
+  AffineBig() = default;
+  explicit AffineBig(double Center) : Center(Center) {}
+
+  /// Radius r(â) = Σ|ai| + Dump, upward-rounded. Requires upward mode.
+  double radius() const;
+  /// Enclosing interval per Eq. (2). Requires upward mode.
+  ia::Interval toInterval() const;
+  double certifiedBits(int P = 53) const;
+  size_t countSymbols() const { return Terms.size() + (Dump > 0.0 ? 1 : 0); }
+  bool isNaN() const;
+};
+
+/// \name Construction.
+/// @{
+AffineBig bigInput(double X, double Deviation, const BigConfig &Cfg,
+                   AffineContext &Ctx);
+AffineBig bigConstant(double X, const BigConfig &Cfg, AffineContext &Ctx);
+AffineBig bigExact(double X);
+/// @}
+
+/// \name Arithmetic (all require upward rounding mode).
+/// @{
+AffineBig bigAdd(const AffineBig &A, const AffineBig &B, const BigConfig &Cfg,
+                 AffineContext &Ctx);
+AffineBig bigSub(const AffineBig &A, const AffineBig &B, const BigConfig &Cfg,
+                 AffineContext &Ctx);
+AffineBig bigMul(const AffineBig &A, const AffineBig &B, const BigConfig &Cfg,
+                 AffineContext &Ctx);
+AffineBig bigDiv(const AffineBig &A, const AffineBig &B, const BigConfig &Cfg,
+                 AffineContext &Ctx);
+AffineBig bigNeg(const AffineBig &A);
+AffineBig bigSqrt(const AffineBig &A, const BigConfig &Cfg,
+                  AffineContext &Ctx);
+AffineBig bigInv(const AffineBig &A, const BigConfig &Cfg, AffineContext &Ctx);
+/// @}
+
+/// Thread-local environment for operator syntax, mirroring AffineEnvScope.
+struct BigEnv {
+  BigConfig Config;
+  AffineContext Context;
+};
+BigEnv &bigEnv();
+class BigEnvScope {
+public:
+  explicit BigEnvScope(const BigConfig &Config);
+  ~BigEnvScope();
+  BigEnvScope(const BigEnvScope &) = delete;
+  BigEnvScope &operator=(const BigEnvScope &) = delete;
+
+private:
+  BigEnv Env;
+  BigEnv *Saved;
+};
+
+/// Operator-syntax wrapper over AffineBig bound to the BigEnv, so the
+/// benchmark kernels can be instantiated over it.
+class Big {
+public:
+  Big() : V(0.0) {}
+  Big(double Constant);
+  explicit Big(AffineBig V) : V(std::move(V)) {}
+
+  static Big input(double X);
+  static Big input(double X, double Deviation);
+  static Big exact(double X) { return Big(bigExact(X)); }
+
+  const AffineBig &value() const { return V; }
+  ia::Interval toInterval() const { return V.toInterval(); }
+  double certifiedBits(int P = 53) const { return V.certifiedBits(P); }
+  double mid() const { return V.Center; }
+  double midAbs() const;
+
+  friend Big operator+(const Big &A, const Big &B) {
+    return Big(bigAdd(A.V, B.V, bigEnv().Config, bigEnv().Context));
+  }
+  friend Big operator-(const Big &A, const Big &B) {
+    return Big(bigSub(A.V, B.V, bigEnv().Config, bigEnv().Context));
+  }
+  friend Big operator*(const Big &A, const Big &B) {
+    return Big(bigMul(A.V, B.V, bigEnv().Config, bigEnv().Context));
+  }
+  friend Big operator/(const Big &A, const Big &B) {
+    return Big(bigDiv(A.V, B.V, bigEnv().Config, bigEnv().Context));
+  }
+  friend Big operator-(const Big &A) { return Big(bigNeg(A.V)); }
+  Big &operator+=(const Big &B) { return *this = *this + B; }
+  Big &operator-=(const Big &B) { return *this = *this - B; }
+  Big &operator*=(const Big &B) { return *this = *this * B; }
+  Big &operator/=(const Big &B) { return *this = *this / B; }
+
+private:
+  AffineBig V;
+};
+
+Big sqrt(const Big &A);
+
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_AFFINEBIG_H

@@ -1,0 +1,708 @@
+//===- AffineOps.h - Sound affine arithmetic kernels ------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The affine operation kernels (paper Eqs. (3)-(6)) for both placement
+/// policies, templated over the central-value trait so that f64a, dda and
+/// f32a share one implementation. All kernels require upward rounding mode
+/// (fp/Rounding.h) and are *sound*: the resulting affine form encloses the
+/// exact real-arithmetic result for every admissible ε assignment of the
+/// inputs.
+///
+/// NaN/infinity follow the conventions of Sec. IV-A: a NaN coefficient
+/// means "the value can be anything"; these simply propagate through the
+/// arithmetic, so the kernels need no special casing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_AFFINEOPS_H
+#define SAFEGEN_AA_AFFINEOPS_H
+
+#include "aa/AffineVar.h"
+#include "aa/Fusion.h"
+#include "aa/Policy.h"
+#include "aa/Symbol.h"
+#include "fp/Ulp.h"
+#include "ia/Interval.h"
+
+#include <cassert>
+#include <cmath>
+#include <type_traits>
+
+namespace safegen {
+namespace aa {
+namespace ops {
+
+namespace detail {
+using aa::detail::Entry;
+using aa::detail::fuseVictims;
+
+inline void checkConfig(const AAConfig &Cfg) {
+  assert(Cfg.K >= 2 && Cfg.K <= MaxInlineSymbols && "K out of range");
+  (void)Cfg;
+}
+
+// Defined below with their kernel families; used by rehome() too.
+bool keepFirst(SymbolId IdA, double CoefA, SymbolId IdB, double CoefB,
+               const AAConfig &Cfg, AffineContext &Ctx);
+template <typename CT>
+void finalizeSorted(AffineVar<CT> &Out, Entry *Entries, int M, double NewErr,
+                    const AAConfig &Cfg, AffineContext &Ctx);
+
+/// Home slot of symbol \p Id under direct-mapped placement with budget K.
+inline int homeSlot(SymbolId Id, int K) {
+  return static_cast<int>((Id - 1) % static_cast<SymbolId>(K));
+}
+} // namespace detail
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+/// Initializes \p V as an exact value (no symbols).
+template <typename CT>
+void initExact(AffineVar<CT> &V, double X, const AAConfig &Cfg) {
+  detail::checkConfig(Cfg);
+  V.Center = CT::fromDouble(X);
+  V.N = Cfg.Placement == PlacementPolicy::DirectMapped ? Cfg.K : 0;
+  for (int32_t I = 0; I < V.N; ++I) {
+    V.Ids[I] = InvalidSymbol;
+    V.Coefs[I] = 0.0;
+  }
+}
+
+/// Inserts a fresh symbol (larger id than any existing) with coefficient
+/// \p Coef into \p V. Under direct-mapped placement an occupied home slot
+/// is evicted: the occupant is fused into the fresh symbol (Eq. (6)),
+/// which is the only locally sound resolution.
+template <typename CT>
+void insertFresh(AffineVar<CT> &V, SymbolId Id, double Coef,
+                 const AAConfig &Cfg, AffineContext &Ctx) {
+  if (Cfg.Placement == PlacementPolicy::Sorted) {
+    assert(V.N < MaxInlineSymbols && "sorted insert past capacity");
+    assert((V.N == 0 || V.Ids[V.N - 1] < Id) && "fresh id must be youngest");
+    V.Ids[V.N] = Id;
+    V.Coefs[V.N] = Coef;
+    ++V.N;
+    return;
+  }
+  int Slot = detail::homeSlot(Id, Cfg.K);
+  if (V.Ids[Slot] != InvalidSymbol) {
+    Coef = fp::addRU(Coef, std::fabs(V.Coefs[Slot]));
+    ++Ctx.NumFusions;
+  }
+  V.Ids[Slot] = Id;
+  V.Coefs[Slot] = Coef;
+}
+
+/// An input value \p X with one fresh deviation symbol of magnitude
+/// \p Deviation (the benchmark-input construction of Sec. VII). If the
+/// central type cannot represent \p X exactly (f32a), the conversion
+/// residue is folded into the deviation — the enclosure always contains
+/// the double \p X. Requires upward mode.
+template <typename CT>
+AffineVar<CT> makeInput(double X, double Deviation, const AAConfig &Cfg,
+                        AffineContext &Ctx) {
+  AffineVar<CT> V;
+  initExact(V, X, Cfg);
+  double Stored = CT::toDouble(V.Center);
+  if (Stored != X && !std::isnan(X)) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    double Extra =
+        std::fmax(fp::subRU(X, Stored), fp::subRU(Stored, X));
+    Deviation = fp::addRU(Deviation, Extra);
+  }
+  if (Deviation != 0.0)
+    insertFresh(V, Ctx.freshSymbol(), Deviation, Cfg, Ctx);
+  return V;
+}
+
+/// A source constant: assumed accurate to 1 ulp, so it gets a fresh symbol
+/// of magnitude ulp(X) unless it is exactly representable *and* flagged
+/// exact by the caller (Sec. IV-B "Handling constants").
+template <typename CT>
+AffineVar<CT> makeConstant(double X, const AAConfig &Cfg, AffineContext &Ctx) {
+  return makeInput<CT>(X, fp::ulp(X), Cfg, Ctx);
+}
+
+/// An exact value: no deviation at all (integers, exact literals).
+template <typename CT>
+AffineVar<CT> makeExact(double X, const AAConfig &Cfg) {
+  AffineVar<CT> V;
+  initExact(V, X, Cfg);
+  return V;
+}
+
+/// The tightest affine form enclosing [Lo, Hi]: centre at the midpoint,
+/// one fresh symbol spanning the radius. The radius is computed against
+/// the *stored* centre (which may round when the central type is
+/// narrower, e.g. f32a), so the enclosure holds for every trait.
+/// Requires upward mode.
+template <typename CT>
+AffineVar<CT> makeFromInterval(double Lo, double Hi, const AAConfig &Cfg,
+                               AffineContext &Ctx) {
+  double Mid = fp::mulRU(0.5, fp::addRU(Lo, Hi));
+  AffineVar<CT> V;
+  initExact(V, Mid, Cfg);
+  double CLo, CHi;
+  CT::bounds(V.Center, CLo, CHi);
+  double Rad = std::fmax(fp::subRU(Hi, CLo), fp::subRU(CHi, Lo));
+  if (Rad > 0.0 || std::isnan(Rad))
+    insertFresh(V, Ctx.freshSymbol(), Rad, Cfg, Ctx);
+  return V;
+}
+
+/// Enclosing interval of \p V (Eq. (2)).
+template <typename CT> ia::Interval toInterval(const AffineVar<CT> &V) {
+  double Lo, Hi;
+  V.bounds(Lo, Hi);
+  return ia::Interval(Lo, Hi);
+}
+
+/// Protects every symbol of \p V from fusion (the runtime lowering of the
+/// `#pragma safegen prioritize` annotation, Sec. VI-C).
+template <typename CT>
+void prioritize(const AffineVar<CT> &V, AffineContext &Ctx) {
+  for (int32_t I = 0; I < V.N; ++I)
+    Ctx.protect(V.Ids[I]);
+}
+
+/// Rebuilds \p A for the budget Cfg.K — the enabler for *per-variable
+/// symbol capacities*, the extension the paper names as future work
+/// (Sec. VIII): variables produced under a different k are soundly
+/// re-homed before entering an operation. Under direct-mapped placement
+/// every surviving symbol moves to its home slot modulo the new K
+/// (conflicts resolved by the fusion policy into a fresh symbol); under
+/// sorted placement an over-budget variable is fused down. Requires
+/// upward mode.
+template <typename CT>
+AffineVar<CT> rehome(const AffineVar<CT> &A, const AAConfig &Cfg,
+                     AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  detail::checkConfig(Cfg);
+  if (Cfg.Placement == PlacementPolicy::Sorted) {
+    if (A.N <= Cfg.K)
+      return A;
+    detail::Entry Merged[MaxInlineSymbols];
+    for (int32_t I = 0; I < A.N; ++I)
+      Merged[I] = {A.Ids[I], A.Coefs[I]};
+    double Err = 0.0;
+    int M = detail::fuseVictims(Merged, A.N, A.N - (Cfg.K - 1), Cfg.Fusion,
+                                Cfg.Prioritize, Ctx, Err);
+    AffineVar<CT> Out;
+    Out.Center = A.Center;
+    detail::finalizeSorted(Out, Merged, M, Err, Cfg, Ctx);
+    return Out;
+  }
+  AffineVar<CT> Out;
+  Out.Center = A.Center;
+  Out.N = Cfg.K;
+  for (int32_t S = 0; S < Out.N; ++S) {
+    Out.Ids[S] = InvalidSymbol;
+    Out.Coefs[S] = 0.0;
+  }
+  double Err = 0.0;
+  for (int32_t I = 0; I < A.N; ++I) {
+    SymbolId Id = A.Ids[I];
+    if (Id == InvalidSymbol)
+      continue;
+    int Slot = detail::homeSlot(Id, Cfg.K);
+    if (Out.Ids[Slot] == InvalidSymbol) {
+      Out.Ids[Slot] = Id;
+      Out.Coefs[Slot] = A.Coefs[I];
+      continue;
+    }
+    // Conflict under the new geometry: resolve with the fusion policy.
+    if (detail::keepFirst(Out.Ids[Slot], Out.Coefs[Slot], Id, A.Coefs[I],
+                          Cfg, Ctx)) {
+      Err = fp::addRU(Err, std::fabs(A.Coefs[I]));
+    } else {
+      Err = fp::addRU(Err, std::fabs(Out.Coefs[Slot]));
+      Out.Ids[Slot] = Id;
+      Out.Coefs[Slot] = A.Coefs[I];
+    }
+    ++Ctx.NumFusions;
+  }
+  if (Err > 0.0 || std::isnan(Err))
+    insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Sorted-placement kernels (Sec. V-A, "sorted placement policy")
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// Writes the merged entries plus the accumulated fresh-error coefficient
+/// into \p Out, applying the fusion policy when over budget.
+template <typename CT>
+void finalizeSorted(AffineVar<CT> &Out, Entry *Entries, int M, double NewErr,
+                    const AAConfig &Cfg, AffineContext &Ctx) {
+  // Budget for surviving old symbols: reserve one slot for the fresh
+  // symbol whenever it will exist.
+  if (M > (NewErr > 0.0 ? Cfg.K - 1 : Cfg.K))
+    M = fuseVictims(Entries, M, M - (Cfg.K - 1), Cfg.Fusion, Cfg.Prioritize,
+                    Ctx, NewErr);
+  assert(M <= Cfg.K && "fusion failed to meet budget");
+  Out.N = 0;
+  for (int I = 0; I < M; ++I) {
+    Out.Ids[Out.N] = Entries[I].Id;
+    Out.Coefs[Out.N] = Entries[I].Coef;
+    ++Out.N;
+  }
+  if (NewErr > 0.0 || std::isnan(NewErr)) {
+    Out.Ids[Out.N] = Ctx.freshSymbol();
+    Out.Coefs[Out.N] = NewErr;
+    ++Out.N;
+  }
+}
+
+} // namespace detail
+
+/// â ± b̂ with sorted placement (Eqs. (3)-(4)). \p Sign is +1 or -1.
+template <typename CT>
+AffineVar<CT> addSorted(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                        double Sign, const AAConfig &Cfg,
+                        AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  detail::checkConfig(Cfg);
+  ++Ctx.NumOps;
+
+  AffineVar<CT> Out;
+  double Err = 0.0;
+  Out.Center = Sign > 0 ? CT::add(A.Center, B.Center, Err)
+                        : CT::sub(A.Center, B.Center, Err);
+
+  detail::Entry Merged[2 * MaxInlineSymbols];
+  int M = 0;
+  int I = 0, J = 0;
+  while (I < A.N || J < B.N) {
+    if (J >= B.N || (I < A.N && A.Ids[I] < B.Ids[J])) {
+      Merged[M++] = {A.Ids[I], A.Coefs[I]};
+      ++I;
+    } else if (I >= A.N || B.Ids[J] < A.Ids[I]) {
+      Merged[M++] = {B.Ids[J], Sign * B.Coefs[J]};
+      ++J;
+    } else {
+      // Shared symbol: combine with round-off charged to Err (Eq. (4)).
+      double Bi = Sign * B.Coefs[J];
+      double C = fp::addRU(A.Coefs[I], Bi);
+      Err = fp::addRU(Err, fp::subRU(C, fp::addRD(A.Coefs[I], Bi)));
+      if (C != 0.0)
+        Merged[M++] = {A.Ids[I], C};
+      ++I;
+      ++J;
+    }
+  }
+  detail::finalizeSorted(Out, Merged, M, Err, Cfg, Ctx);
+  return Out;
+}
+
+/// â · b̂ with sorted placement (Eq. (5)).
+template <typename CT>
+AffineVar<CT> mulSorted(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                        const AAConfig &Cfg, AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  detail::checkConfig(Cfg);
+  ++Ctx.NumOps;
+
+  AffineVar<CT> Out;
+  double Err = 0.0;
+  Out.Center = CT::mul(A.Center, B.Center, Err);
+
+  // Double approximations of the central values; SlackX bounds
+  // |centre - approx| and is charged per coefficient.
+  double Da = CT::toDouble(A.Center);
+  double Db = CT::toDouble(B.Center);
+  double SlackA = std::is_same_v<CT, F64Center> ? 0.0 : fp::ulp(Da);
+  double SlackB = std::is_same_v<CT, F64Center> ? 0.0 : fp::ulp(Db);
+
+  // Quadratic overapproximation r(â)·r(b̂) (Eq. (5)).
+  Err = fp::addRU(Err, fp::mulRU(A.radius(), B.radius()));
+
+  detail::Entry Merged[2 * MaxInlineSymbols];
+  int M = 0;
+  int I = 0, J = 0;
+  while (I < A.N || J < B.N) {
+    if (J >= B.N || (I < A.N && A.Ids[I] < B.Ids[J])) {
+      // Coefficient Db * ai.
+      double Cu = fp::mulRU(Db, A.Coefs[I]);
+      double Cd = fp::mulRD(Db, A.Coefs[I]);
+      Err = fp::addRU(Err, fp::subRU(Cu, Cd));
+      if (SlackB != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackB, std::fabs(A.Coefs[I])));
+      if (Cu != 0.0)
+        Merged[M++] = {A.Ids[I], Cu};
+      ++I;
+    } else if (I >= A.N || B.Ids[J] < A.Ids[I]) {
+      double Cu = fp::mulRU(Da, B.Coefs[J]);
+      double Cd = fp::mulRD(Da, B.Coefs[J]);
+      Err = fp::addRU(Err, fp::subRU(Cu, Cd));
+      if (SlackA != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackA, std::fabs(B.Coefs[J])));
+      if (Cu != 0.0)
+        Merged[M++] = {B.Ids[J], Cu};
+      ++J;
+    } else {
+      // Shared symbol: coefficient Da*bi + Db*ai, both products directed.
+      double Pu = fp::mulRU(Da, B.Coefs[J]), Pd = fp::mulRD(Da, B.Coefs[J]);
+      double Qu = fp::mulRU(Db, A.Coefs[I]), Qd = fp::mulRD(Db, A.Coefs[I]);
+      double C = fp::addRU(Pu, Qu);
+      Err = fp::addRU(Err, fp::subRU(C, fp::addRD(Pd, Qd)));
+      if (SlackA != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackA, std::fabs(B.Coefs[J])));
+      if (SlackB != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackB, std::fabs(A.Coefs[I])));
+      if (C != 0.0)
+        Merged[M++] = {A.Ids[I], C};
+      ++I;
+      ++J;
+    }
+  }
+  detail::finalizeSorted(Out, Merged, M, Err, Cfg, Ctx);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Direct-mapped kernels (Sec. V-A, "direct-mapped placement policy")
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+
+/// Conflict resolution for two different symbols landing in one slot:
+/// returns true when A's entry should be kept. Protection wins; otherwise
+/// the fusion policy decides (Fig. 3b).
+inline bool keepFirst(SymbolId IdA, double CoefA, SymbolId IdB, double CoefB,
+                      const AAConfig &Cfg, AffineContext &Ctx) {
+  if (Cfg.Prioritize && Ctx.hasProtected()) {
+    bool PA = Ctx.isProtected(IdA), PB = Ctx.isProtected(IdB);
+    if (PA != PB)
+      return PA;
+  }
+  switch (Cfg.Fusion) {
+  case FusionPolicy::Oldest:
+    return IdA > IdB; // fuse the older (smaller id)
+  case FusionPolicy::Smallest:
+  case FusionPolicy::MeanThreshold: // == SP under direct mapping (Sec. V-B)
+    return std::fabs(CoefA) >= std::fabs(CoefB);
+  case FusionPolicy::Random:
+    return (Ctx.nextRandom() & 1) != 0;
+  }
+  return true;
+}
+
+} // namespace detail
+
+/// â ± b̂ with direct-mapped placement.
+template <typename CT>
+AffineVar<CT> addDirect(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                        double Sign, const AAConfig &Cfg,
+                        AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  detail::checkConfig(Cfg);
+  assert(A.N == Cfg.K && B.N == Cfg.K && "direct-mapped K mismatch");
+  ++Ctx.NumOps;
+
+  AffineVar<CT> Out;
+  Out.N = Cfg.K;
+  double Err = 0.0;
+  Out.Center = Sign > 0 ? CT::add(A.Center, B.Center, Err)
+                        : CT::sub(A.Center, B.Center, Err);
+
+  for (int S = 0; S < Cfg.K; ++S) {
+    SymbolId Ia = A.Ids[S], Ib = B.Ids[S];
+    double Ca = A.Coefs[S], Cb = Sign * B.Coefs[S];
+    if (Ia == Ib) {
+      if (Ia == InvalidSymbol) {
+        Out.Ids[S] = InvalidSymbol;
+        Out.Coefs[S] = 0.0;
+        continue;
+      }
+      double C = fp::addRU(Ca, Cb);
+      Err = fp::addRU(Err, fp::subRU(C, fp::addRD(Ca, Cb)));
+      // A zero coefficient is kept in its slot (it costs nothing and keeps
+      // the scalar and SIMD paths bit-identical).
+      Out.Ids[S] = Ia;
+      Out.Coefs[S] = C;
+    } else if (Ib == InvalidSymbol) {
+      Out.Ids[S] = Ia;
+      Out.Coefs[S] = Ca;
+    } else if (Ia == InvalidSymbol) {
+      Out.Ids[S] = Ib;
+      Out.Coefs[S] = Cb;
+    } else if (detail::keepFirst(Ia, Ca, Ib, Cb, Cfg, Ctx)) {
+      Err = fp::addRU(Err, std::fabs(Cb));
+      ++Ctx.NumFusions;
+      Out.Ids[S] = Ia;
+      Out.Coefs[S] = Ca;
+    } else {
+      Err = fp::addRU(Err, std::fabs(Ca));
+      ++Ctx.NumFusions;
+      Out.Ids[S] = Ib;
+      Out.Coefs[S] = Cb;
+    }
+  }
+  if (Err > 0.0 || std::isnan(Err))
+    insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+  return Out;
+}
+
+/// â · b̂ with direct-mapped placement.
+template <typename CT>
+AffineVar<CT> mulDirect(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                        const AAConfig &Cfg, AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  detail::checkConfig(Cfg);
+  assert(A.N == Cfg.K && B.N == Cfg.K && "direct-mapped K mismatch");
+  ++Ctx.NumOps;
+
+  AffineVar<CT> Out;
+  Out.N = Cfg.K;
+  double Err = 0.0;
+  Out.Center = CT::mul(A.Center, B.Center, Err);
+
+  double Da = CT::toDouble(A.Center);
+  double Db = CT::toDouble(B.Center);
+  double SlackA = std::is_same_v<CT, F64Center> ? 0.0 : fp::ulp(Da);
+  double SlackB = std::is_same_v<CT, F64Center> ? 0.0 : fp::ulp(Db);
+
+  Err = fp::addRU(Err, fp::mulRU(A.radius(), B.radius()));
+
+  for (int S = 0; S < Cfg.K; ++S) {
+    SymbolId Ia = A.Ids[S], Ib = B.Ids[S];
+    if (Ia == InvalidSymbol && Ib == InvalidSymbol) {
+      Out.Ids[S] = InvalidSymbol;
+      Out.Coefs[S] = 0.0;
+      continue;
+    }
+    if (Ia == Ib) {
+      double Pu = fp::mulRU(Da, B.Coefs[S]), Pd = fp::mulRD(Da, B.Coefs[S]);
+      double Qu = fp::mulRU(Db, A.Coefs[S]), Qd = fp::mulRD(Db, A.Coefs[S]);
+      double C = fp::addRU(Pu, Qu);
+      Err = fp::addRU(Err, fp::subRU(C, fp::addRD(Pd, Qd)));
+      if (SlackA != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackA, std::fabs(B.Coefs[S])));
+      if (SlackB != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackB, std::fabs(A.Coefs[S])));
+      // A zero coefficient is kept in its slot (costs nothing; keeps the
+      // scalar and SIMD paths identical).
+      Out.Ids[S] = Ia;
+      Out.Coefs[S] = C;
+      continue;
+    }
+    // Scaled candidates for whichever sides are present.
+    double CuA = 0.0, MagA = 0.0; // Db * ai for A's symbol
+    if (Ia != InvalidSymbol) {
+      CuA = fp::mulRU(Db, A.Coefs[S]);
+      double CdA = fp::mulRD(Db, A.Coefs[S]);
+      MagA = std::fmax(std::fabs(CuA), std::fabs(CdA));
+      if (SlackB != 0.0)
+        MagA = fp::addRU(MagA, fp::mulRU(SlackB, std::fabs(A.Coefs[S])));
+    }
+    double CuB = 0.0, MagB = 0.0; // Da * bi for B's symbol
+    if (Ib != InvalidSymbol) {
+      CuB = fp::mulRU(Da, B.Coefs[S]);
+      double CdB = fp::mulRD(Da, B.Coefs[S]);
+      MagB = std::fmax(std::fabs(CuB), std::fabs(CdB));
+      if (SlackA != 0.0)
+        MagB = fp::addRU(MagB, fp::mulRU(SlackA, std::fabs(B.Coefs[S])));
+    }
+    bool KeepA;
+    if (Ib == InvalidSymbol)
+      KeepA = true;
+    else if (Ia == InvalidSymbol)
+      KeepA = false;
+    else {
+      KeepA = detail::keepFirst(Ia, CuA, Ib, CuB, Cfg, Ctx);
+      ++Ctx.NumFusions;
+    }
+    if (KeepA) {
+      double CdA = fp::mulRD(Db, A.Coefs[S]);
+      Err = fp::addRU(Err, fp::subRU(CuA, CdA));
+      if (SlackB != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackB, std::fabs(A.Coefs[S])));
+      if (Ib != InvalidSymbol)
+        Err = fp::addRU(Err, MagB); // loser fused (Eq. (6))
+      Out.Ids[S] = Ia;
+      Out.Coefs[S] = CuA;
+    } else {
+      double CdB = fp::mulRD(Da, B.Coefs[S]);
+      Err = fp::addRU(Err, fp::subRU(CuB, CdB));
+      if (SlackA != 0.0)
+        Err = fp::addRU(Err, fp::mulRU(SlackA, std::fabs(B.Coefs[S])));
+      if (Ia != InvalidSymbol)
+        Err = fp::addRU(Err, MagA);
+      Out.Ids[S] = Ib;
+      Out.Coefs[S] = CuB;
+    }
+  }
+  if (Err > 0.0 || std::isnan(Err))
+    insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Placement dispatch and derived operations
+//===----------------------------------------------------------------------===//
+
+} // namespace ops
+
+/// AVX2 kernels (Simd.cpp); declared here so the dispatchers below can use
+/// them without a circular include.
+namespace simd {
+bool supports(const AAConfig &Cfg);
+AffineF64Storage addDirectAvx2(const AffineF64Storage &A,
+                               const AffineF64Storage &B, double Sign,
+                               const AAConfig &Cfg, AffineContext &Ctx);
+AffineF64Storage mulDirectAvx2(const AffineF64Storage &A,
+                               const AffineF64Storage &B,
+                               const AAConfig &Cfg, AffineContext &Ctx);
+} // namespace simd
+
+namespace ops {
+
+namespace detail {
+/// True when \p V already matches the active geometry (per-variable
+/// capacities, Sec. VIII future work: variables built under a different k
+/// are rehomed by the dispatchers below).
+template <typename CT>
+bool matchesGeometry(const AffineVar<CT> &V, const AAConfig &Cfg) {
+  return Cfg.Placement == PlacementPolicy::Sorted ? V.N <= Cfg.K
+                                                  : V.N == Cfg.K;
+}
+} // namespace detail
+
+template <typename CT>
+AffineVar<CT> add(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                  const AAConfig &Cfg, AffineContext &Ctx) {
+  if (!detail::matchesGeometry(A, Cfg))
+    return add(rehome(A, Cfg, Ctx), B, Cfg, Ctx);
+  if (!detail::matchesGeometry(B, Cfg))
+    return add(A, rehome(B, Cfg, Ctx), Cfg, Ctx);
+  if constexpr (std::is_same_v<CT, F64Center>)
+    if (Cfg.Vectorize && simd::supports(Cfg))
+      return simd::addDirectAvx2(A, B, +1.0, Cfg, Ctx);
+  return Cfg.Placement == PlacementPolicy::Sorted
+             ? addSorted(A, B, +1.0, Cfg, Ctx)
+             : addDirect(A, B, +1.0, Cfg, Ctx);
+}
+
+template <typename CT>
+AffineVar<CT> sub(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                  const AAConfig &Cfg, AffineContext &Ctx) {
+  if (!detail::matchesGeometry(A, Cfg))
+    return sub(rehome(A, Cfg, Ctx), B, Cfg, Ctx);
+  if (!detail::matchesGeometry(B, Cfg))
+    return sub(A, rehome(B, Cfg, Ctx), Cfg, Ctx);
+  if constexpr (std::is_same_v<CT, F64Center>)
+    if (Cfg.Vectorize && simd::supports(Cfg))
+      return simd::addDirectAvx2(A, B, -1.0, Cfg, Ctx);
+  return Cfg.Placement == PlacementPolicy::Sorted
+             ? addSorted(A, B, -1.0, Cfg, Ctx)
+             : addDirect(A, B, -1.0, Cfg, Ctx);
+}
+
+template <typename CT>
+AffineVar<CT> mul(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                  const AAConfig &Cfg, AffineContext &Ctx) {
+  if (!detail::matchesGeometry(A, Cfg))
+    return mul(rehome(A, Cfg, Ctx), B, Cfg, Ctx);
+  if (!detail::matchesGeometry(B, Cfg))
+    return mul(A, rehome(B, Cfg, Ctx), Cfg, Ctx);
+  if constexpr (std::is_same_v<CT, F64Center>)
+    if (Cfg.Vectorize && simd::supports(Cfg))
+      return simd::mulDirectAvx2(A, B, Cfg, Ctx);
+  return Cfg.Placement == PlacementPolicy::Sorted ? mulSorted(A, B, Cfg, Ctx)
+                                                  : mulDirect(A, B, Cfg, Ctx);
+}
+
+/// -â: exact (negation is error-free); no new symbol.
+template <typename CT> AffineVar<CT> neg(const AffineVar<CT> &A) {
+  AffineVar<CT> Out = A;
+  Out.Center = CT::neg(Out.Center);
+  for (int32_t I = 0; I < Out.N; ++I)
+    Out.Coefs[I] = -Out.Coefs[I];
+  return Out;
+}
+
+/// â * s for an *exact* scalar s (constant-folding fast path): scales the
+/// centre and every coefficient with directed rounding; round-off goes to a
+/// fresh symbol.
+template <typename CT>
+AffineVar<CT> scaleExact(const AffineVar<CT> &A, double S, const AAConfig &Cfg,
+                         AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  ++Ctx.NumOps;
+  AffineVar<CT> Out = A;
+  double Err = 0.0;
+  Out.Center = CT::mul(A.Center, CT::fromDouble(S), Err);
+  for (int32_t I = 0; I < Out.N; ++I) {
+    if (Out.Ids[I] == InvalidSymbol)
+      continue;
+    double Cu = fp::mulRU(A.Coefs[I], S);
+    double Cd = fp::mulRD(A.Coefs[I], S);
+    Err = fp::addRU(Err, fp::subRU(Cu, Cd));
+    Out.Coefs[I] = Cu;
+    if (Cu == 0.0)
+      Out.Ids[I] = InvalidSymbol;
+  }
+  if (Cfg.Placement == PlacementPolicy::Sorted) {
+    // Compact dropped zero entries.
+    int32_t W = 0;
+    for (int32_t I = 0; I < Out.N; ++I)
+      if (Out.Ids[I] != InvalidSymbol) {
+        Out.Ids[W] = Out.Ids[I];
+        Out.Coefs[W] = Out.Coefs[I];
+        ++W;
+      }
+    Out.N = W;
+    if ((Err > 0.0 || std::isnan(Err)) && Out.N == Cfg.K) {
+      detail::Entry Merged[MaxInlineSymbols];
+      for (int32_t I = 0; I < Out.N; ++I)
+        Merged[I] = {Out.Ids[I], Out.Coefs[I]};
+      int M = detail::fuseVictims(Merged, Out.N, 1, Cfg.Fusion,
+                                  Cfg.Prioritize, Ctx, Err);
+      Out.N = 0;
+      detail::finalizeSorted(Out, Merged, M, Err, Cfg, Ctx);
+      return Out;
+    }
+  }
+  if (Err > 0.0 || std::isnan(Err))
+    insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+  return Out;
+}
+
+/// â + s for an exact scalar s: only the centre moves.
+template <typename CT>
+AffineVar<CT> addExact(const AffineVar<CT> &A, double S, const AAConfig &Cfg,
+                       AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  ++Ctx.NumOps;
+  AffineVar<CT> Out = A;
+  double Err = 0.0;
+  Out.Center = CT::add(A.Center, CT::fromDouble(S), Err);
+  if (Err > 0.0 || std::isnan(Err)) {
+    if (Cfg.Placement == PlacementPolicy::Sorted && Out.N == Cfg.K) {
+      detail::Entry Merged[MaxInlineSymbols];
+      for (int32_t I = 0; I < Out.N; ++I)
+        Merged[I] = {Out.Ids[I], Out.Coefs[I]};
+      int M = detail::fuseVictims(Merged, Out.N, 1, Cfg.Fusion,
+                                  Cfg.Prioritize, Ctx, Err);
+      Out.N = 0;
+      detail::finalizeSorted(Out, Merged, M, Err, Cfg, Ctx);
+      return Out;
+    }
+    insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+  }
+  return Out;
+}
+
+} // namespace ops
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_AFFINEOPS_H

@@ -1,0 +1,223 @@
+//===- AffineVar.h - Affine variable storage --------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage of an affine variable â = a0 + Σ ai·εi (paper Eq. (1)) with a
+/// *bounded* number of symbols held inline (no heap traffic on the hot
+/// path). The same storage serves both placement policies of Sec. V-A:
+///
+///  * sorted: entries [0, N) hold symbols with strictly ascending ids;
+///  * direct-mapped: entries [0, K) are slots; the symbol with id s lives
+///    in slot (s-1) mod K; Ids[slot] == InvalidSymbol marks an empty slot
+///    (N == K always).
+///
+/// The central value type is a template parameter so that f64a (double
+/// central), dda (double-double central, Sec. IV-A) and f32a (float
+/// central) share all of the symbol machinery; coefficients are always
+/// double, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_AFFINEVAR_H
+#define SAFEGEN_AA_AFFINEVAR_H
+
+#include "aa/Symbol.h"
+#include "fp/DoubleDouble.h"
+#include "fp/Rounding.h"
+#include "fp/Ulp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace safegen {
+namespace aa {
+
+/// Hard upper limit on K for the inline affine types. The paper sweeps
+/// k = 8..48; 64 leaves headroom and keeps a variable at ~1 KiB.
+inline constexpr int MaxInlineSymbols = 64;
+
+/// \name Central-value traits.
+/// Each trait provides the central type plus sound helpers used by the
+/// operation kernels. All helpers require upward rounding mode and
+/// accumulate their round-off upper bounds into \p Err with upward adds.
+/// @{
+
+/// Trait for f64a: double central value.
+struct F64Center {
+  using Type = double;
+  static constexpr int MantissaBits = 53;
+
+  static double fromDouble(double X) { return X; }
+  static double toDouble(Type C) { return C; }
+  static bool isNaN(Type C) { return std::isnan(C); }
+
+  /// C = A + B soundly; the distance to the exact sum goes into Err.
+  static Type add(Type A, Type B, double &Err) {
+    double Up = fp::addRU(A, B);
+    Err = fp::addRU(Err, fp::subRU(Up, fp::addRD(A, B)));
+    return Up;
+  }
+  static Type sub(Type A, Type B, double &Err) {
+    double Up = fp::subRU(A, B);
+    Err = fp::addRU(Err, fp::subRU(Up, fp::subRD(A, B)));
+    return Up;
+  }
+  static Type mul(Type A, Type B, double &Err) {
+    double Up = fp::mulRU(A, B);
+    Err = fp::addRU(Err, fp::subRU(Up, fp::mulRD(A, B)));
+    return Up;
+  }
+  static Type neg(Type A) { return -A; }
+
+  /// Double enclosure [Lo, Hi] of the central value (exact for f64).
+  static void bounds(Type C, double &Lo, double &Hi) { Lo = Hi = C; }
+};
+
+/// Trait for dda: double-double central value. The dd kernels are exact
+/// only in round-to-nearest, so every operation charges the conservative
+/// directed-rounding residual (fp::DD_RESIDUAL_EPS; DESIGN.md §2).
+struct DDCenter {
+  using Type = fp::DD;
+  static constexpr int MantissaBits = 106;
+
+  static Type fromDouble(double X) { return fp::DD(X); }
+  static double toDouble(Type C) { return C.toDouble(); }
+  static bool isNaN(Type C) { return C.isNaN(); }
+
+  /// Residual bound of one dd operation under directed rounding, scaled by
+  /// the *operand* magnitudes (cancellation can make the result arbitrarily
+  /// smaller than the inputs while the kernel error stays input-sized).
+  static double residual(double ScaleMag) {
+    return fp::addRU(fp::mulRU(ScaleMag, 0x1p-97), 0x1p-1000);
+  }
+
+  static Type add(Type A, Type B, double &Err) {
+    fp::DD Z = fp::add(A, B);
+    Err = fp::addRU(
+        Err, residual(fp::addRU(std::fabs(A.Hi), std::fabs(B.Hi))));
+    return Z;
+  }
+  static Type sub(Type A, Type B, double &Err) {
+    fp::DD Z = fp::sub(A, B);
+    Err = fp::addRU(
+        Err, residual(fp::addRU(std::fabs(A.Hi), std::fabs(B.Hi))));
+    return Z;
+  }
+  static Type mul(Type A, Type B, double &Err) {
+    fp::DD Z = fp::mul(A, B);
+    Err = fp::addRU(
+        Err, residual(fp::mulRU(std::fabs(A.Hi), std::fabs(B.Hi))));
+    return Z;
+  }
+  static Type neg(Type A) { return -A; }
+
+  static void bounds(Type C, double &Lo, double &Hi) {
+    // The true value lies within one double-ulp of Hi+Lo in each direction.
+    double D = C.toDouble();
+    Lo = std::nextafter(D, -HUGE_VAL);
+    Hi = std::nextafter(D, HUGE_VAL);
+  }
+};
+
+/// Trait for f32a: float central value (coefficients stay double).
+struct F32Center {
+  using Type = float;
+  static constexpr int MantissaBits = 24;
+
+  static float fromDouble(double X) { return static_cast<float>(X); }
+  static double toDouble(Type C) { return C; }
+  static bool isNaN(Type C) { return std::isnan(C); }
+
+  static Type add(Type A, Type B, double &Err) {
+    float Up = A + B; // upward mode applies to float too
+    float Dn = -((-A) + (-B));
+    Err = fp::addRU(Err, static_cast<double>(Up) - static_cast<double>(Dn));
+    return Up;
+  }
+  static Type sub(Type A, Type B, double &Err) { return add(A, -B, Err); }
+  static Type mul(Type A, Type B, double &Err) {
+    float Up = A * B;
+    float Dn = -((-A) * B);
+    Err = fp::addRU(Err, static_cast<double>(Up) - static_cast<double>(Dn));
+    return Up;
+  }
+  static Type neg(Type A) { return -A; }
+
+  static void bounds(Type C, double &Lo, double &Hi) { Lo = Hi = C; }
+};
+/// @}
+
+/// An affine variable with inline symbol storage. \p CT is one of the
+/// central-value traits above. Plain aggregate; all arithmetic lives in
+/// AffineOps.h.
+template <typename CT> struct AffineVar {
+  using CenterType = typename CT::Type;
+  using Traits = CT;
+
+  CenterType Center{};
+  /// Number of valid entries: live symbols (sorted) or K slots (direct).
+  int32_t N = 0;
+  SymbolId Ids[MaxInlineSymbols];
+  double Coefs[MaxInlineSymbols];
+
+  AffineVar() = default;
+
+  /// The radius r(â) = Σ|ai| of Eq. (2), rounded upward. Requires upward
+  /// mode. Empty slots (id 0) contribute |0| and are harmless.
+  double radius() const {
+    SAFEGEN_ASSERT_ROUND_UP();
+    double R = 0.0;
+    for (int32_t I = 0; I < N; ++I)
+      R += std::fabs(Coefs[I]);
+    return R;
+  }
+
+  /// Number of live (non-empty) symbols.
+  int32_t countSymbols() const {
+    int32_t C = 0;
+    for (int32_t I = 0; I < N; ++I)
+      C += Ids[I] != InvalidSymbol;
+    return C;
+  }
+
+  /// True if any coefficient or the centre is NaN (value unconstrained,
+  /// Sec. IV-A conventions).
+  bool isNaN() const {
+    if (CT::isNaN(Center))
+      return true;
+    for (int32_t I = 0; I < N; ++I)
+      if (std::isnan(Coefs[I]))
+        return true;
+    return false;
+  }
+
+  /// Enclosing interval [Lo, Hi] per Eq. (2). Requires upward mode.
+  void bounds(double &Lo, double &Hi) const {
+    double R = radius();
+    double CLo, CHi;
+    CT::bounds(Center, CLo, CHi);
+    Lo = fp::subRD(CLo, R);
+    Hi = fp::addRU(CHi, R);
+  }
+
+  /// Looks up the coefficient of symbol \p Id (linear scan; for tests and
+  /// diagnostics, not the hot path). Returns 0 when absent.
+  double coefficientOf(SymbolId Id) const {
+    for (int32_t I = 0; I < N; ++I)
+      if (Ids[I] == Id)
+        return Coefs[I];
+    return 0.0;
+  }
+};
+
+using AffineF64Storage = AffineVar<F64Center>;
+using AffineDDStorage = AffineVar<DDCenter>;
+using AffineF32Storage = AffineVar<F32Center>;
+
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_AFFINEVAR_H

@@ -1,0 +1,295 @@
+//===- Elementary.h - Nonlinear affine operations ---------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Division and elementary functions (sqrt, 1/x, exp, log) for affine
+/// variables via sound *min-range* linearization: over the enclosing
+/// interval [l,u] of the argument, f is replaced by α·x + ζ ± δ where α is
+/// f' evaluated at the endpoint of smallest |f'| (rounded so that
+/// d(x) = f(x) − α·x stays monotone on [l,u]) and [ζ−δ, ζ+δ] encloses d at
+/// both endpoints — computed with interval arithmetic so every rounding is
+/// accounted for. The affine result is α·â + ζ plus a fresh symbol of
+/// magnitude δ (plus the scaling round-off).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_ELEMENTARY_H
+#define SAFEGEN_AA_ELEMENTARY_H
+
+#include "aa/AffineOps.h"
+#include "ia/Interval.h"
+
+#include <limits>
+
+namespace safegen {
+namespace aa {
+namespace ops {
+
+/// α·â + ζ with an extra fresh deviation of magnitude \p Delta, in a
+/// single pass (one fresh symbol total). The linear-map building block for
+/// all nonlinear operations. Requires upward mode.
+template <typename CT>
+AffineVar<CT> affineLinearMap(const AffineVar<CT> &A, double Alpha,
+                              double Zeta, double Delta, const AAConfig &Cfg,
+                              AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  ++Ctx.NumOps;
+  AffineVar<CT> Out = A;
+  double Err = Delta;
+  typename CT::Type Scaled =
+      CT::mul(A.Center, CT::fromDouble(Alpha), Err);
+  Out.Center = CT::add(Scaled, CT::fromDouble(Zeta), Err);
+  for (int32_t I = 0; I < Out.N; ++I) {
+    if (Out.Ids[I] == InvalidSymbol)
+      continue;
+    double Cu = fp::mulRU(A.Coefs[I], Alpha);
+    double Cd = fp::mulRD(A.Coefs[I], Alpha);
+    Err = fp::addRU(Err, fp::subRU(Cu, Cd));
+    Out.Coefs[I] = Cu;
+    if (Cu == 0.0)
+      Out.Ids[I] = InvalidSymbol;
+  }
+  if (Cfg.Placement == PlacementPolicy::Sorted) {
+    int32_t W = 0;
+    for (int32_t I = 0; I < Out.N; ++I)
+      if (Out.Ids[I] != InvalidSymbol) {
+        Out.Ids[W] = Out.Ids[I];
+        Out.Coefs[W] = Out.Coefs[I];
+        ++W;
+      }
+    Out.N = W;
+    if ((Err > 0.0 || std::isnan(Err)) && Out.N >= Cfg.K) {
+      detail::Entry Merged[MaxInlineSymbols];
+      for (int32_t I = 0; I < Out.N; ++I)
+        Merged[I] = {Out.Ids[I], Out.Coefs[I]};
+      int M = detail::fuseVictims(Merged, Out.N, Out.N - (Cfg.K - 1),
+                                  Cfg.Fusion, Cfg.Prioritize, Ctx, Err);
+      Out.N = 0;
+      detail::finalizeSorted(Out, Merged, M, Err, Cfg, Ctx);
+      return Out;
+    }
+  }
+  if (Err > 0.0 || std::isnan(Err))
+    insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+  return Out;
+}
+
+namespace detail {
+
+/// Computes ζ and δ from sound interval enclosures of d(l) and d(u)
+/// (min-range residual at the two endpoints).
+inline void residualToZetaDelta(const ia::Interval &Dl, const ia::Interval &Du,
+                                double &Zeta, double &Delta) {
+  ia::Interval H = ia::hull(Dl, Du);
+  if (H.isNaN()) {
+    Zeta = std::numeric_limits<double>::quiet_NaN();
+    Delta = std::numeric_limits<double>::quiet_NaN();
+    return;
+  }
+  Zeta = H.mid(); // any rounding: Delta below covers the slack
+  Delta = std::fmax(fp::subRU(H.Hi, Zeta), fp::subRU(Zeta, H.Lo));
+}
+
+/// The "anything" result used when the argument range leaves the domain.
+template <typename CT>
+AffineVar<CT> nanResult(const AAConfig &Cfg) {
+  AffineVar<CT> V;
+  initExact(V, std::numeric_limits<double>::quiet_NaN(), Cfg);
+  return V;
+}
+
+} // namespace detail
+
+/// 1/â. Requires 0 outside the enclosing interval of â, otherwise returns
+/// the NaN form ("value can be anything").
+template <typename CT>
+AffineVar<CT> inv(const AffineVar<CT> &A, const AAConfig &Cfg,
+                  AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  double L, U;
+  A.bounds(L, U);
+  if (std::isnan(L) || std::isnan(U) || (L <= 0.0 && U >= 0.0))
+    return detail::nanResult<CT>(Cfg);
+  // Endpoint with the largest magnitude carries min |f'| = 1/x^2.
+  double M = std::fabs(L) > std::fabs(U) ? L : U;
+  // α >= -1/M^2 keeps d(x) = 1/x - αx monotone on [L,U]: round the
+  // magnitude of 1/M^2 downward.
+  double Alpha = -fp::mulRD(fp::divRD(1.0, std::fabs(M)),
+                            fp::divRD(1.0, std::fabs(M)));
+  ia::Interval IAlpha(Alpha);
+  ia::Interval Dl = ia::div(ia::Interval(1.0), ia::Interval(L)) -
+                    IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::div(ia::Interval(1.0), ia::Interval(U)) -
+                    IAlpha * ia::Interval(U);
+  double Zeta, Delta;
+  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
+  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+}
+
+/// â / b̂ = â · (1/b̂).
+template <typename CT>
+AffineVar<CT> div(const AffineVar<CT> &A, const AffineVar<CT> &B,
+                  const AAConfig &Cfg, AffineContext &Ctx) {
+  return mul(A, inv(B, Cfg, Ctx), Cfg, Ctx);
+}
+
+/// â / s for an exact scalar (multiplies by the directed reciprocal).
+template <typename CT>
+AffineVar<CT> divExact(const AffineVar<CT> &A, double S, const AAConfig &Cfg,
+                       AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  if (S == 0.0)
+    return detail::nanResult<CT>(Cfg);
+  // 1/S as a tiny interval, folded into the linear map: α ∈ [rd, ru].
+  double Ru = fp::divRU(1.0, S);
+  double Rd = fp::divRD(1.0, S);
+  // Use α = Ru and cover the α uncertainty with δ = |A|max * (Ru - Rd).
+  double L, U;
+  A.bounds(L, U);
+  double MaxAbs = std::fmax(std::fabs(L), std::fabs(U));
+  double Delta = fp::mulRU(MaxAbs, fp::subRU(Ru, Rd));
+  return affineLinearMap(A, Ru, 0.0, Delta, Cfg, Ctx);
+}
+
+/// sqrt(â). Domain: enclosing interval within [0, inf).
+template <typename CT>
+AffineVar<CT> sqrt(const AffineVar<CT> &A, const AAConfig &Cfg,
+                   AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  double L, U;
+  A.bounds(L, U);
+  if (std::isnan(L) || std::isnan(U) || L < 0.0)
+    return detail::nanResult<CT>(Cfg);
+  if (U == 0.0) // â is exactly zero everywhere
+    return makeExact<CT>(0.0, Cfg);
+  // α <= 1/(2 sqrt(U)) keeps d = sqrt(x) - αx monotone: round downward.
+  double SqrtU = std::sqrt(U); // upward-rounded
+  double Alpha = fp::divRD(1.0, fp::mulRU(2.0, SqrtU));
+  ia::Interval IAlpha(Alpha);
+  ia::Interval Dl = ia::sqrt(ia::Interval(L)) - IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::sqrt(ia::Interval(U)) - IAlpha * ia::Interval(U);
+  double Zeta, Delta;
+  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
+  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+}
+
+/// exp(â).
+template <typename CT>
+AffineVar<CT> exp(const AffineVar<CT> &A, const AAConfig &Cfg,
+                  AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  double L, U;
+  A.bounds(L, U);
+  if (std::isnan(L) || std::isnan(U))
+    return detail::nanResult<CT>(Cfg);
+  // α <= exp(L) keeps d = e^x - αx monotone increasing in d'.
+  double Alpha = ia::exp(ia::Interval(L)).Lo;
+  ia::Interval IAlpha(Alpha);
+  ia::Interval Dl = ia::exp(ia::Interval(L)) - IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::exp(ia::Interval(U)) - IAlpha * ia::Interval(U);
+  double Zeta, Delta;
+  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
+  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+}
+
+namespace detail {
+
+/// Shared sin/cos implementation. When the argument range fits inside one
+/// quarter period (no extremum of sin *or* cos inside), the function is
+/// monotone with a monotone, sign-constant derivative: min-range
+/// linearization applies with α = the endpoint derivative of smaller
+/// magnitude, nudged toward zero so d(x) = f(x) − αx stays monotone.
+/// Otherwise the correlation-free interval hull is returned (still
+/// sound).
+template <typename CT>
+AffineVar<CT> trig(const AffineVar<CT> &A, bool IsSin, const AAConfig &Cfg,
+                   AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  double L, U;
+  A.bounds(L, U);
+  if (std::isnan(L) || std::isnan(U))
+    return nanResult<CT>(Cfg);
+  auto Fn = IsSin ? static_cast<ia::Interval (*)(const ia::Interval &)>(
+                        ia::sin)
+                  : ia::cos;
+  // sin's extrema sit at π/2 (mod π); cos's at 0 (mod π).
+  bool SmallArgs = std::fabs(L) < 0x1p45 && std::fabs(U) < 0x1p45;
+  bool HasSinExtremum =
+      !SmallArgs || ia::mayContainHalfTurnPhase(L, U, 1.5707963267948966);
+  bool HasCosExtremum =
+      !SmallArgs || ia::mayContainHalfTurnPhase(L, U, 0.0);
+  if (HasSinExtremum || HasCosExtremum) {
+    ia::Interval R = Fn(ia::Interval(L, U));
+    AffineVar<CT> Out =
+        makeFromInterval<CT>(R.Lo, R.Hi, Cfg, Ctx);
+    ++Ctx.NumOps;
+    return Out;
+  }
+  // Quarter period: derivative at the endpoints, conservatively enclosed.
+  // f' is sign-constant and monotone here, so choosing α between 0 and
+  // the *least* extreme endpoint derivative keeps d(x) = f(x) − αx
+  // monotone; taking the bound over both endpoints makes the choice
+  // immune to which endpoint is actually flatter.
+  auto Deriv = [&](double X) {
+    return IsSin ? ia::cos(ia::Interval(X)) : -ia::sin(ia::Interval(X));
+  };
+  ia::Interval DL = Deriv(L), DU = Deriv(U);
+  double Alpha;
+  if (DL.Lo >= 0.0 && DU.Lo >= 0.0)
+    Alpha = std::fmax(0.0, std::fmin(DL.Lo, DU.Lo)); // α <= min f'
+  else if (DL.Hi <= 0.0 && DU.Hi <= 0.0)
+    Alpha = std::fmin(0.0, std::fmax(DL.Hi, DU.Hi)); // α >= max f'
+  else
+    Alpha = 0.0; // derivative straddles 0 within error: f itself is
+                 // monotone on the quarter period, α = 0 stays sound
+  ia::Interval IAlpha(Alpha);
+  ia::Interval Dl = Fn(ia::Interval(L)) - IAlpha * ia::Interval(L);
+  ia::Interval Du = Fn(ia::Interval(U)) - IAlpha * ia::Interval(U);
+  double Zeta, Delta;
+  residualToZetaDelta(Dl, Du, Zeta, Delta);
+  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+}
+
+} // namespace detail
+
+/// sin(â): min-range within a quarter period, interval hull otherwise.
+template <typename CT>
+AffineVar<CT> sin(const AffineVar<CT> &A, const AAConfig &Cfg,
+                  AffineContext &Ctx) {
+  return detail::trig(A, /*IsSin=*/true, Cfg, Ctx);
+}
+
+/// cos(â): see sin.
+template <typename CT>
+AffineVar<CT> cos(const AffineVar<CT> &A, const AAConfig &Cfg,
+                  AffineContext &Ctx) {
+  return detail::trig(A, /*IsSin=*/false, Cfg, Ctx);
+}
+
+/// log(â). Domain: enclosing interval within (0, inf).
+template <typename CT>
+AffineVar<CT> log(const AffineVar<CT> &A, const AAConfig &Cfg,
+                  AffineContext &Ctx) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  double L, U;
+  A.bounds(L, U);
+  if (std::isnan(L) || std::isnan(U) || L <= 0.0)
+    return detail::nanResult<CT>(Cfg);
+  // α <= 1/U keeps d = ln(x) - αx monotone.
+  double Alpha = fp::divRD(1.0, U);
+  ia::Interval IAlpha(Alpha);
+  ia::Interval Dl = ia::log(ia::Interval(L)) - IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::log(ia::Interval(U)) - IAlpha * ia::Interval(U);
+  double Zeta, Delta;
+  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
+  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+}
+
+} // namespace ops
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_ELEMENTARY_H

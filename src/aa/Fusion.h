@@ -1,0 +1,136 @@
+//===- Fusion.h - Symbol fusion victim selection ----------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When an affine operation ends with more symbols than the budget allows,
+/// some are *fused*: removed from the variable and their absolute
+/// coefficients added (upward-rounded, Eq. (6)) onto the operation's fresh
+/// error symbol. This header implements the four victim-selection policies
+/// of Table I over a scratch array of (id, coefficient) entries, honouring
+/// the protected-symbol set when prioritization is enabled (Sec. VI-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_FUSION_H
+#define SAFEGEN_AA_FUSION_H
+
+#include "aa/AffineVar.h"
+#include "aa/Policy.h"
+#include "aa/Symbol.h"
+#include "fp/Rounding.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace safegen {
+namespace aa {
+namespace detail {
+
+/// Scratch entry used while merging two variables.
+struct Entry {
+  SymbolId Id;
+  double Coef;
+};
+
+/// Selects \p NumVictims entries of \p Entries[0..M) for fusion according
+/// to \p Policy, removes them (compacting, preserving relative order, so
+/// sorted inputs stay sorted), adds their |coefficients| upward-rounded
+/// into \p FusedMagnitude, and returns the new length M - NumVictims.
+///
+/// Protected symbols (when \p UseProtection) are selected only if there are
+/// not enough unprotected candidates. MeanThreshold may fuse *more* than
+/// NumVictims (everything below the mean), per Sec. V-B.
+inline int fuseVictims(Entry *Entries, int M, int NumVictims,
+                       FusionPolicy Policy, bool UseProtection,
+                       AffineContext &Ctx, double &FusedMagnitude) {
+  assert(NumVictims > 0 && NumVictims <= M && "bad victim count");
+  SAFEGEN_ASSERT_ROUND_UP();
+
+  bool Protection = UseProtection && Ctx.hasProtected();
+
+  // Collect candidate indices: unprotected first, protected appended only
+  // if needed.
+  int Idx[2 * MaxInlineSymbols + 2];
+  int NumCand = 0;
+  for (int I = 0; I < M; ++I)
+    if (!Protection || !Ctx.isProtected(Entries[I].Id))
+      Idx[NumCand++] = I;
+  if (NumCand < NumVictims) {
+    // Capacity forces fusing protected symbols too (oldest first).
+    for (int I = 0; I < M && NumCand < M; ++I)
+      if (Protection && Ctx.isProtected(Entries[I].Id))
+        Idx[NumCand++] = I;
+  }
+  assert(NumCand >= NumVictims && "cannot find enough victims");
+
+  // Order the first NumVictims candidate slots per policy.
+  switch (Policy) {
+  case FusionPolicy::Oldest:
+    // Entries are produced in ascending-id order by both placements'
+    // merge loops, and unprotected candidates preserve that order: the
+    // first NumVictims candidates are already the oldest.
+    break;
+  case FusionPolicy::Smallest:
+    std::nth_element(Idx, Idx + NumVictims - 1, Idx + NumCand,
+                     [&](int A, int B) {
+                       return std::fabs(Entries[A].Coef) <
+                              std::fabs(Entries[B].Coef);
+                     });
+    break;
+  case FusionPolicy::MeanThreshold: {
+    double Sum = 0.0;
+    for (int I = 0; I < NumCand; ++I)
+      Sum += std::fabs(Entries[Idx[I]].Coef);
+    double Mean = Sum / NumCand; // any rounding is fine: selection only
+    // Move everything strictly below the mean to the front.
+    int Below = 0;
+    for (int I = 0; I < NumCand; ++I)
+      if (std::fabs(Entries[Idx[I]].Coef) < Mean)
+        std::swap(Idx[Below++], Idx[I]);
+    if (Below < NumVictims) {
+      // Not enough below the mean: fall back to OP (ascending id) for the
+      // remainder.
+      std::sort(Idx + Below, Idx + NumCand, [&](int A, int B) {
+        return Entries[A].Id < Entries[B].Id;
+      });
+    } else {
+      NumVictims = Below; // fuse the whole below-mean set
+    }
+    break;
+  }
+  case FusionPolicy::Random:
+    // Partial Fisher-Yates over the candidates.
+    for (int I = 0; I < NumVictims; ++I) {
+      int J = I + static_cast<int>(Ctx.nextRandom() % (NumCand - I));
+      std::swap(Idx[I], Idx[J]);
+    }
+    break;
+  }
+
+  // Accumulate the victims' magnitudes (Eq. (6)) and mark them dead.
+  for (int I = 0; I < NumVictims; ++I) {
+    Entry &E = Entries[Idx[I]];
+    FusedMagnitude = fp::addRU(FusedMagnitude, std::fabs(E.Coef));
+    E.Id = InvalidSymbol;
+    E.Coef = 0.0;
+  }
+  Ctx.NumFusions += NumVictims;
+
+  // Compact, preserving order.
+  int Out = 0;
+  for (int I = 0; I < M; ++I)
+    if (Entries[I].Id != InvalidSymbol)
+      Entries[Out++] = Entries[I];
+  return Out;
+}
+
+} // namespace detail
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_FUSION_H

@@ -1,0 +1,137 @@
+//===- Policy.cpp ---------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aa/Policy.h"
+
+using namespace safegen;
+using namespace safegen::aa;
+
+const char *aa::placementName(PlacementPolicy P) {
+  switch (P) {
+  case PlacementPolicy::Sorted:
+    return "sorted";
+  case PlacementPolicy::DirectMapped:
+    return "direct-mapped";
+  }
+  return "unknown";
+}
+
+const char *aa::fusionName(FusionPolicy F) {
+  switch (F) {
+  case FusionPolicy::Random:
+    return "random";
+  case FusionPolicy::Oldest:
+    return "oldest";
+  case FusionPolicy::Smallest:
+    return "smallest";
+  case FusionPolicy::MeanThreshold:
+    return "mean-threshold";
+  }
+  return "unknown";
+}
+
+const char *aa::precisionName(AffinePrecision P) {
+  switch (P) {
+  case AffinePrecision::F32:
+    return "f32a";
+  case AffinePrecision::F64:
+    return "f64a";
+  case AffinePrecision::DD:
+    return "dda";
+  }
+  return "unknown";
+}
+
+std::optional<AAConfig> AAConfig::parse(const std::string &Notation) {
+  size_t Dash = Notation.find('-');
+  if (Dash == std::string::npos)
+    return std::nullopt;
+  std::string Prec = Notation.substr(0, Dash);
+  std::string Flags = Notation.substr(Dash + 1);
+  if (Flags.size() != 4)
+    return std::nullopt;
+
+  AAConfig C;
+  if (Prec == "f64a")
+    C.Precision = AffinePrecision::F64;
+  else if (Prec == "dda")
+    C.Precision = AffinePrecision::DD;
+  else if (Prec == "f32a")
+    C.Precision = AffinePrecision::F32;
+  else
+    return std::nullopt;
+
+  switch (Flags[0]) {
+  case 's':
+    C.Placement = PlacementPolicy::Sorted;
+    break;
+  case 'd':
+    C.Placement = PlacementPolicy::DirectMapped;
+    break;
+  default:
+    return std::nullopt;
+  }
+  switch (Flags[1]) {
+  case 's':
+    C.Fusion = FusionPolicy::Smallest;
+    break;
+  case 'm':
+    C.Fusion = FusionPolicy::MeanThreshold;
+    break;
+  case 'o':
+    C.Fusion = FusionPolicy::Oldest;
+    break;
+  case 'r':
+    C.Fusion = FusionPolicy::Random;
+    break;
+  default:
+    return std::nullopt;
+  }
+  switch (Flags[2]) {
+  case 'p':
+    C.Prioritize = true;
+    break;
+  case 'n':
+    C.Prioritize = false;
+    break;
+  default:
+    return std::nullopt;
+  }
+  switch (Flags[3]) {
+  case 'v':
+    C.Vectorize = true;
+    break;
+  case 'n':
+    C.Vectorize = false;
+    break;
+  default:
+    return std::nullopt;
+  }
+  return C;
+}
+
+std::string AAConfig::str() const {
+  std::string S = precisionName(Precision);
+  S += '-';
+  S += Placement == PlacementPolicy::Sorted ? 's' : 'd';
+  switch (Fusion) {
+  case FusionPolicy::Smallest:
+    S += 's';
+    break;
+  case FusionPolicy::MeanThreshold:
+    S += 'm';
+    break;
+  case FusionPolicy::Oldest:
+    S += 'o';
+    break;
+  case FusionPolicy::Random:
+    S += 'r';
+    break;
+  }
+  S += Prioritize ? 'p' : 'n';
+  S += Vectorize ? 'v' : 'n';
+  return S;
+}

@@ -1,0 +1,76 @@
+//===- Policy.h - Symbol placement and fusion policies ----------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The policy knobs of Sec. V: where symbols live inside an affine variable
+/// (placement) and which symbols are sacrificed when an operation exceeds
+/// the symbol budget k (fusion, Table I). Also the textual configuration
+/// notation of Sec. VII ("f64a-dspv" etc.) used by the driver and benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_POLICY_H
+#define SAFEGEN_AA_POLICY_H
+
+#include <optional>
+#include <string>
+
+namespace safegen {
+namespace aa {
+
+/// How symbols are stored inside an affine variable (Sec. V-A).
+enum class PlacementPolicy {
+  Sorted,       ///< ids kept ascending; ops merge like sorted lists
+  DirectMapped, ///< symbol id s lives in slot (s mod k); conflicts fused
+};
+
+/// Which symbols to fuse when the budget k is exceeded (Table I).
+enum class FusionPolicy {
+  Random,        ///< RP: uniformly random victims (baseline)
+  Oldest,        ///< OP: smallest ids (least recently created) first
+  Smallest,      ///< SP: smallest |coefficient| first
+  MeanThreshold, ///< MP: everything below the mean |coefficient|; OP fills
+};
+
+/// Numeric format of the affine type (Sec. IV-A).
+enum class AffinePrecision {
+  F32, ///< float central value, float coefficients
+  F64, ///< double central value, double coefficients (f64a)
+  DD,  ///< double-double central value, double coefficients (dda)
+};
+
+/// A full runtime configuration for the affine library.
+struct AAConfig {
+  /// Maximum number of error symbols per affine variable; must be >= 2.
+  /// For AffineF64/AffineDD also <= MaxInlineSymbols.
+  int K = 16;
+  PlacementPolicy Placement = PlacementPolicy::DirectMapped;
+  FusionPolicy Fusion = FusionPolicy::Smallest;
+  /// Use the AVX2 kernels where available (direct-mapped placement, 4 | K).
+  bool Vectorize = false;
+  /// Honour the protected-symbol set during fusion (the 'p' in "dspv").
+  bool Prioritize = false;
+  AffinePrecision Precision = AffinePrecision::F64;
+
+  /// Parses the paper's notation: "<prec>-<w><x><y><z>" with
+  /// prec in {f64a, dda, f32a}, w in {s,d} placement, x in {s,m,o,r}
+  /// fusion, y in {p,n} prioritization, z in {v,n} vectorization.
+  /// Example: "f64a-dspv". Returns std::nullopt on malformed input.
+  static std::optional<AAConfig> parse(const std::string &Notation);
+
+  /// Renders the configuration in the paper's notation.
+  std::string str() const;
+};
+
+/// Human-readable policy names (for diagnostics and bench tables).
+const char *placementName(PlacementPolicy P);
+const char *fusionName(FusionPolicy F);
+const char *precisionName(AffinePrecision P);
+
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_POLICY_H

@@ -1,0 +1,357 @@
+//===- Runtime.h - The interface SafeGen-generated code uses ----*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat, C-style API that SafeGen emits calls to (paper Fig. 2 shows
+/// names like `aa_mul_f64`, `aa_sqrt_f64`). The emitted code is compiled
+/// as C++ (as with IGen), so these are thin inline wrappers over the
+/// affine classes. One family per precision: *_f64 (f64a), *_dd (dda),
+/// *_f32 (f32a), plus the 4-lane `f64a_x4` family used when SIMD
+/// intrinsics appear in the input (Sec. IV-B).
+///
+/// Environment: the generated function body runs inside an
+/// `sg::SoundScope`, which establishes upward rounding and the affine
+/// configuration (placement/fusion/k/priorities/vectorization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_RUNTIME_H
+#define SAFEGEN_AA_RUNTIME_H
+
+#include "aa/Affine.h"
+
+namespace safegen {
+namespace sg {
+
+/// Establishes everything a sound function needs: FPU upward rounding and
+/// an affine environment with the given configuration.
+class SoundScope {
+public:
+  explicit SoundScope(const aa::AAConfig &Config)
+      : Env(Config) {}
+  SoundScope(const std::string &Notation, int K)
+      : SoundScope(makeConfig(Notation, K)) {}
+
+  aa::AffineEnv &env() { return Env.get(); }
+
+private:
+  static aa::AAConfig makeConfig(const std::string &Notation, int K) {
+    auto C = aa::AAConfig::parse(Notation);
+    aa::AAConfig Config = C ? *C : aa::AAConfig();
+    Config.K = K;
+    return Config;
+  }
+
+  fp::RoundUpwardScope Rounding;
+  aa::AffineEnvScope Env;
+};
+
+} // namespace sg
+} // namespace safegen
+
+// Generated code is written against the unqualified names below.
+using f64a = safegen::aa::F64a;
+using dda = safegen::aa::DDa;
+using f32a = safegen::aa::F32a;
+
+//===----------------------------------------------------------------------===//
+// f64a family
+//===----------------------------------------------------------------------===//
+
+/// A source constant, widened by 1 ulp unless integral (Sec. IV-B).
+static inline f64a aa_const_f64(double X) { return f64a(X); }
+/// An exactly representable value (no error symbol).
+static inline f64a aa_exact_f64(double X) { return f64a::exact(X); }
+/// An input with a 1-ulp deviation symbol.
+static inline f64a aa_input_f64(double X) { return f64a::input(X); }
+static inline f64a aa_input_dev_f64(double X, double Dev) {
+  return f64a::input(X, Dev);
+}
+static inline f64a aa_from_interval_f64(double Lo, double Hi) {
+  return f64a::fromInterval(Lo, Hi);
+}
+
+static inline f64a aa_add_f64(const f64a &A, const f64a &B) { return A + B; }
+static inline f64a aa_sub_f64(const f64a &A, const f64a &B) { return A - B; }
+static inline f64a aa_mul_f64(const f64a &A, const f64a &B) { return A * B; }
+static inline f64a aa_div_f64(const f64a &A, const f64a &B) { return A / B; }
+static inline f64a aa_neg_f64(const f64a &A) { return -A; }
+static inline f64a aa_sqrt_f64(const f64a &A) { return safegen::aa::sqrt(A); }
+static inline f64a aa_exp_f64(const f64a &A) { return safegen::aa::exp(A); }
+static inline f64a aa_log_f64(const f64a &A) { return safegen::aa::log(A); }
+static inline f64a aa_inv_f64(const f64a &A) { return safegen::aa::inv(A); }
+static inline f64a aa_sin_f64(const f64a &A) { return safegen::aa::sin(A); }
+static inline f64a aa_cos_f64(const f64a &A) { return safegen::aa::cos(A); }
+
+/// Sound |â|: keeps the form when the sign is certain, otherwise hulls.
+static inline f64a aa_fabs_f64(const f64a &A) {
+  safegen::ia::Interval R = A.toInterval();
+  if (R.isNaN())
+    return A;
+  if (R.Lo >= 0.0)
+    return A;
+  if (R.Hi <= 0.0)
+    return -A;
+  return f64a::fromInterval(0.0, std::fmax(-R.Lo, R.Hi));
+}
+
+/// Sound max/min: picks a side when certain, otherwise the interval hull.
+static inline f64a aa_fmax_f64(const f64a &A, const f64a &B) {
+  safegen::ia::Interval Ra = A.toInterval(), Rb = B.toInterval();
+  if (!Ra.isNaN() && !Rb.isNaN()) {
+    if (Ra.Lo >= Rb.Hi)
+      return A;
+    if (Rb.Lo >= Ra.Hi)
+      return B;
+    return f64a::fromInterval(std::fmax(Ra.Lo, Rb.Lo),
+                              std::fmax(Ra.Hi, Rb.Hi));
+  }
+  return f64a::exact(std::numeric_limits<double>::quiet_NaN());
+}
+static inline f64a aa_fmin_f64(const f64a &A, const f64a &B) {
+  return aa_neg_f64(aa_fmax_f64(-A, -B));
+}
+
+/// Branch decisions: deterministic midpoint comparison (the sound ranges
+/// still enclose every outcome of the chosen control path; see README on
+/// control flow).
+static inline int aa_lt_f64(const f64a &A, const f64a &B) {
+  return A.mid() < B.mid();
+}
+static inline int aa_le_f64(const f64a &A, const f64a &B) {
+  return A.mid() <= B.mid();
+}
+static inline int aa_gt_f64(const f64a &A, const f64a &B) {
+  return A.mid() > B.mid();
+}
+static inline int aa_ge_f64(const f64a &A, const f64a &B) {
+  return A.mid() >= B.mid();
+}
+static inline int aa_eq_f64(const f64a &A, const f64a &B) {
+  return A.mid() == B.mid();
+}
+static inline int aa_ne_f64(const f64a &A, const f64a &B) {
+  return A.mid() != B.mid();
+}
+/// Certain (three-valued collapsed to certain-true) comparisons.
+static inline int aa_certainly_lt_f64(const f64a &A, const f64a &B) {
+  return safegen::ia::less(A.toInterval(), B.toInterval()) ==
+         safegen::ia::Tribool::True;
+}
+
+/// Pragma lowering: protect this variable's symbols from fusion.
+static inline void aa_prioritize_f64(const f64a &A) { A.prioritize(); }
+
+/// \name Result queries (harness side).
+/// @{
+static inline double aa_lo_f64(const f64a &A) { return A.toInterval().Lo; }
+static inline double aa_hi_f64(const f64a &A) { return A.toInterval().Hi; }
+static inline double aa_mid_f64(const f64a &A) { return A.mid(); }
+static inline double aa_rad_f64(const f64a &A) { return A.radius(); }
+static inline double aa_bits_f64(const f64a &A) { return A.certifiedBits(); }
+/// @}
+
+//===----------------------------------------------------------------------===//
+// dda family (double-double central value)
+//===----------------------------------------------------------------------===//
+
+static inline dda aa_const_dd(double X) { return dda(X); }
+static inline dda aa_exact_dd(double X) { return dda::exact(X); }
+static inline dda aa_input_dd(double X) { return dda::input(X); }
+static inline dda aa_input_dev_dd(double X, double Dev) {
+  return dda::input(X, Dev);
+}
+static inline dda aa_add_dd(const dda &A, const dda &B) { return A + B; }
+static inline dda aa_sub_dd(const dda &A, const dda &B) { return A - B; }
+static inline dda aa_mul_dd(const dda &A, const dda &B) { return A * B; }
+static inline dda aa_div_dd(const dda &A, const dda &B) { return A / B; }
+static inline dda aa_neg_dd(const dda &A) { return -A; }
+static inline dda aa_sqrt_dd(const dda &A) { return safegen::aa::sqrt(A); }
+static inline dda aa_sin_dd(const dda &A) { return safegen::aa::sin(A); }
+static inline dda aa_cos_dd(const dda &A) { return safegen::aa::cos(A); }
+static inline dda aa_exp_dd(const dda &A) { return safegen::aa::exp(A); }
+static inline dda aa_log_dd(const dda &A) { return safegen::aa::log(A); }
+static inline dda aa_fabs_dd(const dda &A) {
+  safegen::ia::Interval R = A.toInterval();
+  if (R.isNaN())
+    return A;
+  if (R.Lo >= 0.0)
+    return A;
+  if (R.Hi <= 0.0)
+    return -A;
+  return dda::fromInterval(0.0, std::fmax(-R.Lo, R.Hi));
+}
+static inline int aa_lt_dd(const dda &A, const dda &B) {
+  return A.mid() < B.mid();
+}
+static inline int aa_le_dd(const dda &A, const dda &B) {
+  return A.mid() <= B.mid();
+}
+static inline int aa_gt_dd(const dda &A, const dda &B) {
+  return A.mid() > B.mid();
+}
+static inline int aa_ge_dd(const dda &A, const dda &B) {
+  return A.mid() >= B.mid();
+}
+static inline int aa_eq_dd(const dda &A, const dda &B) {
+  return A.mid() == B.mid();
+}
+static inline int aa_ne_dd(const dda &A, const dda &B) {
+  return A.mid() != B.mid();
+}
+static inline void aa_prioritize_dd(const dda &A) { A.prioritize(); }
+static inline double aa_lo_dd(const dda &A) { return A.toInterval().Lo; }
+static inline double aa_hi_dd(const dda &A) { return A.toInterval().Hi; }
+static inline double aa_bits_dd(const dda &A) { return A.certifiedBits(); }
+
+//===----------------------------------------------------------------------===//
+// f32a family (float central value)
+//===----------------------------------------------------------------------===//
+
+static inline f32a aa_const_f32(double X) { return f32a(X); }
+static inline f32a aa_exact_f32(double X) { return f32a::exact(X); }
+static inline f32a aa_input_f32(double X) { return f32a::input(X); }
+static inline f32a aa_add_f32(const f32a &A, const f32a &B) { return A + B; }
+static inline f32a aa_sub_f32(const f32a &A, const f32a &B) { return A - B; }
+static inline f32a aa_mul_f32(const f32a &A, const f32a &B) { return A * B; }
+static inline f32a aa_div_f32(const f32a &A, const f32a &B) { return A / B; }
+static inline f32a aa_neg_f32(const f32a &A) { return -A; }
+static inline int aa_lt_f32(const f32a &A, const f32a &B) {
+  return A.mid() < B.mid();
+}
+static inline void aa_prioritize_f32(const f32a &A) { A.prioritize(); }
+static inline double aa_bits_f32(const f32a &A) { return A.certifiedBits(); }
+
+//===----------------------------------------------------------------------===//
+// Precision cross-casts
+//===----------------------------------------------------------------------===//
+
+/// (float) on an f64a / (double) on an f32a: the value set is preserved;
+/// only the enclosing interval is transferred (correlations drop, sound).
+static inline f32a aa_cast_f64_to_f32(const f64a &A) {
+  safegen::ia::Interval R = A.toInterval();
+  return f32a::fromInterval(R.Lo, R.Hi);
+}
+static inline f64a aa_cast_f32_to_f64(const f32a &A) {
+  safegen::ia::Interval R = A.toInterval();
+  return f64a::fromInterval(R.Lo, R.Hi);
+}
+
+//===----------------------------------------------------------------------===//
+// f64a_x4: affine lowering of __m256d (SIMD intrinsics in the *input*)
+//===----------------------------------------------------------------------===//
+
+/// Four affine lanes, the sound counterpart of one __m256d value.
+struct f64a_x4 {
+  f64a v[4];
+};
+
+static inline f64a_x4 aa_x4_set1(const f64a &A) {
+  return f64a_x4{{A, A, A, A}};
+}
+static inline f64a_x4 aa_x4_setzero() {
+  f64a Z = aa_exact_f64(0.0);
+  return f64a_x4{{Z, Z, Z, Z}};
+}
+/// _mm256_set_pd lists lanes high-to-low.
+static inline f64a_x4 aa_x4_set(const f64a &D3, const f64a &D2,
+                                const f64a &D1, const f64a &D0) {
+  return f64a_x4{{D0, D1, D2, D3}};
+}
+static inline f64a_x4 aa_x4_loadu(const f64a *P) {
+  return f64a_x4{{P[0], P[1], P[2], P[3]}};
+}
+static inline void aa_x4_storeu(f64a *P, const f64a_x4 &A) {
+  for (int L = 0; L < 4; ++L)
+    P[L] = A.v[L];
+}
+static inline f64a_x4 aa_x4_add(const f64a_x4 &A, const f64a_x4 &B) {
+  f64a_x4 R;
+  for (int L = 0; L < 4; ++L)
+    R.v[L] = A.v[L] + B.v[L];
+  return R;
+}
+static inline f64a_x4 aa_x4_sub(const f64a_x4 &A, const f64a_x4 &B) {
+  f64a_x4 R;
+  for (int L = 0; L < 4; ++L)
+    R.v[L] = A.v[L] - B.v[L];
+  return R;
+}
+static inline f64a_x4 aa_x4_mul(const f64a_x4 &A, const f64a_x4 &B) {
+  f64a_x4 R;
+  for (int L = 0; L < 4; ++L)
+    R.v[L] = A.v[L] * B.v[L];
+  return R;
+}
+static inline f64a_x4 aa_x4_div(const f64a_x4 &A, const f64a_x4 &B) {
+  f64a_x4 R;
+  for (int L = 0; L < 4; ++L)
+    R.v[L] = A.v[L] / B.v[L];
+  return R;
+}
+static inline f64a_x4 aa_x4_sqrt(const f64a_x4 &A) {
+  f64a_x4 R;
+  for (int L = 0; L < 4; ++L)
+    R.v[L] = safegen::aa::sqrt(A.v[L]);
+  return R;
+}
+static inline f64a_x4 aa_x4_fmadd(const f64a_x4 &A, const f64a_x4 &B,
+                                  const f64a_x4 &C) {
+  return aa_x4_add(aa_x4_mul(A, B), C);
+}
+static inline f64a_x4 aa_x4_fmsub(const f64a_x4 &A, const f64a_x4 &B,
+                                  const f64a_x4 &C) {
+  return aa_x4_sub(aa_x4_mul(A, B), C);
+}
+static inline f64a_x4 aa_x4_max(const f64a_x4 &A, const f64a_x4 &B) {
+  f64a_x4 R;
+  for (int L = 0; L < 4; ++L)
+    R.v[L] = aa_fmax_f64(A.v[L], B.v[L]);
+  return R;
+}
+static inline f64a_x4 aa_x4_min(const f64a_x4 &A, const f64a_x4 &B) {
+  f64a_x4 R;
+  for (int L = 0; L < 4; ++L)
+    R.v[L] = aa_fmin_f64(A.v[L], B.v[L]);
+  return R;
+}
+static inline f64a aa_x4_cvtsd(const f64a_x4 &A) { return A.v[0]; }
+/// _mm256_broadcast_sd takes a pointer.
+static inline f64a_x4 aa_x4_set1_ptr(const f64a *P) { return aa_x4_set1(*P); }
+
+//===----------------------------------------------------------------------===//
+// Overload set used by the pragma lowering (the rewriter does not track
+// which precision a named variable has; C++ overload resolution does).
+//===----------------------------------------------------------------------===//
+
+static inline void aa_prioritize(const f64a &A) { A.prioritize(); }
+static inline void aa_prioritize(const dda &A) { A.prioritize(); }
+static inline void aa_prioritize(const f32a &A) { A.prioritize(); }
+static inline void aa_prioritize(const f64a_x4 &A) {
+  for (int L = 0; L < 4; ++L)
+    A.v[L].prioritize();
+}
+/// Pointer form (decayed array parameters): the extent is unknown, so the
+/// first element's symbols are protected — for the paper's kernels the
+/// symbols worth protecting are exactly the ones read through element 0
+/// or shared across the whole object.
+static inline void aa_prioritize(const f64a *A) {
+  if (A)
+    A->prioritize();
+}
+static inline void aa_prioritize(const dda *A) {
+  if (A)
+    A->prioritize();
+}
+/// Array form (known extents, including nested arrays): protect every
+/// element's symbols.
+template <typename T, unsigned long N>
+static inline void aa_prioritize(const T (&A)[N]) {
+  for (unsigned long I = 0; I < N; ++I)
+    aa_prioritize(A[I]);
+}
+
+#endif // SAFEGEN_AA_RUNTIME_H

@@ -1,0 +1,52 @@
+//===- Simd.h - AVX2 kernels for direct-mapped AA ---------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SIMD-vectorized affine addition and multiplication for the f64a type
+/// under *direct-mapped* placement with the SP/MP fusion rule (the 'v' in
+/// the paper's "f64a-dspv" configurations, Sec. V "arithmetic cost"). The
+/// direct-mapped layout makes the slot loop data-parallel: 4 slots per
+/// AVX2 lane group, id conflicts resolved with compare+blend (keep the
+/// larger-magnitude coefficient, fuse the smaller one). MXCSR upward
+/// rounding applies to vector instructions exactly as to scalar ones, so
+/// the RU/negate-RD discipline carries over unchanged.
+///
+/// Produces results identical to the scalar kernels (asserted by the test
+/// suite) for the SP policy without symbol protection; protected-symbol
+/// conflicts fall back to a scalar fix-up of the affected lanes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_SIMD_H
+#define SAFEGEN_AA_SIMD_H
+
+#include "aa/AffineOps.h"
+
+namespace safegen {
+namespace aa {
+namespace simd {
+
+/// True when the AVX2 kernels were compiled in.
+bool available();
+
+/// True when \p Cfg can be served by the vector kernels: direct-mapped
+/// placement, SP or MP fusion, K divisible by 4.
+bool supports(const AAConfig &Cfg);
+
+/// Vectorized counterparts of ops::addDirect / ops::mulDirect for the
+/// F64Center trait. Preconditions: supports(Cfg) and upward rounding mode.
+AffineF64Storage addDirectAvx2(const AffineF64Storage &A,
+                               const AffineF64Storage &B, double Sign,
+                               const AAConfig &Cfg, AffineContext &Ctx);
+AffineF64Storage mulDirectAvx2(const AffineF64Storage &A,
+                               const AffineF64Storage &B,
+                               const AAConfig &Cfg, AffineContext &Ctx);
+
+} // namespace simd
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_SIMD_H

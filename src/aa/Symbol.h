@@ -1,0 +1,116 @@
+//===- Symbol.h - Error symbols and the affine context ----------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error symbols ε_i (paper Eq. (1)) are identified by globally unique,
+/// monotonically increasing 32-bit ids: a larger id means a younger symbol,
+/// which is what the "oldest" fusion policy and the sorted placement policy
+/// rely on. The AffineContext owns the id counter, the set of symbols
+/// protected from fusion (the runtime side of the static prioritization,
+/// Sec. VI-C), a deterministic PRNG for the random fusion policy, and
+/// operation statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_SYMBOL_H
+#define SAFEGEN_AA_SYMBOL_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace safegen {
+namespace aa {
+
+/// Identifier of an error symbol. 0 is reserved (no symbol / empty slot).
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId InvalidSymbol = 0;
+
+/// The id of the dedicated "dump" symbol used by the yalaa-aff1 emulation
+/// mode: deviations stored under this id are treated as *independent*
+/// between variables (never cancel).
+inline constexpr SymbolId DumpSymbol = UINT32_MAX;
+
+/// Per-computation state shared by all affine variables.
+class AffineContext {
+public:
+  /// Returns a fresh, never-before-used symbol id.
+  SymbolId freshSymbol() { return ++LastId; }
+
+  /// Id that the next freshSymbol() call would return, plus 1; useful for
+  /// sizing tables.
+  SymbolId peekNextId() const { return LastId + 1; }
+
+  /// Resets the id counter and all protections. Invalidate all affine
+  /// variables created under this context before reusing it.
+  void reset() {
+    LastId = InvalidSymbol;
+    clearProtected();
+    RngState = 0x9E3779B97F4A7C15ull;
+    NumFusions = 0;
+    NumOps = 0;
+  }
+
+  /// \name Priority protection (Sec. VI-C).
+  ///
+  /// The protected set is a fixed-size direct-mapped table: protect()
+  /// writes the id into slot (id mod TableSize); a colliding *newer*
+  /// protection overwrites an older one. Membership is one load+compare —
+  /// cheap enough for the fusion hot path (the paper reports 20-30%
+  /// prioritization overhead) — and stale protections from earlier
+  /// iterations age out on their own. Forgetting a protection only
+  /// affects the accuracy heuristic, never soundness.
+  /// @{
+  static constexpr size_t ProtectTableSize = 256;
+
+  void protect(SymbolId Id) {
+    if (Id == InvalidSymbol || Id == DumpSymbol)
+      return;
+    Protected[Id % ProtectTableSize] = Id;
+    AnyProtected = true;
+  }
+  void unprotect(SymbolId Id) {
+    SymbolId &Slot = Protected[Id % ProtectTableSize];
+    if (Slot == Id)
+      Slot = InvalidSymbol;
+  }
+  void clearProtected() {
+    Protected.fill(InvalidSymbol);
+    AnyProtected = false;
+  }
+  bool isProtected(SymbolId Id) const {
+    return Protected[Id % ProtectTableSize] == Id && Id != InvalidSymbol;
+  }
+  bool hasProtected() const { return AnyProtected; }
+  /// @}
+
+  /// xorshift-style deterministic PRNG for the random fusion policy.
+  uint64_t nextRandom() {
+    RngState ^= RngState << 13;
+    RngState ^= RngState >> 7;
+    RngState ^= RngState << 17;
+    return RngState;
+  }
+  void seedRandom(uint64_t Seed) { RngState = Seed | 1; }
+
+  /// \name Statistics (exposed for the benches and tests).
+  /// @{
+  uint64_t NumFusions = 0; ///< symbols eliminated by fusion
+  uint64_t NumOps = 0;     ///< affine operations executed
+  /// @}
+
+private:
+  SymbolId LastId = InvalidSymbol;
+  std::array<SymbolId, ProtectTableSize> Protected{};
+  bool AnyProtected = false;
+  uint64_t RngState = 0x9E3779B97F4A7C15ull;
+};
+
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_SYMBOL_H

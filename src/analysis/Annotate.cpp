@@ -1,0 +1,144 @@
+//===- Annotate.cpp -------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Annotate.h"
+#include "analysis/TAC.h"
+
+#include <map>
+#include <set>
+
+using namespace safegen;
+using namespace safegen::frontend;
+using namespace safegen::analysis;
+
+namespace {
+
+/// Inserts the pragmas of \p Before ahead of their statements, walking
+/// all compound bodies.
+class PragmaInserter {
+public:
+  PragmaInserter(ASTContext &Ctx,
+                 const std::map<const Stmt *, std::set<std::string>> &Before)
+      : Ctx(Ctx), Before(Before) {}
+
+  unsigned run(FunctionDecl *F) {
+    if (F->isDefinition())
+      visitCompound(F->getBody());
+    return Inserted;
+  }
+
+private:
+  void visitCompound(CompoundStmt *C) {
+    std::vector<Stmt *> NewBody;
+    for (Stmt *S : C->getBody()) {
+      auto It = Before.find(S);
+      if (It != Before.end())
+        for (const std::string &Var : It->second) {
+          NewBody.push_back(Ctx.create<PragmaStmt>(
+              "#pragma safegen prioritize(" + Var + ")", S->getLoc()));
+          ++Inserted;
+        }
+      NewBody.push_back(S);
+      visitChildren(S);
+    }
+    C->getBody() = std::move(NewBody);
+  }
+
+  void visitChildren(Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      visitCompound(static_cast<CompoundStmt *>(S));
+      return;
+    case Stmt::Kind::If: {
+      auto *If = static_cast<IfStmt *>(S);
+      if (If->getThen())
+        visitChildren(If->getThen());
+      if (If->getElse())
+        visitChildren(If->getElse());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *For = static_cast<ForStmt *>(S);
+      if (For->getBody())
+        visitChildren(For->getBody());
+      return;
+    }
+    case Stmt::Kind::While:
+      visitChildren(static_cast<WhileStmt *>(S)->getBody());
+      return;
+    case Stmt::Kind::DoWhile:
+      visitChildren(static_cast<DoWhileStmt *>(S)->getBody());
+      return;
+    default:
+      return;
+    }
+  }
+
+  ASTContext &Ctx;
+  const std::map<const Stmt *, std::set<std::string>> &Before;
+  unsigned Inserted = 0;
+};
+
+} // namespace
+
+unsigned analysis::annotatePriorities(FunctionDecl *F, ASTContext &Ctx,
+                                      const DAG &G,
+                                      const ReuseResult &Result) {
+  if (!Result.Feasible)
+    return 0;
+  std::vector<int> Profit = reuseProfits(G);
+
+  // Invert π: protected symbols per node, P_v = {s : v in π(s)}.
+  std::map<int, std::set<int>> PerNode;
+  for (const auto &[S, Nodes] : Result.Assignment)
+    for (int V : Nodes)
+      PerNode[V].insert(S);
+
+  // Heuristic of Sec. VI-C: at each node v prioritize the symbols of one
+  // variable only — the generator of the highest-profit symbol in P_v.
+  std::map<const Stmt *, std::set<std::string>> Before;
+  for (const auto &[V, Symbols] : PerNode) {
+    const DAGNode &Node = G.node(V);
+    if (!Node.Origin)
+      continue; // input nodes need no pragma
+    int BestS = -1;
+    for (int S : Symbols)
+      if (BestS < 0 || Profit[S] > Profit[BestS])
+        BestS = S;
+    if (BestS < 0)
+      continue;
+    const std::string &Var = G.node(BestS).ResultVar.empty()
+                                 ? G.node(BestS).Label
+                                 : G.node(BestS).ResultVar;
+    if (Var.empty())
+      continue;
+    Before[Node.Origin].insert(Var);
+  }
+  if (Before.empty())
+    return 0;
+  PragmaInserter Inserter(Ctx, Before);
+  return Inserter.run(F);
+}
+
+AnalysisReport analysis::analyzeAndAnnotate(FunctionDecl *F, ASTContext &Ctx,
+                                            int K,
+                                            const MaxReuseOptions *Override) {
+  AnalysisReport Report;
+  Report.TempsIntroduced = toThreeAddressCode(F, Ctx);
+  DAG G = buildDAG(F);
+  Report.DAGNodes = G.size();
+  MaxReuseOptions Opts;
+  if (Override)
+    Opts = *Override;
+  Opts.K = K;
+  ReuseResult Result = solveMaxReuse(G, Opts);
+  Report.ReusePairs = static_cast<int>(Result.Pairs.size());
+  Report.TotalProfit = Result.TotalProfit;
+  Report.Optimal = Result.Optimal;
+  Report.Feasible = Result.Feasible;
+  Report.PragmasInserted = annotatePriorities(F, Ctx, G, Result);
+  return Report;
+}

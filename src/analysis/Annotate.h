@@ -1,0 +1,54 @@
+//===- Annotate.h - Pragma insertion from the analysis ----------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The final step of the prioritization pipeline (Sec. VI-C, Fig. 6):
+/// given a priority assignment π over the computation DAG, selects for
+/// each operation the single most profitable variable to prioritize (the
+/// paper's heuristic to avoid gathering symbols from several variables)
+/// and inserts `#pragma safegen prioritize(<var>)` before that
+/// operation's statement. The SafeGen rewriter later lowers each pragma
+/// to an aa::prioritize() runtime call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_ANALYSIS_ANNOTATE_H
+#define SAFEGEN_ANALYSIS_ANNOTATE_H
+
+#include "analysis/DAG.h"
+#include "analysis/Reuse.h"
+#include "frontend/AST.h"
+
+namespace safegen {
+namespace analysis {
+
+/// Inserts prioritization pragmas into \p F according to \p Result.
+/// Returns the number of pragmas inserted.
+unsigned annotatePriorities(frontend::FunctionDecl *F,
+                            frontend::ASTContext &Ctx, const DAG &G,
+                            const ReuseResult &Result);
+
+/// The whole preprocessing pipeline of Fig. 6 on one function:
+/// TAC transform -> DAG -> max-reuse -> pragma annotation.
+struct AnalysisReport {
+  unsigned TempsIntroduced = 0;
+  unsigned PragmasInserted = 0;
+  int DAGNodes = 0;
+  int ReusePairs = 0;
+  double TotalProfit = 0.0;
+  bool Optimal = false;
+  bool Feasible = false;
+};
+
+AnalysisReport analyzeAndAnnotate(frontend::FunctionDecl *F,
+                                  frontend::ASTContext &Ctx, int K,
+                                  const MaxReuseOptions *OptsOverride =
+                                      nullptr);
+
+} // namespace analysis
+} // namespace safegen
+
+#endif // SAFEGEN_ANALYSIS_ANNOTATE_H

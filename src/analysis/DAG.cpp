@@ -1,0 +1,317 @@
+//===- DAG.cpp ------------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DAG.h"
+#include "frontend/ASTPrinter.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+using namespace safegen;
+using namespace safegen::frontend;
+using namespace safegen::analysis;
+
+int DAG::addInput(const std::string &Name) {
+  DAGNode N;
+  N.NodeKind = DAGNode::Kind::Input;
+  N.Label = Name;
+  N.ResultVar = Name;
+  Nodes.push_back(std::move(N));
+  Succs.clear();
+  return size() - 1;
+}
+
+int DAG::addOp(std::string Label, std::string ResultVar, const Stmt *Origin,
+               SourceLocation Loc, std::vector<int> Operands) {
+  DAGNode N;
+  N.NodeKind = DAGNode::Kind::Op;
+  N.Label = std::move(Label);
+  N.ResultVar = std::move(ResultVar);
+  N.Origin = Origin;
+  N.Loc = Loc;
+  N.Operands = std::move(Operands);
+  Nodes.push_back(std::move(N));
+  Succs.clear();
+  return size() - 1;
+}
+
+const std::vector<std::vector<int>> &DAG::successors() const {
+  if (Succs.size() != Nodes.size()) {
+    Succs.assign(Nodes.size(), {});
+    for (int Id = 0; Id < size(); ++Id)
+      for (int Op : Nodes[Id].Operands)
+        Succs[Op].push_back(Id);
+  }
+  return Succs;
+}
+
+std::string DAG::dumpDot() const {
+  std::ostringstream OS;
+  OS << "digraph dag {\n";
+  for (int Id = 0; Id < size(); ++Id) {
+    const DAGNode &N = Nodes[Id];
+    OS << "  n" << Id << " [label=\"" << Id << ": " << N.Label;
+    if (!N.ResultVar.empty() && N.ResultVar != N.Label)
+      OS << " -> " << N.ResultVar;
+    OS << "\"";
+    if (N.NodeKind == DAGNode::Kind::Input)
+      OS << " shape=box";
+    OS << "];\n";
+    for (int Op : N.Operands)
+      OS << "  n" << Op << " -> n" << Id << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Walks a (TAC'd) function, tracking the defining node of every value
+/// name, and emits one node per FP operation.
+class DAGBuilder {
+public:
+  explicit DAGBuilder(const FunctionDecl *F) : F(F) {}
+
+  DAG build() {
+    for (const VarDecl *P : F->getParams())
+      if (isTracked(P->getType()))
+        Defs[P->getName()] = G.addInput(P->getName());
+    if (F->isDefinition())
+      visitStmt(F->getBody());
+    return std::move(G);
+  }
+
+private:
+  /// Values that participate in FP dataflow: FP scalars and FP
+  /// arrays/pointers (whole-object granularity).
+  static bool isTracked(const Type *T) {
+    if (!T)
+      return false;
+    if (T->isFloating())
+      return true;
+    if (T->isPointer() || T->isArray())
+      return isTracked(T->getElement());
+    return false;
+  }
+
+  /// Node currently defining \p Name; creates an input node on first use
+  /// (globals, or values live-in across ignored control flow).
+  int nodeFor(const std::string &Name) {
+    auto It = Defs.find(Name);
+    if (It != Defs.end())
+      return It->second;
+    int Id = G.addInput(Name);
+    Defs[Name] = Id;
+    return Id;
+  }
+
+  /// Returns the defining node of an expression's value, emitting Op
+  /// nodes for FP operations; -1 when the expression carries no FP data.
+  int visitExpr(const Expr *E, const Stmt *Origin) {
+    if (!E)
+      return -1;
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+      return -1;
+    case Expr::Kind::FloatLiteral:
+      return -1; // constants create no reuse
+    case Expr::Kind::DeclRef: {
+      const auto *Ref = static_cast<const DeclRefExpr *>(E);
+      if (!isTracked(E->getType()))
+        return -1;
+      return nodeFor(Ref->getName());
+    }
+    case Expr::Kind::Paren:
+      return visitExpr(static_cast<const ParenExpr *>(E)->getInner(), Origin);
+    case Expr::Kind::Cast:
+      return visitExpr(static_cast<const CastExpr *>(E)->getOperand(),
+                       Origin);
+    case Expr::Kind::Unary:
+      return visitExpr(static_cast<const UnaryExpr *>(E)->getOperand(),
+                       Origin);
+    case Expr::Kind::Subscript: {
+      // A load from an array: depends on the array object.
+      const auto *S = static_cast<const SubscriptExpr *>(E);
+      visitExpr(S->getIndex(), Origin);
+      return visitExpr(S->getBase(), Origin);
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = static_cast<const BinaryExpr *>(E);
+      int L = visitExpr(B->getLhs(), Origin);
+      int R = visitExpr(B->getRhs(), Origin);
+      if (!B->isArithmetic() || !E->getType() || !E->getType()->isFloating())
+        return -1; // comparisons etc. consume but define nothing tracked
+      std::vector<int> Ops;
+      if (L >= 0)
+        Ops.push_back(L);
+      if (R >= 0)
+        Ops.push_back(R);
+      if (Ops.empty())
+        return -1;
+      return G.addOp(binaryOpSpelling(B->getOp()), "", Origin, E->getLoc(),
+                     std::move(Ops));
+    }
+    case Expr::Kind::Call: {
+      const auto *C = static_cast<const CallExpr *>(E);
+      std::vector<int> Ops;
+      for (const Expr *Arg : C->getArgs()) {
+        int Id = visitExpr(Arg, Origin);
+        if (Id >= 0)
+          Ops.push_back(Id);
+      }
+      if (!E->getType() || !E->getType()->isFloating() || Ops.empty())
+        return -1;
+      return G.addOp("call " + C->getCallee(), "", Origin, E->getLoc(),
+                     std::move(Ops));
+    }
+    case Expr::Kind::Assign: {
+      const auto *A = static_cast<const AssignExpr *>(E);
+      int R = visitExpr(A->getRhs(), Origin);
+      // Compound assignments are an op of (lhs-old, rhs).
+      if (A->getOp() != AssignOpKind::Assign) {
+        int LOld = visitExpr(A->getLhs(), Origin);
+        std::vector<int> Ops;
+        if (LOld >= 0)
+          Ops.push_back(LOld);
+        if (R >= 0)
+          Ops.push_back(R);
+        if (!Ops.empty())
+          R = G.addOp(assignOpSpelling(A->getOp()), "", Origin, E->getLoc(),
+                      std::move(Ops));
+      }
+      recordStore(A->getLhs(), R, Origin);
+      return R;
+    }
+    case Expr::Kind::Conditional: {
+      const auto *C = static_cast<const ConditionalExpr *>(E);
+      visitExpr(C->getCond(), Origin);
+      int T = visitExpr(C->getTrueExpr(), Origin);
+      int FE = visitExpr(C->getFalseExpr(), Origin);
+      return T >= 0 ? T : FE;
+    }
+    }
+    return -1;
+  }
+
+  /// Resolves the stored-to name of an lvalue (variable or array object).
+  static const DeclRefExpr *lvalueBase(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::DeclRef:
+      return static_cast<const DeclRefExpr *>(E);
+    case Expr::Kind::Paren:
+      return lvalueBase(static_cast<const ParenExpr *>(E)->getInner());
+    case Expr::Kind::Subscript:
+      return lvalueBase(static_cast<const SubscriptExpr *>(E)->getBase());
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      if (U->getOp() == UnaryOpKind::Deref)
+        return lvalueBase(U->getOperand());
+      return nullptr;
+    }
+    default:
+      return nullptr;
+    }
+  }
+
+  void recordStore(const Expr *Lhs, int ValueNode, const Stmt *Origin) {
+    const DeclRefExpr *Base = lvalueBase(Lhs);
+    if (!Base || ValueNode < 0 || !isTracked(Base->getType()))
+      return;
+    const std::string &Name = Base->getName();
+    if (Lhs->getKind() == Expr::Kind::DeclRef) {
+      // Whole-variable redefinition.
+      Defs[Name] = ValueNode;
+      if (G.node(ValueNode).ResultVar.empty())
+        G.node(ValueNode).ResultVar = Name;
+      return;
+    }
+    // Partial (element) store: the array now depends on both its previous
+    // contents and the stored value — model as a merge node.
+    int Prev = nodeFor(Name);
+    int Merge = G.addOp("store " + Name, Name, Origin,
+                        Lhs->getLoc(), {Prev, ValueNode});
+    Defs[Name] = Merge;
+  }
+
+  void visitStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Child : static_cast<const CompoundStmt *>(S)->getBody())
+        visitStmt(Child);
+      return;
+    case Stmt::Kind::Decl: {
+      const auto *DS = static_cast<const DeclStmt *>(S);
+      for (const VarDecl *D : DS->getDecls()) {
+        if (!D->getInit())
+          continue;
+        int Id = visitExpr(D->getInit(), S);
+        if (Id >= 0 && isTracked(D->getType())) {
+          Defs[D->getName()] = Id;
+          if (G.node(Id).ResultVar.empty())
+            G.node(Id).ResultVar = D->getName();
+          if (!G.node(Id).Origin)
+            G.node(Id).Origin = S;
+        }
+      }
+      return;
+    }
+    case Stmt::Kind::Expr:
+      visitExpr(static_cast<const ExprStmt *>(S)->getExpr(), S);
+      return;
+    case Stmt::Kind::If: {
+      const auto *If = static_cast<const IfStmt *>(S);
+      visitExpr(If->getCond(), S);
+      visitStmt(If->getThen());
+      visitStmt(If->getElse());
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *For = static_cast<const ForStmt *>(S);
+      visitStmt(For->getInit());
+      if (For->getCond())
+        visitExpr(For->getCond(), S);
+      visitStmt(For->getBody());
+      if (For->getInc())
+        visitExpr(For->getInc(), S);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      visitExpr(W->getCond(), S);
+      visitStmt(W->getBody());
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto *D = static_cast<const DoWhileStmt *>(S);
+      visitStmt(D->getBody());
+      visitExpr(D->getCond(), S);
+      return;
+    }
+    case Stmt::Kind::Return:
+      visitExpr(static_cast<const ReturnStmt *>(S)->getValue(), S);
+      return;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Null:
+    case Stmt::Kind::Pragma:
+      return;
+    }
+  }
+
+  const FunctionDecl *F;
+  DAG G;
+  std::unordered_map<std::string, int> Defs;
+};
+
+} // namespace
+
+DAG analysis::buildDAG(const FunctionDecl *F) {
+  DAGBuilder B(F);
+  return B.build();
+}

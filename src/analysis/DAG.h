@@ -1,0 +1,82 @@
+//===- DAG.h - Computation DAG of a function --------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The computation DAG of Sec. VI: one node per floating-point operation
+/// (after the TAC transform each has its own statement), plus source
+/// nodes for the input variables. Edges are data dependencies. As in the
+/// paper, loop-carried (circular) dependencies are dropped — the DAG
+/// reflects one pass over the program text; definitions seen earlier in
+/// program order feed uses seen later.
+///
+/// Arrays are modelled at whole-object granularity (a read of a[i][j]
+/// depends on the last write to a), which is exactly the precision needed
+/// to discover reuse of input matrices/vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_ANALYSIS_DAG_H
+#define SAFEGEN_ANALYSIS_DAG_H
+
+#include "frontend/AST.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace analysis {
+
+/// One DAG node.
+struct DAGNode {
+  enum class Kind { Input, Op };
+  Kind NodeKind = Kind::Op;
+  /// Operation spelling for dumps ("+", "*", "call sqrt", or the input
+  /// variable name).
+  std::string Label;
+  /// The variable this node's value is stored in (TAC temp or program
+  /// variable); used by the annotator to name pragmas. Empty for inputs
+  /// whose Label is the name.
+  std::string ResultVar;
+  /// Statement that computes this node (null for inputs).
+  const frontend::Stmt *Origin = nullptr;
+  SourceLocation Loc;
+  /// Operand node ids (parents in the data-dependence sense: values this
+  /// node consumes).
+  std::vector<int> Operands;
+};
+
+/// The computation DAG. Node ids are indices; edges go operand -> user.
+class DAG {
+public:
+  int addInput(const std::string &Name);
+  int addOp(std::string Label, std::string ResultVar,
+            const frontend::Stmt *Origin, SourceLocation Loc,
+            std::vector<int> Operands);
+
+  int size() const { return static_cast<int>(Nodes.size()); }
+  const DAGNode &node(int Id) const { return Nodes[Id]; }
+  DAGNode &node(int Id) { return Nodes[Id]; }
+
+  /// Users of each node (successor lists), built lazily.
+  const std::vector<std::vector<int>> &successors() const;
+
+  /// Renders a Graphviz dump (debugging / examples).
+  std::string dumpDot() const;
+
+private:
+  std::vector<DAGNode> Nodes;
+  mutable std::vector<std::vector<int>> Succs;
+};
+
+/// Builds the computation DAG of \p F (expected in TAC form for best
+/// node-to-statement mapping, but any form works).
+DAG buildDAG(const frontend::FunctionDecl *F);
+
+} // namespace analysis
+} // namespace safegen
+
+#endif // SAFEGEN_ANALYSIS_DAG_H

@@ -1,0 +1,265 @@
+//===- Reuse.cpp ----------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Reuse.h"
+#include "ilp/BranchBound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace safegen;
+using namespace safegen::analysis;
+
+namespace {
+
+/// Simple dynamic bitset (one per node is enough at these sizes).
+class BitVec {
+public:
+  explicit BitVec(int Bits = 0) : Words((Bits + 63) / 64, 0) {}
+  void set(int I) { Words[I >> 6] |= 1ull << (I & 63); }
+  bool test(int I) const { return (Words[I >> 6] >> (I & 63)) & 1; }
+  void orWith(const BitVec &O) {
+    for (size_t W = 0; W < Words.size(); ++W)
+      Words[W] |= O.Words[W];
+  }
+  int count() const {
+    int C = 0;
+    for (uint64_t W : Words)
+      C += __builtin_popcountll(W);
+    return C;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+/// Ancestor bitsets: node ids are topological (operands are created
+/// before their users), so one forward pass suffices.
+std::vector<BitVec> ancestorSets(const DAG &G) {
+  std::vector<BitVec> Anc(G.size(), BitVec(G.size()));
+  for (int Id = 0; Id < G.size(); ++Id)
+    for (int Op : G.node(Id).Operands) {
+      Anc[Id].set(Op);
+      Anc[Id].orWith(Anc[Op]);
+    }
+  return Anc;
+}
+
+/// Shortest path S -> Target along DAG edges (operand -> user); returns
+/// the node sequence excluding S, including Target. Empty if unreachable.
+std::vector<int> shortestPath(const DAG &G, int S, int Target) {
+  if (S == Target)
+    return {};
+  const auto &Succs = G.successors();
+  std::vector<int> Prev(G.size(), -2);
+  std::deque<int> Queue{S};
+  Prev[S] = -1;
+  while (!Queue.empty()) {
+    int Cur = Queue.front();
+    Queue.pop_front();
+    if (Cur == Target)
+      break;
+    for (int Next : Succs[Cur])
+      if (Prev[Next] == -2) {
+        Prev[Next] = Cur;
+        Queue.push_back(Next);
+      }
+  }
+  if (Prev[Target] == -2)
+    return {};
+  std::vector<int> Path;
+  for (int Cur = Target; Cur != S; Cur = Prev[Cur])
+    Path.push_back(Cur);
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+} // namespace
+
+std::vector<int> analysis::reuseProfits(const DAG &G) {
+  std::vector<BitVec> Anc = ancestorSets(G);
+  std::vector<int> Profit(G.size());
+  for (int Id = 0; Id < G.size(); ++Id)
+    Profit[Id] = Anc[Id].count() + 1; // Def. 3: ancestors including s
+  return Profit;
+}
+
+std::vector<ReuseConnection> analysis::findReuseConnections(const DAG &G,
+                                                            int MaxPerPair) {
+  std::vector<BitVec> Anc = ancestorSets(G);
+  std::vector<ReuseConnection> Pairs;
+  for (int T = 0; T < G.size(); ++T) {
+    // Distinct parents only.
+    std::vector<int> Parents = G.node(T).Operands;
+    std::sort(Parents.begin(), Parents.end());
+    Parents.erase(std::unique(Parents.begin(), Parents.end()), Parents.end());
+    if (Parents.size() < 2)
+      continue;
+    for (int S = 0; S < G.size(); ++S) {
+      // Parents of T reachable from S (S itself counts, Def. 1 allows the
+      // trivial path).
+      std::vector<int> Reached;
+      for (int P : Parents)
+        if (P == S || Anc[P].test(S))
+          Reached.push_back(P);
+      if (Reached.size() < 2)
+        continue;
+      // One connection per parent pair, in canonical (shortest-path)
+      // form, up to MaxPerPair distinct ones (Sec. VI-B extension).
+      int Emitted = 0;
+      std::vector<std::vector<int>> Seen;
+      for (size_t I = 0; I < Reached.size() && Emitted < MaxPerPair; ++I) {
+        for (size_t J = I + 1;
+             J < Reached.size() && Emitted < MaxPerPair; ++J) {
+          std::vector<int> Path1 = shortestPath(G, S, Reached[I]);
+          std::vector<int> Path2 = shortestPath(G, S, Reached[J]);
+          ReuseConnection RC;
+          RC.S = S;
+          RC.T = T;
+          RC.Connection = Path1;
+          RC.Connection.insert(RC.Connection.end(), Path2.begin(),
+                               Path2.end());
+          std::sort(RC.Connection.begin(), RC.Connection.end());
+          RC.Connection.erase(
+              std::unique(RC.Connection.begin(), RC.Connection.end()),
+              RC.Connection.end());
+          if (std::find(Seen.begin(), Seen.end(), RC.Connection) !=
+              Seen.end())
+            continue; // same node set through another parent pair
+          Seen.push_back(RC.Connection);
+          Pairs.push_back(std::move(RC));
+          ++Emitted;
+        }
+      }
+    }
+  }
+  return Pairs;
+}
+
+ReuseResult analysis::solveMaxReuse(const DAG &G,
+                                    const MaxReuseOptions &Opts) {
+  ReuseResult Result;
+  Result.Pairs =
+      findReuseConnections(G, std::max(1, Opts.MaxConnectionsPerPair));
+  if (Result.Pairs.empty() || Opts.K < 2)
+    return Result;
+  std::vector<int> Profit = reuseProfits(G);
+
+  // Alternative connections of the same (s,t) pair: at most one of them
+  // may be realized (the profit is per pair, Def. 4).
+  std::map<std::pair<int, int>, std::vector<int>> Alternatives;
+  for (size_t I = 0; I < Result.Pairs.size(); ++I)
+    Alternatives[{Result.Pairs[I].S, Result.Pairs[I].T}].push_back(
+        static_cast<int>(I));
+
+  // Variable layout: q_i per pair, then p_{(s,v)} per protection slot.
+  std::map<std::pair<int, int>, int> PVar; // (s, v) -> var index
+  int NumQ = static_cast<int>(Result.Pairs.size());
+  int NextVar = NumQ;
+  for (const ReuseConnection &RC : Result.Pairs)
+    for (int V : RC.Connection) {
+      auto Key = std::make_pair(RC.S, V);
+      if (!PVar.count(Key))
+        PVar[Key] = NextVar++;
+    }
+
+  const bool UseILP = NextVar <= Opts.MaxILPVariables;
+  if (UseILP) {
+    ilp::BinaryProgram BP;
+    BP.NumVars = NextVar;
+    BP.Objective.assign(NextVar, 0.0);
+    for (int I = 0; I < NumQ; ++I)
+      BP.Objective[I] = Profit[Result.Pairs[I].S];
+    // Tiny penalty on protections so π stays minimal.
+    for (const auto &[Key, Var] : PVar)
+      BP.Objective[Var] = -1e-6;
+    // q_i <= p_{s_i, v} for every v in the connection.
+    for (int I = 0; I < NumQ; ++I)
+      for (int V : Result.Pairs[I].Connection) {
+        std::vector<double> Row(NextVar, 0.0);
+        Row[I] = 1.0;
+        Row[PVar[{Result.Pairs[I].S, V}]] = -1.0;
+        BP.addConstraint(std::move(Row), 0.0);
+      }
+    // At most one realized connection per (s,t) pair.
+    for (const auto &[Key, Indices] : Alternatives) {
+      if (Indices.size() < 2)
+        continue;
+      std::vector<double> Row(NextVar, 0.0);
+      for (int I : Indices)
+        Row[I] = 1.0;
+      BP.addConstraint(std::move(Row), 1.0);
+    }
+    // Capacity: sum_s p_{s,v} <= K-1 per node v.
+    std::map<int, std::vector<int>> VarsPerNode;
+    for (const auto &[Key, Var] : PVar)
+      VarsPerNode[Key.second].push_back(Var);
+    for (const auto &[V, Vars] : VarsPerNode) {
+      if (static_cast<int>(Vars.size()) <= Opts.K - 1)
+        continue; // constraint can never bind
+      std::vector<double> Row(NextVar, 0.0);
+      for (int Var : Vars)
+        Row[Var] = 1.0;
+      BP.addConstraint(std::move(Row), Opts.K - 1);
+    }
+    ilp::BBOptions BBOpts;
+    BBOpts.MaxNodes = Opts.MaxILPNodes;
+    ilp::ILPSolution Sol = ilp::solveBinaryProgram(BP, BBOpts);
+    if (Sol.Status != ilp::ILPStatus::Infeasible) {
+      Result.Optimal = Sol.Status == ilp::ILPStatus::Optimal;
+      for (int I = 0; I < NumQ; ++I)
+        if (Sol.X[I]) {
+          Result.RealizedPairs.push_back(I);
+          Result.TotalProfit += Profit[Result.Pairs[I].S];
+        }
+      for (const auto &[Key, Var] : PVar)
+        if (Sol.X[Var])
+          Result.Assignment[Key.first].insert(Key.second);
+      Result.Feasible = !Result.RealizedPairs.empty();
+      return Result;
+    }
+    // Fall through to greedy on solver failure.
+  }
+
+  // Greedy fallback: take pairs in decreasing profit, respecting the
+  // per-node capacity; shared (s, v) protections are counted once.
+  std::vector<int> Order(NumQ);
+  for (int I = 0; I < NumQ; ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+    return Profit[Result.Pairs[A].S] > Profit[Result.Pairs[B].S];
+  });
+  std::map<int, std::set<int>> ProtectedAt; // v -> set of s
+  std::set<std::pair<int, int>> Realized;   // (s,t) pairs already counted
+  for (int I : Order) {
+    const ReuseConnection &RC = Result.Pairs[I];
+    if (Realized.count({RC.S, RC.T}))
+      continue; // an alternative connection already realized this pair
+    bool Ok = true;
+    for (int V : RC.Connection) {
+      const auto &Set = ProtectedAt[V];
+      if (!Set.count(RC.S) &&
+          static_cast<int>(Set.size()) >= Opts.K - 1) {
+        Ok = false;
+        break;
+      }
+    }
+    if (!Ok)
+      continue;
+    for (int V : RC.Connection) {
+      ProtectedAt[V].insert(RC.S);
+      Result.Assignment[RC.S].insert(V);
+    }
+    Result.RealizedPairs.push_back(I);
+    Realized.insert({RC.S, RC.T});
+    Result.TotalProfit += Profit[RC.S];
+  }
+  Result.Feasible = !Result.RealizedPairs.empty();
+  Result.Optimal = false;
+  return Result;
+}

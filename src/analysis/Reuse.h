@@ -1,0 +1,84 @@
+//===- Reuse.h - Max reuse problem (paper Sec. VI) --------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static analysis that decides which error symbols to protect from
+/// fusion. Implements, over the computation DAG:
+///
+///  * reuse detection (Def. 1): s is reused at t when two distinct
+///    parents of t are reachable from s; the canonical *reuse connection*
+///    is the union of two such paths minus {s};
+///  * reuse profit (Def. 3): ρ(s) = #ancestors(s) + 1;
+///  * the max reuse problem (Defs. 2-4 + capacity constraint):
+///    maximize Σ ρ(s)·[s realized] s.t. every node protects ≤ k-1 symbols
+///    — encoded as the 0/1 ILP of Sec. VI-B and solved exactly by branch
+///    and bound, with a greedy profit-density fallback when the instance
+///    exceeds the budget (the paper's Gurobi plays this role).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_ANALYSIS_REUSE_H
+#define SAFEGEN_ANALYSIS_REUSE_H
+
+#include "analysis/DAG.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace safegen {
+namespace analysis {
+
+/// One reuse opportunity: symbol ε_s can cancel at node T if it is kept
+/// alive along Connection (Def. 1: the union of two s→parent-of-T paths,
+/// without s itself).
+struct ReuseConnection {
+  int S = -1;
+  int T = -1;
+  std::vector<int> Connection; ///< sorted node ids
+};
+
+/// π: for each source node s, the set of nodes that must protect ε_s.
+using PriorityAssignment = std::map<int, std::set<int>>;
+
+/// Result of the analysis.
+struct ReuseResult {
+  std::vector<ReuseConnection> Pairs; ///< all (s,t) with a connection
+  PriorityAssignment Assignment;      ///< chosen π
+  std::vector<int> RealizedPairs;     ///< indices into Pairs honoured by π
+  double TotalProfit = 0.0;           ///< ρ_tot(π), Eq. (7)
+  bool Optimal = false;               ///< proven optimal by the ILP
+  bool Feasible = false;              ///< any prioritization found at all
+};
+
+/// Computes ρ(s) for every node (ancestor count + 1, Def. 3).
+std::vector<int> reuseProfits(const DAG &G);
+
+/// Enumerates the reuse pairs of \p G. With \p MaxPerPair == 1 each pair
+/// (s,t) gets one canonical (shortest-path) connection — the paper's
+/// default. Larger values enumerate alternative connections through
+/// different parent pairs of t, the ILP extension the paper sketches in
+/// Sec. VI-B ("the model can also be extended to consider two or more
+/// reuse connections between two nodes"): the solver then *chooses* which
+/// connection to realize, and at most one per (s,t) counts toward the
+/// profit.
+std::vector<ReuseConnection> findReuseConnections(const DAG &G,
+                                                  int MaxPerPair = 1);
+
+struct MaxReuseOptions {
+  int K = 16;            ///< symbol budget: each node protects <= K-1
+  int MaxILPVariables = 400; ///< above this, use the greedy fallback
+  int MaxILPNodes = 20000;   ///< branch-and-bound budget
+  int MaxConnectionsPerPair = 1; ///< Sec. VI-B extension when > 1
+};
+
+/// Solves the max reuse problem for \p G.
+ReuseResult solveMaxReuse(const DAG &G, const MaxReuseOptions &Opts);
+
+} // namespace analysis
+} // namespace safegen
+
+#endif // SAFEGEN_ANALYSIS_REUSE_H

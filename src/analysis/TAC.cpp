@@ -1,0 +1,275 @@
+//===- TAC.cpp ------------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TAC.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+namespace {
+
+class TACRewriter {
+public:
+  TACRewriter(ASTContext &Ctx) : Ctx(Ctx) {}
+
+  unsigned run(FunctionDecl *F) {
+    if (!F->isDefinition())
+      return 0;
+    rewriteCompound(F->getBody());
+    return NumTemps;
+  }
+
+private:
+  /// True for expressions that may stay as operands of a TAC line.
+  bool isAtom(const Expr *E) const {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::FloatLiteral:
+    case Expr::Kind::DeclRef:
+    case Expr::Kind::Subscript:
+      return true;
+    case Expr::Kind::Paren:
+      return isAtom(static_cast<const ParenExpr *>(E)->getInner());
+    case Expr::Kind::Cast:
+      return isAtom(static_cast<const CastExpr *>(E)->getOperand());
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      return (U->getOp() == UnaryOpKind::Minus ||
+              U->getOp() == UnaryOpKind::Plus ||
+              U->getOp() == UnaryOpKind::Deref) &&
+             isAtom(U->getOperand());
+    }
+    default:
+      return false;
+    }
+  }
+
+  bool isFloatingOp(const Expr *E) const {
+    return E->getType() && E->getType()->isFloating();
+  }
+
+  /// Hoists \p E into a fresh temporary appended to \p Out; returns the
+  /// DeclRef replacement.
+  Expr *hoist(Expr *E, std::vector<Stmt *> &Out) {
+    std::string Name = "_sg_t" + std::to_string(NumTemps++);
+    auto *Tmp = Ctx.create<VarDecl>(Name, E->getType(), E, E->getLoc());
+    Out.push_back(Ctx.create<DeclStmt>(std::vector<VarDecl *>{Tmp},
+                                       E->getLoc()));
+    return Ctx.create<DeclRefExpr>(Tmp, Tmp->getType(), E->getLoc(), Name);
+  }
+
+  /// Flattens \p E: after return, the result is an atom or (when
+  /// \p KeepTop) a single operation over atoms. Hoisted ops appended to
+  /// \p Out.
+  Expr *flatten(Expr *E, std::vector<Stmt *> &Out, bool KeepTop) {
+    if (!E)
+      return E;
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::FloatLiteral:
+      return E;
+    case Expr::Kind::DeclRef:
+      return E;
+    case Expr::Kind::Paren: {
+      auto *P = static_cast<ParenExpr *>(E);
+      Expr *Inner = flatten(P->getInner(), Out, KeepTop);
+      if (isAtom(Inner) || Inner != P->getInner())
+        return Inner; // drop the now-redundant parens
+      return E;
+    }
+    case Expr::Kind::Subscript: {
+      auto *S = static_cast<SubscriptExpr *>(E);
+      // Index arithmetic stays; only hoist FP subexpressions within it.
+      Expr *Base = flatten(S->getBase(), Out, /*KeepTop=*/false);
+      Expr *Index = flatten(S->getIndex(), Out, /*KeepTop=*/false);
+      if (Base == S->getBase() && Index == S->getIndex())
+        return E;
+      return Ctx.create<SubscriptExpr>(Base, Index, E->getType(),
+                                       E->getLoc());
+    }
+    case Expr::Kind::Unary: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      Expr *Op = flatten(U->getOperand(), Out, /*KeepTop=*/false);
+      if (Op == U->getOperand())
+        return E;
+      return Ctx.create<UnaryExpr>(U->getOp(), Op, E->getType(), E->getLoc());
+    }
+    case Expr::Kind::Cast: {
+      auto *C = static_cast<CastExpr *>(E);
+      Expr *Op = flatten(C->getOperand(), Out, /*KeepTop=*/false);
+      if (Op == C->getOperand())
+        return E;
+      return Ctx.create<CastExpr>(Op, C->getType(), C->isImplicit(),
+                                  E->getLoc());
+    }
+    case Expr::Kind::Binary: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      bool Fp = isFloatingOp(E) && B->isArithmetic();
+      Expr *L = flatten(B->getLhs(), Out, /*KeepTop=*/false);
+      Expr *R = flatten(B->getRhs(), Out, /*KeepTop=*/false);
+      Expr *New = (L == B->getLhs() && R == B->getRhs())
+                      ? E
+                      : Ctx.create<BinaryExpr>(B->getOp(), L, R, E->getType(),
+                                               E->getLoc());
+      if (Fp && !KeepTop)
+        return hoist(New, Out);
+      return New;
+    }
+    case Expr::Kind::Call: {
+      auto *C = static_cast<CallExpr *>(E);
+      std::vector<Expr *> Args;
+      bool Changed = false;
+      for (Expr *Arg : C->getArgs()) {
+        Expr *NewArg = flatten(Arg, Out, /*KeepTop=*/false);
+        Changed |= NewArg != Arg;
+        Args.push_back(NewArg);
+      }
+      Expr *New = Changed ? Ctx.create<CallExpr>(C->getCallee(),
+                                                 std::move(Args),
+                                                 E->getType(), E->getLoc())
+                          : E;
+      if (isFloatingOp(E) && !KeepTop)
+        return hoist(New, Out);
+      return New;
+    }
+    case Expr::Kind::Assign: {
+      auto *A = static_cast<AssignExpr *>(E);
+      // Compound assignments count as one FP op; keep them whole.
+      Expr *Rhs = flatten(A->getRhs(), Out,
+                          /*KeepTop=*/A->getOp() == AssignOpKind::Assign);
+      if (Rhs == A->getRhs())
+        return E;
+      return Ctx.create<AssignExpr>(A->getOp(), A->getLhs(), Rhs,
+                                    E->getType(), E->getLoc());
+    }
+    case Expr::Kind::Conditional: {
+      auto *C = static_cast<ConditionalExpr *>(E);
+      // Branch bodies are not hoisted (that would change which side gets
+      // evaluated); only the condition's operands are flattened.
+      Expr *Cond = flatten(C->getCond(), Out, /*KeepTop=*/true);
+      if (Cond == C->getCond())
+        return E;
+      return Ctx.create<ConditionalExpr>(Cond, C->getTrueExpr(),
+                                         C->getFalseExpr(), E->getType(),
+                                         E->getLoc());
+    }
+    }
+    return E;
+  }
+
+  /// Rewrites a statement; any hoisted temporaries go to \p Out before it.
+  Stmt *rewriteStmt(Stmt *S, std::vector<Stmt *> &Out) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      rewriteCompound(static_cast<CompoundStmt *>(S));
+      return S;
+    case Stmt::Kind::Decl: {
+      auto *DS = static_cast<DeclStmt *>(S);
+      for (VarDecl *D : DS->getDecls())
+        if (D->getInit())
+          D->setInit(flatten(D->getInit(), Out, /*KeepTop=*/true));
+      return S;
+    }
+    case Stmt::Kind::Expr: {
+      auto *ES = static_cast<ExprStmt *>(S);
+      Expr *New = flatten(ES->getExpr(), Out, /*KeepTop=*/true);
+      if (New == ES->getExpr())
+        return S;
+      return Ctx.create<ExprStmt>(New, S->getLoc());
+    }
+    case Stmt::Kind::Return: {
+      auto *R = static_cast<ReturnStmt *>(S);
+      if (!R->getValue())
+        return S;
+      Expr *New = flatten(R->getValue(), Out, /*KeepTop=*/true);
+      if (New == R->getValue())
+        return S;
+      return Ctx.create<ReturnStmt>(New, S->getLoc());
+    }
+    case Stmt::Kind::If: {
+      auto *If = static_cast<IfStmt *>(S);
+      // The condition is evaluated once: safe to flatten its FP parts.
+      Expr *Cond = flatten(If->getCond(), Out, /*KeepTop=*/true);
+      Stmt *Then = rewriteBody(If->getThen());
+      Stmt *Else = If->getElse() ? rewriteBody(If->getElse()) : nullptr;
+      return Ctx.create<IfStmt>(Cond, Then, Else, S->getLoc());
+    }
+    case Stmt::Kind::For: {
+      auto *For = static_cast<ForStmt *>(S);
+      // Init runs once: temporaries may be hoisted before the loop.
+      Stmt *Init =
+          For->getInit() ? rewriteStmt(For->getInit(), Out) : nullptr;
+      // Cond and Inc re-evaluate per iteration: left untouched.
+      Stmt *Body = rewriteBody(For->getBody());
+      return Ctx.create<ForStmt>(Init, For->getCond(), For->getInc(), Body,
+                                 S->getLoc());
+    }
+    case Stmt::Kind::While: {
+      auto *W = static_cast<WhileStmt *>(S);
+      return Ctx.create<WhileStmt>(W->getCond(), rewriteBody(W->getBody()),
+                                   S->getLoc());
+    }
+    case Stmt::Kind::DoWhile: {
+      auto *D = static_cast<DoWhileStmt *>(S);
+      return Ctx.create<DoWhileStmt>(rewriteBody(D->getBody()), D->getCond(),
+                                     S->getLoc());
+    }
+    default:
+      return S;
+    }
+  }
+
+  /// Rewrites a loop/if body, wrapping in a compound when temporaries are
+  /// needed.
+  Stmt *rewriteBody(Stmt *Body) {
+    if (!Body)
+      return Body;
+    if (Body->getKind() == Stmt::Kind::Compound) {
+      rewriteCompound(static_cast<CompoundStmt *>(Body));
+      return Body;
+    }
+    std::vector<Stmt *> Out;
+    Stmt *New = rewriteStmt(Body, Out);
+    if (Out.empty())
+      return New;
+    Out.push_back(New);
+    return Ctx.create<CompoundStmt>(std::move(Out), Body->getLoc());
+  }
+
+  void rewriteCompound(CompoundStmt *C) {
+    std::vector<Stmt *> NewBody;
+    for (Stmt *S : C->getBody()) {
+      std::vector<Stmt *> Hoisted;
+      Stmt *New = rewriteStmt(S, Hoisted);
+      for (Stmt *H : Hoisted)
+        NewBody.push_back(H);
+      NewBody.push_back(New);
+    }
+    C->getBody() = std::move(NewBody);
+  }
+
+  ASTContext &Ctx;
+  unsigned NumTemps = 0;
+};
+
+} // namespace
+
+unsigned analysis::toThreeAddressCode(FunctionDecl *F, ASTContext &Ctx) {
+  TACRewriter R(Ctx);
+  return R.run(F);
+}
+
+unsigned analysis::toThreeAddressCode(ASTContext &Ctx) {
+  unsigned Total = 0;
+  for (Decl *D : Ctx.tu().Decls)
+    if (D->getKind() == Decl::Kind::Function)
+      Total += toThreeAddressCode(static_cast<FunctionDecl *>(D), Ctx);
+  return Total;
+}

@@ -1,0 +1,39 @@
+//===- TAC.h - Three-address-code transform ---------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first step of the prioritization pipeline (paper Sec. VI-C, Fig. 6):
+/// floating-point expressions are flattened so that every FP operation is
+/// computed in its own statement into a fresh temporary. This gives each
+/// computation-DAG node a unique statement (and source line) to which a
+/// prioritization pragma can later be attached.
+///
+/// The transform is semantics-preserving: only FP-typed subexpressions of
+/// arithmetic/call/cast kind are hoisted; integer index arithmetic,
+/// lvalues and control flow are untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_ANALYSIS_TAC_H
+#define SAFEGEN_ANALYSIS_TAC_H
+
+#include "frontend/AST.h"
+
+namespace safegen {
+namespace analysis {
+
+/// Rewrites \p F (in place, allocating new nodes from \p Ctx) into TAC
+/// form. Returns the number of temporaries introduced.
+unsigned toThreeAddressCode(frontend::FunctionDecl *F,
+                            frontend::ASTContext &Ctx);
+
+/// Applies the transform to every function definition in the TU.
+unsigned toThreeAddressCode(frontend::ASTContext &Ctx);
+
+} // namespace analysis
+} // namespace safegen
+
+#endif // SAFEGEN_ANALYSIS_TAC_H

@@ -1,0 +1,588 @@
+//===- Interpreter.cpp ----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Interpreter.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace safegen;
+using namespace safegen::frontend;
+using namespace safegen::core;
+
+namespace {
+
+/// Thrown through the evaluator on any unsupported construct or budget
+/// exhaustion. The interpreter is a tool-side component, so unlike the
+/// libraries it may use exceptions internally; none escape call().
+struct InterpError {
+  std::string Message;
+  SourceLocation Loc;
+};
+
+/// Control-flow signal from statement evaluation.
+enum class Flow { Normal, Break, Continue, Return };
+
+class Evaluator {
+public:
+  Evaluator(const TranslationUnit &TU, const InterpreterOptions &Opts)
+      : TU(TU), Opts(Opts) {}
+
+  Value callFunction(const FunctionDecl *F, std::vector<Value> Args) {
+    if (Args.size() != F->getParams().size())
+      throw InterpError{"argument count mismatch calling '" + F->getName() +
+                            "'",
+                        F->getLoc()};
+    Frames.emplace_back();
+    for (size_t I = 0; I < Args.size(); ++I)
+      Frames.back()[F->getParams()[I]->getName()] = std::move(Args[I]);
+    Value Ret;
+    Flow FlowResult = execStmt(F->getBody(), Ret);
+    Frames.pop_back();
+    if (FlowResult == Flow::Break || FlowResult == Flow::Continue)
+      throw InterpError{"break/continue escaped function body", F->getLoc()};
+    return Ret;
+  }
+
+  uint64_t steps() const { return Steps; }
+
+private:
+  void tick(SourceLocation Loc) {
+    if (++Steps > Opts.StepBudget)
+      throw InterpError{"step budget exhausted (possible runaway loop)",
+                        Loc};
+  }
+
+  Value *lookup(const std::string &Name) {
+    auto &Frame = Frames.back();
+    auto It = Frame.find(Name);
+    return It == Frame.end() ? nullptr : &It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Lvalues
+  //===--------------------------------------------------------------------===//
+
+  Value *evalLvalue(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::DeclRef: {
+      const auto *Ref = static_cast<const DeclRefExpr *>(E);
+      Value *V = lookup(Ref->getName());
+      if (!V)
+        throw InterpError{"unbound variable '" + Ref->getName() + "'",
+                          E->getLoc()};
+      return V;
+    }
+    case Expr::Kind::Paren:
+      return evalLvalue(static_cast<const ParenExpr *>(E)->getInner());
+    case Expr::Kind::Subscript: {
+      const auto *S = static_cast<const SubscriptExpr *>(E);
+      Value *Base = evalLvalue(S->getBase());
+      Value Index = evalExpr(S->getIndex());
+      if (!Base->isArray() || !Index.isInt())
+        throw InterpError{"invalid subscript", E->getLoc()};
+      long long I = Index.asInt();
+      if (I < 0 || static_cast<size_t>(I) >= Base->elems().size())
+        throw InterpError{"array index " + std::to_string(I) +
+                              " out of bounds (size " +
+                              std::to_string(Base->elems().size()) + ")",
+                          E->getLoc()};
+      return &Base->elems()[I];
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      if (U->getOp() == UnaryOpKind::Deref) {
+        Value *Base = evalLvalue(U->getOperand());
+        if (!Base->isArray() || Base->elems().empty())
+          throw InterpError{"invalid dereference", E->getLoc()};
+        return &Base->elems()[0];
+      }
+      throw InterpError{"unsupported lvalue", E->getLoc()};
+    }
+    default:
+      throw InterpError{"expression is not an lvalue", E->getLoc()};
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  static bool truthy(const Value &V, SourceLocation Loc) {
+    if (V.isInt())
+      return V.asInt() != 0;
+    if (V.isAffine())
+      return V.asAffine().mid() != 0.0;
+    throw InterpError{"array used in boolean context", Loc};
+  }
+
+  /// Coerces to an affine scalar (ints become exact values).
+  static aa::F64a toAffine(const Value &V, SourceLocation Loc) {
+    if (V.isAffine())
+      return V.asAffine();
+    if (V.isInt())
+      return aa::F64a::exact(static_cast<double>(V.asInt()));
+    throw InterpError{"array used as a scalar", Loc};
+  }
+
+  Value evalExpr(const Expr *E) {
+    tick(E->getLoc());
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+      return Value::makeInt(
+          static_cast<const IntLiteralExpr *>(E)->getValue());
+    case Expr::Kind::FloatLiteral: {
+      const auto *F = static_cast<const FloatLiteralExpr *>(E);
+      // Source constants get the 1-ulp treatment unless integral
+      // (Sec. IV-B) — identical to the generated code.
+      return Value::makeAffine(aa::F64a(F->getValue()));
+    }
+    case Expr::Kind::DeclRef:
+    case Expr::Kind::Subscript:
+      return *evalLvalue(E);
+    case Expr::Kind::Paren:
+      return evalExpr(static_cast<const ParenExpr *>(E)->getInner());
+    case Expr::Kind::Unary:
+      return evalUnary(static_cast<const UnaryExpr *>(E));
+    case Expr::Kind::Binary:
+      return evalBinary(static_cast<const BinaryExpr *>(E));
+    case Expr::Kind::Assign:
+      return evalAssign(static_cast<const AssignExpr *>(E));
+    case Expr::Kind::Call:
+      return evalCall(static_cast<const CallExpr *>(E));
+    case Expr::Kind::Cast: {
+      const auto *C = static_cast<const CastExpr *>(E);
+      Value V = evalExpr(C->getOperand());
+      if (C->getType()->isFloating())
+        return Value::makeAffine(toAffine(V, E->getLoc()));
+      if (C->getType()->isInteger()) {
+        if (V.isInt())
+          return V;
+        throw InterpError{
+            "casting a sound value to an integer discards its error bound",
+            E->getLoc()};
+      }
+      return V;
+    }
+    case Expr::Kind::Conditional: {
+      const auto *C = static_cast<const ConditionalExpr *>(E);
+      return truthy(evalExpr(C->getCond()), E->getLoc())
+                 ? evalExpr(C->getTrueExpr())
+                 : evalExpr(C->getFalseExpr());
+    }
+    }
+    throw InterpError{"unsupported expression", E->getLoc()};
+  }
+
+  Value evalUnary(const UnaryExpr *U) {
+    switch (U->getOp()) {
+    case UnaryOpKind::Plus:
+      return evalExpr(U->getOperand());
+    case UnaryOpKind::Minus: {
+      Value V = evalExpr(U->getOperand());
+      if (V.isInt())
+        return Value::makeInt(-V.asInt());
+      return Value::makeAffine(-toAffine(V, U->getLoc()));
+    }
+    case UnaryOpKind::Not: {
+      Value V = evalExpr(U->getOperand());
+      return Value::makeInt(!truthy(V, U->getLoc()));
+    }
+    case UnaryOpKind::BitNot: {
+      Value V = evalExpr(U->getOperand());
+      if (!V.isInt())
+        throw InterpError{"operator ~ needs an integer", U->getLoc()};
+      return Value::makeInt(~V.asInt());
+    }
+    case UnaryOpKind::PreInc:
+    case UnaryOpKind::PreDec:
+    case UnaryOpKind::PostInc:
+    case UnaryOpKind::PostDec: {
+      Value *L = evalLvalue(U->getOperand());
+      if (!L->isInt())
+        throw InterpError{"++/-- supported on integers only", U->getLoc()};
+      long long Old = L->asInt();
+      bool Inc = U->getOp() == UnaryOpKind::PreInc ||
+                 U->getOp() == UnaryOpKind::PostInc;
+      *L = Value::makeInt(Inc ? Old + 1 : Old - 1);
+      bool Post = U->getOp() == UnaryOpKind::PostInc ||
+                  U->getOp() == UnaryOpKind::PostDec;
+      return Value::makeInt(Post ? Old : L->asInt());
+    }
+    case UnaryOpKind::Deref:
+      return *evalLvalue(U);
+    case UnaryOpKind::AddrOf:
+      throw InterpError{"taking addresses is not supported here",
+                        U->getLoc()};
+    }
+    throw InterpError{"unsupported unary operator", U->getLoc()};
+  }
+
+  Value evalBinary(const BinaryExpr *B) {
+    // Short-circuit logic first.
+    if (B->getOp() == BinaryOpKind::LAnd) {
+      if (!truthy(evalExpr(B->getLhs()), B->getLoc()))
+        return Value::makeInt(0);
+      return Value::makeInt(truthy(evalExpr(B->getRhs()), B->getLoc()));
+    }
+    if (B->getOp() == BinaryOpKind::LOr) {
+      if (truthy(evalExpr(B->getLhs()), B->getLoc()))
+        return Value::makeInt(1);
+      return Value::makeInt(truthy(evalExpr(B->getRhs()), B->getLoc()));
+    }
+    Value L = evalExpr(B->getLhs());
+    Value R = evalExpr(B->getRhs());
+    if (L.isInt() && R.isInt())
+      return evalIntBinary(B, L.asInt(), R.asInt());
+    if (L.isArray() || R.isArray())
+      throw InterpError{"array used as operand", B->getLoc()};
+
+    aa::F64a LA = toAffine(L, B->getLoc());
+    aa::F64a RA = toAffine(R, B->getLoc());
+    switch (B->getOp()) {
+    case BinaryOpKind::Add:
+      return Value::makeAffine(LA + RA);
+    case BinaryOpKind::Sub:
+      return Value::makeAffine(LA - RA);
+    case BinaryOpKind::Mul:
+      return Value::makeAffine(LA * RA);
+    case BinaryOpKind::Div:
+      return Value::makeAffine(LA / RA);
+    case BinaryOpKind::Lt:
+      return Value::makeInt(LA.mid() < RA.mid());
+    case BinaryOpKind::Gt:
+      return Value::makeInt(LA.mid() > RA.mid());
+    case BinaryOpKind::Le:
+      return Value::makeInt(LA.mid() <= RA.mid());
+    case BinaryOpKind::Ge:
+      return Value::makeInt(LA.mid() >= RA.mid());
+    case BinaryOpKind::Eq:
+      return Value::makeInt(LA.mid() == RA.mid());
+    case BinaryOpKind::Ne:
+      return Value::makeInt(LA.mid() != RA.mid());
+    default:
+      throw InterpError{"operator not supported on floating-point values",
+                        B->getLoc()};
+    }
+  }
+
+  Value evalIntBinary(const BinaryExpr *B, long long L, long long R) {
+    switch (B->getOp()) {
+    case BinaryOpKind::Add:
+      return Value::makeInt(L + R);
+    case BinaryOpKind::Sub:
+      return Value::makeInt(L - R);
+    case BinaryOpKind::Mul:
+      return Value::makeInt(L * R);
+    case BinaryOpKind::Div:
+      if (R == 0)
+        throw InterpError{"integer division by zero", B->getLoc()};
+      return Value::makeInt(L / R);
+    case BinaryOpKind::Rem:
+      if (R == 0)
+        throw InterpError{"integer remainder by zero", B->getLoc()};
+      return Value::makeInt(L % R);
+    case BinaryOpKind::Lt:
+      return Value::makeInt(L < R);
+    case BinaryOpKind::Gt:
+      return Value::makeInt(L > R);
+    case BinaryOpKind::Le:
+      return Value::makeInt(L <= R);
+    case BinaryOpKind::Ge:
+      return Value::makeInt(L >= R);
+    case BinaryOpKind::Eq:
+      return Value::makeInt(L == R);
+    case BinaryOpKind::Ne:
+      return Value::makeInt(L != R);
+    case BinaryOpKind::BitAnd:
+      return Value::makeInt(L & R);
+    case BinaryOpKind::BitOr:
+      return Value::makeInt(L | R);
+    case BinaryOpKind::BitXor:
+      return Value::makeInt(L ^ R);
+    case BinaryOpKind::Shl:
+      return Value::makeInt(L << R);
+    case BinaryOpKind::Shr:
+      return Value::makeInt(L >> R);
+    default:
+      throw InterpError{"unsupported integer operator", B->getLoc()};
+    }
+  }
+
+  Value evalAssign(const AssignExpr *A) {
+    Value *L = evalLvalue(A->getLhs());
+    Value R = evalExpr(A->getRhs());
+    if (A->getOp() != AssignOpKind::Assign) {
+      if (L->isInt() && R.isInt()) {
+        long long Old = L->asInt(), New = 0, Rv = R.asInt();
+        switch (A->getOp()) {
+        case AssignOpKind::AddAssign:
+          New = Old + Rv;
+          break;
+        case AssignOpKind::SubAssign:
+          New = Old - Rv;
+          break;
+        case AssignOpKind::MulAssign:
+          New = Old * Rv;
+          break;
+        case AssignOpKind::DivAssign:
+          if (Rv == 0)
+            throw InterpError{"integer division by zero", A->getLoc()};
+          New = Old / Rv;
+          break;
+        case AssignOpKind::Assign:
+          break;
+        }
+        *L = Value::makeInt(New);
+        return *L;
+      }
+      aa::F64a Old = toAffine(*L, A->getLoc());
+      aa::F64a Rv = toAffine(R, A->getLoc());
+      aa::F64a New = Old;
+      switch (A->getOp()) {
+      case AssignOpKind::AddAssign:
+        New = Old + Rv;
+        break;
+      case AssignOpKind::SubAssign:
+        New = Old - Rv;
+        break;
+      case AssignOpKind::MulAssign:
+        New = Old * Rv;
+        break;
+      case AssignOpKind::DivAssign:
+        New = Old / Rv;
+        break;
+      case AssignOpKind::Assign:
+        break;
+      }
+      *L = Value::makeAffine(New);
+      return *L;
+    }
+    // Plain assignment with FP-context coercion when the target holds an
+    // affine value or the rhs is affine.
+    if (L->isAffine() && R.isInt())
+      R = Value::makeAffine(toAffine(R, A->getLoc()));
+    *L = std::move(R);
+    return *L;
+  }
+
+  Value evalCall(const CallExpr *C) {
+    const std::string &Name = C->getCallee();
+    std::vector<Value> Args;
+    for (const Expr *Arg : C->getArgs())
+      Args.push_back(evalExpr(Arg));
+
+    auto Unary = [&](auto Fn) {
+      if (Args.size() != 1)
+        throw InterpError{Name + " expects one argument", C->getLoc()};
+      return Value::makeAffine(Fn(toAffine(Args[0], C->getLoc())));
+    };
+    if (Name == "sqrt")
+      return Unary([](const aa::F64a &X) { return aa::sqrt(X); });
+    if (Name == "exp")
+      return Unary([](const aa::F64a &X) { return aa::exp(X); });
+    if (Name == "log")
+      return Unary([](const aa::F64a &X) { return aa::log(X); });
+    if (Name == "fabs")
+      return Unary([](const aa::F64a &X) { return aa_fabs_f64(X); });
+    if (Name == "sin")
+      return Unary([](const aa::F64a &X) { return aa::sin(X); });
+    if (Name == "cos")
+      return Unary([](const aa::F64a &X) { return aa::cos(X); });
+    if (Name == "fmax" || Name == "fmin") {
+      if (Args.size() != 2)
+        throw InterpError{Name + " expects two arguments", C->getLoc()};
+      aa::F64a A = toAffine(Args[0], C->getLoc());
+      aa::F64a B = toAffine(Args[1], C->getLoc());
+      return Value::makeAffine(Name == "fmax" ? aa_fmax_f64(A, B)
+                                              : aa_fmin_f64(A, B));
+    }
+    if (const FunctionDecl *F = TU.findFunction(Name)) {
+      if (!F->isDefinition())
+        throw InterpError{"call to undefined function '" + Name + "'",
+                          C->getLoc()};
+      return callFunction(F, std::move(Args));
+    }
+    throw InterpError{"call to unknown function '" + Name + "'",
+                      C->getLoc()};
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  /// Builds storage for a local declaration (nested arrays flattened one
+  /// level per dimension).
+  Value defaultValue(const Type *T, SourceLocation Loc) {
+    if (!T)
+      return Value();
+    if (T->isArray()) {
+      size_t N = T->getArraySize();
+      Value V = Value::makeArray(N);
+      for (size_t I = 0; I < N; ++I)
+        V.elems()[I] = defaultValue(T->getElement(), Loc);
+      return V;
+    }
+    if (T->isFloating())
+      return Value::makeAffine(aa::F64a::exact(0.0));
+    if (T->isInteger())
+      return Value::makeInt(0);
+    if (T->isPointer())
+      return Value(); // must be assigned before use
+    throw InterpError{"unsupported local type '" + T->str() + "'", Loc};
+  }
+
+  Flow execStmt(const Stmt *S, Value &Ret) {
+    if (!S)
+      return Flow::Normal;
+    tick(S->getLoc());
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      for (const Stmt *Child : static_cast<const CompoundStmt *>(S)->getBody()) {
+        Flow F = execStmt(Child, Ret);
+        if (F != Flow::Normal)
+          return F;
+      }
+      return Flow::Normal;
+    case Stmt::Kind::Decl: {
+      for (const VarDecl *D : static_cast<const DeclStmt *>(S)->getDecls()) {
+        Value Init = D->getInit() ? evalExpr(D->getInit())
+                                  : defaultValue(D->getType(), S->getLoc());
+        if (D->getType() && D->getType()->isFloating() && Init.isInt())
+          Init = Value::makeAffine(toAffine(Init, S->getLoc()));
+        Frames.back()[D->getName()] = std::move(Init);
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Expr:
+      evalExpr(static_cast<const ExprStmt *>(S)->getExpr());
+      return Flow::Normal;
+    case Stmt::Kind::If: {
+      const auto *If = static_cast<const IfStmt *>(S);
+      if (truthy(evalExpr(If->getCond()), S->getLoc()))
+        return execStmt(If->getThen(), Ret);
+      return execStmt(If->getElse(), Ret);
+    }
+    case Stmt::Kind::For: {
+      const auto *For = static_cast<const ForStmt *>(S);
+      if (For->getInit())
+        execStmt(For->getInit(), Ret);
+      while (!For->getCond() ||
+             truthy(evalExpr(For->getCond()), S->getLoc())) {
+        Flow F = execStmt(For->getBody(), Ret);
+        if (F == Flow::Return)
+          return F;
+        if (F == Flow::Break)
+          break;
+        if (For->getInc())
+          evalExpr(For->getInc());
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      while (truthy(evalExpr(W->getCond()), S->getLoc())) {
+        Flow F = execStmt(W->getBody(), Ret);
+        if (F == Flow::Return)
+          return F;
+        if (F == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto *D = static_cast<const DoWhileStmt *>(S);
+      do {
+        Flow F = execStmt(D->getBody(), Ret);
+        if (F == Flow::Return)
+          return F;
+        if (F == Flow::Break)
+          break;
+      } while (truthy(evalExpr(D->getCond()), S->getLoc()));
+      return Flow::Normal;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      Ret = R->getValue() ? evalExpr(R->getValue()) : Value();
+      return Flow::Return;
+    }
+    case Stmt::Kind::Break:
+      return Flow::Break;
+    case Stmt::Kind::Continue:
+      return Flow::Continue;
+    case Stmt::Kind::Null:
+      return Flow::Normal;
+    case Stmt::Kind::Pragma: {
+      const auto *P = static_cast<const PragmaStmt *>(S);
+      std::string Var = P->getPrioritizedVar();
+      if (!Var.empty() && Opts.Prioritize) {
+        if (Value *V = lookup(Var))
+          prioritizeValue(*V);
+      }
+      return Flow::Normal;
+    }
+    }
+    return Flow::Normal;
+  }
+
+  static void prioritizeValue(const Value &V) {
+    if (V.isAffine())
+      V.asAffine().prioritize();
+    else if (V.isArray())
+      for (const Value &E : V.elems())
+        prioritizeValue(E);
+  }
+
+  const TranslationUnit &TU;
+  const InterpreterOptions &Opts;
+  std::vector<std::map<std::string, Value>> Frames;
+  uint64_t Steps = 0;
+};
+
+} // namespace
+
+Value Interpreter::makeDefaultArg(const Type *T, double Numeric) {
+  if (!T)
+    return Value();
+  if (T->isInteger())
+    return Value::makeInt(static_cast<long long>(Numeric));
+  if (T->isFloating())
+    return Value::makeAffine(aa::F64a::input(Numeric));
+  if (T->isArray()) {
+    size_t N = T->getArraySize() ? T->getArraySize() : 1;
+    Value V = Value::makeArray(N);
+    for (size_t I = 0; I < N; ++I)
+      V.elems()[I] = makeDefaultArg(T->getElement(), Numeric);
+    return V;
+  }
+  if (T->isPointer()) {
+    Value V = Value::makeArray(1);
+    V.elems()[0] = makeDefaultArg(T->getElement(), Numeric);
+    return V;
+  }
+  return Value();
+}
+
+InterpResult Interpreter::call(const std::string &Function,
+                               std::vector<Value> Args) {
+  InterpResult Result;
+  const FunctionDecl *F = TU.findFunction(Function);
+  if (!F || !F->isDefinition()) {
+    Result.Error = "no definition of function '" + Function + "'";
+    return Result;
+  }
+  Evaluator Eval(TU, Opts);
+  try {
+    Result.ReturnValue = Eval.callFunction(F, std::move(Args));
+    Result.Success = true;
+  } catch (const InterpError &E) {
+    Result.Error = E.Loc.isValid()
+                       ? E.Loc.str() + ": " + E.Message
+                       : E.Message;
+  }
+  Result.StepsUsed = Eval.steps();
+  return Result;
+}

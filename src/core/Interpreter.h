@@ -1,0 +1,122 @@
+//===- Interpreter.h - Sound AST interpreter --------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates a parsed C function directly with sound affine semantics —
+/// no host compiler needed. Every floating-point value becomes an f64a;
+/// integer values stay exact; control flow follows midpoint decisions
+/// exactly as in SafeGen-generated code. Used by `safegen --run`, by the
+/// test suite as an independent oracle for the code-generation path, and
+/// handy for quickly probing the certified accuracy of a kernel.
+///
+/// Supported: everything the frontend parses except taking addresses of
+/// locals and calling unknown external functions (the libm set is built
+/// in). Loops are bounded by a configurable step budget so the tool
+/// cannot hang on runaway input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_INTERPRETER_H
+#define SAFEGEN_CORE_INTERPRETER_H
+
+#include "aa/Runtime.h"
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+/// A runtime value: an exact integer, a sound affine scalar, or an array
+/// (shared, so that array/pointer arguments see callee mutations, as in
+/// C).
+class Value {
+public:
+  enum class Kind { Int, Affine, Array, Void };
+
+  Value() : K(Kind::Void) {}
+  static Value makeInt(long long I) {
+    Value V;
+    V.K = Kind::Int;
+    V.I = I;
+    return V;
+  }
+  static Value makeAffine(const aa::F64a &A) {
+    Value V;
+    V.K = Kind::Affine;
+    V.A = A;
+    return V;
+  }
+  static Value makeArray(size_t N) {
+    Value V;
+    V.K = Kind::Array;
+    V.Elems = std::make_shared<std::vector<Value>>(N);
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isAffine() const { return K == Kind::Affine; }
+  bool isArray() const { return K == Kind::Array; }
+
+  long long asInt() const { return I; }
+  const aa::F64a &asAffine() const { return A; }
+  std::vector<Value> &elems() { return *Elems; }
+  const std::vector<Value> &elems() const { return *Elems; }
+
+private:
+  Kind K;
+  long long I = 0;
+  aa::F64a A = aa::F64a(); // requires an active AffineEnv at construction
+  std::shared_ptr<std::vector<Value>> Elems;
+};
+
+struct InterpreterOptions {
+  /// Abort after this many evaluated statements/expressions (runaway
+  /// guard).
+  uint64_t StepBudget = 50'000'000;
+  /// Honour `#pragma safegen prioritize(...)` statements.
+  bool Prioritize = true;
+};
+
+/// Outcome of one interpretation.
+struct InterpResult {
+  bool Success = false;
+  std::string Error;
+  Value ReturnValue;
+  uint64_t StepsUsed = 0;
+};
+
+/// Interprets functions of one translation unit. An aa::AffineEnvScope
+/// (and upward rounding) must be active for the whole lifetime of the
+/// interpreter and all produced Values.
+class Interpreter {
+public:
+  Interpreter(const frontend::TranslationUnit &TU,
+              const InterpreterOptions &Opts = InterpreterOptions())
+      : TU(TU), Opts(Opts) {}
+
+  /// Calls \p Function with \p Args (must match the parameter count).
+  InterpResult call(const std::string &Function, std::vector<Value> Args);
+
+  /// Builds an argument for a parameter of the given source type:
+  /// integers from \p Numeric, FP scalars as 1-ulp affine inputs, arrays
+  /// (any nesting) filled with affine inputs of value \p Numeric.
+  static Value makeDefaultArg(const frontend::Type *T, double Numeric);
+
+private:
+  const frontend::TranslationUnit &TU;
+  InterpreterOptions Opts;
+};
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_INTERPRETER_H

@@ -1,0 +1,51 @@
+//===- Rewriter.h - The SafeGen AST-to-affine transformation ----*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The source-to-source transformation of Sec. IV-B: declarations with
+/// floating-point types are retyped to the configured affine type, every
+/// floating-point expression becomes a call into the affine runtime
+/// (aa_add_f64 etc., see aa/Runtime.h), constants are converted
+/// conservatively (1 ulp fresh symbol; exact integers stay exact),
+/// constant subexpressions are folded soundly, prioritization pragmas are
+/// lowered to aa_prioritize calls, and SIMD intrinsics in the input are
+/// mapped to the 4-lane affine family.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_REWRITER_H
+#define SAFEGEN_CORE_REWRITER_H
+
+#include "aa/Policy.h"
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+struct RewriteOptions {
+  aa::AAConfig Config;           ///< precision + policies to bake in
+  /// Functions to transform; empty = every definition in the TU.
+  std::vector<std::string> Functions;
+};
+
+/// Rewrites the translation unit in place. Returns false (with
+/// diagnostics) when an unsupported construct is hit.
+bool rewriteToAffine(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags,
+                     const RewriteOptions &Opts);
+
+/// Sound constant folding (Sec. IV-B): collapses FP operations whose
+/// operands are literals *when the operation is exact* (RU == RD).
+/// Returns the number of folds performed.
+unsigned foldConstants(frontend::ASTContext &Ctx);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_REWRITER_H

@@ -1,0 +1,81 @@
+//===- SafeGen.cpp --------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SafeGen.h"
+#include "analysis/DAG.h"
+#include "core/SimdToC.h"
+#include "frontend/ASTPrinter.h"
+#include "frontend/Frontend.h"
+
+#include <algorithm>
+
+using namespace safegen;
+using namespace safegen::frontend;
+using namespace safegen::core;
+
+SafeGenResult core::compileSource(const std::string &FileName,
+                                  const std::string &Source,
+                                  const SafeGenOptions &Opts) {
+  SafeGenResult Result;
+  auto CU = parseSource(FileName, Source);
+  if (!CU->Success) {
+    Result.Diagnostics = CU->Diags.renderAll();
+    return Result;
+  }
+  ASTContext &Ctx = *CU->Ctx;
+
+  if (Opts.LowerSimdFirst && !lowerSimdToC(Ctx, CU->Diags)) {
+    Result.Diagnostics = CU->Diags.renderAll();
+    return Result;
+  }
+
+  Result.ConstantsFolded = foldConstants(Ctx);
+
+  const bool Analyze = Opts.RunAnalysis && Opts.Config.Prioritize;
+  for (Decl *D : Ctx.tu().Decls) {
+    if (D->getKind() != Decl::Kind::Function)
+      continue;
+    auto *F = static_cast<FunctionDecl *>(D);
+    if (!F->isDefinition())
+      continue;
+    if (!Opts.Functions.empty() &&
+        std::find(Opts.Functions.begin(), Opts.Functions.end(),
+                  F->getName()) == Opts.Functions.end())
+      continue;
+    if (Analyze) {
+      analysis::MaxReuseOptions AOpts = Opts.AnalysisOptions;
+      Result.Reports.push_back(
+          analysis::analyzeAndAnnotate(F, Ctx, Opts.Config.K, &AOpts));
+    }
+    if (Opts.DumpDAG)
+      Result.DAGDump += analysis::buildDAG(F).dumpDot();
+  }
+
+  RewriteOptions ROpts;
+  ROpts.Config = Opts.Config;
+  ROpts.Functions = Opts.Functions;
+  if (!rewriteToAffine(Ctx, CU->Diags, ROpts)) {
+    Result.Diagnostics = CU->Diags.renderAll();
+    return Result;
+  }
+
+  ASTPrinter Printer;
+  Result.OutputSource = Printer.print(Ctx.tu());
+  Result.Diagnostics = CU->Diags.renderAll(); // may contain warnings
+  Result.Success = true;
+  return Result;
+}
+
+SafeGenResult core::compileFile(const std::string &Path,
+                                const SafeGenOptions &Opts) {
+  SourceManager Probe;
+  if (!Probe.loadFile(Path)) {
+    SafeGenResult Result;
+    Result.Diagnostics = "error: cannot read '" + Path + "'\n";
+    return Result;
+  }
+  return compileSource(Path, std::string(Probe.getBuffer()), Opts);
+}

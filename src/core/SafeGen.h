@@ -1,0 +1,72 @@
+//===- SafeGen.h - The SafeGen compiler pipeline ----------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end compiler of Fig. 1: C source in, sound C source out.
+///
+///   parse + sema
+///     -> sound constant folding (Sec. IV-B)
+///     -> [optional] static analysis & prioritization (Sec. VI):
+///          TAC transform, computation DAG, max-reuse ILP, pragmas
+///     -> affine rewriting (Sec. IV-B): retyped declarations, runtime
+///        calls, constant conversion, SIMD lowering
+///     -> pretty-printed C (compiled against aa/Runtime.h)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_SAFEGEN_H
+#define SAFEGEN_CORE_SAFEGEN_H
+
+#include "aa/Policy.h"
+#include "analysis/Annotate.h"
+#include "core/Rewriter.h"
+
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+struct SafeGenOptions {
+  /// Affine configuration to bake into the output (precision, k,
+  /// placement, fusion, prioritization, vectorization).
+  aa::AAConfig Config;
+  /// Run the static analysis and insert prioritization pragmas. Defaults
+  /// to Config.Prioritize.
+  bool RunAnalysis = true;
+  /// Restrict the transformation to these functions (empty = all).
+  std::vector<std::string> Functions;
+  /// Run the SIMD-to-C lowering first (paper Sec. IV-B): __m128d/__m256d
+  /// code is scalarized before the affine rewriting, so vector widths the
+  /// affine runtime has no hand-optimized family for still compile.
+  bool LowerSimdFirst = false;
+  /// Dump the computation DAG (Graphviz) into the result.
+  bool DumpDAG = false;
+  /// Override the analysis budget.
+  analysis::MaxReuseOptions AnalysisOptions;
+};
+
+struct SafeGenResult {
+  bool Success = false;
+  std::string OutputSource;
+  std::string Diagnostics;
+  std::string DAGDump;
+  std::vector<analysis::AnalysisReport> Reports; ///< one per function
+  unsigned ConstantsFolded = 0;
+};
+
+/// Compiles \p Source (named \p FileName in diagnostics) to sound C.
+SafeGenResult compileSource(const std::string &FileName,
+                            const std::string &Source,
+                            const SafeGenOptions &Opts);
+
+/// Convenience: reads the input from disk.
+SafeGenResult compileFile(const std::string &Path, const SafeGenOptions &Opts);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_SAFEGEN_H

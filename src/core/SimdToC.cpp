@@ -1,0 +1,643 @@
+//===- SimdToC.cpp --------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SimdToC.h"
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::frontend;
+using namespace safegen::core;
+
+namespace {
+
+/// Per-lane lowering kinds for the supported intrinsics.
+enum class IntrinKind {
+  BinOp,    ///< v[L] = a[L] op b[L]
+  Sqrt,     ///< v[L] = sqrt(a[L])
+  Fmadd,    ///< v[L] = a[L]*b[L] + c[L]
+  Fmsub,    ///< v[L] = a[L]*b[L] - c[L]
+  MaxMin,   ///< v[L] = fmax/fmin(a[L], b[L])
+  Set1,     ///< v[L] = s
+  Set,      ///< v[L] = arg[lanes-1-L]
+  SetZero,  ///< v[L] = 0.0
+  Load,     ///< v[L] = p[L]
+  Store,    ///< p[L] = a[L]
+  Broadcast,///< v[L] = p[0]
+  CvtLane0, ///< scalar: a[0]
+};
+
+struct IntrinInfo {
+  IntrinKind Kind;
+  BinaryOpKind Op;          // BinOp
+  const char *ScalarFn;     // MaxMin
+};
+
+bool lookupIntrinsic(const std::string &Name, IntrinInfo &Info,
+                     unsigned &Lanes) {
+  auto Match = [&](const char *Base, unsigned L) {
+    if (Name == std::string("_mm256_") + Base + "_pd") {
+      Lanes = 4;
+      return true;
+    }
+    if (Name == std::string("_mm_") + Base + "_pd") {
+      Lanes = 2;
+      return true;
+    }
+    (void)L;
+    return false;
+  };
+  if (Match("add", 0)) {
+    Info = {IntrinKind::BinOp, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("sub", 0)) {
+    Info = {IntrinKind::BinOp, BinaryOpKind::Sub, nullptr};
+    return true;
+  }
+  if (Match("mul", 0)) {
+    Info = {IntrinKind::BinOp, BinaryOpKind::Mul, nullptr};
+    return true;
+  }
+  if (Match("div", 0)) {
+    Info = {IntrinKind::BinOp, BinaryOpKind::Div, nullptr};
+    return true;
+  }
+  if (Match("sqrt", 0)) {
+    Info = {IntrinKind::Sqrt, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("fmadd", 0)) {
+    Info = {IntrinKind::Fmadd, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("fmsub", 0)) {
+    Info = {IntrinKind::Fmsub, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("max", 0)) {
+    Info = {IntrinKind::MaxMin, BinaryOpKind::Add, "fmax"};
+    return true;
+  }
+  if (Match("min", 0)) {
+    Info = {IntrinKind::MaxMin, BinaryOpKind::Add, "fmin"};
+    return true;
+  }
+  if (Match("set1", 0)) {
+    Info = {IntrinKind::Set1, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("set", 0)) {
+    Info = {IntrinKind::Set, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("setzero", 0)) {
+    Info = {IntrinKind::SetZero, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("loadu", 0) || Match("load", 0)) {
+    Info = {IntrinKind::Load, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Match("storeu", 0) || Match("store", 0)) {
+    Info = {IntrinKind::Store, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Name == "_mm256_broadcast_sd") {
+    Lanes = 4;
+    Info = {IntrinKind::Broadcast, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  if (Name == "_mm256_cvtsd_f64" || Name == "_mm_cvtsd_f64") {
+    Lanes = Name[3] == '2' ? 4 : 2;
+    Info = {IntrinKind::CvtLane0, BinaryOpKind::Add, nullptr};
+    return true;
+  }
+  return false;
+}
+
+class SimdLowerer {
+public:
+  SimdLowerer(ASTContext &Ctx, DiagnosticsEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  //===--------------------------------------------------------------------===//
+  // Pre-pass: hoist nested vector-typed intrinsic calls into fresh
+  // __m256d/__m128d temporaries so every intrinsic ends up in one of the
+  // three lowerable positions (decl init, vector assignment rhs,
+  // statement).
+  //===--------------------------------------------------------------------===//
+
+  Expr *flattenExpr(Expr *E, std::vector<Stmt *> &Out, bool KeepTop) {
+    if (!E)
+      return E;
+    switch (E->getKind()) {
+    case Expr::Kind::Call: {
+      auto *C = static_cast<CallExpr *>(E);
+      std::vector<Expr *> Args;
+      bool Changed = false;
+      for (Expr *Arg : C->getArgs()) {
+        Expr *NewArg = flattenExpr(Arg, Out, /*KeepTop=*/false);
+        Changed |= NewArg != Arg;
+        Args.push_back(NewArg);
+      }
+      Expr *New = Changed ? Ctx.create<CallExpr>(C->getCallee(),
+                                                 std::move(Args),
+                                                 E->getType(), E->getLoc())
+                          : E;
+      if (!KeepTop && E->getType() && E->getType()->isVector()) {
+        // Hoist: __m256d _sg_vN = call;
+        std::string Name = "_sg_v" + std::to_string(NumTemps++);
+        auto *Tmp = Ctx.create<VarDecl>(Name, E->getType(), New,
+                                        E->getLoc());
+        Out.push_back(Ctx.create<DeclStmt>(std::vector<VarDecl *>{Tmp},
+                                           E->getLoc()));
+        return Ctx.create<DeclRefExpr>(Tmp, Tmp->getType(), E->getLoc(),
+                                       Name);
+      }
+      return New;
+    }
+    case Expr::Kind::Paren: {
+      auto *P = static_cast<ParenExpr *>(E);
+      Expr *Inner = flattenExpr(P->getInner(), Out, KeepTop);
+      return Inner == P->getInner() ? E : Inner;
+    }
+    case Expr::Kind::Binary: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      B->setLhs(flattenExpr(B->getLhs(), Out, /*KeepTop=*/false));
+      B->setRhs(flattenExpr(B->getRhs(), Out, /*KeepTop=*/false));
+      return E;
+    }
+    case Expr::Kind::Assign: {
+      auto *A = static_cast<AssignExpr *>(E);
+      // The rhs of a vector assignment is a lowerable position.
+      bool RhsTop = A->getLhs()->getType() &&
+                    A->getLhs()->getType()->isVector();
+      A->setRhs(flattenExpr(A->getRhs(), Out, RhsTop));
+      return E;
+    }
+    case Expr::Kind::Subscript: {
+      auto *S = static_cast<SubscriptExpr *>(E);
+      Expr *Base = flattenExpr(S->getBase(), Out, /*KeepTop=*/false);
+      Expr *Index = flattenExpr(S->getIndex(), Out, /*KeepTop=*/false);
+      if (Base == S->getBase() && Index == S->getIndex())
+        return E;
+      return Ctx.create<SubscriptExpr>(Base, Index, E->getType(),
+                                       E->getLoc());
+    }
+    case Expr::Kind::Unary: {
+      auto *U = static_cast<UnaryExpr *>(E);
+      Expr *Op = flattenExpr(U->getOperand(), Out, /*KeepTop=*/false);
+      if (Op == U->getOperand())
+        return E;
+      return Ctx.create<UnaryExpr>(U->getOp(), Op, E->getType(),
+                                   E->getLoc());
+    }
+    default:
+      return E;
+    }
+  }
+
+  Stmt *flattenStmt(Stmt *S, std::vector<Stmt *> &Out) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      flattenCompound(static_cast<CompoundStmt *>(S));
+      return S;
+    case Stmt::Kind::Decl: {
+      auto *DS = static_cast<DeclStmt *>(S);
+      for (VarDecl *D : DS->getDecls())
+        if (D->getInit())
+          D->setInit(flattenExpr(D->getInit(), Out,
+                                 /*KeepTop=*/isVector(D->getType())));
+      return S;
+    }
+    case Stmt::Kind::Expr: {
+      auto *ES = static_cast<ExprStmt *>(S);
+      // Statement-position intrinsics (stores) keep their top call.
+      ES->setExpr(flattenExpr(ES->getExpr(), Out, /*KeepTop=*/true));
+      return S;
+    }
+    case Stmt::Kind::If: {
+      auto *If = static_cast<IfStmt *>(S);
+      Expr *Cond = flattenExpr(If->getCond(), Out, false);
+      return Ctx.create<IfStmt>(Cond, flattenBody(If->getThen()),
+                                If->getElse() ? flattenBody(If->getElse())
+                                              : nullptr,
+                                S->getLoc());
+    }
+    case Stmt::Kind::For: {
+      auto *For = static_cast<ForStmt *>(S);
+      Stmt *Init =
+          For->getInit() ? flattenStmt(For->getInit(), Out) : nullptr;
+      return Ctx.create<ForStmt>(Init, For->getCond(), For->getInc(),
+                                 flattenBody(For->getBody()), S->getLoc());
+    }
+    case Stmt::Kind::While: {
+      auto *W = static_cast<WhileStmt *>(S);
+      return Ctx.create<WhileStmt>(W->getCond(), flattenBody(W->getBody()),
+                                   S->getLoc());
+    }
+    case Stmt::Kind::DoWhile: {
+      auto *D = static_cast<DoWhileStmt *>(S);
+      return Ctx.create<DoWhileStmt>(flattenBody(D->getBody()), D->getCond(),
+                                     S->getLoc());
+    }
+    case Stmt::Kind::Return: {
+      auto *R = static_cast<ReturnStmt *>(S);
+      if (R->getValue())
+        R->setValue(flattenExpr(R->getValue(), Out, false));
+      return S;
+    }
+    default:
+      return S;
+    }
+  }
+
+  Stmt *flattenBody(Stmt *Body) {
+    if (!Body)
+      return Body;
+    if (Body->getKind() == Stmt::Kind::Compound) {
+      flattenCompound(static_cast<CompoundStmt *>(Body));
+      return Body;
+    }
+    std::vector<Stmt *> Out;
+    Stmt *New = flattenStmt(Body, Out);
+    if (Out.empty())
+      return New;
+    Out.push_back(New);
+    return Ctx.create<CompoundStmt>(std::move(Out), Body->getLoc());
+  }
+
+  void flattenCompound(CompoundStmt *C) {
+    std::vector<Stmt *> NewBody;
+    for (Stmt *S : C->getBody()) {
+      std::vector<Stmt *> Hoisted;
+      Stmt *New = flattenStmt(S, Hoisted);
+      for (Stmt *H : Hoisted)
+        NewBody.push_back(H);
+      NewBody.push_back(New);
+    }
+    C->getBody() = std::move(NewBody);
+  }
+
+  bool run() {
+    unsigned Before = Diags.getNumErrors();
+    for (Decl *D : Ctx.tu().Decls)
+      if (D->getKind() == Decl::Kind::Function)
+        lowerFunction(static_cast<FunctionDecl *>(D));
+    return Diags.getNumErrors() == Before;
+  }
+
+private:
+  bool isVector(const Type *T) const { return T && T->isVector(); }
+
+  /// double, interned once.
+  const Type *doubleTy() { return Ctx.types().getDouble(); }
+
+  /// Lane L of a lowered vector value: `name[L]` for variables that were
+  /// vectors, `expr` untouched for scalars.
+  Expr *lane(Expr *E, unsigned L) {
+    // Vector variables were retyped to double[lanes]; a reference to one
+    // becomes a subscript.
+    return Ctx.create<SubscriptExpr>(E, literal(L), doubleTy(), E->getLoc());
+  }
+  Expr *literal(long long V) {
+    return Ctx.create<IntLiteralExpr>(V, Ctx.types().getInt(),
+                                      SourceLocation());
+  }
+
+  /// Emits the per-lane statements computing intrinsic \p C into the
+  /// lvalue factory \p Dst(L). Returns false on unsupported intrinsics.
+  bool emitLanes(const CallExpr *C,
+                 const std::function<Expr *(unsigned)> &Dst,
+                 std::vector<Stmt *> &Out) {
+    IntrinInfo Info;
+    unsigned Lanes = 0;
+    if (!lookupIntrinsic(C->getCallee(), Info, Lanes)) {
+      Diags.error(C->getLoc(), "SIMD intrinsic '" + C->getCallee() +
+                                   "' has no scalar lowering rule");
+      return false;
+    }
+    const auto &Args = C->getArgs();
+    auto Assign = [&](unsigned L, Expr *Rhs) {
+      Expr *A = Ctx.create<AssignExpr>(AssignOpKind::Assign, Dst(L), Rhs,
+                                       doubleTy(), C->getLoc());
+      Out.push_back(Ctx.create<ExprStmt>(A, C->getLoc()));
+    };
+    switch (Info.Kind) {
+    case IntrinKind::BinOp:
+      for (unsigned L = 0; L < Lanes; ++L)
+        Assign(L, Ctx.create<BinaryExpr>(Info.Op, lane(Args[0], L),
+                                         lane(Args[1], L), doubleTy(),
+                                         C->getLoc()));
+      return true;
+    case IntrinKind::Sqrt:
+      for (unsigned L = 0; L < Lanes; ++L)
+        Assign(L, Ctx.create<CallExpr>(
+                      "sqrt", std::vector<Expr *>{lane(Args[0], L)},
+                      doubleTy(), C->getLoc()));
+      return true;
+    case IntrinKind::Fmadd:
+    case IntrinKind::Fmsub:
+      for (unsigned L = 0; L < Lanes; ++L) {
+        Expr *Prod = Ctx.create<BinaryExpr>(BinaryOpKind::Mul,
+                                            lane(Args[0], L),
+                                            lane(Args[1], L), doubleTy(),
+                                            C->getLoc());
+        Assign(L, Ctx.create<BinaryExpr>(Info.Kind == IntrinKind::Fmadd
+                                             ? BinaryOpKind::Add
+                                             : BinaryOpKind::Sub,
+                                         Prod, lane(Args[2], L), doubleTy(),
+                                         C->getLoc()));
+      }
+      return true;
+    case IntrinKind::MaxMin:
+      for (unsigned L = 0; L < Lanes; ++L)
+        Assign(L, Ctx.create<CallExpr>(
+                      Info.ScalarFn,
+                      std::vector<Expr *>{lane(Args[0], L),
+                                          lane(Args[1], L)},
+                      doubleTy(), C->getLoc()));
+      return true;
+    case IntrinKind::Set1:
+      for (unsigned L = 0; L < Lanes; ++L)
+        Assign(L, Args[0]);
+      return true;
+    case IntrinKind::Set:
+      // _mm256_set_pd lists lanes high-to-low.
+      for (unsigned L = 0; L < Lanes; ++L)
+        Assign(L, Args[Lanes - 1 - L]);
+      return true;
+    case IntrinKind::SetZero:
+      for (unsigned L = 0; L < Lanes; ++L)
+        Assign(L, Ctx.create<FloatLiteralExpr>(0.0, "0.0", doubleTy(),
+                                               C->getLoc()));
+      return true;
+    case IntrinKind::Load:
+    case IntrinKind::Broadcast:
+      for (unsigned L = 0; L < Lanes; ++L)
+        Assign(L,
+               Ctx.create<SubscriptExpr>(
+                   Args[0],
+                   literal(Info.Kind == IntrinKind::Load ? L : 0),
+                   doubleTy(), C->getLoc()));
+      return true;
+    case IntrinKind::Store:
+      // storeu(p, v): p[L] = v[L]; Dst is ignored.
+      for (unsigned L = 0; L < Lanes; ++L) {
+        Expr *Tgt = Ctx.create<SubscriptExpr>(Args[0], literal(L),
+                                              doubleTy(), C->getLoc());
+        Expr *A = Ctx.create<AssignExpr>(AssignOpKind::Assign, Tgt,
+                                         lane(Args[1], L), doubleTy(),
+                                         C->getLoc());
+        Out.push_back(Ctx.create<ExprStmt>(A, C->getLoc()));
+      }
+      return true;
+    case IntrinKind::CvtLane0:
+      // Handled in scalar-expression position, not here.
+      Diags.error(C->getLoc(), "unexpected statement-position cvtsd");
+      return false;
+    }
+    return false;
+  }
+
+  /// Rewrites scalar expressions that *contain* vector pieces:
+  /// `_mm256_cvtsd_f64(v)` -> `v[0]`. Vector-valued calls in any other
+  /// scalar position are diagnosed.
+  Expr *lowerScalarExpr(Expr *E) {
+    if (!E)
+      return E;
+    switch (E->getKind()) {
+    case Expr::Kind::Call: {
+      auto *C = static_cast<CallExpr *>(E);
+      IntrinInfo Info;
+      unsigned Lanes = 0;
+      if (lookupIntrinsic(C->getCallee(), Info, Lanes)) {
+        if (Info.Kind == IntrinKind::CvtLane0)
+          return lane(C->getArgs()[0], 0);
+        Diags.error(E->getLoc(),
+                    "vector intrinsic in unsupported expression position; "
+                    "assign it to a __m256d variable first");
+        return E;
+      }
+      std::vector<Expr *> Args;
+      for (Expr *Arg : C->getArgs())
+        Args.push_back(lowerScalarExpr(Arg));
+      return Ctx.create<CallExpr>(C->getCallee(), std::move(Args),
+                                  E->getType(), E->getLoc());
+    }
+    case Expr::Kind::Binary: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      B->setLhs(lowerScalarExpr(B->getLhs()));
+      B->setRhs(lowerScalarExpr(B->getRhs()));
+      return E;
+    }
+    case Expr::Kind::Assign: {
+      auto *A = static_cast<AssignExpr *>(E);
+      A->setRhs(lowerScalarExpr(A->getRhs()));
+      return E;
+    }
+    case Expr::Kind::Paren: {
+      auto *P = static_cast<ParenExpr *>(E);
+      Expr *Inner = lowerScalarExpr(P->getInner());
+      if (Inner == P->getInner())
+        return E;
+      return Ctx.create<ParenExpr>(Inner, E->getLoc());
+    }
+    default:
+      return E;
+    }
+  }
+
+  Stmt *lowerStmt(Stmt *S, std::vector<Stmt *> &Out) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      lowerCompound(static_cast<CompoundStmt *>(S));
+      return S;
+    case Stmt::Kind::Decl: {
+      auto *DS = static_cast<DeclStmt *>(S);
+      bool AnyVector = false;
+      for (VarDecl *D : DS->getDecls())
+        AnyVector |= isVector(D->getType());
+      if (!AnyVector) {
+        for (VarDecl *D : DS->getDecls())
+          if (D->getInit())
+            D->setInit(lowerScalarExpr(D->getInit()));
+        return S;
+      }
+      // Vector declaration(s): retype to double[lanes], then lower the
+      // initializer into per-lane assignments.
+      for (VarDecl *D : DS->getDecls()) {
+        if (!isVector(D->getType()))
+          continue;
+        unsigned Lanes = D->getType()->getVectorLanes();
+        Expr *Init = D->getInit();
+        D->setType(Ctx.types().getArray(doubleTy(), Lanes));
+        D->setInit(nullptr);
+        Out.push_back(Ctx.create<DeclStmt>(std::vector<VarDecl *>{D},
+                                           S->getLoc()));
+        if (!Init)
+          continue;
+        auto Dst = [&](unsigned L) -> Expr * {
+          Expr *Ref = Ctx.create<DeclRefExpr>(D, D->getType(), S->getLoc(),
+                                              D->getName());
+          return lane(Ref, L);
+        };
+        if (Init->getKind() == Expr::Kind::Call) {
+          emitLanes(static_cast<CallExpr *>(Init), Dst, Out);
+        } else {
+          // Vector copy: w = v.
+          for (unsigned L = 0; L < Lanes; ++L) {
+            Expr *A = Ctx.create<AssignExpr>(AssignOpKind::Assign, Dst(L),
+                                             lane(Init, L), doubleTy(),
+                                             S->getLoc());
+            Out.push_back(Ctx.create<ExprStmt>(A, S->getLoc()));
+          }
+        }
+      }
+      return Ctx.create<NullStmt>(S->getLoc());
+    }
+    case Stmt::Kind::Expr: {
+      auto *ES = static_cast<ExprStmt *>(S);
+      Expr *E = ES->getExpr();
+      // Statement-position store intrinsics and vector assignments.
+      if (E->getKind() == Expr::Kind::Call) {
+        auto *C = static_cast<CallExpr *>(E);
+        IntrinInfo Info;
+        unsigned Lanes = 0;
+        if (lookupIntrinsic(C->getCallee(), Info, Lanes) &&
+            Info.Kind == IntrinKind::Store) {
+          auto Dst = [&](unsigned) -> Expr * { return nullptr; };
+          emitLanes(C, Dst, Out);
+          return Ctx.create<NullStmt>(S->getLoc());
+        }
+      }
+      if (E->getKind() == Expr::Kind::Assign) {
+        auto *A = static_cast<AssignExpr *>(E);
+        if (isVector(A->getLhs()->getType()) ||
+            (A->getRhs()->getKind() == Expr::Kind::Call &&
+             isVector(A->getRhs()->getType()))) {
+          unsigned Lanes =
+              A->getLhs()->getType() && A->getLhs()->getType()->isVector()
+                  ? A->getLhs()->getType()->getVectorLanes()
+                  : 4;
+          auto Dst = [&](unsigned L) -> Expr * {
+            return lane(A->getLhs(), L);
+          };
+          if (A->getRhs()->getKind() == Expr::Kind::Call)
+            emitLanes(static_cast<CallExpr *>(A->getRhs()), Dst, Out);
+          else
+            for (unsigned L = 0; L < Lanes; ++L) {
+              Expr *Asn = Ctx.create<AssignExpr>(
+                  AssignOpKind::Assign, Dst(L), lane(A->getRhs(), L),
+                  doubleTy(), S->getLoc());
+              Out.push_back(Ctx.create<ExprStmt>(Asn, S->getLoc()));
+            }
+          return Ctx.create<NullStmt>(S->getLoc());
+        }
+      }
+      ES->setExpr(lowerScalarExpr(E));
+      return S;
+    }
+    case Stmt::Kind::If: {
+      auto *If = static_cast<IfStmt *>(S);
+      return Ctx.create<IfStmt>(lowerScalarExpr(If->getCond()),
+                                lowerBody(If->getThen()),
+                                If->getElse() ? lowerBody(If->getElse())
+                                              : nullptr,
+                                S->getLoc());
+    }
+    case Stmt::Kind::For: {
+      auto *For = static_cast<ForStmt *>(S);
+      Stmt *Init = For->getInit() ? lowerStmt(For->getInit(), Out) : nullptr;
+      return Ctx.create<ForStmt>(Init, For->getCond(), For->getInc(),
+                                 lowerBody(For->getBody()), S->getLoc());
+    }
+    case Stmt::Kind::While: {
+      auto *W = static_cast<WhileStmt *>(S);
+      return Ctx.create<WhileStmt>(lowerScalarExpr(W->getCond()),
+                                   lowerBody(W->getBody()), S->getLoc());
+    }
+    case Stmt::Kind::DoWhile: {
+      auto *D = static_cast<DoWhileStmt *>(S);
+      return Ctx.create<DoWhileStmt>(lowerBody(D->getBody()),
+                                     lowerScalarExpr(D->getCond()),
+                                     S->getLoc());
+    }
+    case Stmt::Kind::Return: {
+      auto *R = static_cast<ReturnStmt *>(S);
+      if (R->getValue())
+        R->setValue(lowerScalarExpr(R->getValue()));
+      return S;
+    }
+    default:
+      return S;
+    }
+  }
+
+  Stmt *lowerBody(Stmt *Body) {
+    if (!Body)
+      return Body;
+    if (Body->getKind() == Stmt::Kind::Compound) {
+      lowerCompound(static_cast<CompoundStmt *>(Body));
+      return Body;
+    }
+    std::vector<Stmt *> Out;
+    Stmt *New = lowerStmt(Body, Out);
+    if (Out.empty())
+      return New;
+    Out.push_back(New);
+    return Ctx.create<CompoundStmt>(std::move(Out), Body->getLoc());
+  }
+
+  void lowerCompound(CompoundStmt *C) {
+    std::vector<Stmt *> NewBody;
+    for (Stmt *S : C->getBody()) {
+      std::vector<Stmt *> Emitted;
+      Stmt *New = lowerStmt(S, Emitted);
+      for (Stmt *E : Emitted)
+        NewBody.push_back(E);
+      if (New->getKind() != Stmt::Kind::Null || Emitted.empty())
+        NewBody.push_back(New);
+    }
+    C->getBody() = std::move(NewBody);
+  }
+
+  void lowerFunction(FunctionDecl *F) {
+    // Vector parameters/returns are not lowered (pass vectors through
+    // memory in the source instead).
+    if (isVector(F->getReturnType())) {
+      Diags.error(F->getLoc(),
+                  "functions returning SIMD vectors are not supported by "
+                  "the SIMD-to-C lowering");
+      return;
+    }
+    for (VarDecl *P : F->getParams())
+      if (isVector(P->getType())) {
+        Diags.error(P->getLoc(), "SIMD vector parameters are not supported "
+                                 "by the SIMD-to-C lowering");
+        return;
+      }
+    if (F->isDefinition()) {
+      flattenCompound(F->getBody());
+      lowerCompound(F->getBody());
+    }
+  }
+
+  ASTContext &Ctx;
+  DiagnosticsEngine &Diags;
+  unsigned NumTemps = 0;
+};
+
+} // namespace
+
+bool core::lowerSimdToC(ASTContext &Ctx, DiagnosticsEngine &Diags) {
+  SimdLowerer L(Ctx, Diags);
+  return L.run();
+}

@@ -1,0 +1,37 @@
+//===- SimdToC.h - Lower SIMD intrinsics to scalar C ------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SIMD-to-C preprocessing step (paper Sec. IV-B: "For others we use
+/// the SIMD-to-C compiler provided with IGen as a preprocessing step to
+/// generate C code for the intrinsics"): rewrites __m128d/__m256d vector
+/// code into plain scalar C — vector variables become double arrays, each
+/// intrinsic becomes per-lane scalar statements. The result can then go
+/// through the regular SafeGen pipeline (which handles scalar code for
+/// every configuration) or any other tool.
+///
+/// Exposed on the command line as `safegen --simd-to-c`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_SIMDTOC_H
+#define SAFEGEN_CORE_SIMDTOC_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+namespace safegen {
+namespace core {
+
+/// Lowers every vector type and intrinsic in the TU to scalar C, in
+/// place. Returns false (with diagnostics) on intrinsics that have no
+/// scalar lowering rule.
+bool lowerSimdToC(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_SIMDTOC_H

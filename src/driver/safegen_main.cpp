@@ -1,0 +1,283 @@
+//===- safegen_main.cpp - The safegen command-line driver -----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLI for the SafeGen source-to-source compiler:
+///
+///   safegen input.c -o output.c --config f64a-dspv -k 16
+///
+/// Options mirror the paper's knobs: --config takes the notation of
+/// Sec. VII (placement/fusion/prioritize/vectorize), -k the symbol
+/// budget; --no-analysis skips the static prioritization even for *p*
+/// configs; --dump-dag writes the computation DAG as Graphviz.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Interpreter.h"
+#include "core/SafeGen.h"
+#include "core/SimdToC.h"
+#include "frontend/ASTPrinter.h"
+#include "frontend/Frontend.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace safegen;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: safegen <input.c> [options]\n"
+      "\n"
+      "  -o <file>          output file (default: stdout)\n"
+      "  --config <name>    affine configuration, e.g. f64a-dspv, dda-dspn\n"
+      "                     (placement s|d, fusion s|m|o|r, priority p|n,\n"
+      "                      vectorize v|n; default f64a-dspn)\n"
+      "  -k <n>             symbol budget per affine variable (default 16)\n"
+      "  --function <name>  transform only this function (repeatable)\n"
+      "  --no-analysis      skip the max-reuse static analysis\n"
+      "  --dump-dag <file>  write the computation DAG (Graphviz)\n"
+      "  --run <function>   interpret <function> soundly instead of\n"
+      "                     emitting code; scalar/array parameters are\n"
+      "                     filled from --arg values (1-ulp inputs)\n"
+      "  --arg <number>     argument for --run (repeatable, in order)\n"
+      "  --simd-to-c        only scalarize SIMD intrinsics (IGen's\n"
+      "                     preprocessing step); no affine rewriting\n"
+      "  --pre-simd-to-c    scalarize SIMD intrinsics, then run the\n"
+      "                     regular affine pipeline\n"
+      "  --help             this text\n");
+}
+
+bool writeFileOrStdout(const std::string &Path, const std::string &Text) {
+  if (Path.empty()) {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return true;
+  }
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Input;
+  std::string Output;
+  std::string DagFile;
+  std::string RunFunction;
+  std::vector<double> RunArgs;
+  bool SimdToCOnly = false;
+  core::SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dspn");
+  Opts.Config.K = 16;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "safegen: missing value for %s\n", Flag);
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "-o") {
+      const char *V = NextValue("-o");
+      if (!V)
+        return 1;
+      Output = V;
+      continue;
+    }
+    if (Arg == "--config") {
+      const char *V = NextValue("--config");
+      if (!V)
+        return 1;
+      int SavedK = Opts.Config.K;
+      auto C = aa::AAConfig::parse(V);
+      if (!C) {
+        std::fprintf(stderr, "safegen: invalid configuration '%s'\n", V);
+        return 1;
+      }
+      Opts.Config = *C;
+      Opts.Config.K = SavedK;
+      continue;
+    }
+    if (Arg == "-k") {
+      const char *V = NextValue("-k");
+      if (!V)
+        return 1;
+      Opts.Config.K = std::atoi(V);
+      if (Opts.Config.K < 2 || Opts.Config.K > 64) {
+        std::fprintf(stderr, "safegen: -k must be in [2, 64]\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg == "--function") {
+      const char *V = NextValue("--function");
+      if (!V)
+        return 1;
+      Opts.Functions.push_back(V);
+      continue;
+    }
+    if (Arg == "--no-analysis") {
+      Opts.RunAnalysis = false;
+      continue;
+    }
+    if (Arg == "--dump-dag") {
+      const char *V = NextValue("--dump-dag");
+      if (!V)
+        return 1;
+      DagFile = V;
+      Opts.DumpDAG = true;
+      continue;
+    }
+    if (Arg == "--run") {
+      const char *V = NextValue("--run");
+      if (!V)
+        return 1;
+      RunFunction = V;
+      continue;
+    }
+    if (Arg == "--simd-to-c") {
+      SimdToCOnly = true;
+      continue;
+    }
+    if (Arg == "--pre-simd-to-c") {
+      Opts.LowerSimdFirst = true;
+      continue;
+    }
+    if (Arg == "--arg") {
+      const char *V = NextValue("--arg");
+      if (!V)
+        return 1;
+      RunArgs.push_back(std::atof(V));
+      continue;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "safegen: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 1;
+    }
+    if (!Input.empty()) {
+      std::fprintf(stderr, "safegen: multiple inputs given\n");
+      return 1;
+    }
+    Input = Arg;
+  }
+
+  if (Input.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  if (SimdToCOnly) {
+    auto CU = frontend::parseFile(Input);
+    if (!CU) {
+      std::fprintf(stderr, "safegen: cannot read '%s'\n", Input.c_str());
+      return 1;
+    }
+    if (!CU->Success || !core::lowerSimdToC(*CU->Ctx, CU->Diags)) {
+      std::fputs(CU->Diags.renderAll().c_str(), stderr);
+      return 1;
+    }
+    frontend::ASTPrinter Printer;
+    if (!writeFileOrStdout(Output, Printer.print(CU->Ctx->tu()))) {
+      std::fprintf(stderr, "safegen: cannot write '%s'\n", Output.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!RunFunction.empty()) {
+    auto CU = frontend::parseFile(Input);
+    if (!CU) {
+      std::fprintf(stderr, "safegen: cannot read '%s'\n", Input.c_str());
+      return 1;
+    }
+    if (!CU->Success) {
+      std::fputs(CU->Diags.renderAll().c_str(), stderr);
+      return 1;
+    }
+    frontend::FunctionDecl *F =
+        CU->Ctx->tu().findFunction(RunFunction);
+    if (!F || !F->isDefinition()) {
+      std::fprintf(stderr, "safegen: no definition of '%s'\n",
+                   RunFunction.c_str());
+      return 1;
+    }
+    sg::SoundScope Scope(Opts.Config);
+    std::vector<core::Value> Args;
+    for (size_t I = 0; I < F->getParams().size(); ++I) {
+      double V = I < RunArgs.size() ? RunArgs[I] : 0.5;
+      Args.push_back(
+          core::Interpreter::makeDefaultArg(F->getParams()[I]->getType(), V));
+    }
+    std::vector<core::Value> ArgsCopy = Args; // arrays are shared
+    core::Interpreter Interp(CU->Ctx->tu());
+    core::InterpResult R = Interp.call(RunFunction, std::move(Args));
+    if (!R.Success) {
+      std::fprintf(stderr, "safegen: runtime error: %s\n", R.Error.c_str());
+      return 1;
+    }
+    auto PrintValue = [](const char *What, const core::Value &V) {
+      if (V.kind() == core::Value::Kind::Affine) {
+        ia::Interval I = V.asAffine().toInterval();
+        std::printf("%s in [%.17g, %.17g]  (%.1f certified bits)\n", What,
+                    I.Lo, I.Hi, V.asAffine().certifiedBits());
+      } else if (V.kind() == core::Value::Kind::Int) {
+        std::printf("%s = %lld\n", What, V.asInt());
+      }
+    };
+    PrintValue("result", R.ReturnValue);
+    for (size_t I = 0; I < ArgsCopy.size(); ++I) {
+      const core::Value &V = ArgsCopy[I];
+      if (V.kind() != core::Value::Kind::Array)
+        continue;
+      for (size_t J = 0; J < V.elems().size() && J < 8; ++J) {
+        std::string What = F->getParams()[I]->getName() + "[" +
+                           std::to_string(J) + "]";
+        PrintValue(What.c_str(), V.elems()[J]);
+      }
+    }
+    std::fprintf(stderr, "safegen: interpreted %llu steps soundly (%s)\n",
+                 static_cast<unsigned long long>(R.StepsUsed),
+                 Opts.Config.str().c_str());
+    return 0;
+  }
+
+  core::SafeGenResult Result = core::compileFile(Input, Opts);
+  if (!Result.Diagnostics.empty())
+    std::fputs(Result.Diagnostics.c_str(), stderr);
+  if (!Result.Success)
+    return 1;
+
+  if (!writeFileOrStdout(Output, Result.OutputSource)) {
+    std::fprintf(stderr, "safegen: cannot write '%s'\n", Output.c_str());
+    return 1;
+  }
+  if (Opts.DumpDAG && !writeFileOrStdout(DagFile, Result.DAGDump)) {
+    std::fprintf(stderr, "safegen: cannot write '%s'\n", DagFile.c_str());
+    return 1;
+  }
+  for (const auto &Report : Result.Reports)
+    std::fprintf(stderr,
+                 "safegen: analysis: %d DAG nodes, %d reuse pairs, "
+                 "profit %.0f%s, %u pragmas\n",
+                 Report.DAGNodes, Report.ReusePairs, Report.TotalProfit,
+                 Report.Optimal ? " (optimal)" : "", Report.PragmasInserted);
+  return 0;
+}

@@ -1,0 +1,193 @@
+//===- DoubleDouble.h - Double-double arithmetic ----------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Double-double ("dd") arithmetic: an unevaluated sum Hi + Lo of two
+/// doubles with |Lo| <= ulp(Hi)/2, giving ~106 bits of significand. Used
+/// for (a) the central values of the `dda` affine type (paper Sec. IV-A),
+/// (b) the endpoints of the IGen-dd interval baseline, and (c) the
+/// high-precision reference evaluator in the tests.
+///
+/// The classic error-free transforms (TwoSum, TwoProd) are exact only when
+/// the FPU rounds to nearest. The sound runtime, however, executes in
+/// upward-rounding mode. We therefore expose, next to the RN-exact
+/// operations, a *sound residual bound*: under any rounding mode the
+/// algorithms below produce Hi + Lo = (exact result)·(1 + delta) with
+/// |delta| <= DD_RESIDUAL_EPS, a deliberately conservative constant
+/// (2^-99 vs the theoretical ~2^-104 in RN). Sound consumers widen their
+/// error terms by that bound instead of assuming exactness (DESIGN.md §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FP_DOUBLEDOUBLE_H
+#define SAFEGEN_FP_DOUBLEDOUBLE_H
+
+#include <cmath>
+#include <limits>
+
+namespace safegen {
+namespace fp {
+
+/// Conservative error bound of one dd operation executed under an
+/// arbitrary rounding mode, *relative to the operand magnitudes* (see
+/// padUp; the theoretical defect is ~2^-104, we keep a 2^5 safety margin).
+inline constexpr double DD_RESIDUAL_EPS = 0x1p-99;
+
+/// TwoSum: S = fl(A+B), E = A+B-S exactly (in round-to-nearest).
+inline void twoSum(double A, double B, double &S, double &E) {
+  S = A + B;
+  double Bv = S - A;
+  double Av = S - Bv;
+  E = (A - Av) + (B - Bv);
+}
+
+/// FastTwoSum: requires |A| >= |B|. S = fl(A+B), E the exact residue (RN).
+inline void fastTwoSum(double A, double B, double &S, double &E) {
+  S = A + B;
+  E = B - (S - A);
+}
+
+/// TwoProd with FMA: P = fl(A*B), E = A*B-P exactly (in round-to-nearest).
+inline void twoProd(double A, double B, double &P, double &E) {
+  P = A * B;
+  E = std::fma(A, B, -P);
+}
+
+/// A double-double value. POD so it can live in arrays and SIMD-adjacent
+/// code without surprises.
+///
+/// Invariant expected by the residual bounds (padUp, DDCenter): the pair is
+/// *normalized*, |Lo| <~ ulp(Hi). All kernels in this header produce
+/// normalized results; constructing a wildly denormalized pair by hand
+/// voids the error-bound claims (not the representation itself).
+struct DD {
+  double Hi = 0.0;
+  double Lo = 0.0;
+
+  DD() = default;
+  DD(double Hi) : Hi(Hi), Lo(0.0) {}
+  DD(double Hi, double Lo) : Hi(Hi), Lo(Lo) {}
+
+  /// The closest double to the dd value.
+  double toDouble() const { return Hi + Lo; }
+
+  bool isNaN() const { return std::isnan(Hi) || std::isnan(Lo); }
+  bool isInf() const { return std::isinf(Hi) || std::isinf(Lo); }
+
+  DD operator-() const { return DD(-Hi, -Lo); }
+};
+
+/// dd + dd (Dekker/Knuth). Exact EFT structure in RN; under directed
+/// rounding accurate to DD_RESIDUAL_EPS relative error.
+inline DD add(const DD &A, const DD &B) {
+  double S1, E1, S2, E2;
+  twoSum(A.Hi, B.Hi, S1, E1);
+  twoSum(A.Lo, B.Lo, S2, E2);
+  E1 += S2;
+  double Hi, Lo;
+  fastTwoSum(S1, E1, Hi, Lo);
+  Lo += E2;
+  fastTwoSum(Hi, Lo, Hi, Lo);
+  return DD(Hi, Lo);
+}
+
+inline DD sub(const DD &A, const DD &B) { return add(A, -B); }
+
+/// dd * dd.
+inline DD mul(const DD &A, const DD &B) {
+  double P, E;
+  twoProd(A.Hi, B.Hi, P, E);
+  E += A.Hi * B.Lo + A.Lo * B.Hi;
+  double Hi, Lo;
+  fastTwoSum(P, E, Hi, Lo);
+  return DD(Hi, Lo);
+}
+
+/// dd / dd (one Newton-ish correction step; ~full dd accuracy in RN).
+inline DD div(const DD &A, const DD &B) {
+  double Q1 = A.Hi / B.Hi;
+  // R = A - Q1*B computed in dd.
+  DD R = sub(A, mul(DD(Q1), B));
+  double Q2 = R.Hi / B.Hi;
+  R = sub(R, mul(DD(Q2), B));
+  double Q3 = R.Hi / B.Hi;
+  double Hi, Lo;
+  fastTwoSum(Q1, Q2, Hi, Lo);
+  Lo += Q3;
+  fastTwoSum(Hi, Lo, Hi, Lo);
+  return DD(Hi, Lo);
+}
+
+/// dd * double.
+inline DD mul(const DD &A, double B) {
+  double P, E;
+  twoProd(A.Hi, B, P, E);
+  E += A.Lo * B;
+  double Hi, Lo;
+  fastTwoSum(P, E, Hi, Lo);
+  return DD(Hi, Lo);
+}
+
+/// dd + double.
+inline DD add(const DD &A, double B) { return add(A, DD(B)); }
+
+/// sqrt of a dd (Karp-Markstein style refinement).
+inline DD sqrt(const DD &A) {
+  if (A.Hi < 0.0)
+    return DD(std::numeric_limits<double>::quiet_NaN());
+  if (A.Hi == 0.0)
+    return DD(0.0);
+  double S = std::sqrt(A.Hi);
+  // One refinement: S' = S + (A - S^2) / (2 S), in dd.
+  DD S2 = mul(DD(S), DD(S));
+  DD R = sub(A, S2);
+  double Corr = R.Hi / (2.0 * S);
+  double Hi, Lo;
+  fastTwoSum(S, Corr, Hi, Lo);
+  return DD(Hi, Lo);
+}
+
+/// Returns a dd value guaranteed >= the true result that X approximates,
+/// where the approximation error of the producing dd operation is bounded
+/// by DD_RESIDUAL_EPS·\p ScaleMag (an *operand*-magnitude scale — under
+/// directed rounding the error of the dd kernels scales with the inputs,
+/// not the possibly-cancelled output; Boldo/Graillat-style analyses bound
+/// 2Sum's directed-rounding defect by ~2^-104·(|a|+|b|)). Pads X upward by
+/// DD_RESIDUAL_EPS·ScaleMag plus one subnormal, then bumps the trailing
+/// component by two ulps to absorb the padding addition's own round-off.
+/// Sound under any rounding mode (DESIGN.md §2).
+inline DD padUp(const DD &X, double ScaleMag) {
+  double Pad = std::fabs(ScaleMag) * DD_RESIDUAL_EPS + 0x1p-1022;
+  DD Y = add(X, DD(Pad));
+  Y.Lo = std::nextafter(
+      std::nextafter(Y.Lo, std::numeric_limits<double>::infinity()),
+      std::numeric_limits<double>::infinity());
+  return Y;
+}
+
+/// Mirror image of padUp: a dd value guaranteed <= the true result.
+inline DD padDown(const DD &X, double ScaleMag) {
+  return -padUp(-X, ScaleMag);
+}
+
+/// Total-order comparisons through the leading component (ties broken by
+/// the trailing component).
+inline bool less(const DD &A, const DD &B) {
+  return A.Hi < B.Hi || (A.Hi == B.Hi && A.Lo < B.Lo);
+}
+inline bool lessEqual(const DD &A, const DD &B) {
+  return A.Hi < B.Hi || (A.Hi == B.Hi && A.Lo <= B.Lo);
+}
+inline DD abs(const DD &A) { return A.Hi < 0.0 || (A.Hi == 0.0 && A.Lo < 0.0)
+                                       ? -A
+                                       : A; }
+inline DD min(const DD &A, const DD &B) { return less(A, B) ? A : B; }
+inline DD max(const DD &A, const DD &B) { return less(A, B) ? B : A; }
+
+} // namespace fp
+} // namespace safegen
+
+#endif // SAFEGEN_FP_DOUBLEDOUBLE_H

@@ -1,0 +1,118 @@
+//===- FloatOrdinal.h - Counting floats between two values ------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accuracy metric of the paper (Eqs. (8) and (9)) measures the base-2
+/// logarithm of the number of floating-point values inside the resulting
+/// range. This header provides the order-preserving bijection between
+/// doubles and 64-bit integers ("ordinals") that makes that count a simple
+/// subtraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FP_FLOATORDINAL_H
+#define SAFEGEN_FP_FLOATORDINAL_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace safegen {
+namespace fp {
+
+/// Maps a double to an int64 such that the mapping is monotone on all
+/// non-NaN values (including infinities) and strictly monotone except that
+/// -0.0 and +0.0 both map to ordinal 0 — which is exactly right for
+/// counting distinct real values. The standard sign-magnitude folding trick.
+inline int64_t ordinal(double X) {
+  int64_t Bits;
+  std::memcpy(&Bits, &X, sizeof(Bits));
+  // For negative values (sign bit set, Bits < 0) mirror the magnitude below
+  // zero: INT64_MIN - Bits never overflows since Bits >= INT64_MIN.
+  return Bits < 0 ? std::numeric_limits<int64_t>::min() - Bits : Bits;
+}
+
+/// Inverse of ordinal().
+inline double fromOrdinal(int64_t Ord) {
+  int64_t Bits =
+      Ord < 0 ? std::numeric_limits<int64_t>::min() - Ord : Ord;
+  double X;
+  std::memcpy(&X, &Bits, sizeof(X));
+  return X;
+}
+
+/// Number of doubles x with Lo <= x <= Hi (inclusive), counting both
+/// signed zeros as one value. Returns 0 when Lo > Hi and UINT64_MAX when
+/// either bound is NaN (the range carries no information).
+inline uint64_t countFloatsInRange(double Lo, double Hi) {
+  if (std::isnan(Lo) || std::isnan(Hi))
+    return std::numeric_limits<uint64_t>::max();
+  if (Lo > Hi)
+    return 0;
+  int64_t OLo = ordinal(Lo), OHi = ordinal(Hi);
+  return static_cast<uint64_t>(OHi - OLo) + 1;
+}
+
+/// err(a) of Eq. (8): log2 of the number of floats in [Lo, Hi]. A point
+/// range yields 0; a NaN-bounded range yields +infinity.
+inline double errBits(double Lo, double Hi) {
+  uint64_t N = countFloatsInRange(Lo, Hi);
+  if (N == std::numeric_limits<uint64_t>::max())
+    return std::numeric_limits<double>::infinity();
+  if (N == 0)
+    return 0.0;
+  return std::log2(static_cast<double>(N));
+}
+
+/// acc(a) of Eq. (9) for a \p P-bit-mantissa format: certified bits in the
+/// result, clamped below at 0 ("no bit can be certified").
+inline double accBits(double Lo, double Hi, int P = 53) {
+  double Acc = P - errBits(Lo, Hi);
+  return Acc < 0 ? 0.0 : Acc;
+}
+
+/// \name Single-precision grid (for the f32a type): the same metric over
+/// the set of floats rather than doubles.
+/// @{
+inline int32_t ordinalf(float X) {
+  int32_t Bits;
+  std::memcpy(&Bits, &X, sizeof(Bits));
+  return Bits < 0 ? std::numeric_limits<int32_t>::min() - Bits : Bits;
+}
+
+inline uint32_t countFloats32InRange(float Lo, float Hi) {
+  if (std::isnan(Lo) || std::isnan(Hi))
+    return std::numeric_limits<uint32_t>::max();
+  if (Lo > Hi)
+    return 0;
+  return static_cast<uint32_t>(ordinalf(Hi) - ordinalf(Lo)) + 1;
+}
+
+/// accBits over the float grid; [Lo, Hi] given as doubles and rounded
+/// outward onto floats first.
+inline double accBits32(double Lo, double Hi, int P = 24) {
+  if (std::isnan(Lo) || std::isnan(Hi))
+    return 0.0;
+  float LoF = static_cast<float>(Lo);
+  if (static_cast<double>(LoF) > Lo)
+    LoF = std::nextafterf(LoF, -std::numeric_limits<float>::infinity());
+  float HiF = static_cast<float>(Hi);
+  if (static_cast<double>(HiF) < Hi)
+    HiF = std::nextafterf(HiF, std::numeric_limits<float>::infinity());
+  uint32_t N = countFloats32InRange(LoF, HiF);
+  if (N == std::numeric_limits<uint32_t>::max())
+    return 0.0;
+  double Err = N == 0 ? 0.0 : std::log2(static_cast<double>(N));
+  double Acc = P - Err;
+  return Acc < 0 ? 0.0 : Acc;
+}
+/// @}
+
+} // namespace fp
+} // namespace safegen
+
+#endif // SAFEGEN_FP_FLOATORDINAL_H

@@ -1,0 +1,133 @@
+//===- Rounding.h - IEEE-754 directed rounding control ----------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control of the FPU rounding mode and the directed-rounding primitives the
+/// whole sound runtime is built on.
+///
+/// Convention (paper Sec. II, footnote 1): all sound interval/affine
+/// operations execute with the FPU (both x87/SSE control words via
+/// fesetround) set to round **upward**. Downward-rounded results are then
+/// obtained with the identity RD(x) = -RU(-x), which avoids flipping the
+/// rounding mode inside hot loops. Every function in this header that is
+/// documented as "requires upward mode" asserts that contract in debug
+/// builds.
+///
+/// The library must be compiled with -frounding-math so the compiler cannot
+/// constant-fold or reassociate floating-point expressions across the mode
+/// switch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FP_ROUNDING_H
+#define SAFEGEN_FP_ROUNDING_H
+
+#include <cassert>
+#include <cfenv>
+
+namespace safegen {
+namespace fp {
+
+/// True when the FPU currently rounds toward +infinity.
+inline bool isRoundingUpward() { return std::fegetround() == FE_UPWARD; }
+
+/// RAII scope that switches the FPU to round-upward and restores the
+/// previous mode on destruction. All sound computations run inside one.
+class RoundUpwardScope {
+public:
+  RoundUpwardScope() : SavedMode(std::fegetround()) {
+    std::fesetround(FE_UPWARD);
+  }
+  ~RoundUpwardScope() { std::fesetround(SavedMode); }
+
+  RoundUpwardScope(const RoundUpwardScope &) = delete;
+  RoundUpwardScope &operator=(const RoundUpwardScope &) = delete;
+
+private:
+  int SavedMode;
+};
+
+/// RAII scope that switches the FPU to round-to-nearest. Used by the test
+/// reference evaluators (error-free transforms are exact only in RN).
+class RoundNearestScope {
+public:
+  RoundNearestScope() : SavedMode(std::fegetround()) {
+    std::fesetround(FE_TONEAREST);
+  }
+  ~RoundNearestScope() { std::fesetround(SavedMode); }
+
+  RoundNearestScope(const RoundNearestScope &) = delete;
+  RoundNearestScope &operator=(const RoundNearestScope &) = delete;
+
+private:
+  int SavedMode;
+};
+
+#ifndef NDEBUG
+#define SAFEGEN_ASSERT_ROUND_UP()                                            \
+  assert(::safegen::fp::isRoundingUpward() &&                                \
+         "sound primitive called outside a RoundUpwardScope")
+#else
+#define SAFEGEN_ASSERT_ROUND_UP() ((void)0)
+#endif
+
+/// \name Upward-rounded primitives. Require upward mode.
+/// @{
+inline double addRU(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return A + B;
+}
+inline double subRU(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return A - B;
+}
+inline double mulRU(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return A * B;
+}
+inline double divRU(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return A / B;
+}
+/// @}
+
+/// \name Downward-rounded primitives via RD(x) = -RU(-x). Require upward
+/// mode.
+/// @{
+inline double addRD(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return -((-A) + (-B));
+}
+inline double subRD(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return -((-A) + B);
+}
+inline double mulRD(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return -((-A) * B);
+}
+inline double divRD(double A, double B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return -((-A) / B);
+}
+/// @}
+
+/// Upward-rounded bound on the round-off of the upward addition A+B, i.e.
+/// RU(A+B) - RD(A+B) (Eq. (4), one term). Requires upward mode. The result
+/// is always >= 0 and finite unless the sum overflows.
+inline double addErrBound(double A, double B) {
+  return addRU(A, B) - addRD(A, B);
+}
+
+/// Upward-rounded bound on the round-off of the product A*B.
+inline double mulErrBound(double A, double B) {
+  return mulRU(A, B) - mulRD(A, B);
+}
+
+} // namespace fp
+} // namespace safegen
+
+#endif // SAFEGEN_FP_ROUNDING_H

@@ -1,0 +1,53 @@
+//===- Ulp.h - Unit in the last place ---------------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ulp(x) — the gap between the two floating-point numbers adjacent to x —
+/// used for the conservative conversion of source constants (paper
+/// Sec. IV-B, "Handling constants") and for constructing benchmark inputs
+/// (Sec. VII, "Experimental setup").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FP_ULP_H
+#define SAFEGEN_FP_ULP_H
+
+#include <cmath>
+#include <limits>
+
+namespace safegen {
+namespace fp {
+
+/// The distance from |x| to the next representable double toward +infinity.
+/// For x == 0 this is the smallest subnormal; for non-finite x it is NaN.
+/// Rounding-mode independent (uses nextafter, not arithmetic).
+inline double ulp(double X) {
+  if (std::isnan(X))
+    return std::numeric_limits<double>::quiet_NaN();
+  if (std::isinf(X))
+    return std::numeric_limits<double>::quiet_NaN();
+  double A = std::fabs(X);
+  double Next = std::nextafter(A, std::numeric_limits<double>::infinity());
+  if (std::isinf(Next)) // A is the largest finite double.
+    return A - std::nextafter(A, 0.0);
+  return Next - A;
+}
+
+/// Single-precision variant of ulp().
+inline float ulpf(float X) {
+  if (std::isnan(X) || std::isinf(X))
+    return std::numeric_limits<float>::quiet_NaN();
+  float A = std::fabs(X);
+  float Next = std::nextafterf(A, std::numeric_limits<float>::infinity());
+  if (std::isinf(Next))
+    return A - std::nextafterf(A, 0.0f);
+  return Next - A;
+}
+
+} // namespace fp
+} // namespace safegen
+
+#endif // SAFEGEN_FP_ULP_H

@@ -1,0 +1,530 @@
+//===- AST.h - Abstract syntax tree of the C subset -------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AST the parser produces and the SafeGen rewriter consumes. Two node
+/// families matter for the transformation (paper Sec. IV-B): declarations
+/// (retyped to affine types) and expressions (mapped to affine runtime
+/// calls); statements provide the control structure, which is preserved.
+///
+/// Nodes follow the LLVM pattern: a Kind discriminator with classof-style
+/// helpers (no RTTI), arena ownership in the ASTContext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_AST_H
+#define SAFEGEN_FRONTEND_AST_H
+
+#include "frontend/Type.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace frontend {
+
+class ASTContext;
+class Decl;
+class VarDecl;
+class FunctionDecl;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind {
+    IntLiteral,
+    FloatLiteral,
+    DeclRef,
+    Paren,
+    Unary,
+    Binary,
+    Assign,
+    Subscript,
+    Call,
+    Cast,
+    Conditional,
+  };
+
+  Kind getKind() const { return K; }
+  const Type *getType() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+  SourceLocation getLoc() const { return Loc; }
+  void setLoc(SourceLocation L) { Loc = L; }
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, const Type *Ty, SourceLocation Loc) : K(K), Ty(Ty), Loc(Loc) {}
+
+private:
+  Kind K;
+  const Type *Ty;
+  SourceLocation Loc;
+};
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(long long Value, const Type *Ty, SourceLocation Loc)
+      : Expr(Kind::IntLiteral, Ty, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLiteral; }
+  long long getValue() const { return Value; }
+
+private:
+  long long Value;
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(double Value, std::string Spelling, const Type *Ty,
+                   SourceLocation Loc)
+      : Expr(Kind::FloatLiteral, Ty, Loc), Value(Value),
+        Spelling(std::move(Spelling)) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::FloatLiteral;
+  }
+  double getValue() const { return Value; }
+  /// Original source spelling (preserved in output, e.g. "0.1").
+  const std::string &getSpelling() const { return Spelling; }
+
+private:
+  double Value;
+  std::string Spelling;
+};
+
+class DeclRefExpr : public Expr {
+public:
+  DeclRefExpr(VarDecl *D, const Type *Ty, SourceLocation Loc,
+              std::string Name)
+      : Expr(Kind::DeclRef, Ty, Loc), D(D), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::DeclRef; }
+  VarDecl *getDecl() const { return D; }
+  const std::string &getName() const { return Name; }
+
+private:
+  VarDecl *D; ///< may be null for calls to extern functions
+  std::string Name;
+};
+
+class ParenExpr : public Expr {
+public:
+  ParenExpr(Expr *Inner, SourceLocation Loc)
+      : Expr(Kind::Paren, Inner->getType(), Loc), Inner(Inner) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Paren; }
+  Expr *getInner() const { return Inner; }
+
+private:
+  Expr *Inner;
+};
+
+enum class UnaryOpKind { Plus, Minus, Not, BitNot, PreInc, PreDec, PostInc,
+                         PostDec, AddrOf, Deref };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, Expr *Operand, const Type *Ty, SourceLocation Loc)
+      : Expr(Kind::Unary, Ty, Loc), Op(Op), Operand(Operand) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+  UnaryOpKind getOp() const { return Op; }
+  Expr *getOperand() const { return Operand; }
+
+private:
+  UnaryOpKind Op;
+  Expr *Operand;
+};
+
+enum class BinaryOpKind {
+  Add, Sub, Mul, Div, Rem,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  LAnd, LOr,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, Expr *Lhs, Expr *Rhs, const Type *Ty,
+             SourceLocation Loc)
+      : Expr(Kind::Binary, Ty, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+  BinaryOpKind getOp() const { return Op; }
+  Expr *getLhs() const { return Lhs; }
+  Expr *getRhs() const { return Rhs; }
+  /// Used by Sema to splice in implicit casts.
+  void setLhs(Expr *E) { Lhs = E; }
+  void setRhs(Expr *E) { Rhs = E; }
+  bool isComparison() const {
+    return Op == BinaryOpKind::Lt || Op == BinaryOpKind::Gt ||
+           Op == BinaryOpKind::Le || Op == BinaryOpKind::Ge ||
+           Op == BinaryOpKind::Eq || Op == BinaryOpKind::Ne;
+  }
+  bool isArithmetic() const {
+    return Op == BinaryOpKind::Add || Op == BinaryOpKind::Sub ||
+           Op == BinaryOpKind::Mul || Op == BinaryOpKind::Div;
+  }
+
+private:
+  BinaryOpKind Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+enum class AssignOpKind { Assign, AddAssign, SubAssign, MulAssign, DivAssign };
+
+class AssignExpr : public Expr {
+public:
+  AssignExpr(AssignOpKind Op, Expr *Lhs, Expr *Rhs, const Type *Ty,
+             SourceLocation Loc)
+      : Expr(Kind::Assign, Ty, Loc), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assign; }
+  AssignOpKind getOp() const { return Op; }
+  Expr *getLhs() const { return Lhs; }
+  Expr *getRhs() const { return Rhs; }
+  /// Used by Sema to splice in implicit casts.
+  void setRhs(Expr *E) { Rhs = E; }
+
+private:
+  AssignOpKind Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+class SubscriptExpr : public Expr {
+public:
+  SubscriptExpr(Expr *Base, Expr *Index, const Type *Ty, SourceLocation Loc)
+      : Expr(Kind::Subscript, Ty, Loc), Base(Base), Index(Index) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Subscript; }
+  Expr *getBase() const { return Base; }
+  Expr *getIndex() const { return Index; }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<Expr *> Args, const Type *Ty,
+           SourceLocation Loc)
+      : Expr(Kind::Call, Ty, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+  const std::string &getCallee() const { return Callee; }
+  const std::vector<Expr *> &getArgs() const { return Args; }
+
+private:
+  std::string Callee;
+  std::vector<Expr *> Args;
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(Expr *Operand, const Type *Ty, bool Implicit, SourceLocation Loc)
+      : Expr(Kind::Cast, Ty, Loc), Operand(Operand), Implicit(Implicit) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Cast; }
+  Expr *getOperand() const { return Operand; }
+  bool isImplicit() const { return Implicit; }
+
+private:
+  Expr *Operand;
+  bool Implicit;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(Expr *Cond, Expr *TrueExpr, Expr *FalseExpr, const Type *Ty,
+                  SourceLocation Loc)
+      : Expr(Kind::Conditional, Ty, Loc), Cond(Cond), TrueExpr(TrueExpr),
+        FalseExpr(FalseExpr) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::Conditional;
+  }
+  Expr *getCond() const { return Cond; }
+  Expr *getTrueExpr() const { return TrueExpr; }
+  Expr *getFalseExpr() const { return FalseExpr; }
+
+private:
+  Expr *Cond;
+  Expr *TrueExpr;
+  Expr *FalseExpr;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind {
+    Compound,
+    Decl,
+    Expr,
+    If,
+    For,
+    While,
+    DoWhile,
+    Return,
+    Break,
+    Continue,
+    Null,
+    Pragma,
+  };
+
+  Kind getKind() const { return K; }
+  SourceLocation getLoc() const { return Loc; }
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLocation Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLocation Loc;
+};
+
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(std::vector<Stmt *> Body, SourceLocation Loc)
+      : Stmt(Kind::Compound, Loc), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Compound; }
+  const std::vector<Stmt *> &getBody() const { return Body; }
+  std::vector<Stmt *> &getBody() { return Body; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(std::vector<VarDecl *> Decls, SourceLocation Loc)
+      : Stmt(Kind::Decl, Loc), Decls(std::move(Decls)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Decl; }
+  const std::vector<VarDecl *> &getDecls() const { return Decls; }
+
+private:
+  std::vector<VarDecl *> Decls;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(Expr *E, SourceLocation Loc) : Stmt(Kind::Expr, Loc), E(E) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Expr; }
+  Expr *getExpr() const { return E; }
+  void setExpr(Expr *NewE) { E = NewE; }
+
+private:
+  Expr *E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLocation Loc)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+  Expr *getCond() const { return Cond; }
+  Stmt *getThen() const { return Then; }
+  Stmt *getElse() const { return Else; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body, SourceLocation Loc)
+      : Stmt(Kind::For, Loc), Init(Init), Cond(Cond), Inc(Inc), Body(Body) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+  Stmt *getInit() const { return Init; }
+  Expr *getCond() const { return Cond; }
+  Expr *getInc() const { return Inc; }
+  Stmt *getBody() const { return Body; }
+
+private:
+  Stmt *Init; ///< DeclStmt or ExprStmt or null
+  Expr *Cond; ///< may be null
+  Expr *Inc;  ///< may be null
+  Stmt *Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body, SourceLocation Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+  Expr *getCond() const { return Cond; }
+  Stmt *getBody() const { return Body; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(Stmt *Body, Expr *Cond, SourceLocation Loc)
+      : Stmt(Kind::DoWhile, Loc), Body(Body), Cond(Cond) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::DoWhile; }
+  Stmt *getBody() const { return Body; }
+  Expr *getCond() const { return Cond; }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(Expr *Value, SourceLocation Loc)
+      : Stmt(Kind::Return, Loc), Value(Value) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+  Expr *getValue() const { return Value; } ///< may be null
+  void setValue(Expr *NewValue) { Value = NewValue; }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLocation Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLocation Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Continue; }
+};
+
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceLocation Loc) : Stmt(Kind::Null, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Null; }
+};
+
+/// A `#pragma ...` line kept in statement position. SafeGen pragmas
+/// (`#pragma safegen prioritize(x)`) drive the symbol prioritization.
+class PragmaStmt : public Stmt {
+public:
+  PragmaStmt(std::string Text, SourceLocation Loc)
+      : Stmt(Kind::Pragma, Loc), Text(std::move(Text)) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Pragma; }
+  const std::string &getText() const { return Text; }
+  /// If this is "#pragma safegen prioritize(<var>)", returns <var>.
+  std::string getPrioritizedVar() const;
+
+private:
+  std::string Text;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+class Decl {
+public:
+  enum class Kind { Var, Param, Function };
+  Kind getKind() const { return K; }
+  SourceLocation getLoc() const { return Loc; }
+  const std::string &getName() const { return Name; }
+  virtual ~Decl() = default;
+
+protected:
+  Decl(Kind K, std::string Name, SourceLocation Loc)
+      : K(K), Name(std::move(Name)), Loc(Loc) {}
+
+private:
+  Kind K;
+  std::string Name;
+  SourceLocation Loc;
+};
+
+class VarDecl : public Decl {
+public:
+  VarDecl(std::string Name, const Type *Ty, Expr *Init, SourceLocation Loc,
+          bool IsParam = false, bool IsConst = false)
+      : Decl(IsParam ? Kind::Param : Kind::Var, std::move(Name), Loc), Ty(Ty),
+        Init(Init), Const(IsConst) {}
+  static bool classof(const Decl *D) {
+    return D->getKind() == Kind::Var || D->getKind() == Kind::Param;
+  }
+  const Type *getType() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+  Expr *getInit() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+  bool isParam() const { return getKind() == Kind::Param; }
+  bool isConst() const { return Const; }
+
+private:
+  const Type *Ty;
+  Expr *Init;
+  bool Const;
+};
+
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(std::string Name, const Type *ReturnTy,
+               std::vector<VarDecl *> Params, CompoundStmt *Body,
+               SourceLocation Loc)
+      : Decl(Kind::Function, std::move(Name), Loc), ReturnTy(ReturnTy),
+        Params(std::move(Params)), Body(Body) {}
+  static bool classof(const Decl *D) { return D->getKind() == Kind::Function; }
+  const Type *getReturnType() const { return ReturnTy; }
+  void setReturnType(const Type *T) { ReturnTy = T; }
+  const std::vector<VarDecl *> &getParams() const { return Params; }
+  CompoundStmt *getBody() const { return Body; }
+  bool isDefinition() const { return Body != nullptr; }
+
+private:
+  const Type *ReturnTy;
+  std::vector<VarDecl *> Params;
+  CompoundStmt *Body;
+};
+
+/// The whole parsed file: preprocessor preamble lines (passed through to
+/// the output) plus top-level declarations.
+struct TranslationUnit {
+  std::vector<std::string> PreambleLines;
+  std::vector<Decl *> Decls;
+
+  FunctionDecl *findFunction(const std::string &Name) const {
+    for (Decl *D : Decls)
+      if (D->getKind() == Decl::Kind::Function && D->getName() == Name)
+        return static_cast<FunctionDecl *>(D);
+    return nullptr;
+  }
+};
+
+/// Arena owning every AST node of one compilation. Nodes are allocated
+/// with create<T>() and live until the context is destroyed (type-erased
+/// shared_ptr ownership keeps the correct deleter per node type).
+class ASTContext {
+public:
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    auto Node = std::make_shared<T>(std::forward<Args>(As)...);
+    T *Ptr = Node.get();
+    Nodes.push_back(std::move(Node));
+    return Ptr;
+  }
+
+  TypeContext &types() { return Types; }
+  TranslationUnit &tu() { return TU; }
+
+private:
+  std::vector<std::shared_ptr<void>> Nodes;
+  TypeContext Types;
+  TranslationUnit TU;
+};
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_AST_H

@@ -1,0 +1,449 @@
+//===- ASTPrinter.cpp -----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTPrinter.h"
+
+#include <cassert>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+const char *frontend::binaryOpSpelling(BinaryOpKind Op) {
+  switch (Op) {
+  case BinaryOpKind::Add:
+    return "+";
+  case BinaryOpKind::Sub:
+    return "-";
+  case BinaryOpKind::Mul:
+    return "*";
+  case BinaryOpKind::Div:
+    return "/";
+  case BinaryOpKind::Rem:
+    return "%";
+  case BinaryOpKind::Lt:
+    return "<";
+  case BinaryOpKind::Gt:
+    return ">";
+  case BinaryOpKind::Le:
+    return "<=";
+  case BinaryOpKind::Ge:
+    return ">=";
+  case BinaryOpKind::Eq:
+    return "==";
+  case BinaryOpKind::Ne:
+    return "!=";
+  case BinaryOpKind::LAnd:
+    return "&&";
+  case BinaryOpKind::LOr:
+    return "||";
+  case BinaryOpKind::BitAnd:
+    return "&";
+  case BinaryOpKind::BitOr:
+    return "|";
+  case BinaryOpKind::BitXor:
+    return "^";
+  case BinaryOpKind::Shl:
+    return "<<";
+  case BinaryOpKind::Shr:
+    return ">>";
+  }
+  return "?";
+}
+
+const char *frontend::assignOpSpelling(AssignOpKind Op) {
+  switch (Op) {
+  case AssignOpKind::Assign:
+    return "=";
+  case AssignOpKind::AddAssign:
+    return "+=";
+  case AssignOpKind::SubAssign:
+    return "-=";
+  case AssignOpKind::MulAssign:
+    return "*=";
+  case AssignOpKind::DivAssign:
+    return "/=";
+  }
+  return "?";
+}
+
+void ASTPrinter::indent() {
+  for (int I = 0; I < IndentLevel; ++I)
+    OS << "  ";
+}
+
+std::string ASTPrinter::print(const TranslationUnit &TU) {
+  OS.str("");
+  for (const std::string &Line : TU.PreambleLines)
+    OS << Line << '\n';
+  if (!TU.PreambleLines.empty())
+    OS << '\n';
+  for (const Decl *D : TU.Decls) {
+    printDecl(D);
+    OS << '\n';
+  }
+  return OS.str();
+}
+
+std::string ASTPrinter::print(const FunctionDecl *F) {
+  OS.str("");
+  printFunction(F);
+  return OS.str();
+}
+
+std::string ASTPrinter::print(const Stmt *S) {
+  OS.str("");
+  printStmt(S);
+  return OS.str();
+}
+
+std::string ASTPrinter::print(const Expr *E) {
+  OS.str("");
+  printExpr(E);
+  return OS.str();
+}
+
+void ASTPrinter::printDecl(const Decl *D) {
+  if (D->getKind() == Decl::Kind::Function) {
+    printFunction(static_cast<const FunctionDecl *>(D));
+    return;
+  }
+  printVarDecl(static_cast<const VarDecl *>(D));
+  OS << ";\n";
+}
+
+void ASTPrinter::printVarDecl(const VarDecl *D) {
+  OS << D->getType()->printDeclaration(D->getName());
+  if (D->getInit()) {
+    OS << " = ";
+    printExpr(D->getInit());
+  }
+}
+
+void ASTPrinter::printFunction(const FunctionDecl *F) {
+  OS << F->getReturnType()->str() << ' ' << F->getName() << '(';
+  bool First = true;
+  for (const VarDecl *P : F->getParams()) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    if (P->getType()->isArray())
+      OS << P->getType()->printDeclaration(P->getName());
+    else
+      OS << P->getType()->printDeclaration(P->getName());
+  }
+  if (F->getParams().empty())
+    OS << "void";
+  OS << ')';
+  if (!F->isDefinition()) {
+    OS << ";\n";
+    return;
+  }
+  OS << ' ';
+  printStmt(F->getBody());
+}
+
+void ASTPrinter::printStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Compound: {
+    OS << "{\n";
+    ++IndentLevel;
+    for (const Stmt *Child : static_cast<const CompoundStmt *>(S)->getBody()) {
+      indent();
+      printStmt(Child);
+    }
+    --IndentLevel;
+    indent();
+    OS << "}\n";
+    return;
+  }
+  case Stmt::Kind::Decl: {
+    const auto *DS = static_cast<const DeclStmt *>(S);
+    bool First = true;
+    for (const VarDecl *D : DS->getDecls()) {
+      if (!First) {
+        OS << ";\n";
+        indent();
+      }
+      First = false;
+      printVarDecl(D);
+    }
+    OS << ";\n";
+    return;
+  }
+  case Stmt::Kind::Expr:
+    printExpr(static_cast<const ExprStmt *>(S)->getExpr());
+    OS << ";\n";
+    return;
+  case Stmt::Kind::If: {
+    const auto *If = static_cast<const IfStmt *>(S);
+    OS << "if (";
+    printExpr(If->getCond());
+    OS << ") ";
+    if (If->getThen()->getKind() != Stmt::Kind::Compound) {
+      OS << "{\n";
+      ++IndentLevel;
+      indent();
+      printStmt(If->getThen());
+      --IndentLevel;
+      indent();
+      OS << "}";
+    } else {
+      printStmt(If->getThen());
+      // Trim the newline the compound printed so `else` can follow.
+      std::string Cur = OS.str();
+      if (!Cur.empty() && Cur.back() == '\n') {
+        Cur.pop_back();
+        OS.str(Cur);
+        OS.seekp(0, std::ios_base::end);
+      }
+    }
+    if (If->getElse()) {
+      OS << " else ";
+      if (If->getElse()->getKind() != Stmt::Kind::Compound) {
+        OS << "{\n";
+        ++IndentLevel;
+        indent();
+        printStmt(If->getElse());
+        --IndentLevel;
+        indent();
+        OS << "}\n";
+      } else {
+        printStmt(If->getElse());
+      }
+    } else {
+      OS << "\n";
+    }
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto *For = static_cast<const ForStmt *>(S);
+    OS << "for (";
+    if (For->getInit()) {
+      // Print the init inline without its trailing newline.
+      std::string Saved = OS.str();
+      ASTPrinter Inner;
+      std::string InitStr = Inner.print(For->getInit());
+      while (!InitStr.empty() &&
+             (InitStr.back() == '\n' || InitStr.back() == ' '))
+        InitStr.pop_back();
+      OS << InitStr;
+      (void)Saved;
+    } else {
+      OS << ';';
+    }
+    OS << ' ';
+    if (For->getCond())
+      printExpr(For->getCond());
+    OS << "; ";
+    if (For->getInc())
+      printExpr(For->getInc());
+    OS << ") ";
+    if (For->getBody() && For->getBody()->getKind() != Stmt::Kind::Compound) {
+      OS << "{\n";
+      ++IndentLevel;
+      indent();
+      printStmt(For->getBody());
+      --IndentLevel;
+      indent();
+      OS << "}\n";
+    } else {
+      printStmt(For->getBody());
+    }
+    return;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    OS << "while (";
+    printExpr(W->getCond());
+    OS << ") ";
+    printStmt(W->getBody());
+    if (W->getBody()->getKind() != Stmt::Kind::Compound)
+      OS << '\n';
+    return;
+  }
+  case Stmt::Kind::DoWhile: {
+    const auto *D = static_cast<const DoWhileStmt *>(S);
+    OS << "do ";
+    printStmt(D->getBody());
+    indent();
+    OS << "while (";
+    printExpr(D->getCond());
+    OS << ");\n";
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = static_cast<const ReturnStmt *>(S);
+    OS << "return";
+    if (R->getValue()) {
+      OS << ' ';
+      printExpr(R->getValue());
+    }
+    OS << ";\n";
+    return;
+  }
+  case Stmt::Kind::Break:
+    OS << "break;\n";
+    return;
+  case Stmt::Kind::Continue:
+    OS << "continue;\n";
+    return;
+  case Stmt::Kind::Null:
+    OS << ";\n";
+    return;
+  case Stmt::Kind::Pragma:
+    OS << static_cast<const PragmaStmt *>(S)->getText() << '\n';
+    return;
+  }
+}
+
+void ASTPrinter::printExpr(const Expr *E) {
+  if (!E) {
+    OS << "/*null*/";
+    return;
+  }
+  switch (E->getKind()) {
+  case Expr::Kind::IntLiteral:
+    OS << static_cast<const IntLiteralExpr *>(E)->getValue();
+    return;
+  case Expr::Kind::FloatLiteral: {
+    const auto *F = static_cast<const FloatLiteralExpr *>(E);
+    OS << F->getSpelling();
+    return;
+  }
+  case Expr::Kind::DeclRef:
+    OS << static_cast<const DeclRefExpr *>(E)->getName();
+    return;
+  case Expr::Kind::Paren: {
+    OS << '(';
+    printExpr(static_cast<const ParenExpr *>(E)->getInner());
+    OS << ')';
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = static_cast<const UnaryExpr *>(E);
+    switch (U->getOp()) {
+    case UnaryOpKind::Plus:
+      OS << '+';
+      break;
+    case UnaryOpKind::Minus:
+      OS << '-';
+      break;
+    case UnaryOpKind::Not:
+      OS << '!';
+      break;
+    case UnaryOpKind::BitNot:
+      OS << '~';
+      break;
+    case UnaryOpKind::PreInc:
+      OS << "++";
+      break;
+    case UnaryOpKind::PreDec:
+      OS << "--";
+      break;
+    case UnaryOpKind::AddrOf:
+      OS << '&';
+      break;
+    case UnaryOpKind::Deref:
+      OS << '*';
+      break;
+    case UnaryOpKind::PostInc:
+    case UnaryOpKind::PostDec:
+      break;
+    }
+    // Parenthesize compound operands for safety.
+    bool NeedParens = U->getOperand()->getKind() == Expr::Kind::Binary ||
+                      U->getOperand()->getKind() == Expr::Kind::Assign ||
+                      U->getOperand()->getKind() == Expr::Kind::Conditional;
+    if (NeedParens)
+      OS << '(';
+    printExpr(U->getOperand());
+    if (NeedParens)
+      OS << ')';
+    if (U->getOp() == UnaryOpKind::PostInc)
+      OS << "++";
+    if (U->getOp() == UnaryOpKind::PostDec)
+      OS << "--";
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = static_cast<const BinaryExpr *>(E);
+    // Emit fully parenthesized: simple and always correct.
+    bool LP = B->getLhs()->getKind() == Expr::Kind::Binary ||
+              B->getLhs()->getKind() == Expr::Kind::Conditional ||
+              B->getLhs()->getKind() == Expr::Kind::Assign;
+    bool RP = B->getRhs()->getKind() == Expr::Kind::Binary ||
+              B->getRhs()->getKind() == Expr::Kind::Conditional ||
+              B->getRhs()->getKind() == Expr::Kind::Assign;
+    if (LP)
+      OS << '(';
+    printExpr(B->getLhs());
+    if (LP)
+      OS << ')';
+    OS << ' ' << binaryOpSpelling(B->getOp()) << ' ';
+    if (RP)
+      OS << '(';
+    printExpr(B->getRhs());
+    if (RP)
+      OS << ')';
+    return;
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = static_cast<const AssignExpr *>(E);
+    printExpr(A->getLhs());
+    OS << ' ' << assignOpSpelling(A->getOp()) << ' ';
+    printExpr(A->getRhs());
+    return;
+  }
+  case Expr::Kind::Subscript: {
+    const auto *S = static_cast<const SubscriptExpr *>(E);
+    printExpr(S->getBase());
+    OS << '[';
+    printExpr(S->getIndex());
+    OS << ']';
+    return;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = static_cast<const CallExpr *>(E);
+    OS << C->getCallee() << '(';
+    bool First = true;
+    for (const Expr *Arg : C->getArgs()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      printExpr(Arg);
+    }
+    OS << ')';
+    return;
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = static_cast<const CastExpr *>(E);
+    if (C->isImplicit()) {
+      printExpr(C->getOperand());
+      return;
+    }
+    OS << '(' << C->getType()->str() << ')';
+    bool NeedParens = C->getOperand()->getKind() == Expr::Kind::Binary ||
+                      C->getOperand()->getKind() == Expr::Kind::Conditional;
+    if (NeedParens)
+      OS << '(';
+    printExpr(C->getOperand());
+    if (NeedParens)
+      OS << ')';
+    return;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = static_cast<const ConditionalExpr *>(E);
+    printExpr(C->getCond());
+    OS << " ? ";
+    printExpr(C->getTrueExpr());
+    OS << " : ";
+    printExpr(C->getFalseExpr());
+    return;
+  }
+  }
+}

@@ -1,0 +1,54 @@
+//===- ASTPrinter.h - Print the AST back as C source ------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints an AST (possibly transformed by the rewriter) back to
+/// compilable C. The rewriter produces its output through this printer,
+/// so the printer understands the affine types and runtime-call shapes it
+/// generates — but it has no SafeGen-specific logic itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_ASTPRINTER_H
+#define SAFEGEN_FRONTEND_ASTPRINTER_H
+
+#include "frontend/AST.h"
+
+#include <sstream>
+#include <string>
+
+namespace safegen {
+namespace frontend {
+
+class ASTPrinter {
+public:
+  /// Renders a whole translation unit (preamble lines first).
+  std::string print(const TranslationUnit &TU);
+  std::string print(const FunctionDecl *F);
+  std::string print(const Stmt *S);
+  std::string print(const Expr *E);
+
+private:
+  void printDecl(const Decl *D);
+  void printFunction(const FunctionDecl *F);
+  void printStmt(const Stmt *S);
+  void printExpr(const Expr *E);
+  void printVarDecl(const VarDecl *D);
+  void indent();
+
+  std::ostringstream OS;
+  int IndentLevel = 0;
+};
+
+/// C spelling of a binary operator.
+const char *binaryOpSpelling(BinaryOpKind Op);
+/// C spelling of an assignment operator.
+const char *assignOpSpelling(AssignOpKind Op);
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_ASTPRINTER_H

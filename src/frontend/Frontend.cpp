@@ -1,0 +1,39 @@
+//===- Frontend.cpp -------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+std::unique_ptr<CompilationUnit> frontend::parseSource(std::string FileName,
+                                                       std::string Source) {
+  auto CU = std::make_unique<CompilationUnit>();
+  CU->SM.setMainBuffer(std::move(FileName), std::move(Source));
+  CU->Ctx = std::make_unique<ASTContext>();
+
+  Lexer Lex(CU->SM, CU->Diags);
+  Parser P(Lex.lexAll(), *CU->Ctx, CU->Diags);
+  bool ParseOk = P.parseTranslationUnit();
+
+  bool SemaOk = false;
+  if (ParseOk) {
+    Sema S(*CU->Ctx, CU->Diags);
+    SemaOk = S.check();
+  }
+  CU->Success = ParseOk && SemaOk;
+  return CU;
+}
+
+std::unique_ptr<CompilationUnit> frontend::parseFile(const std::string &Path) {
+  SourceManager Probe;
+  if (!Probe.loadFile(Path))
+    return nullptr;
+  return parseSource(Path, std::string(Probe.getBuffer()));
+}

@@ -1,0 +1,42 @@
+//===- Frontend.h - One-call parse + sema facade ----------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_FRONTEND_H
+#define SAFEGEN_FRONTEND_FRONTEND_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <memory>
+#include <string>
+
+namespace safegen {
+namespace frontend {
+
+/// Everything produced by one frontend run. Keep it alive as long as any
+/// AST pointer is used.
+struct CompilationUnit {
+  SourceManager SM;
+  DiagnosticsEngine Diags;
+  std::unique_ptr<ASTContext> Ctx;
+  bool Success = false;
+
+  CompilationUnit() : Diags(&SM) {}
+};
+
+/// Lexes, parses and type-checks \p Source (named \p FileName in
+/// diagnostics). Always returns a unit; check Success / Diags.
+std::unique_ptr<CompilationUnit> parseSource(std::string FileName,
+                                             std::string Source);
+
+/// Convenience: reads \p Path from disk first. Returns null if unreadable.
+std::unique_ptr<CompilationUnit> parseFile(const std::string &Path);
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_FRONTEND_H

@@ -1,0 +1,316 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+const char *frontend::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "floating literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::PragmaLine:
+    return "#pragma";
+  case TokenKind::PreprocessorLine:
+    return "preprocessor line";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  default:
+    return "token";
+  }
+}
+
+static const std::unordered_map<std::string_view, TokenKind> &keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> Map = {
+      {"void", TokenKind::KwVoid},         {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},         {"unsigned", TokenKind::KwUnsigned},
+      {"float", TokenKind::KwFloat},       {"double", TokenKind::KwDouble},
+      {"const", TokenKind::KwConst},       {"static", TokenKind::KwStatic},
+      {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},           {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},             {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},       {"continue", TokenKind::KwContinue},
+      {"sizeof", TokenKind::KwSizeof},
+  };
+  return Map;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::Eof))
+      break;
+  }
+  return Tokens;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\v' ||
+        C == '\f') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Start = Pos;
+      Pos += 2;
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(location(Start), "unterminated block comment");
+          return;
+        }
+        ++Pos;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, uint32_t Begin) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = Buffer.substr(Begin, Pos - Begin);
+  T.Loc = location(Begin);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  uint32_t Begin = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    ++Pos;
+  Token T = makeToken(TokenKind::Identifier, Begin);
+  auto It = keywords().find(T.Text);
+  if (It != keywords().end())
+    T.Kind = It->second;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  uint32_t Begin = Pos;
+  bool IsFloat = false;
+  // Hex literals.
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    while (std::isxdigit(static_cast<unsigned char>(peek())) ||
+           peek() == '.' || peek() == 'p' || peek() == 'P' ||
+           ((peek() == '+' || peek() == '-') &&
+            (Buffer[Pos - 1] == 'p' || Buffer[Pos - 1] == 'P'))) {
+      if (peek() == '.' || peek() == 'p' || peek() == 'P')
+        IsFloat = true;
+      ++Pos;
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (peek() == '.') {
+      IsFloat = true;
+      ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      IsFloat = true;
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+  }
+  // Suffixes.
+  while (peek() == 'f' || peek() == 'F' || peek() == 'l' || peek() == 'L' ||
+         peek() == 'u' || peek() == 'U') {
+    if (peek() == 'f' || peek() == 'F')
+      IsFloat = true;
+    ++Pos;
+  }
+  Token T = makeToken(IsFloat ? TokenKind::FloatLiteral
+                              : TokenKind::IntLiteral,
+                      Begin);
+  std::string Text(T.Text);
+  if (IsFloat)
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  else {
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 0);
+    T.FloatValue = static_cast<double>(T.IntValue);
+  }
+  return T;
+}
+
+Token Lexer::lexString() {
+  uint32_t Begin = Pos;
+  ++Pos; // opening quote
+  while (peek() != '"' && peek() != '\0') {
+    if (peek() == '\\')
+      ++Pos;
+    ++Pos;
+  }
+  if (peek() == '\0')
+    Diags.error(location(Begin), "unterminated string literal");
+  else
+    ++Pos; // closing quote
+  return makeToken(TokenKind::StringLiteral, Begin);
+}
+
+Token Lexer::lexPreprocessorLine() {
+  uint32_t Begin = Pos;
+  while (peek() != '\n' && peek() != '\0') {
+    // Line continuations.
+    if (peek() == '\\' && peek(1) == '\n')
+      ++Pos;
+    ++Pos;
+  }
+  Token T = makeToken(TokenKind::PreprocessorLine, Begin);
+  if (T.Text.find("#pragma") == 0 ||
+      T.Text.find("# pragma") == 0)
+    T.Kind = TokenKind::PragmaLine;
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  uint32_t Begin = Pos;
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Begin);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber();
+  if (C == '"')
+    return lexString();
+  if (C == '#')
+    return lexPreprocessorLine();
+
+  auto Punct = [&](TokenKind K, unsigned Len) {
+    Pos += Len;
+    return makeToken(K, Begin);
+  };
+  char C1 = peek(1);
+  switch (C) {
+  case '(':
+    return Punct(TokenKind::LParen, 1);
+  case ')':
+    return Punct(TokenKind::RParen, 1);
+  case '{':
+    return Punct(TokenKind::LBrace, 1);
+  case '}':
+    return Punct(TokenKind::RBrace, 1);
+  case '[':
+    return Punct(TokenKind::LBracket, 1);
+  case ']':
+    return Punct(TokenKind::RBracket, 1);
+  case ',':
+    return Punct(TokenKind::Comma, 1);
+  case ';':
+    return Punct(TokenKind::Semicolon, 1);
+  case '?':
+    return Punct(TokenKind::Question, 1);
+  case ':':
+    return Punct(TokenKind::Colon, 1);
+  case '.':
+    return Punct(TokenKind::Dot, 1);
+  case '~':
+    return Punct(TokenKind::Tilde, 1);
+  case '^':
+    return Punct(TokenKind::Caret, 1);
+  case '+':
+    if (C1 == '+')
+      return Punct(TokenKind::PlusPlus, 2);
+    if (C1 == '=')
+      return Punct(TokenKind::PlusEqual, 2);
+    return Punct(TokenKind::Plus, 1);
+  case '-':
+    if (C1 == '-')
+      return Punct(TokenKind::MinusMinus, 2);
+    if (C1 == '=')
+      return Punct(TokenKind::MinusEqual, 2);
+    if (C1 == '>')
+      return Punct(TokenKind::Arrow, 2);
+    return Punct(TokenKind::Minus, 1);
+  case '*':
+    if (C1 == '=')
+      return Punct(TokenKind::StarEqual, 2);
+    return Punct(TokenKind::Star, 1);
+  case '/':
+    if (C1 == '=')
+      return Punct(TokenKind::SlashEqual, 2);
+    return Punct(TokenKind::Slash, 1);
+  case '%':
+    return Punct(TokenKind::Percent, 1);
+  case '&':
+    if (C1 == '&')
+      return Punct(TokenKind::AmpAmp, 2);
+    return Punct(TokenKind::Amp, 1);
+  case '|':
+    if (C1 == '|')
+      return Punct(TokenKind::PipePipe, 2);
+    return Punct(TokenKind::Pipe, 1);
+  case '<':
+    if (C1 == '=')
+      return Punct(TokenKind::LessEqual, 2);
+    if (C1 == '<')
+      return Punct(TokenKind::LessLess, 2);
+    return Punct(TokenKind::Less, 1);
+  case '>':
+    if (C1 == '=')
+      return Punct(TokenKind::GreaterEqual, 2);
+    if (C1 == '>')
+      return Punct(TokenKind::GreaterGreater, 2);
+    return Punct(TokenKind::Greater, 1);
+  case '=':
+    if (C1 == '=')
+      return Punct(TokenKind::EqualEqual, 2);
+    return Punct(TokenKind::Equal, 1);
+  case '!':
+    if (C1 == '=')
+      return Punct(TokenKind::BangEqual, 2);
+    return Punct(TokenKind::Bang, 1);
+  default:
+    Diags.error(location(Begin),
+                std::string("unexpected character '") + C + "'");
+    ++Pos;
+    return next();
+  }
+}

@@ -1,0 +1,59 @@
+//===- Lexer.h - C-subset lexer ---------------------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the C subset. Comments are skipped; preprocessor
+/// lines are preserved as single tokens so the rewriter can pass them
+/// through (includes) or interpret them (SafeGen pragmas).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_LEXER_H
+#define SAFEGEN_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <vector>
+
+namespace safegen {
+namespace frontend {
+
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, DiagnosticsEngine &Diags)
+      : SM(SM), Diags(Diags), Buffer(SM.getBuffer()) {}
+
+  /// Lexes the entire buffer. The returned vector always ends with an Eof
+  /// token. Errors are reported to the diagnostics engine.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+  SourceLocation location(uint32_t Offset) const {
+    return SM.locationForOffset(Offset);
+  }
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Buffer.size() ? Buffer[Pos + Ahead] : '\0';
+  }
+  void skipWhitespaceAndComments();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexString();
+  Token lexPreprocessorLine();
+
+  const SourceManager &SM;
+  DiagnosticsEngine &Diags;
+  std::string_view Buffer;
+  uint32_t Pos = 0;
+};
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_LEXER_H

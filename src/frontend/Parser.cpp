@@ -1,0 +1,713 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+std::string PragmaStmt::getPrioritizedVar() const {
+  // Recognizes "#pragma safegen prioritize(<name>)".
+  size_t P = Text.find("prioritize");
+  if (P == std::string::npos || Text.find("safegen") == std::string::npos)
+    return {};
+  size_t L = Text.find('(', P);
+  size_t R = Text.find(')', P);
+  if (L == std::string::npos || R == std::string::npos || R <= L + 1)
+    return {};
+  std::string Name = Text.substr(L + 1, R - L - 1);
+  // Trim whitespace.
+  size_t B = Name.find_first_not_of(" \t");
+  size_t E = Name.find_last_not_of(" \t");
+  if (B == std::string::npos)
+    return {};
+  return Name.substr(B, E - B + 1);
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  error(std::string("expected ") + tokenKindName(K) + " " + Context +
+        ", found '" + tok().text() + "'");
+  return false;
+}
+
+void Parser::recover() {
+  unsigned Depth = 0;
+  while (!at(TokenKind::Eof)) {
+    if (at(TokenKind::LBrace))
+      ++Depth;
+    if (at(TokenKind::RBrace)) {
+      // Consume stray closers too — returning without making progress
+      // here would loop the caller forever.
+      consume();
+      if (Depth == 0)
+        return;
+      --Depth;
+      continue;
+    }
+    if (at(TokenKind::Semicolon) && Depth == 0) {
+      consume();
+      return;
+    }
+    consume();
+  }
+}
+
+void Parser::declare(VarDecl *D) {
+  assert(!Scopes.empty() && "no active scope");
+  auto &Scope = Scopes.back();
+  if (Scope.count(D->getName()))
+    Diags.error(D->getLoc(), "redefinition of '" + D->getName() + "'");
+  Scope[D->getName()] = D;
+}
+
+VarDecl *Parser::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+bool Parser::atTypeSpecifier() const {
+  switch (tok().Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwConst:
+  case TokenKind::KwStatic:
+    return true;
+  case TokenKind::Identifier:
+    // SIMD builtins act as type names.
+    return Ctx.types().lookupBuiltin(tok().text()) != nullptr;
+  default:
+    return false;
+  }
+}
+
+const Type *Parser::parseTypeSpecifier() {
+  // Storage/qualifier prefixes are accepted and dropped (const is carried
+  // per declarator by the caller where it matters).
+  while (at(TokenKind::KwConst) || at(TokenKind::KwStatic))
+    consume();
+
+  const Type *T = nullptr;
+  switch (tok().Kind) {
+  case TokenKind::KwVoid:
+    consume();
+    T = Ctx.types().getVoid();
+    break;
+  case TokenKind::KwInt:
+    consume();
+    T = Ctx.types().getInt();
+    break;
+  case TokenKind::KwLong:
+    consume();
+    accept(TokenKind::KwLong); // long long
+    accept(TokenKind::KwInt);
+    T = Ctx.types().getLong();
+    break;
+  case TokenKind::KwUnsigned:
+    consume();
+    accept(TokenKind::KwInt);
+    accept(TokenKind::KwLong);
+    T = Ctx.types().getUInt();
+    break;
+  case TokenKind::KwFloat:
+    consume();
+    T = Ctx.types().getFloat();
+    break;
+  case TokenKind::KwDouble:
+    consume();
+    T = Ctx.types().getDouble();
+    break;
+  case TokenKind::Identifier:
+    T = Ctx.types().lookupBuiltin(tok().text());
+    if (T) {
+      consume();
+      break;
+    }
+    [[fallthrough]];
+  default:
+    error("expected type specifier, found '" + tok().text() + "'");
+    return Ctx.types().getInt();
+  }
+  while (at(TokenKind::KwConst))
+    consume();
+  // Pointer declarators.
+  while (at(TokenKind::Star)) {
+    consume();
+    while (at(TokenKind::KwConst))
+      consume();
+    T = Ctx.types().getPointer(T);
+  }
+  return T;
+}
+
+const Type *Parser::parseDeclaratorSuffix(const Type *Base, std::string &Name,
+                                          bool AllowUnsized) {
+  // Caller consumed the identifier already; parse [N][M]... suffixes.
+  (void)Name;
+  std::vector<uint64_t> Extents;
+  while (accept(TokenKind::LBracket)) {
+    if (accept(TokenKind::RBracket)) {
+      if (!AllowUnsized)
+        error("array extent required here");
+      Extents.push_back(0);
+      continue;
+    }
+    if (at(TokenKind::IntLiteral)) {
+      Extents.push_back(static_cast<uint64_t>(tok().IntValue));
+      consume();
+    } else if (at(TokenKind::Identifier)) {
+      // Symbolic extents (e.g. macros expanded away) are not supported;
+      // treat as unsized pointer-style.
+      error("array extent must be an integer literal");
+      consume();
+      Extents.push_back(0);
+    } else {
+      error("array extent must be an integer literal");
+    }
+    expect(TokenKind::RBracket, "after array extent");
+  }
+  const Type *T = Base;
+  for (auto It = Extents.rbegin(); It != Extents.rend(); ++It)
+    T = Ctx.types().getArray(T, *It);
+  return T;
+}
+
+bool Parser::parseTranslationUnit() {
+  pushScope(); // file scope
+  unsigned ErrorsBefore = Diags.getNumErrors();
+  while (!at(TokenKind::Eof)) {
+    if (Diags.getNumErrors() - ErrorsBefore > 100) {
+      Diags.error(tok().Loc, "too many errors, giving up");
+      break;
+    }
+    if (at(TokenKind::PreprocessorLine) || at(TokenKind::PragmaLine)) {
+      Ctx.tu().PreambleLines.push_back(tok().text());
+      consume();
+      continue;
+    }
+    unsigned IndexBefore = Index;
+    Decl *D = parseTopLevel();
+    if (D)
+      Ctx.tu().Decls.push_back(D);
+    if (Index == IndexBefore && !at(TokenKind::Eof))
+      consume(); // guarantee forward progress on hopeless input
+  }
+  popScope();
+  return Diags.getNumErrors() == ErrorsBefore;
+}
+
+Decl *Parser::parseTopLevel() {
+  if (!atTypeSpecifier()) {
+    error("expected a declaration at file scope, found '" + tok().text() +
+          "'");
+    recover();
+    return nullptr;
+  }
+  const Type *T = parseTypeSpecifier();
+  if (!at(TokenKind::Identifier)) {
+    error("expected declarator name");
+    recover();
+    return nullptr;
+  }
+  Token NameTok = consume();
+
+  if (at(TokenKind::LParen))
+    return parseFunctionRest(T, NameTok.text(), NameTok.Loc);
+
+  // Global variable(s).
+  std::vector<VarDecl *> Vars;
+  std::string Name = NameTok.text();
+  for (;;) {
+    const Type *DT = parseDeclaratorSuffix(T, Name, /*AllowUnsized=*/false);
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Equal))
+      Init = parseAssignment();
+    VarDecl *D = Ctx.create<VarDecl>(Name, DT, Init, NameTok.Loc);
+    declare(D);
+    Vars.push_back(D);
+    Ctx.tu().Decls.push_back(D);
+    if (!accept(TokenKind::Comma))
+      break;
+    if (!at(TokenKind::Identifier)) {
+      error("expected declarator after ','");
+      break;
+    }
+    NameTok = consume();
+    Name = NameTok.text();
+  }
+  expect(TokenKind::Semicolon, "after declaration");
+  return nullptr; // already appended
+}
+
+FunctionDecl *Parser::parseFunctionRest(const Type *RetTy, std::string Name,
+                                        SourceLocation Loc) {
+  expect(TokenKind::LParen, "in function declarator");
+  pushScope();
+  std::vector<VarDecl *> Params;
+  if (!at(TokenKind::RParen)) {
+    for (;;) {
+      if (at(TokenKind::KwVoid) && tok(1).is(TokenKind::RParen)) {
+        consume();
+        break;
+      }
+      const Type *PT = parseTypeSpecifier();
+      std::string PName;
+      if (at(TokenKind::Identifier)) {
+        PName = consume().text();
+      }
+      PT = parseDeclaratorSuffix(PT, PName, /*AllowUnsized=*/true);
+      // Array parameters decay to pointers (outermost dimension only if
+      // unsized).
+      if (PT->isArray() && PT->getArraySize() == 0)
+        PT = Ctx.types().getPointer(PT->getElement());
+      VarDecl *P = Ctx.create<VarDecl>(PName, PT, nullptr, Loc,
+                                       /*IsParam=*/true);
+      if (!PName.empty())
+        declare(P);
+      Params.push_back(P);
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+  }
+  expect(TokenKind::RParen, "after parameter list");
+
+  CompoundStmt *Body = nullptr;
+  if (at(TokenKind::LBrace))
+    Body = parseCompound();
+  else
+    expect(TokenKind::Semicolon, "after function declaration");
+  popScope();
+  FunctionDecl *F =
+      Ctx.create<FunctionDecl>(std::move(Name), RetTy, std::move(Params),
+                               Body, Loc);
+  return F;
+}
+
+CompoundStmt *Parser::parseCompound() {
+  SourceLocation Loc = tok().Loc;
+  expect(TokenKind::LBrace, "to begin block");
+  pushScope();
+  std::vector<Stmt *> Body;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+    Stmt *S = parseStmt();
+    if (S)
+      Body.push_back(S);
+  }
+  expect(TokenKind::RBrace, "to close block");
+  popScope();
+  return Ctx.create<CompoundStmt>(std::move(Body), Loc);
+}
+
+Stmt *Parser::parseDeclStmt() {
+  SourceLocation Loc = tok().Loc;
+  const Type *T = parseTypeSpecifier();
+  std::vector<VarDecl *> Decls;
+  for (;;) {
+    // Each declarator may add its own pointer stars.
+    const Type *DeclT = T;
+    while (accept(TokenKind::Star))
+      DeclT = Ctx.types().getPointer(DeclT);
+    if (!at(TokenKind::Identifier)) {
+      error("expected declarator name");
+      recover();
+      break;
+    }
+    Token NameTok = consume();
+    std::string Name = NameTok.text();
+    DeclT = parseDeclaratorSuffix(DeclT, Name, /*AllowUnsized=*/false);
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Equal))
+      Init = parseAssignment();
+    VarDecl *D = Ctx.create<VarDecl>(Name, DeclT, Init, NameTok.Loc);
+    declare(D);
+    Decls.push_back(D);
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::Semicolon, "after declaration");
+  return Ctx.create<DeclStmt>(std::move(Decls), Loc);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLocation Loc = tok().Loc;
+  consume(); // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+  pushScope();
+  Stmt *Init = nullptr;
+  if (accept(TokenKind::Semicolon)) {
+    // empty init
+  } else if (atTypeSpecifier()) {
+    Init = parseDeclStmt();
+  } else {
+    Expr *E = parseExpr();
+    expect(TokenKind::Semicolon, "after for-init");
+    Init = Ctx.create<ExprStmt>(E, Loc);
+  }
+  Expr *Cond = nullptr;
+  if (!at(TokenKind::Semicolon))
+    Cond = parseExpr();
+  expect(TokenKind::Semicolon, "after for-condition");
+  Expr *Inc = nullptr;
+  if (!at(TokenKind::RParen))
+    Inc = parseExpr();
+  expect(TokenKind::RParen, "after for-increment");
+  Stmt *Body = parseStmt();
+  popScope();
+  return Ctx.create<ForStmt>(Init, Cond, Inc, Body, Loc);
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLocation Loc = tok().Loc;
+  switch (tok().Kind) {
+  case TokenKind::LBrace:
+    return parseCompound();
+  case TokenKind::Semicolon:
+    consume();
+    return Ctx.create<NullStmt>(Loc);
+  case TokenKind::PragmaLine: {
+    std::string Text = consume().text();
+    return Ctx.create<PragmaStmt>(std::move(Text), Loc);
+  }
+  case TokenKind::PreprocessorLine:
+    error("preprocessor directives are only supported at file scope");
+    consume();
+    return nullptr;
+  case TokenKind::KwIf: {
+    consume();
+    expect(TokenKind::LParen, "after 'if'");
+    Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "after if-condition");
+    Stmt *Then = parseStmt();
+    Stmt *Else = nullptr;
+    if (accept(TokenKind::KwElse))
+      Else = parseStmt();
+    return Ctx.create<IfStmt>(Cond, Then, Else, Loc);
+  }
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwWhile: {
+    consume();
+    expect(TokenKind::LParen, "after 'while'");
+    Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "after while-condition");
+    Stmt *Body = parseStmt();
+    return Ctx.create<WhileStmt>(Cond, Body, Loc);
+  }
+  case TokenKind::KwDo: {
+    consume();
+    Stmt *Body = parseStmt();
+    expect(TokenKind::KwWhile, "after do-body");
+    expect(TokenKind::LParen, "after 'while'");
+    Expr *Cond = parseExpr();
+    expect(TokenKind::RParen, "after do-condition");
+    expect(TokenKind::Semicolon, "after do-while");
+    return Ctx.create<DoWhileStmt>(Body, Cond, Loc);
+  }
+  case TokenKind::KwReturn: {
+    consume();
+    Expr *Value = nullptr;
+    if (!at(TokenKind::Semicolon))
+      Value = parseExpr();
+    expect(TokenKind::Semicolon, "after return");
+    return Ctx.create<ReturnStmt>(Value, Loc);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    expect(TokenKind::Semicolon, "after 'break'");
+    return Ctx.create<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    expect(TokenKind::Semicolon, "after 'continue'");
+    return Ctx.create<ContinueStmt>(Loc);
+  default:
+    if (atTypeSpecifier())
+      return parseDeclStmt();
+    Expr *E = parseExpr();
+    expect(TokenKind::Semicolon, "after expression");
+    return Ctx.create<ExprStmt>(E, Loc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseAssignment(); }
+
+Expr *Parser::parseAssignment() {
+  Expr *Lhs = parseConditional();
+  AssignOpKind Op;
+  switch (tok().Kind) {
+  case TokenKind::Equal:
+    Op = AssignOpKind::Assign;
+    break;
+  case TokenKind::PlusEqual:
+    Op = AssignOpKind::AddAssign;
+    break;
+  case TokenKind::MinusEqual:
+    Op = AssignOpKind::SubAssign;
+    break;
+  case TokenKind::StarEqual:
+    Op = AssignOpKind::MulAssign;
+    break;
+  case TokenKind::SlashEqual:
+    Op = AssignOpKind::DivAssign;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLocation Loc = tok().Loc;
+  consume();
+  Expr *Rhs = parseAssignment();
+  return Ctx.create<AssignExpr>(Op, Lhs, Rhs, Lhs->getType(), Loc);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinary(0);
+  if (!at(TokenKind::Question))
+    return Cond;
+  SourceLocation Loc = consume().Loc;
+  Expr *TrueE = parseExpr();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *FalseE = parseConditional();
+  return Ctx.create<ConditionalExpr>(Cond, TrueE, FalseE, TrueE->getType(),
+                                     Loc);
+}
+
+namespace {
+struct BinOpInfo {
+  BinaryOpKind Kind;
+  int Prec;
+};
+} // namespace
+
+static bool binOpInfo(TokenKind K, BinOpInfo &Info) {
+  switch (K) {
+  case TokenKind::PipePipe:
+    Info = {BinaryOpKind::LOr, 1};
+    return true;
+  case TokenKind::AmpAmp:
+    Info = {BinaryOpKind::LAnd, 2};
+    return true;
+  case TokenKind::Pipe:
+    Info = {BinaryOpKind::BitOr, 3};
+    return true;
+  case TokenKind::Caret:
+    Info = {BinaryOpKind::BitXor, 4};
+    return true;
+  case TokenKind::Amp:
+    Info = {BinaryOpKind::BitAnd, 5};
+    return true;
+  case TokenKind::EqualEqual:
+    Info = {BinaryOpKind::Eq, 6};
+    return true;
+  case TokenKind::BangEqual:
+    Info = {BinaryOpKind::Ne, 6};
+    return true;
+  case TokenKind::Less:
+    Info = {BinaryOpKind::Lt, 7};
+    return true;
+  case TokenKind::Greater:
+    Info = {BinaryOpKind::Gt, 7};
+    return true;
+  case TokenKind::LessEqual:
+    Info = {BinaryOpKind::Le, 7};
+    return true;
+  case TokenKind::GreaterEqual:
+    Info = {BinaryOpKind::Ge, 7};
+    return true;
+  case TokenKind::LessLess:
+    Info = {BinaryOpKind::Shl, 8};
+    return true;
+  case TokenKind::GreaterGreater:
+    Info = {BinaryOpKind::Shr, 8};
+    return true;
+  case TokenKind::Plus:
+    Info = {BinaryOpKind::Add, 9};
+    return true;
+  case TokenKind::Minus:
+    Info = {BinaryOpKind::Sub, 9};
+    return true;
+  case TokenKind::Star:
+    Info = {BinaryOpKind::Mul, 10};
+    return true;
+  case TokenKind::Slash:
+    Info = {BinaryOpKind::Div, 10};
+    return true;
+  case TokenKind::Percent:
+    Info = {BinaryOpKind::Rem, 10};
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *Lhs = parseUnary();
+  for (;;) {
+    BinOpInfo Info;
+    if (!binOpInfo(tok().Kind, Info) || Info.Prec < MinPrec)
+      return Lhs;
+    SourceLocation Loc = consume().Loc;
+    Expr *Rhs = parseBinary(Info.Prec + 1);
+    Lhs = Ctx.create<BinaryExpr>(Info.Kind, Lhs, Rhs, nullptr, Loc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLocation Loc = tok().Loc;
+  switch (tok().Kind) {
+  case TokenKind::Plus:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::Plus, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::Minus:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::Minus, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::Bang:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::Not, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::Tilde:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::BitNot, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::PlusPlus:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::PreInc, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::MinusMinus:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::PreDec, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::Amp:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::AddrOf, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::Star:
+    consume();
+    return Ctx.create<UnaryExpr>(UnaryOpKind::Deref, parseUnary(), nullptr,
+                                 Loc);
+  case TokenKind::LParen:
+    // Cast expression: "(type) unary".
+    if (tok(1).isOneOf(TokenKind::KwVoid, TokenKind::KwInt, TokenKind::KwLong,
+                       TokenKind::KwUnsigned, TokenKind::KwFloat,
+                       TokenKind::KwDouble, TokenKind::KwConst) ||
+        (tok(1).is(TokenKind::Identifier) &&
+         Ctx.types().lookupBuiltin(tok(1).text()) != nullptr)) {
+      consume();
+      const Type *T = parseTypeSpecifier();
+      expect(TokenKind::RParen, "after cast type");
+      Expr *Operand = parseUnary();
+      return Ctx.create<CastExpr>(Operand, T, /*Implicit=*/false, Loc);
+    }
+    return parsePostfix();
+  default:
+    return parsePostfix();
+  }
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  for (;;) {
+    SourceLocation Loc = tok().Loc;
+    if (accept(TokenKind::LBracket)) {
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "after subscript");
+      E = Ctx.create<SubscriptExpr>(E, Index, nullptr, Loc);
+    } else if (at(TokenKind::PlusPlus)) {
+      consume();
+      E = Ctx.create<UnaryExpr>(UnaryOpKind::PostInc, E, E->getType(), Loc);
+    } else if (at(TokenKind::MinusMinus)) {
+      consume();
+      E = Ctx.create<UnaryExpr>(UnaryOpKind::PostDec, E, E->getType(), Loc);
+    } else {
+      return E;
+    }
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLocation Loc = tok().Loc;
+  switch (tok().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLiteralExpr>(T.IntValue, Ctx.types().getInt(), Loc);
+  }
+  case TokenKind::FloatLiteral: {
+    Token T = consume();
+    const Type *Ty = Ctx.types().getDouble();
+    if (!T.Text.empty() &&
+        (T.Text.back() == 'f' || T.Text.back() == 'F'))
+      Ty = Ctx.types().getFloat();
+    return Ctx.create<FloatLiteralExpr>(T.FloatValue, T.text(), Ty, Loc);
+  }
+  case TokenKind::Identifier: {
+    Token T = consume();
+    if (at(TokenKind::LParen)) {
+      consume();
+      std::vector<Expr *> Args;
+      if (!at(TokenKind::RParen)) {
+        for (;;) {
+          Args.push_back(parseAssignment());
+          if (!accept(TokenKind::Comma))
+            break;
+        }
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      return Ctx.create<CallExpr>(T.text(), std::move(Args), nullptr, Loc);
+    }
+    VarDecl *D = lookup(T.text());
+    if (!D)
+      Diags.error(Loc, "use of undeclared identifier '" + T.text() + "'");
+    return Ctx.create<DeclRefExpr>(D, D ? D->getType() : nullptr, Loc,
+                                   T.text());
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *Inner = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return Ctx.create<ParenExpr>(Inner, Loc);
+  }
+  case TokenKind::KwSizeof: {
+    consume();
+    // sizeof(type) or sizeof expr: folded to an int literal of 8/4 for the
+    // supported scalar types (sufficient for the benchmark subset).
+    long long Size = 8;
+    if (accept(TokenKind::LParen)) {
+      if (atTypeSpecifier()) {
+        const Type *T = parseTypeSpecifier();
+        Size = T->getKind() == Type::Kind::Float ||
+                       T->getKind() == Type::Kind::Int
+                   ? 4
+                   : 8;
+      } else {
+        parseExpr();
+      }
+      expect(TokenKind::RParen, "after sizeof");
+    } else {
+      parseUnary();
+    }
+    return Ctx.create<IntLiteralExpr>(Size, Ctx.types().getLong(), Loc);
+  }
+  default:
+    error("expected expression, found '" + tok().text() + "'");
+    consume();
+    return Ctx.create<IntLiteralExpr>(0, Ctx.types().getInt(), Loc);
+  }
+}

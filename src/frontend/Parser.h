@@ -1,0 +1,102 @@
+//===- Parser.h - Recursive-descent parser for the C subset -----*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the C subset that SafeGen's benchmarks use: function
+/// definitions over scalars, pointers and (multi-dimensional) arrays of
+/// the builtin types, full expression grammar with C precedence,
+/// if/for/while/do control flow, and preprocessor lines preserved for
+/// pass-through. Name binding happens during parsing (scoped symbol
+/// table); type checking and implicit casts are Sema's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_PARSER_H
+#define SAFEGEN_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace safegen {
+namespace frontend {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, ASTContext &Ctx, DiagnosticsEngine &Diags)
+      : Tokens(std::move(Tokens)), Ctx(Ctx), Diags(Diags) {}
+
+  /// Parses the whole token stream into Ctx.tu(). Returns false if any
+  /// parse error was diagnosed.
+  bool parseTranslationUnit();
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token helpers
+  //===--------------------------------------------------------------------===//
+  const Token &tok(unsigned Ahead = 0) const {
+    unsigned I = Index + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokenKind K) const { return tok().is(K); }
+  Token consume() { return Tokens[Index < Tokens.size() - 1 ? Index++ : Index]; }
+  bool accept(TokenKind K) {
+    if (!at(K))
+      return false;
+    consume();
+    return true;
+  }
+  bool expect(TokenKind K, const char *Context);
+  void error(const std::string &Msg) { Diags.error(tok().Loc, Msg); }
+  /// Skips tokens until a likely recovery point (; } or EOF).
+  void recover();
+
+  //===--------------------------------------------------------------------===//
+  // Scopes
+  //===--------------------------------------------------------------------===//
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declare(VarDecl *D);
+  VarDecl *lookup(const std::string &Name) const;
+
+  //===--------------------------------------------------------------------===//
+  // Grammar productions
+  //===--------------------------------------------------------------------===//
+  bool atTypeSpecifier() const;
+  const Type *parseTypeSpecifier();
+  const Type *parseDeclaratorSuffix(const Type *Base, std::string &Name,
+                                    bool AllowUnsized);
+
+  Decl *parseTopLevel();
+  FunctionDecl *parseFunctionRest(const Type *RetTy, std::string Name,
+                                  SourceLocation Loc);
+  Stmt *parseStmt();
+  CompoundStmt *parseCompound();
+  Stmt *parseDeclStmt();
+  Stmt *parseFor();
+
+  Expr *parseExpr(); // comma-free assignment-expression
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  std::vector<Token> Tokens;
+  ASTContext &Ctx;
+  DiagnosticsEngine &Diags;
+  unsigned Index = 0;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+};
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_PARSER_H

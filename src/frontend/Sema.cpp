@@ -1,0 +1,374 @@
+//===- Sema.cpp -----------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+bool Sema::check() {
+  unsigned Before = Diags.getNumErrors();
+  for (Decl *D : Ctx.tu().Decls) {
+    if (auto *F = static_cast<FunctionDecl *>(D);
+        D->getKind() == Decl::Kind::Function) {
+      checkFunction(F);
+      continue;
+    }
+    if (D->getKind() == Decl::Kind::Var) {
+      auto *V = static_cast<VarDecl *>(D);
+      if (V->getInit()) {
+        checkExpr(V->getInit());
+        V->setInit(convert(V->getInit(), V->getType()));
+      }
+    }
+  }
+  return Diags.getNumErrors() == Before;
+}
+
+void Sema::checkFunction(FunctionDecl *F) {
+  if (!F->isDefinition())
+    return;
+  CurrentReturnType = F->getReturnType();
+  checkStmt(F->getBody());
+}
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Compound:
+    for (Stmt *Child : static_cast<CompoundStmt *>(S)->getBody())
+      checkStmt(Child);
+    return;
+  case Stmt::Kind::Decl:
+    for (VarDecl *D : static_cast<DeclStmt *>(S)->getDecls())
+      if (D->getInit()) {
+        checkExpr(D->getInit());
+        if (D->getType()->isArithmetic())
+          D->setInit(convert(D->getInit(), D->getType()));
+      }
+    return;
+  case Stmt::Kind::Expr:
+    checkExpr(static_cast<ExprStmt *>(S)->getExpr());
+    return;
+  case Stmt::Kind::If: {
+    auto *If = static_cast<IfStmt *>(S);
+    checkExpr(If->getCond());
+    checkStmt(If->getThen());
+    checkStmt(If->getElse());
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *For = static_cast<ForStmt *>(S);
+    checkStmt(For->getInit());
+    if (For->getCond())
+      checkExpr(For->getCond());
+    if (For->getInc())
+      checkExpr(For->getInc());
+    checkStmt(For->getBody());
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = static_cast<WhileStmt *>(S);
+    checkExpr(W->getCond());
+    checkStmt(W->getBody());
+    return;
+  }
+  case Stmt::Kind::DoWhile: {
+    auto *D = static_cast<DoWhileStmt *>(S);
+    checkStmt(D->getBody());
+    checkExpr(D->getCond());
+    return;
+  }
+  case Stmt::Kind::Return: {
+    auto *R = static_cast<ReturnStmt *>(S);
+    if (R->getValue())
+      checkExpr(R->getValue());
+    return;
+  }
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Null:
+  case Stmt::Kind::Pragma:
+    return;
+  }
+}
+
+const Type *Sema::commonArithmetic(const Type *A, const Type *B) {
+  auto Rank = [](const Type *T) {
+    switch (T->getKind()) {
+    case Type::Kind::Bool:
+      return 0;
+    case Type::Kind::Int:
+      return 1;
+    case Type::Kind::UInt:
+      return 2;
+    case Type::Kind::Long:
+      return 3;
+    case Type::Kind::Float:
+      return 4;
+    case Type::Kind::Double:
+      return 5;
+    case Type::Kind::Affine:
+      return 6;
+    default:
+      return -1;
+    }
+  };
+  return Rank(A) >= Rank(B) ? A : B;
+}
+
+bool Sema::isLvalue(const Expr *E) const {
+  switch (E->getKind()) {
+  case Expr::Kind::DeclRef:
+  case Expr::Kind::Subscript:
+    return true;
+  case Expr::Kind::Paren:
+    return isLvalue(static_cast<const ParenExpr *>(E)->getInner());
+  case Expr::Kind::Unary:
+    return static_cast<const UnaryExpr *>(E)->getOp() == UnaryOpKind::Deref;
+  default:
+    return false;
+  }
+}
+
+Expr *Sema::convert(Expr *E, const Type *T) {
+  if (!E || !T || E->getType() == T)
+    return E;
+  if (!E->getType() || !E->getType()->isArithmetic() || !T->isArithmetic())
+    return E;
+  Expr *Cast = Ctx.create<CastExpr>(E, T, /*Implicit=*/true, E->getLoc());
+  return Cast;
+}
+
+const Type *Sema::builtinCallType(const std::string &Callee,
+                                  const std::vector<Expr *> &Args) {
+  TypeContext &TC = Ctx.types();
+  // libm double -> double.
+  static const char *UnaryMath[] = {"sqrt", "fabs", "exp",  "log",  "sin",
+                                    "cos",  "tan",  "asin", "acos", "atan",
+                                    "floor", "ceil", "trunc", "round"};
+  for (const char *Name : UnaryMath)
+    if (Callee == Name)
+      return TC.getDouble();
+  static const char *UnaryMathF[] = {"sqrtf", "fabsf", "expf", "logf"};
+  for (const char *Name : UnaryMathF)
+    if (Callee == Name)
+      return TC.getFloat();
+  if (Callee == "pow" || Callee == "fmax" || Callee == "fmin" ||
+      Callee == "atan2" || Callee == "fmod" || Callee == "hypot" ||
+      Callee == "copysign" || Callee == "fma")
+    return TC.getDouble();
+  if (Callee == "abs")
+    return TC.getInt();
+
+  // AVX/SSE double intrinsics.
+  const Type *M256d = TC.getVector(TC.getDouble(), 4);
+  const Type *M128d = TC.getVector(TC.getDouble(), 2);
+  static const char *M256dOps[] = {
+      "_mm256_add_pd",   "_mm256_sub_pd",  "_mm256_mul_pd", "_mm256_div_pd",
+      "_mm256_sqrt_pd",  "_mm256_set1_pd", "_mm256_loadu_pd",
+      "_mm256_load_pd",  "_mm256_setzero_pd", "_mm256_fmadd_pd",
+      "_mm256_fmsub_pd", "_mm256_max_pd",  "_mm256_min_pd",
+      "_mm256_set_pd",   "_mm256_broadcast_sd"};
+  for (const char *Name : M256dOps)
+    if (Callee == Name)
+      return M256d;
+  static const char *M128dOps[] = {"_mm_add_pd", "_mm_sub_pd", "_mm_mul_pd",
+                                   "_mm_div_pd", "_mm_sqrt_pd", "_mm_set1_pd",
+                                   "_mm_loadu_pd", "_mm_load_pd",
+                                   "_mm_setzero_pd"};
+  for (const char *Name : M128dOps)
+    if (Callee == Name)
+      return M128d;
+  if (Callee == "_mm256_storeu_pd" || Callee == "_mm256_store_pd" ||
+      Callee == "_mm_storeu_pd" || Callee == "_mm_store_pd")
+    return TC.getVoid();
+  if (Callee == "_mm256_cvtsd_f64" || Callee == "_mm_cvtsd_f64")
+    return TC.getDouble();
+
+  // printf-style output (examples): int.
+  if (Callee == "printf" || Callee == "puts")
+    return TC.getInt();
+  (void)Args;
+  return nullptr;
+}
+
+const Type *Sema::checkExpr(Expr *E) {
+  if (!E)
+    return nullptr;
+  TypeContext &TC = Ctx.types();
+  switch (E->getKind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::FloatLiteral:
+    return E->getType();
+  case Expr::Kind::DeclRef: {
+    auto *Ref = static_cast<DeclRefExpr *>(E);
+    if (Ref->getDecl())
+      E->setType(Ref->getDecl()->getType());
+    else if (!E->getType())
+      E->setType(TC.getDouble()); // error already diagnosed by the parser
+    return E->getType();
+  }
+  case Expr::Kind::Paren: {
+    auto *P = static_cast<ParenExpr *>(E);
+    E->setType(checkExpr(P->getInner()));
+    return E->getType();
+  }
+  case Expr::Kind::Unary: {
+    auto *U = static_cast<UnaryExpr *>(E);
+    const Type *OpTy = checkExpr(U->getOperand());
+    if (!OpTy)
+      return nullptr;
+    switch (U->getOp()) {
+    case UnaryOpKind::Plus:
+    case UnaryOpKind::Minus:
+      if (!OpTy->isArithmetic() && !OpTy->isVector())
+        Diags.error(E->getLoc(), "unary +/- requires an arithmetic operand");
+      E->setType(OpTy);
+      break;
+    case UnaryOpKind::Not:
+      E->setType(TC.getInt());
+      break;
+    case UnaryOpKind::BitNot:
+      if (!OpTy->isInteger())
+        Diags.error(E->getLoc(), "operator ~ requires an integer operand");
+      E->setType(OpTy);
+      break;
+    case UnaryOpKind::PreInc:
+    case UnaryOpKind::PreDec:
+    case UnaryOpKind::PostInc:
+    case UnaryOpKind::PostDec:
+      if (!isLvalue(U->getOperand()))
+        Diags.error(E->getLoc(), "increment/decrement requires an lvalue");
+      E->setType(OpTy);
+      break;
+    case UnaryOpKind::AddrOf:
+      if (!isLvalue(U->getOperand()))
+        Diags.error(E->getLoc(), "cannot take the address of an rvalue");
+      E->setType(TC.getPointer(OpTy));
+      break;
+    case UnaryOpKind::Deref:
+      if (OpTy->isPointer() || OpTy->isArray())
+        E->setType(OpTy->getElement());
+      else {
+        Diags.error(E->getLoc(), "cannot dereference a non-pointer");
+        E->setType(TC.getDouble());
+      }
+      break;
+    }
+    return E->getType();
+  }
+  case Expr::Kind::Binary: {
+    auto *B = static_cast<BinaryExpr *>(E);
+    const Type *L = checkExpr(B->getLhs());
+    const Type *R = checkExpr(B->getRhs());
+    if (!L || !R)
+      return nullptr;
+    // Pointer arithmetic: ptr +- int keeps the pointer type.
+    if ((L->isPointer() || L->isArray()) && R->isInteger() &&
+        (B->getOp() == BinaryOpKind::Add || B->getOp() == BinaryOpKind::Sub)) {
+      E->setType(L->isArray() ? TC.getPointer(L->getElement()) : L);
+      return E->getType();
+    }
+    if (B->isComparison()) {
+      E->setType(TC.getBool());
+      return E->getType();
+    }
+    if (B->getOp() == BinaryOpKind::LAnd || B->getOp() == BinaryOpKind::LOr) {
+      E->setType(TC.getBool());
+      return E->getType();
+    }
+    if (L->isVector() || R->isVector()) {
+      if (L != R)
+        Diags.error(E->getLoc(), "vector operands must have the same type");
+      E->setType(L->isVector() ? L : R);
+      return E->getType();
+    }
+    if (!L->isArithmetic() || !R->isArithmetic()) {
+      Diags.error(E->getLoc(), "invalid operands to binary operator");
+      E->setType(TC.getDouble());
+      return E->getType();
+    }
+    const Type *Common = commonArithmetic(L, R);
+    // Only insert conversions across the int/float boundary (integer rank
+    // games do not matter for the rewriting).
+    if (Common->isFloating() || Common->isAffine()) {
+      // Rebuild with converted operands.
+      // (We cannot reseat children in place, so wrap via convert().)
+      if (L != Common)
+        B->setLhs(convert(B->getLhs(), Common));
+      if (R != Common)
+        B->setRhs(convert(B->getRhs(), Common));
+    }
+    E->setType(Common);
+    return E->getType();
+  }
+  case Expr::Kind::Assign: {
+    auto *A = static_cast<AssignExpr *>(E);
+    const Type *L = checkExpr(A->getLhs());
+    checkExpr(A->getRhs());
+    if (!isLvalue(A->getLhs()))
+      Diags.error(E->getLoc(), "assignment requires an lvalue");
+    if (L && L->isArithmetic())
+      A->setRhs(convert(A->getRhs(), L));
+    E->setType(L);
+    return E->getType();
+  }
+  case Expr::Kind::Subscript: {
+    auto *S = static_cast<SubscriptExpr *>(E);
+    const Type *BaseTy = checkExpr(S->getBase());
+    const Type *IdxTy = checkExpr(S->getIndex());
+    if (IdxTy && !IdxTy->isInteger())
+      Diags.error(S->getIndex()->getLoc(), "array subscript is not an integer");
+    if (BaseTy && (BaseTy->isPointer() || BaseTy->isArray()))
+      E->setType(BaseTy->getElement());
+    else {
+      Diags.error(E->getLoc(), "subscripted value is not an array or pointer");
+      E->setType(TC.getDouble());
+    }
+    return E->getType();
+  }
+  case Expr::Kind::Call: {
+    auto *C = static_cast<CallExpr *>(E);
+    for (Expr *Arg : C->getArgs())
+      checkExpr(Arg);
+    // Calls to functions defined in this TU.
+    if (FunctionDecl *F = Ctx.tu().findFunction(C->getCallee())) {
+      E->setType(F->getReturnType());
+      return E->getType();
+    }
+    if (const Type *T = builtinCallType(C->getCallee(), C->getArgs())) {
+      E->setType(T);
+      return E->getType();
+    }
+    Diags.warning(E->getLoc(),
+                  "call to unknown function '" + C->getCallee() +
+                      "' assumed to return double");
+    E->setType(TC.getDouble());
+    return E->getType();
+  }
+  case Expr::Kind::Cast: {
+    auto *C = static_cast<CastExpr *>(E);
+    checkExpr(C->getOperand());
+    return E->getType();
+  }
+  case Expr::Kind::Conditional: {
+    auto *C = static_cast<ConditionalExpr *>(E);
+    checkExpr(C->getCond());
+    const Type *T = checkExpr(C->getTrueExpr());
+    const Type *F = checkExpr(C->getFalseExpr());
+    if (T && F && T->isArithmetic() && F->isArithmetic())
+      E->setType(commonArithmetic(T, F));
+    else
+      E->setType(T ? T : F);
+    return E->getType();
+  }
+  }
+  return nullptr;
+}

@@ -1,0 +1,58 @@
+//===- Sema.h - Semantic analysis for the C subset --------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking for the parsed AST: computes the type of every
+/// expression, applies the usual arithmetic conversions by inserting
+/// implicit CastExprs, validates lvalues/subscripts, and knows the
+/// signatures of the libm functions and SIMD intrinsics that SafeGen
+/// rewrites (Sec. IV-B). After a successful run every Expr has a non-null
+/// type, which the rewriter relies on to decide what is a floating-point
+/// computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_SEMA_H
+#define SAFEGEN_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+namespace safegen {
+namespace frontend {
+
+class Sema {
+public:
+  Sema(ASTContext &Ctx, DiagnosticsEngine &Diags) : Ctx(Ctx), Diags(Diags) {}
+
+  /// Checks the whole translation unit. Returns false if errors were
+  /// diagnosed.
+  bool check();
+
+  /// Returns the result type of a known builtin/libm/intrinsic call, or
+  /// null if the callee is unknown. Exposed for the rewriter.
+  const Type *builtinCallType(const std::string &Callee,
+                              const std::vector<Expr *> &Args);
+
+private:
+  void checkFunction(FunctionDecl *F);
+  void checkStmt(Stmt *S);
+  const Type *checkExpr(Expr *E);
+  /// Inserts an implicit cast of E to T if types differ (returns the
+  /// replacement expression).
+  Expr *convert(Expr *E, const Type *T);
+  const Type *commonArithmetic(const Type *A, const Type *B);
+  bool isLvalue(const Expr *E) const;
+
+  ASTContext &Ctx;
+  DiagnosticsEngine &Diags;
+  const Type *CurrentReturnType = nullptr;
+};
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_SEMA_H

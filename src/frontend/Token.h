@@ -1,0 +1,72 @@
+//===- Token.h - Lexer tokens -----------------------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_TOKEN_H
+#define SAFEGEN_FRONTEND_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+
+namespace safegen {
+namespace frontend {
+
+enum class TokenKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid, KwInt, KwLong, KwUnsigned, KwFloat, KwDouble, KwConst, KwStatic,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwReturn, KwBreak, KwContinue,
+  KwSizeof,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  Less, Greater, LessEqual, GreaterEqual, EqualEqual, BangEqual,
+  LessLess, GreaterGreater,
+  Equal, PlusEqual, MinusEqual, StarEqual, SlashEqual,
+  PlusPlus, MinusMinus,
+  Question, Colon, Dot, Arrow,
+
+  /// A whole `#pragma ...` line (SafeGen's annotation channel, Sec. VI-C).
+  PragmaLine,
+  /// A whole `#include ...` or other preprocessor line, passed through.
+  PreprocessorLine,
+};
+
+/// One lexed token. Text references the source buffer (no copies).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  SourceLocation Loc;
+  /// Decoded literal values.
+  double FloatValue = 0.0;
+  long long IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isOneOf(TokenKind K1, TokenKind K2) const { return is(K1) || is(K2); }
+  template <typename... Ts>
+  bool isOneOf(TokenKind K1, TokenKind K2, Ts... Ks) const {
+    return is(K1) || isOneOf(K2, Ks...);
+  }
+  std::string text() const { return std::string(Text); }
+};
+
+/// Human-readable token kind name for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_TOKEN_H

@@ -1,0 +1,164 @@
+//===- Type.cpp -----------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Type.h"
+
+#include <sstream>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Bool:
+    return "int"; // C89-style: booleans are ints in the output
+  case Kind::Int:
+    return "int";
+  case Kind::UInt:
+    return "unsigned int";
+  case Kind::Long:
+    return "long";
+  case Kind::Float:
+    return "float";
+  case Kind::Double:
+    return "double";
+  case Kind::Affine:
+    return AffineName;
+  case Kind::Vector: {
+    // Render the standard Intel names where they exist.
+    if (Element->getKind() == Kind::Double && Size == 2)
+      return "__m128d";
+    if (Element->getKind() == Kind::Double && Size == 4)
+      return "__m256d";
+    if (Element->getKind() == Kind::Float && Size == 4)
+      return "__m128";
+    if (Element->getKind() == Kind::Float && Size == 8)
+      return "__m256";
+    std::ostringstream OS;
+    OS << Element->str() << " __attribute__((vector_size("
+       << Size * (Element->getKind() == Kind::Double ? 8 : 4) << ")))";
+    return OS.str();
+  }
+  case Kind::Pointer:
+    return Element->str() + " *";
+  case Kind::Array:
+    return Element->str() + " []"; // bare form; prefer printDeclaration
+  }
+  return "<?>";
+}
+
+std::string Type::printDeclaration(const std::string &Name) const {
+  if (K == Kind::Array) {
+    std::ostringstream OS;
+    // Collect nested array extents.
+    const Type *T = this;
+    std::vector<uint64_t> Extents;
+    while (T->getKind() == Kind::Array) {
+      Extents.push_back(T->getArraySize());
+      T = T->getElement();
+    }
+    OS << T->str() << ' ' << Name;
+    for (uint64_t E : Extents) {
+      if (E == 0)
+        OS << "[]";
+      else
+        OS << '[' << E << ']';
+    }
+    return OS.str();
+  }
+  if (K == Kind::Pointer)
+    return Element->str() + " *" + Name;
+  return str() + ' ' + Name;
+}
+
+TypeContext::TypeContext() {
+  VoidTy = make(Type::Kind::Void);
+  BoolTy = make(Type::Kind::Bool);
+  IntTy = make(Type::Kind::Int);
+  UIntTy = make(Type::Kind::UInt);
+  LongTy = make(Type::Kind::Long);
+  FloatTy = make(Type::Kind::Float);
+  DoubleTy = make(Type::Kind::Double);
+}
+
+const Type *TypeContext::make(Type::Kind K) {
+  Types.push_back(std::unique_ptr<Type>(new Type(K)));
+  return Types.back().get();
+}
+
+const Type *TypeContext::getPointer(const Type *Pointee) {
+  for (const auto &T : Types)
+    if (T->getKind() == Type::Kind::Pointer && T->getElement() == Pointee)
+      return T.get();
+  Type *T = new Type(Type::Kind::Pointer);
+  T->Element = Pointee;
+  Types.push_back(std::unique_ptr<Type>(T));
+  return T;
+}
+
+const Type *TypeContext::getArray(const Type *Element, uint64_t Size) {
+  for (const auto &T : Types)
+    if (T->getKind() == Type::Kind::Array && T->getElement() == Element &&
+        T->getArraySize() == Size)
+      return T.get();
+  Type *T = new Type(Type::Kind::Array);
+  T->Element = Element;
+  T->Size = Size;
+  Types.push_back(std::unique_ptr<Type>(T));
+  return T;
+}
+
+const Type *TypeContext::getVector(const Type *Element, unsigned Lanes) {
+  for (const auto &T : Types)
+    if (T->getKind() == Type::Kind::Vector && T->getElement() == Element &&
+        T->getArraySize() == Lanes)
+      return T.get();
+  Type *T = new Type(Type::Kind::Vector);
+  T->Element = Element;
+  T->Size = Lanes;
+  Types.push_back(std::unique_ptr<Type>(T));
+  return T;
+}
+
+const Type *TypeContext::getAffine(const std::string &Name) {
+  for (const auto &T : Types)
+    if (T->getKind() == Type::Kind::Affine && T->getAffineName() == Name)
+      return T.get();
+  Type *T = new Type(Type::Kind::Affine);
+  T->AffineName = Name;
+  Types.push_back(std::unique_ptr<Type>(T));
+  return T;
+}
+
+const Type *TypeContext::lookupBuiltin(const std::string &Name) const {
+  if (Name == "void")
+    return VoidTy;
+  if (Name == "int")
+    return IntTy;
+  if (Name == "unsigned")
+    return UIntTy;
+  if (Name == "long")
+    return LongTy;
+  if (Name == "float")
+    return FloatTy;
+  if (Name == "double")
+    return DoubleTy;
+  if (Name == "__m128d")
+    return const_cast<TypeContext *>(this)
+        ->getVector(DoubleTy, 2);
+  if (Name == "__m256d")
+    return const_cast<TypeContext *>(this)
+        ->getVector(DoubleTy, 4);
+  if (Name == "__m128")
+    return const_cast<TypeContext *>(this)
+        ->getVector(FloatTy, 4);
+  if (Name == "__m256")
+    return const_cast<TypeContext *>(this)
+        ->getVector(FloatTy, 8);
+  return nullptr;
+}

@@ -1,0 +1,125 @@
+//===- Type.h - Types of the C subset ---------------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of SafeGen's C-subset frontend. It covers what the
+/// paper's benchmarks and transformations need: the scalar builtins,
+/// pointers, fixed-size arrays, and the AVX vector builtins (`__m128d`,
+/// `__m256d`, ...) that the SIMD-input path recognizes (Sec. IV-B).
+/// Types are interned in the TypeContext so equality is pointer equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_TYPE_H
+#define SAFEGEN_FRONTEND_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace frontend {
+
+class TypeContext;
+
+/// A (possibly derived) type. Instances are owned and uniqued by the
+/// TypeContext; compare with ==.
+class Type {
+public:
+  enum class Kind {
+    Void,
+    Bool,
+    Int,      ///< any signed integer rank (we do not model rank precisely)
+    UInt,     ///< unsigned integer
+    Long,     ///< long / size-like integers
+    Float,
+    Double,
+    Affine,   ///< an affine type produced by the rewriter (f64a/dda/f32a)
+    Vector,   ///< SIMD vector: N x element
+    Pointer,
+    Array,
+  };
+
+  Kind getKind() const { return K; }
+
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInteger() const {
+    return K == Kind::Bool || K == Kind::Int || K == Kind::UInt ||
+           K == Kind::Long;
+  }
+  bool isFloating() const { return K == Kind::Float || K == Kind::Double; }
+  bool isAffine() const { return K == Kind::Affine; }
+  bool isArithmetic() const {
+    return isInteger() || isFloating() || isAffine();
+  }
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isVector() const { return K == Kind::Vector; }
+
+  /// Element type for pointers, arrays and vectors; null otherwise.
+  const Type *getElement() const { return Element; }
+  /// Array extent (0 for unsized `[]`), or vector lane count.
+  uint64_t getArraySize() const { return Size; }
+  unsigned getVectorLanes() const { return static_cast<unsigned>(Size); }
+
+  /// The name of an affine type ("f64a", "dda", "f32a"), set by the
+  /// rewriter.
+  const std::string &getAffineName() const { return AffineName; }
+
+  /// Renders the type as C source, e.g. "double", "double *",
+  /// "__m256d". For array declarators use printDeclaration().
+  std::string str() const;
+
+  /// Renders "T name" including array suffixes: "double a[10][10]".
+  std::string printDeclaration(const std::string &Name) const;
+
+private:
+  friend class TypeContext;
+  Type(Kind K) : K(K) {}
+
+  Kind K;
+  const Type *Element = nullptr;
+  uint64_t Size = 0;
+  std::string AffineName;
+};
+
+/// Owns and uniques all Type instances of one compilation.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *getVoid() const { return VoidTy; }
+  const Type *getBool() const { return BoolTy; }
+  const Type *getInt() const { return IntTy; }
+  const Type *getUInt() const { return UIntTy; }
+  const Type *getLong() const { return LongTy; }
+  const Type *getFloat() const { return FloatTy; }
+  const Type *getDouble() const { return DoubleTy; }
+
+  const Type *getPointer(const Type *Pointee);
+  const Type *getArray(const Type *Element, uint64_t Size);
+  /// A SIMD vector type, e.g. getVector(getDouble(), 4) for __m256d.
+  const Type *getVector(const Type *Element, unsigned Lanes);
+  /// An affine type with the given source-level name (e.g. "f64a").
+  const Type *getAffine(const std::string &Name);
+
+  /// Resolves a builtin type name ("double", "__m256d", ...); returns
+  /// null if unknown.
+  const Type *lookupBuiltin(const std::string &Name) const;
+
+private:
+  const Type *make(Type::Kind K);
+
+  std::vector<std::unique_ptr<Type>> Types;
+  const Type *VoidTy, *BoolTy, *IntTy, *UIntTy, *LongTy, *FloatTy, *DoubleTy;
+};
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_TYPE_H

@@ -1,0 +1,243 @@
+//===- Interval.cpp -------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ia/Interval.h"
+#include "fp/DoubleDouble.h"
+
+using namespace safegen;
+using namespace safegen::ia;
+using namespace safegen::fp;
+
+Interval Interval::fromConstant(double X) {
+  if (std::isnan(X))
+    return Interval::nan();
+  if (std::isinf(X))
+    return Interval(X, X);
+  double U = fp::ulp(X);
+  // Rounding-mode independent: widen with nextafter-based ulp steps.
+  return Interval(X - U, X + U);
+}
+
+Interval ia::add(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Interval::nan();
+  return Interval(addRD(A.Lo, B.Lo), addRU(A.Hi, B.Hi));
+}
+
+Interval ia::sub(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Interval::nan();
+  return Interval(subRD(A.Lo, B.Hi), subRU(A.Hi, B.Lo));
+}
+
+Interval ia::neg(const Interval &A) {
+  if (A.isNaN())
+    return Interval::nan();
+  return Interval(-A.Hi, -A.Lo);
+}
+
+/// Directed product that resolves IEEE 0*inf = NaN to the interval-correct
+/// candidate 0 (an exact zero endpoint annihilates any magnitude).
+static double mulCandRD(double X, double Y) {
+  if (X == 0.0 || Y == 0.0)
+    return 0.0;
+  return mulRD(X, Y);
+}
+static double mulCandRU(double X, double Y) {
+  if (X == 0.0 || Y == 0.0)
+    return 0.0;
+  return mulRU(X, Y);
+}
+
+Interval ia::mul(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Interval::nan();
+  double L = std::min(std::min(mulCandRD(A.Lo, B.Lo), mulCandRD(A.Lo, B.Hi)),
+                      std::min(mulCandRD(A.Hi, B.Lo), mulCandRD(A.Hi, B.Hi)));
+  double U = std::max(std::max(mulCandRU(A.Lo, B.Lo), mulCandRU(A.Lo, B.Hi)),
+                      std::max(mulCandRU(A.Hi, B.Lo), mulCandRU(A.Hi, B.Hi)));
+  return Interval(L, U);
+}
+
+Interval ia::div(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Interval::nan();
+  if (B.containsZero()) {
+    // Division by an interval straddling zero: the result is unbounded. If
+    // the divisor is exactly [0,0] the quotient carries no information.
+    if (B.isPoint())
+      return Interval::nan();
+    return Interval::entire();
+  }
+  double L = std::min(std::min(divRD(A.Lo, B.Lo), divRD(A.Lo, B.Hi)),
+                      std::min(divRD(A.Hi, B.Lo), divRD(A.Hi, B.Hi)));
+  double U = std::max(std::max(divRU(A.Lo, B.Lo), divRU(A.Lo, B.Hi)),
+                      std::max(divRU(A.Hi, B.Lo), divRU(A.Hi, B.Hi)));
+  return Interval(L, U);
+}
+
+Interval ia::abs(const Interval &A) {
+  if (A.isNaN())
+    return Interval::nan();
+  if (A.Lo >= 0.0)
+    return A;
+  if (A.Hi <= 0.0)
+    return neg(A);
+  return Interval(0.0, std::max(-A.Lo, A.Hi));
+}
+
+Interval ia::sqrt(const Interval &A) {
+  if (A.isNaN() || A.Hi < 0.0)
+    return Interval::nan();
+  SAFEGEN_ASSERT_ROUND_UP();
+  double LoClamped = A.Lo < 0.0 ? 0.0 : A.Lo;
+  // Hardware sqrt is correctly rounded and honours MXCSR: in upward mode
+  // sqrt(x) >= true sqrt.
+  double U = std::sqrt(A.Hi);
+  double SU = std::sqrt(LoClamped); // upward-rounded sqrt of the low end
+  // Tight lower bound: SU is correct iff SU*SU <= LoClamped exactly; check
+  // with a downward product, else step one ulp down (still sound).
+  double L = SU;
+  if (mulRD(SU, SU) > LoClamped)
+    L = std::nextafter(SU, 0.0);
+  return Interval(L, U);
+}
+
+/// Widens a libm result by a factor-of-2 ulp margin in the given direction;
+/// glibc's exp/log are faithful (<1 ulp off) so 2 ulps is conservative.
+static double widenUp(double X) {
+  return std::nextafter(std::nextafter(X, HUGE_VAL), HUGE_VAL);
+}
+static double widenDown(double X) {
+  return std::nextafter(std::nextafter(X, -HUGE_VAL), -HUGE_VAL);
+}
+
+Interval ia::exp(const Interval &A) {
+  if (A.isNaN())
+    return Interval::nan();
+  double L = widenDown(std::exp(A.Lo));
+  if (L < 0.0)
+    L = 0.0;
+  return Interval(L, widenUp(std::exp(A.Hi)));
+}
+
+Interval ia::log(const Interval &A) {
+  if (A.isNaN() || A.Hi <= 0.0)
+    return Interval::nan();
+  double LoClamped = A.Lo <= 0.0
+                         ? -std::numeric_limits<double>::infinity()
+                         : widenDown(std::log(A.Lo));
+  return Interval(LoClamped, widenUp(std::log(A.Hi)));
+}
+
+namespace {
+
+/// 2π in double-double (error ~1e-33).
+const fp::DD TwoPi(6.283185307179586232e+00, 2.449293598294706414e-16);
+/// π in double-double.
+const fp::DD Pi(3.141592653589793116e+00, 1.224646799147353207e-16);
+
+bool mayContainPhaseImpl(double Lo, double Hi, double Phase,
+                         const fp::DD &Period) {
+  // n ranges over integers with Phase + Period*n in [Lo, Hi]:
+  // n in [(Lo-Phase)/Period, (Hi-Phase)/Period].
+  fp::DD NLo = fp::div(fp::sub(fp::DD(Lo), fp::DD(Phase)), Period);
+  fp::DD NHi = fp::div(fp::sub(fp::DD(Hi), fp::DD(Phase)), Period);
+  // Margin: dd division error plus the argument magnitude scaled; 2^-40
+  // is enormous headroom for |x| < 2^45.
+  const double Margin = 0x1p-40;
+  double FloorLo = std::floor(NLo.toDouble() - Margin);
+  double FloorHi = std::floor(NHi.toDouble() + Margin);
+  return FloorHi > FloorLo ||
+         std::fabs(NLo.toDouble() - std::round(NLo.toDouble())) < Margin ||
+         std::fabs(NHi.toDouble() - std::round(NHi.toDouble())) < Margin;
+}
+
+/// True when some point x ≡ Phase (mod 2π) certainly or possibly lies in
+/// [Lo, Hi]; errs on the side of "yes" (which only widens results).
+bool mayContainPhase(double Lo, double Hi, double Phase) {
+  return mayContainPhaseImpl(Lo, Hi, Phase, TwoPi);
+}
+
+/// Sound endpoint evaluation: libm's sin/cos are faithful for these
+/// magnitudes; widen by 4 ulps (plus clamp into [-1, 1]).
+void trigEndpoint(double X, double (*Fn)(double), double &Lo, double &Hi) {
+  double V = Fn(X);
+  Lo = std::fmax(-1.0, V - 4.0 * fp::ulp(V == 0.0 ? 1e-300 : V));
+  Hi = std::fmin(1.0, V + 4.0 * fp::ulp(V == 0.0 ? 1e-300 : V));
+}
+
+Interval trigRange(const Interval &A, double (*Fn)(double), double MaxPhase,
+                   double MinPhase) {
+  if (A.isNaN())
+    return Interval::nan();
+  constexpr double Big = 0x1p45;
+  if (std::fabs(A.Lo) > Big || std::fabs(A.Hi) > Big ||
+      fp::subRU(A.Hi, A.Lo) >= 6.283185307179587)
+    return Interval(-1.0, 1.0);
+  double LoL, LoH, HiL, HiH;
+  trigEndpoint(A.Lo, Fn, LoL, LoH);
+  trigEndpoint(A.Hi, Fn, HiL, HiH);
+  double Lo = std::fmin(LoL, HiL);
+  double Hi = std::fmax(LoH, HiH);
+  if (mayContainPhase(A.Lo, A.Hi, MaxPhase))
+    Hi = 1.0;
+  if (mayContainPhase(A.Lo, A.Hi, MinPhase))
+    Lo = -1.0;
+  return Interval(Lo, Hi);
+}
+
+} // namespace
+
+Interval ia::sin(const Interval &A) {
+  // sin peaks at pi/2 (mod 2pi), bottoms at -pi/2.
+  return trigRange(A, std::sin, 1.5707963267948966, -1.5707963267948966);
+}
+
+Interval ia::cos(const Interval &A) {
+  // cos peaks at 0 (mod 2pi), bottoms at pi.
+  return trigRange(A, std::cos, 0.0, 3.141592653589793);
+}
+
+bool ia::mayContainHalfTurnPhase(double Lo, double Hi, double Phase) {
+  return mayContainPhaseImpl(Lo, Hi, Phase, Pi);
+}
+
+Tribool ia::less(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Tribool::Unknown;
+  if (A.Hi < B.Lo)
+    return Tribool::True;
+  if (A.Lo >= B.Hi)
+    return Tribool::False;
+  return Tribool::Unknown;
+}
+
+Tribool ia::lessEqual(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Tribool::Unknown;
+  if (A.Hi <= B.Lo)
+    return Tribool::True;
+  if (A.Lo > B.Hi)
+    return Tribool::False;
+  return Tribool::Unknown;
+}
+
+Tribool ia::equal(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Tribool::Unknown;
+  if (A.isPoint() && B.isPoint() && A.Lo == B.Lo)
+    return Tribool::True;
+  if (A.Hi < B.Lo || B.Hi < A.Lo)
+    return Tribool::False;
+  return Tribool::Unknown;
+}
+
+Interval ia::hull(const Interval &A, const Interval &B) {
+  if (A.isNaN() || B.isNaN())
+    return Interval::nan();
+  return Interval(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+}

@@ -1,0 +1,126 @@
+//===- Interval.h - Sound interval arithmetic (f64 endpoints) --*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval arithmetic with double endpoints — the sound baseline the paper
+/// compares against (the code IGen generates, Sec. II-A/II-C, "IGen-f64" in
+/// Fig. 9). Every operation requires the FPU to be in upward-rounding mode
+/// (see fp/Rounding.h); lower endpoints use RD(x) = -RU(-x).
+///
+/// Soundness contract: for inputs [al,au] ∋ a and [bl,bu] ∋ b, the result
+/// interval contains the exact real-arithmetic result of the operation.
+/// NaN endpoints mean "no information" (the value may be anything,
+/// including NaN), matching the paper's conventions in Sec. IV-A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_IA_INTERVAL_H
+#define SAFEGEN_IA_INTERVAL_H
+
+#include "fp/Rounding.h"
+#include "fp/Ulp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace safegen {
+namespace ia {
+
+/// Tri-state result of a sound comparison: the predicate certainly holds,
+/// certainly does not hold, or cannot be decided from the ranges.
+enum class Tribool { False, True, Unknown };
+
+/// A closed interval [Lo, Hi] of doubles, Lo <= Hi (or NaN endpoints for
+/// "no information").
+class Interval {
+public:
+  double Lo = 0.0;
+  double Hi = 0.0;
+
+  Interval() = default;
+  /// A degenerate (point) interval. The point itself is assumed exact.
+  Interval(double Point) : Lo(Point), Hi(Point) {}
+  Interval(double Lo, double Hi) : Lo(Lo), Hi(Hi) {}
+
+  /// The interval [-inf, +inf].
+  static Interval entire() {
+    return Interval(-std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity());
+  }
+  /// The "no information" interval (NaN endpoints).
+  static Interval nan() {
+    return Interval(std::numeric_limits<double>::quiet_NaN(),
+                    std::numeric_limits<double>::quiet_NaN());
+  }
+  /// The tightest interval around \p X containing [X - ulp(X), X + ulp(X)];
+  /// used for inexact source constants (paper Sec. IV-B).
+  static Interval fromConstant(double X);
+
+  bool isNaN() const { return std::isnan(Lo) || std::isnan(Hi); }
+  bool isPoint() const { return Lo == Hi; }
+  bool contains(double X) const { return !isNaN() && Lo <= X && X <= Hi; }
+  bool containsZero() const { return contains(0.0); }
+
+  double mid() const { return 0.5 * (Lo + Hi); }
+  /// Upper bound on the radius (requires upward mode).
+  double rad() const { return fp::mulRU(0.5, fp::subRU(Hi, Lo)); }
+  double width() const { return Hi - Lo; }
+};
+
+/// \name Arithmetic (all require upward rounding mode).
+/// @{
+Interval add(const Interval &A, const Interval &B);
+Interval sub(const Interval &A, const Interval &B);
+Interval mul(const Interval &A, const Interval &B);
+Interval div(const Interval &A, const Interval &B);
+Interval neg(const Interval &A);
+Interval sqrt(const Interval &A);
+Interval abs(const Interval &A);
+/// exp/log with conservative 2-ulp widening of the (not correctly rounded)
+/// libm results.
+Interval exp(const Interval &A);
+Interval log(const Interval &A);
+/// Sound sine/cosine: exact-quadrant analysis (double-double reduction
+/// with explicit safety margins) for |x| < 2^45, the trivial [-1, 1]
+/// beyond that.
+Interval sin(const Interval &A);
+Interval cos(const Interval &A);
+
+inline Interval operator+(const Interval &A, const Interval &B) {
+  return add(A, B);
+}
+inline Interval operator-(const Interval &A, const Interval &B) {
+  return sub(A, B);
+}
+inline Interval operator*(const Interval &A, const Interval &B) {
+  return mul(A, B);
+}
+inline Interval operator/(const Interval &A, const Interval &B) {
+  return div(A, B);
+}
+inline Interval operator-(const Interval &A) { return neg(A); }
+/// @}
+
+/// \name Sound comparisons.
+/// @{
+Tribool less(const Interval &A, const Interval &B);
+Tribool lessEqual(const Interval &A, const Interval &B);
+Tribool equal(const Interval &A, const Interval &B);
+/// @}
+
+/// Smallest interval containing both A and B.
+Interval hull(const Interval &A, const Interval &B);
+
+/// True when some x ≡ \p Phase (mod π) may lie in [Lo, Hi] — the
+/// critical-point test the affine sin/cos linearization uses (errs toward
+/// "yes"; only valid for |Lo|,|Hi| < 2^45).
+bool mayContainHalfTurnPhase(double Lo, double Hi, double Phase);
+
+} // namespace ia
+} // namespace safegen
+
+#endif // SAFEGEN_IA_INTERVAL_H

@@ -1,0 +1,137 @@
+//===- IntervalDD.cpp -----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ia/IntervalDD.h"
+
+using namespace safegen;
+using namespace safegen::ia;
+using namespace safegen::fp;
+
+IntervalDD IntervalDD::fromConstant(double X) {
+  if (std::isnan(X))
+    return IntervalDD::nan();
+  // A double constant is exactly representable as a dd value; the 1-ulp
+  // uncertainty of the *source text* is handled by the caller (the affine
+  // and interval front ends widen constants themselves).
+  return IntervalDD(DD(X), DD(X));
+}
+
+Interval IntervalDD::toInterval() const {
+  if (isNaN())
+    return Interval::nan();
+  // Round each dd endpoint outward to a double.
+  double L = Lo.Hi;
+  if (Lo.Lo < 0.0)
+    L = std::nextafter(L, -std::numeric_limits<double>::infinity());
+  double H = Hi.Hi;
+  if (Hi.Lo > 0.0)
+    H = std::nextafter(H, std::numeric_limits<double>::infinity());
+  return Interval(L, H);
+}
+
+/// Operand-magnitude scale for the pad of one dd add/sub (see fp::padUp).
+static double addScale(const DD &X, const DD &Y) {
+  return fp::addRU(std::fabs(X.Hi), std::fabs(Y.Hi));
+}
+
+IntervalDD ia::add(const IntervalDD &A, const IntervalDD &B) {
+  if (A.isNaN() || B.isNaN())
+    return IntervalDD::nan();
+  return IntervalDD(padDown(fp::add(A.Lo, B.Lo), addScale(A.Lo, B.Lo)),
+                    padUp(fp::add(A.Hi, B.Hi), addScale(A.Hi, B.Hi)));
+}
+
+IntervalDD ia::sub(const IntervalDD &A, const IntervalDD &B) {
+  if (A.isNaN() || B.isNaN())
+    return IntervalDD::nan();
+  return IntervalDD(padDown(fp::sub(A.Lo, B.Hi), addScale(A.Lo, B.Hi)),
+                    padUp(fp::sub(A.Hi, B.Lo), addScale(A.Hi, B.Lo)));
+}
+
+IntervalDD ia::neg(const IntervalDD &A) {
+  if (A.isNaN())
+    return IntervalDD::nan();
+  return IntervalDD(-A.Hi, -A.Lo);
+}
+
+/// Candidate product with 0*inf resolved to 0 (exact-zero annihilation).
+static DD mulCand(const DD &X, const DD &Y) {
+  if ((X.Hi == 0.0 && X.Lo == 0.0) || (Y.Hi == 0.0 && Y.Lo == 0.0))
+    return DD(0.0);
+  return fp::mul(X, Y);
+}
+
+IntervalDD ia::mul(const IntervalDD &A, const IntervalDD &B) {
+  if (A.isNaN() || B.isNaN())
+    return IntervalDD::nan();
+  DD C1 = mulCand(A.Lo, B.Lo), C2 = mulCand(A.Lo, B.Hi);
+  DD C3 = mulCand(A.Hi, B.Lo), C4 = mulCand(A.Hi, B.Hi);
+  DD L = fp::min(fp::min(C1, C2), fp::min(C3, C4));
+  DD U = fp::max(fp::max(C1, C2), fp::max(C3, C4));
+  double MaxA = std::fmax(std::fabs(A.Lo.Hi), std::fabs(A.Hi.Hi));
+  double MaxB = std::fmax(std::fabs(B.Lo.Hi), std::fabs(B.Hi.Hi));
+  double Scale = fp::mulRU(MaxA, MaxB);
+  return IntervalDD(padDown(L, Scale), padUp(U, Scale));
+}
+
+IntervalDD ia::div(const IntervalDD &A, const IntervalDD &B) {
+  if (A.isNaN() || B.isNaN())
+    return IntervalDD::nan();
+  if (B.containsZero()) {
+    if (fp::lessEqual(B.Hi, B.Lo)) // degenerate [0,0]
+      return IntervalDD::nan();
+    return IntervalDD::entire();
+  }
+  DD C1 = fp::div(A.Lo, B.Lo), C2 = fp::div(A.Lo, B.Hi);
+  DD C3 = fp::div(A.Hi, B.Lo), C4 = fp::div(A.Hi, B.Hi);
+  DD L = fp::min(fp::min(C1, C2), fp::min(C3, C4));
+  DD U = fp::max(fp::max(C1, C2), fp::max(C3, C4));
+  // The dd division error is output-relative (no catastrophic internal
+  // cancellation relative to |Q|); 2^10 margin covers its refinement steps.
+  double Scale =
+      fp::mulRU(1024.0, std::fmax(std::fabs(L.Hi), std::fabs(U.Hi)));
+  return IntervalDD(padDown(L, Scale), padUp(U, Scale));
+}
+
+IntervalDD ia::abs(const IntervalDD &A) {
+  if (A.isNaN())
+    return IntervalDD::nan();
+  if (!fp::less(A.Lo, DD(0.0)))
+    return A;
+  if (!fp::less(DD(0.0), A.Hi))
+    return neg(A);
+  return IntervalDD(DD(0.0), fp::max(-A.Lo, A.Hi));
+}
+
+IntervalDD ia::sqrt(const IntervalDD &A) {
+  if (A.isNaN() || A.Hi.Hi < 0.0)
+    return IntervalDD::nan();
+  DD LoClamped = fp::less(A.Lo, DD(0.0)) ? DD(0.0) : A.Lo;
+  DD L = fp::sqrt(LoClamped);
+  DD U = fp::sqrt(A.Hi);
+  double Scale = fp::mulRU(1024.0, std::fabs(U.Hi));
+  return IntervalDD(padDown(L, Scale), padUp(U, Scale));
+}
+
+Tribool ia::less(const IntervalDD &A, const IntervalDD &B) {
+  if (A.isNaN() || B.isNaN())
+    return Tribool::Unknown;
+  if (fp::less(A.Hi, B.Lo))
+    return Tribool::True;
+  if (!fp::less(A.Lo, B.Hi))
+    return Tribool::False;
+  return Tribool::Unknown;
+}
+
+Tribool ia::lessEqual(const IntervalDD &A, const IntervalDD &B) {
+  if (A.isNaN() || B.isNaN())
+    return Tribool::Unknown;
+  if (fp::lessEqual(A.Hi, B.Lo))
+    return Tribool::True;
+  if (fp::less(B.Hi, A.Lo))
+    return Tribool::False;
+  return Tribool::Unknown;
+}

@@ -1,0 +1,88 @@
+//===- IntervalDD.h - Sound interval arithmetic, dd endpoints --*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval arithmetic with double-double endpoints — the "IGen-dd"
+/// baseline of Fig. 9. Soundness under directed rounding is obtained by
+/// padding each dd kernel result with fp::padUp/padDown (see
+/// fp/DoubleDouble.h and DESIGN.md §2), so endpoints certify up to ~98
+/// bits instead of dd's theoretical ~104 — the comparison shape vs f64
+/// intervals and vs dda affine forms is unaffected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_IA_INTERVALDD_H
+#define SAFEGEN_IA_INTERVALDD_H
+
+#include "fp/DoubleDouble.h"
+#include "ia/Interval.h"
+
+namespace safegen {
+namespace ia {
+
+/// A closed interval [Lo, Hi] with double-double endpoints.
+class IntervalDD {
+public:
+  fp::DD Lo;
+  fp::DD Hi;
+
+  IntervalDD() = default;
+  IntervalDD(double Point) : Lo(Point), Hi(Point) {}
+  IntervalDD(fp::DD Lo, fp::DD Hi) : Lo(Lo), Hi(Hi) {}
+
+  static IntervalDD entire() {
+    return IntervalDD(fp::DD(-std::numeric_limits<double>::infinity()),
+                      fp::DD(std::numeric_limits<double>::infinity()));
+  }
+  static IntervalDD nan() {
+    return IntervalDD(fp::DD(std::numeric_limits<double>::quiet_NaN()),
+                      fp::DD(std::numeric_limits<double>::quiet_NaN()));
+  }
+  static IntervalDD fromConstant(double X);
+
+  bool isNaN() const { return Lo.isNaN() || Hi.isNaN(); }
+  bool containsZero() const {
+    return !isNaN() && fp::lessEqual(Lo, fp::DD(0.0)) &&
+           fp::lessEqual(fp::DD(0.0), Hi);
+  }
+  bool contains(double X) const {
+    return !isNaN() && fp::lessEqual(Lo, fp::DD(X)) &&
+           fp::lessEqual(fp::DD(X), Hi);
+  }
+
+  /// The interval collapsed to double endpoints (outward-rounded).
+  Interval toInterval() const;
+};
+
+IntervalDD add(const IntervalDD &A, const IntervalDD &B);
+IntervalDD sub(const IntervalDD &A, const IntervalDD &B);
+IntervalDD mul(const IntervalDD &A, const IntervalDD &B);
+IntervalDD div(const IntervalDD &A, const IntervalDD &B);
+IntervalDD neg(const IntervalDD &A);
+IntervalDD sqrt(const IntervalDD &A);
+IntervalDD abs(const IntervalDD &A);
+
+inline IntervalDD operator+(const IntervalDD &A, const IntervalDD &B) {
+  return add(A, B);
+}
+inline IntervalDD operator-(const IntervalDD &A, const IntervalDD &B) {
+  return sub(A, B);
+}
+inline IntervalDD operator*(const IntervalDD &A, const IntervalDD &B) {
+  return mul(A, B);
+}
+inline IntervalDD operator/(const IntervalDD &A, const IntervalDD &B) {
+  return div(A, B);
+}
+inline IntervalDD operator-(const IntervalDD &A) { return neg(A); }
+
+Tribool less(const IntervalDD &A, const IntervalDD &B);
+Tribool lessEqual(const IntervalDD &A, const IntervalDD &B);
+
+} // namespace ia
+} // namespace safegen
+
+#endif // SAFEGEN_IA_INTERVALDD_H

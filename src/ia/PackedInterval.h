@@ -1,0 +1,138 @@
+//===- PackedInterval.h - SIMD interval arithmetic --------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SIMD-optimized interval arithmetic in the style IGen generates (paper
+/// Sec. II-C: "IGen can generate SIMD-optimized implementations of IA").
+/// An interval is kept in one __m128d in *flipped-low* form (-lo, hi):
+/// under upward rounding a single vector addition then rounds both
+/// endpoints outward at once; multiplication evaluates all four candidate
+/// products in one __m256d per direction. Results are identical to the
+/// scalar ia::Interval ops for finite inputs (asserted by the tests);
+/// non-finite inputs fall back to the scalar path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_IA_PACKEDINTERVAL_H
+#define SAFEGEN_IA_PACKEDINTERVAL_H
+
+#include "ia/Interval.h"
+
+#if SAFEGEN_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace safegen {
+namespace ia {
+
+#if SAFEGEN_HAVE_AVX2
+
+/// An interval packed as (-Lo, Hi). All operations require upward
+/// rounding mode (MXCSR applies to vector instructions).
+class PackedInterval {
+public:
+  PackedInterval() : V(_mm_setzero_pd()) {}
+  explicit PackedInterval(__m128d V) : V(V) {}
+  explicit PackedInterval(const Interval &I)
+      : V(_mm_set_pd(I.Hi, -I.Lo)) {}
+  PackedInterval(double Lo, double Hi) : V(_mm_set_pd(Hi, -Lo)) {}
+
+  Interval toInterval() const {
+    alignas(16) double Lanes[2];
+    _mm_store_pd(Lanes, V);
+    return Interval(-Lanes[0], Lanes[1]);
+  }
+  double lo() const { return -_mm_cvtsd_f64(V); }
+  double hi() const {
+    return _mm_cvtsd_f64(_mm_unpackhi_pd(V, V));
+  }
+  bool isFinite() const {
+    Interval I = toInterval();
+    return std::isfinite(I.Lo) && std::isfinite(I.Hi);
+  }
+
+  __m128d raw() const { return V; }
+
+private:
+  __m128d V;
+};
+
+/// A + B: one vector add — (-la) + (-lb) = -(la + lb) rounds the low
+/// endpoint down while hi rounds up, both via MXCSR-upward.
+inline PackedInterval add(const PackedInterval &A, const PackedInterval &B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  return PackedInterval(_mm_add_pd(A.raw(), B.raw()));
+}
+
+/// -A: swap the lanes.
+inline PackedInterval neg(const PackedInterval &A) {
+  return PackedInterval(_mm_shuffle_pd(A.raw(), A.raw(), 0b01));
+}
+
+inline PackedInterval sub(const PackedInterval &A, const PackedInterval &B) {
+  return add(A, neg(B));
+}
+
+/// A * B: all four endpoint products, upward for the hi and (via the
+/// negate trick) downward for the lo, then horizontal max.
+inline PackedInterval mul(const PackedInterval &A, const PackedInterval &B) {
+  SAFEGEN_ASSERT_ROUND_UP();
+  if (!A.isFinite() || !B.isFinite())
+    return PackedInterval(ia::mul(A.toInterval(), B.toInterval()));
+  double La = A.lo(), Ha = A.hi(), Lb = B.lo(), Hb = B.hi();
+  __m256d PA = _mm256_set_pd(Ha, Ha, La, La);
+  __m256d PB = _mm256_set_pd(Hb, Lb, Hb, Lb);
+  // Upward candidates for the high endpoint.
+  __m256d Up = _mm256_mul_pd(PA, PB);
+  // Downward candidates via RD(x*y) = -RU((-x)*y); then the low endpoint
+  // is min(RD(...)) = -max(-RD(...)) — keep everything as maxima of the
+  // negated products.
+  const __m256d SignMask = _mm256_set1_pd(-0.0);
+  __m256d Dn = _mm256_mul_pd(_mm256_xor_pd(PA, SignMask), PB);
+  // Horizontal maxima.
+  __m256d UpMax = _mm256_max_pd(Up, _mm256_permute2f128_pd(Up, Up, 1));
+  UpMax = _mm256_max_pd(UpMax, _mm256_permute_pd(UpMax, 0b0101));
+  __m256d DnMax = _mm256_max_pd(Dn, _mm256_permute2f128_pd(Dn, Dn, 1));
+  DnMax = _mm256_max_pd(DnMax, _mm256_permute_pd(DnMax, 0b0101));
+  double Hi = _mm256_cvtsd_f64(UpMax);
+  double NegLo = _mm256_cvtsd_f64(DnMax); // = -RD(min product)
+  return PackedInterval(_mm_set_pd(Hi, NegLo));
+}
+
+/// A / B: scalar semantics (division is rare in the kernels; the packed
+/// form mainly accelerates the +,-,* stream).
+inline PackedInterval div(const PackedInterval &A, const PackedInterval &B) {
+  return PackedInterval(ia::div(A.toInterval(), B.toInterval()));
+}
+
+inline PackedInterval sqrt(const PackedInterval &A) {
+  return PackedInterval(ia::sqrt(A.toInterval()));
+}
+
+inline PackedInterval operator+(const PackedInterval &A,
+                                const PackedInterval &B) {
+  return add(A, B);
+}
+inline PackedInterval operator-(const PackedInterval &A,
+                                const PackedInterval &B) {
+  return sub(A, B);
+}
+inline PackedInterval operator*(const PackedInterval &A,
+                                const PackedInterval &B) {
+  return mul(A, B);
+}
+inline PackedInterval operator/(const PackedInterval &A,
+                                const PackedInterval &B) {
+  return div(A, B);
+}
+inline PackedInterval operator-(const PackedInterval &A) { return neg(A); }
+
+#endif // SAFEGEN_HAVE_AVX2
+
+} // namespace ia
+} // namespace safegen
+
+#endif // SAFEGEN_IA_PACKEDINTERVAL_H

@@ -1,0 +1,212 @@
+//===- BranchBound.cpp ----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/BranchBound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+using namespace safegen;
+using namespace safegen::ilp;
+
+namespace {
+
+constexpr double IntEps = 1e-6;
+
+/// One open node: a partial 0/1 fixing plus the LP bound of its parent.
+struct Node {
+  std::vector<int8_t> Fixed; ///< -1 free, 0/1 fixed
+  double Bound = 0.0;
+  bool operator<(const Node &O) const { return Bound < O.Bound; } // max-heap
+};
+
+/// Builds the LP relaxation of BP under the node's fixings: free vars get
+/// an x <= 1 row; fixed vars are substituted into the constraints.
+LinearProgram buildRelaxation(const BinaryProgram &BP,
+                              const std::vector<int8_t> &Fixed,
+                              std::vector<int> &FreeIndex) {
+  FreeIndex.clear();
+  std::vector<int> VarToFree(BP.NumVars, -1);
+  for (int J = 0; J < BP.NumVars; ++J)
+    if (Fixed[J] < 0) {
+      VarToFree[J] = static_cast<int>(FreeIndex.size());
+      FreeIndex.push_back(J);
+    }
+  LinearProgram LP;
+  LP.NumVars = static_cast<int>(FreeIndex.size());
+  LP.Objective.assign(LP.NumVars, 0.0);
+  for (int J = 0; J < BP.NumVars; ++J)
+    if (VarToFree[J] >= 0)
+      LP.Objective[VarToFree[J]] = BP.Objective[J];
+  for (size_t R = 0; R < BP.Rows.size(); ++R) {
+    std::vector<double> Row(LP.NumVars, 0.0);
+    double B = BP.Rhs[R];
+    bool AnyFree = false;
+    for (int J = 0; J < BP.NumVars; ++J) {
+      double Coef = BP.Rows[R][J];
+      if (Coef == 0.0)
+        continue;
+      if (Fixed[J] >= 0)
+        B -= Coef * Fixed[J];
+      else {
+        Row[VarToFree[J]] = Coef;
+        AnyFree = true;
+      }
+    }
+    if (AnyFree)
+      LP.addConstraint(std::move(Row), B);
+    else if (B < -IntEps)
+      return LinearProgram{}; // constraint already violated: signal by
+                              // NumVars == 0 with a poison row
+  }
+  // x_j <= 1 for the free variables.
+  for (int F = 0; F < LP.NumVars; ++F) {
+    std::vector<double> Row(LP.NumVars, 0.0);
+    Row[F] = 1.0;
+    LP.addConstraint(std::move(Row), 1.0);
+  }
+  return LP;
+}
+
+/// Checks a full 0/1 assignment against all constraints.
+bool feasible(const BinaryProgram &BP, const std::vector<uint8_t> &X) {
+  for (size_t R = 0; R < BP.Rows.size(); ++R) {
+    double Lhs = 0.0;
+    for (int J = 0; J < BP.NumVars; ++J)
+      if (X[J])
+        Lhs += BP.Rows[R][J];
+    if (Lhs > BP.Rhs[R] + IntEps)
+      return false;
+  }
+  return true;
+}
+
+double objective(const BinaryProgram &BP, const std::vector<uint8_t> &X) {
+  double V = 0.0;
+  for (int J = 0; J < BP.NumVars; ++J)
+    if (X[J])
+      V += BP.Objective[J];
+  return V;
+}
+
+} // namespace
+
+ILPSolution ilp::solveBinaryProgram(const BinaryProgram &BP,
+                                    const BBOptions &Opts) {
+  ILPSolution Best;
+  Best.X.assign(BP.NumVars, 0);
+  // All-zero is feasible iff every constraint has rhs >= 0.
+  if (feasible(BP, Best.X)) {
+    Best.Status = ILPStatus::Feasible;
+    Best.Objective = objective(BP, Best.X);
+  }
+
+  std::priority_queue<Node> Open;
+  Node Root;
+  Root.Fixed.assign(BP.NumVars, -1);
+  Root.Bound = std::numeric_limits<double>::infinity();
+  Open.push(std::move(Root));
+
+  int Nodes = 0;
+  bool Exhausted = false;
+  while (!Open.empty()) {
+    if (Nodes >= Opts.MaxNodes) {
+      Exhausted = true;
+      break;
+    }
+    Node Cur = Open.top();
+    Open.pop();
+    if (Best.Status != ILPStatus::Infeasible &&
+        Cur.Bound <= Best.Objective + Opts.Gap)
+      continue; // pruned by bound
+    ++Nodes;
+
+    std::vector<int> FreeIndex;
+    LinearProgram LP = buildRelaxation(BP, Cur.Fixed, FreeIndex);
+    if (LP.NumVars == 0 && !FreeIndex.empty())
+      continue; // poisoned: a fixed constraint is violated
+
+    double FixedObj = 0.0;
+    for (int J = 0; J < BP.NumVars; ++J)
+      if (Cur.Fixed[J] == 1)
+        FixedObj += BP.Objective[J];
+
+    if (FreeIndex.empty()) {
+      // Fully fixed leaf.
+      std::vector<uint8_t> X(BP.NumVars, 0);
+      for (int J = 0; J < BP.NumVars; ++J)
+        X[J] = Cur.Fixed[J] == 1;
+      if (feasible(BP, X)) {
+        double Obj = objective(BP, X);
+        if (Best.Status == ILPStatus::Infeasible || Obj > Best.Objective) {
+          Best.Objective = Obj;
+          Best.X = X;
+          Best.Status = ILPStatus::Feasible;
+        }
+      }
+      continue;
+    }
+
+    LPSolution Rel = solveLP(LP, Opts.MaxPivotsPerLP);
+    if (Rel.Status == LPStatus::Infeasible)
+      continue;
+    if (Rel.Status == LPStatus::IterationLimit) {
+      Exhausted = true;
+      continue;
+    }
+    double Bound = FixedObj + Rel.Objective;
+    if (Best.Status != ILPStatus::Infeasible &&
+        Bound <= Best.Objective + Opts.Gap)
+      continue;
+
+    // Round the relaxation: is it already integral?
+    int BranchVar = -1;
+    double BranchFrac = 0.0;
+    for (int F = 0; F < LP.NumVars; ++F) {
+      double V = Rel.X[F];
+      double Frac = std::fabs(V - std::round(V));
+      if (Frac > IntEps && Frac > BranchFrac) {
+        BranchFrac = Frac;
+        BranchVar = FreeIndex[F];
+      }
+    }
+    if (BranchVar < 0) {
+      // Integral: candidate incumbent.
+      std::vector<uint8_t> X(BP.NumVars, 0);
+      for (int J = 0; J < BP.NumVars; ++J)
+        X[J] = Cur.Fixed[J] == 1;
+      for (int F = 0; F < LP.NumVars; ++F)
+        if (Rel.X[F] > 0.5)
+          X[FreeIndex[F]] = 1;
+      if (feasible(BP, X)) {
+        double Obj = objective(BP, X);
+        if (Best.Status == ILPStatus::Infeasible || Obj > Best.Objective) {
+          Best.Objective = Obj;
+          Best.X = std::move(X);
+          Best.Status = ILPStatus::Feasible;
+        }
+      }
+      continue;
+    }
+
+    // Branch on the most fractional variable, 1-side first (max problem).
+    for (int Value : {1, 0}) {
+      Node Child;
+      Child.Fixed = Cur.Fixed;
+      Child.Fixed[BranchVar] = static_cast<int8_t>(Value);
+      Child.Bound = Bound;
+      Open.push(std::move(Child));
+    }
+  }
+
+  Best.NodesExplored = Nodes;
+  if (Best.Status == ILPStatus::Feasible && !Exhausted && Open.empty())
+    Best.Status = ILPStatus::Optimal;
+  return Best;
+}

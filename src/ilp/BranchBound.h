@@ -1,0 +1,67 @@
+//===- BranchBound.h - 0/1 integer programming ------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact 0/1 ILP solver: LP-relaxation branch and bound on top of the
+/// dense simplex, with best-first expansion, LP-bound pruning, and a
+/// node/time budget. When the budget is exhausted the incumbent (best
+/// feasible found so far) is returned with Status == Feasible, which the
+/// max-reuse analysis treats like the paper treats luf: "no (optimal)
+/// prioritization found" / best-effort priorities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_ILP_BRANCHBOUND_H
+#define SAFEGEN_ILP_BRANCHBOUND_H
+
+#include "ilp/Simplex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace safegen {
+namespace ilp {
+
+/// maximize c'x  s.t.  A x <= b,  x in {0,1}^n.
+struct BinaryProgram {
+  int NumVars = 0;
+  std::vector<double> Objective;
+  std::vector<std::vector<double>> Rows;
+  std::vector<double> Rhs;
+
+  void addConstraint(std::vector<double> Row, double B) {
+    Rows.push_back(std::move(Row));
+    Rhs.push_back(B);
+  }
+};
+
+enum class ILPStatus {
+  Optimal,    ///< proven optimal incumbent
+  Feasible,   ///< budget exhausted; incumbent is feasible but unproven
+  Infeasible, ///< no 0/1 point satisfies the constraints
+};
+
+struct ILPSolution {
+  ILPStatus Status = ILPStatus::Infeasible;
+  double Objective = 0.0;
+  std::vector<uint8_t> X; ///< 0/1 assignment
+  int NodesExplored = 0;
+};
+
+struct BBOptions {
+  int MaxNodes = 20000;    ///< branch-and-bound node budget
+  int MaxPivotsPerLP = 20000;
+  double Gap = 1e-6;       ///< accept incumbent within this absolute gap
+};
+
+/// Solves \p BP by branch and bound.
+ILPSolution solveBinaryProgram(const BinaryProgram &BP,
+                               const BBOptions &Opts = BBOptions());
+
+} // namespace ilp
+} // namespace safegen
+
+#endif // SAFEGEN_ILP_BRANCHBOUND_H

@@ -1,0 +1,194 @@
+//===- Simplex.cpp --------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ilp/Simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace safegen;
+using namespace safegen::ilp;
+
+namespace {
+
+constexpr double Eps = 1e-9;
+
+/// Dense two-phase tableau simplex. Column layout:
+///   [0, N)            structural variables
+///   [N, N+M)          slack/surplus variables (one per row)
+///   [N+M, N+M+A)      artificial variables (phase 1 only)
+/// plus the RHS column.
+class Tableau {
+public:
+  Tableau(const LinearProgram &LP) : N(LP.NumVars), M(LP.Rows.size()) {
+    // Normalize rows so RHS >= 0; rows that flip become >= constraints and
+    // need surplus(-1) + artificial.
+    std::vector<int> RowSign(M, 1);
+    for (int I = 0; I < M; ++I)
+      if (LP.Rhs[I] < 0)
+        RowSign[I] = -1;
+    NumArtificial = 0;
+    for (int I = 0; I < M; ++I)
+      if (RowSign[I] < 0)
+        ++NumArtificial;
+
+    Cols = N + M + NumArtificial + 1;
+    T.assign(M, std::vector<double>(Cols, 0.0));
+    Basis.assign(M, -1);
+
+    int NextArt = N + M;
+    for (int I = 0; I < M; ++I) {
+      for (int J = 0; J < N; ++J)
+        T[I][J] = RowSign[I] * LP.Rows[I][J];
+      // Slack (<=) or surplus (>= after flip).
+      T[I][N + I] = RowSign[I] > 0 ? 1.0 : -1.0;
+      T[I][Cols - 1] = RowSign[I] * LP.Rhs[I];
+      if (RowSign[I] > 0) {
+        Basis[I] = N + I;
+      } else {
+        T[I][NextArt] = 1.0;
+        Basis[I] = NextArt;
+        ++NextArt;
+      }
+    }
+  }
+
+  /// Runs phase 1 (if needed) and phase 2 for objective \p C (size N,
+  /// maximize). Returns the status; on Optimal fills Obj and X.
+  LPStatus solve(const std::vector<double> &C, int MaxPivots, double &Obj,
+                 std::vector<double> &X) {
+    int PivotsLeft = MaxPivots;
+    if (NumArtificial > 0) {
+      // Phase 1: maximize -(sum of artificials).
+      std::vector<double> Phase1(Cols - 1, 0.0);
+      for (int J = N + M; J < Cols - 1; ++J)
+        Phase1[J] = -1.0;
+      LPStatus S = optimize(Phase1, PivotsLeft);
+      if (S != LPStatus::Optimal)
+        return S == LPStatus::Unbounded ? LPStatus::Infeasible : S;
+      double Phase1Obj = objectiveValue(Phase1);
+      if (Phase1Obj < -Eps)
+        return LPStatus::Infeasible;
+      // Pivot remaining artificials out of the basis where possible.
+      for (int I = 0; I < M; ++I) {
+        if (Basis[I] < N + M)
+          continue;
+        bool Pivoted = false;
+        for (int J = 0; J < N + M && !Pivoted; ++J)
+          if (std::fabs(T[I][J]) > Eps) {
+            pivot(I, J);
+            Pivoted = true;
+          }
+        // A zero row: the artificial stays basic at value 0; harmless.
+      }
+      // Freeze artificial columns.
+      ArtificialsFrozen = true;
+    }
+    std::vector<double> C2(Cols - 1, 0.0);
+    for (int J = 0; J < N; ++J)
+      C2[J] = C[J];
+    LPStatus S = optimize(C2, PivotsLeft);
+    if (S != LPStatus::Optimal)
+      return S;
+    Obj = objectiveValue(C2);
+    X.assign(N, 0.0);
+    for (int I = 0; I < M; ++I)
+      if (Basis[I] < N)
+        X[Basis[I]] = T[I][Cols - 1];
+    return LPStatus::Optimal;
+  }
+
+private:
+  double objectiveValue(const std::vector<double> &C) const {
+    double V = 0.0;
+    for (int I = 0; I < M; ++I)
+      if (Basis[I] < static_cast<int>(C.size()))
+        V += C[Basis[I]] * T[I][Cols - 1];
+    return V;
+  }
+
+  void pivot(int Row, int Col) {
+    double P = T[Row][Col];
+    for (int J = 0; J < Cols; ++J)
+      T[Row][J] /= P;
+    for (int I = 0; I < M; ++I) {
+      if (I == Row || std::fabs(T[I][Col]) < 1e-13)
+        continue;
+      double F = T[I][Col];
+      for (int J = 0; J < Cols; ++J)
+        T[I][J] -= F * T[Row][J];
+    }
+    Basis[Row] = Col;
+  }
+
+  /// Primal simplex with Bland's rule, maximizing C (over all columns).
+  LPStatus optimize(const std::vector<double> &C, int &PivotsLeft) {
+    const int UsableCols =
+        ArtificialsFrozen ? N + M : Cols - 1;
+    for (;;) {
+      if (PivotsLeft-- <= 0)
+        return LPStatus::IterationLimit;
+      // Reduced costs: rc_j = C_j - C_B' B^-1 A_j. With the tableau in
+      // canonical form, rc_j = C_j - sum_i C[Basis[i]] * T[i][j].
+      int Entering = -1;
+      for (int J = 0; J < UsableCols; ++J) {
+        double Rc = J < static_cast<int>(C.size()) ? C[J] : 0.0;
+        for (int I = 0; I < M; ++I) {
+          int B = Basis[I];
+          double Cb = B < static_cast<int>(C.size()) ? C[B] : 0.0;
+          if (Cb != 0.0)
+            Rc -= Cb * T[I][J];
+        }
+        if (Rc > Eps) {
+          Entering = J; // Bland: first improving column
+          break;
+        }
+      }
+      if (Entering < 0)
+        return LPStatus::Optimal;
+      // Ratio test; Bland tie-break on the basic variable index.
+      int Leaving = -1;
+      double BestRatio = std::numeric_limits<double>::infinity();
+      for (int I = 0; I < M; ++I) {
+        if (T[I][Entering] <= Eps)
+          continue;
+        double Ratio = T[I][Cols - 1] / T[I][Entering];
+        if (Ratio < BestRatio - Eps ||
+            (Ratio < BestRatio + Eps &&
+             (Leaving < 0 || Basis[I] < Basis[Leaving]))) {
+          BestRatio = Ratio;
+          Leaving = I;
+        }
+      }
+      if (Leaving < 0)
+        return LPStatus::Unbounded;
+      pivot(Leaving, Entering);
+    }
+  }
+
+  int N, M;
+  int NumArtificial = 0;
+  int Cols = 0;
+  bool ArtificialsFrozen = false;
+  std::vector<std::vector<double>> T;
+  std::vector<int> Basis;
+};
+
+} // namespace
+
+LPSolution ilp::solveLP(const LinearProgram &LP, int MaxPivots) {
+  assert(static_cast<int>(LP.Objective.size()) == LP.NumVars &&
+         "objective size mismatch");
+  LPSolution Sol;
+  if (LP.NumVars == 0) {
+    Sol.Status = LPStatus::Optimal;
+    return Sol;
+  }
+  Tableau Tab(LP);
+  Sol.Status = Tab.solve(LP.Objective, MaxPivots, Sol.Objective, Sol.X);
+  return Sol;
+}

@@ -1,0 +1,55 @@
+//===- Simplex.h - Dense primal simplex LP solver ---------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense LP solver: maximize c'x subject to Ax <= b, x >= 0,
+/// solved with the standard tableau primal simplex and Bland's rule
+/// (guaranteed termination). It is the relaxation engine for the 0/1
+/// branch-and-bound that solves the paper's max-reuse ILP (Sec. VI-B) —
+/// the environment-substitute for Gurobi (DESIGN.md §2). Instances are
+/// small (hundreds of variables), so O(mn) pivots are fine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_ILP_SIMPLEX_H
+#define SAFEGEN_ILP_SIMPLEX_H
+
+#include <vector>
+
+namespace safegen {
+namespace ilp {
+
+/// Outcome of an LP solve.
+enum class LPStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+/// maximize c'x  s.t.  A x <= b,  x >= 0.
+/// b may contain negative entries (a phase-1 is run when needed).
+struct LinearProgram {
+  int NumVars = 0;
+  std::vector<double> Objective;          ///< size NumVars
+  std::vector<std::vector<double>> Rows;  ///< each size NumVars
+  std::vector<double> Rhs;                ///< size Rows.size()
+
+  void addConstraint(std::vector<double> Row, double B) {
+    Rows.push_back(std::move(Row));
+    Rhs.push_back(B);
+  }
+};
+
+struct LPSolution {
+  LPStatus Status = LPStatus::Infeasible;
+  double Objective = 0.0;
+  std::vector<double> X;
+};
+
+/// Solves \p LP. \p MaxPivots bounds the work (IterationLimit returned on
+/// exhaustion).
+LPSolution solveLP(const LinearProgram &LP, int MaxPivots = 200000);
+
+} // namespace ilp
+} // namespace safegen
+
+#endif // SAFEGEN_ILP_SIMPLEX_H

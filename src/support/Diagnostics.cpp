@@ -1,0 +1,59 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <sstream>
+
+using namespace safegen;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticsEngine::report(DiagSeverity Severity, SourceLocation Loc,
+                               std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+std::string DiagnosticsEngine::render(const Diagnostic &D) const {
+  std::ostringstream OS;
+  if (SM && !SM->getFileName().empty())
+    OS << SM->getFileName() << ':';
+  if (D.Loc.isValid())
+    OS << D.Loc.Line << ':' << D.Loc.Column << ": ";
+  else
+    OS << ' ';
+  OS << severityName(D.Severity) << ": " << D.Message << '\n';
+  if (SM && D.Loc.isValid()) {
+    std::string_view Line = SM->getLine(D.Loc.Line);
+    if (!Line.empty()) {
+      OS << Line << '\n';
+      for (uint32_t I = 1; I < D.Loc.Column; ++I)
+        OS << (I <= Line.size() && Line[I - 1] == '\t' ? '\t' : ' ');
+      OS << "^\n";
+    }
+  }
+  return OS.str();
+}
+
+std::string DiagnosticsEngine::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags)
+    Out += render(D);
+  return Out;
+}

@@ -1,0 +1,74 @@
+//===- Diagnostics.h - Error/warning reporting ------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine in the Clang spirit: diagnostics carry a
+/// severity, a location and a message; the engine records them, renders them
+/// with a caret line, and lets the driver decide how to surface them.
+/// Library code never prints directly and never throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SUPPORT_DIAGNOSTICS_H
+#define SAFEGEN_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace safegen {
+
+class SourceManager;
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One rendered diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for one compilation. The engine is append-only;
+/// passes query hasErrors() to decide whether to continue.
+class DiagnosticsEngine {
+public:
+  explicit DiagnosticsEngine(const SourceManager *SM = nullptr) : SM(SM) {}
+
+  void setSourceManager(const SourceManager *NewSM) { SM = NewSM; }
+
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+  void report(DiagSeverity Severity, SourceLocation Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &getAll() const { return Diags; }
+
+  /// Renders every recorded diagnostic as "file:line:col: severity: msg"
+  /// followed by the source line and a caret, concatenated into one string.
+  std::string renderAll() const;
+
+  /// Renders a single diagnostic (same format as renderAll).
+  std::string render(const Diagnostic &D) const;
+
+private:
+  const SourceManager *SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace safegen
+
+#endif // SAFEGEN_SUPPORT_DIAGNOSTICS_H

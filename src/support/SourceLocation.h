@@ -1,0 +1,63 @@
+//===- SourceLocation.h - Positions inside a source buffer -----*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight value types that identify a position (line/column/offset) and
+/// a half-open range inside a source buffer. Used by the lexer, parser,
+/// diagnostics and the annotation pass, which must map computation-DAG nodes
+/// back to the exact statement that created them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SUPPORT_SOURCELOCATION_H
+#define SAFEGEN_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace safegen {
+
+/// A position in a source buffer. Line and column are 1-based; offset is the
+/// 0-based byte offset from the start of the buffer. A default-constructed
+/// location is invalid.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+  uint32_t Offset = 0;
+
+  SourceLocation() = default;
+  SourceLocation(uint32_t Line, uint32_t Column, uint32_t Offset)
+      : Line(Line), Column(Column), Offset(Offset) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLocation &Other) const {
+    return Offset == Other.Offset && Line == Other.Line &&
+           Column == Other.Column;
+  }
+  bool operator<(const SourceLocation &Other) const {
+    return Offset < Other.Offset;
+  }
+
+  /// Renders the location as "line:column" for diagnostics.
+  std::string str() const;
+};
+
+/// A half-open byte range [Begin, End) in a source buffer.
+struct SourceRange {
+  SourceLocation Begin;
+  SourceLocation End;
+
+  SourceRange() = default;
+  SourceRange(SourceLocation Begin, SourceLocation End)
+      : Begin(Begin), End(End) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace safegen
+
+#endif // SAFEGEN_SUPPORT_SOURCELOCATION_H

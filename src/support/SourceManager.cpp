@@ -1,0 +1,70 @@
+//===- SourceManager.cpp --------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+using namespace safegen;
+
+std::string SourceLocation::str() const {
+  if (!isValid())
+    return "<invalid>";
+  std::ostringstream OS;
+  OS << Line << ':' << Column;
+  return OS.str();
+}
+
+void SourceManager::setMainBuffer(std::string NewFileName, std::string Text) {
+  FileName = std::move(NewFileName);
+  Buffer = std::move(Text);
+  LineOffsets.clear();
+  LineOffsets.push_back(0);
+  for (uint32_t I = 0, E = Buffer.size(); I != E; ++I)
+    if (Buffer[I] == '\n')
+      LineOffsets.push_back(I + 1);
+}
+
+bool SourceManager::loadFile(const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::string Text;
+  char Chunk[4096];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Text.append(Chunk, N);
+  std::fclose(F);
+  setMainBuffer(Path, std::move(Text));
+  return true;
+}
+
+std::string_view SourceManager::getLine(uint32_t Line) const {
+  if (Line == 0 || Line > LineOffsets.size())
+    return {};
+  uint32_t Begin = LineOffsets[Line - 1];
+  uint32_t End = Line < LineOffsets.size() ? LineOffsets[Line] : Buffer.size();
+  // Strip the newline (and a possible '\r' before it).
+  while (End > Begin && (Buffer[End - 1] == '\n' || Buffer[End - 1] == '\r'))
+    --End;
+  return std::string_view(Buffer).substr(Begin, End - Begin);
+}
+
+SourceLocation SourceManager::locationForOffset(uint32_t Offset) const {
+  assert(Offset <= Buffer.size() && "offset past end of buffer");
+  // Binary search for the greatest line start <= Offset.
+  uint32_t Lo = 0, Hi = LineOffsets.size();
+  while (Hi - Lo > 1) {
+    uint32_t Mid = Lo + (Hi - Lo) / 2;
+    if (LineOffsets[Mid] <= Offset)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return SourceLocation(Lo + 1, Offset - LineOffsets[Lo] + 1, Offset);
+}

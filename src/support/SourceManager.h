@@ -1,0 +1,61 @@
+//===- SourceManager.h - Owns source buffers --------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the text of the translation unit being compiled and answers
+/// location queries (extracting a line for caret diagnostics, mapping byte
+/// offsets back to line/column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SUPPORT_SOURCEMANAGER_H
+#define SAFEGEN_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safegen {
+
+/// Owns one source buffer (SafeGen compiles a single C file at a time, like
+/// the paper's tool) plus the line-offset table derived from it.
+class SourceManager {
+public:
+  SourceManager() = default;
+
+  /// Installs \p Text as the buffer for \p FileName, replacing any previous
+  /// buffer, and rebuilds the line table.
+  void setMainBuffer(std::string FileName, std::string Text);
+
+  /// Reads \p Path from disk into the main buffer. Returns false (and leaves
+  /// the manager untouched) if the file cannot be read.
+  bool loadFile(const std::string &Path);
+
+  const std::string &getFileName() const { return FileName; }
+  std::string_view getBuffer() const { return Buffer; }
+
+  /// Returns the full text of the (1-based) line \p Line without the
+  /// trailing newline, or an empty view if out of range.
+  std::string_view getLine(uint32_t Line) const;
+
+  /// Maps a byte offset into the buffer to a full SourceLocation.
+  SourceLocation locationForOffset(uint32_t Offset) const;
+
+  /// Number of lines in the buffer.
+  uint32_t getNumLines() const { return LineOffsets.size(); }
+
+private:
+  std::string FileName;
+  std::string Buffer;
+  /// Byte offset of the start of each line; LineOffsets[0] == 0.
+  std::vector<uint32_t> LineOffsets;
+};
+
+} // namespace safegen
+
+#endif // SAFEGEN_SUPPORT_SOURCEMANAGER_H

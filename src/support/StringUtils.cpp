@@ -1,0 +1,77 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace safegen;
+
+std::string_view safegen::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+std::vector<std::string_view> safegen::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Out;
+  size_t Begin = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Out.push_back(S.substr(Begin, I - Begin));
+      Begin = I + 1;
+    }
+  }
+  return Out;
+}
+
+bool safegen::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+bool safegen::endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+std::string safegen::formatDoubleExact(double Value) {
+  if (std::isnan(Value))
+    return "(0.0/0.0)";
+  if (std::isinf(Value))
+    return Value > 0 ? "(1.0/0.0)" : "(-1.0/0.0)";
+  char Buf[64];
+  // Find the shortest precision that round-trips.
+  for (int Prec = 1; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, Value);
+    double Back = 0;
+    std::sscanf(Buf, "%lf", &Back);
+    if (Back == Value || (std::isnan(Back) && std::isnan(Value)))
+      break;
+  }
+  std::string S(Buf);
+  // Make sure the literal parses as a double in C (e.g. "42" -> "42.0").
+  if (S.find_first_of(".eE") == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+std::string safegen::join(const std::vector<std::string> &Parts,
+                          std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

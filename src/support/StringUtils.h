@@ -1,0 +1,44 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the frontend and the code emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SUPPORT_STRINGUTILS_H
+#define SAFEGEN_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace safegen {
+
+/// Returns \p S without leading/trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S at every occurrence of \p Sep (separators are not included;
+/// empty pieces are kept).
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// True if \p S ends with \p Suffix.
+bool endsWith(std::string_view S, std::string_view Suffix);
+
+/// Formats a double so that reading it back yields the identical bits
+/// (shortest round-trippable decimal form, C syntax).
+std::string formatDoubleExact(double Value);
+
+/// Joins the elements of \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Sep);
+
+} // namespace safegen
+
+#endif // SAFEGEN_SUPPORT_STRINGUTILS_H

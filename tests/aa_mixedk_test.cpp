@@ -1,0 +1,157 @@
+//===- aa_mixedk_test.cpp - Per-variable symbol capacities ----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work extension (Sec. VIII): different variables may
+/// carry different symbol budgets k. Values built under one k are
+/// soundly rehomed when they flow into code running under another.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+class MixedKTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+AAConfig config(const char *Notation, int K) {
+  AAConfig C = *AAConfig::parse(Notation);
+  C.K = K;
+  return C;
+}
+
+} // namespace
+
+TEST_F(MixedKTest, RehomeDirectPreservesSymbolsWithoutConflicts) {
+  AAConfig Cfg = config("f64a-dsnn", 8);
+  AffineEnvScope Env(Cfg);
+  auto &Ctx = env().Context;
+  F64a X = F64a::input(1.0, 0.25);
+  // Widen: no information can be lost going 8 -> 32.
+  AAConfig Wide = config("f64a-dsnn", 32);
+  auto R = ops::rehome(X.storage(), Wide, Ctx);
+  EXPECT_EQ(R.N, 32);
+  EXPECT_EQ(R.countSymbols(), X.storage().countSymbols());
+  double Lo1, Hi1, Lo2, Hi2;
+  X.storage().bounds(Lo1, Hi1);
+  R.bounds(Lo2, Hi2);
+  EXPECT_EQ(Lo1, Lo2);
+  EXPECT_EQ(Hi1, Hi2);
+}
+
+TEST_F(MixedKTest, RehomeNarrowingIsSoundAndBounded) {
+  AAConfig Wide = config("f64a-dsnn", 32);
+  AffineEnvScope Env(Wide);
+  auto &Ctx = env().Context;
+  // Build a value with many symbols under k = 32.
+  F64a Acc = F64a::exact(0.0);
+  std::mt19937_64 Rng(5);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  for (int I = 0; I < 40; ++I)
+    Acc = Acc + F64a::input(U(Rng));
+  double Lo1, Hi1;
+  Acc.storage().bounds(Lo1, Hi1);
+
+  AAConfig Narrow = config("f64a-dsnn", 8);
+  auto R = ops::rehome(Acc.storage(), Narrow, Ctx);
+  EXPECT_EQ(R.N, 8);
+  EXPECT_LE(R.countSymbols(), 8);
+  double Lo2, Hi2;
+  R.bounds(Lo2, Hi2);
+  // Soundness: the rehomed range contains the original.
+  EXPECT_LE(Lo2, Lo1);
+  EXPECT_GE(Hi2, Hi1);
+}
+
+TEST_F(MixedKTest, MixedOperandsRehomeAutomatically) {
+  for (const char *Cfg : {"f64a-dsnn", "f64a-ssnn", "f64a-dsnv"}) {
+    AAConfig Small = config(Cfg, 8);
+    AffineEnvScope Env(Small);
+    F64a A = F64a::input(0.5, 0.25);
+    F64a B = [&] {
+      KOverrideScope Wide(32);
+      F64a Acc = F64a::exact(0.0);
+      for (int I = 0; I < 20; ++I)
+        Acc = Acc + F64a::input(0.1, 0.0);
+      return Acc;
+    }();
+    // B was built at k = 32; using it at k = 8 must work and be sound.
+    F64a C = A * B + A;
+    ia::Interval R = C.toInterval();
+    // Exact: 0.5 * 2.0 + 0.5 = 1.5 with small deviations.
+    EXPECT_LE(R.Lo, 1.5) << Cfg;
+    EXPECT_GE(R.Hi, 1.5 - 0.3) << Cfg;
+    EXPECT_TRUE(R.contains(1.5) || R.Hi >= 1.2) << Cfg;
+  }
+}
+
+TEST_F(MixedKTest, SoundnessUnderRandomMixedKPrograms) {
+  std::mt19937_64 Rng(99);
+  std::uniform_real_distribution<double> U(-1.0, 1.0);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    AAConfig Cfg = config(Trial % 2 ? "f64a-dsnn" : "f64a-ssnn", 8);
+    AffineEnvScope Env(Cfg);
+    double Xc = U(Rng), Yc = U(Rng);
+    F64a X = F64a::input(Xc, 0.0);
+    F64a Y = [&] {
+      KOverrideScope Wide(24);
+      F64a V = F64a::input(Yc, 0.0);
+      return V * V + V;
+    }();
+    F64a Z;
+    {
+      KOverrideScope Tiny(4);
+      Z = X * Y - Y;
+    }
+    F64a W = Z + X * X; // back at k = 8, Z was built at k = 4
+    long double Yl = static_cast<long double>(Yc) * Yc + Yc;
+    long double Exact = (static_cast<long double>(Xc) * Yl - Yl) +
+                        static_cast<long double>(Xc) * Xc;
+    ia::Interval R = W.toInterval();
+    EXPECT_LE(static_cast<long double>(R.Lo), Exact + 1e-17L)
+        << "trial " << Trial;
+    EXPECT_GE(static_cast<long double>(R.Hi), Exact - 1e-17L)
+        << "trial " << Trial;
+  }
+}
+
+TEST_F(MixedKTest, AccuracyBenefitOnSplitWorkload) {
+  // A reduction (high reuse, needs symbols) followed by post-processing
+  // (low reuse): mixed k should land between uniform-small and
+  // uniform-large in accuracy.
+  auto RunWith = [&](int KHot, int KCold) {
+    AAConfig Cfg = config("f64a-dsnn", KCold);
+    AffineEnvScope Env(Cfg);
+    std::mt19937_64 Rng(7);
+    std::uniform_real_distribution<double> U(0.0, 1.0);
+    F64a Acc = F64a::exact(0.0);
+    {
+      KOverrideScope Hot(KHot);
+      for (int I = 0; I < 30; ++I) {
+        F64a V = F64a::input(U(Rng));
+        Acc = Acc + V * V;
+      }
+    }
+    for (int I = 0; I < 10; ++I)
+      Acc = Acc * F64a::input(1.0, 0.0);
+    return Acc.certifiedBits();
+  };
+  double Small = RunWith(8, 8);
+  double Mixed = RunWith(32, 8);
+  double Large = RunWith(32, 32);
+  EXPECT_GE(Mixed + 0.5, Small);
+  EXPECT_GE(Large + 0.5, Mixed);
+}

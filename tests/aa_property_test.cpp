@@ -1,0 +1,346 @@
+//===- aa_property_test.cpp - Property-based soundness tests --------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central invariant of the whole system (paper Sec. III): for *any*
+/// program, any configuration (placement, fusion policy, k, precision),
+/// the range of the resulting affine form contains the exact
+/// real-arithmetic result. We generate random straight-line programs,
+/// instantiate the input symbols with concrete values in [-1, 1], evaluate
+/// the program exactly (long double, round-to-nearest, with a tiny slack
+/// for the reference's own error) and assert containment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/AffineBig.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+/// One random straight-line program: a list of (op, lhs, rhs) triples over
+/// a growing value list seeded with NumInputs inputs.
+struct RandomProgram {
+  enum OpKind { Add, Sub, Mul, Div, Sqrt, Scale };
+  struct Op {
+    OpKind Kind;
+    int Lhs;
+    int Rhs;      // unused for Sqrt
+    double Const; // for Scale
+  };
+  int NumInputs;
+  std::vector<double> InputCenters;
+  std::vector<double> InputDeviations;
+  std::vector<Op> Ops;
+};
+
+RandomProgram makeProgram(std::mt19937_64 &Rng, int NumInputs, int NumOps) {
+  std::uniform_real_distribution<double> Center(-2.0, 2.0);
+  std::uniform_real_distribution<double> Dev(0.0, 0.1);
+  std::uniform_real_distribution<double> ConstD(-1.5, 1.5);
+  RandomProgram P;
+  P.NumInputs = NumInputs;
+  for (int I = 0; I < NumInputs; ++I) {
+    P.InputCenters.push_back(Center(Rng));
+    P.InputDeviations.push_back(Dev(Rng));
+  }
+  int NumValues = NumInputs;
+  for (int I = 0; I < NumOps; ++I) {
+    RandomProgram::Op Op;
+    int Kind = static_cast<int>(Rng() % 10);
+    // Weighted mix: mostly +,-,*; occasionally scale; div/sqrt are added
+    // dynamically by the evaluator only when the range allows.
+    if (Kind < 3)
+      Op.Kind = RandomProgram::Add;
+    else if (Kind < 6)
+      Op.Kind = RandomProgram::Sub;
+    else if (Kind < 8)
+      Op.Kind = RandomProgram::Mul;
+    else if (Kind < 9)
+      Op.Kind = RandomProgram::Scale;
+    else
+      Op.Kind = RandomProgram::Div;
+    Op.Lhs = static_cast<int>(Rng() % NumValues);
+    Op.Rhs = static_cast<int>(Rng() % NumValues);
+    Op.Const = ConstD(Rng);
+    P.Ops.push_back(Op);
+    ++NumValues;
+  }
+  return P;
+}
+
+/// Evaluates the program over an affine type T (wrapper with operators and
+/// input()/exact() constructors), returning every intermediate value.
+template <typename T>
+std::vector<T> evalAffine(const RandomProgram &P) {
+  std::vector<T> Values;
+  for (int I = 0; I < P.NumInputs; ++I)
+    Values.push_back(T::input(P.InputCenters[I], P.InputDeviations[I]));
+  for (const auto &Op : P.Ops) {
+    switch (Op.Kind) {
+    case RandomProgram::Add:
+      Values.push_back(Values[Op.Lhs] + Values[Op.Rhs]);
+      break;
+    case RandomProgram::Sub:
+      Values.push_back(Values[Op.Lhs] - Values[Op.Rhs]);
+      break;
+    case RandomProgram::Mul:
+      Values.push_back(Values[Op.Lhs] * Values[Op.Rhs]);
+      break;
+    case RandomProgram::Div: {
+      // Only divide when the divisor range is safely away from zero;
+      // otherwise degrade to a subtraction so programs stay comparable.
+      ia::Interval R = Values[Op.Rhs].toInterval();
+      if (!R.isNaN() && !R.containsZero() &&
+          std::min(std::fabs(R.Lo), std::fabs(R.Hi)) > 1e-3)
+        Values.push_back(Values[Op.Lhs] / Values[Op.Rhs]);
+      else
+        Values.push_back(Values[Op.Lhs] - Values[Op.Rhs]);
+      break;
+    }
+    case RandomProgram::Sqrt:
+      Values.push_back(Values[Op.Lhs]);
+      break;
+    case RandomProgram::Scale:
+      Values.push_back(Values[Op.Lhs] * T::exact(Op.Const));
+      break;
+    }
+  }
+  return Values;
+}
+
+/// Evaluates the same program exactly (long double, RN) for one concrete
+/// assignment of the input deviations. Mirrors the Div guard by consulting
+/// the affine ranges computed alongside.
+template <typename T>
+std::vector<long double> evalExact(const RandomProgram &P,
+                                   const std::vector<double> &Eps,
+                                   const std::vector<T> &Affine) {
+  fp::RoundNearestScope RN;
+  std::vector<long double> Values;
+  for (int I = 0; I < P.NumInputs; ++I)
+    Values.push_back(static_cast<long double>(P.InputCenters[I]) +
+                     static_cast<long double>(P.InputDeviations[I]) * Eps[I]);
+  int Idx = P.NumInputs;
+  for (const auto &Op : P.Ops) {
+    switch (Op.Kind) {
+    case RandomProgram::Add:
+      Values.push_back(Values[Op.Lhs] + Values[Op.Rhs]);
+      break;
+    case RandomProgram::Sub:
+      Values.push_back(Values[Op.Lhs] - Values[Op.Rhs]);
+      break;
+    case RandomProgram::Mul:
+      Values.push_back(Values[Op.Lhs] * Values[Op.Rhs]);
+      break;
+    case RandomProgram::Div: {
+      ia::Interval R = Affine[Op.Rhs].toInterval();
+      if (!R.isNaN() && !R.containsZero() &&
+          std::min(std::fabs(R.Lo), std::fabs(R.Hi)) > 1e-3)
+        Values.push_back(Values[Op.Lhs] / Values[Op.Rhs]);
+      else
+        Values.push_back(Values[Op.Lhs] - Values[Op.Rhs]);
+      break;
+    }
+    case RandomProgram::Sqrt:
+      Values.push_back(Values[Op.Lhs]);
+      break;
+    case RandomProgram::Scale:
+      Values.push_back(Values[Op.Lhs] *
+                       static_cast<long double>(Op.Const));
+      break;
+    }
+    ++Idx;
+  }
+  (void)Idx;
+  return Values;
+}
+
+/// Checks containment of the exact values in the affine ranges, with a
+/// relative slack of 2^-55 for the long-double reference's own round-off.
+template <typename T>
+void expectSound(const std::vector<T> &Affine,
+                 const std::vector<long double> &Exact,
+                 const std::string &What) {
+  ASSERT_EQ(Affine.size(), Exact.size());
+  for (size_t I = 0; I < Affine.size(); ++I) {
+    ia::Interval R = Affine[I].toInterval();
+    if (R.isNaN())
+      continue; // "anything" is sound by definition
+    long double Slack =
+        std::abs(Exact[I]) * 0x1p-55L + 0x1p-1000L;
+    EXPECT_LE(static_cast<long double>(R.Lo) - Slack, Exact[I])
+        << What << " value " << I;
+    EXPECT_GE(static_cast<long double>(R.Hi) + Slack, Exact[I])
+        << What << " value " << I;
+  }
+}
+
+struct ConfigCase {
+  const char *Notation;
+  int K;
+};
+
+class SoundnessTest : public ::testing::TestWithParam<ConfigCase> {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+} // namespace
+
+TEST_P(SoundnessTest, RandomProgramsEnclosedF64a) {
+  const ConfigCase &Case = GetParam();
+  AAConfig Cfg = *AAConfig::parse(Case.Notation);
+  Cfg.K = Case.K;
+  std::mt19937_64 Rng(0xC0FFEE ^ (Case.K * 2654435761u) ^
+                      std::hash<std::string>{}(Case.Notation));
+  std::uniform_real_distribution<double> EpsD(-1.0, 1.0);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    RandomProgram P = makeProgram(Rng, 4, 30);
+    AffineEnvScope Env(Cfg);
+    auto Affine = evalAffine<F64a>(P);
+    for (int EpsTrial = 0; EpsTrial < 4; ++EpsTrial) {
+      std::vector<double> Eps;
+      for (int I = 0; I < P.NumInputs; ++I)
+        Eps.push_back(EpsTrial == 0   ? 1.0
+                      : EpsTrial == 1 ? -1.0
+                                      : EpsD(Rng));
+      auto Exact = evalExact(P, Eps, Affine);
+      expectSound(Affine, Exact,
+                  std::string(Case.Notation) + " trial " +
+                      std::to_string(Trial));
+    }
+  }
+}
+
+TEST_P(SoundnessTest, RandomProgramsEnclosedDDa) {
+  const ConfigCase &Case = GetParam();
+  AAConfig Cfg = *AAConfig::parse(Case.Notation);
+  Cfg.K = Case.K;
+  Cfg.Precision = AffinePrecision::DD;
+  std::mt19937_64 Rng(0xBEEF ^ Case.K);
+  std::uniform_real_distribution<double> EpsD(-1.0, 1.0);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    RandomProgram P = makeProgram(Rng, 3, 20);
+    AffineEnvScope Env(Cfg);
+    auto Affine = evalAffine<DDa>(P);
+    std::vector<double> Eps;
+    for (int I = 0; I < P.NumInputs; ++I)
+      Eps.push_back(EpsD(Rng));
+    auto Exact = evalExact(P, Eps, Affine);
+    expectSound(Affine, Exact, std::string("dda-") + Case.Notation);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SoundnessTest,
+    ::testing::Values(
+        ConfigCase{"f64a-dsnn", 4}, ConfigCase{"f64a-dsnn", 8},
+        ConfigCase{"f64a-dsnn", 16}, ConfigCase{"f64a-dsnn", 33},
+        ConfigCase{"f64a-donn", 8}, ConfigCase{"f64a-drnn", 8},
+        ConfigCase{"f64a-dmnn", 8}, ConfigCase{"f64a-ssnn", 4},
+        ConfigCase{"f64a-ssnn", 8}, ConfigCase{"f64a-ssnn", 16},
+        ConfigCase{"f64a-sonn", 8}, ConfigCase{"f64a-srnn", 8},
+        ConfigCase{"f64a-smnn", 8}, ConfigCase{"f64a-dspn", 6},
+        ConfigCase{"f64a-sspn", 6}),
+    [](const ::testing::TestParamInfo<ConfigCase> &Info) {
+      std::string Name = Info.param.Notation;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_k" + std::to_string(Info.param.K);
+    });
+
+//===----------------------------------------------------------------------===//
+// AffineBig soundness across modes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class BigSoundnessTest
+    : public ::testing::TestWithParam<BigConfig::Mode> {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+} // namespace
+
+TEST_P(BigSoundnessTest, RandomProgramsEnclosed) {
+  BigConfig Cfg;
+  Cfg.StorageMode = GetParam();
+  Cfg.K = 8;
+  std::mt19937_64 Rng(0xABCD);
+  std::uniform_real_distribution<double> EpsD(-1.0, 1.0);
+  for (int Trial = 0; Trial < 15; ++Trial) {
+    RandomProgram P = makeProgram(Rng, 4, 25);
+    BigEnvScope Env(Cfg);
+    auto Affine = evalAffine<Big>(P);
+    std::vector<double> Eps;
+    for (int I = 0; I < P.NumInputs; ++I)
+      Eps.push_back(EpsD(Rng));
+    auto Exact = evalExact(P, Eps, Affine);
+    expectSound(Affine, Exact, "big mode");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, BigSoundnessTest,
+                         ::testing::Values(BigConfig::Mode::Unbounded,
+                                           BigConfig::Mode::Frozen,
+                                           BigConfig::Mode::Capped),
+                         [](const ::testing::TestParamInfo<BigConfig::Mode>
+                                &Info) {
+                           switch (Info.param) {
+                           case BigConfig::Mode::Unbounded:
+                             return "Unbounded";
+                           case BigConfig::Mode::Frozen:
+                             return "Frozen";
+                           case BigConfig::Mode::Capped:
+                             return "Capped";
+                           }
+                           return "Unknown";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Cross-checks: full AA is at least as tight as every bounded config
+//===----------------------------------------------------------------------===//
+
+TEST(SoundnessCross, BoundedNeverTighterThanFullAAByMuchMoreThanFusion) {
+  // Not a strict theorem op-by-op, but on pure-addition chains (no
+  // nonlinear terms) the unbounded form must be at least as tight.
+  fp::RoundUpwardScope Rounding;
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 8;
+  BigConfig BCfg; // unbounded
+
+  double WidthBounded, WidthFull;
+  {
+    AffineEnvScope Env(Cfg);
+    F64a Acc = F64a::exact(0.0);
+    std::mt19937_64 Rng(77);
+    std::uniform_real_distribution<double> D(0.0, 1.0);
+    for (int I = 0; I < 200; ++I)
+      Acc = Acc + F64a::input(D(Rng));
+    WidthBounded = Acc.toInterval().width();
+  }
+  {
+    BigEnvScope Env(BCfg);
+    Big Acc = Big::exact(0.0);
+    std::mt19937_64 Rng(77);
+    std::uniform_real_distribution<double> D(0.0, 1.0);
+    for (int I = 0; I < 200; ++I)
+      Acc = Acc + Big::input(D(Rng));
+    WidthFull = Acc.toInterval().width();
+  }
+  EXPECT_LE(WidthFull, WidthBounded * 1.0000001);
+}

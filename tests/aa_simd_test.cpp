@@ -1,0 +1,201 @@
+//===- aa_simd_test.cpp - Scalar vs AVX2 kernel equivalence ---------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AVX2 kernels must (a) be sound and (b) select exactly the same
+/// surviving symbols as the scalar direct-mapped kernels; the fresh-error
+/// coefficient may differ in the last ulps only (different but equally
+/// sound accumulation order).
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/Simd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+class SimdTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    if (!simd::available())
+      GTEST_SKIP() << "AVX2 kernels not compiled in";
+  }
+  fp::RoundUpwardScope Rounding;
+};
+
+/// Builds a random direct-mapped variable with roughly half the slots
+/// populated, id congruence respected.
+AffineF64Storage randomDirect(std::mt19937_64 &Rng, int K, SymbolId IdBase) {
+  std::uniform_real_distribution<double> D(-4.0, 4.0);
+  AffineF64Storage V;
+  AAConfig Cfg;
+  Cfg.K = K;
+  Cfg.Placement = PlacementPolicy::DirectMapped;
+  ops::initExact(V, D(Rng), Cfg);
+  for (int S = 0; S < K; ++S) {
+    if (Rng() % 2 == 0)
+      continue;
+    // An id that homes at slot S: (Id - 1) % K == S.
+    SymbolId Id = IdBase + static_cast<SymbolId>(Rng() % 3) * K +
+                  static_cast<SymbolId>(S) + 1;
+    V.Ids[S] = Id;
+    V.Coefs[S] = D(Rng) * 0x1p-20;
+  }
+  return V;
+}
+
+void expectSameSymbols(const AffineF64Storage &X, const AffineF64Storage &Y) {
+  ASSERT_EQ(X.N, Y.N);
+  for (int32_t S = 0; S < X.N; ++S)
+    EXPECT_EQ(X.Ids[S], Y.Ids[S]) << "slot " << S;
+}
+
+void expectNearlyEqualCoefs(const AffineF64Storage &X,
+                            const AffineF64Storage &Y) {
+  for (int32_t S = 0; S < X.N; ++S) {
+    double A = X.Coefs[S], B = Y.Coefs[S];
+    if (A == B)
+      continue;
+    // Only the fresh-error coefficient may differ, by accumulation order:
+    // allow a relative slack of 2^-40.
+    EXPECT_LE(std::fabs(A - B),
+              std::fabs(A) * 0x1p-40 + 0x1p-1000)
+        << "slot " << S;
+  }
+}
+
+} // namespace
+
+TEST_F(SimdTest, SupportsMatrix) {
+  AAConfig C = *AAConfig::parse("f64a-dsnv");
+  C.K = 16;
+  EXPECT_TRUE(simd::supports(C));
+  C.K = 18; // not divisible by 4
+  EXPECT_FALSE(simd::supports(C));
+  C.K = 16;
+  C.Placement = PlacementPolicy::Sorted;
+  EXPECT_FALSE(simd::supports(C));
+  C.Placement = PlacementPolicy::DirectMapped;
+  C.Fusion = FusionPolicy::Oldest;
+  EXPECT_FALSE(simd::supports(C));
+}
+
+TEST_F(SimdTest, AddMatchesScalar) {
+  std::mt19937_64 Rng(2024);
+  for (int K : {4, 8, 16, 32, 48}) {
+    AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+    Cfg.K = K;
+    AffineEnvScope Env(Cfg);
+    for (int T = 0; T < 200; ++T) {
+      auto &Ctx = env().Context;
+      AffineF64Storage A = randomDirect(Rng, K, 1);
+      AffineF64Storage B = randomDirect(Rng, K, 7);
+      // Give both contexts the same fresh-id state.
+      AffineContext CtxScalar = Ctx, CtxSimd = Ctx;
+      auto RS = ops::addDirect(A, B, +1.0, Cfg, CtxScalar);
+      auto RV = simd::addDirectAvx2(A, B, +1.0, Cfg, CtxSimd);
+      expectSameSymbols(RS, RV);
+      expectNearlyEqualCoefs(RS, RV);
+      EXPECT_EQ(RS.Center, RV.Center);
+    }
+  }
+}
+
+TEST_F(SimdTest, SubMatchesScalar) {
+  std::mt19937_64 Rng(99);
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 12;
+  AffineEnvScope Env(Cfg);
+  for (int T = 0; T < 300; ++T) {
+    auto &Ctx = env().Context;
+    AffineF64Storage A = randomDirect(Rng, 12, 1);
+    AffineF64Storage B = randomDirect(Rng, 12, 5);
+    AffineContext CtxScalar = Ctx, CtxSimd = Ctx;
+    auto RS = ops::addDirect(A, B, -1.0, Cfg, CtxScalar);
+    auto RV = simd::addDirectAvx2(A, B, -1.0, Cfg, CtxSimd);
+    expectSameSymbols(RS, RV);
+    expectNearlyEqualCoefs(RS, RV);
+  }
+}
+
+TEST_F(SimdTest, MulMatchesScalar) {
+  std::mt19937_64 Rng(7);
+  for (int K : {4, 8, 16, 40}) {
+    AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+    Cfg.K = K;
+    AffineEnvScope Env(Cfg);
+    for (int T = 0; T < 200; ++T) {
+      auto &Ctx = env().Context;
+      AffineF64Storage A = randomDirect(Rng, K, 1);
+      AffineF64Storage B = randomDirect(Rng, K, 3);
+      AffineContext CtxScalar = Ctx, CtxSimd = Ctx;
+      auto RS = ops::mulDirect(A, B, Cfg, CtxScalar);
+      auto RV = simd::mulDirectAvx2(A, B, Cfg, CtxSimd);
+      expectSameSymbols(RS, RV);
+      expectNearlyEqualCoefs(RS, RV);
+      EXPECT_EQ(RS.Center, RV.Center);
+    }
+  }
+}
+
+TEST_F(SimdTest, VectorizedEndToEndSound) {
+  // Whole computations through the operator layer with Vectorize on: the
+  // range must still enclose the exact result.
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnv");
+  Cfg.K = 16;
+  AffineEnvScope Env(Cfg);
+  std::mt19937_64 Rng(11);
+  std::uniform_real_distribution<double> D(0.0, 1.0);
+  for (int T = 0; T < 100; ++T) {
+    double Xc = D(Rng), Yc = D(Rng), Zc = D(Rng);
+    F64a X = F64a::input(Xc, 0.0);
+    F64a Y = F64a::input(Yc, 0.0);
+    F64a Z = F64a::input(Zc, 0.0);
+    F64a R = (X * Z - Y * Z) * (X + Y) + Z * Z;
+    long double Exact =
+        (static_cast<long double>(Xc) * Zc - static_cast<long double>(Yc) * Zc) *
+            (static_cast<long double>(Xc) + Yc) +
+        static_cast<long double>(Zc) * Zc;
+    ia::Interval I = R.toInterval();
+    EXPECT_LE(static_cast<long double>(I.Lo), Exact);
+    EXPECT_GE(static_cast<long double>(I.Hi), Exact);
+  }
+}
+
+TEST_F(SimdTest, VectorizedWithProtectionMatchesScalar) {
+  std::mt19937_64 Rng(13);
+  AAConfig Cfg = *AAConfig::parse("f64a-dspn");
+  Cfg.K = 8;
+  AffineEnvScope Env(Cfg);
+  for (int T = 0; T < 200; ++T) {
+    auto &Ctx = env().Context;
+    AffineF64Storage A = randomDirect(Rng, 8, 1);
+    AffineF64Storage B = randomDirect(Rng, 8, 4);
+    // Protect one of A's symbols so conflicts exercise the slow path.
+    for (int32_t S = 0; S < A.N; ++S)
+      if (A.Ids[S] != InvalidSymbol) {
+        Ctx.protect(A.Ids[S]);
+        break;
+      }
+    AffineContext CtxScalar = Ctx, CtxSimd = Ctx;
+    auto RS = ops::addDirect(A, B, +1.0, Cfg, CtxScalar);
+    auto RV = simd::addDirectAvx2(A, B, +1.0, Cfg, CtxSimd);
+    expectSameSymbols(RS, RV);
+    expectNearlyEqualCoefs(RS, RV);
+    auto MS = ops::mulDirect(A, B, Cfg, CtxScalar);
+    auto MV = simd::mulDirectAvx2(A, B, Cfg, CtxSimd);
+    expectSameSymbols(MS, MV);
+    expectNearlyEqualCoefs(MS, MV);
+    Ctx.clearProtected();
+  }
+}

@@ -1,0 +1,415 @@
+//===- aa_test.cpp - Unit tests for the affine runtime --------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/AffineBig.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+AAConfig makeConfig(const char *Notation, int K) {
+  auto C = AAConfig::parse(Notation);
+  EXPECT_TRUE(C.has_value()) << Notation;
+  C->K = K;
+  return *C;
+}
+
+class AaTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+} // namespace
+
+TEST_F(AaTest, ConfigNotationRoundTrips) {
+  for (const char *S : {"f64a-dspv", "f64a-ssnn", "dda-dspn", "f64a-srnn",
+                        "f64a-smpn", "f32a-dsnn", "f64a-donv"}) {
+    auto C = AAConfig::parse(S);
+    ASSERT_TRUE(C.has_value()) << S;
+    EXPECT_EQ(C->str(), S);
+  }
+  EXPECT_FALSE(AAConfig::parse("f64a").has_value());
+  EXPECT_FALSE(AAConfig::parse("f65a-dspv").has_value());
+  EXPECT_FALSE(AAConfig::parse("f64a-xxxx").has_value());
+}
+
+TEST_F(AaTest, ExactValueHasNoSymbols) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::exact(1.5);
+  EXPECT_EQ(X.countSymbols(), 0);
+  EXPECT_TRUE(X.toInterval().isPoint());
+}
+
+TEST_F(AaTest, InputCarriesOneSymbol) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::input(0.5);
+  EXPECT_EQ(X.countSymbols(), 1);
+  ia::Interval I = X.toInterval();
+  EXPECT_LT(I.Lo, 0.5);
+  EXPECT_GT(I.Hi, 0.5);
+}
+
+TEST_F(AaTest, ConstantWidenedByUlp) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a C = 0.1; // inexact literal -> 1 ulp symbol
+  EXPECT_EQ(C.countSymbols(), 1);
+  EXPECT_TRUE(C.toInterval().contains(0.1));
+  F64a Zero = 0.0; // exact integer -> no symbol (Sec. IV-B)
+  EXPECT_EQ(Zero.countSymbols(), 0);
+  F64a Two = 2.0;
+  EXPECT_EQ(Two.countSymbols(), 0);
+}
+
+TEST_F(AaTest, XMinusXisExactlyZero) {
+  // The motivating AA example (Sec. II-B): full cancellation.
+  for (const char *Cfg : {"f64a-dsnn", "f64a-ssnn", "f64a-sonn"}) {
+    AffineEnvScope Env(makeConfig(Cfg, 8));
+    F64a X = F64a::input(0.5, 0.5); // represents [0,1]
+    F64a D = X - X;
+    ia::Interval I = D.toInterval();
+    EXPECT_EQ(I.Lo, 0.0) << Cfg;
+    EXPECT_EQ(I.Hi, 0.0) << Cfg;
+  }
+}
+
+TEST_F(AaTest, AATighterThanIAOnCancellation) {
+  // x*z - y*z (Fig. 4): AA keeps the z correlation, IA cannot.
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::input(1.0, 0.1);
+  F64a Y = F64a::input(1.0, 0.1);
+  F64a Z = F64a::input(1.0, 0.5);
+  F64a R = X * Z - Y * Z;
+  ia::Interval AaRange = R.toInterval();
+
+  ia::Interval Xi(0.9, 1.1), Yi(0.9, 1.1), Zi(0.5, 1.5);
+  ia::Interval IaRange = Xi * Zi - Yi * Zi;
+  EXPECT_LT(AaRange.width(), IaRange.width());
+  // The exact result range is [-0.2*1.5, 0.2*1.5] = [-0.3, 0.3]; IA gives
+  // ~[-1.3, 1.3] while AA must stay well under 1.0 total width.
+  EXPECT_LT(AaRange.width(), 0.8);
+  EXPECT_GT(IaRange.width(), 2.0);
+}
+
+TEST_F(AaTest, FusionKeepsSymbolCountBounded) {
+  for (const char *Cfg :
+       {"f64a-dsnn", "f64a-ssnn", "f64a-smnn", "f64a-sonn", "f64a-srnn"}) {
+    const int K = 6;
+    AffineEnvScope Env(makeConfig(Cfg, K));
+    F64a Acc = F64a::input(1.0);
+    for (int I = 0; I < 50; ++I) {
+      F64a X = F64a::input(0.5 + I * 0.01);
+      Acc = Acc * X + X;
+      EXPECT_LE(Acc.countSymbols(), K) << Cfg << " step " << I;
+    }
+  }
+}
+
+TEST_F(AaTest, SortedKeepsIdsAscending) {
+  AffineEnvScope Env(makeConfig("f64a-ssnn", 8));
+  F64a A = F64a::input(1.0);
+  F64a B = F64a::input(2.0);
+  F64a C = A * B + A - B;
+  const auto &S = C.storage();
+  for (int32_t I = 1; I < S.N; ++I)
+    EXPECT_LT(S.Ids[I - 1], S.Ids[I]);
+}
+
+TEST_F(AaTest, DirectMappedHomeSlotInvariant) {
+  const int K = 8;
+  AAConfig Cfg = makeConfig("f64a-dsnn", K);
+  AffineEnvScope Env(Cfg);
+  F64a A = F64a::input(1.0);
+  F64a B = F64a::input(2.0);
+  F64a C = A * B + A - B;
+  const auto &S = C.storage();
+  ASSERT_EQ(S.N, K);
+  for (int32_t Slot = 0; Slot < S.N; ++Slot)
+    if (S.Ids[Slot] != InvalidSymbol)
+      EXPECT_EQ(static_cast<int>((S.Ids[Slot] - 1) % K), Slot);
+}
+
+TEST_F(AaTest, MultiplicationEncloses) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::input(3.0, 0.5);  // [2.5, 3.5]
+  F64a Y = F64a::input(-2.0, 0.5); // [-2.5, -1.5]
+  ia::Interval P = (X * Y).toInterval();
+  // Exact product range: [-8.75, -3.75].
+  EXPECT_LE(P.Lo, -8.75);
+  EXPECT_GE(P.Hi, -3.75);
+  // AA multiplication is at most slightly wider than the exact range.
+  EXPECT_GT(P.Lo, -9.76);
+  EXPECT_LT(P.Hi, -2.75);
+}
+
+TEST_F(AaTest, DivisionEncloses) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::input(1.0, 0.25); // [0.75, 1.25]
+  F64a Y = F64a::input(4.0, 1.0);  // [3, 5]
+  ia::Interval Q = (X / Y).toInterval();
+  EXPECT_LE(Q.Lo, 0.75 / 5.0);
+  EXPECT_GE(Q.Hi, 1.25 / 3.0);
+  // Division by a zero-straddling range yields the NaN form.
+  F64a Z = F64a::input(0.0, 1.0);
+  EXPECT_TRUE((X / Z).isNaN());
+}
+
+TEST_F(AaTest, SqrtEnclosesAndRejectsNegative) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::input(4.0, 1.0); // [3, 5]
+  ia::Interval R = sqrt(X).toInterval();
+  EXPECT_LE(R.Lo, std::sqrt(3.0));
+  EXPECT_GE(R.Hi, std::sqrt(5.0));
+  EXPECT_LT(R.Lo, R.Hi);
+  F64a Neg = F64a::input(-4.0, 1.0);
+  EXPECT_TRUE(sqrt(Neg).isNaN());
+}
+
+TEST_F(AaTest, ExpLogEnclose) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::input(1.0, 0.5); // [0.5, 1.5]
+  ia::Interval E = exp(X).toInterval();
+  EXPECT_LE(E.Lo, std::exp(0.5));
+  EXPECT_GE(E.Hi, std::exp(1.5));
+  ia::Interval L = log(X).toInterval();
+  EXPECT_LE(L.Lo, std::log(0.5));
+  EXPECT_GE(L.Hi, std::log(1.5));
+}
+
+TEST_F(AaTest, NaNConventionPropagates) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  F64a X = F64a::exact(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(X.isNaN());
+  F64a Y = X + F64a::input(1.0);
+  EXPECT_TRUE(Y.isNaN());
+}
+
+TEST_F(AaTest, PrioritizeProtectsSymbols) {
+  // With tiny K and heavy mixing, the protected symbol must survive while
+  // an unprotected counterpart is fused away.
+  AAConfig Cfg = makeConfig("f64a-dspn", 4);
+  AffineEnvScope Env(Cfg);
+  F64a Z = F64a::input(1.0, 0.5);
+  SymbolId ZSym = Z.storage().Ids[Z.storage().countSymbols() ? 0 : 0];
+  // find the actual id
+  for (int32_t I = 0; I < Z.storage().N; ++I)
+    if (Z.storage().Ids[I] != InvalidSymbol)
+      ZSym = Z.storage().Ids[I];
+  Z.prioritize();
+  F64a Acc = Z;
+  for (int I = 0; I < 12; ++I)
+    Acc = Acc * F64a::input(1.0, 0.01) + F64a::input(0.5, 0.01);
+  EXPECT_NE(Acc.storage().coefficientOf(ZSym), 0.0)
+      << "protected symbol was fused away";
+}
+
+TEST_F(AaTest, CertifiedBitsSensible) {
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 16));
+  F64a X = F64a::input(0.5); // 1-ulp input deviation
+  F64a Y = X;
+  for (int I = 0; I < 10; ++I)
+    Y = Y * X;
+  double Bits = Y.certifiedBits();
+  EXPECT_GT(Bits, 30.0); // short computation: still very accurate
+  EXPECT_LE(Bits, 53.0);
+}
+
+TEST_F(AaTest, DDaMoreAccurateThanF64a) {
+  AAConfig CfgF64 = makeConfig("f64a-dsnn", 16);
+  AAConfig CfgDD = makeConfig("dda-dsnn", 16);
+  double BitsF64, BitsDD;
+  {
+    AffineEnvScope Env(CfgF64);
+    F64a Acc = F64a::exact(0.0);
+    F64a C = 0.1;
+    for (int I = 0; I < 100; ++I)
+      Acc = Acc + C * C;
+    BitsF64 = Acc.certifiedBits(53);
+  }
+  {
+    AffineEnvScope Env(CfgDD);
+    DDa Acc = DDa::exact(0.0);
+    DDa C = 0.1;
+    for (int I = 0; I < 100; ++I)
+      Acc = Acc + C * C;
+    BitsDD = Acc.certifiedBits(53);
+  }
+  EXPECT_GE(BitsDD, BitsF64);
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion-policy semantics (Table I / Fig. 3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a sorted-placement variable with given (id, coef) pairs for the
+/// policy micro-tests.
+AffineF64Storage makeSorted(std::initializer_list<std::pair<SymbolId, double>>
+                                Terms,
+                            double Center) {
+  AffineF64Storage V;
+  V.Center = Center;
+  V.N = 0;
+  for (auto &[Id, Coef] : Terms) {
+    V.Ids[V.N] = Id;
+    V.Coefs[V.N] = Coef;
+    ++V.N;
+  }
+  return V;
+}
+
+} // namespace
+
+TEST_F(AaTest, SmallestPolicyFusesSmallestMagnitudes) {
+  // k = 3, adding two disjoint 2-symbol variables: 4 merged symbols plus
+  // (no) round-off; SP must keep the two largest and fuse the two smallest
+  // into the fresh symbol.
+  AAConfig Cfg = makeConfig("f64a-ssnn", 3);
+  AffineEnvScope Env(Cfg);
+  auto &Ctx = env().Context;
+  Ctx.freshSymbol(); // 1
+  Ctx.freshSymbol(); // 2
+  Ctx.freshSymbol(); // 3
+  Ctx.freshSymbol(); // 4
+  AffineF64Storage A = makeSorted({{1, 8.0}, {3, 1.0}}, 0.0);
+  AffineF64Storage B = makeSorted({{2, 2.0}, {4, 16.0}}, 0.0);
+  auto R = ops::add(A, B, Cfg, Ctx);
+  // Survivors: ids 1 (8.0) and 4 (16.0); fused: 1.0 + 2.0 = 3.0 on a new
+  // symbol (id 5).
+  EXPECT_EQ(R.coefficientOf(1), 8.0);
+  EXPECT_EQ(R.coefficientOf(4), 16.0);
+  EXPECT_EQ(R.coefficientOf(5), 3.0);
+  EXPECT_EQ(R.coefficientOf(2), 0.0);
+  EXPECT_EQ(R.coefficientOf(3), 0.0);
+}
+
+TEST_F(AaTest, OldestPolicyFusesSmallestIds) {
+  AAConfig Cfg = makeConfig("f64a-sonn", 3);
+  AffineEnvScope Env(Cfg);
+  auto &Ctx = env().Context;
+  for (int I = 0; I < 4; ++I)
+    Ctx.freshSymbol();
+  AffineF64Storage A = makeSorted({{1, 8.0}, {3, 1.0}}, 0.0);
+  AffineF64Storage B = makeSorted({{2, 2.0}, {4, 16.0}}, 0.0);
+  auto R = ops::add(A, B, Cfg, Ctx);
+  // OP fuses ids 1 and 2 (the oldest): 8 + 2 = 10 on the fresh symbol.
+  EXPECT_EQ(R.coefficientOf(3), 1.0);
+  EXPECT_EQ(R.coefficientOf(4), 16.0);
+  EXPECT_EQ(R.coefficientOf(5), 10.0);
+}
+
+TEST_F(AaTest, MeanPolicyFusesBelowMean) {
+  AAConfig Cfg = makeConfig("f64a-smnn", 3);
+  AffineEnvScope Env(Cfg);
+  auto &Ctx = env().Context;
+  for (int I = 0; I < 4; ++I)
+    Ctx.freshSymbol();
+  // Coefs 8, 1, 2, 16: mean = 6.75; below-mean = {1, 2} -> fused.
+  AffineF64Storage A = makeSorted({{1, 8.0}, {3, 1.0}}, 0.0);
+  AffineF64Storage B = makeSorted({{2, 2.0}, {4, 16.0}}, 0.0);
+  auto R = ops::add(A, B, Cfg, Ctx);
+  EXPECT_EQ(R.coefficientOf(1), 8.0);
+  EXPECT_EQ(R.coefficientOf(4), 16.0);
+  EXPECT_EQ(R.coefficientOf(5), 3.0);
+}
+
+TEST_F(AaTest, DirectMappedConflictResolvedByPolicy) {
+  // Fig. 3(b): with k = 3, ids 1 and 4 share slot 0; SP keeps the larger
+  // magnitude and fuses the smaller one into the fresh symbol.
+  AAConfig Cfg = makeConfig("f64a-dsnn", 3);
+  AffineEnvScope Env(Cfg);
+  auto &Ctx = env().Context;
+  for (int I = 0; I < 4; ++I)
+    Ctx.freshSymbol();
+  AffineF64Storage A, B;
+  ops::initExact(A, 0.0, Cfg);
+  ops::initExact(B, 0.0, Cfg);
+  // A: id 1 -> slot 0 coef 8; id 3 -> slot 2 coef 1.
+  A.Ids[0] = 1;
+  A.Coefs[0] = 8.0;
+  A.Ids[2] = 3;
+  A.Coefs[2] = 1.0;
+  // B: id 4 -> slot 0 coef 2; id 2 -> slot 1 coef 16.
+  B.Ids[0] = 4;
+  B.Coefs[0] = 2.0;
+  B.Ids[1] = 2;
+  B.Coefs[1] = 16.0;
+  auto R = ops::add(A, B, Cfg, Ctx);
+  // Slot 0 conflict: keep id 1 (|8| > |2|), fuse id 4's 2.0.
+  EXPECT_EQ(R.coefficientOf(1), 8.0);
+  // Fresh symbol id 5 -> slot (5-1)%3 = 1, which is occupied by id 2:
+  // the occupant is evicted into the fresh symbol (the only locally sound
+  // resolution), so the fresh coefficient is 2 + 16 = 18 and id 2 is gone.
+  EXPECT_EQ(R.coefficientOf(2), 0.0);
+  EXPECT_EQ(R.coefficientOf(5), 18.0);
+}
+
+//===----------------------------------------------------------------------===//
+// AffineBig modes
+//===----------------------------------------------------------------------===//
+
+TEST_F(AaTest, BigUnboundedGrowsAndStaysExactOnCancellation) {
+  BigConfig Cfg; // Unbounded
+  BigEnvScope Env(Cfg);
+  Big X = Big::input(0.5, 0.5);
+  Big D = X - X;
+  ia::Interval I = D.toInterval();
+  EXPECT_EQ(I.Lo, 0.0);
+  EXPECT_EQ(I.Hi, 0.0);
+  Big Acc = Big::input(1.0);
+  for (int I2 = 0; I2 < 20; ++I2)
+    Acc = Acc * Big::input(1.0);
+  EXPECT_GT(Acc.value().countSymbols(), 20u); // fresh symbol per op
+}
+
+TEST_F(AaTest, BigFrozenNeverCreatesSymbols) {
+  BigConfig Cfg;
+  Cfg.StorageMode = BigConfig::Mode::Frozen;
+  BigEnvScope Env(Cfg);
+  Big X = Big::input(0.5, 0.5);
+  Big Y = Big::input(0.25, 0.25);
+  Big R = X * Y + X - Y;
+  // Only the two input symbols (plus dump) may appear.
+  EXPECT_LE(R.value().Terms.size(), 2u);
+  EXPECT_GT(R.value().Dump, 0.0);
+}
+
+TEST_F(AaTest, BigCappedRespectsBudget) {
+  BigConfig Cfg;
+  Cfg.StorageMode = BigConfig::Mode::Capped;
+  Cfg.K = 5;
+  BigEnvScope Env(Cfg);
+  Big Acc = Big::input(1.0);
+  for (int I = 0; I < 40; ++I) {
+    Acc = Acc * Big::input(1.0 + I * 0.001) + Big::input(0.5);
+    EXPECT_LE(Acc.value().Terms.size(), 5u);
+  }
+}
+
+TEST_F(AaTest, BigModesAllSound) {
+  // All three modes must enclose the concrete computation on midpoints.
+  for (auto Mode : {BigConfig::Mode::Unbounded, BigConfig::Mode::Frozen,
+                    BigConfig::Mode::Capped}) {
+    BigConfig Cfg;
+    Cfg.StorageMode = Mode;
+    Cfg.K = 6;
+    BigEnvScope Env(Cfg);
+    Big X = Big::input(0.7, 0.0);
+    Big Y = Big::input(1.3, 0.0);
+    Big R = (X * Y - X) * Y + X / Y;
+    long double Exact =
+        (0.7L * 1.3L - 0.7L) * 1.3L + 0.7L / 1.3L;
+    ia::Interval I = R.toInterval();
+    EXPECT_LE(static_cast<long double>(I.Lo), Exact) << (int)Mode;
+    EXPECT_GE(static_cast<long double>(I.Hi), Exact) << (int)Mode;
+  }
+}

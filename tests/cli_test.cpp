@@ -1,0 +1,122 @@
+//===- cli_test.cpp - safegen driver CLI behaviour ------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the `safegen` binary itself (flags, exit codes, output
+/// files) the way a user would. Uses std::system on the built tool.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#ifndef SAFEGEN_TOOL
+#define SAFEGEN_TOOL "safegen"
+#endif
+#ifndef SAFEGEN_BENCH_DIR
+#define SAFEGEN_BENCH_DIR "benchmarks"
+#endif
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct CmdResult {
+  int ExitCode;
+  std::string Stdout;
+};
+
+CmdResult runTool(const std::string &Args) {
+  std::string Dir = ::testing::TempDir();
+  std::string OutFile = Dir + "/cli_out.txt";
+  std::string Cmd = std::string(SAFEGEN_TOOL) + " " + Args + " > " +
+                    OutFile + " 2>/dev/null";
+  int Rc = std::system(Cmd.c_str());
+  return {WEXITSTATUS(Rc), readFile(OutFile)};
+}
+
+std::string henonPath() {
+  return std::string(SAFEGEN_BENCH_DIR) + "/henon.c";
+}
+
+} // namespace
+
+TEST(Cli, HelpAndUsage) {
+  EXPECT_EQ(runTool("--help").ExitCode, 0);
+  EXPECT_NE(runTool("").ExitCode, 0);          // no input
+  EXPECT_NE(runTool("missing.c").ExitCode, 0); // unreadable input
+}
+
+TEST(Cli, CompileToStdout) {
+  CmdResult R = runTool(henonPath() + " --config f64a-dsnn -k 8");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("f64a"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("aa_mul_f64"), std::string::npos);
+}
+
+TEST(Cli, CompileToFile) {
+  std::string Out = ::testing::TempDir() + "/henon_gen_cli.cpp";
+  CmdResult R = runTool(henonPath() + " -o " + Out + " -k 12");
+  EXPECT_EQ(R.ExitCode, 0);
+  std::string Gen = readFile(Out);
+  EXPECT_NE(Gen.find("k = 12"), std::string::npos);
+}
+
+TEST(Cli, BadFlagsRejected) {
+  EXPECT_NE(runTool(henonPath() + " --config nope-xxxx").ExitCode, 0);
+  EXPECT_NE(runTool(henonPath() + " -k 1").ExitCode, 0);
+  EXPECT_NE(runTool(henonPath() + " -k 999").ExitCode, 0);
+  EXPECT_NE(runTool(henonPath() + " --bogus").ExitCode, 0);
+  EXPECT_NE(runTool(henonPath() + " extra.c").ExitCode, 0);
+}
+
+TEST(Cli, RunMode) {
+  CmdResult R = runTool(henonPath() +
+                        " --run henon --arg 0.3 --arg 0.2 --arg 15");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("certified bits"), std::string::npos);
+  EXPECT_NE(R.Stdout.find("x[0] in ["), std::string::npos);
+}
+
+TEST(Cli, RunModeUnknownFunction) {
+  EXPECT_NE(runTool(henonPath() + " --run nope").ExitCode, 0);
+}
+
+TEST(Cli, SimdToCMode) {
+  std::string Dir = ::testing::TempDir();
+  std::string In = Dir + "/vec.c";
+  std::ofstream(In) << "void f(double *a) {\n"
+                       "  __m256d v = _mm256_loadu_pd(a);\n"
+                       "  _mm256_storeu_pd(a, _mm256_add_pd(v, v));\n"
+                       "}\n";
+  CmdResult R = runTool(In + " --simd-to-c");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Stdout.find("__m256d"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("double v[4]"), std::string::npos);
+}
+
+TEST(Cli, DumpDag) {
+  std::string Dag = ::testing::TempDir() + "/henon.dot";
+  CmdResult R = runTool(henonPath() + " --dump-dag " + Dag + " -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(readFile(Dag).find("digraph"), std::string::npos);
+}
+
+TEST(Cli, DiagnosticsOnBadSource) {
+  std::string In = ::testing::TempDir() + "/bad.c";
+  std::ofstream(In) << "double f(double x) { return undeclared; }\n";
+  EXPECT_NE(runTool(In).ExitCode, 0);
+}

@@ -1,0 +1,241 @@
+//===- core_test.cpp - Rewriter, constant folding, pipeline tests ---------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SafeGen.h"
+#include "frontend/ASTPrinter.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace safegen;
+using namespace safegen::core;
+
+namespace {
+
+SafeGenResult compile(const char *Src, const char *Config = "f64a-dspn",
+                      int K = 16) {
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse(Config);
+  Opts.Config.K = K;
+  return compileSource("test.c", Src, Opts);
+}
+
+} // namespace
+
+TEST(Rewriter, Fig2Shape) {
+  // The paper's Fig. 2: c = a * b + 0.1 becomes mul, constant conversion
+  // and add through the runtime, with retyped declarations.
+  SafeGenResult R = compile("double f(double a, double b) {\n"
+                            "  double c = a * b + 0.1;\n"
+                            "  return c;\n"
+                            "}\n");
+  ASSERT_TRUE(R.Success) << R.Diagnostics;
+  EXPECT_NE(R.OutputSource.find("f64a f(f64a a, f64a b)"),
+            std::string::npos)
+      << R.OutputSource;
+  EXPECT_NE(R.OutputSource.find("aa_mul_f64"), std::string::npos);
+  EXPECT_NE(R.OutputSource.find("aa_add_f64"), std::string::npos);
+  EXPECT_NE(R.OutputSource.find("aa_const_f64(0.1)"), std::string::npos);
+  EXPECT_NE(R.OutputSource.find("#include \"aa/Runtime.h\""),
+            std::string::npos);
+}
+
+TEST(Rewriter, ExactIntegerLiteralsStayExact) {
+  SafeGenResult R = compile("double f(double a) { return a + 2.0; }");
+  ASSERT_TRUE(R.Success);
+  EXPECT_NE(R.OutputSource.find("aa_exact_f64(2.0)"), std::string::npos)
+      << R.OutputSource;
+  EXPECT_EQ(R.OutputSource.find("aa_const_f64(2.0)"), std::string::npos);
+}
+
+TEST(Rewriter, ComparisonsAndCompoundAssignments) {
+  SafeGenResult R = compile("void f(double *a, int n) {\n"
+                            "  for (int i = 0; i < n; i = i + 1) {\n"
+                            "    if (a[i] < 0.5)\n"
+                            "      a[i] *= 2.0;\n"
+                            "    a[i] += 0.25;\n"
+                            "  }\n"
+                            "}\n");
+  ASSERT_TRUE(R.Success) << R.Diagnostics;
+  EXPECT_NE(R.OutputSource.find("aa_lt_f64"), std::string::npos);
+  // Compound assignments are expanded to x = aa_op(x, y).
+  EXPECT_NE(R.OutputSource.find("= aa_mul_f64(a[i], aa_exact_f64(2.0))"),
+            std::string::npos)
+      << R.OutputSource;
+  // 0.25 is representable but not integral: the paper's rule widens it.
+  EXPECT_NE(R.OutputSource.find("= aa_add_f64(a[i], aa_const_f64(0.25))"),
+            std::string::npos);
+}
+
+TEST(Rewriter, IntToDoubleCast) {
+  SafeGenResult R = compile("double f(int i) { return (double)i * 0.5; }");
+  ASSERT_TRUE(R.Success) << R.Diagnostics;
+  EXPECT_NE(R.OutputSource.find("aa_exact_f64"), std::string::npos);
+}
+
+TEST(Rewriter, MathCallsLowered) {
+  SafeGenResult R = compile(
+      "double f(double x) { return sqrt(x) + fabs(x) + exp(x) + log(x); }");
+  ASSERT_TRUE(R.Success) << R.Diagnostics;
+  for (const char *Fn :
+       {"aa_sqrt_f64", "aa_fabs_f64", "aa_exp_f64", "aa_log_f64"})
+    EXPECT_NE(R.OutputSource.find(Fn), std::string::npos) << Fn;
+}
+
+TEST(Rewriter, DDConfigUsesDdSuffixAndType) {
+  SafeGenResult R = compile("double f(double a) { return a * a; }",
+                            "dda-dsnn");
+  ASSERT_TRUE(R.Success);
+  EXPECT_NE(R.OutputSource.find("dda f(dda a)"), std::string::npos)
+      << R.OutputSource;
+  EXPECT_NE(R.OutputSource.find("aa_mul_dd"), std::string::npos);
+}
+
+TEST(Rewriter, FloatTypeGetsF32) {
+  SafeGenResult R = compile("float f(float a) { return a * 2.0f; }");
+  ASSERT_TRUE(R.Success) << R.Diagnostics;
+  EXPECT_NE(R.OutputSource.find("f32a f(f32a a)"), std::string::npos)
+      << R.OutputSource;
+  EXPECT_NE(R.OutputSource.find("aa_mul_f32"), std::string::npos);
+}
+
+TEST(Rewriter, PragmaLoweredOnlyWhenPrioritized) {
+  const char *Src = "void f(double z) {\n"
+                    "#pragma safegen prioritize(z)\n"
+                    "  z = z * z;\n"
+                    "}\n";
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dspn");
+  Opts.RunAnalysis = false; // keep the hand-written pragma only
+  SafeGenResult R = compileSource("t.c", Src, Opts);
+  ASSERT_TRUE(R.Success);
+  EXPECT_NE(R.OutputSource.find("aa_prioritize(z)"), std::string::npos)
+      << R.OutputSource;
+
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  SafeGenResult R2 = compileSource("t.c", Src, Opts);
+  ASSERT_TRUE(R2.Success);
+  EXPECT_EQ(R2.OutputSource.find("aa_prioritize"), std::string::npos);
+}
+
+TEST(Rewriter, UnsupportedConstructsDiagnosed) {
+  EXPECT_FALSE(compile("double f(double x) { return pow(x, 3.0); }").Success);
+  EXPECT_FALSE(
+      compile("int f(double x) { return (int)x; }").Success);
+  EXPECT_FALSE(compile("void f(double *a) {\n"
+                       "  __m128d v = _mm_loadu_pd(a);\n"
+                       "  _mm_storeu_pd(a, v);\n"
+                       "}\n")
+                   .Success);
+}
+
+TEST(Rewriter, FunctionFilterTransformsSelectively) {
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.Functions = {"g"};
+  SafeGenResult R = compileSource(
+      "t.c",
+      "double f(double a) { return a * a; }\n"
+      "double g(double a) { return a + a; }\n",
+      Opts);
+  ASSERT_TRUE(R.Success);
+  // f keeps its double type and plain multiply; g is transformed.
+  EXPECT_NE(R.OutputSource.find("double f(double a)"), std::string::npos)
+      << R.OutputSource;
+  EXPECT_NE(R.OutputSource.find("f64a g(f64a a)"), std::string::npos);
+}
+
+TEST(ConstFold, ExactFoldsOnly) {
+  // 0.25 * 8.0 is exact -> folded; 0.1 + 0.2 is inexact -> kept.
+  SafeGenResult R = compile("double f(double x) {\n"
+                            "  double a = x * (0.25 * 8.0);\n"
+                            "  double b = x * (0.1 + 0.2);\n"
+                            "  return a + b;\n"
+                            "}\n");
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.ConstantsFolded, 1u);
+  EXPECT_NE(R.OutputSource.find("aa_exact_f64(2.0)"), std::string::npos)
+      << R.OutputSource;
+  // The inexact pair stays as two constants plus a runtime add.
+  EXPECT_NE(R.OutputSource.find("aa_const_f64(0.1)"), std::string::npos);
+  EXPECT_NE(R.OutputSource.find("aa_const_f64(0.2)"), std::string::npos);
+}
+
+TEST(Pipeline, OutputIsStableAcrossRuns) {
+  const char *Src = "double f(double a, double b) {\n"
+                    "  return (a * b - b) / (a + 3.0);\n"
+                    "}\n";
+  SafeGenResult R1 = compile(Src);
+  SafeGenResult R2 = compile(Src);
+  ASSERT_TRUE(R1.Success && R2.Success);
+  EXPECT_EQ(R1.OutputSource, R2.OutputSource);
+}
+
+TEST(Pipeline, AnalysisReportsPopulated) {
+  SafeGenResult R = compile("double f(double x, double y, double z) {\n"
+                            "  return x * z - y * z;\n"
+                            "}\n");
+  ASSERT_TRUE(R.Success);
+  ASSERT_EQ(R.Reports.size(), 1u);
+  EXPECT_TRUE(R.Reports[0].Feasible);
+  EXPECT_GT(R.Reports[0].PragmasInserted, 0u);
+  EXPECT_NE(R.OutputSource.find("aa_prioritize(z)"), std::string::npos);
+}
+
+TEST(Pipeline, DagDump) {
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.DumpDAG = true;
+  SafeGenResult R = compileSource(
+      "t.c", "double f(double a) { return a * a + a; }", Opts);
+  ASSERT_TRUE(R.Success);
+  EXPECT_NE(R.DAGDump.find("digraph"), std::string::npos);
+}
+
+TEST(Pipeline, ErrorsPropagate) {
+  SafeGenResult R = compile("double f(double a) { return undeclared; }");
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.Diagnostics.find("undeclared"), std::string::npos);
+}
+
+TEST(Pipeline, BenchmarkSourcesAllCompile) {
+  for (const char *Name : {"henon", "sor", "luf", "fgm"}) {
+    std::string Path = std::string(SAFEGEN_BENCH_DIR) + "/" + Name + ".c";
+    SafeGenOptions Opts;
+    Opts.Config = *aa::AAConfig::parse("f64a-dspv");
+    Opts.Config.K = 16;
+    SafeGenResult R = compileFile(Path, Opts);
+    EXPECT_TRUE(R.Success) << Name << ": " << R.Diagnostics;
+    EXPECT_FALSE(R.OutputSource.empty()) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Golden test: the full Fig. 2-style transformation, exact output
+//===----------------------------------------------------------------------===//
+
+TEST(Golden, QuickstartFunction) {
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.Config.K = 8;
+  SafeGenResult R = compileSource(
+      "fig2.c",
+      "double f(double a, double b) {\n"
+      "  double c = a * b + 0.1;\n"
+      "  return c;\n"
+      "}\n",
+      Opts);
+  ASSERT_TRUE(R.Success);
+  const char *Expected =
+      "// generated by safegen (f64a-dsnn, k = 8)\n"
+      "#include \"aa/Runtime.h\"\n"
+      "\n"
+      "f64a f(f64a a, f64a b) {\n"
+      "  f64a c = aa_add_f64(aa_mul_f64(a, b), aa_const_f64(0.1));\n"
+      "  return c;\n"
+      "}\n\n";
+  EXPECT_EQ(R.OutputSource, Expected);
+}

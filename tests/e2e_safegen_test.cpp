@@ -1,0 +1,254 @@
+//===- e2e_safegen_test.cpp - Full compiler pipeline, end to end ----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the whole toolchain the way a user would: run SafeGen on a
+/// benchmark C source, compile the emitted sound C with the host
+/// compiler, execute it, and verify that the printed enclosure contains
+/// the exact (high-precision) result of the original program.
+///
+/// Requires SAFEGEN_SRC_DIR / SAFEGEN_LIB_DIR (set by CMake) and a host
+/// g++; skipped when unavailable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/SafeGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace safegen;
+
+namespace {
+
+#ifndef SAFEGEN_SRC_DIR
+#define SAFEGEN_SRC_DIR "."
+#endif
+#ifndef SAFEGEN_LIB_DIR
+#define SAFEGEN_LIB_DIR "."
+#endif
+#ifndef SAFEGEN_BENCH_DIR
+#define SAFEGEN_BENCH_DIR "."
+#endif
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path);
+  Out << Text;
+}
+
+/// Compiles and runs one generated+harness pair; returns the program's
+/// stdout (empty + failed assertion on any failure).
+std::string compileAndRun(const std::string &TestName,
+                          const std::string &GeneratedSource,
+                          const std::string &HarnessSource) {
+  std::string Dir = ::testing::TempDir() + "safegen_e2e_" + TestName;
+  std::string Cmd = "mkdir -p " + Dir;
+  EXPECT_EQ(std::system(Cmd.c_str()), 0);
+  writeFile(Dir + "/generated.cpp", GeneratedSource);
+  writeFile(Dir + "/harness.cpp", HarnessSource);
+  std::string Compile =
+      "g++ -std=c++20 -O1 -frounding-math -ffp-contract=off -I " +
+      std::string(SAFEGEN_SRC_DIR) + " " + Dir + "/harness.cpp " + " " +
+      std::string(SAFEGEN_LIB_DIR) + "/aa/libsafegen_aa.a " +
+      std::string(SAFEGEN_LIB_DIR) + "/ia/libsafegen_ia.a " +
+      std::string(SAFEGEN_LIB_DIR) + "/support/libsafegen_support.a -o " +
+      Dir + "/prog 2> " + Dir + "/compile.log";
+  int CompileRc = std::system(Compile.c_str());
+  EXPECT_EQ(CompileRc, 0) << readFile(Dir + "/compile.log");
+  if (CompileRc != 0)
+    return {};
+  std::string Run = Dir + "/prog > " + Dir + "/out.txt";
+  int RunRc = std::system(Run.c_str());
+  EXPECT_EQ(RunRc, 0);
+  return readFile(Dir + "/out.txt");
+}
+
+} // namespace
+
+TEST(EndToEnd, HenonSoundEnclosure) {
+  std::string Input = readFile(std::string(SAFEGEN_BENCH_DIR) + "/henon.c");
+  ASSERT_FALSE(Input.empty());
+
+  core::SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dspn");
+  Opts.Config.K = 16;
+  core::SafeGenResult Result = core::compileSource("henon.c", Input, Opts);
+  ASSERT_TRUE(Result.Success) << Result.Diagnostics;
+  EXPECT_NE(Result.OutputSource.find("aa_mul_f64"), std::string::npos);
+
+  // The harness #includes the generated code, runs the sound henon for 20
+  // iterations on a known input and prints the final enclosure.
+  std::string Harness = "#include \"generated.cpp\"\n"
+                        "#include <cstdio>\n"
+                        "int main() {\n"
+                        "  safegen::sg::SoundScope Scope(\"f64a-dspn\", 16);\n"
+                        "  f64a x[1] = {aa_input_f64(0.1)};\n"
+                        "  f64a y[1] = {aa_input_f64(0.2)};\n"
+                        "  henon(x, y, 20);\n"
+                        "  std::printf(\"%.17e %.17e %.17e %.17e\\n\",\n"
+                        "              aa_lo_f64(x[0]), aa_hi_f64(x[0]),\n"
+                        "              aa_lo_f64(y[0]), aa_hi_f64(y[0]));\n"
+                        "  return 0;\n"
+                        "}\n";
+  std::string Out =
+      compileAndRun("henon", Result.OutputSource, Harness);
+  ASSERT_FALSE(Out.empty());
+  double XLo, XHi, YLo, YHi;
+  ASSERT_EQ(std::sscanf(Out.c_str(), "%lf %lf %lf %lf", &XLo, &XHi, &YLo,
+                        &YHi),
+            4);
+  // Exact reference in long double.
+  long double X = 0.1, Y = 0.2;
+  for (int I = 0; I < 20; ++I) {
+    long double Xn = 1.0L - 1.05L * (X * X) + Y;
+    long double Yn = 0.3L * X;
+    X = Xn;
+    Y = Yn;
+  }
+  EXPECT_LE(static_cast<long double>(XLo), X);
+  EXPECT_GE(static_cast<long double>(XHi), X);
+  EXPECT_LE(static_cast<long double>(YLo), Y);
+  EXPECT_GE(static_cast<long double>(YHi), Y);
+  // And the enclosure is tight enough to be useful (many bits).
+  EXPECT_LT(XHi - XLo, 1e-10);
+}
+
+TEST(EndToEnd, SorSoundEnclosure) {
+  std::string Input = readFile(std::string(SAFEGEN_BENCH_DIR) + "/sor.c");
+  ASSERT_FALSE(Input.empty());
+
+  core::SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.Config.K = 8;
+  core::SafeGenResult Result = core::compileSource("sor.c", Input, Opts);
+  ASSERT_TRUE(Result.Success) << Result.Diagnostics;
+
+  std::string Harness =
+      "#include \"generated.cpp\"\n"
+      "#include <cstdio>\n"
+      "int main() {\n"
+      "  safegen::sg::SoundScope Scope(\"f64a-dsnn\", 8);\n"
+      "  static f64a g[32][32];\n"
+      "  double init[32][32];\n"
+      "  for (int i = 0; i < 10; i++)\n"
+      "    for (int j = 0; j < 10; j++) {\n"
+      "      init[i][j] = (i * 10 + j) / 100.0;\n"
+      "      g[i][j] = aa_input_f64(init[i][j]);\n"
+      "    }\n"
+      "  sor(10, 1.25, g, 4);\n"
+      "  // reference in long double\n"
+      "  long double r[32][32];\n"
+      "  for (int i = 0; i < 10; i++)\n"
+      "    for (int j = 0; j < 10; j++) r[i][j] = init[i][j];\n"
+      "  long double o4 = 1.25L * 0.25L, om = 1.0L - 1.25L;\n"
+      "  for (int p = 0; p < 4; p++)\n"
+      "    for (int i = 1; i < 9; i++)\n"
+      "      for (int j = 1; j < 9; j++)\n"
+      "        r[i][j] = o4 * (r[i-1][j] + r[i+1][j] + r[i][j-1] +\n"
+      "                  r[i][j+1]) + om * r[i][j];\n"
+      "  int sound = 1;\n"
+      "  double width = 0.0;\n"
+      "  for (int i = 1; i < 9; i++)\n"
+      "    for (int j = 1; j < 9; j++) {\n"
+      "      if ((long double)aa_lo_f64(g[i][j]) > r[i][j]) sound = 0;\n"
+      "      if ((long double)aa_hi_f64(g[i][j]) < r[i][j]) sound = 0;\n"
+      "      double w = aa_hi_f64(g[i][j]) - aa_lo_f64(g[i][j]);\n"
+      "      if (w > width) width = w;\n"
+      "    }\n"
+      "  std::printf(\"%d %.17e\\n\", sound, width);\n"
+      "  return 0;\n"
+      "}\n";
+  std::string Out = compileAndRun("sor", Result.OutputSource, Harness);
+  ASSERT_FALSE(Out.empty());
+  int Sound = 0;
+  double Width = 1.0;
+  ASSERT_EQ(std::sscanf(Out.c_str(), "%d %lf", &Sound, &Width), 2);
+  EXPECT_EQ(Sound, 1) << "sound enclosure violated";
+  EXPECT_LT(Width, 1e-8) << "enclosure uselessly wide";
+}
+
+TEST(EndToEnd, SimdInputLowering) {
+  const char *Input =
+      "void axpy4(double *a, double *x, double *y) {\n"
+      "  __m256d va = _mm256_loadu_pd(a);\n"
+      "  __m256d vx = _mm256_loadu_pd(x);\n"
+      "  __m256d vy = _mm256_loadu_pd(y);\n"
+      "  __m256d r = _mm256_add_pd(_mm256_mul_pd(va, vx), vy);\n"
+      "  _mm256_storeu_pd(y, r);\n"
+      "}\n";
+  core::SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.Config.K = 8;
+  core::SafeGenResult Result = core::compileSource("axpy4.c", Input, Opts);
+  ASSERT_TRUE(Result.Success) << Result.Diagnostics;
+  EXPECT_NE(Result.OutputSource.find("aa_x4_add"), std::string::npos);
+  EXPECT_NE(Result.OutputSource.find("f64a_x4"), std::string::npos);
+
+  std::string Harness =
+      "#include \"generated.cpp\"\n"
+      "#include <cstdio>\n"
+      "int main() {\n"
+      "  safegen::sg::SoundScope Scope(\"f64a-dsnn\", 8);\n"
+      "  f64a a[4], x[4], y[4];\n"
+      "  for (int i = 0; i < 4; i++) {\n"
+      "    a[i] = aa_input_f64(0.1 * (i + 1));\n"
+      "    x[i] = aa_input_f64(0.2 * (i + 1));\n"
+      "    y[i] = aa_input_f64(0.3 * (i + 1));\n"
+      "  }\n"
+      "  axpy4(a, x, y);\n"
+      "  int sound = 1;\n"
+      "  for (int i = 0; i < 4; i++) {\n"
+      "    long double e = 0.1L * (i + 1) * 0.2L * (i + 1) + 0.3L * (i + 1);\n"
+      "    if ((long double)aa_lo_f64(y[i]) > e + 1e-15L) sound = 0;\n"
+      "    if ((long double)aa_hi_f64(y[i]) < e - 1e-15L) sound = 0;\n"
+      "  }\n"
+      "  std::printf(\"%d\\n\", sound);\n"
+      "  return 0;\n"
+      "}\n";
+  std::string Out = compileAndRun("axpy4", Result.OutputSource, Harness);
+  ASSERT_FALSE(Out.empty());
+  EXPECT_EQ(Out[0], '1');
+}
+
+TEST(EndToEnd, DDaPrecisionBeatsF64a) {
+  std::string Input = readFile(std::string(SAFEGEN_BENCH_DIR) + "/henon.c");
+  ASSERT_FALSE(Input.empty());
+  core::SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("dda-dsnn");
+  Opts.Config.K = 16;
+  core::SafeGenResult Result = core::compileSource("henon.c", Input, Opts);
+  ASSERT_TRUE(Result.Success) << Result.Diagnostics;
+  EXPECT_NE(Result.OutputSource.find("aa_mul_dd"), std::string::npos);
+  EXPECT_NE(Result.OutputSource.find("dda *"), std::string::npos);
+
+  std::string Harness =
+      "#include \"generated.cpp\"\n"
+      "#include <cstdio>\n"
+      "int main() {\n"
+      "  safegen::sg::SoundScope Scope(\"dda-dsnn\", 16);\n"
+      "  dda x[1] = {aa_input_dd(0.1)};\n"
+      "  dda y[1] = {aa_input_dd(0.2)};\n"
+      "  henon(x, y, 10);\n"
+      "  std::printf(\"%.17e\\n\", aa_hi_dd(x[0]) - aa_lo_dd(x[0]));\n"
+      "  return 0;\n"
+      "}\n";
+  std::string Out = compileAndRun("henon_dd", Result.OutputSource, Harness);
+  ASSERT_FALSE(Out.empty());
+  double Width = 1.0;
+  ASSERT_EQ(std::sscanf(Out.c_str(), "%lf", &Width), 1);
+  EXPECT_LT(Width, 1e-12);
+}

@@ -1,0 +1,146 @@
+//===- elementary_test.cpp - Nonlinear-operation property sweeps ----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized containment sweeps for the min-range linearizations
+/// (inv, div, sqrt, exp, log) across placements, fusion policies and k:
+/// for random argument forms the enclosure must contain the function's
+/// exact value at sampled points, and within a small range the
+/// linearization must keep most of the input correlation (the property
+/// that distinguishes it from a plain interval hull).
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+struct ElemCase {
+  const char *Config;
+  int K;
+};
+
+class ElementaryTest : public ::testing::TestWithParam<ElemCase> {
+protected:
+  fp::RoundUpwardScope Rounding;
+  std::mt19937_64 Rng{31337};
+  double uniform(double Lo, double Hi) {
+    std::uniform_real_distribution<double> D(Lo, Hi);
+    return D(Rng);
+  }
+};
+
+} // namespace
+
+TEST_P(ElementaryTest, InvAndDivContainment) {
+  AAConfig Cfg = *AAConfig::parse(GetParam().Config);
+  Cfg.K = GetParam().K;
+  AffineEnvScope Env(Cfg);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    double C = uniform(0.5, 20.0) * (Trial % 2 ? 1.0 : -1.0);
+    double Dev = uniform(0.0, 0.2) * std::fabs(C);
+    F64a X = F64a::input(C, Dev);
+    F64a I = inv(X);
+    F64a Q = F64a::input(3.0, 0.1) / X;
+    ia::Interval RI = I.toInterval(), RQ = Q.toInterval();
+    for (int P = 0; P < 4; ++P) {
+      long double Xi = C + Dev * uniform(-1.0, 1.0);
+      EXPECT_LE(static_cast<long double>(RI.Lo), 1.0L / Xi);
+      EXPECT_GE(static_cast<long double>(RI.Hi), 1.0L / Xi);
+      // Q must contain y/x for every y in [2.9, 3.1], x = Xi.
+      EXPECT_LE(static_cast<long double>(RQ.Lo), 2.9L / Xi < 3.1L / Xi
+                                                     ? 2.9L / Xi
+                                                     : 3.1L / Xi);
+    }
+  }
+}
+
+TEST_P(ElementaryTest, SqrtExpLogContainment) {
+  AAConfig Cfg = *AAConfig::parse(GetParam().Config);
+  Cfg.K = GetParam().K;
+  AffineEnvScope Env(Cfg);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    double C = uniform(0.1, 50.0);
+    double Dev = uniform(0.0, 0.3) * C * 0.5;
+    F64a X = F64a::input(C, Dev);
+    ia::Interval RS = sqrt(X).toInterval();
+    ia::Interval RE = exp(F64a::input(uniform(-3.0, 3.0), 0.1)).toInterval();
+    ia::Interval RL = log(X).toInterval();
+    for (int P = 0; P < 4; ++P) {
+      long double Xi = C + Dev * uniform(-1.0, 1.0);
+      EXPECT_LE(static_cast<long double>(RS.Lo), sqrtl(Xi));
+      EXPECT_GE(static_cast<long double>(RS.Hi), sqrtl(Xi));
+      EXPECT_LE(static_cast<long double>(RL.Lo), logl(Xi));
+      EXPECT_GE(static_cast<long double>(RL.Hi), logl(Xi));
+    }
+    EXPECT_FALSE(RE.isNaN());
+    EXPECT_GE(RE.Lo, 0.0);
+  }
+}
+
+TEST_P(ElementaryTest, LinearizationKeepsCorrelation) {
+  // For a narrow argument, f(x) is nearly alpha*x + zeta: subtracting the
+  // correlated linear part must shrink the range far below the
+  // uncorrelated difference of hulls.
+  AAConfig Cfg = *AAConfig::parse(GetParam().Config);
+  Cfg.K = GetParam().K;
+  AffineEnvScope Env(Cfg);
+  F64a X = F64a::input(4.0, 0.01);
+  F64a S = sqrt(X);
+  double Alpha = 1.0 / (2.0 * std::sqrt(4.0));
+  F64a D = S - X * F64a::exact(Alpha);
+  double Correlated = D.toInterval().width();
+  ia::Interval HS = S.toInterval(), HX = X.toInterval();
+  ia::Interval Uncorrelated = HS - HX * ia::Interval(Alpha);
+  EXPECT_LT(Correlated, 0.1 * Uncorrelated.width());
+}
+
+TEST_P(ElementaryTest, DomainViolationsGiveNaNForms) {
+  AAConfig Cfg = *AAConfig::parse(GetParam().Config);
+  Cfg.K = GetParam().K;
+  AffineEnvScope Env(Cfg);
+  EXPECT_TRUE(sqrt(F64a::input(-1.0, 0.1)).isNaN());
+  EXPECT_TRUE(log(F64a::input(0.0, 1.0)).isNaN());
+  EXPECT_TRUE(inv(F64a::input(0.0, 1.0)).isNaN());
+  // NaN forms propagate through further arithmetic.
+  F64a N = inv(F64a::input(0.0, 1.0));
+  EXPECT_TRUE((N + F64a::input(1.0)).isNaN());
+  EXPECT_TRUE(sqrt(N).isNaN());
+}
+
+TEST_P(ElementaryTest, SymbolBudgetRespected) {
+  AAConfig Cfg = *AAConfig::parse(GetParam().Config);
+  Cfg.K = GetParam().K;
+  AffineEnvScope Env(Cfg);
+  F64a Acc = F64a::input(2.0, 0.1);
+  for (int I = 0; I < 25; ++I) {
+    Acc = sqrt(Acc + F64a::input(1.5)) * F64a::input(1.1);
+    EXPECT_LE(Acc.countSymbols(), Cfg.K);
+    EXPECT_FALSE(Acc.isNaN());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ElementaryTest,
+    ::testing::Values(ElemCase{"f64a-dsnn", 8}, ElemCase{"f64a-dsnn", 32},
+                      ElemCase{"f64a-ssnn", 8}, ElemCase{"f64a-smnn", 16},
+                      ElemCase{"f64a-sonn", 16}, ElemCase{"f64a-dsnv", 16},
+                      ElemCase{"f64a-dspn", 8}),
+    [](const ::testing::TestParamInfo<ElemCase> &Info) {
+      std::string Name = Info.param.Config;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_k" + std::to_string(Info.param.K);
+    });

@@ -1,0 +1,124 @@
+//===- f32a_test.cpp - Single-precision affine type tests -----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The f32a type (Sec. IV-A: "we also support single precision affine
+/// types"): float central value, double coefficients. Soundness must hold
+/// against a double reference — the float centre's rounding is part of
+/// the tracked error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+class F32aTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+} // namespace
+
+TEST_F(F32aTest, BasicSoundness) {
+  AAConfig Cfg = *AAConfig::parse("f32a-dsnn");
+  Cfg.K = 8;
+  AffineEnvScope Env(Cfg);
+  std::mt19937_64 Rng(2);
+  std::uniform_real_distribution<double> U(-2.0, 2.0);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    double A = U(Rng), B = U(Rng), C = U(Rng);
+    F32a X = F32a::input(A, 0.0);
+    F32a Y = F32a::input(B, 0.0);
+    F32a Z = F32a::input(C, 0.0);
+    F32a R = (X * Y - Z) * X + Y;
+    // Exact real result (inputs are double values, tracked exactly via
+    // the 0-deviation input + centre-rounding error symbols).
+    long double Exact = (static_cast<long double>(A) * B - C) * A + B;
+    ia::Interval I = R.toInterval();
+    EXPECT_LE(static_cast<long double>(I.Lo), Exact) << Trial;
+    EXPECT_GE(static_cast<long double>(I.Hi), Exact) << Trial;
+  }
+}
+
+TEST_F(F32aTest, CentreRoundingIsTracked) {
+  AAConfig Cfg = *AAConfig::parse("f32a-dsnn");
+  Cfg.K = 8;
+  AffineEnvScope Env(Cfg);
+  // 0.1 is not a float; the affine form must still contain the double.
+  F32a X = F32a::input(0.1, 0.0);
+  ia::Interval I = X.toInterval();
+  EXPECT_LE(I.Lo, 0.1);
+  EXPECT_GE(I.Hi, 0.1);
+  // But the centre itself is a float.
+  EXPECT_EQ(static_cast<float>(X.mid()), X.mid());
+}
+
+TEST_F(F32aTest, CertifiedBitsCappedAt24) {
+  AAConfig Cfg = *AAConfig::parse("f32a-dsnn");
+  Cfg.K = 8;
+  AffineEnvScope Env(Cfg);
+  F32a X = F32a::input(1.5, 0.0); // exactly representable
+  EXPECT_LE(X.certifiedBits(), 24.0);
+  EXPECT_GT(X.certifiedBits(), 20.0);
+  F32a Wide = F32a::input(1.0, 0.5);
+  EXPECT_LT(Wide.certifiedBits(), 4.0);
+}
+
+TEST_F(F32aTest, LessAccurateThanF64aOnSameProgram) {
+  auto RunBits = [&](auto MakeCfg) {
+    auto Cfg = MakeCfg();
+    AffineEnvScope Env(Cfg);
+    std::mt19937_64 Rng(7);
+    std::uniform_real_distribution<double> U(0.0, 1.0);
+    if (Cfg.Precision == AffinePrecision::F32) {
+      F32a Acc = F32a::exact(0.0);
+      for (int I = 0; I < 50; ++I)
+        Acc = Acc + F32a::input(U(Rng)) * F32a::input(U(Rng));
+      return Acc.certifiedBits(24);
+    }
+    F64a Acc = F64a::exact(0.0);
+    for (int I = 0; I < 50; ++I)
+      Acc = Acc + F64a::input(U(Rng)) * F64a::input(U(Rng));
+    return Acc.certifiedBits(53);
+  };
+  double Bits32 = RunBits([] {
+    auto C = *AAConfig::parse("f32a-dsnn");
+    C.K = 16;
+    return C;
+  });
+  double Bits64 = RunBits([] {
+    auto C = *AAConfig::parse("f64a-dsnn");
+    C.K = 16;
+    return C;
+  });
+  // Relative to each format's mantissa both certify most bits, but the
+  // absolute error bound of f32a is far larger.
+  EXPECT_GT(Bits32, 5.0);
+  EXPECT_GT(Bits64, 30.0);
+}
+
+TEST_F(F32aTest, RuntimeApiNames) {
+  sg::SoundScope Scope("f32a-dsnn", 8);
+  f32a X = aa_input_f32(0.5);
+  f32a Y = aa_add_f32(aa_mul_f32(X, X), aa_const_f32(0.25));
+  EXPECT_GT(aa_bits_f32(Y), 10.0);
+  EXPECT_TRUE(aa_lt_f32(X, Y) || !aa_lt_f32(X, Y)); // callable
+  f32a Z = aa_div_f32(Y, X);
+  EXPECT_FALSE(Z.isNaN());
+  f32a N = aa_neg_f32(Z);
+  EXPECT_LT(N.mid(), 0.0);
+  aa_prioritize_f32(Y);
+  EXPECT_TRUE(aa::env().Context.hasProtected());
+}

@@ -1,0 +1,244 @@
+//===- fp_test.cpp - Unit tests for the fp substrate ----------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fp/DoubleDouble.h"
+#include "fp/FloatOrdinal.h"
+#include "fp/Rounding.h"
+#include "fp/Ulp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace safegen;
+using namespace safegen::fp;
+
+TEST(Rounding, UpwardScopeSetsAndRestores) {
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  {
+    RoundUpwardScope S;
+    EXPECT_TRUE(isRoundingUpward());
+  }
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+}
+
+TEST(Rounding, DirectedAddBracketsExact) {
+  RoundUpwardScope S;
+  double A = 0.1, B = 0.2;
+  double Up = addRU(A, B);
+  double Dn = addRD(A, B);
+  EXPECT_LE(Dn, Up);
+  // 0.1 + 0.2 is inexact in binary: the bracket must be one ulp wide.
+  EXPECT_LT(Dn, Up);
+  EXPECT_EQ(std::nextafter(Dn, HUGE_VAL), Up);
+}
+
+TEST(Rounding, DirectedMulBracketsExact) {
+  RoundUpwardScope S;
+  std::mt19937_64 Rng(42);
+  std::uniform_real_distribution<double> Dist(-1e6, 1e6);
+  for (int I = 0; I < 1000; ++I) {
+    double A = Dist(Rng), B = Dist(Rng);
+    double Up = mulRU(A, B), Dn = mulRD(A, B);
+    EXPECT_LE(Dn, Up);
+    // The exact product lies in [Dn, Up]: verify with long double (64-bit
+    // mantissa on x86 covers 53x53-bit products only approximately, but is
+    // strictly more precise than double).
+    long double Exact = static_cast<long double>(A) * B;
+    EXPECT_LE(static_cast<long double>(Dn), Exact);
+    EXPECT_GE(static_cast<long double>(Up), Exact);
+  }
+}
+
+TEST(Rounding, ErrBoundNonNegative) {
+  RoundUpwardScope S;
+  EXPECT_GE(addErrBound(0.1, 0.2), 0.0);
+  EXPECT_GE(mulErrBound(0.1, 0.3), 0.0);
+  EXPECT_EQ(addErrBound(1.0, 2.0), 0.0); // exact sum
+}
+
+TEST(Ulp, BasicProperties) {
+  EXPECT_EQ(ulp(1.0), 0x1p-52);
+  EXPECT_EQ(ulp(-1.0), 0x1p-52);
+  EXPECT_EQ(ulp(0.0), 0x0.0000000000001p-1022); // smallest subnormal
+  EXPECT_GT(ulp(1e300), 0.0);
+  EXPECT_TRUE(std::isnan(ulp(std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(std::isnan(ulp(std::nan(""))));
+}
+
+TEST(FloatOrdinal, MonotoneAndInvertible) {
+  const double Values[] = {-1e300, -2.0,     -1.0,  -0x1p-1022, -0.0, 0.0,
+                           0x1p-1022, 0.5,   1.0,   1.5,        2.0,  1e300};
+  for (size_t I = 0; I + 1 < std::size(Values); ++I)
+    EXPECT_LE(ordinal(Values[I]), ordinal(Values[I + 1]))
+        << Values[I] << " vs " << Values[I + 1];
+  for (double V : Values)
+    if (V != 0.0) // zeros collapse
+      EXPECT_EQ(fromOrdinal(ordinal(V)), V);
+}
+
+TEST(FloatOrdinal, CountAdjacent) {
+  double A = 1.0;
+  double B = std::nextafter(A, HUGE_VAL);
+  EXPECT_EQ(countFloatsInRange(A, A), 1u);
+  EXPECT_EQ(countFloatsInRange(A, B), 2u);
+  EXPECT_EQ(countFloatsInRange(B, A), 0u);
+}
+
+TEST(FloatOrdinal, ErrAndAccBits) {
+  // A 1-ulp-wide range at 1.0 contains 2 floats: err = 1 bit.
+  double A = 1.0, B = std::nextafter(1.0, HUGE_VAL);
+  EXPECT_DOUBLE_EQ(errBits(A, B), 1.0);
+  EXPECT_DOUBLE_EQ(accBits(A, B), 52.0);
+  // A point range certifies all 53 bits.
+  EXPECT_DOUBLE_EQ(accBits(A, A), 53.0);
+  // A NaN range certifies nothing.
+  EXPECT_DOUBLE_EQ(accBits(std::nan(""), 1.0), 0.0);
+}
+
+TEST(DoubleDouble, TwoSumExactInRN) {
+  RoundNearestScope RN;
+  std::mt19937_64 Rng(7);
+  std::uniform_real_distribution<double> Dist(-1e10, 1e10);
+  for (int I = 0; I < 1000; ++I) {
+    double A = Dist(Rng), B = Dist(Rng);
+    double S, E;
+    twoSum(A, B, S, E);
+    // S + E == A + B exactly: check in long double.
+    EXPECT_EQ(static_cast<long double>(S) + E,
+              static_cast<long double>(A) + B);
+  }
+}
+
+TEST(DoubleDouble, TwoProdExactInRN) {
+  RoundNearestScope RN;
+  std::mt19937_64 Rng(8);
+  std::uniform_real_distribution<double> Dist(-1e3, 1e3);
+  for (int I = 0; I < 1000; ++I) {
+    double A = Dist(Rng), B = Dist(Rng);
+    double P, E;
+    twoProd(A, B, P, E);
+    long double Exact = static_cast<long double>(A) * B;
+    // P + E == A*B exactly (the product of two 53-bit numbers fits in dd).
+    // long double (64-bit mantissa) cannot always hold it, but P+E-exact
+    // must be far below 1 ulp of P.
+    long double Diff = (static_cast<long double>(P) + E) - Exact;
+    EXPECT_LE(std::abs(static_cast<double>(Diff)), ulp(P) * 0x1p-40);
+  }
+}
+
+TEST(DoubleDouble, AddAccuracyRN) {
+  RoundNearestScope RN;
+  DD A(1.0, 0x1p-60);
+  DD B(1.0, -0x1p-60);
+  DD S = add(A, B);
+  EXPECT_EQ(S.Hi, 2.0);
+  EXPECT_EQ(S.Lo, 0.0);
+}
+
+TEST(DoubleDouble, MulBasic) {
+  RoundNearestScope RN;
+  DD A(3.0), B(7.0);
+  DD P = mul(A, B);
+  EXPECT_EQ(P.Hi, 21.0);
+  EXPECT_EQ(P.Lo, 0.0);
+}
+
+TEST(DoubleDouble, DivRecoversExact) {
+  RoundNearestScope RN;
+  DD A(1.0);
+  DD B(3.0);
+  DD Q = div(A, B);
+  // Q should be 1/3 to ~106 bits: Q*3 - 1 tiny.
+  DD Back = mul(Q, B);
+  double Resid = std::fabs(sub(Back, A).toDouble());
+  EXPECT_LE(Resid, 0x1p-100);
+}
+
+TEST(DoubleDouble, SqrtRefines) {
+  RoundNearestScope RN;
+  DD X(2.0);
+  DD R = sqrt(X);
+  DD Back = mul(R, R);
+  double Resid = std::fabs(sub(Back, X).toDouble());
+  EXPECT_LE(Resid, 0x1p-100);
+}
+
+TEST(DoubleDouble, PadUpIsUpperBound) {
+  RoundUpwardScope S;
+  std::mt19937_64 Rng(9);
+  std::uniform_real_distribution<double> Dist(-1e6, 1e6);
+  for (int I = 0; I < 1000; ++I) {
+    double XHi = Dist(Rng);
+    DD X(XHi, XHi * (Dist(Rng) / 1e6) * 0x1p-53);
+    double Scale = std::fabs(X.Hi);
+    DD Up = padUp(X, Scale);
+    DD Dn = padDown(X, Scale);
+    // __float128 (113-bit mantissa) represents a dd value exactly.
+    __float128 V = static_cast<__float128>(X.Hi) + X.Lo;
+    __float128 VUp = static_cast<__float128>(Up.Hi) + Up.Lo;
+    __float128 VDn = static_cast<__float128>(Dn.Hi) + Dn.Lo;
+    // Value-wise ordering with margin at least half the nominal pad.
+    __float128 Margin = static_cast<__float128>(Scale) * 0x1p-100;
+    EXPECT_TRUE(VDn + Margin <= V);
+    EXPECT_TRUE(VUp - Margin >= V);
+  }
+}
+
+TEST(DoubleDouble, ComparisonsAndAbs) {
+  DD A(1.0, 0x1p-60);
+  DD B(1.0, 0x1p-59);
+  EXPECT_TRUE(less(A, B));
+  EXPECT_FALSE(less(B, A));
+  EXPECT_TRUE(lessEqual(A, A));
+  EXPECT_EQ(abs(DD(-2.0, 0.5)).Hi, 2.0);
+  EXPECT_EQ(min(A, B).Lo, A.Lo);
+  EXPECT_EQ(max(A, B).Lo, B.Lo);
+}
+
+TEST(DoubleDouble, SoundUnderUpwardRounding) {
+  // The dd kernels run inside upward mode in the sound runtime; verify the
+  // residual bound claim: |dd_op(a,b) - exact| <= DD_RESIDUAL_EPS * |result|
+  // for add and mul on random inputs.
+  RoundUpwardScope S;
+  std::mt19937_64 Rng(10);
+  std::uniform_real_distribution<double> Dist(-1e6, 1e6);
+  for (int I = 0; I < 2000; ++I) {
+    // Normalized pairs (|Lo| <= ulp(Hi)), as the dd kernels produce.
+    double AHi = Dist(Rng), BHi = Dist(Rng);
+    DD A(AHi, AHi * (Dist(Rng) / 1e6) * 0x1p-53);
+    DD B(BHi, BHi * (Dist(Rng) / 1e6) * 0x1p-53);
+    {
+      DD Z = add(A, B);
+      // __float128 holds the exact sum of two dd values (<= 113 bits
+      // needed here given the generated operand shapes).
+      __float128 Exact = (static_cast<__float128>(A.Hi) + A.Lo) +
+                         (static_cast<__float128>(B.Hi) + B.Lo);
+      __float128 Got = static_cast<__float128>(Z.Hi) + Z.Lo;
+      __float128 Diff = Got > Exact ? Got - Exact : Exact - Got;
+      // Input-scaled residual claim (see fp::padUp).
+      double Scale = std::fabs(A.Hi) + std::fabs(B.Hi);
+      EXPECT_TRUE(Diff <= static_cast<__float128>(Scale) * DD_RESIDUAL_EPS +
+                              0x1p-1000)
+          << "add residual exceeded at trial " << I;
+    }
+    {
+      DD Z = mul(A, B);
+      __float128 Exact = (static_cast<__float128>(A.Hi) + A.Lo) *
+                         (static_cast<__float128>(B.Hi) + B.Lo);
+      __float128 Got = static_cast<__float128>(Z.Hi) + Z.Lo;
+      __float128 Diff = Got > Exact ? Got - Exact : Exact - Got;
+      // The quad product of two dd values needs up to 212 bits; allow the
+      // quad reference's own quantum on top.
+      double Scale = std::fabs(A.Hi) * std::fabs(B.Hi);
+      EXPECT_TRUE(Diff <= static_cast<__float128>(Scale) *
+                                  (DD_RESIDUAL_EPS + 0x1p-110) +
+                              0x1p-1000)
+          << "mul residual exceeded at trial " << I;
+    }
+  }
+}

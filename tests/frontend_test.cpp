@@ -1,0 +1,207 @@
+//===- frontend_test.cpp - Lexer/parser/sema/printer tests ----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTPrinter.h"
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+namespace {
+
+std::unique_ptr<CompilationUnit> parseOk(const std::string &Src) {
+  auto CU = parseSource("test.c", Src);
+  EXPECT_TRUE(CU->Success) << CU->Diags.renderAll();
+  return CU;
+}
+
+} // namespace
+
+TEST(Lexer, TokenKinds) {
+  SourceManager SM;
+  SM.setMainBuffer("t.c", "double x = 1.5e3; // comment\nint y[10]; x += .5;");
+  DiagnosticsEngine Diags(&SM);
+  Lexer L(SM, Diags);
+  auto Toks = L.lexAll();
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwDouble);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Equal);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[3].FloatValue, 1500.0);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::Semicolon);
+  EXPECT_EQ(Toks[5].Kind, TokenKind::KwInt);
+  // y [ 10 ] ; x += .5 ;
+  EXPECT_EQ(Toks[7].Kind, TokenKind::LBracket);
+  EXPECT_EQ(Toks[8].IntValue, 10);
+  EXPECT_EQ(Toks[12].Kind, TokenKind::PlusEqual);
+  EXPECT_EQ(Toks[13].Kind, TokenKind::FloatLiteral);
+}
+
+TEST(Lexer, CommentsAndPragmas) {
+  SourceManager SM;
+  SM.setMainBuffer("t.c", "/* multi\nline */ #pragma safegen prioritize(z)\n"
+                          "#include <math.h>\nx");
+  DiagnosticsEngine Diags(&SM);
+  Lexer L(SM, Diags);
+  auto Toks = L.lexAll();
+  EXPECT_EQ(Toks[0].Kind, TokenKind::PragmaLine);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::PreprocessorLine);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, HexAndSuffixedLiterals) {
+  SourceManager SM;
+  SM.setMainBuffer("t.c", "0x10 0x1p-4 1.0f 42u 7L");
+  DiagnosticsEngine Diags(&SM);
+  Lexer L(SM, Diags);
+  auto Toks = L.lexAll();
+  EXPECT_EQ(Toks[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, 16);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(Toks[1].FloatValue, 0.0625);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::FloatLiteral);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::IntLiteral);
+}
+
+TEST(Parser, SimpleFunction) {
+  auto CU = parseOk("double f(double x, double y) {\n"
+                    "  double z = x * y + 0.1;\n"
+                    "  return z;\n"
+                    "}\n");
+  FunctionDecl *F = CU->Ctx->tu().findFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getParams().size(), 2u);
+  EXPECT_TRUE(F->getReturnType()->isFloating());
+  ASSERT_TRUE(F->isDefinition());
+  EXPECT_EQ(F->getBody()->getBody().size(), 2u);
+}
+
+TEST(Parser, ArraysPointersLoops) {
+  auto CU = parseOk(
+      "void sor(int n, double a[10][10], double *b) {\n"
+      "  for (int i = 1; i < n - 1; i++) {\n"
+      "    for (int j = 1; j < n - 1; j++)\n"
+      "      a[i][j] = 0.25 * (a[i-1][j] + a[i+1][j] + a[i][j-1] + "
+      "a[i][j+1]);\n"
+      "  }\n"
+      "  while (n > 0) { n--; b[n] = a[0][n]; }\n"
+      "}\n");
+  FunctionDecl *F = CU->Ctx->tu().findFunction("sor");
+  ASSERT_NE(F, nullptr);
+  const Type *A = F->getParams()[1]->getType();
+  EXPECT_TRUE(A->isArray());
+  EXPECT_TRUE(A->getElement()->isArray());
+  EXPECT_EQ(A->getElement()->getArraySize(), 10u);
+  EXPECT_TRUE(F->getParams()[2]->getType()->isPointer());
+}
+
+TEST(Parser, PreambleAndGlobals) {
+  auto CU = parseOk("#include <math.h>\n"
+                    "#define N 10\n"
+                    "double G = 9.81;\n"
+                    "double f(void) { return G; }\n");
+  EXPECT_EQ(CU->Ctx->tu().PreambleLines.size(), 2u);
+  EXPECT_NE(CU->Ctx->tu().findFunction("f"), nullptr);
+}
+
+TEST(Parser, PragmaStatement) {
+  auto CU = parseOk("void f(double z) {\n"
+                    "#pragma safegen prioritize(z)\n"
+                    "  z = z * z;\n"
+                    "}\n");
+  FunctionDecl *F = CU->Ctx->tu().findFunction("f");
+  ASSERT_NE(F, nullptr);
+  const auto &Body = F->getBody()->getBody();
+  ASSERT_GE(Body.size(), 2u);
+  ASSERT_EQ(Body[0]->getKind(), Stmt::Kind::Pragma);
+  EXPECT_EQ(static_cast<PragmaStmt *>(Body[0])->getPrioritizedVar(), "z");
+}
+
+TEST(Parser, Errors) {
+  auto CU = parseSource("t.c", "double f( { }");
+  EXPECT_FALSE(CU->Success);
+  EXPECT_TRUE(CU->Diags.hasErrors());
+
+  auto CU2 = parseSource("t.c", "void f(void) { return undeclared_name; }");
+  EXPECT_FALSE(CU2->Success);
+}
+
+TEST(Sema, ImplicitIntToDoubleCast) {
+  auto CU = parseOk("double f(int i, double x) { return i * x; }");
+  FunctionDecl *F = CU->Ctx->tu().findFunction("f");
+  auto *Ret = static_cast<ReturnStmt *>(F->getBody()->getBody()[0]);
+  auto *Mul = static_cast<BinaryExpr *>(Ret->getValue());
+  ASSERT_EQ(Mul->getKind(), Expr::Kind::Binary);
+  EXPECT_TRUE(Mul->getType()->isFloating());
+  // The int operand must be wrapped in an implicit cast to double.
+  EXPECT_EQ(Mul->getLhs()->getKind(), Expr::Kind::Cast);
+  EXPECT_TRUE(Mul->getLhs()->getType()->isFloating());
+}
+
+TEST(Sema, SubscriptAndCalls) {
+  auto CU = parseOk("double f(double *a) { return sqrt(a[0]) + fabs(a[1]); }");
+  EXPECT_TRUE(CU->Success);
+  auto CU2 = parseSource("t.c", "double f(double x) { return x[0]; }");
+  EXPECT_FALSE(CU2->Success);
+}
+
+TEST(Sema, VectorIntrinsics) {
+  auto CU = parseOk("#include <immintrin.h>\n"
+                    "void f(double *a, double *b) {\n"
+                    "  __m256d va = _mm256_loadu_pd(a);\n"
+                    "  __m256d vb = _mm256_loadu_pd(b);\n"
+                    "  __m256d vc = _mm256_mul_pd(va, vb);\n"
+                    "  _mm256_storeu_pd(a, vc);\n"
+                    "}\n");
+  FunctionDecl *F = CU->Ctx->tu().findFunction("f");
+  ASSERT_NE(F, nullptr);
+}
+
+TEST(Printer, RoundTripParses) {
+  const char *Src = "double f(double x, double y) {\n"
+                    "  double acc = 0.0;\n"
+                    "  for (int i = 0; i < 10; i++) {\n"
+                    "    acc = acc + x * y - 0.1;\n"
+                    "    if (acc > 100.0) { acc = acc / 2.0; } else { acc++; }\n"
+                    "  }\n"
+                    "  return acc;\n"
+                    "}\n";
+  auto CU = parseOk(Src);
+  ASTPrinter P;
+  std::string Printed = P.print(CU->Ctx->tu());
+  // The printed output must itself parse and check cleanly.
+  auto CU2 = parseSource("printed.c", Printed);
+  EXPECT_TRUE(CU2->Success) << Printed << "\n" << CU2->Diags.renderAll();
+}
+
+TEST(Printer, PreservesLiteralSpelling) {
+  auto CU = parseOk("double f(void) { return 0.1; }");
+  ASTPrinter P;
+  std::string Printed = P.print(CU->Ctx->tu());
+  EXPECT_NE(Printed.find("0.1"), std::string::npos);
+}
+
+TEST(Printer, BenchmarkKernelsRoundTrip) {
+  // The actual benchmark input sources must parse, check, print and
+  // re-parse.
+  const char *Henon = "void henon(double *x, double *y, int n) {\n"
+                      "  for (int i = 0; i < n; i++) {\n"
+                      "    double xn = 1.0 - 1.05 * x[0] * x[0] + y[0];\n"
+                      "    double yn = 0.3 * x[0];\n"
+                      "    x[0] = xn;\n"
+                      "    y[0] = yn;\n"
+                      "  }\n"
+                      "}\n";
+  auto CU = parseOk(Henon);
+  ASTPrinter P;
+  auto CU2 = parseSource("p.c", P.print(CU->Ctx->tu()));
+  EXPECT_TRUE(CU2->Success) << CU2->Diags.renderAll();
+}

@@ -1,0 +1,220 @@
+//===- ia_test.cpp - Unit + property tests for interval arithmetic --------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ia/Interval.h"
+#include "ia/IntervalDD.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace safegen;
+using namespace safegen::ia;
+
+namespace {
+
+/// Fixture that keeps the FPU in upward mode (the sound runtime contract).
+class IaTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+  std::mt19937_64 Rng{12345};
+
+  double uniform(double Lo, double Hi) {
+    std::uniform_real_distribution<double> D(Lo, Hi);
+    return D(Rng);
+  }
+
+  Interval randomInterval() {
+    double A = uniform(-100.0, 100.0);
+    double W = uniform(0.0, 1.0);
+    return Interval(A, A + W);
+  }
+
+  /// A concrete point inside I.
+  double sample(const Interval &I) {
+    return I.Lo + (I.Hi - I.Lo) * uniform(0.0, 1.0);
+  }
+};
+
+} // namespace
+
+TEST_F(IaTest, AddSubContainExact) {
+  for (int T = 0; T < 2000; ++T) {
+    Interval A = randomInterval(), B = randomInterval();
+    double X = sample(A), Y = sample(B);
+    long double SumExact = static_cast<long double>(X) + Y;
+    long double DiffExact = static_cast<long double>(X) - Y;
+    Interval S = A + B, D = A - B;
+    EXPECT_LE(static_cast<long double>(S.Lo), SumExact);
+    EXPECT_GE(static_cast<long double>(S.Hi), SumExact);
+    EXPECT_LE(static_cast<long double>(D.Lo), DiffExact);
+    EXPECT_GE(static_cast<long double>(D.Hi), DiffExact);
+  }
+}
+
+TEST_F(IaTest, MulDivContainExact) {
+  for (int T = 0; T < 2000; ++T) {
+    Interval A = randomInterval(), B = randomInterval();
+    double X = sample(A), Y = sample(B);
+    Interval P = A * B;
+    long double ProdExact = static_cast<long double>(X) * Y;
+    EXPECT_LE(static_cast<long double>(P.Lo), ProdExact);
+    EXPECT_GE(static_cast<long double>(P.Hi), ProdExact);
+    if (!B.containsZero()) {
+      Interval Q = A / B;
+      long double QuotExact = static_cast<long double>(X) / Y;
+      EXPECT_LE(static_cast<long double>(Q.Lo), QuotExact);
+      EXPECT_GE(static_cast<long double>(Q.Hi), QuotExact);
+    }
+  }
+}
+
+TEST_F(IaTest, MulSignCases) {
+  Interval Pos(2.0, 3.0), Neg(-3.0, -2.0), Mixed(-1.0, 2.0);
+  EXPECT_EQ((Pos * Pos).Lo, 4.0);
+  EXPECT_EQ((Pos * Pos).Hi, 9.0);
+  EXPECT_EQ((Pos * Neg).Lo, -9.0);
+  EXPECT_EQ((Pos * Neg).Hi, -4.0);
+  EXPECT_EQ((Mixed * Pos).Lo, -3.0);
+  EXPECT_EQ((Mixed * Pos).Hi, 6.0);
+  EXPECT_EQ((Mixed * Mixed).Lo, -2.0);
+  EXPECT_EQ((Mixed * Mixed).Hi, 4.0);
+}
+
+TEST_F(IaTest, MulZeroTimesInfinity) {
+  Interval Zero(0.0, 0.0);
+  Interval Ent = Interval::entire();
+  Interval P = Zero * Ent;
+  EXPECT_FALSE(P.isNaN());
+  EXPECT_EQ(P.Lo, 0.0);
+  EXPECT_EQ(P.Hi, 0.0);
+}
+
+TEST_F(IaTest, DivByZeroIntervalIsEntireOrNaN) {
+  Interval A(1.0, 2.0);
+  Interval Z(-1.0, 1.0);
+  Interval Q = A / Z;
+  EXPECT_TRUE(std::isinf(Q.Lo) && std::isinf(Q.Hi));
+  Interval Q2 = A / Interval(0.0, 0.0);
+  EXPECT_TRUE(Q2.isNaN());
+}
+
+TEST_F(IaTest, DependencyProblemXMinusX) {
+  // The classic IA weakness (Sec. II-A): [0,1] - [0,1] = [-1,1].
+  Interval X(0.0, 1.0);
+  Interval D = X - X;
+  EXPECT_EQ(D.Lo, -1.0);
+  EXPECT_EQ(D.Hi, 1.0);
+}
+
+TEST_F(IaTest, SqrtSound) {
+  for (int T = 0; T < 1000; ++T) {
+    double A = uniform(0.0, 100.0);
+    double W = uniform(0.0, 1.0);
+    Interval I(A, A + W);
+    double X = sample(I);
+    Interval R = ia::sqrt(I);
+    long double Exact = std::sqrt(static_cast<long double>(X));
+    EXPECT_LE(static_cast<long double>(R.Lo), Exact);
+    EXPECT_GE(static_cast<long double>(R.Hi), Exact);
+  }
+  EXPECT_TRUE(ia::sqrt(Interval(-2.0, -1.0)).isNaN());
+}
+
+TEST_F(IaTest, ExpLogSound) {
+  for (int T = 0; T < 500; ++T) {
+    Interval I(uniform(0.1, 5.0), 0.0);
+    I.Hi = I.Lo + uniform(0.0, 1.0);
+    double X = sample(I);
+    Interval E = ia::exp(I);
+    EXPECT_LE(E.Lo, std::exp(X));
+    EXPECT_GE(E.Hi, std::exp(X));
+    Interval L = ia::log(I);
+    EXPECT_LE(L.Lo, std::log(X));
+    EXPECT_GE(L.Hi, std::log(X));
+  }
+}
+
+TEST_F(IaTest, Comparisons) {
+  Interval A(1.0, 2.0), B(3.0, 4.0), C(1.5, 3.5);
+  EXPECT_EQ(less(A, B), Tribool::True);
+  EXPECT_EQ(less(B, A), Tribool::False);
+  EXPECT_EQ(less(A, C), Tribool::Unknown);
+  EXPECT_EQ(lessEqual(Interval(2.0), Interval(2.0)), Tribool::True);
+  EXPECT_EQ(equal(Interval(2.0), Interval(2.0)), Tribool::True);
+  EXPECT_EQ(equal(A, B), Tribool::False);
+  EXPECT_EQ(equal(A, C), Tribool::Unknown);
+}
+
+TEST_F(IaTest, ConstantWidening) {
+  Interval C = Interval::fromConstant(0.1);
+  EXPECT_LT(C.Lo, 0.1);
+  EXPECT_GT(C.Hi, 0.1);
+  // Must contain the true decimal value 1/10.
+  EXPECT_LE(static_cast<long double>(C.Lo), 0.1L);
+  EXPECT_GE(static_cast<long double>(C.Hi), 0.1L);
+}
+
+TEST_F(IaTest, NaNPropagates) {
+  Interval N = Interval::nan();
+  EXPECT_TRUE((N + Interval(1.0)).isNaN());
+  EXPECT_TRUE((N * Interval(1.0)).isNaN());
+  EXPECT_TRUE(ia::sqrt(N).isNaN());
+}
+
+TEST_F(IaTest, HullAndAbs) {
+  Interval A(-2.0, 1.0);
+  EXPECT_EQ(ia::abs(A).Lo, 0.0);
+  EXPECT_EQ(ia::abs(A).Hi, 2.0);
+  Interval H = hull(Interval(1.0, 2.0), Interval(5.0, 6.0));
+  EXPECT_EQ(H.Lo, 1.0);
+  EXPECT_EQ(H.Hi, 6.0);
+}
+
+//===----------------------------------------------------------------------===//
+// IntervalDD
+//===----------------------------------------------------------------------===//
+
+TEST_F(IaTest, DDAddMulContainExact) {
+  for (int T = 0; T < 1000; ++T) {
+    double X = uniform(-100.0, 100.0), Y = uniform(-100.0, 100.0);
+    IntervalDD A(X), B(Y);
+    IntervalDD S = A + B;
+    long double SumExact = static_cast<long double>(X) + Y;
+    EXPECT_LE(static_cast<long double>(S.Lo.Hi) + S.Lo.Lo, SumExact);
+    EXPECT_GE(static_cast<long double>(S.Hi.Hi) + S.Hi.Lo, SumExact);
+    IntervalDD P = A * B;
+    long double ProdExact = static_cast<long double>(X) * Y;
+    EXPECT_LE(static_cast<long double>(P.Lo.Hi) + P.Lo.Lo, ProdExact);
+    EXPECT_GE(static_cast<long double>(P.Hi.Hi) + P.Hi.Lo, ProdExact);
+  }
+}
+
+TEST_F(IaTest, DDTighterThanF64) {
+  // Summing many inexact terms: dd endpoints must certify more bits.
+  Interval S64(0.0);
+  IntervalDD SDD(0.0);
+  Interval C = Interval::fromConstant(0.1);
+  IntervalDD CDD(fp::DD(C.Lo), fp::DD(C.Hi));
+  for (int I = 0; I < 1000; ++I) {
+    S64 = S64 + C * C;
+    SDD = SDD + CDD * CDD;
+  }
+  Interval SDDCollapsed = SDD.toInterval();
+  EXPECT_LE(S64.Lo, SDDCollapsed.Lo);
+  EXPECT_GE(S64.Hi, SDDCollapsed.Hi);
+}
+
+TEST_F(IaTest, DDDivSound) {
+  IntervalDD A(1.0), B(3.0);
+  IntervalDD Q = A / B;
+  long double Exact = 1.0L / 3.0L;
+  EXPECT_LE(static_cast<long double>(Q.Lo.Hi) + Q.Lo.Lo, Exact);
+  EXPECT_GE(static_cast<long double>(Q.Hi.Hi) + Q.Hi.Lo, Exact);
+  // dd quotient must be far tighter than one double ulp.
+  EXPECT_LE(Q.Hi.Hi - Q.Lo.Hi, fp::ulp(0.34));
+}

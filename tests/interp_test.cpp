@@ -1,0 +1,220 @@
+//===- interp_test.cpp - Sound interpreter tests --------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter is an independent implementation of the sound
+/// semantics, so it doubles as an oracle: its enclosures must contain the
+/// exact reference results and agree (up to fusion nondeterminism-free
+/// equality of the op sequence) with the template-kernel path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Interpreter.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace safegen;
+using namespace safegen::core;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+
+  std::unique_ptr<frontend::CompilationUnit> parseOk(const char *Src) {
+    auto CU = frontend::parseSource("t.c", Src);
+    EXPECT_TRUE(CU->Success) << CU->Diags.renderAll();
+    return CU;
+  }
+};
+
+} // namespace
+
+TEST_F(InterpTest, ScalarReturn) {
+  auto CU = parseOk("double f(double a, double b) { return a * b + 0.5; }");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 8;
+  aa::AffineEnvScope Env(Cfg);
+  Interpreter I(CU->Ctx->tu());
+  std::vector<Value> Args = {Value::makeAffine(aa::F64a::input(0.25, 0.0)),
+                             Value::makeAffine(aa::F64a::input(0.5, 0.0))};
+  InterpResult R = I.call("f", std::move(Args));
+  ASSERT_TRUE(R.Success) << R.Error;
+  ASSERT_TRUE(R.ReturnValue.isAffine());
+  ia::Interval Range = R.ReturnValue.asAffine().toInterval();
+  EXPECT_LE(Range.Lo, 0.625);
+  EXPECT_GE(Range.Hi, 0.625);
+  EXPECT_LT(Range.width(), 1e-14);
+}
+
+TEST_F(InterpTest, ControlFlowAndIntegers) {
+  auto CU = parseOk("int collatz_steps(int n) {\n"
+                    "  int steps = 0;\n"
+                    "  while (n != 1) {\n"
+                    "    if (n % 2 == 0) n = n / 2;\n"
+                    "    else n = 3 * n + 1;\n"
+                    "    steps++;\n"
+                    "  }\n"
+                    "  return steps;\n"
+                    "}\n");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  aa::AffineEnvScope Env(Cfg);
+  Interpreter I(CU->Ctx->tu());
+  InterpResult R = I.call("collatz_steps", {Value::makeInt(27)});
+  ASSERT_TRUE(R.Success) << R.Error;
+  EXPECT_EQ(R.ReturnValue.asInt(), 111);
+}
+
+TEST_F(InterpTest, ArraysAndNestedCalls) {
+  auto CU = parseOk("double dot(double *a, double *b, int n) {\n"
+                    "  double acc = 0.0;\n"
+                    "  for (int i = 0; i < n; i++)\n"
+                    "    acc = acc + a[i] * b[i];\n"
+                    "  return acc;\n"
+                    "}\n"
+                    "double norm2(double *a, int n) {\n"
+                    "  return dot(a, a, n);\n"
+                    "}\n");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 16;
+  aa::AffineEnvScope Env(Cfg);
+  Interpreter I(CU->Ctx->tu());
+  Value A = Value::makeArray(3);
+  for (int J = 0; J < 3; ++J)
+    A.elems()[J] = Value::makeAffine(aa::F64a::input(J + 1.0, 0.0));
+  InterpResult R = I.call("norm2", {A, Value::makeInt(3)});
+  ASSERT_TRUE(R.Success) << R.Error;
+  ia::Interval Range = R.ReturnValue.asAffine().toInterval();
+  EXPECT_LE(Range.Lo, 14.0);
+  EXPECT_GE(Range.Hi, 14.0);
+}
+
+TEST_F(InterpTest, ArrayArgumentsAreMutableReferences) {
+  auto CU = parseOk("void scale(double *a, int n, double s) {\n"
+                    "  for (int i = 0; i < n; i++) a[i] = a[i] * s;\n"
+                    "}\n");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  aa::AffineEnvScope Env(Cfg);
+  Interpreter I(CU->Ctx->tu());
+  Value A = Value::makeArray(2);
+  A.elems()[0] = Value::makeAffine(aa::F64a::input(1.0, 0.0));
+  A.elems()[1] = Value::makeAffine(aa::F64a::input(2.0, 0.0));
+  InterpResult R = I.call(
+      "scale", {A, Value::makeInt(2),
+                Value::makeAffine(aa::F64a::exact(3.0))});
+  ASSERT_TRUE(R.Success) << R.Error;
+  EXPECT_NEAR(A.elems()[0].asAffine().mid(), 3.0, 1e-12);
+  EXPECT_NEAR(A.elems()[1].asAffine().mid(), 6.0, 1e-12);
+}
+
+TEST_F(InterpTest, HenonMatchesReference) {
+  auto CU = frontend::parseFile(std::string(SAFEGEN_BENCH_DIR) + "/henon.c");
+  ASSERT_TRUE(CU && CU->Success);
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 16;
+  aa::AffineEnvScope Env(Cfg);
+  Interpreter I(CU->Ctx->tu());
+  Value X = Value::makeArray(1), Y = Value::makeArray(1);
+  X.elems()[0] = Value::makeAffine(aa::F64a::input(0.3, 0.0));
+  Y.elems()[0] = Value::makeAffine(aa::F64a::input(0.2, 0.0));
+  InterpResult R = I.call("henon", {X, Y, Value::makeInt(20)});
+  ASSERT_TRUE(R.Success) << R.Error;
+  long double Xr = 0.3L, Yr = 0.2L;
+  for (int It = 0; It < 20; ++It) {
+    long double Xn = 1.0L - 1.05L * (Xr * Xr) + Yr;
+    Yr = 0.3L * Xr;
+    Xr = Xn;
+  }
+  ia::Interval RX = X.elems()[0].asAffine().toInterval();
+  EXPECT_LE(static_cast<long double>(RX.Lo), Xr);
+  EXPECT_GE(static_cast<long double>(RX.Hi), Xr);
+}
+
+TEST_F(InterpTest, PragmaPrioritizeHonoured) {
+  auto CU = parseOk("double f(double z) {\n"
+                    "#pragma safegen prioritize(z)\n"
+                    "  return z * z - z;\n"
+                    "}\n");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+  Cfg.K = 4;
+  aa::AffineEnvScope Env(Cfg);
+  Interpreter I(CU->Ctx->tu());
+  InterpResult R =
+      I.call("f", {Value::makeAffine(aa::F64a::input(0.5, 0.25))});
+  ASSERT_TRUE(R.Success) << R.Error;
+  // The context must have seen a protection.
+  EXPECT_TRUE(aa::env().Context.hasProtected());
+}
+
+TEST_F(InterpTest, ErrorsSurfaceGracefully) {
+  auto CU = parseOk("double f(double *a) { return a[3]; }\n"
+                    "int g(int n) { while (1) { n++; } return n; }\n"
+                    "double h(double x) { return x; }\n");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  aa::AffineEnvScope Env(Cfg);
+
+  // Out-of-bounds subscript.
+  Interpreter I(CU->Ctx->tu());
+  Value A = Value::makeArray(2);
+  A.elems()[0] = Value::makeAffine(aa::F64a::exact(0.0));
+  A.elems()[1] = Value::makeAffine(aa::F64a::exact(0.0));
+  InterpResult R = I.call("f", {A});
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+
+  // Step budget stops the infinite loop.
+  InterpreterOptions Opts;
+  Opts.StepBudget = 10000;
+  Interpreter I2(CU->Ctx->tu(), Opts);
+  InterpResult R2 = I2.call("g", {Value::makeInt(0)});
+  EXPECT_FALSE(R2.Success);
+  EXPECT_NE(R2.Error.find("budget"), std::string::npos);
+
+  // Wrong arity.
+  InterpResult R3 = I.call("h", {});
+  EXPECT_FALSE(R3.Success);
+
+  // Unknown function.
+  InterpResult R4 = I.call("nope", {});
+  EXPECT_FALSE(R4.Success);
+}
+
+TEST_F(InterpTest, MathBuiltins) {
+  auto CU = parseOk(
+      "double f(double x) { return sqrt(x) + fabs(0.0 - x) + fmax(x, 2.0); }");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 16;
+  aa::AffineEnvScope Env(Cfg);
+  Interpreter I(CU->Ctx->tu());
+  InterpResult R =
+      I.call("f", {Value::makeAffine(aa::F64a::input(4.0, 0.0))});
+  ASSERT_TRUE(R.Success) << R.Error;
+  // sqrt(4) + |−4| + max(4,2) = 10.
+  ia::Interval Range = R.ReturnValue.asAffine().toInterval();
+  EXPECT_LE(Range.Lo, 10.0);
+  EXPECT_GE(Range.Hi, 10.0);
+  EXPECT_LT(Range.width(), 1e-10);
+}
+
+TEST_F(InterpTest, MakeDefaultArgShapes) {
+  auto CU = parseOk("void f(double a[3][2], double *p, int n, double x) {}");
+  frontend::FunctionDecl *F = CU->Ctx->tu().findFunction("f");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  aa::AffineEnvScope Env(Cfg);
+  Value A = Interpreter::makeDefaultArg(F->getParams()[0]->getType(), 0.5);
+  ASSERT_TRUE(A.isArray());
+  ASSERT_EQ(A.elems().size(), 3u);
+  ASSERT_TRUE(A.elems()[0].isArray());
+  EXPECT_EQ(A.elems()[0].elems().size(), 2u);
+  Value P = Interpreter::makeDefaultArg(F->getParams()[1]->getType(), 0.5);
+  EXPECT_TRUE(P.isArray());
+  Value N = Interpreter::makeDefaultArg(F->getParams()[2]->getType(), 7.0);
+  EXPECT_EQ(N.asInt(), 7);
+  Value X = Interpreter::makeDefaultArg(F->getParams()[3]->getType(), 0.5);
+  EXPECT_TRUE(X.isAffine());
+}

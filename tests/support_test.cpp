@@ -1,0 +1,81 @@
+//===- support_test.cpp - Support library tests ---------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace safegen;
+
+TEST(SourceManager, LineTableAndLookup) {
+  SourceManager SM;
+  SM.setMainBuffer("t.c", "abc\ndef\n\nxyz");
+  EXPECT_EQ(SM.getNumLines(), 4u);
+  EXPECT_EQ(SM.getLine(1), "abc");
+  EXPECT_EQ(SM.getLine(2), "def");
+  EXPECT_EQ(SM.getLine(3), "");
+  EXPECT_EQ(SM.getLine(4), "xyz");
+  EXPECT_EQ(SM.getLine(5), "");
+
+  SourceLocation L = SM.locationForOffset(5); // 'e' in "def"
+  EXPECT_EQ(L.Line, 2u);
+  EXPECT_EQ(L.Column, 2u);
+  EXPECT_EQ(L.str(), "2:2");
+  EXPECT_EQ(SM.locationForOffset(0).Line, 1u);
+}
+
+TEST(SourceManager, CrlfStripped) {
+  SourceManager SM;
+  SM.setMainBuffer("t.c", "one\r\ntwo\r\n");
+  EXPECT_EQ(SM.getLine(1), "one");
+  EXPECT_EQ(SM.getLine(2), "two");
+}
+
+TEST(Diagnostics, RenderWithCaret) {
+  SourceManager SM;
+  SM.setMainBuffer("t.c", "double x = bad;\n");
+  DiagnosticsEngine Diags(&SM);
+  Diags.error(SM.locationForOffset(11), "use of undeclared identifier");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.getNumErrors(), 1u);
+  std::string Out = Diags.renderAll();
+  EXPECT_NE(Out.find("t.c:1:12: error: use of undeclared identifier"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("^"), std::string::npos);
+}
+
+TEST(Diagnostics, WarningsAreNotErrors) {
+  DiagnosticsEngine Diags;
+  Diags.warning(SourceLocation(), "something");
+  Diags.note(SourceLocation(), "else");
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Diags.getAll().size(), 2u);
+}
+
+TEST(StringUtils, TrimSplitJoin) {
+  EXPECT_EQ(trim("  a b\t"), "a b");
+  EXPECT_EQ(trim(""), "");
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(endsWith("foobar", "bar"));
+}
+
+TEST(StringUtils, FormatDoubleExactRoundTrips) {
+  for (double V : {0.1, 1.0, -3.5, 1e300, 0x1.fffffffffffffp-2,
+                   4.9406564584124654e-324}) {
+    std::string S = formatDoubleExact(V);
+    double Back = std::strtod(S.c_str(), nullptr);
+    EXPECT_EQ(Back, V) << S;
+  }
+  EXPECT_EQ(formatDoubleExact(42.0), "42.0"); // parses as double in C
+}

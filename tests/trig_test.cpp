@@ -1,0 +1,127 @@
+//===- trig_test.cpp - Sound sine/cosine tests ----------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "ia/Interval.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace safegen;
+
+namespace {
+
+class TrigTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+  std::mt19937_64 Rng{4242};
+  double uniform(double Lo, double Hi) {
+    std::uniform_real_distribution<double> D(Lo, Hi);
+    return D(Rng);
+  }
+};
+
+} // namespace
+
+TEST_F(TrigTest, IntervalSinCosContainment) {
+  for (int Trial = 0; Trial < 4000; ++Trial) {
+    double Center = uniform(-1000.0, 1000.0);
+    double Width = uniform(0.0, Trial % 3 == 0 ? 8.0 : 0.5);
+    ia::Interval A(Center - Width / 2, Center + Width / 2);
+    ia::Interval S = ia::sin(A);
+    ia::Interval C = ia::cos(A);
+    // Sample points inside A.
+    for (int P = 0; P < 8; ++P) {
+      double X = A.Lo + (A.Hi - A.Lo) * uniform(0.0, 1.0);
+      long double SE = sinl(static_cast<long double>(X));
+      long double CE = cosl(static_cast<long double>(X));
+      EXPECT_LE(static_cast<long double>(S.Lo), SE) << "x = " << X;
+      EXPECT_GE(static_cast<long double>(S.Hi), SE) << "x = " << X;
+      EXPECT_LE(static_cast<long double>(C.Lo), CE) << "x = " << X;
+      EXPECT_GE(static_cast<long double>(C.Hi), CE) << "x = " << X;
+    }
+    // Ranges always within [-1, 1].
+    EXPECT_GE(S.Lo, -1.0);
+    EXPECT_LE(S.Hi, 1.0);
+  }
+}
+
+TEST_F(TrigTest, IntervalExtremaDetected) {
+  // [1, 2] contains pi/2: sin max is exactly 1.
+  EXPECT_EQ(ia::sin(ia::Interval(1.0, 2.0)).Hi, 1.0);
+  // [3, 4] contains pi: cos min is exactly -1.
+  EXPECT_EQ(ia::cos(ia::Interval(3.0, 4.0)).Lo, -1.0);
+  // [0.1, 0.2] is monotone for sin: strictly inside (0, 1).
+  ia::Interval S = ia::sin(ia::Interval(0.1, 0.2));
+  EXPECT_GT(S.Lo, 0.0);
+  EXPECT_LT(S.Hi, 0.5);
+  // Huge arguments fall back to [-1, 1].
+  ia::Interval Big = ia::sin(ia::Interval(1e20, 1e20));
+  EXPECT_EQ(Big.Lo, -1.0);
+  EXPECT_EQ(Big.Hi, 1.0);
+  // Width beyond a period covers everything.
+  ia::Interval Wide = ia::cos(ia::Interval(0.0, 10.0));
+  EXPECT_EQ(Wide.Lo, -1.0);
+  EXPECT_EQ(Wide.Hi, 1.0);
+}
+
+TEST_F(TrigTest, AffineSinCosSound) {
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 16;
+  aa::AffineEnvScope Env(Cfg);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    double Center = uniform(-50.0, 50.0);
+    double Dev = uniform(0.0, 0.3);
+    aa::F64a X = aa::F64a::input(Center, Dev);
+    aa::F64a S = aa::sin(X);
+    aa::F64a C = aa::cos(X);
+    ia::Interval RS = S.toInterval(), RC = C.toInterval();
+    for (int P = 0; P < 4; ++P) {
+      double Xi = Center + Dev * uniform(-1.0, 1.0);
+      EXPECT_LE(static_cast<long double>(RS.Lo), sinl(Xi));
+      EXPECT_GE(static_cast<long double>(RS.Hi), sinl(Xi));
+      EXPECT_LE(static_cast<long double>(RC.Lo), cosl(Xi));
+      EXPECT_GE(static_cast<long double>(RC.Hi), cosl(Xi));
+    }
+  }
+}
+
+TEST_F(TrigTest, AffineSinKeepsCorrelationOnSmallRanges) {
+  // Inside a quarter period the linearization keeps the input symbol:
+  // sin(x) - alpha*x should cancel most of the deviation.
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 16;
+  aa::AffineEnvScope Env(Cfg);
+  aa::F64a X = aa::F64a::input(0.3, 0.01);
+  aa::F64a S = aa::sin(X);
+  // Correlated difference: sin(x) - x*cos(0.3) has a much smaller range
+  // than the uncorrelated hulls would give.
+  aa::F64a D = S - X * aa::F64a::exact(std::cos(0.3));
+  double WidthCorrelated = D.toInterval().width();
+  // Uncorrelated: hull of sin range minus hull of scaled x range.
+  ia::Interval HS = S.toInterval();
+  ia::Interval HX = X.toInterval();
+  fp::RoundUpwardScope R2;
+  ia::Interval DUncorr = HS - HX * ia::Interval(std::cos(0.3));
+  EXPECT_LT(WidthCorrelated, 0.25 * DUncorr.width())
+      << "linearization lost the correlation";
+}
+
+TEST_F(TrigTest, PipelineAndInterpreterSinCos) {
+  // sin/cos flow through the full rewriter naming.
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dsnn");
+  Cfg.K = 8;
+  aa::AffineEnvScope Env(Cfg);
+  aa::F64a X = aa::F64a::input(0.7, 0.0);
+  aa::F64a Y = aa::sin(X) * aa::sin(X) + aa::cos(X) * aa::cos(X);
+  // sin^2 + cos^2 = 1; correlation is only partial (two different
+  // linearizations), but the enclosure must contain 1.
+  ia::Interval R = Y.toInterval();
+  EXPECT_LE(R.Lo, 1.0);
+  EXPECT_GE(R.Hi, 1.0);
+  EXPECT_LT(R.width(), 0.1);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_demo.dir/analysis_demo.cpp.o"
+  "CMakeFiles/analysis_demo.dir/analysis_demo.cpp.o.d"
+  "analysis_demo"
+  "analysis_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_henon.dir/generated_henon_main.cpp.o"
+  "CMakeFiles/generated_henon.dir/generated_henon_main.cpp.o.d"
+  "CMakeFiles/generated_henon.dir/henon_gen.cpp.o"
+  "CMakeFiles/generated_henon.dir/henon_gen.cpp.o.d"
+  "generated_henon"
+  "generated_henon.pdb"
+  "henon_gen.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_henon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/henon_demo.dir/henon_demo.cpp.o"
+  "CMakeFiles/henon_demo.dir/henon_demo.cpp.o.d"
+  "henon_demo"
+  "henon_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/henon_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_fgm.dir/mpc_fgm.cpp.o"
+  "CMakeFiles/mpc_fgm.dir/mpc_fgm.cpp.o.d"
+  "mpc_fgm"
+  "mpc_fgm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_fgm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

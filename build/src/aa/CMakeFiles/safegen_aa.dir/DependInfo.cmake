@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aa/Affine.cpp" "src/aa/CMakeFiles/safegen_aa.dir/Affine.cpp.o" "gcc" "src/aa/CMakeFiles/safegen_aa.dir/Affine.cpp.o.d"
+  "/root/repo/src/aa/AffineBig.cpp" "src/aa/CMakeFiles/safegen_aa.dir/AffineBig.cpp.o" "gcc" "src/aa/CMakeFiles/safegen_aa.dir/AffineBig.cpp.o.d"
+  "/root/repo/src/aa/Policy.cpp" "src/aa/CMakeFiles/safegen_aa.dir/Policy.cpp.o" "gcc" "src/aa/CMakeFiles/safegen_aa.dir/Policy.cpp.o.d"
+  "/root/repo/src/aa/Simd.cpp" "src/aa/CMakeFiles/safegen_aa.dir/Simd.cpp.o" "gcc" "src/aa/CMakeFiles/safegen_aa.dir/Simd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ia/CMakeFiles/safegen_ia.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/safegen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

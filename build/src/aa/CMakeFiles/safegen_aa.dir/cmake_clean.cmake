@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen_aa.dir/Affine.cpp.o"
+  "CMakeFiles/safegen_aa.dir/Affine.cpp.o.d"
+  "CMakeFiles/safegen_aa.dir/AffineBig.cpp.o"
+  "CMakeFiles/safegen_aa.dir/AffineBig.cpp.o.d"
+  "CMakeFiles/safegen_aa.dir/Policy.cpp.o"
+  "CMakeFiles/safegen_aa.dir/Policy.cpp.o.d"
+  "CMakeFiles/safegen_aa.dir/Simd.cpp.o"
+  "CMakeFiles/safegen_aa.dir/Simd.cpp.o.d"
+  "libsafegen_aa.a"
+  "libsafegen_aa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen_aa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for safegen_aa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Annotate.cpp" "src/analysis/CMakeFiles/safegen_analysis.dir/Annotate.cpp.o" "gcc" "src/analysis/CMakeFiles/safegen_analysis.dir/Annotate.cpp.o.d"
+  "/root/repo/src/analysis/DAG.cpp" "src/analysis/CMakeFiles/safegen_analysis.dir/DAG.cpp.o" "gcc" "src/analysis/CMakeFiles/safegen_analysis.dir/DAG.cpp.o.d"
+  "/root/repo/src/analysis/Reuse.cpp" "src/analysis/CMakeFiles/safegen_analysis.dir/Reuse.cpp.o" "gcc" "src/analysis/CMakeFiles/safegen_analysis.dir/Reuse.cpp.o.d"
+  "/root/repo/src/analysis/TAC.cpp" "src/analysis/CMakeFiles/safegen_analysis.dir/TAC.cpp.o" "gcc" "src/analysis/CMakeFiles/safegen_analysis.dir/TAC.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/safegen_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/safegen_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/safegen_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

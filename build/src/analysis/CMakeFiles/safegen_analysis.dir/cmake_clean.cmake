@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen_analysis.dir/Annotate.cpp.o"
+  "CMakeFiles/safegen_analysis.dir/Annotate.cpp.o.d"
+  "CMakeFiles/safegen_analysis.dir/DAG.cpp.o"
+  "CMakeFiles/safegen_analysis.dir/DAG.cpp.o.d"
+  "CMakeFiles/safegen_analysis.dir/Reuse.cpp.o"
+  "CMakeFiles/safegen_analysis.dir/Reuse.cpp.o.d"
+  "CMakeFiles/safegen_analysis.dir/TAC.cpp.o"
+  "CMakeFiles/safegen_analysis.dir/TAC.cpp.o.d"
+  "libsafegen_analysis.a"
+  "libsafegen_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

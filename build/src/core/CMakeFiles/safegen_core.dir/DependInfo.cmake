@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Interpreter.cpp" "src/core/CMakeFiles/safegen_core.dir/Interpreter.cpp.o" "gcc" "src/core/CMakeFiles/safegen_core.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/core/Rewriter.cpp" "src/core/CMakeFiles/safegen_core.dir/Rewriter.cpp.o" "gcc" "src/core/CMakeFiles/safegen_core.dir/Rewriter.cpp.o.d"
+  "/root/repo/src/core/SafeGen.cpp" "src/core/CMakeFiles/safegen_core.dir/SafeGen.cpp.o" "gcc" "src/core/CMakeFiles/safegen_core.dir/SafeGen.cpp.o.d"
+  "/root/repo/src/core/SimdToC.cpp" "src/core/CMakeFiles/safegen_core.dir/SimdToC.cpp.o" "gcc" "src/core/CMakeFiles/safegen_core.dir/SimdToC.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/safegen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/safegen_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/aa/CMakeFiles/safegen_aa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/safegen_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/safegen_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ia/CMakeFiles/safegen_ia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

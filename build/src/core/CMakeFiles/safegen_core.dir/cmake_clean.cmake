@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen_core.dir/Interpreter.cpp.o"
+  "CMakeFiles/safegen_core.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/safegen_core.dir/Rewriter.cpp.o"
+  "CMakeFiles/safegen_core.dir/Rewriter.cpp.o.d"
+  "CMakeFiles/safegen_core.dir/SafeGen.cpp.o"
+  "CMakeFiles/safegen_core.dir/SafeGen.cpp.o.d"
+  "CMakeFiles/safegen_core.dir/SimdToC.cpp.o"
+  "CMakeFiles/safegen_core.dir/SimdToC.cpp.o.d"
+  "libsafegen_core.a"
+  "libsafegen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen.dir/safegen_main.cpp.o"
+  "CMakeFiles/safegen.dir/safegen_main.cpp.o.d"
+  "safegen"
+  "safegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

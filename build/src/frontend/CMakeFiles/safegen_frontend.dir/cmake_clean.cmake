@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen_frontend.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/safegen_frontend.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/safegen_frontend.dir/Frontend.cpp.o"
+  "CMakeFiles/safegen_frontend.dir/Frontend.cpp.o.d"
+  "CMakeFiles/safegen_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/safegen_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/safegen_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/safegen_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/safegen_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/safegen_frontend.dir/Sema.cpp.o.d"
+  "CMakeFiles/safegen_frontend.dir/Type.cpp.o"
+  "CMakeFiles/safegen_frontend.dir/Type.cpp.o.d"
+  "libsafegen_frontend.a"
+  "libsafegen_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

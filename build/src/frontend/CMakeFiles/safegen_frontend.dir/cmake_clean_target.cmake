@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsafegen_frontend.a"
+)

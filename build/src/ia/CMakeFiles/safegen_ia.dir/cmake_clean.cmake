@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen_ia.dir/Interval.cpp.o"
+  "CMakeFiles/safegen_ia.dir/Interval.cpp.o.d"
+  "CMakeFiles/safegen_ia.dir/IntervalDD.cpp.o"
+  "CMakeFiles/safegen_ia.dir/IntervalDD.cpp.o.d"
+  "libsafegen_ia.a"
+  "libsafegen_ia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen_ia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

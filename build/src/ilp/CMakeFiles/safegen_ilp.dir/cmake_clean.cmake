@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen_ilp.dir/BranchBound.cpp.o"
+  "CMakeFiles/safegen_ilp.dir/BranchBound.cpp.o.d"
+  "CMakeFiles/safegen_ilp.dir/Simplex.cpp.o"
+  "CMakeFiles/safegen_ilp.dir/Simplex.cpp.o.d"
+  "libsafegen_ilp.a"
+  "libsafegen_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safegen_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/safegen_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/safegen_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/safegen_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/safegen_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/safegen_support.dir/StringUtils.cpp.o.d"
+  "libsafegen_support.a"
+  "libsafegen_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safegen_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_mixedk_test.dir/aa_mixedk_test.cpp.o"
+  "CMakeFiles/aa_mixedk_test.dir/aa_mixedk_test.cpp.o.d"
+  "aa_mixedk_test"
+  "aa_mixedk_test.pdb"
+  "aa_mixedk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_mixedk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_property_test.dir/aa_property_test.cpp.o"
+  "CMakeFiles/aa_property_test.dir/aa_property_test.cpp.o.d"
+  "aa_property_test"
+  "aa_property_test.pdb"
+  "aa_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

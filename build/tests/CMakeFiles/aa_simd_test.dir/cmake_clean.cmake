@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aa_simd_test.dir/aa_simd_test.cpp.o"
+  "CMakeFiles/aa_simd_test.dir/aa_simd_test.cpp.o.d"
+  "aa_simd_test"
+  "aa_simd_test.pdb"
+  "aa_simd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aa_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

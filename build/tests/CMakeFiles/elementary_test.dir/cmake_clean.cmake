@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elementary_test.dir/elementary_test.cpp.o"
+  "CMakeFiles/elementary_test.dir/elementary_test.cpp.o.d"
+  "elementary_test"
+  "elementary_test.pdb"
+  "elementary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elementary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

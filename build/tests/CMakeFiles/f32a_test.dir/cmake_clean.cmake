@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f32a_test.dir/f32a_test.cpp.o"
+  "CMakeFiles/f32a_test.dir/f32a_test.cpp.o.d"
+  "f32a_test"
+  "f32a_test.pdb"
+  "f32a_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f32a_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

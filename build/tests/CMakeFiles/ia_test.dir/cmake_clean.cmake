@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ia_test.dir/ia_test.cpp.o"
+  "CMakeFiles/ia_test.dir/ia_test.cpp.o.d"
+  "ia_test"
+  "ia_test.pdb"
+  "ia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

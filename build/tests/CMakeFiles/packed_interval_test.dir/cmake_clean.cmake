@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_interval_test.dir/packed_interval_test.cpp.o"
+  "CMakeFiles/packed_interval_test.dir/packed_interval_test.cpp.o.d"
+  "packed_interval_test"
+  "packed_interval_test.pdb"
+  "packed_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

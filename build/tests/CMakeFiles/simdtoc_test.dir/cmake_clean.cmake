@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdtoc_test.dir/simdtoc_test.cpp.o"
+  "CMakeFiles/simdtoc_test.dir/simdtoc_test.cpp.o.d"
+  "simdtoc_test"
+  "simdtoc_test.pdb"
+  "simdtoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdtoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

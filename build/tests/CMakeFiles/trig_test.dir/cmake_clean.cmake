@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trig_test.dir/trig_test.cpp.o"
+  "CMakeFiles/trig_test.dir/trig_test.cpp.o.d"
+  "trig_test"
+  "trig_test.pdb"
+  "trig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

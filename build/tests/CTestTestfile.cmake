@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fp_test[1]_include.cmake")
+include("/root/repo/build/tests/ia_test[1]_include.cmake")
+include("/root/repo/build/tests/aa_test[1]_include.cmake")
+include("/root/repo/build/tests/aa_property_test[1]_include.cmake")
+include("/root/repo/build/tests/aa_simd_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/e2e_safegen_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/simdtoc_test[1]_include.cmake")
+include("/root/repo/build/tests/aa_mixedk_test[1]_include.cmake")
+include("/root/repo/build/tests/trig_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/elementary_test[1]_include.cmake")
+include("/root/repo/build/tests/f32a_test[1]_include.cmake")
+include("/root/repo/build/tests/packed_interval_test[1]_include.cmake")

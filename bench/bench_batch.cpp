@@ -1,0 +1,182 @@
+//===- bench_batch.cpp - Cross-instance batch engine throughput -----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the batched SoA evaluation engine (aa::Batch) against the
+/// per-form path: the same straight-line sound kernel evaluated over N
+/// independent instances, once as a scalar loop of F64a operations (the
+/// paper's within-form AVX2 kernels, config f64a-dspv) and once through
+/// the cross-instance engine, sweeping the symbol budget K, the batch
+/// size, and the worker count of the work-stealing pool.
+///
+/// Output: CSV `path,config,k,batch,threads,ns_per_element` on stdout
+/// (comment lines start with '#'). scripts/run_benchmarks.py turns this
+/// into BENCH_batch.json and checks regressions against the committed
+/// baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/Batch.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+template <typename T> inline void doNotOptimize(T &Value) {
+  asm volatile("" : : "g"(&Value) : "memory");
+}
+
+/// The per-element workload: ~11 affine ops (5 mul, 6 add/sub), enough
+/// mix to exercise both kernels and the fresh-error insertion path.
+template <typename V> V kernel(const V &X) {
+  V T = X * X - X;
+  V U = T * X + V(0.5);
+  V W = U * U - T;
+  return (W + X) * U - W * T;
+}
+
+constexpr int TimeRuns = 5;
+constexpr double MinBlockSeconds = 2e-3;
+
+/// Median-of-blocks timing of one whole-batch evaluation; returns seconds
+/// per evaluation of all N elements.
+template <typename Fn> double timeIt(Fn &&Run) {
+  using Clock = std::chrono::steady_clock;
+  auto E0 = Clock::now();
+  Run();
+  auto E1 = Clock::now();
+  double Est = std::chrono::duration<double>(E1 - E0).count();
+  int InnerReps = 1;
+  if (Est < MinBlockSeconds)
+    InnerReps = static_cast<int>(
+        std::min(100000.0, MinBlockSeconds / std::max(Est, 1e-9)) + 1);
+  std::vector<double> Blocks;
+  for (int B = 0; B < TimeRuns; ++B) {
+    auto T0 = Clock::now();
+    for (int R = 0; R < InnerReps; ++R)
+      Run();
+    auto T1 = Clock::now();
+    Blocks.push_back(std::chrono::duration<double>(T1 - T0).count() /
+                     InnerReps);
+  }
+  std::sort(Blocks.begin(), Blocks.end());
+  return Blocks[Blocks.size() / 2];
+}
+
+void printRow(const char *Path, const char *Config, int K, int N,
+              unsigned Threads, double Seconds) {
+  std::printf("%s,%s,%d,%d,%u,%.2f\n", Path, Config, K, N, Threads,
+              Seconds / N * 1e9);
+  std::fflush(stdout);
+}
+
+/// The per-form reference: a scalar loop of F64a ops under one affine
+/// environment (fresh per repetition, matching the fresh per-chunk
+/// contexts of the batch engine). Cfg.Vectorize selects the paper's
+/// within-form AVX2 kernels.
+double runPerForm(const AAConfig &Cfg, const std::vector<double> &Xs,
+                  std::vector<double> &Lo, std::vector<double> &Hi) {
+  const int N = static_cast<int>(Xs.size());
+  return timeIt([&] {
+    fp::RoundUpwardScope Rounding;
+    AffineEnvScope Env(Cfg);
+    for (int I = 0; I < N; ++I) {
+      F64a X = F64a::input(Xs[I]);
+      F64a Y = kernel(X);
+      double L, H;
+      Y.storage().bounds(L, H);
+      Lo[I] = L;
+      Hi[I] = H;
+    }
+    doNotOptimize(Lo);
+    doNotOptimize(Hi);
+  });
+}
+
+double runBatched(const AAConfig &Cfg, const std::vector<double> &Xs,
+                  support::ThreadPool &Pool, std::vector<double> &Lo,
+                  std::vector<double> &Hi) {
+  const int32_t N = static_cast<int32_t>(Xs.size());
+  return timeIt([&] {
+    batch::run(Cfg, N, Pool, [&](int32_t First, int32_t Count) {
+      BatchF64 X = BatchF64::input(Xs.data() + First);
+      BatchF64 Y = kernel(X);
+      Y.bounds(Lo.data() + First, Hi.data() + First);
+      (void)Count;
+    });
+    doNotOptimize(Lo);
+    doNotOptimize(Hi);
+  });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  std::vector<int> Ks = {8, 16, 32};
+  std::vector<int> Sizes = {64, 1024, 65536};
+  std::vector<unsigned> Threads = {1, 2, 4, 8};
+  if (Quick) {
+    Ks = {16};
+    Sizes = {1024};
+    Threads = {1, 4};
+  }
+
+  std::printf("path,config,k,batch,threads,ns_per_element\n");
+
+  std::mt19937_64 Rng(42);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+
+  for (int K : Ks) {
+    AAConfig PerForm = *AAConfig::parse("f64a-dspv");
+    PerForm.K = K;
+    AAConfig Batched = PerForm; // same policy set; the batch engine
+                                // ignores Vectorize (always exact)
+    for (int N : Sizes) {
+      std::vector<double> Xs(N), Lo(N), Hi(N);
+      for (int I = 0; I < N; ++I)
+        Xs[I] = U(Rng);
+
+      double PF = runPerForm(PerForm, Xs, Lo, Hi);
+      printRow("per-form", PerForm.str().c_str(), K, N, 1, PF);
+
+      // Soundness cross-check once per (K, N): batch enclosures must
+      // agree with the scalar reference path bit-for-bit.
+      std::vector<double> RefLo = Lo, RefHi = Hi;
+      {
+        AAConfig Scalar = PerForm;
+        Scalar.Vectorize = false;
+        runPerForm(Scalar, Xs, RefLo, RefHi);
+      }
+
+      for (unsigned T : Threads) {
+        support::ThreadPool Pool(T);
+        double BT = runBatched(Batched, Xs, Pool, Lo, Hi);
+        for (int I = 0; I < N; ++I)
+          if (Lo[I] != RefLo[I] || Hi[I] != RefHi[I]) {
+            std::fprintf(stderr,
+                         "FATAL: batch enclosure diverges from scalar "
+                         "reference at k=%d n=%d i=%d\n",
+                         K, N, I);
+            return 1;
+          }
+        printRow("batch", Batched.str().c_str(), K, N, T, BT);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- batch_sweep.cpp - Cross-instance batched sound evaluation ----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sweeps the Henon map over a whole grid of initial conditions in one go
+/// using the batched engine (aa::Batch): the N instances are laid out
+/// structure-of-arrays so the AVX2 kernels vectorize *across* instances,
+/// and batch::run shards the grid over the work-stealing thread pool.
+/// The per-instance enclosures are bit-identical to evaluating each
+/// initial condition separately with the scalar f64a path — the demo
+/// verifies that for a few spot instances.
+///
+/// Build & run:  ./examples/batch_sweep
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Batch.h"
+#include "aa/Runtime.h"
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+constexpr int NumIters = 12;
+constexpr double A = 1.4, B = 0.3;
+
+/// One batched Henon orbit: x' = 1 - a*x^2 + y, y' = b*x.
+void henonBatch(BatchF64 &X, BatchF64 &Y) {
+  for (int It = 0; It < NumIters; ++It) {
+    BatchF64 NX = BatchF64(1.0) - BatchF64(A) * X * X + Y;
+    Y = BatchF64(B) * X;
+    X = NX;
+  }
+}
+
+} // namespace
+
+int main() {
+  AAConfig Cfg = *AAConfig::parse("f64a-dspv");
+  Cfg.K = 16;
+
+  // A grid of initial conditions around the classic (0.3, 0.2) orbit.
+  const int32_t N = 4096;
+  std::vector<double> X0(N), Y0(N), Lo(N), Hi(N);
+  for (int32_t I = 0; I < N; ++I) {
+    X0[I] = 0.3 + 1e-4 * (I % 64);
+    Y0[I] = 0.2 + 1e-4 * (I / 64);
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  batch::run(Cfg, N, /*Threads=*/0, [&](int32_t First, int32_t Count) {
+    BatchF64 X = BatchF64::input(X0.data() + First);
+    BatchF64 Y = BatchF64::input(Y0.data() + First);
+    henonBatch(X, Y);
+    X.bounds(Lo.data() + First, Hi.data() + First);
+    (void)Count; // factories size themselves from the chunk's environment
+  });
+  auto T1 = std::chrono::steady_clock::now();
+  double Ns = std::chrono::duration<double, std::nano>(T1 - T0).count() / N;
+
+  std::printf("henon, %d iterations, %d instances, %.0f ns/instance\n\n",
+              NumIters, N, Ns);
+
+  // Spot-check a few instances against the scalar f64a path: the batch
+  // kernels must produce bit-identical enclosures.
+  sg::SoundScope Scope("f64a-dspv", Cfg.K);
+  for (int32_t I : {0, 1234, N - 1}) {
+    f64a X = aa_input_f64(X0[I]);
+    f64a Y = aa_input_f64(Y0[I]);
+    for (int It = 0; It < NumIters; ++It) {
+      // Same association as henonBatch: ((1 - (A*X)*X) + Y).
+      f64a NX = aa_add_f64(
+          aa_sub_f64(aa_const_f64(1.0),
+                     aa_mul_f64(aa_mul_f64(aa_const_f64(A), X), X)),
+          Y);
+      Y = aa_mul_f64(aa_const_f64(B), X);
+      X = NX;
+    }
+    bool Match = aa_lo_f64(X) == Lo[I] && aa_hi_f64(X) == Hi[I];
+    std::printf("x[%4d] in [%.17g, %.17g]  scalar %s\n", I, Lo[I], Hi[I],
+                Match ? "identical" : "MISMATCH");
+    if (!Match)
+      return 1;
+  }
+  return 0;
+}

@@ -6,13 +6,22 @@ binary per table/figure, saves CSV results under results/, and (when
 matplotlib is available) renders the Fig. 8-style Pareto plots to
 results/plots/.
 
+Also runs the cross-instance batch-engine benchmark (bench_batch) and
+emits a machine-readable BENCH_batch.json (config -> ns/element, plus
+speedup-vs-per-form and thread-scaling summaries) so the perf trajectory
+is tracked PR-over-PR. `--check` re-runs only bench_batch and exits
+nonzero when any configuration regressed more than 20% against the
+committed baseline (bench/BENCH_batch_baseline.json).
+
 Usage:
     python3 scripts/run_benchmarks.py [--build-dir build] [--skip-build]
+    python3 scripts/run_benchmarks.py --check [--quick]
 """
 
 import argparse
 import csv
 import io
+import json
 import os
 import subprocess
 import sys
@@ -100,16 +109,132 @@ def plot_fig8(text, plot_dir):
         print(f"  -> {out}")
 
 
+DEFAULT_BASELINE = os.path.join("bench", "BENCH_batch_baseline.json")
+
+
+def parse_batch_csv(text):
+    """Parses bench_batch's path,config,k,batch,threads,ns_per_element."""
+    rows = []
+    for row in csv.reader(io.StringIO(text)):
+        if len(row) != 6 or row[0].startswith("#") or row[0] == "path":
+            continue
+        try:
+            rows.append({
+                "path": row[0],
+                "config": row[1],
+                "k": int(row[2]),
+                "batch": int(row[3]),
+                "threads": int(row[4]),
+                "ns_per_element": float(row[5]),
+            })
+        except ValueError:
+            continue
+    return rows
+
+
+def summarize_batch(rows):
+    """config -> ns/element, batch speedup vs per-form, thread scaling."""
+    ns = {}
+    for r in rows:
+        key = "{path}/{config}/k{k}/n{batch}/t{threads}".format(**r)
+        ns[key] = r["ns_per_element"]
+    per_form = {(r["k"], r["batch"]): r["ns_per_element"]
+                for r in rows if r["path"] == "per-form"}
+    batch_t1 = {(r["k"], r["batch"]): r["ns_per_element"]
+                for r in rows if r["path"] == "batch" and r["threads"] == 1}
+    speedup = {}
+    scaling = {}
+    for r in rows:
+        if r["path"] != "batch":
+            continue
+        kn = (r["k"], r["batch"])
+        tag = "k{}/n{}".format(*kn)
+        if kn in per_form:
+            speedup.setdefault(tag, {})["t{}".format(r["threads"])] = round(
+                per_form[kn] / r["ns_per_element"], 3)
+        if kn in batch_t1:
+            scaling.setdefault(tag, {})["t{}".format(r["threads"])] = round(
+                batch_t1[kn] / r["ns_per_element"], 3)
+    return {
+        "ns_per_element": ns,
+        "speedup_vs_per_form": speedup,
+        "thread_scaling": scaling,
+    }
+
+
+def run_batch_bench(build_dir, results_dir, quick):
+    path = os.path.join(build_dir, "bench", "bench_batch")
+    if not os.path.exists(path):
+        print(f"warning: {path} missing, skipping batch bench",
+              file=sys.stderr)
+        return None
+    cmd = [path] + (["--quick"] if quick else [])
+    print("+", " ".join(cmd), flush=True)
+    out = subprocess.run(cmd, check=True, capture_output=True,
+                         text=True).stdout
+    os.makedirs(results_dir, exist_ok=True)
+    csv_path = os.path.join(results_dir, "batch.csv")
+    with open(csv_path, "w") as f:
+        f.write(out)
+    print(f"  -> {csv_path}")
+    data = summarize_batch(parse_batch_csv(out))
+    with open("BENCH_batch.json", "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("  -> BENCH_batch.json")
+    return data
+
+
+def check_batch(data, baseline_path, tolerance=0.20):
+    """Returns a list of human-readable regressions (>tolerance slower)."""
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    regressions = []
+    base_ns = baseline.get("ns_per_element", {})
+    for key, new in data.get("ns_per_element", {}).items():
+        old = base_ns.get(key)
+        if old is None or old <= 0.0:
+            continue
+        if new > old * (1.0 + tolerance):
+            regressions.append(
+                f"{key}: {new:.1f} ns/el vs baseline {old:.1f} "
+                f"(+{(new / old - 1.0) * 100.0:.0f}%)")
+    return regressions
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--results-dir", default="results")
     ap.add_argument("--skip-build", action="store_true")
+    ap.add_argument("--quick", action="store_true",
+                    help="run bench_batch in --quick mode")
+    ap.add_argument("--check", action="store_true",
+                    help="run only bench_batch and fail on >20%% regression "
+                         "vs the committed baseline")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
     args = ap.parse_args()
 
     if not args.skip_build:
         build(args.build_dir)
+
+    if args.check:
+        data = run_batch_bench(args.build_dir, args.results_dir, args.quick)
+        if data is None:
+            sys.exit("error: bench_batch binary not found")
+        if not os.path.exists(args.baseline):
+            sys.exit(f"error: baseline {args.baseline} not found")
+        regressions = check_batch(data, args.baseline)
+        if regressions:
+            print("REGRESSIONS (>20% vs baseline):")
+            for r in regressions:
+                print("  " + r)
+            sys.exit(1)
+        print("check passed: no configuration regressed >20% vs baseline.")
+        return
+
     outputs = run_benches(args.build_dir, args.results_dir)
+    run_batch_bench(args.build_dir, args.results_dir, args.quick)
     if "fig8" in outputs:
         plot_fig8(outputs["fig8"], os.path.join(args.results_dir, "plots"))
     print("done.")

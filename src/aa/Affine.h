@@ -101,7 +101,11 @@ public:
   /// 1 ulp per Sec. IV-B unless exactly an integer that the central type
   /// represents exactly (2^24 for f32a, 2^53 otherwise).
   Affine(double Constant) {
-    double R = std::nearbyint(Constant);
+    // std::trunc, not std::nearbyint: nearbyint follows the *dynamic*
+    // rounding mode (it acts as ceil inside a RoundUpwardScope), so the
+    // integrality test would silently depend on the ambient FPU state;
+    // trunc is rounding-mode independent.
+    double R = std::trunc(Constant);
     constexpr double ExactLimit =
         CT::MantissaBits >= 53 ? 0x1p53 : 0x1p24;
     if (R == Constant && std::fabs(Constant) < ExactLimit)

@@ -1,0 +1,736 @@
+//===- Batch.h - Batched SoA affine evaluation engine -----------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-instance batched evaluation of sound affine programs. The paper
+/// vectorizes *within* one affine form (Sec. V: 4 direct-mapped slots per
+/// AVX2 lane group); every realistic serving workload instead evaluates
+/// the *same* sound kernel over many independent inputs. aa::Batch<CT>
+/// holds N affine forms in structure-of-arrays layout:
+///
+///   Centers : [instance]            contiguous centres,
+///   Ids     : [slot][instance]      one symbol-id plane per slot,
+///   Coefs   : [slot][instance]      one coefficient plane per slot,
+///
+/// so the add/mul kernels vectorize *across* instances: one instance per
+/// AVX2 lane with unit-stride loads inside a plane. Because every
+/// instance runs the same program against its own fresh AffineContext,
+/// the id schedules start in lockstep and the per-slot id comparisons are
+/// uniform in the common case; where instances diverge (magnitude-based
+/// fusion picks different winners, or a fresh error symbol is inserted
+/// for some instances only) the per-instance id planes represent that
+/// exactly — each lane independently follows the scalar kernel's
+/// decision sequence, so per-instance results are bit-identical to
+/// running the scalar (non-vectorized) kernels one form at a time.
+///
+/// Fast path: F64Center, direct-mapped placement, SP/MP fusion (no K
+/// alignment constraint — lanes run over instances, and the instance
+/// count is padded to a multiple of 4). Everything else — sorted
+/// placement, other centre types, division and the elementary functions,
+/// protected-symbol conflicts — falls back to a scalar per-instance
+/// evaluation through the ordinary kernels of AffineOps.h/Elementary.h
+/// (protected conflicts only for the affected lane groups).
+///
+/// Threading: batch::run() chunks [0, N) across the work-stealing
+/// support::ThreadPool and installs a per-task fp::RoundUpwardScope +
+/// BatchEnvScope, so the RU/negate-RD discipline and the thread-local
+/// environment stay sound under concurrency. Instances never share
+/// mutable state: each chunk owns its contexts and its Batch values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_BATCH_H
+#define SAFEGEN_AA_BATCH_H
+
+#include "aa/AffineOps.h"
+#include "aa/Elementary.h"
+#include "fp/FloatOrdinal.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace safegen {
+namespace aa {
+
+//===----------------------------------------------------------------------===//
+// Batch environment
+//===----------------------------------------------------------------------===//
+
+/// The per-thread environment a batched program runs in: one shared
+/// configuration plus one *independent* AffineContext per instance, so
+/// every instance's symbol-id stream is exactly what a standalone scalar
+/// run of the same program would produce.
+struct BatchEnv {
+  AAConfig Config;
+  std::vector<AffineContext> Contexts;
+
+  /// True when any instance context may hold protected symbols. Kept as
+  /// an aggregate so the hot kernels do not scan N contexts per op;
+  /// maintained by Batch::prioritize(). Tests that protect ids directly
+  /// through Contexts[i] must call noteProtectionChanged().
+  bool AnyProtected = false;
+
+  int32_t size() const { return static_cast<int32_t>(Contexts.size()); }
+
+  void noteProtectionChanged() {
+    AnyProtected = false;
+    for (const AffineContext &Ctx : Contexts)
+      AnyProtected |= Ctx.hasProtected();
+  }
+};
+
+/// The active batch environment of this thread. Asserts if none is
+/// installed.
+BatchEnv &batchEnv();
+/// True if a batch environment is active on this thread.
+bool hasBatchEnv();
+
+/// Installs a fresh batch environment (configuration + \p Size fresh
+/// contexts) for the lifetime of the scope. Nesting restores the previous
+/// environment.
+class BatchEnvScope {
+public:
+  BatchEnvScope(const AAConfig &Config, int32_t Size);
+  ~BatchEnvScope();
+
+  BatchEnvScope(const BatchEnvScope &) = delete;
+  BatchEnvScope &operator=(const BatchEnvScope &) = delete;
+
+  BatchEnv &get() { return Env; }
+
+private:
+  BatchEnv Env;
+  BatchEnv *Saved;
+};
+
+//===----------------------------------------------------------------------===//
+// Batch storage
+//===----------------------------------------------------------------------===//
+
+template <typename CT> class Batch;
+
+namespace batch {
+namespace detail {
+
+/// A heap array of trivially copyable elements that — unlike std::vector —
+/// can be allocated *uninitialized*. The kernels overwrite every slot plane
+/// of a result batch anyway, and zero-filling ~K*N*12 bytes per operation
+/// would cost a measurable fraction of the kernel itself.
+template <typename T> class PodArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PodArray is for plain data only");
+
+public:
+  PodArray() = default;
+  PodArray(PodArray &&) = default;
+  PodArray &operator=(PodArray &&) = default;
+  PodArray(const PodArray &O) { *this = O; }
+  PodArray &operator=(const PodArray &O) {
+    allocate(O.N);
+    if (N)
+      std::memcpy(P.get(), O.P.get(), N * sizeof(T));
+    return *this;
+  }
+
+  /// Allocates \p Count elements with *indeterminate* contents.
+  void allocate(size_t Count) {
+    P.reset(Count ? new T[Count] : nullptr);
+    N = Count;
+  }
+  /// Allocates \p Count value-initialized (zeroed) elements.
+  void allocateZero(size_t Count) {
+    P.reset(Count ? new T[Count]() : nullptr);
+    N = Count;
+  }
+
+  T *data() { return P.get(); }
+  const T *data() const { return P.get(); }
+  size_t size() const { return N; }
+  T &operator[](size_t I) { return P[I]; }
+  const T &operator[](size_t I) const { return P[I]; }
+
+private:
+  std::unique_ptr<T[]> P;
+  size_t N = 0;
+};
+/// True when the cross-instance AVX2 kernels serve \p Cfg (mirrors
+/// simd::supports; independent of Cfg.Vectorize — the batch kernels are
+/// bit-identical to the scalar reference, so there is nothing to toggle).
+bool fastSupported(const AAConfig &Cfg);
+
+void addAvx2(const Batch<F64Center> &A, const Batch<F64Center> &B,
+             double Sign, Batch<F64Center> &Out, BatchEnv &Env);
+void mulAvx2(const Batch<F64Center> &A, const Batch<F64Center> &B,
+             Batch<F64Center> &Out, BatchEnv &Env);
+} // namespace detail
+} // namespace batch
+
+/// N affine forms of one program value, structure-of-arrays. Instances are
+/// padded to a multiple of 4 (pad lanes stay empty/exact-zero) so the
+/// vector kernels never need a scalar tail.
+template <typename CT> class Batch {
+public:
+  using CenterType = typename CT::Type;
+  using Traits = CT;
+
+  /// An empty batch (no instances); assign a factory result before use.
+  Batch() = default;
+
+  /// Implicit conversion from a literal, mirroring Affine<CT>: a *source
+  /// constant* broadcast to every instance, widened by 1 ulp unless it is
+  /// an integer the central type represents exactly. The integrality test
+  /// uses std::trunc, which is rounding-mode independent (std::nearbyint
+  /// follows the dynamic mode and is unusable under RoundUpwardScope).
+  Batch(double Constant) {
+    BatchEnv &E = batchEnv();
+    allocate(E);
+    constexpr double ExactLimit = CT::MantissaBits >= 53 ? 0x1p53 : 0x1p24;
+    bool IsExact = std::trunc(Constant) == Constant &&
+                   std::fabs(Constant) < ExactLimit;
+    if (initDirect(E, [&](int32_t) { return Constant; },
+                   [&](int32_t, double) {
+                     return IsExact ? 0.0 : fp::ulp(Constant);
+                   }))
+      return;
+    for (int32_t I = 0; I < Size_; ++I)
+      insertSparse(I, IsExact ? ops::makeExact<CT>(Constant, E.Config)
+                              : ops::makeConstant<CT>(Constant, E.Config,
+                                                      E.Contexts[I]));
+  }
+
+  /// \name Factories (all bound to the active batch environment; array
+  /// arguments must hold batchEnv().size() elements).
+  /// @{
+
+  /// Per-instance inputs carrying a fresh 1-ulp deviation symbol each.
+  static Batch input(const double *Xs) {
+    BatchEnv &E = batchEnv();
+    Batch B;
+    B.allocate(E);
+    if (!B.initDirect(E, [&](int32_t I) { return Xs[I]; },
+                      [](int32_t, double X) { return fp::ulp(X); }))
+      for (int32_t I = 0; I < B.Size_; ++I)
+        B.insertSparse(I, ops::makeInput<CT>(Xs[I], fp::ulp(Xs[I]), E.Config,
+                                             E.Contexts[I]));
+    return B;
+  }
+  /// Per-instance inputs with explicit deviations.
+  static Batch input(const double *Xs, const double *Devs) {
+    BatchEnv &E = batchEnv();
+    Batch B;
+    B.allocate(E);
+    if (!B.initDirect(E, [&](int32_t I) { return Xs[I]; },
+                      [&](int32_t I, double) { return Devs[I]; }))
+      for (int32_t I = 0; I < B.Size_; ++I)
+        B.insertSparse(I, ops::makeInput<CT>(Xs[I], Devs[I], E.Config,
+                                             E.Contexts[I]));
+    return B;
+  }
+  /// The same input value (and deviation) for every instance.
+  static Batch inputUniform(double X, double Dev) {
+    BatchEnv &E = batchEnv();
+    Batch B;
+    B.allocate(E);
+    if (!B.initDirect(E, [&](int32_t) { return X; },
+                      [&](int32_t, double) { return Dev; }))
+      for (int32_t I = 0; I < B.Size_; ++I)
+        B.insertSparse(I,
+                       ops::makeInput<CT>(X, Dev, E.Config, E.Contexts[I]));
+    return B;
+  }
+  /// An exactly known value (no deviation) in every instance.
+  static Batch exact(double X) {
+    BatchEnv &E = batchEnv();
+    Batch B;
+    B.allocate(E);
+    if (!B.initDirect(E, [&](int32_t) { return X; },
+                      [](int32_t, double) { return 0.0; }))
+      for (int32_t I = 0; I < B.Size_; ++I)
+        B.insertSparse(I, ops::makeExact<CT>(X, E.Config));
+    return B;
+  }
+  /// Per-instance tightest enclosures of [Lo[i], Hi[i]].
+  static Batch fromInterval(const double *Lo, const double *Hi) {
+    BatchEnv &E = batchEnv();
+    Batch B;
+    B.allocate(E);
+    for (int32_t I = 0; I < B.Size_; ++I)
+      B.insertSparse(I, ops::makeFromInterval<CT>(Lo[I], Hi[I], E.Config,
+                                                  E.Contexts[I]));
+    return B;
+  }
+  /// @}
+
+  int32_t size() const { return Size_; }
+  /// Padded instance capacity (multiple of 4); the plane row stride.
+  int32_t capacity() const { return Cap_; }
+  /// Number of slot planes (the symbol budget K at creation).
+  int32_t slots() const { return NSlots_; }
+
+  /// \name Per-instance queries.
+  /// @{
+
+  /// Materializes instance \p I as an ordinary AffineVar (gather). Slot
+  /// rows outside the live-slot mask are logically empty — the scalar
+  /// kernels store literal (InvalidSymbol, +0.0) there, so that is what
+  /// the gather reports.
+  AffineVar<CT> extract(int32_t I) const {
+    assert(I >= 0 && I < Size_ && "instance out of range");
+    AffineVar<CT> V;
+    V.Center = Centers_[I];
+    V.N = Live_[I];
+    for (int32_t S = 0; S < V.N; ++S) {
+      if (Mask_ >> S & 1) {
+        V.Ids[S] = Ids_[static_cast<size_t>(S) * Cap_ + I];
+        V.Coefs[S] = Coefs_[static_cast<size_t>(S) * Cap_ + I];
+      } else {
+        V.Ids[S] = InvalidSymbol;
+        V.Coefs[S] = 0.0;
+      }
+    }
+    return V;
+  }
+
+  /// Stores \p V as instance \p I (scatter). A row outside the live-slot
+  /// mask is materialized (zeroed across all lanes) before the lane is
+  /// written, so the whole-row invariant of slotMask() holds for any
+  /// insertion order.
+  void insert(int32_t I, const AffineVar<CT> &V) {
+    assert(I >= 0 && I < Size_ && "instance out of range");
+    assert(V.N <= NSlots_ && "variable exceeds the batch slot planes");
+    Centers_[I] = V.Center;
+    Live_[I] = V.N;
+    for (int32_t S = 0; S < V.N; ++S) {
+      materializeRow(S);
+      Ids_[static_cast<size_t>(S) * Cap_ + I] = V.Ids[S];
+      Coefs_[static_cast<size_t>(S) * Cap_ + I] = V.Coefs[S];
+    }
+  }
+
+  /// Enclosing interval of instance \p I (Eq. (2)); same summation order
+  /// as AffineVar::bounds, so results are bit-identical to the scalar
+  /// path. Requires upward mode.
+  void bounds(int32_t I, double &Lo, double &Hi) const {
+    SAFEGEN_ASSERT_ROUND_UP();
+    double R = 0.0;
+    for (int32_t S = 0; S < Live_[I]; ++S)
+      if (Mask_ >> S & 1) // dead rows hold exact zeros: +0 is the RU identity
+        R += std::fabs(Coefs_[static_cast<size_t>(S) * Cap_ + I]);
+    double CLo, CHi;
+    CT::bounds(Centers_[I], CLo, CHi);
+    Lo = fp::subRD(CLo, R);
+    Hi = fp::addRU(CHi, R);
+  }
+  /// All enclosures at once, into caller arrays of size() elements. When
+  /// every instance has the same live count (always true in direct-mapped
+  /// mode), the radii are accumulated row-major — the same ascending-slot
+  /// order per instance as bounds(I, ...), so results stay bit-identical,
+  /// but each coefficient plane is read with unit stride instead of one
+  /// strided gather per instance.
+  void bounds(double *Lo, double *Hi) const {
+    SAFEGEN_ASSERT_ROUND_UP();
+    bool Uniform = Size_ > 0;
+    for (int32_t I = 1; I < Size_ && Uniform; ++I)
+      Uniform = Live_[I] == Live_[0];
+    if (!Uniform) {
+      for (int32_t I = 0; I < Size_; ++I)
+        bounds(I, Lo[I], Hi[I]);
+      return;
+    }
+    uint64_t M = Mask_;
+    if (Live_[0] < 64)
+      M &= (uint64_t(1) << Live_[0]) - 1;
+    for (int32_t I = 0; I < Size_; ++I)
+      Lo[I] = 0.0; // Lo doubles as the radius accumulator
+    for (; M; M &= M - 1) {
+      const double *C =
+          Coefs_.data() + static_cast<size_t>(__builtin_ctzll(M)) * Cap_;
+      for (int32_t I = 0; I < Size_; ++I)
+        Lo[I] += std::fabs(C[I]);
+    }
+    for (int32_t I = 0; I < Size_; ++I) {
+      double CLo, CHi;
+      CT::bounds(Centers_[I], CLo, CHi);
+      double R = Lo[I];
+      Lo[I] = fp::subRD(CLo, R);
+      Hi[I] = fp::addRU(CHi, R);
+    }
+  }
+
+  double mid(int32_t I) const { return CT::toDouble(Centers_[I]); }
+  double radius(int32_t I) const {
+    SAFEGEN_ASSERT_ROUND_UP();
+    double R = 0.0;
+    for (int32_t S = 0; S < Live_[I]; ++S)
+      if (Mask_ >> S & 1)
+        R += std::fabs(Coefs_[static_cast<size_t>(S) * Cap_ + I]);
+    return R;
+  }
+  /// Certified bits of instance \p I (Eq. (9)).
+  double certifiedBits(int32_t I, int P = CT::MantissaBits) const {
+    double Lo, Hi;
+    bounds(I, Lo, Hi);
+    if constexpr (std::is_same_v<CT, F32Center>)
+      return fp::accBits32(Lo, Hi, P);
+    else
+      return fp::accBits(Lo, Hi, P);
+  }
+  /// @}
+
+  /// Protects every instance's symbols from fusion (pragma lowering).
+  void prioritize() const {
+    BatchEnv &E = batchEnv();
+    assert(Size_ == E.size() && "batch/environment size mismatch");
+    for (int32_t I = 0; I < Size_; ++I) {
+      AffineContext &Ctx = E.Contexts[I];
+      for (int32_t S = 0; S < Live_[I]; ++S)
+        if (Mask_ >> S & 1)
+          Ctx.protect(Ids_[static_cast<size_t>(S) * Cap_ + I]);
+    }
+    E.AnyProtected = true;
+  }
+
+  /// \name Arithmetic (bound to the active batch environment).
+  /// @{
+  friend Batch operator+(const Batch &A, const Batch &B) {
+    return applyAdd(A, B, +1.0);
+  }
+  friend Batch operator-(const Batch &A, const Batch &B) {
+    return applyAdd(A, B, -1.0);
+  }
+  friend Batch operator*(const Batch &A, const Batch &B) {
+    BatchEnv &E = environmentFor(A, B);
+    if constexpr (std::is_same_v<CT, F64Center>) {
+      if (batch::detail::fastSupported(E.Config)) {
+        Batch Out = makeLike(A);
+        batch::detail::mulAvx2(A, B, Out, E);
+        return Out;
+      }
+    }
+    AAConfig Cfg = scalarConfig(E);
+    Batch Out = makeLike(A);
+    for (int32_t I = 0; I < A.Size_; ++I)
+      Out.insert(I, ops::mul(A.extract(I), B.extract(I), Cfg,
+                             E.Contexts[I]));
+    return Out;
+  }
+  friend Batch operator/(const Batch &A, const Batch &B) {
+    BatchEnv &E = environmentFor(A, B);
+    AAConfig Cfg = scalarConfig(E);
+    Batch Out = makeLike(A);
+    for (int32_t I = 0; I < A.Size_; ++I)
+      Out.insert(I, ops::div(A.extract(I), B.extract(I), Cfg,
+                             E.Contexts[I]));
+    return Out;
+  }
+  /// -â: exact lane-wise negation, no environment interaction. Only
+  /// materialized rows are flipped — dead rows are logically zero (and
+  /// -0.0 in an empty slot is unobservable: every reader takes fabs or
+  /// masks the lane).
+  friend Batch operator-(const Batch &A) {
+    Batch Out = A;
+    for (int32_t I = 0; I < Out.Size_; ++I)
+      Out.Centers_[I] = CT::neg(Out.Centers_[I]);
+    for (uint64_t M = Out.Mask_; M; M &= M - 1) {
+      double *C = Out.coefPlane(static_cast<int32_t>(__builtin_ctzll(M)));
+      for (int32_t I = 0; I < Out.Cap_; ++I)
+        C[I] = -C[I];
+    }
+    return Out;
+  }
+
+  Batch &operator+=(const Batch &B) { return *this = *this + B; }
+  Batch &operator-=(const Batch &B) { return *this = *this - B; }
+  Batch &operator*=(const Batch &B) { return *this = *this * B; }
+  Batch &operator/=(const Batch &B) { return *this = *this / B; }
+  /// @}
+
+  /// Applies a unary scalar kernel instance-by-instance (the fallback for
+  /// the elementary functions: they linearize over each instance's own
+  /// enclosing interval, so there is nothing uniform to vectorize).
+  template <typename Fn> Batch mapInstances(Fn &&F) const {
+    BatchEnv &E = batchEnv();
+    assert(Size_ == E.size() && "batch/environment size mismatch");
+    AAConfig Cfg = scalarConfig(E);
+    Batch Out = makeLike(*this);
+    for (int32_t I = 0; I < Size_; ++I)
+      Out.insert(I, F(extract(I), Cfg, E.Contexts[I]));
+    return Out;
+  }
+
+  /// \name Raw plane access for the vector kernels (Batch.cpp). Layout:
+  /// row S of Ids/Coefs covers instances [0, capacity()) of slot S.
+  /// @{
+  const CenterType *centers() const { return Centers_.data(); }
+  CenterType *centers() { return Centers_.data(); }
+  const SymbolId *idPlane(int32_t S) const {
+    return Ids_.data() + static_cast<size_t>(S) * Cap_;
+  }
+  SymbolId *idPlane(int32_t S) {
+    return Ids_.data() + static_cast<size_t>(S) * Cap_;
+  }
+  const double *coefPlane(int32_t S) const {
+    return Coefs_.data() + static_cast<size_t>(S) * Cap_;
+  }
+  double *coefPlane(int32_t S) {
+    return Coefs_.data() + static_cast<size_t>(S) * Cap_;
+  }
+  int32_t liveCount(int32_t I) const { return Live_[I]; }
+  void setLiveCount(int32_t I, int32_t N) { Live_[I] = N; }
+
+  /// Live-slot mask: bit S set means slot row S is *materialized* — every
+  /// lane of [0, capacity()) holds a stored value (possibly the empty
+  /// (InvalidSymbol, +0.0) pair). A clear bit means the row is logically
+  /// empty for every instance and its memory may be uninitialized; all
+  /// readers substitute zeros. The vector kernels iterate only the union
+  /// of the operands' masks — for a program touching s of K slots every
+  /// op costs O(s), not O(K).
+  uint64_t slotMask() const { return Mask_; }
+  void setSlotMask(uint64_t M) { Mask_ = M; }
+  /// @}
+
+  /// A batch with \p Ref's geometry whose slot planes are *uninitialized*
+  /// except for the pad instances [size(), capacity()), which are cleared
+  /// so the vector kernels always see empty pad lanes. Callers (the
+  /// kernels and the per-instance fallbacks) overwrite every live row they
+  /// later read.
+  static Batch makeLike(const Batch &Ref) {
+    Batch B;
+    B.Size_ = Ref.Size_;
+    B.Cap_ = Ref.Cap_;
+    B.NSlots_ = Ref.NSlots_;
+    B.Centers_.assign(B.Cap_, CenterType{});
+    B.Ids_.allocate(static_cast<size_t>(B.NSlots_) * B.Cap_);
+    B.Coefs_.allocate(static_cast<size_t>(B.NSlots_) * B.Cap_);
+    for (int32_t S = 0; S < B.NSlots_; ++S)
+      for (int32_t I = B.Size_; I < B.Cap_; ++I) {
+        B.Ids_[static_cast<size_t>(S) * B.Cap_ + I] = InvalidSymbol;
+        B.Coefs_[static_cast<size_t>(S) * B.Cap_ + I] = 0.0;
+      }
+    B.Live_ = Ref.Live_;
+    // Provisionally dense: the per-instance fallbacks insert into every
+    // live row without first-touch zeroing; the vector kernels overwrite
+    // this with the true sparse mask via setSlotMask().
+    B.Mask_ = B.NSlots_ >= 64 ? ~uint64_t(0)
+                              : (uint64_t(1) << B.NSlots_) - 1;
+    return B;
+  }
+
+private:
+  /// Direct construction for the common factory shape — double centres
+  /// under direct-mapped placement, at most one fresh deviation symbol per
+  /// instance: no stack AffineVar, no slot scan, and the home-slot modulo
+  /// strength-reduced for power-of-two K. Exactly replicates
+  /// ops::makeInput for F64Center (which represents every double, so the
+  /// conversion-residue branch never fires); a fresh lane cannot collide
+  /// with itself, so the eviction branch of insertFresh is dead too.
+  /// Returns false when the configuration needs the generic path.
+  template <typename GetX, typename GetDev>
+  bool initDirect(BatchEnv &E, GetX &&X, GetDev &&Dev) {
+    if constexpr (!std::is_same_v<CT, F64Center>) {
+      (void)E;
+      return false;
+    } else {
+      if (E.Config.Placement != PlacementPolicy::DirectMapped)
+        return false;
+      const int K = NSlots_;
+      const uint32_t Pow2Mask =
+          (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
+      std::fill(Live_.begin(), Live_.end(), K);
+      for (int32_t I = 0; I < Size_; ++I) {
+        double C = X(I);
+        Centers_[I] = CT::fromDouble(C);
+        double D = Dev(I, C);
+        if (D == 0.0)
+          continue;
+        SymbolId Id = E.Contexts[I].freshSymbol();
+        int Slot = Pow2Mask ? static_cast<int>((Id - 1) & Pow2Mask)
+                            : ops::detail::homeSlot(Id, K);
+        materializeRow(Slot);
+        Ids_[static_cast<size_t>(Slot) * Cap_ + I] = Id;
+        Coefs_[static_cast<size_t>(Slot) * Cap_ + I] = D;
+      }
+      return true;
+    }
+  }
+
+  /// Factory scatter: only valid slots are written (a first touch zeroes
+  /// the row), so a factory touches O(live symbols) plane rows per
+  /// instance instead of K — and the planes never need a full zero-fill.
+  void insertSparse(int32_t I, const AffineVar<CT> &V) {
+    assert(I >= 0 && I < Size_ && "instance out of range");
+    assert(V.N <= NSlots_ && "variable exceeds the batch slot planes");
+    Centers_[I] = V.Center;
+    Live_[I] = V.N;
+    for (int32_t S = 0; S < V.N; ++S)
+      if (V.Ids[S] != InvalidSymbol) {
+        materializeRow(S);
+        Ids_[static_cast<size_t>(S) * Cap_ + I] = V.Ids[S];
+        Coefs_[static_cast<size_t>(S) * Cap_ + I] = V.Coefs[S];
+      }
+  }
+
+  /// Zeroes row \p S across every lane — the stored form of the empty
+  /// (InvalidSymbol, +0.0) pair — unless it is already materialized.
+  void materializeRow(int32_t S) {
+    if (Mask_ >> S & 1)
+      return;
+    std::memset(idPlane(S), 0, static_cast<size_t>(Cap_) * sizeof(SymbolId));
+    std::memset(coefPlane(S), 0, static_cast<size_t>(Cap_) * sizeof(double));
+    Mask_ |= uint64_t(1) << S;
+  }
+
+  void allocate(BatchEnv &E) {
+    ops::detail::checkConfig(E.Config);
+    static_assert(MaxInlineSymbols <= 64,
+                  "the live-slot mask is a single 64-bit word");
+    Size_ = E.size();
+    Cap_ = (Size_ + 3) & ~3;
+    NSlots_ = E.Config.K;
+    Centers_.assign(Cap_, CenterType{});
+    Ids_.allocate(static_cast<size_t>(NSlots_) * Cap_);
+    Coefs_.allocate(static_cast<size_t>(NSlots_) * Cap_);
+    Live_.assign(Size_, 0);
+    Mask_ = 0; // rows materialize on first touch (insertSparse)
+  }
+
+  /// The environment of a binary op, with the size invariants asserted.
+  static BatchEnv &environmentFor(const Batch &A, const Batch &B) {
+    BatchEnv &E = batchEnv();
+    assert(A.Size_ == B.Size_ && "batch size mismatch");
+    assert(A.Size_ == E.size() && "batch/environment size mismatch");
+    assert(A.NSlots_ == E.Config.K && B.NSlots_ == E.Config.K &&
+           "batch created under a different K");
+    (void)A;
+    (void)B;
+    return E;
+  }
+
+  /// The configuration the scalar fallback runs under: the per-form AVX2
+  /// kernels accumulate the fresh-error coefficient in a different (but
+  /// equally sound) order, so the fallback always uses the scalar
+  /// kernels — keeping every batch result bit-identical to the scalar
+  /// one-form-at-a-time reference regardless of Cfg.Vectorize.
+  static AAConfig scalarConfig(const BatchEnv &E) {
+    AAConfig Cfg = E.Config;
+    Cfg.Vectorize = false;
+    return Cfg;
+  }
+
+  static Batch applyAdd(const Batch &A, const Batch &B, double Sign) {
+    BatchEnv &E = environmentFor(A, B);
+    if constexpr (std::is_same_v<CT, F64Center>) {
+      if (batch::detail::fastSupported(E.Config)) {
+        Batch Out = makeLike(A);
+        batch::detail::addAvx2(A, B, Sign, Out, E);
+        return Out;
+      }
+    }
+    AAConfig Cfg = scalarConfig(E);
+    Batch Out = makeLike(A);
+    for (int32_t I = 0; I < A.Size_; ++I) {
+      AffineVar<CT> Va = A.extract(I), Vb = B.extract(I);
+      Out.insert(I, Sign > 0 ? ops::add(Va, Vb, Cfg, E.Contexts[I])
+                             : ops::sub(Va, Vb, Cfg, E.Contexts[I]));
+    }
+    return Out;
+  }
+
+  int32_t Size_ = 0;   ///< live instances
+  int32_t Cap_ = 0;    ///< Size_ rounded up to a multiple of 4
+  int32_t NSlots_ = 0; ///< slot planes (symbol budget K at creation)
+  uint64_t Mask_ = 0;  ///< live-slot mask, see slotMask()
+  std::vector<CenterType> Centers_;
+  batch::detail::PodArray<SymbolId> Ids_;
+  batch::detail::PodArray<double> Coefs_;
+  std::vector<int32_t> Live_; ///< per-instance live entries (sorted mode)
+};
+
+/// \name Elementary functions (scalar per-instance linearization).
+/// @{
+template <typename CT> Batch<CT> sqrt(const Batch<CT> &A) {
+  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
+                           AffineContext &Ctx) {
+    return ops::sqrt(V, Cfg, Ctx);
+  });
+}
+template <typename CT> Batch<CT> exp(const Batch<CT> &A) {
+  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
+                           AffineContext &Ctx) {
+    return ops::exp(V, Cfg, Ctx);
+  });
+}
+template <typename CT> Batch<CT> log(const Batch<CT> &A) {
+  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
+                           AffineContext &Ctx) {
+    return ops::log(V, Cfg, Ctx);
+  });
+}
+template <typename CT> Batch<CT> inv(const Batch<CT> &A) {
+  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
+                           AffineContext &Ctx) {
+    return ops::inv(V, Cfg, Ctx);
+  });
+}
+template <typename CT> Batch<CT> sin(const Batch<CT> &A) {
+  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
+                           AffineContext &Ctx) {
+    return ops::sin(V, Cfg, Ctx);
+  });
+}
+template <typename CT> Batch<CT> cos(const Batch<CT> &A) {
+  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
+                           AffineContext &Ctx) {
+    return ops::cos(V, Cfg, Ctx);
+  });
+}
+/// @}
+
+using BatchF64 = Batch<F64Center>;
+using BatchDD = Batch<DDCenter>;
+using BatchF32 = Batch<F32Center>;
+
+//===----------------------------------------------------------------------===//
+// Parallel batch runner
+//===----------------------------------------------------------------------===//
+
+namespace batch {
+
+/// Default instances per chunk: large enough to amortize the per-chunk
+/// scope setup, small enough that per-chunk contexts (~1 KiB each) stay
+/// cache- and memory-friendly and stealing can balance the load.
+inline constexpr int32_t DefaultGrain = 256;
+
+/// Runs \p Program over instances [0, Size): the range is chunked across
+/// \p Pool, and each task installs fp::RoundUpwardScope + BatchEnvScope
+/// (fresh per-instance contexts, AnyProtected clear) before invoking
+/// Program(First, Count). The program builds its Batch values from input
+/// slices [First, First+Count) and writes per-instance outputs at the
+/// same offsets; chunks share nothing mutable.
+void run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
+         const std::function<void(int32_t First, int32_t Count)> &Program,
+         int32_t Grain = DefaultGrain);
+
+/// Convenience overload: Threads == 1 runs inline (still chunked);
+/// Threads == 0 uses the shared global pool; otherwise a temporary pool
+/// of that many workers is spun up (fine for one big batch, wasteful in a
+/// loop — keep a ThreadPool and use the overload above).
+void run(const AAConfig &Cfg, int32_t Size, unsigned Threads,
+         const std::function<void(int32_t First, int32_t Count)> &Program,
+         int32_t Grain = DefaultGrain);
+
+} // namespace batch
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_BATCH_H

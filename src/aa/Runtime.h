@@ -22,6 +22,7 @@
 #define SAFEGEN_AA_RUNTIME_H
 
 #include "aa/Affine.h"
+#include "aa/Batch.h"
 
 namespace safegen {
 namespace sg {
@@ -47,6 +48,31 @@ private:
 
   fp::RoundUpwardScope Rounding;
   aa::AffineEnvScope Env;
+};
+
+/// The batched counterpart of SoundScope: upward rounding plus a batch
+/// environment with one fresh context per instance. Chunked parallel
+/// programs get one per chunk from aa::batch::run(); use this directly
+/// for single-threaded whole-batch evaluation.
+class SoundBatchScope {
+public:
+  SoundBatchScope(const aa::AAConfig &Config, int32_t Size)
+      : Env(Config, Size) {}
+  SoundBatchScope(const std::string &Notation, int K, int32_t Size)
+      : Env(makeConfig(Notation, K), Size) {}
+
+  aa::BatchEnv &env() { return Env.get(); }
+
+private:
+  static aa::AAConfig makeConfig(const std::string &Notation, int K) {
+    auto C = aa::AAConfig::parse(Notation);
+    aa::AAConfig Config = C ? *C : aa::AAConfig();
+    Config.K = K;
+    return Config;
+  }
+
+  fp::RoundUpwardScope Rounding;
+  aa::BatchEnvScope Env;
 };
 
 } // namespace sg
@@ -321,6 +347,104 @@ static inline f64a_x4 aa_x4_min(const f64a_x4 &A, const f64a_x4 &B) {
 static inline f64a aa_x4_cvtsd(const f64a_x4 &A) { return A.v[0]; }
 /// _mm256_broadcast_sd takes a pointer.
 static inline f64a_x4 aa_x4_set1_ptr(const f64a *P) { return aa_x4_set1(*P); }
+
+//===----------------------------------------------------------------------===//
+// f64a_batch: cross-instance batched evaluation (aa::Batch)
+//===----------------------------------------------------------------------===//
+
+/// Many instances of one f64a program value in SoA layout; the whole
+/// family runs inside an sg::SoundBatchScope (or a chunk of
+/// aa::batch::run) the same way the scalar family runs inside an
+/// sg::SoundScope. Array arguments hold one element per instance of the
+/// active batch environment.
+using f64a_batch = safegen::aa::BatchF64;
+
+static inline f64a_batch aa_batch_const_f64(double X) { return f64a_batch(X); }
+static inline f64a_batch aa_batch_exact_f64(double X) {
+  return f64a_batch::exact(X);
+}
+static inline f64a_batch aa_batch_input_f64(const double *Xs) {
+  return f64a_batch::input(Xs);
+}
+static inline f64a_batch aa_batch_input_dev_f64(const double *Xs,
+                                                const double *Devs) {
+  return f64a_batch::input(Xs, Devs);
+}
+static inline f64a_batch aa_batch_from_interval_f64(const double *Lo,
+                                                    const double *Hi) {
+  return f64a_batch::fromInterval(Lo, Hi);
+}
+
+static inline f64a_batch aa_batch_add_f64(const f64a_batch &A,
+                                          const f64a_batch &B) {
+  return A + B;
+}
+static inline f64a_batch aa_batch_sub_f64(const f64a_batch &A,
+                                          const f64a_batch &B) {
+  return A - B;
+}
+static inline f64a_batch aa_batch_mul_f64(const f64a_batch &A,
+                                          const f64a_batch &B) {
+  return A * B;
+}
+static inline f64a_batch aa_batch_div_f64(const f64a_batch &A,
+                                          const f64a_batch &B) {
+  return A / B;
+}
+static inline f64a_batch aa_batch_neg_f64(const f64a_batch &A) { return -A; }
+static inline f64a_batch aa_batch_sqrt_f64(const f64a_batch &A) {
+  return safegen::aa::sqrt(A);
+}
+static inline f64a_batch aa_batch_exp_f64(const f64a_batch &A) {
+  return safegen::aa::exp(A);
+}
+static inline f64a_batch aa_batch_log_f64(const f64a_batch &A) {
+  return safegen::aa::log(A);
+}
+static inline f64a_batch aa_batch_inv_f64(const f64a_batch &A) {
+  return safegen::aa::inv(A);
+}
+static inline f64a_batch aa_batch_sin_f64(const f64a_batch &A) {
+  return safegen::aa::sin(A);
+}
+static inline f64a_batch aa_batch_cos_f64(const f64a_batch &A) {
+  return safegen::aa::cos(A);
+}
+
+static inline void aa_batch_prioritize_f64(const f64a_batch &A) {
+  A.prioritize();
+}
+static inline void aa_batch_bounds_f64(const f64a_batch &A, double *Lo,
+                                       double *Hi) {
+  A.bounds(Lo, Hi);
+}
+static inline double aa_batch_lo_f64(const f64a_batch &A, int I) {
+  double Lo, Hi;
+  A.bounds(I, Lo, Hi);
+  return Lo;
+}
+static inline double aa_batch_hi_f64(const f64a_batch &A, int I) {
+  double Lo, Hi;
+  A.bounds(I, Lo, Hi);
+  return Hi;
+}
+static inline double aa_batch_bits_f64(const f64a_batch &A, int I) {
+  return A.certifiedBits(I);
+}
+
+/// Evaluates \p Program over \p Size instances, chunked across \p Threads
+/// workers (0 = hardware concurrency via the shared pool, 1 = inline).
+/// The program receives (First, Count) and must build its batch values
+/// from input slices starting at First.
+static inline void
+aa_batch_run(const safegen::aa::AAConfig &Cfg, int Size, unsigned Threads,
+             const std::function<void(int, int)> &Program) {
+  safegen::aa::batch::run(Cfg, Size, Threads,
+                          [&Program](int32_t First, int32_t Count) {
+                            Program(static_cast<int>(First),
+                                    static_cast<int>(Count));
+                          });
+}
 
 //===----------------------------------------------------------------------===//
 // Overload set used by the pragma lowering (the rewriter does not track

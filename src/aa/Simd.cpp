@@ -5,12 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "aa/Simd.h"
+#include "aa/SimdUtil.h"
 
 #include <cassert>
-
-#if SAFEGEN_HAVE_AVX2
-#include <immintrin.h>
-#endif
 
 using namespace safegen;
 using namespace safegen::aa;
@@ -35,32 +32,7 @@ bool simd::supports(const AAConfig &Cfg) {
 
 namespace {
 
-const __m256d SignMask = _mm256_set1_pd(-0.0);
-
-inline __m256d negate(__m256d X) { return _mm256_xor_pd(X, SignMask); }
-inline __m256d absPd(__m256d X) { return _mm256_andnot_pd(SignMask, X); }
-
-/// Downward-rounded vector product under MXCSR-up: -RU((-A)*B).
-inline __m256d mulRDv(__m256d A, __m256d B) {
-  return negate(_mm256_mul_pd(negate(A), B));
-}
-/// Downward-rounded vector sum under MXCSR-up: -RU((-A)+(-B)).
-inline __m256d addRDv(__m256d A, __m256d B) {
-  return negate(_mm256_add_pd(negate(A), negate(B)));
-}
-
-/// Expands a 4x32-bit compare mask into a 4x64-bit double-lane mask.
-inline __m256d expandMask32(__m128i Mask32) {
-  return _mm256_castsi256_pd(_mm256_cvtepi32_epi64(Mask32));
-}
-
-/// Narrows a 4x64-bit lane mask (as produced by _mm256_cmp_pd) to a
-/// 4x32-bit mask by gathering the low dword of every lane.
-inline __m128i narrowMask64(__m256d Mask64) {
-  const __m256i Gather = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
-  return _mm256_castsi256_si128(
-      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(Mask64), Gather));
-}
+using namespace safegen::aa::simd::util;
 
 /// Upward-rounded horizontal sum of the 4 lanes, in lane order (matches a
 /// sequential accumulation of the same 4 values).

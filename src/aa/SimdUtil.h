@@ -1,0 +1,65 @@
+//===- SimdUtil.h - Shared AVX2 helpers for the sound kernels ---*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AVX2 building blocks shared by the per-form kernels (Simd.cpp, 4 slots
+/// per lane group) and the batch kernels (Batch.cpp, 4 *instances* per
+/// lane group). All directed-rounding identities assume the MXCSR rounding
+/// mode is upward, exactly like the scalar primitives of fp/Rounding.h:
+/// vector instructions honour MXCSR the same way scalar SSE/AVX ones do,
+/// so RD(x) = -RU(-x) carries over lane-wise.
+///
+/// Only included when SAFEGEN_HAVE_AVX2 is defined to 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_SIMDUTIL_H
+#define SAFEGEN_AA_SIMDUTIL_H
+
+#if SAFEGEN_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace safegen {
+namespace aa {
+namespace simd {
+namespace util {
+
+inline __m256d signMask() { return _mm256_set1_pd(-0.0); }
+
+inline __m256d negate(__m256d X) { return _mm256_xor_pd(X, signMask()); }
+inline __m256d absPd(__m256d X) { return _mm256_andnot_pd(signMask(), X); }
+
+/// Downward-rounded vector product under MXCSR-up: -RU((-A)*B).
+inline __m256d mulRDv(__m256d A, __m256d B) {
+  return negate(_mm256_mul_pd(negate(A), B));
+}
+/// Downward-rounded vector sum under MXCSR-up: -RU((-A)+(-B)).
+inline __m256d addRDv(__m256d A, __m256d B) {
+  return negate(_mm256_add_pd(negate(A), negate(B)));
+}
+
+/// Expands a 4x32-bit compare mask into a 4x64-bit double-lane mask.
+inline __m256d expandMask32(__m128i Mask32) {
+  return _mm256_castsi256_pd(_mm256_cvtepi32_epi64(Mask32));
+}
+
+/// Narrows a 4x64-bit lane mask (as produced by _mm256_cmp_pd) to a
+/// 4x32-bit mask by gathering the low dword of every lane.
+inline __m128i narrowMask64(__m256d Mask64) {
+  const __m256i Gather = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(Mask64), Gather));
+}
+
+} // namespace util
+} // namespace simd
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_HAVE_AVX2
+
+#endif // SAFEGEN_AA_SIMDUTIL_H

@@ -70,20 +70,31 @@ public:
   void protect(SymbolId Id) {
     if (Id == InvalidSymbol || Id == DumpSymbol)
       return;
+    if (!TableValid) {
+      Protected.fill(InvalidSymbol);
+      TableValid = true;
+    }
     Protected[Id % ProtectTableSize] = Id;
     AnyProtected = true;
   }
   void unprotect(SymbolId Id) {
+    if (!TableValid)
+      return;
     SymbolId &Slot = Protected[Id % ProtectTableSize];
     if (Slot == Id)
       Slot = InvalidSymbol;
   }
   void clearProtected() {
-    Protected.fill(InvalidSymbol);
+    // The table is initialized lazily by the first protect() call:
+    // contexts are constructed in bulk (one per batch instance, per
+    // chunk), and zero-filling 1 KiB per instance would dominate the
+    // per-chunk setup. While !TableValid the table is never read.
+    TableValid = false;
     AnyProtected = false;
   }
   bool isProtected(SymbolId Id) const {
-    return Protected[Id % ProtectTableSize] == Id && Id != InvalidSymbol;
+    return AnyProtected && Protected[Id % ProtectTableSize] == Id &&
+           Id != InvalidSymbol;
   }
   bool hasProtected() const { return AnyProtected; }
   /// @}
@@ -105,8 +116,9 @@ public:
 
 private:
   SymbolId LastId = InvalidSymbol;
-  std::array<SymbolId, ProtectTableSize> Protected{};
+  std::array<SymbolId, ProtectTableSize> Protected; ///< valid iff TableValid
   bool AnyProtected = false;
+  bool TableValid = false;
   uint64_t RngState = 0x9E3779B97F4A7C15ull;
 };
 

@@ -6,6 +6,8 @@
 
 #include "core/Interpreter.h"
 
+#include "support/ThreadPool.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -585,4 +587,59 @@ InterpResult Interpreter::call(const std::string &Function,
   }
   Result.StepsUsed = Eval.steps();
   return Result;
+}
+
+std::vector<BatchCallResult> Interpreter::runBatch(
+    const frontend::TranslationUnit &TU, const std::string &Function,
+    const aa::AAConfig &Cfg,
+    const std::vector<std::vector<double>> &InstanceArgs, unsigned Threads,
+    const InterpreterOptions &Opts) {
+  std::vector<BatchCallResult> Results(InstanceArgs.size());
+  if (InstanceArgs.empty())
+    return Results;
+
+  auto Chunk = [&](int64_t Begin, int64_t End) {
+    // Each chunk establishes its own rounding scope; each instance gets a
+    // fresh affine environment so its symbol stream matches a standalone
+    // run. Results only carry enclosures, which outlive the environment.
+    fp::RoundUpwardScope Round;
+    for (int64_t I = Begin; I < End; ++I) {
+      aa::AffineEnvScope Env(Cfg);
+      BatchCallResult &R = Results[static_cast<size_t>(I)];
+      const frontend::FunctionDecl *F = TU.findFunction(Function);
+      if (!F || !F->isDefinition()) {
+        R.Error = "no definition of function '" + Function + "'";
+        continue;
+      }
+      const std::vector<double> &Seeds =
+          InstanceArgs[static_cast<size_t>(I)];
+      std::vector<Value> Args;
+      Args.reserve(F->getParams().size());
+      for (size_t P = 0; P < F->getParams().size(); ++P)
+        Args.push_back(makeDefaultArg(F->getParams()[P]->getType(),
+                                      P < Seeds.size() ? Seeds[P] : 1.0));
+      Interpreter Interp(TU, Opts);
+      InterpResult IR = Interp.call(Function, std::move(Args));
+      R.Success = IR.Success;
+      R.Error = IR.Error;
+      R.StepsUsed = IR.StepsUsed;
+      if (IR.Success && IR.ReturnValue.isAffine()) {
+        R.Return = IR.ReturnValue.asAffine().toInterval();
+        R.CertifiedBits = IR.ReturnValue.asAffine().certifiedBits();
+      } else if (IR.Success && IR.ReturnValue.isInt()) {
+        double X = static_cast<double>(IR.ReturnValue.asInt());
+        R.Return = ia::Interval(X);
+      }
+    }
+  };
+
+  const int64_t N = static_cast<int64_t>(InstanceArgs.size());
+  const int64_t Grain = 16; // instances per task; programs are not cheap
+  if (Threads == 0) {
+    support::ThreadPool::global().parallelFor(0, N, Grain, Chunk);
+  } else {
+    support::ThreadPool Pool(Threads);
+    Pool.parallelFor(0, N, Grain, Chunk);
+  }
+  return Results;
 }

@@ -94,6 +94,17 @@ struct InterpResult {
   uint64_t StepsUsed = 0;
 };
 
+/// Outcome of one instance of a batched interpretation: the scalar return
+/// is reduced to its enclosure (Values cannot leave their instance's
+/// affine environment).
+struct BatchCallResult {
+  bool Success = false;
+  std::string Error;
+  ia::Interval Return;
+  double CertifiedBits = 0.0;
+  uint64_t StepsUsed = 0;
+};
+
 /// Interprets functions of one translation unit. An aa::AffineEnvScope
 /// (and upward rounding) must be active for the whole lifetime of the
 /// interpreter and all produced Values.
@@ -110,6 +121,20 @@ public:
   /// integers from \p Numeric, FP scalars as 1-ulp affine inputs, arrays
   /// (any nesting) filled with affine inputs of value \p Numeric.
   static Value makeDefaultArg(const frontend::Type *T, double Numeric);
+
+  /// Interprets \p Function once per instance, chunked across \p Threads
+  /// worker threads (0 = hardware concurrency via the shared pool, 1 =
+  /// inline). Instance \p I receives makeDefaultArg-built arguments with
+  /// numeric seeds InstanceArgs[I] (missing entries default to 1.0), under
+  /// its own fresh affine environment and upward-rounding scope — results
+  /// are identical to calling the interpreter once per instance serially.
+  /// Unlike call(), this needs no ambient AffineEnvScope.
+  static std::vector<BatchCallResult>
+  runBatch(const frontend::TranslationUnit &TU, const std::string &Function,
+           const aa::AAConfig &Cfg,
+           const std::vector<std::vector<double>> &InstanceArgs,
+           unsigned Threads = 1,
+           const InterpreterOptions &Opts = InterpreterOptions());
 
 private:
   const frontend::TranslationUnit &TU;

@@ -1,0 +1,175 @@
+//===- ThreadPool.cpp - Work-stealing thread pool -------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace safegen;
+using namespace safegen::support;
+
+/// State shared by every chunk of one parallelFor call. Lives on the
+/// caller's stack; the caller only returns once Remaining hits zero and
+/// the last worker has released M, so no dangling references are possible.
+struct ParallelForJob {
+  const std::function<void(int64_t, int64_t)> *Body = nullptr;
+  std::mutex M;
+  std::condition_variable Done;
+  int64_t Remaining = 0; // guarded by M
+};
+
+struct ThreadPool::Task {
+  ParallelForJob *Job = nullptr;
+  int64_t Begin = 0;
+  int64_t End = 0;
+};
+
+struct ThreadPool::Worker {
+  std::mutex M;
+  std::deque<Task> Deque;
+};
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+#if SAFEGEN_HAVE_THREADS
+  unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+  unsigned N = NumThreads == 0 ? HW : NumThreads;
+  if (N <= 1)
+    return; // inline mode
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.push_back(std::make_unique<Worker>());
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+#else
+  (void)NumThreads;
+#endif
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(WakeMutex);
+    ShuttingDown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+unsigned ThreadPool::concurrency() const {
+  return Workers.empty() ? 1u : static_cast<unsigned>(Workers.size());
+}
+
+bool ThreadPool::trySteal(unsigned Thief, Task &Out) {
+  // Own deque first (back = most recently pushed, cache-warm), then the
+  // victims' fronts in ring order.
+  unsigned N = static_cast<unsigned>(Workers.size());
+  {
+    Worker &Own = *Workers[Thief % N];
+    std::lock_guard<std::mutex> Lock(Own.M);
+    if (!Own.Deque.empty()) {
+      Out = Own.Deque.back();
+      Own.Deque.pop_back();
+      return true;
+    }
+  }
+  for (unsigned Off = 1; Off < N; ++Off) {
+    Worker &Victim = *Workers[(Thief + Off) % N];
+    std::lock_guard<std::mutex> Lock(Victim.M);
+    if (!Victim.Deque.empty()) {
+      Out = Victim.Deque.front();
+      Victim.Deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  for (;;) {
+    Task T;
+    if (trySteal(Index, T)) {
+      (*T.Job->Body)(T.Begin, T.End);
+      std::lock_guard<std::mutex> Lock(T.Job->M);
+      if (--T.Job->Remaining == 0)
+        T.Job->Done.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(WakeMutex);
+    if (ShuttingDown)
+      return;
+    // Re-check for work under the wake lock to avoid a lost wakeup
+    // between the failed steal and the wait.
+    bool Pending = false;
+    for (auto &W : Workers) {
+      std::lock_guard<std::mutex> L(W->M);
+      if (!W->Deque.empty()) {
+        Pending = true;
+        break;
+      }
+    }
+    if (Pending)
+      continue;
+    WakeCv.wait(Lock);
+  }
+}
+
+void ThreadPool::parallelFor(
+    int64_t Begin, int64_t End, int64_t Grain,
+    const std::function<void(int64_t, int64_t)> &Body) {
+  if (End <= Begin)
+    return;
+  Grain = std::max<int64_t>(1, Grain);
+  int64_t Total = End - Begin;
+
+  if (Workers.empty()) {
+    // Inline mode: still chunk (callers rely on the chunk granularity to
+    // bound per-chunk scratch memory), just sequentially.
+    for (int64_t C = Begin; C < End; C += Grain)
+      Body(C, std::min(End, C + Grain));
+    return;
+  }
+
+  int64_t MaxChunks =
+      static_cast<int64_t>(concurrency()) * ChunksPerWorker;
+  int64_t NumChunks = std::min(MaxChunks, (Total + Grain - 1) / Grain);
+  int64_t ChunkSize = (Total + NumChunks - 1) / NumChunks;
+
+  ParallelForJob Job;
+  Job.Body = &Body;
+  {
+    std::lock_guard<std::mutex> Lock(Job.M);
+    Job.Remaining = (Total + ChunkSize - 1) / ChunkSize;
+  }
+  int64_t C = Begin;
+  for (unsigned W = 0; C < End; ++W, C += ChunkSize) {
+    Task T{&Job, C, std::min(End, C + ChunkSize)};
+    Worker &Target = *Workers[W % Workers.size()];
+    std::lock_guard<std::mutex> Lock(Target.M);
+    Target.Deque.push_back(T);
+  }
+  WakeCv.notify_all();
+
+  // The caller participates: it steals chunks like a worker so that
+  // nested parallelFor calls (a chunk body that itself fans out) cannot
+  // deadlock, then blocks for the stragglers.
+  Task T;
+  while (trySteal(0, T)) {
+    (*T.Job->Body)(T.Begin, T.End);
+    std::lock_guard<std::mutex> Lock(T.Job->M);
+    if (--T.Job->Remaining == 0)
+      T.Job->Done.notify_all();
+  }
+  std::unique_lock<std::mutex> Lock(Job.M);
+  Job.Done.wait(Lock, [&] { return Job.Remaining == 0; });
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool(0);
+  return Pool;
+}

@@ -1,0 +1,89 @@
+//===- ThreadPool.h - Work-stealing thread pool and parallelFor -*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for data-parallel batch evaluation.
+/// Each worker owns a deque of tasks: the owner pushes and pops at the
+/// back (LIFO, cache-warm), idle workers steal from the front of a victim
+/// (FIFO, oldest chunk — the classic Cilk discipline). parallelFor()
+/// splits an index range into more chunks than workers so stealing can
+/// re-balance uneven chunk costs (affine ops get more expensive as symbol
+/// slots fill, so equal-sized chunks are *not* equal-cost).
+///
+/// Soundness under concurrency: the pool itself never touches the FPU
+/// rounding mode or the affine environment — both are thread-local, so
+/// every task that evaluates sound code must install its own
+/// fp::RoundUpwardScope (and AffineEnvScope / BatchEnvScope) for exactly
+/// the duration of the task body. aa::batch::run() does this for batch
+/// programs; tasks submitted directly must do it themselves.
+///
+/// Built when SAFEGEN_ENABLE_THREADS is ON (the default). When OFF the
+/// same interface exists but runs every task inline on the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SUPPORT_THREADPOOL_H
+#define SAFEGEN_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safegen {
+namespace support {
+
+/// A fixed-size pool of worker threads with per-worker stealing deques.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (0 = one per hardware thread). With
+  /// SAFEGEN_ENABLE_THREADS off, or Threads == 1, no workers are spawned
+  /// and everything runs inline on the calling thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of threads that can make progress concurrently (workers, or 1
+  /// when running inline).
+  unsigned concurrency() const;
+
+  /// Runs Body(ChunkBegin, ChunkEnd) over a partition of [Begin, End) and
+  /// returns when every chunk has finished. Chunks are at least \p Grain
+  /// indices (>= 1) and there are at most ChunksPerWorker * concurrency()
+  /// of them. Body must be safe to invoke concurrently from worker
+  /// threads; exceptions must not escape it.
+  void parallelFor(int64_t Begin, int64_t End, int64_t Grain,
+                   const std::function<void(int64_t, int64_t)> &Body);
+
+  /// A process-wide shared pool (lazily constructed, hardware-sized).
+  static ThreadPool &global();
+
+private:
+  struct Task;
+  struct Worker;
+
+  void workerLoop(unsigned Index);
+  bool trySteal(unsigned Thief, Task &Out);
+
+  static constexpr int ChunksPerWorker = 8;
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<std::thread> Threads;
+  std::mutex WakeMutex;
+  std::condition_variable WakeCv;
+  bool ShuttingDown = false;
+};
+
+} // namespace support
+} // namespace safegen
+
+#endif // SAFEGEN_SUPPORT_THREADPOOL_H

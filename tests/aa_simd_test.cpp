@@ -13,10 +13,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "aa/Affine.h"
+#include "aa/Batch.h"
 #include "aa/Simd.h"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 using namespace safegen;
@@ -197,5 +199,300 @@ TEST_F(SimdTest, VectorizedWithProtectionMatchesScalar) {
     expectSameSymbols(MS, MV);
     expectNearlyEqualCoefs(MS, MV);
     Ctx.clearProtected();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch (cross-instance SoA) vs scalar reference equivalence
+//===----------------------------------------------------------------------===//
+//
+// Unlike the per-form AVX2 kernels above (whose fresh-error coefficient may
+// differ in the last ulps), the batch engine promises *bit-identical*
+// per-instance results: evaluating N instances through aa::Batch must equal
+// running the scalar (Vectorize=false) kernels once per instance under a
+// fresh environment. These tests run random straight-line programs both
+// ways and compare every register bitwise. They do not skip without AVX2 —
+// the scalar per-instance fallback must satisfy the same contract.
+
+namespace {
+
+struct BatchProgOp {
+  enum Kind { Add, Sub, Mul, Neg, AddConst, Prioritize } K;
+  int A = 0, B = 0, Dst = 0;
+  double C = 0.0;
+};
+
+std::vector<BatchProgOp> randomBatchProgram(std::mt19937_64 &Rng, int NumRegs,
+                                            int NumOps) {
+  std::uniform_real_distribution<double> D(-2.0, 2.0);
+  std::vector<BatchProgOp> P;
+  P.reserve(NumOps);
+  for (int I = 0; I < NumOps; ++I) {
+    BatchProgOp Op;
+    unsigned R = Rng() % 12;
+    Op.A = static_cast<int>(Rng() % NumRegs);
+    Op.B = static_cast<int>(Rng() % NumRegs);
+    Op.Dst = static_cast<int>(Rng() % NumRegs);
+    if (R < 4)
+      Op.K = BatchProgOp::Add;
+    else if (R < 7)
+      Op.K = BatchProgOp::Sub;
+    else if (R < 9)
+      Op.K = BatchProgOp::Mul;
+    else if (R < 10)
+      Op.K = BatchProgOp::Neg;
+    else if (R < 11) {
+      Op.K = BatchProgOp::AddConst;
+      Op.C = D(Rng);
+    } else
+      Op.K = BatchProgOp::Prioritize;
+    P.push_back(Op);
+  }
+  return P;
+}
+
+/// Evaluates the program over any value type with +,-,*, unary -, an
+/// implicit double constructor and prioritize() — i.e. both F64a and
+/// BatchF64.
+template <typename V>
+void runBatchProgram(const std::vector<BatchProgOp> &P, std::vector<V> &R) {
+  for (const BatchProgOp &Op : P) {
+    switch (Op.K) {
+    case BatchProgOp::Add:
+      R[Op.Dst] = R[Op.A] + R[Op.B];
+      break;
+    case BatchProgOp::Sub:
+      R[Op.Dst] = R[Op.A] - R[Op.B];
+      break;
+    case BatchProgOp::Mul:
+      R[Op.Dst] = R[Op.A] * R[Op.B];
+      break;
+    case BatchProgOp::Neg:
+      R[Op.Dst] = -R[Op.A];
+      break;
+    case BatchProgOp::AddConst:
+      R[Op.Dst] = R[Op.A] + V(Op.C);
+      break;
+    case BatchProgOp::Prioritize:
+      R[Op.A].prioritize();
+      break;
+    }
+  }
+}
+
+uint64_t bitsOf(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+void expectBitIdentical(const AffineF64Storage &Ref,
+                        const AffineF64Storage &Got, int Inst, int Reg) {
+  ASSERT_EQ(Ref.N, Got.N) << "instance " << Inst << " reg " << Reg;
+  EXPECT_EQ(bitsOf(Ref.Center), bitsOf(Got.Center))
+      << "instance " << Inst << " reg " << Reg;
+  for (int32_t S = 0; S < Ref.N; ++S) {
+    EXPECT_EQ(Ref.Ids[S], Got.Ids[S])
+        << "instance " << Inst << " reg " << Reg << " slot " << S;
+    if (Ref.Ids[S] == InvalidSymbol) {
+      // Empty slots hold an exact zero whose sign is unobservable (every
+      // reader takes fabs or skips the slot); the batch engine's dead-row
+      // elision reports +0.0 where the scalar path can carry -0.0 through
+      // a negation.
+      EXPECT_EQ(0.0, Ref.Coefs[S])
+          << "instance " << Inst << " reg " << Reg << " slot " << S;
+      EXPECT_EQ(0.0, Got.Coefs[S])
+          << "instance " << Inst << " reg " << Reg << " slot " << S;
+      continue;
+    }
+    EXPECT_EQ(bitsOf(Ref.Coefs[S]), bitsOf(Got.Coefs[S]))
+        << "instance " << Inst << " reg " << Reg << " slot " << S;
+  }
+}
+
+/// Runs one random program as a batch of N instances and as N scalar
+/// (Vectorize=false) runs; every register must match bitwise, and the
+/// per-instance contexts must have consumed the same symbol ids.
+void checkBatchEquivalence(const std::string &Notation, int K, int N,
+                           uint64_t Seed) {
+  SCOPED_TRACE(Notation + " K=" + std::to_string(K) +
+               " N=" + std::to_string(N) + " seed=" + std::to_string(Seed));
+  AAConfig Cfg = *AAConfig::parse(Notation);
+  Cfg.K = K;
+  std::mt19937_64 Rng(Seed);
+  const int NumRegs = 4;
+  const int NumOps = 14;
+  auto Prog = randomBatchProgram(Rng, NumRegs, NumOps);
+
+  // Inputs with strongly varying magnitudes across instances, so the
+  // magnitude-based fusion rules pick *different* winners per lane.
+  std::uniform_real_distribution<double> D(-2.0, 2.0);
+  std::vector<std::vector<double>> Xs(NumRegs, std::vector<double>(N));
+  for (int R = 0; R < NumRegs; ++R)
+    for (int I = 0; I < N; ++I)
+      Xs[R][I] = D(Rng) * std::ldexp(1.0, static_cast<int>(Rng() % 21) - 10);
+
+  // Batch evaluation (one environment, N fresh per-instance contexts).
+  std::vector<std::vector<AffineF64Storage>> Got(
+      NumRegs, std::vector<AffineF64Storage>(N));
+  std::vector<SymbolId> GotNextId(N);
+  std::vector<uint64_t> GotFusions(N), GotOps(N);
+  std::vector<double> GotLo(N), GotHi(N), GotBits(N);
+  {
+    BatchEnvScope Env(Cfg, N);
+    std::vector<BatchF64> Regs;
+    for (int R = 0; R < NumRegs; ++R)
+      Regs.push_back(BatchF64::input(Xs[R].data()));
+    runBatchProgram(Prog, Regs);
+    for (int R = 0; R < NumRegs; ++R)
+      for (int I = 0; I < N; ++I)
+        Got[R][I] = Regs[R].extract(I);
+    for (int I = 0; I < N; ++I) {
+      GotNextId[I] = Env.get().Contexts[I].peekNextId();
+      GotFusions[I] = Env.get().Contexts[I].NumFusions;
+      GotOps[I] = Env.get().Contexts[I].NumOps;
+      Regs[0].bounds(I, GotLo[I], GotHi[I]);
+      GotBits[I] = Regs[0].certifiedBits(I);
+    }
+  }
+
+  // Scalar reference: one fresh environment per instance, scalar kernels.
+  AAConfig ScalarCfg = Cfg;
+  ScalarCfg.Vectorize = false;
+  for (int I = 0; I < N; ++I) {
+    AffineEnvScope Env(ScalarCfg);
+    std::vector<F64a> Regs;
+    for (int R = 0; R < NumRegs; ++R)
+      Regs.push_back(F64a::input(Xs[R][I]));
+    runBatchProgram(Prog, Regs);
+    for (int R = 0; R < NumRegs; ++R)
+      expectBitIdentical(Regs[R].storage(), Got[R][I], I, R);
+    EXPECT_EQ(env().Context.peekNextId(), GotNextId[I]) << "instance " << I;
+    EXPECT_EQ(env().Context.NumFusions, GotFusions[I]) << "instance " << I;
+    EXPECT_EQ(env().Context.NumOps, GotOps[I]) << "instance " << I;
+    double Lo, Hi;
+    Regs[0].storage().bounds(Lo, Hi);
+    EXPECT_EQ(bitsOf(Lo), bitsOf(GotLo[I])) << "instance " << I;
+    EXPECT_EQ(bitsOf(Hi), bitsOf(GotHi[I])) << "instance " << I;
+    EXPECT_EQ(bitsOf(Regs[0].certifiedBits()), bitsOf(GotBits[I]))
+        << "instance " << I;
+  }
+}
+
+class BatchEquivTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+} // namespace
+
+TEST_F(BatchEquivTest, FastPathSmallestNoProtection) {
+  for (int K : {8, 16, 32})
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed)
+      checkBatchEquivalence("f64a-dsnn", K, 7, Seed);
+}
+
+TEST_F(BatchEquivTest, FastPathSmallestWithProtection) {
+  // 'p' honours the protect table; the random programs contain prioritize
+  // ops, so conflicts on protected symbols exercise the scalar fix-up
+  // lanes inside the vector kernels.
+  for (int K : {8, 16, 32})
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed)
+      checkBatchEquivalence("f64a-dspv", K, 7, Seed);
+}
+
+TEST_F(BatchEquivTest, FastPathMeanThreshold) {
+  for (int K : {8, 16})
+    for (uint64_t Seed = 1; Seed <= 4; ++Seed)
+      checkBatchEquivalence("f64a-dmpn", K, 13, Seed);
+}
+
+TEST_F(BatchEquivTest, FallbackOldestFusion) {
+  // Oldest fusion is outside the fast path: exercises the per-instance
+  // scalar fallback of the batch engine.
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed)
+    checkBatchEquivalence("f64a-donn", 8, 6, Seed);
+}
+
+TEST_F(BatchEquivTest, FallbackSortedPlacement) {
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed)
+    checkBatchEquivalence("f64a-ssnn", 8, 6, Seed);
+}
+
+TEST_F(BatchEquivTest, LargerBatchUnalignedSize) {
+  // 61 instances: 15 full lane groups + one partial group — checks the
+  // pad-lane handling of every kernel.
+  checkBatchEquivalence("f64a-dspn", 16, 61, 99);
+}
+
+TEST_F(BatchEquivTest, DivisionAndElementaryMatchScalar) {
+  // Division and the elementary functions always take the per-instance
+  // path; fixed safe-domain program so every instance stays in range.
+  AAConfig Cfg = *AAConfig::parse("f64a-dspn");
+  Cfg.K = 16;
+  const int N = 9;
+  std::mt19937_64 Rng(7);
+  std::uniform_real_distribution<double> D(0.6, 1.9);
+  std::vector<double> X(N), Y(N);
+  for (int I = 0; I < N; ++I) {
+    X[I] = D(Rng);
+    Y[I] = D(Rng);
+  }
+  auto Program = [](const auto &A, const auto &B) {
+    using V = std::decay_t<decltype(A)>;
+    V S = sqrt(A) + log(B);
+    V E = exp(A * V(0.125)) - sin(B);
+    V C = cos(A) + V(2.0) + inv(B);
+    return (S * E) / C + S / B;
+  };
+
+  std::vector<AffineF64Storage> Got(N);
+  {
+    BatchEnvScope Env(Cfg, N);
+    BatchF64 A = BatchF64::input(X.data());
+    BatchF64 B = BatchF64::input(Y.data());
+    BatchF64 Out = Program(A, B);
+    for (int I = 0; I < N; ++I)
+      Got[I] = Out.extract(I);
+  }
+  AAConfig ScalarCfg = Cfg;
+  ScalarCfg.Vectorize = false;
+  for (int I = 0; I < N; ++I) {
+    AffineEnvScope Env(ScalarCfg);
+    F64a A = F64a::input(X[I]);
+    F64a B = F64a::input(Y[I]);
+    F64a Out = Program(A, B);
+    expectBitIdentical(Out.storage(), Got[I], I, 0);
+  }
+}
+
+TEST_F(BatchEquivTest, ExplicitDeviationsAndIntervals) {
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 8;
+  const int N = 5;
+  std::vector<double> X = {1.0, -3.5, 0x1p-30, 7e12, 0.1};
+  std::vector<double> Dev = {0.25, 1e-9, 0x1p-52, 2.0, 0.0};
+  std::vector<double> Lo = {-1.0, 0.5, -2.0, 3.0, -0.125};
+  std::vector<double> Hi = {1.5, 0.75, -1.0, 3.0, 0.125};
+  std::vector<AffineF64Storage> GotIn(N), GotIv(N);
+  {
+    BatchEnvScope Env(Cfg, N);
+    BatchF64 A = BatchF64::input(X.data(), Dev.data());
+    BatchF64 B = BatchF64::fromInterval(Lo.data(), Hi.data());
+    BatchF64 S = A * B - A;
+    for (int I = 0; I < N; ++I) {
+      GotIn[I] = S.extract(I);
+      GotIv[I] = B.extract(I);
+    }
+  }
+  AAConfig ScalarCfg = Cfg;
+  ScalarCfg.Vectorize = false;
+  for (int I = 0; I < N; ++I) {
+    AffineEnvScope Env(ScalarCfg);
+    F64a A = F64a::input(X[I], Dev[I]);
+    F64a B = F64a::fromInterval(Lo[I], Hi[I]);
+    F64a S = A * B - A;
+    expectBitIdentical(S.storage(), GotIn[I], I, 0);
+    expectBitIdentical(B.storage(), GotIv[I], I, 1);
   }
 }

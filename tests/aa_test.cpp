@@ -69,6 +69,25 @@ TEST_F(AaTest, ConstantWidenedByUlp) {
   EXPECT_EQ(Two.countSymbols(), 0);
 }
 
+TEST_F(AaTest, NearIntegerConstantStillWidened) {
+  // Regression: the integrality test once used std::nearbyint, which
+  // follows the dynamic rounding mode — under the upward mode this fixture
+  // installs, nearbyint(2 + 2ulp) == 3, so the "is it an integer?" check
+  // gave the right answer only by accident of which side the value fell
+  // on, and values like 2 + 2ulp could be mis-armed. trunc is mode-
+  // independent: a non-integer constant must always carry its 1-ulp
+  // widening symbol.
+  AffineEnvScope Env(makeConfig("f64a-dsnn", 8));
+  const double NearTwo = 2.0000000000000004; // 2 + 2 ulp, not an integer
+  ASSERT_NE(NearTwo, 2.0);
+  F64a C = NearTwo;
+  EXPECT_EQ(C.countSymbols(), 1);
+  EXPECT_GT(C.radius(), 0.0);
+  EXPECT_TRUE(C.toInterval().contains(NearTwo));
+  F64a Exact = 2.0; // a true integer stays exact under the same mode
+  EXPECT_EQ(Exact.countSymbols(), 0);
+}
+
 TEST_F(AaTest, XMinusXisExactlyZero) {
   // The motivating AA example (Sec. II-B): full cancellation.
   for (const char *Cfg : {"f64a-dsnn", "f64a-ssnn", "f64a-sonn"}) {

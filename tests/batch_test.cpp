@@ -1,0 +1,254 @@
+//===- batch_test.cpp - Batch engine and thread pool tests ----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the work-stealing ThreadPool and the aa::Batch engine's
+/// environment handling, per-instance queries, and the batch::run()
+/// parallel driver (which must produce results independent of the thread
+/// count and chunking).
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/Batch.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cfenv>
+#include <cmath>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  support::ThreadPool Pool(4);
+  const int64_t N = 10'000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(0, N, 16, [&](int64_t B, int64_t E) {
+    for (int64_t I = B; I < E; ++I)
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForSum) {
+  support::ThreadPool Pool(3);
+  const int64_t N = 4321;
+  std::atomic<int64_t> Sum{0};
+  Pool.parallelFor(0, N, 100, [&](int64_t B, int64_t E) {
+    int64_t Local = 0;
+    for (int64_t I = B; I < E; ++I)
+      Local += I;
+    Sum.fetch_add(Local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Sum.load(), N * (N - 1) / 2);
+}
+
+TEST(ThreadPool, InlineModeAndEmptyRange) {
+  support::ThreadPool Inline(1);
+  EXPECT_EQ(Inline.concurrency(), 1u);
+  std::vector<int> Seen;
+  Inline.parallelFor(5, 9, 2, [&](int64_t B, int64_t E) {
+    for (int64_t I = B; I < E; ++I)
+      Seen.push_back(static_cast<int>(I));
+  });
+  EXPECT_EQ(Seen, (std::vector<int>{5, 6, 7, 8}));
+  bool Ran = false;
+  Inline.parallelFor(3, 3, 1, [&](int64_t, int64_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The calling thread participates in stealing, so a task that itself
+  // calls parallelFor on the same pool must complete.
+  support::ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 4, 1, [&](int64_t B, int64_t E) {
+    for (int64_t I = B; I < E; ++I)
+      Pool.parallelFor(0, 8, 1, [&](int64_t B2, int64_t E2) {
+        Count.fetch_add(static_cast<int>(E2 - B2),
+                        std::memory_order_relaxed);
+      });
+  });
+  EXPECT_EQ(Count.load(), 4 * 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch basics
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class BatchTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+AAConfig testConfig(int K = 16) {
+  AAConfig Cfg = *AAConfig::parse("f64a-dspn");
+  Cfg.K = K;
+  return Cfg;
+}
+
+} // namespace
+
+TEST_F(BatchTest, GeometryAndPadding) {
+  BatchEnvScope Env(testConfig(8), 5);
+  BatchF64 B = BatchF64::exact(3.0);
+  EXPECT_EQ(B.size(), 5);
+  EXPECT_EQ(B.capacity(), 8); // padded to a multiple of 4
+  EXPECT_EQ(B.slots(), 8);
+  for (int I = 0; I < 5; ++I) {
+    EXPECT_EQ(B.mid(I), 3.0);
+    EXPECT_EQ(B.radius(I), 0.0);
+  }
+}
+
+TEST_F(BatchTest, BoundsEncloseExactValues) {
+  const int N = 6;
+  BatchEnvScope Env(testConfig(), N);
+  std::vector<double> Xs = {0.1, -2.5, 7.0, 1e-8, 42.0, -0.75};
+  BatchF64 X = BatchF64::input(Xs.data());
+  BatchF64 Y = X * X - X + BatchF64(1.5);
+  std::vector<double> Lo(N), Hi(N);
+  Y.bounds(Lo.data(), Hi.data());
+  for (int I = 0; I < N; ++I) {
+    double Exact = Xs[I] * Xs[I] - Xs[I] + 1.5; // within a few ulps
+    EXPECT_LE(Lo[I], Exact) << "instance " << I;
+    EXPECT_GE(Hi[I], Exact) << "instance " << I;
+    EXPECT_GT(Y.certifiedBits(I), 40.0) << "instance " << I;
+  }
+}
+
+TEST_F(BatchTest, ExtractInsertRoundTrip) {
+  const int N = 3;
+  BatchEnvScope Env(testConfig(8), N);
+  std::vector<double> Xs = {1.0, 2.0, 3.0};
+  BatchF64 X = BatchF64::input(Xs.data());
+  BatchF64 Y = X * X + X;
+  BatchF64 Z = BatchF64::exact(0.0);
+  for (int I = 0; I < N; ++I)
+    Z.insert(I, Y.extract(I));
+  for (int I = 0; I < N; ++I) {
+    double LoY, HiY, LoZ, HiZ;
+    Y.bounds(I, LoY, HiY);
+    Z.bounds(I, LoZ, HiZ);
+    EXPECT_EQ(LoY, LoZ);
+    EXPECT_EQ(HiY, HiZ);
+  }
+}
+
+TEST_F(BatchTest, PrioritizeMarksEveryInstanceContext) {
+  const int N = 4;
+  BatchEnvScope Env(testConfig(8), N);
+  std::vector<double> Xs = {1.0, 2.0, 3.0, 4.0};
+  BatchF64 X = BatchF64::input(Xs.data());
+  EXPECT_FALSE(Env.get().AnyProtected);
+  X.prioritize();
+  EXPECT_TRUE(Env.get().AnyProtected);
+  for (int I = 0; I < N; ++I)
+    EXPECT_TRUE(Env.get().Contexts[I].hasProtected()) << "instance " << I;
+}
+
+TEST_F(BatchTest, EnvScopeNestsAndRestores) {
+  EXPECT_FALSE(hasBatchEnv());
+  {
+    BatchEnvScope Outer(testConfig(8), 2);
+    EXPECT_TRUE(hasBatchEnv());
+    EXPECT_EQ(batchEnv().size(), 2);
+    {
+      BatchEnvScope Inner(testConfig(16), 7);
+      EXPECT_EQ(batchEnv().size(), 7);
+      EXPECT_EQ(batchEnv().Config.K, 16);
+    }
+    EXPECT_EQ(batchEnv().size(), 2);
+    EXPECT_EQ(batchEnv().Config.K, 8);
+  }
+  EXPECT_FALSE(hasBatchEnv());
+}
+
+//===----------------------------------------------------------------------===//
+// batch::run — the parallel driver
+//===----------------------------------------------------------------------===//
+
+TEST(BatchRun, ResultsIndependentOfThreadsAndGrain) {
+  // batch::run installs rounding + environment per chunk itself — no
+  // ambient scopes here on purpose.
+  AAConfig Cfg = *AAConfig::parse("f64a-dspn");
+  Cfg.K = 16;
+  const int32_t N = 1000;
+  std::vector<double> Xs(N);
+  for (int32_t I = 0; I < N; ++I)
+    Xs[I] = 0.01 * I - 3.0;
+
+  // Reference: single chunk, inline.
+  std::vector<double> RefLo(N), RefHi(N);
+  batch::run(Cfg, N, 1u, [&](int32_t First, int32_t Count) {
+    BatchF64 X = BatchF64::input(Xs.data() + First);
+    BatchF64 Y = (X * X - X) * X + BatchF64(0.5);
+    Y.bounds(RefLo.data() + First, RefHi.data() + First);
+    (void)Count;
+  }, N);
+
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    for (int32_t Grain : {7, 64, 256}) {
+      std::vector<double> Lo(N), Hi(N);
+      batch::run(Cfg, N, Threads, [&](int32_t First, int32_t Count) {
+        BatchF64 X = BatchF64::input(Xs.data() + First);
+        BatchF64 Y = (X * X - X) * X + BatchF64(0.5);
+        Y.bounds(Lo.data() + First, Hi.data() + First);
+        (void)Count;
+      }, Grain);
+      for (int32_t I = 0; I < N; ++I) {
+        ASSERT_EQ(RefLo[I], Lo[I])
+            << "threads=" << Threads << " grain=" << Grain << " i=" << I;
+        ASSERT_EQ(RefHi[I], Hi[I])
+            << "threads=" << Threads << " grain=" << Grain << " i=" << I;
+      }
+    }
+  }
+}
+
+TEST(BatchRun, SharedPoolOverload) {
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 8;
+  const int32_t N = 200;
+  std::vector<double> Xs(N, 1.25), Lo(N), Hi(N);
+  batch::run(Cfg, N, support::ThreadPool::global(),
+             [&](int32_t First, int32_t Count) {
+               BatchF64 X = BatchF64::input(Xs.data() + First);
+               BatchF64 Y = X * X;
+               Y.bounds(Lo.data() + First, Hi.data() + First);
+               (void)Count;
+             },
+             32);
+  for (int32_t I = 0; I < N; ++I) {
+    EXPECT_LE(Lo[I], 1.5625);
+    EXPECT_GE(Hi[I], 1.5625);
+  }
+}
+
+TEST(BatchRun, RoundingModeRestoredAfterRun) {
+  // The per-chunk RoundUpwardScope must not leak into the caller.
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 8;
+  std::vector<double> Xs(64, 2.0), Lo(64), Hi(64);
+  batch::run(Cfg, 64, 2u, [&](int32_t First, int32_t Count) {
+    BatchF64 X = BatchF64::input(Xs.data() + First);
+    (X * X).bounds(Lo.data() + First, Hi.data() + First);
+    (void)Count;
+  });
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+}

@@ -218,3 +218,55 @@ TEST_F(InterpTest, MakeDefaultArgShapes) {
   Value X = Interpreter::makeDefaultArg(F->getParams()[3]->getType(), 0.5);
   EXPECT_TRUE(X.isAffine());
 }
+
+TEST_F(InterpTest, RunBatchMatchesSerialRuns) {
+  auto CU = parseOk("double poly(double x, double y) {\n"
+                    "  double t = x * x - y;\n"
+                    "  return t * t + x * y - 0.25;\n"
+                    "}\n");
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+  Cfg.K = 16;
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+
+  std::vector<std::vector<double>> Seeds;
+  for (int I = 0; I < 37; ++I)
+    Seeds.push_back({0.1 * I - 1.5, 0.05 * I + 0.25});
+
+  // Serial reference: one fresh environment per instance, plain call().
+  std::vector<ia::Interval> Ref;
+  for (const auto &S : Seeds) {
+    aa::AffineEnvScope Env(Cfg);
+    frontend::FunctionDecl *F = TU.findFunction("poly");
+    std::vector<Value> Args;
+    for (size_t P = 0; P < F->getParams().size(); ++P)
+      Args.push_back(
+          Interpreter::makeDefaultArg(F->getParams()[P]->getType(), S[P]));
+    Interpreter I(TU);
+    InterpResult R = I.call("poly", std::move(Args));
+    ASSERT_TRUE(R.Success) << R.Error;
+    Ref.push_back(R.ReturnValue.asAffine().toInterval());
+  }
+
+  for (unsigned Threads : {1u, 4u}) {
+    std::vector<BatchCallResult> Out =
+        Interpreter::runBatch(TU, "poly", Cfg, Seeds, Threads);
+    ASSERT_EQ(Out.size(), Seeds.size());
+    for (size_t I = 0; I < Out.size(); ++I) {
+      ASSERT_TRUE(Out[I].Success) << Out[I].Error;
+      EXPECT_EQ(Ref[I].Lo, Out[I].Return.Lo)
+          << "threads=" << Threads << " instance " << I;
+      EXPECT_EQ(Ref[I].Hi, Out[I].Return.Hi)
+          << "threads=" << Threads << " instance " << I;
+    }
+  }
+}
+
+TEST_F(InterpTest, RunBatchReportsPerInstanceErrors) {
+  auto CU = parseOk("double f(double x) { return x; }");
+  std::vector<BatchCallResult> Out = Interpreter::runBatch(
+      CU->Ctx->tu(), "does_not_exist", *aa::AAConfig::parse("f64a-dsnn"),
+      {{1.0}, {2.0}}, 1);
+  ASSERT_EQ(Out.size(), 2u);
+  for (const BatchCallResult &R : Out)
+    EXPECT_FALSE(R.Success);
+}

@@ -23,6 +23,7 @@ import csv
 import io
 import json
 import os
+import re
 import subprocess
 import sys
 
@@ -185,6 +186,50 @@ def run_batch_bench(build_dir, results_dir, quick):
     return data
 
 
+KERNELS = ["henon", "sor", "luf", "fgm"]
+
+TIMING_RE = re.compile(r"^\s*([0-9.]+) s \(\s*[0-9.]+%\)\s+(\S+)\s*$")
+STAT_RE = re.compile(r"^(\d+)\t(\S+)")
+
+
+def compile_pass_stats(build_dir, results_dir):
+    """Compiles each benchmark kernel with --time-passes --stats and
+    collects the per-pass compile-time breakdown and counters."""
+    tool = os.path.join(build_dir, "src", "driver", "safegen")
+    if not os.path.exists(tool):
+        print(f"warning: {tool} missing, skipping pass stats",
+              file=sys.stderr)
+        return None
+    breakdown = {}
+    for kernel in KERNELS:
+        src = os.path.join("benchmarks", f"{kernel}.c")
+        cmd = [tool, src, "--config", "f64a-dspv", "--time-passes",
+               "--stats", "-o", os.devnull]
+        print("+", " ".join(cmd), flush=True)
+        proc = subprocess.run(cmd, check=True, capture_output=True,
+                              text=True)
+        timings = {}
+        stats = {}
+        for line in proc.stderr.splitlines():
+            m = TIMING_RE.match(line)
+            if m:
+                timings[m.group(2)] = float(m.group(1))
+                continue
+            m = STAT_RE.match(line)
+            if m:
+                stats[m.group(2)] = int(m.group(1))
+        breakdown[kernel] = {"pass_seconds": timings, "stats": stats}
+    os.makedirs(results_dir, exist_ok=True)
+    csv_path = os.path.join(results_dir, "compile_passes.csv")
+    with open(csv_path, "w") as f:
+        f.write("kernel,pass,seconds\n")
+        for kernel, entry in breakdown.items():
+            for name, seconds in entry["pass_seconds"].items():
+                f.write(f"{kernel},{name},{seconds}\n")
+    print(f"  -> {csv_path}")
+    return breakdown
+
+
 def check_batch(data, baseline_path, tolerance=0.20):
     """Returns a list of human-readable regressions (>tolerance slower)."""
     with open(baseline_path) as f:
@@ -234,7 +279,16 @@ def main():
         return
 
     outputs = run_benches(args.build_dir, args.results_dir)
-    run_batch_bench(args.build_dir, args.results_dir, args.quick)
+    data = run_batch_bench(args.build_dir, args.results_dir, args.quick)
+    passes = compile_pass_stats(args.build_dir, args.results_dir)
+    if data is not None and passes is not None:
+        # check_batch only reads ns_per_element, so adding the per-pass
+        # compile-time breakdown keeps the baseline comparison intact.
+        data["compile_passes"] = passes
+        with open("BENCH_batch.json", "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("  -> BENCH_batch.json (with compile_passes)")
     if "fig8" in outputs:
         plot_fig8(outputs["fig8"], os.path.join(args.results_dir, "plots"))
     print("done.")

@@ -126,8 +126,16 @@ unsigned analysis::annotatePriorities(FunctionDecl *F, ASTContext &Ctx,
 AnalysisReport analysis::analyzeAndAnnotate(FunctionDecl *F, ASTContext &Ctx,
                                             int K,
                                             const MaxReuseOptions *Override) {
+  unsigned Temps = toThreeAddressCode(F, Ctx);
+  AnalysisReport Report = annotateFromTAC(F, Ctx, K, Override);
+  Report.TempsIntroduced = Temps;
+  return Report;
+}
+
+AnalysisReport analysis::annotateFromTAC(FunctionDecl *F, ASTContext &Ctx,
+                                         int K,
+                                         const MaxReuseOptions *Override) {
   AnalysisReport Report;
-  Report.TempsIntroduced = toThreeAddressCode(F, Ctx);
   DAG G = buildDAG(F);
   Report.DAGNodes = G.size();
   MaxReuseOptions Opts;

@@ -48,6 +48,15 @@ AnalysisReport analyzeAndAnnotate(frontend::FunctionDecl *F,
                                   const MaxReuseOptions *OptsOverride =
                                       nullptr);
 
+/// The analysis tail of Fig. 6 — DAG -> max-reuse -> pragma annotation —
+/// on a function that is *already* in three-address form (see
+/// analysis/TAC.h). The pass pipeline runs the TAC transform as its own
+/// stage and then calls this; the returned report's TempsIntroduced is
+/// left at 0 for the caller to fill in.
+AnalysisReport annotateFromTAC(frontend::FunctionDecl *F,
+                               frontend::ASTContext &Ctx, int K,
+                               const MaxReuseOptions *OptsOverride = nullptr);
+
 } // namespace analysis
 } // namespace safegen
 

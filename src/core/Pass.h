@@ -1,0 +1,72 @@
+//===- Pass.h - Uniform pass interface over the AST -------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass abstraction the SafeGen pipeline (Fig. 1) is built from: a
+/// Pass transforms (or inspects) the ASTContext of one compilation and
+/// reports failure through the DiagnosticsEngine. The PassManager owns
+/// the cross-cutting concerns — ordering, timing, statistics, AST dumps,
+/// inter-pass verification — so individual passes stay minimal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_PASS_H
+#define SAFEGEN_CORE_PASS_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+#include "support/Statistic.h"
+
+#include <functional>
+#include <string>
+
+namespace safegen {
+namespace core {
+
+/// Everything a pass may read or mutate.
+struct PassContext {
+  frontend::ASTContext &Ctx;
+  DiagnosticsEngine &Diags;
+  support::StatsRegistry &Stats;
+};
+
+/// One named stage of the pipeline. run() returns false on failure (after
+/// emitting diagnostics); the manager then stops the pipeline.
+class Pass {
+public:
+  Pass(std::string Name, std::string Description = "")
+      : Name(std::move(Name)), Description(std::move(Description)) {}
+  virtual ~Pass() = default;
+
+  const std::string &getName() const { return Name; }
+  const std::string &getDescription() const { return Description; }
+
+  virtual bool run(PassContext &PC) = 0;
+
+private:
+  std::string Name;
+  std::string Description;
+};
+
+/// Adapts a callable into a Pass; used for the built-in pipeline stages
+/// and for ad-hoc test passes.
+class LambdaPass final : public Pass {
+public:
+  using Body = std::function<bool(PassContext &)>;
+
+  LambdaPass(std::string Name, Body Fn, std::string Description = "")
+      : Pass(std::move(Name), std::move(Description)), Fn(std::move(Fn)) {}
+
+  bool run(PassContext &PC) override { return Fn(PC); }
+
+private:
+  Body Fn;
+};
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_PASS_H

@@ -1,0 +1,136 @@
+//===- PassManager.cpp ----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PassManager.h"
+
+#include "frontend/ASTPrinter.h"
+#include "frontend/ASTVerifier.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+using namespace safegen;
+using namespace safegen::core;
+
+std::string PassManagerReport::renderTimings() const {
+  std::ostringstream OS;
+  OS << "===-------------------------------------------------------------===\n"
+     << "                      ... Pass execution timing ...\n"
+     << "===-------------------------------------------------------------===\n";
+  OS << std::fixed << std::setprecision(6);
+  for (const PassTiming &T : Timings) {
+    double Pct = TotalSeconds > 0.0 ? 100.0 * T.Seconds / TotalSeconds : 0.0;
+    OS << "  " << std::setw(10) << T.Seconds << " s (" << std::setw(5)
+       << std::setprecision(1) << Pct << "%)  " << std::setprecision(6)
+       << T.Name << "\n";
+  }
+  OS << "  " << std::setw(10) << TotalSeconds << " s (100.0%)  total\n";
+  return OS.str();
+}
+
+PassManager::PassManager(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags,
+                         PassManagerOptions Opts)
+    : Ctx(Ctx), Diags(Diags), Opts(std::move(Opts)) {}
+
+Pass &PassManager::addPass(std::unique_ptr<Pass> P) {
+  assert(P && "null pass");
+  assert(std::none_of(Passes.begin(), Passes.end(),
+                      [&](const std::unique_ptr<Pass> &Q) {
+                        return Q->getName() == P->getName();
+                      }) &&
+         "duplicate pass name");
+  Passes.push_back(std::move(P));
+  return *Passes.back();
+}
+
+Pass &PassManager::addPass(std::string Name, LambdaPass::Body Fn,
+                           std::string Description) {
+  return addPass(std::make_unique<LambdaPass>(std::move(Name), std::move(Fn),
+                                              std::move(Description)));
+}
+
+bool PassManager::isDisabled(const Pass &P) const {
+  return std::find(Opts.DisabledPasses.begin(), Opts.DisabledPasses.end(),
+                   P.getName()) != Opts.DisabledPasses.end();
+}
+
+std::string PassManager::describePipeline() const {
+  std::string Out;
+  for (const auto &P : Passes) {
+    if (!Out.empty())
+      Out += ",";
+    if (isDisabled(*P))
+      Out += "!";
+    Out += P->getName();
+  }
+  return Out;
+}
+
+bool PassManager::verifyAfter(const Pass &P) {
+  std::vector<std::string> Failures;
+  if (frontend::verifyAST(Ctx, Failures))
+    return true;
+  for (const std::string &F : Failures)
+    Diags.error({}, "verify-each after pass '" + P.getName() + "': " + F);
+  Report.FailedPass = P.getName();
+  return false;
+}
+
+bool PassManager::run() {
+  // Warn (once, up front) about option names that match no registered pass,
+  // so a typo in --disable-pass/--print-after is not silently a no-op.
+  auto IsKnown = [&](const std::string &Name) {
+    return std::any_of(Passes.begin(), Passes.end(),
+                       [&](const std::unique_ptr<Pass> &P) {
+                         return P->getName() == Name;
+                       });
+  };
+  for (const std::string &Name : Opts.DisabledPasses)
+    if (!IsKnown(Name))
+      Diags.warning({}, "--disable-pass: no pass named '" + Name + "'");
+  for (const std::string &Name : Opts.PrintAfter)
+    if (!IsKnown(Name))
+      Diags.warning({}, "--print-after: no pass named '" + Name + "'");
+
+  PassContext PC{Ctx, Diags, Stats};
+  support::Timer TotalTimer;
+  TotalTimer.start();
+
+  for (const auto &P : Passes) {
+    if (isDisabled(*P))
+      continue;
+
+    support::Timer T;
+    T.start();
+    bool Ok = P->run(PC);
+    T.stop();
+    Report.Timings.push_back({P->getName(), T.seconds()});
+
+    if (!Ok) {
+      Report.FailedPass = P->getName();
+      if (!Diags.hasErrors())
+        Diags.error({}, "pass '" + P->getName() + "' failed");
+      break;
+    }
+
+    if (std::find(Opts.PrintAfter.begin(), Opts.PrintAfter.end(),
+                  P->getName()) != Opts.PrintAfter.end()) {
+      frontend::ASTPrinter Printer;
+      Report.ASTDumps += "*** AST after " + P->getName() + " ***\n";
+      Report.ASTDumps += Printer.print(Ctx.tu());
+    }
+
+    if (Opts.VerifyEach && !verifyAfter(*P))
+      break;
+  }
+
+  TotalTimer.stop();
+  Report.TotalSeconds = TotalTimer.seconds();
+  return Report.FailedPass.empty();
+}

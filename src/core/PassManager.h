@@ -1,0 +1,110 @@
+//===- PassManager.h - Instrumented pipeline driver -------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a registered sequence of passes over one ASTContext with
+/// cross-cutting instrumentation:
+///
+///   * per-pass wall-clock timings (`--time-passes`),
+///   * statistics counters (`--stats`, support/Statistic.h),
+///   * AST dumps after named passes (`--print-after=<pass>`),
+///   * pipeline introspection (`--print-pipeline`),
+///   * selective disabling (`--disable-pass=<name>`),
+///   * inter-pass invariant verification (`--verify-each`): after every
+///     executed pass the Sema invariants are re-checked
+///     (frontend::verifyAST), so a pass that produces an ill-typed AST
+///     fails at its own boundary.
+///
+/// The manager never renders diagnostics itself — the caller renders the
+/// engine exactly once after run() returns, so warnings emitted before a
+/// failing pass are neither dropped nor duplicated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_PASSMANAGER_H
+#define SAFEGEN_CORE_PASSMANAGER_H
+
+#include "core/Pass.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+/// Instrumentation knobs, mirrored 1:1 by driver flags.
+struct PassManagerOptions {
+  bool TimePasses = false;   ///< render a timing report (driver-side)
+  bool CollectStats = false; ///< render the statistics report (driver-side)
+  bool VerifyEach = false;   ///< re-verify AST invariants after every pass
+  bool PrintPipeline = false; ///< describe the pipeline (driver-side)
+  /// Dump the AST (via ASTPrinter) after each of these passes.
+  std::vector<std::string> PrintAfter;
+  /// Skip these passes. Unknown names are diagnosed as warnings.
+  std::vector<std::string> DisabledPasses;
+};
+
+/// Wall-clock seconds spent in one executed pass.
+struct PassTiming {
+  std::string Name;
+  double Seconds = 0.0;
+};
+
+/// Everything run() measured, for the caller to surface.
+struct PassManagerReport {
+  std::vector<PassTiming> Timings; ///< executed passes, in order
+  double TotalSeconds = 0.0;
+  std::string ASTDumps;   ///< concatenated `--print-after` dumps
+  std::string FailedPass; ///< empty when every pass succeeded
+
+  /// Human-readable timing table (one "name seconds s (pct%)" row per
+  /// pass, then a total row).
+  std::string renderTimings() const;
+};
+
+class PassManager {
+public:
+  PassManager(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags,
+              PassManagerOptions Opts = {});
+
+  /// Appends \p P to the pipeline. Pass names must be unique.
+  Pass &addPass(std::unique_ptr<Pass> P);
+  /// Convenience: appends a LambdaPass.
+  Pass &addPass(std::string Name, LambdaPass::Body Fn,
+                std::string Description = "");
+
+  size_t size() const { return Passes.size(); }
+  const Pass &getPass(size_t I) const { return *Passes[I]; }
+  bool isDisabled(const Pass &P) const;
+
+  /// Comma-separated names of the registered pipeline, in run order;
+  /// disabled passes are rendered as "!name".
+  std::string describePipeline() const;
+
+  support::StatsRegistry &stats() { return Stats; }
+  const PassManagerReport &report() const { return Report; }
+
+  /// Runs every enabled pass in registration order. Stops at the first
+  /// failing pass (or the first `--verify-each` violation) and returns
+  /// false; the diagnostics engine then holds the reason.
+  bool run();
+
+private:
+  bool verifyAfter(const Pass &P);
+
+  frontend::ASTContext &Ctx;
+  DiagnosticsEngine &Diags;
+  PassManagerOptions Opts;
+  std::vector<std::unique_ptr<Pass>> Passes;
+  support::StatsRegistry Stats;
+  PassManagerReport Report;
+};
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_PASSMANAGER_H

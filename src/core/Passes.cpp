@@ -1,0 +1,162 @@
+//===- Passes.cpp ---------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+
+#include "analysis/DAG.h"
+#include "analysis/TAC.h"
+#include "core/PassManager.h"
+#include "core/SafeGen.h"
+#include "core/SimdToC.h"
+#include "frontend/ASTPrinter.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+using namespace safegen;
+using namespace safegen::frontend;
+using namespace safegen::core;
+
+namespace {
+
+/// The function definitions the options select (empty filter = all).
+std::vector<FunctionDecl *> selectedFunctions(ASTContext &Ctx,
+                                              const SafeGenOptions &Opts) {
+  std::vector<FunctionDecl *> Out;
+  for (Decl *D : Ctx.tu().Decls) {
+    if (D->getKind() != Decl::Kind::Function)
+      continue;
+    auto *F = static_cast<FunctionDecl *>(D);
+    if (!F->isDefinition())
+      continue;
+    if (!Opts.Functions.empty() &&
+        std::find(Opts.Functions.begin(), Opts.Functions.end(),
+                  F->getName()) == Opts.Functions.end())
+      continue;
+    Out.push_back(F);
+  }
+  return Out;
+}
+
+} // namespace
+
+void core::buildSafeGenPipeline(PassManager &PM, const SafeGenOptions &Opts,
+                                SafeGenResult &Result) {
+  const bool Analyze = Opts.RunAnalysis && Opts.Config.Prioritize;
+
+  if (Opts.LowerSimdFirst) {
+    PM.addPass(
+        "simd-flatten",
+        [](PassContext &PC) {
+          unsigned Temps = 0;
+          bool Ok = flattenSimd(PC.Ctx, PC.Diags, &Temps);
+          PC.Stats.add("simd-flatten.temps", Temps,
+                       "vector temporaries hoisted by the SIMD flattener");
+          return Ok;
+        },
+        "hoist nested SIMD intrinsics into vector temporaries");
+    PM.addPass(
+        "simd-lower",
+        [](PassContext &PC) { return lowerSimd(PC.Ctx, PC.Diags); },
+        "scalarize SIMD intrinsics to per-lane C");
+  }
+
+  PM.addPass(
+      "const-fold",
+      [&Result](PassContext &PC) {
+        Result.ConstantsFolded = foldConstants(PC.Ctx);
+        PC.Stats.add("const-fold.folded", Result.ConstantsFolded,
+                     "exact floating-point operations folded");
+        return true;
+      },
+      "sound constant folding (exact operations only)");
+
+  // The TAC transform feeds both the analysis and the DAG dump; running
+  // it whenever either consumer is on keeps the dumped DAG identical
+  // with and without --prioritize.
+  auto TempsByFn =
+      std::make_shared<std::map<const FunctionDecl *, unsigned>>();
+  if (Analyze || Opts.DumpDAG)
+    PM.addPass(
+        "tac",
+        [&Opts, TempsByFn](PassContext &PC) {
+          for (FunctionDecl *F : selectedFunctions(PC.Ctx, Opts)) {
+            unsigned Temps = analysis::toThreeAddressCode(F, PC.Ctx);
+            (*TempsByFn)[F] = Temps;
+            PC.Stats.add("tac.temps-introduced", Temps,
+                         "temporaries introduced by the TAC transform");
+          }
+          return true;
+        },
+        "three-address-code transform");
+
+  if (Analyze)
+    PM.addPass(
+        "annotate",
+        [&Opts, &Result, TempsByFn](PassContext &PC) {
+          for (FunctionDecl *F : selectedFunctions(PC.Ctx, Opts)) {
+            analysis::MaxReuseOptions AOpts = Opts.AnalysisOptions;
+            analysis::AnalysisReport Report =
+                analysis::annotateFromTAC(F, PC.Ctx, Opts.Config.K, &AOpts);
+            auto It = TempsByFn->find(F);
+            Report.TempsIntroduced =
+                It == TempsByFn->end() ? 0 : It->second;
+            PC.Stats.add("annotate.dag-nodes", Report.DAGNodes,
+                         "computation DAG nodes analyzed");
+            PC.Stats.add("annotate.reuse-pairs", Report.ReusePairs,
+                         "reuse pairs found by the max-reuse ILP");
+            PC.Stats.add("annotate.pragmas", Report.PragmasInserted,
+                         "prioritization pragmas inserted");
+            Result.Reports.push_back(Report);
+          }
+          return true;
+        },
+        "max-reuse analysis and prioritization pragmas");
+
+  if (Opts.DumpDAG)
+    PM.addPass(
+        "dump-dag",
+        [&Opts, &Result](PassContext &PC) {
+          for (FunctionDecl *F : selectedFunctions(PC.Ctx, Opts)) {
+            analysis::DAG G = analysis::buildDAG(F);
+            PC.Stats.add("dump-dag.nodes", G.size(),
+                         "computation DAG nodes dumped");
+            Result.DAGDump += G.dumpDot();
+          }
+          return true;
+        },
+        "dump the computation DAG (Graphviz)");
+
+  PM.addPass(
+      "affine-rewrite",
+      [&Opts](PassContext &PC) {
+        RewriteOptions ROpts;
+        ROpts.Config = Opts.Config;
+        ROpts.Functions = Opts.Functions;
+        RewriteStats RS;
+        bool Ok = rewriteToAffine(PC.Ctx, PC.Diags, ROpts, &RS);
+        PC.Stats.add("affine-rewrite.runtime-calls", RS.RuntimeCalls,
+                     "affine runtime calls emitted");
+        PC.Stats.add("affine-rewrite.decls-retyped", RS.DeclsRetyped,
+                     "declarations retyped to affine types");
+        PC.Stats.add("affine-rewrite.pragmas-lowered", RS.PragmasLowered,
+                     "prioritize pragmas lowered to runtime calls");
+        return Ok;
+      },
+      "rewrite floating-point code to affine runtime calls");
+
+  PM.addPass(
+      "emit",
+      [&Result](PassContext &PC) {
+        ASTPrinter Printer;
+        Result.OutputSource = Printer.print(PC.Ctx.tu());
+        PC.Stats.add("emit.bytes", Result.OutputSource.size(),
+                     "bytes of generated C");
+        return true;
+      },
+      "pretty-print the transformed AST as C");
+}

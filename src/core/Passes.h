@@ -1,0 +1,43 @@
+//===- Passes.h - The SafeGen pass pipeline ---------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers the stages of the SafeGen compiler (Fig. 1) on a
+/// PassManager. The pipeline, gated by the options:
+///
+///   simd-flatten, simd-lower   iff LowerSimdFirst (Sec. IV-B)
+///   const-fold                 always (sound constant folding)
+///   tac                        iff analysis runs or the DAG is dumped
+///   annotate                   iff analysis runs (Sec. VI max-reuse ILP)
+///   dump-dag                   iff DumpDAG — always over the TAC'd form,
+///                              so dumps agree with and without
+///                              prioritization
+///   affine-rewrite             always (Sec. IV-B)
+///   emit                       always (pretty-printed C)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_PASSES_H
+#define SAFEGEN_CORE_PASSES_H
+
+namespace safegen {
+namespace core {
+
+class PassManager;
+struct SafeGenOptions;
+struct SafeGenResult;
+
+/// Registers the SafeGen stages on \p PM according to \p Opts. The
+/// passes write their products (output source, DAG dump, analysis
+/// reports, fold count) into \p Result; both references must outlive
+/// PM.run(). Statistics go to the manager's registry.
+void buildSafeGenPipeline(PassManager &PM, const SafeGenOptions &Opts,
+                          SafeGenResult &Result);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_PASSES_H

@@ -35,10 +35,19 @@ struct RewriteOptions {
   std::vector<std::string> Functions;
 };
 
+/// What the rewrite did, for `--stats` reporting.
+struct RewriteStats {
+  unsigned RuntimeCalls = 0;   ///< aa_* runtime calls emitted
+  unsigned DeclsRetyped = 0;   ///< declarations retyped to an affine type
+  unsigned PragmasLowered = 0; ///< prioritize pragmas lowered to calls
+};
+
 /// Rewrites the translation unit in place. Returns false (with
-/// diagnostics) when an unsupported construct is hit.
+/// diagnostics) when an unsupported construct is hit. \p Stats, when
+/// non-null, receives counters describing the rewrite.
 bool rewriteToAffine(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags,
-                     const RewriteOptions &Opts);
+                     const RewriteOptions &Opts,
+                     RewriteStats *Stats = nullptr);
 
 /// Sound constant folding (Sec. IV-B): collapses FP operations whose
 /// operands are literals *when the operation is exact* (RU == RD).

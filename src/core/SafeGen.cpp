@@ -5,12 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/SafeGen.h"
-#include "analysis/DAG.h"
-#include "core/SimdToC.h"
-#include "frontend/ASTPrinter.h"
+#include "core/Passes.h"
 #include "frontend/Frontend.h"
-
-#include <algorithm>
 
 using namespace safegen;
 using namespace safegen::frontend;
@@ -27,45 +23,26 @@ SafeGenResult core::compileSource(const std::string &FileName,
   }
   ASTContext &Ctx = *CU->Ctx;
 
-  if (Opts.LowerSimdFirst && !lowerSimdToC(Ctx, CU->Diags)) {
-    Result.Diagnostics = CU->Diags.renderAll();
-    return Result;
-  }
+  PassManager PM(Ctx, CU->Diags, Opts.Instrument);
+  buildSafeGenPipeline(PM, Opts, Result);
+  if (Opts.Instrument.PrintPipeline)
+    Result.PipelineDescription = PM.describePipeline();
 
-  Result.ConstantsFolded = foldConstants(Ctx);
+  Result.Success = PM.run();
 
-  const bool Analyze = Opts.RunAnalysis && Opts.Config.Prioritize;
-  for (Decl *D : Ctx.tu().Decls) {
-    if (D->getKind() != Decl::Kind::Function)
-      continue;
-    auto *F = static_cast<FunctionDecl *>(D);
-    if (!F->isDefinition())
-      continue;
-    if (!Opts.Functions.empty() &&
-        std::find(Opts.Functions.begin(), Opts.Functions.end(),
-                  F->getName()) == Opts.Functions.end())
-      continue;
-    if (Analyze) {
-      analysis::MaxReuseOptions AOpts = Opts.AnalysisOptions;
-      Result.Reports.push_back(
-          analysis::analyzeAndAnnotate(F, Ctx, Opts.Config.K, &AOpts));
-    }
-    if (Opts.DumpDAG)
-      Result.DAGDump += analysis::buildDAG(F).dumpDot();
-  }
+  const PassManagerReport &Report = PM.report();
+  Result.PassTimings = Report.Timings;
+  Result.TotalPassSeconds = Report.TotalSeconds;
+  Result.PassDumps = Report.ASTDumps;
+  Result.Stats = PM.stats().values();
+  if (Opts.Instrument.TimePasses)
+    Result.TimingReport = Report.renderTimings();
+  if (Opts.Instrument.CollectStats)
+    Result.StatsReport = PM.stats().render();
 
-  RewriteOptions ROpts;
-  ROpts.Config = Opts.Config;
-  ROpts.Functions = Opts.Functions;
-  if (!rewriteToAffine(Ctx, CU->Diags, ROpts)) {
-    Result.Diagnostics = CU->Diags.renderAll();
-    return Result;
-  }
-
-  ASTPrinter Printer;
-  Result.OutputSource = Printer.print(Ctx.tu());
-  Result.Diagnostics = CU->Diags.renderAll(); // may contain warnings
-  Result.Success = true;
+  // Diagnostics are rendered exactly once per compile, here at the
+  // pipeline's single exit path (success or failure, warnings included).
+  Result.Diagnostics = CU->Diags.renderAll();
   return Result;
 }
 

@@ -22,7 +22,9 @@
 
 #include "aa/Policy.h"
 #include "analysis/Annotate.h"
+#include "core/PassManager.h"
 #include "core/Rewriter.h"
+#include "support/Statistic.h"
 
 #include <string>
 #include <vector>
@@ -47,6 +49,10 @@ struct SafeGenOptions {
   bool DumpDAG = false;
   /// Override the analysis budget.
   analysis::MaxReuseOptions AnalysisOptions;
+  /// Pass-manager instrumentation: timings, statistics, per-pass AST
+  /// dumps, inter-pass verification, selective disabling. The default
+  /// (all off) compiles exactly as before.
+  PassManagerOptions Instrument;
 };
 
 struct SafeGenResult {
@@ -56,6 +62,15 @@ struct SafeGenResult {
   std::string DAGDump;
   std::vector<analysis::AnalysisReport> Reports; ///< one per function
   unsigned ConstantsFolded = 0;
+
+  // Instrumentation products (populated according to Instrument):
+  std::vector<PassTiming> PassTimings; ///< executed passes, in order
+  double TotalPassSeconds = 0.0;
+  std::vector<support::StatisticValue> Stats; ///< all counters, by name
+  std::string TimingReport; ///< rendered iff Instrument.TimePasses
+  std::string StatsReport;  ///< rendered iff Instrument.CollectStats
+  std::string PipelineDescription; ///< set iff Instrument.PrintPipeline
+  std::string PassDumps;    ///< `--print-after` AST dumps, concatenated
 };
 
 /// Compiles \p Source (named \p FileName in diagnostics) to sound C.

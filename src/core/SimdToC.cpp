@@ -286,15 +286,62 @@ public:
     C->getBody() = std::move(NewBody);
   }
 
-  bool run() {
+  /// Stage 1 over the whole TU: diagnose unsupported vector signatures,
+  /// then hoist nested intrinsics in every other definition.
+  bool flatten() {
     unsigned Before = Diags.getNumErrors();
-    for (Decl *D : Ctx.tu().Decls)
-      if (D->getKind() == Decl::Kind::Function)
-        lowerFunction(static_cast<FunctionDecl *>(D));
+    for (Decl *D : Ctx.tu().Decls) {
+      if (D->getKind() != Decl::Kind::Function)
+        continue;
+      auto *F = static_cast<FunctionDecl *>(D);
+      if (!checkSignature(F, /*Diagnose=*/true))
+        continue;
+      if (F->isDefinition())
+        flattenCompound(F->getBody());
+    }
     return Diags.getNumErrors() == Before;
   }
 
+  /// Stage 2 over the whole TU: per-lane scalarization. Functions with
+  /// vector signatures are skipped; flatten() already diagnosed them.
+  bool lower() {
+    unsigned Before = Diags.getNumErrors();
+    for (Decl *D : Ctx.tu().Decls) {
+      if (D->getKind() != Decl::Kind::Function)
+        continue;
+      auto *F = static_cast<FunctionDecl *>(D);
+      if (!checkSignature(F, /*Diagnose=*/false))
+        continue;
+      if (F->isDefinition())
+        lowerCompound(F->getBody());
+    }
+    return Diags.getNumErrors() == Before;
+  }
+
+  unsigned tempsIntroduced() const { return NumTemps; }
+
 private:
+  /// Vector parameters/returns are not lowered (pass vectors through
+  /// memory in the source instead).
+  bool checkSignature(FunctionDecl *F, bool Diagnose) {
+    if (isVector(F->getReturnType())) {
+      if (Diagnose)
+        Diags.error(F->getLoc(),
+                    "functions returning SIMD vectors are not supported by "
+                    "the SIMD-to-C lowering");
+      return false;
+    }
+    for (VarDecl *P : F->getParams())
+      if (isVector(P->getType())) {
+        if (Diagnose)
+          Diags.error(P->getLoc(),
+                      "SIMD vector parameters are not supported "
+                      "by the SIMD-to-C lowering");
+        return false;
+      }
+    return true;
+  }
+
   bool isVector(const Type *T) const { return T && T->isVector(); }
 
   /// double, interned once.
@@ -609,27 +656,6 @@ private:
     C->getBody() = std::move(NewBody);
   }
 
-  void lowerFunction(FunctionDecl *F) {
-    // Vector parameters/returns are not lowered (pass vectors through
-    // memory in the source instead).
-    if (isVector(F->getReturnType())) {
-      Diags.error(F->getLoc(),
-                  "functions returning SIMD vectors are not supported by "
-                  "the SIMD-to-C lowering");
-      return;
-    }
-    for (VarDecl *P : F->getParams())
-      if (isVector(P->getType())) {
-        Diags.error(P->getLoc(), "SIMD vector parameters are not supported "
-                                 "by the SIMD-to-C lowering");
-        return;
-      }
-    if (F->isDefinition()) {
-      flattenCompound(F->getBody());
-      lowerCompound(F->getBody());
-    }
-  }
-
   ASTContext &Ctx;
   DiagnosticsEngine &Diags;
   unsigned NumTemps = 0;
@@ -637,7 +663,22 @@ private:
 
 } // namespace
 
-bool core::lowerSimdToC(ASTContext &Ctx, DiagnosticsEngine &Diags) {
+bool core::flattenSimd(ASTContext &Ctx, DiagnosticsEngine &Diags,
+                       unsigned *NumTempsOut) {
   SimdLowerer L(Ctx, Diags);
-  return L.run();
+  bool Ok = L.flatten();
+  if (NumTempsOut)
+    *NumTempsOut = L.tempsIntroduced();
+  return Ok;
+}
+
+bool core::lowerSimd(ASTContext &Ctx, DiagnosticsEngine &Diags) {
+  SimdLowerer L(Ctx, Diags);
+  return L.lower();
+}
+
+bool core::lowerSimdToC(ASTContext &Ctx, DiagnosticsEngine &Diags) {
+  bool Ok = flattenSimd(Ctx, Diags);
+  Ok &= lowerSimd(Ctx, Diags);
+  return Ok;
 }

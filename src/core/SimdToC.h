@@ -26,9 +26,24 @@
 namespace safegen {
 namespace core {
 
+/// Stage 1 of the lowering: hoists nested vector-typed intrinsic calls
+/// into fresh `_sg_vN` temporaries so every intrinsic ends up in a
+/// lowerable position (declaration initializer, vector assignment rhs,
+/// statement). Diagnoses (and skips) functions with vector parameters or
+/// returns. Returns false when diagnostics were emitted. \p NumTempsOut,
+/// when non-null, receives the number of temporaries introduced.
+bool flattenSimd(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags,
+                 unsigned *NumTempsOut = nullptr);
+
+/// Stage 2: scalarizes each (flattened) intrinsic into per-lane
+/// statements and retypes vector variables to double arrays. Functions
+/// with vector parameters or returns are skipped (flattenSimd diagnoses
+/// them). Returns false on intrinsics with no scalar lowering rule.
+bool lowerSimd(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags);
+
 /// Lowers every vector type and intrinsic in the TU to scalar C, in
-/// place. Returns false (with diagnostics) on intrinsics that have no
-/// scalar lowering rule.
+/// place (flattenSimd + lowerSimd). Returns false (with diagnostics) on
+/// intrinsics that have no scalar lowering rule.
 bool lowerSimdToC(frontend::ASTContext &Ctx, DiagnosticsEngine &Diags);
 
 } // namespace core

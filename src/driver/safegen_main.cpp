@@ -52,6 +52,14 @@ void printUsage() {
       "                     preprocessing step); no affine rewriting\n"
       "  --pre-simd-to-c    scalarize SIMD intrinsics, then run the\n"
       "                     regular affine pipeline\n"
+      "\n"
+      "pass-pipeline instrumentation (reports go to stderr):\n"
+      "  --time-passes        per-pass wall-clock timing report\n"
+      "  --stats              pass statistics counters\n"
+      "  --verify-each        re-verify AST invariants after every pass\n"
+      "  --print-pipeline     print the pass pipeline and exit status\n"
+      "  --print-after=<p>    dump the AST after pass <p> (repeatable)\n"
+      "  --disable-pass=<p>   skip pass <p> (repeatable)\n"
       "  --help             this text\n");
 }
 
@@ -160,6 +168,44 @@ int main(int Argc, char **Argv) {
       Opts.LowerSimdFirst = true;
       continue;
     }
+    if (Arg == "--time-passes") {
+      Opts.Instrument.TimePasses = true;
+      continue;
+    }
+    if (Arg == "--stats") {
+      Opts.Instrument.CollectStats = true;
+      continue;
+    }
+    if (Arg == "--verify-each") {
+      Opts.Instrument.VerifyEach = true;
+      continue;
+    }
+    if (Arg == "--print-pipeline") {
+      Opts.Instrument.PrintPipeline = true;
+      continue;
+    }
+    if (Arg.rfind("--print-after=", 0) == 0) {
+      Opts.Instrument.PrintAfter.push_back(Arg.substr(14));
+      continue;
+    }
+    if (Arg == "--print-after") {
+      const char *V = NextValue("--print-after");
+      if (!V)
+        return 1;
+      Opts.Instrument.PrintAfter.push_back(V);
+      continue;
+    }
+    if (Arg.rfind("--disable-pass=", 0) == 0) {
+      Opts.Instrument.DisabledPasses.push_back(Arg.substr(15));
+      continue;
+    }
+    if (Arg == "--disable-pass") {
+      const char *V = NextValue("--disable-pass");
+      if (!V)
+        return 1;
+      Opts.Instrument.DisabledPasses.push_back(V);
+      continue;
+    }
     if (Arg == "--arg") {
       const char *V = NextValue("--arg");
       if (!V)
@@ -262,6 +308,22 @@ int main(int Argc, char **Argv) {
   core::SafeGenResult Result = core::compileFile(Input, Opts);
   if (!Result.Diagnostics.empty())
     std::fputs(Result.Diagnostics.c_str(), stderr);
+  if (!Result.PipelineDescription.empty())
+    std::fprintf(stderr, "safegen: pipeline: %s\n",
+                 Result.PipelineDescription.c_str());
+  if (!Result.PassDumps.empty())
+    std::fputs(Result.PassDumps.c_str(), stderr);
+  if (!Result.TimingReport.empty())
+    std::fputs(Result.TimingReport.c_str(), stderr);
+  if (!Result.StatsReport.empty()) {
+    std::fputs("===-------------------------------------------------------"
+               "------===\n"
+               "                      ... Pass statistics ...\n"
+               "===-------------------------------------------------------"
+               "------===\n",
+               stderr);
+    std::fputs(Result.StatsReport.c_str(), stderr);
+  }
   if (!Result.Success)
     return 1;
 

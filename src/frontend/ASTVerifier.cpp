@@ -1,0 +1,223 @@
+//===- ASTVerifier.cpp ----------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ASTVerifier.h"
+
+#include <sstream>
+
+using namespace safegen;
+using namespace safegen::frontend;
+
+namespace {
+
+class Verifier {
+public:
+  Verifier(std::vector<std::string> &Failures) : Failures(Failures) {}
+
+  bool run(TranslationUnit &TU) {
+    for (Decl *D : TU.Decls) {
+      if (!D) {
+        fail("null top-level declaration");
+        continue;
+      }
+      if (D->getKind() == Decl::Kind::Function)
+        verifyFunction(static_cast<FunctionDecl *>(D));
+      else if (auto *V = static_cast<VarDecl *>(D);
+               D->getKind() == Decl::Kind::Var) {
+        if (!V->getType())
+          fail("global '" + V->getName() + "' has no type");
+        verifyExpr(V->getInit(), /*AllowNull=*/true);
+      }
+    }
+    return NumFailures == 0;
+  }
+
+private:
+  static constexpr unsigned MaxReports = 20;
+
+  void fail(std::string Message) {
+    if (NumFailures++ < MaxReports) {
+      if (!Where.empty())
+        Message = Where + ": " + Message;
+      Failures.push_back(std::move(Message));
+    }
+  }
+
+  void verifyFunction(FunctionDecl *F) {
+    Where = "function '" + F->getName() + "'";
+    if (!F->getReturnType())
+      fail("missing return type");
+    for (VarDecl *P : F->getParams()) {
+      if (!P)
+        fail("null parameter declaration");
+      else if (!P->getType())
+        fail("parameter '" + P->getName() + "' has no type");
+    }
+    if (F->isDefinition())
+      verifyStmt(F->getBody());
+    Where.clear();
+  }
+
+  bool isLvalue(const Expr *E) const {
+    switch (E->getKind()) {
+    case Expr::Kind::DeclRef:
+    case Expr::Kind::Subscript:
+      return true;
+    case Expr::Kind::Paren:
+      return isLvalue(static_cast<const ParenExpr *>(E)->getInner());
+    case Expr::Kind::Unary:
+      return static_cast<const UnaryExpr *>(E)->getOp() == UnaryOpKind::Deref;
+    default:
+      return false;
+    }
+  }
+
+  void verifyExpr(Expr *E, bool AllowNull = false) {
+    if (!E) {
+      if (!AllowNull)
+        fail("null expression operand");
+      return;
+    }
+    if (!E->getType()) {
+      std::ostringstream OS;
+      OS << "expression (kind " << static_cast<int>(E->getKind())
+         << ") has no type at line " << E->getLoc().Line;
+      fail(OS.str());
+    }
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::FloatLiteral:
+    case Expr::Kind::DeclRef:
+      return;
+    case Expr::Kind::Paren:
+      verifyExpr(static_cast<ParenExpr *>(E)->getInner());
+      return;
+    case Expr::Kind::Unary:
+      verifyExpr(static_cast<UnaryExpr *>(E)->getOperand());
+      return;
+    case Expr::Kind::Binary: {
+      auto *B = static_cast<BinaryExpr *>(E);
+      verifyExpr(B->getLhs());
+      verifyExpr(B->getRhs());
+      return;
+    }
+    case Expr::Kind::Assign: {
+      auto *A = static_cast<AssignExpr *>(E);
+      verifyExpr(A->getLhs());
+      verifyExpr(A->getRhs());
+      if (A->getLhs() && !isLvalue(A->getLhs()))
+        fail("assignment target is not an lvalue");
+      return;
+    }
+    case Expr::Kind::Subscript: {
+      auto *S = static_cast<SubscriptExpr *>(E);
+      verifyExpr(S->getBase());
+      verifyExpr(S->getIndex());
+      const Type *BaseTy = S->getBase() ? S->getBase()->getType() : nullptr;
+      // Vector bases are per-lane accesses: the SIMD lowering retypes the
+      // declaration to an array but references keep the vector spelling.
+      if (BaseTy && !BaseTy->isPointer() && !BaseTy->isArray() &&
+          !BaseTy->isVector())
+        fail("subscript base is neither a pointer, an array, nor a vector");
+      const Type *IdxTy = S->getIndex() ? S->getIndex()->getType() : nullptr;
+      if (IdxTy && !IdxTy->isInteger())
+        fail("array subscript is not an integer");
+      return;
+    }
+    case Expr::Kind::Call:
+      for (Expr *Arg : static_cast<CallExpr *>(E)->getArgs())
+        verifyExpr(Arg);
+      return;
+    case Expr::Kind::Cast:
+      verifyExpr(static_cast<CastExpr *>(E)->getOperand());
+      return;
+    case Expr::Kind::Conditional: {
+      auto *C = static_cast<ConditionalExpr *>(E);
+      verifyExpr(C->getCond());
+      verifyExpr(C->getTrueExpr());
+      verifyExpr(C->getFalseExpr());
+      return;
+    }
+    }
+  }
+
+  void verifyStmt(Stmt *S) {
+    if (!S) {
+      fail("null statement");
+      return;
+    }
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      for (Stmt *Child : static_cast<CompoundStmt *>(S)->getBody())
+        verifyStmt(Child);
+      return;
+    case Stmt::Kind::Decl:
+      for (VarDecl *D : static_cast<DeclStmt *>(S)->getDecls()) {
+        if (!D) {
+          fail("null declaration in declaration statement");
+          continue;
+        }
+        if (!D->getType())
+          fail("variable '" + D->getName() + "' has no type");
+        verifyExpr(D->getInit(), /*AllowNull=*/true);
+      }
+      return;
+    case Stmt::Kind::Expr:
+      verifyExpr(static_cast<ExprStmt *>(S)->getExpr());
+      return;
+    case Stmt::Kind::If: {
+      auto *If = static_cast<IfStmt *>(S);
+      verifyExpr(If->getCond());
+      verifyStmt(If->getThen());
+      if (If->getElse())
+        verifyStmt(If->getElse());
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *For = static_cast<ForStmt *>(S);
+      if (For->getInit())
+        verifyStmt(For->getInit());
+      verifyExpr(For->getCond(), /*AllowNull=*/true);
+      verifyExpr(For->getInc(), /*AllowNull=*/true);
+      verifyStmt(For->getBody());
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = static_cast<WhileStmt *>(S);
+      verifyExpr(W->getCond());
+      verifyStmt(W->getBody());
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      auto *D = static_cast<DoWhileStmt *>(S);
+      verifyStmt(D->getBody());
+      verifyExpr(D->getCond());
+      return;
+    }
+    case Stmt::Kind::Return:
+      verifyExpr(static_cast<ReturnStmt *>(S)->getValue(),
+                 /*AllowNull=*/true);
+      return;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Null:
+    case Stmt::Kind::Pragma:
+      return;
+    }
+  }
+
+  std::vector<std::string> &Failures;
+  std::string Where;
+  unsigned NumFailures = 0;
+};
+
+} // namespace
+
+bool frontend::verifyAST(ASTContext &Ctx,
+                         std::vector<std::string> &Failures) {
+  Verifier V(Failures);
+  return V.run(Ctx.tu());
+}

@@ -1,0 +1,42 @@
+//===- ASTVerifier.h - Non-mutating AST invariant checks --------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-checks the structural invariants Sema establishes — every reachable
+/// expression carries a type, assignment targets are lvalues, subscript
+/// bases are pointers/arrays, statement and declaration children are
+/// non-null — without mutating the AST (Sema itself splices in implicit
+/// casts, so it cannot be re-run between passes). The PassManager runs
+/// this after every pass under `--verify-each`, so a transformation that
+/// produces an ill-typed AST fails loudly at its own boundary instead of
+/// as a mystery crash downstream.
+///
+/// The invariants are phrased to hold through the whole pipeline,
+/// including after the affine rewrite (where declaration types change but
+/// historic DeclRef types legitimately keep their pre-rewrite spelling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FRONTEND_ASTVERIFIER_H
+#define SAFEGEN_FRONTEND_ASTVERIFIER_H
+
+#include "frontend/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace frontend {
+
+/// Verifies the translation unit of \p Ctx. Returns true when every
+/// invariant holds; otherwise appends one human-readable description per
+/// violation to \p Failures (at most ~20, to keep reports bounded).
+bool verifyAST(ASTContext &Ctx, std::vector<std::string> &Failures);
+
+} // namespace frontend
+} // namespace safegen
+
+#endif // SAFEGEN_FRONTEND_ASTVERIFIER_H

@@ -1,0 +1,44 @@
+//===- Statistic.cpp ------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include <sstream>
+
+using namespace safegen;
+using namespace safegen::support;
+
+void StatsRegistry::add(const std::string &Name, uint64_t Delta,
+                        const std::string &Description) {
+  Entry &E = Counters[Name];
+  if (E.Description.empty() && !Description.empty())
+    E.Description = Description;
+  E.Value += Delta;
+}
+
+uint64_t StatsRegistry::get(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second.Value;
+}
+
+std::vector<StatisticValue> StatsRegistry::values() const {
+  std::vector<StatisticValue> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, E] : Counters)
+    Out.push_back({Name, E.Description, E.Value});
+  return Out;
+}
+
+std::string StatsRegistry::render() const {
+  std::ostringstream OS;
+  for (const auto &[Name, E] : Counters) {
+    OS << E.Value << "\t" << Name;
+    if (!E.Description.empty())
+      OS << " - " << E.Description;
+    OS << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,89 @@
+//===- Statistic.h - LLVM-style statistics counters -------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics counters in the LLVM STATISTIC spirit, but scoped to one
+/// compilation instead of the process: passes bump named counters in a
+/// StatsRegistry owned by the PassManager, and the driver renders them
+/// under `--stats`. Registry-scoped (rather than global) counters keep
+/// concurrent and repeated compilations independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SUPPORT_STATISTIC_H
+#define SAFEGEN_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace support {
+
+/// One rendered counter.
+struct StatisticValue {
+  std::string Name;        ///< "pass.counter", e.g. "const-fold.folded"
+  std::string Description; ///< human-readable, may be empty
+  uint64_t Value = 0;
+};
+
+/// Collects the counters of one compilation. Append-only; names are
+/// created on first use.
+class StatsRegistry {
+public:
+  /// Adds \p Delta to counter \p Name, creating it (with \p Description)
+  /// on first use.
+  void add(const std::string &Name, uint64_t Delta,
+           const std::string &Description = "");
+
+  /// Current value of \p Name (0 if never touched).
+  uint64_t get(const std::string &Name) const;
+
+  bool empty() const { return Counters.empty(); }
+
+  /// All counters, sorted by name.
+  std::vector<StatisticValue> values() const;
+
+  /// LLVM-style report: one "<value>  <name> - <description>" line per
+  /// counter, sorted by name.
+  std::string render() const;
+
+private:
+  struct Entry {
+    std::string Description;
+    uint64_t Value = 0;
+  };
+  std::map<std::string, Entry> Counters;
+};
+
+/// A named counter bound to a registry: `Statistic S(Reg, "tac.temps",
+/// "..."); S += 4;`. A null registry makes every update a no-op, so
+/// library code can count unconditionally.
+class Statistic {
+public:
+  Statistic(StatsRegistry *Registry, std::string Name,
+            std::string Description = "")
+      : Registry(Registry), Name(std::move(Name)),
+        Description(std::move(Description)) {}
+
+  Statistic &operator+=(uint64_t Delta) {
+    if (Registry && Delta)
+      Registry->add(Name, Delta, Description);
+    return *this;
+  }
+  Statistic &operator++() { return *this += 1; }
+
+private:
+  StatsRegistry *Registry;
+  std::string Name;
+  std::string Description;
+};
+
+} // namespace support
+} // namespace safegen
+
+#endif // SAFEGEN_SUPPORT_STATISTIC_H

@@ -1,0 +1,73 @@
+//===- Timer.h - Wall-clock timers for pass instrumentation -----*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small wall-clock timers in the LLVM Timer spirit: a Timer accumulates
+/// elapsed time across start()/stop() cycles, and TimerScope times one
+/// region RAII-style. Used by the PassManager for `--time-passes`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SUPPORT_TIMER_H
+#define SAFEGEN_SUPPORT_TIMER_H
+
+#include <cassert>
+#include <chrono>
+
+namespace safegen {
+namespace support {
+
+/// Accumulating wall-clock timer. Not thread-safe (one timer per thread).
+class Timer {
+  using Clock = std::chrono::steady_clock;
+
+public:
+  void start() {
+    assert(!Running && "timer already running");
+    Running = true;
+    Start = Clock::now();
+  }
+
+  void stop() {
+    assert(Running && "timer not running");
+    Accumulated += Clock::now() - Start;
+    Running = false;
+  }
+
+  bool isRunning() const { return Running; }
+
+  /// Total accumulated wall-clock seconds (excluding a running interval).
+  double seconds() const {
+    return std::chrono::duration<double>(Accumulated).count();
+  }
+
+  void reset() {
+    Accumulated = Clock::duration::zero();
+    Running = false;
+  }
+
+private:
+  Clock::time_point Start;
+  Clock::duration Accumulated = Clock::duration::zero();
+  bool Running = false;
+};
+
+/// Times one scope: starts \p T on construction, stops it on destruction.
+class TimerScope {
+public:
+  explicit TimerScope(Timer &T) : T(T) { T.start(); }
+  ~TimerScope() { T.stop(); }
+  TimerScope(const TimerScope &) = delete;
+  TimerScope &operator=(const TimerScope &) = delete;
+
+private:
+  Timer &T;
+};
+
+} // namespace support
+} // namespace safegen
+
+#endif // SAFEGEN_SUPPORT_TIMER_H

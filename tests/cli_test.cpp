@@ -18,6 +18,8 @@
 #include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 namespace {
 
 #ifndef SAFEGEN_TOOL
@@ -39,13 +41,43 @@ struct CmdResult {
   std::string Stdout;
 };
 
+/// Capture-file path unique to this process and invocation: ctest runs
+/// the cli tests concurrently, so a fixed name would race.
+std::string captureFile(const char *Tag) {
+  static int Counter = 0;
+  return ::testing::TempDir() + "/cli_" + Tag + "_" +
+         std::to_string(::getpid()) + "_" + std::to_string(Counter++) +
+         ".txt";
+}
+
 CmdResult runTool(const std::string &Args) {
-  std::string Dir = ::testing::TempDir();
-  std::string OutFile = Dir + "/cli_out.txt";
+  std::string OutFile = captureFile("out");
   std::string Cmd = std::string(SAFEGEN_TOOL) + " " + Args + " > " +
                     OutFile + " 2>/dev/null";
   int Rc = std::system(Cmd.c_str());
-  return {WEXITSTATUS(Rc), readFile(OutFile)};
+  CmdResult R{WEXITSTATUS(Rc), readFile(OutFile)};
+  std::remove(OutFile.c_str());
+  return R;
+}
+
+struct CmdResult2 {
+  int ExitCode;
+  std::string Stdout;
+  std::string Stderr;
+};
+
+/// Like runTool but keeps stderr, where the pass-pipeline
+/// instrumentation reports go.
+CmdResult2 runToolCapturingStderr(const std::string &Args) {
+  std::string OutFile = captureFile("out");
+  std::string ErrFile = captureFile("err");
+  std::string Cmd = std::string(SAFEGEN_TOOL) + " " + Args + " > " +
+                    OutFile + " 2> " + ErrFile;
+  int Rc = std::system(Cmd.c_str());
+  CmdResult2 R{WEXITSTATUS(Rc), readFile(OutFile), readFile(ErrFile)};
+  std::remove(OutFile.c_str());
+  std::remove(ErrFile.c_str());
+  return R;
 }
 
 std::string henonPath() {
@@ -119,4 +151,72 @@ TEST(Cli, DiagnosticsOnBadSource) {
   std::string In = ::testing::TempDir() + "/bad.c";
   std::ofstream(In) << "double f(double x) { return undeclared; }\n";
   EXPECT_NE(runTool(In).ExitCode, 0);
+}
+
+TEST(Cli, TimePasses) {
+  CmdResult2 R = runToolCapturingStderr(henonPath() +
+                                        " --time-passes -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stderr.find("Pass execution timing"), std::string::npos)
+      << R.Stderr;
+  for (const char *Pass :
+       {"const-fold", "tac", "annotate", "affine-rewrite", "emit", "total"})
+    EXPECT_NE(R.Stderr.find(Pass), std::string::npos) << Pass;
+}
+
+TEST(Cli, Stats) {
+  CmdResult2 R =
+      runToolCapturingStderr(henonPath() + " --stats -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stderr.find("Pass statistics"), std::string::npos) << R.Stderr;
+  EXPECT_NE(R.Stderr.find("affine-rewrite.runtime-calls"), std::string::npos);
+  EXPECT_NE(R.Stderr.find("tac.temps-introduced"), std::string::npos);
+  EXPECT_NE(R.Stderr.find("emit.bytes"), std::string::npos);
+}
+
+TEST(Cli, PrintAfterTac) {
+  CmdResult2 R = runToolCapturingStderr(henonPath() +
+                                        " --print-after=tac -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stderr.find("*** AST after tac ***"), std::string::npos)
+      << R.Stderr;
+  // The TAC'd AST still spells the original types; the affine rewrite
+  // has not run yet at that point.
+  EXPECT_NE(R.Stderr.find("double"), std::string::npos);
+}
+
+TEST(Cli, PrintPipeline) {
+  CmdResult2 R = runToolCapturingStderr(henonPath() +
+                                        " --print-pipeline -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(
+      R.Stderr.find(
+          "safegen: pipeline: const-fold,tac,annotate,affine-rewrite,emit"),
+      std::string::npos)
+      << R.Stderr;
+}
+
+TEST(Cli, VerifyEachCleanOnBenchmarks) {
+  for (const char *Name : {"henon", "sor", "luf", "fgm"}) {
+    std::string Path = std::string(SAFEGEN_BENCH_DIR) + "/" + Name + ".c";
+    CmdResult2 R = runToolCapturingStderr(
+        Path + " --config f64a-dspv --verify-each -o /dev/null");
+    EXPECT_EQ(R.ExitCode, 0) << Name << ":\n" << R.Stderr;
+    EXPECT_EQ(R.Stderr.find("verify-each"), std::string::npos) << R.Stderr;
+  }
+}
+
+TEST(Cli, DisablePass) {
+  // Disabling the annotate pass suppresses the analysis report line.
+  CmdResult2 R = runToolCapturingStderr(
+      henonPath() + " --disable-pass=annotate -o /dev/null");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Stderr.find("safegen: analysis:"), std::string::npos)
+      << R.Stderr;
+  // An unknown name is a warning, not an error.
+  CmdResult2 R2 = runToolCapturingStderr(
+      henonPath() + " --disable-pass=bogus -o /dev/null");
+  EXPECT_EQ(R2.ExitCode, 0);
+  EXPECT_NE(R2.Stderr.find("no pass named 'bogus'"), std::string::npos)
+      << R2.Stderr;
 }

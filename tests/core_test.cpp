@@ -8,7 +8,9 @@
 #include "frontend/ASTPrinter.h"
 #include "frontend/Frontend.h"
 
+#include <fstream>
 #include <gtest/gtest.h>
+#include <sstream>
 
 using namespace safegen;
 using namespace safegen::core;
@@ -21,6 +23,14 @@ SafeGenResult compile(const char *Src, const char *Config = "f64a-dspn",
   Opts.Config = *aa::AAConfig::parse(Config);
   Opts.Config.K = K;
   return compileSource("test.c", Src, Opts);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot read " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
 }
 
 } // namespace
@@ -238,4 +248,45 @@ TEST(Golden, QuickstartFunction) {
       "  return c;\n"
       "}\n\n";
   EXPECT_EQ(R.OutputSource, Expected);
+}
+
+// The emitted C for every benchmark kernel must stay byte-identical to
+// the goldens captured before the pass-manager refactor, for both the
+// default (f64a-dspn) and the vectorized (f64a-dspv) configuration.
+TEST(Golden, BenchmarkKernelsByteIdentical) {
+  for (const char *Name : {"henon", "sor", "luf", "fgm"}) {
+    for (const char *Config : {"dspn", "dspv"}) {
+      SafeGenOptions Opts;
+      Opts.Config = *aa::AAConfig::parse(std::string("f64a-") + Config);
+      Opts.Config.K = 16;
+      std::string Input =
+          std::string(SAFEGEN_BENCH_DIR) + "/" + Name + ".c";
+      std::string Golden = std::string(SAFEGEN_GOLDEN_DIR) + "/" + Name +
+                           "." + Config + ".k16.c";
+      SafeGenResult R = compileFile(Input, Opts);
+      ASSERT_TRUE(R.Success) << Name << ": " << R.Diagnostics;
+      EXPECT_EQ(R.OutputSource, readFile(Golden))
+          << Name << " (" << Config << ") drifted from its golden output";
+    }
+  }
+}
+
+// Regression for the DumpDAG inconsistency: the dumped DAG must describe
+// the same (TAC'd) program whether or not prioritization runs.
+TEST(Pipeline, DagDumpAgreesWithAndWithoutPrioritize) {
+  const char *Src = "double f(double a, double b) {\n"
+                    "  return (a * b + a) * (a * b - b);\n"
+                    "}\n";
+  SafeGenOptions Prioritized;
+  Prioritized.Config = *aa::AAConfig::parse("f64a-dspn");
+  Prioritized.Config.K = 16;
+  Prioritized.DumpDAG = true;
+  SafeGenOptions Plain = Prioritized;
+  Plain.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Plain.Config.K = 16;
+  SafeGenResult RP = compileSource("t.c", Src, Prioritized);
+  SafeGenResult RN = compileSource("t.c", Src, Plain);
+  ASSERT_TRUE(RP.Success && RN.Success);
+  EXPECT_FALSE(RP.DAGDump.empty());
+  EXPECT_EQ(RP.DAGDump, RN.DAGDump);
 }

@@ -1,0 +1,269 @@
+//===- passmanager_test.cpp - PassManager and pipeline tests --------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PassManager.h"
+#include "core/Passes.h"
+#include "core/SafeGen.h"
+#include "frontend/ASTVerifier.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace safegen;
+using namespace safegen::core;
+
+namespace {
+
+const char *Simple = "double f(double x) { return x * x + 1.0; }\n";
+
+std::unique_ptr<frontend::CompilationUnit> parse(const char *Src) {
+  auto CU = frontend::parseSource("test.c", Src);
+  EXPECT_TRUE(CU->Success) << CU->Diags.renderAll();
+  return CU;
+}
+
+TEST(PassManager, RunsPassesInRegistrationOrder) {
+  auto CU = parse(Simple);
+  PassManager PM(*CU->Ctx, CU->Diags);
+  std::vector<std::string> Ran;
+  for (const char *Name : {"alpha", "beta", "gamma"})
+    PM.addPass(Name, [&Ran, Name](PassContext &) {
+      Ran.push_back(Name);
+      return true;
+    });
+  EXPECT_TRUE(PM.run());
+  EXPECT_EQ(Ran, (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  ASSERT_EQ(PM.report().Timings.size(), 3u);
+  EXPECT_EQ(PM.report().Timings[0].Name, "alpha");
+  EXPECT_EQ(PM.report().Timings[2].Name, "gamma");
+  EXPECT_TRUE(PM.report().FailedPass.empty());
+}
+
+TEST(PassManager, DisabledPassIsSkipped) {
+  auto CU = parse(Simple);
+  PassManagerOptions Opts;
+  Opts.DisabledPasses = {"beta"};
+  PassManager PM(*CU->Ctx, CU->Diags, Opts);
+  std::vector<std::string> Ran;
+  for (const char *Name : {"alpha", "beta", "gamma"})
+    PM.addPass(Name, [&Ran, Name](PassContext &) {
+      Ran.push_back(Name);
+      return true;
+    });
+  EXPECT_EQ(PM.describePipeline(), "alpha,!beta,gamma");
+  EXPECT_TRUE(PM.run());
+  EXPECT_EQ(Ran, (std::vector<std::string>{"alpha", "gamma"}));
+}
+
+TEST(PassManager, UnknownDisableNameWarns) {
+  auto CU = parse(Simple);
+  PassManagerOptions Opts;
+  Opts.DisabledPasses = {"no-such-pass"};
+  PassManager PM(*CU->Ctx, CU->Diags, Opts);
+  PM.addPass("alpha", [](PassContext &) { return true; });
+  EXPECT_TRUE(PM.run());
+  EXPECT_NE(CU->Diags.renderAll().find("no-such-pass"), std::string::npos);
+}
+
+TEST(PassManager, FailingPassStopsThePipeline) {
+  auto CU = parse(Simple);
+  PassManager PM(*CU->Ctx, CU->Diags);
+  bool LaterRan = false;
+  PM.addPass("bad", [](PassContext &PC) {
+    PC.Diags.error({}, "deliberate failure");
+    return false;
+  });
+  PM.addPass("later", [&LaterRan](PassContext &) {
+    LaterRan = true;
+    return true;
+  });
+  EXPECT_FALSE(PM.run());
+  EXPECT_FALSE(LaterRan);
+  EXPECT_EQ(PM.report().FailedPass, "bad");
+}
+
+TEST(PassManager, VerifyEachCatchesTypeBreakingPass) {
+  auto CU = parse(Simple);
+  PassManagerOptions Opts;
+  Opts.VerifyEach = true;
+  PassManager PM(*CU->Ctx, CU->Diags, Opts);
+  bool LaterRan = false;
+  // A pass that strips the type from the function's return expression.
+  PM.addPass("breaker", [](PassContext &PC) {
+    auto *F = PC.Ctx.tu().findFunction("f");
+    auto *Body = F->getBody();
+    auto *Ret = static_cast<frontend::ReturnStmt *>(Body->getBody().front());
+    Ret->getValue()->setType(nullptr);
+    return true;
+  });
+  PM.addPass("later", [&LaterRan](PassContext &) {
+    LaterRan = true;
+    return true;
+  });
+  EXPECT_FALSE(PM.run());
+  EXPECT_FALSE(LaterRan);
+  EXPECT_EQ(PM.report().FailedPass, "breaker");
+  EXPECT_NE(CU->Diags.renderAll().find("verify-each after pass 'breaker'"),
+            std::string::npos);
+}
+
+TEST(PassManager, VerifyEachAcceptsWellFormedAST) {
+  auto CU = parse(Simple);
+  PassManagerOptions Opts;
+  Opts.VerifyEach = true;
+  PassManager PM(*CU->Ctx, CU->Diags, Opts);
+  PM.addPass("noop", [](PassContext &) { return true; });
+  EXPECT_TRUE(PM.run());
+  EXPECT_FALSE(CU->Diags.hasErrors());
+}
+
+TEST(PassManager, PrintAfterDumpsTheAST) {
+  auto CU = parse(Simple);
+  PassManagerOptions Opts;
+  Opts.PrintAfter = {"noop"};
+  PassManager PM(*CU->Ctx, CU->Diags, Opts);
+  PM.addPass("noop", [](PassContext &) { return true; });
+  EXPECT_TRUE(PM.run());
+  const std::string &Dumps = PM.report().ASTDumps;
+  EXPECT_NE(Dumps.find("*** AST after noop ***"), std::string::npos);
+  EXPECT_NE(Dumps.find("double f(double x)"), std::string::npos);
+}
+
+TEST(PassManager, StatsAccumulateAcrossPasses) {
+  auto CU = parse(Simple);
+  PassManager PM(*CU->Ctx, CU->Diags);
+  PM.addPass("a", [](PassContext &PC) {
+    PC.Stats.add("shared.counter", 2, "a shared counter");
+    return true;
+  });
+  PM.addPass("b", [](PassContext &PC) {
+    PC.Stats.add("shared.counter", 3);
+    return true;
+  });
+  EXPECT_TRUE(PM.run());
+  EXPECT_EQ(PM.stats().get("shared.counter"), 5u);
+  EXPECT_NE(PM.stats().render().find("5\tshared.counter - a shared counter"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The assembled SafeGen pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(Pipeline, DefaultPipelineNames) {
+  auto CU = parse(Simple);
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dspn");
+  Opts.Config.K = 16;
+  SafeGenResult Result;
+  PassManager PM(*CU->Ctx, CU->Diags);
+  buildSafeGenPipeline(PM, Opts, Result);
+  EXPECT_EQ(PM.describePipeline(),
+            "const-fold,tac,annotate,affine-rewrite,emit");
+}
+
+TEST(Pipeline, NoPrioritizeDropsAnalysisPasses) {
+  auto CU = parse(Simple);
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.Config.K = 16;
+  SafeGenResult Result;
+  PassManager PM(*CU->Ctx, CU->Diags);
+  buildSafeGenPipeline(PM, Opts, Result);
+  EXPECT_EQ(PM.describePipeline(), "const-fold,affine-rewrite,emit");
+}
+
+TEST(Pipeline, DumpDAGKeepsTACWithoutPrioritize) {
+  auto CU = parse(Simple);
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.Config.K = 16;
+  Opts.DumpDAG = true;
+  SafeGenResult Result;
+  PassManager PM(*CU->Ctx, CU->Diags);
+  buildSafeGenPipeline(PM, Opts, Result);
+  EXPECT_EQ(PM.describePipeline(), "const-fold,tac,dump-dag,affine-rewrite,emit");
+}
+
+TEST(Pipeline, SimdFirstPrependsLoweringPasses) {
+  auto CU = parse(Simple);
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dspn");
+  Opts.Config.K = 16;
+  Opts.LowerSimdFirst = true;
+  SafeGenResult Result;
+  PassManager PM(*CU->Ctx, CU->Diags);
+  buildSafeGenPipeline(PM, Opts, Result);
+  EXPECT_EQ(PM.describePipeline(),
+            "simd-flatten,simd-lower,const-fold,tac,annotate,affine-rewrite,"
+            "emit");
+}
+
+TEST(Pipeline, VerifyEachPassesOnFullCompile) {
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dspv");
+  Opts.Config.K = 16;
+  Opts.Instrument.VerifyEach = true;
+  Opts.Instrument.TimePasses = true;
+  Opts.Instrument.CollectStats = true;
+  auto Result = compileSource(
+      "test.c", "double g(double a, double b) { return (a + b) * a; }\n",
+      Opts);
+  ASSERT_TRUE(Result.Success) << Result.Diagnostics;
+  EXPECT_FALSE(Result.PassTimings.empty());
+  EXPECT_GT(Result.TotalPassSeconds, 0.0);
+  EXPECT_FALSE(Result.TimingReport.empty());
+  EXPECT_FALSE(Result.StatsReport.empty());
+}
+
+TEST(Pipeline, DisableConstFoldSkipsFolding) {
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dsnn");
+  Opts.Config.K = 16;
+  Opts.Instrument.DisabledPasses = {"const-fold"};
+  auto Result = compileSource(
+      "test.c", "double h(double x) { return x + (1.0 + 2.0); }\n", Opts);
+  ASSERT_TRUE(Result.Success) << Result.Diagnostics;
+  EXPECT_EQ(Result.ConstantsFolded, 0u);
+  // Without the disable, the exact 1.0 + 2.0 folds.
+  SafeGenOptions Opts2 = Opts;
+  Opts2.Instrument.DisabledPasses.clear();
+  auto Result2 = compileSource(
+      "test.c", "double h(double x) { return x + (1.0 + 2.0); }\n", Opts2);
+  ASSERT_TRUE(Result2.Success);
+  EXPECT_EQ(Result2.ConstantsFolded, 1u);
+}
+
+TEST(Pipeline, ReportsMatchLegacyAnalyzeAndAnnotate) {
+  const char *Src = "double k(double a, double b) {\n"
+                    "  double t = a * b + a;\n"
+                    "  return t * t + b;\n"
+                    "}\n";
+  SafeGenOptions Opts;
+  Opts.Config = *aa::AAConfig::parse("f64a-dspn");
+  Opts.Config.K = 16;
+  auto Result = compileSource("test.c", Src, Opts);
+  ASSERT_TRUE(Result.Success) << Result.Diagnostics;
+  ASSERT_EQ(Result.Reports.size(), 1u);
+
+  auto CU = parse(Src);
+  auto *F = CU->Ctx->tu().findFunction("k");
+  analysis::AnalysisReport Legacy =
+      analysis::analyzeAndAnnotate(F, *CU->Ctx, 16);
+  EXPECT_EQ(Result.Reports[0].TempsIntroduced, Legacy.TempsIntroduced);
+  EXPECT_EQ(Result.Reports[0].PragmasInserted, Legacy.PragmasInserted);
+  EXPECT_EQ(Result.Reports[0].DAGNodes, Legacy.DAGNodes);
+  EXPECT_EQ(Result.Reports[0].ReusePairs, Legacy.ReusePairs);
+}
+
+TEST(Verifier, AcceptsSemaCheckedAST) {
+  auto CU = parse(Simple);
+  std::vector<std::string> Failures;
+  EXPECT_TRUE(frontend::verifyAST(*CU->Ctx, Failures));
+  EXPECT_TRUE(Failures.empty());
+}
+
+} // namespace

@@ -6,7 +6,9 @@
 
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include "support/Statistic.h"
 #include "support/StringUtils.h"
+#include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
@@ -78,4 +80,62 @@ TEST(StringUtils, FormatDoubleExactRoundTrips) {
     EXPECT_EQ(Back, V) << S;
   }
   EXPECT_EQ(formatDoubleExact(42.0), "42.0"); // parses as double in C
+}
+
+TEST(Timer, AccumulatesAcrossStartStopCycles) {
+  support::Timer T;
+  EXPECT_FALSE(T.isRunning());
+  EXPECT_EQ(T.seconds(), 0.0);
+  T.start();
+  EXPECT_TRUE(T.isRunning());
+  T.stop();
+  double First = T.seconds();
+  EXPECT_GE(First, 0.0);
+  T.start();
+  for (volatile int I = 0; I < 100000; ++I)
+    ;
+  T.stop();
+  EXPECT_GT(T.seconds(), First);
+  T.reset();
+  EXPECT_EQ(T.seconds(), 0.0);
+  EXPECT_FALSE(T.isRunning());
+}
+
+TEST(Timer, ScopeTimesARegion) {
+  support::Timer T;
+  {
+    support::TimerScope Scope(T);
+    EXPECT_TRUE(T.isRunning());
+  }
+  EXPECT_FALSE(T.isRunning());
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+TEST(Statistic, RegistryAccumulatesAndRenders) {
+  support::StatsRegistry Stats;
+  EXPECT_TRUE(Stats.empty());
+  EXPECT_EQ(Stats.get("missing"), 0u);
+  Stats.add("b.count", 3, "a counter");
+  Stats.add("a.count", 1);
+  Stats.add("b.count", 2);
+  EXPECT_FALSE(Stats.empty());
+  EXPECT_EQ(Stats.get("b.count"), 5u);
+  auto Values = Stats.values();
+  ASSERT_EQ(Values.size(), 2u); // sorted by name
+  EXPECT_EQ(Values[0].Name, "a.count");
+  EXPECT_EQ(Values[1].Name, "b.count");
+  EXPECT_EQ(Values[1].Description, "a counter");
+  std::string Rendered = Stats.render();
+  EXPECT_NE(Rendered.find("5\tb.count - a counter"), std::string::npos);
+  EXPECT_NE(Rendered.find("1\ta.count"), std::string::npos);
+}
+
+TEST(Statistic, HandleIncrementsRegistry) {
+  support::StatsRegistry Stats;
+  support::Statistic Counter(&Stats, "x.count", "a handle");
+  ++Counter;
+  Counter += 4;
+  EXPECT_EQ(Stats.get("x.count"), 5u);
+  support::Statistic NullCounter(nullptr, "nowhere");
+  ++NullCounter; // must be a safe no-op
 }

@@ -230,6 +230,35 @@ def compile_pass_stats(build_dir, results_dir):
     return breakdown
 
 
+CORPUS_DIR = os.path.join("tests", "fuzz_corpus")
+
+
+def fuzz_corpus_status(build_dir, corpus_dir=CORPUS_DIR):
+    """Replays the soundness-fuzz corpus (DESIGN.md §9) and reports its
+    size and pass/fail. Corpus entries document fixed bugs, so a failing
+    replay is a regression. Returns a dict for BENCH_batch.json, or None
+    when the fuzzer binary or corpus is missing."""
+    tool = os.path.join(build_dir, "src", "driver", "safegen-fuzz")
+    if not os.path.exists(tool):
+        print(f"warning: {tool} missing, skipping fuzz corpus replay",
+              file=sys.stderr)
+        return None
+    if not os.path.isdir(corpus_dir):
+        print(f"warning: {corpus_dir} missing, skipping fuzz corpus replay",
+              file=sys.stderr)
+        return None
+    entries = [f for f in os.listdir(corpus_dir) if f.endswith(".c")]
+    cmd = [tool, "--replay", corpus_dir]
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    passed = proc.returncode == 0
+    status = "pass" if passed else "FAIL"
+    print(f"  fuzz corpus: {len(entries)} reproducer(s), replay {status}")
+    if not passed:
+        print(proc.stdout + proc.stderr, file=sys.stderr)
+    return {"reproducers": len(entries), "replay_passed": passed}
+
+
 def check_batch(data, baseline_path, tolerance=0.20):
     """Returns a list of human-readable regressions (>tolerance slower)."""
     with open(baseline_path) as f:
@@ -275,12 +304,19 @@ def main():
             for r in regressions:
                 print("  " + r)
             sys.exit(1)
+        corpus = fuzz_corpus_status(args.build_dir)
+        if corpus is not None and not corpus["replay_passed"]:
+            sys.exit("error: fuzz corpus replay failed (a fixed bug "
+                     "regressed)")
         print("check passed: no configuration regressed >20% vs baseline.")
         return
 
     outputs = run_benches(args.build_dir, args.results_dir)
     data = run_batch_bench(args.build_dir, args.results_dir, args.quick)
     passes = compile_pass_stats(args.build_dir, args.results_dir)
+    corpus = fuzz_corpus_status(args.build_dir)
+    if data is not None and corpus is not None:
+        data["fuzz_corpus"] = corpus
     if data is not None and passes is not None:
         # check_batch only reads ns_per_element, so adding the per-pass
         # compile-time breakdown keeps the baseline comparison intact.

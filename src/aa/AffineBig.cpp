@@ -56,7 +56,10 @@ AffineBig aa::bigInput(double X, double Deviation, const BigConfig &,
 }
 
 AffineBig aa::bigConstant(double X, const BigConfig &Cfg, AffineContext &Ctx) {
-  double R = std::nearbyint(X);
+  // trunc, not nearbyint: the runtime executes under FE_UPWARD, where
+  // nearbyint acts as ceil and would depend on the dynamic rounding mode
+  // (same integrality test as Affine.h / Batch.h).
+  double R = std::trunc(X);
   if (R == X && std::fabs(X) < 0x1p53)
     return bigExact(X);
   return bigInput(X, fp::ulp(X), Cfg, Ctx);

@@ -14,6 +14,25 @@
 /// accounted for. The affine result is α·â + ζ plus a fresh symbol of
 /// magnitude δ (plus the scaling round-off).
 ///
+/// Domain-violation semantics (normative for every affine backend —
+/// AffineVar<F64/F32>, AffineBig, and Batch, which maps per instance onto
+/// these ops):
+///
+///  - inv/div: an argument enclosure that TOUCHES OR STRADDLES 0
+///    (l <= 0 <= u) yields the NaN form ("value can be anything" — Top).
+///    Touching counts: 1/x is unbounded on any neighbourhood of 0, so no
+///    finite enclosure would be sound.
+///  - log: an enclosure touching or extending below 0 (l <= 0) yields the
+///    NaN form, for the same unboundedness reason at the singular point.
+///  - sqrt: only an enclosure extending strictly below 0 (l < 0) yields
+///    the NaN form. Touching 0 is fine — sqrt is defined and finite at 0;
+///    an identically-zero argument (u == 0) returns exact 0.
+///  - An argument already in the NaN form propagates it.
+///
+/// The NaN form is deliberate over-approximation, not an error state: the
+/// program may never execute the op on the offending path, and containment
+/// of Top is trivially sound.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SAFEGEN_AA_ELEMENTARY_H
@@ -39,9 +58,19 @@ AffineVar<CT> affineLinearMap(const AffineVar<CT> &A, double Alpha,
   ++Ctx.NumOps;
   AffineVar<CT> Out = A;
   double Err = Delta;
-  typename CT::Type Scaled =
-      CT::mul(A.Center, CT::fromDouble(Alpha), Err);
-  Out.Center = CT::add(Scaled, CT::fromDouble(Zeta), Err);
+  typename CT::Type AlphaC = CT::fromDouble(Alpha);
+  typename CT::Type ZetaC = CT::fromDouble(Zeta);
+  // Rounding α and ζ into the central type (exact for f64/dd centres, one
+  // float rounding each for f32a) shifts the map by (α_c−α)·centre +
+  // (ζ_c−ζ) — which the residual bounds δ know nothing about, since they
+  // were derived for the exact double α and ζ. Charge it to the error
+  // term; both differences are Sterbenz-exact (within one ulp of the
+  // original), and the coefficients below keep using the double α.
+  Err = fp::addRU(Err, fp::mulRU(std::fabs(CT::toDouble(A.Center)),
+                                 std::fabs(CT::toDouble(AlphaC) - Alpha)));
+  Err = fp::addRU(Err, std::fabs(CT::toDouble(ZetaC) - Zeta));
+  typename CT::Type Scaled = CT::mul(A.Center, AlphaC, Err);
+  Out.Center = CT::add(Scaled, ZetaC, Err);
   for (int32_t I = 0; I < Out.N; ++I) {
     if (Out.Ids[I] == InvalidSymbol)
       continue;

@@ -6,6 +6,7 @@
 
 #include "core/Interpreter.h"
 
+#include "fp/Ulp.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -31,7 +32,7 @@ enum class Flow { Normal, Break, Continue, Return };
 class Evaluator {
 public:
   Evaluator(const TranslationUnit &TU, const InterpreterOptions &Opts)
-      : TU(TU), Opts(Opts) {}
+      : TU(TU), Opts(Opts), NShadow(Opts.ShadowDirs.size()) {}
 
   Value callFunction(const FunctionDecl *F, std::vector<Value> Args) {
     if (Args.size() != F->getParams().size())
@@ -130,6 +131,57 @@ private:
     throw InterpError{"array used as a scalar", Loc};
   }
 
+  //===--------------------------------------------------------------------===//
+  // Shadow execution (soundness-fuzzing oracle; Shadow.h)
+  //===--------------------------------------------------------------------===//
+
+  /// The shadow of an operand, synthesizing exact-point shadows for
+  /// integers. Null when shadow mode is off or the operand's affine
+  /// provenance was lost (the result then simply carries no shadow).
+  ShadowPtr operandShadow(const Value &V) const {
+    if (!NShadow)
+      return nullptr;
+    if (V.isAffine())
+      return V.shadow();
+    if (V.isInt())
+      return std::make_shared<Shadow>(
+          Shadow::point(static_cast<double>(V.asInt()), NShadow));
+    return nullptr;
+  }
+
+  /// An affine value carrying the shadow of an exactly known point.
+  Value pointValue(const aa::F64a &A, double X) const {
+    Value V = Value::makeAffine(A);
+    if (NShadow)
+      V.setShadow(std::make_shared<Shadow>(Shadow::point(X, NShadow)));
+    return V;
+  }
+
+  /// Wraps a binary affine result, mapping both operand shadows through
+  /// the corresponding real transfer function.
+  template <typename Fn>
+  Value affineBinary(const aa::F64a &R, const Value &L, const Value &Rhs,
+                     Fn ShadowOp) const {
+    Value V = Value::makeAffine(R);
+    if (NShadow) {
+      ShadowPtr A = operandShadow(L), B = operandShadow(Rhs);
+      if (A && B)
+        V.setShadow(std::make_shared<Shadow>(ShadowOp(*A, *B)));
+    }
+    return V;
+  }
+
+  /// Wraps a unary affine result.
+  template <typename Fn>
+  Value affineUnary(const aa::F64a &R, const Value &Operand,
+                    Fn ShadowOp) const {
+    Value V = Value::makeAffine(R);
+    if (NShadow)
+      if (ShadowPtr A = operandShadow(Operand))
+        V.setShadow(std::make_shared<Shadow>(ShadowOp(*A)));
+    return V;
+  }
+
   Value evalExpr(const Expr *E) {
     tick(E->getLoc());
     switch (E->getKind()) {
@@ -139,8 +191,9 @@ private:
     case Expr::Kind::FloatLiteral: {
       const auto *F = static_cast<const FloatLiteralExpr *>(E);
       // Source constants get the 1-ulp treatment unless integral
-      // (Sec. IV-B) — identical to the generated code.
-      return Value::makeAffine(aa::F64a(F->getValue()));
+      // (Sec. IV-B) — identical to the generated code. The shadow samples
+      // the constant's double value, which lies inside its 1-ulp box.
+      return pointValue(aa::F64a(F->getValue()), F->getValue());
     }
     case Expr::Kind::DeclRef:
     case Expr::Kind::Subscript:
@@ -158,8 +211,14 @@ private:
     case Expr::Kind::Cast: {
       const auto *C = static_cast<const CastExpr *>(E);
       Value V = evalExpr(C->getOperand());
-      if (C->getType()->isFloating())
+      if (C->getType()->isFloating()) {
+        if (V.isAffine())
+          return V; // identity on f64a; keeps any shadow
+        if (V.isInt())
+          return pointValue(toAffine(V, E->getLoc()),
+                            static_cast<double>(V.asInt()));
         return Value::makeAffine(toAffine(V, E->getLoc()));
+      }
       if (C->getType()->isInteger()) {
         if (V.isInt())
           return V;
@@ -187,7 +246,7 @@ private:
       Value V = evalExpr(U->getOperand());
       if (V.isInt())
         return Value::makeInt(-V.asInt());
-      return Value::makeAffine(-toAffine(V, U->getLoc()));
+      return affineUnary(-toAffine(V, U->getLoc()), V, shadowNeg);
     }
     case UnaryOpKind::Not: {
       Value V = evalExpr(U->getOperand());
@@ -246,13 +305,13 @@ private:
     aa::F64a RA = toAffine(R, B->getLoc());
     switch (B->getOp()) {
     case BinaryOpKind::Add:
-      return Value::makeAffine(LA + RA);
+      return affineBinary(LA + RA, L, R, shadowAdd);
     case BinaryOpKind::Sub:
-      return Value::makeAffine(LA - RA);
+      return affineBinary(LA - RA, L, R, shadowSub);
     case BinaryOpKind::Mul:
-      return Value::makeAffine(LA * RA);
+      return affineBinary(LA * RA, L, R, shadowMul);
     case BinaryOpKind::Div:
-      return Value::makeAffine(LA / RA);
+      return affineBinary(LA / RA, L, R, shadowDiv);
     case BinaryOpKind::Lt:
       return Value::makeInt(LA.mid() < RA.mid());
     case BinaryOpKind::Gt:
@@ -343,30 +402,29 @@ private:
       }
       aa::F64a Old = toAffine(*L, A->getLoc());
       aa::F64a Rv = toAffine(R, A->getLoc());
-      aa::F64a New = Old;
       switch (A->getOp()) {
       case AssignOpKind::AddAssign:
-        New = Old + Rv;
+        *L = affineBinary(Old + Rv, *L, R, shadowAdd);
         break;
       case AssignOpKind::SubAssign:
-        New = Old - Rv;
+        *L = affineBinary(Old - Rv, *L, R, shadowSub);
         break;
       case AssignOpKind::MulAssign:
-        New = Old * Rv;
+        *L = affineBinary(Old * Rv, *L, R, shadowMul);
         break;
       case AssignOpKind::DivAssign:
-        New = Old / Rv;
+        *L = affineBinary(Old / Rv, *L, R, shadowDiv);
         break;
       case AssignOpKind::Assign:
         break;
       }
-      *L = Value::makeAffine(New);
       return *L;
     }
     // Plain assignment with FP-context coercion when the target holds an
     // affine value or the rhs is affine.
     if (L->isAffine() && R.isInt())
-      R = Value::makeAffine(toAffine(R, A->getLoc()));
+      R = pointValue(toAffine(R, A->getLoc()),
+                     static_cast<double>(R.asInt()));
     *L = std::move(R);
     return *L;
   }
@@ -377,30 +435,36 @@ private:
     for (const Expr *Arg : C->getArgs())
       Args.push_back(evalExpr(Arg));
 
-    auto Unary = [&](auto Fn) {
+    auto Unary = [&](auto Fn, auto ShadowFn) {
       if (Args.size() != 1)
         throw InterpError{Name + " expects one argument", C->getLoc()};
-      return Value::makeAffine(Fn(toAffine(Args[0], C->getLoc())));
+      return affineUnary(Fn(toAffine(Args[0], C->getLoc())), Args[0],
+                         ShadowFn);
     };
     if (Name == "sqrt")
-      return Unary([](const aa::F64a &X) { return aa::sqrt(X); });
+      return Unary([](const aa::F64a &X) { return aa::sqrt(X); },
+                   shadowSqrt);
     if (Name == "exp")
-      return Unary([](const aa::F64a &X) { return aa::exp(X); });
+      return Unary([](const aa::F64a &X) { return aa::exp(X); }, shadowExp);
     if (Name == "log")
-      return Unary([](const aa::F64a &X) { return aa::log(X); });
+      return Unary([](const aa::F64a &X) { return aa::log(X); }, shadowLog);
     if (Name == "fabs")
-      return Unary([](const aa::F64a &X) { return aa_fabs_f64(X); });
+      return Unary([](const aa::F64a &X) { return aa_fabs_f64(X); },
+                   shadowAbs);
     if (Name == "sin")
-      return Unary([](const aa::F64a &X) { return aa::sin(X); });
+      return Unary([](const aa::F64a &X) { return aa::sin(X); }, shadowSin);
     if (Name == "cos")
-      return Unary([](const aa::F64a &X) { return aa::cos(X); });
+      return Unary([](const aa::F64a &X) { return aa::cos(X); }, shadowCos);
     if (Name == "fmax" || Name == "fmin") {
       if (Args.size() != 2)
         throw InterpError{Name + " expects two arguments", C->getLoc()};
       aa::F64a A = toAffine(Args[0], C->getLoc());
       aa::F64a B = toAffine(Args[1], C->getLoc());
-      return Value::makeAffine(Name == "fmax" ? aa_fmax_f64(A, B)
-                                              : aa_fmin_f64(A, B));
+      return Name == "fmax"
+                 ? affineBinary(aa_fmax_f64(A, B), Args[0], Args[1],
+                                shadowMax)
+                 : affineBinary(aa_fmin_f64(A, B), Args[0], Args[1],
+                                shadowMin);
     }
     if (const FunctionDecl *F = TU.findFunction(Name)) {
       if (!F->isDefinition())
@@ -429,7 +493,7 @@ private:
       return V;
     }
     if (T->isFloating())
-      return Value::makeAffine(aa::F64a::exact(0.0));
+      return pointValue(aa::F64a::exact(0.0), 0.0);
     if (T->isInteger())
       return Value::makeInt(0);
     if (T->isPointer())
@@ -454,7 +518,8 @@ private:
         Value Init = D->getInit() ? evalExpr(D->getInit())
                                   : defaultValue(D->getType(), S->getLoc());
         if (D->getType() && D->getType()->isFloating() && Init.isInt())
-          Init = Value::makeAffine(toAffine(Init, S->getLoc()));
+          Init = pointValue(toAffine(Init, S->getLoc()),
+                            static_cast<double>(Init.asInt()));
         Frames.back()[D->getName()] = std::move(Init);
       }
       return Flow::Normal;
@@ -540,6 +605,8 @@ private:
 
   const TranslationUnit &TU;
   const InterpreterOptions &Opts;
+  /// Samples per shadow; 0 disables shadow execution entirely.
+  size_t NShadow;
   std::vector<std::map<std::string, Value>> Frames;
   uint64_t Steps = 0;
 };
@@ -563,6 +630,33 @@ Value Interpreter::makeDefaultArg(const Type *T, double Numeric) {
   if (T->isPointer()) {
     Value V = Value::makeArray(1);
     V.elems()[0] = makeDefaultArg(T->getElement(), Numeric);
+    return V;
+  }
+  return Value();
+}
+
+Value Interpreter::makeShadowArg(const Type *T, double Numeric,
+                                 const std::vector<double> &Dirs) {
+  if (!T)
+    return Value();
+  if (T->isInteger())
+    return Value::makeInt(static_cast<long long>(Numeric));
+  if (T->isFloating()) {
+    Value V = Value::makeAffine(aa::F64a::input(Numeric));
+    V.setShadow(std::make_shared<Shadow>(
+        Shadow::input(Numeric, fp::ulp(Numeric), Dirs)));
+    return V;
+  }
+  if (T->isArray()) {
+    size_t N = T->getArraySize() ? T->getArraySize() : 1;
+    Value V = Value::makeArray(N);
+    for (size_t I = 0; I < N; ++I)
+      V.elems()[I] = makeShadowArg(T->getElement(), Numeric, Dirs);
+    return V;
+  }
+  if (T->isPointer()) {
+    Value V = Value::makeArray(1);
+    V.elems()[0] = makeShadowArg(T->getElement(), Numeric, Dirs);
     return V;
   }
   return Value();

@@ -23,6 +23,7 @@
 #define SAFEGEN_CORE_INTERPRETER_H
 
 #include "aa/Runtime.h"
+#include "core/Shadow.h"
 #include "frontend/AST.h"
 #include "support/Diagnostics.h"
 
@@ -71,11 +72,18 @@ public:
   std::vector<Value> &elems() { return *Elems; }
   const std::vector<Value> &elems() const { return *Elems; }
 
+  /// High-precision shadow riding along this value (soundness-fuzzing
+  /// oracle; see Shadow.h). Null when shadow execution is off or the
+  /// value's provenance was lost.
+  const ShadowPtr &shadow() const { return Sh; }
+  void setShadow(ShadowPtr S) { Sh = std::move(S); }
+
 private:
   Kind K;
   long long I = 0;
   aa::F64a A = aa::F64a(); // requires an active AffineEnv at construction
   std::shared_ptr<std::vector<Value>> Elems;
+  ShadowPtr Sh;
 };
 
 struct InterpreterOptions {
@@ -84,6 +92,13 @@ struct InterpreterOptions {
   uint64_t StepBudget = 50'000'000;
   /// Honour `#pragma safegen prioritize(...)` statements.
   bool Prioritize = true;
+  /// Shadow-execution sample directions (one shadow sample per entry,
+  /// each in [-1, 1]). Non-empty enables shadow execution: every affine
+  /// value carries ShadowDirs.size() IntervalDD samples of the exact real
+  /// result of the executed trace (Shadow.h). Arguments must then be
+  /// built with Interpreter::makeShadowArg so input samples sit at
+  /// x + e·deviation.
+  std::vector<double> ShadowDirs;
 };
 
 /// Outcome of one interpretation.
@@ -121,6 +136,13 @@ public:
   /// integers from \p Numeric, FP scalars as 1-ulp affine inputs, arrays
   /// (any nesting) filled with affine inputs of value \p Numeric.
   static Value makeDefaultArg(const frontend::Type *T, double Numeric);
+
+  /// Like makeDefaultArg, but every affine input additionally carries a
+  /// shadow with one sample per direction in \p Dirs (sample s encloses
+  /// the real number Numeric + Dirs[s]·ulp(Numeric)). Pass the same list
+  /// as InterpreterOptions::ShadowDirs. Requires upward rounding mode.
+  static Value makeShadowArg(const frontend::Type *T, double Numeric,
+                             const std::vector<double> &Dirs);
 
   /// Interprets \p Function once per instance, chunked across \p Threads
   /// worker threads (0 = hardware concurrency via the shared pool, 1 =

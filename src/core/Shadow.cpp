@@ -1,0 +1,179 @@
+//===- Shadow.cpp ---------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Shadow.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace safegen;
+using namespace safegen::core;
+
+Shadow Shadow::point(double X, size_t N) {
+  Shadow Sh(N);
+  for (size_t I = 0; I < N; ++I)
+    Sh.S[I] = ia::IntervalDD::fromConstant(X);
+  return Sh;
+}
+
+Shadow Shadow::input(double X, double Deviation,
+                     const std::vector<double> &Dirs) {
+  Shadow Sh(Dirs.size());
+  ia::IntervalDD Base = ia::IntervalDD::fromConstant(X);
+  ia::IntervalDD Dev = ia::IntervalDD::fromConstant(Deviation);
+  for (size_t I = 0; I < Dirs.size(); ++I)
+    Sh.S[I] = Base + ia::IntervalDD::fromConstant(Dirs[I]) * Dev;
+  return Sh;
+}
+
+namespace {
+
+template <typename Fn>
+Shadow zipWith(const Shadow &A, const Shadow &B, Fn F) {
+  // A missing side (size 0) poisons the result: the caller lost track of
+  // one operand's provenance, so the shadow carries no information.
+  if (A.size() != B.size())
+    return Shadow();
+  Shadow Out(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Out.S[I] = F(A.S[I], B.S[I]);
+  return Out;
+}
+
+template <typename Fn> Shadow mapWith(const Shadow &A, Fn F) {
+  Shadow Out(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    Out.S[I] = F(A.S[I]);
+  return Out;
+}
+
+/// Applies a double-endpoint ia:: kernel to a dd sample: collapse
+/// outward, transform, lift back. Loses dd tightness (the result is a few
+/// double ulps wide) but stays sound — good enough for the elementary
+/// functions that have no dd kernels.
+template <typename Fn> ia::IntervalDD viaInterval(const ia::IntervalDD &X, Fn F) {
+  ia::Interval R = F(X.toInterval());
+  if (R.isNaN())
+    return ia::IntervalDD::nan();
+  return ia::IntervalDD(fp::DD(R.Lo), fp::DD(R.Hi));
+}
+
+} // namespace
+
+Shadow core::shadowAdd(const Shadow &A, const Shadow &B) {
+  return zipWith(A, B, [](const ia::IntervalDD &X, const ia::IntervalDD &Y) {
+    return ia::add(X, Y);
+  });
+}
+
+Shadow core::shadowSub(const Shadow &A, const Shadow &B) {
+  return zipWith(A, B, [](const ia::IntervalDD &X, const ia::IntervalDD &Y) {
+    return ia::sub(X, Y);
+  });
+}
+
+Shadow core::shadowMul(const Shadow &A, const Shadow &B) {
+  return zipWith(A, B, [](const ia::IntervalDD &X, const ia::IntervalDD &Y) {
+    return ia::mul(X, Y);
+  });
+}
+
+Shadow core::shadowDiv(const Shadow &A, const Shadow &B) {
+  return zipWith(A, B, [](const ia::IntervalDD &X, const ia::IntervalDD &Y) {
+    return ia::div(X, Y);
+  });
+}
+
+Shadow core::shadowNeg(const Shadow &A) {
+  return mapWith(A, [](const ia::IntervalDD &X) { return ia::neg(X); });
+}
+
+Shadow core::shadowSqrt(const Shadow &A) {
+  return mapWith(A, [](const ia::IntervalDD &X) {
+    // Any sample poking below zero carries no information (the real sqrt
+    // is undefined there); IntervalDD::sqrt would silently clamp.
+    if (!X.isNaN() && X.Lo.Hi < 0.0)
+      return ia::IntervalDD::nan();
+    return ia::sqrt(X);
+  });
+}
+
+Shadow core::shadowExp(const Shadow &A) {
+  return mapWith(A, [](const ia::IntervalDD &X) {
+    return viaInterval(X, [](const ia::Interval &I) { return ia::exp(I); });
+  });
+}
+
+Shadow core::shadowLog(const Shadow &A) {
+  return mapWith(A, [](const ia::IntervalDD &X) {
+    return viaInterval(X, [](const ia::Interval &I) { return ia::log(I); });
+  });
+}
+
+Shadow core::shadowSin(const Shadow &A) {
+  return mapWith(A, [](const ia::IntervalDD &X) {
+    return viaInterval(X, [](const ia::Interval &I) { return ia::sin(I); });
+  });
+}
+
+Shadow core::shadowCos(const Shadow &A) {
+  return mapWith(A, [](const ia::IntervalDD &X) {
+    return viaInterval(X, [](const ia::Interval &I) { return ia::cos(I); });
+  });
+}
+
+Shadow core::shadowAbs(const Shadow &A) {
+  return mapWith(A, [](const ia::IntervalDD &X) { return ia::abs(X); });
+}
+
+Shadow core::shadowMax(const Shadow &A, const Shadow &B) {
+  return zipWith(A, B, [](const ia::IntervalDD &X, const ia::IntervalDD &Y) {
+    if (X.isNaN() || Y.isNaN())
+      return ia::IntervalDD::nan();
+    return ia::IntervalDD(fp::max(X.Lo, Y.Lo), fp::max(X.Hi, Y.Hi));
+  });
+}
+
+Shadow core::shadowMin(const Shadow &A, const Shadow &B) {
+  return zipWith(A, B, [](const ia::IntervalDD &X, const ia::IntervalDD &Y) {
+    if (X.isNaN() || Y.isNaN())
+      return ia::IntervalDD::nan();
+    return ia::IntervalDD(fp::min(X.Lo, Y.Lo), fp::min(X.Hi, Y.Hi));
+  });
+}
+
+std::string ContainmentReport::str() const {
+  if (!Violation)
+    return std::string();
+  std::ostringstream OS;
+  OS.precision(17);
+  OS << "sample " << SampleIndex << " real-result enclosure [" << SampleLo
+     << ", " << SampleHi << "] lies outside the AA enclosure";
+  return OS.str();
+}
+
+ContainmentReport core::checkContainment(double Lo, double Hi,
+                                         const Shadow &Sh) {
+  ContainmentReport R;
+  if (std::isnan(Lo) || std::isnan(Hi))
+    return R; // Top: contains everything
+  for (size_t I = 0; I < Sh.size(); ++I) {
+    const ia::IntervalDD &J = Sh.S[I];
+    if (J.isNaN())
+      continue; // sample carries no information
+    ia::Interval JI = J.toInterval();
+    // Disjointness proves the violation: the real result lies in JI, and
+    // a sound AA enclosure must contain it too.
+    if (JI.Lo > Hi || JI.Hi < Lo) {
+      R.Violation = true;
+      R.SampleIndex = static_cast<int>(I);
+      R.SampleLo = JI.Lo;
+      R.SampleHi = JI.Hi;
+      return R;
+    }
+  }
+  return R;
+}

@@ -1,0 +1,103 @@
+//===- Shadow.h - High-precision shadow execution ---------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shadow values the soundness-fuzzing oracle rides along the sound
+/// interpreter (see DESIGN.md, "Soundness fuzzing"). A Shadow carries one
+/// tiny double-double interval per *sample point* of the input box: sample
+/// s of an input x ± d is the real number x + e_s·d for a fixed direction
+/// e_s in [-1, 1], and every interpreter operation maps the samples
+/// through the corresponding real function using sound IntervalDD
+/// arithmetic. After the run, each sample interval encloses the exact
+/// real-arithmetic result of the executed operation trace at that sample —
+/// so an AA enclosure that is *disjoint* from a sample interval proves a
+/// soundness violation, while overlap never false-positives (both enclose
+/// the same real number when the runtime is sound).
+///
+/// Shadows follow whatever control-flow path the affine midpoint
+/// semantics chose; they never influence it. That matches the paper's
+/// per-operation containment invariant (Eq. (1)-(5)), which composes along
+/// the executed path only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_SHADOW_H
+#define SAFEGEN_CORE_SHADOW_H
+
+#include "ia/Interval.h"
+#include "ia/IntervalDD.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+/// One high-precision shadow: a vector of per-sample enclosures of the
+/// exact real result of the operation trace so far.
+struct Shadow {
+  std::vector<ia::IntervalDD> S;
+
+  Shadow() = default;
+  explicit Shadow(size_t N) : S(N) {}
+
+  size_t size() const { return S.size(); }
+
+  /// All samples start at the exactly known point \p X (constants,
+  /// integer coercions).
+  static Shadow point(double X, size_t N);
+  /// Sample s starts at x + Dirs[s]·Deviation, soundly enclosed in dd
+  /// (Dirs values must lie in [-1, 1] so the sample stays inside the
+  /// input box). Requires upward rounding mode.
+  static Shadow input(double X, double Deviation,
+                      const std::vector<double> &Dirs);
+};
+
+/// Shared ownership so Value copies stay cheap; immutable once built.
+using ShadowPtr = std::shared_ptr<const Shadow>;
+
+/// \name Elementwise real-arithmetic transfer functions.
+/// All require upward rounding mode (the elementary fallbacks collapse to
+/// double-endpoint ia:: kernels, which do). A sample that leaves the
+/// domain of the real function becomes the NaN interval ("no
+/// information") and is skipped by containment checks.
+/// @{
+Shadow shadowAdd(const Shadow &A, const Shadow &B);
+Shadow shadowSub(const Shadow &A, const Shadow &B);
+Shadow shadowMul(const Shadow &A, const Shadow &B);
+Shadow shadowDiv(const Shadow &A, const Shadow &B);
+Shadow shadowNeg(const Shadow &A);
+Shadow shadowSqrt(const Shadow &A);
+Shadow shadowExp(const Shadow &A);
+Shadow shadowLog(const Shadow &A);
+Shadow shadowSin(const Shadow &A);
+Shadow shadowCos(const Shadow &A);
+Shadow shadowAbs(const Shadow &A);
+Shadow shadowMax(const Shadow &A, const Shadow &B);
+Shadow shadowMin(const Shadow &A, const Shadow &B);
+/// @}
+
+/// Containment verdict of one oracle check.
+struct ContainmentReport {
+  bool Violation = false;
+  int SampleIndex = -1;   ///< first violating sample
+  double SampleLo = 0.0;  ///< its shadow enclosure (collapsed to double)
+  double SampleHi = 0.0;
+  std::string str() const; ///< human-readable one-liner (empty if ok)
+};
+
+/// Checks that the AA enclosure [Lo, Hi] can contain each sample's real
+/// result: a violation is proven iff some non-NaN sample interval is
+/// *disjoint* from [Lo, Hi]. A NaN AA enclosure means Top ("value can be
+/// anything") and trivially passes; NaN samples carry no information and
+/// are skipped.
+ContainmentReport checkContainment(double Lo, double Hi, const Shadow &Sh);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_SHADOW_H

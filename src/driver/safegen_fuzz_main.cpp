@@ -1,0 +1,225 @@
+//===- safegen_fuzz_main.cpp - Soundness-fuzzing driver -------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLI for the differential soundness fuzzer:
+///
+///   safegen-fuzz --seed 1 --iters 10000
+///   safegen-fuzz --time-budget 60 --corpus tests/fuzz_corpus
+///   safegen-fuzz --replay tests/fuzz_corpus
+///
+/// Each iteration draws a random well-typed kernel, interprets it under
+/// the full placement x fusion x K grid with high-precision shadow
+/// execution, and checks that every AA enclosure can contain the exact
+/// result (plus SIMD-vs-scalar and batch identity). A failing kernel is
+/// minimized and written to the corpus as a replayable reproducer.
+/// Exit status: 0 = no violations, 1 = violations found, 2 = usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace safegen;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: safegen-fuzz [options]\n"
+      "\n"
+      "  --seed <n>          master RNG seed (default 1)\n"
+      "  --iters <n>         kernels to generate (default 1000)\n"
+      "  --time-budget <s>   stop after this many seconds (default: none)\n"
+      "  --corpus <dir>      write minimized reproducers here\n"
+      "                      (default: tests/fuzz_corpus if it exists)\n"
+      "  --replay <dir>      re-run every .c reproducer in <dir> instead\n"
+      "                      of generating new kernels\n"
+      "  --max-failures <n>  stop after n violations (default 5)\n"
+      "  --inject-shrink <f> TEST HOOK: artificially shrink every AA\n"
+      "                      enclosure by relative factor f to prove the\n"
+      "                      catch-and-minimize pipeline works end to end\n"
+      "  -v                  per-iteration progress\n"
+      "  --help              this text\n");
+}
+
+/// Independent RNG stream per iteration, so any failing kernel can be
+/// regenerated from (seed, iter) alone.
+std::mt19937_64 iterRng(uint64_t Seed, uint64_t Iter) {
+  std::seed_seq Seq{Seed, Iter, uint64_t{0x5afe6e9}};
+  return std::mt19937_64(Seq);
+}
+
+/// Argument values for one iteration: mixed signs, tame magnitudes.
+std::vector<double> drawArgs(std::mt19937_64 &Rng, unsigned N) {
+  std::vector<double> Vals;
+  for (unsigned I = 0; I < N; ++I) {
+    double V = static_cast<double>(Rng() % 16384) / 2048.0 - 4.0;
+    Vals.push_back(V);
+  }
+  return Vals;
+}
+
+int replayCorpus(const std::string &Dir, const fuzz::OracleOptions &Base) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(Dir)) {
+    std::fprintf(stderr, "safegen-fuzz: no such corpus directory: %s\n",
+                 Dir.c_str());
+    return 2;
+  }
+  unsigned Files = 0, Violations = 0;
+  std::vector<fs::path> Paths;
+  for (const auto &Entry : fs::directory_iterator(Dir))
+    if (Entry.path().extension() == ".c")
+      Paths.push_back(Entry.path());
+  std::sort(Paths.begin(), Paths.end());
+  for (const fs::path &P : Paths) {
+    std::ifstream In(P);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    ++Files;
+    fuzz::Verdict V = fuzz::replaySource(SS.str(), Base);
+    // Corpus entries document *fixed* bugs: replay must pass now.
+    if (!V.Ok) {
+      ++Violations;
+      std::fprintf(stderr, "FAIL %s: %s\n", P.filename().c_str(),
+                   V.str().c_str());
+    } else {
+      std::printf("ok   %s\n", P.filename().c_str());
+    }
+  }
+  std::printf("replayed %u corpus file(s), %u violation(s)\n", Files,
+              Violations);
+  return Violations ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Seed = 1;
+  uint64_t Iters = 1000;
+  double TimeBudget = 0.0;
+  std::string Corpus;
+  std::string ReplayDir;
+  unsigned MaxFailures = 5;
+  double InjectShrink = 0.0;
+  bool Verbose = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "safegen-fuzz: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--seed")
+      Seed = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--iters")
+      Iters = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--time-budget")
+      TimeBudget = std::strtod(Next(), nullptr);
+    else if (Arg == "--corpus")
+      Corpus = Next();
+    else if (Arg == "--replay")
+      ReplayDir = Next();
+    else if (Arg == "--max-failures")
+      MaxFailures = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    else if (Arg == "--inject-shrink")
+      InjectShrink = std::strtod(Next(), nullptr);
+    else if (Arg == "-v")
+      Verbose = true;
+    else if (Arg == "--help") {
+      printUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "safegen-fuzz: unknown option '%s'\n",
+                   Arg.c_str());
+      printUsage();
+      return 2;
+    }
+  }
+
+  fuzz::OracleOptions Base;
+  Base.InjectShrink = InjectShrink;
+
+  if (!ReplayDir.empty())
+    return replayCorpus(ReplayDir, Base);
+
+  if (Corpus.empty() && std::filesystem::is_directory("tests/fuzz_corpus"))
+    Corpus = "tests/fuzz_corpus";
+
+  fuzz::GenOptions Gen;
+  auto Start = std::chrono::steady_clock::now();
+  unsigned Failures = 0;
+  uint64_t Done = 0;
+
+  for (uint64_t Iter = 0; Iter < Iters; ++Iter) {
+    if (TimeBudget > 0.0) {
+      std::chrono::duration<double> Elapsed =
+          std::chrono::steady_clock::now() - Start;
+      if (Elapsed.count() >= TimeBudget)
+        break;
+    }
+    std::mt19937_64 Rng = iterRng(Seed, Iter);
+    fuzz::Kernel K = fuzz::generateKernel(Rng, Gen);
+    fuzz::OracleOptions O = Base;
+    O.ArgValues = drawArgs(Rng, std::max(1u, K.NumParams));
+    fuzz::Verdict V = fuzz::checkKernel(K, O);
+    ++Done;
+    if (Verbose && Iter % 100 == 0)
+      std::fprintf(stderr, "iter %llu ok\n",
+                   static_cast<unsigned long long>(Iter));
+    if (V.Ok)
+      continue;
+
+    ++Failures;
+    std::fprintf(stderr, "VIOLATION at seed=%llu iter=%llu: %s\n",
+                 static_cast<unsigned long long>(Seed),
+                 static_cast<unsigned long long>(Iter), V.str().c_str());
+    fuzz::Kernel Min = fuzz::minimizeKernel(K, O);
+    fuzz::Verdict MinV = fuzz::checkKernel(Min, O);
+    const fuzz::Kernel &Repro = MinV.Ok ? K : Min;
+    const fuzz::Verdict &ReproV = MinV.Ok ? V : MinV;
+    std::fprintf(stderr, "minimized %zu -> %zu nodes\n", K.size(),
+                 Repro.size());
+    if (!Corpus.empty()) {
+      std::filesystem::create_directories(Corpus);
+      std::ostringstream Name;
+      Name << Corpus << "/crash-" << Seed << "-" << Iter << ".c";
+      std::ofstream Out(Name.str());
+      Out << fuzz::reproducerFile(Repro, O, ReproV, Seed, Iter);
+      std::fprintf(stderr, "reproducer written to %s\n", Name.str().c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", fuzz::renderKernel(Repro).c_str());
+    }
+    if (Failures >= MaxFailures) {
+      std::fprintf(stderr, "stopping after %u failure(s)\n", Failures);
+      break;
+    }
+  }
+
+  std::chrono::duration<double> Elapsed =
+      std::chrono::steady_clock::now() - Start;
+  std::printf("%llu kernel(s), %zu config(s) each, %u violation(s), "
+              "%.1fs\n",
+              static_cast<unsigned long long>(Done),
+              fuzz::defaultConfigGrid().size(), Failures, Elapsed.count());
+  return Failures ? 1 : 0;
+}

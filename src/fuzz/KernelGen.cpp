@@ -1,0 +1,482 @@
+//===- KernelGen.cpp ------------------------------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/KernelGen.h"
+
+#include "frontend/ASTPrinter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace safegen;
+using namespace safegen::fuzz;
+using namespace safegen::frontend;
+
+//===----------------------------------------------------------------------===//
+// IR plumbing
+//===----------------------------------------------------------------------===//
+
+KExprPtr KExpr::clone() const {
+  auto Out = std::make_unique<KExpr>();
+  Out->K = K;
+  Out->Value = Value;
+  Out->Index = Index;
+  Out->Elem = Elem;
+  Out->Op = Op;
+  Out->Callee = Callee;
+  for (const KExprPtr &Kid : Kids)
+    Out->Kids.push_back(Kid->clone());
+  return Out;
+}
+
+size_t KExpr::size() const {
+  size_t N = 1;
+  for (const KExprPtr &Kid : Kids)
+    N += Kid->size();
+  return N;
+}
+
+KExprPtr fuzz::makeConst(double V) {
+  auto E = std::make_unique<KExpr>();
+  E->K = KExpr::Kind::Const;
+  E->Value = V;
+  return E;
+}
+
+KExprPtr fuzz::makeParam(unsigned I) {
+  auto E = std::make_unique<KExpr>();
+  E->K = KExpr::Kind::Param;
+  E->Index = I;
+  return E;
+}
+
+KExprPtr fuzz::makeLocal(unsigned I) {
+  auto E = std::make_unique<KExpr>();
+  E->K = KExpr::Kind::Local;
+  E->Index = I;
+  return E;
+}
+
+KExprPtr fuzz::makeBinary(BinaryOpKind Op, KExprPtr L, KExprPtr R) {
+  auto E = std::make_unique<KExpr>();
+  E->K = KExpr::Kind::Binary;
+  E->Op = Op;
+  E->Kids.push_back(std::move(L));
+  E->Kids.push_back(std::move(R));
+  return E;
+}
+
+KExprPtr fuzz::makeCall(std::string Callee, std::vector<KExprPtr> Args) {
+  auto E = std::make_unique<KExpr>();
+  E->K = KExpr::Kind::Call;
+  E->Callee = std::move(Callee);
+  E->Kids = std::move(Args);
+  return E;
+}
+
+KStmt KStmt::clone() const {
+  KStmt Out;
+  Out.K = K;
+  Out.Target = Target;
+  Out.Elem = Elem;
+  Out.Op = Op;
+  Out.Rhs = Rhs ? Rhs->clone() : nullptr;
+  Out.Trip = Trip;
+  Out.CondL = CondL ? CondL->clone() : nullptr;
+  Out.CondR = CondR ? CondR->clone() : nullptr;
+  Out.Cmp = Cmp;
+  for (const KStmt &S : Body)
+    Out.Body.push_back(S.clone());
+  for (const KStmt &S : Else)
+    Out.Else.push_back(S.clone());
+  return Out;
+}
+
+size_t KStmt::size() const {
+  size_t N = 1;
+  if (Rhs)
+    N += Rhs->size();
+  if (CondL)
+    N += CondL->size();
+  if (CondR)
+    N += CondR->size();
+  for (const KStmt &S : Body)
+    N += S.size();
+  for (const KStmt &S : Else)
+    N += S.size();
+  return N;
+}
+
+Kernel Kernel::clone() const {
+  Kernel Out;
+  Out.NumParams = NumParams;
+  for (const KExprPtr &E : LocalInits)
+    Out.LocalInits.push_back(E->clone());
+  Out.NumArrays = NumArrays;
+  for (const KStmt &S : Stmts)
+    Out.Stmts.push_back(S.clone());
+  Out.Ret = Ret ? Ret->clone() : nullptr;
+  return Out;
+}
+
+size_t Kernel::size() const {
+  size_t N = 0;
+  for (const KExprPtr &E : LocalInits)
+    N += E->size();
+  for (const KStmt &S : Stmts)
+    N += S.size();
+  if (Ret)
+    N += Ret->size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Random generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// What a random expression may reference at its generation site.
+struct Scope {
+  unsigned NumParams = 0;
+  unsigned NumLocals = 0; ///< locals t0..t{NumLocals-1} are in scope
+  unsigned NumArrays = 0;
+};
+
+class Gen {
+public:
+  Gen(std::mt19937_64 &Rng, const GenOptions &Opts) : Rng(Rng), Opts(Opts) {}
+
+  Kernel run() {
+    Kernel K;
+    K.NumParams =
+        Opts.MinParams + pick(Opts.MaxParams - Opts.MinParams + 1);
+    unsigned NumLocals = 1 + pick(Opts.MaxLocals);
+    K.NumArrays = pick(Opts.MaxArrays + 1);
+
+    Scope Sc;
+    Sc.NumParams = K.NumParams;
+    Sc.NumArrays = K.NumArrays; // loads default-read 0.0 before a store
+    for (unsigned I = 0; I < NumLocals; ++I) {
+      Sc.NumLocals = I;
+      K.LocalInits.push_back(expr(Sc, Opts.MaxDepth));
+    }
+    Sc.NumLocals = NumLocals;
+
+    unsigned NumStmts = 1 + pick(Opts.MaxStmts);
+    for (unsigned I = 0; I < NumStmts; ++I)
+      K.Stmts.push_back(stmt(Sc, Opts.MaxNest));
+    K.Ret = expr(Sc, Opts.MaxDepth);
+    return K;
+  }
+
+private:
+  unsigned pick(unsigned N) { return N ? static_cast<unsigned>(Rng() % N) : 0; }
+  bool chance(unsigned Percent) { return Rng() % 100 < Percent; }
+
+  double constant() {
+    static const double Pool[] = {0.0, 0.5,  1.0, 1.5,    2.0,  3.0,
+                                  0.1, 0.25, 4.0, 1e-6,   10.0, 100.0,
+                                  3.141592653589793, 0.3333333333333333};
+    if (chance(60))
+      return Pool[pick(static_cast<unsigned>(std::size(Pool)))];
+    // Uniform small magnitude; keeps most kernels numerically tame.
+    return static_cast<double>(Rng() % 8192) / 2048.0;
+  }
+
+  KExprPtr leaf(const Scope &Sc) {
+    // Leaf mix biased toward variables so dataflow stays connected.
+    unsigned Total = Sc.NumParams + Sc.NumLocals +
+                     (Sc.NumArrays ? 2u : 0u) + 2u;
+    unsigned R = pick(Total);
+    if (R < Sc.NumParams)
+      return makeParam(R);
+    R -= Sc.NumParams;
+    if (R < Sc.NumLocals)
+      return makeLocal(R);
+    R -= Sc.NumLocals;
+    if (Sc.NumArrays && R < 2) {
+      auto E = std::make_unique<KExpr>();
+      E->K = KExpr::Kind::ArrayLoad;
+      E->Index = pick(Sc.NumArrays);
+      E->Elem = pick(Kernel::ArrayLen);
+      return E;
+    }
+    return makeConst(constant());
+  }
+
+  KExprPtr expr(const Scope &Sc, unsigned Depth) {
+    if (Depth == 0 || chance(30))
+      return leaf(Sc);
+    unsigned R = pick(Opts.Nonlinear ? 10u : 6u);
+    if (R < 5) {
+      static const BinaryOpKind Ops[] = {BinaryOpKind::Add, BinaryOpKind::Add,
+                                         BinaryOpKind::Sub, BinaryOpKind::Mul,
+                                         BinaryOpKind::Mul};
+      BinaryOpKind Op = Opts.Nonlinear && chance(15) ? BinaryOpKind::Div
+                                                     : Ops[R];
+      return makeBinary(Op, expr(Sc, Depth - 1), expr(Sc, Depth - 1));
+    }
+    if (R == 5) {
+      auto E = std::make_unique<KExpr>();
+      E->K = KExpr::Kind::Neg;
+      E->Kids.push_back(expr(Sc, Depth - 1));
+      return E;
+    }
+    // Nonlinear builtins. sqrt/log arguments are sometimes wrapped in
+    // fabs so not every kernel collapses to Top, but raw domain
+    // excursions stay reachable on purpose.
+    static const char *Callees[] = {"sqrt", "fabs", "exp", "log",
+                                    "sin",  "cos",  "fmax", "fmin"};
+    const char *Callee = Callees[pick(8)];
+    if (std::string(Callee) == "fmax" || std::string(Callee) == "fmin") {
+      std::vector<KExprPtr> Args;
+      Args.push_back(expr(Sc, Depth - 1));
+      Args.push_back(expr(Sc, Depth - 1));
+      return makeCall(Callee, std::move(Args));
+    }
+    KExprPtr Arg = expr(Sc, Depth - 1);
+    if ((std::string(Callee) == "sqrt" || std::string(Callee) == "log") &&
+        chance(50)) {
+      std::vector<KExprPtr> Abs;
+      Abs.push_back(std::move(Arg));
+      Arg = makeCall("fabs", std::move(Abs));
+      if (std::string(Callee) == "log")
+        Arg = makeBinary(BinaryOpKind::Add, std::move(Arg), makeConst(0.5));
+    }
+    std::vector<KExprPtr> Args;
+    Args.push_back(std::move(Arg));
+    return makeCall(Callee, std::move(Args));
+  }
+
+  KStmt assign(const Scope &Sc) {
+    KStmt S;
+    if (Sc.NumArrays && chance(25)) {
+      S.K = KStmt::Kind::ArrayStore;
+      S.Target = pick(Sc.NumArrays);
+      S.Elem = pick(Kernel::ArrayLen);
+      S.Rhs = expr(Sc, Opts.MaxDepth);
+      return S;
+    }
+    S.K = KStmt::Kind::Assign;
+    S.Target = pick(Sc.NumLocals);
+    static const AssignOpKind Ops[] = {
+        AssignOpKind::Assign, AssignOpKind::Assign, AssignOpKind::AddAssign,
+        AssignOpKind::SubAssign, AssignOpKind::MulAssign};
+    S.Op = Ops[pick(5)];
+    S.Rhs = expr(Sc, Opts.MaxDepth);
+    return S;
+  }
+
+  KStmt stmt(const Scope &Sc, unsigned Nest) {
+    unsigned R = pick(Nest ? 10u : 6u);
+    if (R < 6 || Sc.NumLocals == 0)
+      return assign(Sc);
+    if (R < 8) {
+      KStmt S;
+      S.K = KStmt::Kind::Loop;
+      S.Trip = 1 + pick(Opts.MaxTrip);
+      unsigned N = 1 + pick(3);
+      for (unsigned I = 0; I < N; ++I)
+        S.Body.push_back(stmt(Sc, Nest - 1));
+      return S;
+    }
+    KStmt S;
+    S.K = KStmt::Kind::If;
+    S.CondL = expr(Sc, 2);
+    S.CondR = expr(Sc, 2);
+    static const BinaryOpKind Cmps[] = {BinaryOpKind::Lt, BinaryOpKind::Gt,
+                                        BinaryOpKind::Le, BinaryOpKind::Ge};
+    S.Cmp = Cmps[pick(4)];
+    unsigned N = 1 + pick(2);
+    for (unsigned I = 0; I < N; ++I)
+      S.Body.push_back(stmt(Sc, Nest - 1));
+    if (chance(40)) {
+      unsigned M = 1 + pick(2);
+      for (unsigned I = 0; I < M; ++I)
+        S.Else.push_back(stmt(Sc, Nest - 1));
+    }
+    return S;
+  }
+
+  std::mt19937_64 &Rng;
+  const GenOptions &Opts;
+};
+
+} // namespace
+
+Kernel fuzz::generateKernel(std::mt19937_64 &Rng, const GenOptions &Opts) {
+  return Gen(Rng, Opts).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering through the frontend AST
+//===----------------------------------------------------------------------===//
+
+std::string fuzz::floatSpelling(double V) {
+  assert(V >= 0.0 && std::isfinite(V) && "negation is a Neg node");
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  std::string S(Buf);
+  if (S.find_first_of(".eE") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+namespace {
+
+/// Builds frontend AST nodes for one kernel. The ASTContext outlives
+/// only the printing; decl cross-links are by name, which is all the
+/// printer (and a reparse) needs.
+class Renderer {
+public:
+  explicit Renderer(ASTContext &Ctx) : Ctx(Ctx) {}
+
+  FunctionDecl *function(const Kernel &K, const std::string &Name) {
+    const Type *D = Ctx.types().getDouble();
+    std::vector<VarDecl *> Params;
+    for (unsigned I = 0; I < K.NumParams; ++I)
+      Params.push_back(Ctx.create<VarDecl>("x" + std::to_string(I), D,
+                                           nullptr, SourceLocation(),
+                                           /*IsParam=*/true));
+    std::vector<Stmt *> Body;
+    // Arrays first: local initializers may load from them (reading the
+    // interpreter's well-defined 0.0 default before any store).
+    const Type *Arr = Ctx.types().getArray(D, Kernel::ArrayLen);
+    for (unsigned I = 0; I < K.NumArrays; ++I) {
+      VarDecl *V = Ctx.create<VarDecl>("a" + std::to_string(I), Arr, nullptr,
+                                       SourceLocation());
+      Body.push_back(Ctx.create<DeclStmt>(std::vector<VarDecl *>{V},
+                                          SourceLocation()));
+    }
+    for (unsigned I = 0; I < K.LocalInits.size(); ++I) {
+      VarDecl *V = Ctx.create<VarDecl>("t" + std::to_string(I), D,
+                                       expr(*K.LocalInits[I]),
+                                       SourceLocation());
+      Body.push_back(Ctx.create<DeclStmt>(std::vector<VarDecl *>{V},
+                                          SourceLocation()));
+    }
+    for (const KStmt &S : K.Stmts)
+      Body.push_back(stmt(S));
+    Body.push_back(Ctx.create<ReturnStmt>(expr(*K.Ret), SourceLocation()));
+    CompoundStmt *BodyStmt =
+        Ctx.create<CompoundStmt>(std::move(Body), SourceLocation());
+    return Ctx.create<FunctionDecl>(Name, D, std::move(Params), BodyStmt,
+                                    SourceLocation());
+  }
+
+private:
+  Expr *ref(const std::string &Name) {
+    return Ctx.create<DeclRefExpr>(nullptr, Ctx.types().getDouble(),
+                                   SourceLocation(), Name);
+  }
+
+  Expr *expr(const KExpr &E) {
+    const Type *D = Ctx.types().getDouble();
+    switch (E.K) {
+    case KExpr::Kind::Const:
+      return Ctx.create<FloatLiteralExpr>(E.Value, floatSpelling(E.Value), D,
+                                          SourceLocation());
+    case KExpr::Kind::Param:
+      return ref("x" + std::to_string(E.Index));
+    case KExpr::Kind::Local:
+      return ref("t" + std::to_string(E.Index));
+    case KExpr::Kind::ArrayLoad:
+      return Ctx.create<SubscriptExpr>(
+          ref("a" + std::to_string(E.Index)),
+          Ctx.create<IntLiteralExpr>(E.Elem, Ctx.types().getInt(),
+                                     SourceLocation()),
+          D, SourceLocation());
+    case KExpr::Kind::Neg:
+      // Parenthesize the operand: a nested negation would otherwise
+      // print as "--e", which lexes as a decrement.
+      return Ctx.create<UnaryExpr>(
+          UnaryOpKind::Minus,
+          Ctx.create<ParenExpr>(expr(*E.Kids[0]), SourceLocation()), D,
+          SourceLocation());
+    case KExpr::Kind::Binary:
+      return Ctx.create<BinaryExpr>(E.Op, expr(*E.Kids[0]), expr(*E.Kids[1]),
+                                    D, SourceLocation());
+    case KExpr::Kind::Call: {
+      std::vector<Expr *> Args;
+      for (const KExprPtr &Kid : E.Kids)
+        Args.push_back(expr(*Kid));
+      return Ctx.create<CallExpr>(E.Callee, std::move(Args), D,
+                                  SourceLocation());
+    }
+    }
+    return nullptr;
+  }
+
+  Stmt *stmt(const KStmt &S) {
+    switch (S.K) {
+    case KStmt::Kind::Assign:
+      return Ctx.create<ExprStmt>(
+          Ctx.create<AssignExpr>(S.Op, ref("t" + std::to_string(S.Target)),
+                                 expr(*S.Rhs), Ctx.types().getDouble(),
+                                 SourceLocation()),
+          SourceLocation());
+    case KStmt::Kind::ArrayStore: {
+      Expr *Lhs = Ctx.create<SubscriptExpr>(
+          ref("a" + std::to_string(S.Target)),
+          Ctx.create<IntLiteralExpr>(S.Elem, Ctx.types().getInt(),
+                                     SourceLocation()),
+          Ctx.types().getDouble(), SourceLocation());
+      return Ctx.create<ExprStmt>(
+          Ctx.create<AssignExpr>(AssignOpKind::Assign, Lhs, expr(*S.Rhs),
+                                 Ctx.types().getDouble(), SourceLocation()),
+          SourceLocation());
+    }
+    case KStmt::Kind::Loop: {
+      std::string Iv = "i" + std::to_string(NextLoopVar++);
+      const Type *IntTy = Ctx.types().getInt();
+      VarDecl *V = Ctx.create<VarDecl>(
+          Iv, IntTy,
+          Ctx.create<IntLiteralExpr>(0, IntTy, SourceLocation()),
+          SourceLocation());
+      Stmt *Init = Ctx.create<DeclStmt>(std::vector<VarDecl *>{V},
+                                        SourceLocation());
+      Expr *Cond = Ctx.create<BinaryExpr>(
+          BinaryOpKind::Lt, ref(Iv),
+          Ctx.create<IntLiteralExpr>(S.Trip, IntTy, SourceLocation()), IntTy,
+          SourceLocation());
+      Expr *Inc = Ctx.create<UnaryExpr>(UnaryOpKind::PostInc, ref(Iv), IntTy,
+                                        SourceLocation());
+      return Ctx.create<ForStmt>(Init, Cond, Inc, compound(S.Body),
+                                 SourceLocation());
+    }
+    case KStmt::Kind::If: {
+      Expr *Cond = Ctx.create<BinaryExpr>(S.Cmp, expr(*S.CondL),
+                                          expr(*S.CondR), Ctx.types().getInt(),
+                                          SourceLocation());
+      Stmt *Else = S.Else.empty() ? nullptr : compound(S.Else);
+      return Ctx.create<IfStmt>(Cond, compound(S.Body), Else,
+                                SourceLocation());
+    }
+    }
+    return nullptr;
+  }
+
+  Stmt *compound(const std::vector<KStmt> &Stmts) {
+    std::vector<Stmt *> Out;
+    for (const KStmt &S : Stmts)
+      Out.push_back(stmt(S));
+    return Ctx.create<CompoundStmt>(std::move(Out), SourceLocation());
+  }
+
+  ASTContext &Ctx;
+  unsigned NextLoopVar = 0;
+};
+
+} // namespace
+
+std::string fuzz::renderKernel(const Kernel &K, const std::string &Name) {
+  ASTContext Ctx;
+  FunctionDecl *F = Renderer(Ctx).function(K, Name);
+  ASTPrinter Printer;
+  return Printer.print(F);
+}

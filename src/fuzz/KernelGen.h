@@ -1,0 +1,154 @@
+//===- KernelGen.h - Random well-typed kernel generator ---------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, well-typed C kernels for soundness fuzzing (see
+/// DESIGN.md, "Soundness fuzzing"). Kernels are held in a small mutable
+/// IR so the failure minimizer can shrink them structurally; rendering
+/// goes through the real frontend AST (frontend::ASTContext +
+/// ASTPrinter), so every emitted program is syntactically valid by
+/// construction and uses only constructs the interpreter and rewriter
+/// support.
+///
+/// The generated grammar, by construction:
+///   - all parameters are `double x0, x1, ...`;
+///   - every local `double tI = <expr over params, t0..t{I-1}>;` is
+///     declared (and thus defined) at the top of the function body;
+///   - arrays `double aJ[4];` are declared at the top; loads/stores use
+///     constant indices, so no access is ever out of bounds;
+///   - loops are `for (int iN = 0; iN < <trip>; iN++)` with a constant
+///     trip count — termination is structural, not semantic;
+///   - branch conditions compare two FP expressions (decided by the AA
+///     midpoint, as in generated SafeGen code);
+///   - expressions use + - * /, unary minus, and the builtin calls the
+///     interpreter models (sqrt, fabs, exp, log, sin, cos, fmax, fmin).
+/// Domain excursions (sqrt of a negative range, log touching zero, ...)
+/// are deliberately reachable: their semantics are defined (NaN = Top)
+/// and the oracle must agree with the runtime about them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FUZZ_KERNELGEN_H
+#define SAFEGEN_FUZZ_KERNELGEN_H
+
+#include "frontend/AST.h"
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace fuzz {
+
+struct KExpr;
+using KExprPtr = std::unique_ptr<KExpr>;
+
+/// One expression node of the kernel IR.
+struct KExpr {
+  enum class Kind {
+    Const,     ///< non-negative FP literal (negation is a Unary node)
+    Param,     ///< xIndex
+    Local,     ///< tIndex
+    ArrayLoad, ///< aIndex[Elem]
+    Neg,       ///< -Kids[0]
+    Binary,    ///< Kids[0] Op Kids[1]
+    Call,      ///< Callee(Kids...)
+  };
+
+  Kind K = Kind::Const;
+  double Value = 1.0;
+  unsigned Index = 0;
+  unsigned Elem = 0;
+  frontend::BinaryOpKind Op = frontend::BinaryOpKind::Add;
+  std::string Callee;
+  std::vector<KExprPtr> Kids;
+
+  KExprPtr clone() const;
+  size_t size() const; ///< node count (minimizer progress metric)
+};
+
+KExprPtr makeConst(double V);
+KExprPtr makeParam(unsigned I);
+KExprPtr makeLocal(unsigned I);
+KExprPtr makeBinary(frontend::BinaryOpKind Op, KExprPtr L, KExprPtr R);
+KExprPtr makeCall(std::string Callee, std::vector<KExprPtr> Args);
+
+/// One statement of the kernel IR.
+struct KStmt {
+  enum class Kind {
+    Assign,     ///< tTarget Op= Rhs
+    ArrayStore, ///< aTarget[Elem] = Rhs
+    Loop,       ///< for (int i = 0; i < Trip; i++) Body
+    If,         ///< if (CondL Cmp CondR) Body else Else
+  };
+
+  Kind K = Kind::Assign;
+  unsigned Target = 0;
+  unsigned Elem = 0;
+  frontend::AssignOpKind Op = frontend::AssignOpKind::Assign;
+  KExprPtr Rhs;
+  unsigned Trip = 1;
+  KExprPtr CondL, CondR;
+  frontend::BinaryOpKind Cmp = frontend::BinaryOpKind::Lt;
+  std::vector<KStmt> Body;
+  std::vector<KStmt> Else;
+
+  KStmt() = default;
+  KStmt(KStmt &&) = default;
+  KStmt &operator=(KStmt &&) = default;
+  KStmt clone() const;
+  size_t size() const;
+};
+
+/// A whole kernel: `double f(double x0, ..., x{NumParams-1})`.
+struct Kernel {
+  static constexpr unsigned ArrayLen = 4;
+
+  unsigned NumParams = 1;
+  /// Local tI is initialized with LocalInits[I], which may reference
+  /// params and locals with index < I only.
+  std::vector<KExprPtr> LocalInits;
+  unsigned NumArrays = 0;
+  std::vector<KStmt> Stmts;
+  KExprPtr Ret;
+
+  Kernel() = default;
+  Kernel(Kernel &&) = default;
+  Kernel &operator=(Kernel &&) = default;
+  Kernel clone() const;
+  size_t size() const;
+};
+
+/// Generator knobs. Defaults are sized so one kernel interprets in well
+/// under a millisecond per configuration.
+struct GenOptions {
+  unsigned MinParams = 1;
+  unsigned MaxParams = 4;
+  unsigned MaxLocals = 5;
+  unsigned MaxArrays = 2;
+  unsigned MaxStmts = 7;  ///< top-level statement count
+  unsigned MaxDepth = 4;  ///< expression tree depth
+  unsigned MaxNest = 2;   ///< loop/if nesting depth
+  unsigned MaxTrip = 6;   ///< loop trip count
+  bool Nonlinear = true;  ///< allow /, sqrt, exp, log, sin, cos
+};
+
+/// Draws one random kernel. Deterministic in the RNG state.
+Kernel generateKernel(std::mt19937_64 &Rng, const GenOptions &Opts);
+
+/// Renders the kernel as compilable C source for a function named
+/// \p Name, via the frontend AST and printer.
+std::string renderKernel(const Kernel &K, const std::string &Name = "f");
+
+/// A literal spelling that parses back to exactly \p V (requires
+/// V >= 0 and finite).
+std::string floatSpelling(double V);
+
+} // namespace fuzz
+} // namespace safegen
+
+#endif // SAFEGEN_FUZZ_KERNELGEN_H

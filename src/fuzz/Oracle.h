@@ -1,0 +1,106 @@
+//===- Oracle.h - Differential soundness oracle -----------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The containment oracle of the soundness fuzzer (DESIGN.md, "Soundness
+/// fuzzing"). Each kernel is interpreted under every configuration of a
+/// placement x fusion x K grid with high-precision shadow execution
+/// enabled (core/Shadow.h): the shadow samples enclose the exact real
+/// result of the executed trace, so an AA enclosure disjoint from any
+/// sample proves a soundness violation — with zero false positives.
+///
+/// On top of the containment check, the oracle cross-checks determinism
+/// promises: the threaded batch driver must produce bit-identical
+/// enclosures to a serial run, and the vectorized kernels must agree
+/// with the scalar path to within the last ulps (the AVX2 kernels may
+/// accumulate the fresh-error coefficient in a different order — see
+/// tests/aa_simd_test.cpp for the per-op contract).
+///
+/// A failing kernel is shrunk by a greedy minimizer (drop statements,
+/// unroll loops, flatten branches, replace expression subtrees) until no
+/// single mutation preserves the failure, and written to a replayable
+/// corpus file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FUZZ_ORACLE_H
+#define SAFEGEN_FUZZ_ORACLE_H
+
+#include "aa/Policy.h"
+#include "fuzz/KernelGen.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace fuzz {
+
+struct OracleOptions {
+  /// Configurations to exercise; empty means defaultConfigGrid().
+  std::vector<aa::AAConfig> Configs;
+  /// Shadow sample directions in [-1, 1] (one IntervalDD sample each).
+  std::vector<double> ShadowDirs = {-1.0, -0.5, 0.0, 0.5, 1.0};
+  /// Numeric argument values, cycled over parameters; empty means a
+  /// fixed default mix of signs and magnitudes.
+  std::vector<double> ArgValues;
+  /// Interpreter step budget per run (loops are bounded, so this only
+  /// guards against pathological nesting).
+  uint64_t StepBudget = 4'000'000;
+  /// Also run the SIMD-vs-scalar and threaded-batch identity checks.
+  bool BitIdentity = true;
+  /// Test hook: artificially shrink every AA enclosure toward its
+  /// midpoint by this relative amount (0 = off, 1 = collapse to a
+  /// point) before the containment check — simulates an unsound
+  /// runtime so the catch-and-minimize pipeline itself can be tested.
+  double InjectShrink = 0.0;
+};
+
+/// The full placement x fusion x K grid the fuzzer runs by default:
+/// {sorted, direct-mapped} x {smallest, mean, oldest, random} x
+/// K in {4, 16, 40}, unprioritized, unvectorized. The containment pass
+/// additionally derives a vectorized twin of every eligible config, and
+/// the identity pass compares the twins against their scalar originals.
+std::vector<aa::AAConfig> defaultConfigGrid();
+
+/// Outcome of running one kernel through the oracle.
+struct Verdict {
+  bool Ok = true;
+  std::string Kind;   ///< "containment" | "simd-identity" | "bit-identity"
+                      ///< | "frontend" (empty if Ok)
+  std::string Config; ///< AAConfig notation of the failing run
+  std::string Detail; ///< human-readable failure description
+  std::string str() const;
+};
+
+/// Runs the oracle over already-rendered source (also used for corpus
+/// replay). \p Fn is the kernel function name.
+Verdict checkKernelSource(const std::string &Source, const OracleOptions &O,
+                          const std::string &Fn = "f");
+
+/// Renders \p K and runs the oracle.
+Verdict checkKernel(const Kernel &K, const OracleOptions &O);
+
+/// Greedily shrinks \p K while it keeps failing with the same verdict
+/// Kind. Deterministic; returns the smallest kernel found.
+Kernel minimizeKernel(const Kernel &K, const OracleOptions &O,
+                      unsigned MaxRounds = 8);
+
+/// Renders a self-contained corpus reproducer: metadata comment lines
+/// (seed, iteration, argument values, failing config) followed by the
+/// kernel source. Replayable via replaySource().
+std::string reproducerFile(const Kernel &K, const OracleOptions &O,
+                           const Verdict &V, uint64_t Seed, uint64_t Iter);
+
+/// Re-runs the oracle on a reproducer (or any kernel source). Argument
+/// values are recovered from an "// args: ..." comment line when
+/// present; \p Base supplies everything else.
+Verdict replaySource(const std::string &Contents, OracleOptions Base);
+
+} // namespace fuzz
+} // namespace safegen
+
+#endif // SAFEGEN_FUZZ_ORACLE_H

@@ -1,0 +1,211 @@
+//===- domain_boundary_test.cpp - Singular-point semantics ----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normative domain-violation semantics of Elementary.h, checked at
+/// the exact boundaries and across every affine backend:
+///
+///   inv/div: enclosure touches or straddles 0  -> NaN form (Top)
+///   log:     enclosure touches or goes below 0 -> NaN form
+///   sqrt:    enclosure strictly below 0        -> NaN form;
+///            touching 0 stays finite and sound; identically 0 -> exact 0
+///
+/// F64a, F32a, AffineBig and Batch must all give the same answers, since
+/// a program compiled against one backend must not change meaning under
+/// another. Also holds the rounding-mode-independence regression for
+/// bigConstant (std::trunc, not std::nearbyint, under RoundUpwardScope).
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/AffineBig.h"
+#include "aa/Batch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+class DomainBoundaryTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+/// [C - Dev, C + Dev] as an affine input under the active environment.
+template <typename T> T rangeInput(double C, double Dev) {
+  return T::input(C, Dev);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scalar backends: F64a and F32a share Elementary.h; AffineBig mirrors it.
+//===----------------------------------------------------------------------===//
+
+template <typename AffineT> void checkInvBoundaries() {
+  // Touching zero from either side is already Top: 1/x is unbounded on
+  // any neighbourhood of 0.
+  EXPECT_TRUE(inv(rangeInput<AffineT>(1.0, 1.0)).isNaN());   // [0, 2]
+  EXPECT_TRUE(inv(rangeInput<AffineT>(-1.0, 1.0)).isNaN());  // [-2, 0]
+  EXPECT_TRUE(inv(rangeInput<AffineT>(0.0, 1.0)).isNaN());   // [-1, 1]
+  EXPECT_TRUE(inv(rangeInput<AffineT>(0.0, 0.0)).isNaN());   // exactly 0
+  // Bounded away from zero: finite, and the enclosure is sound.
+  AffineT I = inv(rangeInput<AffineT>(1.0, 0.5)); // [0.5, 1.5]
+  ASSERT_FALSE(I.isNaN());
+  ia::Interval R = I.toInterval();
+  EXPECT_LE(R.Lo, 2.0 / 3.0);
+  EXPECT_GE(R.Hi, 2.0);
+  // Division inherits the rule through 1/x.
+  EXPECT_TRUE(
+      (rangeInput<AffineT>(1.0, 0.0) / rangeInput<AffineT>(2.0, 2.0))
+          .isNaN());
+  // The NaN form propagates through further arithmetic.
+  EXPECT_TRUE(inv(inv(rangeInput<AffineT>(0.0, 1.0))).isNaN());
+}
+
+template <typename AffineT> void checkSqrtBoundaries() {
+  // Touching zero is inside sqrt's domain: finite and sound on [0, 4].
+  AffineT S = sqrt(rangeInput<AffineT>(2.0, 2.0));
+  ASSERT_FALSE(S.isNaN());
+  ia::Interval R = S.toInterval();
+  EXPECT_LE(R.Lo, 0.0);
+  EXPECT_GE(R.Hi, 2.0);
+  // Any mass strictly below zero -> Top, even a denormal's worth.
+  EXPECT_TRUE(sqrt(rangeInput<AffineT>(0.0, 5e-324)).isNaN());
+  EXPECT_TRUE(sqrt(rangeInput<AffineT>(-1.0, 0.5)).isNaN());
+  // Identically zero -> exact zero.
+  AffineT Z = sqrt(rangeInput<AffineT>(0.0, 0.0));
+  ASSERT_FALSE(Z.toInterval().isNaN());
+  EXPECT_EQ(Z.toInterval().Lo, 0.0);
+  EXPECT_EQ(Z.toInterval().Hi, 0.0);
+}
+
+template <typename AffineT> void checkLogBoundaries() {
+  // log is unbounded toward 0+, so touching zero is already Top.
+  EXPECT_TRUE(log(rangeInput<AffineT>(1.0, 1.0)).isNaN()); // [0, 2]
+  EXPECT_TRUE(log(rangeInput<AffineT>(0.0, 1.0)).isNaN()); // [-1, 1]
+  AffineT L = log(rangeInput<AffineT>(1.0, 0.5)); // [0.5, 1.5]
+  ASSERT_FALSE(L.isNaN());
+  EXPECT_LE(L.toInterval().Lo, std::log(0.5));
+  EXPECT_GE(L.toInterval().Hi, std::log(1.5));
+}
+
+TEST_F(DomainBoundaryTest, F64aSingularPoints) {
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  AffineEnvScope Env(Cfg);
+  checkInvBoundaries<F64a>();
+  checkSqrtBoundaries<F64a>();
+  checkLogBoundaries<F64a>();
+}
+
+TEST_F(DomainBoundaryTest, F32aSingularPoints) {
+  AAConfig Cfg = *AAConfig::parse("f32a-dsnn");
+  AffineEnvScope Env(Cfg);
+  checkInvBoundaries<F32a>();
+  checkSqrtBoundaries<F32a>();
+  checkLogBoundaries<F32a>();
+}
+
+TEST_F(DomainBoundaryTest, SortedPlacementSameSemantics) {
+  AAConfig Cfg = *AAConfig::parse("f64a-ssnn");
+  AffineEnvScope Env(Cfg);
+  checkInvBoundaries<F64a>();
+  checkSqrtBoundaries<F64a>();
+  checkLogBoundaries<F64a>();
+}
+
+//===----------------------------------------------------------------------===//
+// AffineBig (bigInv / bigDiv / bigSqrt; it has no log)
+//===----------------------------------------------------------------------===//
+
+TEST_F(DomainBoundaryTest, AffineBigSingularPoints) {
+  BigConfig Cfg;
+  BigEnvScope Env(Cfg);
+  auto In = [](double C, double Dev) { return Big::input(C, Dev); };
+  // inv via 1/x; same touch-or-straddle rule as Elementary.h.
+  EXPECT_TRUE((Big::exact(1.0) / In(1.0, 1.0)).toInterval().isNaN());
+  EXPECT_TRUE((Big::exact(1.0) / In(-1.0, 1.0)).toInterval().isNaN());
+  EXPECT_TRUE((Big::exact(1.0) / In(0.0, 0.0)).toInterval().isNaN());
+  EXPECT_FALSE((Big::exact(1.0) / In(1.0, 0.5)).toInterval().isNaN());
+  // sqrt: touching 0 finite, strictly below 0 Top, exactly 0 exact.
+  EXPECT_FALSE(sqrt(In(2.0, 2.0)).toInterval().isNaN());
+  EXPECT_TRUE(sqrt(In(0.0, 5e-324)).toInterval().isNaN());
+  EXPECT_TRUE(sqrt(In(-1.0, 0.5)).toInterval().isNaN());
+  Big Z = sqrt(In(0.0, 0.0));
+  ASSERT_FALSE(Z.toInterval().isNaN());
+  EXPECT_EQ(Z.toInterval().Lo, 0.0);
+  EXPECT_EQ(Z.toInterval().Hi, 0.0);
+}
+
+/// Regression: bigConstant classifies integrality with std::trunc. Under
+/// the runtime's FE_UPWARD, std::nearbyint acts as ceil, so the former
+/// implementation made "is this constant exact?" depend on the dynamic
+/// rounding mode. The answers must be identical inside and outside a
+/// RoundUpwardScope.
+TEST(BigConstantRounding, IntegralityTestIsRoundingModeIndependent) {
+  BigConfig Cfg;
+  // "Exact" means the constant produced no deviation terms and no dump.
+  auto IsExact = [](const AffineBig &B) {
+    return B.Terms.empty() && B.Dump == 0.0;
+  };
+  const double Cases[] = {3.0,  -3.0,  2.5,    -2.5,   0.1,   2.9999999,
+                          0.0,  1e10,  0x1p52, 0x1p53, -0.75, 1234567.0};
+  for (double X : Cases) {
+    bool Nearest, Upward;
+    {
+      AffineContext C1;
+      Nearest = IsExact(bigConstant(X, Cfg, C1));
+    }
+    {
+      fp::RoundUpwardScope Round;
+      AffineContext C2;
+      Upward = IsExact(bigConstant(X, Cfg, C2));
+    }
+    EXPECT_EQ(Nearest, Upward)
+        << "constant " << X << " classified differently under FE_UPWARD";
+    // And the classification itself must match Affine.h's documented
+    // rule: exact iff integral and below 2^53.
+    bool WantExact = std::trunc(X) == X && std::fabs(X) < 0x1p53;
+    EXPECT_EQ(Upward, WantExact) << "constant " << X;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Batch: per-instance application of the same rules
+//===----------------------------------------------------------------------===//
+
+TEST_F(DomainBoundaryTest, BatchSingularPointsPerInstance) {
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 8;
+  const int32_t N = 4;
+  BatchEnvScope Env(Cfg, N);
+  // Instance 0 touches zero, 1 straddles, 2 is exactly zero, 3 is safe.
+  const double Centers[] = {1.0, 0.0, 0.0, 1.0};
+  const double Devs[] = {1.0, 1.0, 0.0, 0.5};
+  BatchF64 X = BatchF64::input(Centers, Devs);
+  BatchF64 I = inv(X);
+  EXPECT_TRUE(ops::toInterval(I.extract(0)).isNaN());
+  EXPECT_TRUE(ops::toInterval(I.extract(1)).isNaN());
+  EXPECT_TRUE(ops::toInterval(I.extract(2)).isNaN());
+  EXPECT_FALSE(ops::toInterval(I.extract(3)).isNaN());
+
+  BatchF64 S = sqrt(X);
+  EXPECT_FALSE(ops::toInterval(S.extract(0)).isNaN()); // [0, 2] touches: fine
+  EXPECT_TRUE(ops::toInterval(S.extract(1)).isNaN());  // [-1, 1] below: Top
+  EXPECT_FALSE(ops::toInterval(S.extract(2)).isNaN()); // exactly 0: exact 0
+  EXPECT_EQ(ops::toInterval(S.extract(2)).Lo, 0.0);
+  EXPECT_EQ(ops::toInterval(S.extract(2)).Hi, 0.0);
+
+  BatchF64 L = log(X);
+  EXPECT_TRUE(ops::toInterval(L.extract(0)).isNaN()); // [0, 2] touches: Top
+  EXPECT_TRUE(ops::toInterval(L.extract(1)).isNaN());
+  EXPECT_TRUE(ops::toInterval(L.extract(2)).isNaN());
+  EXPECT_FALSE(ops::toInterval(L.extract(3)).isNaN());
+}

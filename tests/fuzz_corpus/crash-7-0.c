@@ -1,0 +1,8 @@
+// safegen-fuzz reproducer
+// seed: 7 iter: 0
+// args: 2.05810546875 2.84912109375 0.40869140625 -3.77099609375
+// verdict: containment config: f64a-ssnn
+// detail: AA enclosure [8.950777897312717, 8.950777897312717] vs sample 0 real-result enclosure [8.9507778973127134, 8.9507778973127152] lies outside the AA enclosure
+double f(double x0, double x1, double x2, double x3) {
+  return 3.1415926535897931 * x1;
+}

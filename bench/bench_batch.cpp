@@ -21,6 +21,8 @@
 
 #include "aa/Affine.h"
 #include "aa/Batch.h"
+#include "core/Interpreter.h"
+#include "frontend/Frontend.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -122,6 +124,83 @@ double runBatched(const AAConfig &Cfg, const std::vector<double> &Xs,
   });
 }
 
+/// The same kernel as source text, for the interpreter engine rows: the
+/// tree walker re-traverses this AST per instance while the tape engine
+/// compiles it once and replays flat ops — identical arithmetic, so the
+/// enclosures must match bit-for-bit.
+const char *InterpKernelSource = "double f(double x) {\n"
+                                 "  double t = x*x - x;\n"
+                                 "  double u = t*x + 0.5;\n"
+                                 "  double w = u*u - t;\n"
+                                 "  return (w+x)*u - w*t;\n"
+                                 "}\n";
+
+/// interp-tree t1 vs interp-tape t1/t2/t4 rows (N in {1024, 4096},
+/// K=16, direct-mapped placement so the tape runs on batch columns).
+/// Returns nonzero on a bit-identity violation.
+int runInterpEngineRows() {
+  auto CU = frontend::parseSource("bench_batch_kernel.c", InterpKernelSource);
+  if (!CU || !CU->Success) {
+    std::fprintf(stderr, "FATAL: embedded interpreter kernel failed to "
+                         "parse\n");
+    return 1;
+  }
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+
+  AAConfig Cfg = *AAConfig::parse("f64a-dspn");
+  Cfg.K = 16;
+
+  std::mt19937_64 Rng(7);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+
+  for (int N : {1024, 4096}) {
+    std::vector<std::vector<double>> Seeds(N);
+    for (int I = 0; I < N; ++I)
+      Seeds[I] = {U(Rng)};
+
+    core::InterpreterOptions TreeOpts;
+    TreeOpts.Engine = core::ExecEngine::Tree;
+    std::vector<core::BatchCallResult> Ref;
+    double TreeT1 = timeIt([&] {
+      Ref = core::Interpreter::runBatch(TU, "f", Cfg, Seeds, 1, TreeOpts);
+      doNotOptimize(Ref);
+    });
+    printRow("interp-tree", Cfg.str().c_str(), Cfg.K, N, 1, TreeT1);
+
+    core::InterpreterOptions TapeOpts;
+    TapeOpts.Engine = core::ExecEngine::Tape;
+    for (unsigned T : {1u, 2u, 4u}) {
+      std::vector<core::BatchCallResult> Got;
+      double TapeT = timeIt([&] {
+        Got = core::Interpreter::runBatch(TU, "f", Cfg, Seeds, T, TapeOpts);
+        doNotOptimize(Got);
+      });
+      for (int I = 0; I < N; ++I) {
+        const core::BatchCallResult &A = Ref[I];
+        const core::BatchCallResult &B = Got[I];
+        if (!B.UsedTape) {
+          std::fprintf(stderr,
+                       "FATAL: tape engine fell back to the tree walker "
+                       "at n=%d t=%u i=%d\n",
+                       N, T, I);
+          return 1;
+        }
+        if (A.Success != B.Success || A.Return.Lo != B.Return.Lo ||
+            A.Return.Hi != B.Return.Hi ||
+            A.CertifiedBits != B.CertifiedBits) {
+          std::fprintf(stderr,
+                       "FATAL: tape enclosure diverges from the tree "
+                       "walker at n=%d t=%u i=%d\n",
+                       N, T, I);
+          return 1;
+        }
+      }
+      printRow("interp-tape", Cfg.str().c_str(), Cfg.K, N, T, TapeT);
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -178,5 +257,8 @@ int main(int argc, char **argv) {
       }
     }
   }
-  return 0;
+
+  // Interpreter engine rows (tape vs tree); run in --quick too — the
+  // k16/n4096 tape-vs-tree speedup is gated by scripts/run_benchmarks.py.
+  return runInterpEngineRows();
 }

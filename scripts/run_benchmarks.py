@@ -134,7 +134,8 @@ def parse_batch_csv(text):
 
 
 def summarize_batch(rows):
-    """config -> ns/element, batch speedup vs per-form, thread scaling."""
+    """config -> ns/element, batch speedup vs per-form, thread scaling,
+    and the interpreter tape-vs-tree engine speedup."""
     ns = {}
     for r in rows:
         key = "{path}/{config}/k{k}/n{batch}/t{threads}".format(**r)
@@ -143,23 +144,41 @@ def summarize_batch(rows):
                 for r in rows if r["path"] == "per-form"}
     batch_t1 = {(r["k"], r["batch"]): r["ns_per_element"]
                 for r in rows if r["path"] == "batch" and r["threads"] == 1}
+    tree_t1 = {(r["k"], r["batch"]): r["ns_per_element"]
+               for r in rows
+               if r["path"] == "interp-tree" and r["threads"] == 1}
+    tape_t1 = {(r["k"], r["batch"]): r["ns_per_element"]
+               for r in rows
+               if r["path"] == "interp-tape" and r["threads"] == 1}
     speedup = {}
     scaling = {}
     for r in rows:
-        if r["path"] != "batch":
-            continue
         kn = (r["k"], r["batch"])
-        tag = "k{}/n{}".format(*kn)
-        if kn in per_form:
-            speedup.setdefault(tag, {})["t{}".format(r["threads"])] = round(
-                per_form[kn] / r["ns_per_element"], 3)
-        if kn in batch_t1:
+        if r["path"] == "batch":
+            tag = "k{}/n{}".format(*kn)
+            if kn in per_form:
+                speedup.setdefault(tag, {})["t{}".format(
+                    r["threads"])] = round(
+                        per_form[kn] / r["ns_per_element"], 3)
+            if kn in batch_t1:
+                scaling.setdefault(tag, {})["t{}".format(
+                    r["threads"])] = round(
+                        batch_t1[kn] / r["ns_per_element"], 3)
+        elif r["path"] == "interp-tape" and kn in tape_t1:
+            # Tape-engine thread scaling, keyed apart from the raw batch
+            # engine's so both trajectories are tracked.
+            tag = "interp/k{}/n{}".format(*kn)
             scaling.setdefault(tag, {})["t{}".format(r["threads"])] = round(
-                batch_t1[kn] / r["ns_per_element"], 3)
+                tape_t1[kn] / r["ns_per_element"], 3)
+    tape_speedup = {
+        "k{}/n{}".format(*kn): round(tree_t1[kn] / tape_t1[kn], 3)
+        for kn in tape_t1 if kn in tree_t1
+    }
     return {
         "ns_per_element": ns,
         "speedup_vs_per_form": speedup,
         "thread_scaling": scaling,
+        "tape_vs_tree_speedup": tape_speedup,
     }
 
 
@@ -204,7 +223,7 @@ def compile_pass_stats(build_dir, results_dir):
     for kernel in KERNELS:
         src = os.path.join("benchmarks", f"{kernel}.c")
         cmd = [tool, src, "--config", "f64a-dspv", "--time-passes",
-               "--stats", "-o", os.devnull]
+               "--stats", "--compile-tape", "-o", os.devnull]
         print("+", " ".join(cmd), flush=True)
         proc = subprocess.run(cmd, check=True, capture_output=True,
                               text=True)
@@ -259,6 +278,45 @@ def fuzz_corpus_status(build_dir, corpus_dir=CORPUS_DIR):
     return {"reproducers": len(entries), "replay_passed": passed}
 
 
+TAPE_SPEEDUP_FLOOR = 2.0  # tape t1 vs tree t1 at k16/n4096
+THREAD_SCALING_FLOOR = 1.5  # t4/t1 at n >= 4096
+
+
+def check_engine_gates(data):
+    """Perf-floor gates for the tape engine; returns failure strings.
+
+    The t4/t1 gate is hardware-aware: a <4-core runner cannot show a
+    4-thread speedup, so there the scaling is recorded but the floor is
+    skipped (noted in the json under thread_scaling_gate)."""
+    failures = []
+    got = data.get("tape_vs_tree_speedup", {}).get("k16/n4096")
+    if got is None:
+        failures.append("tape_vs_tree_speedup: no k16/n4096 measurement")
+    elif got < TAPE_SPEEDUP_FLOOR:
+        failures.append(
+            f"tape_vs_tree_speedup k16/n4096: {got:.2f}x < "
+            f"{TAPE_SPEEDUP_FLOOR:.1f}x floor")
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        data["thread_scaling_gate"] = {
+            "enforced": False,
+            "note": f"skipped: {cores} core(s) on this host, "
+                    "t4/t1 floor needs >= 4",
+        }
+        print(f"  thread-scaling gate skipped ({cores} core(s) available)")
+        return failures
+    data["thread_scaling_gate"] = {"enforced": True}
+    for tag, by_t in data.get("thread_scaling", {}).items():
+        n = int(tag.rsplit("/n", 1)[1])
+        if n < 4096 or "t4" not in by_t:
+            continue
+        if by_t["t4"] < THREAD_SCALING_FLOOR:
+            failures.append(
+                f"thread_scaling {tag}: t4/t1 = {by_t['t4']:.2f} < "
+                f"{THREAD_SCALING_FLOOR:.1f} floor")
+    return failures
+
+
 def check_batch(data, baseline_path, tolerance=0.20):
     """Returns a list of human-readable regressions (>tolerance slower)."""
     with open(baseline_path) as f:
@@ -299,28 +357,49 @@ def main():
         if not os.path.exists(args.baseline):
             sys.exit(f"error: baseline {args.baseline} not found")
         regressions = check_batch(data, args.baseline)
+        gate_failures = check_engine_gates(data)
+        passes = compile_pass_stats(args.build_dir, args.results_dir)
+        if passes is not None:
+            data["compile_passes"] = passes
+        with open("BENCH_batch.json", "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
         if regressions:
             print("REGRESSIONS (>20% vs baseline):")
             for r in regressions:
                 print("  " + r)
+        if gate_failures:
+            print("ENGINE GATE FAILURES:")
+            for r in gate_failures:
+                print("  " + r)
+        if regressions or gate_failures:
             sys.exit(1)
         corpus = fuzz_corpus_status(args.build_dir)
         if corpus is not None and not corpus["replay_passed"]:
             sys.exit("error: fuzz corpus replay failed (a fixed bug "
                      "regressed)")
-        print("check passed: no configuration regressed >20% vs baseline.")
+        print("check passed: no regression >20% vs baseline, engine "
+              "floors met.")
         return
 
     outputs = run_benches(args.build_dir, args.results_dir)
     data = run_batch_bench(args.build_dir, args.results_dir, args.quick)
     passes = compile_pass_stats(args.build_dir, args.results_dir)
     corpus = fuzz_corpus_status(args.build_dir)
-    if data is not None and corpus is not None:
-        data["fuzz_corpus"] = corpus
-    if data is not None and passes is not None:
-        # check_batch only reads ns_per_element, so adding the per-pass
-        # compile-time breakdown keeps the baseline comparison intact.
-        data["compile_passes"] = passes
+    if data is not None:
+        if corpus is not None:
+            data["fuzz_corpus"] = corpus
+        if passes is not None:
+            # check_batch only reads ns_per_element, so adding the
+            # per-pass compile-time breakdown keeps the baseline
+            # comparison intact.
+            data["compile_passes"] = passes
+        # Informational here (gates only fail under --check), but the
+        # hardware note still lands in the json.
+        gate_failures = check_engine_gates(data)
+        if gate_failures:
+            for r in gate_failures:
+                print("  engine gate (informational): " + r)
         with open("BENCH_batch.json", "w") as f:
             json.dump(data, f, indent=2, sort_keys=True)
             f.write("\n")

@@ -20,7 +20,10 @@
 #include "aa/SimdUtil.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <mutex>
 
 using namespace safegen;
 using namespace safegen::aa;
@@ -49,6 +52,53 @@ BatchEnvScope::BatchEnvScope(const AAConfig &Config, int32_t Size)
 }
 
 BatchEnvScope::~BatchEnvScope() { ActiveBatchEnv = Saved; }
+
+BatchEnvBindScope::BatchEnvBindScope(BatchEnv &Env) : Saved(ActiveBatchEnv) {
+  ActiveBatchEnv = &Env;
+}
+
+BatchEnvBindScope::~BatchEnvBindScope() { ActiveBatchEnv = Saved; }
+
+//===----------------------------------------------------------------------===//
+// Context arena
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint64_t> NextArenaId{1};
+// Cache of the calling thread's slot in the most recent arena it touched.
+// The generation id is globally unique, so a stale pointer is never
+// dereferenced: a mismatching id sends the thread back through the lock.
+thread_local uint64_t CachedArenaId = 0;
+thread_local BatchEnv *CachedArenaEnv = nullptr;
+} // namespace
+
+ContextArena::ContextArena() : Id(NextArenaId.fetch_add(1)) {}
+ContextArena::~ContextArena() = default;
+
+size_t ContextArena::slots() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Slots.size();
+}
+
+BatchEnv &ContextArena::acquire(const AAConfig &Cfg, int32_t Size) {
+  assert(Size >= 0 && "negative batch size");
+  if (CachedArenaId != Id) {
+    std::lock_guard<std::mutex> Lock(M);
+    Slots.push_back(std::make_unique<Slot>());
+    CachedArenaEnv = &Slots.back()->Env;
+    CachedArenaId = Id;
+  }
+  BatchEnv &Env = *CachedArenaEnv;
+  Env.Config = Cfg;
+  // Shrinking keeps capacity; growing within capacity constructs cheap
+  // contexts (the protect table is lazily initialized). Either way no
+  // chunk after a worker's first pays an allocation.
+  Env.Contexts.resize(static_cast<size_t>(Size));
+  for (AffineContext &Ctx : Env.Contexts)
+    Ctx.reset();
+  Env.AnyProtected = false;
+  return Env;
+}
 
 //===----------------------------------------------------------------------===//
 // Fast-path gate
@@ -556,12 +606,47 @@ void batch::run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
                 int32_t Grain) {
   if (Size <= 0)
     return;
-  Pool.parallelFor(0, Size, Grain, [&](int64_t ChunkBegin, int64_t ChunkEnd) {
+
+  ContextArena Arena;
+  auto RunChunk = [&](int32_t First, int32_t Count) {
     fp::RoundUpwardScope Round;
-    BatchEnvScope Scope(Cfg, static_cast<int32_t>(ChunkEnd - ChunkBegin));
-    Program(static_cast<int32_t>(ChunkBegin),
-            static_cast<int32_t>(ChunkEnd - ChunkBegin));
-  });
+    BatchEnv &Env = Arena.acquire(Cfg, Count);
+    BatchEnvBindScope Bind(Env);
+    Program(First, Count);
+  };
+
+  int32_t Begin = 0;
+  if (Grain == GrainAuto) {
+    // Probe a small chunk inline and size the rest so each chunk carries
+    // roughly TargetNs of measured work — enough to amortize the steal
+    // and chunk-dispatch overhead that made small fixed grains a net
+    // loss, while leaving several chunks per worker for stealing.
+    int32_t Probe = std::min<int32_t>(Size, 64);
+    auto T0 = std::chrono::steady_clock::now();
+    RunChunk(0, Probe);
+    auto T1 = std::chrono::steady_clock::now();
+    Begin = Probe;
+    if (Begin >= Size)
+      return;
+    double PerInstNs =
+        std::max(1.0, static_cast<double>(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              T1 - T0)
+                              .count()) /
+                          Probe);
+    constexpr double TargetNs = 200'000.0;
+    int64_t ByCost = static_cast<int64_t>(TargetNs / PerInstNs);
+    int64_t ForStealing = std::max<int64_t>(
+        (Size - Begin) / (4 * static_cast<int64_t>(Pool.concurrency())), 1);
+    int64_t G = std::clamp<int64_t>(std::min(ByCost, ForStealing), 32, 16384);
+    Grain = static_cast<int32_t>((G + 7) / 8 * 8);
+  }
+
+  Pool.parallelFor(Begin, Size, Grain, /*Align=*/8,
+                   [&](int64_t ChunkBegin, int64_t ChunkEnd) {
+                     RunChunk(static_cast<int32_t>(ChunkBegin),
+                              static_cast<int32_t>(ChunkEnd - ChunkBegin));
+                   });
 }
 
 void batch::run(const AAConfig &Cfg, int32_t Size, unsigned Threads,

@@ -113,6 +113,62 @@ private:
   BatchEnv *Saved;
 };
 
+/// Installs an *existing* environment (typically a ContextArena slot) as
+/// this thread's active batch environment for the lifetime of the scope.
+/// The caller is responsible for the environment's contents (sizing and
+/// context freshness); nesting restores the previous environment.
+class BatchEnvBindScope {
+public:
+  explicit BatchEnvBindScope(BatchEnv &Env);
+  ~BatchEnvBindScope();
+
+  BatchEnvBindScope(const BatchEnvBindScope &) = delete;
+  BatchEnvBindScope &operator=(const BatchEnvBindScope &) = delete;
+
+private:
+  BatchEnv *Saved;
+};
+
+/// Per-worker reusable batch environments for one parallel run. The old
+/// runner constructed a fresh BatchEnvScope — a vector of ~1 KiB
+/// AffineContexts — for *every chunk*, and with chunks sized for
+/// stealing granularity that allocation churn alone erased the threading
+/// win (DESIGN.md §10). An arena hands each worker thread one
+/// cache-line-aligned environment, created on the worker's first chunk
+/// of the run and reused (contexts reset, not reallocated) for all its
+/// later chunks.
+///
+/// acquire() takes one mutex lock per thread per arena lifetime (the
+/// slot is then found through a thread-local cache keyed by a global
+/// arena generation id), so the per-chunk cost is a few stores.
+class ContextArena {
+public:
+  ContextArena();
+  ~ContextArena();
+
+  ContextArena(const ContextArena &) = delete;
+  ContextArena &operator=(const ContextArena &) = delete;
+
+  /// Returns this thread's environment, configured for \p Cfg and sized
+  /// to exactly \p Size freshly reset contexts (AnyProtected clear).
+  /// Bit-identity: a reset context is indistinguishable from a newly
+  /// constructed one, so runs through the arena match runs through
+  /// per-chunk BatchEnvScopes exactly.
+  BatchEnv &acquire(const AAConfig &Cfg, int32_t Size);
+
+  /// Environments created so far (== distinct worker threads seen).
+  size_t slots() const;
+
+  struct alignas(64) Slot {
+    BatchEnv Env;
+  };
+
+private:
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<Slot>> Slots;
+  uint64_t Id; ///< globally unique generation id for the TLS cache
+};
+
 //===----------------------------------------------------------------------===//
 // Batch storage
 //===----------------------------------------------------------------------===//
@@ -711,12 +767,22 @@ namespace batch {
 /// cache- and memory-friendly and stealing can balance the load.
 inline constexpr int32_t DefaultGrain = 256;
 
+/// Grain sentinel: measure the per-instance cost on a small inline probe
+/// chunk and derive the grain from it (target ~200 µs of work per chunk,
+/// capped so stealing still has several chunks per worker, rounded to a
+/// multiple of 8 so chunk result sinks of natural stride never straddle
+/// a cache line boundary shared with another chunk).
+inline constexpr int32_t GrainAuto = 0;
+
 /// Runs \p Program over instances [0, Size): the range is chunked across
-/// \p Pool, and each task installs fp::RoundUpwardScope + BatchEnvScope
-/// (fresh per-instance contexts, AnyProtected clear) before invoking
-/// Program(First, Count). The program builds its Batch values from input
-/// slices [First, First+Count) and writes per-instance outputs at the
-/// same offsets; chunks share nothing mutable.
+/// \p Pool, and each task installs fp::RoundUpwardScope and binds its
+/// worker's ContextArena environment (fresh per-instance contexts,
+/// AnyProtected clear — allocated once per worker per run, reset per
+/// chunk) before invoking Program(First, Count). The program builds its
+/// Batch values from input slices [First, First+Count) and writes
+/// per-instance outputs at the same offsets; chunks share nothing
+/// mutable. Grain == GrainAuto derives the grain from a timed inline
+/// probe chunk.
 void run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
          const std::function<void(int32_t First, int32_t Count)> &Program,
          int32_t Grain = DefaultGrain);

@@ -6,6 +6,8 @@
 
 #include "core/Interpreter.h"
 
+#include "aa/Batch.h"
+#include "core/Tape.h"
 #include "fp/Ulp.h"
 #include "support/ThreadPool.h"
 
@@ -662,6 +664,75 @@ Value Interpreter::makeShadowArg(const Type *T, double Numeric,
   return Value();
 }
 
+namespace {
+
+/// Flattens a (possibly nested-array) Value into row-major affine leaves.
+/// Fails on any non-affine leaf, matching the tape's FP-array model.
+bool flattenAffine(const Value &V, std::vector<aa::F64a> &Out) {
+  if (V.isAffine()) {
+    Out.push_back(V.asAffine());
+    return true;
+  }
+  if (V.isArray()) {
+    for (const Value &E : V.elems())
+      if (!flattenAffine(E, Out))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+/// Writes flattened leaves back into the same nested shape (arrays are
+/// shared Values, so the caller sees the mutation, as in C).
+void unflattenAffine(Value &V, const std::vector<aa::F64a> &Flat,
+                     size_t &Pos) {
+  if (V.isAffine()) {
+    V = Value::makeAffine(Flat[Pos++]);
+    return;
+  }
+  if (V.isArray())
+    for (Value &E : V.elems())
+      unflattenAffine(E, Flat, Pos);
+}
+
+/// Converts call() arguments for the tape's parameter model. Any kind
+/// mismatch (the tree binds arguments unchecked and surfaces errors at
+/// use sites) refuses, sending the call down the tree path.
+bool convertTapeArgs(const Tape &T, const std::vector<Value> &Args,
+                     std::vector<TapeArgValue> &Out) {
+  if (Args.size() != T.Params.size())
+    return false;
+  Out.resize(Args.size());
+  for (size_t P = 0; P < Args.size(); ++P) {
+    const TapeParam &TP = T.Params[P];
+    switch (TP.K) {
+    case TapeParam::Kind::Int:
+      if (!Args[P].isInt())
+        return false;
+      Out[P].Int = Args[P].asInt();
+      break;
+    case TapeParam::Kind::Fp:
+      if (!Args[P].isAffine())
+        return false;
+      Out[P].Fp = Args[P].asAffine();
+      break;
+    case TapeParam::Kind::Array: {
+      if (!Args[P].isArray())
+        return false;
+      Out[P].Arr.clear();
+      if (!flattenAffine(Args[P], Out[P].Arr) ||
+          static_cast<int32_t>(Out[P].Arr.size()) !=
+              T.Arrays[TP.Index].NumElems)
+        return false;
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
 InterpResult Interpreter::call(const std::string &Function,
                                std::vector<Value> Args) {
   InterpResult Result;
@@ -669,6 +740,40 @@ InterpResult Interpreter::call(const std::string &Function,
   if (!F || !F->isDefinition()) {
     Result.Error = "no definition of function '" + Function + "'";
     return Result;
+  }
+  if (Opts.Engine == ExecEngine::Tape && Opts.ShadowDirs.empty()) {
+    TapeCompileOptions TO;
+    TO.Prioritize = Opts.Prioritize;
+    if (std::optional<Tape> T = compileToTape(F, TO)) {
+      std::vector<TapeArgValue> TArgs;
+      if (convertTapeArgs(*T, Args, TArgs)) {
+        TapeRunResult R = runTapeScalar(*T, TArgs, Opts.StepBudget);
+        Result.UsedTape = true;
+        Result.StepsUsed = R.Steps;
+        Result.Success = R.Success;
+        if (!R.Success) {
+          Result.Error = R.Error;
+          return Result;
+        }
+        for (size_t P = 0; P < T->Params.size(); ++P)
+          if (T->Params[P].K == TapeParam::Kind::Array) {
+            size_t Pos = 0;
+            unflattenAffine(Args[P], TArgs[P].Arr, Pos);
+          }
+        switch (R.Kind) {
+        case TapeRunResult::Ret::Fp:
+          Result.ReturnValue = Value::makeAffine(R.Fp);
+          break;
+        case TapeRunResult::Ret::Int:
+          Result.ReturnValue = Value::makeInt(R.Int);
+          break;
+        case TapeRunResult::Ret::Void:
+          break;
+        }
+        return Result;
+      }
+    }
+    // Outside the tape subset (or arguments out of model): tree fallback.
   }
   Evaluator Eval(TU, Opts);
   try {
@@ -691,6 +796,40 @@ std::vector<BatchCallResult> Interpreter::runBatch(
   std::vector<BatchCallResult> Results(InstanceArgs.size());
   if (InstanceArgs.empty())
     return Results;
+
+  // Batched runs default to the tape engine: the function is lowered
+  // once and replayed per instance, skipping the per-instance AST walk
+  // and name lookups. Results are bit-identical to the tree path (the
+  // tape preserves the kernel-call and symbol-draw stream exactly);
+  // functions outside the tape subset fall back to the tree below.
+  if (Opts.Engine != ExecEngine::Tree && Opts.ShadowDirs.empty()) {
+    if (const frontend::FunctionDecl *F = TU.findFunction(Function);
+        F && F->isDefinition()) {
+      TapeCompileOptions TO;
+      TO.Prioritize = Opts.Prioritize;
+      if (std::optional<Tape> T = compileToTape(F, TO)) {
+        // Batch columns require (a) a non-vectorized configuration (the
+        // aa::Batch bit-identity contract) and (b) direct-mapped
+        // placement: sorted forms may briefly exceed the K budget (an
+        // elementary function appends its error symbol to a full form
+        // before the next fusion), which scalar forms absorb in their
+        // MaxInlineSymbols capacity but a Batch's K slot planes cannot.
+        // Everything else replays the scalar tape per instance.
+        const bool Columns =
+            !Cfg.Vectorize &&
+            Cfg.Placement == aa::PlacementPolicy::DirectMapped;
+        aa::batch::run(
+            Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
+            [&](int32_t First, int32_t Count) {
+              runTapeBatchChunk(*T, Cfg, InstanceArgs, First, Count,
+                                Results.data() + First, Opts.StepBudget,
+                                Columns);
+            },
+            aa::batch::GrainAuto);
+        return Results;
+      }
+    }
+  }
 
   auto Chunk = [&](int64_t Begin, int64_t End) {
     // Each chunk establishes its own rounding scope; each instance gets a

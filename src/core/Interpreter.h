@@ -86,10 +86,26 @@ private:
   ShadowPtr Sh;
 };
 
+/// Which execution engine evaluates a function (see core/Tape.h).
+enum class ExecEngine : uint8_t {
+  /// Tape for batched runs (compiled once, replayed per instance), tree
+  /// for single call()s — the default.
+  Auto,
+  /// Always the tree-walk reference interpreter.
+  Tree,
+  /// Tape whenever the function compiles to the tape subset; silent
+  /// tree fallback otherwise. Results are bit-identical either way —
+  /// the switch trades dispatch cost only.
+  Tape,
+};
+
 struct InterpreterOptions {
   /// Abort after this many evaluated statements/expressions (runaway
   /// guard).
   uint64_t StepBudget = 50'000'000;
+  /// Engine selection. Shadow execution (ShadowDirs non-empty) always
+  /// forces the tree walker: shadows ride the Value representation.
+  ExecEngine Engine = ExecEngine::Auto;
   /// Honour `#pragma safegen prioritize(...)` statements.
   bool Prioritize = true;
   /// Shadow-execution sample directions (one shadow sample per entry,
@@ -107,6 +123,9 @@ struct InterpResult {
   std::string Error;
   Value ReturnValue;
   uint64_t StepsUsed = 0;
+  /// True when the tape engine produced this result (for tests and
+  /// benchmark sanity checks; values are identical either way).
+  bool UsedTape = false;
 };
 
 /// Outcome of one instance of a batched interpretation: the scalar return
@@ -118,6 +137,8 @@ struct BatchCallResult {
   ia::Interval Return;
   double CertifiedBits = 0.0;
   uint64_t StepsUsed = 0;
+  /// True when the tape engine produced this result.
+  bool UsedTape = false;
 };
 
 /// Interprets functions of one translation unit. An aa::AffineEnvScope

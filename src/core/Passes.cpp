@@ -11,6 +11,7 @@
 #include "core/PassManager.h"
 #include "core/SafeGen.h"
 #include "core/SimdToC.h"
+#include "core/Tape.h"
 #include "frontend/ASTPrinter.h"
 
 #include <algorithm>
@@ -130,6 +131,40 @@ void core::buildSafeGenPipeline(PassManager &PM, const SafeGenOptions &Opts,
           return true;
         },
         "dump the computation DAG (Graphviz)");
+
+  // Read-only: lowers each selected function to the interpreter's tape
+  // (the batch execution engine) purely for timing/statistics. Runs on
+  // whatever AST form the preceding passes left (plain or TAC'd); the
+  // tape compiler accepts both and the emitted code is untouched.
+  if (Opts.CompileTape)
+    PM.addPass(
+        "tape-compile",
+        [&Opts](PassContext &PC) {
+          for (FunctionDecl *F : selectedFunctions(PC.Ctx, Opts)) {
+            std::string WhyNot;
+            std::optional<Tape> T = compileToTape(F, {}, &WhyNot);
+            if (!T) {
+              PC.Stats.add("tape-compile.fallbacks", 1,
+                           "functions outside the tape subset (tree-walk "
+                           "fallback)");
+              continue;
+            }
+            PC.Stats.add("tape-compile.functions", 1,
+                         "functions lowered to the tape engine");
+            PC.Stats.add("tape-compile.ops", T->Code.size(),
+                         "tape instructions emitted");
+            PC.Stats.add("tape-compile.consts", T->Consts.size(),
+                         "pooled floating-point constants");
+            PC.Stats.add("tape-compile.fused", T->NumFused,
+                         "superinstructions formed by the peephole");
+            PC.Stats.add("tape-compile.fp-slots", T->NumFpSlots,
+                         "physical FP register slots after liveness");
+            PC.Stats.add("tape-compile.max-live", T->MaxFpLive,
+                         "maximum simultaneously live FP registers");
+          }
+          return true;
+        },
+        "lower functions to the tape execution engine (timing only)");
 
   PM.addPass(
       "affine-rewrite",

@@ -47,6 +47,12 @@ struct SafeGenOptions {
   bool LowerSimdFirst = false;
   /// Dump the computation DAG (Graphviz) into the result.
   bool DumpDAG = false;
+  /// Run the tape compiler (core/Tape.h) over the selected functions as
+  /// a timed, read-only pass. Does not change the emitted code; exposes
+  /// the interpreter's batch-engine compile cost and products (ops,
+  /// fused superinstructions, register slots) through the pass-timing
+  /// and statistics instrumentation.
+  bool CompileTape = false;
   /// Override the analysis budget.
   analysis::MaxReuseOptions AnalysisOptions;
   /// Pass-manager instrumentation: timings, statistics, per-pass AST

@@ -1,0 +1,1068 @@
+//===- Tape.cpp - tape executors and disassembler ---------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two executors over the same tape:
+//
+//  * runTapeScalar — aa::F64a registers under the ambient AffineEnvScope.
+//    Performs the identical kernel-call stream to the tree-walk
+//    interpreter, so it is bit-identical under every configuration
+//    (including vectorized ones).
+//
+//  * the batched-columns executor — aa::BatchF64 registers under the
+//    active BatchEnv, one column per register slot, all instances of a
+//    chunk advancing in lockstep. Integer registers track whether their
+//    lanes are uniform; the moment anything diverges (a data-dependent
+//    branch, a lane fault, an out-of-bounds index, a zero divisor, the
+//    step budget) the whole chunk falls back to per-instance scalar
+//    execution under fresh environments — which is exactly the tree
+//    walker's batch semantics, so the fallback is the reference, not an
+//    approximation. The partially-mutated batch contexts are simply
+//    abandoned (the context arena resets them on next acquisition).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Tape.h"
+
+#include "aa/Batch.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+using namespace safegen;
+using namespace safegen::core;
+
+//===----------------------------------------------------------------------===//
+// Disassembler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *fn1Name(uint8_t S) {
+  switch (static_cast<TapeFn1>(S)) {
+  case TapeFn1::Sqrt: return "sqrt";
+  case TapeFn1::Exp: return "exp";
+  case TapeFn1::Log: return "log";
+  case TapeFn1::Sin: return "sin";
+  case TapeFn1::Cos: return "cos";
+  case TapeFn1::Fabs: return "fabs";
+  }
+  return "?";
+}
+
+const char *fn2Name(uint8_t S) {
+  return static_cast<TapeFn2>(S) == TapeFn2::Fmax ? "fmax" : "fmin";
+}
+
+const char *cmpName(uint8_t S) {
+  switch (static_cast<TapeCmp>(S)) {
+  case TapeCmp::Lt: return "<";
+  case TapeCmp::Gt: return ">";
+  case TapeCmp::Le: return "<=";
+  case TapeCmp::Ge: return ">=";
+  case TapeCmp::Eq: return "==";
+  case TapeCmp::Ne: return "!=";
+  }
+  return "?";
+}
+
+/// Renders "t OP c" with the variant's operand order.
+std::string variantStr(uint8_t V, const std::string &T, const std::string &C) {
+  switch (static_cast<TapeAddVariant>(V)) {
+  case TapeAddVariant::TPlusC: return T + " + " + C;
+  case TapeAddVariant::CPlusT: return C + " + " + T;
+  case TapeAddVariant::TMinusC: return T + " - " + C;
+  case TapeAddVariant::CMinusT: return C + " - " + T;
+  }
+  return "?";
+}
+
+std::string fpr(int32_t R) { return "f" + std::to_string(R); }
+std::string ir(int32_t R) { return "i" + std::to_string(R); }
+std::string cref(int32_t C) { return "#" + std::to_string(C); }
+
+} // namespace
+
+std::string Tape::disassemble() const {
+  std::ostringstream OS;
+  OS << "tape " << Function << " (slots=" << NumFpSlots
+     << " vregs=" << NumFpVRegs << " maxlive=" << MaxFpLive
+     << " fused=" << NumFused << " ints=" << NumIntRegs << ")\n";
+  for (size_t I = 0; I < Consts.size(); ++I)
+    OS << "  const #" << I << " = " << Consts[I].Value
+       << (Consts[I].Exact ? " (exact)" : " (1ulp)") << "\n";
+  for (size_t I = 0; I < Arrays.size(); ++I) {
+    OS << "  array a" << I << "[";
+    for (size_t D = 0; D < Arrays[I].Dims.size(); ++D)
+      OS << (D ? "x" : "") << Arrays[I].Dims[D];
+    OS << "]" << (Arrays[I].Param >= 0 ? " param" : " local") << "\n";
+  }
+  for (size_t PC = 0; PC < Code.size(); ++PC) {
+    const TapeInst &In = Code[PC];
+    OS << "  " << PC << ": ";
+    switch (In.Op) {
+    case TapeOpcode::FConst:
+      OS << "fconst   " << fpr(In.Dst) << " = " << cref(In.A);
+      break;
+    case TapeOpcode::FMov:
+      OS << "fmov     " << fpr(In.Dst) << " = " << fpr(In.A);
+      break;
+    case TapeOpcode::FNeg:
+      OS << "fneg     " << fpr(In.Dst) << " = -" << fpr(In.A);
+      break;
+    case TapeOpcode::FAdd:
+      OS << "fadd     " << fpr(In.Dst) << " = " << fpr(In.A) << " + "
+         << fpr(In.B);
+      break;
+    case TapeOpcode::FSub:
+      OS << "fsub     " << fpr(In.Dst) << " = " << fpr(In.A) << " - "
+         << fpr(In.B);
+      break;
+    case TapeOpcode::FMul:
+      OS << "fmul     " << fpr(In.Dst) << " = " << fpr(In.A) << " * "
+         << fpr(In.B);
+      break;
+    case TapeOpcode::FDiv:
+      OS << "fdiv     " << fpr(In.Dst) << " = " << fpr(In.A) << " / "
+         << fpr(In.B);
+      break;
+    case TapeOpcode::FFma:
+      OS << "ffma     " << fpr(In.Dst) << " = "
+         << variantStr(In.Sub, "(" + fpr(In.A) + " * " + fpr(In.B) + ")",
+                       fpr(In.C));
+      break;
+    case TapeOpcode::FConstBin: {
+      const char *Ops = "+-*/";
+      char Op = Ops[In.Sub >> 1];
+      bool CL = In.Sub & 1;
+      OS << "fconstbin " << fpr(In.Dst) << " = "
+         << (CL ? cref(In.B) : fpr(In.A)) << " " << Op << " "
+         << (CL ? fpr(In.A) : cref(In.B));
+      break;
+    }
+    case TapeOpcode::FLin:
+      OS << "flin     " << fpr(In.Dst) << " = "
+         << variantStr(In.Sub >> 1,
+                       (In.Sub & 1)
+                           ? "(" + cref(In.B) + " * " + fpr(In.A) + ")"
+                           : "(" + fpr(In.A) + " * " + cref(In.B) + ")",
+                       fpr(In.C));
+      break;
+    case TapeOpcode::FFmaC:
+      OS << "ffmac    " << fpr(In.Dst) << " = "
+         << variantStr(In.Sub, "(" + fpr(In.A) + " * " + fpr(In.B) + ")",
+                       cref(In.C));
+      break;
+    case TapeOpcode::FCall1:
+      OS << "fcall1   " << fpr(In.Dst) << " = " << fn1Name(In.Sub) << "("
+         << fpr(In.A) << ")";
+      break;
+    case TapeOpcode::FCall2:
+      OS << "fcall2   " << fpr(In.Dst) << " = " << fn2Name(In.Sub) << "("
+         << fpr(In.A) << ", " << fpr(In.B) << ")";
+      break;
+    case TapeOpcode::FLoad:
+      OS << "fload    " << fpr(In.Dst) << " = a" << In.A << "[" << ir(In.B)
+         << "]";
+      break;
+    case TapeOpcode::FStore:
+      OS << "fstore   a" << In.A << "[" << ir(In.B) << "] = " << fpr(In.C);
+      break;
+    case TapeOpcode::FCmp:
+      OS << "fcmp     " << ir(In.Dst) << " = " << fpr(In.A) << " "
+         << cmpName(In.Sub) << " " << fpr(In.B);
+      break;
+    case TapeOpcode::FTruthy:
+      OS << "ftruthy  " << ir(In.Dst) << " = " << fpr(In.A) << " != 0";
+      break;
+    case TapeOpcode::FFromInt:
+      OS << "ffromint " << fpr(In.Dst) << " = exact(" << ir(In.A) << ")";
+      break;
+    case TapeOpcode::FPrioritize:
+      OS << "fprio    " << fpr(In.A);
+      break;
+    case TapeOpcode::APrioritize:
+      OS << "aprio    a" << In.A;
+      break;
+    case TapeOpcode::AInit:
+      OS << "ainit    a" << In.A;
+      break;
+    case TapeOpcode::IConst:
+      OS << "iconst   " << ir(In.Dst) << " = " << IntConsts[In.A];
+      break;
+    case TapeOpcode::IMov:
+      OS << "imov     " << ir(In.Dst) << " = " << ir(In.A);
+      break;
+    case TapeOpcode::INeg:
+      OS << "ineg     " << ir(In.Dst) << " = -" << ir(In.A);
+      break;
+    case TapeOpcode::INot:
+      OS << "inot     " << ir(In.Dst) << " = !" << ir(In.A);
+      break;
+    case TapeOpcode::IBitNot:
+      OS << "ibitnot  " << ir(In.Dst) << " = ~" << ir(In.A);
+      break;
+    case TapeOpcode::IAdd:
+    case TapeOpcode::ISub:
+    case TapeOpcode::IMul:
+    case TapeOpcode::IDiv:
+    case TapeOpcode::IRem:
+    case TapeOpcode::IAnd:
+    case TapeOpcode::IOr:
+    case TapeOpcode::IXor:
+    case TapeOpcode::IShl:
+    case TapeOpcode::IShr: {
+      const char *Name;
+      const char *Sym;
+      switch (In.Op) {
+      case TapeOpcode::IAdd: Name = "iadd"; Sym = "+"; break;
+      case TapeOpcode::ISub: Name = "isub"; Sym = "-"; break;
+      case TapeOpcode::IMul: Name = "imul"; Sym = "*"; break;
+      case TapeOpcode::IDiv: Name = "idiv"; Sym = "/"; break;
+      case TapeOpcode::IRem: Name = "irem"; Sym = "%"; break;
+      case TapeOpcode::IAnd: Name = "iand"; Sym = "&"; break;
+      case TapeOpcode::IOr: Name = "ior"; Sym = "|"; break;
+      case TapeOpcode::IXor: Name = "ixor"; Sym = "^"; break;
+      case TapeOpcode::IShl: Name = "ishl"; Sym = "<<"; break;
+      default: Name = "ishr"; Sym = ">>"; break;
+      }
+      OS << Name << "     " << ir(In.Dst) << " = " << ir(In.A) << " " << Sym
+         << " " << ir(In.B);
+      break;
+    }
+    case TapeOpcode::ICmp:
+      OS << "icmp     " << ir(In.Dst) << " = " << ir(In.A) << " "
+         << cmpName(In.Sub) << " " << ir(In.B);
+      break;
+    case TapeOpcode::IBound:
+      OS << "ibound   " << ir(In.A) << " < " << In.B;
+      break;
+    case TapeOpcode::Jump:
+      OS << "jump     @" << In.B;
+      break;
+    case TapeOpcode::JumpIfZero:
+      OS << "jz       " << ir(In.A) << ", @" << In.B;
+      break;
+    case TapeOpcode::JumpIfNonZero:
+      OS << "jnz      " << ir(In.A) << ", @" << In.B;
+      break;
+    case TapeOpcode::RetF:
+      OS << "retf     " << fpr(In.A);
+      break;
+    case TapeOpcode::RetInt:
+      OS << "retint   " << ir(In.A);
+      break;
+    case TapeOpcode::RetVoid:
+      OS << "retvoid";
+      break;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Shared executor helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Thrown through the executors; never escapes the entry points.
+struct TapeFault {
+  std::string Message;
+};
+
+[[noreturn]] void fault(std::string Msg) { throw TapeFault{std::move(Msg)}; }
+
+bool cmpDouble(TapeCmp C, double L, double R) {
+  switch (C) {
+  case TapeCmp::Lt: return L < R;
+  case TapeCmp::Gt: return L > R;
+  case TapeCmp::Le: return L <= R;
+  case TapeCmp::Ge: return L >= R;
+  case TapeCmp::Eq: return L == R;
+  case TapeCmp::Ne: return L != R;
+  }
+  return false;
+}
+
+long long cmpLL(TapeCmp C, long long L, long long R) {
+  switch (C) {
+  case TapeCmp::Lt: return L < R;
+  case TapeCmp::Gt: return L > R;
+  case TapeCmp::Le: return L <= R;
+  case TapeCmp::Ge: return L >= R;
+  case TapeCmp::Eq: return L == R;
+  case TapeCmp::Ne: return L != R;
+  }
+  return 0;
+}
+
+long long intBin(TapeOpcode Op, long long A, long long B) {
+  switch (Op) {
+  case TapeOpcode::IAdd: return A + B;
+  case TapeOpcode::ISub: return A - B;
+  case TapeOpcode::IMul: return A * B;
+  case TapeOpcode::IDiv:
+    if (B == 0)
+      fault("integer division by zero");
+    return A / B;
+  case TapeOpcode::IRem:
+    if (B == 0)
+      fault("integer remainder by zero");
+    return A % B;
+  case TapeOpcode::IAnd: return A & B;
+  case TapeOpcode::IOr: return A | B;
+  case TapeOpcode::IXor: return A ^ B;
+  case TapeOpcode::IShl: return A << B;
+  case TapeOpcode::IShr: return A >> B;
+  default: assert(false && "not an int binop"); return 0;
+  }
+}
+
+[[noreturn]] void boundsFault(long long I, int64_t Size) {
+  fault("array index " + std::to_string(I) + " out of bounds (size " +
+        std::to_string(Size) + ")");
+}
+
+template <typename V> V applyVariant(uint8_t Sub, const V &T, const V &C) {
+  switch (static_cast<TapeAddVariant>(Sub)) {
+  case TapeAddVariant::TPlusC: return T + C;
+  case TapeAddVariant::CPlusT: return C + T;
+  case TapeAddVariant::TMinusC: return T - C;
+  case TapeAddVariant::CMinusT: return C - T;
+  }
+  assert(false && "bad variant");
+  return T + C;
+}
+
+/// bin(Sub)(a, const) for FConstBin: kind = Sub>>1, const-is-lhs = Sub&1.
+template <typename V> V applyConstBin(uint8_t Sub, const V &A, const V &C) {
+  bool CL = Sub & 1;
+  switch (Sub >> 1) {
+  case 0: return CL ? C + A : A + C;
+  case 1: return CL ? C - A : A - C;
+  case 2: return CL ? C * A : A * C;
+  case 3: return CL ? C / A : A / C;
+  }
+  assert(false && "bad constbin");
+  return A + C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scalar executor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One scalar execution under the ambient env. Arrays are flat F64a
+/// vectors; parameter arrays are moved in and (on success) back out.
+TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
+                            uint64_t Budget) {
+  TapeRunResult Res;
+  std::vector<aa::F64a> F(static_cast<size_t>(T.NumFpSlots));
+  std::vector<long long> I(static_cast<size_t>(T.NumIntRegs), 0);
+  std::vector<std::vector<aa::F64a>> Arr(T.Arrays.size());
+  for (size_t A = 0; A < T.Arrays.size(); ++A)
+    if (T.Arrays[A].Param < 0)
+      Arr[A].resize(static_cast<size_t>(T.Arrays[A].NumElems));
+
+  assert(Args.size() == T.Params.size() && "argument count mismatch");
+  for (size_t P = 0; P < T.Params.size(); ++P) {
+    const TapeParam &TP = T.Params[P];
+    switch (TP.K) {
+    case TapeParam::Kind::Int:
+      I[TP.Index] = Args[P].Int;
+      break;
+    case TapeParam::Kind::Fp:
+      F[TP.Index] = Args[P].Fp;
+      break;
+    case TapeParam::Kind::Array:
+      assert(static_cast<int32_t>(Args[P].Arr.size()) ==
+             T.Arrays[TP.Index].NumElems);
+      Arr[TP.Index] = std::move(Args[P].Arr);
+      break;
+    }
+  }
+
+  uint64_t Steps = 0;
+  int32_t PC = 0;
+  const int32_t N = static_cast<int32_t>(T.Code.size());
+  try {
+    for (;;) {
+      assert(PC >= 0 && PC < N);
+      (void)N;
+      if (++Steps > Budget)
+        fault("step budget exhausted (possible runaway loop)");
+      const TapeInst &In = T.Code[PC];
+      int32_t Next = PC + 1;
+      switch (In.Op) {
+      case TapeOpcode::FConst:
+        F[In.Dst] = aa::F64a(T.Consts[In.A].Value);
+        break;
+      case TapeOpcode::FMov:
+        F[In.Dst] = F[In.A];
+        break;
+      case TapeOpcode::FNeg:
+        F[In.Dst] = -F[In.A];
+        break;
+      case TapeOpcode::FAdd:
+        F[In.Dst] = F[In.A] + F[In.B];
+        break;
+      case TapeOpcode::FSub:
+        F[In.Dst] = F[In.A] - F[In.B];
+        break;
+      case TapeOpcode::FMul:
+        F[In.Dst] = F[In.A] * F[In.B];
+        break;
+      case TapeOpcode::FDiv:
+        F[In.Dst] = F[In.A] / F[In.B];
+        break;
+      case TapeOpcode::FFma: {
+        aa::F64a Prod = F[In.A] * F[In.B];
+        F[In.Dst] = applyVariant(In.Sub, Prod, F[In.C]);
+        break;
+      }
+      case TapeOpcode::FConstBin: {
+        aa::F64a Cv(T.Consts[In.B].Value);
+        F[In.Dst] = applyConstBin(In.Sub, F[In.A], Cv);
+        break;
+      }
+      case TapeOpcode::FLin: {
+        aa::F64a Cv(T.Consts[In.B].Value);
+        aa::F64a Prod = (In.Sub & 1) ? Cv * F[In.A] : F[In.A] * Cv;
+        F[In.Dst] = applyVariant(In.Sub >> 1, Prod, F[In.C]);
+        break;
+      }
+      case TapeOpcode::FFmaC: {
+        aa::F64a Prod = F[In.A] * F[In.B];
+        aa::F64a Cv(T.Consts[In.C].Value);
+        F[In.Dst] = applyVariant(In.Sub, Prod, Cv);
+        break;
+      }
+      case TapeOpcode::FCall1:
+        switch (static_cast<TapeFn1>(In.Sub)) {
+        case TapeFn1::Sqrt: F[In.Dst] = aa::sqrt(F[In.A]); break;
+        case TapeFn1::Exp: F[In.Dst] = aa::exp(F[In.A]); break;
+        case TapeFn1::Log: F[In.Dst] = aa::log(F[In.A]); break;
+        case TapeFn1::Sin: F[In.Dst] = aa::sin(F[In.A]); break;
+        case TapeFn1::Cos: F[In.Dst] = aa::cos(F[In.A]); break;
+        case TapeFn1::Fabs: F[In.Dst] = aa_fabs_f64(F[In.A]); break;
+        }
+        break;
+      case TapeOpcode::FCall2:
+        F[In.Dst] = static_cast<TapeFn2>(In.Sub) == TapeFn2::Fmax
+                        ? aa_fmax_f64(F[In.A], F[In.B])
+                        : aa_fmin_f64(F[In.A], F[In.B]);
+        break;
+      case TapeOpcode::FLoad:
+        F[In.Dst] = Arr[In.A][static_cast<size_t>(I[In.B])];
+        break;
+      case TapeOpcode::FStore:
+        Arr[In.A][static_cast<size_t>(I[In.B])] = F[In.C];
+        break;
+      case TapeOpcode::FCmp:
+        I[In.Dst] = cmpDouble(static_cast<TapeCmp>(In.Sub), F[In.A].mid(),
+                              F[In.B].mid());
+        break;
+      case TapeOpcode::FTruthy:
+        I[In.Dst] = F[In.A].mid() != 0.0;
+        break;
+      case TapeOpcode::FFromInt:
+        F[In.Dst] = aa::F64a::exact(static_cast<double>(I[In.A]));
+        break;
+      case TapeOpcode::FPrioritize:
+        F[In.A].prioritize();
+        break;
+      case TapeOpcode::APrioritize:
+        for (const aa::F64a &E : Arr[In.A])
+          E.prioritize();
+        break;
+      case TapeOpcode::AInit:
+        for (aa::F64a &E : Arr[In.A])
+          E = aa::F64a::exact(0.0);
+        break;
+      case TapeOpcode::IConst:
+        I[In.Dst] = T.IntConsts[In.A];
+        break;
+      case TapeOpcode::IMov:
+        I[In.Dst] = I[In.A];
+        break;
+      case TapeOpcode::INeg:
+        I[In.Dst] = -I[In.A];
+        break;
+      case TapeOpcode::INot:
+        I[In.Dst] = !I[In.A];
+        break;
+      case TapeOpcode::IBitNot:
+        I[In.Dst] = ~I[In.A];
+        break;
+      case TapeOpcode::IAdd:
+      case TapeOpcode::ISub:
+      case TapeOpcode::IMul:
+      case TapeOpcode::IDiv:
+      case TapeOpcode::IRem:
+      case TapeOpcode::IAnd:
+      case TapeOpcode::IOr:
+      case TapeOpcode::IXor:
+      case TapeOpcode::IShl:
+      case TapeOpcode::IShr:
+        I[In.Dst] = intBin(In.Op, I[In.A], I[In.B]);
+        break;
+      case TapeOpcode::ICmp:
+        I[In.Dst] = cmpLL(static_cast<TapeCmp>(In.Sub), I[In.A], I[In.B]);
+        break;
+      case TapeOpcode::IBound:
+        if (I[In.A] < 0 || I[In.A] >= In.B)
+          boundsFault(I[In.A], In.B);
+        break;
+      case TapeOpcode::Jump:
+        Next = In.B;
+        break;
+      case TapeOpcode::JumpIfZero:
+        if (I[In.A] == 0)
+          Next = In.B;
+        break;
+      case TapeOpcode::JumpIfNonZero:
+        if (I[In.A] != 0)
+          Next = In.B;
+        break;
+      case TapeOpcode::RetF:
+        Res.Kind = TapeRunResult::Ret::Fp;
+        Res.Fp = F[In.A];
+        goto done;
+      case TapeOpcode::RetInt:
+        Res.Kind = TapeRunResult::Ret::Int;
+        Res.Int = I[In.A];
+        goto done;
+      case TapeOpcode::RetVoid:
+        Res.Kind = TapeRunResult::Ret::Void;
+        goto done;
+      }
+      PC = Next;
+    }
+  done:
+    Res.Success = true;
+  } catch (const TapeFault &E) {
+    Res.Success = false;
+    Res.Error = E.Message;
+  }
+  Res.Steps = Steps;
+  if (Res.Success)
+    for (size_t P = 0; P < T.Params.size(); ++P)
+      if (T.Params[P].K == TapeParam::Kind::Array)
+        Args[P].Arr = std::move(Arr[T.Params[P].Index]);
+  return Res;
+}
+
+} // namespace
+
+TapeRunResult safegen::core::runTapeScalar(const Tape &T,
+                                           std::vector<TapeArgValue> &Args,
+                                           uint64_t StepBudget) {
+  return runScalarImpl(T, Args, StepBudget);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched-columns executor
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using aa::BatchF64;
+
+/// The batch fallback convention: per-instance scalar kernels always run
+/// with Vectorize off (see Batch<CT>::scalarConfig).
+aa::AAConfig envScalarConfig(const aa::BatchEnv &E) {
+  aa::AAConfig Cfg = E.Config;
+  Cfg.Vectorize = false;
+  return Cfg;
+}
+
+/// Signals "this chunk cannot continue in lockstep" — not an error:
+/// the caller re-runs the chunk per instance through the scalar path.
+struct BatchDiverged {};
+
+/// An integer register across the chunk's lanes, tracked as uniform for
+/// as long as every lane agrees (the common case: loop counters and
+/// bounds checks are seed-independent in most kernels).
+struct BInt {
+  bool Uniform = true;
+  long long U = 0;
+  std::vector<long long> Lanes;
+
+  long long lane(int32_t I) const { return Uniform ? U : Lanes[I]; }
+};
+
+/// Mirrors aa_fabs_f64 per instance (same decision structure, same
+/// kernel calls per context).
+BatchF64 batchFabs(const BatchF64 &A) {
+  return A.mapInstances([](const aa::AffineVar<aa::F64Center> &V,
+                           const aa::AAConfig &Cfg, aa::AffineContext &Ctx) {
+    ia::Interval R = aa::ops::toInterval(V);
+    if (R.isNaN())
+      return V;
+    if (R.Lo >= 0.0)
+      return V;
+    if (R.Hi <= 0.0)
+      return aa::ops::neg(V);
+    return aa::ops::makeFromInterval<aa::F64Center>(
+        0.0, std::fmax(-R.Lo, R.Hi), Cfg, Ctx);
+  });
+}
+
+/// Mirrors aa_fmax_f64 per instance.
+BatchF64 batchFmax(const BatchF64 &A, const BatchF64 &B) {
+  aa::BatchEnv &E = aa::batchEnv();
+  aa::AAConfig Cfg = envScalarConfig(E);
+  BatchF64 Out = BatchF64::makeLike(A);
+  for (int32_t I = 0; I < A.size(); ++I) {
+    aa::AffineVar<aa::F64Center> Va = A.extract(I), Vb = B.extract(I);
+    ia::Interval Ra = aa::ops::toInterval(Va), Rb = aa::ops::toInterval(Vb);
+    aa::AffineVar<aa::F64Center> R;
+    if (!Ra.isNaN() && !Rb.isNaN()) {
+      if (Ra.Lo >= Rb.Hi)
+        R = Va;
+      else if (Rb.Lo >= Ra.Hi)
+        R = Vb;
+      else
+        R = aa::ops::makeFromInterval<aa::F64Center>(
+            std::fmax(Ra.Lo, Rb.Lo), std::fmax(Ra.Hi, Rb.Hi), Cfg,
+            E.Contexts[I]);
+    } else {
+      R = aa::ops::makeExact<aa::F64Center>(
+          std::numeric_limits<double>::quiet_NaN(), Cfg);
+    }
+    Out.insert(I, R);
+  }
+  return Out;
+}
+
+/// aa_fmin_f64 is defined as -fmax(-a, -b); batch unary minus negates
+/// lanes exactly, matching ops::neg per instance.
+BatchF64 batchFmin(const BatchF64 &A, const BatchF64 &B) {
+  return -batchFmax(-A, -B);
+}
+
+/// Builds the chunk's argument columns from the seeds, drawing symbols
+/// per context in the same order as makeDefaultArg: parameters
+/// left-to-right, array elements row-major, missing seeds default 1.0.
+void bindBatchArgs(const Tape &T, const std::vector<std::vector<double>> &Seeds,
+                   int32_t First, int32_t Count, std::vector<BatchF64> &F,
+                   std::vector<BInt> &I,
+                   std::vector<std::vector<BatchF64>> &Arr) {
+  std::vector<double> Xs(static_cast<size_t>(Count));
+  for (size_t P = 0; P < T.Params.size(); ++P) {
+    for (int32_t K = 0; K < Count; ++K) {
+      const std::vector<double> &S = Seeds[static_cast<size_t>(First + K)];
+      Xs[K] = P < S.size() ? S[P] : 1.0;
+    }
+    const TapeParam &TP = T.Params[P];
+    switch (TP.K) {
+    case TapeParam::Kind::Int: {
+      BInt &R = I[TP.Index];
+      R.Uniform = true;
+      R.U = static_cast<long long>(Xs[0]);
+      for (int32_t K = 1; K < Count; ++K)
+        if (static_cast<long long>(Xs[K]) != R.U) {
+          R.Uniform = false;
+          break;
+        }
+      if (!R.Uniform) {
+        R.Lanes.resize(static_cast<size_t>(Count));
+        for (int32_t K = 0; K < Count; ++K)
+          R.Lanes[K] = static_cast<long long>(Xs[K]);
+      }
+      break;
+    }
+    case TapeParam::Kind::Fp:
+      F[TP.Index] = BatchF64::input(Xs.data());
+      break;
+    case TapeParam::Kind::Array: {
+      std::vector<BatchF64> &A = Arr[TP.Index];
+      A.clear();
+      A.reserve(static_cast<size_t>(T.Arrays[TP.Index].NumElems));
+      for (int32_t E = 0; E < T.Arrays[TP.Index].NumElems; ++E)
+        A.push_back(BatchF64::input(Xs.data()));
+      break;
+    }
+    }
+  }
+}
+
+void setUniform(BInt &R, long long V) {
+  R.Uniform = true;
+  R.U = V;
+  R.Lanes.clear();
+}
+
+/// Collapses a freshly computed lane vector back to uniform when every
+/// lane agrees, so later branches stay convergent.
+void setLanes(BInt &R, std::vector<long long> Lanes) {
+  bool AllSame = true;
+  for (size_t K = 1; K < Lanes.size(); ++K)
+    if (Lanes[K] != Lanes[0]) {
+      AllSame = false;
+      break;
+    }
+  if (AllSame) {
+    setUniform(R, Lanes.empty() ? 0 : Lanes[0]);
+    return;
+  }
+  R.Uniform = false;
+  R.U = 0;
+  R.Lanes = std::move(Lanes);
+}
+
+/// Runs the chunk on columns. Throws BatchDiverged to request the
+/// per-instance fallback, never returns partial results.
+void runColumnsImpl(const Tape &T,
+                    const std::vector<std::vector<double>> &Seeds,
+                    int32_t First, int32_t Count, BatchCallResult *Out,
+                    uint64_t Budget) {
+  std::vector<BatchF64> F(static_cast<size_t>(T.NumFpSlots));
+  std::vector<BInt> I(static_cast<size_t>(T.NumIntRegs));
+  std::vector<std::vector<BatchF64>> Arr(T.Arrays.size());
+  for (size_t A = 0; A < T.Arrays.size(); ++A)
+    if (T.Arrays[A].Param < 0)
+      Arr[A].resize(static_cast<size_t>(T.Arrays[A].NumElems));
+
+  bindBatchArgs(T, Seeds, First, Count, F, I, Arr);
+
+  // The step budget is enforced per chunk here (one tick per lockstep
+  // instruction); exceeding it bails to the scalar path, which enforces
+  // the budget precisely per instance.
+  uint64_t Steps = 0;
+  int32_t PC = 0;
+  std::vector<long long> LaneBuf(static_cast<size_t>(Count));
+  for (;;) {
+    if (++Steps > Budget)
+      throw BatchDiverged{};
+    const TapeInst &In = T.Code[PC];
+    int32_t Next = PC + 1;
+    switch (In.Op) {
+    case TapeOpcode::FConst:
+      F[In.Dst] = BatchF64(T.Consts[In.A].Value);
+      break;
+    case TapeOpcode::FMov:
+      F[In.Dst] = F[In.A];
+      break;
+    case TapeOpcode::FNeg:
+      F[In.Dst] = -F[In.A];
+      break;
+    case TapeOpcode::FAdd:
+      F[In.Dst] = F[In.A] + F[In.B];
+      break;
+    case TapeOpcode::FSub:
+      F[In.Dst] = F[In.A] - F[In.B];
+      break;
+    case TapeOpcode::FMul:
+      F[In.Dst] = F[In.A] * F[In.B];
+      break;
+    case TapeOpcode::FDiv:
+      F[In.Dst] = F[In.A] / F[In.B];
+      break;
+    case TapeOpcode::FFma: {
+      BatchF64 Prod = F[In.A] * F[In.B];
+      F[In.Dst] = applyVariant(In.Sub, Prod, F[In.C]);
+      break;
+    }
+    case TapeOpcode::FConstBin: {
+      BatchF64 Cv(T.Consts[In.B].Value);
+      F[In.Dst] = applyConstBin(In.Sub, F[In.A], Cv);
+      break;
+    }
+    case TapeOpcode::FLin: {
+      BatchF64 Cv(T.Consts[In.B].Value);
+      BatchF64 Prod = (In.Sub & 1) ? Cv * F[In.A] : F[In.A] * Cv;
+      F[In.Dst] = applyVariant(In.Sub >> 1, Prod, F[In.C]);
+      break;
+    }
+    case TapeOpcode::FFmaC: {
+      BatchF64 Prod = F[In.A] * F[In.B];
+      BatchF64 Cv(T.Consts[In.C].Value);
+      F[In.Dst] = applyVariant(In.Sub, Prod, Cv);
+      break;
+    }
+    case TapeOpcode::FCall1:
+      switch (static_cast<TapeFn1>(In.Sub)) {
+      case TapeFn1::Sqrt: F[In.Dst] = aa::sqrt(F[In.A]); break;
+      case TapeFn1::Exp: F[In.Dst] = aa::exp(F[In.A]); break;
+      case TapeFn1::Log: F[In.Dst] = aa::log(F[In.A]); break;
+      case TapeFn1::Sin: F[In.Dst] = aa::sin(F[In.A]); break;
+      case TapeFn1::Cos: F[In.Dst] = aa::cos(F[In.A]); break;
+      case TapeFn1::Fabs: F[In.Dst] = batchFabs(F[In.A]); break;
+      }
+      break;
+    case TapeOpcode::FCall2:
+      F[In.Dst] = static_cast<TapeFn2>(In.Sub) == TapeFn2::Fmax
+                      ? batchFmax(F[In.A], F[In.B])
+                      : batchFmin(F[In.A], F[In.B]);
+      break;
+    case TapeOpcode::FLoad: {
+      const BInt &Idx = I[In.B];
+      if (Idx.Uniform) {
+        F[In.Dst] = Arr[In.A][static_cast<size_t>(Idx.U)];
+      } else {
+        // Divergent gather: pure data movement, no env interaction.
+        BatchF64 OutB = BatchF64::makeLike(Arr[In.A][0]);
+        for (int32_t K = 0; K < Count; ++K)
+          OutB.insert(K,
+                      Arr[In.A][static_cast<size_t>(Idx.lane(K))].extract(K));
+        F[In.Dst] = std::move(OutB);
+      }
+      break;
+    }
+    case TapeOpcode::FStore: {
+      const BInt &Idx = I[In.B];
+      if (Idx.Uniform) {
+        Arr[In.A][static_cast<size_t>(Idx.U)] = F[In.C];
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          Arr[In.A][static_cast<size_t>(Idx.lane(K))].insert(
+              K, F[In.C].extract(K));
+      }
+      break;
+    }
+    case TapeOpcode::FCmp: {
+      for (int32_t K = 0; K < Count; ++K)
+        LaneBuf[K] = cmpDouble(static_cast<TapeCmp>(In.Sub), F[In.A].mid(K),
+                               F[In.B].mid(K));
+      setLanes(I[In.Dst], LaneBuf);
+      break;
+    }
+    case TapeOpcode::FTruthy: {
+      for (int32_t K = 0; K < Count; ++K)
+        LaneBuf[K] = F[In.A].mid(K) != 0.0;
+      setLanes(I[In.Dst], LaneBuf);
+      break;
+    }
+    case TapeOpcode::FFromInt: {
+      const BInt &Src = I[In.A];
+      if (Src.Uniform) {
+        F[In.Dst] = BatchF64::exact(static_cast<double>(Src.U));
+      } else {
+        BatchF64 OutB = BatchF64::exact(0.0);
+        aa::AAConfig SC = envScalarConfig(aa::batchEnv());
+        for (int32_t K = 0; K < Count; ++K)
+          OutB.insert(K, aa::ops::makeExact<aa::F64Center>(
+                             static_cast<double>(Src.lane(K)), SC));
+        F[In.Dst] = std::move(OutB);
+      }
+      break;
+    }
+    case TapeOpcode::FPrioritize:
+      F[In.A].prioritize();
+      break;
+    case TapeOpcode::APrioritize:
+      for (const BatchF64 &E : Arr[In.A])
+        E.prioritize();
+      break;
+    case TapeOpcode::AInit:
+      for (BatchF64 &E : Arr[In.A])
+        E = BatchF64::exact(0.0);
+      break;
+    case TapeOpcode::IConst:
+      setUniform(I[In.Dst], T.IntConsts[In.A]);
+      break;
+    case TapeOpcode::IMov:
+      I[In.Dst] = I[In.A];
+      break;
+    case TapeOpcode::INeg:
+    case TapeOpcode::INot:
+    case TapeOpcode::IBitNot: {
+      const BInt &A = I[In.A];
+      auto Un = [&](long long V) -> long long {
+        return In.Op == TapeOpcode::INeg    ? -V
+               : In.Op == TapeOpcode::INot ? !V
+                                           : ~V;
+      };
+      if (A.Uniform) {
+        setUniform(I[In.Dst], Un(A.U));
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          LaneBuf[K] = Un(A.lane(K));
+        setLanes(I[In.Dst], LaneBuf);
+      }
+      break;
+    }
+    case TapeOpcode::IAdd:
+    case TapeOpcode::ISub:
+    case TapeOpcode::IMul:
+    case TapeOpcode::IDiv:
+    case TapeOpcode::IRem:
+    case TapeOpcode::IAnd:
+    case TapeOpcode::IOr:
+    case TapeOpcode::IXor:
+    case TapeOpcode::IShl:
+    case TapeOpcode::IShr: {
+      const BInt &A = I[In.A], &B = I[In.B];
+      bool Div = In.Op == TapeOpcode::IDiv || In.Op == TapeOpcode::IRem;
+      if (A.Uniform && B.Uniform) {
+        if (Div && B.U == 0)
+          throw BatchDiverged{}; // every lane faults; scalar path reports it
+        setUniform(I[In.Dst], intBin(In.Op, A.U, B.U));
+      } else {
+        for (int32_t K = 0; K < Count; ++K) {
+          if (Div && B.lane(K) == 0)
+            throw BatchDiverged{};
+          LaneBuf[K] = intBin(In.Op, A.lane(K), B.lane(K));
+        }
+        setLanes(I[In.Dst], LaneBuf);
+      }
+      break;
+    }
+    case TapeOpcode::ICmp: {
+      const BInt &A = I[In.A], &B = I[In.B];
+      if (A.Uniform && B.Uniform) {
+        setUniform(I[In.Dst], cmpLL(static_cast<TapeCmp>(In.Sub), A.U, B.U));
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          LaneBuf[K] =
+              cmpLL(static_cast<TapeCmp>(In.Sub), A.lane(K), B.lane(K));
+        setLanes(I[In.Dst], LaneBuf);
+      }
+      break;
+    }
+    case TapeOpcode::IBound: {
+      const BInt &A = I[In.A];
+      if (A.Uniform) {
+        if (A.U < 0 || A.U >= In.B)
+          throw BatchDiverged{};
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          if (A.lane(K) < 0 || A.lane(K) >= In.B)
+            throw BatchDiverged{};
+      }
+      break;
+    }
+    case TapeOpcode::Jump:
+      Next = In.B;
+      break;
+    case TapeOpcode::JumpIfZero:
+    case TapeOpcode::JumpIfNonZero: {
+      const BInt &C = I[In.A];
+      if (!C.Uniform)
+        throw BatchDiverged{};
+      bool Taken = In.Op == TapeOpcode::JumpIfZero ? C.U == 0 : C.U != 0;
+      if (Taken)
+        Next = In.B;
+      break;
+    }
+    case TapeOpcode::RetF:
+      for (int32_t K = 0; K < Count; ++K) {
+        BatchCallResult &R = Out[K];
+        R.Success = true;
+        R.UsedTape = true;
+        double Lo, Hi;
+        F[In.A].bounds(K, Lo, Hi);
+        R.Return = ia::Interval(Lo, Hi);
+        R.CertifiedBits = F[In.A].certifiedBits(K);
+        R.StepsUsed = Steps;
+      }
+      return;
+    case TapeOpcode::RetInt: {
+      const BInt &V = I[In.A];
+      for (int32_t K = 0; K < Count; ++K) {
+        BatchCallResult &R = Out[K];
+        R.Success = true;
+        R.UsedTape = true;
+        double D = static_cast<double>(V.lane(K));
+        R.Return = ia::Interval(D, D);
+        R.CertifiedBits = 0.0;
+        R.StepsUsed = Steps;
+      }
+      return;
+    }
+    case TapeOpcode::RetVoid:
+      for (int32_t K = 0; K < Count; ++K) {
+        BatchCallResult &R = Out[K];
+        R.Success = true;
+        R.UsedTape = true;
+        R.StepsUsed = Steps;
+      }
+      return;
+    }
+    PC = Next;
+  }
+}
+
+/// Per-instance scalar execution of one chunk: a fresh environment per
+/// instance, exactly like the tree walker's runBatch loop.
+void runChunkScalar(const Tape &T, const aa::AAConfig &Cfg,
+                    const std::vector<std::vector<double>> &Seeds,
+                    int32_t First, int32_t Count, BatchCallResult *Out,
+                    uint64_t Budget) {
+  for (int32_t K = 0; K < Count; ++K) {
+    aa::AffineEnvScope Env(Cfg);
+    const std::vector<double> &S = Seeds[static_cast<size_t>(First + K)];
+    std::vector<TapeArgValue> Args(T.Params.size());
+    for (size_t P = 0; P < T.Params.size(); ++P) {
+      double Seed = P < S.size() ? S[P] : 1.0;
+      const TapeParam &TP = T.Params[P];
+      switch (TP.K) {
+      case TapeParam::Kind::Int:
+        Args[P].Int = static_cast<long long>(Seed);
+        break;
+      case TapeParam::Kind::Fp:
+        Args[P].Fp = aa::F64a::input(Seed);
+        break;
+      case TapeParam::Kind::Array: {
+        int32_t N = T.Arrays[TP.Index].NumElems;
+        Args[P].Arr.reserve(static_cast<size_t>(N));
+        for (int32_t E = 0; E < N; ++E)
+          Args[P].Arr.push_back(aa::F64a::input(Seed));
+        break;
+      }
+      }
+    }
+    TapeRunResult R = runScalarImpl(T, Args, Budget);
+    BatchCallResult &O = Out[K];
+    O.Success = R.Success;
+    O.Error = R.Error;
+    O.StepsUsed = R.Steps;
+    O.UsedTape = true;
+    if (R.Success) {
+      switch (R.Kind) {
+      case TapeRunResult::Ret::Fp:
+        O.Return = R.Fp.toInterval();
+        O.CertifiedBits = R.Fp.certifiedBits();
+        break;
+      case TapeRunResult::Ret::Int: {
+        double D = static_cast<double>(R.Int);
+        O.Return = ia::Interval(D, D);
+        break;
+      }
+      case TapeRunResult::Ret::Void:
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+void safegen::core::runTapeBatchChunk(
+    const Tape &T, const aa::AAConfig &Cfg,
+    const std::vector<std::vector<double>> &Seeds, int32_t First,
+    int32_t Count, BatchCallResult *Out, uint64_t StepBudget,
+    bool TryColumns) {
+  if (Count <= 0)
+    return;
+  if (TryColumns) {
+    try {
+      runColumnsImpl(T, Seeds, First, Count, Out, StepBudget);
+      return;
+    } catch (const BatchDiverged &) {
+      // Fall through: the chunk re-runs per instance from scratch; the
+      // abandoned batch contexts are reset by the arena on next use.
+    }
+  }
+  runChunkScalar(T, Cfg, Seeds, First, Count, Out, StepBudget);
+}

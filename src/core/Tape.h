@@ -1,0 +1,257 @@
+//===- Tape.h - Tape-compiled affine execution engine -----------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tape (flat bytecode) execution engine for the interpreter's hot
+/// path. The tree-walk core::Interpreter re-traverses the AST and does a
+/// name-map lookup per variable reference on every instance; for batched
+/// evaluation that dispatch dominates the affine arithmetic itself. The
+/// tape compiler (TapeCompiler.cpp) lowers a function once into a flat
+/// array of ops:
+///
+///  * every floating-point temporary gets a *reusable register slot*
+///    assigned by a liveness pass (backward dataflow + linear scan), so a
+///    kernel with hundreds of TAC temporaries runs in a handful of
+///    cache-resident registers — which in batch mode are aa::Batch
+///    columns;
+///  * constants are classified (exact vs 1-ulp) and pooled, protect sets
+///    and elementary-function ids are resolved to indices at compile
+///    time — no name lookups at run time;
+///  * straight-line affine sequences are fused into superinstructions
+///    (mul+add -> ffma, const⊕op -> fconstbin, const-mul+add -> flin,
+///    mul+const-add -> ffmac) so one dispatch covers several ops.
+///
+/// Bit-identity contract: a superinstruction performs exactly the same
+/// underlying kernel calls in exactly the same order as the unfused
+/// sequence (fusion removes dispatch, never arithmetic), and constants
+/// still draw their fresh deviation symbols at their original position in
+/// the op stream. The scalar executor therefore produces bit-identical
+/// results to the tree-walk interpreter under *every* configuration, and
+/// the batched executor under every non-vectorized direct-mapped
+/// configuration (the aa::Batch contract; sorted forms can briefly
+/// exceed the K slot planes a Batch allocates); Interpreter::runBatch
+/// picks the per-instance scalar tape for every other configuration so
+/// the engine switch is always bit-transparent. The tree walker stays as the differential
+/// oracle (src/fuzz/Oracle.cpp cross-checks the two on every fuzz
+/// kernel).
+///
+/// Functions using constructs outside the tape subset (user function
+/// calls, integer arrays, pointer locals, float->int casts, address-of)
+/// simply fail to compile and the caller falls back to the tree engine,
+/// which defines the semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_TAPE_H
+#define SAFEGEN_CORE_TAPE_H
+
+#include "core/Interpreter.h"
+#include "frontend/AST.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+enum class TapeOpcode : uint8_t {
+  // Floating-point ops. Dst/A/B/C index the FP register slots unless
+  // noted; constants index Tape::Consts, int operands the int registers.
+  FConst,    ///< Dst = Consts[A] (1-ulp box unless exact; Sec. IV-B)
+  FMov,      ///< Dst = FP[A]
+  FNeg,      ///< Dst = -FP[A]
+  FAdd,      ///< Dst = FP[A] + FP[B]
+  FSub,      ///< Dst = FP[A] - FP[B]
+  FMul,      ///< Dst = FP[A] * FP[B]
+  FDiv,      ///< Dst = FP[A] / FP[B]
+  FFma,      ///< t = FP[A]*FP[B]; Dst = addVariant(Sub)(t, FP[C])
+  FConstBin, ///< Dst = bin(Sub)(FP[A], Consts[B])
+  FLin,      ///< t = mul(Consts[B], FP[A]); Dst = addVariant(t, FP[C])
+  FFmaC,     ///< t = FP[A]*FP[B]; Dst = addVariant(t, Consts[C])
+  FCall1,    ///< Dst = elem1[Sub](FP[A])
+  FCall2,    ///< Dst = elem2[Sub](FP[A], FP[B])
+  FLoad,     ///< Dst = Arrays[A][Int[B]]   (flat index, bounds-checked)
+  FStore,    ///< Arrays[A][Int[B]] = FP[C]
+  FCmp,      ///< Int[Dst] = cmp(Sub)(FP[A].mid(), FP[B].mid())
+  FTruthy,   ///< Int[Dst] = FP[A].mid() != 0.0
+  FFromInt,  ///< Dst = exact((double)Int[A])
+  FPrioritize, ///< protect FP[A]'s symbols (pragma lowering)
+  APrioritize, ///< protect every element of Arrays[A]
+  AInit,       ///< Arrays[A] = exact(0.0) element-wise (decl default)
+
+  // Integer ops (exact, operands index the int register file).
+  IConst, ///< Int[Dst] = IntConsts[A]
+  IMov,   ///< Int[Dst] = Int[A]
+  INeg,   ///< Int[Dst] = -Int[A]
+  INot,   ///< Int[Dst] = !Int[A]
+  IBitNot, ///< Int[Dst] = ~Int[A]
+  IAdd, ISub, IMul,
+  IDiv,   ///< error on zero divisor, as in the tree walker
+  IRem,
+  IAnd, IOr, IXor, IShl, IShr,
+  ICmp,   ///< Int[Dst] = cmp(Sub)(Int[A], Int[B])
+  IBound, ///< error unless 0 <= Int[A] < B (immediate per-dim extent)
+
+  // Control flow. Jump targets live in B (instruction index).
+  Jump,          ///< pc = B
+  JumpIfZero,    ///< pc = Int[A] == 0 ? B : pc+1
+  JumpIfNonZero, ///< pc = Int[A] != 0 ? B : pc+1
+  RetF,          ///< return FP[A]
+  RetInt,        ///< return Int[A]
+  RetVoid,
+};
+
+/// Sub-operand of FCmp/ICmp.
+enum class TapeCmp : uint8_t { Lt, Gt, Le, Ge, Eq, Ne };
+
+/// Sub-operand of FFma/FLin/FFmaC: how the mul result t combines with the
+/// second operand c. Operand order is preserved exactly (ops::add(a,b)
+/// and ops::add(b,a) are not interchangeable under every fusion policy).
+enum class TapeAddVariant : uint8_t {
+  TPlusC,  ///< add(t, c)
+  CPlusT,  ///< add(c, t)
+  TMinusC, ///< sub(t, c)
+  CMinusT, ///< sub(c, t)
+};
+
+/// Sub-operand of FCall1.
+enum class TapeFn1 : uint8_t { Sqrt, Exp, Log, Sin, Cos, Fabs };
+/// Sub-operand of FCall2.
+enum class TapeFn2 : uint8_t { Fmax, Fmin };
+
+/// FConstBin Sub encoding: (binKind << 1) | constIsLhs with binKind
+/// 0=add 1=sub 2=mul 3=div.
+inline uint8_t constBinSub(unsigned BinKind, bool ConstIsLhs) {
+  return static_cast<uint8_t>(BinKind << 1 | (ConstIsLhs ? 1 : 0));
+}
+
+struct TapeInst {
+  TapeOpcode Op;
+  uint8_t Sub = 0;
+  int32_t Dst = -1;
+  int32_t A = -1;
+  int32_t B = -1;
+  int32_t C = -1;
+};
+
+/// A pooled source constant, classified at compile time: exact values
+/// draw no deviation symbol at run time, inexact ones get the 1-ulp box
+/// (and draw their symbol at the instruction's position in the stream).
+struct TapeConst {
+  double Value = 0.0;
+  bool Exact = false;
+};
+
+/// A flattened FP array (local or parameter); elements are stored
+/// row-major, subscripts are bounds-checked per dimension exactly like
+/// the tree walker.
+struct TapeArray {
+  int32_t NumElems = 0;
+  std::vector<int64_t> Dims; ///< outermost first; pointers get {1}
+  int32_t Param = -1;        ///< parameter index, or -1 for a local
+};
+
+struct TapeParam {
+  enum class Kind : uint8_t { Int, Fp, Array };
+  Kind K = Kind::Fp;
+  int32_t Index = 0; ///< FP slot, int register, or array id
+};
+
+/// A live interval of one virtual FP register after slot assignment
+/// (debug/test product: tests assert no two intervals sharing a slot
+/// overlap and that the slot count never exceeds the maximum number of
+/// simultaneously live registers).
+struct TapeInterval {
+  int32_t VReg = 0;
+  int32_t Slot = 0;
+  int32_t Begin = 0; ///< first instruction index where live/defined
+  int32_t End = 0;   ///< last instruction index where live/used
+};
+
+struct Tape {
+  std::string Function;
+  std::vector<TapeInst> Code;
+  std::vector<TapeConst> Consts;
+  std::vector<long long> IntConsts;
+  std::vector<TapeArray> Arrays;
+  std::vector<TapeParam> Params;
+
+  int32_t NumFpSlots = 0; ///< physical FP registers after linear scan
+  int32_t NumIntRegs = 0;
+  /// Compile products for stats/tests.
+  int32_t NumFpVRegs = 0; ///< virtual FP registers before slot reuse
+  int32_t MaxFpLive = 0;  ///< max simultaneously live FP registers
+  uint32_t NumFused = 0;  ///< superinstructions formed by the peephole
+  std::vector<TapeInterval> FpIntervals;
+
+  /// Human-readable listing (fusion goldens key off this).
+  std::string disassemble() const;
+};
+
+struct TapeCompileOptions {
+  /// Honour `#pragma safegen prioritize(...)` (mirrors
+  /// InterpreterOptions::Prioritize; resolved at compile time).
+  bool Prioritize = true;
+  /// Run the superinstruction peephole (off for ablation/tests).
+  bool Fuse = true;
+};
+
+/// Lowers \p F to a tape. Returns std::nullopt when the function uses a
+/// construct outside the tape subset; \p WhyNot (optional) receives the
+/// reason. Works on both TAC'd and plain ASTs — expression operands are
+/// emitted in evaluation order either way, so the op stream (and hence
+/// every symbol draw) matches the tree walker exactly.
+std::optional<Tape> compileToTape(const frontend::FunctionDecl *F,
+                                  const TapeCompileOptions &Opts = {},
+                                  std::string *WhyNot = nullptr);
+
+/// One argument for the scalar executor (matching TapeParam::Kind;
+/// arrays flattened row-major, exactly makeDefaultArg's element order).
+struct TapeArgValue {
+  long long Int = 0;
+  aa::F64a Fp;
+  std::vector<aa::F64a> Arr;
+};
+
+/// Result of one scalar tape execution.
+struct TapeRunResult {
+  bool Success = false;
+  std::string Error;
+  uint64_t Steps = 0;
+  enum class Ret : uint8_t { Void, Fp, Int } Kind = Ret::Void;
+  aa::F64a Fp;       ///< valid iff Kind == Fp (lives in the ambient env)
+  long long Int = 0; ///< valid iff Kind == Int
+};
+
+/// Executes \p T under the ambient aa::AffineEnvScope (and upward
+/// rounding): the kernel-call stream is exactly the tree walker's, so
+/// the result is bit-identical for every configuration, including
+/// vectorized ones. Array argument contents are written back into \p
+/// Args on success (caller-visible mutation, as in C).
+TapeRunResult runTapeScalar(const Tape &T, std::vector<TapeArgValue> &Args,
+                            uint64_t StepBudget);
+
+/// Executes instances [First, First+Count) of a batched run, writing
+/// BatchCallResults for the chunk into Out[0..Count). When \p TryColumns
+/// is set (non-vectorized configurations) the chunk runs on aa::Batch
+/// register columns under the active BatchEnv (must be sized \p Count);
+/// any per-instance divergence — a non-uniform branch, a lane fault, a
+/// bounds or division error — abandons the columns and re-runs every
+/// instance of the chunk through the scalar executor under a fresh
+/// per-instance environment, which is the bit-identical reference.
+/// Requires upward rounding; instance I's arguments are built from
+/// Seeds[First+I] exactly like Interpreter::makeDefaultArg.
+void runTapeBatchChunk(const Tape &T, const aa::AAConfig &Cfg,
+                       const std::vector<std::vector<double>> &Seeds,
+                       int32_t First, int32_t Count, BatchCallResult *Out,
+                       uint64_t StepBudget, bool TryColumns);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_TAPE_H

@@ -1,0 +1,1452 @@
+//===- TapeCompiler.cpp - AST -> tape lowering ------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Lowers a frontend::FunctionDecl into a core::Tape. Three stages:
+//
+//  1. Emission: a recursive walk that produces one op per evaluation
+//     step, in exactly the tree-walk interpreter's evaluation order
+//     (lhs before rhs, lvalue/bounds before rhs in assignments, only the
+//     taken branch of ?:). Every symbol-drawing op (constants, inputs,
+//     nonlinear kernels) therefore executes at the same position in the
+//     op stream as under the tree walker, which is what makes the tape
+//     bit-identical.
+//
+//  2. Peephole fusion: adjacent (producer, single-use consumer) pairs in
+//     straight-line code collapse into superinstructions. Fusion removes
+//     dispatch only — the fused op performs the identical kernel calls
+//     in the identical order, so it is exact even for symbol-drawing
+//     constants.
+//
+//  3. Liveness + linear scan: backward dataflow over the flat code
+//     computes live intervals for the virtual FP registers; a linear
+//     scan maps them onto reusable slots so the executor's register file
+//     (aa::Batch columns in batch mode) stays at max-live size instead
+//     of growing with every temporary.
+//
+// Anything outside the supported subset throws and the caller falls back
+// to the tree engine, which defines the semantics (including the error
+// semantics of constructs like float->int casts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Tape.h"
+#include "frontend/Type.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+using namespace frontend;
+
+namespace {
+
+struct CompileError {
+  std::string Why;
+};
+
+[[noreturn]] static void bail(const std::string &Why) {
+  throw CompileError{Why};
+}
+
+struct Binding {
+  enum class K : uint8_t { Fp, Int, Array } Kind = K::Fp;
+  int32_t Idx = -1;
+};
+
+/// Rejects expressions that mutate variables: embedded side effects
+/// would let a later operand change a register an earlier operand read,
+/// which the flat register file cannot model (the tree walker copies
+/// values eagerly). Statement-level assignments are handled separately.
+static void checkNoSideEffects(const Expr *E) {
+  if (!E)
+    return;
+  switch (E->getKind()) {
+  case Expr::Kind::Assign:
+    bail("assignment inside an expression");
+  case Expr::Kind::Unary: {
+    const auto *U = static_cast<const UnaryExpr *>(E);
+    switch (U->getOp()) {
+    case UnaryOpKind::PreInc:
+    case UnaryOpKind::PreDec:
+    case UnaryOpKind::PostInc:
+    case UnaryOpKind::PostDec:
+      bail("increment/decrement inside an expression");
+    default:
+      checkNoSideEffects(U->getOperand());
+    }
+    return;
+  }
+  case Expr::Kind::Paren:
+    return checkNoSideEffects(static_cast<const ParenExpr *>(E)->getInner());
+  case Expr::Kind::Binary: {
+    const auto *B = static_cast<const BinaryExpr *>(E);
+    checkNoSideEffects(B->getLhs());
+    checkNoSideEffects(B->getRhs());
+    return;
+  }
+  case Expr::Kind::Conditional: {
+    const auto *C = static_cast<const ConditionalExpr *>(E);
+    checkNoSideEffects(C->getCond());
+    checkNoSideEffects(C->getTrueExpr());
+    checkNoSideEffects(C->getFalseExpr());
+    return;
+  }
+  case Expr::Kind::Subscript: {
+    const auto *S = static_cast<const SubscriptExpr *>(E);
+    checkNoSideEffects(S->getBase());
+    checkNoSideEffects(S->getIndex());
+    return;
+  }
+  case Expr::Kind::Call:
+    for (const Expr *A : static_cast<const CallExpr *>(E)->getArgs())
+      checkNoSideEffects(A);
+    return;
+  case Expr::Kind::Cast:
+    return checkNoSideEffects(static_cast<const CastExpr *>(E)->getOperand());
+  default:
+    return;
+  }
+}
+
+static const Expr *stripParens(const Expr *E) {
+  while (E && E->getKind() == Expr::Kind::Paren)
+    E = static_cast<const ParenExpr *>(E)->getInner();
+  return E;
+}
+
+class TapeBuilder {
+public:
+  TapeBuilder(const FunctionDecl *F, const TapeCompileOptions &O)
+      : Fn(F), Opts(O) {}
+
+  Tape compile();
+
+private:
+  const FunctionDecl *Fn;
+  const TapeCompileOptions &Opts;
+  Tape T;
+
+  int32_t NumFpV = 0;
+  std::vector<char> IsTempV; // per FP vreg: expression temporary?
+  std::vector<std::map<std::string, Binding>> Scopes;
+  std::map<uint64_t, int32_t> ConstPool;
+  std::map<long long, int32_t> IntConstPool;
+  std::vector<int32_t> Labels; // label id -> instruction index
+  struct LoopCtx {
+    int32_t BreakLbl, ContinueLbl;
+  };
+  std::vector<LoopCtx> Loops;
+
+  //===-- small helpers ---------------------------------------------------===//
+
+  int32_t newFpV(bool Temp) {
+    IsTempV.push_back(Temp ? 1 : 0);
+    return NumFpV++;
+  }
+  int32_t newIntReg() { return T.NumIntRegs++; }
+
+  int32_t addConst(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    auto It = ConstPool.find(Bits);
+    if (It != ConstPool.end())
+      return It->second;
+    // Mirrors the aa::Affine(double) exactness test: integral values up
+    // to 2^53 need no deviation symbol.
+    bool Exact = std::trunc(V) == V && std::fabs(V) <= 0x1p53;
+    int32_t Id = static_cast<int32_t>(T.Consts.size());
+    T.Consts.push_back({V, Exact});
+    ConstPool[Bits] = Id;
+    return Id;
+  }
+  int32_t addIntConst(long long V) {
+    auto It = IntConstPool.find(V);
+    if (It != IntConstPool.end())
+      return It->second;
+    int32_t Id = static_cast<int32_t>(T.IntConsts.size());
+    T.IntConsts.push_back(V);
+    IntConstPool[V] = Id;
+    return Id;
+  }
+
+  void emit(TapeOpcode Op, uint8_t Sub, int32_t Dst, int32_t A, int32_t B,
+            int32_t C) {
+    T.Code.push_back({Op, Sub, Dst, A, B, C});
+  }
+
+  int32_t newLabel() {
+    Labels.push_back(-1);
+    return static_cast<int32_t>(Labels.size()) - 1;
+  }
+  void bindLabel(int32_t L) {
+    assert(Labels[L] == -1 && "label bound twice");
+    Labels[L] = static_cast<int32_t>(T.Code.size());
+  }
+
+  Binding *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  void bind(const std::string &Name, Binding B) {
+    // The tree walker keeps one flat frame per function, so a nested
+    // declaration shadowing an enclosing name would behave differently
+    // under lexical scoping: reject it and let the tree define it.
+    for (size_t I = 0; I + 1 < Scopes.size(); ++I)
+      if (Scopes[I].count(Name))
+        bail("declaration shadows enclosing '" + Name + "'");
+    Scopes.back()[Name] = B;
+  }
+
+  const Binding &bindingOf(const DeclRefExpr *D) {
+    Binding *B = lookup(D->getName());
+    if (!B)
+      bail("reference to unbound name '" + D->getName() + "'");
+    return *B;
+  }
+
+  //===-- array element resolution ----------------------------------------===//
+
+  struct ArrayRef {
+    int32_t ArrayId = -1;
+    size_t Level = 0;    // subscripts applied so far
+    int32_t FlatReg = -1; // int register holding the partial flat index
+  };
+
+  /// Resolves a (possibly partially subscripted) array reference,
+  /// emitting index expressions and per-dimension bounds checks in the
+  /// tree walker's order: outer indices are evaluated and checked before
+  /// inner ones (evalLvalue recurses into the base first).
+  ArrayRef resolveArrayRef(const Expr *E) {
+    E = stripParens(E);
+    switch (E->getKind()) {
+    case Expr::Kind::DeclRef: {
+      const Binding &B = bindingOf(static_cast<const DeclRefExpr *>(E));
+      if (B.Kind != Binding::K::Array)
+        bail("subscript of a non-array");
+      return {B.Idx, 0, -1};
+    }
+    case Expr::Kind::Subscript: {
+      const auto *S = static_cast<const SubscriptExpr *>(E);
+      ArrayRef P = resolveArrayRef(S->getBase());
+      const TapeArray &Arr = T.Arrays[P.ArrayId];
+      if (P.Level >= Arr.Dims.size())
+        bail("too many subscripts");
+      int64_t Dim = Arr.Dims[P.Level];
+      int32_t Idx = emitInt(S->getIndex());
+      emit(TapeOpcode::IBound, 0, -1, Idx, static_cast<int32_t>(Dim), -1);
+      int32_t Flat;
+      if (P.FlatReg < 0) {
+        Flat = Idx;
+      } else {
+        int32_t DimReg = newIntReg();
+        emit(TapeOpcode::IConst, 0, DimReg, addIntConst(Dim), -1, -1);
+        int32_t Mul = newIntReg();
+        emit(TapeOpcode::IMul, 0, Mul, P.FlatReg, DimReg, -1);
+        Flat = newIntReg();
+        emit(TapeOpcode::IAdd, 0, Flat, Mul, Idx, -1);
+      }
+      return {P.ArrayId, P.Level + 1, Flat};
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      if (U->getOp() != UnaryOpKind::Deref)
+        bail("unsupported array reference");
+      ArrayRef P = resolveArrayRef(U->getOperand());
+      if (P.Level != 0 || T.Arrays[P.ArrayId].Dims.size() != 1)
+        bail("unsupported dereference");
+      int32_t Zero = newIntReg();
+      emit(TapeOpcode::IConst, 0, Zero, addIntConst(0), -1, -1);
+      return {P.ArrayId, 1, Zero};
+    }
+    default:
+      bail("unsupported array reference expression");
+    }
+  }
+
+  /// Full element access: every dimension subscripted.
+  ArrayRef resolveElement(const Expr *E) {
+    ArrayRef R = resolveArrayRef(E);
+    if (R.Level != T.Arrays[R.ArrayId].Dims.size())
+      bail("array value used where an element is required");
+    if (R.FlatReg < 0) { // zero-dimensional cannot happen, but be safe
+      R.FlatReg = newIntReg();
+      emit(TapeOpcode::IConst, 0, R.FlatReg, addIntConst(0), -1, -1);
+    }
+    return R;
+  }
+
+  //===-- integer expressions ---------------------------------------------===//
+
+  static bool isIntTy(const Type *Ty) { return Ty && Ty->isInteger(); }
+  static bool isFpTy(const Type *Ty) { return Ty && Ty->isFloating(); }
+
+  int32_t emitInt(const Expr *E) {
+    E = stripParens(E);
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral: {
+      int32_t R = newIntReg();
+      emit(TapeOpcode::IConst, 0, R,
+           addIntConst(static_cast<const IntLiteralExpr *>(E)->getValue()), -1,
+           -1);
+      return R;
+    }
+    case Expr::Kind::DeclRef: {
+      const Binding &B = bindingOf(static_cast<const DeclRefExpr *>(E));
+      if (B.Kind != Binding::K::Int)
+        bail("expected an integer variable");
+      return B.Idx;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      switch (U->getOp()) {
+      case UnaryOpKind::Plus:
+        return emitInt(U->getOperand());
+      case UnaryOpKind::Minus: {
+        int32_t A = emitInt(U->getOperand()), R = newIntReg();
+        emit(TapeOpcode::INeg, 0, R, A, -1, -1);
+        return R;
+      }
+      case UnaryOpKind::Not: {
+        int32_t A, R = newIntReg();
+        if (isFpTy(U->getOperand()->getType())) {
+          int32_t F = emitFp(U->getOperand(), -1), Tr = newIntReg();
+          emit(TapeOpcode::FTruthy, 0, Tr, F, -1, -1);
+          A = Tr;
+        } else {
+          A = emitInt(U->getOperand());
+        }
+        emit(TapeOpcode::INot, 0, R, A, -1, -1);
+        return R;
+      }
+      case UnaryOpKind::BitNot: {
+        if (!isIntTy(U->getOperand()->getType()))
+          bail("operator ~ on a non-integer");
+        int32_t A = emitInt(U->getOperand()), R = newIntReg();
+        emit(TapeOpcode::IBitNot, 0, R, A, -1, -1);
+        return R;
+      }
+      default:
+        bail("unsupported unary operator in integer context");
+      }
+    }
+    case Expr::Kind::Binary:
+      return emitIntBinary(static_cast<const BinaryExpr *>(E));
+    case Expr::Kind::Conditional: {
+      const auto *C = static_cast<const ConditionalExpr *>(E);
+      if (!isIntTy(C->getType()))
+        bail("conditional in integer context is not integer-typed");
+      int32_t Cond = emitCond(C->getCond());
+      int32_t Dst = newIntReg();
+      int32_t Lelse = newLabel(), Lend = newLabel();
+      emit(TapeOpcode::JumpIfZero, 0, -1, Cond, Lelse, -1);
+      int32_t Tv = emitInt(C->getTrueExpr());
+      emit(TapeOpcode::IMov, 0, Dst, Tv, -1, -1);
+      emit(TapeOpcode::Jump, 0, -1, -1, Lend, -1);
+      bindLabel(Lelse);
+      int32_t Fv = emitInt(C->getFalseExpr());
+      emit(TapeOpcode::IMov, 0, Dst, Fv, -1, -1);
+      bindLabel(Lend);
+      return Dst;
+    }
+    case Expr::Kind::Cast: {
+      const auto *C = static_cast<const CastExpr *>(E);
+      if (!isIntTy(C->getOperand()->getType()))
+        bail("cast of a sound value to an integer");
+      return emitInt(C->getOperand());
+    }
+    default:
+      bail("unsupported expression in integer context");
+    }
+  }
+
+  int32_t emitIntBinary(const BinaryExpr *B) {
+    BinaryOpKind Op = B->getOp();
+    // Short-circuit logicals produce strict 0/1, as the tree walker does.
+    if (Op == BinaryOpKind::LAnd || Op == BinaryOpKind::LOr) {
+      int32_t Dst = newIntReg();
+      int32_t A = emitTruthy01(B->getLhs());
+      emit(TapeOpcode::IMov, 0, Dst, A, -1, -1);
+      int32_t Lend = newLabel();
+      emit(Op == BinaryOpKind::LAnd ? TapeOpcode::JumpIfZero
+                                    : TapeOpcode::JumpIfNonZero,
+           0, -1, A, Lend, -1);
+      int32_t R = emitTruthy01(B->getRhs());
+      emit(TapeOpcode::IMov, 0, Dst, R, -1, -1);
+      bindLabel(Lend);
+      return Dst;
+    }
+    if (B->isComparison()) {
+      bool BothInt =
+          isIntTy(B->getLhs()->getType()) && isIntTy(B->getRhs()->getType());
+      uint8_t Sub = cmpSub(Op);
+      int32_t Dst = newIntReg();
+      if (BothInt) {
+        int32_t L = emitInt(B->getLhs()), R = emitInt(B->getRhs());
+        emit(TapeOpcode::ICmp, Sub, Dst, L, R, -1);
+      } else {
+        // Mixed/float comparison goes through midpoints; integer
+        // operands compare as (double)v, which exact() reproduces.
+        int32_t L = emitFpOperand(B->getLhs());
+        int32_t R = emitFpOperand(B->getRhs());
+        emit(TapeOpcode::FCmp, Sub, Dst, L, R, -1);
+      }
+      return Dst;
+    }
+    if (!isIntTy(B->getLhs()->getType()) || !isIntTy(B->getRhs()->getType()))
+      bail("non-integer operand of an integer operator");
+    TapeOpcode Op2;
+    switch (Op) {
+    case BinaryOpKind::Add: Op2 = TapeOpcode::IAdd; break;
+    case BinaryOpKind::Sub: Op2 = TapeOpcode::ISub; break;
+    case BinaryOpKind::Mul: Op2 = TapeOpcode::IMul; break;
+    case BinaryOpKind::Div: Op2 = TapeOpcode::IDiv; break;
+    case BinaryOpKind::Rem: Op2 = TapeOpcode::IRem; break;
+    case BinaryOpKind::BitAnd: Op2 = TapeOpcode::IAnd; break;
+    case BinaryOpKind::BitOr: Op2 = TapeOpcode::IOr; break;
+    case BinaryOpKind::BitXor: Op2 = TapeOpcode::IXor; break;
+    case BinaryOpKind::Shl: Op2 = TapeOpcode::IShl; break;
+    case BinaryOpKind::Shr: Op2 = TapeOpcode::IShr; break;
+    default:
+      bail("unsupported integer binary operator");
+    }
+    int32_t L = emitInt(B->getLhs()), R = emitInt(B->getRhs());
+    int32_t Dst = newIntReg();
+    emit(Op2, 0, Dst, L, R, -1);
+    return Dst;
+  }
+
+  static uint8_t cmpSub(BinaryOpKind Op) {
+    switch (Op) {
+    case BinaryOpKind::Lt: return static_cast<uint8_t>(TapeCmp::Lt);
+    case BinaryOpKind::Gt: return static_cast<uint8_t>(TapeCmp::Gt);
+    case BinaryOpKind::Le: return static_cast<uint8_t>(TapeCmp::Le);
+    case BinaryOpKind::Ge: return static_cast<uint8_t>(TapeCmp::Ge);
+    case BinaryOpKind::Eq: return static_cast<uint8_t>(TapeCmp::Eq);
+    case BinaryOpKind::Ne: return static_cast<uint8_t>(TapeCmp::Ne);
+    default: bail("not a comparison");
+    }
+  }
+
+  /// Condition value for a branch: any integer works (branches test
+  /// against zero, matching truthy()).
+  int32_t emitCond(const Expr *E) {
+    if (isFpTy(stripParens(E)->getType())) {
+      int32_t F = emitFp(E, -1), R = newIntReg();
+      emit(TapeOpcode::FTruthy, 0, R, F, -1, -1);
+      return R;
+    }
+    return emitInt(E);
+  }
+
+  /// Strict 0/1 truthiness (value position of && / ||).
+  int32_t emitTruthy01(const Expr *E) {
+    if (isFpTy(stripParens(E)->getType())) {
+      int32_t F = emitFp(E, -1), R = newIntReg();
+      emit(TapeOpcode::FTruthy, 0, R, F, -1, -1);
+      return R;
+    }
+    int32_t V = emitInt(E);
+    int32_t Zero = newIntReg();
+    emit(TapeOpcode::IConst, 0, Zero, addIntConst(0), -1, -1);
+    int32_t R = newIntReg();
+    emit(TapeOpcode::ICmp, static_cast<uint8_t>(TapeCmp::Ne), R, V, Zero, -1);
+    return R;
+  }
+
+  //===-- floating-point expressions --------------------------------------===//
+
+  /// Emits \p E as an affine value. If \p Dst >= 0 the result lands in
+  /// that register; otherwise a register is chosen (a fresh temporary,
+  /// or the variable's own register for a plain reference).
+  int32_t emitFp(const Expr *E, int32_t Dst) {
+    E = stripParens(E);
+    switch (E->getKind()) {
+    case Expr::Kind::FloatLiteral: {
+      int32_t D = Dst < 0 ? newFpV(true) : Dst;
+      emit(TapeOpcode::FConst, 0, D,
+           addConst(static_cast<const FloatLiteralExpr *>(E)->getValue()), -1,
+           -1);
+      return D;
+    }
+    case Expr::Kind::DeclRef: {
+      const Binding &B = bindingOf(static_cast<const DeclRefExpr *>(E));
+      if (B.Kind != Binding::K::Fp)
+        bail("expected a floating-point variable");
+      if (Dst < 0 || Dst == B.Idx)
+        return B.Idx;
+      emit(TapeOpcode::FMov, 0, Dst, B.Idx, -1, -1);
+      return Dst;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = static_cast<const UnaryExpr *>(E);
+      switch (U->getOp()) {
+      case UnaryOpKind::Plus:
+        return emitFp(U->getOperand(), Dst);
+      case UnaryOpKind::Minus: {
+        int32_t A = emitFpOperand(U->getOperand());
+        int32_t D = Dst < 0 ? newFpV(true) : Dst;
+        emit(TapeOpcode::FNeg, 0, D, A, -1, -1);
+        return D;
+      }
+      case UnaryOpKind::Deref: {
+        ArrayRef R = resolveElement(E);
+        int32_t D = Dst < 0 ? newFpV(true) : Dst;
+        emit(TapeOpcode::FLoad, 0, D, R.ArrayId, R.FlatReg, -1);
+        return D;
+      }
+      default:
+        bail("unsupported unary operator in floating context");
+      }
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = static_cast<const BinaryExpr *>(E);
+      TapeOpcode Op;
+      switch (B->getOp()) {
+      case BinaryOpKind::Add: Op = TapeOpcode::FAdd; break;
+      case BinaryOpKind::Sub: Op = TapeOpcode::FSub; break;
+      case BinaryOpKind::Mul: Op = TapeOpcode::FMul; break;
+      case BinaryOpKind::Div: Op = TapeOpcode::FDiv; break;
+      default:
+        bail("unsupported binary operator in floating context");
+      }
+      int32_t L = emitFpOperand(B->getLhs());
+      int32_t R = emitFpOperand(B->getRhs());
+      int32_t D = Dst < 0 ? newFpV(true) : Dst;
+      emit(Op, 0, D, L, R, -1);
+      return D;
+    }
+    case Expr::Kind::Subscript: {
+      ArrayRef R = resolveElement(E);
+      int32_t D = Dst < 0 ? newFpV(true) : Dst;
+      emit(TapeOpcode::FLoad, 0, D, R.ArrayId, R.FlatReg, -1);
+      return D;
+    }
+    case Expr::Kind::Call:
+      return emitCall(static_cast<const CallExpr *>(E), Dst);
+    case Expr::Kind::Cast: {
+      const auto *C = static_cast<const CastExpr *>(E);
+      const Type *OpTy = C->getOperand()->getType();
+      if (isFpTy(OpTy))
+        return emitFp(C->getOperand(), Dst);
+      if (isIntTy(OpTy)) {
+        int32_t I = emitInt(C->getOperand());
+        int32_t D = Dst < 0 ? newFpV(true) : Dst;
+        emit(TapeOpcode::FFromInt, 0, D, I, -1, -1);
+        return D;
+      }
+      bail("unsupported cast operand");
+    }
+    case Expr::Kind::Conditional: {
+      const auto *C = static_cast<const ConditionalExpr *>(E);
+      int32_t Cond = emitCond(C->getCond());
+      int32_t D = Dst < 0 ? newFpV(true) : Dst;
+      int32_t Lelse = newLabel(), Lend = newLabel();
+      emit(TapeOpcode::JumpIfZero, 0, -1, Cond, Lelse, -1);
+      emitFpCoerced(C->getTrueExpr(), D);
+      emit(TapeOpcode::Jump, 0, -1, -1, Lend, -1);
+      bindLabel(Lelse);
+      emitFpCoerced(C->getFalseExpr(), D);
+      bindLabel(Lend);
+      return D;
+    }
+    case Expr::Kind::IntLiteral:
+    default:
+      bail("unsupported expression in floating context");
+    }
+  }
+
+  /// Operand position of an FP operator: integer-typed operands coerce
+  /// through exact() — a draw-free conversion, so its position in the
+  /// stream is immaterial.
+  int32_t emitFpOperand(const Expr *E) {
+    const Type *Ty = stripParens(E)->getType();
+    if (isIntTy(Ty)) {
+      int32_t I = emitInt(E);
+      int32_t D = newFpV(true);
+      emit(TapeOpcode::FFromInt, 0, D, I, -1, -1);
+      return D;
+    }
+    if (!isFpTy(Ty))
+      bail("unsupported operand type in floating context");
+    return emitFp(E, -1);
+  }
+
+  /// Into-register emission with int coercion (?: arms, decl inits).
+  void emitFpCoerced(const Expr *E, int32_t Dst) {
+    if (isIntTy(stripParens(E)->getType())) {
+      int32_t I = emitInt(E);
+      emit(TapeOpcode::FFromInt, 0, Dst, I, -1, -1);
+      return;
+    }
+    emitFp(E, Dst);
+  }
+
+  int32_t emitCall(const CallExpr *C, int32_t Dst) {
+    const std::string &Name = C->getCallee();
+    // All arguments are evaluated before dispatch (tree walker order);
+    // the affine coercion of integer args is draw-free so emitting it
+    // inline per argument is equivalent.
+    struct Fn1Entry { const char *Name; TapeFn1 Id; };
+    static const Fn1Entry Unary[] = {
+        {"sqrt", TapeFn1::Sqrt}, {"exp", TapeFn1::Exp}, {"log", TapeFn1::Log},
+        {"sin", TapeFn1::Sin},   {"cos", TapeFn1::Cos}, {"fabs", TapeFn1::Fabs},
+    };
+    for (const Fn1Entry &F : Unary) {
+      if (Name != F.Name)
+        continue;
+      if (C->getArgs().size() != 1)
+        bail(Name + " arity mismatch");
+      int32_t A = emitFpOperand(C->getArgs()[0]);
+      int32_t D = Dst < 0 ? newFpV(true) : Dst;
+      emit(TapeOpcode::FCall1, static_cast<uint8_t>(F.Id), D, A, -1, -1);
+      return D;
+    }
+    if (Name == "fmax" || Name == "fmin") {
+      if (C->getArgs().size() != 2)
+        bail(Name + " arity mismatch");
+      int32_t A = emitFpOperand(C->getArgs()[0]);
+      int32_t B = emitFpOperand(C->getArgs()[1]);
+      int32_t D = Dst < 0 ? newFpV(true) : Dst;
+      emit(TapeOpcode::FCall2,
+           static_cast<uint8_t>(Name == "fmax" ? TapeFn2::Fmax : TapeFn2::Fmin),
+           D, A, B, -1);
+      return D;
+    }
+    bail("call to non-builtin function '" + Name + "'");
+  }
+
+  //===-- statements ------------------------------------------------------===//
+
+  void emitAssign(const AssignExpr *A) {
+    checkNoSideEffects(A->getLhs());
+    checkNoSideEffects(A->getRhs());
+    const Expr *LHS = stripParens(A->getLhs());
+    AssignOpKind Op = A->getOp();
+
+    if (LHS->getKind() == Expr::Kind::DeclRef) {
+      const Binding &B = bindingOf(static_cast<const DeclRefExpr *>(LHS));
+      switch (B.Kind) {
+      case Binding::K::Fp:
+        if (Op == AssignOpKind::Assign) {
+          emitFpCoerced(A->getRhs(), B.Idx);
+        } else {
+          int32_t R = emitFpOperand(A->getRhs());
+          emit(fpCompoundOp(Op), 0, B.Idx, B.Idx, R, -1);
+        }
+        return;
+      case Binding::K::Int: {
+        if (!isIntTy(stripParens(A->getRhs())->getType()))
+          bail("assigning a floating value to an integer variable");
+        int32_t R = emitInt(A->getRhs());
+        if (Op == AssignOpKind::Assign)
+          emit(TapeOpcode::IMov, 0, B.Idx, R, -1, -1);
+        else
+          emit(intCompoundOp(Op), 0, B.Idx, B.Idx, R, -1);
+        return;
+      }
+      case Binding::K::Array:
+        bail("whole-array assignment");
+      }
+    }
+
+    // Element store: lvalue (indices + bounds checks) first, then the
+    // right-hand side, as in the tree walker.
+    ArrayRef R = resolveElement(LHS);
+    if (Op == AssignOpKind::Assign) {
+      int32_t V = emitFpOperand(A->getRhs());
+      emit(TapeOpcode::FStore, 0, -1, R.ArrayId, R.FlatReg, V);
+      return;
+    }
+    int32_t Rv = emitFpOperand(A->getRhs());
+    int32_t Old = newFpV(true);
+    emit(TapeOpcode::FLoad, 0, Old, R.ArrayId, R.FlatReg, -1);
+    int32_t Res = newFpV(true);
+    emit(fpCompoundOp(Op), 0, Res, Old, Rv, -1);
+    emit(TapeOpcode::FStore, 0, -1, R.ArrayId, R.FlatReg, Res);
+  }
+
+  static TapeOpcode fpCompoundOp(AssignOpKind Op) {
+    switch (Op) {
+    case AssignOpKind::AddAssign: return TapeOpcode::FAdd;
+    case AssignOpKind::SubAssign: return TapeOpcode::FSub;
+    case AssignOpKind::MulAssign: return TapeOpcode::FMul;
+    case AssignOpKind::DivAssign: return TapeOpcode::FDiv;
+    default: bail("unsupported compound assignment");
+    }
+  }
+  static TapeOpcode intCompoundOp(AssignOpKind Op) {
+    switch (Op) {
+    case AssignOpKind::AddAssign: return TapeOpcode::IAdd;
+    case AssignOpKind::SubAssign: return TapeOpcode::ISub;
+    case AssignOpKind::MulAssign: return TapeOpcode::IMul;
+    case AssignOpKind::DivAssign: return TapeOpcode::IDiv;
+    default: bail("unsupported compound assignment");
+    }
+  }
+
+  void emitIncDec(const UnaryExpr *U) {
+    checkNoSideEffects(U->getOperand());
+    const Expr *Op = stripParens(U->getOperand());
+    if (Op->getKind() != Expr::Kind::DeclRef)
+      bail("increment of a non-variable");
+    const Binding &B = bindingOf(static_cast<const DeclRefExpr *>(Op));
+    if (B.Kind != Binding::K::Int)
+      bail("increment of a non-integer variable");
+    int32_t One = newIntReg();
+    emit(TapeOpcode::IConst, 0, One, addIntConst(1), -1, -1);
+    bool Inc = U->getOp() == UnaryOpKind::PreInc ||
+               U->getOp() == UnaryOpKind::PostInc;
+    emit(Inc ? TapeOpcode::IAdd : TapeOpcode::ISub, 0, B.Idx, B.Idx, One, -1);
+  }
+
+  /// Statement-position expression: assignments and increments are the
+  /// only permitted mutations; everything else is evaluated for its
+  /// effects (symbol draws, bounds checks) and discarded.
+  void emitForEffect(const Expr *E) {
+    const Expr *S = stripParens(E);
+    if (S->getKind() == Expr::Kind::Assign)
+      return emitAssign(static_cast<const AssignExpr *>(S));
+    if (S->getKind() == Expr::Kind::Unary) {
+      const auto *U = static_cast<const UnaryExpr *>(S);
+      switch (U->getOp()) {
+      case UnaryOpKind::PreInc:
+      case UnaryOpKind::PreDec:
+      case UnaryOpKind::PostInc:
+      case UnaryOpKind::PostDec:
+        return emitIncDec(U);
+      default:
+        break;
+      }
+    }
+    checkNoSideEffects(S);
+    const Type *Ty = S->getType();
+    if (isFpTy(Ty))
+      emitFp(S, -1);
+    else if (isIntTy(Ty))
+      emitInt(S);
+    else
+      bail("unsupported expression statement");
+  }
+
+  std::vector<int64_t> collectLocalDims(const Type *Ty) {
+    std::vector<int64_t> Dims;
+    while (Ty && Ty->isArray()) {
+      Dims.push_back(static_cast<int64_t>(Ty->getArraySize()));
+      Ty = Ty->getElement();
+    }
+    if (!isFpTy(Ty))
+      bail("non-floating array element type");
+    return Dims;
+  }
+
+  int32_t addArray(std::vector<int64_t> Dims, int32_t ParamIdx) {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    TapeArray A;
+    A.NumElems = static_cast<int32_t>(N);
+    A.Dims = std::move(Dims);
+    A.Param = ParamIdx;
+    T.Arrays.push_back(std::move(A));
+    return static_cast<int32_t>(T.Arrays.size()) - 1;
+  }
+
+  void emitLocalDecl(const VarDecl *D) {
+    const Type *Ty = D->getType();
+    if (!Ty)
+      bail("untyped declaration");
+    if (Ty->isArray()) {
+      if (D->getInit())
+        bail("array initializer");
+      int32_t Id = addArray(collectLocalDims(Ty), -1);
+      emit(TapeOpcode::AInit, 0, -1, Id, -1, -1);
+      bind(D->getName(), {Binding::K::Array, Id});
+      return;
+    }
+    if (Ty->isFloating()) {
+      int32_t Reg = newFpV(false);
+      bind(D->getName(), {Binding::K::Fp, Reg});
+      if (const Expr *Init = D->getInit()) {
+        checkNoSideEffects(Init);
+        emitFpCoerced(Init, Reg);
+      } else {
+        emit(TapeOpcode::FConst, 0, Reg, addConst(0.0), -1, -1);
+      }
+      return;
+    }
+    if (Ty->isInteger()) {
+      int32_t Reg = newIntReg();
+      bind(D->getName(), {Binding::K::Int, Reg});
+      if (const Expr *Init = D->getInit()) {
+        checkNoSideEffects(Init);
+        if (!isIntTy(stripParens(Init)->getType()))
+          bail("floating initializer for an integer variable");
+        int32_t R = emitInt(Init);
+        emit(TapeOpcode::IMov, 0, Reg, R, -1, -1);
+      } else {
+        emit(TapeOpcode::IConst, 0, Reg, addIntConst(0), -1, -1);
+      }
+      return;
+    }
+    bail("unsupported local declaration type");
+  }
+
+  void emitStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound: {
+      Scopes.emplace_back();
+      for (const Stmt *Child : static_cast<const CompoundStmt *>(S)->getBody())
+        emitStmt(Child);
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::Decl:
+      for (const VarDecl *D : static_cast<const DeclStmt *>(S)->getDecls())
+        emitLocalDecl(D);
+      return;
+    case Stmt::Kind::Expr:
+      emitForEffect(static_cast<const ExprStmt *>(S)->getExpr());
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = static_cast<const IfStmt *>(S);
+      checkNoSideEffects(I->getCond());
+      int32_t C = emitCond(I->getCond());
+      int32_t Lelse = newLabel();
+      emit(TapeOpcode::JumpIfZero, 0, -1, C, Lelse, -1);
+      emitStmt(I->getThen());
+      if (I->getElse()) {
+        int32_t Lend = newLabel();
+        emit(TapeOpcode::Jump, 0, -1, -1, Lend, -1);
+        bindLabel(Lelse);
+        emitStmt(I->getElse());
+        bindLabel(Lend);
+      } else {
+        bindLabel(Lelse);
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = static_cast<const WhileStmt *>(S);
+      int32_t Lcond = newLabel(), Lend = newLabel();
+      bindLabel(Lcond);
+      checkNoSideEffects(W->getCond());
+      int32_t C = emitCond(W->getCond());
+      emit(TapeOpcode::JumpIfZero, 0, -1, C, Lend, -1);
+      Loops.push_back({Lend, Lcond});
+      emitStmt(W->getBody());
+      Loops.pop_back();
+      emit(TapeOpcode::Jump, 0, -1, -1, Lcond, -1);
+      bindLabel(Lend);
+      return;
+    }
+    case Stmt::Kind::DoWhile: {
+      const auto *W = static_cast<const DoWhileStmt *>(S);
+      int32_t Lbody = newLabel(), Lcond = newLabel(), Lend = newLabel();
+      bindLabel(Lbody);
+      Loops.push_back({Lend, Lcond});
+      emitStmt(W->getBody());
+      Loops.pop_back();
+      bindLabel(Lcond);
+      checkNoSideEffects(W->getCond());
+      int32_t C = emitCond(W->getCond());
+      emit(TapeOpcode::JumpIfNonZero, 0, -1, C, Lbody, -1);
+      bindLabel(Lend);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = static_cast<const ForStmt *>(S);
+      Scopes.emplace_back();
+      emitStmt(F->getInit());
+      int32_t Lcond = newLabel(), Linc = newLabel(), Lend = newLabel();
+      bindLabel(Lcond);
+      if (F->getCond()) {
+        checkNoSideEffects(F->getCond());
+        int32_t C = emitCond(F->getCond());
+        emit(TapeOpcode::JumpIfZero, 0, -1, C, Lend, -1);
+      }
+      Loops.push_back({Lend, Linc});
+      emitStmt(F->getBody());
+      Loops.pop_back();
+      bindLabel(Linc);
+      if (F->getInc())
+        emitForEffect(F->getInc());
+      emit(TapeOpcode::Jump, 0, -1, -1, Lcond, -1);
+      bindLabel(Lend);
+      Scopes.pop_back();
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = static_cast<const ReturnStmt *>(S);
+      if (!R->getValue()) {
+        emit(TapeOpcode::RetVoid, 0, -1, -1, -1, -1);
+        return;
+      }
+      checkNoSideEffects(R->getValue());
+      const Type *Ty = stripParens(R->getValue())->getType();
+      if (isFpTy(Ty)) {
+        int32_t V = emitFp(R->getValue(), -1);
+        emit(TapeOpcode::RetF, 0, -1, V, -1, -1);
+      } else if (isIntTy(Ty)) {
+        int32_t V = emitInt(R->getValue());
+        emit(TapeOpcode::RetInt, 0, -1, V, -1, -1);
+      } else {
+        bail("unsupported return type");
+      }
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (Loops.empty())
+        bail("break outside a loop");
+      emit(TapeOpcode::Jump, 0, -1, -1, Loops.back().BreakLbl, -1);
+      return;
+    case Stmt::Kind::Continue:
+      if (Loops.empty())
+        bail("continue outside a loop");
+      emit(TapeOpcode::Jump, 0, -1, -1, Loops.back().ContinueLbl, -1);
+      return;
+    case Stmt::Kind::Null:
+      return;
+    case Stmt::Kind::Pragma: {
+      if (!Opts.Prioritize)
+        return;
+      const auto *P = static_cast<const PragmaStmt *>(S);
+      const std::string &Var = P->getPrioritizedVar();
+      if (Var.empty())
+        return;
+      if (Binding *B = lookup(Var)) {
+        if (B->Kind == Binding::K::Fp)
+          emit(TapeOpcode::FPrioritize, 0, -1, B->Idx, -1, -1);
+        else if (B->Kind == Binding::K::Array)
+          emit(TapeOpcode::APrioritize, 0, -1, B->Idx, -1, -1);
+      }
+      return;
+    }
+    }
+    bail("unsupported statement");
+  }
+
+  //===-- parameters ------------------------------------------------------===//
+
+  void emitParams() {
+    Scopes.emplace_back();
+    for (size_t P = 0; P < Fn->getParams().size(); ++P) {
+      const VarDecl *D = Fn->getParams()[P];
+      const Type *Ty = D->getType();
+      TapeParam TP;
+      if (!Ty)
+        bail("untyped parameter");
+      if (Ty->isInteger()) {
+        TP.K = TapeParam::Kind::Int;
+        TP.Index = newIntReg();
+        bind(D->getName(), {Binding::K::Int, TP.Index});
+      } else if (Ty->isFloating()) {
+        TP.K = TapeParam::Kind::Fp;
+        TP.Index = newFpV(false);
+        bind(D->getName(), {Binding::K::Fp, TP.Index});
+      } else if (Ty->isArray() || Ty->isPointer()) {
+        // makeDefaultArg gives unsized extents (and pointers) one
+        // element per level.
+        std::vector<int64_t> Dims;
+        const Type *E = Ty;
+        if (E->isPointer()) {
+          Dims.push_back(1);
+          E = E->getElement();
+        } else {
+          while (E->isArray()) {
+            size_t N = E->getArraySize();
+            Dims.push_back(static_cast<int64_t>(N ? N : 1));
+            E = E->getElement();
+          }
+        }
+        if (!isFpTy(E))
+          bail("unsupported parameter element type");
+        TP.K = TapeParam::Kind::Array;
+        TP.Index = addArray(std::move(Dims), static_cast<int32_t>(P));
+        bind(D->getName(), {Binding::K::Array, TP.Index});
+      } else {
+        bail("unsupported parameter type");
+      }
+      T.Params.push_back(TP);
+    }
+  }
+
+  //===-- peephole fusion -------------------------------------------------===//
+
+  void fuse();
+  void resolveLabels();
+  void allocateSlots();
+};
+
+//===-- def/use tables ------------------------------------------------------===//
+
+static int32_t fpDef(const TapeInst &I) {
+  switch (I.Op) {
+  case TapeOpcode::FConst:
+  case TapeOpcode::FMov:
+  case TapeOpcode::FNeg:
+  case TapeOpcode::FAdd:
+  case TapeOpcode::FSub:
+  case TapeOpcode::FMul:
+  case TapeOpcode::FDiv:
+  case TapeOpcode::FFma:
+  case TapeOpcode::FConstBin:
+  case TapeOpcode::FLin:
+  case TapeOpcode::FFmaC:
+  case TapeOpcode::FCall1:
+  case TapeOpcode::FCall2:
+  case TapeOpcode::FLoad:
+  case TapeOpcode::FFromInt:
+    return I.Dst;
+  default:
+    return -1;
+  }
+}
+
+static int fpUses(const TapeInst &I, int32_t U[3]) {
+  switch (I.Op) {
+  case TapeOpcode::FMov:
+  case TapeOpcode::FNeg:
+  case TapeOpcode::FCall1:
+  case TapeOpcode::FTruthy:
+  case TapeOpcode::FPrioritize:
+    U[0] = I.A;
+    return 1;
+  case TapeOpcode::FAdd:
+  case TapeOpcode::FSub:
+  case TapeOpcode::FMul:
+  case TapeOpcode::FDiv:
+  case TapeOpcode::FCall2:
+  case TapeOpcode::FCmp:
+    U[0] = I.A;
+    U[1] = I.B;
+    return 2;
+  case TapeOpcode::FFma:
+    U[0] = I.A;
+    U[1] = I.B;
+    U[2] = I.C;
+    return 3;
+  case TapeOpcode::FConstBin:
+    U[0] = I.A;
+    return 1;
+  case TapeOpcode::FLin:
+    U[0] = I.A;
+    U[1] = I.C;
+    return 2;
+  case TapeOpcode::FFmaC:
+    U[0] = I.A;
+    U[1] = I.B;
+    return 2;
+  case TapeOpcode::FStore:
+    U[0] = I.C;
+    return 1;
+  // The returned register is read at the very end of every path: without
+  // this use the liveness pass frees its slot after the last arithmetic
+  // read, and a temp then clobbers it (visible for `return x;` where x
+  // is a parameter or long-lived local).
+  case TapeOpcode::RetF:
+    U[0] = I.A;
+    return 1;
+  default:
+    return 0;
+  }
+}
+
+static bool isFAddSub(const TapeInst &I) {
+  return I.Op == TapeOpcode::FAdd || I.Op == TapeOpcode::FSub;
+}
+
+void TapeBuilder::fuse() {
+  std::vector<TapeInst> &C = T.Code;
+  // Use/def counts never change for surviving registers: fusion deletes
+  // a (single-def, single-use) pair entirely and moves the remaining
+  // operands verbatim, so one upfront count suffices.
+  std::vector<int32_t> UseN(NumFpV, 0), DefN(NumFpV, 0);
+  for (const TapeInst &I : C) {
+    int32_t U[3];
+    int N = fpUses(I, U);
+    for (int K = 0; K < N; ++K)
+      ++UseN[U[K]];
+    if (int32_t D = fpDef(I); D >= 0)
+      ++DefN[D];
+  }
+  auto Fusable = [&](int32_t V) {
+    return V >= 0 && IsTempV[V] && UseN[V] == 1 && DefN[V] == 1;
+  };
+  auto LabelAt = [&](size_t Pos) {
+    for (int32_t L : Labels)
+      if (L == static_cast<int32_t>(Pos))
+        return true;
+    return false;
+  };
+  auto Erase = [&](size_t Pos) {
+    C.erase(C.begin() + Pos);
+    for (int32_t &L : Labels)
+      if (L > static_cast<int32_t>(Pos))
+        --L;
+  };
+
+  size_t I = 0;
+  while (I + 1 < C.size()) {
+    // A fused op replaces the pair in place; a jump may target the first
+    // instruction but never land between the two.
+    if (LabelAt(I + 1)) {
+      ++I;
+      continue;
+    }
+    const TapeInst P = C[I], Q = C[I + 1];
+    bool Did = false;
+
+    // [fconst; fbin] -> fconstbin (the constant still constructs, and
+    // draws its symbol if inexact, at the same stream position).
+    if (P.Op == TapeOpcode::FConst &&
+        (Q.Op == TapeOpcode::FAdd || Q.Op == TapeOpcode::FSub ||
+         Q.Op == TapeOpcode::FMul || Q.Op == TapeOpcode::FDiv) &&
+        Fusable(P.Dst) && (Q.A == P.Dst) != (Q.B == P.Dst)) {
+      unsigned Kind = Q.Op == TapeOpcode::FAdd   ? 0u
+                      : Q.Op == TapeOpcode::FSub ? 1u
+                      : Q.Op == TapeOpcode::FMul ? 2u
+                                                 : 3u;
+      bool ConstLhs = Q.A == P.Dst;
+      C[I] = {TapeOpcode::FConstBin, constBinSub(Kind, ConstLhs), Q.Dst,
+              ConstLhs ? Q.B : Q.A, P.A, -1};
+      Did = true;
+    }
+    // [fmul; fadd/fsub] -> ffma.
+    else if (P.Op == TapeOpcode::FMul && isFAddSub(Q) && Fusable(P.Dst) &&
+             (Q.A == P.Dst) != (Q.B == P.Dst)) {
+      bool MulLhs = Q.A == P.Dst;
+      TapeAddVariant V =
+          Q.Op == TapeOpcode::FAdd
+              ? (MulLhs ? TapeAddVariant::TPlusC : TapeAddVariant::CPlusT)
+              : (MulLhs ? TapeAddVariant::TMinusC : TapeAddVariant::CMinusT);
+      C[I] = {TapeOpcode::FFma, static_cast<uint8_t>(V), Q.Dst, P.A, P.B,
+              MulLhs ? Q.B : Q.A};
+      Did = true;
+    }
+    // [fconstbin(mul); fadd/fsub] -> flin: (c*x) ± y as one dispatch.
+    else if (P.Op == TapeOpcode::FConstBin && (P.Sub >> 1) == 2 &&
+             isFAddSub(Q) && Fusable(P.Dst) &&
+             (Q.A == P.Dst) != (Q.B == P.Dst)) {
+      bool MulLhs = Q.A == P.Dst;
+      TapeAddVariant V =
+          Q.Op == TapeOpcode::FAdd
+              ? (MulLhs ? TapeAddVariant::TPlusC : TapeAddVariant::CPlusT)
+              : (MulLhs ? TapeAddVariant::TMinusC : TapeAddVariant::CMinusT);
+      uint8_t Sub =
+          static_cast<uint8_t>(static_cast<uint8_t>(V) << 1 | (P.Sub & 1));
+      C[I] = {TapeOpcode::FLin, Sub, Q.Dst, P.A, P.B, MulLhs ? Q.B : Q.A};
+      Did = true;
+    }
+    // [fmul; fconstbin(add/sub)] -> ffmac: (a*b) ± c.
+    else if (P.Op == TapeOpcode::FMul && Q.Op == TapeOpcode::FConstBin &&
+             (Q.Sub >> 1) <= 1 && Q.A == P.Dst && Fusable(P.Dst)) {
+      bool IsSub = (Q.Sub >> 1) == 1, ConstLhs = (Q.Sub & 1) != 0;
+      TapeAddVariant V =
+          IsSub ? (ConstLhs ? TapeAddVariant::CMinusT : TapeAddVariant::TMinusC)
+                : (ConstLhs ? TapeAddVariant::CPlusT : TapeAddVariant::TPlusC);
+      C[I] = {TapeOpcode::FFmaC, static_cast<uint8_t>(V), Q.Dst, P.A, P.B,
+              Q.B};
+      Did = true;
+    }
+
+    if (Did) {
+      Erase(I + 1);
+      ++T.NumFused;
+      if (I > 0)
+        --I; // a new pair may have formed with the predecessor
+    } else {
+      ++I;
+    }
+  }
+}
+
+void TapeBuilder::resolveLabels() {
+  for (TapeInst &I : T.Code) {
+    switch (I.Op) {
+    case TapeOpcode::Jump:
+    case TapeOpcode::JumpIfZero:
+    case TapeOpcode::JumpIfNonZero:
+      assert(Labels[I.B] >= 0 && "unbound label");
+      I.B = Labels[I.B];
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+//===-- liveness + linear scan ----------------------------------------------===//
+
+void TapeBuilder::allocateSlots() {
+  const int32_t N = static_cast<int32_t>(T.Code.size());
+  const int32_t NV = NumFpV;
+  T.NumFpVRegs = NV;
+  if (NV == 0) {
+    T.NumFpSlots = 0;
+    return;
+  }
+  const size_t W = (static_cast<size_t>(NV) + 63) / 64;
+  std::vector<uint64_t> In(static_cast<size_t>(N) * W, 0),
+      Out(static_cast<size_t>(N) * W, 0), Tmp(W);
+  auto SetBit = [&](std::vector<uint64_t> &Bs, int32_t I, int32_t V) {
+    Bs[static_cast<size_t>(I) * W + V / 64] |= 1ull << (V % 64);
+  };
+
+  // Successor table.
+  std::vector<std::pair<int32_t, int32_t>> Succ(N, {-1, -1});
+  for (int32_t I = 0; I < N; ++I) {
+    const TapeInst &Inst = T.Code[I];
+    switch (Inst.Op) {
+    case TapeOpcode::Jump:
+      Succ[I] = {Inst.B, -1};
+      break;
+    case TapeOpcode::JumpIfZero:
+    case TapeOpcode::JumpIfNonZero:
+      Succ[I] = {I + 1 < N ? I + 1 : -1, Inst.B};
+      break;
+    case TapeOpcode::RetF:
+    case TapeOpcode::RetInt:
+    case TapeOpcode::RetVoid:
+      break;
+    default:
+      Succ[I] = {I + 1 < N ? I + 1 : -1, -1};
+      break;
+    }
+  }
+
+  // Backward iterative dataflow to a fixed point.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int32_t I = N - 1; I >= 0; --I) {
+      std::fill(Tmp.begin(), Tmp.end(), 0);
+      for (int32_t S : {Succ[I].first, Succ[I].second})
+        if (S >= 0)
+          for (size_t K = 0; K < W; ++K)
+            Tmp[K] |= In[static_cast<size_t>(S) * W + K];
+      for (size_t K = 0; K < W; ++K) {
+        if (Out[static_cast<size_t>(I) * W + K] != Tmp[K]) {
+          Out[static_cast<size_t>(I) * W + K] = Tmp[K];
+          Changed = true;
+        }
+      }
+      // In = (Out \ def) | use
+      int32_t D = fpDef(T.Code[I]);
+      if (D >= 0)
+        Tmp[D / 64] &= ~(1ull << (D % 64));
+      int32_t U[3];
+      int NU = fpUses(T.Code[I], U);
+      for (int K = 0; K < NU; ++K)
+        Tmp[U[K] / 64] |= 1ull << (U[K] % 64);
+      for (size_t K = 0; K < W; ++K) {
+        if (In[static_cast<size_t>(I) * W + K] != Tmp[K]) {
+          In[static_cast<size_t>(I) * W + K] = Tmp[K];
+          Changed = true;
+        }
+      }
+    }
+  }
+  (void)SetBit;
+
+  // Conservative intervals covering every point where the vreg is live,
+  // defined, or used.
+  std::vector<int32_t> Begin(NV, -1), End(NV, -1);
+  auto Touch = [&](int32_t V, int32_t I) {
+    if (Begin[V] < 0 || I < Begin[V])
+      Begin[V] = I;
+    if (I > End[V])
+      End[V] = I;
+  };
+  for (int32_t I = 0; I < N; ++I) {
+    for (int32_t V = 0; V < NV; ++V) {
+      bool Live = (In[static_cast<size_t>(I) * W + V / 64] >> (V % 64)) & 1;
+      Live |= (Out[static_cast<size_t>(I) * W + V / 64] >> (V % 64)) & 1;
+      if (Live)
+        Touch(V, I);
+    }
+    if (int32_t D = fpDef(T.Code[I]); D >= 0)
+      Touch(D, I);
+    int32_t U[3];
+    int NU = fpUses(T.Code[I], U);
+    for (int K = 0; K < NU; ++K)
+      Touch(U[K], I);
+  }
+  // Parameter registers receive their argument before instruction 0.
+  for (const TapeParam &P : T.Params)
+    if (P.K == TapeParam::Kind::Fp) {
+      if (Begin[P.Index] < 0)
+        End[P.Index] = 0;
+      Begin[P.Index] = 0;
+    }
+
+  // Linear scan over intervals sorted by start.
+  std::vector<int32_t> Order;
+  for (int32_t V = 0; V < NV; ++V)
+    if (Begin[V] >= 0)
+      Order.push_back(V);
+  std::stable_sort(Order.begin(), Order.end(), [&](int32_t A, int32_t B) {
+    return Begin[A] < Begin[B];
+  });
+
+  std::vector<int32_t> Slot(NV, -1);
+  std::multimap<int32_t, int32_t> Active; // End -> vreg
+  std::set<int32_t> Free;
+  int32_t NumSlots = 0;
+  for (int32_t V : Order) {
+    while (!Active.empty() && Active.begin()->first < Begin[V]) {
+      Free.insert(Slot[Active.begin()->second]);
+      Active.erase(Active.begin());
+    }
+    int32_t S;
+    if (!Free.empty()) {
+      S = *Free.begin();
+      Free.erase(Free.begin());
+    } else {
+      S = NumSlots++;
+    }
+    Slot[V] = S;
+    Active.emplace(End[V], V);
+  }
+  T.NumFpSlots = NumSlots;
+
+  // Max interval-overlap depth (the slot count can never exceed it).
+  {
+    std::vector<std::pair<int32_t, int>> Ev;
+    for (int32_t V : Order) {
+      Ev.push_back({Begin[V], 1});
+      Ev.push_back({End[V] + 1, -1});
+    }
+    std::sort(Ev.begin(), Ev.end());
+    int32_t Cur = 0, Max = 0;
+    for (auto &E : Ev) {
+      Cur += E.second;
+      Max = std::max(Max, Cur);
+    }
+    T.MaxFpLive = Max;
+  }
+
+  for (int32_t V : Order)
+    T.FpIntervals.push_back({V, Slot[V], Begin[V], End[V]});
+
+  // Rewrite operands to slots.
+  auto Map = [&](int32_t V) { return V < 0 ? V : Slot[V]; };
+  for (TapeInst &I : T.Code) {
+    switch (I.Op) {
+    case TapeOpcode::FConst:
+    case TapeOpcode::FLoad:
+    case TapeOpcode::FFromInt:
+      I.Dst = Map(I.Dst);
+      break;
+    case TapeOpcode::FMov:
+    case TapeOpcode::FNeg:
+    case TapeOpcode::FCall1:
+      I.Dst = Map(I.Dst);
+      I.A = Map(I.A);
+      break;
+    case TapeOpcode::FAdd:
+    case TapeOpcode::FSub:
+    case TapeOpcode::FMul:
+    case TapeOpcode::FDiv:
+    case TapeOpcode::FCall2:
+      I.Dst = Map(I.Dst);
+      I.A = Map(I.A);
+      I.B = Map(I.B);
+      break;
+    case TapeOpcode::FFma:
+      I.Dst = Map(I.Dst);
+      I.A = Map(I.A);
+      I.B = Map(I.B);
+      I.C = Map(I.C);
+      break;
+    case TapeOpcode::FConstBin:
+      I.Dst = Map(I.Dst);
+      I.A = Map(I.A);
+      break;
+    case TapeOpcode::FLin:
+      I.Dst = Map(I.Dst);
+      I.A = Map(I.A);
+      I.C = Map(I.C);
+      break;
+    case TapeOpcode::FFmaC:
+      I.Dst = Map(I.Dst);
+      I.A = Map(I.A);
+      I.B = Map(I.B);
+      break;
+    case TapeOpcode::FStore:
+      I.C = Map(I.C);
+      break;
+    case TapeOpcode::FCmp:
+      I.A = Map(I.A);
+      I.B = Map(I.B);
+      break;
+    case TapeOpcode::FTruthy:
+    case TapeOpcode::FPrioritize:
+      I.A = Map(I.A);
+      break;
+    case TapeOpcode::RetF:
+      I.A = Map(I.A);
+      break;
+    default:
+      break;
+    }
+  }
+  for (TapeParam &P : T.Params)
+    if (P.K == TapeParam::Kind::Fp)
+      P.Index = Map(P.Index);
+}
+
+Tape TapeBuilder::compile() {
+  if (!Fn->isDefinition())
+    bail("not a definition");
+  T.Function = Fn->getName();
+  emitParams();
+  emitStmt(Fn->getBody());
+  // Falling off the end returns void, as in the tree walker.
+  emit(TapeOpcode::RetVoid, 0, -1, -1, -1, -1);
+  if (Opts.Fuse)
+    fuse();
+  resolveLabels();
+  allocateSlots();
+  return T;
+}
+
+} // namespace
+
+std::optional<Tape> compileToTape(const frontend::FunctionDecl *F,
+                                  const TapeCompileOptions &Opts,
+                                  std::string *WhyNot) {
+  if (!F) {
+    if (WhyNot)
+      *WhyNot = "null function";
+    return std::nullopt;
+  }
+  try {
+    TapeBuilder B(F, Opts);
+    return B.compile();
+  } catch (const CompileError &E) {
+    if (WhyNot)
+      *WhyNot = E.Why;
+    return std::nullopt;
+  }
+}
+
+} // namespace core
+} // namespace safegen

@@ -48,6 +48,11 @@ void printUsage() {
       "                     emitting code; scalar/array parameters are\n"
       "                     filled from --arg values (1-ulp inputs)\n"
       "  --arg <number>     argument for --run (repeatable, in order)\n"
+      "  --engine <e>       execution engine for --run: tape (compiled\n"
+      "                     tape, tree fallback) or tree (reference\n"
+      "                     tree-walk); results are bit-identical\n"
+      "  --compile-tape     time the tape compiler as a pipeline pass\n"
+      "                     (see --time-passes/--stats; output unchanged)\n"
       "  --simd-to-c        only scalarize SIMD intrinsics (IGen's\n"
       "                     preprocessing step); no affine rewriting\n"
       "  --pre-simd-to-c    scalarize SIMD intrinsics, then run the\n"
@@ -85,6 +90,7 @@ int main(int Argc, char **Argv) {
   std::string RunFunction;
   std::vector<double> RunArgs;
   bool SimdToCOnly = false;
+  core::InterpreterOptions InterpOpts;
   core::SafeGenOptions Opts;
   Opts.Config = *aa::AAConfig::parse("f64a-dspn");
   Opts.Config.K = 16;
@@ -206,6 +212,32 @@ int main(int Argc, char **Argv) {
       Opts.Instrument.DisabledPasses.push_back(V);
       continue;
     }
+    if (Arg == "--engine" || Arg.rfind("--engine=", 0) == 0) {
+      std::string V;
+      if (Arg == "--engine") {
+        const char *N = NextValue("--engine");
+        if (!N)
+          return 1;
+        V = N;
+      } else {
+        V = Arg.substr(9);
+      }
+      if (V == "tape")
+        InterpOpts.Engine = core::ExecEngine::Tape;
+      else if (V == "tree")
+        InterpOpts.Engine = core::ExecEngine::Tree;
+      else {
+        std::fprintf(stderr,
+                     "safegen: --engine must be 'tape' or 'tree', got '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (Arg == "--compile-tape") {
+      Opts.CompileTape = true;
+      continue;
+    }
     if (Arg == "--arg") {
       const char *V = NextValue("--arg");
       if (!V)
@@ -273,7 +305,7 @@ int main(int Argc, char **Argv) {
           core::Interpreter::makeDefaultArg(F->getParams()[I]->getType(), V));
     }
     std::vector<core::Value> ArgsCopy = Args; // arrays are shared
-    core::Interpreter Interp(CU->Ctx->tu());
+    core::Interpreter Interp(CU->Ctx->tu(), InterpOpts);
     core::InterpResult R = Interp.call(RunFunction, std::move(Args));
     if (!R.Success) {
       std::fprintf(stderr, "safegen: runtime error: %s\n", R.Error.c_str());
@@ -299,9 +331,10 @@ int main(int Argc, char **Argv) {
         PrintValue(What.c_str(), V.elems()[J]);
       }
     }
-    std::fprintf(stderr, "safegen: interpreted %llu steps soundly (%s)\n",
+    std::fprintf(stderr, "safegen: interpreted %llu steps soundly (%s, %s)\n",
                  static_cast<unsigned long long>(R.StepsUsed),
-                 Opts.Config.str().c_str());
+                 Opts.Config.str().c_str(),
+                 R.UsedTape ? "tape engine" : "tree engine");
     return 0;
   }
 

@@ -98,7 +98,9 @@ buildArgs(const frontend::FunctionDecl *F, const std::vector<double> &Vals,
 bool runOnce(const frontend::TranslationUnit &TU, const std::string &Fn,
              const aa::AAConfig &Cfg, const OracleOptions &O,
              bool WithShadows, double &Lo, double &Hi,
-             core::ShadowPtr &Sh, std::string &Error) {
+             core::ShadowPtr &Sh, std::string &Error,
+             core::ExecEngine Engine = core::ExecEngine::Auto,
+             bool *UsedTape = nullptr) {
   Lo = Hi = std::nan("");
   Sh = nullptr;
   fp::RoundUpwardScope Round;
@@ -106,9 +108,12 @@ bool runOnce(const frontend::TranslationUnit &TU, const std::string &Fn,
   const frontend::FunctionDecl *F = TU.findFunction(Fn);
   core::InterpreterOptions Opts =
       interpOpts(O, WithShadows);
+  Opts.Engine = Engine;
   core::Interpreter Interp(TU, Opts);
   core::InterpResult R = Interp.call(
       Fn, buildArgs(F, argValuesOr(O), Opts.ShadowDirs));
+  if (UsedTape)
+    *UsedTape = R.UsedTape;
   if (!R.Success) {
     Error = R.Error;
     return false;
@@ -232,6 +237,85 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                   "vectorized enclosure [" + fmt(VLo) + ", " + fmt(VHi) +
                       "] diverges from scalar [" + fmt(SLo) + ", " +
                       fmt(SHi) + "] beyond last-ulp tolerance");
+  }
+
+  // The tape engine (core/Tape.h) replays the tree walker's exact
+  // kernel-call and symbol-draw stream, so unlike the SIMD comparison it
+  // promises strict bit-identity — under every placement/fusion/K
+  // combination of the grid. The kernel generator's grammar is fully
+  // inside the tape subset, so a compile fallback is itself a finding.
+  for (const aa::AAConfig &Cfg : Configs) {
+    double TLo, THi, PLo, PHi;
+    core::ShadowPtr Sh;
+    std::string TErr, PErr;
+    bool UsedTape = false;
+    bool TreeOk = runOnce(TU, Fn, Cfg, O, false, TLo, THi, Sh, TErr,
+                          core::ExecEngine::Tree);
+    bool TapeOk = runOnce(TU, Fn, Cfg, O, false, PLo, PHi, Sh, PErr,
+                          core::ExecEngine::Tape, &UsedTape);
+    if (!UsedTape)
+      return fail("tape-identity", Cfg.str(),
+                  "kernel did not compile to the tape engine");
+    if (TreeOk != TapeOk)
+      return fail("tape-identity", Cfg.str(),
+                  std::string("tape run ") +
+                      (TapeOk ? "succeeded" : "failed") +
+                      " where the tree walker " +
+                      (TreeOk ? "succeeded" : "failed") + " (" +
+                      (TapeOk ? TErr : PErr) + ")");
+    if (TreeOk &&
+        (bitsOf(TLo) != bitsOf(PLo) || bitsOf(THi) != bitsOf(PHi)))
+      return fail("tape-identity", Cfg.str(),
+                  "tape enclosure [" + fmt(PLo) + ", " + fmt(PHi) +
+                      "] is not bit-identical to the tree walker's [" +
+                      fmt(TLo) + ", " + fmt(THi) + "]");
+  }
+
+  // The batched tape path (column execution with per-instance scalar
+  // fallback on divergence) must match the serial tree batch bit for
+  // bit, serial and threaded alike.
+  for (const aa::AAConfig &Cfg : Configs) {
+    std::vector<double> Vals = argValuesOr(O);
+    const frontend::FunctionDecl *F = TU.findFunction(Fn);
+    size_t NP = F->getParams().size();
+    std::vector<std::vector<double>> Instances;
+    for (unsigned Inst = 0; Inst < 4; ++Inst) {
+      std::vector<double> Seeds;
+      for (size_t P = 0; P < NP; ++P)
+        Seeds.push_back(Vals[(P + Inst) % Vals.size()]);
+      Instances.push_back(std::move(Seeds));
+    }
+    core::InterpreterOptions TreeOpts = interpOpts(O, false);
+    TreeOpts.Engine = core::ExecEngine::Tree;
+    core::InterpreterOptions TapeOpts = interpOpts(O, false);
+    TapeOpts.Engine = core::ExecEngine::Tape;
+    auto Ref = core::Interpreter::runBatch(TU, Fn, Cfg, Instances,
+                                           /*Threads=*/1, TreeOpts);
+    for (unsigned Threads : {1u, 3u}) {
+      auto Got = core::Interpreter::runBatch(TU, Fn, Cfg, Instances,
+                                             Threads, TapeOpts);
+      for (size_t I = 0; I < Ref.size(); ++I) {
+        if (!Got[I].UsedTape)
+          return fail("tape-identity", Cfg.str(),
+                      "batch instance " + std::to_string(I) +
+                          " fell back to the tree walker");
+        if (Ref[I].Success != Got[I].Success)
+          return fail("tape-identity", Cfg.str(),
+                      "batch instance " + std::to_string(I) +
+                          " success differs between tape (" +
+                          std::to_string(Threads) +
+                          " thread(s)) and the tree walker");
+        if (!Ref[I].Success)
+          continue;
+        if (bitsOf(Ref[I].Return.Lo) != bitsOf(Got[I].Return.Lo) ||
+            bitsOf(Ref[I].Return.Hi) != bitsOf(Got[I].Return.Hi))
+          return fail("tape-identity", Cfg.str(),
+                      "batch instance " + std::to_string(I) +
+                          " tape enclosure (" + std::to_string(Threads) +
+                          " thread(s)) is not bit-identical to the tree "
+                          "walker's");
+      }
+    }
   }
 
   // The threaded batch driver promises results identical to a serial
@@ -601,8 +685,9 @@ Kernel fuzz::minimizeKernel(const Kernel &K, const OracleOptions &O,
   // Narrow the oracle to the failing configuration: minimization runs
   // hundreds of oracle calls, and one config reproduces the bug.
   OracleOptions Narrow = O;
-  bool IdentityKind =
-      First.Kind == "simd-identity" || First.Kind == "bit-identity";
+  bool IdentityKind = First.Kind == "simd-identity" ||
+                      First.Kind == "bit-identity" ||
+                      First.Kind == "tape-identity";
   if (auto Cfg = aa::AAConfig::parse(First.Config)) {
     // Identity failures are reported with the vectorized twin's 'v'
     // notation, but the identity pass re-derives that twin from the

@@ -14,10 +14,13 @@
 ///
 /// On top of the containment check, the oracle cross-checks determinism
 /// promises: the threaded batch driver must produce bit-identical
-/// enclosures to a serial run, and the vectorized kernels must agree
-/// with the scalar path to within the last ulps (the AVX2 kernels may
-/// accumulate the fresh-error coefficient in a different order — see
-/// tests/aa_simd_test.cpp for the per-op contract).
+/// enclosures to a serial run, the tape execution engine (core/Tape.h)
+/// must be bit-identical to the tree walker under every configuration
+/// of the grid (scalar and batched, serial and threaded), and the
+/// vectorized kernels must agree with the scalar path to within the
+/// last ulps (the AVX2 kernels may accumulate the fresh-error
+/// coefficient in a different order — see tests/aa_simd_test.cpp for
+/// the per-op contract).
 ///
 /// A failing kernel is shrunk by a greedy minimizer (drop statements,
 /// unroll loops, flatten branches, replace expression subtrees) until no
@@ -50,7 +53,8 @@ struct OracleOptions {
   /// Interpreter step budget per run (loops are bounded, so this only
   /// guards against pathological nesting).
   uint64_t StepBudget = 4'000'000;
-  /// Also run the SIMD-vs-scalar and threaded-batch identity checks.
+  /// Also run the SIMD-vs-scalar, tape-vs-tree, and threaded-batch
+  /// identity checks.
   bool BitIdentity = true;
   /// Test hook: artificially shrink every AA enclosure toward its
   /// midpoint by this relative amount (0 = off, 1 = collapse to a
@@ -70,7 +74,7 @@ std::vector<aa::AAConfig> defaultConfigGrid();
 struct Verdict {
   bool Ok = true;
   std::string Kind;   ///< "containment" | "simd-identity" | "bit-identity"
-                      ///< | "frontend" (empty if Ok)
+                      ///< | "tape-identity" | "frontend" (empty if Ok)
   std::string Config; ///< AAConfig notation of the failing run
   std::string Detail; ///< human-readable failure description
   std::string str() const;

@@ -122,9 +122,16 @@ void ThreadPool::workerLoop(unsigned Index) {
 void ThreadPool::parallelFor(
     int64_t Begin, int64_t End, int64_t Grain,
     const std::function<void(int64_t, int64_t)> &Body) {
+  parallelFor(Begin, End, Grain, /*Align=*/1, Body);
+}
+
+void ThreadPool::parallelFor(
+    int64_t Begin, int64_t End, int64_t Grain, int64_t Align,
+    const std::function<void(int64_t, int64_t)> &Body) {
   if (End <= Begin)
     return;
   Grain = std::max<int64_t>(1, Grain);
+  Align = std::max<int64_t>(1, Align);
   int64_t Total = End - Begin;
 
   if (Workers.empty()) {
@@ -139,6 +146,9 @@ void ThreadPool::parallelFor(
       static_cast<int64_t>(concurrency()) * ChunksPerWorker;
   int64_t NumChunks = std::min(MaxChunks, (Total + Grain - 1) / Grain);
   int64_t ChunkSize = (Total + NumChunks - 1) / NumChunks;
+  // Round up so that chunk boundaries (relative to Begin) land on Align
+  // multiples; only the final chunk may be ragged.
+  ChunkSize = (ChunkSize + Align - 1) / Align * Align;
 
   ParallelForJob Job;
   Job.Body = &Body;

@@ -64,6 +64,13 @@ public:
   void parallelFor(int64_t Begin, int64_t End, int64_t Grain,
                    const std::function<void(int64_t, int64_t)> &Body);
 
+  /// Same, but every chunk size is rounded up to a multiple of \p Align
+  /// (except the final ragged chunk). Callers writing fixed-stride
+  /// per-index results use Align so that no two chunks ever share a
+  /// cache line of the result sink (false-sharing control).
+  void parallelFor(int64_t Begin, int64_t End, int64_t Grain, int64_t Align,
+                   const std::function<void(int64_t, int64_t)> &Body);
+
   /// A process-wide shared pool (lazily constructed, hardware-sized).
   static ThreadPool &global();
 

@@ -1,0 +1,381 @@
+//===- tape_test.cpp - Tape compiler and execution engine tests -----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the tape execution engine (core/Tape.h):
+//  * slot-planner liveness invariants: no two live intervals sharing a
+//    physical slot overlap, and the slot count never exceeds the maximum
+//    number of simultaneously live registers;
+//  * superinstruction fusion goldens keyed off the disassembly;
+//  * bit-identity of the tape engine (scalar call() and batched runBatch,
+//    fused and unfused) against the tree-walk reference;
+//  * replay determinism across worker-thread counts;
+//  * array-argument writeback through the tape path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Interpreter.h"
+#include "core/Tape.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+using namespace safegen;
+using namespace safegen::core;
+
+namespace {
+
+std::unique_ptr<frontend::CompilationUnit> parse(const char *Src) {
+  auto CU = frontend::parseSource("tape_test.c", Src);
+  EXPECT_TRUE(CU->Success) << CU->Diags.renderAll();
+  return CU;
+}
+
+Tape compile(const frontend::CompilationUnit &CU, const char *Fn = "f",
+             TapeCompileOptions Opts = {}) {
+  std::string WhyNot;
+  std::optional<Tape> T =
+      compileToTape(CU.Ctx->tu().findFunction(Fn), Opts, &WhyNot);
+  EXPECT_TRUE(T.has_value()) << WhyNot;
+  return std::move(*T);
+}
+
+uint64_t bitsOf(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+/// A kernel exercising every interesting pattern: branches, a loop,
+/// elementary functions, local arrays, compound assignment, and a
+/// parameter that stays live until the final return.
+const char *BranchyKernel = R"(
+double f(double x0, double x1, double x2) {
+  double a[4];
+  double t = x0 * x1 + 0.5;
+  double u = t;
+  for (int i = 0; i < 4; i++) {
+    a[i] = sin(t) * 0.25 + x1;
+    t = a[i] / (fabs(t) + 1.5);
+  }
+  if (t > x1) {
+    u = sqrt(fabs(t)) + exp(x0 * 0.125);
+  } else {
+    u = log(fabs(u) + 2.0) - x0;
+  }
+  u += t * x0;
+  return x2;
+}
+)";
+
+const char *StraightKernel = R"(
+double f(double x) {
+  double t = x * x - x;
+  double u = t * x + 0.5;
+  double w = u * u - t;
+  return (w + x) * u - w * t;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Slot planner
+//===----------------------------------------------------------------------===//
+
+void checkSlotInvariants(const Tape &T) {
+  // Slot count bounded by the maximum live depth.
+  EXPECT_LE(T.NumFpSlots, T.MaxFpLive);
+  EXPECT_LE(T.NumFpSlots, T.NumFpVRegs);
+  // No two intervals assigned the same slot may overlap.
+  std::map<int32_t, std::vector<const TapeInterval *>> BySlot;
+  for (const TapeInterval &I : T.FpIntervals) {
+    EXPECT_GE(I.Slot, 0);
+    EXPECT_LT(I.Slot, T.NumFpSlots);
+    EXPECT_LE(I.Begin, I.End);
+    BySlot[I.Slot].push_back(&I);
+  }
+  for (auto &[Slot, Ivs] : BySlot)
+    for (size_t A = 0; A < Ivs.size(); ++A)
+      for (size_t B = A + 1; B < Ivs.size(); ++B) {
+        bool Disjoint =
+            Ivs[A]->End < Ivs[B]->Begin || Ivs[B]->End < Ivs[A]->Begin;
+        EXPECT_TRUE(Disjoint)
+            << "slot " << Slot << ": vreg " << Ivs[A]->VReg << " ["
+            << Ivs[A]->Begin << ", " << Ivs[A]->End << "] overlaps vreg "
+            << Ivs[B]->VReg << " [" << Ivs[B]->Begin << ", " << Ivs[B]->End
+            << "]";
+      }
+}
+
+TEST(TapeSlots, LivenessInvariantsHold) {
+  for (const char *Src : {BranchyKernel, StraightKernel}) {
+    auto CU = parse(Src);
+    Tape T = compile(*CU);
+    checkSlotInvariants(T);
+    // Slot reuse must actually happen on these kernels: far fewer
+    // physical slots than virtual registers.
+    EXPECT_LT(T.NumFpSlots, T.NumFpVRegs);
+  }
+}
+
+TEST(TapeSlots, ReturnedParameterStaysLive) {
+  // Regression: RetF reads its register; without that use the planner
+  // frees a returned parameter's slot after its last arithmetic read
+  // and a temporary clobbers it.
+  auto CU = parse(BranchyKernel);
+  Tape T = compile(*CU);
+  const TapeInst &Ret = T.Code[T.Code.size() - 2];
+  ASSERT_EQ(Ret.Op, TapeOpcode::RetF);
+  // x2 is parameter 2; its interval must extend to the RetF.
+  for (const TapeInterval &I : T.FpIntervals)
+    if (I.Slot == Ret.A && I.Begin == 0)
+      EXPECT_GE(I.End, static_cast<int32_t>(T.Code.size()) - 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion goldens
+//===----------------------------------------------------------------------===//
+
+TEST(TapeFusion, StraightLineGoldens) {
+  auto CU = parse(StraightKernel);
+  Tape T = compile(*CU);
+  std::string Dis = T.disassemble();
+  // t*x + 0.5 fuses twice: [fmul; fconstbin(add)] -> ffmac.
+  EXPECT_NE(Dis.find("ffmac"), std::string::npos) << Dis;
+  // u*u - t and (w+x)*u - w*t end in [fmul; fsub] -> ffma.
+  EXPECT_NE(Dis.find("ffma "), std::string::npos) << Dis;
+  EXPECT_GT(T.NumFused, 0u);
+}
+
+TEST(TapeFusion, ConstBinGolden) {
+  auto CU = parse("double f(double x, double y) { return 2.5 * x + y; }");
+  Tape T = compile(*CU);
+  std::string Dis = T.disassemble();
+  // [fconst; fmul] -> fconstbin, then [fconstbin(mul); fadd] -> flin.
+  EXPECT_NE(Dis.find("flin"), std::string::npos) << Dis;
+  // 2.5*x + 1.0 instead leaves the trailing const load between the two
+  // candidates, so it must settle at two fconstbins (dispatch still
+  // halved) — pin that shape too.
+  auto CU2 = parse("double f(double x) { return 2.5 * x + 1.0; }");
+  Tape T2 = compile(*CU2);
+  EXPECT_EQ(T2.NumFused, 2u);
+  std::string Dis2 = T2.disassemble();
+  EXPECT_NE(Dis2.find("fconstbin"), std::string::npos) << Dis2;
+}
+
+TEST(TapeFusion, FusionIsDispatchOnly) {
+  // Fused and unfused tapes must produce bit-identical enclosures: the
+  // superinstructions change dispatch, never arithmetic or symbol order.
+  auto CU = parse(BranchyKernel);
+  TapeCompileOptions Fused, Unfused;
+  Unfused.Fuse = false;
+  Tape TF = compile(*CU, "f", Fused);
+  Tape TU = compile(*CU, "f", Unfused);
+  EXPECT_GT(TF.NumFused, 0u);
+  EXPECT_EQ(TU.NumFused, 0u);
+  EXPECT_LT(TF.Code.size(), TU.Code.size());
+
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+  Cfg.K = 8;
+  for (Tape *T : {&TF, &TU})
+    checkSlotInvariants(*T);
+
+  auto RunOne = [&](const Tape &T, double &Lo, double &Hi) {
+    fp::RoundUpwardScope Round;
+    aa::AffineEnvScope Env(Cfg);
+    std::vector<TapeArgValue> Args(3);
+    Args[0].Fp = aa::F64a::input(0.75);
+    Args[1].Fp = aa::F64a::input(-1.25);
+    Args[2].Fp = aa::F64a::input(2.0);
+    TapeRunResult R = runTapeScalar(T, Args, 1u << 20);
+    ASSERT_TRUE(R.Success) << R.Error;
+    ia::Interval I = R.Fp.toInterval();
+    Lo = I.Lo;
+    Hi = I.Hi;
+  };
+  double FLo, FHi, ULo, UHi;
+  RunOne(TF, FLo, FHi);
+  RunOne(TU, ULo, UHi);
+  EXPECT_EQ(bitsOf(FLo), bitsOf(ULo));
+  EXPECT_EQ(bitsOf(FHi), bitsOf(UHi));
+}
+
+//===----------------------------------------------------------------------===//
+// Engine bit-identity
+//===----------------------------------------------------------------------===//
+
+/// Interprets with the given engine and returns the enclosure.
+ia::Interval callWith(const frontend::CompilationUnit &CU, ExecEngine E,
+                      const std::vector<double> &Vals, bool &UsedTape) {
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+  Cfg.K = 16;
+  fp::RoundUpwardScope Round;
+  aa::AffineEnvScope Env(Cfg);
+  const frontend::FunctionDecl *F = CU.Ctx->tu().findFunction("f");
+  std::vector<Value> Args;
+  for (size_t I = 0; I < F->getParams().size(); ++I)
+    Args.push_back(Interpreter::makeDefaultArg(
+        F->getParams()[I]->getType(), Vals[I % Vals.size()]));
+  InterpreterOptions Opts;
+  Opts.Engine = E;
+  Interpreter Interp(CU.Ctx->tu(), Opts);
+  InterpResult R = Interp.call("f", std::move(Args));
+  EXPECT_TRUE(R.Success) << R.Error;
+  UsedTape = R.UsedTape;
+  return R.ReturnValue.asAffine().toInterval();
+}
+
+TEST(TapeEngine, CallBitIdenticalToTree) {
+  for (const char *Src : {BranchyKernel, StraightKernel}) {
+    auto CU = parse(Src);
+    bool TapeUsed = false, TreeUsed = true;
+    ia::Interval Tp = callWith(*CU, ExecEngine::Tape, {0.5, 1.5, -0.75},
+                               TapeUsed);
+    ia::Interval Tr = callWith(*CU, ExecEngine::Tree, {0.5, 1.5, -0.75},
+                               TreeUsed);
+    EXPECT_TRUE(TapeUsed);
+    EXPECT_FALSE(TreeUsed);
+    EXPECT_EQ(bitsOf(Tp.Lo), bitsOf(Tr.Lo));
+    EXPECT_EQ(bitsOf(Tp.Hi), bitsOf(Tr.Hi));
+  }
+}
+
+TEST(TapeEngine, RunBatchBitIdenticalAcrossEnginesAndThreads) {
+  auto CU = parse(BranchyKernel);
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+  std::vector<std::vector<double>> Seeds;
+  for (int I = 0; I < 37; ++I)
+    Seeds.push_back({0.1 * I - 1.5, 0.5 + 0.05 * I, 2.0 - 0.1 * I});
+
+  for (const char *Name : {"f64a-dspn", "f64a-ssnn", "f64a-dmnn"}) {
+    aa::AAConfig Cfg = *aa::AAConfig::parse(Name);
+    Cfg.K = 8;
+    InterpreterOptions TreeOpts;
+    TreeOpts.Engine = ExecEngine::Tree;
+    auto Ref = Interpreter::runBatch(TU, "f", Cfg, Seeds, 1, TreeOpts);
+
+    InterpreterOptions TapeOpts;
+    TapeOpts.Engine = ExecEngine::Tape;
+    for (unsigned Threads : {1u, 3u}) {
+      auto Got = Interpreter::runBatch(TU, "f", Cfg, Seeds, Threads,
+                                       TapeOpts);
+      ASSERT_EQ(Got.size(), Ref.size());
+      for (size_t I = 0; I < Ref.size(); ++I) {
+        EXPECT_TRUE(Got[I].UsedTape);
+        ASSERT_EQ(Got[I].Success, Ref[I].Success);
+        if (!Ref[I].Success)
+          continue;
+        EXPECT_EQ(bitsOf(Got[I].Return.Lo), bitsOf(Ref[I].Return.Lo))
+            << Name << " instance " << I << " threads " << Threads;
+        EXPECT_EQ(bitsOf(Got[I].Return.Hi), bitsOf(Ref[I].Return.Hi))
+            << Name << " instance " << I << " threads " << Threads;
+        EXPECT_EQ(Got[I].CertifiedBits, Ref[I].CertifiedBits);
+      }
+    }
+  }
+}
+
+TEST(TapeEngine, ReplayIsDeterministicUnderThreads) {
+  // The same batch replayed repeatedly with different worker counts must
+  // give one bit-exact answer (chunk boundaries and the per-worker
+  // context arenas must not leak into results).
+  auto CU = parse(StraightKernel);
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+  Cfg.K = 16;
+  std::vector<std::vector<double>> Seeds;
+  for (int I = 0; I < 256; ++I)
+    Seeds.push_back({0.01 * I});
+  InterpreterOptions Opts;
+  Opts.Engine = ExecEngine::Tape;
+  auto First = Interpreter::runBatch(TU, "f", Cfg, Seeds, 1, Opts);
+  for (unsigned Threads : {1u, 2u, 3u, 5u})
+    for (int Rep = 0; Rep < 2; ++Rep) {
+      auto Got = Interpreter::runBatch(TU, "f", Cfg, Seeds, Threads, Opts);
+      for (size_t I = 0; I < Seeds.size(); ++I) {
+        ASSERT_TRUE(Got[I].Success);
+        EXPECT_EQ(bitsOf(Got[I].Return.Lo), bitsOf(First[I].Return.Lo));
+        EXPECT_EQ(bitsOf(Got[I].Return.Hi), bitsOf(First[I].Return.Hi));
+      }
+    }
+}
+
+TEST(TapeEngine, ArrayArgumentsWrittenBack) {
+  const char *Src = R"(
+void f(double a[3], double s) {
+  for (int i = 0; i < 3; i++) {
+    a[i] = a[i] * s + 0.25;
+  }
+}
+)";
+  auto CU = parse(Src);
+  auto RunWith = [&](ExecEngine E, double Out[3][2], bool &UsedTape) {
+    aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+    Cfg.K = 8;
+    fp::RoundUpwardScope Round;
+    aa::AffineEnvScope Env(Cfg);
+    const frontend::FunctionDecl *F = CU->Ctx->tu().findFunction("f");
+    std::vector<Value> Args;
+    Args.push_back(
+        Interpreter::makeDefaultArg(F->getParams()[0]->getType(), 1.5));
+    Args.push_back(
+        Interpreter::makeDefaultArg(F->getParams()[1]->getType(), -0.5));
+    std::vector<Value> Copy = Args; // arrays are shared
+    InterpreterOptions Opts;
+    Opts.Engine = E;
+    Interpreter Interp(CU->Ctx->tu(), Opts);
+    InterpResult R = Interp.call("f", std::move(Args));
+    ASSERT_TRUE(R.Success) << R.Error;
+    UsedTape = R.UsedTape;
+    for (int I = 0; I < 3; ++I) {
+      ia::Interval Iv = Copy[0].elems()[I].asAffine().toInterval();
+      Out[I][0] = Iv.Lo;
+      Out[I][1] = Iv.Hi;
+    }
+  };
+  double Tape[3][2], Tree[3][2];
+  bool TapeUsed = false, TreeUsed = true;
+  RunWith(ExecEngine::Tape, Tape, TapeUsed);
+  RunWith(ExecEngine::Tree, Tree, TreeUsed);
+  EXPECT_TRUE(TapeUsed);
+  EXPECT_FALSE(TreeUsed);
+  for (int I = 0; I < 3; ++I) {
+    EXPECT_EQ(bitsOf(Tape[I][0]), bitsOf(Tree[I][0])) << "element " << I;
+    EXPECT_EQ(bitsOf(Tape[I][1]), bitsOf(Tree[I][1])) << "element " << I;
+  }
+}
+
+TEST(TapeEngine, RuntimeErrorsMatchTreeSemantics) {
+  // Division by zero and out-of-bounds indexing must fail on the tape
+  // exactly as on the tree (same per-instance error classification).
+  const char *Src = R"(
+double f(double x) {
+  int i = 5;
+  double a[4];
+  a[0] = x;
+  return a[i];
+}
+)";
+  auto CU = parse(Src);
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+  aa::AAConfig Cfg = *aa::AAConfig::parse("f64a-dspn");
+  Cfg.K = 8;
+  std::vector<std::vector<double>> Seeds = {{1.0}, {2.0}};
+  for (ExecEngine E : {ExecEngine::Tape, ExecEngine::Tree}) {
+    InterpreterOptions Opts;
+    Opts.Engine = E;
+    auto R = Interpreter::runBatch(TU, "f", Cfg, Seeds, 1, Opts);
+    for (const BatchCallResult &B : R) {
+      EXPECT_FALSE(B.Success);
+      EXPECT_NE(B.Error.find("array index 5 out of bounds (size 4)"),
+                std::string::npos)
+          << B.Error;
+    }
+  }
+}
+
+} // namespace

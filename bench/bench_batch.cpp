@@ -21,6 +21,7 @@
 
 #include "aa/Affine.h"
 #include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
 #include "core/Interpreter.h"
 #include "frontend/Frontend.h"
 #include "support/ThreadPool.h"
@@ -134,6 +135,59 @@ const char *InterpKernelSource = "double f(double x) {\n"
                                  "  double w = u*u - t;\n"
                                  "  return (w+x)*u - w*t;\n"
                                  "}\n";
+
+/// Per-ISA kernel-tier rows: the same single-threaded batch workload
+/// re-run under every tier compiled in and supported by this host, as
+/// `batch@<tier>` paths (K=16; N=1024, plus N=4096 outside --quick).
+/// Every tier is bit-identical by contract — only the ns/element may
+/// move — so scripts/run_benchmarks.py can derive simd_speedup_vs_scalar
+/// and gate the vector tiers against a floor. Returns nonzero when a
+/// tier's enclosures diverge from the scalar tier's.
+int runIsaTierRows(bool Quick, std::mt19937_64 &Rng) {
+  const isa::Tier Entry = isa::activeTier();
+  AAConfig Cfg = *AAConfig::parse("f64a-dspv");
+  Cfg.K = 16;
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  std::vector<int> Sizes = {1024};
+  if (!Quick)
+    Sizes.push_back(4096);
+  support::ThreadPool Pool(1);
+  int Rc = 0;
+  for (int N : Sizes) {
+    std::vector<double> Xs(N), Lo(N), Hi(N);
+    for (int I = 0; I < N; ++I)
+      Xs[I] = U(Rng);
+    std::vector<double> RefLo(N), RefHi(N);
+    bool HaveRef = false;
+    for (int T = 0; T < isa::NumTiers && Rc == 0; ++T) {
+      isa::Tier Tier = static_cast<isa::Tier>(T);
+      if (!isa::available(Tier) || !isa::setTier(Tier))
+        continue;
+      double BT = runBatched(Cfg, Xs, Pool, Lo, Hi);
+      if (!HaveRef) {
+        RefLo = Lo;
+        RefHi = Hi;
+        HaveRef = true;
+      } else {
+        for (int I = 0; I < N; ++I)
+          if (Lo[I] != RefLo[I] || Hi[I] != RefHi[I]) {
+            std::fprintf(stderr,
+                         "FATAL: tier %s diverges from tier %s at n=%d "
+                         "i=%d\n",
+                         isa::name(Tier), isa::name(static_cast<isa::Tier>(0)),
+                         N, I);
+            Rc = 1;
+            break;
+          }
+      }
+      char Path[32];
+      std::snprintf(Path, sizeof(Path), "batch@%s", isa::name(Tier));
+      printRow(Path, Cfg.str().c_str(), Cfg.K, N, 1, BT);
+    }
+  }
+  isa::setTier(Entry);
+  return Rc;
+}
 
 /// interp-tree t1 vs interp-tape t1/t2/t4 rows (N in {1024, 4096},
 /// K=16, direct-mapped placement so the tape runs on batch columns).
@@ -257,6 +311,11 @@ int main(int argc, char **argv) {
       }
     }
   }
+
+  // Per-ISA tier rows (K=16, single-threaded) for the speedup-vs-scalar
+  // trajectory; divergence between tiers is a hard failure.
+  if (int Rc = runIsaTierRows(Quick, Rng))
+    return Rc;
 
   // Interpreter engine rows (tape vs tree); run in --quick too — the
   // k16/n4096 tape-vs-tree speedup is gated by scripts/run_benchmarks.py.

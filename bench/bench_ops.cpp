@@ -80,10 +80,10 @@ void affineOp(benchmark::State &State) {
   for (auto _ : State) {
     aa::AffineF64Storage R;
     if constexpr (Mul)
-      R = Simd ? aa::simd::mulDirectAvx2(A, B, Cfg, aa::env().Context)
+      R = Simd ? aa::simd::mulDirectVec(A, B, Cfg, aa::env().Context)
                : aa::ops::mulDirect(A, B, Cfg, aa::env().Context);
     else
-      R = Simd ? aa::simd::addDirectAvx2(A, B, 1.0, Cfg, aa::env().Context)
+      R = Simd ? aa::simd::addDirectVec(A, B, 1.0, Cfg, aa::env().Context)
                : aa::ops::addDirect(A, B, 1.0, Cfg, aa::env().Context);
     benchmark::DoNotOptimize(R);
   }

@@ -133,6 +133,28 @@ def parse_batch_csv(text):
     return rows
 
 
+def summarize_isa(rows):
+    """tier -> speedup vs the scalar kernel tier, per k/n, from the
+    single-threaded batch@<tier> rows. Only tiers the benchmarking host
+    actually ran appear (bench_batch emits one row per available tier),
+    so a narrow machine simply yields a shorter table."""
+    scalar = {(r["k"], r["batch"]): r["ns_per_element"]
+              for r in rows
+              if r["path"] == "batch@scalar" and r["threads"] == 1}
+    speedup = {}
+    for r in rows:
+        if not r["path"].startswith("batch@") or r["threads"] != 1:
+            continue
+        tier = r["path"].split("@", 1)[1]
+        kn = (r["k"], r["batch"])
+        if kn not in scalar or r["ns_per_element"] <= 0.0:
+            continue
+        tag = "k{}/n{}".format(*kn)
+        speedup.setdefault(tag, {})[tier] = round(
+            scalar[kn] / r["ns_per_element"], 3)
+    return speedup
+
+
 def summarize_batch(rows):
     """config -> ns/element, batch speedup vs per-form, thread scaling,
     and the interpreter tape-vs-tree engine speedup."""
@@ -179,6 +201,7 @@ def summarize_batch(rows):
         "speedup_vs_per_form": speedup,
         "thread_scaling": scaling,
         "tape_vs_tree_speedup": tape_speedup,
+        "simd_speedup_vs_scalar": summarize_isa(rows),
     }
 
 
@@ -280,6 +303,8 @@ def fuzz_corpus_status(build_dir, corpus_dir=CORPUS_DIR):
 
 TAPE_SPEEDUP_FLOOR = 2.0  # tape t1 vs tree t1 at k16/n4096
 THREAD_SCALING_FLOOR = 1.5  # t4/t1 at n >= 4096
+SIMD_SPEEDUP_FLOOR = 1.5  # best vector tier vs scalar tier at k16/n >= 1024
+VECTOR_TIERS = ["sse2", "avx2", "avx512"]
 
 
 def check_engine_gates(data):
@@ -314,6 +339,37 @@ def check_engine_gates(data):
             failures.append(
                 f"thread_scaling {tag}: t4/t1 = {by_t['t4']:.2f} < "
                 f"{THREAD_SCALING_FLOOR:.1f} floor")
+    return failures
+
+
+def check_simd_gate(data):
+    """The widest vector kernel tier the host ran must beat the scalar
+    tier by SIMD_SPEEDUP_FLOOR at k16 / n >= 1024. Hosts (or builds)
+    without any vector tier have nothing to gate: bench_batch only emits
+    rows for tiers cpuid accepted, so the gate degrades to a no-op there
+    (recorded in the json under simd_gate)."""
+    failures = []
+    enforced = False
+    for tag, by_tier in data.get("simd_speedup_vs_scalar", {}).items():
+        k, n = tag.split("/n", 1)
+        if k != "k16" or int(n) < 1024:
+            continue
+        best = None
+        for tier in VECTOR_TIERS:  # ordered narrow -> wide
+            if tier in by_tier:
+                best = tier
+        if best is None:
+            continue
+        enforced = True
+        if by_tier[best] < SIMD_SPEEDUP_FLOOR:
+            failures.append(
+                f"simd_speedup_vs_scalar {tag}: {best} = "
+                f"{by_tier[best]:.2f}x < {SIMD_SPEEDUP_FLOOR:.1f}x floor")
+    data["simd_gate"] = {"enforced": enforced}
+    if not enforced:
+        data["simd_gate"]["note"] = ("skipped: no vector kernel tier "
+                                     "measured on this host")
+        print("  simd gate skipped (no vector tier measured)")
     return failures
 
 
@@ -357,7 +413,7 @@ def main():
         if not os.path.exists(args.baseline):
             sys.exit(f"error: baseline {args.baseline} not found")
         regressions = check_batch(data, args.baseline)
-        gate_failures = check_engine_gates(data)
+        gate_failures = check_engine_gates(data) + check_simd_gate(data)
         passes = compile_pass_stats(args.build_dir, args.results_dir)
         if passes is not None:
             data["compile_passes"] = passes
@@ -396,7 +452,7 @@ def main():
             data["compile_passes"] = passes
         # Informational here (gates only fail under --check), but the
         # hardware note still lands in the json.
-        gate_failures = check_engine_gates(data)
+        gate_failures = check_engine_gates(data) + check_simd_gate(data)
         if gate_failures:
             for r in gate_failures:
                 print("  engine gate (informational): " + r)

@@ -551,16 +551,17 @@ AffineVar<CT> mulDirect(const AffineVar<CT> &A, const AffineVar<CT> &B,
 
 } // namespace ops
 
-/// AVX2 kernels (Simd.cpp); declared here so the dispatchers below can use
-/// them without a circular include.
+/// Vector kernels (Simd.cpp, dispatched through the Kernels/Isa.h
+/// registry); declared here so the dispatchers below can use them without
+/// a circular include.
 namespace simd {
 bool supports(const AAConfig &Cfg);
-AffineF64Storage addDirectAvx2(const AffineF64Storage &A,
-                               const AffineF64Storage &B, double Sign,
-                               const AAConfig &Cfg, AffineContext &Ctx);
-AffineF64Storage mulDirectAvx2(const AffineF64Storage &A,
-                               const AffineF64Storage &B,
-                               const AAConfig &Cfg, AffineContext &Ctx);
+AffineF64Storage addDirectVec(const AffineF64Storage &A,
+                              const AffineF64Storage &B, double Sign,
+                              const AAConfig &Cfg, AffineContext &Ctx);
+AffineF64Storage mulDirectVec(const AffineF64Storage &A,
+                              const AffineF64Storage &B, const AAConfig &Cfg,
+                              AffineContext &Ctx);
 } // namespace simd
 
 namespace ops {
@@ -585,7 +586,7 @@ AffineVar<CT> add(const AffineVar<CT> &A, const AffineVar<CT> &B,
     return add(A, rehome(B, Cfg, Ctx), Cfg, Ctx);
   if constexpr (std::is_same_v<CT, F64Center>)
     if (Cfg.Vectorize && simd::supports(Cfg))
-      return simd::addDirectAvx2(A, B, +1.0, Cfg, Ctx);
+      return simd::addDirectVec(A, B, +1.0, Cfg, Ctx);
   return Cfg.Placement == PlacementPolicy::Sorted
              ? addSorted(A, B, +1.0, Cfg, Ctx)
              : addDirect(A, B, +1.0, Cfg, Ctx);
@@ -600,7 +601,7 @@ AffineVar<CT> sub(const AffineVar<CT> &A, const AffineVar<CT> &B,
     return sub(A, rehome(B, Cfg, Ctx), Cfg, Ctx);
   if constexpr (std::is_same_v<CT, F64Center>)
     if (Cfg.Vectorize && simd::supports(Cfg))
-      return simd::addDirectAvx2(A, B, -1.0, Cfg, Ctx);
+      return simd::addDirectVec(A, B, -1.0, Cfg, Ctx);
   return Cfg.Placement == PlacementPolicy::Sorted
              ? addSorted(A, B, -1.0, Cfg, Ctx)
              : addDirect(A, B, -1.0, Cfg, Ctx);
@@ -615,7 +616,7 @@ AffineVar<CT> mul(const AffineVar<CT> &A, const AffineVar<CT> &B,
     return mul(A, rehome(B, Cfg, Ctx), Cfg, Ctx);
   if constexpr (std::is_same_v<CT, F64Center>)
     if (Cfg.Vectorize && simd::supports(Cfg))
-      return simd::mulDirectAvx2(A, B, Cfg, Ctx);
+      return simd::mulDirectVec(A, B, Cfg, Ctx);
   return Cfg.Placement == PlacementPolicy::Sorted ? mulSorted(A, B, Cfg, Ctx)
                                                   : mulDirect(A, B, Cfg, Ctx);
 }

@@ -1,29 +1,29 @@
-//===- Batch.cpp - Cross-instance AVX2 kernels and the batch runner -------===//
+//===- Batch.cpp - Batch environment, dispatch and the batch runner -------===//
 //
 // Part of the SafeGen reproduction. BSD 3-Clause license.
 //
 //===----------------------------------------------------------------------===//
 //
-// The vector kernels below replicate ops::addDirect / ops::mulDirect with
-// the slot loop kept *outer* and four instances per AVX2 lane group. Every
-// per-lane rounding-error accumulation happens in exactly the order of the
-// scalar kernel (one vector accumulate per scalar accumulate; lanes that
-// contribute nothing add +0.0, which is the identity under upward
-// rounding), so per-instance results are bit-identical to the scalar
-// reference. Instance-divergent steps — fresh-symbol insertion, fusion
-// counting, protected-symbol conflict decisions — drop to scalar code for
-// exactly the affected lanes.
+// The cross-instance vector kernels that used to live here (compile-time
+// AVX2 only) are instantiated per ISA tier from Kernels/KernelImpl.h —
+// the slot loop kept *outer* and W instances per lane group, every
+// per-lane rounding-error accumulation in exactly the order of the scalar
+// kernel, so per-instance results are bit-identical to the scalar
+// reference at every tier. This TU keeps the batch environment, the
+// context arena, the config gate plus registry dispatch, and the parallel
+// runner.
 //
 //===----------------------------------------------------------------------===//
 
 #include "aa/Batch.h"
-#include "aa/SimdUtil.h"
+#include "aa/Kernels/Isa.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 using namespace safegen;
 using namespace safegen::aa;
@@ -101,501 +101,33 @@ BatchEnv &ContextArena::acquire(const AAConfig &Cfg, int32_t Size) {
 }
 
 //===----------------------------------------------------------------------===//
-// Fast-path gate
+// Fast-path gate and kernel dispatch
 //===----------------------------------------------------------------------===//
 
 bool batch::detail::fastSupported(const AAConfig &Cfg) {
-#if SAFEGEN_HAVE_AVX2
   // Cross-instance vectorization has no K-divisibility requirement (the
   // lanes run over instances, not slots), but it needs the direct-mapped
   // layout (uniform slot↔symbol correspondence) and a fusion rule that is
   // a pure function of the slot contents: SP/MP compare magnitudes;
   // Random would need per-lane RNG state and Oldest is rare enough to
   // stay scalar. F64Center only — enforced by the callers' if-constexpr.
+  // No ISA condition: every binary carries at least the scalar-tier
+  // instantiation of the batch kernels, which implements the identical
+  // contract one lane at a time.
   return Cfg.Placement == PlacementPolicy::DirectMapped &&
          (Cfg.Fusion == FusionPolicy::Smallest ||
           Cfg.Fusion == FusionPolicy::MeanThreshold);
-#else
-  (void)Cfg;
-  return false;
-#endif
 }
 
-#if SAFEGEN_HAVE_AVX2
-
-//===----------------------------------------------------------------------===//
-// AVX2 kernels
-//===----------------------------------------------------------------------===//
-
-namespace {
-using namespace safegen::aa::simd::util;
-
-/// Builds a 4x64-bit lane mask from per-lane booleans (the protected-
-/// conflict fix-up path).
-inline __m256d maskFromBools(const bool Keep[4]) {
-  return _mm256_castsi256_pd(
-      _mm256_setr_epi64x(Keep[0] ? -1 : 0, Keep[1] ? -1 : 0,
-                         Keep[2] ? -1 : 0, Keep[3] ? -1 : 0));
+void batch::detail::addVec(const Batch<F64Center> &A, const Batch<F64Center> &B,
+                           double Sign, Batch<F64Center> &Out, BatchEnv &Env) {
+  isa::select().BatchAdd(A, B, Sign, Out, Env);
 }
 
-/// Per-lane fresh-error insertion: the tail of the scalar kernels
-/// (insertFresh with the accumulated Err) for every *live* lane whose Err
-/// is positive or NaN. Inherently scalar — the fresh ids (and therefore
-/// the home slots) can differ between lanes. A home slot outside \p
-/// OutMask is materialized on first touch (the whole row zeroed, which is
-/// the empty (InvalidSymbol, +0.0) pair in every lane) before the lane is
-/// written. \p Pow2Mask is K-1 when K is a power of two, else 0.
-inline void insertFreshLanes(Batch<F64Center> &Out, BatchEnv &Env,
-                             int32_t Base, int32_t Limit, const double *Err,
-                             int K, uint32_t Pow2Mask, uint64_t &OutMask) {
-  for (int32_t L = 0; L < Limit; ++L) {
-    double E = Err[L];
-    if (!(E > 0.0) && !std::isnan(E))
-      continue;
-    AffineContext &Ctx = Env.Contexts[static_cast<size_t>(Base) + L];
-    SymbolId Id = Ctx.freshSymbol();
-    int Slot = Pow2Mask ? static_cast<int>((Id - 1) & Pow2Mask)
-                        : ops::detail::homeSlot(Id, K);
-    SymbolId *Ids = Out.idPlane(Slot);
-    double *Coefs = Out.coefPlane(Slot);
-    if (!(OutMask >> Slot & 1)) {
-      size_t Cap = static_cast<size_t>(Out.capacity());
-      std::memset(Ids, 0, Cap * sizeof(SymbolId));
-      std::memset(Coefs, 0, Cap * sizeof(double));
-      OutMask |= uint64_t(1) << Slot;
-    }
-    size_t At = static_cast<size_t>(Base) + L;
-    double Coef = E;
-    if (Ids[At] != InvalidSymbol) {
-      Coef = fp::addRU(Coef, std::fabs(Coefs[At]));
-      ++Ctx.NumFusions;
-    }
-    Ids[At] = Id;
-    Coefs[At] = Coef;
-  }
+void batch::detail::mulVec(const Batch<F64Center> &A, const Batch<F64Center> &B,
+                           Batch<F64Center> &Out, BatchEnv &Env) {
+  isa::select().BatchMul(A, B, Out, Env);
 }
-
-} // namespace
-
-void batch::detail::addAvx2(const Batch<F64Center> &A,
-                            const Batch<F64Center> &B, double Sign,
-                            Batch<F64Center> &Out, BatchEnv &Env) {
-  SAFEGEN_ASSERT_ROUND_UP();
-  const AAConfig &Cfg = Env.Config;
-  const int K = Cfg.K;
-  const int32_t Size = A.size();
-  const bool Protect = Cfg.Prioritize && Env.AnyProtected;
-
-  for (int32_t I = 0; I < Size; ++I)
-    ++Env.Contexts[I].NumOps;
-
-  // Every Err accumulation below adds a non-negative term (or NaN) under
-  // RU, so ErrV lanes are never -0.0 and skipping a +0.0 accumulate is
-  // bit-exact — the license for all the row/lane skipping that follows.
-  const uint64_t MaskA = A.slotMask();
-  const uint64_t MaskB = B.slotMask();
-  const uint64_t Union = MaskA | MaskB;
-  uint64_t OutMask = Union;
-  const uint32_t Pow2Mask =
-      (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
-
-  const __m256d SignV = _mm256_set1_pd(Sign);
-  const __m128i Ones32 = _mm_set1_epi32(-1);
-  const __m128i Zero = _mm_setzero_si128();
-
-  for (int32_t Base = 0; Base < Size; Base += 4) {
-    const int32_t Limit = std::min<int32_t>(4, Size - Base);
-    const int LiveBits = (1 << Limit) - 1;
-
-    // Centre: CT::add / CT::sub with the identical RU/RD sequence.
-    __m256d Ac = _mm256_loadu_pd(A.centers() + Base);
-    __m256d Bc = _mm256_loadu_pd(B.centers() + Base);
-    __m256d Up, Dn;
-    if (Sign > 0) {
-      Up = _mm256_add_pd(Ac, Bc);
-      Dn = addRDv(Ac, Bc);
-    } else {
-      Up = _mm256_sub_pd(Ac, Bc);
-      Dn = negate(_mm256_add_pd(negate(Ac), Bc)); // subRD
-    }
-    __m256d ErrV = _mm256_sub_pd(Up, Dn); // addRU(0, subRU(Up, Dn))
-    _mm256_storeu_pd(Out.centers() + Base, Up);
-
-    // Only rows live in either operand can contribute; a dead row in one
-    // operand reads as the all-empty id vector (its memory may be
-    // uninitialized, so it must not be loaded).
-    for (uint64_t M = Union; M; M &= M - 1) {
-      const int S = __builtin_ctzll(M);
-      SymbolId *OutIds = Out.idPlane(S) + Base;
-      double *OutCoefs = Out.coefPlane(S) + Base;
-      __m128i Ia = MaskA >> S & 1
-                       ? _mm_loadu_si128(reinterpret_cast<const __m128i *>(
-                             A.idPlane(S) + Base))
-                       : Zero;
-      __m128i Ib = MaskB >> S & 1
-                       ? _mm_loadu_si128(reinterpret_cast<const __m128i *>(
-                             B.idPlane(S) + Base))
-                       : Zero;
-
-      // Fast path 1 — every lane empty on both sides: the union row must
-      // still be materialized for this group (other groups may hold
-      // symbols here), but nothing contributes.
-      __m128i IdU = _mm_or_si128(Ia, Ib);
-      if (_mm_testz_si128(IdU, IdU)) {
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Zero);
-        _mm256_storeu_pd(OutCoefs, _mm256_setzero_pd());
-        continue;
-      }
-
-      // Fast path 2 — one-sided rows: addition carries coefficients over
-      // unchanged, with no rounding charge. (A testz hit proves the other
-      // side has a valid lane somewhere, hence is materialized and safe
-      // to load.)
-      if (_mm_testz_si128(Ib, Ib)) {
-        __m256d Ca = _mm256_loadu_pd(A.coefPlane(S) + Base);
-        __m256d ValidA64 =
-            expandMask32(_mm_andnot_si128(_mm_cmpeq_epi32(Ia, Zero), Ones32));
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Ia);
-        _mm256_storeu_pd(OutCoefs, _mm256_and_pd(Ca, ValidA64));
-        continue;
-      }
-      if (_mm_testz_si128(Ia, Ia)) {
-        __m256d Cb =
-            _mm256_mul_pd(SignV, _mm256_loadu_pd(B.coefPlane(S) + Base));
-        __m256d ValidB64 =
-            expandMask32(_mm_andnot_si128(_mm_cmpeq_epi32(Ib, Zero), Ones32));
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Ib);
-        _mm256_storeu_pd(OutCoefs, _mm256_and_pd(Cb, ValidB64));
-        continue;
-      }
-
-      // Fast path 3 — lane-uniform ids (the lockstep common case: every
-      // instance ran the same op sequence): pure shared combine, no
-      // conflict machinery.
-      if (_mm_movemask_epi8(_mm_cmpeq_epi32(Ia, Ib)) == 0xFFFF) {
-        __m256d Ca = _mm256_loadu_pd(A.coefPlane(S) + Base);
-        __m256d Cb =
-            _mm256_mul_pd(SignV, _mm256_loadu_pd(B.coefPlane(S) + Base));
-        __m256d Valid64 =
-            expandMask32(_mm_andnot_si128(_mm_cmpeq_epi32(Ia, Zero), Ones32));
-        __m256d Cv = _mm256_add_pd(Ca, Cb);
-        __m256d TermShared = _mm256_sub_pd(Cv, addRDv(Ca, Cb));
-        ErrV = _mm256_add_pd(ErrV, _mm256_and_pd(TermShared, Valid64));
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Ia);
-        _mm256_storeu_pd(OutCoefs, _mm256_and_pd(Cv, Valid64));
-        continue;
-      }
-
-      // General path: disjoint shared / one-sided / conflict lane masks.
-      __m256d Ca = _mm256_loadu_pd(A.coefPlane(S) + Base);
-      __m256d Cb = _mm256_mul_pd(SignV, _mm256_loadu_pd(B.coefPlane(S) + Base));
-      __m128i EqM = _mm_cmpeq_epi32(Ia, Ib);
-      __m128i AInv = _mm_cmpeq_epi32(Ia, Zero);
-      __m128i BInv = _mm_cmpeq_epi32(Ib, Zero);
-      __m128i Shared = _mm_andnot_si128(_mm_and_si128(AInv, BInv), EqM);
-      __m128i AOnly = _mm_andnot_si128(AInv, BInv); // Ia valid, Ib empty
-      __m128i BOnly = _mm_andnot_si128(BInv, AInv); // Ib valid, Ia empty
-      __m128i Conflict = _mm_andnot_si128(
-          EqM, _mm_andnot_si128(_mm_or_si128(AInv, BInv), Ones32));
-      int ConflictBits =
-          _mm_movemask_ps(_mm_castsi128_ps(Conflict)) & LiveBits;
-
-      // Conflict winner: SP/MP magnitude rule, or the scalar keepFirst for
-      // the affected lanes when protection may be in play (keepFirst is
-      // pure under the SP/MP gate, so no other state diverges).
-      __m256d KeepA64;
-      if (Protect && ConflictBits) {
-        alignas(16) SymbolId IaArr[4], IbArr[4];
-        alignas(32) double CaArr[4], CbArr[4];
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(IaArr), Ia);
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(IbArr), Ib);
-        _mm256_storeu_pd(CaArr, Ca);
-        _mm256_storeu_pd(CbArr, Cb);
-        bool Keep[4] = {false, false, false, false};
-        for (int L = 0; L < 4; ++L)
-          if (ConflictBits & (1 << L))
-            Keep[L] = ops::detail::keepFirst(
-                IaArr[L], CaArr[L], IbArr[L], CbArr[L], Cfg,
-                Env.Contexts[static_cast<size_t>(Base) + L]);
-        KeepA64 = maskFromBools(Keep);
-      } else {
-        KeepA64 = _mm256_cmp_pd(absPd(Ca), absPd(Cb), _CMP_GE_OQ);
-      }
-
-      for (int L = 0; L < 4; ++L)
-        if (ConflictBits & (1 << L))
-          ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
-
-      __m128i KeepA32 = narrowMask64(KeepA64);
-      __m128i SelA = _mm_or_si128(AOnly, _mm_and_si128(Conflict, KeepA32));
-      __m128i SelB = _mm_or_si128(BOnly, _mm_andnot_si128(KeepA32, Conflict));
-      __m128i OutId =
-          _mm_or_si128(_mm_and_si128(Ia, _mm_or_si128(Shared, SelA)),
-                       _mm_and_si128(Ib, SelB));
-
-      // Shared-symbol combine (Eq. (4)) and the fused-loser magnitude.
-      __m256d Cv = _mm256_add_pd(Ca, Cb);
-      __m256d TermShared = _mm256_sub_pd(Cv, addRDv(Ca, Cb));
-      __m256d Shared64 = expandMask32(Shared);
-      __m256d Conflict64 = expandMask32(Conflict);
-      __m256d SelA64 = expandMask32(SelA);
-      __m256d SelB64 = expandMask32(SelB);
-      __m256d OutC = _mm256_or_pd(
-          _mm256_or_pd(_mm256_and_pd(Cv, Shared64),
-                       _mm256_and_pd(Ca, SelA64)),
-          _mm256_and_pd(Cb, SelB64));
-      __m256d TermConf = _mm256_blendv_pd(absPd(Ca), absPd(Cb), KeepA64);
-      __m256d Term = _mm256_or_pd(_mm256_and_pd(TermShared, Shared64),
-                                  _mm256_and_pd(TermConf, Conflict64));
-      ErrV = _mm256_add_pd(ErrV, Term);
-
-      _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), OutId);
-      _mm256_storeu_pd(OutCoefs, OutC);
-    }
-
-    alignas(32) double ErrArr[4];
-    _mm256_storeu_pd(ErrArr, ErrV);
-    insertFreshLanes(Out, Env, Base, Limit, ErrArr, K, Pow2Mask, OutMask);
-  }
-  Out.setSlotMask(OutMask);
-}
-
-void batch::detail::mulAvx2(const Batch<F64Center> &A,
-                            const Batch<F64Center> &B,
-                            Batch<F64Center> &Out, BatchEnv &Env) {
-  SAFEGEN_ASSERT_ROUND_UP();
-  const AAConfig &Cfg = Env.Config;
-  const int K = Cfg.K;
-  const int32_t Size = A.size();
-  const bool Protect = Cfg.Prioritize && Env.AnyProtected;
-
-  for (int32_t I = 0; I < Size; ++I)
-    ++Env.Contexts[I].NumOps;
-
-  const uint64_t MaskA = A.slotMask();
-  const uint64_t MaskB = B.slotMask();
-  const uint64_t Union = MaskA | MaskB;
-  uint64_t OutMask = Union;
-  const uint32_t Pow2Mask =
-      (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
-
-  const __m128i Ones32 = _mm_set1_epi32(-1);
-  const __m128i Zero = _mm_setzero_si128();
-
-  for (int32_t Base = 0; Base < Size; Base += 4) {
-    const int32_t Limit = std::min<int32_t>(4, Size - Base);
-    const int LiveBits = (1 << Limit) - 1;
-
-    __m256d Ac = _mm256_loadu_pd(A.centers() + Base); // Da per lane
-    __m256d Bc = _mm256_loadu_pd(B.centers() + Base); // Db per lane
-    __m256d Up = _mm256_mul_pd(Ac, Bc);
-    __m256d Dn = mulRDv(Ac, Bc);
-    __m256d ErrV = _mm256_sub_pd(Up, Dn);
-    _mm256_storeu_pd(Out.centers() + Base, Up);
-
-    // Quadratic term r(â)·r(b̂), radii accumulated in slot order exactly
-    // like AffineVar::radius. Dead rows hold exact zeros, and fabs(±0)
-    // adds +0 — the RU identity — so only live rows are visited.
-    __m256d RadA = _mm256_setzero_pd();
-    __m256d RadB = _mm256_setzero_pd();
-    for (uint64_t M = MaskA; M; M &= M - 1)
-      RadA = _mm256_add_pd(
-          RadA, absPd(_mm256_loadu_pd(
-                    A.coefPlane(__builtin_ctzll(M)) + Base)));
-    for (uint64_t M = MaskB; M; M &= M - 1)
-      RadB = _mm256_add_pd(
-          RadB, absPd(_mm256_loadu_pd(
-                    B.coefPlane(__builtin_ctzll(M)) + Base)));
-    ErrV = _mm256_add_pd(ErrV, _mm256_mul_pd(RadA, RadB));
-
-    for (uint64_t M = Union; M; M &= M - 1) {
-      const int S = __builtin_ctzll(M);
-      SymbolId *OutIds = Out.idPlane(S) + Base;
-      double *OutCoefs = Out.coefPlane(S) + Base;
-      __m128i Ia = MaskA >> S & 1
-                       ? _mm_loadu_si128(reinterpret_cast<const __m128i *>(
-                             A.idPlane(S) + Base))
-                       : Zero;
-      __m128i Ib = MaskB >> S & 1
-                       ? _mm_loadu_si128(reinterpret_cast<const __m128i *>(
-                             B.idPlane(S) + Base))
-                       : Zero;
-
-      // Fast path 1 — every lane empty on both sides (see addAvx2).
-      __m128i IdU = _mm_or_si128(Ia, Ib);
-      if (_mm_testz_si128(IdU, IdU)) {
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Zero);
-        _mm256_storeu_pd(OutCoefs, _mm256_setzero_pd());
-        continue;
-      }
-
-      // Fast path 2 — one-sided rows: a single centre·coefficient
-      // product and its rounding charge, no conflict machinery.
-      if (_mm_testz_si128(Ib, Ib)) {
-        __m256d Ca = _mm256_loadu_pd(A.coefPlane(S) + Base);
-        __m256d ValidA64 =
-            expandMask32(_mm_andnot_si128(_mm_cmpeq_epi32(Ia, Zero), Ones32));
-        __m256d Qu = _mm256_mul_pd(Bc, Ca);
-        __m256d Qd = mulRDv(Bc, Ca);
-        ErrV = _mm256_add_pd(
-            ErrV, _mm256_and_pd(_mm256_sub_pd(Qu, Qd), ValidA64));
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Ia);
-        _mm256_storeu_pd(OutCoefs, _mm256_and_pd(Qu, ValidA64));
-        continue;
-      }
-      if (_mm_testz_si128(Ia, Ia)) {
-        __m256d Cb = _mm256_loadu_pd(B.coefPlane(S) + Base);
-        __m256d ValidB64 =
-            expandMask32(_mm_andnot_si128(_mm_cmpeq_epi32(Ib, Zero), Ones32));
-        __m256d Pu = _mm256_mul_pd(Ac, Cb);
-        __m256d Pd = mulRDv(Ac, Cb);
-        ErrV = _mm256_add_pd(
-            ErrV, _mm256_and_pd(_mm256_sub_pd(Pu, Pd), ValidB64));
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Ib);
-        _mm256_storeu_pd(OutCoefs, _mm256_and_pd(Pu, ValidB64));
-        continue;
-      }
-
-      // Fast path 3 — lane-uniform ids: pure shared combine (Eq. (5)).
-      if (_mm_movemask_epi8(_mm_cmpeq_epi32(Ia, Ib)) == 0xFFFF) {
-        __m256d Ca = _mm256_loadu_pd(A.coefPlane(S) + Base);
-        __m256d Cb = _mm256_loadu_pd(B.coefPlane(S) + Base);
-        __m256d Valid64 =
-            expandMask32(_mm_andnot_si128(_mm_cmpeq_epi32(Ia, Zero), Ones32));
-        __m256d Pu = _mm256_mul_pd(Ac, Cb);
-        __m256d Pd = mulRDv(Ac, Cb);
-        __m256d Qu = _mm256_mul_pd(Bc, Ca);
-        __m256d Qd = mulRDv(Bc, Ca);
-        __m256d SharedC = _mm256_add_pd(Pu, Qu);
-        __m256d TermShared = _mm256_sub_pd(SharedC, addRDv(Pd, Qd));
-        ErrV = _mm256_add_pd(ErrV, _mm256_and_pd(TermShared, Valid64));
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), Ia);
-        _mm256_storeu_pd(OutCoefs, _mm256_and_pd(SharedC, Valid64));
-        continue;
-      }
-
-      // General path.
-      __m256d Ca = _mm256_loadu_pd(A.coefPlane(S) + Base);
-      __m256d Cb = _mm256_loadu_pd(B.coefPlane(S) + Base);
-
-      __m128i EqM = _mm_cmpeq_epi32(Ia, Ib);
-      __m128i AInv = _mm_cmpeq_epi32(Ia, Zero);
-      __m128i BInv = _mm_cmpeq_epi32(Ib, Zero);
-      __m128i Shared = _mm_andnot_si128(_mm_and_si128(AInv, BInv), EqM);
-      __m128i AOnly = _mm_andnot_si128(AInv, BInv);
-      __m128i BOnly = _mm_andnot_si128(BInv, AInv);
-      __m128i Conflict = _mm_andnot_si128(
-          EqM, _mm_andnot_si128(_mm_or_si128(AInv, BInv), Ones32));
-      int ConflictBits =
-          _mm_movemask_ps(_mm_castsi128_ps(Conflict)) & LiveBits;
-
-      // Pu/Pd = RU/RD(Da*bi) (B's candidate), Qu/Qd = RU/RD(Db*ai).
-      __m256d Pu = _mm256_mul_pd(Ac, Cb);
-      __m256d Pd = mulRDv(Ac, Cb);
-      __m256d Qu = _mm256_mul_pd(Bc, Ca);
-      __m256d Qd = mulRDv(Bc, Ca);
-
-      __m256d SharedC = _mm256_add_pd(Pu, Qu);
-      __m256d TermShared = _mm256_sub_pd(SharedC, addRDv(Pd, Qd));
-      __m256d TermA = _mm256_sub_pd(Qu, Qd); // winner-A rounding charge
-      __m256d TermB = _mm256_sub_pd(Pu, Pd);
-      __m256d MagA = _mm256_max_pd(absPd(Qu), absPd(Qd));
-      __m256d MagB = _mm256_max_pd(absPd(Pu), absPd(Pd));
-
-      __m256d KeepA64;
-      if (Protect && ConflictBits) {
-        alignas(16) SymbolId IaArr[4], IbArr[4];
-        alignas(32) double CuAArr[4], CuBArr[4];
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(IaArr), Ia);
-        _mm_storeu_si128(reinterpret_cast<__m128i *>(IbArr), Ib);
-        _mm256_storeu_pd(CuAArr, Qu);
-        _mm256_storeu_pd(CuBArr, Pu);
-        bool Keep[4] = {false, false, false, false};
-        for (int L = 0; L < 4; ++L)
-          if (ConflictBits & (1 << L))
-            Keep[L] = ops::detail::keepFirst(
-                IaArr[L], CuAArr[L], IbArr[L], CuBArr[L], Cfg,
-                Env.Contexts[static_cast<size_t>(Base) + L]);
-        KeepA64 = maskFromBools(Keep);
-      } else {
-        KeepA64 = _mm256_cmp_pd(absPd(Qu), absPd(Pu), _CMP_GE_OQ);
-      }
-
-      for (int L = 0; L < 4; ++L)
-        if (ConflictBits & (1 << L))
-          ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
-
-      __m128i KeepA32 = narrowMask64(KeepA64);
-      __m128i SelA = _mm_or_si128(AOnly, _mm_and_si128(Conflict, KeepA32));
-      __m128i SelB = _mm_or_si128(BOnly, _mm_andnot_si128(KeepA32, Conflict));
-      __m128i OutId =
-          _mm_or_si128(_mm_and_si128(Ia, _mm_or_si128(Shared, SelA)),
-                       _mm_and_si128(Ib, SelB));
-
-      __m256d Shared64 = expandMask32(Shared);
-      __m256d Conflict64 = expandMask32(Conflict);
-      __m256d SelA64 = expandMask32(SelA);
-      __m256d SelB64 = expandMask32(SelB);
-      __m256d OSC64 = _mm256_or_pd(SelA64, SelB64);
-      __m256d KeepSel64 = SelA64; // A's branch among one-sided/conflict
-
-      // First accumulate: the winner's rounding charge (or the shared
-      // combine charge); second: the fused loser's magnitude (Eq. (6)),
-      // conflict lanes only. Mirrors the scalar two-step sequence.
-      __m256d Term1 = _mm256_blendv_pd(TermB, TermA, KeepSel64);
-      __m256d Term1All =
-          _mm256_or_pd(_mm256_and_pd(TermShared, Shared64),
-                       _mm256_and_pd(Term1, OSC64));
-      ErrV = _mm256_add_pd(ErrV, Term1All);
-      __m256d Term2 = _mm256_and_pd(_mm256_blendv_pd(MagA, MagB, KeepA64),
-                                    Conflict64);
-      ErrV = _mm256_add_pd(ErrV, Term2);
-
-      __m256d OutC = _mm256_or_pd(
-          _mm256_and_pd(SharedC, Shared64),
-          _mm256_and_pd(_mm256_blendv_pd(Pu, Qu, KeepSel64), OSC64));
-
-      _mm_storeu_si128(reinterpret_cast<__m128i *>(OutIds), OutId);
-      _mm256_storeu_pd(OutCoefs, OutC);
-    }
-
-    alignas(32) double ErrArr[4];
-    _mm256_storeu_pd(ErrArr, ErrV);
-    insertFreshLanes(Out, Env, Base, Limit, ErrArr, K, Pow2Mask, OutMask);
-  }
-  Out.setSlotMask(OutMask);
-}
-
-#else // !SAFEGEN_HAVE_AVX2
-
-// Never reached (fastSupported() is false), but the symbols must exist:
-// the dispatch in Batch.h compiles the calls unconditionally.
-
-void batch::detail::addAvx2(const Batch<F64Center> &A,
-                            const Batch<F64Center> &B, double Sign,
-                            Batch<F64Center> &Out, BatchEnv &Env) {
-  assert(false && "batch fast path without AVX2");
-  AAConfig Cfg = Env.Config;
-  Cfg.Vectorize = false;
-  for (int32_t I = 0; I < A.size(); ++I) {
-    AffineVar<F64Center> Va = A.extract(I), Vb = B.extract(I);
-    Out.insert(I, Sign > 0 ? ops::add(Va, Vb, Cfg, Env.Contexts[I])
-                           : ops::sub(Va, Vb, Cfg, Env.Contexts[I]));
-  }
-}
-
-void batch::detail::mulAvx2(const Batch<F64Center> &A,
-                            const Batch<F64Center> &B,
-                            Batch<F64Center> &Out, BatchEnv &Env) {
-  assert(false && "batch fast path without AVX2");
-  AAConfig Cfg = Env.Config;
-  Cfg.Vectorize = false;
-  for (int32_t I = 0; I < A.size(); ++I)
-    Out.insert(I, ops::mul(A.extract(I), B.extract(I), Cfg,
-                           Env.Contexts[I]));
-}
-
-#endif // SAFEGEN_HAVE_AVX2
 
 //===----------------------------------------------------------------------===//
 // Parallel batch runner
@@ -606,6 +138,11 @@ void batch::run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
                 int32_t Grain) {
   if (Size <= 0)
     return;
+
+  // Resolve the kernel tier once on the calling thread so the pool's
+  // workers never serialize on the registry's call_once during the first
+  // dispatch (correct either way -- this is a warm-up, not a fence).
+  isa::select();
 
   ContextArena Arena;
   auto RunChunk = [&](int32_t First, int32_t Count) {
@@ -634,6 +171,36 @@ void batch::run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
                               T1 - T0)
                               .count()) /
                           Probe);
+    // Below the measured crossover, fan-out loses outright: waking the
+    // pool, publishing the range and stealing it back costs more than the
+    // whole computation (the t4 > t1 regression at N=1024 in
+    // BENCH_batch.json). Run the remainder inline instead — still in
+    // bounded chunks, so the arena's per-chunk context vector never grows
+    // past the parallel path's worst case.
+    // A pool can be built with more workers than the machine has cores
+    // (the t4 benchmark rows do exactly that); the extra threads only
+    // timeshare, so what parallel fan-out can actually win is bounded by
+    // the hardware, not the pool size.
+    unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+    unsigned Usable = std::min(Pool.concurrency(), HW);
+    constexpr double SerialBelowNs = 500'000.0;
+    double RemainNs = PerInstNs * static_cast<double>(Size - Begin);
+    if (Usable <= 1 || RemainNs < SerialBelowNs) {
+      // Serial chunks have no steal/wake overhead to amortize, so size
+      // them for cache residency instead: a chunk is the unit of the
+      // column allocations in tape/batch programs (one K-slot plane per
+      // live register, Count instances wide), and those planes degrade
+      // the column engine as they outgrow L2 — measured here ~1.4x
+      // already at 256 instances and ~3x by 16K. 240 is the largest
+      // multiple of 8 on the fast side of that cliff (and what the
+      // steal-grain formula below picks for the N=1024 benchmark rows).
+      while (Begin < Size) {
+        int32_t Count = std::min<int32_t>(Size - Begin, 240);
+        RunChunk(Begin, Count);
+        Begin += Count;
+      }
+      return;
+    }
     constexpr double TargetNs = 200'000.0;
     int64_t ByCost = static_cast<int64_t>(TargetNs / PerInstNs);
     int64_t ForStealing = std::max<int64_t>(

@@ -28,7 +28,8 @@
 ///
 /// Fast path: F64Center, direct-mapped placement, SP/MP fusion (no K
 /// alignment constraint — lanes run over instances, and the instance
-/// count is padded to a multiple of 4). Everything else — sorted
+/// count is padded to a multiple of 8 so even the widest kernel tier
+/// never needs a scalar tail). Everything else — sorted
 /// placement, other centre types, division and the elementary functions,
 /// protected-symbol conflicts — falls back to a scalar per-instance
 /// evaluation through the ordinary kernels of AffineOps.h/Elementary.h
@@ -219,21 +220,25 @@ private:
   std::unique_ptr<T[]> P;
   size_t N = 0;
 };
-/// True when the cross-instance AVX2 kernels serve \p Cfg (mirrors
+/// True when the cross-instance vector kernels serve \p Cfg (mirrors
 /// simd::supports; independent of Cfg.Vectorize — the batch kernels are
 /// bit-identical to the scalar reference, so there is nothing to toggle).
+/// ISA-independent since the multi-tier registry: every binary carries at
+/// least the scalar-tier instantiation of the batch kernels.
 bool fastSupported(const AAConfig &Cfg);
 
-void addAvx2(const Batch<F64Center> &A, const Batch<F64Center> &B,
-             double Sign, Batch<F64Center> &Out, BatchEnv &Env);
-void mulAvx2(const Batch<F64Center> &A, const Batch<F64Center> &B,
-             Batch<F64Center> &Out, BatchEnv &Env);
+/// Cross-instance kernels, dispatched through the aa::isa registry
+/// (Kernels/Isa.h) to the instantiation matching the active tier.
+void addVec(const Batch<F64Center> &A, const Batch<F64Center> &B, double Sign,
+            Batch<F64Center> &Out, BatchEnv &Env);
+void mulVec(const Batch<F64Center> &A, const Batch<F64Center> &B,
+            Batch<F64Center> &Out, BatchEnv &Env);
 } // namespace detail
 } // namespace batch
 
 /// N affine forms of one program value, structure-of-arrays. Instances are
-/// padded to a multiple of 4 (pad lanes stay empty/exact-zero) so the
-/// vector kernels never need a scalar tail.
+/// padded to a multiple of 8 (pad lanes stay empty/exact-zero) so the
+/// vector kernels never need a scalar tail at any registered lane width.
 template <typename CT> class Batch {
 public:
   using CenterType = typename CT::Type;
@@ -328,7 +333,7 @@ public:
   /// @}
 
   int32_t size() const { return Size_; }
-  /// Padded instance capacity (multiple of 4); the plane row stride.
+  /// Padded instance capacity (multiple of 8); the plane row stride.
   int32_t capacity() const { return Cap_; }
   /// Number of slot planes (the symbol budget K at creation).
   int32_t slots() const { return NSlots_; }
@@ -469,7 +474,7 @@ public:
     if constexpr (std::is_same_v<CT, F64Center>) {
       if (batch::detail::fastSupported(E.Config)) {
         Batch Out = makeLike(A);
-        batch::detail::mulAvx2(A, B, Out, E);
+        batch::detail::mulVec(A, B, Out, E);
         return Out;
       }
     }
@@ -651,7 +656,7 @@ private:
     static_assert(MaxInlineSymbols <= 64,
                   "the live-slot mask is a single 64-bit word");
     Size_ = E.size();
-    Cap_ = (Size_ + 3) & ~3;
+    Cap_ = (Size_ + 7) & ~7;
     NSlots_ = E.Config.K;
     Centers_.assign(Cap_, CenterType{});
     Ids_.allocate(static_cast<size_t>(NSlots_) * Cap_);
@@ -672,7 +677,7 @@ private:
     return E;
   }
 
-  /// The configuration the scalar fallback runs under: the per-form AVX2
+  /// The configuration the scalar fallback runs under: the per-form vector
   /// kernels accumulate the fresh-error coefficient in a different (but
   /// equally sound) order, so the fallback always uses the scalar
   /// kernels — keeping every batch result bit-identical to the scalar
@@ -688,7 +693,7 @@ private:
     if constexpr (std::is_same_v<CT, F64Center>) {
       if (batch::detail::fastSupported(E.Config)) {
         Batch Out = makeLike(A);
-        batch::detail::addAvx2(A, B, Sign, Out, E);
+        batch::detail::addVec(A, B, Sign, Out, E);
         return Out;
       }
     }
@@ -703,7 +708,7 @@ private:
   }
 
   int32_t Size_ = 0;   ///< live instances
-  int32_t Cap_ = 0;    ///< Size_ rounded up to a multiple of 4
+  int32_t Cap_ = 0;    ///< Size_ rounded up to a multiple of 8
   int32_t NSlots_ = 0; ///< slot planes (symbol budget K at creation)
   uint64_t Mask_ = 0;  ///< live-slot mask, see slotMask()
   std::vector<CenterType> Centers_;

@@ -1,0 +1,139 @@
+//===- Isa.cpp - Kernel tier resolution and dispatch table ----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aa/Kernels/Isa.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+/// The compiled-in table for a tier, or nullptr (tier not built).
+const isa::KernelTable *tableFor(isa::Tier T) {
+  switch (T) {
+  case isa::Tier::Scalar:
+    return isa::detail::scalarTable();
+  case isa::Tier::Sse2:
+    return isa::detail::sse2Table();
+  case isa::Tier::Avx2:
+    return isa::detail::avx2Table();
+  case isa::Tier::Avx512:
+    return isa::detail::avx512Table();
+  }
+  return nullptr;
+}
+
+/// True when the host CPU can execute \p T's instructions.
+bool cpuSupports(isa::Tier T) {
+  switch (T) {
+  case isa::Tier::Scalar:
+    return true;
+  case isa::Tier::Sse2:
+#if defined(__x86_64__) || defined(_M_X64)
+    return true; // x86-64 baseline
+#else
+    return false;
+#endif
+  case isa::Tier::Avx2:
+#if defined(__x86_64__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+  case isa::Tier::Avx512:
+#if defined(__x86_64__)
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq") &&
+           __builtin_cpu_supports("avx512bw") &&
+           __builtin_cpu_supports("avx512vl");
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+/// The widest tier that is both compiled in and executable here. Scalar is
+/// always both, so this never fails.
+isa::Tier widestAvailable() {
+  for (int T = isa::NumTiers - 1; T > 0; --T)
+    if (isa::available(static_cast<isa::Tier>(T)))
+      return static_cast<isa::Tier>(T);
+  return isa::Tier::Scalar;
+}
+
+std::atomic<const isa::KernelTable *> Active{nullptr};
+std::once_flag InitOnce;
+
+void initActive() {
+  isa::Tier T = widestAvailable();
+  if (const char *Env = std::getenv("SAFEGEN_ISA"); Env && *Env) {
+    isa::Tier Req;
+    if (!isa::parse(Env, Req))
+      std::fprintf(stderr,
+                   "safegen: SAFEGEN_ISA=%s is not a tier name "
+                   "(scalar|sse2|avx2|avx512); using %s\n",
+                   Env, isa::name(T));
+    else if (!isa::available(Req))
+      std::fprintf(stderr,
+                   "safegen: SAFEGEN_ISA=%s is not available on this "
+                   "host/build; using %s\n",
+                   Env, isa::name(T));
+    else
+      T = Req;
+  }
+  Active.store(tableFor(T), std::memory_order_release);
+}
+
+} // namespace
+
+const isa::KernelTable &isa::select() {
+  const KernelTable *T = Active.load(std::memory_order_acquire);
+  if (T)
+    return *T;
+  std::call_once(InitOnce, initActive);
+  return *Active.load(std::memory_order_acquire);
+}
+
+isa::Tier isa::activeTier() { return select().T; }
+
+bool isa::available(Tier T) { return tableFor(T) && cpuSupports(T); }
+
+bool isa::setTier(Tier T) {
+  if (!available(T))
+    return false;
+  select(); // run the one-time init first so it can't overwrite us
+  Active.store(tableFor(T), std::memory_order_release);
+  return true;
+}
+
+const char *isa::name(Tier T) {
+  switch (T) {
+  case Tier::Scalar:
+    return "scalar";
+  case Tier::Sse2:
+    return "sse2";
+  case Tier::Avx2:
+    return "avx2";
+  case Tier::Avx512:
+    return "avx512";
+  }
+  return "?";
+}
+
+bool isa::parse(std::string_view Name, Tier &Out) {
+  for (int T = 0; T < NumTiers; ++T)
+    if (Name == name(static_cast<Tier>(T))) {
+      Out = static_cast<Tier>(T);
+      return true;
+    }
+  return false;
+}

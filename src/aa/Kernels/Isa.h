@@ -1,0 +1,117 @@
+//===- Isa.h - Runtime-dispatched multi-ISA kernel registry -----*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One binary, every host: the sound direct-mapped form kernels and the
+/// cross-instance batch kernels are instantiated from a single
+/// width-agnostic template (Kernels/KernelImpl.h) at scalar, SSE2, AVX2
+/// and AVX-512 widths, each tier in its own translation unit, and
+/// registered here in a table of function pointers. select() resolves the
+/// active tier exactly once: the widest tier that is both compiled in and
+/// reported by cpuid, overridable for testing with
+///
+///   SAFEGEN_ISA=scalar|sse2|avx2|avx512
+///
+/// (an unavailable or unknown request warns once on stderr and falls back
+/// to the best tier). setTier() switches tiers programmatically — the
+/// forced-ISA equivalence tests and the per-ISA benchmark rows use it.
+///
+/// Every tier implements the same rounding contract (KernelImpl.h), so
+/// switching tiers never changes a single result bit; it only changes how
+/// many lanes execute per instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_KERNELS_ISA_H
+#define SAFEGEN_AA_KERNELS_ISA_H
+
+#include "aa/AffineOps.h"
+
+#include <string_view>
+
+namespace safegen {
+namespace aa {
+
+struct BatchEnv;
+template <typename CT> class Batch;
+
+namespace isa {
+
+/// Kernel tiers, narrowest to widest. The numeric order is the preference
+/// order of the cpuid-based default.
+enum class Tier : int { Scalar = 0, Sse2 = 1, Avx2 = 2, Avx512 = 3 };
+inline constexpr int NumTiers = 4;
+
+/// Per-form kernels (ops::addDirect / ops::mulDirect counterparts under
+/// the vector contract; Simd.h documents the supports() gate).
+using FormAddFn = AffineF64Storage (*)(const AffineF64Storage &A,
+                                       const AffineF64Storage &B, double Sign,
+                                       const AAConfig &Cfg,
+                                       AffineContext &Ctx);
+using FormMulFn = AffineF64Storage (*)(const AffineF64Storage &A,
+                                       const AffineF64Storage &B,
+                                       const AAConfig &Cfg,
+                                       AffineContext &Ctx);
+/// Cross-instance batch kernels (Batch.h dispatch; bit-identical to the
+/// scalar per-instance reference at every width).
+using BatchAddFn = void (*)(const Batch<F64Center> &A,
+                            const Batch<F64Center> &B, double Sign,
+                            Batch<F64Center> &Out, BatchEnv &Env);
+using BatchMulFn = void (*)(const Batch<F64Center> &A,
+                            const Batch<F64Center> &B, Batch<F64Center> &Out,
+                            BatchEnv &Env);
+
+/// One tier's kernel entry points. Tables live in their per-ISA TU with
+/// static storage duration; pointers to them never dangle.
+struct KernelTable {
+  Tier T;
+  const char *Name;
+  /// Instances per vector group in the batch kernels (1/2/4/8). The batch
+  /// capacity padding (Batch.h) guarantees full-width loads for any tier.
+  int BatchLanes;
+  FormAddFn FormAdd;
+  FormMulFn FormMul;
+  BatchAddFn BatchAdd;
+  BatchMulFn BatchMul;
+};
+
+/// The active kernel table. The first call resolves the tier (cpuid +
+/// SAFEGEN_ISA); later calls are one relaxed atomic load. Thread-safe.
+const KernelTable &select();
+
+/// The currently active tier.
+Tier activeTier();
+
+/// True when \p T is compiled into this binary *and* supported by the
+/// host CPU.
+bool available(Tier T);
+
+/// Forces the active tier. Returns false (and changes nothing) when the
+/// tier is unavailable. Not meant for use while kernels are executing on
+/// other threads mid-operation; tests and benchmarks switch between runs.
+bool setTier(Tier T);
+
+/// Lower-case tier name ("scalar", "sse2", "avx2", "avx512").
+const char *name(Tier T);
+
+/// Parses a tier name (as accepted by SAFEGEN_ISA / --isa). Returns false
+/// on an unknown name.
+bool parse(std::string_view Name, Tier &Out);
+
+namespace detail {
+/// Per-TU table getters. A getter returns nullptr when its tier is not
+/// compiled into this binary (CMake option off, or non-x86 target).
+const KernelTable *scalarTable();
+const KernelTable *sse2Table();
+const KernelTable *avx2Table();
+const KernelTable *avx512Table();
+} // namespace detail
+
+} // namespace isa
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_KERNELS_ISA_H

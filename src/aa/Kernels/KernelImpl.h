@@ -1,0 +1,843 @@
+//===- KernelImpl.h - Width-agnostic sound AA kernel templates --*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The width-agnostic implementation of the direct-mapped per-form kernels
+/// (formerly Simd.cpp, AVX2-only) and the cross-instance batch kernels
+/// (formerly Batch.cpp, AVX2-only), templated over a VecTraits type.
+///
+/// This header is an *implementation fragment*, not an ordinary include:
+/// every per-ISA translation unit includes it exactly once, INSIDE an
+/// anonymous namespace, after defining SAFEGEN_KERNEL_TARGET (the tier's
+/// function target attribute, possibly empty) and its VecTraits type, and
+/// with aa/Batch.h, aa/Kernels/Isa.h, <cassert>, <cmath> and <cstring>
+/// already included at global scope (plus `using namespace safegen` /
+/// `safegen::aa`). That shape is deliberate:
+///
+///  * Internal linkage per TU: each tier's instantiations are distinct
+///    internal functions, so the linker can never substitute one tier's
+///    code for another's.
+///  * Function-level target attributes instead of per-TU -m flags: with
+///    -mavx512f on a whole TU, every shared inline helper the kernels
+///    touch (fp::addRU, ops::insertFresh, ...) would be emitted as an
+///    external COMDAT compiled with EVEX encodings — and the linker is
+///    free to pick that copy as THE definition for the entire binary,
+///    which then faults on hosts without AVX-512. A target attribute
+///    scopes the wide ISA to exactly the kernel bodies; everything shared
+///    compiles at baseline.
+///
+/// VecTraits contract (Width lanes; see KernelsScalar.cpp for the W=1
+/// reference and Traits256.inc for the x86 256-bit one): VD holds Width
+/// doubles, VI Width 32-bit symbol ids, MD/MI per-lane masks in the
+/// double/id domain (all-ones or all-zero per lane for register masks;
+/// one bit per lane for AVX-512 kmasks). All FP ops round per MXCSR (the
+/// kernels run under upward mode), cmpGeD is >= ordered (false on NaN),
+/// maxD returns its second operand when either input is NaN (x86 MAXPD
+/// semantics), negD/absD are pure sign-bit ops, and orD is the *bitwise*
+/// or (it only ever combines disjointly masked lanes). Loads and stores
+/// must touch exactly Width lanes (the W=2 id accessors use 8-byte
+/// MOVQ-style loads, never 16-byte ones — form storage rows are not
+/// padded).
+///
+/// Rounding contract — every tier must match every other bit-for-bit:
+///
+///  * Form kernels accumulate the fresh-error term in exactly FOUR lane
+///    streams per 4-slot group regardless of width. A Width<4 tier runs
+///    4/Width subgroups per group, subgroup J covering canonical lanes
+///    [J*Width, (J+1)*Width), accumulating into its own stream vector;
+///    the final reduce is always RU(RU(L0+L1) + RU(L2+L3)) over the four
+///    canonical streams in lane order. Since every per-lane operation is
+///    the same IEEE operation at every width, identical streams mean
+///    identical bits. Protected-conflict groups resolve all 4 slots with
+///    the scalar rules; the decision needs the whole group's conflict
+///    set, so Width<4 tiers classify the full group *before* branching.
+///  * Batch kernels are lane-local (one instance per lane, never a
+///    cross-lane reduction), so any width yields bit-identical
+///    per-instance results as long as the per-slot accumulation order
+///    matches the scalar kernels' — which it does, term by term.
+///  * No FMA contraction anywhere: the directed-rounding identities
+///    RD(x) = -RU(-x) pair each RU operation with its mirrored twin, and
+///    contracting either side breaks the pairing. fmaD exists in the
+///    traits for future midpoint-style (non-sound) uses only.
+///
+//===----------------------------------------------------------------------===//
+
+#if !defined(SAFEGEN_KERNEL_TARGET)
+#error "KernelImpl.h is an implementation fragment: define "              \
+       "SAFEGEN_KERNEL_TARGET and include it inside an anonymous namespace"
+#endif
+
+//===----------------------------------------------------------------------===//
+// Directed-rounding helpers (lane-wise, under MXCSR-up)
+//===----------------------------------------------------------------------===//
+
+/// Downward-rounded vector sum under MXCSR-up: -RU((-A)+(-B)).
+template <class VT>
+SAFEGEN_KERNEL_TARGET inline typename VT::VD kAddRD(typename VT::VD A,
+                                                    typename VT::VD B) {
+  return VT::negD(VT::addD(VT::negD(A), VT::negD(B)));
+}
+
+/// Downward-rounded vector product under MXCSR-up: -RU((-A)*B).
+template <class VT>
+SAFEGEN_KERNEL_TARGET inline typename VT::VD kMulRD(typename VT::VD A,
+                                                    typename VT::VD B) {
+  return VT::negD(VT::mulD(VT::negD(A), B));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared scalar paths (per-TU internal copies; plain baseline code)
+//===----------------------------------------------------------------------===//
+
+/// True if any id in slots [S, S+4) of A or B is protected.
+inline bool kGroupHasProtected(const AffineF64Storage &A,
+                               const AffineF64Storage &B, int S,
+                               const AffineContext &Ctx) {
+  for (int L = 0; L < 4; ++L)
+    if (Ctx.isProtected(A.Ids[S + L]) || Ctx.isProtected(B.Ids[S + L]))
+      return true;
+  return false;
+}
+
+/// Resolves one 4-slot group of the form-add kernel with the scalar rules
+/// (the protected-conflict slow path), accumulating into the scalar Err.
+inline void kAddGroupScalar(const AffineF64Storage &A,
+                            const AffineF64Storage &B, double Sign, int S,
+                            const AAConfig &Cfg, AffineContext &Ctx,
+                            AffineF64Storage &Out, double &Err) {
+  for (int L = 0; L < 4; ++L) {
+    int Slot = S + L;
+    SymbolId Ia = A.Ids[Slot], Ib = B.Ids[Slot];
+    double CaS = A.Coefs[Slot], CbS = Sign * B.Coefs[Slot];
+    if (Ia == Ib) {
+      double C = fp::addRU(CaS, CbS);
+      Err = fp::addRU(Err, fp::subRU(C, fp::addRD(CaS, CbS)));
+      Out.Ids[Slot] = Ia;
+      Out.Coefs[Slot] = C;
+    } else if (Ib == InvalidSymbol) {
+      Out.Ids[Slot] = Ia;
+      Out.Coefs[Slot] = CaS;
+    } else if (Ia == InvalidSymbol) {
+      Out.Ids[Slot] = Ib;
+      Out.Coefs[Slot] = CbS;
+    } else if (ops::detail::keepFirst(Ia, CaS, Ib, CbS, Cfg, Ctx)) {
+      Err = fp::addRU(Err, std::fabs(CbS));
+      ++Ctx.NumFusions;
+      Out.Ids[Slot] = Ia;
+      Out.Coefs[Slot] = CaS;
+    } else {
+      Err = fp::addRU(Err, std::fabs(CaS));
+      ++Ctx.NumFusions;
+      Out.Ids[Slot] = Ib;
+      Out.Coefs[Slot] = CbS;
+    }
+  }
+}
+
+/// Same for the form-mul kernel.
+inline void kMulGroupScalar(const AffineF64Storage &A,
+                            const AffineF64Storage &B, double Da, double Db,
+                            int S, const AAConfig &Cfg, AffineContext &Ctx,
+                            AffineF64Storage &Out, double &Err) {
+  for (int L = 0; L < 4; ++L) {
+    int Slot = S + L;
+    SymbolId Ia = A.Ids[Slot], Ib = B.Ids[Slot];
+    if (Ia == Ib) {
+      double Pu = fp::mulRU(Da, B.Coefs[Slot]), Pd = fp::mulRD(Da, B.Coefs[Slot]);
+      double Qu = fp::mulRU(Db, A.Coefs[Slot]), Qd = fp::mulRD(Db, A.Coefs[Slot]);
+      double C = fp::addRU(Pu, Qu);
+      Err = fp::addRU(Err, fp::subRU(C, fp::addRD(Pd, Qd)));
+      Out.Ids[Slot] = Ia;
+      Out.Coefs[Slot] = C;
+      continue;
+    }
+    double CuA = 0.0, MagA = 0.0;
+    if (Ia != InvalidSymbol) {
+      CuA = fp::mulRU(Db, A.Coefs[Slot]);
+      MagA = std::fmax(std::fabs(CuA),
+                       std::fabs(fp::mulRD(Db, A.Coefs[Slot])));
+    }
+    double CuB = 0.0, MagB = 0.0;
+    if (Ib != InvalidSymbol) {
+      CuB = fp::mulRU(Da, B.Coefs[Slot]);
+      MagB = std::fmax(std::fabs(CuB),
+                       std::fabs(fp::mulRD(Da, B.Coefs[Slot])));
+    }
+    bool KeepA;
+    if (Ib == InvalidSymbol)
+      KeepA = true;
+    else if (Ia == InvalidSymbol)
+      KeepA = false;
+    else {
+      KeepA = ops::detail::keepFirst(Ia, CuA, Ib, CuB, Cfg, Ctx);
+      ++Ctx.NumFusions;
+    }
+    if (KeepA) {
+      Err = fp::addRU(Err, fp::subRU(CuA, fp::mulRD(Db, A.Coefs[Slot])));
+      if (Ib != InvalidSymbol)
+        Err = fp::addRU(Err, MagB);
+      Out.Ids[Slot] = Ia;
+      Out.Coefs[Slot] = CuA;
+    } else {
+      Err = fp::addRU(Err, fp::subRU(CuB, fp::mulRD(Da, B.Coefs[Slot])));
+      if (Ia != InvalidSymbol)
+        Err = fp::addRU(Err, MagA);
+      Out.Ids[Slot] = Ib;
+      Out.Coefs[Slot] = CuB;
+    }
+  }
+}
+
+/// Per-lane fresh-error insertion for the batch kernels: the tail of the
+/// scalar kernels (insertFresh with the accumulated Err) for every *live*
+/// lane whose Err is positive or NaN. Inherently scalar — the fresh ids
+/// (and therefore the home slots) can differ between lanes. A home slot
+/// outside \p OutMask is materialized on first touch (the whole row
+/// zeroed — the empty (InvalidSymbol, +0.0) pair in every lane) before
+/// the lane is written. \p Pow2Mask is K-1 when K is a power of two,
+/// else 0.
+inline void kInsertFreshLanes(Batch<F64Center> &Out, BatchEnv &Env,
+                              int32_t Base, int32_t Limit, const double *Err,
+                              int K, uint32_t Pow2Mask, uint64_t &OutMask) {
+  for (int32_t L = 0; L < Limit; ++L) {
+    double E = Err[L];
+    if (!(E > 0.0) && !std::isnan(E))
+      continue;
+    AffineContext &Ctx = Env.Contexts[static_cast<size_t>(Base) + L];
+    SymbolId Id = Ctx.freshSymbol();
+    int Slot = Pow2Mask ? static_cast<int>((Id - 1) & Pow2Mask)
+                        : ops::detail::homeSlot(Id, K);
+    SymbolId *Ids = Out.idPlane(Slot);
+    double *Coefs = Out.coefPlane(Slot);
+    if (!(OutMask >> Slot & 1)) {
+      size_t Cap = static_cast<size_t>(Out.capacity());
+      std::memset(Ids, 0, Cap * sizeof(SymbolId));
+      std::memset(Coefs, 0, Cap * sizeof(double));
+      OutMask |= uint64_t(1) << Slot;
+    }
+    size_t At = static_cast<size_t>(Base) + L;
+    double Coef = E;
+    if (Ids[At] != InvalidSymbol) {
+      Coef = fp::addRU(Coef, std::fabs(Coefs[At]));
+      ++Ctx.NumFusions;
+    }
+    Ids[At] = Id;
+    Coefs[At] = Coef;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-form kernels (4-slot groups, 4 canonical error streams)
+//===----------------------------------------------------------------------===//
+
+template <class VT> struct FormKernels {
+  using VD = typename VT::VD;
+  using VI = typename VT::VI;
+  using MD = typename VT::MD;
+  using MI = typename VT::MI;
+  static constexpr int W = VT::Width;
+  static_assert(W == 1 || W == 2 || W == 4,
+                "form kernels run 4-slot groups; wider tiers reuse W=4");
+  /// Subgroups per canonical 4-slot group; subgroup J covers canonical
+  /// lanes [J*W, (J+1)*W).
+  static constexpr int SG = 4 / W;
+  static constexpr unsigned LaneMask = (1u << W) - 1;
+
+  /// Upward-rounded reduce of the four canonical error streams, in lane
+  /// order (matches a sequential accumulation of the same 4 values).
+  SAFEGEN_KERNEL_TARGET static double reduceAddRU4(const VD Acc[SG]) {
+    alignas(64) double L[4];
+    for (int J = 0; J < SG; ++J)
+      VT::storeD(&L[J * W], Acc[J]);
+    return fp::addRU(fp::addRU(L[0], L[1]), fp::addRU(L[2], L[3]));
+  }
+
+  SAFEGEN_KERNEL_TARGET static AffineF64Storage
+  addDirect(const AffineF64Storage &A, const AffineF64Storage &B, double Sign,
+            const AAConfig &Cfg, AffineContext &Ctx) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    assert(simd::supports(Cfg) && "config not vectorizable");
+    assert(A.N == Cfg.K && B.N == Cfg.K && "direct-mapped K mismatch");
+    ++Ctx.NumOps;
+    const int K = Cfg.K;
+    const bool Protection = Cfg.Prioritize && Ctx.hasProtected();
+
+    AffineF64Storage Out;
+    Out.N = K;
+    double Err = 0.0;
+    Out.Center = Sign > 0 ? F64Center::add(A.Center, B.Center, Err)
+                          : F64Center::sub(A.Center, B.Center, Err);
+
+    const VD SignV = VT::set1D(Sign);
+    VD ErrAcc[SG];
+    for (int J = 0; J < SG; ++J)
+      ErrAcc[J] = VT::zeroD();
+
+    for (int S = 0; S < K; S += 4) {
+      // Classify the whole group first: the protected-conflict decision
+      // below is per 4-slot group at every width.
+      VI IdA[SG], IdB[SG];
+      VD Ca[SG], Cb[SG];
+      MI Eq[SG], AEmpty[SG], BEmpty[SG];
+      unsigned ConflictM = 0;
+      for (int J = 0; J < SG; ++J) {
+        const int P = S + J * W;
+        IdA[J] = VT::loadI(&A.Ids[P]);
+        IdB[J] = VT::loadI(&B.Ids[P]);
+        Ca[J] = VT::loadD(&A.Coefs[P]);
+        Cb[J] = VT::mulD(SignV, VT::loadD(&B.Coefs[P]));
+        Eq[J] = VT::cmpeqI(IdA[J], IdB[J]);
+        AEmpty[J] = VT::cmpeqI(IdA[J], VT::zeroI());
+        BEmpty[J] = VT::cmpeqI(IdB[J], VT::zeroI());
+        unsigned Conf = ~VT::bitsM(Eq[J]) & ~VT::bitsM(AEmpty[J]) &
+                        ~VT::bitsM(BEmpty[J]) & LaneMask;
+        ConflictM |= Conf << (J * W);
+      }
+
+      if (Protection && ConflictM != 0 && kGroupHasProtected(A, B, S, Ctx)) {
+        // Rare slow path: resolve this 4-slot group with the scalar rules
+        // so symbol protection behaves exactly as in the scalar kernel.
+        kAddGroupScalar(A, B, Sign, S, Cfg, Ctx, Out, Err);
+        continue;
+      }
+
+      for (int J = 0; J < SG; ++J) {
+        const int P = S + J * W;
+        MD EqMask = VT::expandM(Eq[J]);
+        MD AEmptyMask = VT::expandM(AEmpty[J]);
+        MD BEmptyMask = VT::expandM(BEmpty[J]);
+        MI ConflictMI = VT::andnotM(
+            Eq[J],
+            VT::andnotM(AEmpty[J], VT::andnotM(BEmpty[J], VT::onesM())));
+        MD ConflictMask = VT::expandM(ConflictMI);
+
+        // Shared-id lanes: c = RU(ca+cb), err = c - RD(ca+cb).
+        VD Sum = VT::addD(Ca[J], Cb[J]);
+        VD ErrEq = VT::subD(Sum, kAddRD<VT>(Ca[J], Cb[J]));
+
+        // Conflict lanes (SP rule): keep the larger |coef|, fuse the
+        // smaller.
+        VD AbsA = VT::absD(Ca[J]), AbsB = VT::absD(Cb[J]);
+        MD KeepA = VT::cmpGeD(AbsA, AbsB);
+        VD ConfCoef = VT::blendD(Cb[J], Ca[J], KeepA);
+        VD ConfErr = VT::blendD(AbsA, AbsB, KeepA);
+
+        // Coefficient selection: conflict -> one-sided -> shared.
+        VD Coef = ConfCoef;
+        Coef = VT::blendD(Coef, Cb[J], AEmptyMask);
+        Coef = VT::blendD(Coef, Ca[J], BEmptyMask);
+        Coef = VT::blendD(Coef, Sum, EqMask);
+        VT::storeD(&Out.Coefs[P], Coef);
+
+        // Error selection (masks are disjoint).
+        VD ErrSel = VT::orD(VT::maskD(ErrEq, EqMask),
+                            VT::maskD(ConfErr, ConflictMask));
+        ErrAcc[J] = VT::addD(ErrAcc[J], ErrSel);
+
+        // Id selection (conflict -> one-sided -> shared).
+        MI KeepA32 = VT::narrowM(KeepA);
+        VI IdOut = VT::blendI(IdB[J], IdA[J], KeepA32);
+        IdOut = VT::blendI(IdOut, IdB[J], AEmpty[J]);
+        IdOut = VT::blendI(IdOut, IdA[J], BEmpty[J]);
+        IdOut = VT::blendI(IdOut, IdA[J], Eq[J]);
+        VT::storeI(&Out.Ids[P], IdOut);
+      }
+      Ctx.NumFusions += __builtin_popcount(ConflictM);
+    }
+
+    Err = fp::addRU(Err, reduceAddRU4(ErrAcc));
+    if (Err > 0.0 || std::isnan(Err))
+      ops::insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+    return Out;
+  }
+
+  SAFEGEN_KERNEL_TARGET static AffineF64Storage
+  mulDirect(const AffineF64Storage &A, const AffineF64Storage &B,
+            const AAConfig &Cfg, AffineContext &Ctx) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    assert(simd::supports(Cfg) && "config not vectorizable");
+    assert(A.N == Cfg.K && B.N == Cfg.K && "direct-mapped K mismatch");
+    ++Ctx.NumOps;
+    const int K = Cfg.K;
+    const bool Protection = Cfg.Prioritize && Ctx.hasProtected();
+
+    AffineF64Storage Out;
+    Out.N = K;
+    double Err = 0.0;
+    Out.Center = F64Center::mul(A.Center, B.Center, Err);
+    double Da = A.Center, Db = B.Center;
+
+    const VD DaV = VT::set1D(Da);
+    const VD DbV = VT::set1D(Db);
+    VD ErrAcc[SG], RadA[SG], RadB[SG];
+    for (int J = 0; J < SG; ++J) {
+      ErrAcc[J] = VT::zeroD();
+      // Radii r(â), r(b̂) accumulate alongside the main loop (one pass),
+      // in the same canonical 4 streams as the error term.
+      RadA[J] = VT::zeroD();
+      RadB[J] = VT::zeroD();
+    }
+
+    for (int S = 0; S < K; S += 4) {
+      VI IdA[SG], IdB[SG];
+      VD Ca[SG], Cb[SG];
+      MI Eq[SG], AEmpty[SG], BEmpty[SG];
+      unsigned ConflictM = 0;
+      for (int J = 0; J < SG; ++J) {
+        const int P = S + J * W;
+        IdA[J] = VT::loadI(&A.Ids[P]);
+        IdB[J] = VT::loadI(&B.Ids[P]);
+        Ca[J] = VT::loadD(&A.Coefs[P]);
+        Cb[J] = VT::loadD(&B.Coefs[P]);
+        RadA[J] = VT::addD(RadA[J], VT::absD(Ca[J]));
+        RadB[J] = VT::addD(RadB[J], VT::absD(Cb[J]));
+        Eq[J] = VT::cmpeqI(IdA[J], IdB[J]);
+        AEmpty[J] = VT::cmpeqI(IdA[J], VT::zeroI());
+        BEmpty[J] = VT::cmpeqI(IdB[J], VT::zeroI());
+        unsigned Conf = ~VT::bitsM(Eq[J]) & ~VT::bitsM(AEmpty[J]) &
+                        ~VT::bitsM(BEmpty[J]) & LaneMask;
+        ConflictM |= Conf << (J * W);
+      }
+
+      if (Protection && ConflictM != 0 && kGroupHasProtected(A, B, S, Ctx)) {
+        kMulGroupScalar(A, B, Da, Db, S, Cfg, Ctx, Out, Err);
+        continue;
+      }
+
+      for (int J = 0; J < SG; ++J) {
+        const int P = S + J * W;
+        MD EqMask = VT::expandM(Eq[J]);
+        MD AEmptyMask = VT::expandM(AEmpty[J]);
+        MD BEmptyMask = VT::expandM(BEmpty[J]);
+        MI ConflictMI = VT::andnotM(
+            Eq[J],
+            VT::andnotM(AEmpty[J], VT::andnotM(BEmpty[J], VT::onesM())));
+        MD ConflictMask = VT::expandM(ConflictMI);
+        MD AOnlyMask =
+            VT::expandM(VT::andnotM(Eq[J], VT::andnotM(AEmpty[J], BEmpty[J])));
+        MD BOnlyMask =
+            VT::expandM(VT::andnotM(Eq[J], VT::andnotM(BEmpty[J], AEmpty[J])));
+
+        // Directed products: Pu/Pd = Da*bi, Qu/Qd = Db*ai.
+        VD Pu = VT::mulD(DaV, Cb[J]);
+        VD Pd = kMulRD<VT>(DaV, Cb[J]);
+        VD Qu = VT::mulD(DbV, Ca[J]);
+        VD Qd = kMulRD<VT>(DbV, Ca[J]);
+
+        // Shared-id lanes: c = RU(Pu+Qu), err = c - RD(Pd+Qd).
+        VD SumU = VT::addD(Pu, Qu);
+        VD ErrEq = VT::subD(SumU, kAddRD<VT>(Pd, Qd));
+
+        // One-sided errors.
+        VD ErrA = VT::subD(Qu, Qd); // A-only lanes
+        VD ErrB = VT::subD(Pu, Pd); // B-only lanes
+
+        // Conflict lanes: candidates CuA = Qu, CuB = Pu; SP keeps the
+        // larger.
+        VD MagAv = VT::maxD(VT::absD(Qu), VT::absD(Qd));
+        VD MagBv = VT::maxD(VT::absD(Pu), VT::absD(Pd));
+        MD KeepA = VT::cmpGeD(VT::absD(Qu), VT::absD(Pu));
+        VD ConfCoef = VT::blendD(Pu, Qu, KeepA);
+        VD ConfErr = VT::addD(VT::blendD(ErrB, ErrA, KeepA),
+                              VT::blendD(MagAv, MagBv, KeepA));
+
+        VD Coef = ConfCoef;
+        Coef = VT::blendD(Coef, Pu, AEmptyMask);
+        Coef = VT::blendD(Coef, Qu, BEmptyMask);
+        Coef = VT::blendD(Coef, SumU, EqMask);
+        // Fully empty lanes (eq with id 0) produce Da*0 + Db*0 = 0 anyway.
+        VT::storeD(&Out.Coefs[P], Coef);
+
+        VD ErrSel = VT::orD(
+            VT::orD(VT::maskD(ErrEq, EqMask), VT::maskD(ConfErr, ConflictMask)),
+            VT::orD(VT::maskD(ErrA, AOnlyMask), VT::maskD(ErrB, BOnlyMask)));
+        ErrAcc[J] = VT::addD(ErrAcc[J], ErrSel);
+
+        MI KeepA32 = VT::narrowM(KeepA);
+        VI IdOut = VT::blendI(IdB[J], IdA[J], KeepA32);
+        IdOut = VT::blendI(IdOut, IdB[J], AEmpty[J]);
+        IdOut = VT::blendI(IdOut, IdA[J], BEmpty[J]);
+        IdOut = VT::blendI(IdOut, IdA[J], Eq[J]);
+        VT::storeI(&Out.Ids[P], IdOut);
+      }
+      Ctx.NumFusions += __builtin_popcount(ConflictM);
+    }
+
+    // Quadratic overapproximation r(â)·r(b̂) (Eq. (5)).
+    Err = fp::addRU(Err, fp::mulRU(reduceAddRU4(RadA), reduceAddRU4(RadB)));
+    Err = fp::addRU(Err, reduceAddRU4(ErrAcc));
+    if (Err > 0.0 || std::isnan(Err))
+      ops::insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
+    return Out;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Cross-instance batch kernels (one instance per lane)
+//===----------------------------------------------------------------------===//
+
+template <class VT> struct BatchKernels {
+  using VD = typename VT::VD;
+  using VI = typename VT::VI;
+  using MD = typename VT::MD;
+  using MI = typename VT::MI;
+  static constexpr int W = VT::Width;
+  static constexpr unsigned AllLanes = (1u << W) - 1;
+
+  SAFEGEN_KERNEL_TARGET static void add(const Batch<F64Center> &A,
+                                        const Batch<F64Center> &B, double Sign,
+                                        Batch<F64Center> &Out, BatchEnv &Env) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    const AAConfig &Cfg = Env.Config;
+    const int K = Cfg.K;
+    const int32_t Size = A.size();
+    const bool Protect = Cfg.Prioritize && Env.AnyProtected;
+
+    for (int32_t I = 0; I < Size; ++I)
+      ++Env.Contexts[I].NumOps;
+
+    // Every Err accumulation below adds a non-negative term (or NaN) under
+    // RU, so ErrV lanes are never -0.0 and skipping a +0.0 accumulate is
+    // bit-exact — the license for all the row/lane skipping that follows.
+    const uint64_t MaskA = A.slotMask();
+    const uint64_t MaskB = B.slotMask();
+    const uint64_t Union = MaskA | MaskB;
+    uint64_t OutMask = Union;
+    const uint32_t Pow2Mask =
+        (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
+
+    const VD SignV = VT::set1D(Sign);
+
+    for (int32_t Base = 0; Base < Size; Base += W) {
+      const int32_t Limit = std::min<int32_t>(W, Size - Base);
+      const int LiveBits = (1 << Limit) - 1;
+
+      // Centre: CT::add / CT::sub with the identical RU/RD sequence. The
+      // capacity padding (multiple of 8, pad lanes empty) keeps full-width
+      // loads in-bounds at every tier — a masked tail, never a scalar
+      // remainder loop.
+      VD Ac = VT::loadD(A.centers() + Base);
+      VD Bc = VT::loadD(B.centers() + Base);
+      VD Up, Dn;
+      if (Sign > 0) {
+        Up = VT::addD(Ac, Bc);
+        Dn = kAddRD<VT>(Ac, Bc);
+      } else {
+        Up = VT::subD(Ac, Bc);
+        Dn = VT::negD(VT::addD(VT::negD(Ac), Bc)); // subRD
+      }
+      VD ErrV = VT::subD(Up, Dn); // addRU(0, subRU(Up, Dn))
+      VT::storeD(Out.centers() + Base, Up);
+
+      // Only rows live in either operand can contribute; a dead row in one
+      // operand reads as the all-empty id vector (its memory may be
+      // uninitialized, so it must not be loaded).
+      for (uint64_t M = Union; M; M &= M - 1) {
+        const int S = __builtin_ctzll(M);
+        SymbolId *OutIds = Out.idPlane(S) + Base;
+        double *OutCoefs = Out.coefPlane(S) + Base;
+        VI Ia = MaskA >> S & 1 ? VT::loadI(A.idPlane(S) + Base) : VT::zeroI();
+        VI Ib = MaskB >> S & 1 ? VT::loadI(B.idPlane(S) + Base) : VT::zeroI();
+
+        // Fast path 1 — every lane empty on both sides: the union row must
+        // still be materialized for this group (other groups may hold
+        // symbols here), but nothing contributes.
+        if (!VT::anyI(VT::orI(Ia, Ib))) {
+          VT::storeI(OutIds, VT::zeroI());
+          VT::storeD(OutCoefs, VT::zeroD());
+          continue;
+        }
+
+        // Fast path 2 — one-sided rows: addition carries coefficients over
+        // unchanged, with no rounding charge. (An all-empty hit proves the
+        // other side has a valid lane somewhere, hence is materialized and
+        // safe to load.)
+        if (!VT::anyI(Ib)) {
+          VD Ca = VT::loadD(A.coefPlane(S) + Base);
+          MD ValidA = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+          VT::storeI(OutIds, Ia);
+          VT::storeD(OutCoefs, VT::maskD(Ca, ValidA));
+          continue;
+        }
+        if (!VT::anyI(Ia)) {
+          VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
+          MD ValidB = VT::expandM(VT::notM(VT::cmpeqI(Ib, VT::zeroI())));
+          VT::storeI(OutIds, Ib);
+          VT::storeD(OutCoefs, VT::maskD(Cb, ValidB));
+          continue;
+        }
+
+        // Fast path 3 — lane-uniform ids (the lockstep common case: every
+        // instance ran the same op sequence): pure shared combine, no
+        // conflict machinery. Pad lanes are empty on both sides, so they
+        // compare equal and never veto this path.
+        if (VT::bitsM(VT::cmpeqI(Ia, Ib)) == AllLanes) {
+          VD Ca = VT::loadD(A.coefPlane(S) + Base);
+          VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
+          MD Valid = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+          VD Cv = VT::addD(Ca, Cb);
+          VD TermShared = VT::subD(Cv, kAddRD<VT>(Ca, Cb));
+          ErrV = VT::addD(ErrV, VT::maskD(TermShared, Valid));
+          VT::storeI(OutIds, Ia);
+          VT::storeD(OutCoefs, VT::maskD(Cv, Valid));
+          continue;
+        }
+
+        // General path: disjoint shared / one-sided / conflict lane masks.
+        VD Ca = VT::loadD(A.coefPlane(S) + Base);
+        VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
+        MI EqM = VT::cmpeqI(Ia, Ib);
+        MI AInv = VT::cmpeqI(Ia, VT::zeroI());
+        MI BInv = VT::cmpeqI(Ib, VT::zeroI());
+        MI Shared = VT::andnotM(VT::andM(AInv, BInv), EqM);
+        MI AOnly = VT::andnotM(AInv, BInv); // Ia valid, Ib empty
+        MI BOnly = VT::andnotM(BInv, AInv); // Ib valid, Ia empty
+        MI Conflict = VT::andnotM(
+            EqM, VT::andnotM(VT::orM(AInv, BInv), VT::onesM()));
+        int ConflictBits = static_cast<int>(VT::bitsM(Conflict)) & LiveBits;
+
+        // Conflict winner: SP/MP magnitude rule, or the scalar keepFirst
+        // for the affected lanes when protection may be in play (keepFirst
+        // is pure under the SP/MP gate, so no other state diverges).
+        MD KeepA64;
+        if (Protect && ConflictBits) {
+          alignas(64) SymbolId IaArr[W], IbArr[W];
+          alignas(64) double CaArr[W], CbArr[W];
+          VT::storeI(IaArr, Ia);
+          VT::storeI(IbArr, Ib);
+          VT::storeD(CaArr, Ca);
+          VT::storeD(CbArr, Cb);
+          bool Keep[W] = {};
+          for (int L = 0; L < W; ++L)
+            if (ConflictBits & (1 << L))
+              Keep[L] = ops::detail::keepFirst(
+                  IaArr[L], CaArr[L], IbArr[L], CbArr[L], Cfg,
+                  Env.Contexts[static_cast<size_t>(Base) + L]);
+          KeepA64 = VT::mdFromBools(Keep);
+        } else {
+          KeepA64 = VT::cmpGeD(VT::absD(Ca), VT::absD(Cb));
+        }
+
+        for (int L = 0; L < W; ++L)
+          if (ConflictBits & (1 << L))
+            ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
+
+        MI KeepA32 = VT::narrowM(KeepA64);
+        MI SelA = VT::orM(AOnly, VT::andM(Conflict, KeepA32));
+        MI SelB = VT::orM(BOnly, VT::andnotM(KeepA32, Conflict));
+        VI OutId = VT::orI(VT::maskI(Ia, VT::orM(Shared, SelA)),
+                           VT::maskI(Ib, SelB));
+
+        // Shared-symbol combine (Eq. (4)) and the fused-loser magnitude.
+        VD Cv = VT::addD(Ca, Cb);
+        VD TermShared = VT::subD(Cv, kAddRD<VT>(Ca, Cb));
+        MD Shared64 = VT::expandM(Shared);
+        MD Conflict64 = VT::expandM(Conflict);
+        MD SelA64 = VT::expandM(SelA);
+        MD SelB64 = VT::expandM(SelB);
+        VD OutC = VT::orD(VT::orD(VT::maskD(Cv, Shared64),
+                                  VT::maskD(Ca, SelA64)),
+                          VT::maskD(Cb, SelB64));
+        VD TermConf = VT::blendD(VT::absD(Ca), VT::absD(Cb), KeepA64);
+        VD Term = VT::orD(VT::maskD(TermShared, Shared64),
+                          VT::maskD(TermConf, Conflict64));
+        ErrV = VT::addD(ErrV, Term);
+
+        VT::storeI(OutIds, OutId);
+        VT::storeD(OutCoefs, OutC);
+      }
+
+      alignas(64) double ErrArr[W];
+      VT::storeD(ErrArr, ErrV);
+      kInsertFreshLanes(Out, Env, Base, Limit, ErrArr, K, Pow2Mask, OutMask);
+    }
+    Out.setSlotMask(OutMask);
+  }
+
+  SAFEGEN_KERNEL_TARGET static void mul(const Batch<F64Center> &A,
+                                        const Batch<F64Center> &B,
+                                        Batch<F64Center> &Out, BatchEnv &Env) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    const AAConfig &Cfg = Env.Config;
+    const int K = Cfg.K;
+    const int32_t Size = A.size();
+    const bool Protect = Cfg.Prioritize && Env.AnyProtected;
+
+    for (int32_t I = 0; I < Size; ++I)
+      ++Env.Contexts[I].NumOps;
+
+    const uint64_t MaskA = A.slotMask();
+    const uint64_t MaskB = B.slotMask();
+    const uint64_t Union = MaskA | MaskB;
+    uint64_t OutMask = Union;
+    const uint32_t Pow2Mask =
+        (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
+
+    for (int32_t Base = 0; Base < Size; Base += W) {
+      const int32_t Limit = std::min<int32_t>(W, Size - Base);
+      const int LiveBits = (1 << Limit) - 1;
+
+      VD Ac = VT::loadD(A.centers() + Base); // Da per lane
+      VD Bc = VT::loadD(B.centers() + Base); // Db per lane
+      VD Up = VT::mulD(Ac, Bc);
+      VD Dn = kMulRD<VT>(Ac, Bc);
+      VD ErrV = VT::subD(Up, Dn);
+      VT::storeD(Out.centers() + Base, Up);
+
+      // Quadratic term r(â)·r(b̂), radii accumulated in slot order exactly
+      // like AffineVar::radius. Dead rows hold exact zeros, and fabs(±0)
+      // adds +0 — the RU identity — so only live rows are visited.
+      VD RadA = VT::zeroD();
+      VD RadB = VT::zeroD();
+      for (uint64_t M = MaskA; M; M &= M - 1)
+        RadA = VT::addD(
+            RadA, VT::absD(VT::loadD(A.coefPlane(__builtin_ctzll(M)) + Base)));
+      for (uint64_t M = MaskB; M; M &= M - 1)
+        RadB = VT::addD(
+            RadB, VT::absD(VT::loadD(B.coefPlane(__builtin_ctzll(M)) + Base)));
+      ErrV = VT::addD(ErrV, VT::mulD(RadA, RadB));
+
+      for (uint64_t M = Union; M; M &= M - 1) {
+        const int S = __builtin_ctzll(M);
+        SymbolId *OutIds = Out.idPlane(S) + Base;
+        double *OutCoefs = Out.coefPlane(S) + Base;
+        VI Ia = MaskA >> S & 1 ? VT::loadI(A.idPlane(S) + Base) : VT::zeroI();
+        VI Ib = MaskB >> S & 1 ? VT::loadI(B.idPlane(S) + Base) : VT::zeroI();
+
+        // Fast path 1 — every lane empty on both sides (see add()).
+        if (!VT::anyI(VT::orI(Ia, Ib))) {
+          VT::storeI(OutIds, VT::zeroI());
+          VT::storeD(OutCoefs, VT::zeroD());
+          continue;
+        }
+
+        // Fast path 2 — one-sided rows: a single centre·coefficient
+        // product and its rounding charge, no conflict machinery.
+        if (!VT::anyI(Ib)) {
+          VD Ca = VT::loadD(A.coefPlane(S) + Base);
+          MD ValidA = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+          VD Qu = VT::mulD(Bc, Ca);
+          VD Qd = kMulRD<VT>(Bc, Ca);
+          ErrV = VT::addD(ErrV, VT::maskD(VT::subD(Qu, Qd), ValidA));
+          VT::storeI(OutIds, Ia);
+          VT::storeD(OutCoefs, VT::maskD(Qu, ValidA));
+          continue;
+        }
+        if (!VT::anyI(Ia)) {
+          VD Cb = VT::loadD(B.coefPlane(S) + Base);
+          MD ValidB = VT::expandM(VT::notM(VT::cmpeqI(Ib, VT::zeroI())));
+          VD Pu = VT::mulD(Ac, Cb);
+          VD Pd = kMulRD<VT>(Ac, Cb);
+          ErrV = VT::addD(ErrV, VT::maskD(VT::subD(Pu, Pd), ValidB));
+          VT::storeI(OutIds, Ib);
+          VT::storeD(OutCoefs, VT::maskD(Pu, ValidB));
+          continue;
+        }
+
+        // Fast path 3 — lane-uniform ids: pure shared combine (Eq. (5)).
+        if (VT::bitsM(VT::cmpeqI(Ia, Ib)) == AllLanes) {
+          VD Ca = VT::loadD(A.coefPlane(S) + Base);
+          VD Cb = VT::loadD(B.coefPlane(S) + Base);
+          MD Valid = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+          VD Pu = VT::mulD(Ac, Cb);
+          VD Pd = kMulRD<VT>(Ac, Cb);
+          VD Qu = VT::mulD(Bc, Ca);
+          VD Qd = kMulRD<VT>(Bc, Ca);
+          VD SharedC = VT::addD(Pu, Qu);
+          VD TermShared = VT::subD(SharedC, kAddRD<VT>(Pd, Qd));
+          ErrV = VT::addD(ErrV, VT::maskD(TermShared, Valid));
+          VT::storeI(OutIds, Ia);
+          VT::storeD(OutCoefs, VT::maskD(SharedC, Valid));
+          continue;
+        }
+
+        // General path.
+        VD Ca = VT::loadD(A.coefPlane(S) + Base);
+        VD Cb = VT::loadD(B.coefPlane(S) + Base);
+
+        MI EqM = VT::cmpeqI(Ia, Ib);
+        MI AInv = VT::cmpeqI(Ia, VT::zeroI());
+        MI BInv = VT::cmpeqI(Ib, VT::zeroI());
+        MI Shared = VT::andnotM(VT::andM(AInv, BInv), EqM);
+        MI AOnly = VT::andnotM(AInv, BInv);
+        MI BOnly = VT::andnotM(BInv, AInv);
+        MI Conflict = VT::andnotM(
+            EqM, VT::andnotM(VT::orM(AInv, BInv), VT::onesM()));
+        int ConflictBits = static_cast<int>(VT::bitsM(Conflict)) & LiveBits;
+
+        // Pu/Pd = RU/RD(Da*bi) (B's candidate), Qu/Qd = RU/RD(Db*ai).
+        VD Pu = VT::mulD(Ac, Cb);
+        VD Pd = kMulRD<VT>(Ac, Cb);
+        VD Qu = VT::mulD(Bc, Ca);
+        VD Qd = kMulRD<VT>(Bc, Ca);
+
+        VD SharedC = VT::addD(Pu, Qu);
+        VD TermShared = VT::subD(SharedC, kAddRD<VT>(Pd, Qd));
+        VD TermA = VT::subD(Qu, Qd); // winner-A rounding charge
+        VD TermB = VT::subD(Pu, Pd);
+        VD MagA = VT::maxD(VT::absD(Qu), VT::absD(Qd));
+        VD MagB = VT::maxD(VT::absD(Pu), VT::absD(Pd));
+
+        MD KeepA64;
+        if (Protect && ConflictBits) {
+          alignas(64) SymbolId IaArr[W], IbArr[W];
+          alignas(64) double CuAArr[W], CuBArr[W];
+          VT::storeI(IaArr, Ia);
+          VT::storeI(IbArr, Ib);
+          VT::storeD(CuAArr, Qu);
+          VT::storeD(CuBArr, Pu);
+          bool Keep[W] = {};
+          for (int L = 0; L < W; ++L)
+            if (ConflictBits & (1 << L))
+              Keep[L] = ops::detail::keepFirst(
+                  IaArr[L], CuAArr[L], IbArr[L], CuBArr[L], Cfg,
+                  Env.Contexts[static_cast<size_t>(Base) + L]);
+          KeepA64 = VT::mdFromBools(Keep);
+        } else {
+          KeepA64 = VT::cmpGeD(VT::absD(Qu), VT::absD(Pu));
+        }
+
+        for (int L = 0; L < W; ++L)
+          if (ConflictBits & (1 << L))
+            ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
+
+        MI KeepA32 = VT::narrowM(KeepA64);
+        MI SelA = VT::orM(AOnly, VT::andM(Conflict, KeepA32));
+        MI SelB = VT::orM(BOnly, VT::andnotM(KeepA32, Conflict));
+        VI OutId = VT::orI(VT::maskI(Ia, VT::orM(Shared, SelA)),
+                           VT::maskI(Ib, SelB));
+
+        MD Shared64 = VT::expandM(Shared);
+        MD Conflict64 = VT::expandM(Conflict);
+        MD SelA64 = VT::expandM(SelA);
+        MD SelB64 = VT::expandM(SelB);
+        MD OSC64 = VT::orMD(SelA64, SelB64);
+        MD KeepSel64 = SelA64; // A's branch among one-sided/conflict
+
+        // First accumulate: the winner's rounding charge (or the shared
+        // combine charge); second: the fused loser's magnitude (Eq. (6)),
+        // conflict lanes only. Mirrors the scalar two-step sequence.
+        VD Term1 = VT::blendD(TermB, TermA, KeepSel64);
+        VD Term1All = VT::orD(VT::maskD(TermShared, Shared64),
+                              VT::maskD(Term1, OSC64));
+        ErrV = VT::addD(ErrV, Term1All);
+        VD Term2 = VT::maskD(VT::blendD(MagA, MagB, KeepA64), Conflict64);
+        ErrV = VT::addD(ErrV, Term2);
+
+        VD OutC = VT::orD(VT::maskD(SharedC, Shared64),
+                          VT::maskD(VT::blendD(Pu, Qu, KeepSel64), OSC64));
+
+        VT::storeI(OutIds, OutId);
+        VT::storeD(OutCoefs, OutC);
+      }
+
+      alignas(64) double ErrArr[W];
+      VT::storeD(ErrArr, ErrV);
+      kInsertFreshLanes(Out, Env, Base, Limit, ErrArr, K, Pow2Mask, OutMask);
+    }
+    Out.setSlotMask(OutMask);
+  }
+};

@@ -1,0 +1,63 @@
+//===- KernelsAvx2.cpp - W=4 kernel tier ----------------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The 4-wide AVX2 instantiation — the port of the original compile-time
+// kernels (Simd.cpp / Batch.cpp before the registry). The TU itself is
+// compiled at baseline flags; only the kernel bodies carry the avx2,fma
+// target attribute, so every shared inline helper they pull in (fp::addRU,
+// ops::insertFresh, ...) is emitted as baseline code and the linker can
+// never leak VEX-encoded COMDATs into a binary running on an SSE2-only
+// host (see KernelImpl.h for the full rationale).
+//
+//===----------------------------------------------------------------------===//
+
+#if SAFEGEN_BUILD_AVX2_TIER && (defined(__x86_64__) || defined(_M_X64))
+
+#include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
+#include "aa/Simd.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+#define SAFEGEN_KERNEL_TARGET __attribute__((target("avx2,fma")))
+
+namespace {
+
+#include "aa/Kernels/Traits256.inc"
+
+#include "aa/Kernels/KernelImpl.h"
+
+using FK = FormKernels<Traits256>;
+using BK = BatchKernels<Traits256>;
+
+} // namespace
+
+const isa::KernelTable *isa::detail::avx2Table() {
+  static const isa::KernelTable Table = {
+      isa::Tier::Avx2, "avx2", Traits256::Width,
+      &FK::addDirect,  &FK::mulDirect,
+      &BK::add,        &BK::mul,
+  };
+  return &Table;
+}
+
+#else // tier not built
+
+#include "aa/Kernels/Isa.h"
+
+const safegen::aa::isa::KernelTable *safegen::aa::isa::detail::avx2Table() {
+  return nullptr;
+}
+
+#endif

@@ -1,0 +1,180 @@
+//===- KernelsAvx512.cpp - W=8 batch / EVEX form kernel tier --------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The AVX-512 instantiation, two halves with different widths on purpose:
+//
+//  * Form kernels stay 4-wide (Traits256 recompiled under the AVX-512
+//    target attribute). The form contract fixes FOUR canonical error
+//    streams per 4-slot group, so an 8-wide form kernel would have to run
+//    two 4-slot groups per vector and split them again for the reduce —
+//    all shuffle, no win at K<=64. Recompiling the 256-bit traits still
+//    buys EVEX encodings and 32 registers.
+//  * Batch kernels go genuinely 8-wide (__m512d lanes, __mmask8
+//    predicates): they are lane-local, so width is free — 8 instances per
+//    vector group, and the register masks of narrower tiers become real
+//    hardware kmasks.
+//
+// Requires avx512f+dq+bw+vl (dq for or/xor/andnot_pd on zmm, vl for the
+// 256-bit masked id ops). Like the AVX2 TU, the TU compiles at baseline;
+// only kernel bodies carry the target attribute.
+//
+//===----------------------------------------------------------------------===//
+
+#if SAFEGEN_BUILD_AVX512_TIER && (defined(__x86_64__) || defined(_M_X64))
+
+#include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
+#include "aa/Simd.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+// GCC's _mm512_max_pd passes _mm512_undefined_pd() (`__m512d __Y = __Y;` in
+// avx512fintrin.h) as the unused merge source of the masked builtin, which
+// -Wmaybe-uninitialized flags once the intrinsic inlines into our kernels.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+using namespace safegen;
+using namespace safegen::aa;
+
+#define SAFEGEN_KERNEL_TARGET                                                  \
+  __attribute__((target("avx2,fma,avx512f,avx512dq,avx512bw,avx512vl")))
+
+namespace {
+
+#include "aa/Kernels/Traits256.inc"
+
+struct Avx512Traits {
+  using VD = __m512d;
+  using VI = __m256i;   // 8 x 32-bit ids
+  using MD = __mmask8;  // one bit per lane
+  using MI = __mmask8;
+  static constexpr int Width = 8;
+
+  SAFEGEN_KERNEL_TARGET static VD loadD(const double *P) {
+    return _mm512_loadu_pd(P);
+  }
+  SAFEGEN_KERNEL_TARGET static void storeD(double *P, VD V) {
+    _mm512_storeu_pd(P, V);
+  }
+  SAFEGEN_KERNEL_TARGET static VI loadI(const SymbolId *P) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(P));
+  }
+  SAFEGEN_KERNEL_TARGET static void storeI(SymbolId *P, VI V) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(P), V);
+  }
+  SAFEGEN_KERNEL_TARGET static VD set1D(double X) { return _mm512_set1_pd(X); }
+  SAFEGEN_KERNEL_TARGET static VD zeroD() { return _mm512_setzero_pd(); }
+  SAFEGEN_KERNEL_TARGET static VI zeroI() { return _mm256_setzero_si256(); }
+
+  SAFEGEN_KERNEL_TARGET static VD addD(VD A, VD B) {
+    return _mm512_add_pd(A, B);
+  }
+  SAFEGEN_KERNEL_TARGET static VD subD(VD A, VD B) {
+    return _mm512_sub_pd(A, B);
+  }
+  SAFEGEN_KERNEL_TARGET static VD mulD(VD A, VD B) {
+    return _mm512_mul_pd(A, B);
+  }
+  SAFEGEN_KERNEL_TARGET static VD fmaD(VD A, VD B, VD C) {
+    return _mm512_fmadd_pd(A, B, C);
+  }
+  SAFEGEN_KERNEL_TARGET static VD negD(VD V) {
+    return _mm512_xor_pd(V, _mm512_set1_pd(-0.0));
+  }
+  SAFEGEN_KERNEL_TARGET static VD absD(VD V) {
+    return _mm512_andnot_pd(_mm512_set1_pd(-0.0), V);
+  }
+  SAFEGEN_KERNEL_TARGET static VD maxD(VD A, VD B) {
+    return _mm512_max_pd(A, B); // second operand on NaN (MAXPD semantics)
+  }
+  SAFEGEN_KERNEL_TARGET static MD cmpGeD(VD A, VD B) {
+    return _mm512_cmp_pd_mask(A, B, _CMP_GE_OQ);
+  }
+  SAFEGEN_KERNEL_TARGET static MI cmpeqI(VI A, VI B) {
+    return _mm256_cmpeq_epi32_mask(A, B);
+  }
+
+  SAFEGEN_KERNEL_TARGET static VD blendD(VD A, VD B, MD M) {
+    return _mm512_mask_blend_pd(M, A, B); // bit set -> B
+  }
+  SAFEGEN_KERNEL_TARGET static VI blendI(VI A, VI B, MI M) {
+    return _mm256_mask_blend_epi32(M, A, B);
+  }
+  SAFEGEN_KERNEL_TARGET static VD maskD(VD V, MD M) {
+    return _mm512_maskz_mov_pd(M, V); // clear lane -> +0.0
+  }
+  SAFEGEN_KERNEL_TARGET static VI maskI(VI V, MI M) {
+    return _mm256_maskz_mov_epi32(M, V);
+  }
+  SAFEGEN_KERNEL_TARGET static VD orD(VD A, VD B) {
+    return _mm512_or_pd(A, B);
+  }
+  SAFEGEN_KERNEL_TARGET static VI orI(VI A, VI B) {
+    return _mm256_or_si256(A, B);
+  }
+
+  SAFEGEN_KERNEL_TARGET static MI onesM() { return static_cast<MI>(0xFF); }
+  SAFEGEN_KERNEL_TARGET static MI orM(MI A, MI B) {
+    return static_cast<MI>(A | B);
+  }
+  SAFEGEN_KERNEL_TARGET static MI andM(MI A, MI B) {
+    return static_cast<MI>(A & B);
+  }
+  SAFEGEN_KERNEL_TARGET static MI andnotM(MI A, MI B) {
+    return static_cast<MI>(~A & B);
+  }
+  SAFEGEN_KERNEL_TARGET static MI notM(MI A) { return static_cast<MI>(~A); }
+  SAFEGEN_KERNEL_TARGET static MD orMD(MD A, MD B) {
+    return static_cast<MD>(A | B);
+  }
+
+  // kmasks are width-domain-agnostic: expand/narrow are identities.
+  SAFEGEN_KERNEL_TARGET static MD expandM(MI M) { return M; }
+  SAFEGEN_KERNEL_TARGET static MI narrowM(MD M) { return M; }
+  SAFEGEN_KERNEL_TARGET static unsigned bitsM(MI M) {
+    return static_cast<unsigned>(M);
+  }
+  SAFEGEN_KERNEL_TARGET static bool anyI(VI V) {
+    return _mm256_testz_si256(V, V) == 0;
+  }
+  SAFEGEN_KERNEL_TARGET static MD mdFromBools(const bool *B) {
+    unsigned M = 0;
+    for (int L = 0; L < Width; ++L)
+      M |= static_cast<unsigned>(B[L]) << L;
+    return static_cast<MD>(M);
+  }
+};
+
+#include "aa/Kernels/KernelImpl.h"
+
+using FK = FormKernels<Traits256>;   // EVEX-encoded 4-wide form kernels
+using BK = BatchKernels<Avx512Traits>; // 8 instances per vector group
+
+} // namespace
+
+const isa::KernelTable *isa::detail::avx512Table() {
+  static const isa::KernelTable Table = {
+      isa::Tier::Avx512, "avx512", Avx512Traits::Width,
+      &FK::addDirect,    &FK::mulDirect,
+      &BK::add,          &BK::mul,
+  };
+  return &Table;
+}
+
+#else // tier not built
+
+#include "aa/Kernels/Isa.h"
+
+const safegen::aa::isa::KernelTable *safegen::aa::isa::detail::avx512Table() {
+  return nullptr;
+}
+
+#endif

@@ -1,0 +1,104 @@
+//===- KernelsScalar.cpp - W=1 kernel tier (always available) -------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The scalar instantiation of the width-agnostic kernels: one lane, every
+// vector op emulated on doubles/uint32_t, register masks as uint64_t /
+// uint32_t words of all-ones or all-zero. This tier implements the VECTOR
+// rounding contract — its results are bit-identical to every wider tier,
+// and therefore NOT to the Vectorize=false scalar kernels (which use a
+// different, per-slot error accumulation order). It exists so that
+// (a) non-x86 and pre-SSE2 builds still dispatch, and (b) the equivalence
+// tests have a portable reference implementation of the contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
+#include "aa/Simd.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+// Baseline tier: no target attribute, plain portable C++.
+#define SAFEGEN_KERNEL_TARGET
+
+namespace {
+
+struct ScalarTraits {
+  using VD = double;
+  using VI = SymbolId;  // one 32-bit id
+  using MD = uint64_t;  // all-ones or all-zero
+  using MI = uint32_t;  // all-ones or all-zero
+  static constexpr int Width = 1;
+
+  static VD loadD(const double *P) { return *P; }
+  static void storeD(double *P, VD V) { *P = V; }
+  static VI loadI(const SymbolId *P) { return *P; }
+  static void storeI(SymbolId *P, VI V) { *P = V; }
+  static VD set1D(double X) { return X; }
+  static VD zeroD() { return 0.0; }
+  static VI zeroI() { return 0; }
+
+  // Plain FP ops honour MXCSR exactly like their vector twins (the build
+  // compiles with -frounding-math, so nothing is folded across the mode
+  // switch).
+  static VD addD(VD A, VD B) { return A + B; }
+  static VD subD(VD A, VD B) { return A - B; }
+  static VD mulD(VD A, VD B) { return A * B; }
+  static VD fmaD(VD A, VD B, VD C) { return __builtin_fma(A, B, C); }
+  static VD negD(VD V) { return -V; } // pure sign flip, NaN-safe
+  static VD absD(VD V) { return std::fabs(V); }
+  static VD maxD(VD A, VD B) { return A > B ? A : B; } // MAXPD: B on NaN
+  static MD cmpGeD(VD A, VD B) { return A >= B ? ~uint64_t(0) : 0; }
+  static MI cmpeqI(VI A, VI B) { return A == B ? ~uint32_t(0) : 0; }
+
+  static uint64_t dBits(VD V) { return std::bit_cast<uint64_t>(V); }
+  static VD dFromBits(uint64_t B) { return std::bit_cast<double>(B); }
+
+  static VD blendD(VD A, VD B, MD M) {
+    return dFromBits((dBits(A) & ~M) | (dBits(B) & M));
+  }
+  static VI blendI(VI A, VI B, MI M) { return (A & ~M) | (B & M); }
+  static VD maskD(VD V, MD M) { return dFromBits(dBits(V) & M); }
+  static VI maskI(VI V, MI M) { return V & M; }
+  static VD orD(VD A, VD B) { return dFromBits(dBits(A) | dBits(B)); }
+  static VI orI(VI A, VI B) { return A | B; }
+
+  static MI onesM() { return ~uint32_t(0); }
+  static MI orM(MI A, MI B) { return A | B; }
+  static MI andM(MI A, MI B) { return A & B; }
+  static MI andnotM(MI A, MI B) { return ~A & B; }
+  static MI notM(MI A) { return ~A; }
+  static MD orMD(MD A, MD B) { return A | B; }
+
+  static MD expandM(MI M) { return M ? ~uint64_t(0) : 0; }
+  static MI narrowM(MD M) { return static_cast<MI>(M); }
+  static unsigned bitsM(MI M) { return M & 1u; }
+  static bool anyI(VI V) { return V != 0; }
+  static MD mdFromBools(const bool *B) { return B[0] ? ~uint64_t(0) : 0; }
+};
+
+#include "aa/Kernels/KernelImpl.h"
+
+using FK = FormKernels<ScalarTraits>;
+using BK = BatchKernels<ScalarTraits>;
+
+} // namespace
+
+const isa::KernelTable *isa::detail::scalarTable() {
+  static const isa::KernelTable Table = {
+      isa::Tier::Scalar, "scalar", ScalarTraits::Width,
+      &FK::addDirect,    &FK::mulDirect,
+      &BK::add,          &BK::mul,
+  };
+  return &Table;
+}

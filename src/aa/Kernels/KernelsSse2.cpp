@@ -1,0 +1,152 @@
+//===- KernelsSse2.cpp - W=2 kernel tier (x86-64 baseline) ----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The 2-wide SSE2 instantiation: __m128d coefficients, ids held in the low
+// 64 bits of an __m128i. SSE2 is part of the x86-64 baseline, so this TU
+// needs no target attribute and no build option — it is compiled whenever
+// the target is x86-64 and is the widest guaranteed tier there.
+//
+// SSE2 discipline (no SSE4.1 anywhere):
+//  * ids move through MOVQ-style loads/stores (_mm_loadl_epi64 /
+//    _mm_storel_epi64): exactly 8 bytes, never a 16-byte over-read — form
+//    storage rows are not padded.
+//  * blends are and/andnot/or splices (no BLENDV), valid because register
+//    masks are all-ones or all-zero per lane.
+//  * anyI reads the low 64 bits directly (no PTEST).
+// The upper 64 bits of id vectors are zero by construction (loadl), so
+// mask vectors may carry garbage there: every consumer either masks to
+// Width bits (bitsM) or stores through storel.
+//
+//===----------------------------------------------------------------------===//
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
+#include "aa/Simd.h"
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+// SSE2 is the x86-64 baseline: no attribute needed.
+#define SAFEGEN_KERNEL_TARGET
+
+namespace {
+
+struct Sse2Traits {
+  using VD = __m128d;
+  using VI = __m128i; // ids in the low 64 bits; upper 64 always zero
+  using MD = __m128d;
+  using MI = __m128i; // lanes 0..1 meaningful
+  static constexpr int Width = 2;
+
+  static VD loadD(const double *P) { return _mm_loadu_pd(P); }
+  static void storeD(double *P, VD V) { _mm_storeu_pd(P, V); }
+  static VI loadI(const SymbolId *P) {
+    return _mm_loadl_epi64(reinterpret_cast<const __m128i *>(P));
+  }
+  static void storeI(SymbolId *P, VI V) {
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(P), V);
+  }
+  static VD set1D(double X) { return _mm_set1_pd(X); }
+  static VD zeroD() { return _mm_setzero_pd(); }
+  static VI zeroI() { return _mm_setzero_si128(); }
+
+  static VD addD(VD A, VD B) { return _mm_add_pd(A, B); }
+  static VD subD(VD A, VD B) { return _mm_sub_pd(A, B); }
+  static VD mulD(VD A, VD B) { return _mm_mul_pd(A, B); }
+  /// No FMA in SSE2; emulate with true per-lane fused ops so the traits
+  /// contract (single rounding) still holds. Unused by the sound kernels.
+  static VD fmaD(VD A, VD B, VD C) {
+    alignas(16) double a[2], b[2], c[2];
+    _mm_store_pd(a, A);
+    _mm_store_pd(b, B);
+    _mm_store_pd(c, C);
+    return _mm_setr_pd(__builtin_fma(a[0], b[0], c[0]),
+                       __builtin_fma(a[1], b[1], c[1]));
+  }
+  static VD negD(VD V) { return _mm_xor_pd(V, _mm_set1_pd(-0.0)); }
+  static VD absD(VD V) { return _mm_andnot_pd(_mm_set1_pd(-0.0), V); }
+  static VD maxD(VD A, VD B) {
+    return _mm_max_pd(A, B); // second operand on NaN (MAXPD)
+  }
+  static MD cmpGeD(VD A, VD B) {
+    // CMPGEPD is the signaling compare (flags only, no trap enabled) with
+    // the same false-on-NaN result as _CMP_GE_OQ.
+    return _mm_cmpge_pd(A, B);
+  }
+  static MI cmpeqI(VI A, VI B) { return _mm_cmpeq_epi32(A, B); }
+
+  static VD blendD(VD A, VD B, MD M) {
+    return _mm_or_pd(_mm_and_pd(M, B), _mm_andnot_pd(M, A));
+  }
+  static VI blendI(VI A, VI B, MI M) {
+    return _mm_or_si128(_mm_and_si128(M, B), _mm_andnot_si128(M, A));
+  }
+  static VD maskD(VD V, MD M) { return _mm_and_pd(V, M); }
+  static VI maskI(VI V, MI M) { return _mm_and_si128(V, M); }
+  static VD orD(VD A, VD B) { return _mm_or_pd(A, B); }
+  static VI orI(VI A, VI B) { return _mm_or_si128(A, B); }
+
+  static MI onesM() { return _mm_set1_epi32(-1); }
+  static MI orM(MI A, MI B) { return _mm_or_si128(A, B); }
+  static MI andM(MI A, MI B) { return _mm_and_si128(A, B); }
+  static MI andnotM(MI A, MI B) { return _mm_andnot_si128(A, B); }
+  static MI notM(MI A) { return _mm_xor_si128(A, onesM()); }
+  static MD orMD(MD A, MD B) { return _mm_or_pd(A, B); }
+
+  static MD expandM(MI M) {
+    // Duplicate the two 32-bit mask words into 64-bit lanes.
+    return _mm_castsi128_pd(_mm_unpacklo_epi32(M, M));
+  }
+  static MI narrowM(MD M) {
+    // Lanes 2..3 hold garbage (e3,e3); every consumer masks or storel's.
+    return _mm_shuffle_epi32(_mm_castpd_si128(M), _MM_SHUFFLE(3, 3, 2, 0));
+  }
+  static unsigned bitsM(MI M) {
+    return static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(M))) & 0x3u;
+  }
+  static bool anyI(VI V) {
+    // ids live in the low 64 bits only (loadl zero-extends).
+    return _mm_cvtsi128_si64(V) != 0;
+  }
+  static MD mdFromBools(const bool *B) {
+    return _mm_castsi128_pd(_mm_set_epi64x(B[1] ? -1 : 0, B[0] ? -1 : 0));
+  }
+};
+
+#include "aa/Kernels/KernelImpl.h"
+
+using FK = FormKernels<Sse2Traits>;
+using BK = BatchKernels<Sse2Traits>;
+
+} // namespace
+
+const isa::KernelTable *isa::detail::sse2Table() {
+  static const isa::KernelTable Table = {
+      isa::Tier::Sse2, "sse2", Sse2Traits::Width,
+      &FK::addDirect,  &FK::mulDirect,
+      &BK::add,        &BK::mul,
+  };
+  return &Table;
+}
+
+#else // !x86-64
+
+#include "aa/Kernels/Isa.h"
+
+const safegen::aa::isa::KernelTable *safegen::aa::isa::detail::sse2Table() {
+  return nullptr;
+}
+
+#endif

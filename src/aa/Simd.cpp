@@ -1,24 +1,25 @@
-//===- Simd.cpp - AVX2 kernels for direct-mapped AA -----------------------===//
+//===- Simd.cpp - Form-kernel dispatch through the ISA registry -----------===//
 //
 // Part of the SafeGen reproduction. BSD 3-Clause license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The kernels that used to live here (compile-time AVX2 only) are now
+// instantiated per ISA tier from Kernels/KernelImpl.h; this TU keeps the
+// config gate and forwards to the table isa::select() resolved.
+//
+//===----------------------------------------------------------------------===//
 
 #include "aa/Simd.h"
-#include "aa/SimdUtil.h"
-
-#include <cassert>
+#include "aa/Kernels/Isa.h"
 
 using namespace safegen;
 using namespace safegen::aa;
-using namespace safegen::fp;
 
 bool simd::available() {
-#if SAFEGEN_HAVE_AVX2
+  // The scalar tier implements the vector rounding contract on any host,
+  // so a vector-capable table always exists.
   return true;
-#else
-  return false;
-#endif
 }
 
 bool simd::supports(const AAConfig &Cfg) {
@@ -28,332 +29,14 @@ bool simd::supports(const AAConfig &Cfg) {
          Cfg.K % 4 == 0 && Cfg.K <= MaxInlineSymbols;
 }
 
-#if SAFEGEN_HAVE_AVX2
-
-namespace {
-
-using namespace safegen::aa::simd::util;
-
-/// Upward-rounded horizontal sum of the 4 lanes, in lane order (matches a
-/// sequential accumulation of the same 4 values).
-inline double reduceAddRU(__m256d V) {
-  alignas(32) double Lanes[4];
-  _mm256_store_pd(Lanes, V);
-  double S = addRU(addRU(Lanes[0], Lanes[1]), addRU(Lanes[2], Lanes[3]));
-  return S;
+AffineF64Storage simd::addDirectVec(const AffineF64Storage &A,
+                                    const AffineF64Storage &B, double Sign,
+                                    const AAConfig &Cfg, AffineContext &Ctx) {
+  return isa::select().FormAdd(A, B, Sign, Cfg, Ctx);
 }
 
-/// Vectorized radius: upward-rounded sum of |Coefs[0..K)|.
-[[maybe_unused]] inline double radiusAvx2(const AffineF64Storage &V, int K) {
-  __m256d Acc = _mm256_setzero_pd();
-  for (int S = 0; S < K; S += 4)
-    Acc = _mm256_add_pd(Acc, absPd(_mm256_loadu_pd(&V.Coefs[S])));
-  return reduceAddRU(Acc);
+AffineF64Storage simd::mulDirectVec(const AffineF64Storage &A,
+                                    const AffineF64Storage &B,
+                                    const AAConfig &Cfg, AffineContext &Ctx) {
+  return isa::select().FormMul(A, B, Cfg, Ctx);
 }
-
-/// True if any id in slots [S, S+4) of A or B is protected.
-inline bool groupHasProtected(const AffineF64Storage &A,
-                              const AffineF64Storage &B, int S,
-                              const AffineContext &Ctx) {
-  for (int L = 0; L < 4; ++L)
-    if (Ctx.isProtected(A.Ids[S + L]) || Ctx.isProtected(B.Ids[S + L]))
-      return true;
-  return false;
-}
-
-} // namespace
-
-AffineF64Storage simd::addDirectAvx2(const AffineF64Storage &A,
-                                     const AffineF64Storage &B, double Sign,
-                                     const AAConfig &Cfg,
-                                     AffineContext &Ctx) {
-  SAFEGEN_ASSERT_ROUND_UP();
-  assert(supports(Cfg) && "config not vectorizable");
-  assert(A.N == Cfg.K && B.N == Cfg.K && "direct-mapped K mismatch");
-  ++Ctx.NumOps;
-  const int K = Cfg.K;
-  const bool Protection = Cfg.Prioritize && Ctx.hasProtected();
-
-  AffineF64Storage Out;
-  Out.N = K;
-  double Err = 0.0;
-  Out.Center = Sign > 0 ? F64Center::add(A.Center, B.Center, Err)
-                        : F64Center::sub(A.Center, B.Center, Err);
-
-  const __m256d SignV = _mm256_set1_pd(Sign);
-  const __m128i Zero32 = _mm_setzero_si128();
-  __m256d ErrAcc = _mm256_setzero_pd();
-
-  for (int S = 0; S < K; S += 4) {
-    __m128i IdA = _mm_loadu_si128(
-        reinterpret_cast<const __m128i *>(&A.Ids[S]));
-    __m128i IdB = _mm_loadu_si128(
-        reinterpret_cast<const __m128i *>(&B.Ids[S]));
-    __m256d Ca = _mm256_loadu_pd(&A.Coefs[S]);
-    __m256d Cb = _mm256_mul_pd(SignV, _mm256_loadu_pd(&B.Coefs[S]));
-
-    __m128i Eq32 = _mm_cmpeq_epi32(IdA, IdB);
-    __m128i AEmpty32 = _mm_cmpeq_epi32(IdA, Zero32);
-    __m128i BEmpty32 = _mm_cmpeq_epi32(IdB, Zero32);
-    unsigned EqM = _mm_movemask_ps(_mm_castsi128_ps(Eq32));
-    unsigned AEmptyM = _mm_movemask_ps(_mm_castsi128_ps(AEmpty32));
-    unsigned BEmptyM = _mm_movemask_ps(_mm_castsi128_ps(BEmpty32));
-    unsigned ConflictM = ~EqM & ~AEmptyM & ~BEmptyM & 0xF;
-
-    if (Protection && ConflictM != 0 && groupHasProtected(A, B, S, Ctx)) {
-      // Rare slow path: resolve this 4-slot group with the scalar rules so
-      // symbol protection behaves exactly as in the scalar kernel.
-      for (int L = 0; L < 4; ++L) {
-        int Slot = S + L;
-        SymbolId Ia = A.Ids[Slot], Ib = B.Ids[Slot];
-        double CaS = A.Coefs[Slot], CbS = Sign * B.Coefs[Slot];
-        if (Ia == Ib) {
-          double C = addRU(CaS, CbS);
-          Err = addRU(Err, subRU(C, addRD(CaS, CbS)));
-          Out.Ids[Slot] = Ia;
-          Out.Coefs[Slot] = C;
-        } else if (Ib == InvalidSymbol) {
-          Out.Ids[Slot] = Ia;
-          Out.Coefs[Slot] = CaS;
-        } else if (Ia == InvalidSymbol) {
-          Out.Ids[Slot] = Ib;
-          Out.Coefs[Slot] = CbS;
-        } else if (ops::detail::keepFirst(Ia, CaS, Ib, CbS, Cfg, Ctx)) {
-          Err = addRU(Err, std::fabs(CbS));
-          ++Ctx.NumFusions;
-          Out.Ids[Slot] = Ia;
-          Out.Coefs[Slot] = CaS;
-        } else {
-          Err = addRU(Err, std::fabs(CaS));
-          ++Ctx.NumFusions;
-          Out.Ids[Slot] = Ib;
-          Out.Coefs[Slot] = CbS;
-        }
-      }
-      continue;
-    }
-
-    __m256d EqMask = expandMask32(Eq32);
-    __m256d AEmptyMask = expandMask32(AEmpty32);
-    __m256d BEmptyMask = expandMask32(BEmpty32);
-    __m256d ConflictMask = _mm256_andnot_pd(
-        EqMask, _mm256_andnot_pd(AEmptyMask, _mm256_andnot_pd(
-                                                 BEmptyMask,
-                                                 _mm256_castsi256_pd(
-                                                     _mm256_set1_epi64x(
-                                                         -1)))));
-
-    // Shared-id lanes: c = RU(ca+cb), err = c - RD(ca+cb).
-    __m256d Sum = _mm256_add_pd(Ca, Cb);
-    __m256d ErrEq = _mm256_sub_pd(Sum, addRDv(Ca, Cb));
-
-    // Conflict lanes (SP rule): keep the larger |coef|, fuse the smaller.
-    __m256d AbsA = absPd(Ca), AbsB = absPd(Cb);
-    __m256d KeepA = _mm256_cmp_pd(AbsA, AbsB, _CMP_GE_OQ);
-    __m256d ConfCoef = _mm256_blendv_pd(Cb, Ca, KeepA);
-    __m256d ConfErr = _mm256_blendv_pd(AbsA, AbsB, KeepA);
-
-    // Coefficient selection: conflict -> one-sided -> shared.
-    __m256d Coef = ConfCoef;
-    Coef = _mm256_blendv_pd(Coef, Cb, AEmptyMask);
-    Coef = _mm256_blendv_pd(Coef, Ca, BEmptyMask);
-    Coef = _mm256_blendv_pd(Coef, Sum, EqMask);
-    _mm256_storeu_pd(&Out.Coefs[S], Coef);
-
-    // Error selection (masks are disjoint).
-    __m256d ErrSel = _mm256_or_pd(_mm256_and_pd(EqMask, ErrEq),
-                                  _mm256_and_pd(ConflictMask, ConfErr));
-    ErrAcc = _mm256_add_pd(ErrAcc, ErrSel);
-
-    // Id selection, fully vectorized (conflict -> one-sided -> shared).
-    __m128i KeepA32 = narrowMask64(KeepA);
-    __m128i IdOut = _mm_blendv_epi8(IdB, IdA, KeepA32);
-    IdOut = _mm_blendv_epi8(IdOut, IdB, AEmpty32);
-    IdOut = _mm_blendv_epi8(IdOut, IdA, BEmpty32);
-    IdOut = _mm_blendv_epi8(IdOut, IdA, Eq32);
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(&Out.Ids[S]), IdOut);
-    Ctx.NumFusions += __builtin_popcount(ConflictM);
-  }
-
-  Err = addRU(Err, reduceAddRU(ErrAcc));
-  if (Err > 0.0 || std::isnan(Err))
-    ops::insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
-  return Out;
-}
-
-AffineF64Storage simd::mulDirectAvx2(const AffineF64Storage &A,
-                                     const AffineF64Storage &B,
-                                     const AAConfig &Cfg,
-                                     AffineContext &Ctx) {
-  SAFEGEN_ASSERT_ROUND_UP();
-  assert(supports(Cfg) && "config not vectorizable");
-  assert(A.N == Cfg.K && B.N == Cfg.K && "direct-mapped K mismatch");
-  ++Ctx.NumOps;
-  const int K = Cfg.K;
-  const bool Protection = Cfg.Prioritize && Ctx.hasProtected();
-
-  AffineF64Storage Out;
-  Out.N = K;
-  double Err = 0.0;
-  Out.Center = F64Center::mul(A.Center, B.Center, Err);
-  double Da = A.Center, Db = B.Center;
-
-  const __m256d DaV = _mm256_set1_pd(Da);
-  const __m256d DbV = _mm256_set1_pd(Db);
-  const __m128i Zero32 = _mm_setzero_si128();
-  __m256d ErrAcc = _mm256_setzero_pd();
-  // Radii r(â), r(b̂) accumulate alongside the main loop (one pass).
-  __m256d RadA = _mm256_setzero_pd();
-  __m256d RadB = _mm256_setzero_pd();
-
-  for (int S = 0; S < K; S += 4) {
-    __m128i IdA = _mm_loadu_si128(
-        reinterpret_cast<const __m128i *>(&A.Ids[S]));
-    __m128i IdB = _mm_loadu_si128(
-        reinterpret_cast<const __m128i *>(&B.Ids[S]));
-    __m256d Ca = _mm256_loadu_pd(&A.Coefs[S]);
-    __m256d Cb = _mm256_loadu_pd(&B.Coefs[S]);
-    RadA = _mm256_add_pd(RadA, absPd(Ca));
-    RadB = _mm256_add_pd(RadB, absPd(Cb));
-
-    __m128i Eq32 = _mm_cmpeq_epi32(IdA, IdB);
-    __m128i AEmpty32 = _mm_cmpeq_epi32(IdA, Zero32);
-    __m128i BEmpty32 = _mm_cmpeq_epi32(IdB, Zero32);
-    unsigned EqM = _mm_movemask_ps(_mm_castsi128_ps(Eq32));
-    unsigned AEmptyM = _mm_movemask_ps(_mm_castsi128_ps(AEmpty32));
-    unsigned BEmptyM = _mm_movemask_ps(_mm_castsi128_ps(BEmpty32));
-    unsigned ConflictM = ~EqM & ~AEmptyM & ~BEmptyM & 0xF;
-
-    if (Protection && ConflictM != 0 && groupHasProtected(A, B, S, Ctx)) {
-      for (int L = 0; L < 4; ++L) {
-        int Slot = S + L;
-        SymbolId Ia = A.Ids[Slot], Ib = B.Ids[Slot];
-        if (Ia == Ib) {
-          double Pu = mulRU(Da, B.Coefs[Slot]), Pd = mulRD(Da, B.Coefs[Slot]);
-          double Qu = mulRU(Db, A.Coefs[Slot]), Qd = mulRD(Db, A.Coefs[Slot]);
-          double C = addRU(Pu, Qu);
-          Err = addRU(Err, subRU(C, addRD(Pd, Qd)));
-          Out.Ids[Slot] = Ia;
-          Out.Coefs[Slot] = C;
-          continue;
-        }
-        double CuA = 0.0, MagA = 0.0;
-        if (Ia != InvalidSymbol) {
-          CuA = mulRU(Db, A.Coefs[Slot]);
-          MagA = std::fmax(std::fabs(CuA),
-                           std::fabs(mulRD(Db, A.Coefs[Slot])));
-        }
-        double CuB = 0.0, MagB = 0.0;
-        if (Ib != InvalidSymbol) {
-          CuB = mulRU(Da, B.Coefs[Slot]);
-          MagB = std::fmax(std::fabs(CuB),
-                           std::fabs(mulRD(Da, B.Coefs[Slot])));
-        }
-        bool KeepA;
-        if (Ib == InvalidSymbol)
-          KeepA = true;
-        else if (Ia == InvalidSymbol)
-          KeepA = false;
-        else {
-          KeepA = ops::detail::keepFirst(Ia, CuA, Ib, CuB, Cfg, Ctx);
-          ++Ctx.NumFusions;
-        }
-        if (KeepA) {
-          Err = addRU(Err, subRU(CuA, mulRD(Db, A.Coefs[Slot])));
-          if (Ib != InvalidSymbol)
-            Err = addRU(Err, MagB);
-          Out.Ids[Slot] = Ia;
-          Out.Coefs[Slot] = CuA;
-        } else {
-          Err = addRU(Err, subRU(CuB, mulRD(Da, B.Coefs[Slot])));
-          if (Ia != InvalidSymbol)
-            Err = addRU(Err, MagA);
-          Out.Ids[Slot] = Ib;
-          Out.Coefs[Slot] = CuB;
-        }
-      }
-      continue;
-    }
-
-    __m256d EqMask = expandMask32(Eq32);
-    __m256d AEmptyMask = expandMask32(AEmpty32);
-    __m256d BEmptyMask = expandMask32(BEmpty32);
-    __m256d AllOnes = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
-    __m256d ConflictMask = _mm256_andnot_pd(
-        EqMask,
-        _mm256_andnot_pd(AEmptyMask, _mm256_andnot_pd(BEmptyMask, AllOnes)));
-    __m256d AOnlyMask = _mm256_andnot_pd(
-        EqMask, _mm256_andnot_pd(AEmptyMask, BEmptyMask));
-    __m256d BOnlyMask = _mm256_andnot_pd(
-        EqMask, _mm256_andnot_pd(BEmptyMask, AEmptyMask));
-
-    // Directed products: Pu/Pd = Da*bi, Qu/Qd = Db*ai.
-    __m256d Pu = _mm256_mul_pd(DaV, Cb);
-    __m256d Pd = mulRDv(DaV, Cb);
-    __m256d Qu = _mm256_mul_pd(DbV, Ca);
-    __m256d Qd = mulRDv(DbV, Ca);
-
-    // Shared-id lanes: c = RU(Pu+Qu), err = c - RD(Pd+Qd).
-    __m256d SumU = _mm256_add_pd(Pu, Qu);
-    __m256d ErrEq = _mm256_sub_pd(SumU, addRDv(Pd, Qd));
-
-    // One-sided errors.
-    __m256d ErrA = _mm256_sub_pd(Qu, Qd); // A-only lanes
-    __m256d ErrB = _mm256_sub_pd(Pu, Pd); // B-only lanes
-
-    // Conflict lanes: candidates CuA = Qu, CuB = Pu; SP keeps the larger.
-    __m256d MagAv = _mm256_max_pd(absPd(Qu), absPd(Qd));
-    __m256d MagBv = _mm256_max_pd(absPd(Pu), absPd(Pd));
-    __m256d KeepA = _mm256_cmp_pd(absPd(Qu), absPd(Pu), _CMP_GE_OQ);
-    __m256d ConfCoef = _mm256_blendv_pd(Pu, Qu, KeepA);
-    __m256d ConfErr = _mm256_add_pd(_mm256_blendv_pd(ErrB, ErrA, KeepA),
-                                    _mm256_blendv_pd(MagAv, MagBv, KeepA));
-
-    __m256d Coef = ConfCoef;
-    Coef = _mm256_blendv_pd(Coef, Pu, AEmptyMask);
-    Coef = _mm256_blendv_pd(Coef, Qu, BEmptyMask);
-    Coef = _mm256_blendv_pd(Coef, SumU, EqMask);
-    // Fully empty lanes (eq with id 0) produce Da*0 + Db*0 = 0 anyway.
-    _mm256_storeu_pd(&Out.Coefs[S], Coef);
-
-    __m256d ErrSel = _mm256_or_pd(
-        _mm256_or_pd(_mm256_and_pd(EqMask, ErrEq),
-                     _mm256_and_pd(ConflictMask, ConfErr)),
-        _mm256_or_pd(_mm256_and_pd(AOnlyMask, ErrA),
-                     _mm256_and_pd(BOnlyMask, ErrB)));
-    ErrAcc = _mm256_add_pd(ErrAcc, ErrSel);
-
-    __m128i KeepA32 = narrowMask64(KeepA);
-    __m128i IdOut = _mm_blendv_epi8(IdB, IdA, KeepA32);
-    IdOut = _mm_blendv_epi8(IdOut, IdB, AEmpty32);
-    IdOut = _mm_blendv_epi8(IdOut, IdA, BEmpty32);
-    IdOut = _mm_blendv_epi8(IdOut, IdA, Eq32);
-    _mm_storeu_si128(reinterpret_cast<__m128i *>(&Out.Ids[S]), IdOut);
-    Ctx.NumFusions += __builtin_popcount(ConflictM);
-  }
-
-  // Quadratic overapproximation r(â)·r(b̂) (Eq. (5)).
-  Err = addRU(Err, mulRU(reduceAddRU(RadA), reduceAddRU(RadB)));
-  Err = addRU(Err, reduceAddRU(ErrAcc));
-  if (Err > 0.0 || std::isnan(Err))
-    ops::insertFresh(Out, Ctx.freshSymbol(), Err, Cfg, Ctx);
-  return Out;
-}
-
-#else // !SAFEGEN_HAVE_AVX2
-
-AffineF64Storage simd::addDirectAvx2(const AffineF64Storage &A,
-                                     const AffineF64Storage &B, double Sign,
-                                     const AAConfig &Cfg,
-                                     AffineContext &Ctx) {
-  return ops::addDirect(A, B, Sign, Cfg, Ctx);
-}
-
-AffineF64Storage simd::mulDirectAvx2(const AffineF64Storage &A,
-                                     const AffineF64Storage &B,
-                                     const AAConfig &Cfg,
-                                     AffineContext &Ctx) {
-  return ops::mulDirect(A, B, Cfg, Ctx);
-}
-
-#endif // SAFEGEN_HAVE_AVX2

@@ -1,4 +1,4 @@
-//===- Simd.h - AVX2 kernels for direct-mapped AA ---------------*- C++ -*-===//
+//===- Simd.h - Vectorized kernels for direct-mapped AA ---------*- C++ -*-===//
 //
 // Part of the SafeGen reproduction. BSD 3-Clause license.
 //
@@ -8,15 +8,23 @@
 /// SIMD-vectorized affine addition and multiplication for the f64a type
 /// under *direct-mapped* placement with the SP/MP fusion rule (the 'v' in
 /// the paper's "f64a-dspv" configurations, Sec. V "arithmetic cost"). The
-/// direct-mapped layout makes the slot loop data-parallel: 4 slots per
-/// AVX2 lane group, id conflicts resolved with compare+blend (keep the
+/// direct-mapped layout makes the slot loop data-parallel: 4-slot lane
+/// groups, id conflicts resolved with compare+blend (keep the
 /// larger-magnitude coefficient, fuse the smaller one). MXCSR upward
 /// rounding applies to vector instructions exactly as to scalar ones, so
 /// the RU/negate-RD discipline carries over unchanged.
 ///
-/// Produces results identical to the scalar kernels (asserted by the test
+/// Since the multi-ISA registry (Kernels/Isa.h) the entry points here are
+/// thin dispatchers: the kernels themselves are instantiated from one
+/// width-agnostic template at scalar, SSE2, AVX2 and AVX-512 widths, all
+/// implementing the same canonical 4-stream rounding contract, so results
+/// are bit-identical whichever tier cpuid (or SAFEGEN_ISA) selects — and
+/// available() is now unconditionally true.
+///
+/// Produces results identical across tiers and equal in coefficients to
+/// the scalar kernels up to error-accumulation order (asserted by the test
 /// suite) for the SP policy without symbol protection; protected-symbol
-/// conflicts fall back to a scalar fix-up of the affected lanes.
+/// conflicts fall back to a scalar fix-up of the affected 4-slot groups.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,7 +37,8 @@ namespace safegen {
 namespace aa {
 namespace simd {
 
-/// True when the AVX2 kernels were compiled in.
+/// True when vector kernels can serve this binary. Always true under the
+/// registry: the scalar tier implements the vector contract everywhere.
 bool available();
 
 /// True when \p Cfg can be served by the vector kernels: direct-mapped
@@ -37,13 +46,14 @@ bool available();
 bool supports(const AAConfig &Cfg);
 
 /// Vectorized counterparts of ops::addDirect / ops::mulDirect for the
-/// F64Center trait. Preconditions: supports(Cfg) and upward rounding mode.
-AffineF64Storage addDirectAvx2(const AffineF64Storage &A,
-                               const AffineF64Storage &B, double Sign,
-                               const AAConfig &Cfg, AffineContext &Ctx);
-AffineF64Storage mulDirectAvx2(const AffineF64Storage &A,
-                               const AffineF64Storage &B,
-                               const AAConfig &Cfg, AffineContext &Ctx);
+/// F64Center trait, dispatched through the active isa::KernelTable.
+/// Preconditions: supports(Cfg) and upward rounding mode.
+AffineF64Storage addDirectVec(const AffineF64Storage &A,
+                              const AffineF64Storage &B, double Sign,
+                              const AAConfig &Cfg, AffineContext &Ctx);
+AffineF64Storage mulDirectVec(const AffineF64Storage &A,
+                              const AffineF64Storage &B, const AAConfig &Cfg,
+                              AffineContext &Ctx);
 
 } // namespace simd
 } // namespace aa

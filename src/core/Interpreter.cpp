@@ -7,6 +7,7 @@
 #include "core/Interpreter.h"
 
 #include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
 #include "core/Tape.h"
 #include "fp/Ulp.h"
 #include "support/ThreadPool.h"
@@ -868,6 +869,7 @@ std::vector<BatchCallResult> Interpreter::runBatch(
 
   const int64_t N = static_cast<int64_t>(InstanceArgs.size());
   const int64_t Grain = 16; // instances per task; programs are not cheap
+  aa::isa::select(); // resolve the kernel tier before fanning out
   if (Threads == 0) {
     support::ThreadPool::global().parallelFor(0, N, Grain, Chunk);
   } else {

@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "aa/Kernels/Isa.h"
 #include "fuzz/Oracle.h"
 
 #include <algorithm>
@@ -54,6 +55,9 @@ void printUsage() {
       "  --inject-shrink <f> TEST HOOK: artificially shrink every AA\n"
       "                      enclosure by relative factor f to prove the\n"
       "                      catch-and-minimize pipeline works end to end\n"
+      "  --isa <tier>        force the runtime SIMD kernel tier (scalar,\n"
+      "                      sse2, avx2, avx512); default: widest the host\n"
+      "                      supports. SAFEGEN_ISA=<tier> does the same\n"
       "  -v                  per-iteration progress\n"
       "  --help              this text\n");
 }
@@ -143,7 +147,24 @@ int main(int Argc, char **Argv) {
       MaxFailures = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
     else if (Arg == "--inject-shrink")
       InjectShrink = std::strtod(Next(), nullptr);
-    else if (Arg == "-v")
+    else if (Arg == "--isa") {
+      const char *V = Next();
+      aa::isa::Tier T;
+      if (!aa::isa::parse(V, T)) {
+        std::fprintf(stderr,
+                     "safegen-fuzz: --isa must be scalar, sse2, avx2 or "
+                     "avx512, got '%s'\n",
+                     V);
+        return 2;
+      }
+      if (!aa::isa::setTier(T)) {
+        std::fprintf(stderr,
+                     "safegen-fuzz: kernel tier '%s' is not available on "
+                     "this host/build\n",
+                     aa::isa::name(T));
+        return 2;
+      }
+    } else if (Arg == "-v")
       Verbose = true;
     else if (Arg == "--help") {
       printUsage();

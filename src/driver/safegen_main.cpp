@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "aa/Kernels/Isa.h"
 #include "core/Interpreter.h"
 #include "core/SafeGen.h"
 #include "core/SimdToC.h"
@@ -51,6 +52,11 @@ void printUsage() {
       "  --engine <e>       execution engine for --run: tape (compiled\n"
       "                     tape, tree fallback) or tree (reference\n"
       "                     tree-walk); results are bit-identical\n"
+      "  --isa <tier>       force the runtime SIMD kernel tier: scalar,\n"
+      "                     sse2, avx2 or avx512 (default: widest the\n"
+      "                     host supports; results are bit-identical\n"
+      "                     across tiers). SAFEGEN_ISA=<tier> in the\n"
+      "                     environment does the same\n"
       "  --compile-tape     time the tape compiler as a pipeline pass\n"
       "                     (see --time-passes/--stats; output unchanged)\n"
       "  --simd-to-c        only scalarize SIMD intrinsics (IGen's\n"
@@ -230,6 +236,33 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr,
                      "safegen: --engine must be 'tape' or 'tree', got '%s'\n",
                      V.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (Arg == "--isa" || Arg.rfind("--isa=", 0) == 0) {
+      std::string V;
+      if (Arg == "--isa") {
+        const char *N = NextValue("--isa");
+        if (!N)
+          return 1;
+        V = N;
+      } else {
+        V = Arg.substr(6);
+      }
+      aa::isa::Tier T;
+      if (!aa::isa::parse(V, T)) {
+        std::fprintf(stderr,
+                     "safegen: --isa must be scalar, sse2, avx2 or avx512, "
+                     "got '%s'\n",
+                     V.c_str());
+        return 1;
+      }
+      if (!aa::isa::setTier(T)) {
+        std::fprintf(stderr,
+                     "safegen: kernel tier '%s' is not available on this "
+                     "host/build\n",
+                     aa::isa::name(T));
         return 1;
       }
       continue;

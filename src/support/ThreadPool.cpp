@@ -40,15 +40,26 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
   unsigned N = NumThreads == 0 ? HW : NumThreads;
   if (N <= 1)
     return; // inline mode
+  // Only the (cheap) deques are set up here; the OS threads spawn on the
+  // first parallelFor that actually fans out. A pool that is constructed
+  // but ends up running everything inline (the serial fallback in
+  // aa::batch::run, short-lived benchmark pools) then costs no syscalls.
   Workers.reserve(N);
   for (unsigned I = 0; I < N; ++I)
     Workers.push_back(std::make_unique<Worker>());
-  Threads.reserve(N);
-  for (unsigned I = 0; I < N; ++I)
-    Threads.emplace_back([this, I] { workerLoop(I); });
 #else
   (void)NumThreads;
 #endif
+}
+
+void ThreadPool::ensureStarted() {
+  std::lock_guard<std::mutex> Lock(WakeMutex);
+  if (!Threads.empty() || ShuttingDown)
+    return;
+  unsigned N = static_cast<unsigned>(Workers.size());
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -149,6 +160,8 @@ void ThreadPool::parallelFor(
   // Round up so that chunk boundaries (relative to Begin) land on Align
   // multiples; only the final chunk may be ragged.
   ChunkSize = (ChunkSize + Align - 1) / Align * Align;
+
+  ensureStarted();
 
   ParallelForJob Job;
   Job.Body = &Body;

@@ -43,9 +43,11 @@ namespace support {
 /// A fixed-size pool of worker threads with per-worker stealing deques.
 class ThreadPool {
 public:
-  /// Spawns \p Threads workers (0 = one per hardware thread). With
-  /// SAFEGEN_ENABLE_THREADS off, or Threads == 1, no workers are spawned
-  /// and everything runs inline on the calling thread.
+  /// Sizes the pool for \p Threads workers (0 = one per hardware
+  /// thread). The OS threads spawn lazily on the first parallelFor that
+  /// fans out, so constructing a pool that never dispatches is free.
+  /// With SAFEGEN_ENABLE_THREADS off, or Threads == 1, no workers are
+  /// ever spawned and everything runs inline on the calling thread.
   explicit ThreadPool(unsigned NumThreads = 0);
   ~ThreadPool();
 
@@ -80,6 +82,7 @@ private:
 
   void workerLoop(unsigned Index);
   bool trySteal(unsigned Thief, Task &Out);
+  void ensureStarted();
 
   static constexpr int ChunksPerWorker = 8;
 

@@ -1,0 +1,326 @@
+//===- isa_test.cpp - Kernel-tier registry and cross-tier identity --------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime ISA registry's own tests, plus the strongest claim the
+/// multi-tier scheme makes: *switching tiers never changes a single
+/// result bit*. Every available tier is forced in turn and must
+/// reproduce, bitwise, what the scalar tier computes — for the
+/// direct-mapped form kernels (including the protection slow path) and
+/// for the cross-instance batch kernels at deliberately awkward batch
+/// sizes (N < one vector, N not a multiple of any lane count), so the
+/// masked-tail paths of every width are on the hook.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
+#include "aa/Simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+/// Restores the entry tier on scope exit so test order cannot leak a
+/// forced tier into unrelated tests.
+class TierGuard {
+public:
+  TierGuard() : Saved(isa::activeTier()) {}
+  ~TierGuard() { isa::setTier(Saved); }
+
+private:
+  isa::Tier Saved;
+};
+
+std::vector<isa::Tier> availableTiers() {
+  std::vector<isa::Tier> Tiers;
+  for (int T = 0; T < isa::NumTiers; ++T)
+    if (isa::available(static_cast<isa::Tier>(T)))
+      Tiers.push_back(static_cast<isa::Tier>(T));
+  return Tiers;
+}
+
+uint64_t bitsOf(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+/// Strict form-level comparison: every id and every coefficient bit,
+/// including the fresh-error coefficient — the four-canonical-stream
+/// accumulation contract makes the error bits width-independent.
+void expectStorageBits(const AffineF64Storage &Ref,
+                       const AffineF64Storage &Got) {
+  ASSERT_EQ(Ref.N, Got.N);
+  EXPECT_EQ(bitsOf(Ref.Center), bitsOf(Got.Center));
+  for (int32_t S = 0; S < Ref.N; ++S) {
+    EXPECT_EQ(Ref.Ids[S], Got.Ids[S]) << "slot " << S;
+    EXPECT_EQ(bitsOf(Ref.Coefs[S]), bitsOf(Got.Coefs[S])) << "slot " << S;
+  }
+}
+
+/// Builds a random direct-mapped variable with ~half the slots live,
+/// home-slot congruence respected (same recipe as aa_simd_test).
+AffineF64Storage randomDirect(std::mt19937_64 &Rng, int K, SymbolId IdBase) {
+  std::uniform_real_distribution<double> D(-4.0, 4.0);
+  AffineF64Storage V;
+  AAConfig Cfg;
+  Cfg.K = K;
+  Cfg.Placement = PlacementPolicy::DirectMapped;
+  ops::initExact(V, D(Rng), Cfg);
+  for (int S = 0; S < K; ++S) {
+    if (Rng() % 2 == 0)
+      continue;
+    SymbolId Id = IdBase + static_cast<SymbolId>(Rng() % 3) * K +
+                  static_cast<SymbolId>(S) + 1;
+    V.Ids[S] = Id;
+    V.Coefs[S] = D(Rng) * 0x1p-20;
+  }
+  return V;
+}
+
+class IsaTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+  TierGuard Guard;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry semantics
+//===----------------------------------------------------------------------===//
+
+TEST_F(IsaTest, NameParseRoundTrip) {
+  for (int T = 0; T < isa::NumTiers; ++T) {
+    isa::Tier In = static_cast<isa::Tier>(T);
+    isa::Tier Out;
+    ASSERT_TRUE(isa::parse(isa::name(In), Out)) << isa::name(In);
+    EXPECT_EQ(In, Out);
+  }
+  isa::Tier Dummy;
+  EXPECT_FALSE(isa::parse("", Dummy));
+  EXPECT_FALSE(isa::parse("avx", Dummy));
+  EXPECT_FALSE(isa::parse("neon", Dummy));
+}
+
+TEST_F(IsaTest, ScalarTierAlwaysPresent) {
+  // The scalar tier is the portability floor: compiled unconditionally,
+  // no cpuid requirement, one batch lane.
+  EXPECT_TRUE(isa::available(isa::Tier::Scalar));
+  ASSERT_TRUE(isa::setTier(isa::Tier::Scalar));
+  EXPECT_EQ(isa::activeTier(), isa::Tier::Scalar);
+  EXPECT_EQ(isa::select().BatchLanes, 1);
+  EXPECT_STREQ(isa::select().Name, "scalar");
+  EXPECT_TRUE(simd::available());
+}
+
+TEST_F(IsaTest, SelectIsConsistentWithActiveTier) {
+  for (isa::Tier T : availableTiers()) {
+    ASSERT_TRUE(isa::setTier(T)) << isa::name(T);
+    const isa::KernelTable &Tab = isa::select();
+    EXPECT_EQ(Tab.T, T);
+    EXPECT_EQ(Tab.T, isa::activeTier());
+    EXPECT_STREQ(Tab.Name, isa::name(T));
+    EXPECT_GE(Tab.BatchLanes, 1);
+    EXPECT_LE(Tab.BatchLanes, 8);
+    EXPECT_NE(Tab.FormAdd, nullptr);
+    EXPECT_NE(Tab.FormMul, nullptr);
+    EXPECT_NE(Tab.BatchAdd, nullptr);
+    EXPECT_NE(Tab.BatchMul, nullptr);
+  }
+}
+
+TEST_F(IsaTest, SetTierRefusesUnavailable) {
+  for (int T = 0; T < isa::NumTiers; ++T) {
+    isa::Tier Tier = static_cast<isa::Tier>(T);
+    if (isa::available(Tier))
+      continue;
+    isa::Tier Before = isa::activeTier();
+    EXPECT_FALSE(isa::setTier(Tier)) << isa::name(Tier);
+    EXPECT_EQ(isa::activeTier(), Before) << "failed setTier changed state";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-tier bit-identity: form kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs add/sub/mul on random direct-mapped pairs under the scalar tier,
+/// then re-runs the identical inputs (and identical context state) under
+/// every other available tier and compares all bits.
+void checkFormCrossTier(const std::string &Notation, int K, bool Protect,
+                        uint64_t Seed) {
+  SCOPED_TRACE(Notation + " K=" + std::to_string(K) +
+               (Protect ? " protected" : "") + " seed=" + std::to_string(Seed));
+  AAConfig Cfg = *AAConfig::parse(Notation);
+  Cfg.K = K;
+  if (!simd::supports(Cfg))
+    GTEST_SKIP() << "config outside the vector-kernel gate";
+  std::vector<isa::Tier> Tiers = availableTiers();
+
+  AffineEnvScope Env(Cfg);
+  std::mt19937_64 Rng(Seed);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    auto &Ctx = env().Context;
+    AffineF64Storage A = randomDirect(Rng, K, 1);
+    AffineF64Storage B = randomDirect(Rng, K, 5);
+    if (Protect)
+      for (int32_t S = 0; S < A.N; ++S)
+        if (A.Ids[S] != InvalidSymbol) {
+          Ctx.protect(A.Ids[S]);
+          break;
+        }
+
+    ASSERT_TRUE(isa::setTier(isa::Tier::Scalar));
+    AffineContext CtxAdd = Ctx, CtxSub = Ctx, CtxMul = Ctx;
+    AffineF64Storage RefAdd = simd::addDirectVec(A, B, +1.0, Cfg, CtxAdd);
+    AffineF64Storage RefSub = simd::addDirectVec(A, B, -1.0, Cfg, CtxSub);
+    AffineF64Storage RefMul = simd::mulDirectVec(A, B, Cfg, CtxMul);
+
+    for (isa::Tier T : Tiers) {
+      if (T == isa::Tier::Scalar)
+        continue;
+      SCOPED_TRACE(std::string("tier ") + isa::name(T));
+      ASSERT_TRUE(isa::setTier(T));
+      AffineContext CA = Ctx, CS = Ctx, CM = Ctx;
+      expectStorageBits(RefAdd, simd::addDirectVec(A, B, +1.0, Cfg, CA));
+      expectStorageBits(RefSub, simd::addDirectVec(A, B, -1.0, Cfg, CS));
+      expectStorageBits(RefMul, simd::mulDirectVec(A, B, Cfg, CM));
+      // Same symbols drawn, same fusion count: context effects match too.
+      EXPECT_EQ(CtxAdd.peekNextId(), CA.peekNextId());
+      EXPECT_EQ(CtxMul.peekNextId(), CM.peekNextId());
+      EXPECT_EQ(CtxAdd.NumFusions, CA.NumFusions);
+      EXPECT_EQ(CtxMul.NumFusions, CM.NumFusions);
+    }
+    if (Protect)
+      env().Context.clearProtected();
+  }
+}
+
+} // namespace
+
+TEST_F(IsaTest, FormKernelsBitIdenticalAcrossTiers) {
+  for (int K : {4, 8, 12, 16, 32, 48, 64})
+    checkFormCrossTier("f64a-dsnn", K, /*Protect=*/false, 1000 + K);
+}
+
+TEST_F(IsaTest, FormKernelsWithProtectionBitIdenticalAcrossTiers) {
+  for (int K : {4, 8, 16})
+    checkFormCrossTier("f64a-dspn", K, /*Protect=*/true, 2000 + K);
+}
+
+TEST_F(IsaTest, FormKernelsMeanThresholdBitIdenticalAcrossTiers) {
+  for (int K : {8, 16})
+    checkFormCrossTier("f64a-dmpn", K, /*Protect=*/false, 3000 + K);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-tier bit-identity: batch kernels at awkward sizes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One straight-line batch computation; returns the final per-instance
+/// storages plus the per-instance context counters. Deterministic in the
+/// inputs, so two tiers given the same arguments must match bitwise.
+struct BatchRun {
+  std::vector<AffineF64Storage> Out;
+  std::vector<SymbolId> NextId;
+  std::vector<uint64_t> Fusions, Ops;
+  std::vector<double> Lo, Hi;
+};
+
+BatchRun runBatchOnce(const AAConfig &Cfg, int N,
+                      const std::vector<std::vector<double>> &Xs) {
+  BatchRun R;
+  BatchEnvScope Env(Cfg, N);
+  BatchF64 A = BatchF64::input(Xs[0].data());
+  BatchF64 B = BatchF64::input(Xs[1].data());
+  BatchF64 C = BatchF64::input(Xs[2].data());
+  // Enough mixed ops to populate slots, trigger fusions and exercise both
+  // kernels; prioritize() feeds the protection slow path under 'p'.
+  BatchF64 T = A * B + C;
+  T.prioritize();
+  BatchF64 U = (T - A) * (B + C) + T * T;
+  BatchF64 V = U * B - C + BatchF64(0.375) * U;
+  R.Out.resize(N);
+  R.NextId.resize(N);
+  R.Fusions.resize(N);
+  R.Ops.resize(N);
+  R.Lo.resize(N);
+  R.Hi.resize(N);
+  for (int I = 0; I < N; ++I) {
+    R.Out[I] = V.extract(I);
+    R.NextId[I] = Env.get().Contexts[I].peekNextId();
+    R.Fusions[I] = Env.get().Contexts[I].NumFusions;
+    R.Ops[I] = Env.get().Contexts[I].NumOps;
+    V.bounds(I, R.Lo[I], R.Hi[I]);
+  }
+  return R;
+}
+
+/// Awkward sizes: below every vector width, straddling one vector, and
+/// non-multiples of 2, 4 and 8 — the masked-tail paths of every tier.
+void checkBatchCrossTier(const std::string &Notation, int K, int N,
+                         uint64_t Seed) {
+  SCOPED_TRACE(Notation + " K=" + std::to_string(K) +
+               " N=" + std::to_string(N) + " seed=" + std::to_string(Seed));
+  AAConfig Cfg = *AAConfig::parse(Notation);
+  Cfg.K = K;
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> D(-2.0, 2.0);
+  std::vector<std::vector<double>> Xs(3, std::vector<double>(N));
+  for (auto &Col : Xs)
+    for (double &X : Col)
+      X = D(Rng) * std::ldexp(1.0, static_cast<int>(Rng() % 21) - 10);
+
+  ASSERT_TRUE(isa::setTier(isa::Tier::Scalar));
+  BatchRun Ref = runBatchOnce(Cfg, N, Xs);
+  for (isa::Tier T : availableTiers()) {
+    if (T == isa::Tier::Scalar)
+      continue;
+    SCOPED_TRACE(std::string("tier ") + isa::name(T));
+    ASSERT_TRUE(isa::setTier(T));
+    BatchRun Got = runBatchOnce(Cfg, N, Xs);
+    for (int I = 0; I < N; ++I) {
+      SCOPED_TRACE("instance " + std::to_string(I));
+      expectStorageBits(Ref.Out[I], Got.Out[I]);
+      EXPECT_EQ(Ref.NextId[I], Got.NextId[I]);
+      EXPECT_EQ(Ref.Fusions[I], Got.Fusions[I]);
+      EXPECT_EQ(Ref.Ops[I], Got.Ops[I]);
+      EXPECT_EQ(bitsOf(Ref.Lo[I]), bitsOf(Got.Lo[I]));
+      EXPECT_EQ(bitsOf(Ref.Hi[I]), bitsOf(Got.Hi[I]));
+    }
+  }
+}
+
+} // namespace
+
+TEST_F(IsaTest, BatchKernelsBitIdenticalAcrossTiersAwkwardSizes) {
+  for (int N : {1, 2, 3, 5, 7, 9, 15, 17, 31, 33, 61})
+    checkBatchCrossTier("f64a-dsnn", 16, N, 4000 + static_cast<uint64_t>(N));
+}
+
+TEST_F(IsaTest, BatchKernelsWithProtectionBitIdenticalAcrossTiers) {
+  for (int N : {1, 3, 7, 13, 61})
+    checkBatchCrossTier("f64a-dspn", 16, N, 5000 + static_cast<uint64_t>(N));
+}
+
+TEST_F(IsaTest, BatchKernelsMeanThresholdBitIdenticalAcrossTiers) {
+  for (int N : {2, 5, 9, 33})
+    checkBatchCrossTier("f64a-dmpn", 8, N, 6000 + static_cast<uint64_t>(N));
+}

@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "aa/Kernels/Isa.h"
 #include "core/Shadow.h"
 #include "fuzz/KernelGen.h"
 #include "fuzz/Oracle.h"
@@ -154,6 +155,35 @@ TEST(SoundnessFuzzSmoke, FixedSeedSweepFindsNoViolations) {
     EXPECT_TRUE(V.Ok) << "iter " << Iter << ": " << V.str() << "\n"
                       << renderKernel(K);
   }
+}
+
+TEST(SoundnessFuzzSmoke, ForcedIsaTiersFindNoViolations) {
+  // The ctest-sized slice of the per-SAFEGEN_ISA acceptance run: the same
+  // fixed-seed kernels through the full oracle (containment, SIMD-vs-
+  // scalar identity, threaded-batch identity) under every kernel tier
+  // this binary+host can run. The entry tier is restored afterwards.
+  aa::isa::Tier Entry = aa::isa::activeTier();
+  GenOptions Gen;
+  for (int T = 0; T < aa::isa::NumTiers; ++T) {
+    aa::isa::Tier Tier = static_cast<aa::isa::Tier>(T);
+    if (!aa::isa::available(Tier))
+      continue;
+    ASSERT_TRUE(aa::isa::setTier(Tier));
+    SCOPED_TRACE(std::string("tier ") + aa::isa::name(Tier));
+    for (uint64_t Iter = 0; Iter < 12; ++Iter) {
+      std::mt19937_64 Rng = seededRng(1, Iter);
+      Kernel K = generateKernel(Rng, Gen);
+      OracleOptions O;
+      std::vector<double> Args;
+      for (unsigned I = 0; I < std::max(1u, K.NumParams); ++I)
+        Args.push_back(static_cast<double>(Rng() % 16384) / 2048.0 - 4.0);
+      O.ArgValues = Args;
+      Verdict V = checkKernel(K, O);
+      EXPECT_TRUE(V.Ok) << "iter " << Iter << ": " << V.str() << "\n"
+                        << renderKernel(K);
+    }
+  }
+  ASSERT_TRUE(aa::isa::setTier(Entry));
 }
 
 //===----------------------------------------------------------------------===//

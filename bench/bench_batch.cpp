@@ -255,6 +255,68 @@ int runInterpEngineRows() {
   return 0;
 }
 
+/// 16-bit format rows: the same interpreter kernel replayed through the
+/// format-generic scalar tape as f16a and bf16a (K=16, single-threaded),
+/// emitted as `interp-narrow` paths so run_benchmarks.py can gate on
+/// their presence without touching the f64a tape-vs-tree summaries.
+/// Each narrow enclosure must be a valid interval that intersects the
+/// f64a tape enclosure of the same instance (both contain the exact real
+/// result); divergence is a hard failure.
+int runNarrowFormatRows(bool Quick) {
+  auto CU = frontend::parseSource("bench_batch_kernel.c", InterpKernelSource);
+  if (!CU || !CU->Success) {
+    std::fprintf(stderr, "FATAL: embedded interpreter kernel failed to "
+                         "parse\n");
+    return 1;
+  }
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+
+  std::mt19937_64 Rng(11);
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+
+  std::vector<int> Sizes = {1024};
+  if (!Quick)
+    Sizes.push_back(4096);
+
+  for (int N : Sizes) {
+    std::vector<std::vector<double>> Seeds(N);
+    for (int I = 0; I < N; ++I)
+      Seeds[I] = {U(Rng)};
+
+    core::InterpreterOptions Opts;
+    Opts.Engine = core::ExecEngine::Tape;
+
+    AAConfig Ref = *AAConfig::parse("f64a-dspn");
+    Ref.K = 16;
+    auto F64 = core::Interpreter::runBatch(TU, "f", Ref, Seeds, 1, Opts);
+
+    for (const char *Notation : {"f16a-dspn", "bf16a-dspn"}) {
+      AAConfig Cfg = *AAConfig::parse(Notation);
+      Cfg.K = 16;
+      std::vector<core::BatchCallResult> Got;
+      double T = timeIt([&] {
+        Got = core::Interpreter::runBatch(TU, "f", Cfg, Seeds, 1, Opts);
+        doNotOptimize(Got);
+      });
+      for (int I = 0; I < N; ++I) {
+        const core::BatchCallResult &A = F64[I];
+        const core::BatchCallResult &B = Got[I];
+        if (!B.Success || !B.UsedTape || !(B.Return.Lo <= B.Return.Hi) ||
+            (A.Success &&
+             (B.Return.Hi < A.Return.Lo || A.Return.Hi < B.Return.Lo))) {
+          std::fprintf(stderr,
+                       "FATAL: %s enclosure invalid or disjoint from the "
+                       "f64a tape enclosure at n=%d i=%d\n",
+                       Notation, N, I);
+          return 1;
+        }
+      }
+      printRow("interp-narrow", Cfg.str().c_str(), Cfg.K, N, 1, T);
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -319,5 +381,10 @@ int main(int argc, char **argv) {
 
   // Interpreter engine rows (tape vs tree); run in --quick too — the
   // k16/n4096 tape-vs-tree speedup is gated by scripts/run_benchmarks.py.
-  return runInterpEngineRows();
+  if (int Rc = runInterpEngineRows())
+    return Rc;
+
+  // 16-bit format rows (f16a/bf16a at K=16); run in --quick too — their
+  // presence is gated by scripts/run_benchmarks.py --check.
+  return runNarrowFormatRows(Quick);
 }

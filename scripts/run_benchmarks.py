@@ -342,6 +342,23 @@ def check_engine_gates(data):
     return failures
 
 
+NARROW_CONFIGS = ["f16a-dspn", "bf16a-dspn"]
+
+
+def check_narrow_gate(data):
+    """The 16-bit format rows (interp-narrow path, K=16) must be present:
+    bench_batch hard-fails when a narrow enclosure is invalid or disjoint
+    from the f64a tape enclosure, so a missing row means the f16a/bf16a
+    pipeline silently stopped running."""
+    failures = []
+    keys = data.get("ns_per_element", {})
+    for cfg in NARROW_CONFIGS:
+        prefix = f"interp-narrow/{cfg}/k16/"
+        if not any(k.startswith(prefix) for k in keys):
+            failures.append(f"narrow formats: no {cfg} k16 measurement")
+    return failures
+
+
 def check_simd_gate(data):
     """The widest vector kernel tier the host ran must beat the scalar
     tier by SIMD_SPEEDUP_FLOOR at k16 / n >= 1024. Hosts (or builds)
@@ -413,7 +430,7 @@ def main():
         if not os.path.exists(args.baseline):
             sys.exit(f"error: baseline {args.baseline} not found")
         regressions = check_batch(data, args.baseline)
-        gate_failures = check_engine_gates(data) + check_simd_gate(data)
+        gate_failures = check_engine_gates(data) + check_simd_gate(data) + check_narrow_gate(data)
         passes = compile_pass_stats(args.build_dir, args.results_dir)
         if passes is not None:
             data["compile_passes"] = passes
@@ -452,7 +469,7 @@ def main():
             data["compile_passes"] = passes
         # Informational here (gates only fail under --check), but the
         # hardware note still lands in the json.
-        gate_failures = check_engine_gates(data) + check_simd_gate(data)
+        gate_failures = check_engine_gates(data) + check_simd_gate(data) + check_narrow_gate(data)
         if gate_failures:
             for r in gate_failures:
                 print("  engine gate (informational): " + r)

@@ -99,15 +99,15 @@ public:
   Affine() { ops::initExact(V, 0.0, env().Config); }
   /// Implicit conversion from a literal: a *source constant*, widened by
   /// 1 ulp per Sec. IV-B unless exactly an integer that the central type
-  /// represents exactly (2^24 for f32a, 2^53 otherwise).
+  /// represents exactly (the format axis's ExactIntLimit: 2^24 for f32a,
+  /// 2^11 for f16a, 2^8 for bf16a, 2^53 otherwise).
   Affine(double Constant) {
     // std::trunc, not std::nearbyint: nearbyint follows the *dynamic*
     // rounding mode (it acts as ceil inside a RoundUpwardScope), so the
     // integrality test would silently depend on the ambient FPU state;
     // trunc is rounding-mode independent.
     double R = std::trunc(Constant);
-    constexpr double ExactLimit =
-        CT::MantissaBits >= 53 ? 0x1p53 : 0x1p24;
+    constexpr double ExactLimit = CT::ExactIntLimit;
     if (R == Constant && std::fabs(Constant) < ExactLimit)
       V = ops::makeExact<CT>(Constant, env().Config);
     else
@@ -145,15 +145,13 @@ public:
   bool isNaN() const { return V.isNaN(); }
 
   /// Certified bits of the result (Eq. (9)); P defaults to the format's
-  /// mantissa bits. The f32a type counts over the float grid (its output
-  /// format), everything else over the double grid.
+  /// mantissa bits. The grid the bits are counted over is a format-axis
+  /// hook: f32a counts over the float grid (its output format),
+  /// everything else over the double grid.
   double certifiedBits(int P = CT::MantissaBits) const {
     double Lo, Hi;
     V.bounds(Lo, Hi);
-    if constexpr (std::is_same_v<CT, F32Center>)
-      return fp::accBits32(Lo, Hi, P);
-    else
-      return fp::accBits(Lo, Hi, P);
+    return CT::accBits(Lo, Hi, P);
   }
 
   /// Protects this variable's symbols from fusion (pragma lowering).
@@ -215,6 +213,8 @@ template <typename CT> Affine<CT> cos(const Affine<CT> &A) {
 using F64a = Affine<F64Center>;
 using DDa = Affine<DDCenter>;
 using F32a = Affine<F32Center>;
+using F16a = Affine<F16Center>;
+using BF16a = Affine<BF16Center>;
 
 } // namespace aa
 } // namespace safegen

@@ -14,10 +14,12 @@
 ///    in slot (s-1) mod K; Ids[slot] == InvalidSymbol marks an empty slot
 ///    (N == K always).
 ///
-/// The central value type is a template parameter so that f64a (double
-/// central), dda (double-double central, Sec. IV-A) and f32a (float
-/// central) share all of the symbol machinery; coefficients are always
-/// double, as in the paper.
+/// The central value type is a policy composition (CenterPolicy below):
+/// one trait from the *format* axis (fp/FormatTraits.h) describing the
+/// stored value, one from the *compute* axis (fp/ComputeTraits.h)
+/// describing how sound arithmetic on it is performed, and one rounding
+/// policy. f64a, dda, f32a, f16a and bf16a are five instantiations of the
+/// same machinery; coefficients are always double, as in the paper.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +27,9 @@
 #define SAFEGEN_AA_AFFINEVAR_H
 
 #include "aa/Symbol.h"
+#include "fp/ComputeTraits.h"
 #include "fp/DoubleDouble.h"
+#include "fp/FormatTraits.h"
 #include "fp/Rounding.h"
 #include "fp/Ulp.h"
 
@@ -39,115 +43,62 @@ namespace aa {
 /// k = 8..48; 64 leaves headroom and keeps a variable at ~1 KiB.
 inline constexpr int MaxInlineSymbols = 64;
 
-/// \name Central-value traits.
-/// Each trait provides the central type plus sound helpers used by the
-/// operation kernels. All helpers require upward rounding mode and
-/// accumulate their round-off upper bounds into \p Err with upward adds.
-/// @{
+/// A central-value policy: the composition of one format trait \p Fmt,
+/// one compute trait \p Cmp and one rounding policy \p RP into the
+/// interface the operation kernels (AffineOps.h, Elementary.h, Batch.h,
+/// Kernels/) consume. All arithmetic helpers require upward rounding mode
+/// and accumulate their round-off upper bounds into \p Err with upward
+/// adds.
+template <typename Fmt, typename Cmp = fp::ComputeNative<Fmt>,
+          typename RP = fp::AmbientUpward>
+struct CenterPolicy {
+  using Format = Fmt;
+  using Compute = Cmp;
+  using Rounding = RP;
+  using Type = typename Fmt::Type;
+  static constexpr int MantissaBits = Fmt::MantissaBits;
+  /// Integers with magnitude below this are exactly representable.
+  static constexpr double ExactIntLimit = Fmt::ExactIntLimit;
 
-/// Trait for f64a: double central value.
-struct F64Center {
-  using Type = double;
-  static constexpr int MantissaBits = 53;
-
-  static double fromDouble(double X) { return X; }
-  static double toDouble(Type C) { return C; }
-  static bool isNaN(Type C) { return std::isnan(C); }
+  static Type fromDouble(double X) { return Fmt::fromDouble(X); }
+  static double toDouble(Type C) { return Fmt::toDouble(C); }
+  static bool isNaN(Type C) { return Fmt::isNaN(C); }
 
   /// C = A + B soundly; the distance to the exact sum goes into Err.
   static Type add(Type A, Type B, double &Err) {
-    double Up = fp::addRU(A, B);
-    Err = fp::addRU(Err, fp::subRU(Up, fp::addRD(A, B)));
-    return Up;
+    return Cmp::add(A, B, Err);
   }
   static Type sub(Type A, Type B, double &Err) {
-    double Up = fp::subRU(A, B);
-    Err = fp::addRU(Err, fp::subRU(Up, fp::subRD(A, B)));
-    return Up;
+    return Cmp::sub(A, B, Err);
   }
   static Type mul(Type A, Type B, double &Err) {
-    double Up = fp::mulRU(A, B);
-    Err = fp::addRU(Err, fp::subRU(Up, fp::mulRD(A, B)));
-    return Up;
+    return Cmp::mul(A, B, Err);
   }
-  static Type neg(Type A) { return -A; }
+  static Type neg(Type A) { return Fmt::neg(A); }
 
-  /// Double enclosure [Lo, Hi] of the central value (exact for f64).
-  static void bounds(Type C, double &Lo, double &Hi) { Lo = Hi = C; }
-};
-
-/// Trait for dda: double-double central value. The dd kernels are exact
-/// only in round-to-nearest, so every operation charges the conservative
-/// directed-rounding residual (fp::DD_RESIDUAL_EPS; DESIGN.md §2).
-struct DDCenter {
-  using Type = fp::DD;
-  static constexpr int MantissaBits = 106;
-
-  static Type fromDouble(double X) { return fp::DD(X); }
-  static double toDouble(Type C) { return C.toDouble(); }
-  static bool isNaN(Type C) { return C.isNaN(); }
-
-  /// Residual bound of one dd operation under directed rounding, scaled by
-  /// the *operand* magnitudes (cancellation can make the result arbitrarily
-  /// smaller than the inputs while the kernel error stays input-sized).
-  static double residual(double ScaleMag) {
-    return fp::addRU(fp::mulRU(ScaleMag, 0x1p-97), 0x1p-1000);
-  }
-
-  static Type add(Type A, Type B, double &Err) {
-    fp::DD Z = fp::add(A, B);
-    Err = fp::addRU(
-        Err, residual(fp::addRU(std::fabs(A.Hi), std::fabs(B.Hi))));
-    return Z;
-  }
-  static Type sub(Type A, Type B, double &Err) {
-    fp::DD Z = fp::sub(A, B);
-    Err = fp::addRU(
-        Err, residual(fp::addRU(std::fabs(A.Hi), std::fabs(B.Hi))));
-    return Z;
-  }
-  static Type mul(Type A, Type B, double &Err) {
-    fp::DD Z = fp::mul(A, B);
-    Err = fp::addRU(
-        Err, residual(fp::mulRU(std::fabs(A.Hi), std::fabs(B.Hi))));
-    return Z;
-  }
-  static Type neg(Type A) { return -A; }
-
+  /// Double enclosure [Lo, Hi] of the central value.
   static void bounds(Type C, double &Lo, double &Hi) {
-    // The true value lies within one double-ulp of Hi+Lo in each direction.
-    double D = C.toDouble();
-    Lo = std::nextafter(D, -HUGE_VAL);
-    Hi = std::nextafter(D, HUGE_VAL);
+    Fmt::bounds(C, Lo, Hi);
+  }
+  /// Certified bits over the format's output grid (Eq. (9)).
+  static double accBits(double Lo, double Hi, int P) {
+    return Fmt::accBits(Lo, Hi, P);
   }
 };
 
-/// Trait for f32a: float central value (coefficients stay double).
-struct F32Center {
-  using Type = float;
-  static constexpr int MantissaBits = 24;
-
-  static float fromDouble(double X) { return static_cast<float>(X); }
-  static double toDouble(Type C) { return C; }
-  static bool isNaN(Type C) { return std::isnan(C); }
-
-  static Type add(Type A, Type B, double &Err) {
-    float Up = A + B; // upward mode applies to float too
-    float Dn = -((-A) + (-B));
-    Err = fp::addRU(Err, static_cast<double>(Up) - static_cast<double>(Dn));
-    return Up;
-  }
-  static Type sub(Type A, Type B, double &Err) { return add(A, -B, Err); }
-  static Type mul(Type A, Type B, double &Err) {
-    float Up = A * B;
-    float Dn = -((-A) * B);
-    Err = fp::addRU(Err, static_cast<double>(Up) - static_cast<double>(Dn));
-    return Up;
-  }
-  static Type neg(Type A) { return -A; }
-
-  static void bounds(Type C, double &Lo, double &Hi) { Lo = Hi = C; }
-};
+/// \name The five concrete central-value policies.
+/// F64Center/DDCenter/F32Center reproduce the historical hand-written
+/// traits operation-for-operation (bit-identity is pinned by the golden
+/// and tape-identity tests); F16Center/BF16Center fall out of the same
+/// composition with the widening compute trait.
+/// @{
+using F64Center = CenterPolicy<fp::FormatF64>;
+using DDCenter = CenterPolicy<fp::FormatDD, fp::ComputeDD>;
+using F32Center = CenterPolicy<fp::FormatF32>;
+using F16Center =
+    CenterPolicy<fp::FormatF16, fp::ComputeWiden<fp::FormatF16>>;
+using BF16Center =
+    CenterPolicy<fp::FormatBF16, fp::ComputeWiden<fp::FormatBF16>>;
 /// @}
 
 /// An affine variable with inline symbol storage. \p CT is one of the
@@ -216,6 +167,8 @@ template <typename CT> struct AffineVar {
 using AffineF64Storage = AffineVar<F64Center>;
 using AffineDDStorage = AffineVar<DDCenter>;
 using AffineF32Storage = AffineVar<F32Center>;
+using AffineF16Storage = AffineVar<F16Center>;
+using AffineBF16Storage = AffineVar<BF16Center>;
 
 } // namespace aa
 } // namespace safegen

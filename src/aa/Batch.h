@@ -255,7 +255,7 @@ public:
   Batch(double Constant) {
     BatchEnv &E = batchEnv();
     allocate(E);
-    constexpr double ExactLimit = CT::MantissaBits >= 53 ? 0x1p53 : 0x1p24;
+    constexpr double ExactLimit = CT::ExactIntLimit;
     bool IsExact = std::trunc(Constant) == Constant &&
                    std::fabs(Constant) < ExactLimit;
     if (initDirect(E, [&](int32_t) { return Constant; },
@@ -441,10 +441,7 @@ public:
   double certifiedBits(int32_t I, int P = CT::MantissaBits) const {
     double Lo, Hi;
     bounds(I, Lo, Hi);
-    if constexpr (std::is_same_v<CT, F32Center>)
-      return fp::accBits32(Lo, Hi, P);
-    else
-      return fp::accBits(Lo, Hi, P);
+    return CT::accBits(Lo, Hi, P);
   }
   /// @}
 
@@ -760,6 +757,8 @@ template <typename CT> Batch<CT> cos(const Batch<CT> &A) {
 using BatchF64 = Batch<F64Center>;
 using BatchDD = Batch<DDCenter>;
 using BatchF32 = Batch<F32Center>;
+using BatchF16 = Batch<F16Center>;
+using BatchBF16 = Batch<BF16Center>;
 
 //===----------------------------------------------------------------------===//
 // Parallel batch runner

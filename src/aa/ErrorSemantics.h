@@ -1,0 +1,193 @@
+//===- ErrorSemantics.h - Error-semantics axis ------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *error-semantics* axis of the policy stack (DESIGN.md §12). The
+/// baseline semantics is the paper's sound interval bound: every noise
+/// symbol ranges adversarially over [-1, 1], giving Eq. (2). The second
+/// instance is a probabilistic semantics in the spirit of Constantinides
+/// et al. ("Roundoff error analysis of probabilistic floating-point
+/// computations", arXiv:2105.13217): each noise symbol of the *final*
+/// affine form is reinterpreted as an independent uniform deviate on
+/// [-1, 1] — the standard distributional model of roundoff at this
+/// granularity — and the distribution of the linear combination
+/// sum(ai * ei) is computed by discretized box convolution. One run of
+/// the compiled tape yields both answers: the sound enclosure from the
+/// affine form, and a confidence enclosure from the same form's
+/// coefficients, with the distribution's support equal to the sound
+/// bound by construction.
+///
+/// The convolution operates on a piecewise-constant density over a fixed
+/// grid spanning [-R, R] (R = upward-rounded radius). Convolving with a
+/// centered box of half-width |ai| is evaluated exactly on that grid via
+/// the second antiderivative of the density (piecewise quadratic), so
+/// one symbol costs O(bins). Coefficients smaller than a grid cell are
+/// accumulated into a slop term that widens the reported quantiles; the
+/// quantiles themselves are rounded outward to cell edges. The result is
+/// therefore a *conservative discretization* of the model — but it is an
+/// estimate under a distributional assumption, never a sound claim; the
+/// sound bound always accompanies it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_AA_ERRORSEMANTICS_H
+#define SAFEGEN_AA_ERRORSEMANTICS_H
+
+#include "aa/AffineVar.h"
+#include "fp/Rounding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace safegen {
+namespace aa {
+
+/// A probabilistic enclosure derived from one affine form. Support is
+/// the sound bound; [Lo, Hi] carries at least \p Confidence of the
+/// distribution's mass under the independent-uniform model.
+struct ProbEnclosure {
+  bool Valid = false;
+  double SupportLo = 0.0; ///< sound lower bound (== Eq. (2) Lo)
+  double SupportHi = 0.0; ///< sound upper bound (== Eq. (2) Hi)
+  double Lo = 0.0;        ///< lower Confidence-quantile, rounded outward
+  double Hi = 0.0;        ///< upper Confidence-quantile, rounded outward
+  double Confidence = 0.0;
+};
+
+namespace detail {
+
+/// In-place convolution of the piecewise-constant density \p Mass (cell
+/// masses over [-R, R]) with a centered box of half-width \p H. Exact on
+/// the grid: uses the piecewise-quadratic second antiderivative of the
+/// density. Preserves total mass up to FP noise (caller renormalizes).
+inline void convolveBox(std::vector<double> &Mass, double R, double H) {
+  const int Bins = static_cast<int>(Mass.size());
+  const double W = 2.0 * R / Bins;
+  // CDF and its antiderivative at cell edges.
+  std::vector<double> F(Bins + 1), G(Bins + 1);
+  F[0] = 0.0;
+  G[0] = 0.0;
+  for (int J = 0; J < Bins; ++J) {
+    F[J + 1] = F[J] + Mass[J];
+    G[J + 1] = G[J] + F[J] * W + Mass[J] * W * 0.5;
+  }
+  const double Total = F[Bins];
+  // G evaluated anywhere (clamped: density 0 outside, CDF saturates).
+  auto EvalG = [&](double X) {
+    if (X <= -R)
+      return 0.0;
+    if (X >= R)
+      return G[Bins] + (X - R) * Total;
+    double Pos = (X + R) / W;
+    int K = std::min(Bins - 1, std::max(0, static_cast<int>(Pos)));
+    double T = X - (-R + K * W);
+    return G[K] + F[K] * T + (Mass[K] / W) * T * T * 0.5;
+  };
+  std::vector<double> Out(Bins);
+  for (int J = 0; J < Bins; ++J) {
+    double XLo = -R + J * W, XHi = XLo + W;
+    double M = (EvalG(XHi + H) - EvalG(XLo + H) - EvalG(XHi - H) +
+                EvalG(XLo - H)) /
+               (2.0 * H);
+    Out[J] = M > 0.0 ? M : 0.0;
+  }
+  Mass.swap(Out);
+}
+
+} // namespace detail
+
+/// Computes the probabilistic enclosure of \p V under the
+/// independent-uniform noise model. Requires upward rounding mode (the
+/// support and the center combination use the sound primitives). \p Bins
+/// trades distribution resolution for time; one convolution per live
+/// symbol, O(Bins) each.
+template <typename CT>
+ProbEnclosure probEnclosure(const AffineVar<CT> &V, double Confidence = 0.99,
+                            int Bins = 512) {
+  ProbEnclosure P;
+  P.Confidence = Confidence;
+  V.bounds(P.SupportLo, P.SupportHi);
+  P.Valid = true;
+
+  double CLo, CHi;
+  CT::bounds(V.Center, CLo, CHi);
+  const double R = V.radius();
+  if (V.isNaN() || !std::isfinite(R) || !std::isfinite(CLo) ||
+      !std::isfinite(CHi)) {
+    P.Lo = P.SupportLo;
+    P.Hi = P.SupportHi;
+    return P;
+  }
+  if (R == 0.0) { // no noise symbols: the distribution is a point mass
+    P.Lo = P.SupportLo;
+    P.Hi = P.SupportHi;
+    return P;
+  }
+
+  const double W = 2.0 * R / Bins;
+  std::vector<double> Mass(Bins, 0.0);
+  Mass[Bins / 2] = 1.0; // delta at 0 (cell containing the origin)
+  double Slop = W;      // initial delta placement is one cell coarse
+  for (int32_t I = 0; I < V.N; ++I) {
+    double H = std::fabs(V.Coefs[I]);
+    if (H == 0.0)
+      continue;
+    if (H < W) { // below grid resolution: widen the quantiles instead
+      Slop += H;
+      continue;
+    }
+    detail::convolveBox(Mass, R, H);
+    // Renormalize: the grid evaluation loses/creates only FP noise, but
+    // quantiles must be taken on a unit-mass CDF.
+    double Total = 0.0;
+    for (double M : Mass)
+      Total += M;
+    if (Total > 0.0)
+      for (double &M : Mass)
+        M /= Total;
+  }
+
+  // Outward quantiles at (1 - Confidence) / 2 per tail, taken on cell
+  // edges (lower edge for the lower quantile, upper for the upper).
+  const double Tail = (1.0 - Confidence) * 0.5;
+  double DLo = -R, DHi = R;
+  double Acc = 0.0;
+  for (int J = 0; J < Bins; ++J) {
+    double Next = Acc + Mass[J];
+    if (Next > Tail) {
+      DLo = -R + J * W; // lower edge of the cell where the tail ends
+      break;
+    }
+    Acc = Next;
+  }
+  Acc = 0.0;
+  for (int J = Bins - 1; J >= 0; --J) {
+    double Next = Acc + Mass[J];
+    if (Next > Tail) {
+      DHi = -R + (J + 1) * W; // upper edge
+      break;
+    }
+    Acc = Next;
+  }
+  DLo -= Slop;
+  DHi += Slop;
+
+  // Combine with the center enclosure, directed outward, then clamp to
+  // the support (the quantile interval can never exceed the sound bound).
+  P.Lo = std::max(fp::addRD(CLo, DLo), P.SupportLo);
+  P.Hi = std::min(fp::addRU(CHi, DHi), P.SupportHi);
+  if (P.Lo > P.Hi) { // degenerate discretization; fall back to support
+    P.Lo = P.SupportLo;
+    P.Hi = P.SupportHi;
+  }
+  return P;
+}
+
+} // namespace aa
+} // namespace safegen
+
+#endif // SAFEGEN_AA_ERRORSEMANTICS_H

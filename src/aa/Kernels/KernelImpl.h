@@ -63,6 +63,18 @@
 ///    contracting either side breaks the pairing. fmaD exists in the
 ///    traits for future midpoint-style (non-sound) uses only.
 ///
+/// Format axis: these kernels operate on the *coefficient* stream, which
+/// is double for every instantiation of the format axis (DESIGN.md §12)
+/// — only the central value varies per format, and the center is handled
+/// by the CenterPolicy (aa/AffineVar.h), never vectorized here. The
+/// f64a/f32a/dda forms therefore share these kernels unchanged. The
+/// 16-bit formats (f16a/bf16a) keep a software-emulated center
+/// (fp/MiniFloat.h) whose conversions are integer-based, so their ops
+/// run the scalar policy stack and the format-generic scalar tape
+/// executor (core/Tape.cpp) rather than these width-templated kernels;
+/// a dedicated 16-bit kernel tier would first need a vectorizable
+/// software-rounding step and is left out deliberately.
+///
 //===----------------------------------------------------------------------===//
 
 #if !defined(SAFEGEN_KERNEL_TARGET)

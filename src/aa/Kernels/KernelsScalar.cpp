@@ -48,14 +48,17 @@ struct ScalarTraits {
   static VD zeroD() { return 0.0; }
   static VI zeroI() { return 0; }
 
-  // Plain FP ops honour MXCSR exactly like their vector twins (the build
-  // compiles with -frounding-math, so nothing is folded across the mode
-  // switch).
-  static VD addD(VD A, VD B) { return A + B; }
+  // Plain FP ops honour MXCSR exactly like their vector twins. The build
+  // compiles with -frounding-math, but that does not stop GCC from folding
+  // the -((-A)*B) round-down idiom back into A*B (see fp/Rounding.h), so
+  // negD/addD/mulD hide their results behind the same optimization barrier
+  // the scalar primitives use — the vector tiers get this for free from
+  // their XOR intrinsics.
+  static VD addD(VD A, VD B) { return fp::opaque(A + B); }
   static VD subD(VD A, VD B) { return A - B; }
-  static VD mulD(VD A, VD B) { return A * B; }
+  static VD mulD(VD A, VD B) { return fp::opaque(A * B); }
   static VD fmaD(VD A, VD B, VD C) { return __builtin_fma(A, B, C); }
-  static VD negD(VD V) { return -V; } // pure sign flip, NaN-safe
+  static VD negD(VD V) { return fp::opaque(-V); } // pure sign flip, NaN-safe
   static VD absD(VD V) { return std::fabs(V); }
   static VD maxD(VD A, VD B) { return A > B ? A : B; } // MAXPD: B on NaN
   static MD cmpGeD(VD A, VD B) { return A >= B ? ~uint64_t(0) : 0; }

@@ -33,36 +33,68 @@ const char *aa::fusionName(FusionPolicy F) {
   return "unknown";
 }
 
-const char *aa::precisionName(AffinePrecision P) {
-  switch (P) {
-  case AffinePrecision::F32:
-    return "f32a";
-  case AffinePrecision::F64:
-    return "f64a";
-  case AffinePrecision::DD:
-    return "dda";
-  }
+namespace {
+
+/// The single Format <-> notation-prefix table. The per-precision switch
+/// arms that used to live here (and in the driver) folded into this when
+/// AffinePrecision merged into the format axis.
+constexpr struct {
+  Format F;
+  const char *Name;
+} FormatTable[] = {
+    {Format::F32, "f32a"},   {Format::F64, "f64a"}, {Format::DD, "dda"},
+    {Format::F16, "f16a"},   {Format::BF16, "bf16a"},
+};
+
+} // namespace
+
+const char *aa::formatName(Format F) {
+  for (const auto &E : FormatTable)
+    if (E.F == F)
+      return E.Name;
   return "unknown";
 }
 
+const char *aa::errorModelName(ErrorModel M) {
+  return M == ErrorModel::Probabilistic ? "prob" : "sound";
+}
+
 std::optional<AAConfig> AAConfig::parse(const std::string &Notation) {
+  std::string Diag;
+  return parse(Notation, Diag);
+}
+
+std::optional<AAConfig> AAConfig::parse(const std::string &Notation,
+                                        std::string &Diag) {
+  Diag.clear();
   size_t Dash = Notation.find('-');
-  if (Dash == std::string::npos)
+  if (Dash == std::string::npos) {
+    Diag = "'" + Notation +
+           "': missing '-'; expected \"<prec>-<wxyz>\" (e.g. f64a-dspv)";
     return std::nullopt;
+  }
   std::string Prec = Notation.substr(0, Dash);
   std::string Flags = Notation.substr(Dash + 1);
-  if (Flags.size() != 4)
+  if (Flags.size() != 4) {
+    Diag = "'" + Notation + "': flag string \"" + Flags +
+           "\" must be exactly 4 characters "
+           "(placement, fusion, prioritization, vectorization)";
     return std::nullopt;
+  }
 
   AAConfig C;
-  if (Prec == "f64a")
-    C.Precision = AffinePrecision::F64;
-  else if (Prec == "dda")
-    C.Precision = AffinePrecision::DD;
-  else if (Prec == "f32a")
-    C.Precision = AffinePrecision::F32;
-  else
+  bool KnownPrec = false;
+  for (const auto &E : FormatTable)
+    if (Prec == E.Name) {
+      C.Precision = E.F;
+      KnownPrec = true;
+      break;
+    }
+  if (!KnownPrec) {
+    Diag = "'" + Notation + "': unknown precision prefix \"" + Prec +
+           "\"; expected one of f32a, f64a, dda, f16a, bf16a";
     return std::nullopt;
+  }
 
   switch (Flags[0]) {
   case 's':
@@ -72,6 +104,8 @@ std::optional<AAConfig> AAConfig::parse(const std::string &Notation) {
     C.Placement = PlacementPolicy::DirectMapped;
     break;
   default:
+    Diag = "'" + Notation + "': bad placement flag '" +
+           std::string(1, Flags[0]) + "' (expected s or d)";
     return std::nullopt;
   }
   switch (Flags[1]) {
@@ -88,6 +122,8 @@ std::optional<AAConfig> AAConfig::parse(const std::string &Notation) {
     C.Fusion = FusionPolicy::Random;
     break;
   default:
+    Diag = "'" + Notation + "': bad fusion flag '" +
+           std::string(1, Flags[1]) + "' (expected s, m, o or r)";
     return std::nullopt;
   }
   switch (Flags[2]) {
@@ -98,6 +134,8 @@ std::optional<AAConfig> AAConfig::parse(const std::string &Notation) {
     C.Prioritize = false;
     break;
   default:
+    Diag = "'" + Notation + "': bad prioritization flag '" +
+           std::string(1, Flags[2]) + "' (expected p or n)";
     return std::nullopt;
   }
   switch (Flags[3]) {
@@ -108,13 +146,15 @@ std::optional<AAConfig> AAConfig::parse(const std::string &Notation) {
     C.Vectorize = false;
     break;
   default:
+    Diag = "'" + Notation + "': bad vectorization flag '" +
+           std::string(1, Flags[3]) + "' (expected v or n)";
     return std::nullopt;
   }
   return C;
 }
 
 std::string AAConfig::str() const {
-  std::string S = precisionName(Precision);
+  std::string S = formatName(Precision);
   S += '-';
   S += Placement == PlacementPolicy::Sorted ? 's' : 'd';
   switch (Fusion) {

@@ -35,11 +35,30 @@ enum class FusionPolicy {
   MeanThreshold, ///< MP: everything below the mean |coefficient|; OP fills
 };
 
-/// Numeric format of the affine type (Sec. IV-A).
-enum class AffinePrecision {
-  F32, ///< float central value, float coefficients
-  F64, ///< double central value, double coefficients (f64a)
-  DD,  ///< double-double central value, double coefficients (dda)
+/// Numeric format of the affine type — one value per instantiation of the
+/// central-value policy stack (AffineVar.h). The first three are the
+/// paper's formats (Sec. IV-A); f16/bf16 are the reduced-precision
+/// extensions that fall out of the format axis (DESIGN.md §12).
+enum class Format {
+  F32,  ///< float central value (f32a)
+  F64,  ///< double central value (f64a)
+  DD,   ///< double-double central value (dda)
+  F16,  ///< software binary16 central value (f16a)
+  BF16, ///< software bfloat16 central value (bf16a)
+};
+
+/// Historical name for the format axis, kept as an alias so existing
+/// call sites (aa::AffinePrecision::F64 etc.) keep compiling.
+using AffinePrecision = Format;
+
+/// Which error semantics a run reports (DESIGN.md §12). The sound
+/// interval semantics is always computed; the probabilistic semantics
+/// additionally reinterprets the final affine form's noise symbols as
+/// independent uniform deviates and reports a confidence enclosure whose
+/// support is the sound bound (ErrorSemantics.h).
+enum class ErrorModel {
+  Sound,         ///< sound interval bound only
+  Probabilistic, ///< sound bound + discretized-distribution quantiles
 };
 
 /// A full runtime configuration for the affine library.
@@ -53,13 +72,24 @@ struct AAConfig {
   bool Vectorize = false;
   /// Honour the protected-symbol set during fusion (the 'p' in "dspv").
   bool Prioritize = false;
-  AffinePrecision Precision = AffinePrecision::F64;
+  Format Precision = Format::F64;
+  /// Error semantics of reported results. Not part of the notation
+  /// string (driver flag --error-model); defaults to sound-only.
+  ErrorModel Model = ErrorModel::Sound;
 
   /// Parses the paper's notation: "<prec>-<w><x><y><z>" with
-  /// prec in {f64a, dda, f32a}, w in {s,d} placement, x in {s,m,o,r}
-  /// fusion, y in {p,n} prioritization, z in {v,n} vectorization.
-  /// Example: "f64a-dspv". Returns std::nullopt on malformed input.
+  /// prec in {f64a, dda, f32a, f16a, bf16a}, w in {s,d} placement,
+  /// x in {s,m,o,r} fusion, y in {p,n} prioritization, z in {v,n}
+  /// vectorization. Example: "f64a-dspv". Returns std::nullopt on
+  /// malformed input.
   static std::optional<AAConfig> parse(const std::string &Notation);
+
+  /// Like parse(), but fills \p Diag with a specific diagnostic (unknown
+  /// precision prefix, missing dash, bad flag character, ...) on failure,
+  /// so callers can report *why* a notation was rejected instead of
+  /// silently substituting a default configuration.
+  static std::optional<AAConfig> parse(const std::string &Notation,
+                                       std::string &Diag);
 
   /// Renders the configuration in the paper's notation.
   std::string str() const;
@@ -68,7 +98,11 @@ struct AAConfig {
 /// Human-readable policy names (for diagnostics and bench tables).
 const char *placementName(PlacementPolicy P);
 const char *fusionName(FusionPolicy F);
-const char *precisionName(AffinePrecision P);
+/// The notation prefix of a format ("f64a", "dda", ...).
+const char *formatName(Format F);
+/// Historical alias of formatName.
+inline const char *precisionName(Format F) { return formatName(F); }
+const char *errorModelName(ErrorModel M);
 
 } // namespace aa
 } // namespace safegen

@@ -82,6 +82,8 @@ private:
 using f64a = safegen::aa::F64a;
 using dda = safegen::aa::DDa;
 using f32a = safegen::aa::F32a;
+using f16a = safegen::aa::F16a;
+using bf16a = safegen::aa::BF16a;
 
 //===----------------------------------------------------------------------===//
 // f64a family
@@ -265,6 +267,113 @@ static inline f64a aa_cast_f32_to_f64(const f32a &A) {
   safegen::ia::Interval R = A.toInterval();
   return f64a::fromInterval(R.Lo, R.Hi);
 }
+
+//===----------------------------------------------------------------------===//
+// f16a / bf16a families (software 16-bit central values, DESIGN.md §12)
+//===----------------------------------------------------------------------===//
+
+#define SAFEGEN_AA_MINIFLOAT_FAMILY(TY, SUF)                                  \
+  static inline TY aa_const_##SUF(double X) { return TY(X); }                 \
+  static inline TY aa_exact_##SUF(double X) { return TY::exact(X); }          \
+  static inline TY aa_input_##SUF(double X) { return TY::input(X); }          \
+  static inline TY aa_input_dev_##SUF(double X, double Dev) {                 \
+    return TY::input(X, Dev);                                                 \
+  }                                                                           \
+  static inline TY aa_from_interval_##SUF(double Lo, double Hi) {             \
+    return TY::fromInterval(Lo, Hi);                                          \
+  }                                                                           \
+  static inline TY aa_add_##SUF(const TY &A, const TY &B) { return A + B; }   \
+  static inline TY aa_sub_##SUF(const TY &A, const TY &B) { return A - B; }   \
+  static inline TY aa_mul_##SUF(const TY &A, const TY &B) { return A * B; }   \
+  static inline TY aa_div_##SUF(const TY &A, const TY &B) { return A / B; }   \
+  static inline TY aa_neg_##SUF(const TY &A) { return -A; }                   \
+  static inline TY aa_sqrt_##SUF(const TY &A) { return safegen::aa::sqrt(A); }\
+  static inline TY aa_exp_##SUF(const TY &A) { return safegen::aa::exp(A); }  \
+  static inline TY aa_log_##SUF(const TY &A) { return safegen::aa::log(A); }  \
+  static inline TY aa_inv_##SUF(const TY &A) { return safegen::aa::inv(A); }  \
+  static inline TY aa_sin_##SUF(const TY &A) { return safegen::aa::sin(A); }  \
+  static inline TY aa_cos_##SUF(const TY &A) { return safegen::aa::cos(A); }  \
+  static inline TY aa_fabs_##SUF(const TY &A) {                               \
+    safegen::ia::Interval R = A.toInterval();                                 \
+    if (R.isNaN())                                                            \
+      return A;                                                               \
+    if (R.Lo >= 0.0)                                                          \
+      return A;                                                               \
+    if (R.Hi <= 0.0)                                                          \
+      return -A;                                                              \
+    return TY::fromInterval(0.0, std::fmax(-R.Lo, R.Hi));                     \
+  }                                                                           \
+  static inline TY aa_fmax_##SUF(const TY &A, const TY &B) {                  \
+    safegen::ia::Interval Ra = A.toInterval(), Rb = B.toInterval();           \
+    if (!Ra.isNaN() && !Rb.isNaN()) {                                         \
+      if (Ra.Lo >= Rb.Hi)                                                     \
+        return A;                                                             \
+      if (Rb.Lo >= Ra.Hi)                                                     \
+        return B;                                                             \
+      return TY::fromInterval(std::fmax(Ra.Lo, Rb.Lo),                        \
+                              std::fmax(Ra.Hi, Rb.Hi));                       \
+    }                                                                         \
+    return TY::exact(std::numeric_limits<double>::quiet_NaN());               \
+  }                                                                           \
+  static inline TY aa_fmin_##SUF(const TY &A, const TY &B) {                  \
+    return aa_neg_##SUF(aa_fmax_##SUF(-A, -B));                               \
+  }                                                                           \
+  static inline int aa_lt_##SUF(const TY &A, const TY &B) {                   \
+    return A.mid() < B.mid();                                                 \
+  }                                                                           \
+  static inline int aa_le_##SUF(const TY &A, const TY &B) {                   \
+    return A.mid() <= B.mid();                                                \
+  }                                                                           \
+  static inline int aa_gt_##SUF(const TY &A, const TY &B) {                   \
+    return A.mid() > B.mid();                                                 \
+  }                                                                           \
+  static inline int aa_ge_##SUF(const TY &A, const TY &B) {                   \
+    return A.mid() >= B.mid();                                                \
+  }                                                                           \
+  static inline int aa_eq_##SUF(const TY &A, const TY &B) {                   \
+    return A.mid() == B.mid();                                                \
+  }                                                                           \
+  static inline int aa_ne_##SUF(const TY &A, const TY &B) {                   \
+    return A.mid() != B.mid();                                                \
+  }                                                                           \
+  static inline void aa_prioritize_##SUF(const TY &A) { A.prioritize(); }     \
+  static inline double aa_lo_##SUF(const TY &A) { return A.toInterval().Lo; } \
+  static inline double aa_hi_##SUF(const TY &A) { return A.toInterval().Hi; } \
+  static inline double aa_mid_##SUF(const TY &A) { return A.mid(); }          \
+  static inline double aa_rad_##SUF(const TY &A) { return A.radius(); }       \
+  static inline double aa_bits_##SUF(const TY &A) {                           \
+    return A.certifiedBits();                                                 \
+  }
+
+SAFEGEN_AA_MINIFLOAT_FAMILY(f16a, f16)
+SAFEGEN_AA_MINIFLOAT_FAMILY(bf16a, bf16)
+
+#undef SAFEGEN_AA_MINIFLOAT_FAMILY
+
+/// Cross-casts involving the 16-bit formats: the sound interval is
+/// transferred (correlations drop — sound, as for f64 <-> f32 above).
+#define SAFEGEN_AA_MINIFLOAT_CAST(FROMTY, FS, TOTY, TS)                       \
+  static inline TOTY aa_cast_##FS##_to_##TS(const FROMTY &A) {                \
+    safegen::ia::Interval R = A.toInterval();                                 \
+    return TOTY::fromInterval(R.Lo, R.Hi);                                    \
+  }
+
+SAFEGEN_AA_MINIFLOAT_CAST(f16a, f16, f64a, f64)
+SAFEGEN_AA_MINIFLOAT_CAST(f64a, f64, f16a, f16)
+SAFEGEN_AA_MINIFLOAT_CAST(f16a, f16, f32a, f32)
+SAFEGEN_AA_MINIFLOAT_CAST(f32a, f32, f16a, f16)
+SAFEGEN_AA_MINIFLOAT_CAST(bf16a, bf16, f64a, f64)
+SAFEGEN_AA_MINIFLOAT_CAST(f64a, f64, bf16a, bf16)
+SAFEGEN_AA_MINIFLOAT_CAST(bf16a, bf16, f32a, f32)
+SAFEGEN_AA_MINIFLOAT_CAST(f32a, f32, bf16a, bf16)
+SAFEGEN_AA_MINIFLOAT_CAST(f16a, f16, bf16a, bf16)
+SAFEGEN_AA_MINIFLOAT_CAST(bf16a, bf16, f16a, f16)
+SAFEGEN_AA_MINIFLOAT_CAST(f16a, f16, dda, dd)
+SAFEGEN_AA_MINIFLOAT_CAST(dda, dd, f16a, f16)
+SAFEGEN_AA_MINIFLOAT_CAST(bf16a, bf16, dda, dd)
+SAFEGEN_AA_MINIFLOAT_CAST(dda, dd, bf16a, bf16)
+
+#undef SAFEGEN_AA_MINIFLOAT_CAST
 
 //===----------------------------------------------------------------------===//
 // f64a_x4: affine lowering of __m256d (SIMD intrinsics in the *input*)
@@ -454,6 +563,8 @@ aa_batch_run(const safegen::aa::AAConfig &Cfg, int Size, unsigned Threads,
 static inline void aa_prioritize(const f64a &A) { A.prioritize(); }
 static inline void aa_prioritize(const dda &A) { A.prioritize(); }
 static inline void aa_prioritize(const f32a &A) { A.prioritize(); }
+static inline void aa_prioritize(const f16a &A) { A.prioritize(); }
+static inline void aa_prioritize(const bf16a &A) { A.prioritize(); }
 static inline void aa_prioritize(const f64a_x4 &A) {
   for (int L = 0; L < 4; ++L)
     A.v[L].prioritize();

@@ -798,6 +798,44 @@ std::vector<BatchCallResult> Interpreter::runBatch(
   if (InstanceArgs.empty())
     return Results;
 
+  // The 16-bit central formats execute exclusively on the format-generic
+  // scalar tape (the tree walker's Value representation is F64a-only):
+  // functions outside the tape subset report an error per instance
+  // instead of silently running at the wrong precision.
+  const bool Narrow = Cfg.Precision == aa::Format::F16 ||
+                      Cfg.Precision == aa::Format::BF16;
+  if (Narrow) {
+    std::string Why;
+    const frontend::FunctionDecl *F = TU.findFunction(Function);
+    if (!F || !F->isDefinition()) {
+      for (BatchCallResult &R : Results)
+        R.Error = "no definition of function '" + Function + "'";
+      return Results;
+    }
+    TapeCompileOptions TO;
+    TO.Prioritize = Opts.Prioritize;
+    std::optional<Tape> T = compileToTape(F, TO, &Why);
+    if (!T || !Opts.ShadowDirs.empty() || Opts.Engine == ExecEngine::Tree) {
+      std::string Msg =
+          "function '" + Function + "' cannot run under " +
+          std::string(aa::formatName(Cfg.Precision)) +
+          (T ? ": requires the tape engine"
+             : ": outside the tape subset (" + Why + ")");
+      for (BatchCallResult &R : Results)
+        R.Error = Msg;
+      return Results;
+    }
+    aa::batch::run(
+        Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
+        [&](int32_t First, int32_t Count) {
+          runTapeBatchChunk(*T, Cfg, InstanceArgs, First, Count,
+                            Results.data() + First, Opts.StepBudget,
+                            /*TryColumns=*/false);
+        },
+        aa::batch::GrainAuto);
+    return Results;
+  }
+
   // Batched runs default to the tape engine: the function is lowered
   // once and replayed per instance, skipping the per-instance AST walk
   // and name lookups. Results are bit-identical to the tree path (the
@@ -818,7 +856,8 @@ std::vector<BatchCallResult> Interpreter::runBatch(
         // Everything else replays the scalar tape per instance.
         const bool Columns =
             !Cfg.Vectorize &&
-            Cfg.Placement == aa::PlacementPolicy::DirectMapped;
+            Cfg.Placement == aa::PlacementPolicy::DirectMapped &&
+            Cfg.Model == aa::ErrorModel::Sound;
         aa::batch::run(
             Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
             [&](int32_t First, int32_t Count) {
@@ -860,6 +899,10 @@ std::vector<BatchCallResult> Interpreter::runBatch(
       if (IR.Success && IR.ReturnValue.isAffine()) {
         R.Return = IR.ReturnValue.asAffine().toInterval();
         R.CertifiedBits = IR.ReturnValue.asAffine().certifiedBits();
+        if (Cfg.Model == aa::ErrorModel::Probabilistic) {
+          R.HasProb = true;
+          R.Prob = aa::probEnclosure(IR.ReturnValue.asAffine().storage());
+        }
       } else if (IR.Success && IR.ReturnValue.isInt()) {
         double X = static_cast<double>(IR.ReturnValue.asInt());
         R.Return = ia::Interval(X);

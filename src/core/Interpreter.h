@@ -22,6 +22,7 @@
 #ifndef SAFEGEN_CORE_INTERPRETER_H
 #define SAFEGEN_CORE_INTERPRETER_H
 
+#include "aa/ErrorSemantics.h"
 #include "aa/Runtime.h"
 #include "core/Shadow.h"
 #include "frontend/AST.h"
@@ -139,6 +140,12 @@ struct BatchCallResult {
   uint64_t StepsUsed = 0;
   /// True when the tape engine produced this result.
   bool UsedTape = false;
+  /// Probabilistic enclosure of the scalar return (filled when the run's
+  /// AAConfig has Model == ErrorModel::Probabilistic and the function
+  /// returns an affine value; see aa/ErrorSemantics.h). The sound
+  /// interval in Return is always valid regardless.
+  bool HasProb = false;
+  aa::ProbEnclosure Prob;
 };
 
 /// Interprets functions of one translation unit. An aa::AffineEnvScope

@@ -361,14 +361,54 @@ template <typename V> V applyConstBin(uint8_t Sub, const V &A, const V &C) {
 
 namespace {
 
-/// One scalar execution under the ambient env. Arrays are flat F64a
+/// Format-generic mirrors of the aa_fabs/aa_fmax/aa_fmin runtime
+/// helpers (aa/Runtime.h): same decision structure, same kernel calls —
+/// for CT = F64Center these are statement-for-statement aa_fabs_f64 /
+/// aa_fmax_f64 / aa_fmin_f64, preserving the bit-identity contract.
+template <typename CT> aa::Affine<CT> tapeFabs(const aa::Affine<CT> &A) {
+  ia::Interval R = A.toInterval();
+  if (R.isNaN())
+    return A;
+  if (R.Lo >= 0.0)
+    return A;
+  if (R.Hi <= 0.0)
+    return -A;
+  return aa::Affine<CT>::fromInterval(0.0, std::fmax(-R.Lo, R.Hi));
+}
+
+template <typename CT>
+aa::Affine<CT> tapeFmax(const aa::Affine<CT> &A, const aa::Affine<CT> &B) {
+  ia::Interval Ra = A.toInterval(), Rb = B.toInterval();
+  if (!Ra.isNaN() && !Rb.isNaN()) {
+    if (Ra.Lo >= Rb.Hi)
+      return A;
+    if (Rb.Lo >= Ra.Hi)
+      return B;
+    return aa::Affine<CT>::fromInterval(std::fmax(Ra.Lo, Rb.Lo),
+                                        std::fmax(Ra.Hi, Rb.Hi));
+  }
+  return aa::Affine<CT>::exact(std::numeric_limits<double>::quiet_NaN());
+}
+
+template <typename CT>
+aa::Affine<CT> tapeFmin(const aa::Affine<CT> &A, const aa::Affine<CT> &B) {
+  return -tapeFmax<CT>(-A, -B);
+}
+
+/// One scalar execution under the ambient env. Arrays are flat affine
 /// vectors; parameter arrays are moved in and (on success) back out.
-TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
-                            uint64_t Budget) {
-  TapeRunResult Res;
-  std::vector<aa::F64a> F(static_cast<size_t>(T.NumFpSlots));
+/// Templated over the center policy; the F64Center instantiation emits
+/// exactly the historical kernel-call stream.
+template <typename CT>
+TapeRunResultT<CT> runScalarImpl(const Tape &T,
+                                 std::vector<TapeArgValueT<CT>> &Args,
+                                 uint64_t Budget) {
+  using AF = aa::Affine<CT>;
+  using RR = TapeRunResultT<CT>;
+  RR Res;
+  std::vector<AF> F(static_cast<size_t>(T.NumFpSlots));
   std::vector<long long> I(static_cast<size_t>(T.NumIntRegs), 0);
-  std::vector<std::vector<aa::F64a>> Arr(T.Arrays.size());
+  std::vector<std::vector<AF>> Arr(T.Arrays.size());
   for (size_t A = 0; A < T.Arrays.size(); ++A)
     if (T.Arrays[A].Param < 0)
       Arr[A].resize(static_cast<size_t>(T.Arrays[A].NumElems));
@@ -404,7 +444,7 @@ TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
       int32_t Next = PC + 1;
       switch (In.Op) {
       case TapeOpcode::FConst:
-        F[In.Dst] = aa::F64a(T.Consts[In.A].Value);
+        F[In.Dst] = AF(T.Consts[In.A].Value);
         break;
       case TapeOpcode::FMov:
         F[In.Dst] = F[In.A];
@@ -425,24 +465,24 @@ TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
         F[In.Dst] = F[In.A] / F[In.B];
         break;
       case TapeOpcode::FFma: {
-        aa::F64a Prod = F[In.A] * F[In.B];
+        AF Prod = F[In.A] * F[In.B];
         F[In.Dst] = applyVariant(In.Sub, Prod, F[In.C]);
         break;
       }
       case TapeOpcode::FConstBin: {
-        aa::F64a Cv(T.Consts[In.B].Value);
+        AF Cv(T.Consts[In.B].Value);
         F[In.Dst] = applyConstBin(In.Sub, F[In.A], Cv);
         break;
       }
       case TapeOpcode::FLin: {
-        aa::F64a Cv(T.Consts[In.B].Value);
-        aa::F64a Prod = (In.Sub & 1) ? Cv * F[In.A] : F[In.A] * Cv;
+        AF Cv(T.Consts[In.B].Value);
+        AF Prod = (In.Sub & 1) ? Cv * F[In.A] : F[In.A] * Cv;
         F[In.Dst] = applyVariant(In.Sub >> 1, Prod, F[In.C]);
         break;
       }
       case TapeOpcode::FFmaC: {
-        aa::F64a Prod = F[In.A] * F[In.B];
-        aa::F64a Cv(T.Consts[In.C].Value);
+        AF Prod = F[In.A] * F[In.B];
+        AF Cv(T.Consts[In.C].Value);
         F[In.Dst] = applyVariant(In.Sub, Prod, Cv);
         break;
       }
@@ -453,13 +493,13 @@ TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
         case TapeFn1::Log: F[In.Dst] = aa::log(F[In.A]); break;
         case TapeFn1::Sin: F[In.Dst] = aa::sin(F[In.A]); break;
         case TapeFn1::Cos: F[In.Dst] = aa::cos(F[In.A]); break;
-        case TapeFn1::Fabs: F[In.Dst] = aa_fabs_f64(F[In.A]); break;
+        case TapeFn1::Fabs: F[In.Dst] = tapeFabs<CT>(F[In.A]); break;
         }
         break;
       case TapeOpcode::FCall2:
         F[In.Dst] = static_cast<TapeFn2>(In.Sub) == TapeFn2::Fmax
-                        ? aa_fmax_f64(F[In.A], F[In.B])
-                        : aa_fmin_f64(F[In.A], F[In.B]);
+                        ? tapeFmax<CT>(F[In.A], F[In.B])
+                        : tapeFmin<CT>(F[In.A], F[In.B]);
         break;
       case TapeOpcode::FLoad:
         F[In.Dst] = Arr[In.A][static_cast<size_t>(I[In.B])];
@@ -475,18 +515,30 @@ TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
         I[In.Dst] = F[In.A].mid() != 0.0;
         break;
       case TapeOpcode::FFromInt:
-        F[In.Dst] = aa::F64a::exact(static_cast<double>(I[In.A]));
+        if constexpr (CT::ExactIntLimit >= 0x1p53) {
+          // Every long long image under (double) is exactly representable
+          // in the central format: preserve the historical exact lowering.
+          F[In.Dst] = AF::exact(static_cast<double>(I[In.A]));
+        } else {
+          // Narrow central formats cannot represent every integer: keep
+          // exactness when the format round-trips the value, otherwise
+          // fall back to the sound interval box around it.
+          double D = static_cast<double>(I[In.A]);
+          bool Rep = std::fabs(D) < CT::ExactIntLimit ||
+                     CT::toDouble(CT::fromDouble(D)) == D;
+          F[In.Dst] = Rep ? AF::exact(D) : AF::fromInterval(D, D);
+        }
         break;
       case TapeOpcode::FPrioritize:
         F[In.A].prioritize();
         break;
       case TapeOpcode::APrioritize:
-        for (const aa::F64a &E : Arr[In.A])
+        for (const AF &E : Arr[In.A])
           E.prioritize();
         break;
       case TapeOpcode::AInit:
-        for (aa::F64a &E : Arr[In.A])
-          E = aa::F64a::exact(0.0);
+        for (AF &E : Arr[In.A])
+          E = AF::exact(0.0);
         break;
       case TapeOpcode::IConst:
         I[In.Dst] = T.IntConsts[In.A];
@@ -534,15 +586,15 @@ TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
           Next = In.B;
         break;
       case TapeOpcode::RetF:
-        Res.Kind = TapeRunResult::Ret::Fp;
+        Res.Kind = RR::Ret::Fp;
         Res.Fp = F[In.A];
         goto done;
       case TapeOpcode::RetInt:
-        Res.Kind = TapeRunResult::Ret::Int;
+        Res.Kind = RR::Ret::Int;
         Res.Int = I[In.A];
         goto done;
       case TapeOpcode::RetVoid:
-        Res.Kind = TapeRunResult::Ret::Void;
+        Res.Kind = RR::Ret::Void;
         goto done;
       }
       PC = Next;
@@ -566,8 +618,28 @@ TapeRunResult runScalarImpl(const Tape &T, std::vector<TapeArgValue> &Args,
 TapeRunResult safegen::core::runTapeScalar(const Tape &T,
                                            std::vector<TapeArgValue> &Args,
                                            uint64_t StepBudget) {
-  return runScalarImpl(T, Args, StepBudget);
+  return runScalarImpl<aa::F64Center>(T, Args, StepBudget);
 }
+
+template <typename CT>
+TapeRunResultT<CT>
+safegen::core::runTapeScalarT(const Tape &T,
+                              std::vector<TapeArgValueT<CT>> &Args,
+                              uint64_t StepBudget) {
+  return runScalarImpl<CT>(T, Args, StepBudget);
+}
+
+// One instantiation per format axis point (aa/AffineVar.h).
+template TapeRunResultT<aa::F64Center> safegen::core::runTapeScalarT(
+    const Tape &, std::vector<TapeArgValueT<aa::F64Center>> &, uint64_t);
+template TapeRunResultT<aa::DDCenter> safegen::core::runTapeScalarT(
+    const Tape &, std::vector<TapeArgValueT<aa::DDCenter>> &, uint64_t);
+template TapeRunResultT<aa::F32Center> safegen::core::runTapeScalarT(
+    const Tape &, std::vector<TapeArgValueT<aa::F32Center>> &, uint64_t);
+template TapeRunResultT<aa::F16Center> safegen::core::runTapeScalarT(
+    const Tape &, std::vector<TapeArgValueT<aa::F16Center>> &, uint64_t);
+template TapeRunResultT<aa::BF16Center> safegen::core::runTapeScalarT(
+    const Tape &, std::vector<TapeArgValueT<aa::BF16Center>> &, uint64_t);
 
 //===----------------------------------------------------------------------===//
 // Batched-columns executor
@@ -994,15 +1066,22 @@ void runColumnsImpl(const Tape &T,
 }
 
 /// Per-instance scalar execution of one chunk: a fresh environment per
-/// instance, exactly like the tree walker's runBatch loop.
+/// instance, exactly like the tree walker's runBatch loop. Templated
+/// over the center policy (the F64Center instantiation is the
+/// historical batch fallback); under ErrorModel::Probabilistic the
+/// returned affine form additionally yields a probabilistic enclosure
+/// while it is still alive in its instance environment.
+template <typename CT>
 void runChunkScalar(const Tape &T, const aa::AAConfig &Cfg,
                     const std::vector<std::vector<double>> &Seeds,
                     int32_t First, int32_t Count, BatchCallResult *Out,
                     uint64_t Budget) {
+  using AF = aa::Affine<CT>;
+  using RR = TapeRunResultT<CT>;
   for (int32_t K = 0; K < Count; ++K) {
     aa::AffineEnvScope Env(Cfg);
     const std::vector<double> &S = Seeds[static_cast<size_t>(First + K)];
-    std::vector<TapeArgValue> Args(T.Params.size());
+    std::vector<TapeArgValueT<CT>> Args(T.Params.size());
     for (size_t P = 0; P < T.Params.size(); ++P) {
       double Seed = P < S.size() ? S[P] : 1.0;
       const TapeParam &TP = T.Params[P];
@@ -1011,18 +1090,18 @@ void runChunkScalar(const Tape &T, const aa::AAConfig &Cfg,
         Args[P].Int = static_cast<long long>(Seed);
         break;
       case TapeParam::Kind::Fp:
-        Args[P].Fp = aa::F64a::input(Seed);
+        Args[P].Fp = AF::input(Seed);
         break;
       case TapeParam::Kind::Array: {
         int32_t N = T.Arrays[TP.Index].NumElems;
         Args[P].Arr.reserve(static_cast<size_t>(N));
         for (int32_t E = 0; E < N; ++E)
-          Args[P].Arr.push_back(aa::F64a::input(Seed));
+          Args[P].Arr.push_back(AF::input(Seed));
         break;
       }
       }
     }
-    TapeRunResult R = runScalarImpl(T, Args, Budget);
+    RR R = runScalarImpl<CT>(T, Args, Budget);
     BatchCallResult &O = Out[K];
     O.Success = R.Success;
     O.Error = R.Error;
@@ -1030,16 +1109,20 @@ void runChunkScalar(const Tape &T, const aa::AAConfig &Cfg,
     O.UsedTape = true;
     if (R.Success) {
       switch (R.Kind) {
-      case TapeRunResult::Ret::Fp:
+      case RR::Ret::Fp:
         O.Return = R.Fp.toInterval();
         O.CertifiedBits = R.Fp.certifiedBits();
+        if (Cfg.Model == aa::ErrorModel::Probabilistic) {
+          O.HasProb = true;
+          O.Prob = aa::probEnclosure(R.Fp.storage());
+        }
         break;
-      case TapeRunResult::Ret::Int: {
+      case RR::Ret::Int: {
         double D = static_cast<double>(R.Int);
         O.Return = ia::Interval(D, D);
         break;
       }
-      case TapeRunResult::Ret::Void:
+      case RR::Ret::Void:
         break;
       }
     }
@@ -1055,7 +1138,21 @@ void safegen::core::runTapeBatchChunk(
     bool TryColumns) {
   if (Count <= 0)
     return;
-  if (TryColumns) {
+  // The 16-bit central formats replay the format-generic scalar tape
+  // (the column executor's registers are BatchF64 planes).
+  if (Cfg.Precision == aa::Format::F16) {
+    runChunkScalar<aa::F16Center>(T, Cfg, Seeds, First, Count, Out,
+                                  StepBudget);
+    return;
+  }
+  if (Cfg.Precision == aa::Format::BF16) {
+    runChunkScalar<aa::BF16Center>(T, Cfg, Seeds, First, Count, Out,
+                                   StepBudget);
+    return;
+  }
+  // Probabilistic enclosures need each instance's final affine form,
+  // which only the scalar path keeps alive.
+  if (TryColumns && Cfg.Model == aa::ErrorModel::Sound) {
     try {
       runColumnsImpl(T, Seeds, First, Count, Out, StepBudget);
       return;
@@ -1064,5 +1161,5 @@ void safegen::core::runTapeBatchChunk(
       // abandoned batch contexts are reset by the arena on next use.
     }
   }
-  runChunkScalar(T, Cfg, Seeds, First, Count, Out, StepBudget);
+  runChunkScalar<aa::F64Center>(T, Cfg, Seeds, First, Count, Out, StepBudget);
 }

@@ -212,21 +212,25 @@ std::optional<Tape> compileToTape(const frontend::FunctionDecl *F,
 
 /// One argument for the scalar executor (matching TapeParam::Kind;
 /// arrays flattened row-major, exactly makeDefaultArg's element order).
-struct TapeArgValue {
+/// Parameterized over the center policy so the same tape replays in any
+/// numeric format (f64a/f32a/dda/f16a/bf16a — see aa/AffineVar.h).
+template <typename CT> struct TapeArgValueT {
   long long Int = 0;
-  aa::F64a Fp;
-  std::vector<aa::F64a> Arr;
+  aa::Affine<CT> Fp;
+  std::vector<aa::Affine<CT>> Arr;
 };
+using TapeArgValue = TapeArgValueT<aa::F64Center>;
 
 /// Result of one scalar tape execution.
-struct TapeRunResult {
+template <typename CT> struct TapeRunResultT {
   bool Success = false;
   std::string Error;
   uint64_t Steps = 0;
   enum class Ret : uint8_t { Void, Fp, Int } Kind = Ret::Void;
-  aa::F64a Fp;       ///< valid iff Kind == Fp (lives in the ambient env)
+  aa::Affine<CT> Fp; ///< valid iff Kind == Fp (lives in the ambient env)
   long long Int = 0; ///< valid iff Kind == Int
 };
+using TapeRunResult = TapeRunResultT<aa::F64Center>;
 
 /// Executes \p T under the ambient aa::AffineEnvScope (and upward
 /// rounding): the kernel-call stream is exactly the tree walker's, so
@@ -235,6 +239,16 @@ struct TapeRunResult {
 /// Args on success (caller-visible mutation, as in C).
 TapeRunResult runTapeScalar(const Tape &T, std::vector<TapeArgValue> &Args,
                             uint64_t StepBudget);
+
+/// Format-generic scalar execution: the identical op stream replayed
+/// with \p CT registers (the ambient env's Config.Precision should name
+/// the same format). Instantiated for F64Center, F32Center, DDCenter,
+/// F16Center and BF16Center in Tape.cpp. The F64Center instantiation is
+/// exactly runTapeScalar.
+template <typename CT>
+TapeRunResultT<CT> runTapeScalarT(const Tape &T,
+                                  std::vector<TapeArgValueT<CT>> &Args,
+                                  uint64_t StepBudget);
 
 /// Executes instances [First, First+Count) of a batched run, writing
 /// BatchCallResults for the chunk into Out[0..Count). When \p TryColumns
@@ -246,6 +260,11 @@ TapeRunResult runTapeScalar(const Tape &T, std::vector<TapeArgValue> &Args,
 /// per-instance environment, which is the bit-identical reference.
 /// Requires upward rounding; instance I's arguments are built from
 /// Seeds[First+I] exactly like Interpreter::makeDefaultArg.
+///
+/// Cfg.Precision == Format::F16/BF16 selects the format-generic scalar
+/// executor (columns are F64-only); Cfg.Model ==
+/// ErrorModel::Probabilistic also forces the scalar path and fills each
+/// BatchCallResult's Prob enclosure from the returned affine form.
 void runTapeBatchChunk(const Tape &T, const aa::AAConfig &Cfg,
                        const std::vector<std::vector<double>> &Seeds,
                        int32_t First, int32_t Count, BatchCallResult *Out,

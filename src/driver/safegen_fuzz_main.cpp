@@ -52,6 +52,9 @@ void printUsage() {
       "  --replay <dir>      re-run every .c reproducer in <dir> instead\n"
       "                      of generating new kernels\n"
       "  --max-failures <n>  stop after n violations (default 5)\n"
+      "  --configs <list>    comma-separated AAConfig notations replacing\n"
+      "                      the default grid (e.g. f16a-dspn,bf16a-ddpn);\n"
+      "                      16-bit formats run the narrow-format pass\n"
       "  --inject-shrink <f> TEST HOOK: artificially shrink every AA\n"
       "                      enclosure by relative factor f to prove the\n"
       "                      catch-and-minimize pipeline works end to end\n"
@@ -123,6 +126,7 @@ int main(int Argc, char **Argv) {
   unsigned MaxFailures = 5;
   double InjectShrink = 0.0;
   bool Verbose = false;
+  std::vector<aa::AAConfig> Configs;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -147,6 +151,25 @@ int main(int Argc, char **Argv) {
       MaxFailures = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
     else if (Arg == "--inject-shrink")
       InjectShrink = std::strtod(Next(), nullptr);
+    else if (Arg == "--configs") {
+      std::stringstream SS(Next());
+      std::string Tok;
+      while (std::getline(SS, Tok, ',')) {
+        std::string Diag;
+        auto Cfg = aa::AAConfig::parse(Tok, Diag);
+        if (!Cfg) {
+          std::fprintf(stderr, "safegen-fuzz: invalid config '%s': %s\n",
+                       Tok.c_str(), Diag.c_str());
+          return 2;
+        }
+        Configs.push_back(*Cfg);
+      }
+      if (Configs.empty()) {
+        std::fprintf(stderr, "safegen-fuzz: --configs needs at least one "
+                             "notation\n");
+        return 2;
+      }
+    }
     else if (Arg == "--isa") {
       const char *V = Next();
       aa::isa::Tier T;
@@ -179,6 +202,7 @@ int main(int Argc, char **Argv) {
 
   fuzz::OracleOptions Base;
   Base.InjectShrink = InjectShrink;
+  Base.Configs = Configs;
 
   if (!ReplayDir.empty())
     return replayCorpus(ReplayDir, Base);
@@ -241,6 +265,8 @@ int main(int Argc, char **Argv) {
   std::printf("%llu kernel(s), %zu config(s) each, %u violation(s), "
               "%.1fs\n",
               static_cast<unsigned long long>(Done),
-              fuzz::defaultConfigGrid().size(), Failures, Elapsed.count());
+              Configs.empty() ? fuzz::defaultConfigGrid().size()
+                              : Configs.size(),
+              Failures, Elapsed.count());
   return Failures ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "aa/ErrorSemantics.h"
 #include "aa/Kernels/Isa.h"
 #include "core/Interpreter.h"
 #include "core/SafeGen.h"
@@ -39,8 +40,13 @@ void printUsage() {
       "\n"
       "  -o <file>          output file (default: stdout)\n"
       "  --config <name>    affine configuration, e.g. f64a-dspv, dda-dspn\n"
-      "                     (placement s|d, fusion s|m|o|r, priority p|n,\n"
-      "                      vectorize v|n; default f64a-dspn)\n"
+      "                     (precision f32a|f64a|dda|f16a|bf16a; placement\n"
+      "                      s|d, fusion s|m|o|r, priority p|n, vectorize\n"
+      "                      v|n; default f64a-dspn)\n"
+      "  --error-model <m>  error semantics for --run: sound (interval\n"
+      "                     bound, default) or prob (additionally a 99%%\n"
+      "                     probabilistic enclosure per Constantinides et\n"
+      "                     al.; the sound bound always contains it)\n"
       "  -k <n>             symbol budget per affine variable (default 16)\n"
       "  --function <name>  transform only this function (repeatable)\n"
       "  --no-analysis      skip the max-reuse static analysis\n"
@@ -126,13 +132,40 @@ int main(int Argc, char **Argv) {
       if (!V)
         return 1;
       int SavedK = Opts.Config.K;
-      auto C = aa::AAConfig::parse(V);
+      aa::ErrorModel SavedModel = Opts.Config.Model;
+      std::string Diag;
+      auto C = aa::AAConfig::parse(V, Diag);
       if (!C) {
-        std::fprintf(stderr, "safegen: invalid configuration '%s'\n", V);
+        std::fprintf(stderr, "safegen: invalid configuration '%s': %s\n", V,
+                     Diag.c_str());
         return 1;
       }
       Opts.Config = *C;
       Opts.Config.K = SavedK;
+      Opts.Config.Model = SavedModel;
+      continue;
+    }
+    if (Arg == "--error-model" || Arg.rfind("--error-model=", 0) == 0) {
+      std::string V;
+      if (Arg == "--error-model") {
+        const char *N = NextValue("--error-model");
+        if (!N)
+          return 1;
+        V = N;
+      } else {
+        V = Arg.substr(14);
+      }
+      if (V == "sound")
+        Opts.Config.Model = aa::ErrorModel::Sound;
+      else if (V == "prob" || V == "probabilistic")
+        Opts.Config.Model = aa::ErrorModel::Probabilistic;
+      else {
+        std::fprintf(stderr,
+                     "safegen: --error-model must be 'sound' or 'prob', "
+                     "got '%s'\n",
+                     V.c_str());
+        return 1;
+      }
       continue;
     }
     if (Arg == "-k") {
@@ -330,6 +363,48 @@ int main(int Argc, char **Argv) {
                    RunFunction.c_str());
       return 1;
     }
+    // The 16-bit formats run on the format-generic scalar tape and never
+    // through the F64a tree walker — route them through the batch entry
+    // point (one instance). The batch result only carries the scalar
+    // return enclosure, so kernels whose outputs live in array arguments
+    // get an honest note instead of a fabricated result line.
+    const bool Narrow = Opts.Config.Precision == aa::Format::F16 ||
+                        Opts.Config.Precision == aa::Format::BF16;
+    if (Narrow) {
+      std::vector<double> Seeds;
+      for (size_t I = 0; I < F->getParams().size(); ++I)
+        Seeds.push_back(I < RunArgs.size() ? RunArgs[I] : 0.5);
+      std::vector<core::BatchCallResult> RS = core::Interpreter::runBatch(
+          CU->Ctx->tu(), RunFunction, Opts.Config, {Seeds}, 1, InterpOpts);
+      const core::BatchCallResult &R = RS[0];
+      if (!R.Success) {
+        std::fprintf(stderr, "safegen: runtime error: %s\n", R.Error.c_str());
+        return 1;
+      }
+      if (!F->getReturnType()->isVoid())
+        std::printf("result in [%.17g, %.17g]  (%.1f certified bits)\n",
+                    R.Return.Lo, R.Return.Hi, R.CertifiedBits);
+      if (R.HasProb && R.Prob.Valid)
+        std::printf("result (p >= %.2f) in [%.17g, %.17g]  "
+                    "support [%.17g, %.17g]\n",
+                    R.Prob.Confidence, R.Prob.Lo, R.Prob.Hi, R.Prob.SupportLo,
+                    R.Prob.SupportHi);
+      bool HasArrayOut = false;
+      for (const frontend::VarDecl *P : F->getParams())
+        if (P->getType()->isPointer() || P->getType()->isArray())
+          HasArrayOut = true;
+      if (HasArrayOut)
+        std::fprintf(stderr,
+                     "safegen: note: array outputs are not reported under "
+                     "16-bit formats (scalar return only)\n");
+      std::fprintf(stderr,
+                   "safegen: interpreted %llu steps soundly (%s, %s model, "
+                   "tape engine)\n",
+                   static_cast<unsigned long long>(R.StepsUsed),
+                   Opts.Config.str().c_str(),
+                   aa::errorModelName(Opts.Config.Model));
+      return 0;
+    }
     sg::SoundScope Scope(Opts.Config);
     std::vector<core::Value> Args;
     for (size_t I = 0; I < F->getParams().size(); ++I) {
@@ -354,6 +429,17 @@ int main(int Argc, char **Argv) {
       }
     };
     PrintValue("result", R.ReturnValue);
+    // The probabilistic enclosure needs the final affine form and the
+    // upward rounding mode, both still live here under the SoundScope.
+    if (Opts.Config.Model == aa::ErrorModel::Probabilistic &&
+        R.ReturnValue.kind() == core::Value::Kind::Affine) {
+      aa::ProbEnclosure P =
+          aa::probEnclosure(R.ReturnValue.asAffine().storage());
+      if (P.Valid)
+        std::printf("result (p >= %.2f) in [%.17g, %.17g]  "
+                    "support [%.17g, %.17g]\n",
+                    P.Confidence, P.Lo, P.Hi, P.SupportLo, P.SupportHi);
+    }
     for (size_t I = 0; I < ArgsCopy.size(); ++I) {
       const core::Value &V = ArgsCopy[I];
       if (V.kind() != core::Value::Kind::Array)
@@ -364,9 +450,12 @@ int main(int Argc, char **Argv) {
         PrintValue(What.c_str(), V.elems()[J]);
       }
     }
-    std::fprintf(stderr, "safegen: interpreted %llu steps soundly (%s, %s)\n",
+    std::fprintf(stderr,
+                 "safegen: interpreted %llu steps soundly (%s, %s model, "
+                 "%s)\n",
                  static_cast<unsigned long long>(R.StepsUsed),
                  Opts.Config.str().c_str(),
+                 aa::errorModelName(Opts.Config.Model),
                  R.UsedTape ? "tape engine" : "tree engine");
     return 0;
   }

@@ -1,0 +1,164 @@
+//===- ComputeTraits.h - Compute and rounding-policy axes -------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *compute* and *rounding-policy* axes of the policy-template stack
+/// (DESIGN.md §12). A compute trait performs one sound central-value
+/// operation — producing the stored result plus an upward-accumulated
+/// round-off bound — in terms of a format trait (FormatTraits.h) and a
+/// rounding policy:
+///
+///  * `ComputeNative<Fmt>` — the format's own hardware arithmetic under
+///    the ambient upward mode, with RD(x) = -RU(-x). Instantiated for
+///    f64/f32 it is operation-for-operation identical to the historical
+///    hand-written F64Center/F32Center kernels (the bit-identity tests
+///    pin this down).
+///  * `ComputeDD` — double-double kernels plus the conservative directed
+///    residual (DESIGN.md §2).
+///  * `ComputeWiden<Fmt>` — for formats strictly narrower than float
+///    (f16/bf16): operands widen *exactly* to float, the f32 result is
+///    rounded up/down by the FPU, then narrowed to the format grid with
+///    the software directed conversions. Directed roundings compose
+///    exactly over nested grids (the f16/bf16 grids are subsets of the
+///    f32 grid), so Up/Dn are the true directed roundings of the exact
+///    result; their gap, accumulated in the double error stream, is the
+///    sound per-op round-off bound. This is the "f16 values, f32
+///    intermediates, f64 error stream" point in the design space.
+///
+/// The rounding policy supplies the directed primitives the compute
+/// traits build on. `AmbientUpward` is the paper's discipline: the FPU is
+/// pinned upward (fp::RoundUpwardScope) and downward results use the
+/// negation identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FP_COMPUTETRAITS_H
+#define SAFEGEN_FP_COMPUTETRAITS_H
+
+#include "fp/DoubleDouble.h"
+#include "fp/FormatTraits.h"
+#include "fp/Rounding.h"
+
+#include <cmath>
+
+namespace safegen {
+namespace fp {
+
+/// Rounding policy: ambient FPU pinned to round-upward (Sec. II,
+/// footnote 1); downward results via RD(x) = -RU(-x). Works for every
+/// native type (double, float) the FPU rounds directly.
+struct AmbientUpward {
+  template <typename T> static T addUp(T A, T B) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    return A + B;
+  }
+  template <typename T> static T addDown(T A, T B) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    return -fp::opaque(fp::opaque(-A) + fp::opaque(-B));
+  }
+  template <typename T> static T mulUp(T A, T B) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    return A * B;
+  }
+  template <typename T> static T mulDown(T A, T B) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    return -fp::opaque(fp::opaque(-A) * B);
+  }
+  /// Upward accumulation into the double error stream.
+  static double accumulate(double Err, double Term) {
+    return fp::addRU(Err, Term);
+  }
+};
+
+/// Arithmetic in the format's own type under the rounding policy. The
+/// distance RU(op) - RD(op) bounds the op's round-off and goes into Err.
+template <typename Fmt, typename RP = AmbientUpward> struct ComputeNative {
+  using Type = typename Fmt::Type;
+
+  static Type add(Type A, Type B, double &Err) {
+    Type Up = RP::addUp(A, B);
+    Type Dn = RP::addDown(A, B);
+    Err = RP::accumulate(Err,
+                         fp::subRU(Fmt::toDouble(Up), Fmt::toDouble(Dn)));
+    return Up;
+  }
+  static Type sub(Type A, Type B, double &Err) {
+    return add(A, Fmt::neg(B), Err);
+  }
+  static Type mul(Type A, Type B, double &Err) {
+    Type Up = RP::mulUp(A, B);
+    Type Dn = RP::mulDown(A, B);
+    Err = RP::accumulate(Err,
+                         fp::subRU(Fmt::toDouble(Up), Fmt::toDouble(Dn)));
+    return Up;
+  }
+};
+
+/// Double-double kernels. Exact only in round-to-nearest, so every
+/// operation charges the conservative directed-rounding residual
+/// (fp::DD_RESIDUAL_EPS; DESIGN.md §2), scaled by the *operand*
+/// magnitudes (cancellation can make the result arbitrarily smaller than
+/// the inputs while the kernel error stays input-sized).
+template <typename RP = AmbientUpward> struct ComputeDDT {
+  using Type = fp::DD;
+
+  static double residual(double ScaleMag) {
+    return fp::addRU(fp::mulRU(ScaleMag, 0x1p-97), 0x1p-1000);
+  }
+  static Type add(Type A, Type B, double &Err) {
+    fp::DD Z = fp::add(A, B);
+    Err = RP::accumulate(
+        Err, residual(fp::addRU(std::fabs(A.Hi), std::fabs(B.Hi))));
+    return Z;
+  }
+  static Type sub(Type A, Type B, double &Err) {
+    fp::DD Z = fp::sub(A, B);
+    Err = RP::accumulate(
+        Err, residual(fp::addRU(std::fabs(A.Hi), std::fabs(B.Hi))));
+    return Z;
+  }
+  static Type mul(Type A, Type B, double &Err) {
+    fp::DD Z = fp::mul(A, B);
+    Err = RP::accumulate(
+        Err, residual(fp::mulRU(std::fabs(A.Hi), std::fabs(B.Hi))));
+    return Z;
+  }
+};
+using ComputeDD = ComputeDDT<>;
+
+/// Arithmetic for sub-float formats: widen exactly to float, round the
+/// f32 result in both directions with the policy, then narrow to the
+/// format grid with the software directed conversions. Because the
+/// format's grid is a subset of the f32 grid, RU_fmt(RU_f32(x)) equals
+/// RU_fmt(x) — no double-rounding anomaly. An f32 overflow (possible for
+/// bf16 sums/products) yields an infinite upper bound and so an infinite
+/// error term: sound, the enclosure degrades to top.
+template <typename Fmt, typename RP = AmbientUpward> struct ComputeWiden {
+  using Type = typename Fmt::Type;
+
+  static Type add(Type A, Type B, double &Err) {
+    float WUp = RP::addUp(A.toFloat(), B.toFloat());
+    float WDn = RP::addDown(A.toFloat(), B.toFloat());
+    Type Up = Type::fromFloat(WUp, RoundDir::Up);
+    Type Dn = Type::fromFloat(WDn, RoundDir::Down);
+    Err = RP::accumulate(Err, fp::subRU(Up.toDouble(), Dn.toDouble()));
+    return Up;
+  }
+  static Type sub(Type A, Type B, double &Err) { return add(A, -B, Err); }
+  static Type mul(Type A, Type B, double &Err) {
+    float WUp = RP::mulUp(A.toFloat(), B.toFloat());
+    float WDn = RP::mulDown(A.toFloat(), B.toFloat());
+    Type Up = Type::fromFloat(WUp, RoundDir::Up);
+    Type Dn = Type::fromFloat(WDn, RoundDir::Down);
+    Err = RP::accumulate(Err, fp::subRU(Up.toDouble(), Dn.toDouble()));
+    return Up;
+  }
+};
+
+} // namespace fp
+} // namespace safegen
+
+#endif // SAFEGEN_FP_COMPUTETRAITS_H

@@ -1,0 +1,148 @@
+//===- FormatTraits.h - Numeric format axis ---------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *format* axis of the policy-template stack (DESIGN.md §12). A
+/// format trait describes one concrete value format — its storage type,
+/// precision, directed conversions to/from double, and the double
+/// enclosure of a stored value. It says nothing about how arithmetic is
+/// performed; that is the *compute* axis (ComputeTraits.h). The affine
+/// center policies (aa/AffineVar.h) compose one trait from each axis, so
+/// f64a/f32a/dda/f16a/bf16a are five instantiations of one implementation
+/// rather than five implementations.
+///
+/// Contract per trait:
+///  * `Type` — the stored central-value type;
+///  * `MantissaBits` — significand precision (implicit bit included);
+///  * `ExactIntLimit` — every integer with magnitude < this limit is
+///    exactly representable (used for exact source constants);
+///  * `fromDouble` — conversion of a double into the format. May round in
+///    either direction; callers that need soundness charge the observed
+///    conversion residue (ops::makeInput) or prove exactness first
+///    (ExactIntLimit);
+///  * `toDouble` — *exact* widening back to double for every format here
+///    except DD, whose `bounds` widens by one double-ulp instead;
+///  * `bounds` — a double enclosure [Lo, Hi] of the stored value;
+///  * `accBits` — the certified-bits metric counted over the format's
+///    output grid (Eq. (9)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FP_FORMATTRAITS_H
+#define SAFEGEN_FP_FORMATTRAITS_H
+
+#include "fp/DoubleDouble.h"
+#include "fp/FloatOrdinal.h"
+#include "fp/MiniFloat.h"
+#include "fp/Rounding.h"
+
+#include <cmath>
+
+namespace safegen {
+namespace fp {
+
+/// double central value (f64a). Conversions are the identity.
+struct FormatF64 {
+  using Type = double;
+  static constexpr int MantissaBits = 53;
+  static constexpr double ExactIntLimit = 0x1p53;
+
+  static Type fromDouble(double X) { return X; }
+  static double toDouble(Type C) { return C; }
+  static bool isNaN(Type C) { return std::isnan(C); }
+  static Type neg(Type A) { return -A; }
+  static void bounds(Type C, double &Lo, double &Hi) { Lo = Hi = C; }
+  static double accBits(double Lo, double Hi, int P) {
+    return fp::accBits(Lo, Hi, P);
+  }
+};
+
+/// float central value (f32a); coefficients stay double.
+struct FormatF32 {
+  using Type = float;
+  static constexpr int MantissaBits = 24;
+  static constexpr double ExactIntLimit = 0x1p24;
+
+  static Type fromDouble(double X) { return static_cast<float>(X); }
+  static double toDouble(Type C) { return C; }
+  static bool isNaN(Type C) { return std::isnan(C); }
+  static Type neg(Type A) { return -A; }
+  static void bounds(Type C, double &Lo, double &Hi) { Lo = Hi = C; }
+  static double accBits(double Lo, double Hi, int P) {
+    return fp::accBits32(Lo, Hi, P);
+  }
+};
+
+/// double-double central value (dda, Sec. IV-A).
+struct FormatDD {
+  using Type = fp::DD;
+  static constexpr int MantissaBits = 106;
+  static constexpr double ExactIntLimit = 0x1p53;
+
+  static Type fromDouble(double X) { return fp::DD(X); }
+  static double toDouble(Type C) { return C.toDouble(); }
+  static bool isNaN(Type C) { return C.isNaN(); }
+  static Type neg(Type A) { return -A; }
+  static void bounds(Type C, double &Lo, double &Hi) {
+    // The true value lies within one double-ulp of Hi+Lo in each direction.
+    double D = C.toDouble();
+    Lo = std::nextafter(D, -HUGE_VAL);
+    Hi = std::nextafter(D, HUGE_VAL);
+  }
+  static double accBits(double Lo, double Hi, int P) {
+    return fp::accBits(Lo, Hi, P);
+  }
+};
+
+/// Software minifloat central value (f16a / bf16a). fromDouble rounds
+/// upward in software (deterministic, FPU-independent); makeInput charges
+/// the conversion residue, so the direction choice only biases the stored
+/// center, never soundness.
+template <typename MF> struct FormatMini {
+  using Type = MF;
+  static constexpr int MantissaBits = MF::Precision;
+  static constexpr double ExactIntLimit =
+      static_cast<double>(1u << MF::Precision);
+
+  static Type fromDouble(double X) {
+    return MF::fromDouble(X, RoundDir::Up);
+  }
+  static double toDouble(Type C) { return C.toDouble(); } // exact
+  static bool isNaN(Type C) { return C.isNaN(); }
+  static Type neg(Type A) { return -A; }
+  static void bounds(Type C, double &Lo, double &Hi) {
+    Lo = Hi = C.toDouble();
+  }
+  static double accBits(double Lo, double Hi, int P) {
+    // Eq. (9) over the format's own grid (like f32a's accBits32): round
+    // [Lo, Hi] outward onto the format, count the representable values
+    // inside via sign-magnitude ordinals, and certify P - log2(count).
+    if (std::isnan(Lo) || std::isnan(Hi) || Lo > Hi)
+      return 0.0;
+    MF L = MF::fromDouble(Lo, RoundDir::Down);
+    MF H = MF::fromDouble(Hi, RoundDir::Up);
+    if (L.isNaN() || H.isNaN())
+      return 0.0;
+    auto Ordinal = [](MF V) -> int32_t {
+      int32_t Mag = static_cast<int32_t>(V.bits() & 0x7fff);
+      return V.signbit() ? -Mag : Mag;
+    };
+    int32_t N = Ordinal(H) - Ordinal(L) + 1;
+    double Err = N <= 1 ? 0.0 : std::log2(static_cast<double>(N));
+    double Acc = P - Err;
+    return Acc < 0 ? 0.0 : Acc;
+  }
+};
+
+/// IEEE binary16 central value (f16a).
+using FormatF16 = FormatMini<Half>;
+/// bfloat16 central value (bf16a).
+using FormatBF16 = FormatMini<BFloat16>;
+
+} // namespace fp
+} // namespace safegen
+
+#endif // SAFEGEN_FP_FORMATTRAITS_H

@@ -1,0 +1,234 @@
+//===- MiniFloat.h - Software 16-bit IEEE-like formats ----------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software implementations of narrow IEEE-754-style binary formats —
+/// binary16 (`Half`) and bfloat16 (`BFloat16`) — with *directed* rounding
+/// conversions. The host FPU only rounds to f32/f64 grids, so the narrow
+/// formats are emulated: a value is a 16-bit pattern, and every conversion
+/// from double is performed with integer arithmetic (ilogb/ldexp/floor),
+/// making it exact-by-construction and independent of the ambient FPU
+/// rounding mode. This is what lets the affine runtime keep its
+/// round-upward discipline (Rounding.h) while adding f16a/bf16a central
+/// values: RU/RD to the 16-bit grid are computed in software, the error
+/// stream stays double and uses the ambient upward mode as usual.
+///
+/// Semantics follow IEEE-754 §4.3: rounding toward +inf maps a too-large
+/// positive value to +inf but a too-large-in-magnitude *negative* value to
+/// -maxFinite (and symmetrically for rounding toward -inf). NaNs
+/// canonicalize to a positive quiet NaN. Subnormals are supported (flush
+/// to zero would be unsound for enclosures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_FP_MINIFLOAT_H
+#define SAFEGEN_FP_MINIFLOAT_H
+
+#include "fp/Rounding.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace safegen {
+namespace fp {
+
+/// A binary interchange format with \p ExpBits exponent bits and
+/// \p MantBits stored mantissa bits (1 + ExpBits + MantBits == 16).
+/// Total significand precision is MantBits + 1 (implicit leading bit).
+template <int ExpBits, int MantBits> class MiniFloat {
+  static_assert(1 + ExpBits + MantBits == 16, "16-bit formats only");
+
+public:
+  static constexpr int Precision = MantBits + 1;
+  static constexpr int Bias = (1 << (ExpBits - 1)) - 1;
+  /// Exponent of the largest finite value's leading bit.
+  static constexpr int EMax = Bias;
+  /// Exponent of the smallest *normal* value (subnormals sit below).
+  static constexpr int EMin = 1 - Bias;
+
+  MiniFloat() = default;
+
+  static MiniFloat fromBits(uint16_t B) {
+    MiniFloat M;
+    M.B = B;
+    return M;
+  }
+  uint16_t bits() const { return B; }
+
+  static MiniFloat zero(bool Neg = false) {
+    return fromBits(Neg ? SignMask : 0);
+  }
+  static MiniFloat infinity(bool Neg = false) {
+    return fromBits(static_cast<uint16_t>((Neg ? SignMask : 0) | ExpMask));
+  }
+  static MiniFloat quietNaN() {
+    return fromBits(static_cast<uint16_t>(ExpMask | (1u << (MantBits - 1))));
+  }
+  static MiniFloat maxFinite(bool Neg = false) {
+    return fromBits(static_cast<uint16_t>((Neg ? SignMask : 0) |
+                                          (ExpMask - (1u << MantBits)) |
+                                          MantMask));
+  }
+  static MiniFloat minSubnormal(bool Neg = false) {
+    return fromBits(static_cast<uint16_t>((Neg ? SignMask : 0) | 1u));
+  }
+
+  bool signbit() const { return (B & SignMask) != 0; }
+  bool isNaN() const {
+    return (B & ExpMask) == ExpMask && (B & MantMask) != 0;
+  }
+  bool isInf() const {
+    return (B & ExpMask) == ExpMask && (B & MantMask) == 0;
+  }
+  bool isZero() const { return (B & ~SignMask) == 0; }
+  bool isFinite() const { return (B & ExpMask) != ExpMask; }
+
+  MiniFloat operator-() const {
+    return fromBits(static_cast<uint16_t>(B ^ SignMask));
+  }
+
+  /// Exact widening (every finite MiniFloat value, plus +-inf, is exactly
+  /// representable in float: |exponent| <= 127 and precision <= 11 < 24).
+  float toFloat() const { return static_cast<float>(toDouble()); }
+
+  /// Exact widening to double. Rounding-mode independent.
+  double toDouble() const {
+    uint16_t Exp = (B & ExpMask) >> MantBits;
+    uint16_t Mant = B & MantMask;
+    double Mag;
+    if (Exp == (ExpMask >> MantBits))
+      Mag = Mant ? std::numeric_limits<double>::quiet_NaN()
+                 : std::numeric_limits<double>::infinity();
+    else if (Exp == 0) // subnormal: Mant * 2^(EMin - MantBits)
+      Mag = std::ldexp(static_cast<double>(Mant), EMin - MantBits);
+    else // normal: (2^MantBits + Mant) * 2^(Exp - Bias - MantBits)
+      Mag = std::ldexp(static_cast<double>((1u << MantBits) | Mant),
+                       static_cast<int>(Exp) - Bias - MantBits);
+    return signbit() ? -Mag : Mag;
+  }
+
+  /// Converts \p X to this format in direction \p Dir. Integer-based and
+  /// exact: does not depend on (and does not perturb) the FPU rounding
+  /// mode. Directed overflow follows IEEE-754: RU(+huge) = +inf but
+  /// RU(-huge) = -maxFinite, and symmetrically for RD.
+  static MiniFloat fromDouble(double X, RoundDir Dir) {
+    if (std::isnan(X))
+      return quietNaN();
+    bool Neg = std::signbit(X);
+    if (std::isinf(X))
+      return infinity(Neg);
+    if (X == 0.0)
+      return zero(Neg);
+
+    // Work on the magnitude; flip the direction for negative inputs
+    // (rounding a negative value up means rounding its magnitude down).
+    RoundDir MDir = Dir;
+    if (Dir == RoundDir::Up)
+      MDir = Neg ? RoundDir::Down : RoundDir::Up;
+    else if (Dir == RoundDir::Down)
+      MDir = Neg ? RoundDir::Up : RoundDir::Down;
+
+    double A = std::fabs(X);
+    int E = std::ilogb(A); // exact exponent, also for double subnormals
+    if (E < EMin)
+      E = EMin; // target is subnormal; quantum fixed at 2^(EMin - MantBits)
+
+    // Scale so the target quantum is 1: exact (power-of-two scaling into
+    // the normal double range; |Scaled| < 2^(MantBits+1) ulp-exact).
+    double Scaled = std::ldexp(A, MantBits - E);
+    double Floor = std::floor(Scaled);
+    double Frac = Scaled - Floor; // exact: both below 2^(MantBits+1) << 2^53
+    uint32_t I = static_cast<uint32_t>(Floor);
+
+    switch (MDir) {
+    case RoundDir::Up:
+      if (Frac > 0.0)
+        ++I;
+      break;
+    case RoundDir::Down:
+      break;
+    case RoundDir::Nearest:
+      if (Frac > 0.5 || (Frac == 0.5 && (I & 1u)))
+        ++I;
+      break;
+    }
+
+    if (I == (1u << (MantBits + 1))) { // rounding carried into a new binade
+      I >>= 1;
+      ++E;
+    }
+    if (I == 0)
+      return zero(Neg); // magnitude rounded down to zero
+    if (E > EMax) {     // overflow
+      if (MDir == RoundDir::Down)
+        return maxFinite(Neg);
+      return infinity(Neg); // Up and Nearest both overflow to infinity
+    }
+
+    uint16_t Bits;
+    if (I >= (1u << MantBits)) // normal (covers subnormal-rounds-to-normal)
+      Bits = static_cast<uint16_t>(
+          (static_cast<uint32_t>(E + Bias) << MantBits) |
+          (I - (1u << MantBits)));
+    else // subnormal: only reachable when E was clamped to EMin
+      Bits = static_cast<uint16_t>(I);
+    if (Neg)
+      Bits |= SignMask;
+    return fromBits(Bits);
+  }
+
+  /// Exact widening makes float->MiniFloat single-rounded.
+  static MiniFloat fromFloat(float X, RoundDir Dir) {
+    return fromDouble(static_cast<double>(X), Dir);
+  }
+
+  /// The format-grid gap just above |x| (the narrow-format analogue of
+  /// fp::ulp). NaN for non-finite input, the subnormal quantum at 0.
+  static double ulpOf(double X) {
+    if (!std::isfinite(X))
+      return std::numeric_limits<double>::quiet_NaN();
+    int E = X == 0.0 ? EMin : std::ilogb(std::fabs(X));
+    if (E < EMin)
+      E = EMin;
+    if (E > EMax)
+      E = EMax;
+    return std::ldexp(1.0, E - MantBits);
+  }
+
+  /// Next representable value toward +infinity (ordinal step on the
+  /// sign-magnitude encoding; -0 steps to +0's successor's negative...
+  /// i.e. -minSubnormal -> -0 -> +minSubnormal as in nextafter).
+  MiniFloat nextUp() const {
+    if (isNaN() || (isInf() && !signbit()))
+      return *this;
+    if (signbit())
+      return fromBits(static_cast<uint16_t>(
+          (B & ~SignMask) == 0 ? 1u /* -0 -> +minSubnormal */
+                               : B - 1u));
+    return fromBits(static_cast<uint16_t>(B + 1u));
+  }
+  MiniFloat nextDown() const { return -((-*this).nextUp()); }
+
+private:
+  static constexpr uint16_t SignMask = 0x8000u;
+  static constexpr uint16_t ExpMask =
+      static_cast<uint16_t>(((1u << ExpBits) - 1u) << MantBits);
+  static constexpr uint16_t MantMask =
+      static_cast<uint16_t>((1u << MantBits) - 1u);
+
+  uint16_t B = 0;
+};
+
+/// IEEE-754 binary16: 5 exponent bits, 10+1 significand bits.
+using Half = MiniFloat<5, 10>;
+/// bfloat16: 8 exponent bits (f32 range), 7+1 significand bits.
+using BFloat16 = MiniFloat<8, 7>;
+
+} // namespace fp
+} // namespace safegen
+
+#endif // SAFEGEN_FP_MINIFLOAT_H

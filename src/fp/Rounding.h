@@ -18,7 +18,15 @@
 ///
 /// The library must be compiled with -frounding-math so the compiler cannot
 /// constant-fold or reassociate floating-point expressions across the mode
-/// switch.
+/// switch. That flag alone is NOT sufficient for the RD(x) = -RU(-x)
+/// identity: GCC (observed with 12.2 at -O1/-O2) will still rewrite
+/// -((-A)*B) into A*B in some inlining contexts, treating negation as a
+/// sign-exact operation — which silently turns the round-down into a
+/// round-up and loses one ulp on results that round between the two
+/// directions (found by the differential fuzzer as a 1-minsub under-charge
+/// on subnormal products, tests/fuzz_corpus/crash-42-887.c). The negated
+/// operands are therefore funnelled through the opaque() barrier below,
+/// which hides their provenance from the optimizer at zero runtime cost.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,9 +35,54 @@
 
 #include <cassert>
 #include <cfenv>
+#include <cstdint>
 
 namespace safegen {
 namespace fp {
+
+/// An abstract rounding direction, independent of the FPU mode. Used by
+/// the software minifloat conversions (MiniFloat.h) and the format-trait
+/// layer (FormatTraits.h), whose directed roundings are computed with
+/// integer arithmetic and therefore do not depend on fesetround.
+enum class RoundDir : uint8_t {
+  Nearest, ///< round-to-nearest, ties to even
+  Up,      ///< toward +infinity
+  Down,    ///< toward -infinity
+};
+
+/// Optimization barrier: returns \p X unchanged while hiding where the
+/// value came from. Used on negated operands of the RD-via-RU primitives
+/// so no pass can "simplify" (-A)*B back into -(A*B) (see the file
+/// comment). On x86 the empty asm keeps the value in its SSE register —
+/// zero instructions; the generic fallback round-trips through a volatile
+/// stack slot.
+inline double opaque(double X) {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  __asm__("" : "+x"(X));
+#elif defined(__GNUC__) && defined(__aarch64__)
+  __asm__("" : "+w"(X));
+#else
+  volatile double V = X;
+  X = V;
+#endif
+  return X;
+}
+
+inline float opaque(float X) {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  __asm__("" : "+x"(X));
+#elif defined(__GNUC__) && defined(__aarch64__)
+  __asm__("" : "+w"(X));
+#else
+  volatile float V = X;
+  X = V;
+#endif
+  return X;
+}
+
+/// Software formats (MiniFloat) negate with integer arithmetic; there is
+/// nothing for the FP optimizer to fold, so the barrier is the identity.
+template <typename T> inline T opaque(T X) { return X; }
 
 /// True when the FPU currently rounds toward +infinity.
 inline bool isRoundingUpward() { return std::fegetround() == FE_UPWARD; }
@@ -99,19 +152,19 @@ inline double divRU(double A, double B) {
 /// @{
 inline double addRD(double A, double B) {
   SAFEGEN_ASSERT_ROUND_UP();
-  return -((-A) + (-B));
+  return -opaque(opaque(-A) + opaque(-B));
 }
 inline double subRD(double A, double B) {
   SAFEGEN_ASSERT_ROUND_UP();
-  return -((-A) + B);
+  return -opaque(opaque(-A) + B);
 }
 inline double mulRD(double A, double B) {
   SAFEGEN_ASSERT_ROUND_UP();
-  return -((-A) * B);
+  return -opaque(opaque(-A) * B);
 }
 inline double divRD(double A, double B) {
   SAFEGEN_ASSERT_ROUND_UP();
-  return -((-A) / B);
+  return -opaque(opaque(-A) / B);
 }
 /// @}
 

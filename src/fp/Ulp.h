@@ -47,6 +47,22 @@ inline float ulpf(float X) {
   return Next - A;
 }
 
+/// Grid ulp for an arbitrary binary format: the gap between adjacent
+/// representable values just above |x| in a format with \p Precision
+/// significand bits (implicit bit included) and minimum normal exponent
+/// \p EMin. ulpAt(x, 53, -1022) == ulp(x) for finite normal doubles;
+/// ulpAt(x, 11, -14) is the binary16 grid. Below the normal range the
+/// gap is the constant subnormal quantum 2^(EMin - Precision + 1); for
+/// non-finite x it is NaN. Rounding-mode independent.
+inline double ulpAt(double X, int Precision, int EMin) {
+  if (!std::isfinite(X))
+    return std::numeric_limits<double>::quiet_NaN();
+  int E = X == 0.0 ? EMin : std::ilogb(std::fabs(X));
+  if (E < EMin)
+    E = EMin;
+  return std::ldexp(1.0, E - Precision + 1);
+}
+
 } // namespace fp
 } // namespace safegen
 

@@ -692,10 +692,14 @@ Expr *Parser::parsePrimary() {
     if (accept(TokenKind::LParen)) {
       if (atTypeSpecifier()) {
         const Type *T = parseTypeSpecifier();
-        Size = T->getKind() == Type::Kind::Float ||
-                       T->getKind() == Type::Kind::Int
-                   ? 4
-                   : 8;
+        if (T->getKind() == Type::Kind::Half ||
+            T->getKind() == Type::Kind::BFloat16)
+          Size = 2;
+        else
+          Size = T->getKind() == Type::Kind::Float ||
+                         T->getKind() == Type::Kind::Int
+                     ? 4
+                     : 8;
       } else {
         parseExpr();
       }

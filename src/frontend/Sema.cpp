@@ -110,12 +110,16 @@ const Type *Sema::commonArithmetic(const Type *A, const Type *B) {
       return 2;
     case Type::Kind::Long:
       return 3;
-    case Type::Kind::Float:
+    case Type::Kind::Half:
       return 4;
-    case Type::Kind::Double:
+    case Type::Kind::BFloat16:
       return 5;
-    case Type::Kind::Affine:
+    case Type::Kind::Float:
       return 6;
+    case Type::Kind::Double:
+      return 7;
+    case Type::Kind::Affine:
+      return 8;
     default:
       return -1;
     }

@@ -23,6 +23,10 @@ std::string Type::str() const {
     return "unsigned int";
   case Kind::Long:
     return "long";
+  case Kind::Half:
+    return "_Float16";
+  case Kind::BFloat16:
+    return "__bf16";
   case Kind::Float:
     return "float";
   case Kind::Double:
@@ -82,6 +86,8 @@ TypeContext::TypeContext() {
   IntTy = make(Type::Kind::Int);
   UIntTy = make(Type::Kind::UInt);
   LongTy = make(Type::Kind::Long);
+  HalfTy = make(Type::Kind::Half);
+  BF16Ty = make(Type::Kind::BFloat16);
   FloatTy = make(Type::Kind::Float);
   DoubleTy = make(Type::Kind::Double);
 }
@@ -144,6 +150,10 @@ const Type *TypeContext::lookupBuiltin(const std::string &Name) const {
     return UIntTy;
   if (Name == "long")
     return LongTy;
+  if (Name == "_Float16")
+    return HalfTy;
+  if (Name == "__bf16")
+    return BF16Ty;
   if (Name == "float")
     return FloatTy;
   if (Name == "double")

@@ -37,9 +37,11 @@ public:
     Int,      ///< any signed integer rank (we do not model rank precisely)
     UInt,     ///< unsigned integer
     Long,     ///< long / size-like integers
+    Half,     ///< _Float16 (software binary16 in the sound runtime)
+    BFloat16, ///< __bf16 (software bfloat16 in the sound runtime)
     Float,
     Double,
-    Affine,   ///< an affine type produced by the rewriter (f64a/dda/f32a)
+    Affine,   ///< an affine type produced by the rewriter (f64a/dda/...)
     Vector,   ///< SIMD vector: N x element
     Pointer,
     Array,
@@ -52,7 +54,10 @@ public:
     return K == Kind::Bool || K == Kind::Int || K == Kind::UInt ||
            K == Kind::Long;
   }
-  bool isFloating() const { return K == Kind::Float || K == Kind::Double; }
+  bool isFloating() const {
+    return K == Kind::Half || K == Kind::BFloat16 || K == Kind::Float ||
+           K == Kind::Double;
+  }
   bool isAffine() const { return K == Kind::Affine; }
   bool isArithmetic() const {
     return isInteger() || isFloating() || isAffine();
@@ -98,6 +103,8 @@ public:
   const Type *getInt() const { return IntTy; }
   const Type *getUInt() const { return UIntTy; }
   const Type *getLong() const { return LongTy; }
+  const Type *getHalf() const { return HalfTy; }
+  const Type *getBFloat16() const { return BF16Ty; }
   const Type *getFloat() const { return FloatTy; }
   const Type *getDouble() const { return DoubleTy; }
 
@@ -116,7 +123,8 @@ private:
   const Type *make(Type::Kind K);
 
   std::vector<std::unique_ptr<Type>> Types;
-  const Type *VoidTy, *BoolTy, *IntTy, *UIntTy, *LongTy, *FloatTy, *DoubleTy;
+  const Type *VoidTy, *BoolTy, *IntTy, *UIntTy, *LongTy, *HalfTy, *BF16Ty,
+      *FloatTy, *DoubleTy;
 };
 
 } // namespace frontend

@@ -7,6 +7,7 @@
 #include "fuzz/Oracle.h"
 
 #include "core/Interpreter.h"
+#include "core/Tape.h"
 #include "frontend/Frontend.h"
 
 #include <cmath>
@@ -32,6 +33,21 @@ std::vector<aa::AAConfig> fuzz::defaultConfigGrid() {
         Cfg.Prioritize = false;
         Grid.push_back(Cfg);
       }
+  // The 16-bit formats (f16a/bf16a) run on the format-generic scalar
+  // tape in a dedicated pass (see checkKernelSource); two placements per
+  // format at the default budget keep the grid affordable.
+  for (aa::Format Fmt : {aa::Format::F16, aa::Format::BF16})
+    for (aa::PlacementPolicy P :
+         {aa::PlacementPolicy::Sorted, aa::PlacementPolicy::DirectMapped}) {
+      aa::AAConfig Cfg;
+      Cfg.Precision = Fmt;
+      Cfg.K = 16;
+      Cfg.Placement = P;
+      Cfg.Fusion = aa::FusionPolicy::Smallest;
+      Cfg.Vectorize = false;
+      Cfg.Prioritize = false;
+      Grid.push_back(Cfg);
+    }
   return Grid;
 }
 
@@ -52,6 +68,17 @@ uint64_t bitsOf(double X) {
   uint64_t B;
   std::memcpy(&B, &X, sizeof(B));
   return B;
+}
+
+/// Bit-identity modulo NaN representation. IEEE-754 leaves the sign and
+/// payload of an arithmetic NaN unspecified, and x86 NaN propagation
+/// picks one operand's bits depending on instruction operand order —
+/// which legitimately differs between the expression-tree walker and the
+/// linearized tape. Once an enclosure bound is NaN the run has left the
+/// bounded domain either way; the contract is that both engines agree it
+/// did.
+bool sameBits(double A, double B) {
+  return bitsOf(A) == bitsOf(B) || (std::isnan(A) && std::isnan(B));
 }
 
 std::string fmt(double X) {
@@ -161,8 +188,18 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
   if (!TU.findFunction(Fn))
     return fail("frontend", "", "kernel function '" + Fn + "' missing");
 
-  std::vector<aa::AAConfig> Configs =
+  // Partition the grid: the 16-bit formats cannot run through the F64a
+  // tree walker (or its shadow execution) and get their own tape-based
+  // pass below; everything else goes through the historical passes
+  // unchanged.
+  std::vector<aa::AAConfig> AllConfigs =
       O.Configs.empty() ? defaultConfigGrid() : O.Configs;
+  std::vector<aa::AAConfig> Configs, NarrowConfigs;
+  for (const aa::AAConfig &Cfg : AllConfigs)
+    (Cfg.Precision == aa::Format::F16 || Cfg.Precision == aa::Format::BF16
+         ? NarrowConfigs
+         : Configs)
+        .push_back(Cfg);
 
   // The default grid is scalar-only; the SIMD path must be just as
   // sound, so containment also runs the vectorized twin of every
@@ -192,6 +229,79 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
       return fail("containment", Cfg.str(),
                   "AA enclosure [" + fmt(Lo) + ", " + fmt(Hi) + "] vs " +
                       R.str());
+  }
+
+  // The 16-bit format pass: f16a/bf16a run on the format-generic scalar
+  // tape (the tree walker and its shadows are F64a-only). When the tape
+  // has no FCmp/FTruthy opcode the executed trace cannot depend on the
+  // numeric format — integer control flow is format-independent — so the
+  // F64 run's shadow samples still enclose the exact real results of the
+  // narrow trace, giving the same zero-false-positive containment
+  // oracle. Kernels with FP-dependent control flow are skipped here
+  // (their narrow trace may branch differently). Each config is also run
+  // under the probabilistic error model: its support and quantile
+  // interval must sit inside the sound bound of the same trace.
+  if (!NarrowConfigs.empty()) {
+    const frontend::FunctionDecl *F = TU.findFunction(Fn);
+    core::TapeCompileOptions TO;
+    std::optional<core::Tape> T = core::compileToTape(F, TO);
+    bool FpControl = false;
+    if (T)
+      for (const core::TapeInst &In : T->Code)
+        if (In.Op == core::TapeOpcode::FCmp ||
+            In.Op == core::TapeOpcode::FTruthy)
+          FpControl = true;
+    if (T && !FpControl) {
+      std::vector<double> Vals = argValuesOr(O);
+      std::vector<double> Seeds;
+      for (size_t P = 0; P < F->getParams().size(); ++P)
+        Seeds.push_back(Vals[P % Vals.size()]);
+      for (const aa::AAConfig &Cfg : NarrowConfigs) {
+        // Shadow reference: the same trace interpreted at F64 precision.
+        aa::AAConfig RefCfg = Cfg;
+        RefCfg.Precision = aa::Format::F64;
+        double RLo, RHi;
+        core::ShadowPtr Sh;
+        std::string Error;
+        if (!runOnce(TU, Fn, RefCfg, O, /*WithShadows=*/true, RLo, RHi, Sh,
+                     Error))
+          continue; // runtime-limit errors are not soundness findings
+        if (!Sh)
+          continue; // non-FP result: nothing to check
+        core::InterpreterOptions Opts = interpOpts(O, false);
+        auto RS = core::Interpreter::runBatch(TU, Fn, Cfg, {Seeds},
+                                              /*Threads=*/1, Opts);
+        if (!RS[0].Success)
+          continue;
+        double Lo = RS[0].Return.Lo, Hi = RS[0].Return.Hi;
+        injectShrink(O.InjectShrink, Lo, Hi);
+        core::ContainmentReport R = core::checkContainment(Lo, Hi, *Sh);
+        if (R.Violation)
+          return fail("narrow-containment", Cfg.str(),
+                      "AA enclosure [" + fmt(Lo) + ", " + fmt(Hi) + "] vs " +
+                          R.str());
+        aa::AAConfig PCfg = Cfg;
+        PCfg.Model = aa::ErrorModel::Probabilistic;
+        auto PS = core::Interpreter::runBatch(TU, Fn, PCfg, {Seeds},
+                                              /*Threads=*/1, Opts);
+        if (!PS[0].Success)
+          continue;
+        if (!PS[0].HasProb || !PS[0].Prob.Valid)
+          return fail("prob-support", Cfg.str(),
+                      "probabilistic run produced no enclosure");
+        const aa::ProbEnclosure &P = PS[0].Prob;
+        double SLo = PS[0].Return.Lo, SHi = PS[0].Return.Hi;
+        if (!std::isnan(SLo) && !std::isnan(SHi) &&
+            (P.SupportLo < SLo || P.SupportHi > SHi ||
+             P.Lo < P.SupportLo || P.Hi > P.SupportHi || P.Lo > P.Hi))
+          return fail("prob-support", Cfg.str(),
+                      "probabilistic enclosure [" + fmt(P.Lo) + ", " +
+                          fmt(P.Hi) + "] / support [" + fmt(P.SupportLo) +
+                          ", " + fmt(P.SupportHi) +
+                          "] escapes the sound bound [" + fmt(SLo) + ", " +
+                          fmt(SHi) + "]");
+      }
+    }
   }
 
   if (!O.BitIdentity)
@@ -263,8 +373,7 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                       " where the tree walker " +
                       (TreeOk ? "succeeded" : "failed") + " (" +
                       (TapeOk ? TErr : PErr) + ")");
-    if (TreeOk &&
-        (bitsOf(TLo) != bitsOf(PLo) || bitsOf(THi) != bitsOf(PHi)))
+    if (TreeOk && (!sameBits(TLo, PLo) || !sameBits(THi, PHi)))
       return fail("tape-identity", Cfg.str(),
                   "tape enclosure [" + fmt(PLo) + ", " + fmt(PHi) +
                       "] is not bit-identical to the tree walker's [" +
@@ -307,8 +416,8 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                           " thread(s)) and the tree walker");
         if (!Ref[I].Success)
           continue;
-        if (bitsOf(Ref[I].Return.Lo) != bitsOf(Got[I].Return.Lo) ||
-            bitsOf(Ref[I].Return.Hi) != bitsOf(Got[I].Return.Hi))
+        if (!sameBits(Ref[I].Return.Lo, Got[I].Return.Lo) ||
+            !sameBits(Ref[I].Return.Hi, Got[I].Return.Hi))
           return fail("tape-identity", Cfg.str(),
                       "batch instance " + std::to_string(I) +
                           " tape enclosure (" + std::to_string(Threads) +
@@ -319,8 +428,9 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
   }
 
   // The threaded batch driver promises results identical to a serial
-  // run, instance by instance.
-  {
+  // run, instance by instance. (Skipped when the grid was narrowed to
+  // 16-bit configs only — those already batch through the tape pass.)
+  if (!Configs.empty()) {
     aa::AAConfig Cfg = Configs.front();
     std::vector<double> Vals = argValuesOr(O);
     const frontend::FunctionDecl *F = TU.findFunction(Fn);
@@ -344,8 +454,8 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                         " success differs between 1 and 3 threads");
       if (!Serial[I].Success)
         continue;
-      if (bitsOf(Serial[I].Return.Lo) != bitsOf(Threaded[I].Return.Lo) ||
-          bitsOf(Serial[I].Return.Hi) != bitsOf(Threaded[I].Return.Hi))
+      if (!sameBits(Serial[I].Return.Lo, Threaded[I].Return.Lo) ||
+          !sameBits(Serial[I].Return.Hi, Threaded[I].Return.Hi))
         return fail("bit-identity", Cfg.str(),
                     "batch instance " + std::to_string(I) +
                         " enclosure differs between 1 and 3 threads");

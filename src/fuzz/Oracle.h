@@ -22,6 +22,15 @@
 /// coefficient in a different order — see tests/aa_simd_test.cpp for
 /// the per-op contract).
 ///
+/// The 16-bit formats (f16a/bf16a) get a dedicated pass: they execute on
+/// the format-generic scalar tape, and for branch-free kernels (no
+/// FCmp/FTruthy opcode) the F64 run's shadow samples remain a valid
+/// containment reference, since the executed trace cannot depend on the
+/// numeric format. Each narrow config additionally runs under the
+/// probabilistic error model (aa/ErrorSemantics.h), whose support and
+/// quantile interval must be contained in the sound bound of the same
+/// trace.
+///
 /// A failing kernel is shrunk by a greedy minimizer (drop statements,
 /// unroll loops, flatten branches, replace expression subtrees) until no
 /// single mutation preserves the failure, and written to a replayable
@@ -68,13 +77,17 @@ struct OracleOptions {
 /// K in {4, 16, 40}, unprioritized, unvectorized. The containment pass
 /// additionally derives a vectorized twin of every eligible config, and
 /// the identity pass compares the twins against their scalar originals.
+/// The grid also carries four 16-bit entries (f16a/bf16a x {sorted,
+/// direct-mapped} at K=16) exercised by the narrow-format pass.
 std::vector<aa::AAConfig> defaultConfigGrid();
 
 /// Outcome of running one kernel through the oracle.
 struct Verdict {
   bool Ok = true;
-  std::string Kind;   ///< "containment" | "simd-identity" | "bit-identity"
-                      ///< | "tape-identity" | "frontend" (empty if Ok)
+  std::string Kind;   ///< "containment" | "narrow-containment" |
+                      ///< "prob-support" | "simd-identity" |
+                      ///< "bit-identity" | "tape-identity" | "frontend"
+                      ///< (empty if Ok)
   std::string Config; ///< AAConfig notation of the failing run
   std::string Detail; ///< human-readable failure description
   std::string str() const;

@@ -1,0 +1,8 @@
+// safegen-fuzz reproducer
+// seed: 1 iter: 1
+// args: 1.59228515625
+// verdict: narrow-containment config: f16a-dspn
+// detail: AA enclosure [2.0409667968749998, 2.0410644531250002] vs sample 0 real-result enclosure [2.04052734375, 2.04052734375] lies outside the AA enclosure
+double f(double x0) {
+  return 2.04052734375;
+}

@@ -1,0 +1,23 @@
+// safegen-fuzz reproducer
+// seed: 42 iter: 887
+// args: 3.91943359375 -1.705078125 0.98193359375
+// verdict: tape-identity config: f64a-dsnn
+// detail: batch instance 1 tape enclosure (1 thread(s)) is not bit-identical to the tree walker's
+//
+// Root cause (two independent defects, both fixed):
+//  1. GCC rewrote the RD(x) = -RU(-x) idiom -((-A)*B) back into A*B in
+//     some inlining contexts despite -frounding-math, turning a directed
+//     round-down into a round-up and losing one minsub on subnormal
+//     products (fp/Rounding.h now routes negated operands through an
+//     optimization barrier).
+//  2. The tree walker and the tape executor produce NaN bounds with
+//     different (unspecified) sign bits when a kernel overflows through
+//     exp; the oracle now compares bit-identity modulo NaN
+//     representation.
+double f(double x0, double x1, double x2) {
+  double t0 = (10.0 * fmax(x0, x0)) * 100.0;
+  double t1 = sin(1.0);
+  double t2 = sqrt(exp(t1 + x2));
+  double t3 = sin(x1 * cos(exp(1.0)));
+  return (((x2 * t2) - x1) * exp(t1 * t0)) * (sqrt(fabs(t0)) - (x2 * x0));
+}

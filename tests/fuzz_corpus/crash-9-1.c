@@ -1,0 +1,9 @@
+// safegen-fuzz reproducer
+// seed: 9 iter: 1
+// args: -1.30615234375
+// verdict: narrow-containment config: bf16a-sspn
+// detail: AA enclosure [0.41789550781250001, 0.41804199218749999] vs sample 0 real-result enclosure [0.41650390625, 0.41650390625] lies outside the AA enclosure
+double f(double x0) {
+  double t0 = 0.41650390625;
+  return t0;
+}

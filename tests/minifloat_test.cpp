@@ -1,0 +1,194 @@
+//===- minifloat_test.cpp - Software 16-bit format tests ------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// fp/MiniFloat.h (binary16 and bfloat16 with software directed rounding)
+/// and the FormatTraits instantiations built on it. The conversions are
+/// integer-based and must be exact regardless of the ambient FPU rounding
+/// mode, so several suites re-run under RoundUpwardScope.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fp/FormatTraits.h"
+#include "fp/MiniFloat.h"
+#include "fp/Rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+using namespace safegen;
+using fp::BFloat16;
+using fp::Half;
+using fp::RoundDir;
+
+namespace {
+
+/// Exhaustive round-trip: every finite 16-bit pattern widens exactly to
+/// double, and converting that double back (any direction) returns the
+/// same pattern. NaN patterns canonicalize to the quiet NaN.
+template <typename MF> void roundTripAllPatterns() {
+  for (uint32_t B = 0; B <= 0xffffu; ++B) {
+    MF V = MF::fromBits(static_cast<uint16_t>(B));
+    double D = V.toDouble();
+    if (V.isNaN()) {
+      EXPECT_TRUE(std::isnan(D)) << B;
+      EXPECT_TRUE(MF::fromDouble(D, RoundDir::Up).isNaN()) << B;
+      continue;
+    }
+    for (RoundDir Dir : {RoundDir::Up, RoundDir::Down, RoundDir::Nearest})
+      EXPECT_EQ(MF::fromDouble(D, Dir).bits(), V.bits())
+          << "pattern " << B << " dir " << static_cast<int>(Dir);
+    // Signed zero survives the round trip.
+    if (V.isZero())
+      EXPECT_EQ(std::signbit(D), V.signbit()) << B;
+  }
+}
+
+/// Directed rounding brackets every double, and RD/RU land on adjacent
+/// grid points whenever the input is not itself representable.
+template <typename MF> void directedRoundingBrackets(double Range) {
+  std::mt19937_64 Rng(5);
+  std::uniform_real_distribution<double> U(-Range, Range);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    double X = U(Rng);
+    MF Up = MF::fromDouble(X, RoundDir::Up);
+    MF Down = MF::fromDouble(X, RoundDir::Down);
+    EXPECT_GE(Up.toDouble(), X) << X;
+    EXPECT_LE(Down.toDouble(), X) << X;
+    // RU(-x) == -RD(x): directed rounding is odd.
+    EXPECT_EQ(MF::fromDouble(-X, RoundDir::Up).bits(), (-Down).bits()) << X;
+    if (Up.bits() != Down.bits())
+      EXPECT_EQ(Down.nextUp().bits(), Up.bits()) << X;
+    MF Near = MF::fromDouble(X, RoundDir::Nearest);
+    EXPECT_TRUE(Near.bits() == Up.bits() || Near.bits() == Down.bits()) << X;
+  }
+}
+
+} // namespace
+
+TEST(MiniFloatTest, HalfRoundTripAllPatterns) { roundTripAllPatterns<Half>(); }
+
+TEST(MiniFloatTest, BFloat16RoundTripAllPatterns) {
+  roundTripAllPatterns<BFloat16>();
+}
+
+TEST(MiniFloatTest, HalfDirectedRounding) {
+  directedRoundingBrackets<Half>(100.0);
+}
+
+TEST(MiniFloatTest, BFloat16DirectedRounding) {
+  directedRoundingBrackets<BFloat16>(1e6);
+}
+
+TEST(MiniFloatTest, ConversionsIgnoreAmbientRoundingMode) {
+  // The software conversion must be bit-identical under any FPU mode;
+  // 0.1 and 1/3 are non-representable in both formats.
+  uint16_t HU, HD, BU, BD;
+  {
+    HU = Half::fromDouble(0.1, RoundDir::Up).bits();
+    HD = Half::fromDouble(1.0 / 3.0, RoundDir::Down).bits();
+    BU = BFloat16::fromDouble(0.1, RoundDir::Up).bits();
+    BD = BFloat16::fromDouble(1.0 / 3.0, RoundDir::Down).bits();
+  }
+  {
+    fp::RoundUpwardScope Scope;
+    EXPECT_EQ(Half::fromDouble(0.1, RoundDir::Up).bits(), HU);
+    EXPECT_EQ(Half::fromDouble(1.0 / 3.0, RoundDir::Down).bits(), HD);
+    EXPECT_EQ(BFloat16::fromDouble(0.1, RoundDir::Up).bits(), BU);
+    EXPECT_EQ(BFloat16::fromDouble(1.0 / 3.0, RoundDir::Down).bits(), BD);
+  }
+}
+
+TEST(MiniFloatTest, HalfSubnormalBoundary) {
+  const double MinSub = 0x1p-24; // Half's smallest subnormal
+  EXPECT_EQ(Half::minSubnormal().toDouble(), MinSub);
+  // Below the smallest subnormal: RU lands on it, RD on (signed) zero.
+  double Tiny = 0x1p-26;
+  EXPECT_EQ(Half::fromDouble(Tiny, RoundDir::Up).toDouble(), MinSub);
+  Half RD = Half::fromDouble(Tiny, RoundDir::Down);
+  EXPECT_TRUE(RD.isZero());
+  EXPECT_FALSE(RD.signbit());
+  // Rounding -tiny toward +inf gives -0 (magnitude rounds down).
+  Half NegRU = Half::fromDouble(-Tiny, RoundDir::Up);
+  EXPECT_TRUE(NegRU.isZero());
+  EXPECT_TRUE(NegRU.signbit());
+  EXPECT_EQ(Half::fromDouble(-Tiny, RoundDir::Down).toDouble(), -MinSub);
+  // ulpOf is the subnormal quantum throughout [0, 2^EMin).
+  EXPECT_EQ(Half::ulpOf(0.0), MinSub);
+  EXPECT_EQ(Half::ulpOf(Tiny), MinSub);
+  EXPECT_EQ(Half::ulpOf(-Tiny), MinSub);
+}
+
+TEST(MiniFloatTest, HalfOverflowBoundary) {
+  const double Max = 65504.0; // Half's largest finite value
+  EXPECT_EQ(Half::maxFinite().toDouble(), Max);
+  EXPECT_EQ(Half::fromDouble(Max, RoundDir::Up).toDouble(), Max);
+  // Directed overflow per IEEE-754 §4.3: RU(+huge) = +inf but
+  // RD(+huge) = +maxFinite; mirrored on the negative side.
+  EXPECT_TRUE(Half::fromDouble(65505.0, RoundDir::Up).isInf());
+  EXPECT_EQ(Half::fromDouble(65505.0, RoundDir::Down).toDouble(), Max);
+  EXPECT_EQ(Half::fromDouble(-65505.0, RoundDir::Up).toDouble(), -Max);
+  EXPECT_TRUE(Half::fromDouble(-65505.0, RoundDir::Down).isInf());
+  // ulp at the top binade is 2^(EMax - MantBits) = 32.
+  EXPECT_EQ(Half::ulpOf(Max), 32.0);
+  EXPECT_TRUE(std::isnan(Half::ulpOf(
+      std::numeric_limits<double>::infinity())));
+}
+
+TEST(MiniFloatTest, BFloat16OverflowBoundary) {
+  const double Max = BFloat16::maxFinite().toDouble();
+  EXPECT_EQ(Max, 0x1.FEp127);
+  double Huge = 0x1p128;
+  EXPECT_TRUE(BFloat16::fromDouble(Huge, RoundDir::Up).isInf());
+  EXPECT_EQ(BFloat16::fromDouble(Huge, RoundDir::Down).toDouble(), Max);
+  EXPECT_EQ(BFloat16::fromDouble(-Huge, RoundDir::Up).toDouble(), -Max);
+  EXPECT_TRUE(BFloat16::fromDouble(-Huge, RoundDir::Down).isInf());
+  // bfloat16 keeps f32's exponent range but only 8 significand bits.
+  EXPECT_EQ(BFloat16::ulpOf(1.0), 0x1p-7);
+  EXPECT_EQ(BFloat16::minSubnormal().toDouble(), 0x1p-133);
+}
+
+TEST(FormatTraitsTest, ExactIntLimits) {
+  // Every |int| < ExactIntLimit is exactly representable; the first
+  // even-odd casualty right above the limit is not.
+  EXPECT_EQ(fp::FormatF16::ExactIntLimit, 0x1p11);
+  EXPECT_EQ(fp::FormatBF16::ExactIntLimit, 0x1p8);
+  for (int I = 0; I < (1 << 11); ++I)
+    ASSERT_EQ(Half::fromDouble(I, RoundDir::Up).toDouble(), I) << I;
+  EXPECT_NE(Half::fromDouble(2049.0, RoundDir::Up).toDouble(), 2049.0);
+  for (int I = 0; I < (1 << 8); ++I)
+    ASSERT_EQ(BFloat16::fromDouble(I, RoundDir::Up).toDouble(), I) << I;
+  EXPECT_NE(BFloat16::fromDouble(257.0, RoundDir::Up).toDouble(), 257.0);
+}
+
+TEST(FormatTraitsTest, AccBitsOverFormatGrid) {
+  // A point interval certifies full precision on the format's own grid.
+  EXPECT_EQ(fp::FormatF16::accBits(1.5, 1.5, 11), 11.0);
+  EXPECT_EQ(fp::FormatBF16::accBits(1.5, 1.5, 8), 8.0);
+  // Two adjacent representables cost one bit.
+  double Lo = 1.0;
+  double Hi = Half::fromDouble(1.0, RoundDir::Up).nextUp().toDouble();
+  EXPECT_NEAR(fp::FormatF16::accBits(Lo, Hi, 11), 10.0, 1e-12);
+  // Degenerate inputs certify nothing.
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(fp::FormatF16::accBits(NaN, 1.0, 11), 0.0);
+  EXPECT_EQ(fp::FormatF16::accBits(2.0, 1.0, 11), 0.0);
+  // A huge interval (in double terms) cannot certify more than the
+  // format grid allows — this is what a double-grid ulp count got wrong.
+  EXPECT_LT(fp::FormatF16::accBits(1.0, 2.0, 11), 1.5);
+  EXPECT_GT(fp::FormatBF16::accBits(1.0, 1.0 + 0x1p-7, 8), 6.0);
+}
+
+TEST(FormatTraitsTest, FromDoubleRoundsUpward) {
+  // The trait conversion is RU by contract (the conversion residue is
+  // charged by makeInput, so only the direction must be deterministic).
+  EXPECT_GE(fp::FormatF16::toDouble(fp::FormatF16::fromDouble(0.1)), 0.1);
+  EXPECT_GE(fp::FormatBF16::toDouble(fp::FormatBF16::fromDouble(0.1)), 0.1);
+  EXPECT_EQ(fp::FormatF16::toDouble(fp::FormatF16::fromDouble(1.5)), 1.5);
+}

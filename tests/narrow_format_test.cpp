@@ -1,0 +1,287 @@
+//===- narrow_format_test.cpp - f16a/bf16a and error-semantics tests ------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 16-bit affine formats (f16a/bf16a, DESIGN.md §12): soundness of the
+/// policy-generic stack with a software minifloat center, their execution
+/// through the format-generic scalar tape, the probabilistic error
+/// semantics (aa/ErrorSemantics.h), and round-trip/diagnostic coverage of
+/// the extended configuration notation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/ErrorSemantics.h"
+#include "aa/Runtime.h"
+#include "core/Interpreter.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+class NarrowFormatTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+};
+
+AAConfig cfg(const char *Notation, int K = 8) {
+  AAConfig C = *AAConfig::parse(Notation);
+  C.K = K;
+  return C;
+}
+
+/// Soundness over random straight-line arithmetic: the enclosure of the
+/// narrow-format run must contain the exact real result.
+template <typename AF> void basicSoundness(const char *Notation) {
+  AffineEnvScope Env(cfg(Notation));
+  std::mt19937_64 Rng(3);
+  std::uniform_real_distribution<double> U(-2.0, 2.0);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    double A = U(Rng), B = U(Rng), C = U(Rng);
+    AF X = AF::input(A, 0.0);
+    AF Y = AF::input(B, 0.0);
+    AF Z = AF::input(C, 0.0);
+    AF R = (X * Y - Z) * X + Y;
+    long double Exact = (static_cast<long double>(A) * B - C) * A + B;
+    ia::Interval I = R.toInterval();
+    ASSERT_LE(static_cast<long double>(I.Lo), Exact) << Trial;
+    ASSERT_GE(static_cast<long double>(I.Hi), Exact) << Trial;
+  }
+}
+
+} // namespace
+
+TEST_F(NarrowFormatTest, F16aBasicSoundness) {
+  basicSoundness<F16a>("f16a-dsnn");
+}
+
+TEST_F(NarrowFormatTest, BF16aBasicSoundness) {
+  basicSoundness<BF16a>("bf16a-dsnn");
+}
+
+TEST_F(NarrowFormatTest, CenterLivesOnTheFormatGrid) {
+  AffineEnvScope Env(cfg("f16a-dsnn"));
+  // 0.1 is not a binary16 value; the enclosure must still contain it
+  // while the center itself is a grid point.
+  F16a X = F16a::input(0.1, 0.0);
+  ia::Interval I = X.toInterval();
+  EXPECT_LE(I.Lo, 0.1);
+  EXPECT_GE(I.Hi, 0.1);
+  double Mid = X.mid();
+  EXPECT_EQ(fp::Half::fromDouble(Mid, fp::RoundDir::Up).toDouble(), Mid);
+}
+
+TEST_F(NarrowFormatTest, WiderThanF32aOnSameProgram) {
+  auto Width = [&](auto Tag, const char *Notation) {
+    using AF = decltype(Tag);
+    AffineEnvScope Env(cfg(Notation, 16));
+    AF Acc = AF::exact(0.0);
+    std::mt19937_64 Rng(7);
+    std::uniform_real_distribution<double> U(0.0, 1.0);
+    for (int I = 0; I < 30; ++I)
+      Acc = Acc + AF::input(U(Rng)) * AF::input(U(Rng));
+    ia::Interval R = Acc.toInterval();
+    return R.Hi - R.Lo;
+  };
+  double W32 = Width(F32a{}, "f32a-dsnn");
+  double W16 = Width(F16a{}, "f16a-dsnn");
+  double WB16 = Width(BF16a{}, "bf16a-dsnn");
+  EXPECT_GT(W16, W32);
+  EXPECT_GT(WB16, W16); // bfloat16 has 3 fewer significand bits
+}
+
+TEST_F(NarrowFormatTest, RuntimeApiAndCasts) {
+  sg::SoundScope Scope("f16a-dsnn", 8);
+  f16a X = aa_input_f16(0.5);
+  f16a Y = aa_add_f16(aa_mul_f16(X, X), aa_const_f16(0.25));
+  EXPECT_GT(aa_bits_f16(Y), 5.0);
+  EXPECT_LE(aa_lo_f16(Y), 0.5);
+  EXPECT_GE(aa_hi_f16(Y), 0.5);
+  // Widening casts preserve the enclosure; the narrowing cast must still
+  // contain the original value.
+  f64a W = aa_cast_f16_to_f64(Y);
+  EXPECT_LE(aa_lo_f64(W), 0.5);
+  EXPECT_GE(aa_hi_f64(W), 0.5);
+  bf16a B = aa_cast_f16_to_bf16(Y);
+  EXPECT_LE(aa_lo_bf16(B), 0.5);
+  EXPECT_GE(aa_hi_bf16(B), 0.5);
+}
+
+TEST_F(NarrowFormatTest, TapeBatchRunsSoundly) {
+  auto CU = frontend::parseSource(
+      "k.c", "double f(double x) { return ((x + 1.0) * x - 0.5) * x; }");
+  ASSERT_TRUE(CU->Success);
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+  for (const char *Notation : {"f16a-dspn", "bf16a-sspn"}) {
+    AAConfig Cfg = cfg(Notation, 16);
+    auto RS = core::Interpreter::runBatch(TU, "f", Cfg, {{0.7}});
+    ASSERT_EQ(RS.size(), 1u);
+    ASSERT_TRUE(RS[0].Success) << Notation << ": " << RS[0].Error;
+    EXPECT_TRUE(RS[0].UsedTape) << Notation;
+    double Exact = ((0.7 + 1.0) * 0.7 - 0.5) * 0.7;
+    EXPECT_LE(RS[0].Return.Lo, Exact) << Notation;
+    EXPECT_GE(RS[0].Return.Hi, Exact) << Notation;
+    EXPECT_GT(RS[0].CertifiedBits, 2.0) << Notation;
+  }
+}
+
+TEST_F(NarrowFormatTest, TreeWalkerRefusesNarrowFormats) {
+  auto CU = frontend::parseSource("k.c", "double f(double x) { return x; }");
+  ASSERT_TRUE(CU->Success);
+  core::InterpreterOptions Opts;
+  Opts.Engine = core::ExecEngine::Tree;
+  auto RS = core::Interpreter::runBatch(CU->Ctx->tu(), "f",
+                                        cfg("f16a-dspn"), {{1.0}}, 1, Opts);
+  ASSERT_EQ(RS.size(), 1u);
+  EXPECT_FALSE(RS[0].Success);
+  EXPECT_NE(RS[0].Error.find("tape"), std::string::npos) << RS[0].Error;
+}
+
+TEST(ProbSemanticsTest, EnclosureContainedInSupport) {
+  fp::RoundUpwardScope Rounding;
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 16;
+  AffineEnvScope Env(Cfg);
+  std::mt19937_64 Rng(11);
+  std::uniform_real_distribution<double> U(-1.0, 1.0);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    F64a Acc = F64a::exact(0.0);
+    for (int I = 0; I < 8; ++I)
+      Acc = Acc + F64a::input(U(Rng), 0.25) * F64a::input(U(Rng));
+    ProbEnclosure P = probEnclosure(Acc.storage());
+    ASSERT_TRUE(P.Valid);
+    double SLo, SHi;
+    Acc.storage().bounds(SLo, SHi);
+    // Support is the sound bound by construction.
+    EXPECT_EQ(P.SupportLo, SLo);
+    EXPECT_EQ(P.SupportHi, SHi);
+    EXPECT_LE(P.Lo, P.Hi);
+    EXPECT_GE(P.Lo, P.SupportLo);
+    EXPECT_LE(P.Hi, P.SupportHi);
+  }
+}
+
+TEST(ProbSemanticsTest, PointMassCollapsesToSupport) {
+  fp::RoundUpwardScope Rounding;
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  AffineEnvScope Env(Cfg);
+  F64a X = F64a::exact(1.5);
+  ProbEnclosure P = probEnclosure(X.storage());
+  ASSERT_TRUE(P.Valid);
+  EXPECT_EQ(P.Lo, P.SupportLo);
+  EXPECT_EQ(P.Hi, P.SupportHi);
+  EXPECT_EQ(P.Lo, 1.5);
+}
+
+TEST(ProbSemanticsTest, ManySymbolsConcentrate) {
+  // With many similar-magnitude independent symbols, the 99% quantile
+  // interval is strictly narrower than the adversarial sound bound
+  // (central-limit concentration) — the point of the semantics.
+  fp::RoundUpwardScope Rounding;
+  AAConfig Cfg = *AAConfig::parse("f64a-dsnn");
+  Cfg.K = 40;
+  AffineEnvScope Env(Cfg);
+  F64a Acc = F64a::exact(0.0);
+  for (int I = 0; I < 32; ++I)
+    Acc = Acc + F64a::input(0.0, 1.0);
+  ProbEnclosure P = probEnclosure(Acc.storage());
+  ASSERT_TRUE(P.Valid);
+  EXPECT_LT(P.Hi - P.Lo, 0.8 * (P.SupportHi - P.SupportLo));
+}
+
+TEST(ProbSemanticsTest, BatchRunFillsProb) {
+  fp::RoundUpwardScope Rounding;
+  auto CU = frontend::parseSource(
+      "k.c", "double f(double x) { return ((x + 1.0) * x - 0.5) * x; }");
+  ASSERT_TRUE(CU->Success);
+  const frontend::TranslationUnit &TU = CU->Ctx->tu();
+  for (const char *Notation : {"f64a-dspn", "f16a-dspn", "bf16a-dspn"}) {
+    AAConfig Cfg = *AAConfig::parse(Notation);
+    Cfg.K = 16;
+    Cfg.Model = ErrorModel::Probabilistic;
+    auto RS = core::Interpreter::runBatch(TU, "f", Cfg, {{0.7}});
+    ASSERT_EQ(RS.size(), 1u);
+    ASSERT_TRUE(RS[0].Success) << Notation << ": " << RS[0].Error;
+    ASSERT_TRUE(RS[0].HasProb) << Notation;
+    ASSERT_TRUE(RS[0].Prob.Valid) << Notation;
+    // Both the support and the quantile interval sit inside the sound
+    // bound reported by the same run.
+    EXPECT_GE(RS[0].Prob.SupportLo, RS[0].Return.Lo) << Notation;
+    EXPECT_LE(RS[0].Prob.SupportHi, RS[0].Return.Hi) << Notation;
+    EXPECT_GE(RS[0].Prob.Lo, RS[0].Return.Lo) << Notation;
+    EXPECT_LE(RS[0].Prob.Hi, RS[0].Return.Hi) << Notation;
+    EXPECT_EQ(RS[0].Prob.Confidence, 0.99) << Notation;
+  }
+}
+
+TEST(ProbSemanticsTest, SoundModelLeavesProbEmpty) {
+  fp::RoundUpwardScope Rounding;
+  auto CU = frontend::parseSource("k.c",
+                                  "double f(double x) { return x * x; }");
+  ASSERT_TRUE(CU->Success);
+  auto RS = core::Interpreter::runBatch(CU->Ctx->tu(), "f",
+                                        *AAConfig::parse("f64a-dspn"),
+                                        {{0.7}});
+  ASSERT_EQ(RS.size(), 1u);
+  ASSERT_TRUE(RS[0].Success);
+  EXPECT_FALSE(RS[0].HasProb);
+}
+
+TEST(PolicyNotationTest, RoundTripEveryNotation) {
+  // parse(str(C)) must reproduce C, and str(parse(S)) must reproduce S,
+  // for the full precision x placement x fusion x prioritization x
+  // vectorization product.
+  for (const char *Prec : {"f32a", "f64a", "dda", "f16a", "bf16a"})
+    for (char W : {'s', 'd'})
+      for (char X : {'s', 'm', 'o', 'r'})
+        for (char Y : {'p', 'n'})
+          for (char Z : {'v', 'n'}) {
+            std::string S = std::string(Prec) + "-" + W + X + Y + Z;
+            std::string Diag;
+            auto C = AAConfig::parse(S, Diag);
+            ASSERT_TRUE(C.has_value()) << S << ": " << Diag;
+            EXPECT_TRUE(Diag.empty()) << S;
+            EXPECT_EQ(C->str(), S);
+            auto Again = AAConfig::parse(C->str());
+            ASSERT_TRUE(Again.has_value()) << S;
+            EXPECT_EQ(Again->str(), S);
+            EXPECT_EQ(std::string(formatName(C->Precision)), Prec) << S;
+          }
+}
+
+TEST(PolicyNotationTest, MalformedNotationsAreDiagnosed) {
+  // Every malformed prefix/flag is rejected with a specific diagnostic —
+  // never silently parsed as a default configuration.
+  const char *Bad[] = {
+      "",          "f64a",      "f64adspn",  "f99-dspn", "f16-dspn",
+      "bf16-dspn", "f64a-",     "f64a-dsp",  "f64a-dspnn", "f64a-xspn",
+      "f64a-dxpn", "f64a-dsxn", "f64a-dspx", "F64A-DSPN",
+  };
+  for (const char *S : Bad) {
+    std::string Diag;
+    EXPECT_FALSE(AAConfig::parse(S, Diag).has_value()) << S;
+    EXPECT_FALSE(Diag.empty()) << S;
+    EXPECT_FALSE(AAConfig::parse(S).has_value()) << S;
+  }
+}
+
+TEST(PolicyNotationTest, ErrorModelIsNotPartOfTheNotation) {
+  // The error model is a driver flag (--error-model), orthogonal to the
+  // notation string: str() must not change with the model.
+  AAConfig C = *AAConfig::parse("f16a-dspv");
+  std::string S = C.str();
+  C.Model = ErrorModel::Probabilistic;
+  EXPECT_EQ(C.str(), S);
+  EXPECT_STREQ(errorModelName(ErrorModel::Sound), "sound");
+  EXPECT_STREQ(errorModelName(ErrorModel::Probabilistic), "prob");
+}

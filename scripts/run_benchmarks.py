@@ -172,6 +172,9 @@ def summarize_batch(rows):
     tape_t1 = {(r["k"], r["batch"]): r["ns_per_element"]
                for r in rows
                if r["path"] == "interp-tape" and r["threads"] == 1}
+    native_t1 = {(r["k"], r["batch"]): r["ns_per_element"]
+                 for r in rows
+                 if r["path"] == "interp-native" and r["threads"] == 1}
     speedup = {}
     scaling = {}
     for r in rows:
@@ -192,15 +195,27 @@ def summarize_batch(rows):
             tag = "interp/k{}/n{}".format(*kn)
             scaling.setdefault(tag, {})["t{}".format(r["threads"])] = round(
                 tape_t1[kn] / r["ns_per_element"], 3)
+        elif r["path"] == "interp-native" and kn in native_t1:
+            tag = "interp-native/k{}/n{}".format(*kn)
+            scaling.setdefault(tag, {})["t{}".format(r["threads"])] = round(
+                native_t1[kn] / r["ns_per_element"], 3)
     tape_speedup = {
         "k{}/n{}".format(*kn): round(tree_t1[kn] / tape_t1[kn], 3)
         for kn in tape_t1 if kn in tree_t1
+    }
+    # Native vs tape t1 ratio. bench_batch measures the two engines in
+    # interleaved blocks, so this ratio is meaningful even on hosts whose
+    # absolute timings drift between rows.
+    native_speedup = {
+        "k{}/n{}".format(*kn): round(tape_t1[kn] / native_t1[kn], 3)
+        for kn in native_t1 if kn in tape_t1
     }
     return {
         "ns_per_element": ns,
         "speedup_vs_per_form": speedup,
         "thread_scaling": scaling,
         "tape_vs_tree_speedup": tape_speedup,
+        "native_vs_tape_speedup": native_speedup,
         "simd_speedup_vs_scalar": summarize_isa(rows),
     }
 
@@ -302,6 +317,16 @@ def fuzz_corpus_status(build_dir, corpus_dir=CORPUS_DIR):
 
 
 TAPE_SPEEDUP_FLOOR = 2.0  # tape t1 vs tree t1 at k16/n4096
+# Native t1 vs tape t1 at k16/n1024. The two engines share the identical
+# ISA-dispatched kernels (~half the native runtime), so the native
+# backend's win is bounded by the glue it removes: per-op column
+# allocation and the chunk-wide cache round-trips that its lane-group
+# tiling avoids. bench_batch measures the two engines in interleaved
+# blocks and runs the engine rows first (before sustained load can
+# throttle the shared vCPU, which compresses the ratio); under those
+# conditions the reference host shows 1.45-1.65x at this size. The
+# floor sits below that band's noise, not at its center.
+NATIVE_SPEEDUP_FLOOR = 1.2
 THREAD_SCALING_FLOOR = 1.5  # t4/t1 at n >= 4096
 SIMD_SPEEDUP_FLOOR = 1.5  # best vector tier vs scalar tier at k16/n >= 1024
 VECTOR_TIERS = ["sse2", "avx2", "avx512"]
@@ -321,6 +346,13 @@ def check_engine_gates(data):
         failures.append(
             f"tape_vs_tree_speedup k16/n4096: {got:.2f}x < "
             f"{TAPE_SPEEDUP_FLOOR:.1f}x floor")
+    got = data.get("native_vs_tape_speedup", {}).get("k16/n1024")
+    if got is None:
+        failures.append("native_vs_tape_speedup: no k16/n1024 measurement")
+    elif got < NATIVE_SPEEDUP_FLOOR:
+        failures.append(
+            f"native_vs_tape_speedup k16/n1024: {got:.2f}x < "
+            f"{NATIVE_SPEEDUP_FLOOR:.2f}x floor")
     cores = os.cpu_count() or 1
     if cores < 4:
         data["thread_scaling_gate"] = {
@@ -390,15 +422,66 @@ def check_simd_gate(data):
     return failures
 
 
+NOISE_DRIFT_LIMIT = 0.15  # max/min spread of the noise-probe samples
+
+
+def host_noise_drift(ns):
+    """Worst disagreement (max/min - 1) between bench_batch's fixed
+    noise-probe workload samples, taken at every phase boundary of the
+    run. 0.0 = perfectly stable host; None when the probe rows are
+    missing (old bench binary). Boundary sampling matters: bursts last
+    minutes, so a single start/end pair can land in two calm windows
+    and miss a burst that corrupted the rows in between."""
+    samples = [val for key, val in ns.items()
+               if key.startswith("noise-probe-") and val > 0.0]
+    if len(samples) < 2:
+        return None
+    return max(samples) / min(samples) - 1.0
+
+
 def check_batch(data, baseline_path, tolerance=0.20):
-    """Returns a list of human-readable regressions (>tolerance slower)."""
+    """Returns a list of human-readable regressions (>tolerance slower).
+
+    Hardware-aware, like the thread-scaling gate, in two ways. Rows run
+    with more threads than the host has cores measure timesharing noise,
+    not engine performance, and are excluded. And when the run's own
+    noise probes (an identical fixed workload timed at every phase
+    boundary of bench_batch) show the host changed speed by more than
+    NOISE_DRIFT_LIMIT mid-run — observed as minute-scale 2x bursts on
+    shared-vCPU hosts — the whole absolute ns-per-element comparison is
+    recorded but not enforced: any row could then differ from baseline
+    by the host's mood alone. The within-run ratio gates
+    (check_engine_gates, check_simd_gate) stay enforced either way."""
     with open(baseline_path) as f:
         baseline = json.load(f)
+    ns = data.get("ns_per_element", {})
+    drift = host_noise_drift(ns)
+    if drift is not None and drift > NOISE_DRIFT_LIMIT:
+        data["absolute_regression_gate"] = {
+            "enforced": False,
+            "noise_probe_drift": round(drift, 3),
+            "note": f"skipped: host speed drifted {drift * 100.0:.0f}% "
+                    "mid-run (noise-probe rows); absolute comparisons "
+                    "are meaningless under this much machine noise",
+        }
+        print(f"  absolute-regression gate skipped (host drifted "
+              f"{drift * 100.0:.0f}% mid-run)")
+        return []
+    data["absolute_regression_gate"] = {
+        "enforced": True,
+        "noise_probe_drift": None if drift is None else round(drift, 3),
+    }
     regressions = []
     base_ns = baseline.get("ns_per_element", {})
-    for key, new in data.get("ns_per_element", {}).items():
+    cores = os.cpu_count() or 1
+    for key, new in ns.items():
         old = base_ns.get(key)
         if old is None or old <= 0.0:
+            continue
+        if key.startswith("noise-probe-"):
+            continue
+        threads = int(key.rsplit("/t", 1)[1])
+        if threads > cores:
             continue
         if new > old * (1.0 + tolerance):
             regressions.append(

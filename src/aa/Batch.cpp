@@ -135,7 +135,7 @@ void batch::detail::mulVec(const Batch<F64Center> &A, const Batch<F64Center> &B,
 
 void batch::run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
                 const std::function<void(int32_t, int32_t)> &Program,
-                int32_t Grain) {
+                int32_t Grain, bool BindEnv) {
   if (Size <= 0)
     return;
 
@@ -147,6 +147,10 @@ void batch::run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
   ContextArena Arena;
   auto RunChunk = [&](int32_t First, int32_t Count) {
     fp::RoundUpwardScope Round;
+    if (!BindEnv) {
+      Program(First, Count);
+      return;
+    }
     BatchEnv &Env = Arena.acquire(Cfg, Count);
     BatchEnvBindScope Bind(Env);
     Program(First, Count);
@@ -218,11 +222,11 @@ void batch::run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
 
 void batch::run(const AAConfig &Cfg, int32_t Size, unsigned Threads,
                 const std::function<void(int32_t, int32_t)> &Program,
-                int32_t Grain) {
+                int32_t Grain, bool BindEnv) {
   if (Threads == 0) {
-    run(Cfg, Size, support::ThreadPool::global(), Program, Grain);
+    run(Cfg, Size, support::ThreadPool::global(), Program, Grain, BindEnv);
     return;
   }
   support::ThreadPool Pool(Threads); // Threads == 1 runs inline, no spawn
-  run(Cfg, Size, Pool, Program, Grain);
+  run(Cfg, Size, Pool, Program, Grain, BindEnv);
 }

@@ -193,7 +193,9 @@ public:
   PodArray &operator=(PodArray &&) = default;
   PodArray(const PodArray &O) { *this = O; }
   PodArray &operator=(const PodArray &O) {
-    allocate(O.N);
+    if (this == &O)
+      return *this;
+    ensure(O.N);
     if (N)
       std::memcpy(P.get(), O.P.get(), N * sizeof(T));
     return *this;
@@ -208,6 +210,17 @@ public:
   void allocateZero(size_t Count) {
     P.reset(Count ? new T[Count]() : nullptr);
     N = Count;
+  }
+  /// Reallocates only when the element count changes, otherwise keeps the
+  /// existing storage (contents indeterminate either way). Batch geometry
+  /// is constant within one program run, so the native engine's reused
+  /// result planes hit the no-op path on every op after the first — the
+  /// slot planes at realistic K*N sit above the allocator's mmap
+  /// threshold, and a fresh mmap/munmap plus page faults *per op* is what
+  /// the per-op makeLike path pays.
+  void ensure(size_t Count) {
+    if (Count != N)
+      allocate(Count);
   }
 
   T *data() { return P.get(); }
@@ -252,7 +265,14 @@ public:
   /// an integer the central type represents exactly. The integrality test
   /// uses std::trunc, which is rounding-mode independent (std::nearbyint
   /// follows the dynamic mode and is unusable under RoundUpwardScope).
-  Batch(double Constant) {
+  Batch(double Constant) { assignConstant(Constant); }
+
+  /// Rebuilds *this as the source-constant broadcast of \p Constant — the
+  /// exact op stream of the converting constructor (same per-instance
+  /// symbol draws for inexact constants), but reusing any storage already
+  /// held. The native engine replays FConst ops through this so constant
+  /// materialization is allocation-free at steady state.
+  void assignConstant(double Constant) {
     BatchEnv &E = batchEnv();
     allocate(E);
     constexpr double ExactLimit = CT::ExactIntLimit;
@@ -467,28 +487,13 @@ public:
     return applyAdd(A, B, -1.0);
   }
   friend Batch operator*(const Batch &A, const Batch &B) {
-    BatchEnv &E = environmentFor(A, B);
-    if constexpr (std::is_same_v<CT, F64Center>) {
-      if (batch::detail::fastSupported(E.Config)) {
-        Batch Out = makeLike(A);
-        batch::detail::mulVec(A, B, Out, E);
-        return Out;
-      }
-    }
-    AAConfig Cfg = scalarConfig(E);
-    Batch Out = makeLike(A);
-    for (int32_t I = 0; I < A.Size_; ++I)
-      Out.insert(I, ops::mul(A.extract(I), B.extract(I), Cfg,
-                             E.Contexts[I]));
+    Batch Out;
+    evalMul(A, B, Out);
     return Out;
   }
   friend Batch operator/(const Batch &A, const Batch &B) {
-    BatchEnv &E = environmentFor(A, B);
-    AAConfig Cfg = scalarConfig(E);
-    Batch Out = makeLike(A);
-    for (int32_t I = 0; I < A.Size_; ++I)
-      Out.insert(I, ops::div(A.extract(I), B.extract(I), Cfg,
-                             E.Contexts[I]));
+    Batch Out;
+    evalDiv(A, B, Out);
     return Out;
   }
   /// -â: exact lane-wise negation, no environment interaction. Only
@@ -496,7 +501,67 @@ public:
   /// -0.0 in an empty slot is unobservable: every reader takes fabs or
   /// masks the lane).
   friend Batch operator-(const Batch &A) {
-    Batch Out = A;
+    Batch Out;
+    evalNeg(A, Out);
+    return Out;
+  }
+
+  /// \name In-place arithmetic entry points.
+  /// The op bodies of the operators above — the same kernel calls against
+  /// the same environment, hence the same per-instance symbol draws — but
+  /// writing into a caller-provided \p Out whose storage is reused via
+  /// assignLike. This is what makes the native engine bit-identical to
+  /// the tape by construction: both funnel through these, only the
+  /// allocation strategy of Out differs. \p Out must not alias A or B
+  /// (the native frame computes into a spare batch and swaps).
+  /// @{
+  static void evalAdd(const Batch &A, const Batch &B, double Sign,
+                      Batch &Out) {
+    BatchEnv &E = environmentFor(A, B);
+    assert(&Out != &A && &Out != &B && "eval output aliases an operand");
+    if constexpr (std::is_same_v<CT, F64Center>) {
+      if (batch::detail::fastSupported(E.Config)) {
+        Out.assignLike(A);
+        batch::detail::addVec(A, B, Sign, Out, E);
+        return;
+      }
+    }
+    AAConfig Cfg = scalarConfig(E);
+    Out.assignLike(A);
+    for (int32_t I = 0; I < A.Size_; ++I) {
+      AffineVar<CT> Va = A.extract(I), Vb = B.extract(I);
+      Out.insert(I, Sign > 0 ? ops::add(Va, Vb, Cfg, E.Contexts[I])
+                             : ops::sub(Va, Vb, Cfg, E.Contexts[I]));
+    }
+  }
+  static void evalMul(const Batch &A, const Batch &B, Batch &Out) {
+    BatchEnv &E = environmentFor(A, B);
+    assert(&Out != &A && &Out != &B && "eval output aliases an operand");
+    if constexpr (std::is_same_v<CT, F64Center>) {
+      if (batch::detail::fastSupported(E.Config)) {
+        Out.assignLike(A);
+        batch::detail::mulVec(A, B, Out, E);
+        return;
+      }
+    }
+    AAConfig Cfg = scalarConfig(E);
+    Out.assignLike(A);
+    for (int32_t I = 0; I < A.Size_; ++I)
+      Out.insert(I, ops::mul(A.extract(I), B.extract(I), Cfg,
+                             E.Contexts[I]));
+  }
+  static void evalDiv(const Batch &A, const Batch &B, Batch &Out) {
+    BatchEnv &E = environmentFor(A, B);
+    assert(&Out != &A && &Out != &B && "eval output aliases an operand");
+    AAConfig Cfg = scalarConfig(E);
+    Out.assignLike(A);
+    for (int32_t I = 0; I < A.Size_; ++I)
+      Out.insert(I, ops::div(A.extract(I), B.extract(I), Cfg,
+                             E.Contexts[I]));
+  }
+  static void evalNeg(const Batch &A, Batch &Out) {
+    assert(&Out != &A && "eval output aliases an operand");
+    Out = A; // plane copy; PodArray::ensure keeps it allocation-free
     for (int32_t I = 0; I < Out.Size_; ++I)
       Out.Centers_[I] = CT::neg(Out.Centers_[I]);
     for (uint64_t M = Out.Mask_; M; M &= M - 1) {
@@ -504,8 +569,8 @@ public:
       for (int32_t I = 0; I < Out.Cap_; ++I)
         C[I] = -C[I];
     }
-    return Out;
   }
+  /// @}
 
   Batch &operator+=(const Batch &B) { return *this = *this + B; }
   Batch &operator-=(const Batch &B) { return *this = *this - B; }
@@ -564,24 +629,35 @@ public:
   /// later read.
   static Batch makeLike(const Batch &Ref) {
     Batch B;
-    B.Size_ = Ref.Size_;
-    B.Cap_ = Ref.Cap_;
-    B.NSlots_ = Ref.NSlots_;
-    B.Centers_.assign(B.Cap_, CenterType{});
-    B.Ids_.allocate(static_cast<size_t>(B.NSlots_) * B.Cap_);
-    B.Coefs_.allocate(static_cast<size_t>(B.NSlots_) * B.Cap_);
-    for (int32_t S = 0; S < B.NSlots_; ++S)
-      for (int32_t I = B.Size_; I < B.Cap_; ++I) {
-        B.Ids_[static_cast<size_t>(S) * B.Cap_ + I] = InvalidSymbol;
-        B.Coefs_[static_cast<size_t>(S) * B.Cap_ + I] = 0.0;
+    B.assignLike(Ref);
+    return B;
+  }
+
+  /// Rebuilds *this with \p Ref's geometry and makeLike's exact
+  /// postconditions (uninitialized live rows, cleared pad lanes, Ref's
+  /// live counts, provisionally dense mask), reusing any storage already
+  /// held. Geometry is constant within a program run, so a frame batch
+  /// cycled through assignLike never reallocates after its first use —
+  /// this is the native engine's replacement for the per-op makeLike.
+  /// \p Ref must not alias *this.
+  void assignLike(const Batch &Ref) {
+    assert(this != &Ref && "assignLike target aliases its reference");
+    Size_ = Ref.Size_;
+    Cap_ = Ref.Cap_;
+    NSlots_ = Ref.NSlots_;
+    Centers_.assign(Cap_, CenterType{});
+    Ids_.ensure(static_cast<size_t>(NSlots_) * Cap_);
+    Coefs_.ensure(static_cast<size_t>(NSlots_) * Cap_);
+    for (int32_t S = 0; S < NSlots_; ++S)
+      for (int32_t I = Size_; I < Cap_; ++I) {
+        Ids_[static_cast<size_t>(S) * Cap_ + I] = InvalidSymbol;
+        Coefs_[static_cast<size_t>(S) * Cap_ + I] = 0.0;
       }
-    B.Live_ = Ref.Live_;
+    Live_ = Ref.Live_;
     // Provisionally dense: the per-instance fallbacks insert into every
     // live row without first-touch zeroing; the vector kernels overwrite
     // this with the true sparse mask via setSlotMask().
-    B.Mask_ = B.NSlots_ >= 64 ? ~uint64_t(0)
-                              : (uint64_t(1) << B.NSlots_) - 1;
-    return B;
+    Mask_ = NSlots_ >= 64 ? ~uint64_t(0) : (uint64_t(1) << NSlots_) - 1;
   }
 
 private:
@@ -656,8 +732,8 @@ private:
     Cap_ = (Size_ + 7) & ~7;
     NSlots_ = E.Config.K;
     Centers_.assign(Cap_, CenterType{});
-    Ids_.allocate(static_cast<size_t>(NSlots_) * Cap_);
-    Coefs_.allocate(static_cast<size_t>(NSlots_) * Cap_);
+    Ids_.ensure(static_cast<size_t>(NSlots_) * Cap_);
+    Coefs_.ensure(static_cast<size_t>(NSlots_) * Cap_);
     Live_.assign(Size_, 0);
     Mask_ = 0; // rows materialize on first touch (insertSparse)
   }
@@ -686,21 +762,8 @@ private:
   }
 
   static Batch applyAdd(const Batch &A, const Batch &B, double Sign) {
-    BatchEnv &E = environmentFor(A, B);
-    if constexpr (std::is_same_v<CT, F64Center>) {
-      if (batch::detail::fastSupported(E.Config)) {
-        Batch Out = makeLike(A);
-        batch::detail::addVec(A, B, Sign, Out, E);
-        return Out;
-      }
-    }
-    AAConfig Cfg = scalarConfig(E);
-    Batch Out = makeLike(A);
-    for (int32_t I = 0; I < A.Size_; ++I) {
-      AffineVar<CT> Va = A.extract(I), Vb = B.extract(I);
-      Out.insert(I, Sign > 0 ? ops::add(Va, Vb, Cfg, E.Contexts[I])
-                             : ops::sub(Va, Vb, Cfg, E.Contexts[I]));
-    }
+    Batch Out;
+    evalAdd(A, B, Sign, Out);
     return Out;
   }
 
@@ -787,9 +850,15 @@ inline constexpr int32_t GrainAuto = 0;
 /// per-instance outputs at the same offsets; chunks share nothing
 /// mutable. Grain == GrainAuto derives the grain from a timed inline
 /// probe chunk.
+///
+/// \p BindEnv == false skips the arena entirely (no environment is
+/// constructed or bound; only the rounding scope is installed) — for
+/// programs that manage their own batch environments, like the native
+/// engine's lane-group tiling, where chunk-sized context vectors would
+/// be pure construction waste.
 void run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
          const std::function<void(int32_t First, int32_t Count)> &Program,
-         int32_t Grain = DefaultGrain);
+         int32_t Grain = DefaultGrain, bool BindEnv = true);
 
 /// Convenience overload: Threads == 1 runs inline (still chunked);
 /// Threads == 0 uses the shared global pool; otherwise a temporary pool
@@ -797,7 +866,7 @@ void run(const AAConfig &Cfg, int32_t Size, support::ThreadPool &Pool,
 /// loop — keep a ThreadPool and use the overload above).
 void run(const AAConfig &Cfg, int32_t Size, unsigned Threads,
          const std::function<void(int32_t First, int32_t Count)> &Program,
-         int32_t Grain = DefaultGrain);
+         int32_t Grain = DefaultGrain, bool BindEnv = true);
 
 } // namespace batch
 } // namespace aa

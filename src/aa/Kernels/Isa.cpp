@@ -75,20 +75,28 @@ std::once_flag InitOnce;
 
 void initActive() {
   isa::Tier T = widestAvailable();
+  // The env var and the --isa flag are two spellings of the same request
+  // and must agree on behavior: the flag rejects bad tiers with an error,
+  // so the env var fails fast too. Silently degrading to a narrower tier
+  // would let a typo'd CI matrix entry re-test the default while claiming
+  // tier coverage.
   if (const char *Env = std::getenv("SAFEGEN_ISA"); Env && *Env) {
     isa::Tier Req;
-    if (!isa::parse(Env, Req))
+    if (!isa::parse(Env, Req)) {
       std::fprintf(stderr,
                    "safegen: SAFEGEN_ISA=%s is not a tier name "
-                   "(scalar|sse2|avx2|avx512); using %s\n",
-                   Env, isa::name(T));
-    else if (!isa::available(Req))
+                   "(valid tiers: scalar, sse2, avx2, avx512)\n",
+                   Env);
+      std::exit(1);
+    }
+    if (!isa::available(Req)) {
       std::fprintf(stderr,
                    "safegen: SAFEGEN_ISA=%s is not available on this "
-                   "host/build; using %s\n",
-                   Env, isa::name(T));
-    else
-      T = Req;
+                   "host/build\n",
+                   Env);
+      std::exit(1);
+    }
+    T = Req;
   }
   Active.store(tableFor(T), std::memory_order_release);
 }

@@ -8,6 +8,7 @@
 
 #include "aa/Batch.h"
 #include "aa/Kernels/Isa.h"
+#include "core/NativeEmitter.h"
 #include "core/Tape.h"
 #include "fp/Ulp.h"
 #include "support/ThreadPool.h"
@@ -742,7 +743,11 @@ InterpResult Interpreter::call(const std::string &Function,
     Result.Error = "no definition of function '" + Function + "'";
     return Result;
   }
-  if (Opts.Engine == ExecEngine::Tape && Opts.ShadowDirs.empty()) {
+  // Native has no scalar superblock (one instance has nothing to fuse
+  // over); a scalar call under --engine=native runs the shared tape VM,
+  // which is bit-identical by the engine contract.
+  if ((Opts.Engine == ExecEngine::Tape || Opts.Engine == ExecEngine::Native) &&
+      Opts.ShadowDirs.empty()) {
     TapeCompileOptions TO;
     TO.Prioritize = Opts.Prioritize;
     if (std::optional<Tape> T = compileToTape(F, TO)) {
@@ -858,6 +863,26 @@ std::vector<BatchCallResult> Interpreter::runBatch(
             !Cfg.Vectorize &&
             Cfg.Placement == aa::PlacementPolicy::DirectMapped &&
             Cfg.Model == aa::ErrorModel::Sound;
+        if (Opts.Engine == ExecEngine::Native) {
+          // Compile the superblock once; it is immutable and shared by
+          // every worker thread. The lockstep eligibility test is the
+          // same Columns predicate — the superblock is the columns
+          // executor with persistent storage.
+          NativeBlock NB = emitNativeBlock(*T);
+          // Chunks are steal-sized as usual; the chunk executor tiles
+          // itself into NativeGrain lane groups internally, binding its
+          // own group-sized environments, so BindEnv is off — chunk-wide
+          // context vectors would be pure construction waste here.
+          aa::batch::run(
+              Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
+              [&](int32_t First, int32_t Count) {
+                runNativeBatchChunk(NB, Cfg, InstanceArgs, First, Count,
+                                    Results.data() + First, Opts.StepBudget,
+                                    Columns);
+              },
+              aa::batch::GrainAuto, /*BindEnv=*/false);
+          return Results;
+        }
         aa::batch::run(
             Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
             [&](int32_t First, int32_t Count) {

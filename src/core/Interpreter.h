@@ -98,6 +98,11 @@ enum class ExecEngine : uint8_t {
   /// tree fallback otherwise. Results are bit-identical either way —
   /// the switch trades dispatch cost only.
   Tape,
+  /// Tape compiled ahead-of-time into a fused superblock over a
+  /// persistent batch-register frame (core/NativeEmitter.h). Batched
+  /// runs execute the superblock; scalar call()s share the tape VM.
+  /// Bit-identical to Tape (and hence Tree) everywhere.
+  Native,
 };
 
 struct InterpreterOptions {

@@ -1,0 +1,578 @@
+//===- NativeEmitter.cpp - AOT tape-to-native superblock backend ----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Emission is a single pre-decoding walk over the tape (constants
+// resolved into the op stream); execution interprets nothing per op
+// beyond one switch dispatch — the affine work runs through the same
+// in-place kernel entry points the tape's column executor funnels into,
+// against a persistent register frame.
+//
+// Storage discipline (the whole point of this backend): tape slot i is
+// frame column i for the duration of a chunk. An op computes into a
+// spare batch taken from a small recycling pool, then swaps it into the
+// destination slot and recycles the displaced batch. Computing into a
+// spare (never in place) makes destination-aliases-source safe by
+// construction — the liveness pass reuses slots aggressively, so
+// Dst == A or Dst == C within one superinstruction is routine. At steady
+// state the pool and frame hold every plane the program needs and
+// Batch::assignLike/assignConstant rebuild them without touching the
+// allocator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/NativeEmitter.h"
+
+#include "aa/Batch.h"
+#include "core/TapeExec.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+using namespace safegen;
+using namespace safegen::core;
+using namespace safegen::core::tape_detail;
+
+//===----------------------------------------------------------------------===//
+// Emission
+//===----------------------------------------------------------------------===//
+
+NativeBlock safegen::core::emitNativeBlock(const Tape &T) {
+  NativeBlock B;
+  B.Src = &T;
+  B.Ops.reserve(T.Code.size());
+  for (const TapeInst &In : T.Code) {
+    NativeOp O;
+    O.Op = In.Op;
+    O.Sub = In.Sub;
+    O.Dst = In.Dst;
+    O.A = In.A;
+    O.B = In.B;
+    O.C = In.C;
+    switch (In.Op) {
+    case TapeOpcode::FConst:
+      O.CVal = T.Consts[In.A].Value;
+      break;
+    case TapeOpcode::FConstBin:
+    case TapeOpcode::FLin:
+      O.CVal = T.Consts[In.B].Value;
+      break;
+    case TapeOpcode::FFmaC:
+      O.CVal = T.Consts[In.C].Value;
+      break;
+    default:
+      break;
+    }
+    B.Ops.push_back(O);
+  }
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Superblock execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using aa::BatchF64;
+
+/// The register frame plus the spare-batch recycling pool. The pool cap
+/// bounds memory at frame-size + a few batches; two spares cover the
+/// widest superinstruction (product temporary + result), the rest absorb
+/// the occasional allocating path (elementary calls, FFromInt).
+class NativeFrame {
+public:
+  BatchF64 &operator[](size_t S) { return F[S]; }
+  const BatchF64 &operator[](size_t S) const { return F[S]; }
+
+  /// Sizes the frame for a tape; existing columns keep their storage.
+  void resize(size_t Slots) { F.resize(Slots); }
+
+  /// The raw slot vector, for bindBatchArgs (which writes only the
+  /// parameter slots).
+  std::vector<BatchF64> &slots() { return F; }
+
+  /// A spare batch to compute into (pooled storage when available).
+  BatchF64 take() {
+    if (Pool.empty())
+      return BatchF64();
+    BatchF64 B = std::move(Pool.back());
+    Pool.pop_back();
+    return B;
+  }
+
+  void recycle(BatchF64 &&B) {
+    if (Pool.size() < MaxPool)
+      Pool.push_back(std::move(B));
+  }
+
+  /// Installs a computed result: the displaced slot value feeds the pool.
+  void put(int32_t Dst, BatchF64 &&Out) {
+    recycle(std::move(F[static_cast<size_t>(Dst)]));
+    F[static_cast<size_t>(Dst)] = std::move(Out);
+  }
+
+private:
+  static constexpr size_t MaxPool = 4;
+  std::vector<BatchF64> F;
+  std::vector<BatchF64> Pool;
+};
+
+/// Per-thread execution state, reused across lane groups, chunks and
+/// runs: the register frame with its spare pool, the integer registers,
+/// local array storage, the constant scratch column and the lane
+/// scratch. Persistence is the point of the lane-group tiling — at
+/// steady state every plane the superblock touches is already allocated
+/// and cache-hot from the previous group. Safe to carry stale contents
+/// between groups (and between tapes): the tape compiler gives every
+/// slot a definite initial write (uninitialized locals lower to
+/// FConst/IConst 0 and AInit), so no op ever reads a value the current
+/// group did not produce.
+struct NativeExecState {
+  NativeFrame F;
+  std::vector<BInt> I;
+  std::vector<std::vector<BatchF64>> Arr;
+  BatchF64 Cv;
+  std::vector<long long> LaneBuf;
+};
+
+NativeExecState &nativeExecState() {
+  static thread_local NativeExecState St;
+  return St;
+}
+
+/// The per-thread lane-group environment: \p G contexts constructed once
+/// per thread (NativeGrain in steady state) and reset before every
+/// group. A reset context is indistinguishable from a freshly
+/// constructed one (the ContextArena contract), so each group draws
+/// exactly the symbol stream a standalone chunk of its size would —
+/// which is also what the per-instance scalar replay draws.
+aa::BatchEnv &groupEnv(const aa::AAConfig &Cfg, int32_t G) {
+  static thread_local aa::BatchEnv Env;
+  Env.Config = Cfg;
+  if (static_cast<int32_t>(Env.Contexts.size()) != G)
+    Env.Contexts.resize(static_cast<size_t>(G));
+  for (aa::AffineContext &C : Env.Contexts)
+    C.reset();
+  Env.AnyProtected = false;
+  return Env;
+}
+
+/// In-place applyVariant: the same operand orders as the shared
+/// template, routed through Batch::evalAdd (operator+/- delegate to
+/// evalAdd with the identical order, so the kernel streams match).
+void evalVariant(uint8_t Sub, const BatchF64 &T, const BatchF64 &C,
+                 BatchF64 &Out) {
+  switch (static_cast<TapeAddVariant>(Sub)) {
+  case TapeAddVariant::TPlusC:
+    BatchF64::evalAdd(T, C, +1.0, Out);
+    return;
+  case TapeAddVariant::CPlusT:
+    BatchF64::evalAdd(C, T, +1.0, Out);
+    return;
+  case TapeAddVariant::TMinusC:
+    BatchF64::evalAdd(T, C, -1.0, Out);
+    return;
+  case TapeAddVariant::CMinusT:
+    BatchF64::evalAdd(C, T, -1.0, Out);
+    return;
+  }
+  assert(false && "bad variant");
+}
+
+/// In-place applyConstBin: kind = Sub>>1, const-is-lhs = Sub&1.
+void evalConstBin(uint8_t Sub, const BatchF64 &A, const BatchF64 &C,
+                  BatchF64 &Out) {
+  const bool CL = Sub & 1;
+  switch (Sub >> 1) {
+  case 0:
+    BatchF64::evalAdd(CL ? C : A, CL ? A : C, +1.0, Out);
+    return;
+  case 1:
+    BatchF64::evalAdd(CL ? C : A, CL ? A : C, -1.0, Out);
+    return;
+  case 2:
+    if (CL)
+      BatchF64::evalMul(C, A, Out);
+    else
+      BatchF64::evalMul(A, C, Out);
+    return;
+  case 3:
+    if (CL)
+      BatchF64::evalDiv(C, A, Out);
+    else
+      BatchF64::evalDiv(A, C, Out);
+    return;
+  }
+  assert(false && "bad constbin");
+}
+
+/// Runs the chunk on the superblock. Mirrors the tape's column executor
+/// decision for decision (divergence handling, uniform-lane tracking,
+/// step accounting — one tick per lockstep op, 1:1 with tape ops);
+/// throws BatchDiverged to request the per-instance fallback and never
+/// returns partial results. The affine ops differ only in storage:
+/// spares from the frame pool instead of fresh allocations.
+void runSuperblock(const NativeBlock &NB, NativeExecState &St,
+                   const std::vector<std::vector<double>> &Seeds,
+                   int32_t First, int32_t Count, BatchCallResult *Out,
+                   uint64_t Budget) {
+  const Tape &T = NB.tape();
+  NativeFrame &F = St.F;
+  F.resize(static_cast<size_t>(T.NumFpSlots));
+  std::vector<BInt> &I = St.I;
+  I.resize(static_cast<size_t>(T.NumIntRegs));
+  std::vector<std::vector<BatchF64>> &Arr = St.Arr;
+  Arr.resize(T.Arrays.size());
+  for (size_t A = 0; A < T.Arrays.size(); ++A)
+    if (T.Arrays[A].Param < 0)
+      Arr[A].resize(static_cast<size_t>(T.Arrays[A].NumElems));
+
+  // bindBatchArgs writes only the parameter slots; the rest keep their
+  // pooled storage from the previous group.
+  bindBatchArgs(T, Seeds, First, Count, F.slots(), I, Arr);
+
+  // Constant scratch column, reused by every constant-carrying op.
+  BatchF64 &Cv = St.Cv;
+
+  uint64_t Steps = 0;
+  int32_t PC = 0;
+  std::vector<long long> &LaneBuf = St.LaneBuf;
+  LaneBuf.resize(static_cast<size_t>(Count));
+  const NativeOp *Ops = NB.ops().data();
+  for (;;) {
+    if (++Steps > Budget)
+      throw BatchDiverged{};
+    const NativeOp &In = Ops[PC];
+    int32_t Next = PC + 1;
+    switch (In.Op) {
+    case TapeOpcode::FConst:
+      // In-place rebuild; draws the constant's deviation symbols (if
+      // inexact) at this op's stream position, like BatchF64(CVal).
+      F[In.Dst].assignConstant(In.CVal);
+      break;
+    case TapeOpcode::FMov:
+      F[In.Dst] = F[In.A]; // plane copy into reused storage
+      break;
+    case TapeOpcode::FNeg: {
+      BatchF64 R = F.take();
+      BatchF64::evalNeg(F[In.A], R);
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FAdd: {
+      BatchF64 R = F.take();
+      BatchF64::evalAdd(F[In.A], F[In.B], +1.0, R);
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FSub: {
+      BatchF64 R = F.take();
+      BatchF64::evalAdd(F[In.A], F[In.B], -1.0, R);
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FMul: {
+      BatchF64 R = F.take();
+      BatchF64::evalMul(F[In.A], F[In.B], R);
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FDiv: {
+      BatchF64 R = F.take();
+      BatchF64::evalDiv(F[In.A], F[In.B], R);
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FFma: {
+      BatchF64 Prod = F.take();
+      BatchF64::evalMul(F[In.A], F[In.B], Prod);
+      BatchF64 R = F.take();
+      evalVariant(In.Sub, Prod, F[In.C], R);
+      F.recycle(std::move(Prod));
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FConstBin: {
+      Cv.assignConstant(In.CVal);
+      BatchF64 R = F.take();
+      evalConstBin(In.Sub, F[In.A], Cv, R);
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FLin: {
+      Cv.assignConstant(In.CVal);
+      BatchF64 Prod = F.take();
+      if (In.Sub & 1)
+        BatchF64::evalMul(Cv, F[In.A], Prod);
+      else
+        BatchF64::evalMul(F[In.A], Cv, Prod);
+      BatchF64 R = F.take();
+      evalVariant(In.Sub >> 1, Prod, F[In.C], R);
+      F.recycle(std::move(Prod));
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FFmaC: {
+      BatchF64 Prod = F.take();
+      BatchF64::evalMul(F[In.A], F[In.B], Prod);
+      Cv.assignConstant(In.CVal); // symbol draws after the mul, as in tape
+      BatchF64 R = F.take();
+      evalVariant(In.Sub, Prod, Cv, R);
+      F.recycle(std::move(Prod));
+      F.put(In.Dst, std::move(R));
+      break;
+    }
+    case TapeOpcode::FCall1:
+      // The elementary functions linearize per instance and allocate
+      // their result batch; the displaced slot value feeds the pool, so
+      // the cost is one allocation per call op, not per op.
+      switch (static_cast<TapeFn1>(In.Sub)) {
+      case TapeFn1::Sqrt: F.put(In.Dst, aa::sqrt(F[In.A])); break;
+      case TapeFn1::Exp: F.put(In.Dst, aa::exp(F[In.A])); break;
+      case TapeFn1::Log: F.put(In.Dst, aa::log(F[In.A])); break;
+      case TapeFn1::Sin: F.put(In.Dst, aa::sin(F[In.A])); break;
+      case TapeFn1::Cos: F.put(In.Dst, aa::cos(F[In.A])); break;
+      case TapeFn1::Fabs: F.put(In.Dst, batchFabs(F[In.A])); break;
+      }
+      break;
+    case TapeOpcode::FCall2:
+      F.put(In.Dst, static_cast<TapeFn2>(In.Sub) == TapeFn2::Fmax
+                        ? batchFmax(F[In.A], F[In.B])
+                        : batchFmin(F[In.A], F[In.B]));
+      break;
+    case TapeOpcode::FLoad: {
+      const BInt &Idx = I[In.B];
+      if (Idx.Uniform) {
+        F[In.Dst] = Arr[In.A][static_cast<size_t>(Idx.U)];
+      } else {
+        // Divergent gather: pure data movement, no env interaction.
+        BatchF64 R = F.take();
+        R.assignLike(Arr[In.A][0]);
+        for (int32_t K = 0; K < Count; ++K)
+          R.insert(K, Arr[In.A][static_cast<size_t>(Idx.lane(K))].extract(K));
+        F.put(In.Dst, std::move(R));
+      }
+      break;
+    }
+    case TapeOpcode::FStore: {
+      const BInt &Idx = I[In.B];
+      if (Idx.Uniform) {
+        Arr[In.A][static_cast<size_t>(Idx.U)] = F[In.C];
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          Arr[In.A][static_cast<size_t>(Idx.lane(K))].insert(
+              K, F[In.C].extract(K));
+      }
+      break;
+    }
+    case TapeOpcode::FCmp: {
+      for (int32_t K = 0; K < Count; ++K)
+        LaneBuf[K] = cmpDouble(static_cast<TapeCmp>(In.Sub), F[In.A].mid(K),
+                               F[In.B].mid(K));
+      setLanes(I[In.Dst], LaneBuf);
+      break;
+    }
+    case TapeOpcode::FTruthy: {
+      for (int32_t K = 0; K < Count; ++K)
+        LaneBuf[K] = F[In.A].mid(K) != 0.0;
+      setLanes(I[In.Dst], LaneBuf);
+      break;
+    }
+    case TapeOpcode::FFromInt: {
+      const BInt &Src = I[In.A];
+      if (Src.Uniform) {
+        F.put(In.Dst, BatchF64::exact(static_cast<double>(Src.U)));
+      } else {
+        BatchF64 R = BatchF64::exact(0.0);
+        aa::AAConfig SC = envScalarConfig(aa::batchEnv());
+        for (int32_t K = 0; K < Count; ++K)
+          R.insert(K, aa::ops::makeExact<aa::F64Center>(
+                          static_cast<double>(Src.lane(K)), SC));
+        F.put(In.Dst, std::move(R));
+      }
+      break;
+    }
+    case TapeOpcode::FPrioritize:
+      F[In.A].prioritize();
+      break;
+    case TapeOpcode::APrioritize:
+      for (const BatchF64 &E : Arr[In.A])
+        E.prioritize();
+      break;
+    case TapeOpcode::AInit:
+      for (BatchF64 &E : Arr[In.A])
+        E = BatchF64::exact(0.0);
+      break;
+    case TapeOpcode::IConst:
+      setUniform(I[In.Dst], T.IntConsts[In.A]);
+      break;
+    case TapeOpcode::IMov:
+      I[In.Dst] = I[In.A];
+      break;
+    case TapeOpcode::INeg:
+    case TapeOpcode::INot:
+    case TapeOpcode::IBitNot: {
+      const BInt &A = I[In.A];
+      auto Un = [&](long long V) -> long long {
+        return In.Op == TapeOpcode::INeg    ? -V
+               : In.Op == TapeOpcode::INot ? !V
+                                           : ~V;
+      };
+      if (A.Uniform) {
+        setUniform(I[In.Dst], Un(A.U));
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          LaneBuf[K] = Un(A.lane(K));
+        setLanes(I[In.Dst], LaneBuf);
+      }
+      break;
+    }
+    case TapeOpcode::IAdd:
+    case TapeOpcode::ISub:
+    case TapeOpcode::IMul:
+    case TapeOpcode::IDiv:
+    case TapeOpcode::IRem:
+    case TapeOpcode::IAnd:
+    case TapeOpcode::IOr:
+    case TapeOpcode::IXor:
+    case TapeOpcode::IShl:
+    case TapeOpcode::IShr: {
+      const BInt &A = I[In.A], &B = I[In.B];
+      bool Div = In.Op == TapeOpcode::IDiv || In.Op == TapeOpcode::IRem;
+      if (A.Uniform && B.Uniform) {
+        if (Div && B.U == 0)
+          throw BatchDiverged{}; // every lane faults; scalar path reports it
+        setUniform(I[In.Dst], intBin(In.Op, A.U, B.U));
+      } else {
+        for (int32_t K = 0; K < Count; ++K) {
+          if (Div && B.lane(K) == 0)
+            throw BatchDiverged{};
+          LaneBuf[K] = intBin(In.Op, A.lane(K), B.lane(K));
+        }
+        setLanes(I[In.Dst], LaneBuf);
+      }
+      break;
+    }
+    case TapeOpcode::ICmp: {
+      const BInt &A = I[In.A], &B = I[In.B];
+      if (A.Uniform && B.Uniform) {
+        setUniform(I[In.Dst], cmpLL(static_cast<TapeCmp>(In.Sub), A.U, B.U));
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          LaneBuf[K] =
+              cmpLL(static_cast<TapeCmp>(In.Sub), A.lane(K), B.lane(K));
+        setLanes(I[In.Dst], LaneBuf);
+      }
+      break;
+    }
+    case TapeOpcode::IBound: {
+      const BInt &A = I[In.A];
+      if (A.Uniform) {
+        if (A.U < 0 || A.U >= In.B)
+          throw BatchDiverged{};
+      } else {
+        for (int32_t K = 0; K < Count; ++K)
+          if (A.lane(K) < 0 || A.lane(K) >= In.B)
+            throw BatchDiverged{};
+      }
+      break;
+    }
+    case TapeOpcode::Jump:
+      Next = In.B;
+      break;
+    case TapeOpcode::JumpIfZero:
+    case TapeOpcode::JumpIfNonZero: {
+      const BInt &C = I[In.A];
+      if (!C.Uniform)
+        throw BatchDiverged{};
+      bool Taken = In.Op == TapeOpcode::JumpIfZero ? C.U == 0 : C.U != 0;
+      if (Taken)
+        Next = In.B;
+      break;
+    }
+    case TapeOpcode::RetF:
+      for (int32_t K = 0; K < Count; ++K) {
+        BatchCallResult &R = Out[K];
+        R.Success = true;
+        R.UsedTape = true;
+        double Lo, Hi;
+        F[In.A].bounds(K, Lo, Hi);
+        R.Return = ia::Interval(Lo, Hi);
+        R.CertifiedBits = F[In.A].certifiedBits(K);
+        R.StepsUsed = Steps;
+      }
+      return;
+    case TapeOpcode::RetInt: {
+      const BInt &V = I[In.A];
+      for (int32_t K = 0; K < Count; ++K) {
+        BatchCallResult &R = Out[K];
+        R.Success = true;
+        R.UsedTape = true;
+        double D = static_cast<double>(V.lane(K));
+        R.Return = ia::Interval(D, D);
+        R.CertifiedBits = 0.0;
+        R.StepsUsed = Steps;
+      }
+      return;
+    }
+    case TapeOpcode::RetVoid:
+      for (int32_t K = 0; K < Count; ++K) {
+        BatchCallResult &R = Out[K];
+        R.Success = true;
+        R.UsedTape = true;
+        R.StepsUsed = Steps;
+      }
+      return;
+    }
+    PC = Next;
+  }
+}
+
+} // namespace
+
+void safegen::core::runNativeBatchChunk(
+    const NativeBlock &B, const aa::AAConfig &Cfg,
+    const std::vector<std::vector<double>> &Seeds, int32_t First,
+    int32_t Count, BatchCallResult *Out, uint64_t StepBudget,
+    bool TrySuperblock) {
+  if (Count <= 0)
+    return;
+  // The superblock frame holds BatchF64 columns under the sound model;
+  // everything else takes the tape's own fallbacks (shared code, hence
+  // trivially bit-identical): narrow formats and the probabilistic model
+  // route to the format-generic scalar executor inside runTapeBatchChunk.
+  if (TrySuperblock && Cfg.Model == aa::ErrorModel::Sound &&
+      Cfg.Precision != aa::Format::F16 && Cfg.Precision != aa::Format::BF16) {
+    // Tile the chunk into NativeGrain lane groups, each under its own
+    // group-sized environment over the shared persistent frame. Instances
+    // are independent (each runs against its own fresh context), so any
+    // grouping is bit-identical to the lockstep whole-chunk run and to
+    // the per-instance scalar replay; the tiling only shrinks the frame's
+    // working set to L1/L2 size. A group that diverges falls back to the
+    // scalar executor for just that group — same results, finer-grained
+    // than the column executor's whole-chunk fallback.
+    NativeExecState &St = nativeExecState();
+    for (int32_t G0 = 0; G0 < Count; G0 += NativeGrain) {
+      const int32_t G = std::min(NativeGrain, Count - G0);
+      bool Diverged = false;
+      {
+        aa::BatchEnvBindScope Bind(groupEnv(Cfg, G));
+        try {
+          runSuperblock(B, St, Seeds, First + G0, G, Out + G0, StepBudget);
+        } catch (const BatchDiverged &) {
+          Diverged = true;
+        }
+      }
+      if (Diverged)
+        runTapeBatchChunk(B.tape(), Cfg, Seeds, First + G0, G, Out + G0,
+                          StepBudget, /*TryColumns=*/false);
+    }
+    return;
+  }
+  runTapeBatchChunk(B.tape(), Cfg, Seeds, First, Count, Out, StepBudget,
+                    /*TryColumns=*/false);
+}

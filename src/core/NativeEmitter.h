@@ -1,0 +1,123 @@
+//===- NativeEmitter.h - AOT tape-to-native superblock backend --*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native execution backend (`--engine=native`): an ahead-of-time
+/// pass that compiles a liveness-planned tape into one specialized
+/// *superblock* per kernel, executed over a flat frame of persistent
+/// batch registers.
+///
+/// The tape's batched-columns executor (Tape.cpp) already removes the
+/// tree walker's per-op name lookups, but it still materializes every op
+/// result into a *freshly allocated* aa::Batch sized to the whole chunk:
+/// at realistic K*N each value is (K+1) coefficient planes x N lanes
+/// (~136 KiB at K=16, N=1024), so every op streams its operands and
+/// result through L2/L3 and pays the allocator on top. The superblock
+/// instead maps the tape's register slots onto a persistent frame of
+/// BatchF64 columns (slot i <-> frame entry i; the linear-scan slot
+/// assignment is already a minimal flat frame) and routes every op
+/// through the in-place Batch::evalAdd/evalMul/evalDiv entry points:
+/// results are computed into a recycled spare batch whose planes are
+/// reused via Batch::assignLike, then swapped into the destination slot.
+/// On top of that the batch loop is tiled into lane groups of
+/// NativeGrain instances, so the frame's whole working set stays
+/// L1/L2-resident across the entire superblock instead of round-tripping
+/// each op's full batch through the cache hierarchy — that tiling is
+/// where the bulk of the speedup over interp-tape comes from.
+///
+/// Bit-identity with the tape engine holds by construction: both
+/// backends funnel every affine operation through the same kernel entry
+/// points (Batch::evalAdd/evalMul/evalDiv and the shared tape_detail
+/// helpers), against the same per-instance contexts, in the same op
+/// order — only the allocation strategy of the result storage differs,
+/// and storage placement is invisible to the arithmetic. The fuzzer's
+/// engine-identity phase (fuzz/Oracle.cpp) enforces this across the
+/// placement x fusion x K x format grid.
+///
+/// Anything outside the lockstep subset — narrow formats, the
+/// probabilistic error model, divergent branches, lane faults — falls
+/// back to the tape's own paths (shared code, hence trivially
+/// identical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_NATIVEEMITTER_H
+#define SAFEGEN_CORE_NATIVEEMITTER_H
+
+#include "core/Tape.h"
+
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+/// Lane-group size of the native engine's batch tiling: the chunk grain
+/// passed to aa::batch::run so the superblock executes over groups of
+/// this many instances. Sized so a typical frame (K+1 planes x
+/// NativeGrain lanes x 8 B per live slot, a handful of live slots plus
+/// the recycling pool) fits comfortably in L1/L2. Instances are
+/// independent — the per-instance scalar replay is bit-identical to any
+/// lockstep grouping — so the grain is a pure performance knob. Must be
+/// a multiple of 8 (the widest SIMD lane count).
+inline constexpr int32_t NativeGrain = 64;
+
+/// One pre-decoded micro-op of a native superblock. A superblock op is
+/// positionally 1:1 with its tape op (jump targets in B stay valid and
+/// the step accounting matches the tape executors tick for tick);
+/// decoding resolves the constant-pool indirection ahead of time.
+struct NativeOp {
+  TapeOpcode Op;
+  uint8_t Sub = 0;
+  int32_t Dst = -1;
+  int32_t A = -1;
+  int32_t B = -1;
+  int32_t C = -1;
+  /// The resolved source constant for FConst/FConstBin/FLin/FFmaC.
+  double CVal = 0.0;
+};
+
+/// A tape compiled ahead-of-time into a native superblock. Immutable
+/// after emission and free of run state, so one block is shared by every
+/// worker thread of a batched run. Keeps a reference to its source tape
+/// (for parameters, arrays and the fallback paths); the tape must
+/// outlive the block.
+class NativeBlock {
+public:
+  const Tape &tape() const { return *Src; }
+  const std::vector<NativeOp> &ops() const { return Ops; }
+
+private:
+  friend NativeBlock emitNativeBlock(const Tape &T);
+
+  const Tape *Src = nullptr;
+  std::vector<NativeOp> Ops;
+};
+
+/// Compiles \p T into a superblock. Never fails: every tape op has a
+/// superblock lowering, and configurations outside the lockstep subset
+/// are handled at run time by the fallback in runNativeBatchChunk.
+NativeBlock emitNativeBlock(const Tape &T);
+
+/// Executes instances [First, First+Count) of a batched run on the
+/// native superblock — the engine-dispatch mirror of runTapeBatchChunk,
+/// with identical fallback semantics: narrow formats and the
+/// probabilistic model delegate to the tape's format-generic scalar
+/// executor, \p TrySuperblock == false (vectorized or non-direct-mapped
+/// configurations) and any lockstep divergence re-run the affected lane
+/// group through the per-instance scalar path. Requires upward rounding;
+/// unlike runTapeBatchChunk it manages its own batch environments — the
+/// chunk is tiled into NativeGrain lane groups and each group binds a
+/// group-sized BatchEnv, so callers should invoke aa::batch::run with
+/// BindEnv == false.
+void runNativeBatchChunk(const NativeBlock &B, const aa::AAConfig &Cfg,
+                         const std::vector<std::vector<double>> &Seeds,
+                         int32_t First, int32_t Count, BatchCallResult *Out,
+                         uint64_t StepBudget, bool TrySuperblock);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_NATIVEEMITTER_H

@@ -27,6 +27,7 @@
 #include "core/Tape.h"
 
 #include "aa/Batch.h"
+#include "core/TapeExec.h"
 
 #include <cassert>
 #include <cmath>
@@ -35,6 +36,7 @@
 
 using namespace safegen;
 using namespace safegen::core;
+using namespace safegen::core::tape_detail;
 
 //===----------------------------------------------------------------------===//
 // Disassembler
@@ -266,15 +268,13 @@ std::string Tape::disassemble() const {
 }
 
 //===----------------------------------------------------------------------===//
-// Shared executor helpers
+// Shared executor helpers (declared in TapeExec.h; also used by the
+// native superblock backend in NativeEmitter.cpp)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Thrown through the executors; never escapes the entry points.
-struct TapeFault {
-  std::string Message;
-};
+namespace safegen {
+namespace core {
+namespace tape_detail {
 
 [[noreturn]] void fault(std::string Msg) { throw TapeFault{std::move(Msg)}; }
 
@@ -329,31 +329,9 @@ long long intBin(TapeOpcode Op, long long A, long long B) {
         std::to_string(Size) + ")");
 }
 
-template <typename V> V applyVariant(uint8_t Sub, const V &T, const V &C) {
-  switch (static_cast<TapeAddVariant>(Sub)) {
-  case TapeAddVariant::TPlusC: return T + C;
-  case TapeAddVariant::CPlusT: return C + T;
-  case TapeAddVariant::TMinusC: return T - C;
-  case TapeAddVariant::CMinusT: return C - T;
-  }
-  assert(false && "bad variant");
-  return T + C;
-}
-
-/// bin(Sub)(a, const) for FConstBin: kind = Sub>>1, const-is-lhs = Sub&1.
-template <typename V> V applyConstBin(uint8_t Sub, const V &A, const V &C) {
-  bool CL = Sub & 1;
-  switch (Sub >> 1) {
-  case 0: return CL ? C + A : A + C;
-  case 1: return CL ? C - A : A - C;
-  case 2: return CL ? C * A : A * C;
-  case 3: return CL ? C / A : A / C;
-  }
-  assert(false && "bad constbin");
-  return A + C;
-}
-
-} // namespace
+} // namespace tape_detail
+} // namespace core
+} // namespace safegen
 
 //===----------------------------------------------------------------------===//
 // Scalar executor
@@ -645,7 +623,9 @@ template TapeRunResultT<aa::BF16Center> safegen::core::runTapeScalarT(
 // Batched-columns executor
 //===----------------------------------------------------------------------===//
 
-namespace {
+namespace safegen {
+namespace core {
+namespace tape_detail {
 
 using aa::BatchF64;
 
@@ -656,21 +636,6 @@ aa::AAConfig envScalarConfig(const aa::BatchEnv &E) {
   Cfg.Vectorize = false;
   return Cfg;
 }
-
-/// Signals "this chunk cannot continue in lockstep" — not an error:
-/// the caller re-runs the chunk per instance through the scalar path.
-struct BatchDiverged {};
-
-/// An integer register across the chunk's lanes, tracked as uniform for
-/// as long as every lane agrees (the common case: loop counters and
-/// bounds checks are seed-independent in most kernels).
-struct BInt {
-  bool Uniform = true;
-  long long U = 0;
-  std::vector<long long> Lanes;
-
-  long long lane(int32_t I) const { return Uniform ? U : Lanes[I]; }
-};
 
 /// Mirrors aa_fabs_f64 per instance (same decision structure, same
 /// kernel calls per context).
@@ -791,6 +756,14 @@ void setLanes(BInt &R, std::vector<long long> Lanes) {
   R.U = 0;
   R.Lanes = std::move(Lanes);
 }
+
+} // namespace tape_detail
+} // namespace core
+} // namespace safegen
+
+namespace {
+
+using aa::BatchF64;
 
 /// Runs the chunk on columns. Throws BatchDiverged to request the
 /// per-instance fallback, never returns partial results.

@@ -1,0 +1,125 @@
+//===- TapeExec.h - Shared tape-executor internals --------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the tape executors (Tape.cpp) and the
+/// native superblock backend (NativeEmitter.cpp). Not installed, not part
+/// of the public core API.
+///
+/// The two backends must stay *bit-identical*: the same comparison,
+/// integer, fusion-variant and elementary-function decision code has to
+/// run in both, or a divergence would be a silent soundness bug only the
+/// fuzzer could find. Everything whose semantics both executors depend on
+/// therefore lives here exactly once; the executors differ only in how
+/// they store and recycle their register values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_TAPEEXEC_H
+#define SAFEGEN_CORE_TAPEEXEC_H
+
+#include "core/Tape.h"
+
+#include "aa/Batch.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+namespace tape_detail {
+
+/// Thrown through the executors; never escapes the entry points.
+struct TapeFault {
+  std::string Message;
+};
+
+[[noreturn]] void fault(std::string Msg);
+
+bool cmpDouble(TapeCmp C, double L, double R);
+long long cmpLL(TapeCmp C, long long L, long long R);
+
+/// Exact integer binary op; faults on division/remainder by zero (the
+/// column executors check for zero divisors *before* calling, so a fault
+/// here can only surface from the scalar path).
+long long intBin(TapeOpcode Op, long long A, long long B);
+
+[[noreturn]] void boundsFault(long long I, int64_t Size);
+
+/// applyVariant/applyConstBin encode the fusion superinstructions'
+/// operand order. The order is part of the bit-identity contract
+/// (ops::add(a,b) and ops::add(b,a) are not interchangeable under every
+/// fusion policy), so both executors must share one definition.
+template <typename V> V applyVariant(uint8_t Sub, const V &T, const V &C) {
+  switch (static_cast<TapeAddVariant>(Sub)) {
+  case TapeAddVariant::TPlusC: return T + C;
+  case TapeAddVariant::CPlusT: return C + T;
+  case TapeAddVariant::TMinusC: return T - C;
+  case TapeAddVariant::CMinusT: return C - T;
+  }
+  assert(false && "bad variant");
+  return T + C;
+}
+
+/// bin(Sub)(a, const) for FConstBin: kind = Sub>>1, const-is-lhs = Sub&1.
+template <typename V> V applyConstBin(uint8_t Sub, const V &A, const V &C) {
+  bool CL = Sub & 1;
+  switch (Sub >> 1) {
+  case 0: return CL ? C + A : A + C;
+  case 1: return CL ? C - A : A - C;
+  case 2: return CL ? C * A : A * C;
+  case 3: return CL ? C / A : A / C;
+  }
+  assert(false && "bad constbin");
+  return A + C;
+}
+
+/// Signals "this chunk cannot continue in lockstep" — not an error:
+/// the caller re-runs the chunk per instance through the scalar path.
+struct BatchDiverged {};
+
+/// An integer register across the chunk's lanes, tracked as uniform for
+/// as long as every lane agrees (the common case: loop counters and
+/// bounds checks are seed-independent in most kernels).
+struct BInt {
+  bool Uniform = true;
+  long long U = 0;
+  std::vector<long long> Lanes;
+
+  long long lane(int32_t I) const { return Uniform ? U : Lanes[I]; }
+};
+
+void setUniform(BInt &R, long long V);
+
+/// Collapses a freshly computed lane vector back to uniform when every
+/// lane agrees, so later branches stay convergent.
+void setLanes(BInt &R, std::vector<long long> Lanes);
+
+/// The batch fallback convention: per-instance scalar kernels always run
+/// with Vectorize off (see Batch<CT>::scalarConfig).
+aa::AAConfig envScalarConfig(const aa::BatchEnv &E);
+
+/// Batched mirrors of the aa_fabs/aa_fmax/aa_fmin runtime helpers: same
+/// decision structure, same kernel calls per instance context.
+aa::BatchF64 batchFabs(const aa::BatchF64 &A);
+aa::BatchF64 batchFmax(const aa::BatchF64 &A, const aa::BatchF64 &B);
+aa::BatchF64 batchFmin(const aa::BatchF64 &A, const aa::BatchF64 &B);
+
+/// Builds the chunk's argument columns from the seeds, drawing symbols
+/// per context in the same order as makeDefaultArg: parameters
+/// left-to-right, array elements row-major, missing seeds default 1.0.
+void bindBatchArgs(const Tape &T,
+                   const std::vector<std::vector<double>> &Seeds,
+                   int32_t First, int32_t Count,
+                   std::vector<aa::BatchF64> &F, std::vector<BInt> &I,
+                   std::vector<std::vector<aa::BatchF64>> &Arr);
+
+} // namespace tape_detail
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_TAPEEXEC_H

@@ -24,7 +24,9 @@
 #include "frontend/ASTPrinter.h"
 #include "frontend/Frontend.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -56,8 +58,10 @@ void printUsage() {
       "                     filled from --arg values (1-ulp inputs)\n"
       "  --arg <number>     argument for --run (repeatable, in order)\n"
       "  --engine <e>       execution engine for --run: tape (compiled\n"
-      "                     tape, tree fallback) or tree (reference\n"
-      "                     tree-walk); results are bit-identical\n"
+      "                     tape, tree fallback), native (tape compiled\n"
+      "                     to a fused superblock; scalar runs share the\n"
+      "                     tape VM) or tree (reference tree-walk);\n"
+      "                     results are bit-identical across engines\n"
       "  --isa <tier>       force the runtime SIMD kernel tier: scalar,\n"
       "                     sse2, avx2 or avx512 (default: widest the\n"
       "                     host supports; results are bit-identical\n"
@@ -78,6 +82,28 @@ void printUsage() {
       "  --print-after=<p>    dump the AST after pass <p> (repeatable)\n"
       "  --disable-pass=<p>   skip pass <p> (repeatable)\n"
       "  --help             this text\n");
+}
+
+/// Checked decimal parse for integer option values, in the spirit of
+/// AAConfig::parse: the whole token must be consumed and the value must
+/// land in [Lo, Hi]. Fills \p Diag and returns false otherwise — unlike
+/// atoi, which silently accepts "16abc", garbage, and overflow.
+bool parseIntOption(const char *V, long Lo, long Hi, long &Out,
+                    std::string &Diag) {
+  errno = 0;
+  char *End = nullptr;
+  long Val = std::strtol(V, &End, 10);
+  if (End == V || *End != '\0') {
+    Diag = "not an integer";
+    return false;
+  }
+  if (errno == ERANGE || Val < Lo || Val > Hi) {
+    Diag = "must be in [" + std::to_string(Lo) + ", " + std::to_string(Hi) +
+           "]";
+    return false;
+  }
+  Out = Val;
+  return true;
 }
 
 bool writeFileOrStdout(const std::string &Path, const std::string &Text) {
@@ -172,11 +198,14 @@ int main(int Argc, char **Argv) {
       const char *V = NextValue("-k");
       if (!V)
         return 1;
-      Opts.Config.K = std::atoi(V);
-      if (Opts.Config.K < 2 || Opts.Config.K > 64) {
-        std::fprintf(stderr, "safegen: -k must be in [2, 64]\n");
+      long K;
+      std::string Diag;
+      if (!parseIntOption(V, 2, 64, K, Diag)) {
+        std::fprintf(stderr, "safegen: invalid -k value '%s': %s\n", V,
+                     Diag.c_str());
         return 1;
       }
+      Opts.Config.K = static_cast<int>(K);
       continue;
     }
     if (Arg == "--function") {
@@ -263,11 +292,14 @@ int main(int Argc, char **Argv) {
       }
       if (V == "tape")
         InterpOpts.Engine = core::ExecEngine::Tape;
+      else if (V == "native")
+        InterpOpts.Engine = core::ExecEngine::Native;
       else if (V == "tree")
         InterpOpts.Engine = core::ExecEngine::Tree;
       else {
         std::fprintf(stderr,
-                     "safegen: --engine must be 'tape' or 'tree', got '%s'\n",
+                     "safegen: --engine must be 'tape', 'native' or 'tree', "
+                     "got '%s'\n",
                      V.c_str());
         return 1;
       }
@@ -450,13 +482,17 @@ int main(int Argc, char **Argv) {
         PrintValue(What.c_str(), V.elems()[J]);
       }
     }
+    const char *EngineName =
+        !R.UsedTape ? "tree engine"
+        : InterpOpts.Engine == core::ExecEngine::Native
+            ? "native engine (scalar via tape VM)"
+            : "tape engine";
     std::fprintf(stderr,
                  "safegen: interpreted %llu steps soundly (%s, %s model, "
                  "%s)\n",
                  static_cast<unsigned long long>(R.StepsUsed),
                  Opts.Config.str().c_str(),
-                 aa::errorModelName(Opts.Config.Model),
-                 R.UsedTape ? "tape engine" : "tree engine");
+                 aa::errorModelName(Opts.Config.Model), EngineName);
     return 0;
   }
 

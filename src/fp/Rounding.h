@@ -36,6 +36,8 @@
 #include <cassert>
 #include <cfenv>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace safegen {
 namespace fp {
@@ -87,14 +89,44 @@ template <typename T> inline T opaque(T X) { return X; }
 /// True when the FPU currently rounds toward +infinity.
 inline bool isRoundingUpward() { return std::fegetround() == FE_UPWARD; }
 
+/// Every sound bound in the system is conditional on the FPU actually
+/// being in the mode the scopes request; a failed fegetround/fesetround
+/// would silently produce nearest-rounded "sound" intervals. Unsound is
+/// worse than dead, so the scopes abort rather than continue.
+[[noreturn]] inline void roundingModeFailure(const char *What, int Rc) {
+  std::fprintf(stderr,
+               "safegen: fatal: %s failed (rc=%d); cannot guarantee "
+               "directed rounding, refusing to continue\n",
+               What, Rc);
+  std::abort();
+}
+
+/// Reads the current rounding mode, aborting if the FPU refuses to say.
+inline int checkedGetRound() {
+  int Mode = std::fegetround();
+  if (Mode < 0)
+    roundingModeFailure("fegetround", Mode);
+  return Mode;
+}
+
+/// Switches the rounding mode, aborting on failure. fesetround returns
+/// nonzero when the requested mode is not supported — a real possibility
+/// on soft-float targets and under emulators that ignore MXCSR writes.
+inline void checkedSetRound(int Mode) {
+  if (int Rc = std::fesetround(Mode))
+    roundingModeFailure("fesetround", Rc);
+}
+
 /// RAII scope that switches the FPU to round-upward and restores the
 /// previous mode on destruction. All sound computations run inside one.
+/// Both transitions are checked: a mode switch that silently fails would
+/// make every bound computed inside the scope unsound.
 class RoundUpwardScope {
 public:
-  RoundUpwardScope() : SavedMode(std::fegetround()) {
-    std::fesetround(FE_UPWARD);
+  RoundUpwardScope() : SavedMode(checkedGetRound()) {
+    checkedSetRound(FE_UPWARD);
   }
-  ~RoundUpwardScope() { std::fesetround(SavedMode); }
+  ~RoundUpwardScope() { checkedSetRound(SavedMode); }
 
   RoundUpwardScope(const RoundUpwardScope &) = delete;
   RoundUpwardScope &operator=(const RoundUpwardScope &) = delete;
@@ -107,10 +139,10 @@ private:
 /// reference evaluators (error-free transforms are exact only in RN).
 class RoundNearestScope {
 public:
-  RoundNearestScope() : SavedMode(std::fegetround()) {
-    std::fesetround(FE_TONEAREST);
+  RoundNearestScope() : SavedMode(checkedGetRound()) {
+    checkedSetRound(FE_TONEAREST);
   }
-  ~RoundNearestScope() { std::fesetround(SavedMode); }
+  ~RoundNearestScope() { checkedSetRound(SavedMode); }
 
   RoundNearestScope(const RoundNearestScope &) = delete;
   RoundNearestScope &operator=(const RoundNearestScope &) = delete;

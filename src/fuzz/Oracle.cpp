@@ -280,6 +280,22 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
           return fail("narrow-containment", Cfg.str(),
                       "AA enclosure [" + fmt(Lo) + ", " + fmt(Hi) + "] vs " +
                           R.str());
+        // Narrow formats under --engine=native fall back to the tape's
+        // format-generic scalar executor; assert the dispatch preserves
+        // strict bit-identity rather than assume it.
+        core::InterpreterOptions NatOpts = interpOpts(O, false);
+        NatOpts.Engine = core::ExecEngine::Native;
+        auto NS = core::Interpreter::runBatch(TU, Fn, Cfg, {Seeds},
+                                              /*Threads=*/1, NatOpts);
+        if (NS[0].Success != RS[0].Success ||
+            !sameBits(NS[0].Return.Lo, RS[0].Return.Lo) ||
+            !sameBits(NS[0].Return.Hi, RS[0].Return.Hi))
+          return fail("native-identity", Cfg.str(),
+                      "narrow-format native enclosure [" +
+                          fmt(NS[0].Return.Lo) + ", " + fmt(NS[0].Return.Hi) +
+                          "] is not bit-identical to the tape engine's [" +
+                          fmt(RS[0].Return.Lo) + ", " + fmt(RS[0].Return.Hi) +
+                          "]");
         aa::AAConfig PCfg = Cfg;
         PCfg.Model = aa::ErrorModel::Probabilistic;
         auto PS = core::Interpreter::runBatch(TU, Fn, PCfg, {Seeds},
@@ -300,6 +316,18 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                           ", " + fmt(P.SupportHi) +
                           "] escapes the sound bound [" + fmt(SLo) + ", " +
                           fmt(SHi) + "]");
+        auto NPS = core::Interpreter::runBatch(TU, Fn, PCfg, {Seeds},
+                                               /*Threads=*/1, NatOpts);
+        if (NPS[0].Success != PS[0].Success || !NPS[0].HasProb ||
+            !sameBits(NPS[0].Return.Lo, PS[0].Return.Lo) ||
+            !sameBits(NPS[0].Return.Hi, PS[0].Return.Hi) ||
+            !sameBits(NPS[0].Prob.Lo, P.Lo) ||
+            !sameBits(NPS[0].Prob.Hi, P.Hi) ||
+            !sameBits(NPS[0].Prob.SupportLo, P.SupportLo) ||
+            !sameBits(NPS[0].Prob.SupportHi, P.SupportHi))
+          return fail("native-identity", PCfg.str(),
+                      "probabilistic native run is not bit-identical to "
+                      "the tape engine's");
       }
     }
   }
@@ -378,11 +406,35 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                   "tape enclosure [" + fmt(PLo) + ", " + fmt(PHi) +
                       "] is not bit-identical to the tree walker's [" +
                       fmt(TLo) + ", " + fmt(THi) + "]");
+    // Scalar calls under --engine=native run the shared tape VM; the
+    // engine contract still promises strict bit-identity, so check it
+    // rather than assume the dispatch is wired correctly.
+    double NLo, NHi;
+    std::string NErr;
+    bool NUsedTape = false;
+    bool NatOk = runOnce(TU, Fn, Cfg, O, false, NLo, NHi, Sh, NErr,
+                         core::ExecEngine::Native, &NUsedTape);
+    if (!NUsedTape)
+      return fail("native-identity", Cfg.str(),
+                  "kernel did not compile under the native engine");
+    if (TapeOk != NatOk)
+      return fail("native-identity", Cfg.str(),
+                  std::string("native run ") +
+                      (NatOk ? "succeeded" : "failed") +
+                      " where the tape engine " +
+                      (TapeOk ? "succeeded" : "failed") + " (" +
+                      (NatOk ? PErr : NErr) + ")");
+    if (TapeOk && (!sameBits(PLo, NLo) || !sameBits(PHi, NHi)))
+      return fail("native-identity", Cfg.str(),
+                  "native enclosure [" + fmt(NLo) + ", " + fmt(NHi) +
+                      "] is not bit-identical to the tape engine's [" +
+                      fmt(PLo) + ", " + fmt(PHi) + "]");
   }
 
-  // The batched tape path (column execution with per-instance scalar
-  // fallback on divergence) must match the serial tree batch bit for
-  // bit, serial and threaded alike.
+  // The batched compiled engines (tape: column execution, native: the
+  // AOT superblock — both with per-instance scalar fallback on
+  // divergence) must match the serial tree batch bit for bit, serial
+  // and threaded alike.
   for (const aa::AAConfig &Cfg : Configs) {
     std::vector<double> Vals = argValuesOr(O);
     const frontend::FunctionDecl *F = TU.findFunction(Fn);
@@ -396,33 +448,39 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
     }
     core::InterpreterOptions TreeOpts = interpOpts(O, false);
     TreeOpts.Engine = core::ExecEngine::Tree;
-    core::InterpreterOptions TapeOpts = interpOpts(O, false);
-    TapeOpts.Engine = core::ExecEngine::Tape;
     auto Ref = core::Interpreter::runBatch(TU, Fn, Cfg, Instances,
                                            /*Threads=*/1, TreeOpts);
-    for (unsigned Threads : {1u, 3u}) {
-      auto Got = core::Interpreter::runBatch(TU, Fn, Cfg, Instances,
-                                             Threads, TapeOpts);
-      for (size_t I = 0; I < Ref.size(); ++I) {
-        if (!Got[I].UsedTape)
-          return fail("tape-identity", Cfg.str(),
-                      "batch instance " + std::to_string(I) +
-                          " fell back to the tree walker");
-        if (Ref[I].Success != Got[I].Success)
-          return fail("tape-identity", Cfg.str(),
-                      "batch instance " + std::to_string(I) +
-                          " success differs between tape (" +
-                          std::to_string(Threads) +
-                          " thread(s)) and the tree walker");
-        if (!Ref[I].Success)
-          continue;
-        if (!sameBits(Ref[I].Return.Lo, Got[I].Return.Lo) ||
-            !sameBits(Ref[I].Return.Hi, Got[I].Return.Hi))
-          return fail("tape-identity", Cfg.str(),
-                      "batch instance " + std::to_string(I) +
-                          " tape enclosure (" + std::to_string(Threads) +
-                          " thread(s)) is not bit-identical to the tree "
-                          "walker's");
+    for (core::ExecEngine Eng :
+         {core::ExecEngine::Tape, core::ExecEngine::Native}) {
+      const bool Nat = Eng == core::ExecEngine::Native;
+      const char *Kind = Nat ? "native-identity" : "tape-identity";
+      const char *Name = Nat ? "native" : "tape";
+      core::InterpreterOptions EngOpts = interpOpts(O, false);
+      EngOpts.Engine = Eng;
+      for (unsigned Threads : {1u, 3u}) {
+        auto Got = core::Interpreter::runBatch(TU, Fn, Cfg, Instances,
+                                               Threads, EngOpts);
+        for (size_t I = 0; I < Ref.size(); ++I) {
+          if (!Got[I].UsedTape)
+            return fail(Kind, Cfg.str(),
+                        "batch instance " + std::to_string(I) +
+                            " fell back to the tree walker");
+          if (Ref[I].Success != Got[I].Success)
+            return fail(Kind, Cfg.str(),
+                        "batch instance " + std::to_string(I) +
+                            " success differs between " + Name + " (" +
+                            std::to_string(Threads) +
+                            " thread(s)) and the tree walker");
+          if (!Ref[I].Success)
+            continue;
+          if (!sameBits(Ref[I].Return.Lo, Got[I].Return.Lo) ||
+              !sameBits(Ref[I].Return.Hi, Got[I].Return.Hi))
+            return fail(Kind, Cfg.str(),
+                        "batch instance " + std::to_string(I) + " " + Name +
+                            " enclosure (" + std::to_string(Threads) +
+                            " thread(s)) is not bit-identical to the tree "
+                            "walker's");
+        }
       }
     }
   }
@@ -797,7 +855,8 @@ Kernel fuzz::minimizeKernel(const Kernel &K, const OracleOptions &O,
   OracleOptions Narrow = O;
   bool IdentityKind = First.Kind == "simd-identity" ||
                       First.Kind == "bit-identity" ||
-                      First.Kind == "tape-identity";
+                      First.Kind == "tape-identity" ||
+                      First.Kind == "native-identity";
   if (auto Cfg = aa::AAConfig::parse(First.Config)) {
     // Identity failures are reported with the vectorized twin's 'v'
     // notation, but the identity pass re-derives that twin from the

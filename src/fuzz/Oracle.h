@@ -86,8 +86,8 @@ struct Verdict {
   bool Ok = true;
   std::string Kind;   ///< "containment" | "narrow-containment" |
                       ///< "prob-support" | "simd-identity" |
-                      ///< "bit-identity" | "tape-identity" | "frontend"
-                      ///< (empty if Ok)
+                      ///< "bit-identity" | "tape-identity" |
+                      ///< "native-identity" | "frontend" (empty if Ok)
   std::string Config; ///< AAConfig notation of the failing run
   std::string Detail; ///< human-readable failure description
   std::string str() const;

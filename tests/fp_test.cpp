@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <random>
+#include <stdexcept>
 
 using namespace safegen;
 using namespace safegen::fp;
@@ -24,6 +25,49 @@ TEST(Rounding, UpwardScopeSetsAndRestores) {
     EXPECT_TRUE(isRoundingUpward());
   }
   EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+}
+
+TEST(Rounding, NestedScopesRestoreThroughEarlyExit) {
+  // Scopes restore the *saved* mode, not a hard-coded one, so nesting in
+  // any combination unwinds correctly — including when an exception pops
+  // several scopes at once (the batch executors throw BatchDiverged out
+  // of a RoundUpwardScope and re-enter a fresh one for the fallback).
+  ASSERT_EQ(std::fegetround(), FE_TONEAREST);
+  {
+    RoundUpwardScope Outer;
+    {
+      RoundNearestScope Mid;
+      EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+      {
+        RoundUpwardScope Inner;
+        EXPECT_TRUE(isRoundingUpward());
+      }
+      EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+    }
+    EXPECT_TRUE(isRoundingUpward());
+    try {
+      RoundNearestScope Mid;
+      RoundUpwardScope Inner;
+      throw std::runtime_error("unwind");
+    } catch (const std::runtime_error &) {
+      // Both scopes must have unwound back to the outer upward mode.
+      EXPECT_TRUE(isRoundingUpward());
+    }
+    EXPECT_TRUE(isRoundingUpward());
+  }
+  EXPECT_EQ(std::fegetround(), FE_TONEAREST);
+}
+
+TEST(Rounding, CheckedSetRoundAcceptsAllStandardModes) {
+  // checkedSetRound aborts on failure by contract; on a host that runs
+  // this suite at all, every standard mode must round-trip through
+  // checkedGetRound.
+  int Saved = checkedGetRound();
+  for (int Mode : {FE_UPWARD, FE_DOWNWARD, FE_TOWARDZERO, FE_TONEAREST}) {
+    checkedSetRound(Mode);
+    EXPECT_EQ(checkedGetRound(), Mode);
+  }
+  checkedSetRound(Saved);
 }
 
 TEST(Rounding, DirectedAddBracketsExact) {

@@ -9,8 +9,9 @@
 //    physical slot overlap, and the slot count never exceeds the maximum
 //    number of simultaneously live registers;
 //  * superinstruction fusion goldens keyed off the disassembly;
-//  * bit-identity of the tape engine (scalar call() and batched runBatch,
-//    fused and unfused) against the tree-walk reference;
+//  * bit-identity of the tape and native engines (scalar call() and
+//    batched runBatch, fused and unfused) against the tree-walk
+//    reference;
 //  * replay determinism across worker-thread counts;
 //  * array-argument writeback through the tape path.
 //
@@ -22,8 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <map>
+#include <vector>
 
 using namespace safegen;
 using namespace safegen::core;
@@ -122,6 +125,141 @@ TEST(TapeSlots, LivenessInvariantsHold) {
   }
 }
 
+TEST(TapeSlots, FreedSlotReassignedAtSuperinstruction) {
+  // StraightKernel's fused tape recycles two slots mid-block: x's slot
+  // frees after its last read and becomes the destination of a later op,
+  // and one of those reassignments lands on a fused superinstruction
+  // (ffma) that simultaneously reads three other live slots. Pin that
+  // both reuses exist — the native superblock's persistent frame relies
+  // on freed slots being reassigned only via whole-value writes.
+  auto CU = parse(StraightKernel);
+  Tape T = compile(*CU);
+  ASSERT_GT(T.NumFused, 0u);
+  bool ReusedAtFused = false, Reused = false;
+  std::map<int32_t, std::vector<const TapeInterval *>> BySlot;
+  for (const TapeInterval &I : T.FpIntervals)
+    BySlot[I.Slot].push_back(&I);
+  for (auto &[Slot, Ivs] : BySlot)
+    for (const TapeInterval *A : Ivs)
+      for (const TapeInterval *B : Ivs) {
+        if (A == B || A->End >= B->Begin)
+          continue;
+        Reused = true;
+        TapeOpcode Op = T.Code[B->Begin].Op;
+        if (Op == TapeOpcode::FFma || Op == TapeOpcode::FFmaC ||
+            Op == TapeOpcode::FConstBin || Op == TapeOpcode::FLin)
+          ReusedAtFused = true;
+      }
+  EXPECT_TRUE(Reused);
+  EXPECT_TRUE(ReusedAtFused) << T.disassemble();
+}
+
+TEST(TapeSlots, DestinationAliasesOperandOnlyWithinOneLiveRange) {
+  // Two different live ranges mapped to one slot must be disjoint
+  // (operand live at op i means End >= i; a destination born at i means
+  // Begin == i; sharing requires End < Begin). The only way a
+  // destination can alias an operand slot of the same (super)instruction
+  // is in-place reassignment of the same variable (e.g. `acc = c*t +
+  // acc`), which both executors tolerate by reading every operand into a
+  // temporary before the destination write. Verify both halves: slot
+  // sharing is strictly ordered, and every same-op alias resolves to a
+  // live range born strictly before the op that rewrites it.
+  for (const char *Src : {BranchyKernel, StraightKernel}) {
+    auto CU = parse(Src);
+    Tape T = compile(*CU);
+
+    std::map<int32_t, std::vector<const TapeInterval *>> BySlot;
+    for (const TapeInterval &I : T.FpIntervals)
+      BySlot[I.Slot].push_back(&I);
+    for (auto &[Slot, Ivs] : BySlot) {
+      std::sort(Ivs.begin(), Ivs.end(),
+                [](const TapeInterval *A, const TapeInterval *B) {
+                  return A->Begin < B->Begin;
+                });
+      for (size_t K = 1; K < Ivs.size(); ++K)
+        EXPECT_LT(Ivs[K - 1]->End, Ivs[K]->Begin)
+            << "slot " << Slot << " has overlapping live ranges";
+    }
+
+    // The live range covering an aliased operand must predate the op:
+    // a fresh temporary colliding with its own operand would have
+    // Begin == the op index.
+    auto LiveAt = [&](int32_t Slot, int32_t Pos) -> const TapeInterval * {
+      for (const TapeInterval &I : T.FpIntervals)
+        if (I.Slot == Slot && I.Begin <= Pos && Pos <= I.End)
+          return &I;
+      return nullptr;
+    };
+    for (size_t Pos = 0; Pos < T.Code.size(); ++Pos) {
+      const TapeInst &I = T.Code[Pos];
+      if (I.Dst < 0)
+        continue;
+      // Collect only operands that index the FP slot file (FConstBin's
+      // B, FLin's B and FFmaC's C are constant-pool indices and may
+      // coincide with any slot number).
+      std::vector<int32_t> FpOps;
+      switch (I.Op) {
+      case TapeOpcode::FMov:
+      case TapeOpcode::FNeg:
+      case TapeOpcode::FCall1:
+      case TapeOpcode::FConstBin:
+        FpOps = {I.A};
+        break;
+      case TapeOpcode::FAdd:
+      case TapeOpcode::FSub:
+      case TapeOpcode::FMul:
+      case TapeOpcode::FDiv:
+      case TapeOpcode::FCall2:
+      case TapeOpcode::FFmaC:
+        FpOps = {I.A, I.B};
+        break;
+      case TapeOpcode::FLin:
+        FpOps = {I.A, I.C};
+        break;
+      case TapeOpcode::FFma:
+        FpOps = {I.A, I.B, I.C};
+        break;
+      default:
+        break;
+      }
+      for (int32_t Opnd : FpOps) {
+        if (Opnd != I.Dst)
+          continue;
+        const TapeInterval *Range = LiveAt(Opnd, static_cast<int32_t>(Pos));
+        ASSERT_NE(Range, nullptr);
+        EXPECT_LT(Range->Begin, static_cast<int32_t>(Pos))
+            << "op " << Pos << " writes slot " << I.Dst
+            << " over an operand born at the same op:\n"
+            << T.disassemble();
+      }
+    }
+  }
+}
+
+TEST(TapeSlots, SingleOpKernelsNeedNoTemporaries) {
+  // A kernel whose body folds to one arithmetic op must run in exactly
+  // MaxFpLive slots — nothing spare for the executors to allocate.
+  {
+    auto CU = parse("double f(double x, double y) { return x + y; }");
+    Tape T = compile(*CU);
+    EXPECT_EQ(T.NumFpSlots, 3);
+    EXPECT_EQ(T.NumFpSlots, T.MaxFpLive);
+    EXPECT_EQ(T.Code[0].Op, TapeOpcode::FAdd);
+  }
+  {
+    // x*x - x fuses to a single ffma: the mul temporary is folded into
+    // the superinstruction, so its vreg never needs a slot at all —
+    // 2 slots cover 3 vregs.
+    auto CU = parse("double f(double x) { return x * x - x; }");
+    Tape T = compile(*CU);
+    EXPECT_EQ(T.NumFused, 1u);
+    EXPECT_EQ(T.Code[0].Op, TapeOpcode::FFma);
+    EXPECT_EQ(T.NumFpVRegs, 3);
+    EXPECT_EQ(T.NumFpSlots, 2);
+    EXPECT_EQ(T.NumFpSlots, T.MaxFpLive);
+  }
+}
+
 TEST(TapeSlots, ReturnedParameterStaysLive) {
   // Regression: RetF reads its register; without that use the planner
   // frees a returned parameter's slot after its last arithmetic read
@@ -131,9 +269,11 @@ TEST(TapeSlots, ReturnedParameterStaysLive) {
   const TapeInst &Ret = T.Code[T.Code.size() - 2];
   ASSERT_EQ(Ret.Op, TapeOpcode::RetF);
   // x2 is parameter 2; its interval must extend to the RetF.
-  for (const TapeInterval &I : T.FpIntervals)
-    if (I.Slot == Ret.A && I.Begin == 0)
+  for (const TapeInterval &I : T.FpIntervals) {
+    if (I.Slot == Ret.A && I.Begin == 0) {
       EXPECT_GE(I.End, static_cast<int32_t>(T.Code.size()) - 2);
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -258,22 +398,26 @@ TEST(TapeEngine, RunBatchBitIdenticalAcrossEnginesAndThreads) {
     TreeOpts.Engine = ExecEngine::Tree;
     auto Ref = Interpreter::runBatch(TU, "f", Cfg, Seeds, 1, TreeOpts);
 
-    InterpreterOptions TapeOpts;
-    TapeOpts.Engine = ExecEngine::Tape;
-    for (unsigned Threads : {1u, 3u}) {
-      auto Got = Interpreter::runBatch(TU, "f", Cfg, Seeds, Threads,
-                                       TapeOpts);
-      ASSERT_EQ(Got.size(), Ref.size());
-      for (size_t I = 0; I < Ref.size(); ++I) {
-        EXPECT_TRUE(Got[I].UsedTape);
-        ASSERT_EQ(Got[I].Success, Ref[I].Success);
-        if (!Ref[I].Success)
-          continue;
-        EXPECT_EQ(bitsOf(Got[I].Return.Lo), bitsOf(Ref[I].Return.Lo))
-            << Name << " instance " << I << " threads " << Threads;
-        EXPECT_EQ(bitsOf(Got[I].Return.Hi), bitsOf(Ref[I].Return.Hi))
-            << Name << " instance " << I << " threads " << Threads;
-        EXPECT_EQ(Got[I].CertifiedBits, Ref[I].CertifiedBits);
+    for (ExecEngine Engine : {ExecEngine::Tape, ExecEngine::Native}) {
+      InterpreterOptions EngOpts;
+      EngOpts.Engine = Engine;
+      for (unsigned Threads : {1u, 3u}) {
+        auto Got = Interpreter::runBatch(TU, "f", Cfg, Seeds, Threads,
+                                         EngOpts);
+        ASSERT_EQ(Got.size(), Ref.size());
+        for (size_t I = 0; I < Ref.size(); ++I) {
+          EXPECT_TRUE(Got[I].UsedTape);
+          ASSERT_EQ(Got[I].Success, Ref[I].Success);
+          if (!Ref[I].Success)
+            continue;
+          EXPECT_EQ(bitsOf(Got[I].Return.Lo), bitsOf(Ref[I].Return.Lo))
+              << Name << " instance " << I << " threads " << Threads
+              << (Engine == ExecEngine::Native ? " native" : " tape");
+          EXPECT_EQ(bitsOf(Got[I].Return.Hi), bitsOf(Ref[I].Return.Hi))
+              << Name << " instance " << I << " threads " << Threads
+              << (Engine == ExecEngine::Native ? " native" : " tape");
+          EXPECT_EQ(Got[I].CertifiedBits, Ref[I].CertifiedBits);
+        }
       }
     }
   }

@@ -51,6 +51,24 @@ template <typename V> V kernel(const V &X) {
   return (W + X) * U - W * T;
 }
 
+/// The group-sparse workload: kernel() with one division in the middle.
+/// The division runs per instance through the scalar fallback, whose
+/// scatter densifies the dense live mask to all K rows (direct-mapped
+/// AffineVars always carry N == K), so every op after it iterates the
+/// full budget under dense storage even though the program touches well
+/// under half the symbols at K >= 64. Sparse storage keeps iterating
+/// only the occupied (slot, group) pairs.
+template <typename V> V sparseKernel(const V &X) {
+  V T = X * X - X;
+  V U = T * X + V(0.5);
+  V D = U / (T * T + V(2.0)); // denominator >= 2: no domain trouble
+  V W = D * U - T;
+  W = W * W + D;
+  W = (W + X) * U - W * T;
+  W = W * D + U;
+  return W * W - D;
+}
+
 constexpr int TimeRuns = 5;
 constexpr double MinBlockSeconds = 2e-3;
 
@@ -126,6 +144,15 @@ void printRow(const char *Path, const char *Config, int K, int N,
   std::fflush(stdout);
 }
 
+/// Row variant with the optional 7th column: resident bytes per instance
+/// of the workload's result batch (the storage-mode memory metric).
+void printRowMem(const char *Path, const char *Config, int K, int N,
+                 unsigned Threads, double Seconds, double BytesPerInstance) {
+  std::printf("%s,%s,%d,%d,%u,%.2f,%.1f\n", Path, Config, K, N, Threads,
+              Seconds / N * 1e9, BytesPerInstance);
+  std::fflush(stdout);
+}
+
 /// The per-form reference: a scalar loop of F64a ops under one affine
 /// environment (fresh per repetition, matching the fresh per-chunk
 /// contexts of the batch engine). Cfg.Vectorize selects the paper's
@@ -163,6 +190,69 @@ double runBatched(const AAConfig &Cfg, const std::vector<double> &Xs,
     doNotOptimize(Lo);
     doNotOptimize(Hi);
   });
+}
+
+/// Dense-vs-sparse storage rows (`batch-dense` / `batch-sparse` paths,
+/// K in {16, 64, 128}, N = 1024, single-threaded) on the sparseKernel
+/// workload. The two storage modes are measured *interleaved*
+/// (timeItPair) because scripts/run_benchmarks.py gates their ratio at
+/// K = 128; both rows carry the bytes-per-instance column. Sparse must
+/// be bit-identical to dense — divergence is a hard failure.
+int runSparseRows(std::mt19937_64 &Rng) {
+  const int N = 1024;
+  std::uniform_real_distribution<double> U(0.0, 1.0);
+  support::ThreadPool Pool(1);
+  for (int K : {16, 64, 128}) {
+    AAConfig Dense = *AAConfig::parse("f64a-dspn");
+    Dense.K = K;
+    AAConfig Sparse = Dense;
+    Sparse.Sparse = true;
+
+    std::vector<double> Xs(N), DLo(N), DHi(N), SLo(N), SHi(N);
+    for (int I = 0; I < N; ++I)
+      Xs[I] = U(Rng);
+
+    auto RunStorage = [&](const AAConfig &Cfg, std::vector<double> &Lo,
+                          std::vector<double> &Hi) {
+      batch::run(Cfg, N, Pool, [&](int32_t First, int32_t Count) {
+        BatchF64 X = BatchF64::input(Xs.data() + First);
+        BatchF64 Y = sparseKernel(X);
+        Y.bounds(Lo.data() + First, Hi.data() + First);
+        (void)Count;
+      });
+      doNotOptimize(Lo);
+      doNotOptimize(Hi);
+    };
+
+    RunStorage(Dense, DLo, DHi);
+    RunStorage(Sparse, SLo, SHi);
+    for (int I = 0; I < N; ++I)
+      if (DLo[I] != SLo[I] || DHi[I] != SHi[I]) {
+        std::fprintf(stderr,
+                     "FATAL: sparse enclosure diverges from dense storage "
+                     "at k=%d i=%d\n",
+                     K, I);
+        return 1;
+      }
+
+    auto [DT, ST] = timeItPair([&] { RunStorage(Dense, DLo, DHi); },
+                               [&] { RunStorage(Sparse, SLo, SHi); });
+
+    // Memory metric: resident bytes per instance of the result batch,
+    // evaluated once as a single full-width chunk per mode.
+    auto BytesPerInstance = [&](const AAConfig &Cfg) {
+      fp::RoundUpwardScope Rounding;
+      BatchEnvScope Env(Cfg, N);
+      BatchF64 X = BatchF64::input(Xs.data());
+      BatchF64 Y = sparseKernel(X);
+      return static_cast<double>(Y.residentBytes()) / N;
+    };
+    printRowMem("batch-dense", Dense.str().c_str(), K, N, 1, DT,
+                BytesPerInstance(Dense));
+    printRowMem("batch-sparse", Sparse.str().c_str(), K, N, 1, ST,
+                BytesPerInstance(Sparse));
+  }
+  return 0;
 }
 
 /// The same kernel as source text, for the interpreter engine rows: the
@@ -392,7 +482,8 @@ int main(int argc, char **argv) {
     Threads = {1, 4};
   }
 
-  std::printf("path,config,k,batch,threads,ns_per_element\n");
+  std::printf("path,config,k,batch,threads,ns_per_element,"
+              "bytes_per_instance\n");
 
   std::mt19937_64 Rng(42);
   std::uniform_real_distribution<double> U(0.0, 1.0);
@@ -475,6 +566,13 @@ int main(int argc, char **argv) {
     }
     NoiseProbe();
   }
+
+  // Dense-vs-sparse storage rows (K sweep at N=1024); the K=128 time and
+  // memory ratios are gated by scripts/run_benchmarks.py. Interleaved
+  // measurement keeps the ratio drift-immune, like the engine rows.
+  if (int Rc = runSparseRows(Rng))
+    return Rc;
+  NoiseProbe();
 
   // Per-ISA tier rows (K=16, single-threaded) for the speedup-vs-scalar
   // trajectory; divergence between tiers is a hard failure.

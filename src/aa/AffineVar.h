@@ -35,13 +35,17 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace safegen {
 namespace aa {
 
 /// Hard upper limit on K for the inline affine types. The paper sweeps
-/// k = 8..48; 64 leaves headroom and keeps a variable at ~1 KiB.
-inline constexpr int MaxInlineSymbols = 64;
+/// k = 8..48; 128 covers the high-fidelity large-K regime (Fig. 8) that
+/// the group-sparse batch storage targets. The copy operations of
+/// AffineVar only touch the first N entries, so small-K configurations do
+/// not pay for the enlarged capacity.
+inline constexpr int MaxInlineSymbols = 128;
 
 /// A central-value policy: the composition of one format trait \p Fmt,
 /// one compute trait \p Cmp and one rounding policy \p RP into the
@@ -115,6 +119,23 @@ template <typename CT> struct AffineVar {
   double Coefs[MaxInlineSymbols];
 
   AffineVar() = default;
+
+  /// Copies are size-aware: only the Center and the first N entries are
+  /// transferred. Entries at [N, MaxInlineSymbols) are never read by any
+  /// kernel (direct-mapped forms keep N == K; sorted forms keep ids
+  /// ascending in [0, N)), so copying the full inline capacity would be
+  /// pure memory traffic — measurable at small K now that the capacity
+  /// is sized for the large-K regime.
+  AffineVar(const AffineVar &O) { *this = O; }
+  AffineVar &operator=(const AffineVar &O) {
+    if (this == &O)
+      return *this;
+    Center = O.Center;
+    N = O.N;
+    std::memcpy(Ids, O.Ids, static_cast<size_t>(N) * sizeof(SymbolId));
+    std::memcpy(Coefs, O.Coefs, static_cast<size_t>(N) * sizeof(double));
+    return *this;
+  }
 
   /// The radius r(â) = Σ|ai| of Eq. (2), rounded upward. Requires upward
   /// mode. Empty slots (id 0) contribute |0| and are harmless.

@@ -129,6 +129,18 @@ void batch::detail::mulVec(const Batch<F64Center> &A, const Batch<F64Center> &B,
   isa::select().BatchMul(A, B, Out, Env);
 }
 
+void batch::detail::addVecSparse(const Batch<F64Center> &A,
+                                 const Batch<F64Center> &B, double Sign,
+                                 Batch<F64Center> &Out, BatchEnv &Env) {
+  isa::select().BatchAddSparse(A, B, Sign, Out, Env);
+}
+
+void batch::detail::mulVecSparse(const Batch<F64Center> &A,
+                                 const Batch<F64Center> &B,
+                                 Batch<F64Center> &Out, BatchEnv &Env) {
+  isa::select().BatchMulSparse(A, B, Out, Env);
+}
+
 //===----------------------------------------------------------------------===//
 // Parallel batch runner
 //===----------------------------------------------------------------------===//

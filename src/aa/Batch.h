@@ -174,6 +174,59 @@ private:
 // Batch storage
 //===----------------------------------------------------------------------===//
 
+/// A bitset over slot planes: one bit per slot, two 64-bit words, sized
+/// for MaxInlineSymbols == 128. Word 1 is identically zero for K <= 64,
+/// so the two-word loops in the kernels cost one test-and-skip there.
+/// Used both as the whole-batch live-row mask and — in group-sparse mode
+/// — as the per-8-lane-group occupancy mask.
+struct SlotMask {
+  static constexpr int Words = 2;
+  uint64_t Wd[Words];
+
+  static constexpr SlotMask zero() { return {{0, 0}}; }
+  /// The mask with bits [0, N) set (N in [0, 128]).
+  static SlotMask lowBits(int N) {
+    SlotMask M = zero();
+    if (N >= 64) {
+      M.Wd[0] = ~uint64_t(0);
+      M.Wd[1] = N >= 128 ? ~uint64_t(0)
+                         : N == 64 ? 0 : (uint64_t(1) << (N - 64)) - 1;
+    } else if (N > 0) {
+      M.Wd[0] = (uint64_t(1) << N) - 1;
+    }
+    return M;
+  }
+
+  bool test(int S) const { return Wd[S >> 6] >> (S & 63) & 1; }
+  void set(int S) { Wd[S >> 6] |= uint64_t(1) << (S & 63); }
+  void clear(int S) { Wd[S >> 6] &= ~(uint64_t(1) << (S & 63)); }
+  bool any() const { return (Wd[0] | Wd[1]) != 0; }
+  bool none() const { return !any(); }
+  int count() const {
+    return __builtin_popcountll(Wd[0]) + __builtin_popcountll(Wd[1]);
+  }
+
+  friend SlotMask operator|(SlotMask A, SlotMask B) {
+    return {{A.Wd[0] | B.Wd[0], A.Wd[1] | B.Wd[1]}};
+  }
+  friend SlotMask operator&(SlotMask A, SlotMask B) {
+    return {{A.Wd[0] & B.Wd[0], A.Wd[1] & B.Wd[1]}};
+  }
+  /// A & ~B (the bits of A not in B).
+  static SlotMask andNot(SlotMask A, SlotMask B) {
+    return {{A.Wd[0] & ~B.Wd[0], A.Wd[1] & ~B.Wd[1]}};
+  }
+  SlotMask &operator|=(SlotMask B) {
+    Wd[0] |= B.Wd[0];
+    Wd[1] |= B.Wd[1];
+    return *this;
+  }
+  friend bool operator==(SlotMask A, SlotMask B) {
+    return A.Wd[0] == B.Wd[0] && A.Wd[1] == B.Wd[1];
+  }
+  friend bool operator!=(SlotMask A, SlotMask B) { return !(A == B); }
+};
+
 template <typename CT> class Batch;
 
 namespace batch {
@@ -222,6 +275,19 @@ public:
     if (Count != N)
       allocate(Count);
   }
+  /// Resizes to \p Count elements, preserving the first
+  /// min(Keep, Count) existing elements; the rest are indeterminate.
+  /// This is the grow/compact primitive of the sparse row pool.
+  void reallocate(size_t Count, size_t Keep) {
+    if (Count == N)
+      return;
+    std::unique_ptr<T[]> Q(Count ? new T[Count] : nullptr);
+    size_t M = std::min(std::min(Keep, Count), N);
+    if (M)
+      std::memcpy(Q.get(), P.get(), M * sizeof(T));
+    P = std::move(Q);
+    N = Count;
+  }
 
   T *data() { return P.get(); }
   const T *data() const { return P.get(); }
@@ -246,6 +312,14 @@ void addVec(const Batch<F64Center> &A, const Batch<F64Center> &B, double Sign,
             Batch<F64Center> &Out, BatchEnv &Env);
 void mulVec(const Batch<F64Center> &A, const Batch<F64Center> &B,
             Batch<F64Center> &Out, BatchEnv &Env);
+/// Group-skipping variants for group-sparse batches: iterate the OR/AND
+/// of the operands' per-group occupancy, claim destination groups on
+/// first write, and fold exact-zero groups through linear maps for free.
+/// Bit-identical to addVec/mulVec on the same logical values.
+void addVecSparse(const Batch<F64Center> &A, const Batch<F64Center> &B,
+                  double Sign, Batch<F64Center> &Out, BatchEnv &Env);
+void mulVecSparse(const Batch<F64Center> &A, const Batch<F64Center> &B,
+                  Batch<F64Center> &Out, BatchEnv &Env);
 } // namespace detail
 } // namespace batch
 
@@ -371,9 +445,9 @@ public:
     V.Center = Centers_[I];
     V.N = Live_[I];
     for (int32_t S = 0; S < V.N; ++S) {
-      if (Mask_ >> S & 1) {
-        V.Ids[S] = Ids_[static_cast<size_t>(S) * Cap_ + I];
-        V.Coefs[S] = Coefs_[static_cast<size_t>(S) * Cap_ + I];
+      if (laneGroupOccupied(S, I)) {
+        V.Ids[S] = Ids_[planeIndex(S) + I];
+        V.Coefs[S] = Coefs_[planeIndex(S) + I];
       } else {
         V.Ids[S] = InvalidSymbol;
         V.Coefs[S] = 0.0;
@@ -391,10 +465,26 @@ public:
     assert(V.N <= NSlots_ && "variable exceeds the batch slot planes");
     Centers_[I] = V.Center;
     Live_[I] = V.N;
+    if (!Sparse_) {
+      for (int32_t S = 0; S < V.N; ++S) {
+        materializeRow(S);
+        Ids_[static_cast<size_t>(S) * Cap_ + I] = V.Ids[S];
+        Coefs_[static_cast<size_t>(S) * Cap_ + I] = V.Coefs[S];
+      }
+      return;
+    }
+    // Group-sparse scatter. An empty entry only needs a store when its
+    // (slot, group) is already occupied — another lane of the group holds
+    // a symbol there, so this lane must overwrite whatever it held
+    // before. An unoccupied group stays untouched (owns no zero-fill) and
+    // every reader substitutes the empty pair.
     for (int32_t S = 0; S < V.N; ++S) {
-      materializeRow(S);
-      Ids_[static_cast<size_t>(S) * Cap_ + I] = V.Ids[S];
-      Coefs_[static_cast<size_t>(S) * Cap_ + I] = V.Coefs[S];
+      if (V.Ids[S] != InvalidSymbol)
+        materializeGroupForLane(S, I);
+      else if (!laneGroupOccupied(S, I))
+        continue;
+      Ids_[planeIndex(S) + I] = V.Ids[S];
+      Coefs_[planeIndex(S) + I] = V.Coefs[S];
     }
   }
 
@@ -405,8 +495,9 @@ public:
     SAFEGEN_ASSERT_ROUND_UP();
     double R = 0.0;
     for (int32_t S = 0; S < Live_[I]; ++S)
-      if (Mask_ >> S & 1) // dead rows hold exact zeros: +0 is the RU identity
-        R += std::fabs(Coefs_[static_cast<size_t>(S) * Cap_ + I]);
+      // dead rows/groups hold exact zeros: +0 is the RU identity
+      if (laneGroupOccupied(S, I))
+        R += std::fabs(Coefs_[planeIndex(S) + I]);
     double CLo, CHi;
     CT::bounds(Centers_[I], CLo, CHi);
     Lo = fp::subRD(CLo, R);
@@ -428,16 +519,35 @@ public:
         bounds(I, Lo[I], Hi[I]);
       return;
     }
-    uint64_t M = Mask_;
-    if (Live_[0] < 64)
-      M &= (uint64_t(1) << Live_[0]) - 1;
     for (int32_t I = 0; I < Size_; ++I)
       Lo[I] = 0.0; // Lo doubles as the radius accumulator
-    for (; M; M &= M - 1) {
-      const double *C =
-          Coefs_.data() + static_cast<size_t>(__builtin_ctzll(M)) * Cap_;
-      for (int32_t I = 0; I < Size_; ++I)
-        Lo[I] += std::fabs(C[I]);
+    const SlotMask LiveLimit = SlotMask::lowBits(Live_[0]);
+    if (!Sparse_) {
+      const SlotMask M = Mask_ & LiveLimit;
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t W = M.Wd[WI]; W; W &= W - 1) {
+          const double *C = Coefs_.data() +
+                            (static_cast<size_t>(WI) * 64 +
+                             static_cast<size_t>(__builtin_ctzll(W))) *
+                                Cap_;
+          for (int32_t I = 0; I < Size_; ++I)
+            Lo[I] += std::fabs(C[I]);
+        }
+    } else {
+      // Group-major: each 8-lane group accumulates only its own occupied
+      // slots, in ascending slot order — the same per-instance summation
+      // order as bounds(I, ...), so results stay bit-identical.
+      for (int32_t G = 0; G * 8 < Size_; ++G) {
+        const int32_t LaneEnd = std::min<int32_t>(Size_ - G * 8, 8);
+        const SlotMask M = groupMask(G) & LiveLimit;
+        for (int WI = 0; WI < SlotMask::Words; ++WI)
+          for (uint64_t W = M.Wd[WI]; W; W &= W - 1) {
+            const int S = WI * 64 + __builtin_ctzll(W);
+            const double *C = Coefs_.data() + planeIndex(S) + G * 8;
+            for (int32_t L = 0; L < LaneEnd; ++L)
+              Lo[G * 8 + L] += std::fabs(C[L]);
+          }
+      }
     }
     for (int32_t I = 0; I < Size_; ++I) {
       double CLo, CHi;
@@ -453,8 +563,8 @@ public:
     SAFEGEN_ASSERT_ROUND_UP();
     double R = 0.0;
     for (int32_t S = 0; S < Live_[I]; ++S)
-      if (Mask_ >> S & 1)
-        R += std::fabs(Coefs_[static_cast<size_t>(S) * Cap_ + I]);
+      if (laneGroupOccupied(S, I))
+        R += std::fabs(Coefs_[planeIndex(S) + I]);
     return R;
   }
   /// Certified bits of instance \p I (Eq. (9)).
@@ -472,8 +582,8 @@ public:
     for (int32_t I = 0; I < Size_; ++I) {
       AffineContext &Ctx = E.Contexts[I];
       for (int32_t S = 0; S < Live_[I]; ++S)
-        if (Mask_ >> S & 1)
-          Ctx.protect(Ids_[static_cast<size_t>(S) * Cap_ + I]);
+        if (laneGroupOccupied(S, I))
+          Ctx.protect(Ids_[planeIndex(S) + I]);
     }
     E.AnyProtected = true;
   }
@@ -522,7 +632,10 @@ public:
     if constexpr (std::is_same_v<CT, F64Center>) {
       if (batch::detail::fastSupported(E.Config)) {
         Out.assignLike(A);
-        batch::detail::addVec(A, B, Sign, Out, E);
+        if (A.Sparse_)
+          batch::detail::addVecSparse(A, B, Sign, Out, E);
+        else
+          batch::detail::addVec(A, B, Sign, Out, E);
         return;
       }
     }
@@ -540,7 +653,10 @@ public:
     if constexpr (std::is_same_v<CT, F64Center>) {
       if (batch::detail::fastSupported(E.Config)) {
         Out.assignLike(A);
-        batch::detail::mulVec(A, B, Out, E);
+        if (A.Sparse_)
+          batch::detail::mulVecSparse(A, B, Out, E);
+        else
+          batch::detail::mulVec(A, B, Out, E);
         return;
       }
     }
@@ -564,10 +680,27 @@ public:
     Out = A; // plane copy; PodArray::ensure keeps it allocation-free
     for (int32_t I = 0; I < Out.Size_; ++I)
       Out.Centers_[I] = CT::neg(Out.Centers_[I]);
-    for (uint64_t M = Out.Mask_; M; M &= M - 1) {
-      double *C = Out.coefPlane(static_cast<int32_t>(__builtin_ctzll(M)));
-      for (int32_t I = 0; I < Out.Cap_; ++I)
-        C[I] = -C[I];
+    if (!Out.Sparse_) {
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t M = Out.Mask_.Wd[WI]; M; M &= M - 1) {
+          double *C = Out.coefPlane(WI * 64 + __builtin_ctzll(M));
+          for (int32_t I = 0; I < Out.Cap_; ++I)
+            C[I] = -C[I];
+        }
+      return;
+    }
+    // Group-sparse: negation is a linear map, so unoccupied groups fold
+    // through for free — exact zero in, exact zero out, nothing touched
+    // (and unoccupied memory, which may be uninitialized, is never read).
+    for (int32_t G = 0; G < Out.groups(); ++G) {
+      const SlotMask M = Out.groupMask(G);
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t W = M.Wd[WI]; W; W &= W - 1) {
+          double *C =
+              Out.coefPlane(WI * 64 + __builtin_ctzll(W)) + G * 8;
+          for (int32_t L = 0; L < 8; ++L)
+            C[L] = -C[L];
+        }
     }
   }
   /// @}
@@ -592,22 +725,21 @@ public:
   }
 
   /// \name Raw plane access for the vector kernels (Batch.cpp). Layout:
-  /// row S of Ids/Coefs covers instances [0, capacity()) of slot S.
+  /// row S of Ids/Coefs covers instances [0, capacity()) of slot S. In
+  /// group-sparse mode a plane address is only valid for a slot with an
+  /// allocated pool row (asserted), and pool growth relocates every
+  /// plane — kernels re-fetch plane pointers after any materialization.
   /// @{
   const CenterType *centers() const { return Centers_.data(); }
   CenterType *centers() { return Centers_.data(); }
   const SymbolId *idPlane(int32_t S) const {
-    return Ids_.data() + static_cast<size_t>(S) * Cap_;
+    return Ids_.data() + planeIndex(S);
   }
-  SymbolId *idPlane(int32_t S) {
-    return Ids_.data() + static_cast<size_t>(S) * Cap_;
-  }
+  SymbolId *idPlane(int32_t S) { return Ids_.data() + planeIndex(S); }
   const double *coefPlane(int32_t S) const {
-    return Coefs_.data() + static_cast<size_t>(S) * Cap_;
+    return Coefs_.data() + planeIndex(S);
   }
-  double *coefPlane(int32_t S) {
-    return Coefs_.data() + static_cast<size_t>(S) * Cap_;
-  }
+  double *coefPlane(int32_t S) { return Coefs_.data() + planeIndex(S); }
   int32_t liveCount(int32_t I) const { return Live_[I]; }
   void setLiveCount(int32_t I, int32_t N) { Live_[I] = N; }
 
@@ -617,9 +749,142 @@ public:
   /// empty for every instance and its memory may be uninitialized; all
   /// readers substitute zeros. The vector kernels iterate only the union
   /// of the operands' masks — for a program touching s of K slots every
-  /// op costs O(s), not O(K).
-  uint64_t slotMask() const { return Mask_; }
-  void setSlotMask(uint64_t M) { Mask_ = M; }
+  /// op costs O(s), not O(K). In group-sparse mode the row mask is the OR
+  /// of every group's occupancy mask (an invariant maintained by all
+  /// writers), and a set bit only promises *some* group holds the slot.
+  SlotMask slotMask() const { return Mask_; }
+  /// Declares exactly the rows in \p M live. Dense mode: a plain mask
+  /// store (the vector kernels' epilogue — they have fully written every
+  /// row they claim). Group-sparse mode: kept consistent with the
+  /// occupancy bitset — rows newly added to the mask are materialized
+  /// (zeroed, occupied in every group), rows dropped from it release
+  /// their occupancy bits, so slotMask() == OR(groupMask(G)) always
+  /// holds.
+  void setSlotMask(SlotMask M) {
+    if (!Sparse_) {
+      Mask_ = M;
+      return;
+    }
+    const SlotMask Add = SlotMask::andNot(M, Mask_);
+    const SlotMask Drop = SlotMask::andNot(Mask_, M);
+    for (int WI = 0; WI < SlotMask::Words; ++WI) {
+      for (uint64_t W = Add.Wd[WI]; W; W &= W - 1) {
+        const int S = WI * 64 + __builtin_ctzll(W);
+        ensureRow(S);
+        std::memset(idPlane(S), 0,
+                    static_cast<size_t>(Cap_) * sizeof(SymbolId));
+        std::memset(coefPlane(S), 0,
+                    static_cast<size_t>(Cap_) * sizeof(double));
+      }
+      if (Add.Wd[WI] || Drop.Wd[WI])
+        for (int32_t G = 0; G < groups(); ++G) {
+          uint64_t &OW = Occ_[static_cast<size_t>(G) * SlotMask::Words + WI];
+          OW = (OW | Add.Wd[WI]) & ~Drop.Wd[WI];
+        }
+    }
+    Mask_ = M;
+  }
+  /// @}
+
+  /// \name Group-sparse occupancy and the adaptive row pool.
+  /// Storage mode is fixed at creation from AAConfig::Sparse. Occupancy
+  /// granularity is one (slot, 8-lane group) pair; allocation granularity
+  /// is one slot row, handed out of a pool that starts at a small budget
+  /// (SeedRows) and doubles under fusion pressure up to K — the adaptive
+  /// per-value symbol budget. Untouched slots own no plane memory, and
+  /// untouched groups of touched slots are never zero-filled.
+  /// @{
+  bool sparse() const { return Sparse_; }
+  /// 8-lane occupancy groups per plane row (== capacity() / 8).
+  int32_t groups() const { return Cap_ >> 3; }
+  /// Occupancy mask of group \p G: bit S set means (S, G) holds stored
+  /// values in all 8 lanes. Dense batches report the row mask for every
+  /// group (a dense row is materialized across all lanes by definition).
+  SlotMask groupMask(int32_t G) const {
+    if (!Sparse_)
+      return Mask_;
+    const size_t At = static_cast<size_t>(G) * SlotMask::Words;
+    return {{Occ_[At], Occ_[At + 1]}};
+  }
+  /// True when lane \p I of slot \p S addresses stored memory.
+  bool laneGroupOccupied(int32_t S, int32_t I) const {
+    if (!Sparse_)
+      return Mask_.test(S);
+    return Occ_[static_cast<size_t>(I >> 3) * SlotMask::Words + (S >> 6)] >>
+               (S & 63) &
+           1;
+  }
+  /// Claims occupancy of every slot in \p Need for group \p G: allocates
+  /// pool rows as needed and sets the occupancy bits. The caller promises
+  /// to fully write all 8 lanes of every claimed (slot, group) — nothing
+  /// is zeroed except the pad lanes [size(), capacity()) of a newly
+  /// claimed row's final group, which no kernel tier narrower than the
+  /// group width would otherwise cover. Idempotent and cheap when the
+  /// group already holds Need.
+  void claimGroup(int32_t G, SlotMask Need) {
+    assert(Sparse_ && "claimGroup is a group-sparse operation");
+    const SlotMask Fresh = SlotMask::andNot(Need, groupMask(G));
+    if (Fresh.none())
+      return;
+    const bool PadTail = (G + 1) * 8 > Size_;
+    for (int WI = 0; WI < SlotMask::Words; ++WI)
+      for (uint64_t W = Fresh.Wd[WI]; W; W &= W - 1) {
+        const int S = WI * 64 + __builtin_ctzll(W);
+        ensureRow(S);
+        if (PadTail && Size_ < Cap_) {
+          std::memset(idPlane(S) + Size_, 0,
+                      static_cast<size_t>(Cap_ - Size_) * sizeof(SymbolId));
+          std::memset(coefPlane(S) + Size_, 0,
+                      static_cast<size_t>(Cap_ - Size_) * sizeof(double));
+        }
+      }
+    const size_t At = static_cast<size_t>(G) * SlotMask::Words;
+    Occ_[At] |= Fresh.Wd[0];
+    Occ_[At + 1] |= Fresh.Wd[1];
+    Mask_ |= Fresh;
+  }
+  /// Ensures (S, group of lane I) is occupied, zeroing exactly that
+  /// 8-lane span on first touch — the scalar writers' materialization
+  /// primitive (insert, the factories, fresh-symbol insertion).
+  void materializeGroupForLane(int32_t S, int32_t I) {
+    assert(Sparse_ && "group materialization is a group-sparse operation");
+    const int32_t G = I >> 3;
+    const size_t At = static_cast<size_t>(G) * SlotMask::Words + (S >> 6);
+    if (Occ_[At] >> (S & 63) & 1)
+      return;
+    ensureRow(S);
+    std::memset(idPlane(S) + G * 8, 0, 8 * sizeof(SymbolId));
+    std::memset(coefPlane(S) + G * 8, 0, 8 * sizeof(double));
+    Occ_[At] |= uint64_t(1) << (S & 63);
+    Mask_.set(S);
+  }
+  /// Allocated pool rows / current pool capacity in rows (== K planes in
+  /// dense mode, where the pool concept degenerates).
+  int32_t rowsAllocated() const { return Sparse_ ? NRows_ : NSlots_; }
+  int32_t rowCapacity() const { return Sparse_ ? RowCap_ : NSlots_; }
+  /// Releases over-provisioned pool capacity: shrinks the coefficient
+  /// pool to exactly the allocated rows. Occupancy, contents and every
+  /// observable value are unchanged — only resident memory drops.
+  void compact() {
+    if (!Sparse_ || RowCap_ == NRows_)
+      return;
+    Ids_.reallocate(static_cast<size_t>(NRows_) * Cap_,
+                    static_cast<size_t>(NRows_) * Cap_);
+    Coefs_.reallocate(static_cast<size_t>(NRows_) * Cap_,
+                      static_cast<size_t>(NRows_) * Cap_);
+    RowCap_ = NRows_;
+    SlotOf_.resize(static_cast<size_t>(NRows_));
+  }
+  /// Heap bytes resident in this value's storage (planes, occupancy,
+  /// maps, centers) — the bench's bytes/instance numerator.
+  size_t residentBytes() const {
+    return Centers_.capacity() * sizeof(CenterType) +
+           Ids_.size() * sizeof(SymbolId) + Coefs_.size() * sizeof(double) +
+           Occ_.size() * sizeof(uint64_t) +
+           RowOf_.capacity() * sizeof(int16_t) +
+           SlotOf_.capacity() * sizeof(int16_t) +
+           Live_.capacity() * sizeof(int32_t);
+  }
   /// @}
 
   /// A batch with \p Ref's geometry whose slot planes are *uninitialized*
@@ -645,7 +910,19 @@ public:
     Size_ = Ref.Size_;
     Cap_ = Ref.Cap_;
     NSlots_ = Ref.NSlots_;
+    Sparse_ = Ref.Sparse_;
     Centers_.assign(Cap_, CenterType{});
+    Live_ = Ref.Live_;
+    if (Sparse_) {
+      // Group-sparse: nothing is provisionally dense and nothing is
+      // zero-filled here. The per-instance fallbacks materialize each
+      // group on first write (insert), and the sparse vector kernels
+      // claim exactly the groups they fully write — either way the
+      // result's occupancy reflects what was actually stored.
+      resetPool();
+      Mask_ = SlotMask::zero();
+      return;
+    }
     Ids_.ensure(static_cast<size_t>(NSlots_) * Cap_);
     Coefs_.ensure(static_cast<size_t>(NSlots_) * Cap_);
     for (int32_t S = 0; S < NSlots_; ++S)
@@ -653,11 +930,10 @@ public:
         Ids_[static_cast<size_t>(S) * Cap_ + I] = InvalidSymbol;
         Coefs_[static_cast<size_t>(S) * Cap_ + I] = 0.0;
       }
-    Live_ = Ref.Live_;
     // Provisionally dense: the per-instance fallbacks insert into every
     // live row without first-touch zeroing; the vector kernels overwrite
     // this with the true sparse mask via setSlotMask().
-    Mask_ = NSlots_ >= 64 ? ~uint64_t(0) : (uint64_t(1) << NSlots_) - 1;
+    Mask_ = SlotMask::lowBits(NSlots_);
   }
 
 private:
@@ -690,17 +966,21 @@ private:
         SymbolId Id = E.Contexts[I].freshSymbol();
         int Slot = Pow2Mask ? static_cast<int>((Id - 1) & Pow2Mask)
                             : ops::detail::homeSlot(Id, K);
-        materializeRow(Slot);
-        Ids_[static_cast<size_t>(Slot) * Cap_ + I] = Id;
-        Coefs_[static_cast<size_t>(Slot) * Cap_ + I] = D;
+        if (Sparse_)
+          materializeGroupForLane(Slot, I);
+        else
+          materializeRow(Slot);
+        Ids_[planeIndex(Slot) + I] = Id;
+        Coefs_[planeIndex(Slot) + I] = D;
       }
       return true;
     }
   }
 
   /// Factory scatter: only valid slots are written (a first touch zeroes
-  /// the row), so a factory touches O(live symbols) plane rows per
-  /// instance instead of K — and the planes never need a full zero-fill.
+  /// the row — or, group-sparse, only this lane's 8-lane group), so a
+  /// factory touches O(live symbols) plane rows per instance instead of
+  /// K — and the planes never need a full zero-fill.
   void insertSparse(int32_t I, const AffineVar<CT> &V) {
     assert(I >= 0 && I < Size_ && "instance out of range");
     assert(V.N <= NSlots_ && "variable exceeds the batch slot planes");
@@ -708,34 +988,102 @@ private:
     Live_[I] = V.N;
     for (int32_t S = 0; S < V.N; ++S)
       if (V.Ids[S] != InvalidSymbol) {
-        materializeRow(S);
-        Ids_[static_cast<size_t>(S) * Cap_ + I] = V.Ids[S];
-        Coefs_[static_cast<size_t>(S) * Cap_ + I] = V.Coefs[S];
+        if (Sparse_)
+          materializeGroupForLane(S, I);
+        else
+          materializeRow(S);
+        Ids_[planeIndex(S) + I] = V.Ids[S];
+        Coefs_[planeIndex(S) + I] = V.Coefs[S];
       }
   }
 
   /// Zeroes row \p S across every lane — the stored form of the empty
   /// (InvalidSymbol, +0.0) pair — unless it is already materialized.
+  /// Dense-mode primitive; sparse writers use materializeGroupForLane.
   void materializeRow(int32_t S) {
-    if (Mask_ >> S & 1)
+    assert(!Sparse_ && "whole-row materialization is a dense operation");
+    if (Mask_.test(S))
       return;
     std::memset(idPlane(S), 0, static_cast<size_t>(Cap_) * sizeof(SymbolId));
     std::memset(coefPlane(S), 0, static_cast<size_t>(Cap_) * sizeof(double));
-    Mask_ |= uint64_t(1) << S;
+    Mask_.set(S);
+  }
+
+  /// Plane-pool index of slot \p S's row. Dense: the identity layout
+  /// (row S at offset S*Cap_). Sparse: through the slot→row map; only
+  /// valid for allocated rows.
+  size_t planeIndex(int32_t S) const {
+    if (!Sparse_)
+      return static_cast<size_t>(S) * Cap_;
+    assert(RowOf_[static_cast<size_t>(S)] >= 0 &&
+           "plane access to an unallocated sparse row");
+    return static_cast<size_t>(RowOf_[static_cast<size_t>(S)]) * Cap_;
+  }
+
+  /// Returns slot \p S's pool row, allocating one (growing the pool under
+  /// fusion pressure) on first use. Growth relocates every plane.
+  int32_t ensureRow(int32_t S) {
+    int32_t R = RowOf_[static_cast<size_t>(S)];
+    if (R >= 0)
+      return R;
+    if (NRows_ == RowCap_)
+      growRows();
+    R = NRows_++;
+    RowOf_[static_cast<size_t>(S)] = static_cast<int16_t>(R);
+    SlotOf_[static_cast<size_t>(R)] = static_cast<int16_t>(S);
+    return R;
+  }
+
+  /// Doubles the row pool (from the SeedRows budget), clamped to K —
+  /// the grow half of the adaptive per-value symbol budget.
+  void growRows() {
+    const int32_t NewCap =
+        std::min<int32_t>(NSlots_,
+                          std::max<int32_t>(RowCap_ * 2, SeedRows));
+    assert(NewCap > RowCap_ && "row pool exhausted beyond K");
+    Ids_.reallocate(static_cast<size_t>(NewCap) * Cap_,
+                    static_cast<size_t>(NRows_) * Cap_);
+    Coefs_.reallocate(static_cast<size_t>(NewCap) * Cap_,
+                      static_cast<size_t>(NRows_) * Cap_);
+    SlotOf_.resize(static_cast<size_t>(NewCap), int16_t(-1));
+    RowCap_ = NewCap;
+  }
+
+  /// Empties the row pool and the occupancy bitset, right-sizing (and
+  /// reusing) any storage already held. Pool capacity is retained between
+  /// uses so a value cycled through assignLike reaches its working-set
+  /// row count once and never grows again.
+  void resetPool() {
+    NRows_ = 0;
+    RowCap_ = std::min<int32_t>(NSlots_,
+                                std::max<int32_t>(RowCap_, SeedRows));
+    Ids_.ensure(static_cast<size_t>(RowCap_) * Cap_);
+    Coefs_.ensure(static_cast<size_t>(RowCap_) * Cap_);
+    RowOf_.assign(static_cast<size_t>(NSlots_), int16_t(-1));
+    SlotOf_.assign(static_cast<size_t>(RowCap_), int16_t(-1));
+    const size_t OccWords = static_cast<size_t>(groups()) * SlotMask::Words;
+    Occ_.ensure(OccWords);
+    if (OccWords)
+      std::memset(Occ_.data(), 0, OccWords * sizeof(uint64_t));
   }
 
   void allocate(BatchEnv &E) {
     ops::detail::checkConfig(E.Config);
-    static_assert(MaxInlineSymbols <= 64,
-                  "the live-slot mask is a single 64-bit word");
+    static_assert(MaxInlineSymbols <= 64 * SlotMask::Words,
+                  "the live-slot mask must cover MaxInlineSymbols slots");
     Size_ = E.size();
     Cap_ = (Size_ + 7) & ~7;
     NSlots_ = E.Config.K;
+    Sparse_ = E.Config.Sparse;
     Centers_.assign(Cap_, CenterType{});
+    Live_.assign(Size_, 0);
+    Mask_ = SlotMask::zero(); // rows materialize on first touch
+    if (Sparse_) {
+      resetPool();
+      return;
+    }
     Ids_.ensure(static_cast<size_t>(NSlots_) * Cap_);
     Coefs_.ensure(static_cast<size_t>(NSlots_) * Cap_);
-    Live_.assign(Size_, 0);
-    Mask_ = 0; // rows materialize on first touch (insertSparse)
   }
 
   /// The environment of a binary op, with the size invariants asserted.
@@ -745,6 +1093,8 @@ private:
     assert(A.Size_ == E.size() && "batch/environment size mismatch");
     assert(A.NSlots_ == E.Config.K && B.NSlots_ == E.Config.K &&
            "batch created under a different K");
+    assert(A.Sparse_ == E.Config.Sparse && B.Sparse_ == E.Config.Sparse &&
+           "batch storage mode does not match the environment");
     (void)A;
     (void)B;
     return E;
@@ -767,14 +1117,27 @@ private:
     return Out;
   }
 
-  int32_t Size_ = 0;   ///< live instances
-  int32_t Cap_ = 0;    ///< Size_ rounded up to a multiple of 8
-  int32_t NSlots_ = 0; ///< slot planes (symbol budget K at creation)
-  uint64_t Mask_ = 0;  ///< live-slot mask, see slotMask()
+  /// Initial sparse row-pool budget: forms start small and the pool
+  /// doubles under fusion pressure up to K (the adaptive-K policy).
+  static constexpr int32_t SeedRows = 16;
+
+  int32_t Size_ = 0;    ///< live instances
+  int32_t Cap_ = 0;     ///< Size_ rounded up to a multiple of 8
+  int32_t NSlots_ = 0;  ///< slot planes (symbol budget K at creation)
+  bool Sparse_ = false; ///< group-sparse storage (AAConfig::Sparse)
+  int32_t NRows_ = 0;   ///< allocated pool rows (sparse mode only)
+  int32_t RowCap_ = 0;  ///< pool capacity in rows (sparse mode only)
+  SlotMask Mask_ = SlotMask::zero(); ///< live-slot mask, see slotMask()
   std::vector<CenterType> Centers_;
   batch::detail::PodArray<SymbolId> Ids_;
   batch::detail::PodArray<double> Coefs_;
   std::vector<int32_t> Live_; ///< per-instance live entries (sorted mode)
+  std::vector<int16_t> RowOf_;  ///< slot → pool row, -1 when unallocated
+  std::vector<int16_t> SlotOf_; ///< pool row → slot (compaction, debug)
+  /// Occupancy bitset, group-major: Occ_[G*Words+WI] is word WI of group
+  /// G's slot mask (the transpose of a per-slot group bitset, so kernels
+  /// keep their slot-mask loop structure per 8-lane group).
+  batch::detail::PodArray<uint64_t> Occ_;
 };
 
 /// \name Elementary functions (scalar per-instance linearization).

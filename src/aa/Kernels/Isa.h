@@ -76,6 +76,11 @@ struct KernelTable {
   FormMulFn FormMul;
   BatchAddFn BatchAdd;
   BatchMulFn BatchMul;
+  /// Group-skipping variants for group-sparse batches (AAConfig::Sparse):
+  /// same signatures, bit-identical results, but iterate per-8-lane-group
+  /// occupancy instead of whole-batch row masks.
+  BatchAddFn BatchAddSparse;
+  BatchMulFn BatchMulSparse;
 };
 
 /// The active kernel table. The first call resolves the tier (cpuid +

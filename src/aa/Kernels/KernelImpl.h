@@ -206,14 +206,18 @@ inline void kMulGroupScalar(const AffineF64Storage &A,
 /// Per-lane fresh-error insertion for the batch kernels: the tail of the
 /// scalar kernels (insertFresh with the accumulated Err) for every *live*
 /// lane whose Err is positive or NaN. Inherently scalar — the fresh ids
-/// (and therefore the home slots) can differ between lanes. A home slot
-/// outside \p OutMask is materialized on first touch (the whole row
-/// zeroed — the empty (InvalidSymbol, +0.0) pair in every lane) before
-/// the lane is written. \p Pow2Mask is K-1 when K is a power of two,
-/// else 0.
+/// (and therefore the home slots) can differ between lanes. Dense mode: a
+/// home slot outside \p OutMask is materialized on first touch (the whole
+/// row zeroed — the empty (InvalidSymbol, +0.0) pair in every lane)
+/// before the lane is written. Sparse mode: only the lane's own 8-lane
+/// group is materialized, through the batch's occupancy bitset (OutMask
+/// is unused); plane pointers are fetched *after* materialization —
+/// allocating a pool row can relocate every plane. \p Pow2Mask is K-1
+/// when K is a power of two, else 0.
+template <bool Sparse>
 inline void kInsertFreshLanes(Batch<F64Center> &Out, BatchEnv &Env,
                               int32_t Base, int32_t Limit, const double *Err,
-                              int K, uint32_t Pow2Mask, uint64_t &OutMask) {
+                              int K, uint32_t Pow2Mask, SlotMask &OutMask) {
   for (int32_t L = 0; L < Limit; ++L) {
     double E = Err[L];
     if (!(E > 0.0) && !std::isnan(E))
@@ -222,14 +226,16 @@ inline void kInsertFreshLanes(Batch<F64Center> &Out, BatchEnv &Env,
     SymbolId Id = Ctx.freshSymbol();
     int Slot = Pow2Mask ? static_cast<int>((Id - 1) & Pow2Mask)
                         : ops::detail::homeSlot(Id, K);
+    if constexpr (Sparse) {
+      Out.materializeGroupForLane(Slot, Base + L);
+    } else if (!OutMask.test(Slot)) {
+      size_t Cap = static_cast<size_t>(Out.capacity());
+      std::memset(Out.idPlane(Slot), 0, Cap * sizeof(SymbolId));
+      std::memset(Out.coefPlane(Slot), 0, Cap * sizeof(double));
+      OutMask.set(Slot);
+    }
     SymbolId *Ids = Out.idPlane(Slot);
     double *Coefs = Out.coefPlane(Slot);
-    if (!(OutMask >> Slot & 1)) {
-      size_t Cap = static_cast<size_t>(Out.capacity());
-      std::memset(Ids, 0, Cap * sizeof(SymbolId));
-      std::memset(Coefs, 0, Cap * sizeof(double));
-      OutMask |= uint64_t(1) << Slot;
-    }
     size_t At = static_cast<size_t>(Base) + L;
     double Coef = E;
     if (Ids[At] != InvalidSymbol) {
@@ -499,9 +505,18 @@ template <class VT> struct BatchKernels {
   static constexpr int W = VT::Width;
   static constexpr unsigned AllLanes = (1u << W) - 1;
 
-  SAFEGEN_KERNEL_TARGET static void add(const Batch<F64Center> &A,
-                                        const Batch<F64Center> &B, double Sign,
-                                        Batch<F64Center> &Out, BatchEnv &Env) {
+  /// Batch add, shared across both storage modes; \p Sparse selects the
+  /// group-skipping variant. Per contributing lane the instruction
+  /// sequence is identical, and every skipped (slot, group) contributes
+  /// the exact +0 the dense kernel would have accumulated, so sparse
+  /// results are bit-identical to dense (the license is spelled out at
+  /// the mask fetch below). Dense instantiations compile to the exact
+  /// pre-sparse code: the group machinery is behind if constexpr.
+  template <bool Sparse>
+  SAFEGEN_KERNEL_TARGET static void addImpl(const Batch<F64Center> &A,
+                                            const Batch<F64Center> &B,
+                                            double Sign, Batch<F64Center> &Out,
+                                            BatchEnv &Env) {
     SAFEGEN_ASSERT_ROUND_UP();
     const AAConfig &Cfg = Env.Config;
     const int K = Cfg.K;
@@ -513,11 +528,13 @@ template <class VT> struct BatchKernels {
 
     // Every Err accumulation below adds a non-negative term (or NaN) under
     // RU, so ErrV lanes are never -0.0 and skipping a +0.0 accumulate is
-    // bit-exact — the license for all the row/lane skipping that follows.
-    const uint64_t MaskA = A.slotMask();
-    const uint64_t MaskB = B.slotMask();
-    const uint64_t Union = MaskA | MaskB;
-    uint64_t OutMask = Union;
+    // bit-exact — the license for all the row/lane/group skipping that
+    // follows. Dense: whole-batch row masks, fetched once. Sparse: these
+    // are refreshed per 8-lane occupancy group inside the instance loop.
+    SlotMask MaskA = A.slotMask();
+    SlotMask MaskB = B.slotMask();
+    SlotMask Union = MaskA | MaskB;
+    SlotMask OutMask = Union;
     const uint32_t Pow2Mask =
         (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
 
@@ -526,6 +543,20 @@ template <class VT> struct BatchKernels {
     for (int32_t Base = 0; Base < Size; Base += W) {
       const int32_t Limit = std::min<int32_t>(W, Size - Base);
       const int LiveBits = (1 << Limit) - 1;
+
+      if constexpr (Sparse) {
+        // W <= 8 and Base is W-aligned, so [Base, Base+W) sits inside one
+        // occupancy group. Claim the union *before* fetching any Out
+        // plane pointer: allocating pool rows relocates every plane. The
+        // claim is idempotent, so W < 8 tiers revisiting a group pay one
+        // early-out; together the 8/W spans fully write every claimed
+        // (slot, group), as claimGroup requires.
+        const int32_t G = Base >> 3;
+        MaskA = A.groupMask(G);
+        MaskB = B.groupMask(G);
+        Union = MaskA | MaskB;
+        Out.claimGroup(G, Union);
+      }
 
       // Centre: CT::add / CT::sub with the identical RU/RD sequence. The
       // capacity padding (multiple of 8, pad lanes empty) keeps full-width
@@ -547,131 +578,159 @@ template <class VT> struct BatchKernels {
       // Only rows live in either operand can contribute; a dead row in one
       // operand reads as the all-empty id vector (its memory may be
       // uninitialized, so it must not be loaded).
-      for (uint64_t M = Union; M; M &= M - 1) {
-        const int S = __builtin_ctzll(M);
-        SymbolId *OutIds = Out.idPlane(S) + Base;
-        double *OutCoefs = Out.coefPlane(S) + Base;
-        VI Ia = MaskA >> S & 1 ? VT::loadI(A.idPlane(S) + Base) : VT::zeroI();
-        VI Ib = MaskB >> S & 1 ? VT::loadI(B.idPlane(S) + Base) : VT::zeroI();
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t M = Union.Wd[WI]; M; M &= M - 1) {
+          const int S = WI * 64 + __builtin_ctzll(M);
+          SymbolId *OutIds = Out.idPlane(S) + Base;
+          double *OutCoefs = Out.coefPlane(S) + Base;
+          VI Ia =
+              MaskA.test(S) ? VT::loadI(A.idPlane(S) + Base) : VT::zeroI();
+          VI Ib =
+              MaskB.test(S) ? VT::loadI(B.idPlane(S) + Base) : VT::zeroI();
 
-        // Fast path 1 — every lane empty on both sides: the union row must
-        // still be materialized for this group (other groups may hold
-        // symbols here), but nothing contributes.
-        if (!VT::anyI(VT::orI(Ia, Ib))) {
-          VT::storeI(OutIds, VT::zeroI());
-          VT::storeD(OutCoefs, VT::zeroD());
-          continue;
-        }
+          // Fast path 1 — every lane empty on both sides: the union row
+          // must still be materialized for this group (other groups may
+          // hold symbols here), but nothing contributes.
+          if (!VT::anyI(VT::orI(Ia, Ib))) {
+            VT::storeI(OutIds, VT::zeroI());
+            VT::storeD(OutCoefs, VT::zeroD());
+            continue;
+          }
 
-        // Fast path 2 — one-sided rows: addition carries coefficients over
-        // unchanged, with no rounding charge. (An all-empty hit proves the
-        // other side has a valid lane somewhere, hence is materialized and
-        // safe to load.)
-        if (!VT::anyI(Ib)) {
+          // Fast path 2 — one-sided rows: addition carries coefficients
+          // over unchanged, with no rounding charge. (An all-empty hit
+          // proves the other side has a valid lane somewhere, hence is
+          // materialized and safe to load.)
+          if (!VT::anyI(Ib)) {
+            VD Ca = VT::loadD(A.coefPlane(S) + Base);
+            MD ValidA = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+            VT::storeI(OutIds, Ia);
+            VT::storeD(OutCoefs, VT::maskD(Ca, ValidA));
+            continue;
+          }
+          if (!VT::anyI(Ia)) {
+            VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
+            MD ValidB = VT::expandM(VT::notM(VT::cmpeqI(Ib, VT::zeroI())));
+            VT::storeI(OutIds, Ib);
+            VT::storeD(OutCoefs, VT::maskD(Cb, ValidB));
+            continue;
+          }
+
+          // Fast path 3 — lane-uniform ids (the lockstep common case:
+          // every instance ran the same op sequence): pure shared
+          // combine, no conflict machinery. Pad lanes are empty on both
+          // sides, so they compare equal and never veto this path.
+          if (VT::bitsM(VT::cmpeqI(Ia, Ib)) == AllLanes) {
+            VD Ca = VT::loadD(A.coefPlane(S) + Base);
+            VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
+            MD Valid = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+            VD Cv = VT::addD(Ca, Cb);
+            VD TermShared = VT::subD(Cv, kAddRD<VT>(Ca, Cb));
+            ErrV = VT::addD(ErrV, VT::maskD(TermShared, Valid));
+            VT::storeI(OutIds, Ia);
+            VT::storeD(OutCoefs, VT::maskD(Cv, Valid));
+            continue;
+          }
+
+          // General path: disjoint shared / one-sided / conflict masks.
           VD Ca = VT::loadD(A.coefPlane(S) + Base);
-          MD ValidA = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
-          VT::storeI(OutIds, Ia);
-          VT::storeD(OutCoefs, VT::maskD(Ca, ValidA));
-          continue;
-        }
-        if (!VT::anyI(Ia)) {
           VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
-          MD ValidB = VT::expandM(VT::notM(VT::cmpeqI(Ib, VT::zeroI())));
-          VT::storeI(OutIds, Ib);
-          VT::storeD(OutCoefs, VT::maskD(Cb, ValidB));
-          continue;
-        }
+          MI EqM = VT::cmpeqI(Ia, Ib);
+          MI AInv = VT::cmpeqI(Ia, VT::zeroI());
+          MI BInv = VT::cmpeqI(Ib, VT::zeroI());
+          MI Shared = VT::andnotM(VT::andM(AInv, BInv), EqM);
+          MI AOnly = VT::andnotM(AInv, BInv); // Ia valid, Ib empty
+          MI BOnly = VT::andnotM(BInv, AInv); // Ib valid, Ia empty
+          MI Conflict = VT::andnotM(
+              EqM, VT::andnotM(VT::orM(AInv, BInv), VT::onesM()));
+          int ConflictBits = static_cast<int>(VT::bitsM(Conflict)) & LiveBits;
 
-        // Fast path 3 — lane-uniform ids (the lockstep common case: every
-        // instance ran the same op sequence): pure shared combine, no
-        // conflict machinery. Pad lanes are empty on both sides, so they
-        // compare equal and never veto this path.
-        if (VT::bitsM(VT::cmpeqI(Ia, Ib)) == AllLanes) {
-          VD Ca = VT::loadD(A.coefPlane(S) + Base);
-          VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
-          MD Valid = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
-          VD Cv = VT::addD(Ca, Cb);
-          VD TermShared = VT::subD(Cv, kAddRD<VT>(Ca, Cb));
-          ErrV = VT::addD(ErrV, VT::maskD(TermShared, Valid));
-          VT::storeI(OutIds, Ia);
-          VT::storeD(OutCoefs, VT::maskD(Cv, Valid));
-          continue;
-        }
+          // Conflict winner: SP/MP magnitude rule, or the scalar
+          // keepFirst for the affected lanes when protection may be in
+          // play (keepFirst is pure under the SP/MP gate, so no other
+          // state diverges).
+          MD KeepA64;
+          if (Protect && ConflictBits) {
+            alignas(64) SymbolId IaArr[W], IbArr[W];
+            alignas(64) double CaArr[W], CbArr[W];
+            VT::storeI(IaArr, Ia);
+            VT::storeI(IbArr, Ib);
+            VT::storeD(CaArr, Ca);
+            VT::storeD(CbArr, Cb);
+            bool Keep[W] = {};
+            for (int L = 0; L < W; ++L)
+              if (ConflictBits & (1 << L))
+                Keep[L] = ops::detail::keepFirst(
+                    IaArr[L], CaArr[L], IbArr[L], CbArr[L], Cfg,
+                    Env.Contexts[static_cast<size_t>(Base) + L]);
+            KeepA64 = VT::mdFromBools(Keep);
+          } else {
+            KeepA64 = VT::cmpGeD(VT::absD(Ca), VT::absD(Cb));
+          }
 
-        // General path: disjoint shared / one-sided / conflict lane masks.
-        VD Ca = VT::loadD(A.coefPlane(S) + Base);
-        VD Cb = VT::mulD(SignV, VT::loadD(B.coefPlane(S) + Base));
-        MI EqM = VT::cmpeqI(Ia, Ib);
-        MI AInv = VT::cmpeqI(Ia, VT::zeroI());
-        MI BInv = VT::cmpeqI(Ib, VT::zeroI());
-        MI Shared = VT::andnotM(VT::andM(AInv, BInv), EqM);
-        MI AOnly = VT::andnotM(AInv, BInv); // Ia valid, Ib empty
-        MI BOnly = VT::andnotM(BInv, AInv); // Ib valid, Ia empty
-        MI Conflict = VT::andnotM(
-            EqM, VT::andnotM(VT::orM(AInv, BInv), VT::onesM()));
-        int ConflictBits = static_cast<int>(VT::bitsM(Conflict)) & LiveBits;
-
-        // Conflict winner: SP/MP magnitude rule, or the scalar keepFirst
-        // for the affected lanes when protection may be in play (keepFirst
-        // is pure under the SP/MP gate, so no other state diverges).
-        MD KeepA64;
-        if (Protect && ConflictBits) {
-          alignas(64) SymbolId IaArr[W], IbArr[W];
-          alignas(64) double CaArr[W], CbArr[W];
-          VT::storeI(IaArr, Ia);
-          VT::storeI(IbArr, Ib);
-          VT::storeD(CaArr, Ca);
-          VT::storeD(CbArr, Cb);
-          bool Keep[W] = {};
           for (int L = 0; L < W; ++L)
             if (ConflictBits & (1 << L))
-              Keep[L] = ops::detail::keepFirst(
-                  IaArr[L], CaArr[L], IbArr[L], CbArr[L], Cfg,
-                  Env.Contexts[static_cast<size_t>(Base) + L]);
-          KeepA64 = VT::mdFromBools(Keep);
-        } else {
-          KeepA64 = VT::cmpGeD(VT::absD(Ca), VT::absD(Cb));
+              ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
+
+          MI KeepA32 = VT::narrowM(KeepA64);
+          MI SelA = VT::orM(AOnly, VT::andM(Conflict, KeepA32));
+          MI SelB = VT::orM(BOnly, VT::andnotM(KeepA32, Conflict));
+          VI OutId = VT::orI(VT::maskI(Ia, VT::orM(Shared, SelA)),
+                             VT::maskI(Ib, SelB));
+
+          // Shared-symbol combine (Eq. (4)) and the fused-loser
+          // magnitude.
+          VD Cv = VT::addD(Ca, Cb);
+          VD TermShared = VT::subD(Cv, kAddRD<VT>(Ca, Cb));
+          MD Shared64 = VT::expandM(Shared);
+          MD Conflict64 = VT::expandM(Conflict);
+          MD SelA64 = VT::expandM(SelA);
+          MD SelB64 = VT::expandM(SelB);
+          VD OutC = VT::orD(VT::orD(VT::maskD(Cv, Shared64),
+                                    VT::maskD(Ca, SelA64)),
+                            VT::maskD(Cb, SelB64));
+          VD TermConf = VT::blendD(VT::absD(Ca), VT::absD(Cb), KeepA64);
+          VD Term = VT::orD(VT::maskD(TermShared, Shared64),
+                            VT::maskD(TermConf, Conflict64));
+          ErrV = VT::addD(ErrV, Term);
+
+          VT::storeI(OutIds, OutId);
+          VT::storeD(OutCoefs, OutC);
         }
-
-        for (int L = 0; L < W; ++L)
-          if (ConflictBits & (1 << L))
-            ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
-
-        MI KeepA32 = VT::narrowM(KeepA64);
-        MI SelA = VT::orM(AOnly, VT::andM(Conflict, KeepA32));
-        MI SelB = VT::orM(BOnly, VT::andnotM(KeepA32, Conflict));
-        VI OutId = VT::orI(VT::maskI(Ia, VT::orM(Shared, SelA)),
-                           VT::maskI(Ib, SelB));
-
-        // Shared-symbol combine (Eq. (4)) and the fused-loser magnitude.
-        VD Cv = VT::addD(Ca, Cb);
-        VD TermShared = VT::subD(Cv, kAddRD<VT>(Ca, Cb));
-        MD Shared64 = VT::expandM(Shared);
-        MD Conflict64 = VT::expandM(Conflict);
-        MD SelA64 = VT::expandM(SelA);
-        MD SelB64 = VT::expandM(SelB);
-        VD OutC = VT::orD(VT::orD(VT::maskD(Cv, Shared64),
-                                  VT::maskD(Ca, SelA64)),
-                          VT::maskD(Cb, SelB64));
-        VD TermConf = VT::blendD(VT::absD(Ca), VT::absD(Cb), KeepA64);
-        VD Term = VT::orD(VT::maskD(TermShared, Shared64),
-                          VT::maskD(TermConf, Conflict64));
-        ErrV = VT::addD(ErrV, Term);
-
-        VT::storeI(OutIds, OutId);
-        VT::storeD(OutCoefs, OutC);
-      }
 
       alignas(64) double ErrArr[W];
       VT::storeD(ErrArr, ErrV);
-      kInsertFreshLanes(Out, Env, Base, Limit, ErrArr, K, Pow2Mask, OutMask);
+      kInsertFreshLanes<Sparse>(Out, Env, Base, Limit, ErrArr, K, Pow2Mask,
+                                OutMask);
     }
-    Out.setSlotMask(OutMask);
+    // Sparse occupancy is maintained incrementally (claimGroup and the
+    // fresh-lane materializations above); only dense declares its rows.
+    if constexpr (!Sparse)
+      Out.setSlotMask(OutMask);
   }
 
-  SAFEGEN_KERNEL_TARGET static void mul(const Batch<F64Center> &A,
-                                        const Batch<F64Center> &B,
+  SAFEGEN_KERNEL_TARGET static void add(const Batch<F64Center> &A,
+                                        const Batch<F64Center> &B, double Sign,
                                         Batch<F64Center> &Out, BatchEnv &Env) {
+    addImpl<false>(A, B, Sign, Out, Env);
+  }
+
+  SAFEGEN_KERNEL_TARGET static void addSparse(const Batch<F64Center> &A,
+                                              const Batch<F64Center> &B,
+                                              double Sign,
+                                              Batch<F64Center> &Out,
+                                              BatchEnv &Env) {
+    addImpl<true>(A, B, Sign, Out, Env);
+  }
+
+  /// Batch mul; same Sparse story as addImpl — the radii loops below also
+  /// fold unoccupied groups through for free (a dead group's |coefs| sum
+  /// is the exact +0 the RU accumulation would have added).
+  template <bool Sparse>
+  SAFEGEN_KERNEL_TARGET static void mulImpl(const Batch<F64Center> &A,
+                                            const Batch<F64Center> &B,
+                                            Batch<F64Center> &Out,
+                                            BatchEnv &Env) {
     SAFEGEN_ASSERT_ROUND_UP();
     const AAConfig &Cfg = Env.Config;
     const int K = Cfg.K;
@@ -681,16 +740,25 @@ template <class VT> struct BatchKernels {
     for (int32_t I = 0; I < Size; ++I)
       ++Env.Contexts[I].NumOps;
 
-    const uint64_t MaskA = A.slotMask();
-    const uint64_t MaskB = B.slotMask();
-    const uint64_t Union = MaskA | MaskB;
-    uint64_t OutMask = Union;
+    SlotMask MaskA = A.slotMask();
+    SlotMask MaskB = B.slotMask();
+    SlotMask Union = MaskA | MaskB;
+    SlotMask OutMask = Union;
     const uint32_t Pow2Mask =
         (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
 
     for (int32_t Base = 0; Base < Size; Base += W) {
       const int32_t Limit = std::min<int32_t>(W, Size - Base);
       const int LiveBits = (1 << Limit) - 1;
+
+      if constexpr (Sparse) {
+        // See addImpl: per-group masks, claim before plane fetches.
+        const int32_t G = Base >> 3;
+        MaskA = A.groupMask(G);
+        MaskB = B.groupMask(G);
+        Union = MaskA | MaskB;
+        Out.claimGroup(G, Union);
+      }
 
       VD Ac = VT::loadD(A.centers() + Base); // Da per lane
       VD Bc = VT::loadD(B.centers() + Base); // Db per lane
@@ -704,152 +772,175 @@ template <class VT> struct BatchKernels {
       // adds +0 — the RU identity — so only live rows are visited.
       VD RadA = VT::zeroD();
       VD RadB = VT::zeroD();
-      for (uint64_t M = MaskA; M; M &= M - 1)
-        RadA = VT::addD(
-            RadA, VT::absD(VT::loadD(A.coefPlane(__builtin_ctzll(M)) + Base)));
-      for (uint64_t M = MaskB; M; M &= M - 1)
-        RadB = VT::addD(
-            RadB, VT::absD(VT::loadD(B.coefPlane(__builtin_ctzll(M)) + Base)));
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t M = MaskA.Wd[WI]; M; M &= M - 1)
+          RadA = VT::addD(
+              RadA, VT::absD(VT::loadD(
+                        A.coefPlane(WI * 64 + __builtin_ctzll(M)) + Base)));
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t M = MaskB.Wd[WI]; M; M &= M - 1)
+          RadB = VT::addD(
+              RadB, VT::absD(VT::loadD(
+                        B.coefPlane(WI * 64 + __builtin_ctzll(M)) + Base)));
       ErrV = VT::addD(ErrV, VT::mulD(RadA, RadB));
 
-      for (uint64_t M = Union; M; M &= M - 1) {
-        const int S = __builtin_ctzll(M);
-        SymbolId *OutIds = Out.idPlane(S) + Base;
-        double *OutCoefs = Out.coefPlane(S) + Base;
-        VI Ia = MaskA >> S & 1 ? VT::loadI(A.idPlane(S) + Base) : VT::zeroI();
-        VI Ib = MaskB >> S & 1 ? VT::loadI(B.idPlane(S) + Base) : VT::zeroI();
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t M = Union.Wd[WI]; M; M &= M - 1) {
+          const int S = WI * 64 + __builtin_ctzll(M);
+          SymbolId *OutIds = Out.idPlane(S) + Base;
+          double *OutCoefs = Out.coefPlane(S) + Base;
+          VI Ia =
+              MaskA.test(S) ? VT::loadI(A.idPlane(S) + Base) : VT::zeroI();
+          VI Ib =
+              MaskB.test(S) ? VT::loadI(B.idPlane(S) + Base) : VT::zeroI();
 
-        // Fast path 1 — every lane empty on both sides (see add()).
-        if (!VT::anyI(VT::orI(Ia, Ib))) {
-          VT::storeI(OutIds, VT::zeroI());
-          VT::storeD(OutCoefs, VT::zeroD());
-          continue;
-        }
+          // Fast path 1 — every lane empty on both sides (see add()).
+          if (!VT::anyI(VT::orI(Ia, Ib))) {
+            VT::storeI(OutIds, VT::zeroI());
+            VT::storeD(OutCoefs, VT::zeroD());
+            continue;
+          }
 
-        // Fast path 2 — one-sided rows: a single centre·coefficient
-        // product and its rounding charge, no conflict machinery.
-        if (!VT::anyI(Ib)) {
+          // Fast path 2 — one-sided rows: a single centre·coefficient
+          // product and its rounding charge, no conflict machinery.
+          if (!VT::anyI(Ib)) {
+            VD Ca = VT::loadD(A.coefPlane(S) + Base);
+            MD ValidA = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+            VD Qu = VT::mulD(Bc, Ca);
+            VD Qd = kMulRD<VT>(Bc, Ca);
+            ErrV = VT::addD(ErrV, VT::maskD(VT::subD(Qu, Qd), ValidA));
+            VT::storeI(OutIds, Ia);
+            VT::storeD(OutCoefs, VT::maskD(Qu, ValidA));
+            continue;
+          }
+          if (!VT::anyI(Ia)) {
+            VD Cb = VT::loadD(B.coefPlane(S) + Base);
+            MD ValidB = VT::expandM(VT::notM(VT::cmpeqI(Ib, VT::zeroI())));
+            VD Pu = VT::mulD(Ac, Cb);
+            VD Pd = kMulRD<VT>(Ac, Cb);
+            ErrV = VT::addD(ErrV, VT::maskD(VT::subD(Pu, Pd), ValidB));
+            VT::storeI(OutIds, Ib);
+            VT::storeD(OutCoefs, VT::maskD(Pu, ValidB));
+            continue;
+          }
+
+          // Fast path 3 — lane-uniform ids: pure shared combine (Eq. (5)).
+          if (VT::bitsM(VT::cmpeqI(Ia, Ib)) == AllLanes) {
+            VD Ca = VT::loadD(A.coefPlane(S) + Base);
+            VD Cb = VT::loadD(B.coefPlane(S) + Base);
+            MD Valid = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
+            VD Pu = VT::mulD(Ac, Cb);
+            VD Pd = kMulRD<VT>(Ac, Cb);
+            VD Qu = VT::mulD(Bc, Ca);
+            VD Qd = kMulRD<VT>(Bc, Ca);
+            VD SharedC = VT::addD(Pu, Qu);
+            VD TermShared = VT::subD(SharedC, kAddRD<VT>(Pd, Qd));
+            ErrV = VT::addD(ErrV, VT::maskD(TermShared, Valid));
+            VT::storeI(OutIds, Ia);
+            VT::storeD(OutCoefs, VT::maskD(SharedC, Valid));
+            continue;
+          }
+
+          // General path.
           VD Ca = VT::loadD(A.coefPlane(S) + Base);
-          MD ValidA = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
-          VD Qu = VT::mulD(Bc, Ca);
-          VD Qd = kMulRD<VT>(Bc, Ca);
-          ErrV = VT::addD(ErrV, VT::maskD(VT::subD(Qu, Qd), ValidA));
-          VT::storeI(OutIds, Ia);
-          VT::storeD(OutCoefs, VT::maskD(Qu, ValidA));
-          continue;
-        }
-        if (!VT::anyI(Ia)) {
           VD Cb = VT::loadD(B.coefPlane(S) + Base);
-          MD ValidB = VT::expandM(VT::notM(VT::cmpeqI(Ib, VT::zeroI())));
+
+          MI EqM = VT::cmpeqI(Ia, Ib);
+          MI AInv = VT::cmpeqI(Ia, VT::zeroI());
+          MI BInv = VT::cmpeqI(Ib, VT::zeroI());
+          MI Shared = VT::andnotM(VT::andM(AInv, BInv), EqM);
+          MI AOnly = VT::andnotM(AInv, BInv);
+          MI BOnly = VT::andnotM(BInv, AInv);
+          MI Conflict = VT::andnotM(
+              EqM, VT::andnotM(VT::orM(AInv, BInv), VT::onesM()));
+          int ConflictBits = static_cast<int>(VT::bitsM(Conflict)) & LiveBits;
+
+          // Pu/Pd = RU/RD(Da*bi) (B's candidate), Qu/Qd = RU/RD(Db*ai).
           VD Pu = VT::mulD(Ac, Cb);
           VD Pd = kMulRD<VT>(Ac, Cb);
-          ErrV = VT::addD(ErrV, VT::maskD(VT::subD(Pu, Pd), ValidB));
-          VT::storeI(OutIds, Ib);
-          VT::storeD(OutCoefs, VT::maskD(Pu, ValidB));
-          continue;
-        }
-
-        // Fast path 3 — lane-uniform ids: pure shared combine (Eq. (5)).
-        if (VT::bitsM(VT::cmpeqI(Ia, Ib)) == AllLanes) {
-          VD Ca = VT::loadD(A.coefPlane(S) + Base);
-          VD Cb = VT::loadD(B.coefPlane(S) + Base);
-          MD Valid = VT::expandM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())));
-          VD Pu = VT::mulD(Ac, Cb);
-          VD Pd = kMulRD<VT>(Ac, Cb);
           VD Qu = VT::mulD(Bc, Ca);
           VD Qd = kMulRD<VT>(Bc, Ca);
+
           VD SharedC = VT::addD(Pu, Qu);
           VD TermShared = VT::subD(SharedC, kAddRD<VT>(Pd, Qd));
-          ErrV = VT::addD(ErrV, VT::maskD(TermShared, Valid));
-          VT::storeI(OutIds, Ia);
-          VT::storeD(OutCoefs, VT::maskD(SharedC, Valid));
-          continue;
-        }
+          VD TermA = VT::subD(Qu, Qd); // winner-A rounding charge
+          VD TermB = VT::subD(Pu, Pd);
+          VD MagA = VT::maxD(VT::absD(Qu), VT::absD(Qd));
+          VD MagB = VT::maxD(VT::absD(Pu), VT::absD(Pd));
 
-        // General path.
-        VD Ca = VT::loadD(A.coefPlane(S) + Base);
-        VD Cb = VT::loadD(B.coefPlane(S) + Base);
+          MD KeepA64;
+          if (Protect && ConflictBits) {
+            alignas(64) SymbolId IaArr[W], IbArr[W];
+            alignas(64) double CuAArr[W], CuBArr[W];
+            VT::storeI(IaArr, Ia);
+            VT::storeI(IbArr, Ib);
+            VT::storeD(CuAArr, Qu);
+            VT::storeD(CuBArr, Pu);
+            bool Keep[W] = {};
+            for (int L = 0; L < W; ++L)
+              if (ConflictBits & (1 << L))
+                Keep[L] = ops::detail::keepFirst(
+                    IaArr[L], CuAArr[L], IbArr[L], CuBArr[L], Cfg,
+                    Env.Contexts[static_cast<size_t>(Base) + L]);
+            KeepA64 = VT::mdFromBools(Keep);
+          } else {
+            KeepA64 = VT::cmpGeD(VT::absD(Qu), VT::absD(Pu));
+          }
 
-        MI EqM = VT::cmpeqI(Ia, Ib);
-        MI AInv = VT::cmpeqI(Ia, VT::zeroI());
-        MI BInv = VT::cmpeqI(Ib, VT::zeroI());
-        MI Shared = VT::andnotM(VT::andM(AInv, BInv), EqM);
-        MI AOnly = VT::andnotM(AInv, BInv);
-        MI BOnly = VT::andnotM(BInv, AInv);
-        MI Conflict = VT::andnotM(
-            EqM, VT::andnotM(VT::orM(AInv, BInv), VT::onesM()));
-        int ConflictBits = static_cast<int>(VT::bitsM(Conflict)) & LiveBits;
-
-        // Pu/Pd = RU/RD(Da*bi) (B's candidate), Qu/Qd = RU/RD(Db*ai).
-        VD Pu = VT::mulD(Ac, Cb);
-        VD Pd = kMulRD<VT>(Ac, Cb);
-        VD Qu = VT::mulD(Bc, Ca);
-        VD Qd = kMulRD<VT>(Bc, Ca);
-
-        VD SharedC = VT::addD(Pu, Qu);
-        VD TermShared = VT::subD(SharedC, kAddRD<VT>(Pd, Qd));
-        VD TermA = VT::subD(Qu, Qd); // winner-A rounding charge
-        VD TermB = VT::subD(Pu, Pd);
-        VD MagA = VT::maxD(VT::absD(Qu), VT::absD(Qd));
-        VD MagB = VT::maxD(VT::absD(Pu), VT::absD(Pd));
-
-        MD KeepA64;
-        if (Protect && ConflictBits) {
-          alignas(64) SymbolId IaArr[W], IbArr[W];
-          alignas(64) double CuAArr[W], CuBArr[W];
-          VT::storeI(IaArr, Ia);
-          VT::storeI(IbArr, Ib);
-          VT::storeD(CuAArr, Qu);
-          VT::storeD(CuBArr, Pu);
-          bool Keep[W] = {};
           for (int L = 0; L < W; ++L)
             if (ConflictBits & (1 << L))
-              Keep[L] = ops::detail::keepFirst(
-                  IaArr[L], CuAArr[L], IbArr[L], CuBArr[L], Cfg,
-                  Env.Contexts[static_cast<size_t>(Base) + L]);
-          KeepA64 = VT::mdFromBools(Keep);
-        } else {
-          KeepA64 = VT::cmpGeD(VT::absD(Qu), VT::absD(Pu));
+              ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
+
+          MI KeepA32 = VT::narrowM(KeepA64);
+          MI SelA = VT::orM(AOnly, VT::andM(Conflict, KeepA32));
+          MI SelB = VT::orM(BOnly, VT::andnotM(KeepA32, Conflict));
+          VI OutId = VT::orI(VT::maskI(Ia, VT::orM(Shared, SelA)),
+                             VT::maskI(Ib, SelB));
+
+          MD Shared64 = VT::expandM(Shared);
+          MD Conflict64 = VT::expandM(Conflict);
+          MD SelA64 = VT::expandM(SelA);
+          MD SelB64 = VT::expandM(SelB);
+          MD OSC64 = VT::orMD(SelA64, SelB64);
+          MD KeepSel64 = SelA64; // A's branch among one-sided/conflict
+
+          // First accumulate: the winner's rounding charge (or the shared
+          // combine charge); second: the fused loser's magnitude
+          // (Eq. (6)), conflict lanes only. Mirrors the scalar two-step
+          // sequence.
+          VD Term1 = VT::blendD(TermB, TermA, KeepSel64);
+          VD Term1All = VT::orD(VT::maskD(TermShared, Shared64),
+                                VT::maskD(Term1, OSC64));
+          ErrV = VT::addD(ErrV, Term1All);
+          VD Term2 = VT::maskD(VT::blendD(MagA, MagB, KeepA64), Conflict64);
+          ErrV = VT::addD(ErrV, Term2);
+
+          VD OutC = VT::orD(VT::maskD(SharedC, Shared64),
+                            VT::maskD(VT::blendD(Pu, Qu, KeepSel64), OSC64));
+
+          VT::storeI(OutIds, OutId);
+          VT::storeD(OutCoefs, OutC);
         }
-
-        for (int L = 0; L < W; ++L)
-          if (ConflictBits & (1 << L))
-            ++Env.Contexts[static_cast<size_t>(Base) + L].NumFusions;
-
-        MI KeepA32 = VT::narrowM(KeepA64);
-        MI SelA = VT::orM(AOnly, VT::andM(Conflict, KeepA32));
-        MI SelB = VT::orM(BOnly, VT::andnotM(KeepA32, Conflict));
-        VI OutId = VT::orI(VT::maskI(Ia, VT::orM(Shared, SelA)),
-                           VT::maskI(Ib, SelB));
-
-        MD Shared64 = VT::expandM(Shared);
-        MD Conflict64 = VT::expandM(Conflict);
-        MD SelA64 = VT::expandM(SelA);
-        MD SelB64 = VT::expandM(SelB);
-        MD OSC64 = VT::orMD(SelA64, SelB64);
-        MD KeepSel64 = SelA64; // A's branch among one-sided/conflict
-
-        // First accumulate: the winner's rounding charge (or the shared
-        // combine charge); second: the fused loser's magnitude (Eq. (6)),
-        // conflict lanes only. Mirrors the scalar two-step sequence.
-        VD Term1 = VT::blendD(TermB, TermA, KeepSel64);
-        VD Term1All = VT::orD(VT::maskD(TermShared, Shared64),
-                              VT::maskD(Term1, OSC64));
-        ErrV = VT::addD(ErrV, Term1All);
-        VD Term2 = VT::maskD(VT::blendD(MagA, MagB, KeepA64), Conflict64);
-        ErrV = VT::addD(ErrV, Term2);
-
-        VD OutC = VT::orD(VT::maskD(SharedC, Shared64),
-                          VT::maskD(VT::blendD(Pu, Qu, KeepSel64), OSC64));
-
-        VT::storeI(OutIds, OutId);
-        VT::storeD(OutCoefs, OutC);
-      }
 
       alignas(64) double ErrArr[W];
       VT::storeD(ErrArr, ErrV);
-      kInsertFreshLanes(Out, Env, Base, Limit, ErrArr, K, Pow2Mask, OutMask);
+      kInsertFreshLanes<Sparse>(Out, Env, Base, Limit, ErrArr, K, Pow2Mask,
+                                OutMask);
     }
-    Out.setSlotMask(OutMask);
+    if constexpr (!Sparse)
+      Out.setSlotMask(OutMask);
+  }
+
+  SAFEGEN_KERNEL_TARGET static void mul(const Batch<F64Center> &A,
+                                        const Batch<F64Center> &B,
+                                        Batch<F64Center> &Out, BatchEnv &Env) {
+    mulImpl<false>(A, B, Out, Env);
+  }
+
+  SAFEGEN_KERNEL_TARGET static void mulSparse(const Batch<F64Center> &A,
+                                              const Batch<F64Center> &B,
+                                              Batch<F64Center> &Out,
+                                              BatchEnv &Env) {
+    mulImpl<true>(A, B, Out, Env);
   }
 };

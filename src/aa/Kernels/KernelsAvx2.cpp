@@ -48,6 +48,7 @@ const isa::KernelTable *isa::detail::avx2Table() {
       isa::Tier::Avx2, "avx2", Traits256::Width,
       &FK::addDirect,  &FK::mulDirect,
       &BK::add,        &BK::mul,
+      &BK::addSparse,  &BK::mulSparse,
   };
   return &Table;
 }

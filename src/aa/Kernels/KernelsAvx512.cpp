@@ -165,6 +165,7 @@ const isa::KernelTable *isa::detail::avx512Table() {
       isa::Tier::Avx512, "avx512", Avx512Traits::Width,
       &FK::addDirect,    &FK::mulDirect,
       &BK::add,          &BK::mul,
+      &BK::addSparse,    &BK::mulSparse,
   };
   return &Table;
 }

@@ -102,6 +102,7 @@ const isa::KernelTable *isa::detail::scalarTable() {
       isa::Tier::Scalar, "scalar", ScalarTraits::Width,
       &FK::addDirect,    &FK::mulDirect,
       &BK::add,          &BK::mul,
+      &BK::addSparse,    &BK::mulSparse,
   };
   return &Table;
 }

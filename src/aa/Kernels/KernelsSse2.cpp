@@ -137,6 +137,7 @@ const isa::KernelTable *isa::detail::sse2Table() {
       isa::Tier::Sse2, "sse2", Sse2Traits::Width,
       &FK::addDirect,  &FK::mulDirect,
       &BK::add,        &BK::mul,
+      &BK::addSparse,  &BK::mulSparse,
   };
   return &Table;
 }

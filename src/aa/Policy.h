@@ -76,6 +76,15 @@ struct AAConfig {
   /// Error semantics of reported results. Not part of the notation
   /// string (driver flag --error-model); defaults to sound-only.
   ErrorModel Model = ErrorModel::Sound;
+  /// Group-sparse batch storage (driver flag --sparse; like Model, not
+  /// part of the notation string). Batches track occupancy per
+  /// (slot, 8-lane group) with packed coefficient planes grown on
+  /// fusion pressure, and the batch kernels skip unoccupied groups.
+  /// Bit-identical to the dense engine by construction (a skipped group
+  /// contributes the exact +0 every reader substitutes anyway); enforced
+  /// by the fuzzer's sparse-identity phase. Dense remains the default so
+  /// the small-K common case keeps its branch-free layout.
+  bool Sparse = false;
 
   /// Parses the paper's notation: "<prec>-<w><x><y><z>" with
   /// prec in {f64a, dda, f32a, f16a, bf16a}, w in {s,d} placement,

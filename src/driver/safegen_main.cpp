@@ -49,7 +49,15 @@ void printUsage() {
       "                     bound, default) or prob (additionally a 99%%\n"
       "                     probabilistic enclosure per Constantinides et\n"
       "                     al.; the sound bound always contains it)\n"
-      "  -k <n>             symbol budget per affine variable (default 16)\n"
+      "  -k <n>             symbol budget per affine variable, in [2, 128]\n"
+      "                     (default 16; above 64, n must be a multiple of\n"
+      "                      8 so the sparse row pool's doubling schedule\n"
+      "                      can reach it)\n"
+      "  --sparse           group-sparse batch storage: occupancy-tracked\n"
+      "                     8-lane coefficient groups with an adaptive\n"
+      "                     row pool (grows 16->32->64->K under fusion\n"
+      "                     pressure). Bit-identical results; wins time\n"
+      "                     and memory in the large-K regime (-k 64/128)\n"
       "  --function <name>  transform only this function (repeatable)\n"
       "  --no-analysis      skip the max-reuse static analysis\n"
       "  --dump-dag <file>  write the computation DAG (Graphviz)\n"
@@ -200,12 +208,31 @@ int main(int Argc, char **Argv) {
         return 1;
       long K;
       std::string Diag;
-      if (!parseIntOption(V, 2, 64, K, Diag)) {
-        std::fprintf(stderr, "safegen: invalid -k value '%s': %s\n", V,
-                     Diag.c_str());
+      if (!parseIntOption(V, 2, 128, K, Diag)) {
+        std::fprintf(stderr,
+                     "safegen: invalid -k value '%s': %s (the symbol budget "
+                     "ceiling is 128)\n",
+                     V, Diag.c_str());
+        return 1;
+      }
+      // Above the legacy dense ceiling, keep K reachable by the adaptive
+      // sparse row pool: capacities double 16 -> 32 -> 64 and then clamp
+      // to K, and the large-K regime keeps that final step (and the
+      // direct-mapped slot space) aligned to whole 8-slot groups.
+      if (K > 64 && K % 8 != 0) {
+        std::fprintf(stderr,
+                     "safegen: invalid -k value '%s': above 64 the symbol "
+                     "budget must be a multiple of 8 so the adaptive row "
+                     "pool's doubling schedule (16, 32, 64, then K) can "
+                     "reach it; try %ld or %ld\n",
+                     V, K & ~7L, (K + 7) & ~7L);
         return 1;
       }
       Opts.Config.K = static_cast<int>(K);
+      continue;
+    }
+    if (Arg == "--sparse") {
+      Opts.Config.Sparse = true;
       continue;
     }
     if (Arg == "--function") {

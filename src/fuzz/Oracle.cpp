@@ -296,6 +296,22 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                           "] is not bit-identical to the tape engine's [" +
                           fmt(RS[0].Return.Lo) + ", " + fmt(RS[0].Return.Hi) +
                           "]");
+        // The 16-bit formats batch through the format-generic scalar
+        // tape, whose per-instance scatter/gather is storage-mode aware:
+        // the sparse twin must reproduce the dense enclosure bit for bit.
+        aa::AAConfig SCfg = Cfg;
+        SCfg.Sparse = true;
+        auto SS = core::Interpreter::runBatch(TU, Fn, SCfg, {Seeds},
+                                              /*Threads=*/1, Opts);
+        if (SS[0].Success != RS[0].Success ||
+            !sameBits(SS[0].Return.Lo, RS[0].Return.Lo) ||
+            !sameBits(SS[0].Return.Hi, RS[0].Return.Hi))
+          return fail("sparse-identity", Cfg.str(),
+                      "narrow-format sparse enclosure [" +
+                          fmt(SS[0].Return.Lo) + ", " + fmt(SS[0].Return.Hi) +
+                          "] is not bit-identical to dense storage's [" +
+                          fmt(RS[0].Return.Lo) + ", " + fmt(RS[0].Return.Hi) +
+                          "]");
         aa::AAConfig PCfg = Cfg;
         PCfg.Model = aa::ErrorModel::Probabilistic;
         auto PS = core::Interpreter::runBatch(TU, Fn, PCfg, {Seeds},
@@ -481,6 +497,103 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                             " thread(s)) is not bit-identical to the tree "
                             "walker's");
         }
+      }
+    }
+  }
+
+  // The group-sparse storage mode (--sparse) promises strict bit-identity
+  // to dense storage by construction: every skipped (slot, group) pair
+  // contributes the exact +0 the dense kernel would have accumulated.
+  // Enforce it across the full placement x fusion x K grid and both
+  // batched compiled engines, serial and threaded. Direct-mapped configs
+  // additionally run at K = 72 and 128 so the adaptive row pool's growth
+  // schedule (16 -> 32 -> 64 -> K) relocates planes mid-kernel; the grid
+  // itself tops out at K = 40. The probabilistic error model rides along
+  // on the tape engine — its enclosure must match bit for bit too.
+  for (const aa::AAConfig &Base : Configs) {
+    std::vector<aa::AAConfig> Variants = {Base};
+    if (Base.Placement == aa::PlacementPolicy::DirectMapped &&
+        Base.Fusion == aa::FusionPolicy::Smallest)
+      for (int BigK : {72, 128}) {
+        aa::AAConfig Big = Base;
+        Big.K = BigK;
+        Variants.push_back(Big);
+      }
+    for (const aa::AAConfig &Cfg : Variants) {
+      std::vector<double> Vals = argValuesOr(O);
+      const frontend::FunctionDecl *F = TU.findFunction(Fn);
+      size_t NP = F->getParams().size();
+      std::vector<std::vector<double>> Instances;
+      for (unsigned Inst = 0; Inst < 4; ++Inst) {
+        std::vector<double> Seeds;
+        for (size_t P = 0; P < NP; ++P)
+          Seeds.push_back(Vals[(P + Inst) % Vals.size()]);
+        Instances.push_back(std::move(Seeds));
+      }
+      aa::AAConfig Sparse = Cfg;
+      Sparse.Sparse = true;
+      core::InterpreterOptions TapeOpts = interpOpts(O, false);
+      TapeOpts.Engine = core::ExecEngine::Tape;
+      auto Ref = core::Interpreter::runBatch(TU, Fn, Cfg, Instances,
+                                             /*Threads=*/1, TapeOpts);
+      for (core::ExecEngine Eng :
+           {core::ExecEngine::Tape, core::ExecEngine::Native}) {
+        core::InterpreterOptions EngOpts = interpOpts(O, false);
+        EngOpts.Engine = Eng;
+        const char *Name = Eng == core::ExecEngine::Native ? "native" : "tape";
+        for (unsigned Threads : {1u, 3u}) {
+          auto Got = core::Interpreter::runBatch(TU, Fn, Sparse, Instances,
+                                                 Threads, EngOpts);
+          for (size_t I = 0; I < Ref.size(); ++I) {
+            if (Ref[I].Success != Got[I].Success)
+              return fail("sparse-identity", Cfg.str(),
+                          "batch instance " + std::to_string(I) +
+                              " success differs between sparse " + Name +
+                              " (" + std::to_string(Threads) +
+                              " thread(s), K=" + std::to_string(Cfg.K) +
+                              ") and dense tape");
+            if (!Ref[I].Success)
+              continue;
+            if (!sameBits(Ref[I].Return.Lo, Got[I].Return.Lo) ||
+                !sameBits(Ref[I].Return.Hi, Got[I].Return.Hi))
+              return fail("sparse-identity", Cfg.str(),
+                          "batch instance " + std::to_string(I) +
+                              " sparse " + Name + " enclosure (" +
+                              std::to_string(Threads) +
+                              " thread(s), K=" + std::to_string(Cfg.K) +
+                              ") is not bit-identical to dense storage");
+          }
+        }
+      }
+      // Probabilistic model, tape engine: the sparse run must reproduce
+      // the dense probabilistic enclosure bit for bit as well.
+      aa::AAConfig PDense = Cfg, PSparse = Sparse;
+      PDense.Model = aa::ErrorModel::Probabilistic;
+      PSparse.Model = aa::ErrorModel::Probabilistic;
+      auto PRef = core::Interpreter::runBatch(TU, Fn, PDense, Instances,
+                                              /*Threads=*/1, TapeOpts);
+      auto PGot = core::Interpreter::runBatch(TU, Fn, PSparse, Instances,
+                                              /*Threads=*/1, TapeOpts);
+      for (size_t I = 0; I < PRef.size(); ++I) {
+        if (PRef[I].Success != PGot[I].Success)
+          return fail("sparse-identity", PDense.str(),
+                      "batch instance " + std::to_string(I) +
+                          " probabilistic success differs between sparse "
+                          "and dense storage");
+        if (!PRef[I].Success)
+          continue;
+        if (!sameBits(PRef[I].Return.Lo, PGot[I].Return.Lo) ||
+            !sameBits(PRef[I].Return.Hi, PGot[I].Return.Hi) ||
+            PRef[I].HasProb != PGot[I].HasProb ||
+            (PRef[I].HasProb &&
+             (!sameBits(PRef[I].Prob.Lo, PGot[I].Prob.Lo) ||
+              !sameBits(PRef[I].Prob.Hi, PGot[I].Prob.Hi) ||
+              !sameBits(PRef[I].Prob.SupportLo, PGot[I].Prob.SupportLo) ||
+              !sameBits(PRef[I].Prob.SupportHi, PGot[I].Prob.SupportHi))))
+          return fail("sparse-identity", PDense.str(),
+                      "batch instance " + std::to_string(I) +
+                          " probabilistic enclosure differs between sparse "
+                          "and dense storage");
       }
     }
   }
@@ -856,7 +969,8 @@ Kernel fuzz::minimizeKernel(const Kernel &K, const OracleOptions &O,
   bool IdentityKind = First.Kind == "simd-identity" ||
                       First.Kind == "bit-identity" ||
                       First.Kind == "tape-identity" ||
-                      First.Kind == "native-identity";
+                      First.Kind == "native-identity" ||
+                      First.Kind == "sparse-identity";
   if (auto Cfg = aa::AAConfig::parse(First.Config)) {
     // Identity failures are reported with the vectorized twin's 'v'
     // notation, but the identity pass re-derives that twin from the

@@ -1,0 +1,384 @@
+//===- batch_sparse_test.cpp - Group-sparse batch storage tests -----------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the group-sparse Batch representation: per-(slot, 8-lane
+/// group) occupancy, first-touch materialization, the adaptive row pool
+/// (grow on pressure, compact on demand), setSlotMask consistency, and
+/// the load-bearing claim — sparse storage is bit-identical to dense at
+/// every available kernel tier, including the scalar-fallback ops
+/// (division) that densify the live mask.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Affine.h"
+#include "aa/Batch.h"
+#include "aa/Kernels/Isa.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::aa;
+
+namespace {
+
+class TierGuard {
+public:
+  TierGuard() : Saved(isa::activeTier()) {}
+  ~TierGuard() { isa::setTier(Saved); }
+
+private:
+  isa::Tier Saved;
+};
+
+std::vector<isa::Tier> availableTiers() {
+  std::vector<isa::Tier> Tiers;
+  for (int T = 0; T < isa::NumTiers; ++T)
+    if (isa::available(static_cast<isa::Tier>(T)))
+      Tiers.push_back(static_cast<isa::Tier>(T));
+  return Tiers;
+}
+
+uint64_t bitsOf(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+void expectVarBits(const AffineF64Storage &Ref, const AffineF64Storage &Got) {
+  ASSERT_EQ(Ref.N, Got.N);
+  EXPECT_EQ(bitsOf(Ref.Center), bitsOf(Got.Center));
+  for (int32_t S = 0; S < Ref.N; ++S) {
+    EXPECT_EQ(Ref.Ids[S], Got.Ids[S]) << "slot " << S;
+    EXPECT_EQ(bitsOf(Ref.Coefs[S]), bitsOf(Got.Coefs[S])) << "slot " << S;
+  }
+}
+
+AAConfig sparseConfig(int K, const char *Notation = "f64a-dspn") {
+  AAConfig Cfg = *AAConfig::parse(Notation);
+  Cfg.K = K;
+  Cfg.Sparse = true;
+  return Cfg;
+}
+
+class BatchSparseTest : public ::testing::Test {
+protected:
+  fp::RoundUpwardScope Rounding;
+  TierGuard Guard;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Occupancy and first-touch materialization
+//===----------------------------------------------------------------------===//
+
+TEST_F(BatchSparseTest, FreshBatchOwnsNoRows) {
+  BatchEnvScope Env(sparseConfig(64), 20);
+  BatchF64 B = BatchF64::exact(3.0);
+  EXPECT_TRUE(B.sparse());
+  EXPECT_EQ(B.capacity(), 24);
+  EXPECT_EQ(B.groups(), 3);
+  EXPECT_EQ(B.rowsAllocated(), 0);
+  EXPECT_TRUE(B.slotMask().none());
+  for (int I = 0; I < 20; ++I) {
+    EXPECT_EQ(B.mid(I), 3.0);
+    EXPECT_EQ(B.radius(I), 0.0);
+  }
+}
+
+TEST_F(BatchSparseTest, FirstTouchMaterializesExactlyOneGroup) {
+  BatchEnvScope Env(sparseConfig(64), 20);
+  BatchF64 B = BatchF64::exact(0.0);
+  // Scatter a single one-symbol variable into instance 9 (lane group 1).
+  AffineF64Storage V;
+  ops::initExact(V, 1.0, Env.get().Config);
+  V.N = 3;
+  V.Ids[2] = 3; // homeSlot(3) = 2 under direct-mapped K=64
+  V.Coefs[2] = 0.25;
+  B.insert(9, V);
+
+  // Exactly one (slot, group) became occupied, backed by exactly one row.
+  EXPECT_EQ(B.rowsAllocated(), 1);
+  for (int32_t G = 0; G < B.groups(); ++G)
+    EXPECT_EQ(B.groupMask(G).count(), G == 1 ? 1 : 0) << "group " << G;
+  EXPECT_TRUE(B.laneGroupOccupied(2, 9));
+  EXPECT_FALSE(B.laneGroupOccupied(2, 0));
+  EXPECT_FALSE(B.laneGroupOccupied(2, 16));
+
+  // The other lanes of the claimed group were zeroed by first touch: they
+  // extract as empty entries, not garbage.
+  for (int I = 8; I < 16; ++I) {
+    if (I == 9)
+      continue;
+    AffineF64Storage W = B.extract(I);
+    for (int32_t S = 0; S < W.N; ++S) {
+      EXPECT_EQ(W.Ids[S], InvalidSymbol) << "lane " << I << " slot " << S;
+      EXPECT_EQ(bitsOf(W.Coefs[S]), bitsOf(+0.0))
+          << "lane " << I << " slot " << S;
+    }
+  }
+  AffineF64Storage Got = B.extract(9);
+  EXPECT_EQ(Got.Ids[2], 3);
+  EXPECT_EQ(Got.Coefs[2], 0.25);
+}
+
+TEST_F(BatchSparseTest, DeadGroupsReadAsExactZeroThroughEveryKernel) {
+  // Instances 0..7 carry a symbol; instances 8..15 are exact constants,
+  // so group 1 of every slot stays unoccupied. Every kernel must treat
+  // the dead groups as exact +0: the constant lanes stay exact through
+  // the linear chain (adds of representable values round to zero error,
+  // so no fresh symbol is drawn for them) and group 1 never gains a bit.
+  const int N = 16;
+  for (isa::Tier T : availableTiers()) {
+    SCOPED_TRACE(std::string("tier ") + isa::name(T));
+    ASSERT_TRUE(isa::setTier(T));
+    BatchEnvScope Env(sparseConfig(32), N);
+    BatchF64 X = BatchF64::exact(0.5);
+    for (int I = 0; I < 8; ++I)
+      X.insert(I, ops::makeFromInterval<F64Center>(0.375, 0.625,
+                                                   Env.get().Config,
+                                                   Env.get().Contexts[I]));
+    ASSERT_EQ(X.groupMask(0).count(), 1);
+    ASSERT_TRUE(X.groupMask(1).none());
+
+    // Integer constants broadcast exactly (non-integer source constants
+    // deliberately carry a 1-ulp deviation symbol, see assignConstant).
+    BatchF64 Y = X + X - BatchF64(1.0);
+    for (int I = 8; I < N; ++I) {
+      EXPECT_EQ(Y.mid(I), 0.0) << "lane " << I;
+      EXPECT_EQ(Y.radius(I), 0.0) << "lane " << I;
+    }
+    // The add kernel iterated only occupied groups; the dead group gained
+    // nothing — its lanes never even owned storage.
+    EXPECT_TRUE(Y.groupMask(1).none());
+    for (int32_t S = 0; S < 32; ++S)
+      EXPECT_FALSE(Y.laneGroupOccupied(S, 12)) << "slot " << S;
+
+    BatchF64 Z = Y / X; // scalar fallback path; 0 / 0.5 on the exact lanes
+    for (int I = 8; I < N; ++I) {
+      double L, H;
+      Z.bounds(I, L, H);
+      EXPECT_LE(L, 0.0) << "lane " << I;
+      EXPECT_GE(H, 0.0) << "lane " << I;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// setSlotMask / occupancy consistency
+//===----------------------------------------------------------------------===//
+
+TEST_F(BatchSparseTest, SetSlotMaskKeepsOccupancyConsistent) {
+  BatchEnvScope Env(sparseConfig(64), 12);
+  BatchF64 B = BatchF64::exact(0.0);
+  // Occupy slot 5 in group 0 only.
+  AffineF64Storage V;
+  ops::initExact(V, 2.0, Env.get().Config);
+  V.N = 6;
+  V.Ids[5] = 6;
+  V.Coefs[5] = 1.0;
+  B.insert(3, V);
+  ASSERT_EQ(B.groupMask(0).count(), 1);
+  ASSERT_EQ(B.groupMask(1).count(), 0);
+
+  // Widen the live mask to slots {1, 5}. Slot 1 is newly live: it is
+  // zero-filled and occupied in every group (slotMask()'s whole-row
+  // contract). Slot 5 was already live, so its partial occupancy is kept
+  // as-is — a lane in an unoccupied group reads the same empty pair
+  // (InvalidSymbol, +0.0) a zeroed row would hold, so nothing densifies.
+  SlotMask M = SlotMask::zero();
+  M.set(1);
+  M.set(5);
+  B.setSlotMask(M);
+  EXPECT_EQ(B.slotMask(), M);
+  SlotMask OnlyNew = SlotMask::zero();
+  OnlyNew.set(1);
+  EXPECT_EQ(B.groupMask(0), M);
+  EXPECT_EQ(B.groupMask(1), OnlyNew);
+  EXPECT_TRUE(B.laneGroupOccupied(1, 0));
+  EXPECT_TRUE(B.laneGroupOccupied(1, 11));
+  EXPECT_FALSE(B.laneGroupOccupied(5, 11));
+  EXPECT_EQ(bitsOf(B.coefPlane(1)[0]), bitsOf(+0.0));
+  EXPECT_EQ(B.idPlane(1)[7], InvalidSymbol);
+  // Slot 5's group-0 payload survived the widening, and the unoccupied
+  // group reads empty through extract.
+  EXPECT_EQ(B.coefPlane(5)[3], 1.0);
+  {
+    AffineF64Storage E11 = B.extract(11);
+    for (int32_t S = 0; S < E11.N; ++S) {
+      EXPECT_EQ(E11.Ids[S], InvalidSymbol) << "slot " << S;
+      EXPECT_EQ(bitsOf(E11.Coefs[S]), bitsOf(+0.0)) << "slot " << S;
+    }
+  }
+
+  // Dropping slot 5 clears its occupancy in every group.
+  SlotMask M2 = SlotMask::zero();
+  M2.set(1);
+  B.setSlotMask(M2);
+  EXPECT_EQ(B.slotMask(), M2);
+  for (int32_t G = 0; G < B.groups(); ++G)
+    EXPECT_EQ(B.groupMask(G), M2) << "group " << G;
+  EXPECT_FALSE(B.laneGroupOccupied(5, 3));
+  // slotMask() must equal the union of the group masks at all times.
+  SlotMask Union = SlotMask::zero();
+  for (int32_t G = 0; G < B.groups(); ++G)
+    Union |= B.groupMask(G);
+  EXPECT_EQ(B.slotMask(), Union);
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive row pool: grow and compact
+//===----------------------------------------------------------------------===//
+
+TEST_F(BatchSparseTest, RowPoolGrowsUnderPressureAndCompacts) {
+  const int K = 128;
+  for (int N : {1, 3, 8, 13, 61}) {
+    SCOPED_TRACE("N=" + std::to_string(N));
+    BatchEnvScope Env(sparseConfig(K), N);
+    BatchF64 B = BatchF64::exact(0.0);
+    EXPECT_EQ(B.rowsAllocated(), 0);
+    EXPECT_GE(B.rowCapacity(), 16); // the seed allocation
+
+    // Touch slots one at a time and snapshot what each instance holds.
+    std::vector<AffineF64Storage> Want(static_cast<size_t>(N));
+    for (int I = 0; I < N; ++I)
+      ops::initExact(Want[static_cast<size_t>(I)], 0.0, Env.get().Config);
+    auto touch = [&](int32_t Slot, int32_t I, double C) {
+      AffineF64Storage &V = Want[static_cast<size_t>(I)];
+      V.N = std::max<int32_t>(V.N, Slot + 1);
+      V.Ids[Slot] = Slot + 1; // homeSlot(Slot + 1) == Slot
+      V.Coefs[Slot] = C;
+      B.insert(I, V);
+    };
+    // 40 distinct slots forces the pool through 16 -> 32 -> 64.
+    std::mt19937_64 Rng(77);
+    for (int32_t Slot = 0; Slot < 40; ++Slot)
+      touch(Slot, static_cast<int32_t>(Rng() % static_cast<uint64_t>(N)),
+            std::ldexp(1.0, -static_cast<int>(Slot % 13)));
+    EXPECT_EQ(B.rowsAllocated(), 40);
+    EXPECT_EQ(B.rowCapacity(), 64);
+
+    size_t Before = B.residentBytes();
+    B.compact();
+    EXPECT_EQ(B.rowCapacity(), 40);
+    EXPECT_LT(B.residentBytes(), Before);
+
+    // Round-trip: every payload survived the growth relocations and the
+    // compaction, bit for bit, at every N.
+    for (int I = 0; I < N; ++I) {
+      SCOPED_TRACE("instance " + std::to_string(I));
+      expectVarBits(Want[static_cast<size_t>(I)], B.extract(I));
+    }
+    // The pool never exceeds K rows and residentBytes is dominated by the
+    // packed planes, far below the dense footprint for 40/128 slots.
+    EXPECT_LE(B.rowCapacity(), K);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sparse == dense, bit for bit, at every tier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ProgramResult {
+  std::vector<AffineF64Storage> Out;
+  std::vector<SymbolId> NextId;
+  std::vector<uint64_t> Fusions;
+  std::vector<double> Lo, Hi;
+};
+
+/// A mixed straight-line program: both vector kernels, the scalar div
+/// fallback (which densifies the live mask), negation, constants, and
+/// protection. Deterministic in the inputs and the config.
+ProgramResult runProgram(const AAConfig &Cfg, int N,
+                         const std::vector<std::vector<double>> &Xs) {
+  ProgramResult R;
+  BatchEnvScope Env(Cfg, N);
+  BatchF64 A = BatchF64::input(Xs[0].data());
+  BatchF64 B = BatchF64::input(Xs[1].data());
+  BatchF64 C = BatchF64::input(Xs[2].data());
+  BatchF64 T = A * B + C;
+  T.prioritize();
+  BatchF64 U = (T - A) * (B + C) + T * T;
+  BatchF64 V = U / (B * B + BatchF64(2.5)); // scalar fallback, densifies
+  BatchF64 W = -V * A + U - BatchF64(0.125) * V;
+  R.Out.resize(static_cast<size_t>(N));
+  R.NextId.resize(static_cast<size_t>(N));
+  R.Fusions.resize(static_cast<size_t>(N));
+  R.Lo.resize(static_cast<size_t>(N));
+  R.Hi.resize(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I) {
+    R.Out[static_cast<size_t>(I)] = W.extract(I);
+    R.NextId[static_cast<size_t>(I)] = Env.get().Contexts[I].peekNextId();
+    R.Fusions[static_cast<size_t>(I)] = Env.get().Contexts[I].NumFusions;
+    W.bounds(I, R.Lo[static_cast<size_t>(I)], R.Hi[static_cast<size_t>(I)]);
+  }
+  return R;
+}
+
+void checkSparseDenseIdentity(const char *Notation, int K, int N,
+                              uint64_t Seed) {
+  SCOPED_TRACE(std::string(Notation) + " K=" + std::to_string(K) +
+               " N=" + std::to_string(N));
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> D(-2.0, 2.0);
+  std::vector<std::vector<double>> Xs(3, std::vector<double>(
+                                            static_cast<size_t>(N)));
+  for (auto &Col : Xs)
+    for (double &X : Col)
+      X = D(Rng) * std::ldexp(1.0, static_cast<int>(Rng() % 21) - 10);
+
+  AAConfig Dense = *AAConfig::parse(Notation);
+  Dense.K = K;
+  AAConfig Sparse = Dense;
+  Sparse.Sparse = true;
+
+  for (isa::Tier T : availableTiers()) {
+    SCOPED_TRACE(std::string("tier ") + isa::name(T));
+    ASSERT_TRUE(isa::setTier(T));
+    ProgramResult Ref = runProgram(Dense, N, Xs);
+    ProgramResult Got = runProgram(Sparse, N, Xs);
+    for (int I = 0; I < N; ++I) {
+      SCOPED_TRACE("instance " + std::to_string(I));
+      expectVarBits(Ref.Out[static_cast<size_t>(I)],
+                    Got.Out[static_cast<size_t>(I)]);
+      EXPECT_EQ(Ref.NextId[static_cast<size_t>(I)],
+                Got.NextId[static_cast<size_t>(I)]);
+      EXPECT_EQ(Ref.Fusions[static_cast<size_t>(I)],
+                Got.Fusions[static_cast<size_t>(I)]);
+      EXPECT_EQ(bitsOf(Ref.Lo[static_cast<size_t>(I)]),
+                bitsOf(Got.Lo[static_cast<size_t>(I)]));
+      EXPECT_EQ(bitsOf(Ref.Hi[static_cast<size_t>(I)]),
+                bitsOf(Got.Hi[static_cast<size_t>(I)]));
+    }
+  }
+}
+
+} // namespace
+
+TEST_F(BatchSparseTest, SparseBitIdenticalToDenseAwkwardSizes) {
+  for (int N : {1, 2, 3, 5, 7, 9, 15, 17, 31, 33, 61})
+    checkSparseDenseIdentity("f64a-dspn", 16, N,
+                             7000 + static_cast<uint64_t>(N));
+}
+
+TEST_F(BatchSparseTest, SparseBitIdenticalToDenseLargeK) {
+  for (int K : {64, 72, 128})
+    checkSparseDenseIdentity("f64a-dspn", K, 33,
+                             8000 + static_cast<uint64_t>(K));
+}
+
+TEST_F(BatchSparseTest, SparseBitIdenticalToDenseMeanThreshold) {
+  for (int N : {2, 9, 33})
+    checkSparseDenseIdentity("f64a-dmpn", 32, N,
+                             9000 + static_cast<uint64_t>(N));
+}

@@ -52,12 +52,16 @@ template <typename V> V kernel(const V &X) {
 }
 
 /// The group-sparse workload: kernel() with one division in the middle.
-/// The division runs per instance through the scalar fallback, whose
-/// scatter densifies the dense live mask to all K rows (direct-mapped
-/// AffineVars always carry N == K), so every op after it iterates the
-/// full budget under dense storage even though the program touches well
-/// under half the symbols at K >= 64. Sparse storage keeps iterating
-/// only the occupied (slot, group) pairs.
+/// Historically the division ran per instance through the scalar
+/// fallback, whose scatter densified the dense live mask to all K rows
+/// (direct-mapped AffineVars always carry N == K) — the k128 case sparse
+/// storage was built to win. The vectorized linear-map kernel removed
+/// that cliff: div now lowers to inv+mul in the cross-instance engine
+/// and the live mask stays at the program's true occupancy (~15 slots),
+/// so dense and sparse iterate the same rows and the sparse layout's
+/// remaining large-K advantage is resident memory (it allocates occupied
+/// pool rows, not all K planes). The row pair still enforces dense/sparse
+/// bit-identity and feeds both the time and memory ratios to the gate.
 template <typename V> V sparseKernel(const V &X) {
   V T = X * X - X;
   V U = T * X + V(0.5);

@@ -141,6 +141,18 @@ void batch::detail::mulVecSparse(const Batch<F64Center> &A,
   isa::select().BatchMulSparse(A, B, Out, Env);
 }
 
+void batch::detail::linearMapVec(const Batch<F64Center> &A,
+                                 Batch<F64Center> &Out, BatchEnv &Env,
+                                 isa::LinearMapFn Lin) {
+  isa::select().BatchLinearMap(A, Out, Env, Lin);
+}
+
+void batch::detail::linearMapVecSparse(const Batch<F64Center> &A,
+                                       Batch<F64Center> &Out, BatchEnv &Env,
+                                       isa::LinearMapFn Lin) {
+  isa::select().BatchLinearMapSparse(A, Out, Env, Lin);
+}
+
 //===----------------------------------------------------------------------===//
 // Parallel batch runner
 //===----------------------------------------------------------------------===//

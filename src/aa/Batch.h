@@ -48,6 +48,7 @@
 
 #include "aa/AffineOps.h"
 #include "aa/Elementary.h"
+#include "aa/Kernels/Isa.h"
 #include "fp/FloatOrdinal.h"
 #include "support/ThreadPool.h"
 
@@ -320,6 +321,14 @@ void addVecSparse(const Batch<F64Center> &A, const Batch<F64Center> &B,
                   double Sign, Batch<F64Center> &Out, BatchEnv &Env);
 void mulVecSparse(const Batch<F64Center> &A, const Batch<F64Center> &B,
                   Batch<F64Center> &Out, BatchEnv &Env);
+/// Unary min-range linear-map kernels (the inv/sqrt/exp/log lowering):
+/// per-lane scalar linearization prologue via \p Lin, vectorized map
+/// application. Bit-identical to mapInstances over the corresponding
+/// scalar op.
+void linearMapVec(const Batch<F64Center> &A, Batch<F64Center> &Out,
+                  BatchEnv &Env, isa::LinearMapFn Lin);
+void linearMapVecSparse(const Batch<F64Center> &A, Batch<F64Center> &Out,
+                        BatchEnv &Env, isa::LinearMapFn Lin);
 } // namespace detail
 } // namespace batch
 
@@ -669,12 +678,70 @@ public:
   static void evalDiv(const Batch &A, const Batch &B, Batch &Out) {
     BatchEnv &E = environmentFor(A, B);
     assert(&Out != &A && &Out != &B && "eval output aliases an operand");
+    if constexpr (std::is_same_v<CT, F64Center>) {
+      if (batch::detail::fastSupported(E.Config)) {
+        // â/b̂ = â·(1/b̂), decomposed so both halves run the vector
+        // kernels. Bit-identical to the scalar ops::div per instance:
+        // contexts are per-instance, so splitting the op into two batch
+        // sweeps preserves each instance's op and symbol-draw order
+        // exactly. The reciprocal scratch is thread-local so the native
+        // engine's steady state stays allocation-free (assignLike reuses
+        // its planes after the first div on each thread).
+        static thread_local Batch InvB;
+        evalInv(B, InvB);
+        evalMul(A, InvB, Out);
+        return;
+      }
+    }
     AAConfig Cfg = scalarConfig(E);
     Out.assignLike(A);
     for (int32_t I = 0; I < A.Size_; ++I)
       Out.insert(I, ops::div(A.extract(I), B.extract(I), Cfg,
                              E.Contexts[I]));
   }
+  /// \name Unary elementary ops (min-range linear maps).
+  /// Fast-path configs run the cross-instance linear-map kernel (per-lane
+  /// scalar linearization prologue, vectorized map); everything else
+  /// falls back to the per-instance scalar op. Both orders are
+  /// bit-identical per instance.
+  /// @{
+  static void evalInv(const Batch &A, Batch &Out) {
+    evalLinearMap(A, Out, &ops::detail::linearizeInv, &ops::inv<CT>);
+  }
+  static void evalSqrt(const Batch &A, Batch &Out) {
+    evalLinearMap(A, Out, &ops::detail::linearizeSqrt, &ops::sqrt<CT>);
+  }
+  static void evalExp(const Batch &A, Batch &Out) {
+    evalLinearMap(A, Out, &ops::detail::linearizeExp, &ops::exp<CT>);
+  }
+  static void evalLog(const Batch &A, Batch &Out) {
+    evalLinearMap(A, Out, &ops::detail::linearizeLog, &ops::log<CT>);
+  }
+  /// Shared body of the unary entry points: \p Lin is the per-interval
+  /// linearization (shared with the scalar ops, so the two paths cannot
+  /// drift), \p Scalar the per-instance fallback op.
+  static void
+  evalLinearMap(const Batch &A, Batch &Out, isa::LinearMapFn Lin,
+                AffineVar<CT> (*Scalar)(const AffineVar<CT> &,
+                                        const AAConfig &, AffineContext &)) {
+    BatchEnv &E = environmentFor(A, A);
+    assert(&Out != &A && "eval output aliases an operand");
+    if constexpr (std::is_same_v<CT, F64Center>) {
+      if (batch::detail::fastSupported(E.Config)) {
+        Out.assignLike(A);
+        if (A.Sparse_)
+          batch::detail::linearMapVecSparse(A, Out, E, Lin);
+        else
+          batch::detail::linearMapVec(A, Out, E, Lin);
+        return;
+      }
+    }
+    AAConfig Cfg = scalarConfig(E);
+    Out.assignLike(A);
+    for (int32_t I = 0; I < A.Size_; ++I)
+      Out.insert(I, Scalar(A.extract(I), Cfg, E.Contexts[I]));
+  }
+  /// @}
   static void evalNeg(const Batch &A, Batch &Out) {
     assert(&Out != &A && "eval output aliases an operand");
     Out = A; // plane copy; PodArray::ensure keeps it allocation-free
@@ -1140,31 +1207,31 @@ private:
   batch::detail::PodArray<uint64_t> Occ_;
 };
 
-/// \name Elementary functions (scalar per-instance linearization).
+/// \name Elementary functions.
+/// The min-range linear maps (sqrt/exp/log/inv) route through the eval*
+/// entry points, which vectorize the map on fast-path configs; sin/cos
+/// stay on per-instance scalar linearization (their hull path draws
+/// symbols via makeFromInterval, which has no cross-instance form).
 /// @{
 template <typename CT> Batch<CT> sqrt(const Batch<CT> &A) {
-  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
-                           AffineContext &Ctx) {
-    return ops::sqrt(V, Cfg, Ctx);
-  });
+  Batch<CT> Out;
+  Batch<CT>::evalSqrt(A, Out);
+  return Out;
 }
 template <typename CT> Batch<CT> exp(const Batch<CT> &A) {
-  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
-                           AffineContext &Ctx) {
-    return ops::exp(V, Cfg, Ctx);
-  });
+  Batch<CT> Out;
+  Batch<CT>::evalExp(A, Out);
+  return Out;
 }
 template <typename CT> Batch<CT> log(const Batch<CT> &A) {
-  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
-                           AffineContext &Ctx) {
-    return ops::log(V, Cfg, Ctx);
-  });
+  Batch<CT> Out;
+  Batch<CT>::evalLog(A, Out);
+  return Out;
 }
 template <typename CT> Batch<CT> inv(const Batch<CT> &A) {
-  return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,
-                           AffineContext &Ctx) {
-    return ops::inv(V, Cfg, Ctx);
-  });
+  Batch<CT> Out;
+  Batch<CT>::evalInv(A, Out);
+  return Out;
 }
 template <typename CT> Batch<CT> sin(const Batch<CT> &A) {
   return A.mapInstances([](const AffineVar<CT> &V, const AAConfig &Cfg,

@@ -130,6 +130,114 @@ AffineVar<CT> nanResult(const AAConfig &Cfg) {
   return V;
 }
 
+/// One argument's min-range linearization decision: how an elementary op
+/// treats an operand whose enclosing interval is [L, U]. Either the op is
+/// replaced by α·x + ζ ± δ (Map), collapses to the NaN form (Nan — a
+/// domain violation or an unbounded argument), or yields an exact value
+/// with no symbols at all (Exact — sqrt of an identically-zero argument).
+///
+/// This is the scalar prologue shared between the per-instance ops below
+/// and the cross-instance batch linear-map kernel (Kernels/KernelImpl.h),
+/// which evaluates it once per lane and then applies the map across
+/// instances — a single source of truth, so the batch fast path can never
+/// drift from the scalar reference.
+struct Linearization {
+  enum Kind : uint8_t { Map, Nan, Exact };
+  Kind K = Map;
+  double Alpha = 0.0;
+  double Zeta = 0.0;
+  double Delta = 0.0;
+  double Value = 0.0; ///< Exact only
+};
+
+/// 1/x over [L, U]. Requires upward mode.
+inline Linearization linearizeInv(double L, double U) {
+  Linearization Ln;
+  if (std::isnan(L) || std::isnan(U) || (L <= 0.0 && U >= 0.0)) {
+    Ln.K = Linearization::Nan;
+    return Ln;
+  }
+  // Endpoint with the largest magnitude carries min |f'| = 1/x^2.
+  double M = std::fabs(L) > std::fabs(U) ? L : U;
+  // α >= -1/M^2 keeps d(x) = 1/x - αx monotone on [L,U]: round the
+  // magnitude of 1/M^2 downward.
+  Ln.Alpha = -fp::mulRD(fp::divRD(1.0, std::fabs(M)),
+                        fp::divRD(1.0, std::fabs(M)));
+  ia::Interval IAlpha(Ln.Alpha);
+  ia::Interval Dl = ia::div(ia::Interval(1.0), ia::Interval(L)) -
+                    IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::div(ia::Interval(1.0), ia::Interval(U)) -
+                    IAlpha * ia::Interval(U);
+  residualToZetaDelta(Dl, Du, Ln.Zeta, Ln.Delta);
+  return Ln;
+}
+
+/// sqrt(x) over [L, U]. Requires upward mode.
+inline Linearization linearizeSqrt(double L, double U) {
+  Linearization Ln;
+  if (std::isnan(L) || std::isnan(U) || L < 0.0) {
+    Ln.K = Linearization::Nan;
+    return Ln;
+  }
+  if (U == 0.0) { // the argument is exactly zero everywhere
+    Ln.K = Linearization::Exact;
+    Ln.Value = 0.0;
+    return Ln;
+  }
+  // α <= 1/(2 sqrt(U)) keeps d = sqrt(x) - αx monotone: round downward.
+  double SqrtU = std::sqrt(U); // upward-rounded
+  Ln.Alpha = fp::divRD(1.0, fp::mulRU(2.0, SqrtU));
+  ia::Interval IAlpha(Ln.Alpha);
+  ia::Interval Dl = ia::sqrt(ia::Interval(L)) - IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::sqrt(ia::Interval(U)) - IAlpha * ia::Interval(U);
+  residualToZetaDelta(Dl, Du, Ln.Zeta, Ln.Delta);
+  return Ln;
+}
+
+/// exp(x) over [L, U]. Requires upward mode.
+inline Linearization linearizeExp(double L, double U) {
+  Linearization Ln;
+  if (std::isnan(L) || std::isnan(U)) {
+    Ln.K = Linearization::Nan;
+    return Ln;
+  }
+  // α <= exp(L) keeps d = e^x - αx monotone increasing in d'.
+  Ln.Alpha = ia::exp(ia::Interval(L)).Lo;
+  ia::Interval IAlpha(Ln.Alpha);
+  ia::Interval Dl = ia::exp(ia::Interval(L)) - IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::exp(ia::Interval(U)) - IAlpha * ia::Interval(U);
+  residualToZetaDelta(Dl, Du, Ln.Zeta, Ln.Delta);
+  return Ln;
+}
+
+/// log(x) over [L, U]. Requires upward mode.
+inline Linearization linearizeLog(double L, double U) {
+  Linearization Ln;
+  if (std::isnan(L) || std::isnan(U) || L <= 0.0) {
+    Ln.K = Linearization::Nan;
+    return Ln;
+  }
+  // α <= 1/U keeps d = ln(x) - αx monotone.
+  Ln.Alpha = fp::divRD(1.0, U);
+  ia::Interval IAlpha(Ln.Alpha);
+  ia::Interval Dl = ia::log(ia::Interval(L)) - IAlpha * ia::Interval(L);
+  ia::Interval Du = ia::log(ia::Interval(U)) - IAlpha * ia::Interval(U);
+  residualToZetaDelta(Dl, Du, Ln.Zeta, Ln.Delta);
+  return Ln;
+}
+
+/// Lowers a Linearization onto one affine form.
+template <typename CT>
+AffineVar<CT> applyLinearization(const AffineVar<CT> &A,
+                                 const Linearization &Ln, const AAConfig &Cfg,
+                                 AffineContext &Ctx) {
+  if (Ln.K == Linearization::Nan)
+    return nanResult<CT>(Cfg);
+  if (Ln.K == Linearization::Exact)
+    return makeExact<CT>(Ln.Value, Cfg);
+  return affineLinearMap(A, Ln.Alpha, Ln.Zeta, Ln.Delta, Cfg, Ctx);
+}
+
 } // namespace detail
 
 /// 1/â. Requires 0 outside the enclosing interval of â, otherwise returns
@@ -140,22 +248,7 @@ AffineVar<CT> inv(const AffineVar<CT> &A, const AAConfig &Cfg,
   SAFEGEN_ASSERT_ROUND_UP();
   double L, U;
   A.bounds(L, U);
-  if (std::isnan(L) || std::isnan(U) || (L <= 0.0 && U >= 0.0))
-    return detail::nanResult<CT>(Cfg);
-  // Endpoint with the largest magnitude carries min |f'| = 1/x^2.
-  double M = std::fabs(L) > std::fabs(U) ? L : U;
-  // α >= -1/M^2 keeps d(x) = 1/x - αx monotone on [L,U]: round the
-  // magnitude of 1/M^2 downward.
-  double Alpha = -fp::mulRD(fp::divRD(1.0, std::fabs(M)),
-                            fp::divRD(1.0, std::fabs(M)));
-  ia::Interval IAlpha(Alpha);
-  ia::Interval Dl = ia::div(ia::Interval(1.0), ia::Interval(L)) -
-                    IAlpha * ia::Interval(L);
-  ia::Interval Du = ia::div(ia::Interval(1.0), ia::Interval(U)) -
-                    IAlpha * ia::Interval(U);
-  double Zeta, Delta;
-  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
-  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+  return detail::applyLinearization(A, detail::linearizeInv(L, U), Cfg, Ctx);
 }
 
 /// â / b̂ = â · (1/b̂).
@@ -190,19 +283,7 @@ AffineVar<CT> sqrt(const AffineVar<CT> &A, const AAConfig &Cfg,
   SAFEGEN_ASSERT_ROUND_UP();
   double L, U;
   A.bounds(L, U);
-  if (std::isnan(L) || std::isnan(U) || L < 0.0)
-    return detail::nanResult<CT>(Cfg);
-  if (U == 0.0) // â is exactly zero everywhere
-    return makeExact<CT>(0.0, Cfg);
-  // α <= 1/(2 sqrt(U)) keeps d = sqrt(x) - αx monotone: round downward.
-  double SqrtU = std::sqrt(U); // upward-rounded
-  double Alpha = fp::divRD(1.0, fp::mulRU(2.0, SqrtU));
-  ia::Interval IAlpha(Alpha);
-  ia::Interval Dl = ia::sqrt(ia::Interval(L)) - IAlpha * ia::Interval(L);
-  ia::Interval Du = ia::sqrt(ia::Interval(U)) - IAlpha * ia::Interval(U);
-  double Zeta, Delta;
-  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
-  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+  return detail::applyLinearization(A, detail::linearizeSqrt(L, U), Cfg, Ctx);
 }
 
 /// exp(â).
@@ -212,16 +293,7 @@ AffineVar<CT> exp(const AffineVar<CT> &A, const AAConfig &Cfg,
   SAFEGEN_ASSERT_ROUND_UP();
   double L, U;
   A.bounds(L, U);
-  if (std::isnan(L) || std::isnan(U))
-    return detail::nanResult<CT>(Cfg);
-  // α <= exp(L) keeps d = e^x - αx monotone increasing in d'.
-  double Alpha = ia::exp(ia::Interval(L)).Lo;
-  ia::Interval IAlpha(Alpha);
-  ia::Interval Dl = ia::exp(ia::Interval(L)) - IAlpha * ia::Interval(L);
-  ia::Interval Du = ia::exp(ia::Interval(U)) - IAlpha * ia::Interval(U);
-  double Zeta, Delta;
-  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
-  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+  return detail::applyLinearization(A, detail::linearizeExp(L, U), Cfg, Ctx);
 }
 
 namespace detail {
@@ -305,16 +377,7 @@ AffineVar<CT> log(const AffineVar<CT> &A, const AAConfig &Cfg,
   SAFEGEN_ASSERT_ROUND_UP();
   double L, U;
   A.bounds(L, U);
-  if (std::isnan(L) || std::isnan(U) || L <= 0.0)
-    return detail::nanResult<CT>(Cfg);
-  // α <= 1/U keeps d = ln(x) - αx monotone.
-  double Alpha = fp::divRD(1.0, U);
-  ia::Interval IAlpha(Alpha);
-  ia::Interval Dl = ia::log(ia::Interval(L)) - IAlpha * ia::Interval(L);
-  ia::Interval Du = ia::log(ia::Interval(U)) - IAlpha * ia::Interval(U);
-  double Zeta, Delta;
-  detail::residualToZetaDelta(Dl, Du, Zeta, Delta);
-  return affineLinearMap(A, Alpha, Zeta, Delta, Cfg, Ctx);
+  return detail::applyLinearization(A, detail::linearizeLog(L, U), Cfg, Ctx);
 }
 
 } // namespace ops

@@ -38,6 +38,12 @@ namespace aa {
 struct BatchEnv;
 template <typename CT> class Batch;
 
+namespace ops {
+namespace detail {
+struct Linearization;
+} // namespace detail
+} // namespace ops
+
 namespace isa {
 
 /// Kernel tiers, narrowest to widest. The numeric order is the preference
@@ -63,6 +69,16 @@ using BatchAddFn = void (*)(const Batch<F64Center> &A,
 using BatchMulFn = void (*)(const Batch<F64Center> &A,
                             const Batch<F64Center> &B, Batch<F64Center> &Out,
                             BatchEnv &Env);
+/// Scalar prologue of the unary elementary ops: one instance's min-range
+/// linearization decision over its enclosing interval [Lo, Hi]
+/// (ops::detail::linearizeInv and friends, Elementary.h).
+using LinearMapFn = ops::detail::Linearization (*)(double Lo, double Hi);
+/// Cross-instance linear-map kernel: evaluates \p Lin once per lane, then
+/// applies α·â + ζ plus the fresh δ symbol across instances with the
+/// scalar affineLinearMap's exact rounding/accumulation order.
+using BatchLinearMapFn = void (*)(const Batch<F64Center> &A,
+                                  Batch<F64Center> &Out, BatchEnv &Env,
+                                  LinearMapFn Lin);
 
 /// One tier's kernel entry points. Tables live in their per-ISA TU with
 /// static storage duration; pointers to them never dangle.
@@ -81,6 +97,11 @@ struct KernelTable {
   /// occupancy instead of whole-batch row masks.
   BatchAddFn BatchAddSparse;
   BatchMulFn BatchMulSparse;
+  /// Unary min-range linear-map kernels (the inv/sqrt/exp/log lowering,
+  /// and through inv the div decomposition): dense and group-skipping
+  /// sparse variants.
+  BatchLinearMapFn BatchLinearMap;
+  BatchLinearMapFn BatchLinearMapSparse;
 };
 
 /// The active kernel table. The first call resolves the tier (cpuid +

@@ -943,4 +943,165 @@ template <class VT> struct BatchKernels {
                                               BatchEnv &Env) {
     mulImpl<true>(A, B, Out, Env);
   }
+
+  /// Unary min-range linear map — the batch lowering of the elementary
+  /// ops (ops::inv/sqrt/exp/log via their shared Linearization prologue,
+  /// Elementary.h). Replaces the per-instance extract/apply/insert loop
+  /// of mapInstances: the per-lane scalar part shrinks to the prologue
+  /// call (bounds → α, ζ, δ), and the map itself — the K-slot coefficient
+  /// scaling that dominates at large K — runs vectorized across
+  /// instances, skipping dead rows (dense) or unoccupied 8-lane groups
+  /// (sparse) for the usual exact-+0 fold-through reason.
+  ///
+  /// Bit-identity with the scalar ops::affineLinearMap, per lane:
+  ///  * the bounds prologue accumulates the radius in ascending slot
+  ///    order with the same RU adds (dead rows contribute the exact +0
+  ///    the scalar loop adds for empty slots), then forms
+  ///    [RD(c-r), RU(c+r)] exactly like AffineVar::bounds;
+  ///  * the centre sequence replicates F64Center::mul/add term by term,
+  ///    including the two centre-rounding charges (identities for the
+  ///    exact f64 centre — except when α is non-finite, where α−α is NaN
+  ///    and must poison Err exactly as in the scalar code);
+  ///  * the row loop charges RU(aᵢα)−RD(aᵢα) per live lane in ascending
+  ///    slot order and drops symbols whose scaled coefficient is ±0,
+  ///    keeping the stored ±0 coefficient like the scalar kernel;
+  ///  * Nan/Exact lanes take an override centre, empty rows and a forced
+  ///    +0 error, so they never charge Err, count an op, or draw — the
+  ///    scalar nanResult/makeExact behaviour.
+  template <bool Sparse>
+  SAFEGEN_KERNEL_TARGET static void
+  linearMapImpl(const Batch<F64Center> &A, Batch<F64Center> &Out,
+                BatchEnv &Env, aa::isa::LinearMapFn Lin) {
+    SAFEGEN_ASSERT_ROUND_UP();
+    const AAConfig &Cfg = Env.Config;
+    const int K = Cfg.K;
+    const int32_t Size = A.size();
+
+    SlotMask MaskA = A.slotMask();
+    SlotMask OutMask = MaskA;
+    const uint32_t Pow2Mask =
+        (K & (K - 1)) == 0 ? static_cast<uint32_t>(K - 1) : 0;
+
+    for (int32_t Base = 0; Base < Size; Base += W) {
+      const int32_t Limit = std::min<int32_t>(W, Size - Base);
+
+      if constexpr (Sparse) {
+        // See addImpl: per-group masks, claim before plane fetches. A
+        // linear map introduces no cross-operand union — the output
+        // occupies exactly A's groups (plus fresh-symbol homes).
+        const int32_t G = Base >> 3;
+        MaskA = A.groupMask(G);
+        Out.claimGroup(G, MaskA);
+      }
+
+      // Enclosing bounds per lane: radius in ascending slot order (the
+      // scalar AffineVar::radius order), then [RD(c−r), RU(c+r)].
+      VD Ac = VT::loadD(A.centers() + Base);
+      VD Rad = VT::zeroD();
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t M = MaskA.Wd[WI]; M; M &= M - 1)
+          Rad = VT::addD(
+              Rad, VT::absD(VT::loadD(
+                       A.coefPlane(WI * 64 + __builtin_ctzll(M)) + Base)));
+      VD LoV = VT::negD(VT::addD(VT::negD(Ac), Rad)); // subRD(c, r)
+      VD HiV = VT::addD(Ac, Rad);
+
+      // Scalar prologue per live lane: the op's linearization decision
+      // over that lane's own interval. Map lanes count the op (the
+      // scalar affineLinearMap's ++NumOps); Nan/Exact lanes record their
+      // override centre and stay silent.
+      alignas(64) double LoArr[W], HiArr[W];
+      VT::storeD(LoArr, LoV);
+      VT::storeD(HiArr, HiV);
+      alignas(64) double AlphaArr[W] = {}, ZetaArr[W] = {}, Err0Arr[W] = {},
+                         OvrArr[W] = {};
+      bool MapLane[W] = {};
+      for (int32_t L = 0; L < Limit; ++L) {
+        ops::detail::Linearization Ln = Lin(LoArr[L], HiArr[L]);
+        if (Ln.K == ops::detail::Linearization::Map) {
+          ++Env.Contexts[static_cast<size_t>(Base) + L].NumOps;
+          MapLane[L] = true;
+          AlphaArr[L] = Ln.Alpha;
+          ZetaArr[L] = Ln.Zeta;
+          Err0Arr[L] = Ln.Delta;
+        } else {
+          OvrArr[L] = Ln.K == ops::detail::Linearization::Nan
+                          ? std::numeric_limits<double>::quiet_NaN()
+                          : Ln.Value;
+        }
+      }
+      MD Map64 = VT::mdFromBools(MapLane);
+      MI Map32 = VT::narrowM(Map64);
+      VD AlphaV = VT::loadD(AlphaArr);
+      VD ZetaV = VT::loadD(ZetaArr);
+
+      // Centre: Err = δ + |c|·|α−α| + |ζ−ζ| (the coefficient-rounding
+      // charges — exact +0 for finite α, ζ; NaN when α or ζ is not, as
+      // in the scalar code), then the F64Center mul/add sequence.
+      VD ErrV = VT::addD(VT::loadD(Err0Arr),
+                         VT::mulD(VT::absD(Ac),
+                                  VT::absD(VT::subD(AlphaV, AlphaV))));
+      ErrV = VT::addD(ErrV, VT::absD(VT::subD(ZetaV, ZetaV)));
+      VD Scaled = VT::mulD(Ac, AlphaV);
+      ErrV = VT::addD(ErrV, VT::subD(Scaled, kMulRD<VT>(Ac, AlphaV)));
+      VD COut = VT::addD(Scaled, ZetaV);
+      ErrV = VT::addD(ErrV, VT::subD(COut, kAddRD<VT>(Scaled, ZetaV)));
+      COut = VT::blendD(VT::loadD(OvrArr), COut, Map64);
+      ErrV = VT::maskD(ErrV, Map64);
+      VT::storeD(Out.centers() + Base, COut);
+
+      // Rows: Cu = RU(aᵢ·α) with its rounding charge, ascending slot
+      // order. A zero Cu drops the symbol but keeps the stored ±0
+      // coefficient (the scalar kernel's behaviour; unobservable — every
+      // reader takes fabs or masks the lane). NaN Cu keeps the id
+      // (ordered >= is false on NaN, like the scalar `Cu == 0.0`).
+      for (int WI = 0; WI < SlotMask::Words; ++WI)
+        for (uint64_t M = MaskA.Wd[WI]; M; M &= M - 1) {
+          const int S = WI * 64 + __builtin_ctzll(M);
+          SymbolId *OutIds = Out.idPlane(S) + Base;
+          double *OutCoefs = Out.coefPlane(S) + Base;
+          VI Ia = VT::loadI(A.idPlane(S) + Base);
+          MI Live = VT::andM(VT::notM(VT::cmpeqI(Ia, VT::zeroI())), Map32);
+
+          // Row empty in every contributing lane: the claimed/declared
+          // row must still be fully written for this group.
+          if (!VT::anyI(VT::maskI(Ia, Live))) {
+            VT::storeI(OutIds, VT::zeroI());
+            VT::storeD(OutCoefs, VT::zeroD());
+            continue;
+          }
+
+          VD Ca = VT::loadD(A.coefPlane(S) + Base);
+          VD Cu = VT::mulD(Ca, AlphaV);
+          VD Cd = kMulRD<VT>(Ca, AlphaV);
+          MD Live64 = VT::expandM(Live);
+          ErrV = VT::addD(ErrV, VT::maskD(VT::subD(Cu, Cd), Live64));
+          MD Zero64 = VT::cmpGeD(VT::zeroD(), VT::absD(Cu));
+          MI Keep = VT::andnotM(VT::narrowM(Zero64), Live);
+          VT::storeI(OutIds, VT::maskI(Ia, Keep));
+          VT::storeD(OutCoefs, VT::maskD(Cu, Live64));
+        }
+
+      alignas(64) double ErrArr[W];
+      VT::storeD(ErrArr, ErrV);
+      kInsertFreshLanes<Sparse>(Out, Env, Base, Limit, ErrArr, K, Pow2Mask,
+                                OutMask);
+    }
+    if constexpr (!Sparse)
+      Out.setSlotMask(OutMask);
+  }
+
+  SAFEGEN_KERNEL_TARGET static void linearMap(const Batch<F64Center> &A,
+                                              Batch<F64Center> &Out,
+                                              BatchEnv &Env,
+                                              aa::isa::LinearMapFn Lin) {
+    linearMapImpl<false>(A, Out, Env, Lin);
+  }
+
+  SAFEGEN_KERNEL_TARGET static void linearMapSparse(const Batch<F64Center> &A,
+                                                    Batch<F64Center> &Out,
+                                                    BatchEnv &Env,
+                                                    aa::isa::LinearMapFn Lin) {
+    linearMapImpl<true>(A, Out, Env, Lin);
+  }
 };

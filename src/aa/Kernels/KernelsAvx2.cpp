@@ -49,6 +49,7 @@ const isa::KernelTable *isa::detail::avx2Table() {
       &FK::addDirect,  &FK::mulDirect,
       &BK::add,        &BK::mul,
       &BK::addSparse,  &BK::mulSparse,
+      &BK::linearMap,  &BK::linearMapSparse,
   };
   return &Table;
 }

@@ -166,6 +166,7 @@ const isa::KernelTable *isa::detail::avx512Table() {
       &FK::addDirect,    &FK::mulDirect,
       &BK::add,          &BK::mul,
       &BK::addSparse,    &BK::mulSparse,
+      &BK::linearMap,    &BK::linearMapSparse,
   };
   return &Table;
 }

@@ -103,6 +103,7 @@ const isa::KernelTable *isa::detail::scalarTable() {
       &FK::addDirect,    &FK::mulDirect,
       &BK::add,          &BK::mul,
       &BK::addSparse,    &BK::mulSparse,
+      &BK::linearMap,    &BK::linearMapSparse,
   };
   return &Table;
 }

@@ -138,6 +138,7 @@ const isa::KernelTable *isa::detail::sse2Table() {
       &FK::addDirect,  &FK::mulDirect,
       &BK::add,        &BK::mul,
       &BK::addSparse,  &BK::mulSparse,
+      &BK::linearMap,  &BK::linearMapSparse,
   };
   return &Table;
 }

@@ -1,0 +1,85 @@
+//===- BatchKernel.h - Compile-once artifacts for batched runs --*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits Interpreter::runBatch into its two halves: a compile phase that
+/// lowers a function once into an immutable, shareable artifact (the tape
+/// and its native superblock), and an evaluation phase that replays the
+/// artifact over any number of input batches. Interpreter::runBatch is
+/// now exactly compileBatchFn + runBatchCompiled, so a caller that caches
+/// the artifact (the safegend evaluation service, src/service/) produces
+/// results bit-identical to the offline driver *by construction* — both
+/// run the same evaluation code on the same compiled object.
+///
+/// Thread-safety: a CompiledBatchFn is immutable after compileBatchFn
+/// returns. runBatchCompiled may be called concurrently from any number
+/// of threads on the same artifact (each call owns its results vector and
+/// its own batch environments; the tape executors keep their scratch in
+/// thread-local state). The AST the artifact was compiled from must stay
+/// alive and unmodified: the tree fallback and the per-instance argument
+/// construction read it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_CORE_BATCHKERNEL_H
+#define SAFEGEN_CORE_BATCHKERNEL_H
+
+#include "core/Interpreter.h"
+#include "core/NativeEmitter.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace core {
+
+/// One function compiled for batched evaluation. The tape owns no AST
+/// pointers (core/Tape.h), but the native block references the tape —
+/// both live behind stable unique_ptr addresses here, so the artifact can
+/// be moved or cached freely.
+struct CompiledBatchFn {
+  std::string Function;
+  bool FunctionFound = false;
+  /// The compiled tape, or null when the function is outside the tape
+  /// subset (WhyNotTape says why) or was not found.
+  std::unique_ptr<Tape> T;
+  std::string WhyNotTape;
+  /// The AOT superblock (emitted from T when requested; see
+  /// compileBatchFn). Null iff T is null or emission was not requested.
+  std::unique_ptr<NativeBlock> NB;
+
+  bool hasTape() const { return T != nullptr; }
+};
+
+/// Compiles \p Function of \p TU once for batched evaluation. Honours
+/// InterpreterOptions::Prioritize; \p EmitNative additionally emits the
+/// native superblock (cheap — a linear decode pass — but pointless for
+/// tape-only callers). Never fails: a function outside the tape subset
+/// returns an artifact with T == null, which runBatchCompiled evaluates
+/// through the tree walker (or reports per instance under formats that
+/// require the tape).
+CompiledBatchFn compileBatchFn(const frontend::TranslationUnit &TU,
+                               const std::string &Function,
+                               const InterpreterOptions &Opts,
+                               bool EmitNative);
+
+/// Evaluates one batch on a previously compiled artifact — the second
+/// half of Interpreter::runBatch, with identical semantics: instance I
+/// receives makeDefaultArg-built arguments seeded from InstanceArgs[I]
+/// under its own fresh environment, and results are bit-identical to a
+/// serial per-instance run. \p TU must be the translation unit the
+/// artifact was compiled from.
+std::vector<BatchCallResult>
+runBatchCompiled(const frontend::TranslationUnit &TU,
+                 const CompiledBatchFn &CK, const aa::AAConfig &Cfg,
+                 const std::vector<std::vector<double>> &InstanceArgs,
+                 unsigned Threads, const InterpreterOptions &Opts);
+
+} // namespace core
+} // namespace safegen
+
+#endif // SAFEGEN_CORE_BATCHKERNEL_H

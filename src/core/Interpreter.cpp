@@ -8,6 +8,7 @@
 
 #include "aa/Batch.h"
 #include "aa/Kernels/Isa.h"
+#include "core/BatchKernel.h"
 #include "core/NativeEmitter.h"
 #include "core/Tape.h"
 #include "fp/Ulp.h"
@@ -799,150 +800,23 @@ std::vector<BatchCallResult> Interpreter::runBatch(
     const aa::AAConfig &Cfg,
     const std::vector<std::vector<double>> &InstanceArgs, unsigned Threads,
     const InterpreterOptions &Opts) {
-  std::vector<BatchCallResult> Results(InstanceArgs.size());
-  if (InstanceArgs.empty())
-    return Results;
-
-  // The 16-bit central formats execute exclusively on the format-generic
-  // scalar tape (the tree walker's Value representation is F64a-only):
-  // functions outside the tape subset report an error per instance
-  // instead of silently running at the wrong precision.
+  // Compile once, evaluate once — the one-shot composition of the split
+  // in core/BatchKernel.h. The tape is only needed when some path will
+  // replay it: always for the 16-bit central formats (tape-exclusive),
+  // otherwise only when the engine selection permits it. Tree-engine and
+  // shadowed runs skip the compile entirely, as before the split.
   const bool Narrow = Cfg.Precision == aa::Format::F16 ||
                       Cfg.Precision == aa::Format::BF16;
-  if (Narrow) {
-    std::string Why;
-    const frontend::FunctionDecl *F = TU.findFunction(Function);
-    if (!F || !F->isDefinition()) {
-      for (BatchCallResult &R : Results)
-        R.Error = "no definition of function '" + Function + "'";
-      return Results;
-    }
-    TapeCompileOptions TO;
-    TO.Prioritize = Opts.Prioritize;
-    std::optional<Tape> T = compileToTape(F, TO, &Why);
-    if (!T || !Opts.ShadowDirs.empty() || Opts.Engine == ExecEngine::Tree) {
-      std::string Msg =
-          "function '" + Function + "' cannot run under " +
-          std::string(aa::formatName(Cfg.Precision)) +
-          (T ? ": requires the tape engine"
-             : ": outside the tape subset (" + Why + ")");
-      for (BatchCallResult &R : Results)
-        R.Error = Msg;
-      return Results;
-    }
-    aa::batch::run(
-        Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
-        [&](int32_t First, int32_t Count) {
-          runTapeBatchChunk(*T, Cfg, InstanceArgs, First, Count,
-                            Results.data() + First, Opts.StepBudget,
-                            /*TryColumns=*/false);
-        },
-        aa::batch::GrainAuto);
-    return Results;
-  }
-
-  // Batched runs default to the tape engine: the function is lowered
-  // once and replayed per instance, skipping the per-instance AST walk
-  // and name lookups. Results are bit-identical to the tree path (the
-  // tape preserves the kernel-call and symbol-draw stream exactly);
-  // functions outside the tape subset fall back to the tree below.
-  if (Opts.Engine != ExecEngine::Tree && Opts.ShadowDirs.empty()) {
-    if (const frontend::FunctionDecl *F = TU.findFunction(Function);
-        F && F->isDefinition()) {
-      TapeCompileOptions TO;
-      TO.Prioritize = Opts.Prioritize;
-      if (std::optional<Tape> T = compileToTape(F, TO)) {
-        // Batch columns require (a) a non-vectorized configuration (the
-        // aa::Batch bit-identity contract) and (b) direct-mapped
-        // placement: sorted forms may briefly exceed the K budget (an
-        // elementary function appends its error symbol to a full form
-        // before the next fusion), which scalar forms absorb in their
-        // MaxInlineSymbols capacity but a Batch's K slot planes cannot.
-        // Everything else replays the scalar tape per instance.
-        const bool Columns =
-            !Cfg.Vectorize &&
-            Cfg.Placement == aa::PlacementPolicy::DirectMapped &&
-            Cfg.Model == aa::ErrorModel::Sound;
-        if (Opts.Engine == ExecEngine::Native) {
-          // Compile the superblock once; it is immutable and shared by
-          // every worker thread. The lockstep eligibility test is the
-          // same Columns predicate — the superblock is the columns
-          // executor with persistent storage.
-          NativeBlock NB = emitNativeBlock(*T);
-          // Chunks are steal-sized as usual; the chunk executor tiles
-          // itself into NativeGrain lane groups internally, binding its
-          // own group-sized environments, so BindEnv is off — chunk-wide
-          // context vectors would be pure construction waste here.
-          aa::batch::run(
-              Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
-              [&](int32_t First, int32_t Count) {
-                runNativeBatchChunk(NB, Cfg, InstanceArgs, First, Count,
-                                    Results.data() + First, Opts.StepBudget,
-                                    Columns);
-              },
-              aa::batch::GrainAuto, /*BindEnv=*/false);
-          return Results;
-        }
-        aa::batch::run(
-            Cfg, static_cast<int32_t>(InstanceArgs.size()), Threads,
-            [&](int32_t First, int32_t Count) {
-              runTapeBatchChunk(*T, Cfg, InstanceArgs, First, Count,
-                                Results.data() + First, Opts.StepBudget,
-                                Columns);
-            },
-            aa::batch::GrainAuto);
-        return Results;
-      }
-    }
-  }
-
-  auto Chunk = [&](int64_t Begin, int64_t End) {
-    // Each chunk establishes its own rounding scope; each instance gets a
-    // fresh affine environment so its symbol stream matches a standalone
-    // run. Results only carry enclosures, which outlive the environment.
-    fp::RoundUpwardScope Round;
-    for (int64_t I = Begin; I < End; ++I) {
-      aa::AffineEnvScope Env(Cfg);
-      BatchCallResult &R = Results[static_cast<size_t>(I)];
-      const frontend::FunctionDecl *F = TU.findFunction(Function);
-      if (!F || !F->isDefinition()) {
-        R.Error = "no definition of function '" + Function + "'";
-        continue;
-      }
-      const std::vector<double> &Seeds =
-          InstanceArgs[static_cast<size_t>(I)];
-      std::vector<Value> Args;
-      Args.reserve(F->getParams().size());
-      for (size_t P = 0; P < F->getParams().size(); ++P)
-        Args.push_back(makeDefaultArg(F->getParams()[P]->getType(),
-                                      P < Seeds.size() ? Seeds[P] : 1.0));
-      Interpreter Interp(TU, Opts);
-      InterpResult IR = Interp.call(Function, std::move(Args));
-      R.Success = IR.Success;
-      R.Error = IR.Error;
-      R.StepsUsed = IR.StepsUsed;
-      if (IR.Success && IR.ReturnValue.isAffine()) {
-        R.Return = IR.ReturnValue.asAffine().toInterval();
-        R.CertifiedBits = IR.ReturnValue.asAffine().certifiedBits();
-        if (Cfg.Model == aa::ErrorModel::Probabilistic) {
-          R.HasProb = true;
-          R.Prob = aa::probEnclosure(IR.ReturnValue.asAffine().storage());
-        }
-      } else if (IR.Success && IR.ReturnValue.isInt()) {
-        double X = static_cast<double>(IR.ReturnValue.asInt());
-        R.Return = ia::Interval(X);
-      }
-    }
-  };
-
-  const int64_t N = static_cast<int64_t>(InstanceArgs.size());
-  const int64_t Grain = 16; // instances per task; programs are not cheap
-  aa::isa::select(); // resolve the kernel tier before fanning out
-  if (Threads == 0) {
-    support::ThreadPool::global().parallelFor(0, N, Grain, Chunk);
+  const bool WantsTape =
+      Narrow || (Opts.Engine != ExecEngine::Tree && Opts.ShadowDirs.empty());
+  CompiledBatchFn CK;
+  if (WantsTape) {
+    CK = compileBatchFn(TU, Function, Opts,
+                        /*EmitNative=*/Opts.Engine == ExecEngine::Native);
   } else {
-    support::ThreadPool Pool(Threads);
-    Pool.parallelFor(0, N, Grain, Chunk);
+    CK.Function = Function;
+    if (const frontend::FunctionDecl *F = TU.findFunction(Function))
+      CK.FunctionFound = F->isDefinition();
   }
-  return Results;
+  return runBatchCompiled(TU, CK, Cfg, InstanceArgs, Threads, Opts);
 }

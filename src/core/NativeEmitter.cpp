@@ -327,13 +327,31 @@ void runSuperblock(const NativeBlock &NB, NativeExecState &St,
       break;
     }
     case TapeOpcode::FCall1:
-      // The elementary functions linearize per instance and allocate
-      // their result batch; the displaced slot value feeds the pool, so
-      // the cost is one allocation per call op, not per op.
+      // Sqrt/exp/log run through the pooled eval entry points like the
+      // arithmetic ops (allocation-free steady state, vector linear-map
+      // kernel on fast-path configs). Sin/cos/fabs linearize or hull per
+      // instance and allocate their result batch; the displaced slot
+      // value feeds the pool, so the cost is one allocation per call op,
+      // not per op.
       switch (static_cast<TapeFn1>(In.Sub)) {
-      case TapeFn1::Sqrt: F.put(In.Dst, aa::sqrt(F[In.A])); break;
-      case TapeFn1::Exp: F.put(In.Dst, aa::exp(F[In.A])); break;
-      case TapeFn1::Log: F.put(In.Dst, aa::log(F[In.A])); break;
+      case TapeFn1::Sqrt: {
+        BatchF64 R = F.take();
+        BatchF64::evalSqrt(F[In.A], R);
+        F.put(In.Dst, std::move(R));
+        break;
+      }
+      case TapeFn1::Exp: {
+        BatchF64 R = F.take();
+        BatchF64::evalExp(F[In.A], R);
+        F.put(In.Dst, std::move(R));
+        break;
+      }
+      case TapeFn1::Log: {
+        BatchF64 R = F.take();
+        BatchF64::evalLog(F[In.A], R);
+        F.put(In.Dst, std::move(R));
+        break;
+      }
       case TapeFn1::Sin: F.put(In.Dst, aa::sin(F[In.A])); break;
       case TapeFn1::Cos: F.put(In.Dst, aa::cos(F[In.A])); break;
       case TapeFn1::Fabs: F.put(In.Dst, batchFabs(F[In.A])); break;

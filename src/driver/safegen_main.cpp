@@ -65,6 +65,9 @@ void printUsage() {
       "                     emitting code; scalar/array parameters are\n"
       "                     filled from --arg values (1-ulp inputs)\n"
       "  --arg <number>     argument for --run (repeatable, in order)\n"
+      "  --instances <n>    route --run through the batched interpreter\n"
+      "                     with n identical instances and print the first\n"
+      "                     result (the offline reference for safegend)\n"
       "  --engine <e>       execution engine for --run: tape (compiled\n"
       "                     tape, tree fallback), native (tape compiled\n"
       "                     to a fused superblock; scalar runs share the\n"
@@ -135,6 +138,7 @@ int main(int Argc, char **Argv) {
   std::string DagFile;
   std::string RunFunction;
   std::vector<double> RunArgs;
+  unsigned RunInstances = 0;
   bool SimdToCOnly = false;
   core::InterpreterOptions InterpOpts;
   core::SafeGenOptions Opts;
@@ -370,6 +374,19 @@ int main(int Argc, char **Argv) {
       RunArgs.push_back(std::atof(V));
       continue;
     }
+    if (Arg == "--instances") {
+      const char *V = NextValue("--instances");
+      if (!V)
+        return 1;
+      int N = std::atoi(V);
+      if (N < 1) {
+        std::fprintf(stderr, "safegen: --instances must be >= 1, got '%s'\n",
+                     V);
+        return 1;
+      }
+      RunInstances = static_cast<unsigned>(N);
+      continue;
+    }
     if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "safegen: unknown option '%s'\n", Arg.c_str());
       printUsage();
@@ -462,6 +479,50 @@ int main(int Argc, char **Argv) {
                    static_cast<unsigned long long>(R.StepsUsed),
                    Opts.Config.str().c_str(),
                    aa::errorModelName(Opts.Config.Model));
+      return 0;
+    }
+    // --instances: the batched-interpreter reference path. safegend
+    // serves every request through Interpreter::runBatch (coalesced
+    // batches), whose columns executors may differ from the scalar
+    // interpreter in the final ulp (a different — still sound —
+    // error-summation order). The CI smoke therefore diffs loadgen
+    // output against this mode, which is the same offline entry point.
+    // All instances share the seeds; bitwise cross-instance agreement is
+    // enforced here so the printed first instance speaks for the batch.
+    if (RunInstances > 0) {
+      std::vector<double> Seeds;
+      for (size_t I = 0; I < F->getParams().size(); ++I)
+        Seeds.push_back(I < RunArgs.size() ? RunArgs[I] : 0.5);
+      std::vector<std::vector<double>> Rows(RunInstances, Seeds);
+      std::vector<core::BatchCallResult> RS = core::Interpreter::runBatch(
+          CU->Ctx->tu(), RunFunction, Opts.Config, Rows, 1, InterpOpts);
+      const core::BatchCallResult &R = RS[0];
+      if (!R.Success) {
+        std::fprintf(stderr, "safegen: runtime error: %s\n", R.Error.c_str());
+        return 1;
+      }
+      for (const core::BatchCallResult &O : RS)
+        if (O.Return.Lo != R.Return.Lo || O.Return.Hi != R.Return.Hi) {
+          std::fprintf(stderr,
+                       "safegen: FATAL: instances of one batch disagree\n");
+          return 1;
+        }
+      if (!F->getReturnType()->isVoid())
+        std::printf("result in [%.17g, %.17g]  (%.1f certified bits)\n",
+                    R.Return.Lo, R.Return.Hi, R.CertifiedBits);
+      if (R.HasProb && R.Prob.Valid)
+        std::printf("result (p >= %.2f) in [%.17g, %.17g]  "
+                    "support [%.17g, %.17g]\n",
+                    R.Prob.Confidence, R.Prob.Lo, R.Prob.Hi, R.Prob.SupportLo,
+                    R.Prob.SupportHi);
+      std::fprintf(stderr,
+                   "safegen: interpreted %u instances soundly (%s, %s model, "
+                   "%s engine)\n",
+                   RunInstances, Opts.Config.str().c_str(),
+                   aa::errorModelName(Opts.Config.Model),
+                   InterpOpts.Engine == core::ExecEngine::Native ? "native"
+                   : InterpOpts.Engine == core::ExecEngine::Tree ? "tree"
+                                                                 : "tape");
       return 0;
     }
     sg::SoundScope Scope(Opts.Config);

@@ -6,9 +6,12 @@
 
 #include "fuzz/Oracle.h"
 
+#include "core/BatchKernel.h"
 #include "core/Interpreter.h"
 #include "core/Tape.h"
 #include "frontend/Frontend.h"
+#include "service/KernelCache.h"
+#include "service/Wire.h"
 
 #include <cmath>
 #include <cstring>
@@ -631,6 +634,62 @@ Verdict fuzz::checkKernelSource(const std::string &Source,
                     "batch instance " + std::to_string(I) +
                         " enclosure differs between 1 and 3 threads");
     }
+  }
+
+  // The safegend evaluation service promises responses bit-identical to
+  // the offline driver. Its evaluation path is KernelCache::acquire (one
+  // compile, shared artifact) + runBatchCompiled per drain round — spot
+  // check that path here, without sockets: the same cached artifact must
+  // reproduce a fresh Interpreter::runBatch bit for bit on repeated
+  // evaluations and across both compiled engines.
+  if (!Configs.empty()) {
+    aa::AAConfig Cfg = Configs.front();
+    std::vector<double> Vals = argValuesOr(O);
+    const frontend::FunctionDecl *F = TU.findFunction(Fn);
+    size_t NP = F->getParams().size();
+    std::vector<std::vector<double>> Instances;
+    for (unsigned Inst = 0; Inst < 3; ++Inst) {
+      std::vector<double> Seeds;
+      for (size_t P = 0; P < NP; ++P)
+        Seeds.push_back(Vals[(P + Inst) % Vals.size()]);
+      Instances.push_back(std::move(Seeds));
+    }
+    service::KernelCache Cache(4);
+    service::CacheKey Key{service::wire::fnv1a64(Source), Cfg.str(), Fn};
+    for (core::ExecEngine Eng :
+         {core::ExecEngine::Tape, core::ExecEngine::Native}) {
+      core::InterpreterOptions Opts = interpOpts(O, false);
+      Opts.Engine = Eng;
+      const char *Name = Eng == core::ExecEngine::Native ? "native" : "tape";
+      auto Ref = core::Interpreter::runBatch(TU, Fn, Cfg, Instances,
+                                             /*Threads=*/1, Opts);
+      std::shared_ptr<service::CacheEntry> E =
+          Cache.acquire(Key, &Source, Opts);
+      if (!E || E->failed())
+        return fail("service-identity", Cfg.str(),
+                    "KernelCache failed to compile a kernel the "
+                    "interpreter accepts" +
+                        (E ? ": " + E->Error : std::string()));
+      for (int Round = 0; Round < 2; ++Round) {
+        auto Got = core::runBatchCompiled(E->CU->Ctx->tu(), E->Fn, Cfg,
+                                          Instances, /*Threads=*/1, Opts);
+        for (size_t I = 0; I < Ref.size(); ++I) {
+          if (Ref[I].Success != Got[I].Success ||
+              (Ref[I].Success &&
+               (!sameBits(Ref[I].Return.Lo, Got[I].Return.Lo) ||
+                !sameBits(Ref[I].Return.Hi, Got[I].Return.Hi))))
+            return fail("service-identity", Cfg.str(),
+                        "cached-artifact " + std::string(Name) +
+                            " evaluation round " + std::to_string(Round) +
+                            " instance " + std::to_string(I) +
+                            " is not bit-identical to a fresh runBatch");
+        }
+      }
+    }
+    if (Cache.compiles() != 1)
+      return fail("service-identity", Cfg.str(),
+                  "artifact recompiled on a warm key: " +
+                      std::to_string(Cache.compiles()) + " compiles");
   }
 
   return Verdict();

@@ -1,0 +1,134 @@
+//===- KernelCache.cpp - Concurrent compiled-artifact cache ---------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/KernelCache.h"
+
+#include "service/Wire.h"
+
+#include <algorithm>
+
+using namespace safegen;
+using namespace safegen::service;
+
+uint64_t CacheKey::hash() const {
+  uint64_t H = wire::fnv1a64(Config);
+  H ^= wire::fnv1a64(Function) + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  H ^= SourceHash + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  return H;
+}
+
+void CacheEntry::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  Ready.wait(Lock, [&] { return Done; });
+}
+
+namespace {
+
+std::string indexKey(const CacheKey &Key) {
+  return std::to_string(Key.SourceHash) + "|" + Key.Config + "|" +
+         Key.Function;
+}
+
+} // namespace
+
+KernelCache::KernelCache(size_t Capacity)
+    : PerShardCapacity(std::max<size_t>(1, (Capacity + NumShards - 1) /
+                                               NumShards)) {}
+
+std::shared_ptr<CacheEntry>
+KernelCache::acquire(const CacheKey &Key, const std::string *Source,
+                     const core::InterpreterOptions &Opts) {
+  Shard &S = shardFor(Key.hash());
+  const std::string IK = indexKey(Key);
+
+  std::shared_ptr<CacheEntry> E;
+  bool Compile = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Index.find(IK);
+    if (It != S.Index.end()) {
+      // Present (possibly still compiling — the wait below covers that).
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      E = It->second->Entry;
+    } else {
+      if (!Source)
+        return nullptr; // NeedSource: client retries with source attached
+      E = std::make_shared<CacheEntry>();
+      S.Lru.push_front({Key, E});
+      S.Index.emplace(IK, S.Lru.begin());
+      Compile = true;
+      // Evict from the cold end, skipping entries still compiling (their
+      // inserter holds a shared_ptr, but evicting them would let a
+      // concurrent miss start a duplicate compile).
+      while (S.Index.size() > PerShardCapacity) {
+        auto Victim = S.Lru.end();
+        for (auto I = S.Lru.rbegin(); I != S.Lru.rend(); ++I) {
+          std::lock_guard<std::mutex> EL(I->Entry->M);
+          if (I->Entry->Done) {
+            Victim = std::next(I).base();
+            break;
+          }
+        }
+        if (Victim == S.Lru.end())
+          break; // everything in flight; temporarily over budget
+        S.Index.erase(indexKey(Victim->Key));
+        S.Lru.erase(Victim);
+        Evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (!Compile) {
+    E->wait();
+    return E;
+  }
+
+  // Single-flight compile, outside the shard lock: concurrent misses for
+  // other keys proceed; concurrent misses for this key wait on E.
+  Compiles.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<frontend::CompilationUnit> CU =
+      frontend::parseSource("kernel.c", *Source);
+  std::string Error;
+  core::CompiledBatchFn Fn;
+  if (!CU->Success) {
+    Error = "kernel does not parse: " + CU->Diags.renderAll();
+  } else {
+    Fn = core::compileBatchFn(CU->Ctx->tu(), Key.Function, Opts,
+                              /*EmitNative=*/true);
+    if (!Fn.FunctionFound)
+      Error = "no definition of function '" + Key.Function + "'";
+  }
+  {
+    std::lock_guard<std::mutex> Lock(E->M);
+    E->Error = std::move(Error);
+    if (E->Error.empty()) {
+      E->CU = std::move(CU);
+      E->Fn = std::move(Fn);
+    }
+    E->Done = true;
+  }
+  E->Ready.notify_all();
+  return E;
+}
+
+bool KernelCache::contains(const CacheKey &Key) {
+  Shard &S = shardFor(Key.hash());
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Index.find(indexKey(Key));
+  if (It == S.Index.end())
+    return false;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  return true;
+}
+
+size_t KernelCache::size() const {
+  size_t N = 0;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    N += S.Index.size();
+  }
+  return N;
+}

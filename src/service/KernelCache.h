@@ -1,0 +1,156 @@
+//===- KernelCache.h - Concurrent compiled-artifact cache -------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The safegend artifact cache: (source hash, config, function) →
+/// immutable compiled artifact (parsed AST + tape + native superblock,
+/// the core::CompiledBatchFn split). Design:
+///
+///  - **Sharded locking.** Keys hash onto a fixed set of shards, each
+///    with its own mutex, map, and LRU list, so concurrent lookups of
+///    different kernels never contend on one lock.
+///
+///  - **Single-flight compilation.** The first thread to miss inserts a
+///    pending entry and compiles *outside* the shard lock; every
+///    concurrent miss for the same key finds the pending entry and waits
+///    on its condition variable. N concurrent misses cost exactly one
+///    compile (CompileCount observes this; tested by the concurrent-miss
+///    test in service_test.cpp).
+///
+///  - **LRU eviction.** Each shard keeps its entries in recency order and
+///    evicts the least recently used *completed* entry when over budget.
+///    Entries are handed out as shared_ptr, so eviction never invalidates
+///    an artifact a request is still evaluating — it just drops the
+///    cache's reference.
+///
+/// Entries are immutable once Done; concurrent runBatchCompiled calls on
+/// one artifact are safe (see core/BatchKernel.h). Failed compiles
+/// (parse errors, missing function) are cached as negative entries under
+/// the same single-flight discipline, so a misbehaving client cannot
+/// force recompilation storms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SERVICE_KERNELCACHE_H
+#define SAFEGEN_SERVICE_KERNELCACHE_H
+
+#include "core/BatchKernel.h"
+#include "frontend/Frontend.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace safegen {
+namespace service {
+
+/// Cache key. Config covers everything that selects evaluation
+/// semantics (notation, K, error model, sparsity) even though today the
+/// tape itself only depends on the function — keying by config keeps the
+/// artifact free to specialize per config later without a protocol
+/// change. The engine is *not* part of the key: one artifact carries
+/// both the tape and the native superblock, and the engine is chosen per
+/// request at evaluation time.
+struct CacheKey {
+  uint64_t SourceHash = 0;
+  std::string Config;   ///< canonical "notation/k/model/sparse" string
+  std::string Function;
+
+  bool operator==(const CacheKey &O) const {
+    return SourceHash == O.SourceHash && Config == O.Config &&
+           Function == O.Function;
+  }
+  uint64_t hash() const;
+};
+
+/// One cached artifact. Immutable after Done flips (under M) except for
+/// the LRU bookkeeping, which lives in the shard.
+struct CacheEntry {
+  // Single-flight state: waiters block on Ready until the inserter
+  // finishes compiling (successfully or not).
+  std::mutex M;
+  std::condition_variable Ready;
+  bool Done = false;
+
+  /// Compile outcome. On failure Error is non-empty and CU/Fn are unset.
+  std::string Error;
+  /// Owns the AST the artifact was compiled from (runBatchCompiled reads
+  /// it for the tree fallback and argument construction).
+  std::unique_ptr<frontend::CompilationUnit> CU;
+  core::CompiledBatchFn Fn;
+
+  bool failed() const { return !Error.empty(); }
+  /// Blocks until Done (no-op for the compiling thread's own entry).
+  void wait();
+};
+
+class KernelCache {
+public:
+  /// \p Capacity is the maximum number of completed entries kept across
+  /// all shards (approximately enforced per shard).
+  explicit KernelCache(size_t Capacity = 64);
+
+  /// The single-flight lookup. If the key is cached (or compiling), the
+  /// completed entry is returned after waiting. Otherwise \p Source is
+  /// compiled by this caller (counts a compile) and every concurrent
+  /// caller for the same key shares the result. Returns null only when
+  /// the key is absent and \p Source is null — the NeedSource protocol
+  /// case.
+  std::shared_ptr<CacheEntry>
+  acquire(const CacheKey &Key, const std::string *Source,
+          const core::InterpreterOptions &Opts);
+
+  /// True when the key is cached or still compiling; touches LRU recency
+  /// but no counters. Hit/miss accounting is per *request*, not per
+  /// acquire — a drain round acquires once on behalf of many coalesced
+  /// requests — so the server reports through noteHit()/noteMiss() at
+  /// intake time instead.
+  bool contains(const CacheKey &Key);
+  void noteHit() { Hits.fetch_add(1, std::memory_order_relaxed); }
+  void noteMiss() { Misses.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  uint64_t compiles() const {
+    return Compiles.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
+
+private:
+  static constexpr size_t NumShards = 16;
+
+  struct Item {
+    CacheKey Key;
+    std::shared_ptr<CacheEntry> Entry;
+  };
+  struct Shard {
+    std::mutex M;
+    /// Front = most recently used. Map values are iterators into Lru,
+    /// stable under the splices that implement the recency touch.
+    std::list<Item> Lru;
+    std::unordered_map<std::string, std::list<Item>::iterator> Index;
+  };
+
+  Shard &shardFor(uint64_t H) { return Shards[H % NumShards]; }
+  const Shard &shardFor(uint64_t H) const { return Shards[H % NumShards]; }
+
+  size_t PerShardCapacity;
+  mutable Shard Shards[NumShards];
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0}, Compiles{0};
+};
+
+} // namespace service
+} // namespace safegen
+
+#endif // SAFEGEN_SERVICE_KERNELCACHE_H

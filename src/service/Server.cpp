@@ -1,0 +1,512 @@
+//===- Server.cpp - safegend evaluation server ----------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "aa/Policy.h"
+#include "core/Interpreter.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace safegen;
+using namespace safegen::service;
+
+struct Server::Connection {
+  int Fd = -1;
+  std::mutex WriteM;        ///< responses interleave across drain tasks
+  std::thread Reader;
+  std::atomic<bool> Done{false};
+};
+
+struct Server::KeyQueue {
+  std::vector<PendingReq> Waiting;
+  bool InFlight = false;
+};
+
+namespace {
+
+/// Validates the request's config block exactly like the offline driver
+/// validates its flags, and materializes the AAConfig. Returns an error
+/// message, or empty on success.
+std::string buildConfig(const wire::EvalRequest &R, aa::AAConfig &Out) {
+  std::string Diag;
+  std::optional<aa::AAConfig> C = aa::AAConfig::parse(R.Config, Diag);
+  if (!C)
+    return "bad config '" + R.Config + "': " + Diag;
+  if (R.K < 2 || R.K > 128)
+    return "k must be in [2, 128], got " + std::to_string(R.K);
+  if (R.K > 64 && R.K % 8 != 0)
+    return "k > 64 must be a multiple of 8, got " + std::to_string(R.K);
+  if (R.Model > 1)
+    return "bad error model " + std::to_string(R.Model);
+  if (R.Eng != wire::Engine::Tape && R.Eng != wire::Engine::Native)
+    return "bad engine";
+  Out = *C;
+  Out.K = static_cast<int>(R.K);
+  Out.Model = R.Model ? aa::ErrorModel::Probabilistic : aa::ErrorModel::Sound;
+  Out.Sparse = R.Sparse != 0;
+  return {};
+}
+
+/// Canonical config string for the cache key: every axis that selects
+/// evaluation semantics, in one stable spelling.
+std::string configKey(const wire::EvalRequest &R) {
+  return R.Config + "/k" + std::to_string(R.K) + "/m" +
+         std::to_string(R.Model) + "/s" + std::to_string(R.Sparse);
+}
+
+CacheKey cacheKeyFor(const wire::EvalRequest &R) {
+  return CacheKey{R.SourceHash, configKey(R), R.Function};
+}
+
+/// The coalescing key adds the engine: one drain round evaluates every
+/// queued request through a single runBatchCompiled call, which is
+/// per-(engine) — the artifact itself is engine-agnostic.
+std::string coalesceKey(const wire::EvalRequest &R) {
+  return std::to_string(R.SourceHash) + "|" + configKey(R) + "|" +
+         R.Function + "|e" + std::to_string(static_cast<int>(R.Eng));
+}
+
+core::InterpreterOptions interpOptsFor(const wire::EvalRequest &R,
+                                       uint64_t StepBudget) {
+  core::InterpreterOptions IO;
+  IO.StepBudget = StepBudget;
+  IO.Engine = R.Eng == wire::Engine::Native ? core::ExecEngine::Native
+                                            : core::ExecEngine::Tape;
+  return IO;
+}
+
+} // namespace
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Cache(Opts.CacheCapacity), Pool(Opts.Threads) {}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+bool Server::start(std::string &Err) {
+  if (!Opts.SocketPath.empty()) {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+      Err = "socket path too long: " + Opts.SocketPath;
+      return false;
+    }
+    std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    ::unlink(Opts.SocketPath.c_str()); // stale socket from a dead daemon
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0) {
+      Err = "bind " + Opts.SocketPath + ": " + std::strerror(errno);
+      return false;
+    }
+  } else if (Opts.TcpPort >= 0) {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Opts.TcpPort));
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) < 0) {
+      Err = "bind 127.0.0.1:" + std::to_string(Opts.TcpPort) + ": " +
+            std::strerror(errno);
+      return false;
+    }
+    sockaddr_in Bound{};
+    socklen_t Len = sizeof(Bound);
+    if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound),
+                      &Len) == 0)
+      BoundPort = ntohs(Bound.sin_port);
+  } else {
+    Err = "no socket path or TCP port configured";
+    return false;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Server::acceptLoop() {
+  // Polling accept: a blocked accept() is not reliably woken by another
+  // thread closing the listen fd, so the loop wakes every 100ms to check
+  // the stop flag (shutdown latency, not request latency).
+  const int Listen = ListenFd;
+  for (;;) {
+    pollfd P{Listen, POLLIN, 0};
+    int N = ::poll(&P, 1, 100);
+    {
+      std::lock_guard<std::mutex> Lock(StopM);
+      if (StopRequested)
+        return;
+    }
+    if (N < 0 && errno != EINTR)
+      return;
+    if (N <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Fd = ::accept(Listen, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return; // listen fd closed: shutting down
+    }
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = Fd;
+    {
+      std::lock_guard<std::mutex> Lock(ConnsM);
+      if (StopRequested) {
+        ::close(Fd);
+        return;
+      }
+      // Reap connections whose readers have exited, so a long-running
+      // daemon does not accumulate one dead thread per past client.
+      for (auto It = Conns.begin(); It != Conns.end();) {
+        if ((*It)->Done.load(std::memory_order_acquire)) {
+          (*It)->Reader.join();
+          ::close((*It)->Fd);
+          It = Conns.erase(It);
+        } else {
+          ++It;
+        }
+      }
+      Conns.push_back(Conn);
+      Conn->Reader = std::thread([this, Conn] { readerLoop(Conn); });
+    }
+  }
+}
+
+void Server::respond(const std::shared_ptr<Connection> &Conn,
+                     const wire::EvalResponse &R) {
+  std::lock_guard<std::mutex> Lock(Conn->WriteM);
+  wire::writeFrame(Conn->Fd, wire::encodeEvalResponse(R));
+}
+
+void Server::readerLoop(std::shared_ptr<Connection> Conn) {
+  std::string Payload;
+  while (wire::readFrame(Conn->Fd, Payload)) {
+    if (Payload.empty())
+      break;
+    switch (static_cast<wire::MsgType>(
+        static_cast<uint8_t>(Payload[0]))) {
+    case wire::MsgType::EvalRequest: {
+      wire::EvalRequest R;
+      if (!wire::decodeEvalRequest(Payload, R)) {
+        wire::EvalResponse Bad;
+        Bad.St = wire::Status::Error;
+        Bad.Message = "malformed request";
+        respond(Conn, Bad);
+        break;
+      }
+      handleRequest(Conn, std::move(R));
+      break;
+    }
+    case wire::MsgType::StatsRequest: {
+      std::lock_guard<std::mutex> Lock(Conn->WriteM);
+      wire::writeFrame(Conn->Fd, wire::encodeStats(stats()));
+      break;
+    }
+    case wire::MsgType::Shutdown: {
+      {
+        std::lock_guard<std::mutex> Lock(Conn->WriteM);
+        wire::Writer W;
+        W.u8(static_cast<uint8_t>(wire::MsgType::ShutdownAck));
+        wire::writeFrame(Conn->Fd, W.bytes());
+      }
+      stop();
+      break;
+    }
+    default:
+      // Unknown type: drop the connection (protocol error).
+      Conn->Done.store(true, std::memory_order_release);
+      ::shutdown(Conn->Fd, SHUT_RDWR);
+      return;
+    }
+  }
+  Conn->Done.store(true, std::memory_order_release);
+}
+
+void Server::handleRequest(const std::shared_ptr<Connection> &Conn,
+                           wire::EvalRequest R) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  wire::EvalResponse Resp;
+  Resp.RequestId = R.RequestId;
+
+  aa::AAConfig Cfg;
+  if (std::string Err = buildConfig(R, Cfg); !Err.empty()) {
+    Resp.St = wire::Status::Error;
+    Resp.Message = std::move(Err);
+    respond(Conn, Resp);
+    return;
+  }
+  if (R.HasSource && wire::fnv1a64(R.Source) != R.SourceHash) {
+    Resp.St = wire::Status::Error;
+    Resp.Message = "source hash mismatch";
+    respond(Conn, Resp);
+    return;
+  }
+  if (R.NumInstances == 0) {
+    Resp.St = wire::Status::Ok;
+    respond(Conn, Resp);
+    return;
+  }
+
+  // Per-request hit/miss accounting happens here, at intake: a request
+  // whose artifact is cached (or already compiling — single-flight) is a
+  // hit; an uncached request with source is a miss; an uncached request
+  // without source bounces back as NeedSource, uncounted, and returns
+  // with the source attached.
+  if (Cache.contains(cacheKeyFor(R))) {
+    Cache.noteHit();
+  } else if (R.HasSource) {
+    Cache.noteMiss();
+  } else {
+    Resp.St = wire::Status::NeedSource;
+    respond(Conn, Resp);
+    return;
+  }
+
+  const size_t N = R.NumInstances;
+  std::string CKey = coalesceKey(R);
+  bool StartDrain = false;
+  {
+    std::lock_guard<std::mutex> Lock(IntakeM);
+    if (PendingInstances + N > Opts.MaxPendingInstances) {
+      Rejected.fetch_add(1, std::memory_order_relaxed);
+      Resp.St = wire::Status::Busy;
+      Resp.Message = "intake queue full (" +
+                     std::to_string(PendingInstances) + " instances pending)";
+      respond(Conn, Resp);
+      return;
+    }
+    PendingInstances += N;
+    KeyQueue &Q = Queues[CKey];
+    Q.Waiting.push_back(PendingReq{Conn, std::move(R)});
+    if (!Q.InFlight) {
+      Q.InFlight = true;
+      ++Draining;
+      StartDrain = true;
+    }
+  }
+  if (StartDrain)
+    Pool.submit([this, CKey = std::move(CKey)] { drainKey(CKey); });
+}
+
+void Server::drainKey(std::string CKey) {
+  for (;;) {
+    std::vector<PendingReq> Round;
+    {
+      std::lock_guard<std::mutex> Lock(IntakeM);
+      KeyQueue &Q = Queues[CKey];
+      Round.swap(Q.Waiting);
+      if (Round.empty()) {
+        Queues.erase(CKey);
+        if (--Draining == 0)
+          IntakeIdle.notify_all();
+        return;
+      }
+    }
+    evalRound(Round);
+    size_t Served = 0;
+    for (const PendingReq &P : Round)
+      Served += P.Req.NumInstances;
+    {
+      std::lock_guard<std::mutex> Lock(IntakeM);
+      PendingInstances -= Served;
+    }
+  }
+}
+
+void Server::evalRound(std::vector<PendingReq> &Round) {
+  const wire::EvalRequest &First = Round.front().Req;
+  aa::AAConfig Cfg;
+  std::string CfgErr = buildConfig(First, Cfg); // validated at intake
+  core::InterpreterOptions IOpts = interpOptsFor(First, Opts.StepBudget);
+
+  const std::string *Source = nullptr;
+  for (const PendingReq &P : Round)
+    if (P.Req.HasSource) {
+      Source = &P.Req.Source;
+      break;
+    }
+
+  std::shared_ptr<CacheEntry> E;
+  if (CfgErr.empty())
+    E = Cache.acquire(cacheKeyFor(First), Source, IOpts);
+
+  auto FailAll = [&](wire::Status St, const std::string &Msg) {
+    for (const PendingReq &P : Round) {
+      wire::EvalResponse Resp;
+      Resp.RequestId = P.Req.RequestId;
+      Resp.St = St;
+      Resp.Message = Msg;
+      respond(P.Conn, Resp);
+    }
+  };
+  if (!CfgErr.empty())
+    return FailAll(wire::Status::Error, CfgErr);
+  if (!E) {
+    // The artifact was evicted between intake and drain and no request
+    // in this round carries source: bounce everyone back for a retry.
+    return FailAll(wire::Status::NeedSource, "");
+  }
+  E->wait();
+  if (E->failed())
+    return FailAll(wire::Status::Error, E->Error);
+
+  // Coalesce: concatenate every request's instances in arrival order
+  // into one batched evaluation. The batch engine tiles the combined
+  // range over NativeGrain lane groups exactly as it would any
+  // single-request batch of the same size; per-instance independence
+  // (own context, own symbol stream) is what licenses the merge.
+  // Arguments a request leaves unspecified default to 0.5, matching the
+  // offline driver's --run (which seeds every parameter not covered by
+  // an --arg flag with 0.5) — the wire protocol's responses must diff
+  // clean against the driver even for clients that send no seeds at all.
+  const frontend::TranslationUnit &TU = E->CU->Ctx->tu();
+  const size_t NumParams =
+      TU.findFunction(First.Function)->getParams().size();
+  std::vector<std::vector<double>> InstanceArgs;
+  size_t Total = 0;
+  for (const PendingReq &P : Round)
+    Total += P.Req.NumInstances;
+  InstanceArgs.reserve(Total);
+  for (const PendingReq &P : Round) {
+    const wire::EvalRequest &R = P.Req;
+    for (uint32_t I = 0; I < R.NumInstances; ++I) {
+      const double *Row = R.Seeds.data() +
+                          static_cast<size_t>(I) * R.NumArgs;
+      std::vector<double> Args(Row, Row + R.NumArgs);
+      Args.resize(std::max<size_t>(Args.size(), NumParams), 0.5);
+      InstanceArgs.push_back(std::move(Args));
+    }
+  }
+
+  std::vector<core::BatchCallResult> Results = core::runBatchCompiled(
+      TU, E->Fn, Cfg, InstanceArgs, Opts.EvalThreads, IOpts);
+
+  Batches.fetch_add(1, std::memory_order_relaxed);
+  Coalesced.fetch_add(Total, std::memory_order_relaxed);
+
+  size_t Base = 0;
+  for (const PendingReq &P : Round) {
+    wire::EvalResponse Resp;
+    Resp.RequestId = P.Req.RequestId;
+    Resp.St = wire::Status::Ok;
+    Resp.Instances.resize(P.Req.NumInstances);
+    for (uint32_t I = 0; I < P.Req.NumInstances; ++I) {
+      const core::BatchCallResult &R = Results[Base + I];
+      wire::InstanceResult &O = Resp.Instances[I];
+      O.Success = R.Success;
+      if (!R.Success) {
+        O.Error = R.Error;
+        continue;
+      }
+      O.Lo = R.Return.Lo;
+      O.Hi = R.Return.Hi;
+      O.CertifiedBits = R.CertifiedBits;
+      if (R.HasProb && R.Prob.Valid) {
+        O.HasProb = true;
+        O.ProbConfidence = R.Prob.Confidence;
+        O.ProbLo = R.Prob.Lo;
+        O.ProbHi = R.Prob.Hi;
+        O.ProbSupportLo = R.Prob.SupportLo;
+        O.ProbSupportHi = R.Prob.SupportHi;
+      }
+    }
+    Base += P.Req.NumInstances;
+    respond(P.Conn, Resp);
+  }
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(StopM);
+    if (StopRequested)
+      return;
+    StopRequested = true;
+  }
+  StopCv.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> Lock(StopM);
+    StopCv.wait(Lock, [&] { return StopRequested; });
+  }
+  // Teardown. Join the accept thread first (it exits on the stop flag
+  // within one poll interval), then close the listener, then the
+  // connections (unblocks readers), then wait for in-flight drain tasks.
+  std::thread Accept;
+  {
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    Accept = std::move(AcceptThread);
+  }
+  if (Accept.joinable())
+    Accept.join();
+  {
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+  }
+  std::vector<std::shared_ptr<Connection>> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    ToJoin.swap(Conns);
+  }
+  for (auto &C : ToJoin)
+    ::shutdown(C->Fd, SHUT_RDWR);
+  for (auto &C : ToJoin) {
+    if (C->Reader.joinable())
+      C->Reader.join();
+    ::close(C->Fd);
+  }
+  {
+    std::unique_lock<std::mutex> Lock(IntakeM);
+    IntakeIdle.wait(Lock, [&] { return Draining == 0; });
+  }
+  if (!Opts.SocketPath.empty())
+    ::unlink(Opts.SocketPath.c_str());
+}
+
+wire::Stats Server::stats() const {
+  wire::Stats S;
+  S.CacheHits = Cache.hits();
+  S.CacheMisses = Cache.misses();
+  S.CacheEvictions = Cache.evictions();
+  S.CacheCompiles = Cache.compiles();
+  S.CacheEntries = Cache.size();
+  S.Requests = Requests.load(std::memory_order_relaxed);
+  S.BatchesDrained = Batches.load(std::memory_order_relaxed);
+  S.CoalescedInstances = Coalesced.load(std::memory_order_relaxed);
+  S.Rejected = Rejected.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,151 @@
+//===- Server.h - safegend evaluation server --------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running sound-evaluation service (ROADMAP item 2): accepts
+/// connections on a Unix-domain or loopback TCP socket, speaks the
+/// wire::* protocol, compiles kernels once through the KernelCache, and
+/// coalesces same-kernel requests into single batched evaluations.
+///
+/// Threading model:
+///
+///  - one accept thread; one blocking reader thread per connection
+///    (connection counts are small — this is a compute service, not a
+///    C10K proxy);
+///  - evaluation runs as drain tasks on a support::ThreadPool via
+///    submit(). Each (kernel, config, engine) coalescing key has at most
+///    one drain task in flight; the task repeatedly swaps out the key's
+///    queued requests, concatenates their instances in arrival order into
+///    one Interpreter-batch evaluation, and splits the results back per
+///    request. Arrival-order FIFO across connections is the fairness
+///    discipline: a drain round serves every queued request of the key,
+///    so no connection can starve another, and the bounded intake (below)
+///    caps how far any one connection can run ahead.
+///
+/// Coalescing preserves bit-identity because batch evaluation is
+/// per-instance deterministic (each instance evaluates under its own
+/// affine environment; Interpreter::runBatch documents results identical
+/// to serial per-instance runs, and the fuzzer's threaded-batch phase
+/// enforces it) — concatenating requests changes only how instances are
+/// tiled over NativeGrain lane groups, never their values.
+///
+/// Backpressure: the intake tracks the total number of queued instances;
+/// a request that would push it past MaxPendingInstances is rejected
+/// with Status::Busy instead of queuing unboundedly (clients retry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SERVICE_SERVER_H
+#define SAFEGEN_SERVICE_SERVER_H
+
+#include "service/KernelCache.h"
+#include "service/Wire.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace safegen {
+namespace service {
+
+struct ServerOptions {
+  /// Unix-domain socket path (preferred). Exactly one of SocketPath /
+  /// TcpPort must be set.
+  std::string SocketPath;
+  /// Loopback TCP port; 0 picks an ephemeral port (see Server::port()).
+  int TcpPort = -1;
+  /// Drain-task pool size (0 = hardware concurrency).
+  unsigned Threads = 0;
+  /// Threads handed to runBatchCompiled per drain round. 1 keeps each
+  /// evaluation inline on its drain task — parallelism across kernels —
+  /// which is the right default while requests are small; large single
+  /// kernels can raise it.
+  unsigned EvalThreads = 1;
+  /// KernelCache capacity (completed artifacts).
+  size_t CacheCapacity = 64;
+  /// Intake bound, in queued instances, before Busy rejections.
+  size_t MaxPendingInstances = 1u << 16;
+  /// Interpreter step budget per instance.
+  uint64_t StepBudget = 50'000'000;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions O);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and starts the accept thread. On failure fills \p Err.
+  bool start(std::string &Err);
+  /// Blocks until a Shutdown request (or stop()) arrives, then tears
+  /// down: stops accepting, closes connections, joins readers, and
+  /// drains in-flight evaluations.
+  void wait();
+  /// Initiates shutdown from any thread (signal handler safe apart from
+  /// the mutex; the daemon uses a self-request instead).
+  void stop();
+
+  /// Bound TCP port (after start(); for TcpPort == 0).
+  int port() const { return BoundPort; }
+
+  wire::Stats stats() const;
+
+private:
+  struct Connection;
+  struct KeyQueue;
+  struct PendingReq {
+    std::shared_ptr<Connection> Conn;
+    wire::EvalRequest Req;
+  };
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Connection> Conn);
+  void handleRequest(const std::shared_ptr<Connection> &Conn,
+                     wire::EvalRequest R);
+  void drainKey(std::string CKey);
+  void evalRound(std::vector<PendingReq> &Round);
+  static void respond(const std::shared_ptr<Connection> &Conn,
+                      const wire::EvalResponse &R);
+
+  ServerOptions Opts;
+  KernelCache Cache;
+  support::ThreadPool Pool;
+
+  int ListenFd = -1;
+  int BoundPort = -1;
+  std::thread AcceptThread;
+
+  std::mutex ConnsM;
+  std::vector<std::shared_ptr<Connection>> Conns;
+
+  // Intake: coalescing key → queue. PendingInstances is the backpressure
+  // gauge; Draining counts in-flight drain tasks so shutdown can wait
+  // for quiescence.
+  std::mutex IntakeM;
+  std::condition_variable IntakeIdle;
+  std::unordered_map<std::string, KeyQueue> Queues;
+  size_t PendingInstances = 0;
+  unsigned Draining = 0;
+
+  std::mutex StopM;
+  std::condition_variable StopCv;
+  bool StopRequested = false;
+
+  std::atomic<uint64_t> Requests{0}, Batches{0}, Coalesced{0}, Rejected{0};
+};
+
+} // namespace service
+} // namespace safegen
+
+#endif // SAFEGEN_SERVICE_SERVER_H

@@ -1,0 +1,448 @@
+//===- Wire.cpp - safegend binary wire protocol ---------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace safegen;
+using namespace safegen::service;
+using namespace safegen::service::wire;
+
+uint64_t wire::fnv1a64(const char *Data, size_t Len) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= static_cast<unsigned char>(Data[I]);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer / Reader
+//===----------------------------------------------------------------------===//
+
+void Writer::u32(uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void Writer::u64(uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void Writer::f64(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void Writer::str(const std::string &S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Buf.append(S);
+}
+
+bool Reader::take(size_t Count, const char *&Out) {
+  if (Failed || N - Pos < Count) {
+    Failed = true;
+    return false;
+  }
+  Out = P + Pos;
+  Pos += Count;
+  return true;
+}
+
+uint8_t Reader::u8() {
+  const char *B;
+  if (!take(1, B))
+    return 0;
+  return static_cast<uint8_t>(*B);
+}
+
+uint32_t Reader::u32() {
+  const char *B;
+  if (!take(4, B))
+    return 0;
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(B[I])) << (8 * I);
+  return V;
+}
+
+uint64_t Reader::u64() {
+  const char *B;
+  if (!take(8, B))
+    return 0;
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(B[I])) << (8 * I);
+  return V;
+}
+
+double Reader::f64() {
+  uint64_t Bits = u64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string Reader::str() {
+  uint32_t Len = u32();
+  if (Failed || Len > MaxFrameBytes) {
+    Failed = true;
+    return {};
+  }
+  const char *B;
+  if (!take(Len, B))
+    return {};
+  return std::string(B, Len);
+}
+
+//===----------------------------------------------------------------------===//
+// Message encode / decode
+//===----------------------------------------------------------------------===//
+
+std::string wire::encodeEvalRequest(const EvalRequest &R) {
+  Writer W;
+  W.u8(static_cast<uint8_t>(MsgType::EvalRequest));
+  W.u32(R.RequestId);
+  W.u64(R.SourceHash);
+  W.u8(R.HasSource ? 1 : 0);
+  if (R.HasSource)
+    W.str(R.Source);
+  W.str(R.Config);
+  W.u32(R.K);
+  W.u8(R.Model);
+  W.u8(R.Sparse);
+  W.u8(static_cast<uint8_t>(R.Eng));
+  W.str(R.Function);
+  W.u32(R.NumArgs);
+  W.u32(R.NumInstances);
+  for (double S : R.Seeds)
+    W.f64(S);
+  return W.bytes();
+}
+
+bool wire::decodeEvalRequest(const std::string &Payload, EvalRequest &Out) {
+  Reader R(Payload);
+  if (R.u8() != static_cast<uint8_t>(MsgType::EvalRequest))
+    return false;
+  Out.RequestId = R.u32();
+  Out.SourceHash = R.u64();
+  Out.HasSource = R.u8() != 0;
+  Out.Source = Out.HasSource ? R.str() : std::string();
+  Out.Config = R.str();
+  Out.K = R.u32();
+  Out.Model = R.u8();
+  Out.Sparse = R.u8();
+  Out.Eng = static_cast<Engine>(R.u8());
+  Out.Function = R.str();
+  Out.NumArgs = R.u32();
+  Out.NumInstances = R.u32();
+  if (!R.ok())
+    return false;
+  uint64_t Count =
+      static_cast<uint64_t>(Out.NumArgs) * Out.NumInstances;
+  if (Count > MaxFrameBytes / 8)
+    return false;
+  Out.Seeds.resize(Count);
+  for (double &S : Out.Seeds)
+    S = R.f64();
+  return R.atEnd();
+}
+
+std::string wire::encodeEvalResponse(const EvalResponse &R) {
+  Writer W;
+  W.u8(static_cast<uint8_t>(MsgType::EvalResponse));
+  W.u32(R.RequestId);
+  W.u8(static_cast<uint8_t>(R.St));
+  if (R.St != Status::Ok) {
+    W.str(R.Message);
+    return W.bytes();
+  }
+  W.u32(static_cast<uint32_t>(R.Instances.size()));
+  for (const InstanceResult &I : R.Instances) {
+    W.u8(I.Success ? 1 : 0);
+    if (!I.Success) {
+      W.str(I.Error);
+      continue;
+    }
+    W.f64(I.Lo);
+    W.f64(I.Hi);
+    W.f64(I.CertifiedBits);
+    W.u8(I.HasProb ? 1 : 0);
+    if (I.HasProb) {
+      W.f64(I.ProbConfidence);
+      W.f64(I.ProbLo);
+      W.f64(I.ProbHi);
+      W.f64(I.ProbSupportLo);
+      W.f64(I.ProbSupportHi);
+    }
+  }
+  return W.bytes();
+}
+
+bool wire::decodeEvalResponse(const std::string &Payload, EvalResponse &Out) {
+  Reader R(Payload);
+  if (R.u8() != static_cast<uint8_t>(MsgType::EvalResponse))
+    return false;
+  Out.RequestId = R.u32();
+  Out.St = static_cast<Status>(R.u8());
+  Out.Message.clear();
+  Out.Instances.clear();
+  if (Out.St != Status::Ok) {
+    Out.Message = R.str();
+    return R.atEnd();
+  }
+  uint32_t N = R.u32();
+  if (!R.ok() || N > MaxFrameBytes / 8)
+    return false;
+  Out.Instances.resize(N);
+  for (InstanceResult &I : Out.Instances) {
+    I.Success = R.u8() != 0;
+    if (!I.Success) {
+      I.Error = R.str();
+      continue;
+    }
+    I.Lo = R.f64();
+    I.Hi = R.f64();
+    I.CertifiedBits = R.f64();
+    I.HasProb = R.u8() != 0;
+    if (I.HasProb) {
+      I.ProbConfidence = R.f64();
+      I.ProbLo = R.f64();
+      I.ProbHi = R.f64();
+      I.ProbSupportLo = R.f64();
+      I.ProbSupportHi = R.f64();
+    }
+  }
+  return R.atEnd();
+}
+
+std::string wire::encodeStats(const Stats &S) {
+  Writer W;
+  W.u8(static_cast<uint8_t>(MsgType::StatsResponse));
+  W.u64(S.CacheHits);
+  W.u64(S.CacheMisses);
+  W.u64(S.CacheEvictions);
+  W.u64(S.CacheCompiles);
+  W.u64(S.CacheEntries);
+  W.u64(S.Requests);
+  W.u64(S.BatchesDrained);
+  W.u64(S.CoalescedInstances);
+  W.u64(S.Rejected);
+  return W.bytes();
+}
+
+bool wire::decodeStats(const std::string &Payload, Stats &Out) {
+  Reader R(Payload);
+  if (R.u8() != static_cast<uint8_t>(MsgType::StatsResponse))
+    return false;
+  Out.CacheHits = R.u64();
+  Out.CacheMisses = R.u64();
+  Out.CacheEvictions = R.u64();
+  Out.CacheCompiles = R.u64();
+  Out.CacheEntries = R.u64();
+  Out.Requests = R.u64();
+  Out.BatchesDrained = R.u64();
+  Out.CoalescedInstances = R.u64();
+  Out.Rejected = R.u64();
+  return R.atEnd();
+}
+
+//===----------------------------------------------------------------------===//
+// Frame I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool readAll(int Fd, char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::recv(Fd, Data, Len, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF mid-frame (or before one)
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool wire::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return false;
+  char Hdr[4];
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I < 4; ++I)
+    Hdr[I] = static_cast<char>((Len >> (8 * I)) & 0xff);
+  return writeAll(Fd, Hdr, 4) && writeAll(Fd, Payload.data(), Payload.size());
+}
+
+bool wire::readFrame(int Fd, std::string &Payload) {
+  char Hdr[4];
+  if (!readAll(Fd, Hdr, 4))
+    return false;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<unsigned char>(Hdr[I]))
+           << (8 * I);
+  if (Len > MaxFrameBytes)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || readAll(Fd, Payload.data(), Len);
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connectUnix(const std::string &Path, std::string &Err) {
+  close();
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    close();
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = "connect " + Path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectTcp(int Port, std::string &Err) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = "connect 127.0.0.1:" + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::roundTrip(const std::string &Payload, std::string &Reply,
+                       std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, Payload)) {
+    Err = "write failed";
+    return false;
+  }
+  if (!readFrame(Fd, Reply)) {
+    Err = "read failed (connection closed?)";
+    return false;
+  }
+  return true;
+}
+
+bool Client::eval(EvalRequest R, EvalResponse &Out, std::string &Err) {
+  if (!R.HasSource && R.SourceHash == 0 && !R.Source.empty())
+    R.SourceHash = fnv1a64(R.Source);
+  std::string Reply;
+  if (!roundTrip(encodeEvalRequest(R), Reply, Err))
+    return false;
+  if (!decodeEvalResponse(Reply, Out)) {
+    Err = "malformed response";
+    return false;
+  }
+  if (Out.St == Status::NeedSource && !R.HasSource && !R.Source.empty()) {
+    // Warm-path miss: retransmit once with the source attached.
+    R.HasSource = true;
+    if (!roundTrip(encodeEvalRequest(R), Reply, Err))
+      return false;
+    if (!decodeEvalResponse(Reply, Out)) {
+      Err = "malformed response";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Client::stats(Stats &Out, std::string &Err) {
+  Writer W;
+  W.u8(static_cast<uint8_t>(MsgType::StatsRequest));
+  std::string Reply;
+  if (!roundTrip(W.bytes(), Reply, Err))
+    return false;
+  if (!decodeStats(Reply, Out)) {
+    Err = "malformed stats response";
+    return false;
+  }
+  return true;
+}
+
+bool Client::shutdownServer(std::string &Err) {
+  Writer W;
+  W.u8(static_cast<uint8_t>(MsgType::Shutdown));
+  std::string Reply;
+  if (!roundTrip(W.bytes(), Reply, Err))
+    return false;
+  Reader R(Reply);
+  if (R.u8() != static_cast<uint8_t>(MsgType::ShutdownAck)) {
+    Err = "unexpected shutdown reply";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,219 @@
+//===- Wire.h - safegend binary wire protocol -------------------*- C++ -*-===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary protocol spoken between `safegend` and its
+/// clients (safegen-loadgen, tests, the fuzzer's service-identity phase).
+///
+/// Framing: every message is one frame — a little-endian u32 payload
+/// length followed by that many payload bytes. The first payload byte is
+/// the message type; the rest is a flat field sequence (no alignment, no
+/// padding). Integers are little-endian; doubles travel as their IEEE-754
+/// bit pattern in a u64, so bounds cross the wire bit-exactly — the whole
+/// point of the service is that responses are bit-identical to the
+/// offline driver. Strings are a u32 byte count followed by raw bytes.
+///
+/// Request flow: an EvalRequest addresses its kernel by content hash
+/// (FNV-1a 64 over the exact source bytes) so a warm client never resends
+/// source. On a cache miss without attached source the server answers
+/// NeedSource and the client retries with the source attached (whose
+/// hash the server verifies). Responses carry the client-chosen
+/// RequestId: the server coalesces requests across connections, so
+/// responses are not ordered within a connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SAFEGEN_SERVICE_WIRE_H
+#define SAFEGEN_SERVICE_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safegen {
+namespace service {
+namespace wire {
+
+/// Frames larger than this are a protocol error (read side refuses to
+/// allocate). Generous: 64 MiB holds ~1M instances of 8 args.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// FNV-1a 64-bit over arbitrary bytes — the kernel source content hash.
+/// Stable and dependency-free; collisions are not an integrity concern
+/// because the server re-hashes any attached source before trusting it.
+uint64_t fnv1a64(const char *Data, size_t Len);
+inline uint64_t fnv1a64(const std::string &S) {
+  return fnv1a64(S.data(), S.size());
+}
+
+enum class MsgType : uint8_t {
+  EvalRequest = 1,
+  EvalResponse = 2,
+  StatsRequest = 3,
+  StatsResponse = 4,
+  Shutdown = 5,
+  ShutdownAck = 6,
+};
+
+enum class Engine : uint8_t { Tape = 0, Native = 1 };
+
+enum class Status : uint8_t {
+  Ok = 0,
+  Error = 1,      ///< request-level failure (parse error, bad config, ...)
+  NeedSource = 2, ///< cache miss and no source attached; retry with source
+  Busy = 3,       ///< intake queue full (backpressure); retry later
+};
+
+/// One batched evaluation request. Seeds are row-major per instance
+/// (instance I's arguments at [I*NumArgs, (I+1)*NumArgs)); arguments a
+/// request leaves unspecified default to 0.5 server-side, exactly like
+/// the offline driver's --run seeds parameters not covered by --arg.
+struct EvalRequest {
+  uint32_t RequestId = 0;
+  uint64_t SourceHash = 0;
+  bool HasSource = false;
+  std::string Source;
+  std::string Config;  ///< paper notation, e.g. "f64a-dspn"
+  uint32_t K = 16;
+  uint8_t Model = 0;   ///< 0 = sound, 1 = probabilistic
+  uint8_t Sparse = 0;
+  Engine Eng = Engine::Tape;
+  std::string Function = "f";
+  uint32_t NumArgs = 0;
+  uint32_t NumInstances = 0;
+  std::vector<double> Seeds; ///< NumInstances * NumArgs values
+};
+
+/// Per-instance outcome inside an Ok response.
+struct InstanceResult {
+  bool Success = false;
+  std::string Error;
+  double Lo = 0.0, Hi = 0.0, CertifiedBits = 0.0;
+  bool HasProb = false;
+  double ProbConfidence = 0.0, ProbLo = 0.0, ProbHi = 0.0;
+  double ProbSupportLo = 0.0, ProbSupportHi = 0.0;
+};
+
+struct EvalResponse {
+  uint32_t RequestId = 0;
+  Status St = Status::Error;
+  std::string Message; ///< Error / Busy detail
+  std::vector<InstanceResult> Instances;
+};
+
+/// Server-side counters (monotonic since startup).
+struct Stats {
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t CacheCompiles = 0;
+  uint64_t CacheEntries = 0;
+  uint64_t Requests = 0;
+  uint64_t BatchesDrained = 0;
+  uint64_t CoalescedInstances = 0;
+  uint64_t Rejected = 0; ///< Busy responses sent
+};
+
+//===----------------------------------------------------------------------===//
+// Flat encode / decode
+//===----------------------------------------------------------------------===//
+
+/// Append-only payload builder.
+class Writer {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void f64(double V);
+  void str(const std::string &S);
+  const std::string &bytes() const { return Buf; }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked payload reader. Any short read latches the failure
+/// flag and yields zero values; callers check ok() once at the end.
+class Reader {
+public:
+  Reader(const char *Data, size_t Len) : P(Data), N(Len) {}
+  explicit Reader(const std::string &S) : Reader(S.data(), S.size()) {}
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Pos == N && !Failed; }
+
+private:
+  const char *P;
+  size_t N;
+  size_t Pos = 0;
+  bool Failed = false;
+  bool take(size_t Count, const char *&Out);
+};
+
+std::string encodeEvalRequest(const EvalRequest &R);
+std::string encodeEvalResponse(const EvalResponse &R);
+std::string encodeStats(const Stats &S);
+
+/// Decoders expect the full payload including the leading type byte and
+/// return false on type mismatch or malformed fields.
+bool decodeEvalRequest(const std::string &Payload, EvalRequest &Out);
+bool decodeEvalResponse(const std::string &Payload, EvalResponse &Out);
+bool decodeStats(const std::string &Payload, Stats &Out);
+
+//===----------------------------------------------------------------------===//
+// Frame I/O over a connected socket
+//===----------------------------------------------------------------------===//
+
+/// Writes one frame (length prefix + payload). Returns false on any
+/// socket error; partial writes are completed internally.
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one frame into \p Payload. Returns false on EOF, socket error,
+/// or an oversized length prefix.
+bool readFrame(int Fd, std::string &Payload);
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+/// A blocking single-connection client (loadgen, tests, CI smoke). One
+/// request in flight at a time; NeedSource retries are automatic when
+/// the source is provided.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects over a Unix-domain socket path or TCP to 127.0.0.1:port.
+  bool connectUnix(const std::string &Path, std::string &Err);
+  bool connectTcp(int Port, std::string &Err);
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// Round-trips one evaluation. When \p R.HasSource is false but
+  /// R.Source is non-empty, sends hash-only first and retransmits with
+  /// the source on NeedSource (the warm-path protocol).
+  bool eval(EvalRequest R, EvalResponse &Out, std::string &Err);
+  bool stats(Stats &Out, std::string &Err);
+  bool shutdownServer(std::string &Err);
+
+private:
+  bool roundTrip(const std::string &Payload, std::string &Reply,
+                 std::string &Err);
+  int Fd = -1;
+};
+
+} // namespace wire
+} // namespace service
+} // namespace safegen
+
+#endif // SAFEGEN_SERVICE_WIRE_H

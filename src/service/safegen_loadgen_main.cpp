@@ -1,0 +1,299 @@
+//===- safegen_loadgen_main.cpp - safegend load generator -----------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `safegen-loadgen`: client for safegend. Two jobs:
+///
+///  - CI smoke: `--print-results` prints one driver-format result line
+///    per instance on stdout (`result in [lo, hi]  (b certified bits)`,
+///    plus the probabilistic line when present), so the output diffs
+///    byte-for-byte against `safegen --run`.
+///
+///  - load generation: `--requests M` fires M sequential eval round
+///    trips and reports throughput and p50/p99 latency on stderr (and as
+///    a machine-readable `loadgen-csv:` line for harnesses).
+///
+/// The first request attaches no source (warm-path); the client
+/// retransmits with source on NeedSource automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Wire.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::service;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: safegen-loadgen (--socket PATH | --port N) --kernel FILE "
+      "[options]\n"
+      "\n"
+      "  --kernel FILE     kernel source file (required unless --stats/\n"
+      "                    --shutdown-server only)\n"
+      "  --function NAME   function to evaluate (default: f)\n"
+      "  --config NOTATION AAConfig notation (default: f64a-dspn)\n"
+      "  -k N              symbol budget (default 16)\n"
+      "  --error-model M   sound | probabilistic (default sound)\n"
+      "  --sparse          group-sparse batch storage\n"
+      "  --engine E        tape | native (default tape)\n"
+      "  --arg V           append one argument seed (repeatable);\n"
+      "                    unspecified parameters default to 0.5\n"
+      "  --instances N     instances per request (default 1)\n"
+      "  --requests M      eval round trips to time (default 1)\n"
+      "  --print-results   print driver-format result lines on stdout\n"
+      "  --stats           print server stats after the run\n"
+      "  --shutdown-server send Shutdown when done\n");
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t I = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[I];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath, KernelPath, Function = "f", Config = "f64a-dspn";
+  int Port = -1;
+  uint32_t K = 16;
+  uint8_t Model = 0, Sparse = 0;
+  wire::Engine Eng = wire::Engine::Tape;
+  std::vector<double> Args;
+  uint32_t Instances = 1;
+  uint32_t Requests = 1;
+  bool PrintResults = false, PrintStats = false, ShutdownServer = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "safegen-loadgen: %s requires a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    const char *V;
+    if (Arg == "--socket") {
+      if (!(V = Next("--socket")))
+        return 1;
+      SocketPath = V;
+    } else if (Arg == "--port") {
+      if (!(V = Next("--port")))
+        return 1;
+      Port = std::atoi(V);
+    } else if (Arg == "--kernel") {
+      if (!(V = Next("--kernel")))
+        return 1;
+      KernelPath = V;
+    } else if (Arg == "--function") {
+      if (!(V = Next("--function")))
+        return 1;
+      Function = V;
+    } else if (Arg == "--config") {
+      if (!(V = Next("--config")))
+        return 1;
+      Config = V;
+    } else if (Arg == "-k") {
+      if (!(V = Next("-k")))
+        return 1;
+      K = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--error-model") {
+      if (!(V = Next("--error-model")))
+        return 1;
+      if (std::strcmp(V, "sound") == 0)
+        Model = 0;
+      else if (std::strcmp(V, "probabilistic") == 0)
+        Model = 1;
+      else {
+        std::fprintf(stderr, "safegen-loadgen: bad --error-model '%s'\n", V);
+        return 1;
+      }
+    } else if (Arg == "--sparse") {
+      Sparse = 1;
+    } else if (Arg == "--engine") {
+      if (!(V = Next("--engine")))
+        return 1;
+      if (std::strcmp(V, "tape") == 0)
+        Eng = wire::Engine::Tape;
+      else if (std::strcmp(V, "native") == 0)
+        Eng = wire::Engine::Native;
+      else {
+        std::fprintf(stderr, "safegen-loadgen: bad --engine '%s'\n", V);
+        return 1;
+      }
+    } else if (Arg == "--arg") {
+      if (!(V = Next("--arg")))
+        return 1;
+      Args.push_back(std::atof(V));
+    } else if (Arg == "--instances") {
+      if (!(V = Next("--instances")))
+        return 1;
+      Instances = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--requests") {
+      if (!(V = Next("--requests")))
+        return 1;
+      Requests = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--print-results") {
+      PrintResults = true;
+    } else if (Arg == "--stats") {
+      PrintStats = true;
+    } else if (Arg == "--shutdown-server") {
+      ShutdownServer = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "safegen-loadgen: unknown argument '%s'\n",
+                   Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (SocketPath.empty() && Port < 0) {
+    usage();
+    return 1;
+  }
+
+  wire::Client C;
+  std::string Err;
+  bool Connected = !SocketPath.empty() ? C.connectUnix(SocketPath, Err)
+                                       : C.connectTcp(Port, Err);
+  if (!Connected) {
+    std::fprintf(stderr, "safegen-loadgen: %s\n", Err.c_str());
+    return 1;
+  }
+
+  int Rc = 0;
+  if (!KernelPath.empty()) {
+    std::ifstream In(KernelPath, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "safegen-loadgen: cannot read %s\n",
+                   KernelPath.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    const std::string Source = Buf.str();
+
+    wire::EvalRequest R;
+    R.SourceHash = wire::fnv1a64(Source);
+    R.Source = Source; // attached only on NeedSource (warm-path probe)
+    R.Config = Config;
+    R.K = K;
+    R.Model = Model;
+    R.Sparse = Sparse;
+    R.Eng = Eng;
+    R.Function = Function;
+    R.NumArgs = static_cast<uint32_t>(Args.size());
+    R.NumInstances = Instances;
+    R.Seeds.reserve(static_cast<size_t>(Instances) * Args.size());
+    for (uint32_t I = 0; I < Instances; ++I)
+      R.Seeds.insert(R.Seeds.end(), Args.begin(), Args.end());
+
+    std::vector<double> LatMs;
+    LatMs.reserve(Requests);
+    wire::EvalResponse Last;
+    auto T0 = std::chrono::steady_clock::now();
+    for (uint32_t Q = 0; Q < Requests; ++Q) {
+      R.RequestId = Q;
+      auto S0 = std::chrono::steady_clock::now();
+      if (!C.eval(R, Last, Err)) {
+        std::fprintf(stderr, "safegen-loadgen: %s\n", Err.c_str());
+        return 1;
+      }
+      auto S1 = std::chrono::steady_clock::now();
+      LatMs.push_back(
+          std::chrono::duration<double, std::milli>(S1 - S0).count());
+      if (Last.St == wire::Status::Busy) {
+        // Backpressure: retry this request (bounded client, it just
+        // round-trips again).
+        --Q;
+        LatMs.pop_back();
+        continue;
+      }
+      if (Last.St != wire::Status::Ok) {
+        std::fprintf(stderr, "safegen-loadgen: server error: %s\n",
+                     Last.Message.c_str());
+        return 1;
+      }
+    }
+    auto T1 = std::chrono::steady_clock::now();
+    double TotalS = std::chrono::duration<double>(T1 - T0).count();
+
+    if (PrintResults) {
+      for (const wire::InstanceResult &I : Last.Instances) {
+        if (!I.Success) {
+          std::fprintf(stderr, "safegen: runtime error: %s\n",
+                       I.Error.c_str());
+          Rc = 1;
+          continue;
+        }
+        std::printf("result in [%.17g, %.17g]  (%.1f certified bits)\n",
+                    I.Lo, I.Hi, I.CertifiedBits);
+        if (I.HasProb)
+          std::printf("result (p >= %.2f) in [%.17g, %.17g]  "
+                      "support [%.17g, %.17g]\n",
+                      I.ProbConfidence, I.ProbLo, I.ProbHi, I.ProbSupportLo,
+                      I.ProbSupportHi);
+      }
+    }
+    if (Requests > 1 || !PrintResults) {
+      std::sort(LatMs.begin(), LatMs.end());
+      double Rps = TotalS > 0 ? static_cast<double>(Requests) / TotalS : 0;
+      std::fprintf(stderr,
+                   "safegen-loadgen: %u requests x %u instances, %.1f rps, "
+                   "p50 %.3f ms, p99 %.3f ms\n",
+                   Requests, Instances, Rps, percentile(LatMs, 0.50),
+                   percentile(LatMs, 0.99));
+      std::fprintf(stderr, "loadgen-csv:%u,%u,%.1f,%.6f,%.6f\n", Requests,
+                   Instances, Rps, percentile(LatMs, 0.50),
+                   percentile(LatMs, 0.99));
+    }
+  }
+
+  if (PrintStats) {
+    wire::Stats St;
+    if (!C.stats(St, Err)) {
+      std::fprintf(stderr, "safegen-loadgen: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "server-stats: requests=%llu batches=%llu coalesced=%llu "
+                 "hits=%llu misses=%llu evictions=%llu compiles=%llu "
+                 "entries=%llu rejected=%llu\n",
+                 static_cast<unsigned long long>(St.Requests),
+                 static_cast<unsigned long long>(St.BatchesDrained),
+                 static_cast<unsigned long long>(St.CoalescedInstances),
+                 static_cast<unsigned long long>(St.CacheHits),
+                 static_cast<unsigned long long>(St.CacheMisses),
+                 static_cast<unsigned long long>(St.CacheEvictions),
+                 static_cast<unsigned long long>(St.CacheCompiles),
+                 static_cast<unsigned long long>(St.CacheEntries),
+                 static_cast<unsigned long long>(St.Rejected));
+  }
+  if (ShutdownServer) {
+    if (!C.shutdownServer(Err)) {
+      std::fprintf(stderr, "safegen-loadgen: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  return Rc;
+}

@@ -1,0 +1,143 @@
+//===- safegend_main.cpp - sound-evaluation daemon ------------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `safegend`: the long-running evaluation service. Binds a Unix-domain
+/// or loopback TCP socket, then serves wire-protocol requests until a
+/// Shutdown message arrives. See src/service/Server.h for the
+/// architecture and DESIGN.md §15 for the protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aa/Kernels/Isa.h"
+#include "service/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+using namespace safegen;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: safegend (--socket PATH | --port N) [options]\n"
+      "\n"
+      "  --socket PATH     listen on a Unix-domain socket at PATH\n"
+      "  --port N          listen on 127.0.0.1:N (0 = ephemeral; the\n"
+      "                    bound port is printed on startup)\n"
+      "  --threads N       drain-task pool size (default: hardware)\n"
+      "  --eval-threads N  threads per batched evaluation (default 1)\n"
+      "  --cache-size N    compiled-artifact cache capacity (default 64)\n"
+      "  --max-pending N   intake bound in queued instances before Busy\n"
+      "                    rejections (default 65536)\n"
+      "  --isa TIER        force the kernel tier (scalar|sse2|avx2|avx512)\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  service::ServerOptions Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "safegend: %s requires a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket") {
+      const char *V = Next("--socket");
+      if (!V)
+        return 1;
+      Opts.SocketPath = V;
+    } else if (Arg == "--port") {
+      const char *V = Next("--port");
+      if (!V)
+        return 1;
+      Opts.TcpPort = std::atoi(V);
+    } else if (Arg == "--threads") {
+      const char *V = Next("--threads");
+      if (!V)
+        return 1;
+      Opts.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--eval-threads") {
+      const char *V = Next("--eval-threads");
+      if (!V)
+        return 1;
+      Opts.EvalThreads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--cache-size") {
+      const char *V = Next("--cache-size");
+      if (!V)
+        return 1;
+      Opts.CacheCapacity = static_cast<size_t>(std::atoll(V));
+    } else if (Arg == "--max-pending") {
+      const char *V = Next("--max-pending");
+      if (!V)
+        return 1;
+      Opts.MaxPendingInstances = static_cast<size_t>(std::atoll(V));
+    } else if (Arg == "--isa") {
+      const char *V = Next("--isa");
+      if (!V)
+        return 1;
+      aa::isa::Tier T;
+      if (!aa::isa::parse(V, T) || !aa::isa::setTier(T)) {
+        std::fprintf(stderr, "safegend: unsupported --isa tier '%s'\n", V);
+        return 1;
+      }
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "safegend: unknown argument '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (Opts.SocketPath.empty() && Opts.TcpPort < 0) {
+    usage();
+    return 1;
+  }
+
+  // Resolve the kernel tier once, before any worker thread exists — the
+  // dispatch is already call_once-guarded, this just front-loads it.
+  aa::isa::select();
+
+  service::Server Srv(std::move(Opts));
+  std::string Err;
+  service::Server *S = &Srv;
+  if (!S->start(Err)) {
+    std::fprintf(stderr, "safegend: %s\n", Err.c_str());
+    return 1;
+  }
+  if (S->port() >= 0)
+    std::fprintf(stderr, "safegend: listening on 127.0.0.1:%d (tier %s)\n",
+                 S->port(), aa::isa::name(aa::isa::activeTier()));
+  else
+    std::fprintf(stderr, "safegend: listening (tier %s)\n",
+                 aa::isa::name(aa::isa::activeTier()));
+  std::fflush(stderr);
+  S->wait();
+  service::wire::Stats St = S->stats();
+  std::fprintf(stderr,
+               "safegend: served %llu requests in %llu batches "
+               "(%llu coalesced instances); cache %llu hits / %llu misses / "
+               "%llu evictions / %llu compiles; %llu rejected\n",
+               static_cast<unsigned long long>(St.Requests),
+               static_cast<unsigned long long>(St.BatchesDrained),
+               static_cast<unsigned long long>(St.CoalescedInstances),
+               static_cast<unsigned long long>(St.CacheHits),
+               static_cast<unsigned long long>(St.CacheMisses),
+               static_cast<unsigned long long>(St.CacheEvictions),
+               static_cast<unsigned long long>(St.CacheCompiles),
+               static_cast<unsigned long long>(St.Rejected));
+  return 0;
+}

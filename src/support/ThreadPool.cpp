@@ -24,10 +24,22 @@ struct ParallelForJob {
 };
 
 struct ThreadPool::Task {
+  // Either one chunk of a parallelFor job (Job != null) or a standalone
+  // submitted task (Fn != null). packaged_task routes any exception into
+  // the caller's future, so worker loops never see one.
   ParallelForJob *Job = nullptr;
   int64_t Begin = 0;
   int64_t End = 0;
+  std::shared_ptr<std::packaged_task<void()>> Fn;
 };
+
+namespace {
+// The pool and worker slot the current thread belongs to, if any.
+// Re-entrant submit() uses it to push onto the submitting worker's own
+// deque (LIFO, cache-warm) instead of taking the round-robin path.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = 0;
+} // namespace
 
 struct ThreadPool::Worker {
   std::mutex M;
@@ -70,10 +82,59 @@ ThreadPool::~ThreadPool() {
   WakeCv.notify_all();
   for (std::thread &T : Threads)
     T.join();
+  // Workers drain every stealable task before exiting, but queued work
+  // can still be stranded when the OS threads were never spawned (a pool
+  // that got submits but no parallelFor) or a submit raced shutdown. Run
+  // the leftovers inline so every future returned by submit() becomes
+  // ready — shutdown with queued work completes the work, never drops it.
+  if (!Workers.empty()) {
+    Task T;
+    while (trySteal(0, T))
+      runTask(T);
+  }
 }
 
 unsigned ThreadPool::concurrency() const {
   return Workers.empty() ? 1u : static_cast<unsigned>(Workers.size());
+}
+
+void ThreadPool::runTask(Task &T) {
+  if (T.Fn) {
+    (*T.Fn)(); // packaged_task: exceptions land in the future
+    return;
+  }
+  (*T.Job->Body)(T.Begin, T.End);
+  std::lock_guard<std::mutex> Lock(T.Job->M);
+  if (--T.Job->Remaining == 0)
+    T.Job->Done.notify_all();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> Fn) {
+  Task T;
+  T.Fn = std::make_shared<std::packaged_task<void()>>(std::move(Fn));
+  std::future<void> Result = T.Fn->get_future();
+  if (Workers.empty()) {
+    // Inline pool: run now. The future is ready before submit returns,
+    // so callers cannot deadlock on it.
+    (*T.Fn)();
+    return Result;
+  }
+  unsigned Slot;
+  if (CurrentPool == this) {
+    // Re-entrant submit from a worker task: the submitter's own deque.
+    Slot = CurrentWorker;
+  } else {
+    std::lock_guard<std::mutex> Lock(WakeMutex);
+    Slot = NextSubmitWorker++ % static_cast<unsigned>(Workers.size());
+  }
+  {
+    Worker &Target = *Workers[Slot % Workers.size()];
+    std::lock_guard<std::mutex> Lock(Target.M);
+    Target.Deque.push_back(std::move(T));
+  }
+  ensureStarted();
+  WakeCv.notify_all();
+  return Result;
 }
 
 bool ThreadPool::trySteal(unsigned Thief, Task &Out) {
@@ -102,13 +163,12 @@ bool ThreadPool::trySteal(unsigned Thief, Task &Out) {
 }
 
 void ThreadPool::workerLoop(unsigned Index) {
+  CurrentPool = this;
+  CurrentWorker = Index;
   for (;;) {
     Task T;
     if (trySteal(Index, T)) {
-      (*T.Job->Body)(T.Begin, T.End);
-      std::lock_guard<std::mutex> Lock(T.Job->M);
-      if (--T.Job->Remaining == 0)
-        T.Job->Done.notify_all();
+      runTask(T);
       continue;
     }
     std::unique_lock<std::mutex> Lock(WakeMutex);
@@ -182,12 +242,8 @@ void ThreadPool::parallelFor(
   // nested parallelFor calls (a chunk body that itself fans out) cannot
   // deadlock, then blocks for the stragglers.
   Task T;
-  while (trySteal(0, T)) {
-    (*T.Job->Body)(T.Begin, T.End);
-    std::lock_guard<std::mutex> Lock(T.Job->M);
-    if (--T.Job->Remaining == 0)
-      T.Job->Done.notify_all();
-  }
+  while (trySteal(0, T))
+    runTask(T);
   std::unique_lock<std::mutex> Lock(Job.M);
   Job.Done.wait(Lock, [&] { return Job.Remaining == 0; });
 }

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -73,6 +74,20 @@ public:
   void parallelFor(int64_t Begin, int64_t End, int64_t Grain, int64_t Align,
                    const std::function<void(int64_t, int64_t)> &Body);
 
+  /// Enqueues \p Fn as a standalone task and returns a future for its
+  /// completion. An exception thrown by the task is captured into the
+  /// future (get() rethrows it); it never escapes into a worker loop.
+  /// Safe to call from a worker thread executing another task: the task
+  /// lands on the submitting worker's own deque and runs once the current
+  /// task returns — but a task that *blocks* on a future of work it just
+  /// submitted can deadlock a fully-busy pool, so compose with
+  /// continuations (submit-and-return), not nested waits. Tasks still
+  /// queued when the pool shuts down are drained: the destructor runs
+  /// them (workers first, destructor inline as a backstop) before
+  /// joining, so a returned future always becomes ready. Inline pools
+  /// (concurrency() == 1 with no workers) run the task before returning.
+  std::future<void> submit(std::function<void()> Fn);
+
   /// A process-wide shared pool (lazily constructed, hardware-sized).
   static ThreadPool &global();
 
@@ -81,6 +96,7 @@ private:
   struct Worker;
 
   void workerLoop(unsigned Index);
+  void runTask(Task &T);
   bool trySteal(unsigned Thief, Task &Out);
   void ensureStarted();
 
@@ -91,6 +107,7 @@ private:
   std::mutex WakeMutex;
   std::condition_variable WakeCv;
   bool ShuttingDown = false;
+  unsigned NextSubmitWorker = 0; // guarded by WakeMutex (round-robin)
 };
 
 } // namespace support

@@ -1,0 +1,523 @@
+//===- service_test.cpp - safegend service layer tests --------------------===//
+//
+// Part of the SafeGen reproduction. BSD 3-Clause license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the three service layers bottom-up:
+//
+//  * Wire.h    — payload encode/decode round-trips, reader bounds
+//                checking, FNV-1a reference vectors.
+//  * KernelCache — single-flight compilation (N concurrent misses, one
+//                compile), NeedSource, negative caching, LRU eviction.
+//  * Server    — end-to-end over a Unix-domain socket: bit-identity
+//                against the offline Interpreter::runBatch, the warm
+//                NeedSource retry protocol, coalescing across client
+//                threads, and Busy backpressure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchKernel.h"
+#include "core/Interpreter.h"
+#include "frontend/Frontend.h"
+#include "service/KernelCache.h"
+#include "service/Server.h"
+#include "service/Wire.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace safegen;
+using namespace safegen::service;
+
+namespace {
+
+const char *TestKernel = "double f(double x, double y) {\n"
+                         "  double t = x * x + y;\n"
+                         "  return sqrt(t + 2.0) / (y + 3.0);\n"
+                         "}\n";
+
+bool sameBits(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+/// A short, per-process unique UDS path (sun_path is ~108 bytes).
+std::string socketPath() {
+  return "/tmp/safegend_test_" + std::to_string(::getpid()) + ".sock";
+}
+
+/// Offline reference for one request's instances, same options the
+/// server derives from the wire request.
+std::vector<core::BatchCallResult>
+offlineReference(const std::string &Source, const std::string &Fn,
+                 const aa::AAConfig &Cfg,
+                 const std::vector<std::vector<double>> &Instances,
+                 core::ExecEngine Eng) {
+  auto CU = frontend::parseSource("kernel.c", Source);
+  EXPECT_TRUE(CU->Success);
+  core::InterpreterOptions Opts;
+  Opts.Engine = Eng;
+  return core::Interpreter::runBatch(CU->Ctx->tu(), Fn, Cfg, Instances,
+                                     /*Threads=*/1, Opts);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(Wire, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(wire::fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(wire::fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(wire::fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Wire, EvalRequestRoundTripsEveryField) {
+  wire::EvalRequest R;
+  R.RequestId = 0xdeadbeef;
+  R.Source = TestKernel;
+  R.SourceHash = wire::fnv1a64(R.Source);
+  R.HasSource = true;
+  R.Config = "f64a-dspn";
+  R.K = 40;
+  R.Model = 1;
+  R.Sparse = 1;
+  R.Eng = wire::Engine::Native;
+  R.Function = "f";
+  R.NumArgs = 2;
+  R.NumInstances = 3;
+  R.Seeds = {0.25, -1.0, 0.5, 2.0, std::ldexp(1.0, -1040), -0.0};
+
+  wire::EvalRequest D;
+  ASSERT_TRUE(wire::decodeEvalRequest(wire::encodeEvalRequest(R), D));
+  EXPECT_EQ(D.RequestId, R.RequestId);
+  EXPECT_EQ(D.SourceHash, R.SourceHash);
+  EXPECT_EQ(D.HasSource, R.HasSource);
+  EXPECT_EQ(D.Source, R.Source);
+  EXPECT_EQ(D.Config, R.Config);
+  EXPECT_EQ(D.K, R.K);
+  EXPECT_EQ(D.Model, R.Model);
+  EXPECT_EQ(D.Sparse, R.Sparse);
+  EXPECT_EQ(D.Eng, R.Eng);
+  EXPECT_EQ(D.Function, R.Function);
+  EXPECT_EQ(D.NumArgs, R.NumArgs);
+  EXPECT_EQ(D.NumInstances, R.NumInstances);
+  ASSERT_EQ(D.Seeds.size(), R.Seeds.size());
+  for (size_t I = 0; I < R.Seeds.size(); ++I)
+    EXPECT_TRUE(sameBits(D.Seeds[I], R.Seeds[I])) << I;
+}
+
+TEST(Wire, EvalResponseRoundTripsBitExactBounds) {
+  wire::EvalResponse R;
+  R.RequestId = 7;
+  R.St = wire::Status::Ok;
+  R.Instances.resize(2);
+  R.Instances[0].Success = true;
+  R.Instances[0].Lo = -0.0; // signed zero must survive the wire
+  R.Instances[0].Hi = std::nan("");
+  R.Instances[0].CertifiedBits = 12.5;
+  R.Instances[0].HasProb = true;
+  R.Instances[0].ProbConfidence = 0.999;
+  R.Instances[0].ProbLo = 1.0;
+  R.Instances[0].ProbHi = 2.0;
+  R.Instances[0].ProbSupportLo = 0.5;
+  R.Instances[0].ProbSupportHi = 2.5;
+  R.Instances[1].Success = false;
+  R.Instances[1].Error = "division domain violation";
+
+  wire::EvalResponse D;
+  ASSERT_TRUE(wire::decodeEvalResponse(wire::encodeEvalResponse(R), D));
+  EXPECT_EQ(D.RequestId, R.RequestId);
+  EXPECT_EQ(D.St, R.St);
+  ASSERT_EQ(D.Instances.size(), 2u);
+  EXPECT_TRUE(D.Instances[0].Success);
+  EXPECT_TRUE(sameBits(D.Instances[0].Lo, -0.0));
+  EXPECT_TRUE(std::isnan(D.Instances[0].Hi));
+  EXPECT_EQ(D.Instances[0].CertifiedBits, 12.5);
+  EXPECT_TRUE(D.Instances[0].HasProb);
+  EXPECT_EQ(D.Instances[0].ProbSupportHi, 2.5);
+  EXPECT_FALSE(D.Instances[1].Success);
+  EXPECT_EQ(D.Instances[1].Error, "division domain violation");
+}
+
+TEST(Wire, StatsRoundTrip) {
+  wire::Stats S;
+  S.CacheHits = 1;
+  S.CacheMisses = 2;
+  S.CacheEvictions = 3;
+  S.CacheCompiles = 4;
+  S.CacheEntries = 5;
+  S.Requests = 6;
+  S.BatchesDrained = 7;
+  S.CoalescedInstances = 8;
+  S.Rejected = 9;
+  wire::Stats D;
+  ASSERT_TRUE(wire::decodeStats(wire::encodeStats(S), D));
+  EXPECT_EQ(D.CacheHits, 1u);
+  EXPECT_EQ(D.Rejected, 9u);
+  EXPECT_EQ(D.CoalescedInstances, 8u);
+}
+
+TEST(Wire, TruncatedAndMistypedPayloadsAreRejected) {
+  wire::EvalRequest R;
+  R.Source = TestKernel;
+  R.SourceHash = wire::fnv1a64(R.Source);
+  R.HasSource = true;
+  R.NumArgs = 2;
+  R.NumInstances = 1;
+  R.Seeds = {1.0, 2.0};
+  std::string Enc = wire::encodeEvalRequest(R);
+
+  wire::EvalRequest D;
+  for (size_t Cut : {size_t(0), Enc.size() / 2, Enc.size() - 1})
+    EXPECT_FALSE(wire::decodeEvalRequest(Enc.substr(0, Cut), D)) << Cut;
+  // Trailing garbage is a framing error too (atEnd() check).
+  EXPECT_FALSE(wire::decodeEvalRequest(Enc + "x", D));
+  // Type confusion: a response decoder must refuse a request payload.
+  wire::EvalResponse RD;
+  EXPECT_FALSE(wire::decodeEvalResponse(Enc, RD));
+}
+
+//===----------------------------------------------------------------------===//
+// KernelCache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CacheKey keyFor(const std::string &Source, const std::string &Config = "c0",
+                const std::string &Fn = "f") {
+  return CacheKey{wire::fnv1a64(Source), Config, Fn};
+}
+
+} // namespace
+
+TEST(KernelCache, ConcurrentMissesCompileExactlyOnce) {
+  KernelCache Cache(8);
+  const std::string Source = TestKernel;
+  const CacheKey Key = keyFor(Source);
+  core::InterpreterOptions Opts;
+
+  constexpr unsigned N = 8;
+  std::vector<std::shared_ptr<CacheEntry>> Entries(N);
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Gate{0};
+  for (unsigned T = 0; T < N; ++T)
+    Threads.emplace_back([&, T] {
+      // Rendezvous so the misses really race into acquire together.
+      Gate.fetch_add(1);
+      while (Gate.load() < N)
+        std::this_thread::yield();
+      Entries[T] = Cache.acquire(Key, &Source, Opts);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Cache.compiles(), 1u) << "single-flight must dedupe compiles";
+  for (unsigned T = 0; T < N; ++T) {
+    ASSERT_NE(Entries[T], nullptr);
+    EXPECT_EQ(Entries[T], Entries[0]) << "all waiters share one artifact";
+    EXPECT_FALSE(Entries[T]->failed()) << Entries[T]->Error;
+    EXPECT_TRUE(Entries[T]->Fn.hasTape());
+  }
+}
+
+TEST(KernelCache, MissWithoutSourceIsNeedSource) {
+  KernelCache Cache(8);
+  const std::string Source = TestKernel;
+  const CacheKey Key = keyFor(Source);
+  core::InterpreterOptions Opts;
+
+  EXPECT_EQ(Cache.acquire(Key, nullptr, Opts), nullptr);
+  EXPECT_EQ(Cache.compiles(), 0u);
+  EXPECT_FALSE(Cache.contains(Key));
+
+  ASSERT_NE(Cache.acquire(Key, &Source, Opts), nullptr);
+  EXPECT_TRUE(Cache.contains(Key));
+  // Warm: hash-only lookups now succeed without source.
+  std::shared_ptr<CacheEntry> E = Cache.acquire(Key, nullptr, Opts);
+  ASSERT_NE(E, nullptr);
+  EXPECT_FALSE(E->failed());
+  EXPECT_EQ(Cache.compiles(), 1u);
+}
+
+TEST(KernelCache, FailedCompilesAreCachedNegative) {
+  KernelCache Cache(8);
+  const std::string Bad = "double f(double x) { return x + ; }\n";
+  const CacheKey Key = keyFor(Bad);
+  core::InterpreterOptions Opts;
+
+  std::shared_ptr<CacheEntry> E = Cache.acquire(Key, &Bad, Opts);
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->failed());
+  EXPECT_NE(E->Error.find("does not parse"), std::string::npos) << E->Error;
+
+  // The negative entry satisfies the next miss without recompiling —
+  // a misbehaving client cannot force a recompilation storm.
+  std::shared_ptr<CacheEntry> E2 = Cache.acquire(Key, &Bad, Opts);
+  EXPECT_EQ(E2, E);
+  EXPECT_EQ(Cache.compiles(), 1u);
+
+  // A missing function is the other negative shape.
+  const std::string NoFn = "double g(double x) { return x; }\n";
+  const CacheKey K2 = keyFor(NoFn);
+  std::shared_ptr<CacheEntry> E3 = Cache.acquire(K2, &NoFn, Opts);
+  ASSERT_NE(E3, nullptr);
+  EXPECT_TRUE(E3->failed());
+  EXPECT_NE(E3->Error.find("no definition"), std::string::npos) << E3->Error;
+}
+
+TEST(KernelCache, LruEvictsColdEntriesAndRecompilesThem) {
+  // Capacity 16 over 16 shards = 1 completed entry per shard: filling
+  // with many distinct configs of one tiny kernel forces shard-local
+  // evictions without depending on the key→shard mapping.
+  KernelCache Cache(16);
+  const std::string Source = "double f(double x) { return x + 1.0; }\n";
+  core::InterpreterOptions Opts;
+
+  constexpr unsigned N = 64;
+  for (unsigned I = 0; I < N; ++I)
+    ASSERT_NE(Cache.acquire(keyFor(Source, "c" + std::to_string(I)), &Source,
+                            Opts),
+              nullptr);
+  EXPECT_EQ(Cache.compiles(), N);
+  EXPECT_GT(Cache.evictions(), 0u);
+  EXPECT_LT(Cache.size(), size_t(N));
+
+  // An evicted key is a genuine miss again: NeedSource without source,
+  // recompile with it.
+  uint64_t Before = Cache.compiles();
+  unsigned Recompiled = 0;
+  for (unsigned I = 0; I < N; ++I) {
+    CacheKey K = keyFor(Source, "c" + std::to_string(I));
+    if (Cache.contains(K))
+      continue;
+    EXPECT_EQ(Cache.acquire(K, nullptr, Opts), nullptr);
+    ASSERT_NE(Cache.acquire(K, &Source, Opts), nullptr);
+    ++Recompiled;
+    break; // one round-trip proves the point
+  }
+  EXPECT_EQ(Recompiled, 1u);
+  EXPECT_EQ(Cache.compiles(), Before + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Server end-to-end (Unix-domain socket)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ServerFixture {
+  std::string Path = socketPath();
+  std::unique_ptr<Server> Srv;
+
+  explicit ServerFixture(size_t MaxPendingInstances = 1u << 16) {
+    ServerOptions O;
+    O.SocketPath = Path;
+    O.Threads = 4;
+    O.MaxPendingInstances = MaxPendingInstances;
+    Srv = std::make_unique<Server>(std::move(O));
+    std::string Err;
+    if (!Srv->start(Err)) {
+      ADD_FAILURE() << "server start failed: " << Err;
+      Srv.reset();
+    }
+  }
+  ~ServerFixture() {
+    if (Srv) {
+      Srv->stop();
+      Srv->wait();
+    }
+    ::unlink(Path.c_str());
+  }
+};
+
+wire::EvalRequest makeRequest(const std::vector<std::vector<double>> &Seeds,
+                              wire::Engine Eng = wire::Engine::Tape) {
+  wire::EvalRequest R;
+  R.Source = TestKernel;
+  R.SourceHash = wire::fnv1a64(R.Source);
+  R.Config = "f64a-dspn";
+  R.K = 16;
+  R.Eng = Eng;
+  R.Function = "f";
+  R.NumArgs = Seeds.empty() ? 0 : static_cast<uint32_t>(Seeds[0].size());
+  R.NumInstances = static_cast<uint32_t>(Seeds.size());
+  for (const std::vector<double> &Row : Seeds)
+    R.Seeds.insert(R.Seeds.end(), Row.begin(), Row.end());
+  return R;
+}
+
+} // namespace
+
+TEST(ServerEndToEnd, ResponsesBitIdenticalToOfflineBatch) {
+  ServerFixture F;
+  ASSERT_NE(F.Srv, nullptr);
+
+  const std::vector<std::vector<double>> Seeds = {
+      {0.25, 1.5}, {2.0, -0.5}, {0.75, 4.0}};
+  std::string Diag;
+  std::optional<aa::AAConfig> Cfg = aa::AAConfig::parse("f64a-dspn", Diag);
+  ASSERT_TRUE(Cfg.has_value()) << Diag;
+  Cfg->K = 16;
+
+  for (wire::Engine Eng : {wire::Engine::Tape, wire::Engine::Native}) {
+    wire::Client C;
+    std::string Err;
+    ASSERT_TRUE(C.connectUnix(F.Path, Err)) << Err;
+    wire::EvalRequest R = makeRequest(Seeds, Eng);
+    wire::EvalResponse Resp;
+    ASSERT_TRUE(C.eval(R, Resp, Err)) << Err;
+    ASSERT_EQ(Resp.St, wire::Status::Ok) << Resp.Message;
+    ASSERT_EQ(Resp.Instances.size(), Seeds.size());
+
+    auto Ref = offlineReference(TestKernel, "f", *Cfg, Seeds,
+                                Eng == wire::Engine::Native
+                                    ? core::ExecEngine::Native
+                                    : core::ExecEngine::Tape);
+    for (size_t I = 0; I < Seeds.size(); ++I) {
+      ASSERT_TRUE(Resp.Instances[I].Success) << Resp.Instances[I].Error;
+      ASSERT_TRUE(Ref[I].Success);
+      EXPECT_TRUE(sameBits(Resp.Instances[I].Lo, Ref[I].Return.Lo))
+          << "engine " << int(Eng) << " instance " << I;
+      EXPECT_TRUE(sameBits(Resp.Instances[I].Hi, Ref[I].Return.Hi))
+          << "engine " << int(Eng) << " instance " << I;
+    }
+  }
+
+  // Both engines share one artifact; the second request was a warm hit.
+  wire::Stats S = F.Srv->stats();
+  EXPECT_EQ(S.CacheCompiles, 1u);
+  EXPECT_EQ(S.CacheMisses, 1u);
+  EXPECT_GE(S.CacheHits, 1u);
+}
+
+TEST(ServerEndToEnd, WarmClientNeverResendsSource) {
+  ServerFixture F;
+  ASSERT_NE(F.Srv, nullptr);
+  wire::Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(F.Path, Err)) << Err;
+
+  // Cold: hash-only first, automatic NeedSource retry inside eval().
+  wire::EvalRequest R = makeRequest({{0.5, 0.5}});
+  R.HasSource = false; // Source kept for the retry path
+  wire::EvalResponse Resp;
+  ASSERT_TRUE(C.eval(R, Resp, Err)) << Err;
+  ASSERT_EQ(Resp.St, wire::Status::Ok) << Resp.Message;
+
+  // Warm: a hash-only request with NO source succeeds outright.
+  wire::EvalRequest W = makeRequest({{1.0, 2.0}});
+  W.HasSource = false;
+  W.Source.clear();
+  ASSERT_TRUE(C.eval(W, Resp, Err)) << Err;
+  EXPECT_EQ(Resp.St, wire::Status::Ok) << Resp.Message;
+  ASSERT_EQ(Resp.Instances.size(), 1u);
+  EXPECT_TRUE(Resp.Instances[0].Success);
+  EXPECT_EQ(F.Srv->stats().CacheCompiles, 1u);
+}
+
+TEST(ServerEndToEnd, CoalescedConcurrentClientsGetTheirOwnResults) {
+  ServerFixture F;
+  ASSERT_NE(F.Srv, nullptr);
+
+  std::string Diag;
+  std::optional<aa::AAConfig> Cfg = aa::AAConfig::parse("f64a-dspn", Diag);
+  ASSERT_TRUE(Cfg.has_value()) << Diag;
+  Cfg->K = 16;
+
+  // Distinct seeds per client so cross-request result splitting shows up
+  // as a wrong-bounds failure, not a silent pass.
+  constexpr unsigned Clients = 6;
+  std::vector<std::vector<std::vector<double>>> PerClient(Clients);
+  for (unsigned T = 0; T < Clients; ++T)
+    for (unsigned I = 0; I < 4; ++I)
+      PerClient[T].push_back({0.1 * (T + 1), 0.25 * (I + 1)});
+
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Failures{0};
+  for (unsigned T = 0; T < Clients; ++T)
+    Threads.emplace_back([&, T] {
+      wire::Client C;
+      std::string Err;
+      if (!C.connectUnix(F.Path, Err))
+        return void(Failures.fetch_add(1));
+      wire::EvalRequest R = makeRequest(PerClient[T]);
+      R.RequestId = T;
+      R.HasSource = true; // no NeedSource bounce: one wire request each,
+                          // keeping the Requests counter deterministic
+      wire::EvalResponse Resp;
+      if (!C.eval(R, Resp, Err) || Resp.St != wire::Status::Ok ||
+          Resp.RequestId != T ||
+          Resp.Instances.size() != PerClient[T].size())
+        return void(Failures.fetch_add(1));
+      auto Ref = offlineReference(TestKernel, "f", *Cfg, PerClient[T],
+                                  core::ExecEngine::Tape);
+      for (size_t I = 0; I < Ref.size(); ++I)
+        if (!Resp.Instances[I].Success ||
+            !sameBits(Resp.Instances[I].Lo, Ref[I].Return.Lo) ||
+            !sameBits(Resp.Instances[I].Hi, Ref[I].Return.Hi))
+          return void(Failures.fetch_add(1));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0u);
+
+  wire::Stats S = F.Srv->stats();
+  EXPECT_EQ(S.Requests, uint64_t(Clients));
+  EXPECT_EQ(S.CoalescedInstances, uint64_t(Clients) * 4);
+  EXPECT_EQ(S.CacheCompiles, 1u) << "one kernel, one compile";
+  EXPECT_LE(S.BatchesDrained, S.Requests);
+  EXPECT_GE(S.BatchesDrained, 1u);
+}
+
+TEST(ServerEndToEnd, OverflowingRequestIsRejectedBusy) {
+  ServerFixture F(/*MaxPendingInstances=*/4);
+  ASSERT_NE(F.Srv, nullptr);
+  wire::Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(F.Path, Err)) << Err;
+
+  std::vector<std::vector<double>> Big(8, std::vector<double>{0.5, 0.5});
+  wire::EvalRequest R = makeRequest(Big);
+  wire::EvalResponse Resp;
+  ASSERT_TRUE(C.eval(R, Resp, Err)) << Err;
+  EXPECT_EQ(Resp.St, wire::Status::Busy);
+  EXPECT_EQ(F.Srv->stats().Rejected, 1u);
+
+  // Within budget still works on the same connection.
+  wire::EvalRequest Small = makeRequest({{0.5, 0.5}});
+  ASSERT_TRUE(C.eval(Small, Resp, Err)) << Err;
+  EXPECT_EQ(Resp.St, wire::Status::Ok) << Resp.Message;
+}
+
+TEST(ServerEndToEnd, MalformedConfigAndHashMismatchAreRequestErrors) {
+  ServerFixture F;
+  ASSERT_NE(F.Srv, nullptr);
+  wire::Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connectUnix(F.Path, Err)) << Err;
+
+  wire::EvalRequest R = makeRequest({{0.5, 0.5}});
+  R.Config = "not-a-notation";
+  wire::EvalResponse Resp;
+  ASSERT_TRUE(C.eval(R, Resp, Err)) << Err;
+  EXPECT_EQ(Resp.St, wire::Status::Error);
+  EXPECT_NE(Resp.Message.find("bad config"), std::string::npos)
+      << Resp.Message;
+
+  wire::EvalRequest H = makeRequest({{0.5, 0.5}});
+  H.SourceHash ^= 1; // lie about the content hash
+  H.HasSource = true;
+  ASSERT_TRUE(C.eval(H, Resp, Err)) << Err;
+  EXPECT_EQ(Resp.St, wire::Status::Error);
+  EXPECT_NE(Resp.Message.find("hash mismatch"), std::string::npos)
+      << Resp.Message;
+}
